@@ -1,0 +1,98 @@
+//===- BenchCommon.h - shared bench harness helpers ---------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every figure bench prints (a) a paper-style summary table — median
+/// runtime per pipeline plus the interpreter's PAPI-substitute counters —
+/// and (b) registers google-benchmark timers over pre-compiled artifacts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_BENCH_BENCHCOMMON_H
+#define DCIR_BENCH_BENCHCOMMON_H
+
+#include "pipeline/Pipeline.h"
+
+#include <algorithm>
+#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dcir {
+namespace bench {
+
+inline const std::vector<pipeline::PipelineKind> &allPipelines() {
+  using pipeline::PipelineKind;
+  static const std::vector<PipelineKind> Kinds = {
+      PipelineKind::GccLike, PipelineKind::ClangLike, PipelineKind::DaceLike,
+      PipelineKind::MlirLike, PipelineKind::Dcir};
+  return Kinds;
+}
+
+/// Compiles (aborting on failure) and caches an artifact.
+inline std::shared_ptr<pipeline::Compiled>
+compileOrDie(const std::string &Source, const std::string &Entry,
+             pipeline::PipelineKind Kind) {
+  DiagnosticEngine Diags;
+  auto C = std::make_shared<pipeline::Compiled>(
+      pipeline::compile(Source, Entry, Kind, Diags));
+  if (!C->Module && !C->Graph) {
+    std::fprintf(stderr, "bench: %s failed to compile %s:\n%s\n",
+                 pipeline::pipelineName(Kind), Entry.c_str(),
+                 Diags.str().c_str());
+    std::abort();
+  }
+  return C;
+}
+
+/// Median wall-clock over \p Repeats runs.
+inline pipeline::RunResult
+medianRun(const pipeline::Compiled &C, int Repeats = 3,
+          interp::MathMode Mode = interp::MathMode::Precise) {
+  std::vector<pipeline::RunResult> Rs;
+  for (int I = 0; I < Repeats; ++I)
+    Rs.push_back(pipeline::run(C, Mode));
+  std::sort(Rs.begin(), Rs.end(),
+            [](const auto &A, const auto &B) { return A.Seconds < B.Seconds; });
+  return Rs[Rs.size() / 2];
+}
+
+/// One row of a paper-style summary table.
+inline void printRow(const char *Workload, const char *Config,
+                     const pipeline::RunResult &R) {
+  std::printf("%-16s %-10s %10.3f ms  work=%-10llu moved=%-12llu "
+              "heap_allocs=%-5llu result=%.6g\n",
+              Workload, Config, R.Seconds * 1e3,
+              static_cast<unsigned long long>(R.Stats.OpsExecuted +
+                                              R.Stats.TaskletsExecuted),
+              static_cast<unsigned long long>(R.Stats.BytesMoved),
+              static_cast<unsigned long long>(R.Stats.HeapAllocs),
+              R.ReturnValue);
+}
+
+/// Registers a google-benchmark timer over a pre-compiled artifact.
+inline void registerPipelineBenchmark(
+    const std::string &Name, std::shared_ptr<pipeline::Compiled> C,
+    interp::MathMode Mode = interp::MathMode::Precise) {
+  benchmark::RegisterBenchmark(
+      Name.c_str(),
+      [C, Mode](benchmark::State &State) {
+        double Result = 0.0;
+        for (auto _ : State) {
+          pipeline::RunResult R = pipeline::run(*C, Mode);
+          Result = R.ReturnValue;
+          benchmark::DoNotOptimize(Result);
+        }
+      })
+      ->Unit(benchmark::kMillisecond);
+}
+
+} // namespace bench
+} // namespace dcir
+
+#endif // DCIR_BENCH_BENCHCOMMON_H

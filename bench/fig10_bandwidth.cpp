@@ -1,0 +1,28 @@
+//===- fig10_bandwidth.cpp - paper Fig. 10: TheBandwidthBenchmark snippet -----===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace dcir;
+using namespace dcir::bench;
+using namespace dcir::pipeline;
+
+int main(int argc, char **argv) {
+  std::string Source = loadWorkload("snippets/fig10_bandwidth.c");
+
+  std::printf("=== Fig. 10: memory bandwidth snippet ===\n");
+  for (PipelineKind K : allPipelines()) {
+    auto C = compileOrDie(Source, "bandwidth", K);
+    RunResult R = medianRun(*C);
+    printRow("bandwidth", pipelineName(K), R);
+    registerPipelineBenchmark(
+        std::string("fig10/bandwidth/") + pipelineName(K), C);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,50 @@
+//===- fig7_syrk.cpp - paper Fig. 7: opaque tasklets miss syrk hoisting -------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the paper's Fig. 7 observation: the DaCe C frontend treats
+/// `C[i][j] += alpha * A[i][k] * A[j][k]` as one indivisible tasklet and
+/// cannot hoist `alpha * A[i][k]` out of the j loop; DCIR's fine-grained
+/// tasklets let the MLIR-side LICM do it. The work counters make the
+/// difference exact: DaCe executes one extra multiplication per innermost
+/// iteration.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace dcir;
+using namespace dcir::bench;
+using namespace dcir::pipeline;
+
+int main(int argc, char **argv) {
+  std::string Source = loadWorkload("polybench/syrk.c");
+
+  std::printf("=== Fig. 7: syrk — DaCe C frontend vs DCIR ===\n");
+  pipeline::RunResult Dace, Dcir;
+  for (PipelineKind K : allPipelines()) {
+    auto C = compileOrDie(Source, "kernel_syrk", K);
+    RunResult R = medianRun(*C);
+    printRow("syrk", pipelineName(K), R);
+    if (K == PipelineKind::DaceLike)
+      Dace = R;
+    if (K == PipelineKind::Dcir)
+      Dcir = R;
+    registerPipelineBenchmark(std::string("fig7/syrk/") + pipelineName(K),
+                              C);
+  }
+  // The paper's Fig. 7 effect, measured on the movement counters: the DaCe
+  // C frontend re-reads alpha and A[i][k] in every innermost iteration
+  // because the whole statement is one opaque tasklet; DCIR hoists the
+  // multiplication (and its loads) out of the j loop.
+  std::printf("\nDaCe re-loads %.2fx the elements DCIR does "
+              "(alpha * A[i][k] not hoisted out of the j loop)\n",
+              double(Dace.Stats.Loads) / double(Dcir.Stats.Loads));
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,32 @@
+//===- fig9_milc.cpp - paper Fig. 9: the MILC multi-mass CG snippet -----------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace dcir;
+using namespace dcir::bench;
+using namespace dcir::pipeline;
+
+int main(int argc, char **argv) {
+  std::string Source = loadWorkload("snippets/fig9_milc.c");
+
+  std::printf("=== Fig. 9: MILC congrad_multi_field snippet ===\n");
+  for (PipelineKind K : allPipelines()) {
+    auto C = compileOrDie(Source, "milc_congrad", K);
+    RunResult R = medianRun(*C);
+    printRow("milc", pipelineName(K), R);
+    if (K == PipelineKind::Dcir)
+      std::printf("    DCIR eliminated %u containers (the paper reports "
+                  "two 10,000-double arrays removed)\n",
+                  C->Report.containersEliminated());
+    registerPipelineBenchmark(std::string("fig9/milc/") + pipelineName(K),
+                              C);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

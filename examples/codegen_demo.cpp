@@ -1,0 +1,41 @@
+//===- codegen_demo.cpp - SDFG to C++ code generation demo ---------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles the paper's syrk kernel (Fig. 7) through DCIR and prints the
+/// generated C++ — the analogue of DaCe emitting C++ for a native build.
+/// Note the hoisted `alpha * A[i][k]` in the innermost state.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CppCodegen.h"
+#include "pipeline/Pipeline.h"
+
+#include <cstdio>
+
+using namespace dcir;
+using namespace dcir::pipeline;
+
+int main() {
+  DiagnosticEngine Diags;
+  Compiled C = compile(loadWorkload("polybench/syrk.c"), "kernel_syrk",
+                       PipelineKind::Dcir, Diags);
+  if (!C.Graph) {
+    std::fprintf(stderr, "compilation failed:\n%s\n", Diags.str().c_str());
+    return 1;
+  }
+  std::string Code = codegen::emitCpp(*C.Graph, Diags);
+  if (Code.empty()) {
+    std::fprintf(stderr, "codegen failed:\n%s\n", Diags.str().c_str());
+    return 1;
+  }
+  std::printf("%s\n", Code.c_str());
+  std::fprintf(stderr,
+               "\n// Build with: c++ -O2 -c syrk_generated.cpp\n"
+               "// Entry point: extern \"C\" void kernel_syrk(double *"
+               "__return)\n");
+  return 0;
+}

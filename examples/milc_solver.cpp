@@ -1,0 +1,48 @@
+//===- milc_solver.cpp - the paper's Fig. 9 case study as an API demo ----------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles the MILC multi-mass conjugate-gradient snippet through all five
+/// pipelines, reporting runtimes, data movement, and the containers the
+/// data-centric passes eliminated — the programmatic version of the fig9
+/// bench, showing the high-level driver API.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+
+#include <cstdio>
+
+using namespace dcir;
+using namespace dcir::pipeline;
+
+int main() {
+  std::string Source = loadWorkload("snippets/fig9_milc.c");
+  std::printf("MILC congrad_multi_field snippet, five pipelines:\n\n");
+  for (PipelineKind K :
+       {PipelineKind::GccLike, PipelineKind::ClangLike, PipelineKind::DaceLike,
+        PipelineKind::MlirLike, PipelineKind::Dcir}) {
+    DiagnosticEngine Diags;
+    Compiled C = compile(Source, "milc_congrad", K, Diags);
+    if (!C.Module && !C.Graph) {
+      std::fprintf(stderr, "%s failed:\n%s\n", pipelineName(K),
+                   Diags.str().c_str());
+      return 1;
+    }
+    RunResult R = run(C);
+    std::printf("%-6s  %8.3f ms   result=%-12.6f bytes_moved=%-10llu "
+                "heap_allocs=%llu\n",
+                pipelineName(K), R.Seconds * 1e3, R.ReturnValue,
+                static_cast<unsigned long long>(R.Stats.BytesMoved),
+                static_cast<unsigned long long>(R.Stats.HeapAllocs));
+    if (K == PipelineKind::Dcir)
+      std::printf("        DCIR eliminated %u containers; %u scalars "
+                  "became symbols; %u states fused\n",
+                  C.Report.containersEliminated(), C.Report.ScalarsPromoted,
+                  C.Report.StatesFused);
+  }
+  return 0;
+}

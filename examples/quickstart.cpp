@@ -1,0 +1,104 @@
+//===- quickstart.cpp - the whole DCIR pipeline in one page --------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Walks the paper's Fig. 5 flow on a small C program: frontend, MLIR-style
+/// textual IR, control-centric passes, the sdfg dialect, the SDFG IR, the
+/// data-centric optimizer, and execution.
+///
+/// Run: ./quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "conversion/ConvertToSdfg.h"
+#include "conversion/TranslateToSDFG.h"
+#include "dialects/Dialects.h"
+#include "frontend/CCodegen.h"
+#include "interp/SDFGInterp.h"
+#include "ir/Printer.h"
+#include "passes/Pass.h"
+#include "sdfgopt/Passes.h"
+
+#include <cstdio>
+
+using namespace dcir;
+
+int main() {
+  const char *Source = R"(
+#define N 32
+double quickstart() {
+  double *tmp = (double*)malloc(N * sizeof(double));
+  double acc = 0.0;
+  for (int i = 0; i < N; i++)
+    tmp[i] = i * 0.5;
+  for (int i = 0; i < N; i++)
+    acc += tmp[i];
+  free(tmp);
+  return acc;
+}
+)";
+
+  // 1. The Polygeist-style frontend: C -> func/scf/arith/memref dialects.
+  ir::IRContext Ctx;
+  registerAllDialects(Ctx);
+  DiagnosticEngine Diags;
+  ir::Operation *Module = frontend::compileCToModule(Source, Ctx, Diags);
+  if (!Module) {
+    std::fprintf(stderr, "%s\n", Diags.str().c_str());
+    return 1;
+  }
+  std::printf("--- MLIR dialects (frontend output, excerpt) ---\n%.1200s...\n",
+              ir::printOperation(Module).c_str());
+
+  // 2. Control-centric passes (paper Fig. 4, blue).
+  passes::PassManager PM(/*VerifyEach=*/true);
+  PM.addPass(passes::createInlinerPass());
+  PM.addPass(passes::createCanonicalizePass());
+  PM.addPass(passes::createCSEPass());
+  PM.addPass(passes::createLICMPass());
+  PM.addPass(passes::createScalarReplacementPass());
+  PM.addPass(passes::createCSEPass());
+  PM.addPass(passes::createDCEPass());
+  if (!PM.run(Module, Diags)) {
+    std::fprintf(stderr, "%s\n", Diags.str().c_str());
+    return 1;
+  }
+
+  // 3. Conversion into the sdfg dialect (paper §5.1).
+  ir::Operation *SdfgModule = conversion::convertToSdfgDialect(Module, Diags);
+  ir::Operation::eraseDetached(Module);
+  if (!SdfgModule) {
+    std::fprintf(stderr, "%s\n", Diags.str().c_str());
+    return 1;
+  }
+  std::printf("\n--- sdfg dialect (excerpt) ---\n%.1200s...\n",
+              ir::printOperation(SdfgModule).c_str());
+
+  // 4. Translation to the SDFG IR (paper §5.2).
+  auto G = conversion::translateToSDFG(SdfgModule, "quickstart", Diags);
+  ir::Operation::eraseDetached(SdfgModule);
+  if (!G) {
+    std::fprintf(stderr, "%s\n", Diags.str().c_str());
+    return 1;
+  }
+
+  // 5. Data-centric optimization (paper §6): -O1 simplify + -O2 scheduling.
+  sdfgopt::OptReport Report;
+  sdfgopt::runAutoOptimize(*G, Report);
+  std::printf("\n--- optimized SDFG ---\n%s\n", G->str().c_str());
+  std::printf("scalars promoted: %u, states fused: %u, containers "
+              "eliminated: %u, loops fused: %u\n",
+              Report.ScalarsPromoted, Report.StatesFused,
+              Report.containersEliminated(), Report.LoopsFused);
+
+  // 6. Execute.
+  interp::SDFGInterpreter I(*G);
+  I.run();
+  std::printf("\nresult = %.6f (expected 248.0)\n",
+              I.readScalar("__return").asF());
+  std::printf("execution stats: %s\n", I.stats().str().c_str());
+  return 0;
+}

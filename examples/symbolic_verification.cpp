@@ -1,0 +1,61 @@
+//===- symbolic_verification.cpp - paper Fig. 3 as a runnable demo -------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Demonstrates parametric size verification: a copy between `sym("2*N")`
+/// and `sym("N")` arrays is rejected at compile time by the sdfg dialect,
+/// while the equivalent memref program passes silently — the paper's Fig. 3.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialects/Dialects.h"
+#include "dialects/Sdfg.h"
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <cstdio>
+
+using namespace dcir;
+using namespace dcir::ir;
+
+int main() {
+  IRContext Ctx;
+  registerAllDialects(Ctx);
+  sym::SymExpr N = sym::SymExpr::symbol("N");
+  sym::SymExpr TwoN = sym::SymExpr::mul(sym::SymExpr::constant(2), N);
+
+  Operation *Module = createModule(Ctx);
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(&Module->getRegion(0).front());
+  Operation *Sdfg = sdfg_dialect::createSdfg(
+      B, "fName",
+      {Ctx.getSdfgArrayType(Ctx.getI32Type(), {TwoN}),
+       Ctx.getSdfgArrayType(Ctx.getI32Type(), {N})});
+  Block &Body = Sdfg->getRegion(0).front();
+  OpBuilder SB(Ctx);
+  SB.setInsertionPointToEnd(&Body);
+  Operation *State = sdfg_dialect::createState(SB, "copy");
+  OpBuilder StB(Ctx);
+  StB.setInsertionPointToEnd(&State->getRegion(0).front());
+  StB.create(sdfg_dialect::kCopyOp, SourceLoc(),
+             {Body.getArgument(0), Body.getArgument(1)}, {});
+
+  std::printf("--- Fig. 3b: function with symbolic sizes ---\n%s\n",
+              printOperation(Sdfg).c_str());
+
+  DiagnosticEngine Diags;
+  if (!verify(Module, Diags)) {
+    std::printf("compile-time verification caught the bug:\n%s\n",
+                Diags.str().c_str());
+  } else {
+    std::printf("UNEXPECTED: no error reported\n");
+  }
+  std::printf("(a memref<?xi32> copy of the same shape passes silently — "
+              "the blind spot the sdfg dialect closes)\n");
+  Operation::eraseDetached(Module);
+  return 0;
+}

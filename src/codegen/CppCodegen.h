@@ -1,0 +1,39 @@
+//===- CppCodegen.h - SDFG to C++ source emission -----------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates a self-contained C++ translation unit from an SDFG, mirroring
+/// DaCe's code generator: transients are allocated according to their
+/// storage class (heap / stack / register), states become labeled blocks
+/// driven by goto-encoded interstate edges, maps become loop nests, and
+/// tasklets become scalar expressions. The pipeline's experiments run on the
+/// interpreter (see DESIGN.md); this backend exists so downstream users can
+/// compile SDFGs natively, and is validated by tests that compile and run
+/// the generated code when a host compiler is available.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_CODEGEN_CPPCODEGEN_H
+#define DCIR_CODEGEN_CPPCODEGEN_H
+
+#include "sdfg/SDFG.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+
+namespace dcir {
+namespace codegen {
+
+/// Emits a C++ translation unit defining
+/// `extern "C" void <name>(<args>, <symbols>)`. Arrays pass as `T*`,
+/// scalars as `T*` (in-out), symbols as `long long`. Returns an empty
+/// string on failure.
+std::string emitCpp(const sdfg::SDFG &G, DiagnosticEngine &Diags);
+
+} // namespace codegen
+} // namespace dcir
+
+#endif // DCIR_CODEGEN_CPPCODEGEN_H

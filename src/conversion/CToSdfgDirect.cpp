@@ -1,0 +1,816 @@
+//===- CToSdfgDirect.cpp -------------------------------------------------------------===//
+
+#include "conversion/CToSdfgDirect.h"
+
+#include <algorithm>
+
+using namespace dcir;
+using namespace dcir::conversion;
+using namespace dcir::frontend;
+using namespace dcir::sdfg;
+using sym::SymExpr;
+
+namespace {
+
+DType dtypeOfScalar(CScalarKind K) {
+  switch (K) {
+  case CScalarKind::Int:
+    return DType::I64;
+  case CScalarKind::Float:
+    return DType::F32;
+  default:
+    return DType::F64;
+  }
+}
+
+class DirectTranslator {
+public:
+  DirectTranslator(const TranslationUnit &TU, const FunctionDef &Fn,
+                   DiagnosticEngine &Diags)
+      : TU(TU), Fn(Fn), Diags(Diags) {}
+
+  std::unique_ptr<SDFG> run() {
+    G = std::make_unique<SDFG>(Fn.Name);
+    if (!Fn.ReturnTy.isVoid())
+      G->addScalar("__return", dtypeOfScalar(Fn.ReturnTy.Scalar),
+                   /*Transient=*/false);
+    for (const VarDecl &P : Fn.Params)
+      declareVar(P.Name, P.Ty, /*Param=*/true);
+    Prev = G->addState("init");
+    G->setStartState(Prev);
+    for (const auto &S : Fn.Body->Body)
+      emitStmt(S.get());
+    if (Diags.hasErrors())
+      return nullptr;
+    return std::move(G);
+  }
+
+private:
+  const TranslationUnit &TU;
+  const FunctionDef &Fn;
+  DiagnosticEngine &Diags;
+  std::unique_ptr<SDFG> G;
+
+  /// Chain head and pending transition decoration.
+  State *Prev = nullptr;
+  SymExpr PendingCond;
+  std::vector<std::pair<std::string, SymExpr>> PendingAssign;
+  unsigned Counter = 0;
+
+  /// Variable classification: integer scalars become symbols when their
+  /// whole lifetime is symbolically expressible; everything else becomes a
+  /// container.
+  struct VarInfo {
+    enum class Kind { Symbol, Scalar, Array } K;
+    std::string Name; // Container or symbol name.
+    CScalarKind Elem = CScalarKind::Int;
+  };
+  std::map<std::string, VarInfo> Vars;
+
+  std::string fresh(const std::string &Hint) {
+    return Hint + "_d" + std::to_string(Counter++);
+  }
+
+  State *newState(const std::string &Hint) {
+    State *S = G->addState(Hint + "_" + std::to_string(Counter++));
+    link(S);
+    return S;
+  }
+
+  void link(State *Next) {
+    InterstateEdge E;
+    E.Condition = PendingCond;
+    E.Assignments = PendingAssign;
+    G->addInterstateEdge(Prev, Next, E);
+    PendingCond = SymExpr();
+    PendingAssign.clear();
+    Prev = Next;
+  }
+
+  void declareVar(const std::string &Name, const CType &Ty, bool Param) {
+    VarInfo Info;
+    Info.Elem = Ty.Scalar;
+    if (Ty.isScalar() && Ty.Scalar == CScalarKind::Int) {
+      // Integer scalars live as symbols (DaCe's lifted C semantics).
+      Info.K = VarInfo::Kind::Symbol;
+      Info.Name = Param ? Name : fresh(Name);
+      G->addSymbol(Info.Name);
+    } else if (Ty.isScalar()) {
+      Info.K = VarInfo::Kind::Scalar;
+      Info.Name = Param ? Name : fresh(Name);
+      if (!G->hasData(Info.Name))
+        G->addScalar(Info.Name, dtypeOfScalar(Ty.Scalar), !Param);
+    } else if (Ty.isArray()) {
+      Info.K = VarInfo::Kind::Array;
+      Info.Name = Param ? Name : fresh(Name);
+      std::vector<SymExpr> Shape;
+      for (std::int64_t D : Ty.Dims)
+        Shape.push_back(SymExpr::constant(D));
+      if (!G->hasData(Info.Name))
+        G->addArray(Info.Name, dtypeOfScalar(Ty.Scalar), Shape, !Param);
+    } else {
+      // Pointer: array of (initially unknown) size; fixed at malloc.
+      Info.K = VarInfo::Kind::Array;
+      Info.Name = Param ? Name : fresh(Name);
+      if (!G->hasData(Info.Name))
+        G->addArray(Info.Name, dtypeOfScalar(Ty.Scalar),
+                    {SymExpr::symbol(Info.Name + "_size")}, !Param);
+      G->addSymbol(Info.Name + "_size");
+    }
+    Vars[Name] = Info;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Symbolic expression lifting (indices, bounds, conditions)
+  //===------------------------------------------------------------------===//
+
+  /// Lifts an integer expression to symbolic form; null when impossible.
+  SymExpr liftSym(const Expr *E) {
+    if (const auto *I = dyn_cast<IntLitExpr>(E))
+      return SymExpr::constant(I->Value);
+    if (const auto *Id = dyn_cast<IdentExpr>(E)) {
+      auto It = Vars.find(Id->Name);
+      if (It == Vars.end())
+        return SymExpr();
+      if (It->second.K == VarInfo::Kind::Symbol)
+        return SymExpr::symbol(It->second.Name);
+      if (It->second.K == VarInfo::Kind::Scalar &&
+          It->second.Elem == CScalarKind::Int)
+        return SymExpr::symbol(It->second.Name); // Scalar-fallback read.
+      return SymExpr();
+    }
+    if (const auto *U = dyn_cast<UnaryExpr>(E)) {
+      if (U->Op == UnaryOpKind::Neg) {
+        SymExpr Inner = liftSym(U->Operand.get());
+        return Inner ? SymExpr::negate(Inner) : SymExpr();
+      }
+      if (U->Op == UnaryOpKind::LogicalNot) {
+        SymExpr Inner = liftSym(U->Operand.get());
+        return Inner ? SymExpr::logicalNot(Inner) : SymExpr();
+      }
+      return SymExpr();
+    }
+    if (const auto *B = dyn_cast<BinaryExpr>(E)) {
+      SymExpr L = liftSym(B->Lhs.get());
+      SymExpr R = liftSym(B->Rhs.get());
+      if (!L || !R)
+        return SymExpr();
+      switch (B->Op) {
+      case BinaryOpKind::Add:
+        return SymExpr::add(L, R);
+      case BinaryOpKind::Sub:
+        return SymExpr::sub(L, R);
+      case BinaryOpKind::Mul:
+        return SymExpr::mul(L, R);
+      // C truncation vs symbolic flooring: only convertible when provably
+      // equivalent (see texprToSymExpr).
+      case BinaryOpKind::Div:
+        if (!L.proveNonNegative(sym::SymbolAssumption::NonNegative) ||
+            !R.provePositive(sym::SymbolAssumption::NonNegative))
+          return SymExpr();
+        return SymExpr::floorDiv(L, R);
+      case BinaryOpKind::Rem:
+        if (!L.proveNonNegative(sym::SymbolAssumption::NonNegative) ||
+            !R.provePositive(sym::SymbolAssumption::NonNegative))
+          return SymExpr();
+        return SymExpr::mod(L, R);
+      case BinaryOpKind::Lt:
+        return SymExpr::lt(L, R);
+      case BinaryOpKind::Le:
+        return SymExpr::le(L, R);
+      case BinaryOpKind::Gt:
+        return SymExpr::gt(L, R);
+      case BinaryOpKind::Ge:
+        return SymExpr::ge(L, R);
+      case BinaryOpKind::Eq:
+        return SymExpr::eq(L, R);
+      case BinaryOpKind::Ne:
+        return SymExpr::ne(L, R);
+      case BinaryOpKind::LogicalAnd:
+        return SymExpr::logicalAnd(L, R);
+      case BinaryOpKind::LogicalOr:
+        return SymExpr::logicalOr(L, R);
+      default:
+        return SymExpr();
+      }
+    }
+    return SymExpr();
+  }
+
+  //===------------------------------------------------------------------===//
+  // Opaque tasklet construction
+  //===------------------------------------------------------------------===//
+
+  struct TaskletBuild {
+    Tasklet *T = nullptr;
+    State *S = nullptr;
+    std::map<std::string, std::string> MemletKeyToConn;
+    unsigned NextIn = 0;
+  };
+
+  /// Adds (or reuses) an input connector reading Data[Subset].
+  std::string addInput(TaskletBuild &TB, const std::string &Data,
+                       const sym::SymSubset &Subset) {
+    std::string Key = Data + "|" + Subset.str();
+    auto It = TB.MemletKeyToConn.find(Key);
+    if (It != TB.MemletKeyToConn.end())
+      return It->second;
+    std::string Conn = "_in" + std::to_string(TB.NextIn++);
+    TB.T->InConns.push_back(Conn);
+    AccessNode *A = TB.S->addAccess(Data);
+    Memlet M;
+    M.Data = Data;
+    M.Subset = Subset;
+    TB.S->connect(A, "", TB.T, Conn, M);
+    TB.MemletKeyToConn[Key] = Conn;
+    return Conn;
+  }
+
+  /// Builds the tasklet expression for a C expression; records array and
+  /// scalar reads as connectors. Returns nullopt on unsupported constructs.
+  std::optional<TExpr> buildExpr(const Expr *E, TaskletBuild &TB) {
+    switch (E->getKind()) {
+    case ExprKind::IntLit:
+      return TExpr::constI(cast<IntLitExpr>(E)->Value);
+    case ExprKind::FloatLit: {
+      const auto *F = cast<FloatLitExpr>(E);
+      return TExpr::constF(F->Value, F->IsSingle ? DType::F32 : DType::F64);
+    }
+    case ExprKind::Ident: {
+      const auto *Id = cast<IdentExpr>(E);
+      auto It = Vars.find(Id->Name);
+      if (It == Vars.end()) {
+        Diags.error(E->Loc, "use of undeclared '" + Id->Name + "'");
+        return std::nullopt;
+      }
+      if (It->second.K == VarInfo::Kind::Symbol)
+        return TExpr::symbolic(SymExpr::symbol(It->second.Name));
+      if (It->second.K == VarInfo::Kind::Scalar) {
+        std::string Conn =
+            addInput(TB, It->second.Name, sym::SymSubset());
+        return TExpr::input(Conn, dtypeOfScalar(It->second.Elem));
+      }
+      Diags.error(E->Loc, "array used as a scalar value");
+      return std::nullopt;
+    }
+    case ExprKind::Index: {
+      // Collect base + indices.
+      std::vector<const Expr *> Idx;
+      const Expr *Cur = E;
+      while (const auto *IE = dyn_cast<IndexExpr>(Cur)) {
+        Idx.push_back(IE->Idx.get());
+        Cur = IE->Base.get();
+      }
+      std::reverse(Idx.begin(), Idx.end());
+      const auto *Base = dyn_cast<IdentExpr>(Cur);
+      if (!Base) {
+        Diags.error(E->Loc, "unsupported subscript base");
+        return std::nullopt;
+      }
+      auto It = Vars.find(Base->Name);
+      if (It == Vars.end() || It->second.K != VarInfo::Kind::Array) {
+        Diags.error(E->Loc, "subscript of a non-array");
+        return std::nullopt;
+      }
+      std::vector<SymExpr> Indices;
+      for (const Expr *I : Idx) {
+        SymExpr S = liftSym(I);
+        if (!S) {
+          Diags.error(I->Loc, "index expression is not symbolically "
+                              "representable");
+          return std::nullopt;
+        }
+        Indices.push_back(S);
+      }
+      std::string Conn = addInput(TB, It->second.Name,
+                                  sym::SymSubset::element(Indices));
+      return TExpr::input(Conn, dtypeOfScalar(It->second.Elem));
+    }
+    case ExprKind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      if (U->Op == UnaryOpKind::Deref) {
+        // *p == p[0]
+        const auto *Base = dyn_cast<IdentExpr>(U->Operand.get());
+        if (!Base) {
+          Diags.error(E->Loc, "unsupported dereference");
+          return std::nullopt;
+        }
+        auto It = Vars.find(Base->Name);
+        if (It == Vars.end() || It->second.K != VarInfo::Kind::Array) {
+          Diags.error(E->Loc, "dereference of a non-pointer");
+          return std::nullopt;
+        }
+        std::string Conn = addInput(
+            TB, It->second.Name,
+            sym::SymSubset::element({SymExpr::constant(0)}));
+        return TExpr::input(Conn, dtypeOfScalar(It->second.Elem));
+      }
+      auto Inner = buildExpr(U->Operand.get(), TB);
+      if (!Inner)
+        return std::nullopt;
+      switch (U->Op) {
+      case UnaryOpKind::Neg:
+        return TExpr::op("neg", {*Inner}, Inner->Ty);
+      case UnaryOpKind::LogicalNot:
+        return TExpr::op("not", {*Inner}, DType::I64);
+      default:
+        Diags.error(E->Loc, "unsupported unary operator in expression");
+        return std::nullopt;
+      }
+    }
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      auto L = buildExpr(B->Lhs.get(), TB);
+      auto R = buildExpr(B->Rhs.get(), TB);
+      if (!L || !R)
+        return std::nullopt;
+      DType Ty =
+          (L->Ty != DType::I64 || R->Ty != DType::I64)
+              ? ((L->Ty == DType::F64 || R->Ty == DType::F64) ? DType::F64
+                                                              : DType::F32)
+              : DType::I64;
+      auto promote = [&](const TExpr &X) {
+        if (Ty != DType::I64 && X.Ty == DType::I64)
+          return TExpr::op("sitofp", {X}, Ty);
+        return X;
+      };
+      switch (B->Op) {
+      case BinaryOpKind::Add:
+        return TExpr::op("add", {promote(*L), promote(*R)}, Ty);
+      case BinaryOpKind::Sub:
+        return TExpr::op("sub", {promote(*L), promote(*R)}, Ty);
+      case BinaryOpKind::Mul:
+        return TExpr::op("mul", {promote(*L), promote(*R)}, Ty);
+      case BinaryOpKind::Div:
+        return TExpr::op("div", {promote(*L), promote(*R)}, Ty);
+      case BinaryOpKind::Rem:
+        return TExpr::op("rem", {*L, *R}, DType::I64);
+      case BinaryOpKind::Lt:
+        return TExpr::op("lt", {promote(*L), promote(*R)}, DType::I64);
+      case BinaryOpKind::Le:
+        return TExpr::op("le", {promote(*L), promote(*R)}, DType::I64);
+      case BinaryOpKind::Gt:
+        return TExpr::op("gt", {promote(*L), promote(*R)}, DType::I64);
+      case BinaryOpKind::Ge:
+        return TExpr::op("ge", {promote(*L), promote(*R)}, DType::I64);
+      case BinaryOpKind::Eq:
+        return TExpr::op("eq", {promote(*L), promote(*R)}, DType::I64);
+      case BinaryOpKind::Ne:
+        return TExpr::op("ne", {promote(*L), promote(*R)}, DType::I64);
+      case BinaryOpKind::LogicalAnd:
+        return TExpr::op("and", {*L, *R}, DType::I64);
+      case BinaryOpKind::LogicalOr:
+        return TExpr::op("or", {*L, *R}, DType::I64);
+      default:
+        Diags.error(E->Loc, "unsupported binary operator");
+        return std::nullopt;
+      }
+    }
+    case ExprKind::Cond: {
+      const auto *C = cast<CondExpr>(E);
+      auto Cnd = buildExpr(C->Cond.get(), TB);
+      auto T = buildExpr(C->Then.get(), TB);
+      auto F = buildExpr(C->Else.get(), TB);
+      if (!Cnd || !T || !F)
+        return std::nullopt;
+      DType Ty = T->Ty != DType::I64 ? T->Ty : F->Ty;
+      return TExpr::op("select", {*Cnd, *T, *F}, Ty);
+    }
+    case ExprKind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      static const std::set<std::string> Libm = {
+          "sqrt", "exp", "log", "pow", "fabs", "sin", "cos", "tanh",
+          "sqrtf", "expf", "logf", "powf", "fabsf"};
+      std::string Name = C->Callee;
+      if (C->Callee == "fmax" || C->Callee == "fmin")
+        Name = C->Callee == "fmax" ? "max" : "min";
+      else if (Libm.count(C->Callee)) {
+        if (Name.back() == 'f')
+          Name.pop_back();
+      } else {
+        Diags.error(E->Loc, "unsupported call '" + C->Callee +
+                                "' in the direct frontend");
+        return std::nullopt;
+      }
+      std::vector<TExpr> Args;
+      for (const auto &A : C->Args) {
+        auto X = buildExpr(A.get(), TB);
+        if (!X)
+          return std::nullopt;
+        if (X->Ty == DType::I64)
+          *X = TExpr::op("sitofp", {*X}, DType::F64);
+        Args.push_back(*X);
+      }
+      return TExpr::op(Name, std::move(Args), DType::F64);
+    }
+    case ExprKind::Cast: {
+      const auto *Cst = cast<CastExpr>(E);
+      auto Inner = buildExpr(Cst->Operand.get(), TB);
+      if (!Inner)
+        return std::nullopt;
+      DType To = dtypeOfScalar(Cst->Ty.Scalar);
+      if (To == Inner->Ty)
+        return Inner;
+      if (To == DType::I64)
+        return TExpr::op("fptosi", {*Inner}, To);
+      if (Inner->Ty == DType::I64)
+        return TExpr::op("sitofp", {*Inner}, To);
+      return TExpr::op(To == DType::F64 ? "extf" : "truncf", {*Inner}, To);
+    }
+    default:
+      Diags.error(E->Loc, "unsupported expression in the direct frontend");
+      return std::nullopt;
+    }
+  }
+
+  /// Emits one opaque tasklet computing \p ValueExpr and writing the given
+  /// target; compound assignments read the target too (no WCR: the frontend
+  /// treats statements as black boxes).
+  void emitAssignment(const Expr *Target, AssignOpKind Op,
+                      const Expr *ValueExpr, SourceLoc Loc) {
+    State *S = newState("stmt");
+    TaskletBuild TB;
+    TB.S = S;
+    TB.T = S->addTasklet("cstmt");
+    TB.T->Opaque = true;
+
+    // Resolve the write target.
+    std::string Data;
+    sym::SymSubset Subset;
+    DType Ty = DType::F64;
+    if (const auto *Id = dyn_cast<IdentExpr>(Target)) {
+      auto It = Vars.find(Id->Name);
+      if (It == Vars.end()) {
+        Diags.error(Loc, "assignment to undeclared '" + Id->Name + "'");
+        return;
+      }
+      if (It->second.K == VarInfo::Kind::Symbol) {
+        // Symbol assignment: must be symbolically liftable.
+        SymExpr Rhs = liftSym(ValueExpr);
+        if (Rhs && Op == AssignOpKind::None) {
+          S->setName(S->getName() + "_symassign");
+          PendingAssign.push_back({It->second.Name, Rhs});
+          return;
+        }
+        if (Rhs && Op == AssignOpKind::Add) {
+          PendingAssign.push_back(
+              {It->second.Name,
+               SymExpr::add(SymExpr::symbol(It->second.Name), Rhs)});
+          return;
+        }
+        Diags.error(Loc, "cannot lift assignment to loop/index variable '" +
+                             Id->Name + "'");
+        return;
+      }
+      if (It->second.K != VarInfo::Kind::Scalar) {
+        Diags.error(Loc, "whole-array assignment is not supported");
+        return;
+      }
+      Data = It->second.Name;
+      Subset = sym::SymSubset();
+      Ty = dtypeOfScalar(It->second.Elem);
+    } else if (isa<IndexExpr>(Target) ||
+               (isa<UnaryExpr>(Target) &&
+                cast<UnaryExpr>(Target)->Op == UnaryOpKind::Deref)) {
+      // Reuse buildExpr's resolution by building a read, then stealing the
+      // memlet it created. Cleaner: resolve directly.
+      const Expr *Cur = Target;
+      std::vector<SymExpr> Indices;
+      const IdentExpr *Base = nullptr;
+      if (const auto *U = dyn_cast<UnaryExpr>(Target)) {
+        Base = dyn_cast<IdentExpr>(U->Operand.get());
+        Indices.push_back(SymExpr::constant(0));
+      } else {
+        std::vector<const Expr *> Idx;
+        while (const auto *IE = dyn_cast<IndexExpr>(Cur)) {
+          Idx.push_back(IE->Idx.get());
+          Cur = IE->Base.get();
+        }
+        std::reverse(Idx.begin(), Idx.end());
+        Base = dyn_cast<IdentExpr>(Cur);
+        for (const Expr *I : Idx) {
+          SymExpr Sx = liftSym(I);
+          if (!Sx) {
+            Diags.error(I->Loc, "store index is not symbolically "
+                                "representable");
+            return;
+          }
+          Indices.push_back(Sx);
+        }
+      }
+      if (!Base || !Vars.count(Base->Name) ||
+          Vars[Base->Name].K != VarInfo::Kind::Array) {
+        Diags.error(Loc, "unsupported assignment target");
+        return;
+      }
+      Data = Vars[Base->Name].Name;
+      Subset = sym::SymSubset::element(Indices);
+      Ty = dtypeOfScalar(Vars[Base->Name].Elem);
+    } else {
+      Diags.error(Loc, "unsupported assignment target");
+      return;
+    }
+
+    auto Rhs = buildExpr(ValueExpr, TB);
+    if (!Rhs)
+      return;
+    TExpr Code = *Rhs;
+    if (Op != AssignOpKind::None) {
+      std::string SelfConn = addInput(TB, Data, Subset);
+      TExpr Self = TExpr::input(SelfConn, Ty);
+      const char *OpName = Op == AssignOpKind::Add   ? "add"
+                           : Op == AssignOpKind::Sub ? "sub"
+                           : Op == AssignOpKind::Mul ? "mul"
+                                                     : "div";
+      Code = TExpr::op(OpName, {Self, Code}, Ty);
+    }
+    if (Code.Ty == DType::I64 && Ty != DType::I64)
+      Code = TExpr::op("sitofp", {Code}, Ty);
+    if (Code.Ty != DType::I64 && Ty == DType::I64)
+      Code = TExpr::op("fptosi", {Code}, Ty);
+    TB.T->OutConns.push_back("_out0");
+    TB.T->Code["_out0"] = Code;
+    AccessNode *Dst = S->addAccess(Data);
+    Memlet M;
+    M.Data = Data;
+    M.Subset = Subset;
+    S->connect(TB.T, "_out0", Dst, "", M);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  void emitStmt(const Stmt *S) {
+    if (Diags.hasErrors())
+      return;
+    switch (S->getKind()) {
+    case StmtKind::Decl: {
+      for (const VarDecl &D : cast<DeclStmt>(S)->Decls) {
+        // malloc-backed pointers fix their size symbol on declaration.
+        if (D.Ty.isPointer() && D.Init) {
+          declareVar(D.Name, D.Ty, /*Param=*/false);
+          handleMallocInit(D);
+          continue;
+        }
+        declareVar(D.Name, D.Ty, /*Param=*/false);
+        if (D.Init) {
+          if (Vars[D.Name].K == VarInfo::Kind::Symbol) {
+            SymExpr Rhs = liftSym(D.Init.get());
+            if (!Rhs) {
+              // Data-dependent integer (e.g. `int res = B[0]`): demote the
+              // variable to a scalar container, as the DaCe C frontend does
+              // when lifting fails.
+              VarInfo &Info = Vars[D.Name];
+              Info.K = VarInfo::Kind::Scalar;
+              if (!G->hasData(Info.Name))
+                G->addScalar(Info.Name, DType::I64, /*Transient=*/true);
+              IdentExpr Target(D.Name, D.Loc);
+              emitAssignment(&Target, AssignOpKind::None, D.Init.get(),
+                             D.Loc);
+              continue;
+            }
+            PendingAssign.push_back({Vars[D.Name].Name, Rhs});
+            newState("declassign");
+          } else {
+            IdentExpr Target(D.Name, D.Loc);
+            emitAssignment(&Target, AssignOpKind::None, D.Init.get(),
+                           D.Loc);
+          }
+        }
+      }
+      return;
+    }
+    case StmtKind::Expr:
+      emitExprStmt(cast<ExprStmt>(S)->E.get());
+      return;
+    case StmtKind::Block:
+      for (const auto &Sub : cast<BlockStmt>(S)->Body)
+        emitStmt(Sub.get());
+      return;
+    case StmtKind::If:
+      emitIf(cast<IfStmt>(S));
+      return;
+    case StmtKind::For:
+      emitFor(cast<ForStmt>(S));
+      return;
+    case StmtKind::While:
+      Diags.error(S->Loc, "while loops are not supported by the direct "
+                          "frontend");
+      return;
+    case StmtKind::Return: {
+      const auto *R = cast<ReturnStmt>(S);
+      if (R->Value) {
+        IdentExpr Target("__ret_target", R->Loc);
+        // Write into the __return scalar through a tasklet.
+        Vars["__ret_target"] = {VarInfo::Kind::Scalar, "__return",
+                                Fn.ReturnTy.Scalar};
+        emitAssignment(&Target, AssignOpKind::None, R->Value.get(), R->Loc);
+      }
+      return;
+    }
+    case StmtKind::Empty:
+      return;
+    }
+  }
+
+  void handleMallocInit(const VarDecl &D) {
+    const auto *Cst = dyn_cast<CastExpr>(D.Init.get());
+    const CallExpr *Call =
+        Cst ? dyn_cast<CallExpr>(Cst->Operand.get()) : nullptr;
+    if (!Call || Call->Callee != "malloc" || Call->Args.size() != 1) {
+      Diags.error(D.Loc, "pointer initializers must be (T*)malloc(...)");
+      return;
+    }
+    // Extract `count * sizeof(T)`.
+    SymExpr Count;
+    if (const auto *Bin = dyn_cast<BinaryExpr>(Call->Args[0].get())) {
+      if (Bin->Op == BinaryOpKind::Mul) {
+        if (isa<SizeOfExpr>(Bin->Rhs.get()))
+          Count = liftSym(Bin->Lhs.get());
+        else if (isa<SizeOfExpr>(Bin->Lhs.get()))
+          Count = liftSym(Bin->Rhs.get());
+      }
+    }
+    if (!Count) {
+      Diags.error(D.Loc, "malloc size must be `count * sizeof(type)` with a "
+                         "symbolic count");
+      return;
+    }
+    // Pin the size symbol via substitution in the descriptor.
+    DataDesc &Desc = G->desc(Vars[D.Name].Name);
+    Desc.Shape = {Count};
+  }
+
+  void emitExprStmt(const Expr *E) {
+    if (const auto *A = dyn_cast<AssignExpr>(E)) {
+      emitAssignment(A->Target.get(), A->Op, A->Value.get(), A->Loc);
+      return;
+    }
+    if (const auto *U = dyn_cast<UnaryExpr>(E)) {
+      // i++ / i-- as statements.
+      if (U->Op == UnaryOpKind::PostInc || U->Op == UnaryOpKind::PreInc ||
+          U->Op == UnaryOpKind::PostDec || U->Op == UnaryOpKind::PreDec) {
+        bool Inc =
+            U->Op == UnaryOpKind::PostInc || U->Op == UnaryOpKind::PreInc;
+        IntLitExpr One(1, U->Loc);
+        emitAssignment(U->Operand.get(),
+                       Inc ? AssignOpKind::Add : AssignOpKind::Sub, &One,
+                       U->Loc);
+        return;
+      }
+    }
+    if (const auto *C = dyn_cast<CallExpr>(E)) {
+      if (C->Callee == "free")
+        return; // Allocation is implicit.
+    }
+    Diags.error(E->Loc, "unsupported expression statement");
+  }
+
+  void emitIf(const IfStmt *S) {
+    SymExpr Cond = liftSym(S->Cond.get());
+    if (!Cond) {
+      // Data-dependent condition: compute it into an int scalar first.
+      std::string CondVar = fresh("cond");
+      G->addScalar(CondVar, DType::I64, /*Transient=*/true);
+      State *CS = newState("condeval");
+      TaskletBuild TB;
+      TB.S = CS;
+      TB.T = CS->addTasklet("ccond");
+      TB.T->Opaque = true;
+      auto CondE = buildExpr(S->Cond.get(), TB);
+      if (!CondE)
+        return;
+      TExpr Code = *CondE;
+      if (Code.Ty != DType::I64)
+        Code = TExpr::op("ne", {Code, TExpr::constF(0.0)}, DType::I64);
+      TB.T->OutConns.push_back("_out0");
+      TB.T->Code["_out0"] = Code;
+      AccessNode *Dst = CS->addAccess(CondVar);
+      Memlet M;
+      M.Data = CondVar;
+      CS->connect(TB.T, "_out0", Dst, "", M);
+      Cond = SymExpr::ne(SymExpr::symbol(CondVar), SymExpr::constant(0));
+    }
+    State *Guard = newState("ifguard");
+    State *Merge = G->addState("ifmerge_" + std::to_string(Counter++));
+    // Then branch.
+    PendingCond = Cond;
+    State *Then = newState("then");
+    (void)Then;
+    emitStmt(S->Then.get());
+    link(Merge);
+    // Else branch.
+    Prev = Guard;
+    PendingCond = SymExpr::logicalNot(Cond);
+    State *Else = newState("else");
+    (void)Else;
+    if (S->Else)
+      emitStmt(S->Else.get());
+    link(Merge);
+    Prev = Merge;
+  }
+
+  void emitFor(const ForStmt *S) {
+    // Canonical loops only: `for (int i = a; i < b; i += c)` and friends.
+    std::string IvName;
+    SymExpr Begin, End, StepE;
+    bool Decreasing = false, Inclusive = false;
+    // Init.
+    if (const auto *DS = S->Init ? dyn_cast<DeclStmt>(S->Init.get())
+                                 : nullptr) {
+      if (DS->Decls.size() == 1 && DS->Decls[0].Ty.isInteger() &&
+          DS->Decls[0].Init) {
+        declareVar(DS->Decls[0].Name, DS->Decls[0].Ty, /*Param=*/false);
+        IvName = DS->Decls[0].Name;
+        Begin = liftSym(DS->Decls[0].Init.get());
+      }
+    } else if (S->Init) {
+      if (const auto *ES = dyn_cast<ExprStmt>(S->Init.get()))
+        if (const auto *AS = dyn_cast<AssignExpr>(ES->E.get()))
+          if (const auto *Id = dyn_cast<IdentExpr>(AS->Target.get())) {
+            IvName = Id->Name;
+            Begin = liftSym(AS->Value.get());
+          }
+    }
+    const auto *Cmp =
+        S->Cond ? dyn_cast<BinaryExpr>(S->Cond.get()) : nullptr;
+    if (!IvName.empty() && Cmp) {
+      if (const auto *Id = dyn_cast<IdentExpr>(Cmp->Lhs.get()))
+        if (Id->Name == IvName) {
+          End = liftSym(Cmp->Rhs.get());
+          if (Cmp->Op == BinaryOpKind::Le)
+            Inclusive = true;
+          else if (Cmp->Op == BinaryOpKind::Ge) {
+            Inclusive = true;
+            Decreasing = true;
+          } else if (Cmp->Op == BinaryOpKind::Gt)
+            Decreasing = true;
+          else if (Cmp->Op != BinaryOpKind::Lt)
+            End = SymExpr();
+        }
+    }
+    std::int64_t Step = 1;
+    bool IncOk = false;
+    if (S->Inc) {
+      if (const auto *U = dyn_cast<UnaryExpr>(S->Inc.get())) {
+        const auto *Id = dyn_cast<IdentExpr>(U->Operand.get());
+        if (Id && Id->Name == IvName) {
+          IncOk = true;
+          if (U->Op == UnaryOpKind::PostDec || U->Op == UnaryOpKind::PreDec)
+            Step = -1;
+        }
+      } else if (const auto *A = dyn_cast<AssignExpr>(S->Inc.get())) {
+        const auto *Id = dyn_cast<IdentExpr>(A->Target.get());
+        const auto *Lit = dyn_cast<IntLitExpr>(A->Value.get());
+        if (Id && Id->Name == IvName && Lit) {
+          IncOk = true;
+          Step = A->Op == AssignOpKind::Sub ? -Lit->Value : Lit->Value;
+        }
+      }
+    }
+    if (IvName.empty() || !Begin || !End || !IncOk ||
+        !Vars.count(IvName) ||
+        Vars[IvName].K != VarInfo::Kind::Symbol ||
+        (Step < 0) != Decreasing) {
+      Diags.error(S->Loc, "non-canonical for loop in the direct frontend");
+      return;
+    }
+    std::string Iv = Vars[IvName].Name;
+    // Unlike scf.for, the SDFG state machine represents decrement loops
+    // natively — the semantic information Polygeist loses (paper §7.2).
+    PendingAssign.push_back({Iv, Begin});
+    State *Guard = newState("forguard");
+    SymExpr IvS = SymExpr::symbol(Iv);
+    SymExpr EnterCond;
+    if (!Decreasing)
+      EnterCond = Inclusive ? SymExpr::le(IvS, End) : SymExpr::lt(IvS, End);
+    else
+      EnterCond = Inclusive ? SymExpr::ge(IvS, End) : SymExpr::gt(IvS, End);
+    PendingCond = EnterCond;
+    State *Body = newState("forbody");
+    (void)Body;
+    emitStmt(S->Body.get());
+    PendingAssign.push_back(
+        {Iv, SymExpr::add(IvS, SymExpr::constant(Step))});
+    link(Guard);
+    PendingCond = SymExpr::logicalNot(EnterCond);
+    State *Exit = newState("forexit");
+    (void)Exit;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<SDFG>
+dcir::conversion::translateCDirect(const TranslationUnit &TU,
+                                   const std::string &Name,
+                                   DiagnosticEngine &Diags) {
+  FunctionDef *Fn = TU.findFunction(Name);
+  if (!Fn) {
+    Diags.error("function '" + Name + "' not found");
+    return nullptr;
+  }
+  DirectTranslator T(TU, *Fn, Diags);
+  return T.run();
+}

@@ -1,0 +1,37 @@
+//===- CToSdfgDirect.h - the DaCe C frontend stand-in -------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct C-to-SDFG translation, modeling the DaCe C frontend (Calotoiu et
+/// al., ICS'22) the paper compares against ("DaCe" bars in every figure):
+/// loops lift into the symbolic state machine, but every statement becomes
+/// ONE opaque tasklet — an indivisible unit of C code. No control-centric
+/// optimization ever looks inside, which is exactly why this pipeline misses
+/// the syrk hoisting opportunity in the paper's Fig. 7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_CONVERSION_CTOSDFGDIRECT_H
+#define DCIR_CONVERSION_CTOSDFGDIRECT_H
+
+#include "frontend/AST.h"
+#include "sdfg/SDFG.h"
+
+#include <memory>
+
+namespace dcir {
+namespace conversion {
+
+/// Translates function \p Name of \p TU straight to an SDFG with opaque
+/// tasklets. Returns null on failure.
+std::unique_ptr<sdfg::SDFG>
+translateCDirect(const frontend::TranslationUnit &TU, const std::string &Name,
+                 DiagnosticEngine &Diags);
+
+} // namespace conversion
+} // namespace dcir
+
+#endif // DCIR_CONVERSION_CTOSDFGDIRECT_H

@@ -1,0 +1,588 @@
+//===- ConvertToSdfg.cpp -----------------------------------------------------------===//
+
+#include "conversion/ConvertToSdfg.h"
+
+#include "dialects/Arith.h"
+#include "dialects/Func.h"
+#include "dialects/MathDialect.h"
+#include "dialects/MemRef.h"
+#include "dialects/SCF.h"
+#include "dialects/Sdfg.h"
+#include "support/StringUtils.h"
+
+#include <map>
+
+using namespace dcir;
+using namespace dcir::conversion;
+using namespace dcir::ir;
+using sym::SymExpr;
+
+namespace {
+
+/// Converts one function into an sdfg.sdfg operation.
+class FuncConverter {
+public:
+  FuncConverter(Operation *Func, Operation *NewModule,
+                DiagnosticEngine &Diags)
+      : Func(Func), Ctx(Func->getContext()), NewModule(NewModule),
+        Diags(Diags), B(Ctx) {}
+
+  bool run();
+
+private:
+  Operation *Func;
+  IRContext &Ctx;
+  Operation *NewModule;
+  DiagnosticEngine &Diags;
+  OpBuilder B;
+
+  Operation *Sdfg = nullptr;
+  Block *SdfgBody = nullptr;
+
+  /// Where a converted value lives.
+  struct Binding {
+    enum class Kind { Container, ArrayArg, Symbol } K = Kind::Container;
+    std::string Name;      // Container or symbol name.
+    Value *ArrayValue = nullptr; // sdfg block arg or alloc result.
+    SymExpr Expr;          // Symbol binding: the symbolic expression.
+  };
+  std::map<Value *, Binding> Bindings;
+  unsigned NextSym = 0;
+  unsigned NextContainer = 0;
+  unsigned NextState = 0;
+
+  /// State-machine chain under construction.
+  std::string PrevState; // Empty before the first state.
+  SymExpr PendingCondition;
+  std::vector<std::pair<std::string, SymExpr>> PendingAssignments;
+
+  //===------------------------------------------------------------------===//
+  // Helpers
+  //===------------------------------------------------------------------===//
+
+  std::string freshSymbol() { return "s_" + std::to_string(NextSym++); }
+  std::string freshContainer(const std::string &Hint) {
+    return Hint + "_" + std::to_string(NextContainer++);
+  }
+
+  Type containerType(Type Scalar) {
+    return Ctx.getSdfgArrayType(Scalar, {});
+  }
+
+  /// Converts a memref type to an sdfg.array type, materializing fresh
+  /// symbols for `?` dimensions.
+  Type convertMemRefType(const MemRefType *MT) {
+    std::vector<SymExpr> Shape;
+    for (std::int64_t D : MT->getShape()) {
+      if (D == MemRefType::kDynamic)
+        Shape.push_back(SymExpr::symbol(freshSymbol()));
+      else
+        Shape.push_back(SymExpr::constant(D));
+    }
+    return Ctx.getSdfgArrayType(MT->getElementType(), std::move(Shape));
+  }
+
+  /// Creates a container alloc at the top of the SDFG body.
+  Value *createContainer(const std::string &Name, Type Ty, bool Transient) {
+    OpBuilder TopB(Ctx);
+    if (SdfgBody->empty())
+      TopB.setInsertionPointToEnd(SdfgBody);
+    else
+      TopB.setInsertionPoint(SdfgBody->front());
+    Operation::AttrMap Attrs;
+    Attrs["name"] = Attribute::getString(Name);
+    Attrs["transient"] = Attribute::getBool(Transient);
+    Operation *Alloc = TopB.create(sdfg_dialect::kAllocOp, SourceLoc(), {},
+                                   {Ty}, std::move(Attrs));
+    return Alloc->getResult(0);
+  }
+
+  /// Returns the scalar container name bound to \p V, creating one if the
+  /// value has no binding yet (should not happen for well-formed input).
+  const Binding &bindingOf(Value *V) {
+    auto It = Bindings.find(V);
+    assert(It != Bindings.end() && "value converted before definition");
+    return It->second;
+  }
+
+  /// Opens a new state appended to the chain and returns its body block.
+  Block *beginState(const std::string &Hint) {
+    std::string Name = Hint + "_" + std::to_string(NextState++);
+    B.setInsertionPointToEnd(SdfgBody);
+    Operation *State = sdfg_dialect::createState(B, Name);
+    linkTo(Name);
+    return &State->getRegion(0).front();
+  }
+
+  /// Adds the chain edge PrevState -> Name with any pending condition and
+  /// assignments, then makes Name the chain head.
+  void linkTo(const std::string &Name) {
+    if (!PrevState.empty()) {
+      B.setInsertionPointToEnd(SdfgBody);
+      sdfg_dialect::createEdge(B, PrevState, Name, PendingCondition,
+                               PendingAssignments);
+    }
+    PendingCondition = SymExpr();
+    PendingAssignments.clear();
+    PrevState = Name;
+  }
+
+  /// Creates an explicit (possibly empty) state usable as a join point.
+  std::string makeEmptyState(const std::string &Hint) {
+    std::string Name = Hint + "_" + std::to_string(NextState++);
+    B.setInsertionPointToEnd(SdfgBody);
+    sdfg_dialect::createState(B, Name);
+    return Name;
+  }
+
+  /// Adds an arbitrary edge.
+  void addEdge(const std::string &Src, const std::string &Dst, SymExpr Cond,
+               std::vector<std::pair<std::string, SymExpr>> Assign = {}) {
+    B.setInsertionPointToEnd(SdfgBody);
+    sdfg_dialect::createEdge(B, Src, Dst, Cond, Assign);
+  }
+
+  /// The symbolic expression a value contributes when used as an index or
+  /// size: constants fold, symbol bindings substitute, containers appear by
+  /// name (resolved later by scalar-to-symbol promotion).
+  SymExpr symbolicValue(Value *V) {
+    if (Operation *Def = V->getDefiningOp()) {
+      if (Def->getName() == arith::kConstantOp) {
+        Attribute A = Def->getAttr("value");
+        if (A.getKind() == AttrKind::Integer)
+          return SymExpr::constant(A.asInt());
+        if (A.getKind() == AttrKind::Bool)
+          return SymExpr::constant(A.asBool() ? 1 : 0);
+      }
+    }
+    const Binding &Bi = bindingOf(V);
+    if (Bi.K == Binding::Kind::Symbol)
+      return Bi.Expr;
+    return SymExpr::symbol(Bi.Name);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Per-op emission inside states
+  //===------------------------------------------------------------------===//
+
+  /// Emits `%v = sdfg.load %container[]` for a scalar binding, or an
+  /// sdfg.sym for symbol bindings, inside the current state body.
+  Value *materializeScalar(Value *Orig, Block *StateBody) {
+    OpBuilder SB(Ctx);
+    SB.setInsertionPointToEnd(StateBody);
+    const Binding &Bi = bindingOf(Orig);
+    if (Bi.K == Binding::Kind::Symbol)
+      return sdfg_dialect::createSymValue(SB, Bi.Expr, Orig->getType());
+    assert(Bi.K == Binding::Kind::Container && "array used as scalar");
+    const auto *AT = Bi.ArrayValue->getType().dyn<SdfgArrayType>();
+    Operation *Load =
+        SB.create(sdfg_dialect::kLoadOp, SourceLoc(), {Bi.ArrayValue},
+                  {AT->getElementType()});
+    return Load->getResult(0);
+  }
+
+  /// Binds \p Orig to a fresh rank-0 container and stores \p NewV into it.
+  void storeResult(Value *Orig, Value *NewV, Block *StateBody,
+                   const std::string &Hint) {
+    std::string Name = freshContainer(Hint);
+    Value *C = createContainer(Name, containerType(NewV->getType()),
+                               /*Transient=*/true);
+    OpBuilder SB(Ctx);
+    SB.setInsertionPointToEnd(StateBody);
+    SB.create(sdfg_dialect::kStoreOp, SourceLoc(), {NewV, C}, {});
+    Bindings[Orig] = {Binding::Kind::Container, Name, C, SymExpr()};
+  }
+
+  bool convertBlockBody(Block &Body);
+  bool convertOp(Operation *Op);
+  bool convertComputeOp(Operation *Op);
+  bool convertLoad(Operation *Op);
+  bool convertStore(Operation *Op);
+  bool convertAlloc(Operation *Op);
+  bool convertFor(Operation *Op);
+  bool convertIf(Operation *Op);
+  bool convertWhile(Operation *Op);
+  bool convertReturn(Operation *Op);
+};
+
+bool FuncConverter::run() {
+  // Build the sdfg.sdfg op with converted argument types.
+  const FunctionType *FT = func::getFunctionType(Func);
+  Block &Entry = func::getFunctionBody(Func);
+  std::vector<Type> ArgTypes;
+  for (Type In : FT->getInputs()) {
+    if (const auto *MT = In.dyn<MemRefType>())
+      ArgTypes.push_back(convertMemRefType(MT));
+    else
+      ArgTypes.push_back(Ctx.getSdfgArrayType(In, {}));
+  }
+  B.setInsertionPointToEnd(&NewModule->getRegion(0).front());
+  Sdfg = sdfg_dialect::createSdfg(B, func::getFunctionName(Func), ArgTypes);
+  SdfgBody = &Sdfg->getRegion(0).front();
+
+  // Bind arguments.
+  for (size_t I = 0; I < Entry.getNumArguments(); ++I) {
+    Value *OrigArg = Entry.getArgument(I);
+    Value *NewArg = SdfgBody->getArgument(I);
+    std::string Name = "_arg" + std::to_string(I);
+    Binding Bi;
+    Bi.K = OrigArg->getType().isMemRef() ? Binding::Kind::ArrayArg
+                                         : Binding::Kind::Container;
+    Bi.Name = Name;
+    Bi.ArrayValue = NewArg;
+    Bindings[OrigArg] = Bi;
+  }
+  // Record argument names for the translator.
+  {
+    std::vector<Attribute> Names;
+    for (size_t I = 0; I < Entry.getNumArguments(); ++I)
+      Names.push_back(Attribute::getString("_arg" + std::to_string(I)));
+    Sdfg->setAttr("arg_names", Attribute::getArray(std::move(Names)));
+  }
+  // Return container.
+  if (!FT->getResults().empty()) {
+    createContainer("__return",
+                    Ctx.getSdfgArrayType(FT->getResults()[0], {}),
+                    /*Transient=*/false);
+  }
+
+  // Initial empty state so the machine always has an entry.
+  std::string Init = makeEmptyState("init");
+  PrevState = Init;
+  Sdfg->setAttr("entry", Attribute::getString(Init));
+
+  if (!convertBlockBody(Entry))
+    return false;
+  return true;
+}
+
+bool FuncConverter::convertBlockBody(Block &Body) {
+  for (auto &Op : Body) {
+    if (!convertOp(Op.get()))
+      return false;
+  }
+  return true;
+}
+
+bool FuncConverter::convertOp(Operation *Op) {
+  const std::string &Name = Op->getName();
+  if (Name == scf::kYieldOp || Name == memref::kDeallocOp)
+    return true; // Deallocation is implicit in SDFGs (paper §3.2).
+  if (Name == memref::kAllocOp || Name == memref::kAllocaOp)
+    return convertAlloc(Op);
+  if (Name == memref::kLoadOp)
+    return convertLoad(Op);
+  if (Name == memref::kStoreOp)
+    return convertStore(Op);
+  if (Name == memref::kCopyOp) {
+    Block *State = beginState("copy");
+    OpBuilder SB(Ctx);
+    SB.setInsertionPointToEnd(State);
+    SB.create(sdfg_dialect::kCopyOp, Op->getLoc(),
+              {bindingOf(Op->getOperand(0)).ArrayValue,
+               bindingOf(Op->getOperand(1)).ArrayValue},
+              {});
+    return true;
+  }
+  if (Name == memref::kDimOp) {
+    // The dimension is symbolic; bind directly as a symbol expression.
+    const Binding &Arr = bindingOf(Op->getOperand(0));
+    const auto *AT = Arr.ArrayValue->getType().dyn<SdfgArrayType>();
+    SymExpr DimIdx = symbolicValue(Op->getOperand(1));
+    if (!DimIdx.isConstant()) {
+      Diags.error(Op->getLoc(), "memref.dim requires a constant dimension");
+      return false;
+    }
+    Binding Bi;
+    Bi.K = Binding::Kind::Symbol;
+    Bi.Expr = AT->getShape()[DimIdx.constantValue()];
+    Bindings[Op->getResult(0)] = Bi;
+    return true;
+  }
+  if (Name == arith::kIndexCastOp) {
+    // Index casts are representation-only; forward the binding.
+    Bindings[Op->getResult(0)] = bindingOf(Op->getOperand(0));
+    return true;
+  }
+  if (Name == scf::kForOp)
+    return convertFor(Op);
+  if (Name == scf::kIfOp)
+    return convertIf(Op);
+  if (Name == scf::kWhileOp)
+    return convertWhile(Op);
+  if (Name == func::kReturnOp)
+    return convertReturn(Op);
+  if (Name == func::kCallOp) {
+    Diags.error(Op->getLoc(),
+                "func.call reached the SDFG converter; run the inliner "
+                "first");
+    return false;
+  }
+  if (arith::isArithOp(Op) || startsWith(Name, "math."))
+    return convertComputeOp(Op);
+  Diags.error(Op->getLoc(),
+              "operation '" + Name + "' is not convertible to the sdfg "
+                                     "dialect");
+  return false;
+}
+
+bool FuncConverter::convertComputeOp(Operation *Op) {
+  assert(Op->getNumResults() == 1 && "compute ops produce one value");
+  // Constants with integer payloads become symbol bindings outright — the
+  // dialect-level equivalent of constant propagation into symbolic space.
+  if (Op->getName() == arith::kConstantOp) {
+    Attribute A = Op->getAttr("value");
+    if (A.getKind() == AttrKind::Integer || A.getKind() == AttrKind::Bool) {
+      Binding Bi;
+      Bi.K = Binding::Kind::Symbol;
+      Bi.Expr = SymExpr::constant(
+          A.getKind() == AttrKind::Integer ? A.asInt() : (A.asBool() ? 1 : 0));
+      Bindings[Op->getResult(0)] = Bi;
+      return true;
+    }
+  }
+  std::string Hint = Op->getName().substr(Op->getName().find('.') + 1);
+  Block *State = beginState(Hint);
+  // Materialize inputs inside the state.
+  std::vector<Value *> Inputs;
+  for (size_t I = 0; I < Op->getNumOperands(); ++I)
+    Inputs.push_back(materializeScalar(Op->getOperand(I), State));
+  // The tasklet wraps a clone of the original operation (paper Fig. 5c).
+  OpBuilder SB(Ctx);
+  SB.setInsertionPointToEnd(State);
+  Operation *Tasklet = sdfg_dialect::createTasklet(
+      SB, Inputs, {Op->getResult(0)->getType()});
+  Block &TB = Tasklet->getRegion(0).front();
+  std::map<Value *, Value *> Mapping;
+  for (size_t I = 0; I < Op->getNumOperands(); ++I)
+    Mapping[Op->getOperand(I)] = TB.getArgument(I);
+  Operation *Clone = Op->clone(Mapping);
+  TB.push_back(Clone);
+  OpBuilder TBB(Ctx);
+  TBB.setInsertionPointToEnd(&TB);
+  TBB.create(sdfg_dialect::kReturnOp, Op->getLoc(), {Clone->getResult(0)},
+             {});
+  storeResult(Op->getResult(0), Tasklet->getResult(0), State, Hint);
+  return true;
+}
+
+bool FuncConverter::convertLoad(Operation *Op) {
+  const Binding &Arr = bindingOf(Op->getOperand(0));
+  Block *State = beginState("load");
+  OpBuilder SB(Ctx);
+  SB.setInsertionPointToEnd(State);
+  std::vector<Value *> Operands = {Arr.ArrayValue};
+  for (size_t I = 1; I < Op->getNumOperands(); ++I) {
+    SB.setInsertionPointToEnd(State);
+    Operands.push_back(
+        sdfg_dialect::createSymValue(SB, symbolicValue(Op->getOperand(I))));
+  }
+  SB.setInsertionPointToEnd(State);
+  Operation *Load = SB.create(sdfg_dialect::kLoadOp, Op->getLoc(), Operands,
+                              {Op->getResult(0)->getType()});
+  storeResult(Op->getResult(0), Load->getResult(0), State, "load");
+  return true;
+}
+
+bool FuncConverter::convertStore(Operation *Op) {
+  const Binding &Arr = bindingOf(Op->getOperand(1));
+  Block *State = beginState("store");
+  Value *V = materializeScalar(Op->getOperand(0), State);
+  OpBuilder SB(Ctx);
+  std::vector<Value *> Operands = {V, Arr.ArrayValue};
+  for (size_t I = 2; I < Op->getNumOperands(); ++I) {
+    SB.setInsertionPointToEnd(State);
+    Operands.push_back(
+        sdfg_dialect::createSymValue(SB, symbolicValue(Op->getOperand(I))));
+  }
+  SB.setInsertionPointToEnd(State);
+  SB.create(sdfg_dialect::kStoreOp, Op->getLoc(), Operands, {});
+  return true;
+}
+
+bool FuncConverter::convertAlloc(Operation *Op) {
+  const auto *MT = Op->getResult(0)->getType().dyn<MemRefType>();
+  std::vector<SymExpr> Shape;
+  size_t DynIdx = 0;
+  for (std::int64_t D : MT->getShape()) {
+    if (D != MemRefType::kDynamic) {
+      Shape.push_back(SymExpr::constant(D));
+      continue;
+    }
+    SymExpr Size = symbolicValue(Op->getOperand(DynIdx++));
+    if (Size.isConstant()) {
+      Shape.push_back(Size);
+      continue;
+    }
+    // Dynamic size: introduce a symbol assigned on the incoming edge (the
+    // value is only known at run time).
+    std::string Sym = freshSymbol();
+    PendingAssignments.push_back({Sym, Size});
+    std::string Join = makeEmptyState("allocsym");
+    linkTo(Join);
+    Shape.push_back(SymExpr::symbol(Sym));
+  }
+  std::string Name = freshContainer("v");
+  Value *C = createContainer(
+      Name, Ctx.getSdfgArrayType(MT->getElementType(), Shape),
+      /*Transient=*/true);
+  // Record the requested storage for the pre-allocation pass.
+  Operation *AllocOp = C->getDefiningOp();
+  AllocOp->setAttr("stack_hint",
+                   Attribute::getBool(Op->getName() == memref::kAllocaOp));
+  Bindings[Op->getResult(0)] = {Binding::Kind::ArrayArg, Name, C, SymExpr()};
+  return true;
+}
+
+bool FuncConverter::convertFor(Operation *Op) {
+  // Bounds become symbols; the loop is a guard/body/latch state subgraph.
+  SymExpr Lb = symbolicValue(Op->getOperand(0));
+  SymExpr Ub = symbolicValue(Op->getOperand(1));
+  SymExpr Step = symbolicValue(Op->getOperand(2));
+  std::string IvSym = "i_" + std::to_string(NextSym++);
+
+  std::string Guard = makeEmptyState("guard");
+  // Edge into the guard initializes the induction symbol.
+  PendingAssignments.push_back({IvSym, Lb});
+  linkTo(Guard);
+
+  // Body chain.
+  std::string BodyEntry = makeEmptyState("body");
+  addEdge(Guard, BodyEntry, SymExpr::lt(SymExpr::symbol(IvSym), Ub));
+  PrevState = BodyEntry;
+  PendingCondition = SymExpr();
+  PendingAssignments.clear();
+
+  Block &Body = scf::getForBody(Op);
+  Binding IvBinding;
+  IvBinding.K = Binding::Kind::Symbol;
+  IvBinding.Expr = SymExpr::symbol(IvSym);
+  Bindings[Body.getArgument(0)] = IvBinding;
+  if (!convertBlockBody(Body))
+    return false;
+
+  // Latch: increment and return to the guard.
+  PendingAssignments.push_back(
+      {IvSym, SymExpr::add(SymExpr::symbol(IvSym), Step)});
+  linkTo(Guard);
+
+  // Exit.
+  std::string Exit = makeEmptyState("exit");
+  addEdge(Guard, Exit,
+          SymExpr::logicalNot(SymExpr::lt(SymExpr::symbol(IvSym), Ub)));
+  PrevState = Exit;
+  PendingCondition = SymExpr();
+  PendingAssignments.clear();
+  return true;
+}
+
+bool FuncConverter::convertIf(Operation *Op) {
+  SymExpr Cond = symbolicValue(Op->getOperand(0));
+  std::string Guard = makeEmptyState("ifguard");
+  linkTo(Guard);
+  std::string Merge = makeEmptyState("ifmerge");
+
+  // Then branch.
+  std::string ThenEntry = makeEmptyState("then");
+  addEdge(Guard, ThenEntry, SymExpr::ne(Cond, SymExpr::constant(0)));
+  PrevState = ThenEntry;
+  if (!Op->getRegion(0).empty()) {
+    if (!convertBlockBody(Op->getRegion(0).front()))
+      return false;
+  }
+  linkTo(Merge);
+
+  // Else branch.
+  std::string ElseEntry = makeEmptyState("else");
+  addEdge(Guard, ElseEntry, SymExpr::eq(Cond, SymExpr::constant(0)));
+  PrevState = ElseEntry;
+  if (Op->getNumRegions() > 1 && !Op->getRegion(1).empty()) {
+    if (!convertBlockBody(Op->getRegion(1).front()))
+      return false;
+  }
+  linkTo(Merge);
+
+  PrevState = Merge;
+  PendingCondition = SymExpr();
+  PendingAssignments.clear();
+  return true;
+}
+
+bool FuncConverter::convertWhile(Operation *Op) {
+  // before-region states re-evaluate the condition every iteration.
+  std::string CondEntry = makeEmptyState("whilecond");
+  linkTo(CondEntry);
+  PrevState = CondEntry;
+
+  Block &Before = Op->getRegion(0).front();
+  Operation *CondTerm = nullptr;
+  for (auto &Nested : Before) {
+    if (Nested->getName() == scf::kConditionOp) {
+      CondTerm = Nested.get();
+      break;
+    }
+    if (!convertOp(Nested.get()))
+      return false;
+  }
+  if (!CondTerm) {
+    Diags.error(Op->getLoc(), "scf.while before-region lacks scf.condition");
+    return false;
+  }
+  SymExpr Cond = symbolicValue(CondTerm->getOperand(0));
+  std::string CondDone = PrevState;
+
+  // Body.
+  std::string BodyEntry = makeEmptyState("whilebody");
+  addEdge(CondDone, BodyEntry, SymExpr::ne(Cond, SymExpr::constant(0)));
+  PrevState = BodyEntry;
+  if (!convertBlockBody(Op->getRegion(1).front()))
+    return false;
+  linkTo(CondEntry); // Loop back: condition states re-execute.
+
+  std::string Exit = makeEmptyState("whileexit");
+  addEdge(CondDone, Exit, SymExpr::eq(Cond, SymExpr::constant(0)));
+  PrevState = Exit;
+  PendingCondition = SymExpr();
+  PendingAssignments.clear();
+  return true;
+}
+
+bool FuncConverter::convertReturn(Operation *Op) {
+  if (Op->getNumOperands() == 0)
+    return true;
+  // Store the returned scalar into the __return container.
+  Block *State = beginState("return");
+  Value *V = materializeScalar(Op->getOperand(0), State);
+  // Find the __return alloc.
+  Value *RetC = nullptr;
+  for (auto &Nested : *SdfgBody) {
+    if (Nested->getName() == sdfg_dialect::kAllocOp &&
+        Nested->getAttr("name").asString() == "__return") {
+      RetC = Nested->getResult(0);
+      break;
+    }
+  }
+  assert(RetC && "missing __return container");
+  OpBuilder SB(Ctx);
+  SB.setInsertionPointToEnd(State);
+  SB.create(sdfg_dialect::kStoreOp, Op->getLoc(), {V, RetC}, {});
+  return true;
+}
+
+} // namespace
+
+Operation *dcir::conversion::convertToSdfgDialect(Operation *Module,
+                                                  DiagnosticEngine &Diags) {
+  IRContext &Ctx = Module->getContext();
+  Operation *NewModule = createModule(Ctx);
+  for (auto &Op : Module->getRegion(0).front()) {
+    if (Op->getName() != func::kFuncOp)
+      continue;
+    FuncConverter FC(Op.get(), NewModule, Diags);
+    if (!FC.run()) {
+      Operation::eraseDetached(NewModule);
+      return nullptr;
+    }
+  }
+  return NewModule;
+}

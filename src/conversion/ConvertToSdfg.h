@@ -1,0 +1,41 @@
+//===- ConvertToSdfg.h - std dialects to sdfg dialect (paper §5.1) -----------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DCIR converter: rewrites a module in the func/scf/arith/math/memref
+/// dialects into the sdfg dialect. Faithful to the paper's §5.1:
+///
+///  * every `?` memref dimension becomes a fresh symbol (`sym("s_0")`);
+///  * every SSA scalar becomes a (rank-0) data container;
+///  * every computational operator becomes its own tasklet, placed in its
+///    own sdfg.state ("we first place every computation in its own state,
+///    which may be subsequently fused in DaCe");
+///  * scf constructs lower to state-machine subgraphs whose interstate edges
+///    carry symbolic conditions and assignments;
+///  * memory deallocation disappears — allocation is implicit in SDFGs and
+///    managed by lifetime (what makes dead-memory elimination possible).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_CONVERSION_CONVERTTOSDFG_H
+#define DCIR_CONVERSION_CONVERTTOSDFG_H
+
+#include "ir/IR.h"
+#include "support/Diagnostics.h"
+
+namespace dcir {
+namespace conversion {
+
+/// Converts every func.func in \p Module into an sdfg.sdfg inside a fresh
+/// module. Returns null on failure. Functions must be fully inlined (run the
+/// inliner first); remaining func.call ops are rejected.
+ir::Operation *convertToSdfgDialect(ir::Operation *Module,
+                                    DiagnosticEngine &Diags);
+
+} // namespace conversion
+} // namespace dcir
+
+#endif // DCIR_CONVERSION_CONVERTTOSDFG_H

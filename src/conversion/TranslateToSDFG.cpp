@@ -1,0 +1,478 @@
+//===- TranslateToSDFG.cpp ---------------------------------------------------------===//
+
+#include "conversion/TranslateToSDFG.h"
+
+#include "dialects/Arith.h"
+#include "dialects/MathDialect.h"
+#include "dialects/Sdfg.h"
+#include "support/StringUtils.h"
+
+#include <map>
+
+using namespace dcir;
+using namespace dcir::conversion;
+using namespace dcir::ir;
+using namespace dcir::sdfg;
+using sym::SymExpr;
+
+namespace {
+
+DType dtypeOf(Type T) {
+  if (T.isFloat())
+    return T.dyn<FloatType>()->getWidth() == 32 ? DType::F32 : DType::F64;
+  return DType::I64;
+}
+
+/// Raises the body of an sdfg.tasklet region to a TExpr per output.
+/// Arguments are pre-seeded in \p ExprOf. Returns false on unraisable ops.
+bool raiseTaskletBody(Block &Body, std::map<Value *, TExpr> &ExprOf,
+                      std::vector<TExpr> &Outputs, DiagnosticEngine &Diags) {
+  for (auto &Op : Body) {
+    const std::string &Name = Op->getName();
+    if (Name == sdfg_dialect::kReturnOp) {
+      for (size_t I = 0; I < Op->getNumOperands(); ++I) {
+        auto It = ExprOf.find(Op->getOperand(I));
+        if (It == ExprOf.end()) {
+          Diags.error(Op->getLoc(), "tasklet returns an unraised value");
+          return false;
+        }
+        Outputs.push_back(It->second);
+      }
+      return true;
+    }
+    DType Ty = Op->getNumResults() > 0
+                   ? dtypeOf(Op->getResult(0)->getType())
+                   : DType::I64;
+    auto child = [&](size_t I) -> TExpr {
+      auto It = ExprOf.find(Op->getOperand(I));
+      assert(It != ExprOf.end() && "operand not raised yet");
+      return It->second;
+    };
+    TExpr Raised;
+    bool Ok = true;
+    if (Name == arith::kConstantOp) {
+      Attribute A = Op->getAttr("value");
+      if (A.getKind() == AttrKind::Integer)
+        Raised = TExpr::constI(A.asInt());
+      else if (A.getKind() == AttrKind::Bool)
+        Raised = TExpr::constI(A.asBool() ? 1 : 0);
+      else
+        Raised = TExpr::constF(A.asFloat(), Ty);
+    } else if (Name == arith::kAddIOp || Name == arith::kAddFOp) {
+      Raised = TExpr::op("add", {child(0), child(1)}, Ty);
+    } else if (Name == arith::kSubIOp || Name == arith::kSubFOp) {
+      Raised = TExpr::op("sub", {child(0), child(1)}, Ty);
+    } else if (Name == arith::kMulIOp || Name == arith::kMulFOp) {
+      Raised = TExpr::op("mul", {child(0), child(1)}, Ty);
+    } else if (Name == arith::kDivSIOp || Name == arith::kDivFOp) {
+      Raised = TExpr::op("div", {child(0), child(1)}, Ty);
+    } else if (Name == arith::kRemSIOp) {
+      Raised = TExpr::op("rem", {child(0), child(1)}, Ty);
+    } else if (Name == arith::kAndIOp) {
+      Raised = TExpr::op("and", {child(0), child(1)}, Ty);
+    } else if (Name == arith::kOrIOp) {
+      Raised = TExpr::op("or", {child(0), child(1)}, Ty);
+    } else if (Name == arith::kXorIOp) {
+      Raised = TExpr::op("xor", {child(0), child(1)}, Ty);
+    } else if (Name == arith::kShLIOp) {
+      Raised = TExpr::op("shl", {child(0), child(1)}, Ty);
+    } else if (Name == arith::kShRSIOp) {
+      Raised = TExpr::op("shr", {child(0), child(1)}, Ty);
+    } else if (Name == arith::kMaxSIOp || Name == arith::kMaxFOp) {
+      Raised = TExpr::op("max", {child(0), child(1)}, Ty);
+    } else if (Name == arith::kMinSIOp || Name == arith::kMinFOp) {
+      Raised = TExpr::op("min", {child(0), child(1)}, Ty);
+    } else if (Name == arith::kNegFOp) {
+      Raised = TExpr::op("neg", {child(0)}, Ty);
+    } else if (Name == arith::kSelectOp) {
+      Raised = TExpr::op("select", {child(0), child(1), child(2)}, Ty);
+    } else if (Name == arith::kIndexCastOp) {
+      Raised = child(0);
+    } else if (Name == arith::kSIToFPOp) {
+      Raised = TExpr::op("sitofp", {child(0)}, Ty);
+    } else if (Name == arith::kFPToSIOp) {
+      Raised = TExpr::op("fptosi", {child(0)}, Ty);
+    } else if (Name == arith::kExtFOp) {
+      Raised = TExpr::op("extf", {child(0)}, DType::F64);
+    } else if (Name == arith::kTruncFOp) {
+      Raised = TExpr::op("truncf", {child(0)}, DType::F32);
+    } else if (Name == arith::kCmpIOp || Name == arith::kCmpFOp) {
+      const std::string &P = Op->getAttr("predicate").asString();
+      std::string OpName = P == "eq" || P == "oeq"   ? "eq"
+                           : P == "ne" || P == "one" ? "ne"
+                           : P == "slt" || P == "olt" ? "lt"
+                           : P == "sle" || P == "ole" ? "le"
+                           : P == "sgt" || P == "ogt" ? "gt"
+                                                      : "ge";
+      Raised = TExpr::op(OpName, {child(0), child(1)}, DType::I64);
+    } else if (startsWith(Name, "math.")) {
+      std::vector<TExpr> Children;
+      for (size_t I = 0; I < Op->getNumOperands(); ++I)
+        Children.push_back(child(I));
+      Raised = TExpr::op(Name.substr(5), std::move(Children), Ty);
+    } else {
+      Diags.error(Op->getLoc(),
+                  "cannot raise '" + Name + "' inside an MLIR tasklet");
+      Ok = false;
+    }
+    if (!Ok)
+      return false;
+    if (Op->getNumResults() > 0)
+      ExprOf[Op->getResult(0)] = Raised;
+  }
+  Diags.error(SourceLoc(), "tasklet body lacks sdfg.return");
+  return false;
+}
+
+class Translator {
+public:
+  Translator(Operation *SdfgOp, DiagnosticEngine &Diags)
+      : SdfgOp(SdfgOp), Diags(Diags) {}
+
+  std::unique_ptr<SDFG> run();
+
+private:
+  Operation *SdfgOp;
+  DiagnosticEngine &Diags;
+  std::unique_ptr<SDFG> G;
+  /// Name of the container each SSA container value denotes.
+  std::map<Value *, std::string> ContainerOf;
+
+  bool collect();
+  bool buildState(Operation *StateOp);
+  bool buildEdges();
+
+  /// Resolves an in-state index value to a symbolic expression.
+  SymExpr indexExpr(Value *V) {
+    Operation *Def = V->getDefiningOp();
+    if (Def && Def->getName() == sdfg_dialect::kSymOp)
+      return Def->getAttr("expr").asSymExpr();
+    if (Def && Def->getName() == sdfg_dialect::kLoadOp &&
+        Def->getNumOperands() == 1) {
+      // Rank-0 scalar load: reference the container by name; the
+      // scalar-to-symbol pass later promotes it to a real symbol.
+      auto It = ContainerOf.find(Def->getOperand(0));
+      if (It != ContainerOf.end())
+        return SymExpr::symbol(It->second);
+    }
+    return SymExpr();
+  }
+
+  /// Registers the dependency edges a subset's scalar references induce.
+  void addSubsetDeps(State *S, const sym::SymSubset &Subset, Node *Consumer,
+                     std::map<std::string, AccessNode *> &ScalarReads);
+};
+
+std::unique_ptr<SDFG> Translator::run() {
+  G = std::make_unique<SDFG>(SdfgOp->getAttr("sym_name").asString());
+  if (!collect())
+    return nullptr;
+  // Build each state's dataflow.
+  for (auto &Op : SdfgOp->getRegion(0).front()) {
+    if (Op->getName() == sdfg_dialect::kStateOp)
+      if (!buildState(Op.get()))
+        return nullptr;
+  }
+  if (!buildEdges())
+    return nullptr;
+  return std::move(G);
+}
+
+bool Translator::collect() {
+  Block &Body = SdfgOp->getRegion(0).front();
+  // Arguments.
+  Attribute ArgNames = SdfgOp->getAttr("arg_names");
+  for (size_t I = 0; I < Body.getNumArguments(); ++I) {
+    std::string Name = ArgNames
+                           ? ArgNames.asArray()[I].asString()
+                           : ("_arg" + std::to_string(I));
+    const auto *AT = Body.getArgument(I)->getType().dyn<SdfgArrayType>();
+    if (!AT) {
+      Diags.error(SdfgOp->getLoc(), "sdfg argument is not an sdfg.array");
+      return false;
+    }
+    if (AT->getRank() == 0)
+      G->addScalar(Name, dtypeOf(AT->getElementType()), /*Transient=*/false);
+    else
+      G->addArray(Name, dtypeOf(AT->getElementType()), AT->getShape(),
+                  /*Transient=*/false);
+    for (const SymExpr &D : AT->getShape()) {
+      std::set<std::string> Syms;
+      D.collectSymbols(Syms);
+      for (const std::string &Sym : Syms)
+        G->addSymbol(Sym);
+    }
+    ContainerOf[Body.getArgument(I)] = Name;
+  }
+  // Containers and states.
+  for (auto &Op : Body) {
+    if (Op->getName() == sdfg_dialect::kAllocOp) {
+      std::string Name = Op->getAttr("name").asString();
+      bool Transient = Op->getAttr("transient")
+                           ? Op->getAttr("transient").asBool()
+                           : true;
+      const auto *AT = Op->getResult(0)->getType().dyn<SdfgArrayType>();
+      if (!AT) {
+        Diags.error(Op->getLoc(), "sdfg.alloc must produce an sdfg.array");
+        return false;
+      }
+      if (AT->getRank() == 0) {
+        G->addScalar(Name, dtypeOf(AT->getElementType()), Transient);
+      } else {
+        DataDesc &D = G->addArray(Name, dtypeOf(AT->getElementType()),
+                                  AT->getShape(), Transient);
+        Attribute StackHint = Op->getAttr("stack_hint");
+        if (StackHint && StackHint.asBool() && !D.Shape.empty()) {
+          // The converter saw a C stack array; keep the hint (the memory
+          // pre-allocation pass decides the final storage class).
+          D.StorageKind = Storage::Heap;
+        }
+      }
+      for (const SymExpr &Dim : AT->getShape()) {
+        std::set<std::string> Syms;
+        Dim.collectSymbols(Syms);
+        for (const std::string &Sym : Syms)
+          if (!G->hasData(Sym))
+            G->addSymbol(Sym);
+      }
+      ContainerOf[Op->getResult(0)] = Name;
+      continue;
+    }
+    if (Op->getName() == sdfg_dialect::kStateOp) {
+      G->addState(Op->getAttr("sym_name").asString());
+      continue;
+    }
+  }
+  // Start state.
+  Attribute Entry = SdfgOp->getAttr("entry");
+  if (Entry) {
+    if (State *S = G->findState(Entry.asString()))
+      G->setStartState(S);
+  }
+  return true;
+}
+
+void Translator::addSubsetDeps(
+    State *S, const sym::SymSubset &Subset, Node *Consumer,
+    std::map<std::string, AccessNode *> &ScalarReads) {
+  std::set<std::string> Refs;
+  Subset.collectSymbols(Refs);
+  for (const std::string &Name : Refs) {
+    if (!G->hasData(Name))
+      continue; // A real symbol; no dependency needed.
+    AccessNode *&A = ScalarReads[Name];
+    if (!A)
+      A = S->addAccess(Name);
+    // Pure ordering edge (empty memlet): the consumer must run after the
+    // scalar's most recent write in a fused state.
+    S->connect(A, "", Consumer, "", Memlet());
+  }
+}
+
+bool Translator::buildState(Operation *StateOp) {
+  State *S = G->findState(StateOp->getAttr("sym_name").asString());
+  assert(S && "state collected in pass 1");
+  if (StateOp->getRegion(0).empty())
+    return true;
+  Block &Body = StateOp->getRegion(0).front();
+
+  // Per-state caches.
+  std::map<std::string, AccessNode *> ScalarReads;
+  // Maps a load result to its (container, subset) for forwarding.
+  struct LoadInfo {
+    std::string Data;
+    sym::SymSubset Subset;
+    AccessNode *Access = nullptr;
+    bool Consumed = false;
+  };
+  std::map<Value *, LoadInfo> Loads;
+  std::map<Value *, std::pair<Tasklet *, std::string>> TaskletResults;
+  unsigned TaskletCount = 0;
+
+  for (auto &Op : Body) {
+    const std::string &Name = Op->getName();
+    if (Name == sdfg_dialect::kSymOp)
+      continue; // Folded into memlet subsets / tasklet expressions.
+    if (Name == sdfg_dialect::kLoadOp) {
+      auto It = ContainerOf.find(Op->getOperand(0));
+      if (It == ContainerOf.end()) {
+        Diags.error(Op->getLoc(), "load from an unknown container");
+        return false;
+      }
+      LoadInfo LI;
+      LI.Data = It->second;
+      std::vector<SymExpr> Indices;
+      for (size_t I = 1; I < Op->getNumOperands(); ++I) {
+        SymExpr E = indexExpr(Op->getOperand(I));
+        if (!E) {
+          Diags.error(Op->getLoc(), "unresolvable load index");
+          return false;
+        }
+        Indices.push_back(E);
+      }
+      LI.Subset = sym::SymSubset::element(Indices);
+      Loads[Op->getResult(0)] = LI;
+      continue;
+    }
+    if (Name == sdfg_dialect::kTaskletOp) {
+      Tasklet *T = S->addTasklet("t" + std::to_string(TaskletCount++));
+      // Inputs.
+      std::map<Value *, TExpr> ExprOf;
+      Block &TB = Op->getRegion(0).front();
+      for (size_t I = 0; I < Op->getNumOperands(); ++I) {
+        Value *In = Op->getOperand(I);
+        std::string Conn = "_in" + std::to_string(I);
+        Operation *Def = In->getDefiningOp();
+        if (Def && Def->getName() == sdfg_dialect::kSymOp) {
+          // Symbolic input: fold into the expression, no dataflow edge.
+          ExprOf[TB.getArgument(I)] =
+              TExpr::symbolic(Def->getAttr("expr").asSymExpr());
+          continue;
+        }
+        auto LIt = Loads.find(In);
+        if (LIt == Loads.end()) {
+          Diags.error(Op->getLoc(), "tasklet input is neither a load nor a "
+                                    "symbol");
+          return false;
+        }
+        T->InConns.push_back(Conn);
+        AccessNode *A = S->addAccess(LIt->second.Data);
+        Memlet M;
+        M.Data = LIt->second.Data;
+        M.Subset = LIt->second.Subset;
+        S->connect(A, "", T, Conn, M);
+        addSubsetDeps(S, M.Subset, T, ScalarReads);
+        ExprOf[TB.getArgument(I)] = TExpr::input(
+            Conn, dtypeOf(TB.getArgument(I)->getType()));
+      }
+      // Raise the body.
+      std::vector<TExpr> Outputs;
+      if (!raiseTaskletBody(TB, ExprOf, Outputs, Diags))
+        return false;
+      for (size_t I = 0; I < Op->getNumResults(); ++I) {
+        std::string Conn = "_out" + std::to_string(I);
+        T->OutConns.push_back(Conn);
+        T->Code[Conn] = Outputs[I];
+        TaskletResults[Op->getResult(I)] = {T, Conn};
+      }
+      continue;
+    }
+    if (Name == sdfg_dialect::kStoreOp) {
+      Value *Stored = Op->getOperand(0);
+      auto CIt = ContainerOf.find(Op->getOperand(1));
+      if (CIt == ContainerOf.end()) {
+        Diags.error(Op->getLoc(), "store to an unknown container");
+        return false;
+      }
+      std::vector<SymExpr> Indices;
+      for (size_t I = 2; I < Op->getNumOperands(); ++I) {
+        SymExpr E = indexExpr(Op->getOperand(I));
+        if (!E) {
+          Diags.error(Op->getLoc(), "unresolvable store index");
+          return false;
+        }
+        Indices.push_back(E);
+      }
+      Memlet M;
+      M.Data = CIt->second;
+      M.Subset = sym::SymSubset::element(Indices);
+      if (Attribute Wcr = Op->getAttr("wcr"))
+        M.Wcr = Wcr.asString();
+      AccessNode *Dst = S->addAccess(CIt->second);
+
+      auto TIt = TaskletResults.find(Stored);
+      if (TIt != TaskletResults.end()) {
+        S->connect(TIt->second.first, TIt->second.second, Dst, "", M);
+        addSubsetDeps(S, M.Subset, Dst, ScalarReads);
+        continue;
+      }
+      // Stored value comes from a load or a symbol: identity tasklet
+      // (copy); the memlet-consolidation and array-elimination passes
+      // recognize and remove these.
+      Tasklet *T = S->addTasklet("copy" + std::to_string(TaskletCount++));
+      Operation *Def = Stored->getDefiningOp();
+      if (Def && Def->getName() == sdfg_dialect::kSymOp) {
+        T->OutConns.push_back("_out0");
+        T->Code["_out0"] = TExpr::symbolic(Def->getAttr("expr").asSymExpr());
+      } else {
+        auto LIt = Loads.find(Stored);
+        if (LIt == Loads.end()) {
+          Diags.error(Op->getLoc(), "stored value has no producer");
+          return false;
+        }
+        T->InConns.push_back("_in0");
+        AccessNode *A = S->addAccess(LIt->second.Data);
+        Memlet SrcM;
+        SrcM.Data = LIt->second.Data;
+        SrcM.Subset = LIt->second.Subset;
+        S->connect(A, "", T, "_in0", SrcM);
+        addSubsetDeps(S, SrcM.Subset, T, ScalarReads);
+        T->OutConns.push_back("_out0");
+        T->Code["_out0"] = TExpr::input(
+            "_in0", G->desc(LIt->second.Data).Ty);
+      }
+      S->connect(T, "_out0", Dst, "", M);
+      addSubsetDeps(S, M.Subset, Dst, ScalarReads);
+      continue;
+    }
+    if (Name == sdfg_dialect::kCopyOp) {
+      auto SIt = ContainerOf.find(Op->getOperand(0));
+      auto DIt = ContainerOf.find(Op->getOperand(1));
+      if (SIt == ContainerOf.end() || DIt == ContainerOf.end()) {
+        Diags.error(Op->getLoc(), "copy references unknown containers");
+        return false;
+      }
+      AccessNode *Src = S->addAccess(SIt->second);
+      AccessNode *Dst = S->addAccess(DIt->second);
+      Memlet M;
+      M.Data = SIt->second;
+      M.Subset = sym::SymSubset::full(G->desc(SIt->second).Shape);
+      S->connect(Src, "", Dst, "", M);
+      continue;
+    }
+    Diags.error(Op->getLoc(),
+                "unsupported operation '" + Name + "' inside sdfg.state");
+    return false;
+  }
+  return true;
+}
+
+bool Translator::buildEdges() {
+  for (auto &Op : SdfgOp->getRegion(0).front()) {
+    if (Op->getName() != sdfg_dialect::kEdgeOp)
+      continue;
+    State *Src = G->findState(Op->getAttr("src").asString());
+    State *Dst = G->findState(Op->getAttr("dst").asString());
+    if (!Src || !Dst) {
+      Diags.error(Op->getLoc(), "sdfg.edge references unknown states");
+      return false;
+    }
+    InterstateEdge E;
+    E.Condition = sdfg_dialect::getEdgeCondition(Op.get());
+    E.Assignments = sdfg_dialect::getEdgeAssignments(Op.get());
+    // Symbols assigned on edges are SDFG symbols.
+    for (const auto &[Name, Expr] : E.Assignments)
+      if (!G->hasData(Name))
+        G->addSymbol(Name);
+    G->addInterstateEdge(Src, Dst, E);
+  }
+  return true;
+}
+
+} // namespace
+
+std::unique_ptr<SDFG>
+dcir::conversion::translateToSDFG(Operation *Module, const std::string &Name,
+                                  DiagnosticEngine &Diags) {
+  for (auto &Op : Module->getRegion(0).front()) {
+    if (Op->getName() != sdfg_dialect::kSdfgOp)
+      continue;
+    if (!Name.empty() && Op->getAttr("sym_name").asString() != Name)
+      continue;
+    Translator T(Op.get(), Diags);
+    return T.run();
+  }
+  Diags.error("no sdfg.sdfg operation found" +
+              (Name.empty() ? std::string() : (" named '" + Name + "'")));
+  return nullptr;
+}

@@ -1,0 +1,37 @@
+//===- TranslateToSDFG.h - sdfg dialect to SDFG IR (paper §5.2) --------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MLIR-to-SDFG translator: two passes (collect metadata, then build the
+/// graph). Tasklet regions holding MLIR arithmetic are *raised* to the
+/// analyzable tasklet expression language — the paper's "raising MLIR
+/// tasklets to Python tasklets", which avoids the link-time-optimization
+/// penalty and re-enables data-centric analyses (§5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_CONVERSION_TRANSLATETOSDFG_H
+#define DCIR_CONVERSION_TRANSLATETOSDFG_H
+
+#include "ir/IR.h"
+#include "sdfg/SDFG.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+
+namespace dcir {
+namespace conversion {
+
+/// Translates the first sdfg.sdfg named \p Name (or the only one when Name
+/// is empty) inside \p Module to an SDFG. Returns null on failure.
+std::unique_ptr<sdfg::SDFG> translateToSDFG(ir::Operation *Module,
+                                            const std::string &Name,
+                                            DiagnosticEngine &Diags);
+
+} // namespace conversion
+} // namespace dcir
+
+#endif // DCIR_CONVERSION_TRANSLATETOSDFG_H

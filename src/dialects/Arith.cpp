@@ -1,0 +1,154 @@
+//===- Arith.cpp ----------------------------------------------------------------===//
+
+#include "dialects/Arith.h"
+
+#include "support/StringUtils.h"
+
+using namespace dcir;
+using namespace dcir::ir;
+
+static bool verifySameOperandAndResultType(Operation *Op,
+                                           DiagnosticEngine &Diags) {
+  if (Op->getNumOperands() != 2 || Op->getNumResults() != 1) {
+    Diags.error(Op->getLoc(),
+                "'" + Op->getName() + "' expects two operands, one result");
+    return false;
+  }
+  Type T = Op->getResult(0)->getType();
+  if (Op->getOperand(0)->getType() != T ||
+      Op->getOperand(1)->getType() != T) {
+    Diags.error(Op->getLoc(),
+                "'" + Op->getName() + "' requires matching operand/result "
+                                      "types");
+    return false;
+  }
+  return true;
+}
+
+static bool verifyCompare(Operation *Op, DiagnosticEngine &Diags) {
+  if (Op->getNumOperands() != 2 || Op->getNumResults() != 1) {
+    Diags.error(Op->getLoc(), "comparison expects two operands, one result");
+    return false;
+  }
+  Attribute Pred = Op->getAttr("predicate");
+  if (!Pred || Pred.getKind() != AttrKind::String) {
+    Diags.error(Op->getLoc(), "comparison requires a 'predicate' string");
+    return false;
+  }
+  if (Op->getOperand(0)->getType() != Op->getOperand(1)->getType()) {
+    Diags.error(Op->getLoc(), "comparison operand types must match");
+    return false;
+  }
+  Type R = Op->getResult(0)->getType();
+  const auto *IT = R.dyn<IntegerType>();
+  if (!IT || IT->getWidth() != 1) {
+    Diags.error(Op->getLoc(), "comparison result must be i1");
+    return false;
+  }
+  return true;
+}
+
+static bool verifyConstant(Operation *Op, DiagnosticEngine &Diags) {
+  if (Op->getNumResults() != 1 || Op->getNumOperands() != 0) {
+    Diags.error(Op->getLoc(), "arith.constant has one result, no operands");
+    return false;
+  }
+  Attribute V = Op->getAttr("value");
+  if (!V) {
+    Diags.error(Op->getLoc(), "arith.constant requires a 'value' attribute");
+    return false;
+  }
+  Type T = Op->getResult(0)->getType();
+  bool Ok = false;
+  switch (V.getKind()) {
+  case AttrKind::Integer:
+    Ok = T.isInteger() || T.isIndex();
+    break;
+  case AttrKind::Float:
+    Ok = T.isFloat();
+    break;
+  case AttrKind::Bool:
+    Ok = T.isInteger();
+    break;
+  default:
+    break;
+  }
+  if (!Ok) {
+    Diags.error(Op->getLoc(),
+                "arith.constant value kind does not match result type");
+    return false;
+  }
+  return true;
+}
+
+void arith::registerDialect(IRContext &Ctx) {
+  auto pureBinary = [&](const char *Name) {
+    Ctx.registerOp({.Name = Name,
+                    .IsPure = true,
+                    .Verify = verifySameOperandAndResultType});
+  };
+  pureBinary(kAddIOp);
+  pureBinary(kSubIOp);
+  pureBinary(kMulIOp);
+  pureBinary(kDivSIOp);
+  pureBinary(kRemSIOp);
+  pureBinary(kAndIOp);
+  pureBinary(kOrIOp);
+  pureBinary(kXorIOp);
+  pureBinary(kShLIOp);
+  pureBinary(kShRSIOp);
+  pureBinary(kMaxSIOp);
+  pureBinary(kMinSIOp);
+  pureBinary(kAddFOp);
+  pureBinary(kSubFOp);
+  pureBinary(kMulFOp);
+  pureBinary(kDivFOp);
+  pureBinary(kMaxFOp);
+  pureBinary(kMinFOp);
+  Ctx.registerOp({.Name = kConstantOp, .IsPure = true,
+                  .Verify = verifyConstant});
+  Ctx.registerOp({.Name = kNegFOp, .IsPure = true});
+  Ctx.registerOp({.Name = kCmpIOp, .IsPure = true, .Verify = verifyCompare});
+  Ctx.registerOp({.Name = kCmpFOp, .IsPure = true, .Verify = verifyCompare});
+  Ctx.registerOp({.Name = kSelectOp, .IsPure = true});
+  Ctx.registerOp({.Name = kIndexCastOp, .IsPure = true});
+  Ctx.registerOp({.Name = kSIToFPOp, .IsPure = true});
+  Ctx.registerOp({.Name = kFPToSIOp, .IsPure = true});
+  Ctx.registerOp({.Name = kExtFOp, .IsPure = true});
+  Ctx.registerOp({.Name = kTruncFOp, .IsPure = true});
+}
+
+Value *arith::createIntConstant(OpBuilder &B, std::int64_t Value, Type Ty) {
+  Operation::AttrMap Attrs;
+  Attrs["value"] = Attribute::getInt(Value);
+  Operation *Op = B.create(kConstantOp, SourceLoc(), {}, {Ty}, std::move(Attrs));
+  return Op->getResult(0);
+}
+
+Value *arith::createFloatConstant(OpBuilder &B, double Value, Type Ty) {
+  Operation::AttrMap Attrs;
+  Attrs["value"] = Attribute::getFloat(Value);
+  Operation *Op = B.create(kConstantOp, SourceLoc(), {}, {Ty}, std::move(Attrs));
+  return Op->getResult(0);
+}
+
+Value *arith::createBinary(OpBuilder &B, const char *OpName, Value *L,
+                           Value *R) {
+  assert(L->getType() == R->getType() && "operand type mismatch");
+  Operation *Op =
+      B.create(OpName, SourceLoc(), {L, R}, {L->getType()});
+  return Op->getResult(0);
+}
+
+Value *arith::createCompare(OpBuilder &B, const char *OpName, Value *L,
+                            Value *R, const std::string &Predicate) {
+  Operation::AttrMap Attrs;
+  Attrs["predicate"] = Attribute::getString(Predicate);
+  Operation *Op = B.create(OpName, SourceLoc(), {L, R},
+                           {B.getContext().getI1Type()}, std::move(Attrs));
+  return Op->getResult(0);
+}
+
+bool arith::isArithOp(const Operation *Op) {
+  return startsWith(Op->getName(), "arith.");
+}

@@ -1,0 +1,74 @@
+//===- Arith.h - arith dialect -----------------------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integer/float arithmetic, comparisons, constants, and casts — the dialect
+/// Polygeist emits for all expression-level computation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_DIALECTS_ARITH_H
+#define DCIR_DIALECTS_ARITH_H
+
+#include "ir/Builder.h"
+#include "ir/IR.h"
+
+namespace dcir {
+namespace arith {
+
+inline constexpr const char *kConstantOp = "arith.constant";
+inline constexpr const char *kAddIOp = "arith.addi";
+inline constexpr const char *kSubIOp = "arith.subi";
+inline constexpr const char *kMulIOp = "arith.muli";
+inline constexpr const char *kDivSIOp = "arith.divsi";
+inline constexpr const char *kRemSIOp = "arith.remsi";
+inline constexpr const char *kAndIOp = "arith.andi";
+inline constexpr const char *kOrIOp = "arith.ori";
+inline constexpr const char *kXorIOp = "arith.xori";
+inline constexpr const char *kShLIOp = "arith.shli";
+inline constexpr const char *kShRSIOp = "arith.shrsi";
+inline constexpr const char *kMaxSIOp = "arith.maxsi";
+inline constexpr const char *kMinSIOp = "arith.minsi";
+inline constexpr const char *kAddFOp = "arith.addf";
+inline constexpr const char *kSubFOp = "arith.subf";
+inline constexpr const char *kMulFOp = "arith.mulf";
+inline constexpr const char *kDivFOp = "arith.divf";
+inline constexpr const char *kNegFOp = "arith.negf";
+inline constexpr const char *kMaxFOp = "arith.maxf";
+inline constexpr const char *kMinFOp = "arith.minf";
+inline constexpr const char *kCmpIOp = "arith.cmpi";
+inline constexpr const char *kCmpFOp = "arith.cmpf";
+inline constexpr const char *kSelectOp = "arith.select";
+inline constexpr const char *kIndexCastOp = "arith.index_cast";
+inline constexpr const char *kSIToFPOp = "arith.sitofp";
+inline constexpr const char *kFPToSIOp = "arith.fptosi";
+inline constexpr const char *kExtFOp = "arith.extf";
+inline constexpr const char *kTruncFOp = "arith.truncf";
+
+/// Registers the dialect's operations in \p Ctx.
+void registerDialect(ir::IRContext &Ctx);
+
+/// Creates an integer (or index) constant.
+ir::Value *createIntConstant(ir::OpBuilder &B, std::int64_t Value,
+                             ir::Type Ty);
+/// Creates a floating-point constant.
+ir::Value *createFloatConstant(ir::OpBuilder &B, double Value, ir::Type Ty);
+/// Creates a binary arithmetic op where both operands and the result share a
+/// type.
+ir::Value *createBinary(ir::OpBuilder &B, const char *OpName, ir::Value *L,
+                        ir::Value *R);
+/// Creates a comparison (result i1); \p Predicate follows MLIR spelling
+/// ("eq", "ne", "slt", "sle", "sgt", "sge" / "oeq", "olt", ...).
+ir::Value *createCompare(ir::OpBuilder &B, const char *OpName, ir::Value *L,
+                         ir::Value *R, const std::string &Predicate);
+
+/// Returns true if \p Op is any arith.* operation.
+bool isArithOp(const ir::Operation *Op);
+
+} // namespace arith
+} // namespace dcir
+
+#endif // DCIR_DIALECTS_ARITH_H

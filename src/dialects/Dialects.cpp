@@ -1,0 +1,19 @@
+//===- Dialects.cpp -----------------------------------------------------------===//
+
+#include "dialects/Dialects.h"
+
+#include "dialects/Arith.h"
+#include "dialects/Func.h"
+#include "dialects/MathDialect.h"
+#include "dialects/MemRef.h"
+#include "dialects/SCF.h"
+#include "dialects/Sdfg.h"
+
+void dcir::registerAllDialects(ir::IRContext &Ctx) {
+  func::registerDialect(Ctx);
+  arith::registerDialect(Ctx);
+  math::registerDialect(Ctx);
+  memref::registerDialect(Ctx);
+  scf::registerDialect(Ctx);
+  sdfg_dialect::registerDialect(Ctx);
+}

@@ -1,0 +1,19 @@
+//===- Dialects.h - aggregate dialect registration ---------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_DIALECTS_DIALECTS_H
+#define DCIR_DIALECTS_DIALECTS_H
+
+#include "ir/IRContext.h"
+
+namespace dcir {
+
+/// Registers func, arith, math, memref, scf, and sdfg in \p Ctx.
+void registerAllDialects(ir::IRContext &Ctx);
+
+} // namespace dcir
+
+#endif // DCIR_DIALECTS_DIALECTS_H

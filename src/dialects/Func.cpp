@@ -1,0 +1,94 @@
+//===- Func.cpp ----------------------------------------------------------------===//
+
+#include "dialects/Func.h"
+
+using namespace dcir;
+using namespace dcir::ir;
+
+static bool verifyFunc(Operation *Op, DiagnosticEngine &Diags) {
+  Attribute SymName = Op->getAttr("sym_name");
+  Attribute TypeAttr = Op->getAttr("function_type");
+  if (!SymName || SymName.getKind() != AttrKind::String) {
+    Diags.error(Op->getLoc(), "func.func requires a 'sym_name' string");
+    return false;
+  }
+  if (!TypeAttr || TypeAttr.getKind() != AttrKind::TypeAttr ||
+      !TypeAttr.asType().isFunction()) {
+    Diags.error(Op->getLoc(), "func.func requires a 'function_type' type");
+    return false;
+  }
+  const auto *FT = TypeAttr.asType().dyn<FunctionType>();
+  if (Op->getRegion(0).empty()) {
+    Diags.error(Op->getLoc(), "func.func requires a body block");
+    return false;
+  }
+  Block &Entry = Op->getRegion(0).front();
+  if (Entry.getNumArguments() != FT->getInputs().size()) {
+    Diags.error(Op->getLoc(),
+                "entry block argument count does not match function type");
+    return false;
+  }
+  for (size_t I = 0; I < Entry.getNumArguments(); ++I) {
+    if (Entry.getArgument(I)->getType() != FT->getInputs()[I]) {
+      Diags.error(Op->getLoc(), "entry block argument #" + std::to_string(I) +
+                                    " type does not match function type");
+      return false;
+    }
+  }
+  return true;
+}
+
+static bool verifyReturn(Operation *Op, DiagnosticEngine &Diags) {
+  Operation *Func = Op->getParentOp();
+  while (Func && Func->getName() != func::kFuncOp)
+    Func = Func->getParentOp();
+  if (!Func)
+    return true; // Detached snippets are permitted in tests.
+  const FunctionType *FT = func::getFunctionType(Func);
+  if (Op->getNumOperands() != FT->getResults().size()) {
+    Diags.error(Op->getLoc(),
+                "func.return operand count does not match function type");
+    return false;
+  }
+  return true;
+}
+
+void func::registerDialect(IRContext &Ctx) {
+  Ctx.registerOp({.Name = kFuncOp,
+                  .IsIsolatedFromAbove = true,
+                  .NumRegions = 1,
+                  .Verify = verifyFunc});
+  Ctx.registerOp(
+      {.Name = kReturnOp, .IsTerminator = true, .Verify = verifyReturn});
+  Ctx.registerOp({.Name = kCallOp});
+}
+
+Operation *func::createFunction(OpBuilder &B, const std::string &Name,
+                                const std::vector<Type> &Inputs,
+                                const std::vector<Type> &Results) {
+  Operation::AttrMap Attrs;
+  Attrs["sym_name"] = Attribute::getString(Name);
+  Attrs["function_type"] =
+      Attribute::getType(B.getContext().getFunctionType(Inputs, Results));
+  Operation *Func = B.create(kFuncOp, SourceLoc(), {}, {}, std::move(Attrs),
+                             /*NumRegions=*/1);
+  Block *Entry = Func->getRegion(0).addBlock();
+  for (Type In : Inputs)
+    Entry->addArgument(In);
+  return Func;
+}
+
+Block &func::getFunctionBody(Operation *FuncOp) {
+  assert(FuncOp->getName() == kFuncOp && "not a func.func");
+  return FuncOp->getRegion(0).front();
+}
+
+const FunctionType *func::getFunctionType(Operation *FuncOp) {
+  assert(FuncOp->getName() == kFuncOp && "not a func.func");
+  return FuncOp->getAttr("function_type").asType().dyn<FunctionType>();
+}
+
+std::string func::getFunctionName(Operation *FuncOp) {
+  assert(FuncOp->getName() == kFuncOp && "not a func.func");
+  return FuncOp->getAttr("sym_name").asString();
+}

@@ -1,0 +1,46 @@
+//===- Func.h - func dialect -----------------------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The function dialect: func.func / func.return / func.call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_DIALECTS_FUNC_H
+#define DCIR_DIALECTS_FUNC_H
+
+#include "ir/Builder.h"
+#include "ir/IR.h"
+
+namespace dcir {
+namespace func {
+
+inline constexpr const char *kFuncOp = "func.func";
+inline constexpr const char *kReturnOp = "func.return";
+inline constexpr const char *kCallOp = "func.call";
+
+/// Registers the dialect's operations in \p Ctx.
+void registerDialect(ir::IRContext &Ctx);
+
+/// Creates a func.func with the given signature; the entry block receives
+/// one argument per input type.
+ir::Operation *createFunction(ir::OpBuilder &B, const std::string &Name,
+                              const std::vector<ir::Type> &Inputs,
+                              const std::vector<ir::Type> &Results);
+
+/// The entry block of a function op.
+ir::Block &getFunctionBody(ir::Operation *FuncOp);
+
+/// The declared function type.
+const ir::FunctionType *getFunctionType(ir::Operation *FuncOp);
+
+/// The symbol name of a function op.
+std::string getFunctionName(ir::Operation *FuncOp);
+
+} // namespace func
+} // namespace dcir
+
+#endif // DCIR_DIALECTS_FUNC_H

@@ -1,0 +1,43 @@
+//===- MathDialect.cpp ---------------------------------------------------------===//
+
+#include "dialects/MathDialect.h"
+
+using namespace dcir;
+using namespace dcir::ir;
+
+static bool verifyUnaryFloat(Operation *Op, DiagnosticEngine &Diags) {
+  if (Op->getNumOperands() != 1 || Op->getNumResults() != 1 ||
+      !Op->getOperand(0)->getType().isFloat()) {
+    Diags.error(Op->getLoc(),
+                "'" + Op->getName() + "' expects one float operand");
+    return false;
+  }
+  return true;
+}
+
+void math::registerDialect(IRContext &Ctx) {
+  for (const char *Name :
+       {kSqrtOp, kExpOp, kLogOp, kFAbsOp, kSinOp, kCosOp, kTanhOp})
+    Ctx.registerOp({.Name = Name, .IsPure = true, .Verify = verifyUnaryFloat});
+  Ctx.registerOp({.Name = kPowOp, .IsPure = true});
+}
+
+const char *math::opForLibmCall(const std::string &Callee) {
+  if (Callee == "sqrt" || Callee == "sqrtf")
+    return kSqrtOp;
+  if (Callee == "exp" || Callee == "expf")
+    return kExpOp;
+  if (Callee == "log" || Callee == "logf")
+    return kLogOp;
+  if (Callee == "pow" || Callee == "powf")
+    return kPowOp;
+  if (Callee == "fabs" || Callee == "fabsf")
+    return kFAbsOp;
+  if (Callee == "sin" || Callee == "sinf")
+    return kSinOp;
+  if (Callee == "cos" || Callee == "cosf")
+    return kCosOp;
+  if (Callee == "tanh" || Callee == "tanhf")
+    return kTanhOp;
+  return nullptr;
+}

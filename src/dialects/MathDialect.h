@@ -1,0 +1,39 @@
+//===- MathDialect.h - math dialect --------------------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transcendental math functions on floats (math.sqrt, math.exp, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_DIALECTS_MATHDIALECT_H
+#define DCIR_DIALECTS_MATHDIALECT_H
+
+#include "ir/IR.h"
+
+namespace dcir {
+namespace math {
+
+inline constexpr const char *kSqrtOp = "math.sqrt";
+inline constexpr const char *kExpOp = "math.exp";
+inline constexpr const char *kLogOp = "math.log";
+inline constexpr const char *kPowOp = "math.pow";
+inline constexpr const char *kFAbsOp = "math.fabs";
+inline constexpr const char *kSinOp = "math.sin";
+inline constexpr const char *kCosOp = "math.cos";
+inline constexpr const char *kTanhOp = "math.tanh";
+
+/// Registers the dialect's operations in \p Ctx.
+void registerDialect(ir::IRContext &Ctx);
+
+/// Maps a C math-library function name ("sqrt", "exp", ...) to the op name,
+/// or null when unsupported.
+const char *opForLibmCall(const std::string &Callee);
+
+} // namespace math
+} // namespace dcir
+
+#endif // DCIR_DIALECTS_MATHDIALECT_H

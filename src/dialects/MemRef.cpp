@@ -1,0 +1,128 @@
+//===- MemRef.cpp ---------------------------------------------------------------===//
+
+#include "dialects/MemRef.h"
+
+using namespace dcir;
+using namespace dcir::ir;
+
+static size_t countDynamicDims(const MemRefType *MT) {
+  size_t N = 0;
+  for (std::int64_t D : MT->getShape())
+    if (D == MemRefType::kDynamic)
+      ++N;
+  return N;
+}
+
+static bool verifyAlloc(Operation *Op, DiagnosticEngine &Diags) {
+  if (Op->getNumResults() != 1 ||
+      !Op->getResult(0)->getType().isMemRef()) {
+    Diags.error(Op->getLoc(),
+                "'" + Op->getName() + "' must produce one memref");
+    return false;
+  }
+  const auto *MT = Op->getResult(0)->getType().dyn<MemRefType>();
+  if (Op->getNumOperands() != countDynamicDims(MT)) {
+    Diags.error(Op->getLoc(), "'" + Op->getName() +
+                                  "' requires one size operand per dynamic "
+                                  "dimension");
+    return false;
+  }
+  return true;
+}
+
+static bool verifyLoad(Operation *Op, DiagnosticEngine &Diags) {
+  if (Op->getNumOperands() < 1 || Op->getNumResults() != 1 ||
+      !Op->getOperand(0)->getType().isMemRef()) {
+    Diags.error(Op->getLoc(), "memref.load expects (memref, indices...)");
+    return false;
+  }
+  const auto *MT = Op->getOperand(0)->getType().dyn<MemRefType>();
+  if (Op->getNumOperands() - 1 != MT->getRank()) {
+    Diags.error(Op->getLoc(), "memref.load index count does not match rank");
+    return false;
+  }
+  if (Op->getResult(0)->getType() != MT->getElementType()) {
+    Diags.error(Op->getLoc(),
+                "memref.load result type must equal the element type");
+    return false;
+  }
+  return true;
+}
+
+static bool verifyStore(Operation *Op, DiagnosticEngine &Diags) {
+  if (Op->getNumOperands() < 2 ||
+      !Op->getOperand(1)->getType().isMemRef()) {
+    Diags.error(Op->getLoc(),
+                "memref.store expects (value, memref, indices...)");
+    return false;
+  }
+  const auto *MT = Op->getOperand(1)->getType().dyn<MemRefType>();
+  if (Op->getNumOperands() - 2 != MT->getRank()) {
+    Diags.error(Op->getLoc(), "memref.store index count does not match rank");
+    return false;
+  }
+  if (Op->getOperand(0)->getType() != MT->getElementType()) {
+    Diags.error(Op->getLoc(),
+                "memref.store value type must equal the element type");
+    return false;
+  }
+  return true;
+}
+
+static bool verifyCopy(Operation *Op, DiagnosticEngine &Diags) {
+  if (Op->getNumOperands() != 2 ||
+      !Op->getOperand(0)->getType().isMemRef() ||
+      !Op->getOperand(1)->getType().isMemRef()) {
+    Diags.error(Op->getLoc(), "memref.copy expects two memrefs");
+    return false;
+  }
+  const auto *Src = Op->getOperand(0)->getType().dyn<MemRefType>();
+  const auto *Dst = Op->getOperand(1)->getType().dyn<MemRefType>();
+  if (Src->getElementType() != Dst->getElementType()) {
+    Diags.error(Op->getLoc(), "memref.copy element types must match");
+    return false;
+  }
+  // Static sizes must agree; `?` defeats checking (paper Fig. 3 motivates
+  // the symbolic sdfg.array type precisely because of this blind spot).
+  if (Src->getRank() == Dst->getRank() && !Src->hasDynamicDim() &&
+      !Dst->hasDynamicDim() && Src->getShape() != Dst->getShape()) {
+    Diags.error(Op->getLoc(), "memref.copy static shape mismatch");
+    return false;
+  }
+  return true;
+}
+
+void memref::registerDialect(IRContext &Ctx) {
+  Ctx.registerOp({.Name = kAllocOp, .Verify = verifyAlloc});
+  Ctx.registerOp({.Name = kAllocaOp, .Verify = verifyAlloc});
+  Ctx.registerOp({.Name = kDeallocOp});
+  Ctx.registerOp({.Name = kLoadOp, .Verify = verifyLoad});
+  Ctx.registerOp({.Name = kStoreOp, .Verify = verifyStore});
+  Ctx.registerOp({.Name = kCopyOp, .Verify = verifyCopy});
+  Ctx.registerOp({.Name = kDimOp, .IsPure = true});
+}
+
+Value *memref::createAlloc(OpBuilder &B, Type Ty,
+                           std::vector<Value *> DynamicSizes, bool OnStack) {
+  Operation *Op = B.create(OnStack ? kAllocaOp : kAllocOp, SourceLoc(),
+                           std::move(DynamicSizes), {Ty});
+  return Op->getResult(0);
+}
+
+Value *memref::createLoad(OpBuilder &B, Value *MemRef,
+                          std::vector<Value *> Indices) {
+  const auto *MT = MemRef->getType().dyn<MemRefType>();
+  assert(MT && "load from non-memref");
+  std::vector<Value *> Operands = {MemRef};
+  Operands.insert(Operands.end(), Indices.begin(), Indices.end());
+  Operation *Op = B.create(kLoadOp, SourceLoc(), std::move(Operands),
+                           {MT->getElementType()});
+  return Op->getResult(0);
+}
+
+void memref::createStore(OpBuilder &B, Value *Value, ir::Value *MemRef,
+                         std::vector<ir::Value *> Indices) {
+  std::vector<ir::Value *> Operands = {Value, MemRef};
+  Operands.insert(Operands.end(), Indices.begin(), Indices.end());
+  B.create(kStoreOp, SourceLoc(), std::move(Operands), {});
+}

@@ -1,0 +1,49 @@
+//===- MemRef.h - memref dialect -----------------------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memory references: allocation (heap and stack), load/store, copy, dim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_DIALECTS_MEMREF_H
+#define DCIR_DIALECTS_MEMREF_H
+
+#include "ir/Builder.h"
+#include "ir/IR.h"
+
+namespace dcir {
+namespace memref {
+
+inline constexpr const char *kAllocOp = "memref.alloc";
+inline constexpr const char *kAllocaOp = "memref.alloca";
+inline constexpr const char *kDeallocOp = "memref.dealloc";
+inline constexpr const char *kLoadOp = "memref.load";
+inline constexpr const char *kStoreOp = "memref.store";
+inline constexpr const char *kCopyOp = "memref.copy";
+inline constexpr const char *kDimOp = "memref.dim";
+
+/// Registers the dialect's operations in \p Ctx.
+void registerDialect(ir::IRContext &Ctx);
+
+/// Creates a heap (alloc) or stack (alloca) allocation. \p DynamicSizes
+/// provides one index value per dynamic dimension of \p Ty.
+ir::Value *createAlloc(ir::OpBuilder &B, ir::Type Ty,
+                       std::vector<ir::Value *> DynamicSizes,
+                       bool OnStack = false);
+
+/// Creates a load of MemRef[Indices].
+ir::Value *createLoad(ir::OpBuilder &B, ir::Value *MemRef,
+                      std::vector<ir::Value *> Indices);
+
+/// Creates a store of Value into MemRef[Indices].
+void createStore(ir::OpBuilder &B, ir::Value *Value, ir::Value *MemRef,
+                 std::vector<ir::Value *> Indices);
+
+} // namespace memref
+} // namespace dcir
+
+#endif // DCIR_DIALECTS_MEMREF_H

@@ -1,0 +1,83 @@
+//===- SCF.cpp -------------------------------------------------------------------===//
+
+#include "dialects/SCF.h"
+
+using namespace dcir;
+using namespace dcir::ir;
+
+static bool verifyFor(Operation *Op, DiagnosticEngine &Diags) {
+  if (Op->getNumOperands() != 3) {
+    Diags.error(Op->getLoc(), "scf.for expects (lb, ub, step)");
+    return false;
+  }
+  for (size_t I = 0; I < 3; ++I) {
+    if (!Op->getOperand(I)->getType().isIndex()) {
+      Diags.error(Op->getLoc(), "scf.for bounds must have index type");
+      return false;
+    }
+  }
+  if (Op->getRegion(0).empty() ||
+      Op->getRegion(0).front().getNumArguments() != 1 ||
+      !Op->getRegion(0).front().getArgument(0)->getType().isIndex()) {
+    Diags.error(Op->getLoc(),
+                "scf.for body must carry one index block argument");
+    return false;
+  }
+  return true;
+}
+
+static bool verifyIf(Operation *Op, DiagnosticEngine &Diags) {
+  if (Op->getNumOperands() != 1) {
+    Diags.error(Op->getLoc(), "scf.if expects a condition operand");
+    return false;
+  }
+  const auto *IT = Op->getOperand(0)->getType().dyn<IntegerType>();
+  if (!IT || IT->getWidth() != 1) {
+    Diags.error(Op->getLoc(), "scf.if condition must be i1");
+    return false;
+  }
+  return true;
+}
+
+void scf::registerDialect(IRContext &Ctx) {
+  Ctx.registerOp({.Name = kForOp, .NumRegions = 1, .Verify = verifyFor});
+  Ctx.registerOp({.Name = kIfOp, .NumRegions = 2, .Verify = verifyIf});
+  Ctx.registerOp({.Name = kWhileOp, .NumRegions = 2});
+  Ctx.registerOp({.Name = kConditionOp, .IsTerminator = true});
+  Ctx.registerOp({.Name = kYieldOp, .IsTerminator = true});
+}
+
+Operation *scf::createFor(OpBuilder &B, Value *Lb, Value *Ub, Value *Step) {
+  Operation *For = B.create(kForOp, SourceLoc(), {Lb, Ub, Step}, {}, {},
+                            /*NumRegions=*/1);
+  Block *Body = For->getRegion(0).addBlock();
+  Body->addArgument(B.getContext().getIndexType());
+  // Body terminator.
+  Operation *Yield =
+      Operation::create(B.getContext(), kYieldOp, SourceLoc(), {}, {}, {}, 0);
+  Body->push_back(Yield);
+  return For;
+}
+
+Operation *scf::createIf(OpBuilder &B, Value *Cond, bool WithElse) {
+  Operation *If = B.create(kIfOp, SourceLoc(), {Cond}, {}, {},
+                           /*NumRegions=*/2);
+  Block *Then = If->getRegion(0).addBlock();
+  Then->push_back(
+      Operation::create(B.getContext(), kYieldOp, SourceLoc(), {}, {}, {}, 0));
+  if (WithElse) {
+    Block *Else = If->getRegion(1).addBlock();
+    Else->push_back(Operation::create(B.getContext(), kYieldOp, SourceLoc(),
+                                      {}, {}, {}, 0));
+  }
+  return If;
+}
+
+Block &scf::getForBody(Operation *ForOp) {
+  assert(ForOp->getName() == kForOp && "not an scf.for");
+  return ForOp->getRegion(0).front();
+}
+
+BlockArgument *scf::getForInductionVar(Operation *ForOp) {
+  return getForBody(ForOp).getArgument(0);
+}

@@ -1,0 +1,52 @@
+//===- SCF.h - structured control flow dialect ----------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured control flow: scf.for (positive unit-default step, exclusive
+/// upper bound), scf.if with optional else, and scf.while. The scf dialect's
+/// strictly-positive-step limitation that the paper blames for the deriche
+/// regression (§7.2, footnote 4) is preserved faithfully: decrement loops
+/// must be normalized by frontends before reaching scf.for.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_DIALECTS_SCF_H
+#define DCIR_DIALECTS_SCF_H
+
+#include "ir/Builder.h"
+#include "ir/IR.h"
+
+namespace dcir {
+namespace scf {
+
+inline constexpr const char *kForOp = "scf.for";
+inline constexpr const char *kIfOp = "scf.if";
+inline constexpr const char *kWhileOp = "scf.while";
+inline constexpr const char *kConditionOp = "scf.condition";
+inline constexpr const char *kYieldOp = "scf.yield";
+
+/// Registers the dialect's operations in \p Ctx.
+void registerDialect(ir::IRContext &Ctx);
+
+/// Creates `scf.for %iv = lb to ub step step` with an empty body ending in
+/// scf.yield. Returns the op; the induction variable is the body block's
+/// argument #0.
+ir::Operation *createFor(ir::OpBuilder &B, ir::Value *Lb, ir::Value *Ub,
+                         ir::Value *Step);
+
+/// Creates `scf.if cond` with then/else bodies ending in scf.yield.
+/// \p WithElse controls whether the else region gets a block.
+ir::Operation *createIf(ir::OpBuilder &B, ir::Value *Cond, bool WithElse);
+
+/// The body block of an scf.for.
+ir::Block &getForBody(ir::Operation *ForOp);
+/// The induction variable of an scf.for.
+ir::BlockArgument *getForInductionVar(ir::Operation *ForOp);
+
+} // namespace scf
+} // namespace dcir
+
+#endif // DCIR_DIALECTS_SCF_H

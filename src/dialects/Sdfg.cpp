@@ -1,0 +1,293 @@
+//===- Sdfg.cpp -------------------------------------------------------------------===//
+
+#include "dialects/Sdfg.h"
+
+using namespace dcir;
+using namespace dcir::ir;
+using sym::SymExpr;
+
+static bool isContainerType(Type T) {
+  return T.isSdfgArray() || T.getKind() == TypeKind::SdfgStream;
+}
+
+static bool verifySdfg(Operation *Op, DiagnosticEngine &Diags) {
+  Attribute SymName = Op->getAttr("sym_name");
+  if (!SymName || SymName.getKind() != AttrKind::String) {
+    Diags.error(Op->getLoc(), "sdfg.sdfg requires a 'sym_name' string");
+    return false;
+  }
+  if (Op->getRegion(0).empty()) {
+    Diags.error(Op->getLoc(), "sdfg.sdfg requires a body block");
+    return false;
+  }
+  // Only states and edges (plus allocs and syms) may appear at SDFG level.
+  for (auto &Nested : Op->getRegion(0).front()) {
+    const std::string &Name = Nested->getName();
+    if (Name != sdfg_dialect::kStateOp && Name != sdfg_dialect::kEdgeOp &&
+        Name != sdfg_dialect::kAllocOp && Name != sdfg_dialect::kSymOp) {
+      Diags.error(Nested->getLoc(),
+                  "'" + Name + "' may not appear directly inside sdfg.sdfg");
+      return false;
+    }
+  }
+  return true;
+}
+
+static bool verifyState(Operation *Op, DiagnosticEngine &Diags) {
+  Attribute SymName = Op->getAttr("sym_name");
+  if (!SymName || SymName.getKind() != AttrKind::String) {
+    Diags.error(Op->getLoc(), "sdfg.state requires a 'sym_name' string");
+    return false;
+  }
+  return true;
+}
+
+static bool verifyEdge(Operation *Op, DiagnosticEngine &Diags) {
+  Attribute Src = Op->getAttr("src");
+  Attribute Dst = Op->getAttr("dst");
+  if (!Src || Src.getKind() != AttrKind::String || !Dst ||
+      Dst.getKind() != AttrKind::String) {
+    Diags.error(Op->getLoc(), "sdfg.edge requires 'src' and 'dst' strings");
+    return false;
+  }
+  return true;
+}
+
+static bool verifyAlloc(Operation *Op, DiagnosticEngine &Diags) {
+  if (Op->getNumResults() != 1 ||
+      !isContainerType(Op->getResult(0)->getType())) {
+    Diags.error(Op->getLoc(),
+                "sdfg.alloc must produce an sdfg.array or sdfg.stream");
+    return false;
+  }
+  return true;
+}
+
+static bool verifyLoad(Operation *Op, DiagnosticEngine &Diags) {
+  if (Op->getNumOperands() < 1 || Op->getNumResults() != 1 ||
+      !Op->getOperand(0)->getType().isSdfgArray()) {
+    Diags.error(Op->getLoc(), "sdfg.load expects (array, indices...)");
+    return false;
+  }
+  const auto *AT = Op->getOperand(0)->getType().dyn<SdfgArrayType>();
+  if (Op->getNumOperands() - 1 != AT->getRank()) {
+    Diags.error(Op->getLoc(), "sdfg.load index count does not match rank");
+    return false;
+  }
+  if (Op->getResult(0)->getType() != AT->getElementType()) {
+    Diags.error(Op->getLoc(),
+                "sdfg.load result type must equal the element type");
+    return false;
+  }
+  return true;
+}
+
+static bool verifyStore(Operation *Op, DiagnosticEngine &Diags) {
+  if (Op->getNumOperands() < 2 ||
+      !Op->getOperand(1)->getType().isSdfgArray()) {
+    Diags.error(Op->getLoc(), "sdfg.store expects (value, array, indices...)");
+    return false;
+  }
+  const auto *AT = Op->getOperand(1)->getType().dyn<SdfgArrayType>();
+  if (Op->getNumOperands() - 2 != AT->getRank()) {
+    Diags.error(Op->getLoc(), "sdfg.store index count does not match rank");
+    return false;
+  }
+  if (Op->getOperand(0)->getType() != AT->getElementType()) {
+    Diags.error(Op->getLoc(),
+                "sdfg.store value type must equal the element type");
+    return false;
+  }
+  Attribute Wcr = Op->getAttr("wcr");
+  if (Wcr && Wcr.getKind() != AttrKind::String) {
+    Diags.error(Op->getLoc(), "sdfg.store 'wcr' must be a string");
+    return false;
+  }
+  return true;
+}
+
+/// Fig. 3 of the paper: symbolic sizes make size mismatches detectable at
+/// compile time, unlike memref's `?` dimensions.
+static bool verifyCopy(Operation *Op, DiagnosticEngine &Diags) {
+  if (Op->getNumOperands() != 2 ||
+      !Op->getOperand(0)->getType().isSdfgArray() ||
+      !Op->getOperand(1)->getType().isSdfgArray()) {
+    Diags.error(Op->getLoc(), "sdfg.copy expects two sdfg.array operands");
+    return false;
+  }
+  const auto *Src = Op->getOperand(0)->getType().dyn<SdfgArrayType>();
+  const auto *Dst = Op->getOperand(1)->getType().dyn<SdfgArrayType>();
+  if (Src->getElementType() != Dst->getElementType()) {
+    Diags.error(Op->getLoc(), "sdfg.copy element types must match");
+    return false;
+  }
+  SymExpr SrcElems = Src->getNumElements();
+  SymExpr DstElems = Dst->getNumElements();
+  auto Proven = SymExpr::eq(SrcElems, DstElems).tryProve();
+  if (Proven && !*Proven) {
+    Diags.error(Op->getLoc(), "sdfg.copy size mismatch: source has " +
+                                  SrcElems.str() + " elements, destination " +
+                                  DstElems.str());
+    return false;
+  }
+  return true;
+}
+
+static bool verifyTasklet(Operation *Op, DiagnosticEngine &Diags) {
+  if (Op->getRegion(0).empty()) {
+    Diags.error(Op->getLoc(), "sdfg.tasklet requires a body block");
+    return false;
+  }
+  Block &Entry = Op->getRegion(0).front();
+  if (Entry.getNumArguments() != Op->getNumOperands()) {
+    Diags.error(Op->getLoc(),
+                "sdfg.tasklet block arguments must mirror its operands");
+    return false;
+  }
+  for (size_t I = 0; I < Op->getNumOperands(); ++I) {
+    if (Entry.getArgument(I)->getType() != Op->getOperand(I)->getType()) {
+      Diags.error(Op->getLoc(), "sdfg.tasklet block argument #" +
+                                    std::to_string(I) + " type mismatch");
+      return false;
+    }
+  }
+  Operation *Term = Entry.getTerminator();
+  if (!Term || Term->getName() != sdfg_dialect::kReturnOp) {
+    Diags.error(Op->getLoc(), "sdfg.tasklet must end with sdfg.return");
+    return false;
+  }
+  if (Term->getNumOperands() != Op->getNumResults()) {
+    Diags.error(Op->getLoc(),
+                "sdfg.return operand count must match tasklet results");
+    return false;
+  }
+  return true;
+}
+
+static bool verifyMap(Operation *Op, DiagnosticEngine &Diags) {
+  Attribute Begins = Op->getAttr("begins");
+  Attribute Ends = Op->getAttr("ends");
+  Attribute Steps = Op->getAttr("steps");
+  if (!Begins || !Ends || !Steps ||
+      Begins.getKind() != AttrKind::Array ||
+      Ends.getKind() != AttrKind::Array ||
+      Steps.getKind() != AttrKind::Array) {
+    Diags.error(Op->getLoc(),
+                "sdfg.map requires 'begins'/'ends'/'steps' arrays");
+    return false;
+  }
+  size_t N = Begins.asArray().size();
+  if (Ends.asArray().size() != N || Steps.asArray().size() != N) {
+    Diags.error(Op->getLoc(), "sdfg.map range arrays must share a length");
+    return false;
+  }
+  if (Op->getRegion(0).empty() ||
+      Op->getRegion(0).front().getNumArguments() != N) {
+    Diags.error(Op->getLoc(),
+                "sdfg.map body must carry one argument per dimension");
+    return false;
+  }
+  return true;
+}
+
+void sdfg_dialect::registerDialect(IRContext &Ctx) {
+  Ctx.registerOp({.Name = kSdfgOp,
+                  .IsIsolatedFromAbove = true,
+                  .NumRegions = 1,
+                  .Verify = verifySdfg});
+  Ctx.registerOp({.Name = kStateOp, .NumRegions = 1, .Verify = verifyState});
+  Ctx.registerOp({.Name = kEdgeOp, .Verify = verifyEdge});
+  Ctx.registerOp({.Name = kAllocOp, .Verify = verifyAlloc});
+  Ctx.registerOp({.Name = kLoadOp, .Verify = verifyLoad});
+  Ctx.registerOp({.Name = kStoreOp, .Verify = verifyStore});
+  Ctx.registerOp({.Name = kCopyOp, .Verify = verifyCopy});
+  Ctx.registerOp({.Name = kTaskletOp,
+                  .IsIsolatedFromAbove = true,
+                  .NumRegions = 1,
+                  .Verify = verifyTasklet});
+  Ctx.registerOp({.Name = kReturnOp, .IsTerminator = true});
+  Ctx.registerOp({.Name = kMapOp, .NumRegions = 1, .Verify = verifyMap});
+  Ctx.registerOp({.Name = kConsumeOp, .NumRegions = 1});
+  Ctx.registerOp({.Name = kStreamPushOp});
+  Ctx.registerOp({.Name = kStreamPopOp});
+  Ctx.registerOp({.Name = kSymOp, .IsPure = true});
+}
+
+Operation *sdfg_dialect::createSdfg(OpBuilder &B, const std::string &Name,
+                                    const std::vector<Type> &ArgTypes) {
+  Operation::AttrMap Attrs;
+  Attrs["sym_name"] = Attribute::getString(Name);
+  Operation *Sdfg = B.create(kSdfgOp, SourceLoc(), {}, {}, std::move(Attrs),
+                             /*NumRegions=*/1);
+  Block *Entry = Sdfg->getRegion(0).addBlock();
+  for (Type T : ArgTypes)
+    Entry->addArgument(T);
+  return Sdfg;
+}
+
+Operation *sdfg_dialect::createState(OpBuilder &B, const std::string &Name) {
+  Operation::AttrMap Attrs;
+  Attrs["sym_name"] = Attribute::getString(Name);
+  Operation *State = B.create(kStateOp, SourceLoc(), {}, {}, std::move(Attrs),
+                              /*NumRegions=*/1);
+  State->getRegion(0).addBlock();
+  return State;
+}
+
+Operation *sdfg_dialect::createEdge(
+    OpBuilder &B, const std::string &Src, const std::string &Dst,
+    SymExpr Condition,
+    const std::vector<std::pair<std::string, SymExpr>> &Assignments) {
+  Operation::AttrMap Attrs;
+  Attrs["src"] = Attribute::getString(Src);
+  Attrs["dst"] = Attribute::getString(Dst);
+  if (Condition)
+    Attrs["condition"] = Attribute::getSymExpr(Condition);
+  if (!Assignments.empty()) {
+    std::vector<Attribute> Pairs;
+    for (const auto &[Key, Expr] : Assignments)
+      Pairs.push_back(Attribute::getArray(
+          {Attribute::getString(Key), Attribute::getSymExpr(Expr)}));
+    Attrs["assign"] = Attribute::getArray(std::move(Pairs));
+  }
+  return B.create(kEdgeOp, SourceLoc(), {}, {}, std::move(Attrs));
+}
+
+Operation *sdfg_dialect::createTasklet(OpBuilder &B,
+                                       const std::vector<Value *> &Inputs,
+                                       const std::vector<Type> &ResultTypes) {
+  Operation *Tasklet = B.create(kTaskletOp, SourceLoc(), Inputs, ResultTypes,
+                                {}, /*NumRegions=*/1);
+  Block *Entry = Tasklet->getRegion(0).addBlock();
+  for (Value *In : Inputs)
+    Entry->addArgument(In->getType());
+  return Tasklet;
+}
+
+Value *sdfg_dialect::createSymValue(OpBuilder &B, SymExpr Expr, Type Ty) {
+  Operation::AttrMap Attrs;
+  Attrs["expr"] = Attribute::getSymExpr(std::move(Expr));
+  if (!Ty)
+    Ty = B.getContext().getIndexType();
+  Operation *Op =
+      B.create(kSymOp, SourceLoc(), {}, {Ty}, std::move(Attrs));
+  return Op->getResult(0);
+}
+
+SymExpr sdfg_dialect::getEdgeCondition(Operation *EdgeOp) {
+  Attribute Cond = EdgeOp->getAttr("condition");
+  return Cond ? Cond.asSymExpr() : SymExpr();
+}
+
+std::vector<std::pair<std::string, SymExpr>>
+sdfg_dialect::getEdgeAssignments(Operation *EdgeOp) {
+  std::vector<std::pair<std::string, SymExpr>> Out;
+  Attribute Assign = EdgeOp->getAttr("assign");
+  if (!Assign)
+    return Out;
+  for (const Attribute &Pair : Assign.asArray()) {
+    const auto &Elems = Pair.asArray();
+    Out.emplace_back(Elems[0].asString(), Elems[1].asSymExpr());
+  }
+  return Out;
+}

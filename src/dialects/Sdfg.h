@@ -1,0 +1,92 @@
+//===- Sdfg.h - the data-centric sdfg dialect (paper §3) --------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sdfg MLIR dialect from the paper, Table 1:
+///
+///   sdfg.sdfg      The SDFG container (isolated; holds states and edges).
+///   sdfg.state     Groups operations; the state machine orders execution.
+///   sdfg.edge      State transition with symbolic condition/assignments.
+///   sdfg.alloc     Data container allocation (array or stream), symbolic
+///                  sizes allowed; `transient` marks SDFG-managed storage.
+///   sdfg.load      Loads a value from an array.
+///   sdfg.store     Stores a value to an array; optional `wcr` update
+///                  function attribute (write-conflict resolution).
+///   sdfg.copy      Whole-container copy; symbolic sizes are verified at
+///                  compile time (paper Fig. 3).
+///   sdfg.tasklet   IsolatedFromAbove unit of computation.
+///   sdfg.return    Tasklet terminator carrying the outputs.
+///   sdfg.map       Parametric-parallel scope over a symbolic range.
+///   sdfg.consume   Stream-consumption scope (paper §3.2).
+///   sdfg.stream_push / sdfg.stream_pop   FIFO operations.
+///   sdfg.sym       Materializes a symbolic expression as an index value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_DIALECTS_SDFG_H
+#define DCIR_DIALECTS_SDFG_H
+
+#include "ir/Builder.h"
+#include "ir/IR.h"
+
+namespace dcir {
+namespace sdfg_dialect {
+
+inline constexpr const char *kSdfgOp = "sdfg.sdfg";
+inline constexpr const char *kStateOp = "sdfg.state";
+inline constexpr const char *kEdgeOp = "sdfg.edge";
+inline constexpr const char *kAllocOp = "sdfg.alloc";
+inline constexpr const char *kLoadOp = "sdfg.load";
+inline constexpr const char *kStoreOp = "sdfg.store";
+inline constexpr const char *kCopyOp = "sdfg.copy";
+inline constexpr const char *kTaskletOp = "sdfg.tasklet";
+inline constexpr const char *kReturnOp = "sdfg.return";
+inline constexpr const char *kMapOp = "sdfg.map";
+inline constexpr const char *kConsumeOp = "sdfg.consume";
+inline constexpr const char *kStreamPushOp = "sdfg.stream_push";
+inline constexpr const char *kStreamPopOp = "sdfg.stream_pop";
+inline constexpr const char *kSymOp = "sdfg.sym";
+
+/// Registers the dialect's operations in \p Ctx.
+void registerDialect(ir::IRContext &Ctx);
+
+/// Creates an sdfg.sdfg container whose entry block carries one argument per
+/// element of \p ArgTypes (the SDFG's non-transient containers).
+ir::Operation *createSdfg(ir::OpBuilder &B, const std::string &Name,
+                          const std::vector<ir::Type> &ArgTypes);
+
+/// Creates a state with the given name inside the current insertion block.
+ir::Operation *createState(ir::OpBuilder &B, const std::string &Name);
+
+/// Creates an interstate edge. Null \p Condition means "always taken";
+/// \p Assignments maps symbol names to expressions evaluated on transition.
+ir::Operation *
+createEdge(ir::OpBuilder &B, const std::string &Src, const std::string &Dst,
+           sym::SymExpr Condition = sym::SymExpr(),
+           const std::vector<std::pair<std::string, sym::SymExpr>>
+               &Assignments = {});
+
+/// Creates a tasklet with the given scalar inputs and result types; the
+/// region's entry block receives one argument per input.
+ir::Operation *createTasklet(ir::OpBuilder &B,
+                             const std::vector<ir::Value *> &Inputs,
+                             const std::vector<ir::Type> &ResultTypes);
+
+/// Creates an sdfg.sym materializing \p Expr as a value of type \p Ty
+/// (index when omitted).
+ir::Value *createSymValue(ir::OpBuilder &B, sym::SymExpr Expr,
+                          ir::Type Ty = ir::Type());
+
+/// Reads an edge op's condition (null when absent).
+sym::SymExpr getEdgeCondition(ir::Operation *EdgeOp);
+/// Reads an edge op's assignments.
+std::vector<std::pair<std::string, sym::SymExpr>>
+getEdgeAssignments(ir::Operation *EdgeOp);
+
+} // namespace sdfg_dialect
+} // namespace dcir
+
+#endif // DCIR_DIALECTS_SDFG_H

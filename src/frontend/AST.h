@@ -1,0 +1,328 @@
+//===- AST.h - C-subset abstract syntax tree ---------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the C subset the frontend accepts — the slice of C that Polybench
+/// kernels and the paper's real-world snippets (Figs. 2, 9, 10) need:
+/// functions, scalar/pointer/array declarations, for/while/if, the usual
+/// expression operators, malloc/free, and libm calls.
+///
+/// All C integer types map to 64-bit signed integers; `float` maps to f32 and
+/// `double` to f64 (see DESIGN.md, substitutions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_FRONTEND_AST_H
+#define DCIR_FRONTEND_AST_H
+
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dcir {
+namespace frontend {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+/// Scalar kinds of the C subset.
+enum class CScalarKind { Void, Int, Float, Double };
+
+/// A C type: a scalar, a pointer to a scalar, or a statically-sized array of
+/// scalars (no pointer-to-pointer, no structs).
+struct CType {
+  enum class Shape { Scalar, Pointer, Array } Form = Shape::Scalar;
+  CScalarKind Scalar = CScalarKind::Void;
+  std::vector<std::int64_t> Dims; // Array form only.
+
+  static CType scalar(CScalarKind K) { return {Shape::Scalar, K, {}}; }
+  static CType pointer(CScalarKind K) { return {Shape::Pointer, K, {}}; }
+  static CType array(CScalarKind K, std::vector<std::int64_t> Dims) {
+    return {Shape::Array, K, std::move(Dims)};
+  }
+
+  bool isScalar() const { return Form == Shape::Scalar; }
+  bool isPointer() const { return Form == Shape::Pointer; }
+  bool isArray() const { return Form == Shape::Array; }
+  bool isVoid() const {
+    return isScalar() && Scalar == CScalarKind::Void;
+  }
+  bool isFloating() const {
+    return isScalar() &&
+           (Scalar == CScalarKind::Float || Scalar == CScalarKind::Double);
+  }
+  bool isInteger() const { return isScalar() && Scalar == CScalarKind::Int; }
+
+  bool operator==(const CType &O) const {
+    return Form == O.Form && Scalar == O.Scalar && Dims == O.Dims;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind {
+  IntLit,
+  FloatLit,
+  Ident,
+  Index,
+  Unary,
+  Binary,
+  Assign,
+  Call,
+  Cast,
+  Cond,
+  SizeOf
+};
+
+struct Expr {
+  explicit Expr(ExprKind K, SourceLoc Loc) : Loc(Loc), K(K) {}
+  virtual ~Expr() = default;
+
+  ExprKind getKind() const { return K; }
+  SourceLoc Loc;
+
+private:
+  ExprKind K;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr {
+  IntLitExpr(std::int64_t Value, SourceLoc Loc)
+      : Expr(ExprKind::IntLit, Loc), Value(Value) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::IntLit; }
+  std::int64_t Value;
+};
+
+struct FloatLitExpr : Expr {
+  FloatLitExpr(double Value, bool IsSingle, SourceLoc Loc)
+      : Expr(ExprKind::FloatLit, Loc), Value(Value), IsSingle(IsSingle) {}
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::FloatLit;
+  }
+  double Value;
+  bool IsSingle; // `1.0f` literal.
+};
+
+struct IdentExpr : Expr {
+  IdentExpr(std::string Name, SourceLoc Loc)
+      : Expr(ExprKind::Ident, Loc), Name(std::move(Name)) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Ident; }
+  std::string Name;
+};
+
+/// One subscript application; multidimensional accesses nest (A[i][j] is
+/// Index(Index(A, i), j)).
+struct IndexExpr : Expr {
+  IndexExpr(ExprPtr Base, ExprPtr Idx, SourceLoc Loc)
+      : Expr(ExprKind::Index, Loc), Base(std::move(Base)),
+        Idx(std::move(Idx)) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Index; }
+  ExprPtr Base;
+  ExprPtr Idx;
+};
+
+enum class UnaryOpKind { Neg, LogicalNot, PreInc, PreDec, PostInc, PostDec,
+                         Deref };
+
+struct UnaryExpr : Expr {
+  UnaryExpr(UnaryOpKind Op, ExprPtr Operand, SourceLoc Loc)
+      : Expr(ExprKind::Unary, Loc), Op(Op), Operand(std::move(Operand)) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Unary; }
+  UnaryOpKind Op;
+  ExprPtr Operand;
+};
+
+enum class BinaryOpKind {
+  Add, Sub, Mul, Div, Rem,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  LogicalAnd, LogicalOr,
+  BitAnd, BitOr, BitXor, Shl, Shr
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr(BinaryOpKind Op, ExprPtr L, ExprPtr R, SourceLoc Loc)
+      : Expr(ExprKind::Binary, Loc), Op(Op), Lhs(std::move(L)),
+        Rhs(std::move(R)) {}
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Binary;
+  }
+  BinaryOpKind Op;
+  ExprPtr Lhs, Rhs;
+};
+
+enum class AssignOpKind { None, Add, Sub, Mul, Div };
+
+struct AssignExpr : Expr {
+  AssignExpr(AssignOpKind Op, ExprPtr Target, ExprPtr Value, SourceLoc Loc)
+      : Expr(ExprKind::Assign, Loc), Op(Op), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Assign;
+  }
+  AssignOpKind Op;
+  ExprPtr Target, Value;
+};
+
+struct CallExpr : Expr {
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Expr(ExprKind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Call; }
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+struct CastExpr : Expr {
+  CastExpr(CType Ty, ExprPtr Operand, SourceLoc Loc)
+      : Expr(ExprKind::Cast, Loc), Ty(Ty), Operand(std::move(Operand)) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Cast; }
+  CType Ty;
+  ExprPtr Operand;
+};
+
+struct CondExpr : Expr {
+  CondExpr(ExprPtr Cond, ExprPtr Then, ExprPtr Else, SourceLoc Loc)
+      : Expr(ExprKind::Cond, Loc), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Cond; }
+  ExprPtr Cond, Then, Else;
+};
+
+struct SizeOfExpr : Expr {
+  SizeOfExpr(CType Ty, SourceLoc Loc) : Expr(ExprKind::SizeOf, Loc), Ty(Ty) {}
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::SizeOf;
+  }
+  CType Ty;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind { Decl, Expr, Block, If, For, While, Return, Empty };
+
+struct Stmt {
+  explicit Stmt(StmtKind K, SourceLoc Loc) : Loc(Loc), K(K) {}
+  virtual ~Stmt() = default;
+  StmtKind getKind() const { return K; }
+  SourceLoc Loc;
+
+private:
+  StmtKind K;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// One declared variable (several may share a DeclStmt).
+struct VarDecl {
+  std::string Name;
+  CType Ty;
+  ExprPtr Init; // may be null
+  SourceLoc Loc;
+};
+
+struct DeclStmt : Stmt {
+  DeclStmt(std::vector<VarDecl> Decls, SourceLoc Loc)
+      : Stmt(StmtKind::Decl, Loc), Decls(std::move(Decls)) {}
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::Decl; }
+  std::vector<VarDecl> Decls;
+};
+
+struct ExprStmt : Stmt {
+  ExprStmt(ExprPtr E, SourceLoc Loc)
+      : Stmt(StmtKind::Expr, Loc), E(std::move(E)) {}
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::Expr; }
+  ExprPtr E;
+};
+
+struct BlockStmt : Stmt {
+  BlockStmt(std::vector<StmtPtr> Body, SourceLoc Loc)
+      : Stmt(StmtKind::Block, Loc), Body(std::move(Body)) {}
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::Block; }
+  std::vector<StmtPtr> Body;
+};
+
+struct IfStmt : Stmt {
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, SourceLoc Loc)
+      : Stmt(StmtKind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::If; }
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; // may be null
+};
+
+struct ForStmt : Stmt {
+  ForStmt(StmtPtr Init, ExprPtr Cond, ExprPtr Inc, StmtPtr Body,
+          SourceLoc Loc)
+      : Stmt(StmtKind::For, Loc), Init(std::move(Init)), Cond(std::move(Cond)),
+        Inc(std::move(Inc)), Body(std::move(Body)) {}
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::For; }
+  StmtPtr Init; // DeclStmt, ExprStmt, or null
+  ExprPtr Cond; // may be null
+  ExprPtr Inc;  // may be null
+  StmtPtr Body;
+};
+
+struct WhileStmt : Stmt {
+  WhileStmt(ExprPtr Cond, StmtPtr Body, SourceLoc Loc)
+      : Stmt(StmtKind::While, Loc), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::While; }
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+struct ReturnStmt : Stmt {
+  ReturnStmt(ExprPtr Value, SourceLoc Loc)
+      : Stmt(StmtKind::Return, Loc), Value(std::move(Value)) {}
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Return;
+  }
+  ExprPtr Value; // may be null
+};
+
+struct EmptyStmt : Stmt {
+  explicit EmptyStmt(SourceLoc Loc) : Stmt(StmtKind::Empty, Loc) {}
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::Empty; }
+};
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+struct FunctionDef {
+  std::string Name;
+  CType ReturnTy;
+  std::vector<VarDecl> Params;
+  std::unique_ptr<BlockStmt> Body;
+  SourceLoc Loc;
+};
+
+struct TranslationUnit {
+  std::vector<std::unique_ptr<FunctionDef>> Functions;
+
+  FunctionDef *findFunction(const std::string &Name) const {
+    for (const auto &F : Functions)
+      if (F->Name == Name)
+        return F.get();
+    return nullptr;
+  }
+};
+
+} // namespace frontend
+} // namespace dcir
+
+#endif // DCIR_FRONTEND_AST_H

@@ -1,0 +1,1174 @@
+//===- CCodegen.cpp ---------------------------------------------------------------===//
+
+#include "frontend/CCodegen.h"
+
+#include "dialects/Arith.h"
+#include "dialects/Func.h"
+#include "dialects/MathDialect.h"
+#include "dialects/MemRef.h"
+#include "dialects/SCF.h"
+#include "frontend/CParser.h"
+
+#include <map>
+#include <vector>
+
+using namespace dcir;
+using namespace dcir::frontend;
+using namespace dcir::ir;
+
+namespace {
+
+/// A typed rvalue; a null V signals a lowering error already diagnosed.
+struct RValue {
+  Value *V = nullptr;
+  CType Ty;
+};
+
+/// A resolved memory access: base buffer plus index values (index-typed).
+struct LValue {
+  enum class Kind { None, ScalarSlot, Element, PointerVar } K = Kind::None;
+  Value *Base = nullptr;             // slot or buffer
+  std::vector<Value *> Indices;      // Element only
+  CScalarKind Elem = CScalarKind::Void;
+  std::string PointerName;           // PointerVar only
+};
+
+class Codegen {
+public:
+  Codegen(const TranslationUnit &TU, IRContext &Ctx, DiagnosticEngine &Diags)
+      : TU(TU), Ctx(Ctx), Diags(Diags), B(Ctx) {}
+
+  Operation *run() {
+    Module = createModule(Ctx);
+    for (const auto &Fn : TU.Functions)
+      emitFunction(*Fn);
+    if (Diags.hasErrors()) {
+      Operation::eraseDetached(Module);
+      return nullptr;
+    }
+    return Module;
+  }
+
+private:
+  const TranslationUnit &TU;
+  IRContext &Ctx;
+  DiagnosticEngine &Diags;
+  OpBuilder B;
+  Operation *Module = nullptr;
+  Operation *CurrentFunc = nullptr;
+
+  struct VarInfo {
+    enum class Kind { ScalarSlot, Buffer } K;
+    Value *V;
+    CType Ty;
+  };
+  std::vector<std::map<std::string, VarInfo>> Scopes;
+
+  //===------------------------------------------------------------------===//
+  // Type utilities
+  //===------------------------------------------------------------------===//
+
+  Type scalarType(CScalarKind K) {
+    switch (K) {
+    case CScalarKind::Int:
+      return Ctx.getI64Type();
+    case CScalarKind::Float:
+      return Ctx.getF32Type();
+    case CScalarKind::Double:
+      return Ctx.getF64Type();
+    case CScalarKind::Void:
+      return Type();
+    }
+    return Type();
+  }
+
+  Type irType(const CType &T) {
+    switch (T.Form) {
+    case CType::Shape::Scalar:
+      return scalarType(T.Scalar);
+    case CType::Shape::Pointer:
+      return Ctx.getMemRefType(scalarType(T.Scalar),
+                               {MemRefType::kDynamic});
+    case CType::Shape::Array:
+      return Ctx.getMemRefType(scalarType(T.Scalar), T.Dims);
+    }
+    return Type();
+  }
+
+  //===------------------------------------------------------------------===//
+  // Scope handling
+  //===------------------------------------------------------------------===//
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  VarInfo *lookup(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  void declare(const std::string &Name, VarInfo Info) {
+    Scopes.back()[Name] = std::move(Info);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Conversions
+  //===------------------------------------------------------------------===//
+
+  Value *intConst(std::int64_t V, Type Ty) {
+    return arith::createIntConstant(B, V, Ty);
+  }
+
+  Value *toIndex(Value *V) {
+    if (V->getType().isIndex())
+      return V;
+    Operation *Cast = B.create(arith::kIndexCastOp, SourceLoc(), {V},
+                               {Ctx.getIndexType()});
+    return Cast->getResult(0);
+  }
+
+  Value *indexToInt(Value *V) {
+    if (!V->getType().isIndex())
+      return V;
+    Operation *Cast =
+        B.create(arith::kIndexCastOp, SourceLoc(), {V}, {Ctx.getI64Type()});
+    return Cast->getResult(0);
+  }
+
+  /// Converts a scalar rvalue to scalar kind \p To (C conversion rules).
+  Value *convert(Value *V, CScalarKind From, CScalarKind To, SourceLoc Loc) {
+    if (From == To)
+      return V;
+    Type Target = scalarType(To);
+    bool FromFloat =
+        From == CScalarKind::Float || From == CScalarKind::Double;
+    bool ToFloat = To == CScalarKind::Float || To == CScalarKind::Double;
+    const char *OpName = nullptr;
+    if (!FromFloat && ToFloat)
+      OpName = arith::kSIToFPOp;
+    else if (FromFloat && !ToFloat)
+      OpName = arith::kFPToSIOp;
+    else if (From == CScalarKind::Float && To == CScalarKind::Double)
+      OpName = arith::kExtFOp;
+    else if (From == CScalarKind::Double && To == CScalarKind::Float)
+      OpName = arith::kTruncFOp;
+    else
+      return V; // Int-to-int: single i64 representation.
+    Operation *Op = B.create(OpName, Loc, {V}, {Target});
+    return Op->getResult(0);
+  }
+
+  /// Converts an i1 (comparison result) to a C int (0/1 in i64).
+  Value *boolToInt(Value *V) {
+    if (!V->getType().isInteger() ||
+        V->getType().dyn<IntegerType>()->getWidth() != 1)
+      return V;
+    Value *One = intConst(1, Ctx.getI64Type());
+    Value *Zero = intConst(0, Ctx.getI64Type());
+    Operation *Sel = B.create(arith::kSelectOp, SourceLoc(), {V, One, Zero},
+                              {Ctx.getI64Type()});
+    return Sel->getResult(0);
+  }
+
+  /// Converts a C scalar to an i1 truth value.
+  Value *toBool(RValue R) {
+    const auto *IT = R.V->getType().dyn<IntegerType>();
+    if (IT && IT->getWidth() == 1)
+      return R.V;
+    if (R.Ty.isFloating()) {
+      Value *Zero = arith::createFloatConstant(
+          B, 0.0, scalarType(R.Ty.Scalar));
+      return arith::createCompare(B, arith::kCmpFOp, R.V, Zero, "one");
+    }
+    Value *Zero = intConst(0, R.V->getType());
+    return arith::createCompare(B, arith::kCmpIOp, R.V, Zero, "ne");
+  }
+
+  /// The usual arithmetic conversions: returns the common scalar kind.
+  static CScalarKind commonKind(CScalarKind A, CScalarKind B) {
+    if (A == CScalarKind::Double || B == CScalarKind::Double)
+      return CScalarKind::Double;
+    if (A == CScalarKind::Float || B == CScalarKind::Float)
+      return CScalarKind::Float;
+    return CScalarKind::Int;
+  }
+
+  //===------------------------------------------------------------------===//
+  // LValues
+  //===------------------------------------------------------------------===//
+
+  LValue resolveLValue(const Expr *E) {
+    LValue LV;
+    if (const auto *Id = dyn_cast<IdentExpr>(E)) {
+      VarInfo *Info = lookup(Id->Name);
+      if (!Info) {
+        Diags.error(E->Loc, "use of undeclared identifier '" + Id->Name + "'");
+        return LV;
+      }
+      if (Info->K == VarInfo::Kind::ScalarSlot) {
+        LV.K = LValue::Kind::ScalarSlot;
+        LV.Base = Info->V;
+        LV.Elem = Info->Ty.Scalar;
+        return LV;
+      }
+      LV.K = LValue::Kind::PointerVar;
+      LV.PointerName = Id->Name;
+      LV.Base = Info->V;
+      LV.Elem = Info->Ty.Scalar;
+      return LV;
+    }
+    if (const auto *U = dyn_cast<UnaryExpr>(E)) {
+      if (U->Op == UnaryOpKind::Deref) {
+        // *p  ==  p[0]
+        RValue Base = emitExpr(U->Operand.get());
+        if (!Base.V)
+          return LV;
+        if (!Base.Ty.isPointer()) {
+          Diags.error(E->Loc, "cannot dereference a non-pointer");
+          return LV;
+        }
+        LV.K = LValue::Kind::Element;
+        LV.Base = Base.V;
+        LV.Indices = {toIndex(intConst(0, Ctx.getI64Type()))};
+        LV.Elem = Base.Ty.Scalar;
+        return LV;
+      }
+    }
+    if (isa<IndexExpr>(E)) {
+      // Peel the subscript chain: A[i][j] -> base A, indices (i, j).
+      std::vector<const Expr *> IndexExprs;
+      const Expr *Cur = E;
+      while (const auto *IE = dyn_cast<IndexExpr>(Cur)) {
+        IndexExprs.push_back(IE->Idx.get());
+        Cur = IE->Base.get();
+      }
+      std::reverse(IndexExprs.begin(), IndexExprs.end());
+      RValue Base = emitExpr(Cur);
+      if (!Base.V)
+        return LV;
+      const auto *MT = Base.V->getType().dyn<MemRefType>();
+      if (!MT) {
+        Diags.error(E->Loc, "subscripted value is not an array or pointer");
+        return LV;
+      }
+      if (MT->getRank() != IndexExprs.size()) {
+        Diags.error(E->Loc,
+                    "expected " + std::to_string(MT->getRank()) +
+                        " subscripts, got " +
+                        std::to_string(IndexExprs.size()) +
+                        " (partial indexing is not supported)");
+        return LV;
+      }
+      LV.K = LValue::Kind::Element;
+      LV.Base = Base.V;
+      LV.Elem = Base.Ty.Scalar;
+      for (const Expr *IdxE : IndexExprs) {
+        RValue Idx = emitExpr(IdxE);
+        if (!Idx.V)
+          return LValue();
+        LV.Indices.push_back(toIndex(Idx.V));
+      }
+      return LV;
+    }
+    Diags.error(E->Loc, "expression is not assignable");
+    return LV;
+  }
+
+  RValue loadLValue(const LValue &LV, SourceLoc Loc) {
+    switch (LV.K) {
+    case LValue::Kind::ScalarSlot: {
+      Value *V = memref::createLoad(B, LV.Base, {});
+      return {V, CType::scalar(LV.Elem)};
+    }
+    case LValue::Kind::Element: {
+      Value *V = memref::createLoad(B, LV.Base, LV.Indices);
+      return {V, CType::scalar(LV.Elem)};
+    }
+    case LValue::Kind::PointerVar: {
+      VarInfo *Info = lookup(LV.PointerName);
+      return {Info->V, Info->Ty};
+    }
+    case LValue::Kind::None:
+      break;
+    }
+    return {};
+  }
+
+  void storeLValue(const LValue &LV, Value *V, SourceLoc Loc) {
+    switch (LV.K) {
+    case LValue::Kind::ScalarSlot:
+      memref::createStore(B, V, LV.Base, {});
+      return;
+    case LValue::Kind::Element:
+      memref::createStore(B, V, LV.Base, LV.Indices);
+      return;
+    case LValue::Kind::PointerVar: {
+      // Rebinding a pointer variable (p = malloc(...) / p = q).
+      for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+        auto Found = It->find(LV.PointerName);
+        if (Found != It->end()) {
+          Found->second.V = V;
+          return;
+        }
+      }
+      return;
+    }
+    case LValue::Kind::None:
+      return;
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expressions
+  //===------------------------------------------------------------------===//
+
+  RValue emitExpr(const Expr *E) {
+    switch (E->getKind()) {
+    case ExprKind::IntLit: {
+      const auto *I = cast<IntLitExpr>(E);
+      return {intConst(I->Value, Ctx.getI64Type()),
+              CType::scalar(CScalarKind::Int)};
+    }
+    case ExprKind::FloatLit: {
+      const auto *F = cast<FloatLitExpr>(E);
+      CScalarKind K = F->IsSingle ? CScalarKind::Float : CScalarKind::Double;
+      return {arith::createFloatConstant(B, F->Value, scalarType(K)),
+              CType::scalar(K)};
+    }
+    case ExprKind::Ident:
+    case ExprKind::Index: {
+      LValue LV = resolveLValue(E);
+      if (LV.K == LValue::Kind::None)
+        return {};
+      return loadLValue(LV, E->Loc);
+    }
+    case ExprKind::Unary:
+      return emitUnary(cast<UnaryExpr>(E));
+    case ExprKind::Binary:
+      return emitBinary(cast<BinaryExpr>(E));
+    case ExprKind::Assign:
+      return emitAssign(cast<AssignExpr>(E));
+    case ExprKind::Call:
+      return emitCall(cast<CallExpr>(E));
+    case ExprKind::Cast:
+      return emitCast(cast<CastExpr>(E));
+    case ExprKind::Cond:
+      return emitCond(cast<CondExpr>(E));
+    case ExprKind::SizeOf: {
+      const auto *S = cast<SizeOfExpr>(E);
+      std::int64_t Size = 4;
+      if (S->Ty.isPointer())
+        Size = 8;
+      else if (S->Ty.Scalar == CScalarKind::Double)
+        Size = 8;
+      return {intConst(Size, Ctx.getI64Type()),
+              CType::scalar(CScalarKind::Int)};
+    }
+    }
+    return {};
+  }
+
+  RValue emitUnary(const UnaryExpr *E) {
+    switch (E->Op) {
+    case UnaryOpKind::Neg: {
+      RValue R = emitExpr(E->Operand.get());
+      if (!R.V)
+        return {};
+      if (R.Ty.isFloating()) {
+        Operation *Op =
+            B.create(arith::kNegFOp, E->Loc, {R.V}, {R.V->getType()});
+        return {Op->getResult(0), R.Ty};
+      }
+      Value *Zero = intConst(0, R.V->getType());
+      return {arith::createBinary(B, arith::kSubIOp, Zero, R.V), R.Ty};
+    }
+    case UnaryOpKind::LogicalNot: {
+      RValue R = emitExpr(E->Operand.get());
+      if (!R.V)
+        return {};
+      Value *Cond = toBool(R);
+      Value *True = intConst(1, Ctx.getI1Type());
+      Value *NotV = arith::createBinary(B, arith::kXorIOp, Cond, True);
+      return {boolToInt(NotV), CType::scalar(CScalarKind::Int)};
+    }
+    case UnaryOpKind::Deref: {
+      LValue LV = resolveLValue(E);
+      if (LV.K == LValue::Kind::None)
+        return {};
+      return loadLValue(LV, E->Loc);
+    }
+    case UnaryOpKind::PreInc:
+    case UnaryOpKind::PreDec:
+    case UnaryOpKind::PostInc:
+    case UnaryOpKind::PostDec: {
+      LValue LV = resolveLValue(E->Operand.get());
+      if (LV.K == LValue::Kind::None)
+        return {};
+      RValue Old = loadLValue(LV, E->Loc);
+      if (!Old.V)
+        return {};
+      bool IsInc =
+          E->Op == UnaryOpKind::PreInc || E->Op == UnaryOpKind::PostInc;
+      Value *NewV;
+      if (Old.Ty.isFloating()) {
+        Value *One = arith::createFloatConstant(B, 1.0, Old.V->getType());
+        NewV = arith::createBinary(
+            B, IsInc ? arith::kAddFOp : arith::kSubFOp, Old.V, One);
+      } else {
+        Value *One = intConst(1, Old.V->getType());
+        NewV = arith::createBinary(
+            B, IsInc ? arith::kAddIOp : arith::kSubIOp, Old.V, One);
+      }
+      storeLValue(LV, NewV, E->Loc);
+      bool IsPre =
+          E->Op == UnaryOpKind::PreInc || E->Op == UnaryOpKind::PreDec;
+      return {IsPre ? NewV : Old.V, Old.Ty};
+    }
+    }
+    return {};
+  }
+
+  RValue emitBinary(const BinaryExpr *E) {
+    RValue L = emitExpr(E->Lhs.get());
+    if (!L.V)
+      return {};
+    RValue R = emitExpr(E->Rhs.get());
+    if (!R.V)
+      return {};
+    switch (E->Op) {
+    case BinaryOpKind::LogicalAnd:
+    case BinaryOpKind::LogicalOr: {
+      // Evaluated eagerly (the supported kernels have effect-free operands).
+      Value *LB = toBool(L);
+      Value *RB = toBool(R);
+      Value *V = arith::createBinary(
+          B, E->Op == BinaryOpKind::LogicalAnd ? arith::kAndIOp
+                                               : arith::kOrIOp,
+          LB, RB);
+      return {boolToInt(V), CType::scalar(CScalarKind::Int)};
+    }
+    default:
+      break;
+    }
+    if (!L.Ty.isScalar() || !R.Ty.isScalar()) {
+      Diags.error(E->Loc, "pointer arithmetic is not supported; use "
+                          "subscripts");
+      return {};
+    }
+    CScalarKind K = commonKind(L.Ty.Scalar, R.Ty.Scalar);
+    Value *LV = convert(L.V, L.Ty.Scalar, K, E->Loc);
+    Value *RV = convert(R.V, R.Ty.Scalar, K, E->Loc);
+    bool IsFloat = K == CScalarKind::Float || K == CScalarKind::Double;
+
+    auto cmp = [&](const char *Pred, const char *FPred) -> RValue {
+      Value *V =
+          IsFloat
+              ? arith::createCompare(B, arith::kCmpFOp, LV, RV, FPred)
+              : arith::createCompare(B, arith::kCmpIOp, LV, RV, Pred);
+      return {boolToInt(V), CType::scalar(CScalarKind::Int)};
+    };
+    switch (E->Op) {
+    case BinaryOpKind::Add:
+      return {arith::createBinary(
+                  B, IsFloat ? arith::kAddFOp : arith::kAddIOp, LV, RV),
+              CType::scalar(K)};
+    case BinaryOpKind::Sub:
+      return {arith::createBinary(
+                  B, IsFloat ? arith::kSubFOp : arith::kSubIOp, LV, RV),
+              CType::scalar(K)};
+    case BinaryOpKind::Mul:
+      return {arith::createBinary(
+                  B, IsFloat ? arith::kMulFOp : arith::kMulIOp, LV, RV),
+              CType::scalar(K)};
+    case BinaryOpKind::Div:
+      return {arith::createBinary(
+                  B, IsFloat ? arith::kDivFOp : arith::kDivSIOp, LV, RV),
+              CType::scalar(K)};
+    case BinaryOpKind::Rem:
+      return {arith::createBinary(B, arith::kRemSIOp, LV, RV),
+              CType::scalar(K)};
+    case BinaryOpKind::Lt:
+      return cmp("slt", "olt");
+    case BinaryOpKind::Le:
+      return cmp("sle", "ole");
+    case BinaryOpKind::Gt:
+      return cmp("sgt", "ogt");
+    case BinaryOpKind::Ge:
+      return cmp("sge", "oge");
+    case BinaryOpKind::Eq:
+      return cmp("eq", "oeq");
+    case BinaryOpKind::Ne:
+      return cmp("ne", "one");
+    case BinaryOpKind::BitAnd:
+      return {arith::createBinary(B, arith::kAndIOp, LV, RV),
+              CType::scalar(K)};
+    case BinaryOpKind::BitOr:
+      return {arith::createBinary(B, arith::kOrIOp, LV, RV),
+              CType::scalar(K)};
+    case BinaryOpKind::BitXor:
+      return {arith::createBinary(B, arith::kXorIOp, LV, RV),
+              CType::scalar(K)};
+    case BinaryOpKind::Shl:
+      return {arith::createBinary(B, arith::kShLIOp, LV, RV),
+              CType::scalar(K)};
+    case BinaryOpKind::Shr:
+      return {arith::createBinary(B, arith::kShRSIOp, LV, RV),
+              CType::scalar(K)};
+    default:
+      return {};
+    }
+  }
+
+  RValue emitAssign(const AssignExpr *E) {
+    LValue LV = resolveLValue(E->Target.get());
+    if (LV.K == LValue::Kind::None)
+      return {};
+    RValue R = emitExpr(E->Value.get());
+    if (!R.V)
+      return {};
+    // Pointer rebinding.
+    if (LV.K == LValue::Kind::PointerVar && !R.Ty.isScalar()) {
+      if (E->Op != AssignOpKind::None) {
+        Diags.error(E->Loc, "compound assignment to a pointer");
+        return {};
+      }
+      storeLValue(LV, R.V, E->Loc);
+      return R;
+    }
+    Value *NewV;
+    if (E->Op == AssignOpKind::None) {
+      NewV = convert(R.V, R.Ty.Scalar, LV.Elem, E->Loc);
+    } else {
+      RValue Old = loadLValue(LV, E->Loc);
+      if (!Old.V)
+        return {};
+      CScalarKind K = commonKind(Old.Ty.Scalar, R.Ty.Scalar);
+      Value *OldC = convert(Old.V, Old.Ty.Scalar, K, E->Loc);
+      Value *RC = convert(R.V, R.Ty.Scalar, K, E->Loc);
+      bool IsFloat = K == CScalarKind::Float || K == CScalarKind::Double;
+      const char *OpName = nullptr;
+      switch (E->Op) {
+      case AssignOpKind::Add:
+        OpName = IsFloat ? arith::kAddFOp : arith::kAddIOp;
+        break;
+      case AssignOpKind::Sub:
+        OpName = IsFloat ? arith::kSubFOp : arith::kSubIOp;
+        break;
+      case AssignOpKind::Mul:
+        OpName = IsFloat ? arith::kMulFOp : arith::kMulIOp;
+        break;
+      case AssignOpKind::Div:
+        OpName = IsFloat ? arith::kDivFOp : arith::kDivSIOp;
+        break;
+      case AssignOpKind::None:
+        break;
+      }
+      Value *Combined = arith::createBinary(B, OpName, OldC, RC);
+      NewV = convert(Combined, K, LV.Elem, E->Loc);
+    }
+    storeLValue(LV, NewV, E->Loc);
+    return {NewV, CType::scalar(LV.Elem)};
+  }
+
+  RValue emitCall(const CallExpr *E) {
+    // Memory management intrinsics.
+    if (E->Callee == "free") {
+      if (E->Args.size() != 1) {
+        Diags.error(E->Loc, "free expects one argument");
+        return {};
+      }
+      RValue P = emitExpr(E->Args[0].get());
+      if (!P.V)
+        return {};
+      B.create(memref::kDeallocOp, E->Loc, {P.V}, {});
+      return {intConst(0, Ctx.getI64Type()), CType::scalar(CScalarKind::Int)};
+    }
+    if (E->Callee == "malloc" || E->Callee == "calloc") {
+      Diags.error(E->Loc, "malloc must appear under a pointer cast, e.g. "
+                          "(double*)malloc(n * sizeof(double))");
+      return {};
+    }
+    // fmax/fmin map to arith, libm calls map to the math dialect.
+    if (E->Callee == "fmax" || E->Callee == "fmin") {
+      if (E->Args.size() != 2)
+        return {};
+      RValue A = emitExpr(E->Args[0].get());
+      RValue Bv = emitExpr(E->Args[1].get());
+      if (!A.V || !Bv.V)
+        return {};
+      Value *AV = convert(A.V, A.Ty.Scalar, CScalarKind::Double, E->Loc);
+      Value *BV = convert(Bv.V, Bv.Ty.Scalar, CScalarKind::Double, E->Loc);
+      Value *V = arith::createBinary(
+          B, E->Callee == "fmax" ? arith::kMaxFOp : arith::kMinFOp, AV, BV);
+      return {V, CType::scalar(CScalarKind::Double)};
+    }
+    if (const char *MathOp = math::opForLibmCall(E->Callee)) {
+      bool Single = E->Callee.back() == 'f';
+      CScalarKind K = Single ? CScalarKind::Float : CScalarKind::Double;
+      std::vector<Value *> Args;
+      for (const auto &A : E->Args) {
+        RValue R = emitExpr(A.get());
+        if (!R.V)
+          return {};
+        Args.push_back(convert(R.V, R.Ty.Scalar, K, E->Loc));
+      }
+      Operation *Op = B.create(MathOp, E->Loc, Args, {scalarType(K)});
+      return {Op->getResult(0), CType::scalar(K)};
+    }
+    // User function call.
+    FunctionDef *Callee = TU.findFunction(E->Callee);
+    if (!Callee) {
+      Diags.error(E->Loc, "call to unknown function '" + E->Callee + "'");
+      return {};
+    }
+    if (Callee->Params.size() != E->Args.size()) {
+      Diags.error(E->Loc, "argument count mismatch calling '" + E->Callee +
+                              "'");
+      return {};
+    }
+    std::vector<Value *> Args;
+    for (size_t I = 0; I < E->Args.size(); ++I) {
+      RValue R = emitExpr(E->Args[I].get());
+      if (!R.V)
+        return {};
+      const CType &PTy = Callee->Params[I].Ty;
+      if (PTy.isScalar() && R.Ty.isScalar())
+        Args.push_back(convert(R.V, R.Ty.Scalar, PTy.Scalar, E->Loc));
+      else
+        Args.push_back(R.V);
+    }
+    Operation::AttrMap Attrs;
+    Attrs["callee"] = Attribute::getString(E->Callee);
+    std::vector<Type> ResultTypes;
+    if (!Callee->ReturnTy.isVoid())
+      ResultTypes.push_back(irType(Callee->ReturnTy));
+    Operation *Call = B.create(func::kCallOp, E->Loc, Args, ResultTypes,
+                               std::move(Attrs));
+    if (ResultTypes.empty())
+      return {intConst(0, Ctx.getI64Type()), CType::scalar(CScalarKind::Int)};
+    return {Call->getResult(0), Callee->ReturnTy};
+  }
+
+  RValue emitCast(const CastExpr *E) {
+    // (T*)malloc(count * sizeof(T)) becomes memref.alloc.
+    if (E->Ty.isPointer()) {
+      if (const auto *Call = dyn_cast<CallExpr>(E->Operand.get())) {
+        if (Call->Callee == "malloc" && Call->Args.size() == 1)
+          return emitMalloc(E->Ty, Call->Args[0].get(), E->Loc);
+      }
+      Diags.error(E->Loc, "pointer casts are only supported around malloc");
+      return {};
+    }
+    RValue R = emitExpr(E->Operand.get());
+    if (!R.V)
+      return {};
+    if (!R.Ty.isScalar()) {
+      Diags.error(E->Loc, "cannot cast a pointer to a scalar");
+      return {};
+    }
+    return {convert(R.V, R.Ty.Scalar, E->Ty.Scalar, E->Loc),
+            CType::scalar(E->Ty.Scalar)};
+  }
+
+  RValue emitMalloc(const CType &PtrTy, const Expr *SizeArg, SourceLoc Loc) {
+    // Recognize `count * sizeof(T)` / `sizeof(T) * count` / `sizeof(T)`.
+    const Expr *CountExpr = nullptr;
+    if (const auto *Bin = dyn_cast<BinaryExpr>(SizeArg)) {
+      if (Bin->Op == BinaryOpKind::Mul) {
+        if (isa<SizeOfExpr>(Bin->Rhs.get()))
+          CountExpr = Bin->Lhs.get();
+        else if (isa<SizeOfExpr>(Bin->Lhs.get()))
+          CountExpr = Bin->Rhs.get();
+      }
+    } else if (isa<SizeOfExpr>(SizeArg)) {
+      CountExpr = nullptr; // Single element.
+    } else {
+      Diags.error(Loc, "malloc size must be `count * sizeof(type)`");
+      return {};
+    }
+    Value *Count;
+    if (CountExpr) {
+      RValue C = emitExpr(CountExpr);
+      if (!C.V)
+        return {};
+      Count = toIndex(C.V);
+    } else {
+      Count = toIndex(intConst(1, Ctx.getI64Type()));
+    }
+    Type MT = Ctx.getMemRefType(scalarType(PtrTy.Scalar),
+                                {MemRefType::kDynamic});
+    Value *Buf = memref::createAlloc(B, MT, {Count});
+    return {Buf, PtrTy};
+  }
+
+  RValue emitCond(const CondExpr *E) {
+    RValue C = emitExpr(E->Cond.get());
+    if (!C.V)
+      return {};
+    Value *Cond = toBool(C);
+    RValue T = emitExpr(E->Then.get());
+    RValue F = emitExpr(E->Else.get());
+    if (!T.V || !F.V)
+      return {};
+    CScalarKind K = commonKind(T.Ty.Scalar, F.Ty.Scalar);
+    Value *TV = convert(T.V, T.Ty.Scalar, K, E->Loc);
+    Value *FV = convert(F.V, F.Ty.Scalar, K, E->Loc);
+    Operation *Sel = B.create(arith::kSelectOp, E->Loc, {Cond, TV, FV},
+                              {scalarType(K)});
+    return {Sel->getResult(0), CType::scalar(K)};
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  void emitStmt(const Stmt *S) {
+    if (Diags.hasErrors())
+      return;
+    switch (S->getKind()) {
+    case StmtKind::Decl:
+      emitDecl(cast<DeclStmt>(S));
+      return;
+    case StmtKind::Expr:
+      emitExpr(cast<ExprStmt>(S)->E.get());
+      return;
+    case StmtKind::Block: {
+      pushScope();
+      for (const auto &Sub : cast<BlockStmt>(S)->Body)
+        emitStmt(Sub.get());
+      popScope();
+      return;
+    }
+    case StmtKind::If:
+      emitIf(cast<IfStmt>(S));
+      return;
+    case StmtKind::For:
+      emitFor(cast<ForStmt>(S));
+      return;
+    case StmtKind::While:
+      emitWhile(cast<WhileStmt>(S));
+      return;
+    case StmtKind::Return:
+      emitReturn(cast<ReturnStmt>(S));
+      return;
+    case StmtKind::Empty:
+      return;
+    }
+  }
+
+  void emitDecl(const DeclStmt *S) {
+    for (const VarDecl &D : S->Decls) {
+      if (D.Ty.isArray()) {
+        Type MT = irType(D.Ty);
+        Value *Buf = memref::createAlloc(B, MT, {}, /*OnStack=*/true);
+        declare(D.Name, {VarInfo::Kind::Buffer, Buf, D.Ty});
+        continue;
+      }
+      if (D.Ty.isPointer()) {
+        Value *Init = nullptr;
+        if (D.Init) {
+          RValue R = emitExpr(D.Init.get());
+          if (!R.V)
+            return;
+          Init = R.V;
+        }
+        declare(D.Name, {VarInfo::Kind::Buffer, Init, D.Ty});
+        continue;
+      }
+      // Scalar: rank-0 memref slot, Polygeist-style.
+      Type SlotTy = Ctx.getMemRefType(scalarType(D.Ty.Scalar), {});
+      Value *Slot = memref::createAlloc(B, SlotTy, {}, /*OnStack=*/true);
+      declare(D.Name, {VarInfo::Kind::ScalarSlot, Slot, D.Ty});
+      if (D.Init) {
+        RValue R = emitExpr(D.Init.get());
+        if (!R.V)
+          return;
+        memref::createStore(
+            B, convert(R.V, R.Ty.Scalar, D.Ty.Scalar, D.Loc), Slot, {});
+      }
+    }
+  }
+
+  void emitIf(const IfStmt *S) {
+    RValue C = emitExpr(S->Cond.get());
+    if (!C.V)
+      return;
+    Value *Cond = toBool(C);
+    Operation *If = scf::createIf(B, Cond, S->Else != nullptr);
+    Block *After = B.getInsertionBlock();
+    // then
+    Block &Then = If->getRegion(0).front();
+    B.setInsertionPoint(Then.getTerminator());
+    pushScope();
+    emitStmt(S->Then.get());
+    popScope();
+    if (S->Else) {
+      Block &Else = If->getRegion(1).front();
+      B.setInsertionPoint(Else.getTerminator());
+      pushScope();
+      emitStmt(S->Else.get());
+      popScope();
+    }
+    B.setInsertionPointToEnd(After);
+    (void)After;
+    // Restore insertion after the if op.
+    B.setInsertionPointAfter(If);
+  }
+
+  /// Detects `i (<|<=|>|>=) bound` with `i` a scalar int variable.
+  struct CanonicalLoop {
+    std::string Var;
+    const Expr *Begin = nullptr;  // initial value expression
+    const Expr *Bound = nullptr;  // comparison RHS
+    BinaryOpKind Cmp = BinaryOpKind::Lt;
+    std::int64_t Step = 1; // positive magnitude
+    bool Decreasing = false;
+    bool Valid = false;
+  };
+
+  CanonicalLoop matchCanonicalFor(const ForStmt *S) {
+    CanonicalLoop CL;
+    // Init: `int i = e` or `i = e`.
+    if (const auto *DS = dyn_cast_or_null(S->Init.get())) {
+      if (DS->Decls.size() != 1 || !DS->Decls[0].Ty.isInteger() ||
+          !DS->Decls[0].Init)
+        return CL;
+      CL.Var = DS->Decls[0].Name;
+      CL.Begin = DS->Decls[0].Init.get();
+    } else if (S->Init && isa<ExprStmt>(S->Init.get())) {
+      const auto *ES = cast<ExprStmt>(S->Init.get());
+      const auto *AS = dyn_cast<AssignExpr>(ES->E.get());
+      if (!AS || AS->Op != AssignOpKind::None)
+        return CL;
+      const auto *Id = dyn_cast<IdentExpr>(AS->Target.get());
+      if (!Id)
+        return CL;
+      CL.Var = Id->Name;
+      CL.Begin = AS->Value.get();
+    } else {
+      return CL;
+    }
+    // Cond: `i OP bound`.
+    const auto *Cmp = dyn_cast_or_null_expr<BinaryExpr>(S->Cond.get());
+    if (!Cmp)
+      return CL;
+    const auto *CmpVar = dyn_cast<IdentExpr>(Cmp->Lhs.get());
+    if (!CmpVar || CmpVar->Name != CL.Var)
+      return CL;
+    if (Cmp->Op != BinaryOpKind::Lt && Cmp->Op != BinaryOpKind::Le &&
+        Cmp->Op != BinaryOpKind::Gt && Cmp->Op != BinaryOpKind::Ge)
+      return CL;
+    CL.Cmp = Cmp->Op;
+    CL.Bound = Cmp->Rhs.get();
+    // Inc: ++i / i++ / --i / i-- / i += c / i -= c.
+    bool IncUp = false, Found = false;
+    if (const auto *U = dyn_cast_or_null_expr<UnaryExpr>(S->Inc.get())) {
+      const auto *Id = dyn_cast<IdentExpr>(U->Operand.get());
+      if (Id && Id->Name == CL.Var) {
+        if (U->Op == UnaryOpKind::PreInc || U->Op == UnaryOpKind::PostInc) {
+          IncUp = true;
+          Found = true;
+        } else if (U->Op == UnaryOpKind::PreDec ||
+                   U->Op == UnaryOpKind::PostDec) {
+          IncUp = false;
+          Found = true;
+        }
+      }
+    } else if (const auto *A = dyn_cast_or_null_expr<AssignExpr>(S->Inc.get())) {
+      const auto *Id = dyn_cast<IdentExpr>(A->Target.get());
+      const auto *Lit = dyn_cast<IntLitExpr>(A->Value.get());
+      if (Id && Id->Name == CL.Var && Lit && Lit->Value > 0) {
+        if (A->Op == AssignOpKind::Add) {
+          IncUp = true;
+          CL.Step = Lit->Value;
+          Found = true;
+        } else if (A->Op == AssignOpKind::Sub) {
+          IncUp = false;
+          CL.Step = Lit->Value;
+          Found = true;
+        }
+      }
+    }
+    if (!Found)
+      return CL;
+    bool CondUp = CL.Cmp == BinaryOpKind::Lt || CL.Cmp == BinaryOpKind::Le;
+    if (CondUp != IncUp)
+      return CL; // e.g. `for (i = 0; i < n; i--)`: not canonical.
+    CL.Decreasing = !IncUp;
+    CL.Valid = true;
+    return CL;
+  }
+
+  static const DeclStmt *dyn_cast_or_null(const Stmt *S) {
+    return S ? dyn_cast<DeclStmt>(S) : nullptr;
+  }
+  template <typename T>
+  static const T *dyn_cast_or_null_expr(const Expr *E) {
+    return E ? dyn_cast<T>(E) : nullptr;
+  }
+
+  void emitFor(const ForStmt *S) {
+    pushScope();
+    CanonicalLoop CL = matchCanonicalFor(S);
+    if (!CL.Valid) {
+      emitGenericFor(S);
+      popScope();
+      return;
+    }
+    // Declare the loop variable if the init declared it.
+    if (const auto *DS = dyn_cast_or_null(S->Init.get())) {
+      Type SlotTy = Ctx.getMemRefType(Ctx.getI64Type(), {});
+      Value *Slot = memref::createAlloc(B, SlotTy, {}, /*OnStack=*/true);
+      declare(DS->Decls[0].Name, {VarInfo::Kind::ScalarSlot, Slot,
+                                  CType::scalar(CScalarKind::Int)});
+    }
+    VarInfo *IvInfo = lookup(CL.Var);
+    if (!IvInfo || IvInfo->K != VarInfo::Kind::ScalarSlot) {
+      Diags.error(S->Loc, "loop variable '" + CL.Var + "' is not a scalar");
+      popScope();
+      return;
+    }
+    RValue Begin = emitExpr(CL.Begin);
+    RValue Bound = emitExpr(CL.Bound);
+    if (!Begin.V || !Bound.V) {
+      popScope();
+      return;
+    }
+    Value *BeginI = Begin.V;
+    Value *BoundI = Bound.V;
+    Value *StepI = intConst(CL.Step, Ctx.getI64Type());
+    Value *One = intConst(1, Ctx.getI64Type());
+
+    Value *Lb, *Ub;
+    bool Inverted = CL.Decreasing;
+    if (!Inverted) {
+      Lb = BeginI;
+      Ub = CL.Cmp == BinaryOpKind::Le
+               ? arith::createBinary(B, arith::kAddIOp, BoundI, One)
+               : BoundI;
+    } else {
+      // Polygeist-style loop inversion: iterate j in [0, count) ascending
+      // and reconstruct i = begin - j*step. The scf dialect only supports
+      // positive steps (paper §7.2, footnote 4).
+      Value *Diff = arith::createBinary(B, arith::kSubIOp, BeginI, BoundI);
+      Value *Count = CL.Cmp == BinaryOpKind::Ge
+                         ? arith::createBinary(B, arith::kAddIOp, Diff, One)
+                         : Diff;
+      // count in steps: ceil(count / step)
+      if (CL.Step != 1) {
+        Value *StepM1 = intConst(CL.Step - 1, Ctx.getI64Type());
+        Value *Num = arith::createBinary(B, arith::kAddIOp, Count, StepM1);
+        Count = arith::createBinary(B, arith::kDivSIOp, Num, StepI);
+      }
+      Lb = intConst(0, Ctx.getI64Type());
+      Ub = Count;
+    }
+    Value *LbIdx = toIndex(Lb);
+    Value *UbIdx = toIndex(Ub);
+    Value *StepIdx = toIndex(Inverted ? One : StepI);
+    if (!Inverted && CL.Step != 1)
+      StepIdx = toIndex(StepI);
+
+    Operation *For = scf::createFor(B, LbIdx, UbIdx, StepIdx);
+    Block &Body = scf::getForBody(For);
+    Operation *Yield = Body.getTerminator();
+    B.setInsertionPoint(Yield);
+    // Materialize the C loop variable inside the body.
+    Value *IvIdx = scf::getForInductionVar(For);
+    Value *IvInt = indexToInt(IvIdx);
+    Value *IVal;
+    if (!Inverted) {
+      IVal = IvInt;
+    } else {
+      Value *Scaled = CL.Step == 1
+                          ? IvInt
+                          : arith::createBinary(B, arith::kMulIOp, IvInt,
+                                                intConst(CL.Step,
+                                                         Ctx.getI64Type()));
+      IVal = arith::createBinary(B, arith::kSubIOp, BeginI, Scaled);
+    }
+    memref::createStore(B, IVal, IvInfo->V, {});
+    emitStmt(S->Body.get());
+    // Return to the enclosing block.
+    B.setInsertionPointAfter(For);
+    // C semantics: the loop variable holds its final value after the loop.
+    Value *Final = computeFinalValue(BeginI, BoundI, CL);
+    memref::createStore(B, Final, IvInfo->V, {});
+    popScope();
+  }
+
+  Value *computeFinalValue(Value *BeginI, Value *BoundI,
+                           const CanonicalLoop &CL) {
+    Value *One = intConst(1, Ctx.getI64Type());
+    Value *StepV = intConst(CL.Step, Ctx.getI64Type());
+    Value *Span;
+    if (!CL.Decreasing) {
+      Value *Ub = CL.Cmp == BinaryOpKind::Le
+                      ? arith::createBinary(B, arith::kAddIOp, BoundI, One)
+                      : BoundI;
+      Span = arith::createBinary(B, arith::kSubIOp, Ub, BeginI);
+    } else {
+      Value *Lb = CL.Cmp == BinaryOpKind::Ge
+                      ? arith::createBinary(B, arith::kSubIOp, BoundI, One)
+                      : BoundI;
+      Span = arith::createBinary(B, arith::kSubIOp, BeginI, Lb);
+    }
+    // trips = max(0, ceil(span / step))
+    Value *StepM1 = intConst(CL.Step - 1, Ctx.getI64Type());
+    Value *Num = arith::createBinary(B, arith::kAddIOp, Span, StepM1);
+    Value *Trips = arith::createBinary(B, arith::kDivSIOp, Num, StepV);
+    Value *Zero = intConst(0, Ctx.getI64Type());
+    Trips = arith::createBinary(B, arith::kMaxSIOp, Trips, Zero);
+    Value *Delta = arith::createBinary(B, arith::kMulIOp, Trips, StepV);
+    return CL.Decreasing
+               ? arith::createBinary(B, arith::kSubIOp, BeginI, Delta)
+               : arith::createBinary(B, arith::kAddIOp, BeginI, Delta);
+  }
+
+  void emitGenericFor(const ForStmt *S) {
+    if (S->Init)
+      emitStmt(S->Init.get());
+    emitWhileLike(
+        S->Cond.get(),
+        [&] {
+          emitStmt(S->Body.get());
+          if (S->Inc)
+            emitExpr(S->Inc.get());
+        },
+        S->Loc);
+  }
+
+  void emitWhile(const WhileStmt *S) {
+    emitWhileLike(S->Cond.get(), [&] { emitStmt(S->Body.get()); }, S->Loc);
+  }
+
+  template <typename BodyFn>
+  void emitWhileLike(const Expr *Cond, BodyFn EmitBody, SourceLoc Loc) {
+    Operation *While = B.create(scf::kWhileOp, Loc, {}, {}, {},
+                                /*NumRegions=*/2);
+    Block *Before = While->getRegion(0).addBlock();
+    Block *After = While->getRegion(1).addBlock();
+    // Before region: evaluate the condition.
+    B.setInsertionPointToEnd(Before);
+    Value *C;
+    if (Cond) {
+      RValue R = emitExpr(Cond);
+      if (!R.V)
+        return;
+      C = toBool(R);
+    } else {
+      C = intConst(1, Ctx.getI1Type());
+    }
+    B.create(scf::kConditionOp, Loc, {C}, {});
+    // After region: body.
+    B.setInsertionPointToEnd(After);
+    pushScope();
+    EmitBody();
+    popScope();
+    B.create(scf::kYieldOp, Loc, {}, {});
+    B.setInsertionPointAfter(While);
+  }
+
+  void emitReturn(const ReturnStmt *S) {
+    // Structured control flow cannot express early returns.
+    Block *FuncEntry = &func::getFunctionBody(CurrentFunc);
+    if (B.getInsertionBlock() != FuncEntry) {
+      Diags.error(S->Loc,
+                  "return statements are only supported at the top level of "
+                  "a function body");
+      return;
+    }
+    const FunctionType *FT = func::getFunctionType(CurrentFunc);
+    std::vector<Value *> Results;
+    if (S->Value) {
+      RValue R = emitExpr(S->Value.get());
+      if (!R.V)
+        return;
+      if (!FT->getResults().empty() && R.Ty.isScalar()) {
+        CScalarKind Target = CScalarKind::Int;
+        Type RT = FT->getResults()[0];
+        if (RT.isFloat())
+          Target = RT.dyn<FloatType>()->getWidth() == 32
+                       ? CScalarKind::Float
+                       : CScalarKind::Double;
+        Results.push_back(convert(R.V, R.Ty.Scalar, Target, S->Loc));
+      } else {
+        Results.push_back(R.V);
+      }
+    }
+    B.create(func::kReturnOp, S->Loc, Results, {});
+    HasReturned = true;
+  }
+
+  bool HasReturned = false;
+
+  //===------------------------------------------------------------------===//
+  // Functions
+  //===------------------------------------------------------------------===//
+
+  void emitFunction(const FunctionDef &Fn) {
+    std::vector<Type> Inputs, Results;
+    for (const VarDecl &P : Fn.Params)
+      Inputs.push_back(irType(P.Ty));
+    if (!Fn.ReturnTy.isVoid())
+      Results.push_back(irType(Fn.ReturnTy));
+    B.setInsertionPointToEnd(&Module->getRegion(0).front());
+    Operation *Func = func::createFunction(B, Fn.Name, Inputs, Results);
+    CurrentFunc = Func;
+    HasReturned = false;
+    Block &Entry = func::getFunctionBody(Func);
+    B.setInsertionPointToEnd(&Entry);
+    pushScope();
+    // Bind parameters: scalars are copied into mutable slots; buffers bind
+    // directly.
+    for (size_t I = 0; I < Fn.Params.size(); ++I) {
+      const VarDecl &P = Fn.Params[I];
+      Value *Arg = Entry.getArgument(I);
+      if (P.Ty.isScalar()) {
+        Type SlotTy = Ctx.getMemRefType(scalarType(P.Ty.Scalar), {});
+        Value *Slot = memref::createAlloc(B, SlotTy, {}, /*OnStack=*/true);
+        memref::createStore(B, Arg, Slot, {});
+        declare(P.Name, {VarInfo::Kind::ScalarSlot, Slot, P.Ty});
+      } else {
+        declare(P.Name, {VarInfo::Kind::Buffer, Arg, P.Ty});
+      }
+    }
+    for (const auto &S : Fn.Body->Body)
+      emitStmt(S.get());
+    popScope();
+    if (!HasReturned && !Diags.hasErrors()) {
+      std::vector<Value *> Results2;
+      if (!Fn.ReturnTy.isVoid()) {
+        Type RT = irType(Fn.ReturnTy);
+        if (RT.isFloat())
+          Results2.push_back(arith::createFloatConstant(B, 0.0, RT));
+        else
+          Results2.push_back(intConst(0, RT));
+      }
+      B.create(func::kReturnOp, Fn.Loc, Results2, {});
+    }
+    CurrentFunc = nullptr;
+  }
+};
+
+} // namespace
+
+Operation *dcir::frontend::lowerToModule(const TranslationUnit &TU,
+                                         IRContext &Ctx,
+                                         DiagnosticEngine &Diags) {
+  Codegen CG(TU, Ctx, Diags);
+  return CG.run();
+}
+
+Operation *dcir::frontend::compileCToModule(std::string_view Source,
+                                            IRContext &Ctx,
+                                            DiagnosticEngine &Diags) {
+  auto TU = parseC(Source, Diags);
+  if (!TU)
+    return nullptr;
+  return lowerToModule(*TU, Ctx, Diags);
+}

@@ -1,0 +1,42 @@
+//===- CCodegen.h - C AST to MLIR-dialect lowering ------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the C-subset AST to the func/scf/arith/math/memref dialects, the
+/// same dialect mix Polygeist emits (paper §2.1). Notable faithful details:
+///
+///  * Every local scalar becomes a rank-0 memref slot (alloca); there is no
+///    mem2reg here — recovering scalar dataflow is exactly what the
+///    control-centric passes and, later, DCIR's scalar-to-symbol promotion
+///    are for.
+///  * Decrement loops are inverted into ascending scf.for loops (scf only
+///    supports positive steps), reproducing the semantic loss the paper
+///    blames for the `deriche` regression (§7.2, footnote 4).
+///  * malloc/free become memref.alloc/dealloc; all C integer types are i64.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_FRONTEND_CCODEGEN_H
+#define DCIR_FRONTEND_CCODEGEN_H
+
+#include "frontend/AST.h"
+#include "ir/IR.h"
+
+namespace dcir {
+namespace frontend {
+
+/// Lowers \p TU into a fresh builtin.module. Returns null on error.
+ir::Operation *lowerToModule(const TranslationUnit &TU, ir::IRContext &Ctx,
+                             DiagnosticEngine &Diags);
+
+/// Convenience: parse + lower in one step (the "Polygeist" entry point).
+ir::Operation *compileCToModule(std::string_view Source, ir::IRContext &Ctx,
+                                DiagnosticEngine &Diags);
+
+} // namespace frontend
+} // namespace dcir
+
+#endif // DCIR_FRONTEND_CCODEGEN_H

@@ -1,0 +1,239 @@
+//===- CLexer.cpp ---------------------------------------------------------------===//
+
+#include "frontend/CLexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+
+using namespace dcir;
+using namespace dcir::frontend;
+
+static const std::set<std::string> &keywords() {
+  static const std::set<std::string> Kw = {
+      "int",   "long",   "float",  "double", "void",  "char",  "for",
+      "while", "if",     "else",   "return", "sizeof", "static",
+      "const", "unsigned", "signed", "do",   "break", "continue"};
+  return Kw;
+}
+
+CLexer::CLexer(std::string_view Source, DiagnosticEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+void CLexer::advance() {
+  if (Pos < Source.size()) {
+    if (Source[Pos] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++Pos;
+  }
+}
+
+void CLexer::skipSpaceAndComments(bool StopAtNewline) {
+  while (Pos < Source.size()) {
+    char C = Source[Pos];
+    if (C == '\n' && StopAtNewline)
+      return;
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && Pos + 1 < Source.size()) {
+      if (Source[Pos + 1] == '/') {
+        while (Pos < Source.size() && Source[Pos] != '\n')
+          advance();
+        continue;
+      }
+      if (Source[Pos + 1] == '*') {
+        advance();
+        advance();
+        while (Pos + 1 < Source.size() &&
+               !(Source[Pos] == '*' && Source[Pos + 1] == '/'))
+          advance();
+        advance();
+        advance();
+        continue;
+      }
+    }
+    return;
+  }
+}
+
+CToken CLexer::lexToken() {
+  skipSpaceAndComments();
+  CToken T;
+  T.Loc = {Line, Col};
+  if (Pos >= Source.size()) {
+    T.Kind = CTokKind::Eof;
+    return T;
+  }
+  char C = Source[Pos];
+  // Identifiers and keywords.
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Id;
+    while (Pos < Source.size() &&
+           (std::isalnum(static_cast<unsigned char>(Source[Pos])) ||
+            Source[Pos] == '_')) {
+      Id += Source[Pos];
+      advance();
+    }
+    T.Kind = keywords().count(Id) ? CTokKind::Keyword : CTokKind::Ident;
+    T.Text = std::move(Id);
+    return T;
+  }
+  // Numbers.
+  if (std::isdigit(static_cast<unsigned char>(C)) ||
+      (C == '.' && Pos + 1 < Source.size() &&
+       std::isdigit(static_cast<unsigned char>(Source[Pos + 1])))) {
+    std::string Num;
+    bool IsFloat = false;
+    while (Pos < Source.size()) {
+      char D = Source[Pos];
+      if (std::isdigit(static_cast<unsigned char>(D))) {
+        Num += D;
+        advance();
+        continue;
+      }
+      if (D == '.' || D == 'e' || D == 'E' ||
+          ((D == '+' || D == '-') && !Num.empty() &&
+           (Num.back() == 'e' || Num.back() == 'E'))) {
+        IsFloat = true;
+        Num += D;
+        advance();
+        continue;
+      }
+      break;
+    }
+    // Suffixes.
+    bool Single = false;
+    while (Pos < Source.size()) {
+      char S = Source[Pos];
+      if (S == 'f' || S == 'F') {
+        Single = true;
+        IsFloat = true;
+        advance();
+        continue;
+      }
+      if (S == 'l' || S == 'L' || S == 'u' || S == 'U') {
+        advance();
+        continue;
+      }
+      break;
+    }
+    if (IsFloat) {
+      T.Kind = CTokKind::FloatLit;
+      T.FloatValue = std::strtod(Num.c_str(), nullptr);
+      T.IsSingleFloat = Single;
+    } else {
+      T.Kind = CTokKind::IntLit;
+      T.IntValue = std::strtoll(Num.c_str(), nullptr, 10);
+    }
+    T.Text = std::move(Num);
+    return T;
+  }
+  // Punctuation, longest match first.
+  static const char *ThreeChar[] = {"<<=", ">>="};
+  static const char *TwoChar[] = {"==", "!=", "<=", ">=", "&&", "||", "++",
+                                  "--", "+=", "-=", "*=", "/=", "%=", "<<",
+                                  ">>", "->", "&=", "|=", "^="};
+  for (const char *P : ThreeChar) {
+    if (Source.substr(Pos, 3) == P) {
+      T.Kind = CTokKind::Punct;
+      T.Text = P;
+      advance();
+      advance();
+      advance();
+      return T;
+    }
+  }
+  for (const char *P : TwoChar) {
+    if (Source.substr(Pos, 2) == P) {
+      T.Kind = CTokKind::Punct;
+      T.Text = P;
+      advance();
+      advance();
+      return T;
+    }
+  }
+  static const std::string Singles = "+-*/%<>=!&|^~?:;,.(){}[]#";
+  if (Singles.find(C) != std::string::npos) {
+    T.Kind = CTokKind::Punct;
+    T.Text = std::string(1, C);
+    advance();
+    return T;
+  }
+  Diags.error(T.Loc, std::string("unexpected character '") + C + "'");
+  T.Kind = CTokKind::Error;
+  advance();
+  return T;
+}
+
+void CLexer::handleDirective(std::vector<CToken> &Out) {
+  // We are just past '#'. Read the directive name.
+  CToken Name = lexToken();
+  if (Name.is(CTokKind::Ident) || Name.is(CTokKind::Keyword)) {
+    if (Name.Text == "define") {
+      CToken MacroName = lexToken();
+      if (!MacroName.is(CTokKind::Ident)) {
+        Diags.error(MacroName.Loc, "expected macro name after #define");
+        return;
+      }
+      // Collect replacement tokens until end of line.
+      std::vector<CToken> Replacement;
+      while (true) {
+        skipSpaceAndComments(/*StopAtNewline=*/true);
+        if (Pos >= Source.size() || Source[Pos] == '\n')
+          break;
+        Replacement.push_back(lexToken());
+      }
+      Macros[MacroName.Text] = std::move(Replacement);
+      return;
+    }
+    if (Name.Text == "include" || Name.Text == "pragma") {
+      while (Pos < Source.size() && Source[Pos] != '\n')
+        advance();
+      return;
+    }
+  }
+  Diags.error(Name.Loc, "unsupported preprocessor directive '#" + Name.Text +
+                            "'");
+  while (Pos < Source.size() && Source[Pos] != '\n')
+    advance();
+  (void)Out;
+}
+
+void CLexer::expandInto(const CToken &Tok, std::vector<CToken> &Out,
+                        int Depth) {
+  if (Depth > 16) {
+    Diags.error(Tok.Loc, "macro expansion too deep (recursive #define?)");
+    return;
+  }
+  if (Tok.is(CTokKind::Ident)) {
+    auto It = Macros.find(Tok.Text);
+    if (It != Macros.end()) {
+      for (const CToken &R : It->second)
+        expandInto(R, Out, Depth + 1);
+      return;
+    }
+  }
+  Out.push_back(Tok);
+}
+
+std::vector<CToken> CLexer::tokenize() {
+  std::vector<CToken> Out;
+  while (true) {
+    CToken T = lexToken();
+    if (T.is(CTokKind::Eof)) {
+      Out.push_back(T);
+      return Out;
+    }
+    if (T.isPunct("#")) {
+      handleDirective(Out);
+      continue;
+    }
+    expandInto(T, Out, 0);
+  }
+}

@@ -1,0 +1,76 @@
+//===- CLexer.h - C-subset lexer with object-like macros -----------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_FRONTEND_CLEXER_H
+#define DCIR_FRONTEND_CLEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcir {
+namespace frontend {
+
+enum class CTokKind {
+  Eof,
+  Ident,
+  Keyword,
+  IntLit,
+  FloatLit,
+  Punct, // Text holds the exact spelling: "+", "+=", "->", ...
+  Error
+};
+
+struct CToken {
+  CTokKind Kind = CTokKind::Eof;
+  std::string Text;
+  std::int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  bool IsSingleFloat = false;
+  SourceLoc Loc;
+
+  bool is(CTokKind K) const { return Kind == K; }
+  bool isPunct(std::string_view P) const {
+    return Kind == CTokKind::Punct && Text == P;
+  }
+  bool isKeyword(std::string_view K) const {
+    return Kind == CTokKind::Keyword && Text == K;
+  }
+};
+
+/// Tokenizes a C-subset source buffer. Handles //- and /*-comments and a
+/// minimal preprocessor: object-like `#define NAME tokens...` with recursive
+/// expansion, plus ignored `#include` lines.
+class CLexer {
+public:
+  CLexer(std::string_view Source, DiagnosticEngine &Diags);
+
+  /// Lexes the full buffer (with macro expansion) into a token vector
+  /// terminated by an Eof token.
+  std::vector<CToken> tokenize();
+
+private:
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  int Line = 1, Col = 1;
+  std::map<std::string, std::vector<CToken>> Macros;
+
+  void advance();
+  void skipSpaceAndComments(bool StopAtNewline = false);
+  CToken lexToken();
+  void handleDirective(std::vector<CToken> &Out);
+  void expandInto(const CToken &Tok, std::vector<CToken> &Out, int Depth);
+};
+
+} // namespace frontend
+} // namespace dcir
+
+#endif // DCIR_FRONTEND_CLEXER_H

@@ -1,0 +1,647 @@
+//===- CParser.cpp ----------------------------------------------------------------===//
+
+#include "frontend/CParser.h"
+
+using namespace dcir;
+using namespace dcir::frontend;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<CToken> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  std::unique_ptr<TranslationUnit> run() {
+    auto TU = std::make_unique<TranslationUnit>();
+    while (!peek().is(CTokKind::Eof)) {
+      auto Fn = parseFunction();
+      if (!Fn)
+        return nullptr;
+      TU->Functions.push_back(std::move(Fn));
+    }
+    return TU;
+  }
+
+private:
+  std::vector<CToken> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+
+  const CToken &peek(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  const CToken &take() {
+    const CToken &T = peek();
+    if (Pos < Tokens.size() - 1)
+      ++Pos;
+    return T;
+  }
+  bool consumePunct(std::string_view P) {
+    if (peek().isPunct(P)) {
+      take();
+      return true;
+    }
+    return false;
+  }
+  bool consumeKeyword(std::string_view K) {
+    if (peek().isKeyword(K)) {
+      take();
+      return true;
+    }
+    return false;
+  }
+  bool expectPunct(std::string_view P) {
+    if (consumePunct(P))
+      return true;
+    Diags.error(peek().Loc, "expected '" + std::string(P) + "', found '" +
+                                peek().Text + "'");
+    return false;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Types
+  //===------------------------------------------------------------------===//
+
+  /// True if the current token starts a type (possibly with qualifiers).
+  bool atTypeStart() const {
+    const CToken &T = peek();
+    return T.isKeyword("int") || T.isKeyword("long") || T.isKeyword("float") ||
+           T.isKeyword("double") || T.isKeyword("void") ||
+           T.isKeyword("char") || T.isKeyword("const") ||
+           T.isKeyword("static") || T.isKeyword("unsigned") ||
+           T.isKeyword("signed");
+  }
+
+  /// Parses qualifiers + base scalar type. All integer flavours map to Int.
+  bool parseScalarKind(CScalarKind &Out) {
+    while (consumeKeyword("const") || consumeKeyword("static") ||
+           consumeKeyword("unsigned") || consumeKeyword("signed")) {
+    }
+    if (consumeKeyword("int") || consumeKeyword("char")) {
+      Out = CScalarKind::Int;
+      return true;
+    }
+    if (consumeKeyword("long")) {
+      // Swallow "long long [int]" and "long int".
+      consumeKeyword("long");
+      consumeKeyword("int");
+      Out = CScalarKind::Int;
+      return true;
+    }
+    if (consumeKeyword("float")) {
+      Out = CScalarKind::Float;
+      return true;
+    }
+    if (consumeKeyword("double")) {
+      Out = CScalarKind::Double;
+      return true;
+    }
+    if (consumeKeyword("void")) {
+      Out = CScalarKind::Void;
+      return true;
+    }
+    // "unsigned"/"signed" alone mean int.
+    Out = CScalarKind::Int;
+    return true;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Top level
+  //===------------------------------------------------------------------===//
+
+  std::unique_ptr<FunctionDef> parseFunction() {
+    SourceLoc Loc = peek().Loc;
+    CScalarKind Ret;
+    if (!atTypeStart()) {
+      Diags.error(Loc, "expected a function definition");
+      return nullptr;
+    }
+    parseScalarKind(Ret);
+    bool RetPointer = consumePunct("*");
+    if (!peek().is(CTokKind::Ident)) {
+      Diags.error(peek().Loc, "expected function name");
+      return nullptr;
+    }
+    std::string Name = take().Text;
+    if (!expectPunct("("))
+      return nullptr;
+    std::vector<VarDecl> Params;
+    if (!peek().isPunct(")")) {
+      if (peek().isKeyword("void") && peek(1).isPunct(")")) {
+        take();
+      } else {
+        while (true) {
+          VarDecl P;
+          if (!parseParam(P))
+            return nullptr;
+          Params.push_back(std::move(P));
+          if (consumePunct(","))
+            continue;
+          break;
+        }
+      }
+    }
+    if (!expectPunct(")"))
+      return nullptr;
+    if (!peek().isPunct("{")) {
+      Diags.error(peek().Loc,
+                  "expected function body ('{'); declarations without "
+                  "bodies are not supported");
+      return nullptr;
+    }
+    StmtPtr Body = parseBlock();
+    if (!Body)
+      return nullptr;
+    auto Fn = std::make_unique<FunctionDef>();
+    Fn->Name = std::move(Name);
+    Fn->ReturnTy = RetPointer ? CType::pointer(Ret) : CType::scalar(Ret);
+    Fn->Params = std::move(Params);
+    Fn->Body.reset(cast<BlockStmt>(Body.release()));
+    Fn->Loc = Loc;
+    return Fn;
+  }
+
+  bool parseParam(VarDecl &Out) {
+    Out.Loc = peek().Loc;
+    CScalarKind K;
+    if (!atTypeStart()) {
+      Diags.error(peek().Loc, "expected parameter type");
+      return false;
+    }
+    parseScalarKind(K);
+    bool Pointer = consumePunct("*");
+    if (!peek().is(CTokKind::Ident)) {
+      Diags.error(peek().Loc, "expected parameter name");
+      return false;
+    }
+    Out.Name = take().Text;
+    std::vector<std::int64_t> Dims;
+    while (consumePunct("[")) {
+      if (peek().is(CTokKind::IntLit)) {
+        Dims.push_back(take().IntValue);
+      } else {
+        // `double A[]` — dynamic first dimension, treated as a pointer.
+        Pointer = true;
+      }
+      if (!expectPunct("]"))
+        return false;
+    }
+    if (!Dims.empty())
+      Out.Ty = CType::array(K, std::move(Dims));
+    else if (Pointer)
+      Out.Ty = CType::pointer(K);
+    else
+      Out.Ty = CType::scalar(K);
+    return true;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  StmtPtr parseBlock() {
+    SourceLoc Loc = peek().Loc;
+    if (!expectPunct("{"))
+      return nullptr;
+    std::vector<StmtPtr> Body;
+    while (!peek().isPunct("}")) {
+      if (peek().is(CTokKind::Eof)) {
+        Diags.error(peek().Loc, "unexpected end of file inside block");
+        return nullptr;
+      }
+      StmtPtr S = parseStatement();
+      if (!S)
+        return nullptr;
+      Body.push_back(std::move(S));
+    }
+    take(); // '}'
+    return std::make_unique<BlockStmt>(std::move(Body), Loc);
+  }
+
+  StmtPtr parseStatement() {
+    const CToken &T = peek();
+    if (T.isPunct("{"))
+      return parseBlock();
+    if (T.isPunct(";")) {
+      take();
+      return std::make_unique<EmptyStmt>(T.Loc);
+    }
+    if (T.isKeyword("if"))
+      return parseIf();
+    if (T.isKeyword("for"))
+      return parseFor();
+    if (T.isKeyword("while"))
+      return parseWhile();
+    if (T.isKeyword("return"))
+      return parseReturn();
+    if (atTypeStart())
+      return parseDecl();
+    // Expression statement.
+    SourceLoc Loc = T.Loc;
+    ExprPtr E = parseExpr();
+    if (!E)
+      return nullptr;
+    if (!expectPunct(";"))
+      return nullptr;
+    return std::make_unique<ExprStmt>(std::move(E), Loc);
+  }
+
+  StmtPtr parseDecl() {
+    SourceLoc Loc = peek().Loc;
+    CScalarKind K;
+    parseScalarKind(K);
+    std::vector<VarDecl> Decls;
+    while (true) {
+      VarDecl D;
+      D.Loc = peek().Loc;
+      bool Pointer = consumePunct("*");
+      if (!peek().is(CTokKind::Ident)) {
+        Diags.error(peek().Loc, "expected variable name");
+        return nullptr;
+      }
+      D.Name = take().Text;
+      std::vector<std::int64_t> Dims;
+      while (consumePunct("[")) {
+        if (!peek().is(CTokKind::IntLit)) {
+          Diags.error(peek().Loc,
+                      "array dimensions must be integer constants (after "
+                      "macro expansion)");
+          return nullptr;
+        }
+        Dims.push_back(take().IntValue);
+        if (!expectPunct("]"))
+          return nullptr;
+      }
+      if (!Dims.empty())
+        D.Ty = CType::array(K, std::move(Dims));
+      else if (Pointer)
+        D.Ty = CType::pointer(K);
+      else
+        D.Ty = CType::scalar(K);
+      if (consumePunct("=")) {
+        D.Init = parseAssignExpr();
+        if (!D.Init)
+          return nullptr;
+      }
+      Decls.push_back(std::move(D));
+      if (consumePunct(","))
+        continue;
+      break;
+    }
+    if (!expectPunct(";"))
+      return nullptr;
+    return std::make_unique<DeclStmt>(std::move(Decls), Loc);
+  }
+
+  StmtPtr parseIf() {
+    SourceLoc Loc = take().Loc; // 'if'
+    if (!expectPunct("("))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond || !expectPunct(")"))
+      return nullptr;
+    StmtPtr Then = parseStatement();
+    if (!Then)
+      return nullptr;
+    StmtPtr Else;
+    if (consumeKeyword("else")) {
+      Else = parseStatement();
+      if (!Else)
+        return nullptr;
+    }
+    return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                    std::move(Else), Loc);
+  }
+
+  StmtPtr parseFor() {
+    SourceLoc Loc = take().Loc; // 'for'
+    if (!expectPunct("("))
+      return nullptr;
+    StmtPtr Init;
+    if (peek().isPunct(";")) {
+      take();
+    } else if (atTypeStart()) {
+      Init = parseDecl();
+      if (!Init)
+        return nullptr;
+    } else {
+      ExprPtr E = parseExpr();
+      if (!E || !expectPunct(";"))
+        return nullptr;
+      Init = std::make_unique<ExprStmt>(std::move(E), Loc);
+    }
+    ExprPtr Cond;
+    if (!peek().isPunct(";")) {
+      Cond = parseExpr();
+      if (!Cond)
+        return nullptr;
+    }
+    if (!expectPunct(";"))
+      return nullptr;
+    ExprPtr Inc;
+    if (!peek().isPunct(")")) {
+      Inc = parseExpr();
+      if (!Inc)
+        return nullptr;
+    }
+    if (!expectPunct(")"))
+      return nullptr;
+    StmtPtr Body = parseStatement();
+    if (!Body)
+      return nullptr;
+    return std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                     std::move(Inc), std::move(Body), Loc);
+  }
+
+  StmtPtr parseWhile() {
+    SourceLoc Loc = take().Loc; // 'while'
+    if (!expectPunct("("))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond || !expectPunct(")"))
+      return nullptr;
+    StmtPtr Body = parseStatement();
+    if (!Body)
+      return nullptr;
+    return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body), Loc);
+  }
+
+  StmtPtr parseReturn() {
+    SourceLoc Loc = take().Loc; // 'return'
+    ExprPtr Value;
+    if (!peek().isPunct(";")) {
+      Value = parseExpr();
+      if (!Value)
+        return nullptr;
+    }
+    if (!expectPunct(";"))
+      return nullptr;
+    return std::make_unique<ReturnStmt>(std::move(Value), Loc);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expressions (precedence climbing)
+  //===------------------------------------------------------------------===//
+
+  ExprPtr parseExpr() { return parseAssignExpr(); }
+
+  ExprPtr parseAssignExpr() {
+    ExprPtr L = parseCondExpr();
+    if (!L)
+      return nullptr;
+    AssignOpKind Op;
+    if (peek().isPunct("="))
+      Op = AssignOpKind::None;
+    else if (peek().isPunct("+="))
+      Op = AssignOpKind::Add;
+    else if (peek().isPunct("-="))
+      Op = AssignOpKind::Sub;
+    else if (peek().isPunct("*="))
+      Op = AssignOpKind::Mul;
+    else if (peek().isPunct("/="))
+      Op = AssignOpKind::Div;
+    else
+      return L;
+    SourceLoc Loc = take().Loc;
+    ExprPtr R = parseAssignExpr();
+    if (!R)
+      return nullptr;
+    return std::make_unique<AssignExpr>(Op, std::move(L), std::move(R), Loc);
+  }
+
+  ExprPtr parseCondExpr() {
+    ExprPtr Cond = parseBinaryExpr(0);
+    if (!Cond)
+      return nullptr;
+    if (!peek().isPunct("?"))
+      return Cond;
+    SourceLoc Loc = take().Loc;
+    ExprPtr Then = parseExpr();
+    if (!Then || !expectPunct(":"))
+      return nullptr;
+    ExprPtr Else = parseCondExpr();
+    if (!Else)
+      return nullptr;
+    return std::make_unique<CondExpr>(std::move(Cond), std::move(Then),
+                                      std::move(Else), Loc);
+  }
+
+  /// Binary operator precedence (higher binds tighter).
+  static int precedenceOf(const CToken &T, BinaryOpKind &Op) {
+    if (!T.is(CTokKind::Punct))
+      return -1;
+    const std::string &P = T.Text;
+    if (P == "||") { Op = BinaryOpKind::LogicalOr; return 1; }
+    if (P == "&&") { Op = BinaryOpKind::LogicalAnd; return 2; }
+    if (P == "|") { Op = BinaryOpKind::BitOr; return 3; }
+    if (P == "^") { Op = BinaryOpKind::BitXor; return 4; }
+    if (P == "&") { Op = BinaryOpKind::BitAnd; return 5; }
+    if (P == "==") { Op = BinaryOpKind::Eq; return 6; }
+    if (P == "!=") { Op = BinaryOpKind::Ne; return 6; }
+    if (P == "<") { Op = BinaryOpKind::Lt; return 7; }
+    if (P == "<=") { Op = BinaryOpKind::Le; return 7; }
+    if (P == ">") { Op = BinaryOpKind::Gt; return 7; }
+    if (P == ">=") { Op = BinaryOpKind::Ge; return 7; }
+    if (P == "<<") { Op = BinaryOpKind::Shl; return 8; }
+    if (P == ">>") { Op = BinaryOpKind::Shr; return 8; }
+    if (P == "+") { Op = BinaryOpKind::Add; return 9; }
+    if (P == "-") { Op = BinaryOpKind::Sub; return 9; }
+    if (P == "*") { Op = BinaryOpKind::Mul; return 10; }
+    if (P == "/") { Op = BinaryOpKind::Div; return 10; }
+    if (P == "%") { Op = BinaryOpKind::Rem; return 10; }
+    return -1;
+  }
+
+  ExprPtr parseBinaryExpr(int MinPrec) {
+    ExprPtr L = parseUnaryExpr();
+    if (!L)
+      return nullptr;
+    while (true) {
+      BinaryOpKind Op;
+      int Prec = precedenceOf(peek(), Op);
+      if (Prec < 0 || Prec < MinPrec)
+        return L;
+      SourceLoc Loc = take().Loc;
+      ExprPtr R = parseBinaryExpr(Prec + 1);
+      if (!R)
+        return nullptr;
+      L = std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R), Loc);
+    }
+  }
+
+  ExprPtr parseUnaryExpr() {
+    const CToken &T = peek();
+    SourceLoc Loc = T.Loc;
+    if (T.isPunct("-")) {
+      take();
+      ExprPtr E = parseUnaryExpr();
+      if (!E)
+        return nullptr;
+      return std::make_unique<UnaryExpr>(UnaryOpKind::Neg, std::move(E), Loc);
+    }
+    if (T.isPunct("+")) {
+      take();
+      return parseUnaryExpr();
+    }
+    if (T.isPunct("!")) {
+      take();
+      ExprPtr E = parseUnaryExpr();
+      if (!E)
+        return nullptr;
+      return std::make_unique<UnaryExpr>(UnaryOpKind::LogicalNot, std::move(E),
+                                         Loc);
+    }
+    if (T.isPunct("*")) {
+      take();
+      ExprPtr E = parseUnaryExpr();
+      if (!E)
+        return nullptr;
+      return std::make_unique<UnaryExpr>(UnaryOpKind::Deref, std::move(E),
+                                         Loc);
+    }
+    if (T.isPunct("++") || T.isPunct("--")) {
+      bool Inc = T.isPunct("++");
+      take();
+      ExprPtr E = parseUnaryExpr();
+      if (!E)
+        return nullptr;
+      return std::make_unique<UnaryExpr>(
+          Inc ? UnaryOpKind::PreInc : UnaryOpKind::PreDec, std::move(E), Loc);
+    }
+    if (T.isKeyword("sizeof")) {
+      take();
+      if (!expectPunct("("))
+        return nullptr;
+      CType Ty;
+      if (!parseTypeName(Ty))
+        return nullptr;
+      if (!expectPunct(")"))
+        return nullptr;
+      return std::make_unique<SizeOfExpr>(Ty, Loc);
+    }
+    // Cast: '(' type-name ')' unary.
+    if (T.isPunct("(") && isTypeKeyword(peek(1))) {
+      take();
+      CType Ty;
+      if (!parseTypeName(Ty))
+        return nullptr;
+      if (!expectPunct(")"))
+        return nullptr;
+      ExprPtr E = parseUnaryExpr();
+      if (!E)
+        return nullptr;
+      return std::make_unique<CastExpr>(Ty, std::move(E), Loc);
+    }
+    return parsePostfixExpr();
+  }
+
+  static bool isTypeKeyword(const CToken &T) {
+    return T.isKeyword("int") || T.isKeyword("long") || T.isKeyword("float") ||
+           T.isKeyword("double") || T.isKeyword("void") ||
+           T.isKeyword("char") || T.isKeyword("unsigned") ||
+           T.isKeyword("signed") || T.isKeyword("const");
+  }
+
+  bool parseTypeName(CType &Out) {
+    CScalarKind K;
+    if (!atTypeStart()) {
+      Diags.error(peek().Loc, "expected a type name");
+      return false;
+    }
+    parseScalarKind(K);
+    if (consumePunct("*"))
+      Out = CType::pointer(K);
+    else
+      Out = CType::scalar(K);
+    return true;
+  }
+
+  ExprPtr parsePostfixExpr() {
+    ExprPtr E = parsePrimaryExpr();
+    if (!E)
+      return nullptr;
+    while (true) {
+      const CToken &T = peek();
+      if (T.isPunct("[")) {
+        SourceLoc Loc = take().Loc;
+        ExprPtr Idx = parseExpr();
+        if (!Idx || !expectPunct("]"))
+          return nullptr;
+        E = std::make_unique<IndexExpr>(std::move(E), std::move(Idx), Loc);
+        continue;
+      }
+      if (T.isPunct("++") || T.isPunct("--")) {
+        bool Inc = T.isPunct("++");
+        SourceLoc Loc = take().Loc;
+        E = std::make_unique<UnaryExpr>(
+            Inc ? UnaryOpKind::PostInc : UnaryOpKind::PostDec, std::move(E),
+            Loc);
+        continue;
+      }
+      return E;
+    }
+  }
+
+  ExprPtr parsePrimaryExpr() {
+    const CToken &T = peek();
+    SourceLoc Loc = T.Loc;
+    if (T.is(CTokKind::IntLit)) {
+      take();
+      return std::make_unique<IntLitExpr>(T.IntValue, Loc);
+    }
+    if (T.is(CTokKind::FloatLit)) {
+      take();
+      return std::make_unique<FloatLitExpr>(T.FloatValue, T.IsSingleFloat,
+                                            Loc);
+    }
+    if (T.is(CTokKind::Ident)) {
+      std::string Name = take().Text;
+      if (peek().isPunct("(")) {
+        take();
+        std::vector<ExprPtr> Args;
+        if (!peek().isPunct(")")) {
+          while (true) {
+            ExprPtr A = parseAssignExpr();
+            if (!A)
+              return nullptr;
+            Args.push_back(std::move(A));
+            if (consumePunct(","))
+              continue;
+            break;
+          }
+        }
+        if (!expectPunct(")"))
+          return nullptr;
+        return std::make_unique<CallExpr>(std::move(Name), std::move(Args),
+                                          Loc);
+      }
+      return std::make_unique<IdentExpr>(std::move(Name), Loc);
+    }
+    if (T.isPunct("(")) {
+      take();
+      ExprPtr E = parseExpr();
+      if (!E || !expectPunct(")"))
+        return nullptr;
+      return E;
+    }
+    Diags.error(Loc, "expected an expression, found '" + T.Text + "'");
+    return nullptr;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<TranslationUnit>
+dcir::frontend::parseC(std::string_view Source, DiagnosticEngine &Diags) {
+  CLexer Lexer(Source, Diags);
+  std::vector<CToken> Tokens = Lexer.tokenize();
+  if (Diags.hasErrors())
+    return nullptr;
+  Parser P(std::move(Tokens), Diags);
+  auto TU = P.run();
+  if (Diags.hasErrors())
+    return nullptr;
+  return TU;
+}

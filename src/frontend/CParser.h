@@ -1,0 +1,27 @@
+//===- CParser.h - C-subset parser ----------------------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_FRONTEND_CPARSER_H
+#define DCIR_FRONTEND_CPARSER_H
+
+#include "frontend/AST.h"
+#include "frontend/CLexer.h"
+
+#include <memory>
+#include <string_view>
+
+namespace dcir {
+namespace frontend {
+
+/// Parses a C-subset translation unit. Returns null on failure (diagnostics
+/// describe the errors).
+std::unique_ptr<TranslationUnit> parseC(std::string_view Source,
+                                        DiagnosticEngine &Diags);
+
+} // namespace frontend
+} // namespace dcir
+
+#endif // DCIR_FRONTEND_CPARSER_H

@@ -1,0 +1,93 @@
+//===- Buffer.h - runtime data buffers ------------------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_INTERP_BUFFER_H
+#define DCIR_INTERP_BUFFER_H
+
+#include "sdfg/TaskletExpr.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+namespace dcir {
+namespace interp {
+
+/// A runtime array: row-major storage of int64 or double elements.
+struct Buffer {
+  sdfg::DType Ty = sdfg::DType::F64;
+  std::vector<std::int64_t> Shape;
+  std::vector<double> F;
+  std::vector<std::int64_t> I;
+  bool Freed = false;
+
+  static std::shared_ptr<Buffer> create(sdfg::DType Ty,
+                                        std::vector<std::int64_t> Shape) {
+    auto B = std::make_shared<Buffer>();
+    B->Ty = Ty;
+    B->Shape = std::move(Shape);
+    size_t N = B->numElements();
+    if (Ty == sdfg::DType::I64)
+      B->I.assign(N, 0);
+    else
+      B->F.assign(N, 0.0);
+    return B;
+  }
+
+  size_t numElements() const {
+    size_t N = 1;
+    for (std::int64_t D : Shape)
+      N *= static_cast<size_t>(D);
+    return N;
+  }
+
+  size_t rank() const { return Shape.size(); }
+
+  /// Row-major linearization; asserts bounds.
+  size_t linearize(const std::vector<std::int64_t> &Idx) const {
+    assert(Idx.size() == Shape.size() && "index rank mismatch");
+    size_t Lin = 0;
+    for (size_t D = 0; D < Idx.size(); ++D) {
+      assert(Idx[D] >= 0 && Idx[D] < Shape[D] && "index out of bounds");
+      Lin = Lin * static_cast<size_t>(Shape[D]) +
+            static_cast<size_t>(Idx[D]);
+    }
+    return Lin;
+  }
+
+  sdfg::RtVal read(size_t Lin) const {
+    assert(!Freed && "use after free");
+    if (Ty == sdfg::DType::I64)
+      return sdfg::RtVal::makeI(I[Lin]);
+    return sdfg::RtVal::makeF(F[Lin], Ty);
+  }
+
+  void write(size_t Lin, sdfg::RtVal V) {
+    assert(!Freed && "use after free");
+    if (Ty == sdfg::DType::I64)
+      I[Lin] = V.asI();
+    else
+      F[Lin] = Ty == sdfg::DType::F32
+                   ? static_cast<double>(static_cast<float>(V.asF()))
+                   : V.asF();
+  }
+
+  sdfg::RtVal readAt(const std::vector<std::int64_t> &Idx) const {
+    return read(linearize(Idx));
+  }
+  void writeAt(const std::vector<std::int64_t> &Idx, sdfg::RtVal V) {
+    write(linearize(Idx), V);
+  }
+};
+
+using BufferPtr = std::shared_ptr<Buffer>;
+
+} // namespace interp
+} // namespace dcir
+
+#endif // DCIR_INTERP_BUFFER_H

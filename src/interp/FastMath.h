@@ -1,0 +1,76 @@
+//===- FastMath.h - vectorized-math emulation -----------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cheap polynomial approximations of exp/log, standing in for the SLEEF /
+/// ICC vector math libraries of the paper's Fig. 8 experiment ("Clang does
+/// not vectorize math library calls ... we also compile the DCIR-generated
+/// code with ICC"). They are genuinely several times faster than the libm
+/// calls the "scalar" configurations use, reproducing the same effect on an
+/// interpreted substrate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_INTERP_FASTMATH_H
+#define DCIR_INTERP_FASTMATH_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace dcir {
+namespace interp {
+
+/// How tasklet math calls are evaluated.
+enum class MathMode {
+  Precise,   ///< libm (Clang-compiled scalar calls).
+  Vectorized ///< fast approximations (ICC/SLEEF vector math emulation).
+};
+
+/// exp(x) via the classic Schraudolph bit trick refined with one polynomial
+/// step; ~3 decimal digits, far faster than libm.
+inline double fastExp(double X) {
+  if (X < -700.0)
+    return 0.0;
+  if (X > 700.0)
+    return HUGE_VAL;
+  // 2^k decomposition: x = k*ln2 + r.
+  double T = X * 1.4426950408889634; // x / ln2
+  std::int64_t K = static_cast<std::int64_t>(T + (T >= 0 ? 0.5 : -0.5));
+  double R = X - static_cast<double>(K) * 0.6931471805599453;
+  // 4th-order polynomial on |r| <= ln2/2.
+  double P = 1.0 + R * (1.0 + R * (0.5 + R * (1.0 / 6.0 + R / 24.0)));
+  // Scale by 2^k through the exponent bits.
+  union {
+    double D;
+    std::uint64_t U;
+  } Bits;
+  Bits.D = P;
+  Bits.U += static_cast<std::uint64_t>(K) << 52;
+  return Bits.D;
+}
+
+/// log(x) via exponent extraction and a short polynomial.
+inline double fastLog(double X) {
+  if (X <= 0.0)
+    return -HUGE_VAL;
+  union {
+    double D;
+    std::uint64_t U;
+  } Bits;
+  Bits.D = X;
+  int E = static_cast<int>((Bits.U >> 52) & 0x7ff) - 1023;
+  Bits.U = (Bits.U & 0xfffffffffffffULL) | 0x3ff0000000000000ULL;
+  double M = Bits.D; // in [1, 2)
+  double T = (M - 1.0) / (M + 1.0);
+  double T2 = T * T;
+  double L = 2.0 * T * (1.0 + T2 * (1.0 / 3.0 + T2 * (0.2 + T2 / 7.0)));
+  return L + static_cast<double>(E) * 0.6931471805599453;
+}
+
+} // namespace interp
+} // namespace dcir
+
+#endif // DCIR_INTERP_FASTMATH_H

@@ -1,0 +1,348 @@
+//===- MLIRInterp.cpp -------------------------------------------------------------===//
+
+#include "interp/MLIRInterp.h"
+
+#include "dialects/Arith.h"
+#include "dialects/Func.h"
+#include "dialects/MathDialect.h"
+#include "dialects/MemRef.h"
+#include "dialects/SCF.h"
+
+#include <cmath>
+
+using namespace dcir;
+using namespace dcir::interp;
+using namespace dcir::ir;
+using sdfg::DType;
+using sdfg::RtVal;
+
+namespace {
+
+DType dtypeOf(Type T) {
+  if (T.isFloat())
+    return T.dyn<FloatType>()->getWidth() == 32 ? DType::F32 : DType::F64;
+  return DType::I64;
+}
+
+std::int64_t floorOrTruncDiv(std::int64_t A, std::int64_t B) {
+  // C semantics: truncation toward zero.
+  return B == 0 ? 0 : A / B;
+}
+
+} // namespace
+
+MValue &MLIRInterpreter::value(Value *V, Env &E) {
+  auto It = E.find(V);
+  assert(It != E.end() && "use of unevaluated value");
+  return It->second;
+}
+
+std::vector<MValue> MLIRInterpreter::call(const std::string &FuncName,
+                                          std::vector<MValue> Args) {
+  Operation *Func = lookupFunction(Module, FuncName);
+  assert(Func && "unknown function");
+  Block &Body = func::getFunctionBody(Func);
+  assert(Body.getNumArguments() == Args.size() && "argument count mismatch");
+  Env E;
+  for (size_t I = 0; I < Args.size(); ++I)
+    E[Body.getArgument(I)] = Args[I];
+  auto Result = executeBlock(Body, E, nullptr);
+  return Result ? *Result : std::vector<MValue>{};
+}
+
+std::optional<std::vector<MValue>>
+MLIRInterpreter::executeBlock(Block &B, Env &E, MValue *CondOut) {
+  for (auto &Op : B) {
+    bool StopBlock = false;
+    auto Ret = executeOp(Op.get(), E, CondOut, StopBlock);
+    if (Ret)
+      return Ret;
+    if (StopBlock)
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<MValue>>
+MLIRInterpreter::executeOp(Operation *Op, Env &E, MValue *CondOut,
+                           bool &StopBlock) {
+  const std::string &Name = Op->getName();
+  ++Stats.OpsExecuted;
+
+  //===--------------------------------------------------------------------===
+  // Terminators and control flow
+  //===--------------------------------------------------------------------===
+  if (Name == func::kReturnOp) {
+    std::vector<MValue> Out;
+    for (size_t I = 0; I < Op->getNumOperands(); ++I)
+      Out.push_back(value(Op->getOperand(I), E));
+    return Out;
+  }
+  if (Name == scf::kYieldOp)
+    return std::nullopt;
+  if (Name == scf::kConditionOp) {
+    assert(CondOut && "scf.condition outside scf.while");
+    *CondOut = value(Op->getOperand(0), E);
+    StopBlock = true;
+    return std::nullopt;
+  }
+  if (Name == scf::kForOp) {
+    std::int64_t Lb = value(Op->getOperand(0), E).S.asI();
+    std::int64_t Ub = value(Op->getOperand(1), E).S.asI();
+    std::int64_t Step = value(Op->getOperand(2), E).S.asI();
+    assert(Step > 0 && "scf.for requires a positive step");
+    Block &Body = scf::getForBody(Op);
+    for (std::int64_t Iv = Lb; Iv < Ub; Iv += Step) {
+      E[Body.getArgument(0)] = MValue::scalarI(Iv);
+      auto Ret = executeBlock(Body, E, nullptr);
+      assert(!Ret && "return inside scf.for body");
+      (void)Ret;
+    }
+    return std::nullopt;
+  }
+  if (Name == scf::kIfOp) {
+    bool Cond = value(Op->getOperand(0), E).S.truthy();
+    Region &R = Op->getRegion(Cond ? 0 : 1);
+    if (!R.empty()) {
+      auto Ret = executeBlock(R.front(), E, nullptr);
+      assert(!Ret && "return inside scf.if body");
+      (void)Ret;
+    }
+    return std::nullopt;
+  }
+  if (Name == scf::kWhileOp) {
+    Block &Before = Op->getRegion(0).front();
+    Block &After = Op->getRegion(1).front();
+    // Guard against diverging loops in experiments.
+    for (std::uint64_t Iter = 0;; ++Iter) {
+      assert(Iter < (1ull << 40) && "scf.while iteration bound exceeded");
+      MValue Cond;
+      executeBlock(Before, E, &Cond);
+      if (!Cond.S.truthy())
+        break;
+      auto Ret = executeBlock(After, E, nullptr);
+      assert(!Ret && "return inside scf.while body");
+      (void)Ret;
+    }
+    return std::nullopt;
+  }
+  if (Name == func::kCallOp) {
+    std::vector<MValue> Args;
+    for (size_t I = 0; I < Op->getNumOperands(); ++I)
+      Args.push_back(value(Op->getOperand(I), E));
+    std::vector<MValue> Results =
+        call(Op->getAttr("callee").asString(), std::move(Args));
+    assert(Results.size() == Op->getNumResults() &&
+           "callee result count mismatch");
+    for (size_t I = 0; I < Op->getNumResults(); ++I)
+      E[Op->getResult(I)] = Results[I];
+    return std::nullopt;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Memory
+  //===--------------------------------------------------------------------===
+  if (Name == memref::kAllocOp || Name == memref::kAllocaOp) {
+    const auto *MT = Op->getResult(0)->getType().dyn<MemRefType>();
+    std::vector<std::int64_t> Shape;
+    size_t DynIdx = 0;
+    for (std::int64_t D : MT->getShape()) {
+      if (D == MemRefType::kDynamic)
+        Shape.push_back(value(Op->getOperand(DynIdx++), E).S.asI());
+      else
+        Shape.push_back(D);
+    }
+    BufferPtr B = Buffer::create(dtypeOf(MT->getElementType()), Shape);
+    if (Name == memref::kAllocOp)
+      ++Stats.HeapAllocs;
+    else
+      ++Stats.StackAllocs;
+    Stats.BytesAllocated += B->numElements() * dtypeSize(B->Ty);
+    E[Op->getResult(0)] = MValue::buffer(B);
+    return std::nullopt;
+  }
+  if (Name == memref::kDeallocOp) {
+    value(Op->getOperand(0), E).B->Freed = true;
+    return std::nullopt;
+  }
+  if (Name == memref::kLoadOp) {
+    BufferPtr B = value(Op->getOperand(0), E).B;
+    std::vector<std::int64_t> Idx;
+    for (size_t I = 1; I < Op->getNumOperands(); ++I)
+      Idx.push_back(value(Op->getOperand(I), E).S.asI());
+    RtVal V = B->readAt(Idx);
+    ++Stats.Loads;
+    Stats.BytesMoved += dtypeSize(B->Ty);
+    MValue M;
+    M.S = V;
+    E[Op->getResult(0)] = M;
+    return std::nullopt;
+  }
+  if (Name == memref::kStoreOp) {
+    RtVal V = value(Op->getOperand(0), E).S;
+    BufferPtr B = value(Op->getOperand(1), E).B;
+    std::vector<std::int64_t> Idx;
+    for (size_t I = 2; I < Op->getNumOperands(); ++I)
+      Idx.push_back(value(Op->getOperand(I), E).S.asI());
+    B->writeAt(Idx, V);
+    ++Stats.Stores;
+    Stats.BytesMoved += dtypeSize(B->Ty);
+    return std::nullopt;
+  }
+  if (Name == memref::kCopyOp) {
+    BufferPtr Src = value(Op->getOperand(0), E).B;
+    BufferPtr Dst = value(Op->getOperand(1), E).B;
+    size_t N = Src->numElements();
+    assert(N == Dst->numElements() && "memref.copy size mismatch");
+    for (size_t I = 0; I < N; ++I)
+      Dst->write(I, Src->read(I));
+    Stats.Loads += N;
+    Stats.Stores += N;
+    Stats.BytesMoved += 2 * N * dtypeSize(Src->Ty);
+    return std::nullopt;
+  }
+  if (Name == memref::kDimOp) {
+    BufferPtr B = value(Op->getOperand(0), E).B;
+    std::int64_t D = value(Op->getOperand(1), E).S.asI();
+    E[Op->getResult(0)] = MValue::scalarI(B->Shape[D]);
+    return std::nullopt;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Scalar computation
+  //===--------------------------------------------------------------------===
+  E[Op->getResult(0)] = evalScalarOp(Op, E);
+  return std::nullopt;
+}
+
+MValue MLIRInterpreter::evalScalarOp(Operation *Op, Env &E) {
+  const std::string &Name = Op->getName();
+  if (Name == arith::kConstantOp) {
+    Attribute V = Op->getAttr("value");
+    switch (V.getKind()) {
+    case AttrKind::Integer:
+      return MValue::scalarI(V.asInt());
+    case AttrKind::Bool:
+      return MValue::scalarI(V.asBool() ? 1 : 0);
+    case AttrKind::Float:
+      return MValue::scalarF(V.asFloat(),
+                             dtypeOf(Op->getResult(0)->getType()));
+    default:
+      assert(false && "bad constant attribute");
+      return MValue::scalarI(0);
+    }
+  }
+  auto operand = [&](size_t I) { return value(Op->getOperand(I), E).S; };
+
+  // Integer binaries.
+  if (Name == arith::kAddIOp)
+    return MValue::scalarI(operand(0).asI() + operand(1).asI());
+  if (Name == arith::kSubIOp)
+    return MValue::scalarI(operand(0).asI() - operand(1).asI());
+  if (Name == arith::kMulIOp)
+    return MValue::scalarI(operand(0).asI() * operand(1).asI());
+  if (Name == arith::kDivSIOp)
+    return MValue::scalarI(floorOrTruncDiv(operand(0).asI(), operand(1).asI()));
+  if (Name == arith::kRemSIOp) {
+    std::int64_t B = operand(1).asI();
+    return MValue::scalarI(B == 0 ? 0 : operand(0).asI() % B);
+  }
+  if (Name == arith::kAndIOp)
+    return MValue::scalarI(operand(0).asI() & operand(1).asI());
+  if (Name == arith::kOrIOp)
+    return MValue::scalarI(operand(0).asI() | operand(1).asI());
+  if (Name == arith::kXorIOp)
+    return MValue::scalarI(operand(0).asI() ^ operand(1).asI());
+  if (Name == arith::kShLIOp)
+    return MValue::scalarI(operand(0).asI() << operand(1).asI());
+  if (Name == arith::kShRSIOp)
+    return MValue::scalarI(operand(0).asI() >> operand(1).asI());
+  if (Name == arith::kMaxSIOp)
+    return MValue::scalarI(std::max(operand(0).asI(), operand(1).asI()));
+  if (Name == arith::kMinSIOp)
+    return MValue::scalarI(std::min(operand(0).asI(), operand(1).asI()));
+
+  // Float binaries.
+  DType FT = dtypeOf(Op->getResult(0)->getType());
+  if (Name == arith::kAddFOp)
+    return MValue::scalarF(operand(0).asF() + operand(1).asF(), FT);
+  if (Name == arith::kSubFOp)
+    return MValue::scalarF(operand(0).asF() - operand(1).asF(), FT);
+  if (Name == arith::kMulFOp)
+    return MValue::scalarF(operand(0).asF() * operand(1).asF(), FT);
+  if (Name == arith::kDivFOp)
+    return MValue::scalarF(operand(0).asF() / operand(1).asF(), FT);
+  if (Name == arith::kNegFOp)
+    return MValue::scalarF(-operand(0).asF(), FT);
+  if (Name == arith::kMaxFOp)
+    return MValue::scalarF(std::max(operand(0).asF(), operand(1).asF()), FT);
+  if (Name == arith::kMinFOp)
+    return MValue::scalarF(std::min(operand(0).asF(), operand(1).asF()), FT);
+
+  // Comparisons.
+  if (Name == arith::kCmpIOp) {
+    const std::string &P = Op->getAttr("predicate").asString();
+    std::int64_t A = operand(0).asI(), B = operand(1).asI();
+    bool R = P == "eq"    ? A == B
+             : P == "ne"  ? A != B
+             : P == "slt" ? A < B
+             : P == "sle" ? A <= B
+             : P == "sgt" ? A > B
+                          : A >= B;
+    return MValue::scalarI(R ? 1 : 0);
+  }
+  if (Name == arith::kCmpFOp) {
+    const std::string &P = Op->getAttr("predicate").asString();
+    double A = operand(0).asF(), B = operand(1).asF();
+    bool R = P == "oeq"   ? A == B
+             : P == "one" ? A != B
+             : P == "olt" ? A < B
+             : P == "ole" ? A <= B
+             : P == "ogt" ? A > B
+                          : A >= B;
+    return MValue::scalarI(R ? 1 : 0);
+  }
+  if (Name == arith::kSelectOp)
+    return operand(0).truthy() ? value(Op->getOperand(1), E)
+                               : value(Op->getOperand(2), E);
+
+  // Casts.
+  if (Name == arith::kIndexCastOp)
+    return MValue::scalarI(operand(0).asI());
+  if (Name == arith::kSIToFPOp)
+    return MValue::scalarF(static_cast<double>(operand(0).asI()), FT);
+  if (Name == arith::kFPToSIOp)
+    return MValue::scalarI(static_cast<std::int64_t>(operand(0).asF()));
+  if (Name == arith::kExtFOp)
+    return MValue::scalarF(operand(0).asF(), DType::F64);
+  if (Name == arith::kTruncFOp)
+    return MValue::scalarF(
+        static_cast<double>(static_cast<float>(operand(0).asF())),
+        DType::F32);
+
+  // Math dialect.
+  bool Vec = Mode == MathMode::Vectorized;
+  if (Name == math::kSqrtOp)
+    return MValue::scalarF(std::sqrt(operand(0).asF()), FT);
+  if (Name == math::kExpOp)
+    return MValue::scalarF(Vec ? fastExp(operand(0).asF())
+                               : std::exp(operand(0).asF()),
+                           FT);
+  if (Name == math::kLogOp)
+    return MValue::scalarF(Vec ? fastLog(operand(0).asF())
+                               : std::log(operand(0).asF()),
+                           FT);
+  if (Name == math::kPowOp)
+    return MValue::scalarF(std::pow(operand(0).asF(), operand(1).asF()), FT);
+  if (Name == math::kFAbsOp)
+    return MValue::scalarF(std::fabs(operand(0).asF()), FT);
+  if (Name == math::kSinOp)
+    return MValue::scalarF(std::sin(operand(0).asF()), FT);
+  if (Name == math::kCosOp)
+    return MValue::scalarF(std::cos(operand(0).asF()), FT);
+  if (Name == math::kTanhOp)
+    return MValue::scalarF(std::tanh(operand(0).asF()), FT);
+
+  assert(false && "unsupported operation in interpreter");
+  return MValue::scalarI(0);
+}

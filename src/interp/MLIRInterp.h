@@ -1,0 +1,89 @@
+//===- MLIRInterp.h - reference interpreter for the MLIR dialects -----------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes modules in the func/scf/arith/math/memref dialects. This is the
+/// uniform "machine" all control-centric pipelines run on, replacing the
+/// paper's native compilation; relative runtimes therefore reflect the work
+/// each pipeline's optimizations leave behind (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_INTERP_MLIRINTERP_H
+#define DCIR_INTERP_MLIRINTERP_H
+
+#include "interp/Buffer.h"
+#include "interp/FastMath.h"
+#include "interp/Stats.h"
+#include "ir/IR.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace dcir {
+namespace interp {
+
+/// A runtime value: a scalar or a buffer reference.
+struct MValue {
+  bool IsBuffer = false;
+  sdfg::RtVal S;
+  BufferPtr B;
+
+  static MValue scalarI(std::int64_t V) {
+    MValue M;
+    M.S = sdfg::RtVal::makeI(V);
+    return M;
+  }
+  static MValue scalarF(double V, sdfg::DType Ty = sdfg::DType::F64) {
+    MValue M;
+    M.S = sdfg::RtVal::makeF(V, Ty);
+    return M;
+  }
+  static MValue buffer(BufferPtr B) {
+    MValue M;
+    M.IsBuffer = true;
+    M.B = std::move(B);
+    return M;
+  }
+};
+
+/// Interprets functions of a verified module.
+class MLIRInterpreter {
+public:
+  explicit MLIRInterpreter(ir::Operation *Module,
+                           MathMode Mode = MathMode::Precise)
+      : Module(Module), Mode(Mode) {}
+
+  /// Calls \p FuncName with \p Args; returns the function results.
+  /// Asserts on malformed IR (run the verifier first).
+  std::vector<MValue> call(const std::string &FuncName,
+                           std::vector<MValue> Args);
+
+  ExecutionStats &stats() { return Stats; }
+
+private:
+  using Env = std::map<ir::Value *, MValue>;
+
+  /// Executes a block; returns values if a func.return was reached, or the
+  /// scf.condition operand via \p CondOut when one terminated the block.
+  std::optional<std::vector<MValue>> executeBlock(ir::Block &B, Env &E,
+                                                  MValue *CondOut);
+  std::optional<std::vector<MValue>> executeOp(ir::Operation *Op, Env &E,
+                                               MValue *CondOut,
+                                               bool &StopBlock);
+  MValue evalScalarOp(ir::Operation *Op, Env &E);
+  MValue &value(ir::Value *V, Env &E);
+
+  ir::Operation *Module;
+  MathMode Mode;
+  ExecutionStats Stats;
+};
+
+} // namespace interp
+} // namespace dcir
+
+#endif // DCIR_INTERP_MLIRINTERP_H

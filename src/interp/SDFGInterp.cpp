@@ -1,0 +1,518 @@
+//===- SDFGInterp.cpp --------------------------------------------------------------===//
+
+#include "interp/SDFGInterp.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dcir;
+using namespace dcir::interp;
+using namespace dcir::sdfg;
+using sym::SymExpr;
+
+//===----------------------------------------------------------------------===//
+// Tasklet expression evaluation
+//===----------------------------------------------------------------------===//
+
+RtVal dcir::interp::evalTExpr(
+    const TExpr &E, const std::function<RtVal(const std::string &)> &Input,
+    const std::function<std::int64_t(const sym::SymExpr &)> &SymResolver,
+    MathMode Mode) {
+  switch (E.K) {
+  case TExpr::Kind::ConstI:
+    return RtVal::makeI(E.I);
+  case TExpr::Kind::ConstF:
+    return RtVal::makeF(E.F, E.Ty);
+  case TExpr::Kind::Input:
+    return Input(E.Name);
+  case TExpr::Kind::Sym:
+    return RtVal::makeI(SymResolver(E.Sym));
+  case TExpr::Kind::Op:
+    break;
+  }
+  auto child = [&](size_t I) {
+    return evalTExpr(E.Children[I], Input, SymResolver, Mode);
+  };
+  const std::string &Op = E.Name;
+  bool FloatRes = E.Ty != DType::I64;
+
+  if (Op == "add")
+    return FloatRes ? RtVal::makeF(child(0).asF() + child(1).asF(), E.Ty)
+                    : RtVal::makeI(child(0).asI() + child(1).asI());
+  if (Op == "sub")
+    return FloatRes ? RtVal::makeF(child(0).asF() - child(1).asF(), E.Ty)
+                    : RtVal::makeI(child(0).asI() - child(1).asI());
+  if (Op == "mul")
+    return FloatRes ? RtVal::makeF(child(0).asF() * child(1).asF(), E.Ty)
+                    : RtVal::makeI(child(0).asI() * child(1).asI());
+  if (Op == "div") {
+    if (FloatRes)
+      return RtVal::makeF(child(0).asF() / child(1).asF(), E.Ty);
+    std::int64_t D = child(1).asI();
+    return RtVal::makeI(D == 0 ? 0 : child(0).asI() / D);
+  }
+  if (Op == "rem") {
+    std::int64_t D = child(1).asI();
+    return RtVal::makeI(D == 0 ? 0 : child(0).asI() % D);
+  }
+  if (Op == "neg")
+    return FloatRes ? RtVal::makeF(-child(0).asF(), E.Ty)
+                    : RtVal::makeI(-child(0).asI());
+  if (Op == "min")
+    return FloatRes
+               ? RtVal::makeF(std::min(child(0).asF(), child(1).asF()), E.Ty)
+               : RtVal::makeI(std::min(child(0).asI(), child(1).asI()));
+  if (Op == "max")
+    return FloatRes
+               ? RtVal::makeF(std::max(child(0).asF(), child(1).asF()), E.Ty)
+               : RtVal::makeI(std::max(child(0).asI(), child(1).asI()));
+  if (Op == "and")
+    return RtVal::makeI(child(0).asI() & child(1).asI());
+  if (Op == "or")
+    return RtVal::makeI(child(0).asI() | child(1).asI());
+  if (Op == "xor")
+    return RtVal::makeI(child(0).asI() ^ child(1).asI());
+  if (Op == "shl")
+    return RtVal::makeI(child(0).asI() << child(1).asI());
+  if (Op == "shr")
+    return RtVal::makeI(child(0).asI() >> child(1).asI());
+  if (Op == "not")
+    return RtVal::makeI(child(0).truthy() ? 0 : 1);
+
+  // Comparisons: float comparison when either child is floating.
+  if (Op == "lt" || Op == "le" || Op == "eq" || Op == "ne" || Op == "gt" ||
+      Op == "ge") {
+    RtVal A = child(0), B = child(1);
+    bool Fp = A.Ty != DType::I64 || B.Ty != DType::I64;
+    bool R;
+    if (Fp) {
+      double X = A.asF(), Y = B.asF();
+      R = Op == "lt"   ? X < Y
+          : Op == "le" ? X <= Y
+          : Op == "eq" ? X == Y
+          : Op == "ne" ? X != Y
+          : Op == "gt" ? X > Y
+                       : X >= Y;
+    } else {
+      std::int64_t X = A.asI(), Y = B.asI();
+      R = Op == "lt"   ? X < Y
+          : Op == "le" ? X <= Y
+          : Op == "eq" ? X == Y
+          : Op == "ne" ? X != Y
+          : Op == "gt" ? X > Y
+                       : X >= Y;
+    }
+    return RtVal::makeI(R ? 1 : 0);
+  }
+  if (Op == "select")
+    return child(0).truthy() ? child(1) : child(2);
+
+  // Casts.
+  if (Op == "sitofp")
+    return RtVal::makeF(static_cast<double>(child(0).asI()), E.Ty);
+  if (Op == "fptosi")
+    return RtVal::makeI(static_cast<std::int64_t>(child(0).asF()));
+  if (Op == "extf")
+    return RtVal::makeF(child(0).asF(), DType::F64);
+  if (Op == "truncf")
+    return RtVal::makeF(
+        static_cast<double>(static_cast<float>(child(0).asF())), DType::F32);
+
+  // Math calls.
+  bool Vec = Mode == MathMode::Vectorized;
+  if (Op == "sqrt")
+    return RtVal::makeF(std::sqrt(child(0).asF()), E.Ty);
+  if (Op == "exp")
+    return RtVal::makeF(Vec ? fastExp(child(0).asF())
+                            : std::exp(child(0).asF()),
+                        E.Ty);
+  if (Op == "log")
+    return RtVal::makeF(Vec ? fastLog(child(0).asF())
+                            : std::log(child(0).asF()),
+                        E.Ty);
+  if (Op == "pow")
+    return RtVal::makeF(std::pow(child(0).asF(), child(1).asF()), E.Ty);
+  if (Op == "fabs")
+    return RtVal::makeF(std::fabs(child(0).asF()), E.Ty);
+  if (Op == "sin")
+    return RtVal::makeF(std::sin(child(0).asF()), E.Ty);
+  if (Op == "cos")
+    return RtVal::makeF(std::cos(child(0).asF()), E.Ty);
+  if (Op == "tanh")
+    return RtVal::makeF(std::tanh(child(0).asF()), E.Ty);
+
+  assert(false && "unknown tasklet operator");
+  return RtVal::makeI(0);
+}
+
+//===----------------------------------------------------------------------===//
+// SDFGInterpreter
+//===----------------------------------------------------------------------===//
+
+BufferPtr SDFGInterpreter::buffer(const std::string &Name) {
+  auto It = Buffers.find(Name);
+  if (It != Buffers.end())
+    return It->second;
+  // Lazily allocate a transient container.
+  const DataDesc &D = G.desc(Name);
+  assert(D.Transient && "non-transient container was not bound");
+  std::vector<std::int64_t> Shape;
+  for (const SymExpr &S : D.Shape)
+    Shape.push_back(evalSym(S, SymEnv));
+  BufferPtr B = Buffer::create(D.Ty, Shape);
+  switch (D.StorageKind) {
+  case Storage::Heap:
+    ++Stats.HeapAllocs;
+    break;
+  case Storage::Stack:
+    ++Stats.StackAllocs;
+    break;
+  case Storage::Register:
+    ++Stats.RegisterAllocs;
+    break;
+  }
+  Stats.BytesAllocated += B->numElements() * dtypeSize(B->Ty);
+  Buffers[Name] = B;
+  return B;
+}
+
+RtVal SDFGInterpreter::readScalar(const std::string &Name) {
+  BufferPtr B = buffer(Name);
+  return B->read(0);
+}
+
+std::int64_t
+SDFGInterpreter::evalSym(const SymExpr &E,
+                         const std::map<std::string, std::int64_t> &Env) {
+  auto Direct = E.evaluate(Env);
+  if (Direct)
+    return *Direct;
+  // Fall back: resolve missing symbols from integer scalar containers
+  // (DaCe's interstate edges may reference scalar data).
+  std::set<std::string> Free;
+  E.collectSymbols(Free);
+  std::map<std::string, std::int64_t> Extended = Env;
+  for (const std::string &Name : Free) {
+    if (Extended.count(Name))
+      continue;
+    if (G.hasData(Name) && G.desc(Name).K == DataDesc::Kind::Scalar) {
+      Extended[Name] = readScalar(Name).asI();
+      continue;
+    }
+    std::fprintf(stderr, "fatal: unresolved symbol '%s' in '%s'\n",
+                 Name.c_str(), E.str().c_str());
+    std::abort();
+  }
+  auto V = E.evaluate(Extended);
+  if (!V) {
+    std::fprintf(stderr, "fatal: expression '%s' did not evaluate\n",
+                 E.str().c_str());
+    std::abort();
+  }
+  return *V;
+}
+
+std::vector<std::int64_t>
+SDFGInterpreter::evalIndices(const sym::SymSubset &Subset,
+                             const std::map<std::string, std::int64_t> &Env) {
+  std::vector<std::int64_t> Idx;
+  Idx.reserve(Subset.rank());
+  for (size_t D = 0; D < Subset.rank(); ++D)
+    Idx.push_back(evalSym(Subset.dim(D).Begin, Env));
+  return Idx;
+}
+
+const std::vector<const InterstateEdge *> &
+SDFGInterpreter::interstateOut(const State *S) {
+  if (!IsOutBuilt) {
+    for (const auto &E : G.interstateEdges())
+      IsOutCache[E.Src].push_back(&E);
+    IsOutBuilt = true;
+  }
+  return IsOutCache[S->getId()];
+}
+
+void SDFGInterpreter::run() {
+  if (G.states().empty())
+    return;
+  const State *Current = G.getStartState();
+  [[maybe_unused]] std::uint64_t Guard = 0;
+  while (Current) {
+    ++Guard;
+    assert(Guard < (1ull << 40) && "state machine iteration bound");
+    executeState(*Current);
+    // Take the first out edge whose condition holds.
+    const State *Next = nullptr;
+    for (const InterstateEdge *E : interstateOut(Current)) {
+      bool Taken = true;
+      if (E->Condition)
+        Taken = evalSym(E->Condition, SymEnv) != 0;
+      if (!Taken)
+        continue;
+      // Assignments apply sequentially in list order (scalar-to-symbol
+      // promotion prepends assignments that later entries on the same edge
+      // consume).
+      for (const auto &[Name, Expr] : E->Assignments)
+        SymEnv[Name] = evalSym(Expr, SymEnv);
+      Next = G.getState(E->Dst);
+      ++Stats.StateTransitions;
+      break;
+    }
+    Current = Next;
+  }
+}
+
+const SDFGInterpreter::StateCache &
+SDFGInterpreter::cacheFor(const State &S) {
+  auto It = Caches.find(&S);
+  if (It != Caches.end())
+    return It->second;
+  StateCache C;
+  C.Order = S.topologicalOrder();
+  for (const auto &E : S.edges()) {
+    C.Out[E.Src].push_back(&E);
+    C.In[E.Dst].push_back(&E);
+  }
+  return Caches.emplace(&S, std::move(C)).first->second;
+}
+
+void SDFGInterpreter::executeState(const State &S) {
+  const StateCache &C = cacheFor(S);
+  ValueCache Values;
+  executeNodes(S, C.Order, SymEnv, Values);
+}
+
+void SDFGInterpreter::executeNodes(const State &S,
+                                   const std::vector<Node *> &Order,
+                                   std::map<std::string, std::int64_t> &Env,
+                                   ValueCache &Values) {
+  std::set<int> Consumed; // Nodes already run inside a map scope.
+  for (Node *N : Order) {
+    if (Consumed.count(N->getId()))
+      continue;
+    if (const auto *T = dyn_cast<Tasklet>(N)) {
+      executeTasklet(S, T, Env, Values);
+      continue;
+    }
+    if (const auto *A = dyn_cast<AccessNode>(N)) {
+      // Access-to-access edges are copies.
+      auto OutIt = cacheFor(S).Out.find(A->getId());
+      if (OutIt != cacheFor(S).Out.end())
+        for (const DataflowEdge *E : OutIt->second)
+          if (isa<AccessNode>(S.getNode(E->Dst)) && !E->M.isEmpty())
+            executeCopy(S, *E, Env);
+      continue;
+    }
+    if (const auto *ME = dyn_cast<MapEntry>(N)) {
+      executeMap(S, ME, Env, Consumed);
+      continue;
+    }
+    // MapExit handled by its entry.
+  }
+}
+
+static std::uint64_t countTExprOps(const TExpr &E) {
+  std::uint64_t N = E.K == TExpr::Kind::Op ? 1 : 0;
+  for (const TExpr &C : E.Children)
+    N += countTExprOps(C);
+  return N;
+}
+
+void SDFGInterpreter::executeTasklet(
+    const State &S, const Tasklet *T,
+    std::map<std::string, std::int64_t> &Env, ValueCache &Values) {
+  ++Stats.TaskletsExecuted;
+  {
+    auto It = TaskletOpCount.find(T);
+    if (It == TaskletOpCount.end()) {
+      std::uint64_t N = 0;
+      for (const auto &[Conn, Code] : T->Code)
+        N += countTExprOps(Code);
+      It = TaskletOpCount.emplace(T, N).first;
+    }
+    Stats.OpsExecuted += It->second;
+  }
+  const StateCache &C = cacheFor(S);
+  // Gather inputs.
+  std::map<std::string, RtVal> Inputs;
+  static const std::vector<const DataflowEdge *> None;
+  auto InIt = C.In.find(T->getId());
+  for (const DataflowEdge *E : InIt == C.In.end() ? None : InIt->second) {
+    if (E->M.isEmpty()) {
+      if (!E->SrcConn.empty() && !E->DstConn.empty()) {
+        // Direct value edge from another tasklet.
+        auto It = Values.find({E->Src, E->SrcConn});
+        assert(It != Values.end() && "value edge source not yet executed");
+        Inputs[E->DstConn] = It->second;
+      }
+      continue;
+    }
+    BufferPtr B = buffer(E->M.Data);
+    std::vector<std::int64_t> Idx = evalIndices(E->M.Subset, Env);
+    Inputs[E->DstConn] = B->readAt(Idx);
+    ++Stats.Loads;
+    Stats.BytesMoved += dtypeSize(B->Ty);
+  }
+  auto Input = [&](const std::string &Conn) -> RtVal {
+    auto It = Inputs.find(Conn);
+    assert(It != Inputs.end() && "tasklet read an unconnected input");
+    return It->second;
+  };
+  // Evaluate each output and write through the out edges.
+  auto SymResolver = [&](const sym::SymExpr &E2) {
+    return evalSym(E2, Env);
+  };
+  std::map<std::string, RtVal> Outputs;
+  for (const auto &[Conn, Expr] : T->Code) {
+    Outputs[Conn] = evalTExpr(Expr, Input, SymResolver, Mode);
+    Values[{T->getId(), Conn}] = Outputs[Conn];
+  }
+  auto OutIt = C.Out.find(T->getId());
+  for (const DataflowEdge *E : OutIt == C.Out.end() ? None : OutIt->second) {
+    if (E->M.isEmpty())
+      continue;
+    auto It = Outputs.find(E->SrcConn);
+    assert(It != Outputs.end() && "unconnected tasklet output");
+    BufferPtr B = buffer(E->M.Data);
+    std::vector<std::int64_t> Idx = evalIndices(E->M.Subset, Env);
+    RtVal V = It->second;
+    if (!E->M.Wcr.empty())
+      V = applyWcr(E->M.Wcr, B->readAt(Idx), V);
+    B->writeAt(Idx, V);
+    ++Stats.Stores;
+    Stats.BytesMoved += dtypeSize(B->Ty);
+  }
+}
+
+void SDFGInterpreter::executeCopy(const State &S, const DataflowEdge &E,
+                                  std::map<std::string, std::int64_t> &Env) {
+  // The memlet names the source container and the copied subset; data lands
+  // at the same indices of the destination access node's container.
+  const auto *DstNode = cast<AccessNode>(S.getNode(E.Dst));
+  BufferPtr Src = buffer(E.M.Data);
+  BufferPtr Dst = buffer(DstNode->getData());
+  // Iterate the (rectangular) subset.
+  size_t Rank = E.M.Subset.rank();
+  std::vector<std::int64_t> Begin(Rank), End(Rank), Step(Rank);
+  for (size_t D = 0; D < Rank; ++D) {
+    const sym::SymRange &R = E.M.Subset.dim(D);
+    Begin[D] = evalSym(R.Begin, Env);
+    End[D] = evalSym(R.End, Env);
+    Step[D] = R.Step ? evalSym(R.Step, Env) : 1;
+    assert(Step[D] > 0 && "copy subset requires positive steps");
+  }
+  std::vector<std::int64_t> Idx = Begin;
+  std::uint64_t Elems = 0;
+  while (true) {
+    bool InRange = true;
+    for (size_t D = 0; D < Rank; ++D)
+      if (Idx[D] >= End[D])
+        InRange = false;
+    if (Rank == 0) {
+      Dst->write(0, Src->read(0));
+      ++Elems;
+      break;
+    }
+    if (InRange) {
+      RtVal V = Src->readAt(Idx);
+      if (!E.M.Wcr.empty())
+        V = applyWcr(E.M.Wcr, Dst->readAt(Idx), V);
+      Dst->writeAt(Idx, V);
+      ++Elems;
+    }
+    // Advance odometer.
+    size_t D = Rank;
+    while (D > 0) {
+      --D;
+      Idx[D] += Step[D];
+      if (Idx[D] < End[D])
+        break;
+      if (D == 0)
+        goto done;
+      Idx[D] = Begin[D];
+    }
+    if (Rank == 0)
+      break;
+  }
+done:
+  Stats.Loads += Elems;
+  Stats.Stores += Elems;
+  Stats.BytesMoved += 2 * Elems * dtypeSize(Src->Ty);
+}
+
+void SDFGInterpreter::executeMap(const State &S, const MapEntry *Entry,
+                                 std::map<std::string, std::int64_t> &Env,
+                                 std::set<int> &Consumed) {
+  // Scope discovery: nodes reachable from the entry without crossing the
+  // paired exit.
+  std::set<int> Scope;
+  std::vector<int> Work = {Entry->getId()};
+  while (!Work.empty()) {
+    int Id = Work.back();
+    Work.pop_back();
+    for (const DataflowEdge &E : S.edges()) {
+      if (E.Src != Id)
+        continue;
+      if (E.Dst == Entry->ExitId)
+        continue;
+      if (Scope.insert(E.Dst).second)
+        Work.push_back(E.Dst);
+    }
+  }
+  Scope.erase(Entry->getId());
+  for (int Id : Scope)
+    Consumed.insert(Id);
+  Consumed.insert(Entry->ExitId);
+
+  // Topological order restricted to the scope.
+  std::vector<Node *> ScopeOrder;
+  for (Node *N : S.topologicalOrder())
+    if (Scope.count(N->getId()))
+      ScopeOrder.push_back(N);
+
+  // Iterate the parametric domain.
+  size_t Rank = Entry->Params.size();
+  std::vector<std::int64_t> Begin(Rank), End(Rank), Step(Rank);
+  for (size_t D = 0; D < Rank; ++D) {
+    Begin[D] = evalSym(Entry->Ranges[D].Begin, Env);
+    End[D] = evalSym(Entry->Ranges[D].End, Env);
+    Step[D] =
+        Entry->Ranges[D].Step ? evalSym(Entry->Ranges[D].Step, Env) : 1;
+    assert(Step[D] > 0 && "map requires positive steps");
+  }
+  std::vector<std::int64_t> Point = Begin;
+  if (Rank == 0)
+    return;
+  // Odometer loop over the rectangular domain.
+  while (true) {
+    bool InRange = true;
+    for (size_t D = 0; D < Rank; ++D)
+      if (Point[D] >= End[D])
+        InRange = false;
+    if (InRange) {
+      ++Stats.MapIterations;
+      std::map<std::string, std::int64_t> Inner = Env;
+      for (size_t D = 0; D < Rank; ++D)
+        Inner[Entry->Params[D]] = Point[D];
+      ValueCache ScopeValues;
+      executeNodes(S, ScopeOrder, Inner, ScopeValues);
+    }
+    size_t D = Rank;
+    bool Done = false;
+    while (D > 0) {
+      --D;
+      Point[D] += Step[D];
+      if (Point[D] < End[D])
+        break;
+      if (D == 0) {
+        Done = true;
+        break;
+      }
+      Point[D] = Begin[D];
+    }
+    if (Done)
+      break;
+  }
+}

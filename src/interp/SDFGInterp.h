@@ -1,0 +1,120 @@
+//===- SDFGInterp.h - SDFG execution engine ---------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes SDFGs directly: the state machine walks interstate edges whose
+/// symbolic conditions/assignments are evaluated against a symbol
+/// environment; each state's dataflow graph runs in topological order; map
+/// scopes iterate their parametric domain. This replaces DaCe's C++ code
+/// generation + native compilation with a uniform machine (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_INTERP_SDFGINTERP_H
+#define DCIR_INTERP_SDFGINTERP_H
+
+#include "interp/Buffer.h"
+#include "interp/FastMath.h"
+#include "interp/Stats.h"
+#include "sdfg/SDFG.h"
+
+#include <functional>
+#include <map>
+
+namespace dcir {
+namespace interp {
+
+/// Evaluates a tasklet expression; \p Input resolves connector names and
+/// \p SymResolver evaluates symbolic subexpressions (loop indices, sizes).
+sdfg::RtVal
+evalTExpr(const sdfg::TExpr &E,
+          const std::function<sdfg::RtVal(const std::string &)> &Input,
+          const std::function<std::int64_t(const sym::SymExpr &)> &SymResolver,
+          MathMode Mode);
+
+/// Interprets one SDFG.
+class SDFGInterpreter {
+public:
+  explicit SDFGInterpreter(const sdfg::SDFG &G,
+                           MathMode Mode = MathMode::Precise)
+      : G(G), Mode(Mode) {}
+
+  /// Provides the buffer for a non-transient container.
+  void bind(const std::string &Name, BufferPtr B) { Buffers[Name] = B; }
+  /// Sets a free symbol's value before running.
+  void setSymbol(const std::string &Name, std::int64_t V) {
+    SymEnv[Name] = V;
+  }
+
+  /// Runs from the start state until the state machine halts.
+  void run();
+
+  /// Reads a scalar container's current value (for checksums).
+  sdfg::RtVal readScalar(const std::string &Name);
+  /// Returns the buffer backing \p Name (allocating transients on demand).
+  BufferPtr buffer(const std::string &Name);
+
+  ExecutionStats &stats() { return Stats; }
+  const std::map<std::string, std::int64_t> &symbols() const {
+    return SymEnv;
+  }
+
+private:
+  /// Values produced by tasklets flowing over direct value edges
+  /// (tasklet-to-tasklet, empty memlet with connectors).
+  using ValueCache = std::map<std::pair<int, std::string>, sdfg::RtVal>;
+
+  /// Cached per-state adjacency and topological order (states execute many
+  /// times inside loops; recomputing per execution dominates otherwise).
+  struct StateCache {
+    std::vector<sdfg::Node *> Order;
+    std::map<int, std::vector<const sdfg::DataflowEdge *>> In, Out;
+  };
+  const StateCache &cacheFor(const sdfg::State &S);
+
+  /// Interstate adjacency, built once per run.
+  const std::vector<const sdfg::InterstateEdge *> &
+  interstateOut(const sdfg::State *S);
+
+  void executeState(const sdfg::State &S);
+  void executeNodes(const sdfg::State &S,
+                    const std::vector<sdfg::Node *> &Order,
+                    std::map<std::string, std::int64_t> &Env,
+                    ValueCache &Values);
+  void executeTasklet(const sdfg::State &S, const sdfg::Tasklet *T,
+                      std::map<std::string, std::int64_t> &Env,
+                      ValueCache &Values);
+  void executeCopy(const sdfg::State &S, const sdfg::DataflowEdge &E,
+                   std::map<std::string, std::int64_t> &Env);
+  void executeMap(const sdfg::State &S, const sdfg::MapEntry *Entry,
+                  std::map<std::string, std::int64_t> &Env,
+                  std::set<int> &Consumed);
+
+  /// Evaluates a symbolic expression against symbols, map parameters, and
+  /// (fallback) integer scalar containers.
+  std::int64_t evalSym(const sym::SymExpr &E,
+                       const std::map<std::string, std::int64_t> &Env);
+
+  std::vector<std::int64_t>
+  evalIndices(const sym::SymSubset &Subset,
+              const std::map<std::string, std::int64_t> &Env);
+
+  const sdfg::SDFG &G;
+  MathMode Mode;
+  ExecutionStats Stats;
+  std::map<std::string, BufferPtr> Buffers;
+  std::map<std::string, std::int64_t> SymEnv;
+  std::map<const sdfg::State *, StateCache> Caches;
+  std::map<int, std::vector<const sdfg::InterstateEdge *>> IsOutCache;
+  bool IsOutBuilt = false;
+  /// Per-tasklet scalar-operation counts (for the work counter).
+  std::map<const sdfg::Tasklet *, std::uint64_t> TaskletOpCount;
+};
+
+} // namespace interp
+} // namespace dcir
+
+#endif // DCIR_INTERP_SDFGINTERP_H

@@ -1,0 +1,20 @@
+//===- Stats.cpp --------------------------------------------------------------------===//
+
+#include "interp/Stats.h"
+
+#include <sstream>
+
+using namespace dcir;
+
+std::string interp::ExecutionStats::str() const {
+  std::ostringstream OS;
+  OS << "ops=" << OpsExecuted << " tasklets=" << TaskletsExecuted
+     << " loads=" << Loads << " stores=" << Stores
+     << " bytes_moved=" << BytesMoved << " heap_allocs=" << HeapAllocs
+     << " stack_allocs=" << StackAllocs
+     << " register_allocs=" << RegisterAllocs
+     << " bytes_allocated=" << BytesAllocated
+     << " state_transitions=" << StateTransitions
+     << " map_iterations=" << MapIterations;
+  return OS.str();
+}

@@ -1,0 +1,56 @@
+//===- Stats.h - execution accounting -------------------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter-side stand-in for PAPI counters (paper §7.1): both
+/// execution engines count the quantities the paper's optimizations change —
+/// work executed, data moved, memory allocated per storage class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_INTERP_STATS_H
+#define DCIR_INTERP_STATS_H
+
+#include <cstdint>
+#include <string>
+
+namespace dcir {
+namespace interp {
+
+struct ExecutionStats {
+  std::uint64_t OpsExecuted = 0;       // MLIR ops or tasklets.
+  std::uint64_t TaskletsExecuted = 0;  // SDFG only.
+  std::uint64_t Loads = 0;
+  std::uint64_t Stores = 0;
+  std::uint64_t BytesMoved = 0;
+  std::uint64_t HeapAllocs = 0;
+  std::uint64_t StackAllocs = 0;
+  std::uint64_t RegisterAllocs = 0;
+  std::uint64_t BytesAllocated = 0;
+  std::uint64_t StateTransitions = 0;  // SDFG only.
+  std::uint64_t MapIterations = 0;     // SDFG only.
+
+  void merge(const ExecutionStats &O) {
+    OpsExecuted += O.OpsExecuted;
+    TaskletsExecuted += O.TaskletsExecuted;
+    Loads += O.Loads;
+    Stores += O.Stores;
+    BytesMoved += O.BytesMoved;
+    HeapAllocs += O.HeapAllocs;
+    StackAllocs += O.StackAllocs;
+    RegisterAllocs += O.RegisterAllocs;
+    BytesAllocated += O.BytesAllocated;
+    StateTransitions += O.StateTransitions;
+    MapIterations += O.MapIterations;
+  }
+
+  std::string str() const;
+};
+
+} // namespace interp
+} // namespace dcir
+
+#endif // DCIR_INTERP_STATS_H

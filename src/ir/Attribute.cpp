@@ -1,0 +1,202 @@
+//===- Attribute.cpp --------------------------------------------------------===//
+
+#include "ir/Attribute.h"
+
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+using namespace dcir;
+using namespace dcir::ir;
+
+namespace dcir {
+namespace ir {
+namespace detail {
+struct AttrFactory {
+  static Attribute make(AttrStorage Storage) {
+    return Attribute(
+        std::make_shared<const AttrStorage>(std::move(Storage)));
+  }
+};
+} // namespace detail
+} // namespace ir
+} // namespace dcir
+
+static Attribute makeAttr(detail::AttrStorage Storage) {
+  return detail::AttrFactory::make(std::move(Storage));
+}
+
+Attribute Attribute::getInt(std::int64_t Value) {
+  detail::AttrStorage S;
+  S.Kind = AttrKind::Integer;
+  S.IntValue = Value;
+  return makeAttr(std::move(S));
+}
+
+Attribute Attribute::getFloat(double Value) {
+  detail::AttrStorage S;
+  S.Kind = AttrKind::Float;
+  S.FloatValue = Value;
+  return makeAttr(std::move(S));
+}
+
+Attribute Attribute::getBool(bool Value) {
+  detail::AttrStorage S;
+  S.Kind = AttrKind::Bool;
+  S.BoolValue = Value;
+  return makeAttr(std::move(S));
+}
+
+Attribute Attribute::getString(std::string Value) {
+  detail::AttrStorage S;
+  S.Kind = AttrKind::String;
+  S.StringValue = std::move(Value);
+  return makeAttr(std::move(S));
+}
+
+Attribute Attribute::getType(Type Value) {
+  detail::AttrStorage S;
+  S.Kind = AttrKind::TypeAttr;
+  S.TypeValue = Value;
+  return makeAttr(std::move(S));
+}
+
+Attribute Attribute::getSymExpr(sym::SymExpr Value) {
+  detail::AttrStorage S;
+  S.Kind = AttrKind::SymExpr;
+  S.SymValue = std::move(Value);
+  return makeAttr(std::move(S));
+}
+
+Attribute Attribute::getSymSubset(sym::SymSubset Value) {
+  detail::AttrStorage S;
+  S.Kind = AttrKind::SymSubset;
+  S.SubsetValue = std::move(Value);
+  return makeAttr(std::move(S));
+}
+
+Attribute Attribute::getArray(std::vector<Attribute> Values) {
+  detail::AttrStorage S;
+  S.Kind = AttrKind::Array;
+  S.ArrayValue = std::move(Values);
+  return makeAttr(std::move(S));
+}
+
+Attribute Attribute::getUnit() {
+  detail::AttrStorage S;
+  S.Kind = AttrKind::Unit;
+  return makeAttr(std::move(S));
+}
+
+AttrKind Attribute::getKind() const {
+  assert(Impl && "getKind() on null attribute");
+  return Impl->Kind;
+}
+
+std::int64_t Attribute::asInt() const {
+  assert(getKind() == AttrKind::Integer && "not an integer attribute");
+  return Impl->IntValue;
+}
+
+double Attribute::asFloat() const {
+  assert(getKind() == AttrKind::Float && "not a float attribute");
+  return Impl->FloatValue;
+}
+
+bool Attribute::asBool() const {
+  assert(getKind() == AttrKind::Bool && "not a bool attribute");
+  return Impl->BoolValue;
+}
+
+const std::string &Attribute::asString() const {
+  assert(getKind() == AttrKind::String && "not a string attribute");
+  return Impl->StringValue;
+}
+
+Type Attribute::asType() const {
+  assert(getKind() == AttrKind::TypeAttr && "not a type attribute");
+  return Impl->TypeValue;
+}
+
+const sym::SymExpr &Attribute::asSymExpr() const {
+  assert(getKind() == AttrKind::SymExpr && "not a symbolic attribute");
+  return Impl->SymValue;
+}
+
+const sym::SymSubset &Attribute::asSymSubset() const {
+  assert(getKind() == AttrKind::SymSubset && "not a subset attribute");
+  return Impl->SubsetValue;
+}
+
+const std::vector<Attribute> &Attribute::asArray() const {
+  assert(getKind() == AttrKind::Array && "not an array attribute");
+  return Impl->ArrayValue;
+}
+
+bool Attribute::equals(const Attribute &Other) const {
+  if (Impl == Other.Impl)
+    return true;
+  if (!Impl || !Other.Impl)
+    return false;
+  if (Impl->Kind != Other.Impl->Kind)
+    return false;
+  return str() == Other.str();
+}
+
+static void escapeInto(std::ostringstream &OS, const std::string &S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      OS << '\\';
+    OS << C;
+  }
+}
+
+std::string Attribute::str() const {
+  if (!Impl)
+    return "<<null-attr>>";
+  std::ostringstream OS;
+  switch (Impl->Kind) {
+  case AttrKind::Integer:
+    OS << Impl->IntValue;
+    break;
+  case AttrKind::Float:
+    OS << std::setprecision(17) << Impl->FloatValue;
+    if (OS.str().find('.') == std::string::npos &&
+        OS.str().find('e') == std::string::npos &&
+        OS.str().find("inf") == std::string::npos &&
+        OS.str().find("nan") == std::string::npos)
+      OS << ".0";
+    break;
+  case AttrKind::Bool:
+    OS << (Impl->BoolValue ? "true" : "false");
+    break;
+  case AttrKind::String:
+    OS << '"';
+    escapeInto(OS, Impl->StringValue);
+    OS << '"';
+    break;
+  case AttrKind::TypeAttr:
+    OS << Impl->TypeValue.str();
+    break;
+  case AttrKind::SymExpr:
+    OS << "sym(\"" << Impl->SymValue.str() << "\")";
+    break;
+  case AttrKind::SymSubset:
+    OS << "subset(\"" << Impl->SubsetValue.str() << "\")";
+    break;
+  case AttrKind::Array: {
+    OS << "[";
+    for (size_t I = 0; I < Impl->ArrayValue.size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << Impl->ArrayValue[I].str();
+    }
+    OS << "]";
+    break;
+  }
+  case AttrKind::Unit:
+    OS << "unit";
+    break;
+  }
+  return OS.str();
+}

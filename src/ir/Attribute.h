@@ -1,0 +1,102 @@
+//===- Attribute.h - Constant op metadata ---------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Attributes attach compile-time-constant metadata to operations: literal
+/// values, names, types, and — specific to the sdfg dialect — symbolic
+/// expressions and subsets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_IR_ATTRIBUTE_H
+#define DCIR_IR_ATTRIBUTE_H
+
+#include "ir/Type.h"
+#include "symbolic/SymRange.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dcir {
+namespace ir {
+
+/// Discriminator for attribute payloads.
+enum class AttrKind {
+  Integer,
+  Float,
+  Bool,
+  String,
+  TypeAttr,
+  SymExpr,
+  SymSubset,
+  Array,
+  Unit
+};
+
+class Attribute;
+
+namespace detail {
+struct AttrStorage {
+  AttrKind Kind;
+  std::int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  bool BoolValue = false;
+  std::string StringValue;
+  Type TypeValue;
+  sym::SymExpr SymValue;
+  sym::SymSubset SubsetValue;
+  std::vector<Attribute> ArrayValue;
+};
+struct AttrFactory;
+} // namespace detail
+
+/// Immutable value-semantics attribute handle. A default-constructed
+/// Attribute is null, meaning "absent".
+class Attribute {
+public:
+  Attribute() = default;
+
+  static Attribute getInt(std::int64_t Value);
+  static Attribute getFloat(double Value);
+  static Attribute getBool(bool Value);
+  static Attribute getString(std::string Value);
+  static Attribute getType(Type Value);
+  static Attribute getSymExpr(sym::SymExpr Value);
+  static Attribute getSymSubset(sym::SymSubset Value);
+  static Attribute getArray(std::vector<Attribute> Values);
+  static Attribute getUnit();
+
+  bool isNull() const { return !Impl; }
+  explicit operator bool() const { return Impl != nullptr; }
+  AttrKind getKind() const;
+
+  std::int64_t asInt() const;
+  double asFloat() const;
+  bool asBool() const;
+  const std::string &asString() const;
+  Type asType() const;
+  const sym::SymExpr &asSymExpr() const;
+  const sym::SymSubset &asSymSubset() const;
+  const std::vector<Attribute> &asArray() const;
+
+  bool equals(const Attribute &Other) const;
+
+  /// Canonical textual rendering used by the printer (and as a CSE key).
+  std::string str() const;
+
+private:
+  friend struct detail::AttrFactory;
+  explicit Attribute(std::shared_ptr<const detail::AttrStorage> Impl)
+      : Impl(std::move(Impl)) {}
+  std::shared_ptr<const detail::AttrStorage> Impl;
+};
+
+} // namespace ir
+} // namespace dcir
+
+#endif // DCIR_IR_ATTRIBUTE_H

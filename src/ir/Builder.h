@@ -1,0 +1,77 @@
+//===- Builder.h - Operation construction helper ---------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OpBuilder tracks an insertion point inside a block and creates operations
+/// there, mirroring mlir::OpBuilder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_IR_BUILDER_H
+#define DCIR_IR_BUILDER_H
+
+#include "ir/IR.h"
+
+namespace dcir {
+namespace ir {
+
+/// Creates operations at a movable insertion point.
+class OpBuilder {
+public:
+  explicit OpBuilder(IRContext &Ctx) : Ctx(Ctx) {}
+
+  IRContext &getContext() { return Ctx; }
+
+  /// Inserts subsequent ops at the end of \p B.
+  void setInsertionPointToEnd(Block *B) {
+    InsertBlock = B;
+    InsertBeforeOp = nullptr;
+  }
+  /// Inserts subsequent ops immediately before \p Op.
+  void setInsertionPoint(Operation *Op) {
+    InsertBlock = Op->getParentBlock();
+    InsertBeforeOp = Op;
+  }
+  /// Inserts subsequent ops immediately after \p Op.
+  void setInsertionPointAfter(Operation *Op) {
+    InsertBlock = Op->getParentBlock();
+    InsertBeforeOp = Op->getNextInBlock();
+  }
+
+  Block *getInsertionBlock() const { return InsertBlock; }
+
+  /// Creates and inserts an operation at the current point.
+  Operation *create(std::string Name, SourceLoc Loc,
+                    std::vector<Value *> Operands,
+                    std::vector<Type> ResultTypes,
+                    Operation::AttrMap Attrs = {}, unsigned NumRegions = 0) {
+    Operation *Op =
+        Operation::create(Ctx, std::move(Name), Loc, std::move(Operands),
+                          std::move(ResultTypes), std::move(Attrs),
+                          NumRegions);
+    insert(Op);
+    return Op;
+  }
+
+  /// Inserts an already-created detached operation at the current point.
+  void insert(Operation *Op) {
+    assert(InsertBlock && "no insertion point set");
+    if (InsertBeforeOp)
+      InsertBlock->insertBefore(Op, InsertBeforeOp);
+    else
+      InsertBlock->push_back(Op);
+  }
+
+private:
+  IRContext &Ctx;
+  Block *InsertBlock = nullptr;
+  Operation *InsertBeforeOp = nullptr;
+};
+
+} // namespace ir
+} // namespace dcir
+
+#endif // DCIR_IR_BUILDER_H

@@ -1,0 +1,301 @@
+//===- IR.cpp ----------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include <algorithm>
+
+using namespace dcir;
+using namespace dcir::ir;
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+Operation *Value::getDefiningOp() const {
+  if (const auto *R = dyn_cast<OpResult>(this))
+    return R->getOwner();
+  return nullptr;
+}
+
+void Value::removeUser(Operation *Op) {
+  auto It = std::find(Users.begin(), Users.end(), Op);
+  assert(It != Users.end() && "removing a non-user");
+  Users.erase(It);
+}
+
+void Value::replaceAllUsesWith(Value *Other) {
+  assert(Other != this && "self-replacement");
+  while (!Users.empty()) {
+    Operation *User = Users.back();
+    User->replaceUsesOfWith(this, Other);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Operation
+//===----------------------------------------------------------------------===//
+
+Operation *Operation::create(IRContext &Ctx, std::string Name, SourceLoc Loc,
+                             std::vector<Value *> Operands,
+                             std::vector<Type> ResultTypes, AttrMap Attrs,
+                             unsigned NumRegions) {
+  auto *Op = new Operation(Ctx, std::move(Name), Loc);
+  for (Value *V : Operands) {
+    assert(V && "null operand");
+    Op->Operands.push_back(V);
+    V->addUser(Op);
+  }
+  for (size_t I = 0; I < ResultTypes.size(); ++I)
+    Op->Results.push_back(std::make_unique<OpResult>(
+        Op, static_cast<unsigned>(I), ResultTypes[I]));
+  Op->Attrs = std::move(Attrs);
+  for (unsigned I = 0; I < NumRegions; ++I)
+    Op->addRegion();
+  return Op;
+}
+
+/// Recursively severs every operand use-link below (and including) this op,
+/// making destruction order-independent.
+static void dropAllReferences(Operation *Op);
+
+Operation::~Operation() { ::dropAllReferences(this); }
+
+static void dropAllReferences(Operation *Op) {
+  for (size_t R = 0; R < Op->getNumRegions(); ++R)
+    for (auto &BlockPtr : Op->getRegion(R).getBlocks())
+      for (auto &Nested : *BlockPtr)
+        dropAllReferences(Nested.get());
+  while (Op->getNumOperands() > 0)
+    Op->eraseOperand(Op->getNumOperands() - 1);
+}
+
+void Operation::setOperand(size_t I, Value *V) {
+  assert(I < Operands.size() && "operand index out of range");
+  assert(V && "null operand");
+  Operands[I]->removeUser(this);
+  Operands[I] = V;
+  V->addUser(this);
+}
+
+void Operation::appendOperand(Value *V) {
+  assert(V && "null operand");
+  Operands.push_back(V);
+  V->addUser(this);
+}
+
+void Operation::eraseOperand(size_t I) {
+  assert(I < Operands.size() && "operand index out of range");
+  Operands[I]->removeUser(this);
+  Operands.erase(Operands.begin() + I);
+}
+
+void Operation::replaceUsesOfWith(Value *From, Value *To) {
+  for (size_t I = 0; I < Operands.size(); ++I)
+    if (Operands[I] == From)
+      setOperand(I, To);
+}
+
+bool Operation::allResultsUnused() const {
+  for (const auto &R : Results)
+    if (!R->useEmpty())
+      return false;
+  return true;
+}
+
+Attribute Operation::getAttr(const std::string &Key) const {
+  auto It = Attrs.find(Key);
+  return It == Attrs.end() ? Attribute() : It->second;
+}
+
+Region *Operation::addRegion() {
+  Regions.push_back(std::make_unique<Region>(this));
+  return Regions.back().get();
+}
+
+Operation *Operation::getParentOp() const {
+  return ParentBlock ? ParentBlock->getParentOp() : nullptr;
+}
+
+void Operation::erase() {
+  assert(allResultsUnused() && "erasing an operation with live uses");
+  if (!ParentBlock) {
+    delete this;
+    return;
+  }
+  std::unique_ptr<Operation> Self = removeFromBlock();
+  // Self's destructor runs at scope end.
+}
+
+std::unique_ptr<Operation> Operation::removeFromBlock() {
+  assert(ParentBlock && "not in a block");
+  std::unique_ptr<Operation> Self = std::move(*SelfIt);
+  ParentBlock->Ops.erase(SelfIt);
+  ParentBlock = nullptr;
+  return Self;
+}
+
+void Operation::eraseDetached(Operation *Op) {
+  assert(!Op->ParentBlock && "operation is attached to a block");
+  delete Op;
+}
+
+void Operation::moveBefore(Operation *Other) {
+  assert(ParentBlock && Other->ParentBlock && "both ops must be in blocks");
+  Block *Dst = Other->ParentBlock;
+  Dst->Ops.splice(Other->SelfIt, ParentBlock->Ops, SelfIt);
+  ParentBlock = Dst;
+}
+
+Operation *Operation::getNextInBlock() const {
+  if (!ParentBlock)
+    return nullptr;
+  auto It = SelfIt;
+  ++It;
+  return It == ParentBlock->Ops.end() ? nullptr : It->get();
+}
+
+Operation *Operation::getPrevInBlock() const {
+  if (!ParentBlock || SelfIt == ParentBlock->Ops.begin())
+    return nullptr;
+  auto It = SelfIt;
+  --It;
+  return It->get();
+}
+
+bool Operation::isDescendantOf(const Operation *Ancestor) const {
+  for (Operation *P = getParentOp(); P; P = P->getParentOp())
+    if (P == Ancestor)
+      return true;
+  return false;
+}
+
+void Operation::walk(const std::function<void(Operation *)> &Fn) {
+  for (auto &R : Regions)
+    for (auto &B : R->getBlocks())
+      for (auto &Op : *B)
+        Op->walk(Fn);
+  Fn(this);
+}
+
+void Operation::walkPreOrder(const std::function<void(Operation *)> &Fn) {
+  Fn(this);
+  for (auto &R : Regions)
+    for (auto &B : R->getBlocks())
+      for (auto &Op : *B)
+        Op->walkPreOrder(Fn);
+}
+
+Operation *Operation::clone(std::map<Value *, Value *> &Mapping) const {
+  std::vector<Value *> NewOperands;
+  NewOperands.reserve(Operands.size());
+  for (Value *V : Operands) {
+    auto It = Mapping.find(V);
+    NewOperands.push_back(It == Mapping.end() ? V : It->second);
+  }
+  std::vector<Type> ResultTypes;
+  ResultTypes.reserve(Results.size());
+  for (const auto &R : Results)
+    ResultTypes.push_back(R->getType());
+  Operation *New = Operation::create(Ctx, Name, Loc, std::move(NewOperands),
+                                     std::move(ResultTypes), Attrs, 0);
+  for (size_t I = 0; I < Results.size(); ++I)
+    Mapping[Results[I].get()] = New->getResult(I);
+  for (const auto &R : Regions) {
+    Region *NewRegion = New->addRegion();
+    for (const auto &B : R->getBlocks()) {
+      Block *NewBlock = NewRegion->addBlock();
+      for (size_t I = 0; I < B->getNumArguments(); ++I) {
+        BlockArgument *NewArg =
+            NewBlock->addArgument(B->getArgument(I)->getType());
+        Mapping[B->getArgument(I)] = NewArg;
+      }
+      for (const auto &Op : *B)
+        NewBlock->push_back(Op->clone(Mapping));
+    }
+  }
+  return New;
+}
+
+//===----------------------------------------------------------------------===//
+// Block
+//===----------------------------------------------------------------------===//
+
+Operation *Block::getParentOp() const {
+  return ParentRegion ? ParentRegion->getParentOp() : nullptr;
+}
+
+BlockArgument *Block::addArgument(Type Ty) {
+  Args.push_back(std::make_unique<BlockArgument>(
+      this, static_cast<unsigned>(Args.size()), Ty));
+  return Args.back().get();
+}
+
+void Block::eraseArgument(size_t I) {
+  assert(I < Args.size() && "argument index out of range");
+  assert(Args[I]->useEmpty() && "erasing an argument with live uses");
+  Args.erase(Args.begin() + I);
+  // Reindex the remaining arguments.
+  for (size_t J = I; J < Args.size(); ++J)
+    Args[J]->Index = static_cast<unsigned>(J);
+}
+
+Operation *Block::getTerminator() const {
+  if (Ops.empty())
+    return nullptr;
+  Operation *Last = Ops.back().get();
+  return Last->isTerminator() ? Last : nullptr;
+}
+
+void Block::push_back(Operation *Op) {
+  assert(!Op->ParentBlock && "operation already in a block");
+  Ops.push_back(std::unique_ptr<Operation>(Op));
+  Op->ParentBlock = this;
+  Op->SelfIt = std::prev(Ops.end());
+}
+
+void Block::insertBefore(Operation *Op, Operation *Before) {
+  assert(!Op->ParentBlock && "operation already in a block");
+  assert(Before->ParentBlock == this && "insertion point not in this block");
+  auto It = Ops.insert(Before->SelfIt, std::unique_ptr<Operation>(Op));
+  Op->ParentBlock = this;
+  Op->SelfIt = It;
+}
+
+//===----------------------------------------------------------------------===//
+// Region
+//===----------------------------------------------------------------------===//
+
+Block *Region::addBlock() {
+  Blocks.push_back(std::make_unique<Block>(this));
+  return Blocks.back().get();
+}
+
+Block &Region::getOrCreateEntryBlock() {
+  if (Blocks.empty())
+    addBlock();
+  return *Blocks.front();
+}
+
+//===----------------------------------------------------------------------===//
+// Module helpers
+//===----------------------------------------------------------------------===//
+
+Operation *dcir::ir::createModule(IRContext &Ctx) {
+  Operation *Module = Operation::create(Ctx, kModuleOpName, SourceLoc(), {},
+                                        {}, {}, /*NumRegions=*/1);
+  Module->getRegion(0).addBlock();
+  return Module;
+}
+
+Operation *dcir::ir::lookupFunction(Operation *Module,
+                                    const std::string &Name) {
+  assert(Module->getName() == kModuleOpName && "not a module");
+  for (auto &Op : Module->getRegion(0).front()) {
+    if (Op->getName() != "func.func")
+      continue;
+    Attribute SymName = Op->getAttr("sym_name");
+    if (SymName && SymName.asString() == Name)
+      return Op.get();
+  }
+  return nullptr;
+}

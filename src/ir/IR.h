@@ -1,0 +1,336 @@
+//===- IR.h - Values, operations, blocks, regions --------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Core SSA IR structures mirroring MLIR: a module is an Operation holding a
+/// Region of Blocks; Blocks hold Operations; Operations use Values (results
+/// of other operations or block arguments) and may themselves carry nested
+/// Regions. Use-def chains support replace-all-uses-with and liveness-style
+/// queries needed by the control-centric passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_IR_IR_H
+#define DCIR_IR_IR_H
+
+#include "ir/Attribute.h"
+#include "ir/IRContext.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dcir {
+namespace ir {
+
+class Block;
+class Operation;
+class Region;
+
+/// An SSA value: either an operation result or a block argument.
+class Value {
+public:
+  enum class ValueKind { OpResult, BlockArg };
+
+  virtual ~Value() = default;
+
+  ValueKind getValueKind() const { return Kind; }
+  Type getType() const { return Ty; }
+  void setType(Type T) { Ty = T; }
+
+  /// The operation defining this value, or null for block arguments.
+  Operation *getDefiningOp() const;
+
+  /// All operations currently using this value (with multiplicity).
+  const std::vector<Operation *> &getUsers() const { return Users; }
+  bool useEmpty() const { return Users.empty(); }
+  bool hasOneUse() const { return Users.size() == 1; }
+  size_t getNumUses() const { return Users.size(); }
+
+  /// Rewrites every use of this value to use \p Other instead.
+  void replaceAllUsesWith(Value *Other);
+
+protected:
+  Value(ValueKind Kind, Type Ty) : Kind(Kind), Ty(Ty) {}
+
+private:
+  friend class Operation;
+  void addUser(Operation *Op) { Users.push_back(Op); }
+  void removeUser(Operation *Op);
+
+  ValueKind Kind;
+  Type Ty;
+  std::vector<Operation *> Users;
+};
+
+/// A value produced by an operation.
+class OpResult : public Value {
+public:
+  OpResult(Operation *Owner, unsigned Index, Type Ty)
+      : Value(ValueKind::OpResult, Ty), Owner(Owner), Index(Index) {}
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::OpResult;
+  }
+
+  Operation *getOwner() const { return Owner; }
+  unsigned getResultIndex() const { return Index; }
+
+private:
+  Operation *Owner;
+  unsigned Index;
+};
+
+/// A value carried by a block (function/region entry arguments).
+class BlockArgument : public Value {
+public:
+  BlockArgument(Block *Owner, unsigned Index, Type Ty)
+      : Value(ValueKind::BlockArg, Ty), Owner(Owner), Index(Index) {}
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::BlockArg;
+  }
+
+  Block *getOwner() const { return Owner; }
+  unsigned getArgIndex() const { return Index; }
+
+private:
+  friend class Block;
+  Block *Owner;
+  unsigned Index;
+};
+
+/// A generic operation: name, operands, results, attributes, nested regions.
+class Operation {
+public:
+  using AttrMap = std::map<std::string, Attribute>;
+
+  /// Creates a detached operation. Ownership passes to the block on insert;
+  /// detached operations must be deleted with eraseDetached().
+  static Operation *create(IRContext &Ctx, std::string Name, SourceLoc Loc,
+                           std::vector<Value *> Operands,
+                           std::vector<Type> ResultTypes, AttrMap Attrs,
+                           unsigned NumRegions);
+
+  ~Operation();
+
+  IRContext &getContext() const { return Ctx; }
+  const std::string &getName() const { return Name; }
+  SourceLoc getLoc() const { return Loc; }
+
+  //===--------------------------------------------------------------------===
+  // Operands
+  //===--------------------------------------------------------------------===
+
+  size_t getNumOperands() const { return Operands.size(); }
+  Value *getOperand(size_t I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  const std::vector<Value *> &getOperands() const { return Operands; }
+  void setOperand(size_t I, Value *V);
+  void appendOperand(Value *V);
+  void eraseOperand(size_t I);
+  /// Replaces every operand equal to \p From with \p To.
+  void replaceUsesOfWith(Value *From, Value *To);
+
+  //===--------------------------------------------------------------------===
+  // Results
+  //===--------------------------------------------------------------------===
+
+  size_t getNumResults() const { return Results.size(); }
+  OpResult *getResult(size_t I) const {
+    assert(I < Results.size() && "result index out of range");
+    return Results[I].get();
+  }
+  /// True if no result of this op has any use.
+  bool allResultsUnused() const;
+
+  //===--------------------------------------------------------------------===
+  // Attributes
+  //===--------------------------------------------------------------------===
+
+  Attribute getAttr(const std::string &Key) const;
+  bool hasAttr(const std::string &Key) const { return bool(getAttr(Key)); }
+  void setAttr(const std::string &Key, Attribute Value) {
+    Attrs[Key] = std::move(Value);
+  }
+  void removeAttr(const std::string &Key) { Attrs.erase(Key); }
+  const AttrMap &getAttrs() const { return Attrs; }
+
+  //===--------------------------------------------------------------------===
+  // Regions and position
+  //===--------------------------------------------------------------------===
+
+  size_t getNumRegions() const { return Regions.size(); }
+  Region &getRegion(size_t I) {
+    assert(I < Regions.size() && "region index out of range");
+    return *Regions[I];
+  }
+  const Region &getRegion(size_t I) const { return *Regions[I]; }
+  Region *addRegion();
+
+  Block *getParentBlock() const { return ParentBlock; }
+  /// The operation owning the region this op lives in (null at top level).
+  Operation *getParentOp() const;
+
+  /// Removes this op from its block and deletes it. All results must be
+  /// unused.
+  void erase();
+  /// Removes this op from its block without deleting it; the caller owns it.
+  std::unique_ptr<Operation> removeFromBlock();
+  /// Deletes a detached (never inserted / removed) operation.
+  static void eraseDetached(Operation *Op);
+
+  /// Moves this operation immediately before \p Other (same or different
+  /// block).
+  void moveBefore(Operation *Other);
+
+  /// The next/previous operation in the parent block (null at the ends).
+  Operation *getNextInBlock() const;
+  Operation *getPrevInBlock() const;
+
+  /// Returns true if \p Ancestor is a proper ancestor (region-wise) of this.
+  bool isDescendantOf(const Operation *Ancestor) const;
+
+  /// Post-order walk over this op and every nested op (children first).
+  void walk(const std::function<void(Operation *)> &Fn);
+  /// Pre-order walk (parents first).
+  void walkPreOrder(const std::function<void(Operation *)> &Fn);
+
+  /// Deep-clones this operation (detached). \p Mapping maps original values
+  /// to clones; operands not present map to themselves (uses of values
+  /// defined above the clone root).
+  Operation *clone(std::map<Value *, Value *> &Mapping) const;
+
+  /// Registered definition, or null for unregistered names.
+  const OpDefinition *getDefinition() const {
+    return Ctx.lookupOp(Name);
+  }
+  bool isPure() const {
+    const OpDefinition *Def = getDefinition();
+    return Def && Def->IsPure;
+  }
+  bool isTerminator() const {
+    const OpDefinition *Def = getDefinition();
+    return Def && Def->IsTerminator;
+  }
+
+private:
+  friend class Block;
+  Operation(IRContext &Ctx, std::string Name, SourceLoc Loc)
+      : Ctx(Ctx), Name(std::move(Name)), Loc(Loc) {}
+
+  IRContext &Ctx;
+  std::string Name;
+  SourceLoc Loc;
+  std::vector<Value *> Operands;
+  std::vector<std::unique_ptr<OpResult>> Results;
+  AttrMap Attrs;
+  std::vector<std::unique_ptr<Region>> Regions;
+
+  Block *ParentBlock = nullptr;
+  std::list<std::unique_ptr<Operation>>::iterator SelfIt;
+};
+
+/// A straight-line list of operations with entry arguments.
+class Block {
+public:
+  using OpList = std::list<std::unique_ptr<Operation>>;
+
+  explicit Block(Region *Parent) : ParentRegion(Parent) {}
+  ~Block() = default;
+
+  Region *getParentRegion() const { return ParentRegion; }
+  /// The operation owning the parent region (null for detached blocks).
+  Operation *getParentOp() const;
+
+  //===--------------------------------------------------------------------===
+  // Arguments
+  //===--------------------------------------------------------------------===
+
+  BlockArgument *addArgument(Type Ty);
+  size_t getNumArguments() const { return Args.size(); }
+  BlockArgument *getArgument(size_t I) const {
+    assert(I < Args.size() && "argument index out of range");
+    return Args[I].get();
+  }
+  /// Erases argument \p I; it must be unused.
+  void eraseArgument(size_t I);
+
+  //===--------------------------------------------------------------------===
+  // Operations
+  //===--------------------------------------------------------------------===
+
+  bool empty() const { return Ops.empty(); }
+  size_t size() const { return Ops.size(); }
+  OpList::iterator begin() { return Ops.begin(); }
+  OpList::iterator end() { return Ops.end(); }
+  OpList::const_iterator begin() const { return Ops.begin(); }
+  OpList::const_iterator end() const { return Ops.end(); }
+  Operation *front() const { return Ops.front().get(); }
+  Operation *back() const { return Ops.back().get(); }
+  /// The trailing terminator, or null when the block is empty or its last op
+  /// is not a registered terminator.
+  Operation *getTerminator() const;
+
+  /// Appends \p Op (taking ownership).
+  void push_back(Operation *Op);
+  /// Inserts \p Op before \p Before (taking ownership).
+  void insertBefore(Operation *Op, Operation *Before);
+
+private:
+  friend class Operation;
+  Region *ParentRegion;
+  std::vector<std::unique_ptr<BlockArgument>> Args;
+  OpList Ops;
+};
+
+/// A list of blocks owned by an operation.
+class Region {
+public:
+  explicit Region(Operation *Parent) : ParentOp(Parent) {}
+
+  Operation *getParentOp() const { return ParentOp; }
+
+  bool empty() const { return Blocks.empty(); }
+  size_t getNumBlocks() const { return Blocks.size(); }
+  Block &front() { return *Blocks.front(); }
+  const Block &front() const { return *Blocks.front(); }
+  Block *getBlock(size_t I) const { return Blocks[I].get(); }
+  std::vector<std::unique_ptr<Block>> &getBlocks() { return Blocks; }
+
+  /// Appends a fresh empty block.
+  Block *addBlock();
+
+  /// Ensures a single entry block exists and returns it.
+  Block &getOrCreateEntryBlock();
+
+private:
+  Operation *ParentOp;
+  std::vector<std::unique_ptr<Block>> Blocks;
+};
+
+//===----------------------------------------------------------------------===//
+// Module helpers
+//===----------------------------------------------------------------------===//
+
+/// The reserved name of the top-level module operation.
+inline const char *kModuleOpName = "builtin.module";
+
+/// Creates an empty module (an operation with one region, one block).
+Operation *createModule(IRContext &Ctx);
+
+/// Looks up a func.func by symbol name inside \p Module (null if missing).
+Operation *lookupFunction(Operation *Module, const std::string &Name);
+
+} // namespace ir
+} // namespace dcir
+
+#endif // DCIR_IR_IR_H

@@ -1,0 +1,68 @@
+//===- IRContext.cpp ---------------------------------------------------------===//
+
+#include "ir/IRContext.h"
+
+#include <cassert>
+
+using namespace dcir;
+using namespace dcir::ir;
+
+IRContext::IRContext() = default;
+IRContext::~IRContext() = default;
+
+Type IRContext::uniqueType(std::unique_ptr<TypeStorage> Storage) {
+  std::string Key = Type(Storage.get()).str();
+  auto It = TypeUniquer.find(Key);
+  if (It != TypeUniquer.end())
+    return Type(It->second.get());
+  const TypeStorage *Raw = Storage.get();
+  TypeUniquer.emplace(std::move(Key), std::move(Storage));
+  return Type(Raw);
+}
+
+Type IRContext::getIntegerType(unsigned Width) {
+  return uniqueType(std::make_unique<IntegerType>(Width));
+}
+
+Type IRContext::getFloatType(unsigned Width) {
+  assert((Width == 32 || Width == 64) && "only f32/f64 supported");
+  return uniqueType(std::make_unique<FloatType>(Width));
+}
+
+Type IRContext::getIndexType() {
+  return uniqueType(std::make_unique<IndexType>());
+}
+
+Type IRContext::getMemRefType(Type Elem, std::vector<std::int64_t> Shape) {
+  assert(Elem.isScalar() && "memref elements must be scalar");
+  return uniqueType(std::make_unique<MemRefType>(Elem, std::move(Shape)));
+}
+
+Type IRContext::getSdfgArrayType(Type Elem,
+                                 std::vector<sym::SymExpr> Shape) {
+  assert(Elem.isScalar() && "sdfg.array elements must be scalar");
+  return uniqueType(std::make_unique<SdfgArrayType>(Elem, std::move(Shape)));
+}
+
+Type IRContext::getSdfgStreamType(Type Elem) {
+  assert(Elem.isScalar() && "sdfg.stream elements must be scalar");
+  return uniqueType(std::make_unique<SdfgStreamType>(Elem));
+}
+
+Type IRContext::getFunctionType(std::vector<Type> Inputs,
+                                std::vector<Type> Results) {
+  return uniqueType(
+      std::make_unique<FunctionType>(std::move(Inputs), std::move(Results)));
+}
+
+void IRContext::registerOp(OpDefinition Def) {
+  assert(!Def.Name.empty() && "op definition requires a name");
+  [[maybe_unused]] auto Inserted =
+      OpRegistry.emplace(Def.Name, std::move(Def));
+  assert(Inserted.second && "duplicate op registration");
+}
+
+const OpDefinition *IRContext::lookupOp(const std::string &Name) const {
+  auto It = OpRegistry.find(Name);
+  return It == OpRegistry.end() ? nullptr : &It->second;
+}

@@ -1,0 +1,97 @@
+//===- IRContext.h - Type uniquing and operation registry -----------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IRContext owns all uniqued types and the registry of known operations
+/// (the "dialects"). Every IR entity is created against a context; contexts
+/// are not thread-safe and are intended to live for a whole compilation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_IR_IRCONTEXT_H
+#define DCIR_IR_IRCONTEXT_H
+
+#include "ir/Type.h"
+#include "support/Diagnostics.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace dcir {
+namespace ir {
+
+class Operation;
+
+/// Registered metadata for one operation name (e.g. "arith.addi").
+/// Dialects add one OpDefinition per op; generic passes consult the traits.
+struct OpDefinition {
+  std::string Name;
+  /// Terminators must appear last in their block.
+  bool IsTerminator = false;
+  /// Pure ops have no side effects and can be CSE'd/DCE'd freely.
+  bool IsPure = false;
+  /// Regions of isolated ops may not reference values defined outside
+  /// (func.func, sdfg.sdfg, sdfg.tasklet).
+  bool IsIsolatedFromAbove = false;
+  /// Number of regions the op must carry (-1: any).
+  int NumRegions = 0;
+  /// Optional structural/type verifier; reports through the engine and
+  /// returns false on failure.
+  std::function<bool(Operation *, DiagnosticEngine &)> Verify;
+};
+
+/// Owns uniqued types and the op registry.
+class IRContext {
+public:
+  IRContext();
+  ~IRContext();
+  IRContext(const IRContext &) = delete;
+  IRContext &operator=(const IRContext &) = delete;
+
+  //===--------------------------------------------------------------------===
+  // Types
+  //===--------------------------------------------------------------------===
+
+  Type getIntegerType(unsigned Width);
+  Type getI1Type() { return getIntegerType(1); }
+  Type getI32Type() { return getIntegerType(32); }
+  Type getI64Type() { return getIntegerType(64); }
+  Type getFloatType(unsigned Width);
+  Type getF32Type() { return getFloatType(32); }
+  Type getF64Type() { return getFloatType(64); }
+  Type getIndexType();
+  Type getMemRefType(Type Elem, std::vector<std::int64_t> Shape);
+  Type getSdfgArrayType(Type Elem, std::vector<sym::SymExpr> Shape);
+  Type getSdfgStreamType(Type Elem);
+  Type getFunctionType(std::vector<Type> Inputs, std::vector<Type> Results);
+
+  //===--------------------------------------------------------------------===
+  // Operation registry
+  //===--------------------------------------------------------------------===
+
+  /// Registers an operation definition; asserts on duplicates.
+  void registerOp(OpDefinition Def);
+  /// Returns the definition for \p Name, or null if unregistered.
+  const OpDefinition *lookupOp(const std::string &Name) const;
+
+  /// Returns a fresh integer for naming (symbols, temporaries).
+  unsigned nextUniqueId() { return UniqueId++; }
+
+private:
+  Type uniqueType(std::unique_ptr<TypeStorage> Storage);
+
+  std::unordered_map<std::string, std::unique_ptr<TypeStorage>> TypeUniquer;
+  std::map<std::string, OpDefinition> OpRegistry;
+  unsigned UniqueId = 0;
+};
+
+} // namespace ir
+} // namespace dcir
+
+#endif // DCIR_IR_IRCONTEXT_H

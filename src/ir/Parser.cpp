@@ -1,0 +1,877 @@
+//===- Parser.cpp --------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "support/StringUtils.h"
+#include "symbolic/SymParser.h"
+#include "symbolic/SymRange.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace dcir;
+using namespace dcir::ir;
+
+namespace {
+
+enum class TokKind {
+  Ident,
+  ValueId, // %name
+  Integer,
+  FloatLit,
+  String,
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Less,
+  Greater,
+  Colon,
+  Comma,
+  Equal,
+  Arrow,
+  Caret,
+  Bang,
+  Minus,
+  Eof,
+  Error
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  SourceLoc Loc;
+};
+
+class Lexer {
+public:
+  Lexer(std::string_view Text) : Text(Text) {}
+
+  const Token &peek() {
+    if (!Buffered) {
+      Next = lexOne();
+      Buffered = true;
+    }
+    return Next;
+  }
+
+  Token take() {
+    const Token &T = peek();
+    Token Out = T;
+    Buffered = false;
+    return Out;
+  }
+
+  SourceLoc loc() const { return {Line, Col}; }
+
+  /// Consumes raw characters until the matching closer for an already
+  /// consumed '<'. Quotes are respected; nesting of <> is tracked.
+  std::string scanBalancedAngle() {
+    assert(!Buffered && "cannot raw-scan with a buffered token");
+    std::string Out;
+    int Depth = 1;
+    bool InString = false;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (InString) {
+        if (C == '\\' && Pos + 1 < Text.size()) {
+          Out += C;
+          advance();
+          Out += Text[Pos];
+          advance();
+          continue;
+        }
+        if (C == '"')
+          InString = false;
+      } else if (C == '"') {
+        InString = true;
+      } else if (C == '<') {
+        ++Depth;
+      } else if (C == '>') {
+        --Depth;
+        if (Depth == 0) {
+          advance();
+          return Out;
+        }
+      }
+      Out += C;
+      advance();
+    }
+    return Out; // Unterminated; parser reports the error.
+  }
+
+private:
+  std::string_view Text;
+  size_t Pos = 0;
+  int Line = 1, Col = 1;
+  Token Next;
+  bool Buffered = false;
+
+  void advance() {
+    if (Pos < Text.size()) {
+      if (Text[Pos] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+      ++Pos;
+    }
+  }
+
+  void skipSpaceAndComments() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '/') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  Token lexOne() {
+    skipSpaceAndComments();
+    Token T;
+    T.Loc = {Line, Col};
+    if (Pos >= Text.size()) {
+      T.Kind = TokKind::Eof;
+      return T;
+    }
+    char C = Text[Pos];
+    auto single = [&](TokKind K) {
+      T.Kind = K;
+      T.Text = std::string(1, C);
+      advance();
+      return T;
+    };
+    switch (C) {
+    case '(':
+      return single(TokKind::LParen);
+    case ')':
+      return single(TokKind::RParen);
+    case '{':
+      return single(TokKind::LBrace);
+    case '}':
+      return single(TokKind::RBrace);
+    case '[':
+      return single(TokKind::LBracket);
+    case ']':
+      return single(TokKind::RBracket);
+    case '<':
+      return single(TokKind::Less);
+    case '>':
+      return single(TokKind::Greater);
+    case ':':
+      return single(TokKind::Colon);
+    case ',':
+      return single(TokKind::Comma);
+    case '=':
+      return single(TokKind::Equal);
+    case '^':
+      return single(TokKind::Caret);
+    case '!':
+      return single(TokKind::Bang);
+    default:
+      break;
+    }
+    if (C == '-') {
+      if (Pos + 1 < Text.size() && Text[Pos + 1] == '>') {
+        advance();
+        advance();
+        T.Kind = TokKind::Arrow;
+        T.Text = "->";
+        return T;
+      }
+      return single(TokKind::Minus);
+    }
+    if (C == '%') {
+      advance();
+      std::string Name;
+      while (Pos < Text.size() &&
+             (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+              Text[Pos] == '_')) {
+        Name += Text[Pos];
+        advance();
+      }
+      T.Kind = TokKind::ValueId;
+      T.Text = std::move(Name);
+      return T;
+    }
+    if (C == '"') {
+      advance();
+      std::string S;
+      while (Pos < Text.size() && Text[Pos] != '"') {
+        if (Text[Pos] == '\\' && Pos + 1 < Text.size()) {
+          advance();
+          S += Text[Pos];
+          advance();
+          continue;
+        }
+        S += Text[Pos];
+        advance();
+      }
+      if (Pos < Text.size())
+        advance(); // closing quote
+      T.Kind = TokKind::String;
+      T.Text = std::move(S);
+      return T;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      std::string Num;
+      bool IsFloat = false;
+      while (Pos < Text.size()) {
+        char D = Text[Pos];
+        if (std::isdigit(static_cast<unsigned char>(D))) {
+          Num += D;
+          advance();
+          continue;
+        }
+        if (D == '.' || D == 'e' || D == 'E' ||
+            ((D == '+' || D == '-') && !Num.empty() &&
+             (Num.back() == 'e' || Num.back() == 'E'))) {
+          IsFloat = true;
+          Num += D;
+          advance();
+          continue;
+        }
+        break;
+      }
+      T.Kind = IsFloat ? TokKind::FloatLit : TokKind::Integer;
+      T.Text = std::move(Num);
+      return T;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Id;
+      while (Pos < Text.size() &&
+             (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+              Text[Pos] == '_' || Text[Pos] == '.')) {
+        Id += Text[Pos];
+        advance();
+      }
+      T.Kind = TokKind::Ident;
+      T.Text = std::move(Id);
+      return T;
+    }
+    T.Kind = TokKind::Error;
+    T.Text = std::string(1, C);
+    advance();
+    return T;
+  }
+};
+
+/// Splits \p Text at top-level occurrences of \p Sep (parentheses, brackets,
+/// and quotes suppress splitting).
+std::vector<std::string> splitTopLevel(std::string_view Text, char Sep) {
+  std::vector<std::string> Parts;
+  std::string Cur;
+  int Depth = 0;
+  bool InString = false;
+  for (size_t I = 0; I < Text.size(); ++I) {
+    char C = Text[I];
+    if (InString) {
+      Cur += C;
+      if (C == '\\' && I + 1 < Text.size()) {
+        Cur += Text[++I];
+        continue;
+      }
+      if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"') {
+      InString = true;
+      Cur += C;
+      continue;
+    }
+    if (C == '(' || C == '[' || C == '<')
+      ++Depth;
+    if (C == ')' || C == ']' || C == '>')
+      --Depth;
+    if (C == Sep && Depth == 0) {
+      Parts.push_back(Cur);
+      Cur.clear();
+      continue;
+    }
+    Cur += C;
+  }
+  Parts.push_back(Cur);
+  return Parts;
+}
+
+class IRParser {
+public:
+  IRParser(std::string_view Text, IRContext &Ctx, DiagnosticEngine &Diags)
+      : Lex(Text), Ctx(Ctx), Diags(Diags) {}
+
+  Operation *parseTopLevel() {
+    Operation *Op = parseOperation();
+    if (!Op)
+      return nullptr;
+    if (Lex.peek().Kind != TokKind::Eof) {
+      error("expected end of input after top-level operation");
+      Operation::eraseDetached(Op);
+      return nullptr;
+    }
+    return Op;
+  }
+
+  Type parseTypePublic() { return parseType(); }
+
+private:
+  Lexer Lex;
+  IRContext &Ctx;
+  DiagnosticEngine &Diags;
+  std::map<std::string, Value *> ValueMap;
+  bool Failed = false;
+
+  void error(const std::string &Message) {
+    if (!Failed)
+      Diags.error(Lex.loc(), Message);
+    Failed = true;
+  }
+
+  bool expect(TokKind K, const char *What) {
+    if (Lex.peek().Kind != K) {
+      error(std::string("expected ") + What + ", found '" + Lex.peek().Text +
+            "'");
+      return false;
+    }
+    Lex.take();
+    return true;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Types
+  //===------------------------------------------------------------------===//
+
+  Type parseScalarTypeFromString(std::string_view S) {
+    std::string T(trimString(S));
+    if (T == "index")
+      return Ctx.getIndexType();
+    if (T.size() >= 2 && T[0] == 'i') {
+      bool AllDigits = true;
+      for (size_t I = 1; I < T.size(); ++I)
+        if (!std::isdigit(static_cast<unsigned char>(T[I])))
+          AllDigits = false;
+      if (AllDigits)
+        return Ctx.getIntegerType(
+            static_cast<unsigned>(std::strtoul(T.c_str() + 1, nullptr, 10)));
+    }
+    if (T == "f32")
+      return Ctx.getF32Type();
+    if (T == "f64")
+      return Ctx.getF64Type();
+    return Type();
+  }
+
+  /// Parses the body of memref<...>: "?x100xf64".
+  Type parseMemRefBody(const std::string &Body) {
+    std::vector<std::string> Parts = splitTopLevel(Body, 'x');
+    if (Parts.empty()) {
+      error("empty memref body");
+      return Type();
+    }
+    Type Elem = parseScalarTypeFromString(Parts.back());
+    if (!Elem) {
+      error("invalid memref element type '" + Parts.back() + "'");
+      return Type();
+    }
+    std::vector<std::int64_t> Shape;
+    for (size_t I = 0; I + 1 < Parts.size(); ++I) {
+      std::string D(trimString(Parts[I]));
+      if (D == "?") {
+        Shape.push_back(MemRefType::kDynamic);
+        continue;
+      }
+      char *EndPtr = nullptr;
+      std::int64_t V = std::strtoll(D.c_str(), &EndPtr, 10);
+      if (!EndPtr || *EndPtr != '\0') {
+        error("invalid memref dimension '" + D + "'");
+        return Type();
+      }
+      Shape.push_back(V);
+    }
+    return Ctx.getMemRefType(Elem, std::move(Shape));
+  }
+
+  /// Parses the body of !sdfg.array<...>: `sym("N")x4xf64`.
+  Type parseSdfgArrayBody(const std::string &Body) {
+    std::vector<std::string> Parts = splitTopLevel(Body, 'x');
+    if (Parts.empty()) {
+      error("empty sdfg.array body");
+      return Type();
+    }
+    Type Elem = parseScalarTypeFromString(Parts.back());
+    if (!Elem) {
+      error("invalid sdfg.array element type '" + Parts.back() + "'");
+      return Type();
+    }
+    std::vector<sym::SymExpr> Shape;
+    for (size_t I = 0; I + 1 < Parts.size(); ++I) {
+      std::string D(trimString(Parts[I]));
+      if (startsWith(D, "sym(")) {
+        // sym("expr")
+        size_t Open = D.find('"');
+        size_t Close = D.rfind('"');
+        if (Open == std::string::npos || Close <= Open) {
+          error("malformed sym(...) dimension '" + D + "'");
+          return Type();
+        }
+        std::string ErrMsg;
+        sym::SymExpr E =
+            sym::parseSymExpr(D.substr(Open + 1, Close - Open - 1), &ErrMsg);
+        if (!E) {
+          error("invalid symbolic dimension: " + ErrMsg);
+          return Type();
+        }
+        Shape.push_back(E);
+        continue;
+      }
+      char *EndPtr = nullptr;
+      std::int64_t V = std::strtoll(D.c_str(), &EndPtr, 10);
+      if (!EndPtr || *EndPtr != '\0' || D.empty()) {
+        error("invalid sdfg.array dimension '" + D + "'");
+        return Type();
+      }
+      Shape.push_back(sym::SymExpr::constant(V));
+    }
+    return Ctx.getSdfgArrayType(Elem, std::move(Shape));
+  }
+
+  Type parseType() {
+    const Token &T = Lex.peek();
+    if (T.Kind == TokKind::Ident) {
+      std::string Name = Lex.take().Text;
+      if (Name == "memref") {
+        if (!expect(TokKind::Less, "'<' after memref"))
+          return Type();
+        std::string Body = Lex.scanBalancedAngle();
+        return parseMemRefBody(Body);
+      }
+      Type Scalar = parseScalarTypeFromString(Name);
+      if (Scalar)
+        return Scalar;
+      error("unknown type '" + Name + "'");
+      return Type();
+    }
+    if (T.Kind == TokKind::Bang) {
+      Lex.take();
+      if (Lex.peek().Kind != TokKind::Ident) {
+        error("expected dialect type name after '!'");
+        return Type();
+      }
+      std::string Name = Lex.take().Text;
+      if (!expect(TokKind::Less, "'<' in dialect type"))
+        return Type();
+      std::string Body = Lex.scanBalancedAngle();
+      if (Name == "sdfg.array")
+        return parseSdfgArrayBody(Body);
+      if (Name == "sdfg.stream") {
+        Type Elem = parseScalarTypeFromString(Body);
+        if (!Elem) {
+          error("invalid stream element type '" + Body + "'");
+          return Type();
+        }
+        return Ctx.getSdfgStreamType(Elem);
+      }
+      error("unknown dialect type '!" + Name + "'");
+      return Type();
+    }
+    if (T.Kind == TokKind::LParen) {
+      // Function type: (types) -> (types)
+      std::vector<Type> Ins, Outs;
+      if (!parseTypeList(Ins))
+        return Type();
+      if (!expect(TokKind::Arrow, "'->' in function type"))
+        return Type();
+      if (!parseTypeList(Outs))
+        return Type();
+      return Ctx.getFunctionType(std::move(Ins), std::move(Outs));
+    }
+    error("expected a type, found '" + T.Text + "'");
+    return Type();
+  }
+
+  bool parseTypeList(std::vector<Type> &Out) {
+    if (!expect(TokKind::LParen, "'('"))
+      return false;
+    if (Lex.peek().Kind == TokKind::RParen) {
+      Lex.take();
+      return true;
+    }
+    while (true) {
+      Type T = parseType();
+      if (!T)
+        return false;
+      Out.push_back(T);
+      if (Lex.peek().Kind == TokKind::Comma) {
+        Lex.take();
+        continue;
+      }
+      return expect(TokKind::RParen, "')'");
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Attributes
+  //===------------------------------------------------------------------===//
+
+  Attribute parseAttr() {
+    const Token &T = Lex.peek();
+    switch (T.Kind) {
+    case TokKind::Minus: {
+      Lex.take();
+      const Token &N = Lex.peek();
+      if (N.Kind == TokKind::Integer) {
+        std::int64_t V = std::strtoll(Lex.take().Text.c_str(), nullptr, 10);
+        return Attribute::getInt(-V);
+      }
+      if (N.Kind == TokKind::FloatLit) {
+        double V = std::strtod(Lex.take().Text.c_str(), nullptr);
+        return Attribute::getFloat(-V);
+      }
+      error("expected number after '-'");
+      return Attribute();
+    }
+    case TokKind::Integer:
+      return Attribute::getInt(
+          std::strtoll(Lex.take().Text.c_str(), nullptr, 10));
+    case TokKind::FloatLit:
+      return Attribute::getFloat(std::strtod(Lex.take().Text.c_str(), nullptr));
+    case TokKind::String:
+      return Attribute::getString(Lex.take().Text);
+    case TokKind::LBracket: {
+      Lex.take();
+      std::vector<Attribute> Elems;
+      if (Lex.peek().Kind == TokKind::RBracket) {
+        Lex.take();
+        return Attribute::getArray({});
+      }
+      while (true) {
+        Attribute A = parseAttr();
+        if (!A)
+          return Attribute();
+        Elems.push_back(A);
+        if (Lex.peek().Kind == TokKind::Comma) {
+          Lex.take();
+          continue;
+        }
+        if (!expect(TokKind::RBracket, "']'"))
+          return Attribute();
+        return Attribute::getArray(std::move(Elems));
+      }
+    }
+    case TokKind::Bang:
+    case TokKind::LParen: {
+      Type Ty = parseType();
+      if (!Ty)
+        return Attribute();
+      return Attribute::getType(Ty);
+    }
+    case TokKind::Ident: {
+      const std::string &Name = T.Text;
+      if (Name == "true") {
+        Lex.take();
+        return Attribute::getBool(true);
+      }
+      if (Name == "false") {
+        Lex.take();
+        return Attribute::getBool(false);
+      }
+      if (Name == "unit") {
+        Lex.take();
+        return Attribute::getUnit();
+      }
+      if (Name == "sym") {
+        Lex.take();
+        if (!expect(TokKind::LParen, "'(' after sym"))
+          return Attribute();
+        if (Lex.peek().Kind != TokKind::String) {
+          error("expected string inside sym(...)");
+          return Attribute();
+        }
+        std::string Body = Lex.take().Text;
+        if (!expect(TokKind::RParen, "')' after sym"))
+          return Attribute();
+        std::string ErrMsg;
+        sym::SymExpr E = sym::parseSymExpr(Body, &ErrMsg);
+        if (!E) {
+          error("invalid symbolic expression: " + ErrMsg);
+          return Attribute();
+        }
+        return Attribute::getSymExpr(E);
+      }
+      if (Name == "subset") {
+        Lex.take();
+        if (!expect(TokKind::LParen, "'(' after subset"))
+          return Attribute();
+        if (Lex.peek().Kind != TokKind::String) {
+          error("expected string inside subset(...)");
+          return Attribute();
+        }
+        std::string Body = Lex.take().Text;
+        if (!expect(TokKind::RParen, "')' after subset"))
+          return Attribute();
+        sym::SymSubset Subset;
+        if (!parseSubsetString(Body, Subset))
+          return Attribute();
+        return Attribute::getSymSubset(Subset);
+      }
+      // Otherwise assume a type attribute.
+      Type Ty = parseType();
+      if (!Ty)
+        return Attribute();
+      return Attribute::getType(Ty);
+    }
+    default:
+      error("expected an attribute value, found '" + T.Text + "'");
+      return Attribute();
+    }
+  }
+
+  bool parseSubsetString(const std::string &Body, sym::SymSubset &Out) {
+    std::string_view Inner = trimString(Body);
+    if (Inner.size() < 2 || Inner.front() != '[' || Inner.back() != ']') {
+      error("subset must be of the form [ranges]");
+      return false;
+    }
+    Inner = Inner.substr(1, Inner.size() - 2);
+    std::vector<sym::SymRange> Ranges;
+    if (trimString(Inner).empty()) {
+      Out = sym::SymSubset(std::move(Ranges));
+      return true;
+    }
+    for (const std::string &RangeText : splitTopLevel(Inner, ',')) {
+      std::vector<std::string> Parts = splitTopLevel(RangeText, ':');
+      auto parsePart = [&](const std::string &P) -> sym::SymExpr {
+        std::string ErrMsg;
+        sym::SymExpr E = sym::parseSymExpr(trimString(P), &ErrMsg);
+        if (!E)
+          error("invalid range expression: " + ErrMsg);
+        return E;
+      };
+      if (Parts.size() == 1) {
+        sym::SymExpr I = parsePart(Parts[0]);
+        if (!I)
+          return false;
+        Ranges.push_back(sym::SymRange::index(I));
+      } else if (Parts.size() == 2 || Parts.size() == 3) {
+        sym::SymExpr B = parsePart(Parts[0]);
+        sym::SymExpr E = parsePart(Parts[1]);
+        if (!B || !E)
+          return false;
+        if (Parts.size() == 3) {
+          sym::SymExpr S = parsePart(Parts[2]);
+          if (!S)
+            return false;
+          Ranges.push_back(sym::SymRange(B, E, S));
+        } else {
+          Ranges.push_back(sym::SymRange(B, E));
+        }
+      } else {
+        error("invalid range '" + RangeText + "'");
+        return false;
+      }
+    }
+    Out = sym::SymSubset(std::move(Ranges));
+    return true;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Operations
+  //===------------------------------------------------------------------===//
+
+  Operation *parseOperation() {
+    // Optional results.
+    std::vector<std::string> ResultNames;
+    if (Lex.peek().Kind == TokKind::ValueId) {
+      while (true) {
+        ResultNames.push_back(Lex.take().Text);
+        if (Lex.peek().Kind == TokKind::Comma) {
+          Lex.take();
+          continue;
+        }
+        break;
+      }
+      if (!expect(TokKind::Equal, "'=' after result list"))
+        return nullptr;
+    }
+    if (Lex.peek().Kind != TokKind::Ident) {
+      error("expected operation name");
+      return nullptr;
+    }
+    SourceLoc Loc = Lex.peek().Loc;
+    std::string OpName = Lex.take().Text;
+    // Operands.
+    std::vector<Value *> Operands;
+    if (Lex.peek().Kind == TokKind::ValueId) {
+      while (true) {
+        std::string Name = Lex.take().Text;
+        auto It = ValueMap.find(Name);
+        if (It == ValueMap.end()) {
+          error("use of undefined value '%" + Name + "'");
+          return nullptr;
+        }
+        Operands.push_back(It->second);
+        if (Lex.peek().Kind == TokKind::Comma) {
+          Lex.take();
+          continue;
+        }
+        break;
+      }
+    }
+    // Attributes.
+    Operation::AttrMap Attrs;
+    if (Lex.peek().Kind == TokKind::LBrace) {
+      // Distinguish an attribute dict from a region: a dict starts with
+      // `ident =`. Regions may only appear after the type signature, so any
+      // '{' here is a dict.
+      Lex.take();
+      if (Lex.peek().Kind != TokKind::RBrace) {
+        while (true) {
+          if (Lex.peek().Kind != TokKind::Ident) {
+            error("expected attribute name");
+            return nullptr;
+          }
+          std::string Key = Lex.take().Text;
+          if (!expect(TokKind::Equal, "'=' after attribute name"))
+            return nullptr;
+          Attribute Val = parseAttr();
+          if (!Val)
+            return nullptr;
+          Attrs[Key] = Val;
+          if (Lex.peek().Kind == TokKind::Comma) {
+            Lex.take();
+            continue;
+          }
+          break;
+        }
+      }
+      if (!expect(TokKind::RBrace, "'}' after attributes"))
+        return nullptr;
+    }
+    // Type signature.
+    if (!expect(TokKind::Colon, "':' before type signature"))
+      return nullptr;
+    std::vector<Type> OperandTypes, ResultTypes;
+    if (!parseTypeList(OperandTypes))
+      return nullptr;
+    if (!expect(TokKind::Arrow, "'->' in type signature"))
+      return nullptr;
+    if (!parseTypeList(ResultTypes))
+      return nullptr;
+    if (OperandTypes.size() != Operands.size()) {
+      error("operand count mismatch in type signature of '" + OpName + "'");
+      return nullptr;
+    }
+    if (ResultTypes.size() != ResultNames.size()) {
+      error("result count mismatch in type signature of '" + OpName + "'");
+      return nullptr;
+    }
+    Operation *Op = Operation::create(Ctx, OpName, Loc, Operands, ResultTypes,
+                                      std::move(Attrs), 0);
+    for (size_t I = 0; I < ResultNames.size(); ++I) {
+      if (ValueMap.count(ResultNames[I])) {
+        error("redefinition of value '%" + ResultNames[I] + "'");
+        Operation::eraseDetached(Op);
+        return nullptr;
+      }
+      ValueMap[ResultNames[I]] = Op->getResult(I);
+    }
+    // Regions.
+    while (Lex.peek().Kind == TokKind::LBrace) {
+      Lex.take();
+      Region *R = Op->addRegion();
+      if (!parseRegionBody(*R)) {
+        Operation::eraseDetached(Op);
+        return nullptr;
+      }
+    }
+    return Op;
+  }
+
+  bool parseRegionBody(Region &R) {
+    Block *Current = nullptr;
+    while (true) {
+      TokKind K = Lex.peek().Kind;
+      if (K == TokKind::RBrace) {
+        Lex.take();
+        return true;
+      }
+      if (K == TokKind::Eof) {
+        error("unexpected end of input inside region");
+        return false;
+      }
+      if (K == TokKind::Caret) {
+        Lex.take();
+        Current = R.addBlock();
+        if (!expect(TokKind::LParen, "'(' in block header"))
+          return false;
+        if (Lex.peek().Kind != TokKind::RParen) {
+          while (true) {
+            if (Lex.peek().Kind != TokKind::ValueId) {
+              error("expected block argument name");
+              return false;
+            }
+            std::string Name = Lex.take().Text;
+            if (!expect(TokKind::Colon, "':' after block argument"))
+              return false;
+            Type Ty = parseType();
+            if (!Ty)
+              return false;
+            BlockArgument *Arg = Current->addArgument(Ty);
+            if (ValueMap.count(Name)) {
+              error("redefinition of value '%" + Name + "'");
+              return false;
+            }
+            ValueMap[Name] = Arg;
+            if (Lex.peek().Kind == TokKind::Comma) {
+              Lex.take();
+              continue;
+            }
+            break;
+          }
+        }
+        if (!expect(TokKind::RParen, "')' in block header"))
+          return false;
+        if (!expect(TokKind::Colon, "':' after block header"))
+          return false;
+        continue;
+      }
+      if (!Current)
+        Current = R.addBlock();
+      Operation *Op = parseOperation();
+      if (!Op)
+        return false;
+      Current->push_back(Op);
+    }
+  }
+};
+
+} // namespace
+
+Operation *dcir::ir::parseSourceString(std::string_view Text, IRContext &Ctx,
+                                       DiagnosticEngine &Diags) {
+  IRParser P(Text, Ctx, Diags);
+  Operation *Op = P.parseTopLevel();
+  if (Diags.hasErrors() && Op) {
+    Operation::eraseDetached(Op);
+    return nullptr;
+  }
+  return Op;
+}
+
+Type dcir::ir::parseTypeString(std::string_view Text, IRContext &Ctx,
+                               DiagnosticEngine &Diags) {
+  IRParser P(Text, Ctx, Diags);
+  return P.parseTypePublic();
+}

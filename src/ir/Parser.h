@@ -1,0 +1,37 @@
+//===- Parser.h - Textual IR parsing -----------------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the uniform generic syntax produced by Printer.h, enabling exact
+/// print/parse round-trips for tests and textual pipelines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_IR_PARSER_H
+#define DCIR_IR_PARSER_H
+
+#include "ir/IR.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+
+namespace dcir {
+namespace ir {
+
+/// Parses one top-level operation (typically a builtin.module). Returns null
+/// on failure with diagnostics in \p Diags. The caller owns the result.
+Operation *parseSourceString(std::string_view Text, IRContext &Ctx,
+                             DiagnosticEngine &Diags);
+
+/// Parses a type in printer syntax ("memref<?x4xf64>", "!sdfg.array<...>").
+/// Returns a null Type on failure.
+Type parseTypeString(std::string_view Text, IRContext &Ctx,
+                     DiagnosticEngine &Diags);
+
+} // namespace ir
+} // namespace dcir
+
+#endif // DCIR_IR_PARSER_H

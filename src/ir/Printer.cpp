@@ -1,0 +1,121 @@
+//===- Printer.cpp -----------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include <map>
+#include <sstream>
+
+using namespace dcir;
+using namespace dcir::ir;
+
+namespace {
+
+class Printer {
+public:
+  std::string print(Operation *Op) {
+    printOp(Op, 0);
+    return OS.str();
+  }
+
+private:
+  std::ostringstream OS;
+  std::map<const Value *, std::string> Names;
+  unsigned NextResult = 0;
+  unsigned NextArg = 0;
+
+  const std::string &nameOf(const Value *V) {
+    auto It = Names.find(V);
+    if (It != Names.end())
+      return It->second;
+    std::string Name;
+    if (V->getValueKind() == Value::ValueKind::BlockArg)
+      Name = "%arg" + std::to_string(NextArg++);
+    else
+      Name = "%" + std::to_string(NextResult++);
+    return Names.emplace(V, std::move(Name)).first->second;
+  }
+
+  void indent(int Depth) {
+    for (int I = 0; I < Depth; ++I)
+      OS << "  ";
+  }
+
+  void printOp(Operation *Op, int Depth) {
+    indent(Depth);
+    // Results.
+    for (size_t I = 0; I < Op->getNumResults(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << nameOf(Op->getResult(I));
+    }
+    if (Op->getNumResults() > 0)
+      OS << " = ";
+    OS << Op->getName();
+    // Operands.
+    for (size_t I = 0; I < Op->getNumOperands(); ++I) {
+      OS << (I == 0 ? " " : ", ");
+      OS << nameOf(Op->getOperand(I));
+    }
+    // Attributes (std::map iteration is sorted, so output is deterministic).
+    if (!Op->getAttrs().empty()) {
+      OS << " {";
+      bool First = true;
+      for (const auto &[Key, Val] : Op->getAttrs()) {
+        if (!First)
+          OS << ", ";
+        OS << Key << " = " << Val.str();
+        First = false;
+      }
+      OS << "}";
+    }
+    // Type signature.
+    OS << " : (";
+    for (size_t I = 0; I < Op->getNumOperands(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << Op->getOperand(I)->getType().str();
+    }
+    OS << ") -> (";
+    for (size_t I = 0; I < Op->getNumResults(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << Op->getResult(I)->getType().str();
+    }
+    OS << ")";
+    // Regions.
+    for (size_t R = 0; R < Op->getNumRegions(); ++R) {
+      OS << " {\n";
+      printRegion(Op->getRegion(R), Depth + 1);
+      indent(Depth);
+      OS << "}";
+    }
+    OS << "\n";
+  }
+
+  void printRegion(Region &R, int Depth) {
+    for (size_t BI = 0; BI < R.getNumBlocks(); ++BI) {
+      Block *B = R.getBlock(BI);
+      bool NeedHeader = BI > 0 || B->getNumArguments() > 0;
+      if (NeedHeader) {
+        indent(Depth - 1);
+        OS << "^(";
+        for (size_t I = 0; I < B->getNumArguments(); ++I) {
+          if (I != 0)
+            OS << ", ";
+          BlockArgument *Arg = B->getArgument(I);
+          OS << nameOf(Arg) << ": " << Arg->getType().str();
+        }
+        OS << "):\n";
+      }
+      for (auto &Op : *B)
+        printOp(Op.get(), Depth);
+    }
+  }
+};
+
+} // namespace
+
+std::string dcir::ir::printOperation(Operation *Op) {
+  Printer P;
+  return P.print(Op);
+}

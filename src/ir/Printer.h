@@ -1,0 +1,33 @@
+//===- Printer.h - Textual IR emission --------------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders operations in a uniform generic syntax that the companion parser
+/// (Parser.h) accepts verbatim, giving exact round-trips:
+///
+///   %0, %1 = dialect.op %a, %b {attr = value} : (i32, i32) -> (i32, i32) {
+///     ... regions ...
+///   }
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_IR_PRINTER_H
+#define DCIR_IR_PRINTER_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace dcir {
+namespace ir {
+
+/// Prints \p Op (typically a module) and everything nested inside it.
+std::string printOperation(Operation *Op);
+
+} // namespace ir
+} // namespace dcir
+
+#endif // DCIR_IR_PRINTER_H

@@ -1,0 +1,89 @@
+//===- Type.cpp ------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace dcir;
+using namespace dcir::ir;
+
+TypeKind Type::getKind() const {
+  assert(Impl && "getKind() on null type");
+  return Impl->getKind();
+}
+
+sym::SymExpr SdfgArrayType::getNumElements() const {
+  sym::SymExpr N = sym::SymExpr::constant(1);
+  for (const sym::SymExpr &D : Shape)
+    N = sym::SymExpr::mul(N, D);
+  return N;
+}
+
+std::string Type::str() const {
+  if (!Impl)
+    return "<<null-type>>";
+  std::ostringstream OS;
+  switch (Impl->getKind()) {
+  case TypeKind::Integer:
+    OS << "i" << cast<IntegerType>(Impl)->getWidth();
+    break;
+  case TypeKind::Float:
+    OS << "f" << cast<FloatType>(Impl)->getWidth();
+    break;
+  case TypeKind::Index:
+    OS << "index";
+    break;
+  case TypeKind::MemRef: {
+    const auto *M = cast<MemRefType>(Impl);
+    OS << "memref<";
+    for (std::int64_t D : M->getShape()) {
+      if (D == MemRefType::kDynamic)
+        OS << "?";
+      else
+        OS << D;
+      OS << "x";
+    }
+    OS << M->getElementType().str() << ">";
+    break;
+  }
+  case TypeKind::SdfgArray: {
+    const auto *A = cast<SdfgArrayType>(Impl);
+    OS << "!sdfg.array<";
+    for (const sym::SymExpr &D : A->getShape()) {
+      if (D.isConstant())
+        OS << D.constantValue();
+      else
+        OS << "sym(\"" << D.str() << "\")";
+      OS << "x";
+    }
+    OS << A->getElementType().str() << ">";
+    break;
+  }
+  case TypeKind::SdfgStream: {
+    const auto *S = cast<SdfgStreamType>(Impl);
+    OS << "!sdfg.stream<" << S->getElementType().str() << ">";
+    break;
+  }
+  case TypeKind::Function: {
+    const auto *F = cast<FunctionType>(Impl);
+    OS << "(";
+    const auto &Ins = F->getInputs();
+    for (size_t I = 0; I < Ins.size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << Ins[I].str();
+    }
+    OS << ") -> (";
+    const auto &Outs = F->getResults();
+    for (size_t I = 0; I < Outs.size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << Outs[I].str();
+    }
+    OS << ")";
+    break;
+  }
+  }
+  return OS.str();
+}

@@ -1,0 +1,212 @@
+//===- Type.h - Uniqued IR types ------------------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type system of the miniature MLIR layer: integers, floats, index,
+/// memrefs with (possibly dynamic) shapes, function types, and the sdfg
+/// dialect's symbolically-sized array and stream types (§3.1 of the paper).
+/// Type instances are uniqued inside an IRContext, so handle equality is
+/// pointer equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_IR_TYPE_H
+#define DCIR_IR_TYPE_H
+
+#include "support/Casting.h"
+#include "symbolic/SymExpr.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcir {
+namespace ir {
+
+class IRContext;
+
+/// Discriminator for TypeStorage subclasses.
+enum class TypeKind {
+  Integer,
+  Float,
+  Index,
+  MemRef,
+  SdfgArray,
+  SdfgStream,
+  Function
+};
+
+/// Base class of all uniqued type payloads. Instances live in (and are owned
+/// by) an IRContext.
+class TypeStorage {
+public:
+  explicit TypeStorage(TypeKind Kind) : Kind(Kind) {}
+  virtual ~TypeStorage() = default;
+
+  TypeKind getKind() const { return Kind; }
+
+private:
+  TypeKind Kind;
+};
+
+/// Lightweight value handle to a uniqued TypeStorage.
+class Type {
+public:
+  Type() = default;
+  explicit Type(const TypeStorage *Impl) : Impl(Impl) {}
+
+  bool isNull() const { return !Impl; }
+  explicit operator bool() const { return Impl != nullptr; }
+  bool operator==(const Type &Other) const { return Impl == Other.Impl; }
+  bool operator!=(const Type &Other) const { return Impl != Other.Impl; }
+
+  TypeKind getKind() const;
+  const TypeStorage *getImpl() const { return Impl; }
+
+  template <typename T> const T *dyn() const { return dyn_cast<T>(Impl); }
+  template <typename T> bool isa() const {
+    return Impl && dcir::isa<T>(Impl);
+  }
+
+  bool isInteger() const { return Impl && getKind() == TypeKind::Integer; }
+  bool isFloat() const { return Impl && getKind() == TypeKind::Float; }
+  bool isIndex() const { return Impl && getKind() == TypeKind::Index; }
+  bool isMemRef() const { return Impl && getKind() == TypeKind::MemRef; }
+  bool isSdfgArray() const { return Impl && getKind() == TypeKind::SdfgArray; }
+  bool isFunction() const { return Impl && getKind() == TypeKind::Function; }
+  /// True for integer/float/index: values that fit in a machine scalar.
+  bool isScalar() const { return isInteger() || isFloat() || isIndex(); }
+
+  /// Canonical rendering ("i32", "memref<?x100xf64>", ...). Also used as the
+  /// uniquing key.
+  std::string str() const;
+
+private:
+  const TypeStorage *Impl = nullptr;
+};
+
+/// Fixed-width signless integer type (i1, i8, i32, i64).
+class IntegerType : public TypeStorage {
+public:
+  explicit IntegerType(unsigned Width)
+      : TypeStorage(TypeKind::Integer), Width(Width) {}
+  static bool classof(const TypeStorage *T) {
+    return T->getKind() == TypeKind::Integer;
+  }
+  unsigned getWidth() const { return Width; }
+
+private:
+  unsigned Width;
+};
+
+/// IEEE float type (f32 or f64).
+class FloatType : public TypeStorage {
+public:
+  explicit FloatType(unsigned Width)
+      : TypeStorage(TypeKind::Float), Width(Width) {}
+  static bool classof(const TypeStorage *T) {
+    return T->getKind() == TypeKind::Float;
+  }
+  unsigned getWidth() const { return Width; }
+
+private:
+  unsigned Width;
+};
+
+/// Target-width index type used for sizes and subscripts.
+class IndexType : public TypeStorage {
+public:
+  IndexType() : TypeStorage(TypeKind::Index) {}
+  static bool classof(const TypeStorage *T) {
+    return T->getKind() == TypeKind::Index;
+  }
+};
+
+/// A memory reference with element type and shape; kDynamic encodes `?`.
+class MemRefType : public TypeStorage {
+public:
+  static constexpr std::int64_t kDynamic = -1;
+
+  MemRefType(Type Elem, std::vector<std::int64_t> Shape)
+      : TypeStorage(TypeKind::MemRef), Elem(Elem), Shape(std::move(Shape)) {}
+  static bool classof(const TypeStorage *T) {
+    return T->getKind() == TypeKind::MemRef;
+  }
+
+  Type getElementType() const { return Elem; }
+  const std::vector<std::int64_t> &getShape() const { return Shape; }
+  size_t getRank() const { return Shape.size(); }
+  bool hasDynamicDim() const {
+    for (std::int64_t D : Shape)
+      if (D == kDynamic)
+        return true;
+    return false;
+  }
+
+private:
+  Type Elem;
+  std::vector<std::int64_t> Shape;
+};
+
+/// The sdfg dialect's array type: shape dimensions are symbolic expressions
+/// (`!sdfg.array<sym("2*N") x i32>`), enabling parametric size verification
+/// (paper Fig. 3).
+class SdfgArrayType : public TypeStorage {
+public:
+  SdfgArrayType(Type Elem, std::vector<sym::SymExpr> Shape)
+      : TypeStorage(TypeKind::SdfgArray), Elem(Elem),
+        Shape(std::move(Shape)) {}
+  static bool classof(const TypeStorage *T) {
+    return T->getKind() == TypeKind::SdfgArray;
+  }
+
+  Type getElementType() const { return Elem; }
+  const std::vector<sym::SymExpr> &getShape() const { return Shape; }
+  size_t getRank() const { return Shape.size(); }
+  /// The total element count as a symbolic expression.
+  sym::SymExpr getNumElements() const;
+
+private:
+  Type Elem;
+  std::vector<sym::SymExpr> Shape;
+};
+
+/// The sdfg dialect's FIFO stream type.
+class SdfgStreamType : public TypeStorage {
+public:
+  explicit SdfgStreamType(Type Elem)
+      : TypeStorage(TypeKind::SdfgStream), Elem(Elem) {}
+  static bool classof(const TypeStorage *T) {
+    return T->getKind() == TypeKind::SdfgStream;
+  }
+  Type getElementType() const { return Elem; }
+
+private:
+  Type Elem;
+};
+
+/// Function signature type.
+class FunctionType : public TypeStorage {
+public:
+  FunctionType(std::vector<Type> Inputs, std::vector<Type> Results)
+      : TypeStorage(TypeKind::Function), Inputs(std::move(Inputs)),
+        Results(std::move(Results)) {}
+  static bool classof(const TypeStorage *T) {
+    return T->getKind() == TypeKind::Function;
+  }
+
+  const std::vector<Type> &getInputs() const { return Inputs; }
+  const std::vector<Type> &getResults() const { return Results; }
+
+private:
+  std::vector<Type> Inputs;
+  std::vector<Type> Results;
+};
+
+} // namespace ir
+} // namespace dcir
+
+#endif // DCIR_IR_TYPE_H

@@ -1,0 +1,88 @@
+//===- Verifier.cpp -----------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include <set>
+
+using namespace dcir;
+using namespace dcir::ir;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(DiagnosticEngine &Diags) : Diags(Diags) {}
+
+  bool verifyOp(Operation *Op, std::set<Value *> &Visible) {
+    bool Ok = true;
+    // Operand visibility.
+    for (size_t I = 0; I < Op->getNumOperands(); ++I) {
+      if (!Visible.count(Op->getOperand(I))) {
+        Diags.error(Op->getLoc(), "operand #" + std::to_string(I) + " of '" +
+                                      Op->getName() +
+                                      "' is not visible at its use");
+        Ok = false;
+      }
+    }
+    const OpDefinition *Def = Op->getDefinition();
+    if (Def && Def->NumRegions >= 0 &&
+        Op->getNumRegions() != static_cast<size_t>(Def->NumRegions)) {
+      Diags.error(Op->getLoc(),
+                  "'" + Op->getName() + "' expects " +
+                      std::to_string(Def->NumRegions) + " region(s), has " +
+                      std::to_string(Op->getNumRegions()));
+      Ok = false;
+    }
+    // Recurse into regions.
+    bool Isolated = Def && Def->IsIsolatedFromAbove;
+    for (size_t R = 0; R < Op->getNumRegions(); ++R) {
+      std::set<Value *> Inner;
+      if (!Isolated)
+        Inner = Visible;
+      if (!verifyRegion(Op->getRegion(R), Inner))
+        Ok = false;
+    }
+    // Per-op verifier runs after structure checks.
+    if (Def && Def->Verify && !Def->Verify(Op, Diags))
+      Ok = false;
+    // Results become visible to subsequent ops.
+    for (size_t I = 0; I < Op->getNumResults(); ++I)
+      Visible.insert(Op->getResult(I));
+    return Ok;
+  }
+
+  bool verifyRegion(Region &R, std::set<Value *> &Visible) {
+    bool Ok = true;
+    for (size_t BI = 0; BI < R.getNumBlocks(); ++BI) {
+      Block *B = R.getBlock(BI);
+      std::set<Value *> BlockVisible = Visible;
+      for (size_t I = 0; I < B->getNumArguments(); ++I)
+        BlockVisible.insert(B->getArgument(I));
+      for (auto &Op : *B) {
+        // Terminators may only appear last.
+        if (Op->isTerminator() && Op.get() != B->back()) {
+          Diags.error(Op->getLoc(), "terminator '" + Op->getName() +
+                                        "' is not the last operation in its "
+                                        "block");
+          Ok = false;
+        }
+        if (!verifyOp(Op.get(), BlockVisible))
+          Ok = false;
+      }
+    }
+    return Ok;
+  }
+
+private:
+  DiagnosticEngine &Diags;
+};
+
+} // namespace
+
+bool dcir::ir::verify(Operation *Root, DiagnosticEngine &Diags) {
+  VerifierImpl V(Diags);
+  std::set<Value *> Visible;
+  unsigned Before = Diags.errorCount();
+  V.verifyOp(Root, Visible);
+  return Diags.errorCount() == Before;
+}

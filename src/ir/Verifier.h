@@ -1,0 +1,24 @@
+//===- Verifier.h - Structural and per-op IR verification -------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_IR_VERIFIER_H
+#define DCIR_IR_VERIFIER_H
+
+#include "ir/IR.h"
+#include "support/Diagnostics.h"
+
+namespace dcir {
+namespace ir {
+
+/// Verifies SSA visibility (defs precede uses; isolated regions see nothing
+/// from above), terminator placement, region counts, and runs registered
+/// per-op verifiers. Returns true when \p Root verifies cleanly.
+bool verify(Operation *Root, DiagnosticEngine &Diags);
+
+} // namespace ir
+} // namespace dcir
+
+#endif // DCIR_IR_VERIFIER_H

@@ -1,0 +1,97 @@
+//===- CSE.cpp - common subexpression elimination -----------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/Pass.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+using namespace dcir;
+using namespace dcir::ir;
+using namespace dcir::passes;
+
+namespace {
+
+/// Scoped value-numbering CSE over registered pure operations. A nested
+/// region sees (and reuses) expressions from enclosing scopes; expressions
+/// defined inside a region die with the scope.
+class CSEPass : public Pass {
+public:
+  std::string getName() const override { return "cse"; }
+
+  void runOnModule(Operation *Module) override {
+    ScopeStack.clear();
+    processOpRegions(Module);
+  }
+
+private:
+  std::vector<std::unordered_map<std::string, Value *>> ScopeStack;
+
+  static std::string keyOf(Operation *Op) {
+    std::ostringstream OS;
+    OS << Op->getName();
+    for (size_t I = 0; I < Op->getNumOperands(); ++I)
+      OS << "|" << Op->getOperand(I);
+    for (const auto &[K, V] : Op->getAttrs())
+      OS << "|" << K << "=" << V.str();
+    for (size_t I = 0; I < Op->getNumResults(); ++I)
+      OS << "|" << Op->getResult(I)->getType().str();
+    return OS.str();
+  }
+
+  Value *lookup(const std::string &Key) {
+    for (auto It = ScopeStack.rbegin(); It != ScopeStack.rend(); ++It) {
+      auto Found = It->find(Key);
+      if (Found != It->end())
+        return Found->second;
+    }
+    return nullptr;
+  }
+
+  void processOpRegions(Operation *Op) {
+    bool Isolated =
+        Op->getDefinition() && Op->getDefinition()->IsIsolatedFromAbove;
+    for (size_t R = 0; R < Op->getNumRegions(); ++R) {
+      // Isolated regions cannot reuse outer expressions.
+      std::vector<std::unordered_map<std::string, Value *>> Saved;
+      if (Isolated)
+        std::swap(Saved, ScopeStack);
+      for (auto &BlockPtr : Op->getRegion(R).getBlocks())
+        processBlock(*BlockPtr);
+      if (Isolated)
+        std::swap(Saved, ScopeStack);
+    }
+  }
+
+  void processBlock(Block &B) {
+    ScopeStack.emplace_back();
+    std::vector<Operation *> Ops;
+    for (auto &Op : B)
+      Ops.push_back(Op.get());
+    for (Operation *Op : Ops) {
+      if (Op->isPure() && Op->getNumRegions() == 0 &&
+          Op->getNumResults() == 1) {
+        std::string Key = keyOf(Op);
+        if (Value *Existing = lookup(Key)) {
+          Op->getResult(0)->replaceAllUsesWith(Existing);
+          Op->erase();
+          ++Stats.OpsErased;
+          continue;
+        }
+        ScopeStack.back()[Key] = Op->getResult(0);
+      }
+      processOpRegions(Op);
+    }
+    ScopeStack.pop_back();
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> dcir::passes::createCSEPass() {
+  return std::make_unique<CSEPass>();
+}

@@ -1,0 +1,202 @@
+//===- Canonicalize.cpp - constant folding and algebraic simplification ------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/Pass.h"
+
+#include "dialects/Arith.h"
+#include "dialects/MathDialect.h"
+
+#include <cmath>
+#include <optional>
+
+using namespace dcir;
+using namespace dcir::ir;
+using namespace dcir::passes;
+
+namespace {
+
+/// Reads the integer payload of an arith.constant-produced value.
+std::optional<std::int64_t> getConstInt(Value *V) {
+  Operation *Def = V->getDefiningOp();
+  if (!Def || Def->getName() != arith::kConstantOp)
+    return std::nullopt;
+  Attribute A = Def->getAttr("value");
+  if (A.getKind() == AttrKind::Integer)
+    return A.asInt();
+  if (A.getKind() == AttrKind::Bool)
+    return A.asBool() ? 1 : 0;
+  return std::nullopt;
+}
+
+std::optional<double> getConstFloat(Value *V) {
+  Operation *Def = V->getDefiningOp();
+  if (!Def || Def->getName() != arith::kConstantOp)
+    return std::nullopt;
+  Attribute A = Def->getAttr("value");
+  if (A.getKind() == AttrKind::Float)
+    return A.asFloat();
+  return std::nullopt;
+}
+
+class CanonicalizePass : public Pass {
+public:
+  std::string getName() const override { return "canonicalize"; }
+
+  void runOnModule(Operation *Module) override {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      std::vector<Operation *> Work;
+      Module->walk([&](Operation *Op) { Work.push_back(Op); });
+      for (Operation *Op : Work)
+        if (trySimplify(Op))
+          Changed = true;
+    }
+  }
+
+private:
+  /// Replaces all uses of \p Op's single result with \p NewValue and erases
+  /// the op.
+  bool replaceWith(Operation *Op, Value *NewValue) {
+    Op->getResult(0)->replaceAllUsesWith(NewValue);
+    Op->erase();
+    ++Stats.OpsErased;
+    return true;
+  }
+
+  bool replaceWithIntConstant(Operation *Op, std::int64_t Val) {
+    OpBuilder B(Op->getContext());
+    B.setInsertionPoint(Op);
+    Value *C = arith::createIntConstant(B, Val, Op->getResult(0)->getType());
+    ++Stats.OpsCreated;
+    return replaceWith(Op, C);
+  }
+
+  bool replaceWithFloatConstant(Operation *Op, double Val) {
+    OpBuilder B(Op->getContext());
+    B.setInsertionPoint(Op);
+    Value *C =
+        arith::createFloatConstant(B, Val, Op->getResult(0)->getType());
+    ++Stats.OpsCreated;
+    return replaceWith(Op, C);
+  }
+
+  bool trySimplify(Operation *Op) {
+    const std::string &Name = Op->getName();
+    if (Name == arith::kSelectOp)
+      return simplifySelect(Op);
+    if (Op->getNumOperands() != 2 || Op->getNumResults() != 1)
+      return false;
+    Value *L = Op->getOperand(0);
+    Value *R = Op->getOperand(1);
+
+    if (Name == arith::kCmpIOp)
+      return simplifyCmpI(Op);
+
+    // Integer folds.
+    auto LI = getConstInt(L), RI = getConstInt(R);
+    if (Name == arith::kAddIOp) {
+      if (LI && RI)
+        return replaceWithIntConstant(Op, *LI + *RI);
+      if (RI && *RI == 0)
+        return replaceWith(Op, L);
+      if (LI && *LI == 0)
+        return replaceWith(Op, R);
+      return false;
+    }
+    if (Name == arith::kSubIOp) {
+      if (LI && RI)
+        return replaceWithIntConstant(Op, *LI - *RI);
+      if (RI && *RI == 0)
+        return replaceWith(Op, L);
+      if (L == R)
+        return replaceWithIntConstant(Op, 0);
+      return false;
+    }
+    if (Name == arith::kMulIOp) {
+      if (LI && RI)
+        return replaceWithIntConstant(Op, *LI * *RI);
+      if ((RI && *RI == 0) || (LI && *LI == 0))
+        return replaceWithIntConstant(Op, 0);
+      if (RI && *RI == 1)
+        return replaceWith(Op, L);
+      if (LI && *LI == 1)
+        return replaceWith(Op, R);
+      return false;
+    }
+    if (Name == arith::kDivSIOp) {
+      if (LI && RI && *RI != 0)
+        return replaceWithIntConstant(Op, *LI / *RI);
+      if (RI && *RI == 1)
+        return replaceWith(Op, L);
+      return false;
+    }
+    if (Name == arith::kRemSIOp) {
+      if (LI && RI && *RI != 0)
+        return replaceWithIntConstant(Op, *LI % *RI);
+      return false;
+    }
+    // Float folds (no reassociation; strict per-op folding only).
+    auto LF = getConstFloat(L), RF = getConstFloat(R);
+    if (Name == arith::kAddFOp && LF && RF)
+      return replaceWithFloatConstant(Op, *LF + *RF);
+    if (Name == arith::kSubFOp && LF && RF)
+      return replaceWithFloatConstant(Op, *LF - *RF);
+    if (Name == arith::kMulFOp) {
+      if (LF && RF)
+        return replaceWithFloatConstant(Op, *LF * *RF);
+      if (RF && *RF == 1.0)
+        return replaceWith(Op, L);
+      if (LF && *LF == 1.0)
+        return replaceWith(Op, R);
+      return false;
+    }
+    if (Name == arith::kDivFOp && LF && RF && *RF != 0.0)
+      return replaceWithFloatConstant(Op, *LF / *RF);
+    return false;
+  }
+
+  bool simplifyCmpI(Operation *Op) {
+    auto LI = getConstInt(Op->getOperand(0));
+    auto RI = getConstInt(Op->getOperand(1));
+    if (!LI || !RI)
+      return false;
+    const std::string &Pred = Op->getAttr("predicate").asString();
+    bool Result;
+    if (Pred == "eq")
+      Result = *LI == *RI;
+    else if (Pred == "ne")
+      Result = *LI != *RI;
+    else if (Pred == "slt")
+      Result = *LI < *RI;
+    else if (Pred == "sle")
+      Result = *LI <= *RI;
+    else if (Pred == "sgt")
+      Result = *LI > *RI;
+    else if (Pred == "sge")
+      Result = *LI >= *RI;
+    else
+      return false;
+    return replaceWithIntConstant(Op, Result ? 1 : 0);
+  }
+
+  bool simplifySelect(Operation *Op) {
+    if (Op->getNumOperands() != 3)
+      return false;
+    auto Cond = getConstInt(Op->getOperand(0));
+    if (Cond)
+      return replaceWith(Op, Op->getOperand(*Cond != 0 ? 1 : 2));
+    if (Op->getOperand(1) == Op->getOperand(2))
+      return replaceWith(Op, Op->getOperand(1));
+    return false;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> dcir::passes::createCanonicalizePass() {
+  return std::make_unique<CanonicalizePass>();
+}

@@ -1,0 +1,102 @@
+//===- DCE.cpp - dead code elimination ------------------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/Pass.h"
+
+#include "dialects/MemRef.h"
+#include "dialects/SCF.h"
+
+using namespace dcir;
+using namespace dcir::ir;
+using namespace dcir::passes;
+
+namespace {
+
+/// Removes unused pure ops, allocations whose only uses are deallocations,
+/// and empty structured control flow.
+class DCEPass : public Pass {
+public:
+  std::string getName() const override { return "dce"; }
+
+  void runOnModule(Operation *Module) override {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      std::vector<Operation *> Work;
+      Module->walk([&](Operation *Op) { Work.push_back(Op); });
+      for (Operation *Op : Work)
+        if (tryErase(Op))
+          Changed = true;
+    }
+  }
+
+private:
+  bool tryErase(Operation *Op) {
+    const std::string &Name = Op->getName();
+    // Pure op with no remaining uses.
+    if (Op->isPure() && Op->getNumRegions() == 0 && Op->allResultsUnused()) {
+      Op->erase();
+      ++Stats.OpsErased;
+      return true;
+    }
+    // Allocations that are never used are dead memory. Deallocations of a
+    // buffer whose only remaining users are deallocations are removed first;
+    // the allocation itself dies on the next sweep. (The walk is post-order,
+    // so erasing only the visited op keeps the worklist free of dangling
+    // pointers.)
+    if (Name == memref::kAllocOp || Name == memref::kAllocaOp ||
+        Name == "sdfg.alloc") {
+      if (!Op->getResult(0)->useEmpty())
+        return false;
+      Op->erase();
+      ++Stats.OpsErased;
+      return true;
+    }
+    if (Name == memref::kDeallocOp) {
+      Value *Buf = Op->getOperand(0);
+      Operation *Def = Buf->getDefiningOp();
+      if (!Def || (Def->getName() != memref::kAllocOp &&
+                   Def->getName() != memref::kAllocaOp))
+        return false;
+      for (Operation *User : Buf->getUsers())
+        if (User->getName() != memref::kDeallocOp)
+          return false;
+      Op->erase();
+      ++Stats.OpsErased;
+      return true;
+    }
+    // Loops and branches whose bodies do nothing.
+    if (Name == scf::kForOp && Op->getNumResults() == 0)
+      return eraseIfBodiesEmpty(Op);
+    if (Name == scf::kIfOp && Op->getNumResults() == 0)
+      return eraseIfBodiesEmpty(Op);
+    return false;
+  }
+
+  bool eraseIfBodiesEmpty(Operation *Op) {
+    for (size_t R = 0; R < Op->getNumRegions(); ++R) {
+      for (auto &BlockPtr : Op->getRegion(R).getBlocks()) {
+        for (auto &Nested : *BlockPtr) {
+          if (Nested->getName() != scf::kYieldOp)
+            return false;
+        }
+        // Arguments of the body must be unused (they will die with the op).
+        for (size_t I = 0; I < BlockPtr->getNumArguments(); ++I)
+          if (!BlockPtr->getArgument(I)->useEmpty())
+            return false;
+      }
+    }
+    Op->erase();
+    ++Stats.OpsErased;
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> dcir::passes::createDCEPass() {
+  return std::make_unique<DCEPass>();
+}

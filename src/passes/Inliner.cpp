@@ -1,0 +1,93 @@
+//===- Inliner.cpp - function inlining ------------------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/Pass.h"
+
+#include "dialects/Func.h"
+
+using namespace dcir;
+using namespace dcir::ir;
+using namespace dcir::passes;
+
+namespace {
+
+/// Inlines every non-recursive func.call whose callee body is a single block
+/// terminated by func.return (the shape our frontend produces).
+class InlinerPass : public Pass {
+public:
+  std::string getName() const override { return "inline"; }
+
+  void runOnModule(Operation *Module) override {
+    // Iterate: inlining may expose nested calls. Bounded to prevent
+    // divergence on (unsupported) recursion.
+    for (int Round = 0; Round < 16; ++Round) {
+      std::vector<Operation *> Calls;
+      Module->walk([&](Operation *Op) {
+        if (Op->getName() == func::kCallOp)
+          Calls.push_back(Op);
+      });
+      bool Changed = false;
+      for (Operation *Call : Calls)
+        if (inlineCall(Module, Call))
+          Changed = true;
+      if (!Changed)
+        break;
+    }
+  }
+
+private:
+  bool inlineCall(Operation *Module, Operation *Call) {
+    Attribute CalleeAttr = Call->getAttr("callee");
+    if (!CalleeAttr || CalleeAttr.getKind() != AttrKind::String)
+      return false;
+    Operation *Callee = lookupFunction(Module, CalleeAttr.asString());
+    if (!Callee)
+      return false; // External (e.g. libm residue); leave for lowering.
+    // Refuse self-recursion.
+    for (Operation *P = Call->getParentOp(); P; P = P->getParentOp())
+      if (P == Callee)
+        return false;
+    Block &Body = func::getFunctionBody(Callee);
+    Operation *Term = Body.getTerminator();
+    if (!Term || Term->getName() != func::kReturnOp)
+      return false;
+
+    // Map callee arguments to call operands.
+    std::map<Value *, Value *> Mapping;
+    if (Body.getNumArguments() != Call->getNumOperands())
+      return false;
+    for (size_t I = 0; I < Body.getNumArguments(); ++I)
+      Mapping[Body.getArgument(I)] = Call->getOperand(I);
+
+    // Clone all body ops except the terminator, right before the call.
+    Block *CallBlock = Call->getParentBlock();
+    std::vector<Value *> ReturnValues;
+    for (auto &Op : Body) {
+      if (Op.get() == Term) {
+        for (size_t I = 0; I < Term->getNumOperands(); ++I) {
+          Value *V = Term->getOperand(I);
+          auto It = Mapping.find(V);
+          ReturnValues.push_back(It == Mapping.end() ? V : It->second);
+        }
+        break;
+      }
+      Operation *Clone = Op->clone(Mapping);
+      CallBlock->insertBefore(Clone, Call);
+      ++Stats.OpsCreated;
+    }
+    for (size_t I = 0; I < Call->getNumResults(); ++I)
+      Call->getResult(I)->replaceAllUsesWith(ReturnValues[I]);
+    Call->erase();
+    ++Stats.OpsErased;
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> dcir::passes::createInlinerPass() {
+  return std::make_unique<InlinerPass>();
+}

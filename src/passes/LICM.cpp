@@ -1,0 +1,118 @@
+//===- LICM.cpp - loop-invariant code motion -----------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/Pass.h"
+
+#include "dialects/Func.h"
+#include "dialects/MemRef.h"
+#include "dialects/SCF.h"
+
+#include <set>
+
+using namespace dcir;
+using namespace dcir::ir;
+using namespace dcir::passes;
+
+namespace {
+
+/// Hoists pure operations (and safe loads) whose operands are defined
+/// outside an scf.for out of the loop. Inner loops are processed first so
+/// hoisted code can bubble further out.
+class LICMPass : public Pass {
+public:
+  std::string getName() const override { return "licm"; }
+
+  void runOnModule(Operation *Module) override {
+    // Post-order walk visits inner loops before outer ones.
+    std::vector<Operation *> Loops;
+    Module->walk([&](Operation *Op) {
+      if (Op->getName() == scf::kForOp)
+        Loops.push_back(Op);
+    });
+    for (Operation *Loop : Loops)
+      processLoop(Loop);
+  }
+
+private:
+  /// True if \p V is defined outside (above) \p Loop.
+  static bool definedOutside(Value *V, Operation *Loop) {
+    if (Operation *Def = V->getDefiningOp())
+      return Def != Loop && !Def->isDescendantOf(Loop);
+    auto *Arg = cast<BlockArgument>(V);
+    Operation *Owner = Arg->getOwner()->getParentOp();
+    return Owner != Loop && (!Owner || !Owner->isDescendantOf(Loop));
+  }
+
+  /// Collects memory behaviour inside the loop: bases of stores/copies and
+  /// whether anything un-analyzable (calls, unknown dialects) appears.
+  void analyzeLoopBody(Operation *Loop, std::set<Value *> &StoredBases,
+                       bool &HasOpaqueEffects) {
+    Loop->walk([&](Operation *Op) {
+      if (Op == Loop)
+        return;
+      const std::string &Name = Op->getName();
+      if (Name == memref::kStoreOp) {
+        StoredBases.insert(Op->getOperand(1));
+        return;
+      }
+      if (Name == memref::kCopyOp) {
+        StoredBases.insert(Op->getOperand(1));
+        return;
+      }
+      if (Name == memref::kDeallocOp) {
+        StoredBases.insert(Op->getOperand(0));
+        return;
+      }
+      if (Name == func::kCallOp || Name == "scf.while")
+        HasOpaqueEffects = true;
+    });
+  }
+
+  void processLoop(Operation *Loop) {
+    std::set<Value *> StoredBases;
+    bool HasOpaqueEffects = false;
+    analyzeLoopBody(Loop, StoredBases, HasOpaqueEffects);
+
+    Block &Body = Loop->getRegion(0).front();
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      std::vector<Operation *> Ops;
+      for (auto &Op : Body)
+        Ops.push_back(Op.get());
+      for (Operation *Op : Ops) {
+        if (!isHoistable(Op, Loop, StoredBases, HasOpaqueEffects))
+          continue;
+        Op->moveBefore(Loop);
+        ++Stats.OpsMoved;
+        Changed = true;
+      }
+    }
+  }
+
+  bool isHoistable(Operation *Op, Operation *Loop,
+                   const std::set<Value *> &StoredBases,
+                   bool HasOpaqueEffects) {
+    for (size_t I = 0; I < Op->getNumOperands(); ++I)
+      if (!definedOutside(Op->getOperand(I), Loop))
+        return false;
+    if (Op->isPure() && Op->getNumRegions() == 0)
+      return true;
+    // Loads are movable when nothing inside the loop may write the base.
+    // Distinct allocations and distinct function arguments are assumed not
+    // to alias (the usual restrict-style frontend contract).
+    if (Op->getName() == memref::kLoadOp && !HasOpaqueEffects &&
+        !StoredBases.count(Op->getOperand(0)))
+      return true;
+    return false;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> dcir::passes::createLICMPass() {
+  return std::make_unique<LICMPass>();
+}

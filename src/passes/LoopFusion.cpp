@@ -1,0 +1,230 @@
+//===- LoopFusion.cpp - adjacent element-wise loop fusion ------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fuses adjacent scf.for loops with identical bounds when every access to a
+/// commonly-written memref is exactly `[iv]` — the classic element-wise case
+/// (GCC/Clang fuse the first two loops of the paper's Fig. 2 this way).
+///
+//===----------------------------------------------------------------------===//
+
+#include "passes/Pass.h"
+
+#include "dialects/Arith.h"
+#include "dialects/MemRef.h"
+#include "dialects/SCF.h"
+
+#include <map>
+#include <set>
+
+using namespace dcir;
+using namespace dcir::ir;
+using namespace dcir::passes;
+
+namespace {
+
+/// Strips index_cast chains: the frontend round-trips induction variables
+/// through i64, so `a[i]` indexes via index_cast(index_cast(%iv)).
+Value *stripIndexCasts(Value *V) {
+  while (Operation *Def = V->getDefiningOp()) {
+    if (Def->getName() != arith::kIndexCastOp)
+      break;
+    V = Def->getOperand(0);
+  }
+  return V;
+}
+
+struct AccessSummary {
+  /// Bases read / written somewhere inside the loop.
+  std::set<Value *> Reads, Writes;
+  /// Bases for which every access is exactly [iv].
+  std::set<Value *> ElementWiseOnly;
+  bool Analyzable = true;
+};
+
+class LoopFusionPass : public Pass {
+public:
+  std::string getName() const override { return "loop-fusion"; }
+
+  void runOnModule(Operation *Module) override {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      std::vector<Operation *> Loops;
+      Module->walk([&](Operation *Op) {
+        if (Op->getName() == scf::kForOp)
+          Loops.push_back(Op);
+      });
+      for (Operation *Loop : Loops) {
+        // The loop may already have been fused away this round.
+        if (!Loop->getParentBlock())
+          continue;
+        Operation *Next = findFusableSuccessor(Loop);
+        if (Next && tryFuse(Loop, Next)) {
+          Changed = true;
+          break; // Worklist holds stale pointers after a fusion.
+        }
+      }
+    }
+  }
+
+private:
+  static AccessSummary summarize(Operation *Loop) {
+    AccessSummary S;
+    Value *Iv = scf::getForInductionVar(Loop);
+    std::map<Value *, bool> AllElementWise; // base -> all accesses are [iv]
+    Loop->walk([&](Operation *Op) {
+      if (Op == Loop)
+        return;
+      const std::string &Name = Op->getName();
+      if (Name == memref::kLoadOp || Name == memref::kStoreOp) {
+        bool IsLoad = Name == memref::kLoadOp;
+        Value *Base = Op->getOperand(IsLoad ? 0 : 1);
+        size_t IdxStart = IsLoad ? 1 : 2;
+        (IsLoad ? S.Reads : S.Writes).insert(Base);
+        bool ElementWise =
+            Op->getNumOperands() - IdxStart == 1 &&
+            stripIndexCasts(Op->getOperand(IdxStart)) == Iv;
+        auto It = AllElementWise.find(Base);
+        if (It == AllElementWise.end())
+          AllElementWise[Base] = ElementWise;
+        else
+          It->second = It->second && ElementWise;
+        return;
+      }
+      if (Name == memref::kCopyOp || Name == memref::kDeallocOp ||
+          Name == "func.call" || Name == "scf.while" ||
+          Name == memref::kAllocOp || Name == memref::kAllocaOp)
+        S.Analyzable = false;
+    });
+    for (const auto &[Base, EW] : AllElementWise)
+      if (EW)
+        S.ElementWiseOnly.insert(Base);
+    return S;
+  }
+
+  /// Finds the next scf.for after \p Loop, moving the interposed frontend
+  /// bookkeeping (loop-slot allocas, final-value arithmetic and stores) out
+  /// of the way when provably safe: pure ops and allocas whose operands are
+  /// defined above hoist before the loop; stores whose base the second loop
+  /// never touches sink past it. Returns null when separation fails.
+  Operation *findFusableSuccessor(Operation *Loop) {
+    std::vector<Operation *> Interposed;
+    Operation *Cursor = Loop->getNextInBlock();
+    while (Cursor && Cursor->getName() != scf::kForOp) {
+      Interposed.push_back(Cursor);
+      Cursor = Cursor->getNextInBlock();
+    }
+    if (!Cursor)
+      return nullptr;
+    if (Interposed.empty())
+      return Cursor;
+    Operation *Second = Cursor;
+    AccessSummary B = summarize(Second);
+    if (!B.Analyzable)
+      return nullptr;
+    // Classify every interposed op before moving anything.
+    std::set<Value *> InterposedResults;
+    std::vector<Operation *> Hoists, Sinks;
+    for (Operation *Op : Interposed) {
+      const std::string &Name = Op->getName();
+      bool OperandsAbove = true;
+      for (size_t I = 0; I < Op->getNumOperands(); ++I)
+        if (InterposedResults.count(Op->getOperand(I)))
+          OperandsAbove = false;
+      if ((Op->isPure() || Name == memref::kAllocaOp ||
+           Name == memref::kAllocOp) &&
+          Op->getNumRegions() == 0 && OperandsAbove) {
+        Hoists.push_back(Op);
+        continue;
+      }
+      if (Name == memref::kStoreOp) {
+        Value *Base = Op->getOperand(1);
+        if (!B.Reads.count(Base) && !B.Writes.count(Base)) {
+          Sinks.push_back(Op);
+          for (size_t I = 0; I < Op->getNumResults(); ++I)
+            InterposedResults.insert(Op->getResult(I));
+          continue;
+        }
+      }
+      return nullptr; // Unmovable interposed op.
+    }
+    for (Operation *Op : Hoists) {
+      Op->moveBefore(Loop);
+      ++Stats.OpsMoved;
+    }
+    Operation *After = Second->getNextInBlock();
+    if (!After)
+      return nullptr; // No anchor to sink before (no block terminator).
+    for (Operation *Op : Sinks) {
+      Op->moveBefore(After);
+      ++Stats.OpsMoved;
+    }
+    return Second;
+  }
+
+  bool tryFuse(Operation *First, Operation *Second) {
+    // Identical bounds (post-CSE, identical SSA values).
+    for (size_t I = 0; I < 3; ++I)
+      if (First->getOperand(I) != Second->getOperand(I))
+        return false;
+    AccessSummary A = summarize(First);
+    AccessSummary B = summarize(Second);
+    if (!A.Analyzable || !B.Analyzable)
+      return false;
+    // For every base with a write in one loop and any access in the other,
+    // all accesses in both loops must be element-wise at [iv]; fusing then
+    // preserves every per-element dependence.
+    std::set<Value *> Common;
+    auto addConflicts = [&](const std::set<Value *> &Writes,
+                            const AccessSummary &Other) {
+      for (Value *W : Writes)
+        if (Other.Reads.count(W) || Other.Writes.count(W))
+          Common.insert(W);
+    };
+    addConflicts(A.Writes, B);
+    addConflicts(B.Writes, A);
+    // Bases only ever *stored* (never read) in both loops are exempt:
+    // interleaving their stores is unobservable and the final value is the
+    // same (this covers the loop-counter spill slots the frontend emits).
+    for (auto It = Common.begin(); It != Common.end();) {
+      if (!A.Reads.count(*It) && !B.Reads.count(*It))
+        It = Common.erase(It);
+      else
+        ++It;
+    }
+    for (Value *C : Common)
+      if (!A.ElementWiseOnly.count(C) && A.Reads.count(C) + A.Writes.count(C))
+        return false;
+    for (Value *C : Common)
+      if (!B.ElementWiseOnly.count(C) && B.Reads.count(C) + B.Writes.count(C))
+        return false;
+
+    // Move the second body (minus its terminator) before the first's yield.
+    Block &FirstBody = scf::getForBody(First);
+    Block &SecondBody = scf::getForBody(Second);
+    Operation *FirstYield = FirstBody.getTerminator();
+    assert(FirstYield && "scf.for body must end in scf.yield");
+    SecondBody.getArgument(0)->replaceAllUsesWith(FirstBody.getArgument(0));
+    std::vector<Operation *> ToMove;
+    for (auto &Op : SecondBody)
+      if (Op.get() != SecondBody.getTerminator())
+        ToMove.push_back(Op.get());
+    for (Operation *Op : ToMove) {
+      Op->moveBefore(FirstYield);
+      ++Stats.OpsMoved;
+    }
+    Second->erase();
+    ++Stats.OpsErased;
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> dcir::passes::createLoopFusionPass() {
+  return std::make_unique<LoopFusionPass>();
+}

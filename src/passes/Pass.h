@@ -1,0 +1,97 @@
+//===- Pass.h - pass interface and pass manager ------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The homogenized pass infrastructure for the MLIR side of the pipeline
+/// (paper Fig. 4, blue boxes). Passes mutate a module in place; the pass
+/// manager optionally re-verifies after each pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_PASSES_PASS_H
+#define DCIR_PASSES_PASS_H
+
+#include "ir/IR.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dcir {
+namespace passes {
+
+/// Statistics a pass may report (used by benches to count eliminated IR).
+struct PassStatistics {
+  unsigned OpsErased = 0;
+  unsigned OpsMoved = 0;
+  unsigned OpsCreated = 0;
+
+  void merge(const PassStatistics &Other) {
+    OpsErased += Other.OpsErased;
+    OpsMoved += Other.OpsMoved;
+    OpsCreated += Other.OpsCreated;
+  }
+};
+
+/// A module-level transformation.
+class Pass {
+public:
+  virtual ~Pass() = default;
+
+  virtual std::string getName() const = 0;
+  /// Transforms \p Module in place.
+  virtual void runOnModule(ir::Operation *Module) = 0;
+
+  const PassStatistics &getStatistics() const { return Stats; }
+
+protected:
+  PassStatistics Stats;
+};
+
+/// Runs a sequence of passes, optionally verifying after each.
+class PassManager {
+public:
+  explicit PassManager(bool VerifyEach = true) : VerifyEach(VerifyEach) {}
+
+  void addPass(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
+
+  /// Runs all passes; returns false if verification fails after some pass
+  /// (diagnostics describe the failure and name the culprit pass).
+  bool run(ir::Operation *Module, DiagnosticEngine &Diags);
+
+  /// Aggregated statistics across all executed passes.
+  PassStatistics getStatistics() const;
+
+private:
+  std::vector<std::unique_ptr<Pass>> Passes;
+  bool VerifyEach;
+};
+
+//===----------------------------------------------------------------------===//
+// Pass constructors (control-centric suite, paper §4)
+//===----------------------------------------------------------------------===//
+
+/// Constant folding and algebraic simplification.
+std::unique_ptr<Pass> createCanonicalizePass();
+/// Common subexpression elimination over pure operations.
+std::unique_ptr<Pass> createCSEPass();
+/// Dead code elimination (unused pure ops, unused allocations, empty loops).
+std::unique_ptr<Pass> createDCEPass();
+/// Loop-invariant code motion out of scf.for bodies.
+std::unique_ptr<Pass> createLICMPass();
+/// Inlines every non-recursive func.call.
+std::unique_ptr<Pass> createInlinerPass();
+/// Store-to-load forwarding and redundant-store elimination within blocks.
+std::unique_ptr<Pass> createScalarReplacementPass();
+/// Fuses adjacent scf.for loops with identical bounds and element-wise
+/// accesses (part of the stronger "general-purpose compiler" pipelines).
+std::unique_ptr<Pass> createLoopFusionPass();
+
+} // namespace passes
+} // namespace dcir
+
+#endif // DCIR_PASSES_PASS_H

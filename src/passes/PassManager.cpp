@@ -1,0 +1,26 @@
+//===- PassManager.cpp ---------------------------------------------------------===//
+
+#include "passes/Pass.h"
+
+#include "ir/Verifier.h"
+
+using namespace dcir;
+using namespace dcir::passes;
+
+bool PassManager::run(ir::Operation *Module, DiagnosticEngine &Diags) {
+  for (auto &P : Passes) {
+    P->runOnModule(Module);
+    if (VerifyEach && !ir::verify(Module, Diags)) {
+      Diags.error("verification failed after pass '" + P->getName() + "'");
+      return false;
+    }
+  }
+  return true;
+}
+
+PassStatistics PassManager::getStatistics() const {
+  PassStatistics Total;
+  for (const auto &P : Passes)
+    Total.merge(P->getStatistics());
+  return Total;
+}

@@ -1,0 +1,222 @@
+//===- Pipeline.cpp -------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+
+#include "conversion/CToSdfgDirect.h"
+#include "conversion/ConvertToSdfg.h"
+#include "conversion/TranslateToSDFG.h"
+#include "dialects/Dialects.h"
+#include "frontend/CCodegen.h"
+#include "frontend/CParser.h"
+#include "interp/MLIRInterp.h"
+#include "interp/SDFGInterp.h"
+#include "ir/Verifier.h"
+#include "passes/Pass.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dcir;
+using namespace dcir::pipeline;
+
+const char *dcir::pipeline::pipelineName(PipelineKind K) {
+  switch (K) {
+  case PipelineKind::GccLike:
+    return "GCC";
+  case PipelineKind::ClangLike:
+    return "Clang";
+  case PipelineKind::DaceLike:
+    return "DaCe";
+  case PipelineKind::MlirLike:
+    return "MLIR";
+  case PipelineKind::Dcir:
+    return "DCIR";
+  }
+  return "?";
+}
+
+Compiled &Compiled::operator=(Compiled &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  if (Module)
+    ir::Operation::eraseDetached(Module);
+  Kind = Other.Kind;
+  Entry = std::move(Other.Entry);
+  Ctx = std::move(Other.Ctx);
+  Module = Other.Module;
+  Other.Module = nullptr; // The moved-from object no longer owns the IR.
+  Graph = std::move(Other.Graph);
+  Report = Other.Report;
+  return *this;
+}
+
+Compiled::~Compiled() {
+  if (Module)
+    ir::Operation::eraseDetached(Module);
+}
+
+namespace {
+
+/// The strong general-purpose -O2 (GCC/Clang stand-ins).
+void addStrongPasses(passes::PassManager &PM, bool ExtraRound) {
+  using namespace passes;
+  PM.addPass(createInlinerPass());
+  for (int I = 0; I < (ExtraRound ? 3 : 2); ++I) {
+    PM.addPass(createCanonicalizePass());
+    PM.addPass(createCSEPass());
+    PM.addPass(createLICMPass());
+    PM.addPass(createScalarReplacementPass());
+    PM.addPass(createCSEPass());
+    PM.addPass(createLoopFusionPass());
+    PM.addPass(createDCEPass());
+  }
+}
+
+/// The paper's control-centric set for the Polygeist+MLIR pipeline (§4):
+/// LICM, CSE, DCE, inlining — no store forwarding, no fusion.
+void addMlirPasses(passes::PassManager &PM) {
+  using namespace passes;
+  PM.addPass(createInlinerPass());
+  PM.addPass(createCanonicalizePass());
+  PM.addPass(createCSEPass());
+  PM.addPass(createLICMPass());
+  PM.addPass(createDCEPass());
+}
+
+/// DCIR's MLIR-side passes (paper Fig. 4, blue): LICM, CSE & DCE &
+/// inlining, scalar replacement, then lowering into the sdfg dialect.
+void addDcirMlirPasses(passes::PassManager &PM) {
+  using namespace passes;
+  PM.addPass(createInlinerPass());
+  for (int I = 0; I < 2; ++I) {
+    PM.addPass(createCanonicalizePass());
+    PM.addPass(createCSEPass());
+    PM.addPass(createLICMPass());
+    PM.addPass(createScalarReplacementPass());
+    PM.addPass(createCSEPass());
+    PM.addPass(createDCEPass());
+  }
+}
+
+} // namespace
+
+Compiled dcir::pipeline::compile(const std::string &CSource,
+                                 const std::string &Entry, PipelineKind Kind,
+                                 DiagnosticEngine &Diags) {
+  Compiled Out;
+  Out.Kind = Kind;
+  Out.Entry = Entry;
+
+  if (Kind == PipelineKind::DaceLike) {
+    auto TU = frontend::parseC(CSource, Diags);
+    if (!TU)
+      return Out;
+    Out.Graph = conversion::translateCDirect(*TU, Entry, Diags);
+    if (!Out.Graph)
+      return Out;
+    sdfgopt::runAutoOptimize(*Out.Graph, Out.Report);
+    if (!Out.Graph->validate(Diags))
+      Out.Graph.reset();
+    return Out;
+  }
+
+  Out.Ctx = std::make_shared<ir::IRContext>();
+  registerAllDialects(*Out.Ctx);
+  ir::Operation *Module =
+      frontend::compileCToModule(CSource, *Out.Ctx, Diags);
+  if (!Module)
+    return Out;
+  passes::PassManager PM(/*VerifyEach=*/false);
+  switch (Kind) {
+  case PipelineKind::GccLike:
+    addStrongPasses(PM, /*ExtraRound=*/false);
+    break;
+  case PipelineKind::ClangLike:
+    addStrongPasses(PM, /*ExtraRound=*/true);
+    break;
+  case PipelineKind::MlirLike:
+    addMlirPasses(PM);
+    break;
+  case PipelineKind::Dcir:
+    addDcirMlirPasses(PM);
+    break;
+  case PipelineKind::DaceLike:
+    break;
+  }
+  if (!PM.run(Module, Diags) || !ir::verify(Module, Diags)) {
+    ir::Operation::eraseDetached(Module);
+    return Out;
+  }
+
+  if (Kind != PipelineKind::Dcir) {
+    Out.Module = Module;
+    return Out;
+  }
+
+  // DCIR: convert to the sdfg dialect, translate, run -O1/-O2.
+  ir::Operation *SdfgModule =
+      conversion::convertToSdfgDialect(Module, Diags);
+  ir::Operation::eraseDetached(Module);
+  if (!SdfgModule)
+    return Out;
+  if (!ir::verify(SdfgModule, Diags)) {
+    ir::Operation::eraseDetached(SdfgModule);
+    return Out;
+  }
+  Out.Graph = conversion::translateToSDFG(SdfgModule, Entry, Diags);
+  ir::Operation::eraseDetached(SdfgModule);
+  if (!Out.Graph)
+    return Out;
+  sdfgopt::runAutoOptimize(*Out.Graph, Out.Report);
+  if (!Out.Graph->validate(Diags))
+    Out.Graph.reset();
+  return Out;
+}
+
+RunResult dcir::pipeline::run(const Compiled &C, interp::MathMode Mode) {
+  RunResult R;
+  auto Start = std::chrono::steady_clock::now();
+  if (C.Module) {
+    interp::MLIRInterpreter Interp(C.Module, Mode);
+    std::vector<interp::MValue> Results = Interp.call(C.Entry, {});
+    if (!Results.empty())
+      R.ReturnValue = Results[0].S.asF();
+    R.Stats = Interp.stats();
+  } else if (C.Graph) {
+    interp::SDFGInterpreter Interp(*C.Graph, Mode);
+    Interp.run();
+    if (C.Graph->hasData("__return"))
+      R.ReturnValue = Interp.readScalar("__return").asF();
+    R.Stats = Interp.stats();
+  }
+  auto End = std::chrono::steady_clock::now();
+  R.Seconds = std::chrono::duration<double>(End - Start).count();
+  return R;
+}
+
+RunResult dcir::pipeline::compileAndRun(const std::string &CSource,
+                                        const std::string &Entry,
+                                        PipelineKind Kind,
+                                        interp::MathMode Mode) {
+  DiagnosticEngine Diags;
+  Compiled C = compile(CSource, Entry, Kind, Diags);
+  if (!C.Module && !C.Graph) {
+    std::fprintf(stderr, "pipeline %s failed to compile '%s':\n%s\n",
+                 pipelineName(Kind), Entry.c_str(), Diags.str().c_str());
+    std::abort();
+  }
+  return run(C, Mode);
+}
+
+std::string dcir::pipeline::loadWorkload(const std::string &RelativePath) {
+  std::string Path = std::string(DCIR_WORKLOADS_DIR) + "/" + RelativePath;
+  std::string Text;
+  if (!readFileToString(Path, Text)) {
+    std::fprintf(stderr, "cannot read workload '%s'\n", Path.c_str());
+    std::abort();
+  }
+  return Text;
+}

@@ -1,0 +1,89 @@
+//===- Pipeline.h - the five compared compilation pipelines -------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment driver: five pipelines mirroring the systems the paper
+/// compares in every figure.
+///
+///   GccLike / ClangLike  C -> MLIR dialects -> strong control-centric -O2
+///                        (inlining, folding, CSE, LICM, store forwarding,
+///                        loop fusion, DCE) -> MLIR interpreter.
+///   MlirLike             Polygeist+MLIR: C -> MLIR dialects -> the paper's
+///                        control-centric set only (no store forwarding, no
+///                        fusion) -> MLIR interpreter.
+///   DaceLike             the DaCe C frontend: C -> SDFG with opaque
+///                        statement tasklets -> data-centric passes ->
+///                        SDFG interpreter.
+///   Dcir                 the paper's bridge: C -> MLIR -> control passes ->
+///                        sdfg dialect -> SDFG -> inference + data-centric
+///                        passes (-O1/-O2) -> SDFG interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_PIPELINE_PIPELINE_H
+#define DCIR_PIPELINE_PIPELINE_H
+
+#include "interp/Stats.h"
+#include "ir/IR.h"
+#include "sdfg/SDFG.h"
+#include "sdfgopt/Passes.h"
+#include "interp/FastMath.h"
+
+#include <memory>
+#include <string>
+
+namespace dcir {
+namespace pipeline {
+
+enum class PipelineKind { GccLike, ClangLike, DaceLike, MlirLike, Dcir };
+
+/// Display name ("GCC", "Clang", "DaCe", "MLIR", "DCIR").
+const char *pipelineName(PipelineKind K);
+
+/// Compilation artifacts: exactly one of Module/Graph is set.
+struct Compiled {
+  PipelineKind Kind = PipelineKind::MlirLike;
+  std::string Entry;
+  std::shared_ptr<ir::IRContext> Ctx; // Keeps types alive for Module.
+  ir::Operation *Module = nullptr;    // Owned; released in ~Compiled.
+  std::unique_ptr<sdfg::SDFG> Graph;
+  sdfgopt::OptReport Report;
+
+  Compiled() = default;
+  Compiled(Compiled &&Other) noexcept { *this = std::move(Other); }
+  Compiled &operator=(Compiled &&Other) noexcept;
+  ~Compiled();
+};
+
+/// Result of one execution.
+struct RunResult {
+  double ReturnValue = 0.0;
+  interp::ExecutionStats Stats;
+  double Seconds = 0.0;
+};
+
+/// Compiles \p CSource's function \p Entry through pipeline \p Kind.
+/// Returns an empty Compiled (null Module and Graph) on failure.
+Compiled compile(const std::string &CSource, const std::string &Entry,
+                 PipelineKind Kind, DiagnosticEngine &Diags);
+
+/// Runs a compiled artifact (the entry takes no arguments and returns a
+/// scalar checksum). \p Mode selects libm vs vector-math emulation.
+RunResult run(const Compiled &C,
+              interp::MathMode Mode = interp::MathMode::Precise);
+
+/// Convenience: compile-or-abort + run; used by benches.
+RunResult compileAndRun(const std::string &CSource, const std::string &Entry,
+                        PipelineKind Kind,
+                        interp::MathMode Mode = interp::MathMode::Precise);
+
+/// Loads a workload file from the workloads/ corpus (DCIR_WORKLOADS_DIR).
+std::string loadWorkload(const std::string &RelativePath);
+
+} // namespace pipeline
+} // namespace dcir
+
+#endif // DCIR_PIPELINE_PIPELINE_H

@@ -1,0 +1,67 @@
+//===- PolybenchRegistry.h - the Fig. 6 kernel corpus -------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 29 Polybench/C kernels the paper evaluates in Fig. 6 (nussinov is
+/// excluded there because Polygeist could not translate it; we exclude it
+/// for fidelity). Shared by the correctness tests and the fig6 bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_PIPELINE_POLYBENCHREGISTRY_H
+#define DCIR_PIPELINE_POLYBENCHREGISTRY_H
+
+#include <vector>
+
+namespace dcir {
+namespace pipeline {
+
+struct PolybenchKernel {
+  const char *Name;  // Display name (paper spelling).
+  const char *File;  // Under workloads/polybench/.
+  const char *Entry; // Entry function.
+};
+
+inline const std::vector<PolybenchKernel> &polybenchKernels() {
+  static const std::vector<PolybenchKernel> Kernels = {
+      {"2mm", "polybench/2mm.c", "kernel_2mm"},
+      {"3mm", "polybench/3mm.c", "kernel_3mm"},
+      {"adi", "polybench/adi.c", "kernel_adi"},
+      {"atax", "polybench/atax.c", "kernel_atax"},
+      {"bicg", "polybench/bicg.c", "kernel_bicg"},
+      {"cholesky", "polybench/cholesky.c", "kernel_cholesky"},
+      {"correlation", "polybench/correlation.c", "kernel_correlation"},
+      {"covariance", "polybench/covariance.c", "kernel_covariance"},
+      {"deriche", "polybench/deriche.c", "kernel_deriche"},
+      {"doitgen", "polybench/doitgen.c", "kernel_doitgen"},
+      {"durbin", "polybench/durbin.c", "kernel_durbin"},
+      {"fdtd-2d", "polybench/fdtd_2d.c", "kernel_fdtd_2d"},
+      {"floyd-warshall", "polybench/floyd_warshall.c",
+       "kernel_floyd_warshall"},
+      {"gemm", "polybench/gemm.c", "kernel_gemm"},
+      {"gemver", "polybench/gemver.c", "kernel_gemver"},
+      {"gesummv", "polybench/gesummv.c", "kernel_gesummv"},
+      {"gramschmidt", "polybench/gramschmidt.c", "kernel_gramschmidt"},
+      {"heat-3d", "polybench/heat_3d.c", "kernel_heat_3d"},
+      {"jacobi-1d", "polybench/jacobi_1d.c", "kernel_jacobi_1d"},
+      {"jacobi-2d", "polybench/jacobi_2d.c", "kernel_jacobi_2d"},
+      {"lu", "polybench/lu.c", "kernel_lu"},
+      {"ludcmp", "polybench/ludcmp.c", "kernel_ludcmp"},
+      {"mvt", "polybench/mvt.c", "kernel_mvt"},
+      {"seidel-2d", "polybench/seidel_2d.c", "kernel_seidel_2d"},
+      {"symm", "polybench/symm.c", "kernel_symm"},
+      {"syr2k", "polybench/syr2k.c", "kernel_syr2k"},
+      {"syrk", "polybench/syrk.c", "kernel_syrk"},
+      {"trisolv", "polybench/trisolv.c", "kernel_trisolv"},
+      {"trmm", "polybench/trmm.c", "kernel_trmm"},
+  };
+  return Kernels;
+}
+
+} // namespace pipeline
+} // namespace dcir
+
+#endif // DCIR_PIPELINE_POLYBENCHREGISTRY_H

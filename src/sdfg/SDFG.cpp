@@ -1,0 +1,512 @@
+//===- SDFG.cpp --------------------------------------------------------------------===//
+
+#include "sdfg/SDFG.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+
+using namespace dcir;
+using namespace dcir::sdfg;
+using sym::SymExpr;
+
+//===----------------------------------------------------------------------===//
+// DataDesc
+//===----------------------------------------------------------------------===//
+
+SymExpr DataDesc::totalSize() const {
+  SymExpr N = SymExpr::constant(1);
+  for (const SymExpr &D : Shape)
+    N = SymExpr::mul(N, D);
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Tasklet
+//===----------------------------------------------------------------------===//
+
+bool Tasklet::hasInConn(const std::string &C) const {
+  return std::find(InConns.begin(), InConns.end(), C) != InConns.end();
+}
+
+bool Tasklet::hasOutConn(const std::string &C) const {
+  return std::find(OutConns.begin(), OutConns.end(), C) != OutConns.end();
+}
+
+//===----------------------------------------------------------------------===//
+// Memlet
+//===----------------------------------------------------------------------===//
+
+std::string Memlet::str() const {
+  if (isEmpty())
+    return "(empty)";
+  std::ostringstream OS;
+  OS << Data << Subset.str();
+  if (!Wcr.empty())
+    OS << " (wcr: " << Wcr << ")";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// State
+//===----------------------------------------------------------------------===//
+
+AccessNode *State::addAccess(const std::string &Data) {
+  Nodes.push_back(std::make_unique<AccessNode>(NextNodeId++, Data));
+  return cast<AccessNode>(Nodes.back().get());
+}
+
+Tasklet *State::addTasklet(const std::string &Label) {
+  Nodes.push_back(std::make_unique<Tasklet>(NextNodeId++, Label));
+  return cast<Tasklet>(Nodes.back().get());
+}
+
+std::pair<MapEntry *, MapExit *>
+State::addMap(std::vector<std::string> Params,
+              std::vector<sym::SymRange> Ranges) {
+  Nodes.push_back(std::make_unique<MapEntry>(NextNodeId++, std::move(Params),
+                                             std::move(Ranges)));
+  auto *Entry = cast<MapEntry>(Nodes.back().get());
+  Nodes.push_back(std::make_unique<MapExit>(NextNodeId++));
+  auto *Exit = cast<MapExit>(Nodes.back().get());
+  Entry->ExitId = Exit->getId();
+  Exit->EntryId = Entry->getId();
+  return {Entry, Exit};
+}
+
+void State::connect(Node *Src, const std::string &SrcConn, Node *Dst,
+                    const std::string &DstConn, Memlet M) {
+  assert(Src && Dst && "null node in connect");
+  DataflowEdge E;
+  E.Src = Src->getId();
+  E.SrcConn = SrcConn;
+  E.Dst = Dst->getId();
+  E.DstConn = DstConn;
+  E.M = std::move(M);
+  Edges.push_back(std::move(E));
+}
+
+Node *State::getNode(int Id) const {
+  for (const auto &N : Nodes)
+    if (N->getId() == Id)
+      return N.get();
+  return nullptr;
+}
+
+std::vector<const DataflowEdge *> State::inEdges(const Node *N) const {
+  std::vector<const DataflowEdge *> Out;
+  for (const auto &E : Edges)
+    if (E.Dst == N->getId())
+      Out.push_back(&E);
+  return Out;
+}
+
+std::vector<const DataflowEdge *> State::outEdges(const Node *N) const {
+  std::vector<const DataflowEdge *> Out;
+  for (const auto &E : Edges)
+    if (E.Src == N->getId())
+      Out.push_back(&E);
+  return Out;
+}
+
+void State::eraseNode(Node *N) {
+  int Id = N->getId();
+  Edges.erase(std::remove_if(Edges.begin(), Edges.end(),
+                             [&](const DataflowEdge &E) {
+                               return E.Src == Id || E.Dst == Id;
+                             }),
+              Edges.end());
+  Nodes.erase(std::remove_if(Nodes.begin(), Nodes.end(),
+                             [&](const std::unique_ptr<Node> &P) {
+                               return P.get() == N;
+                             }),
+              Nodes.end());
+}
+
+std::vector<Node *> State::topologicalOrder() const {
+  std::map<int, int> InDegree;
+  for (const auto &N : Nodes)
+    InDegree[N->getId()] = 0;
+  for (const auto &E : Edges)
+    ++InDegree[E.Dst];
+  std::vector<Node *> Ready, Order;
+  for (const auto &N : Nodes)
+    if (InDegree[N->getId()] == 0)
+      Ready.push_back(N.get());
+  // Stable: lower node ids first, for deterministic execution order.
+  auto byId = [](Node *A, Node *B) { return A->getId() > B->getId(); };
+  std::sort(Ready.begin(), Ready.end(), byId);
+  while (!Ready.empty()) {
+    Node *N = Ready.back();
+    Ready.pop_back();
+    Order.push_back(N);
+    for (const auto &E : Edges) {
+      if (E.Src != N->getId())
+        continue;
+      if (--InDegree[E.Dst] == 0) {
+        Ready.push_back(getNode(E.Dst));
+        std::sort(Ready.begin(), Ready.end(), byId);
+      }
+    }
+  }
+  assert(Order.size() == Nodes.size() && "cycle in state dataflow graph");
+  return Order;
+}
+
+std::map<int, Node *> State::absorb(const State &Other) {
+  std::map<int, Node *> Map;
+  for (const auto &N : Other.nodes()) {
+    if (const auto *A = dyn_cast<AccessNode>(N.get())) {
+      Map[N->getId()] = addAccess(A->getData());
+      continue;
+    }
+    if (const auto *T = dyn_cast<Tasklet>(N.get())) {
+      Tasklet *NewT = addTasklet(T->Label);
+      NewT->InConns = T->InConns;
+      NewT->OutConns = T->OutConns;
+      NewT->Code = T->Code;
+      NewT->Opaque = T->Opaque;
+      Map[N->getId()] = NewT;
+      continue;
+    }
+    if (const auto *ME = dyn_cast<MapEntry>(N.get())) {
+      // Entry/exit pairing restored after both exist.
+      auto *NewE = new MapEntry(NextNodeId++, ME->Params, ME->Ranges);
+      Nodes.push_back(std::unique_ptr<Node>(NewE));
+      Map[N->getId()] = NewE;
+      continue;
+    }
+    auto *NewX = new MapExit(NextNodeId++);
+    Nodes.push_back(std::unique_ptr<Node>(NewX));
+    Map[N->getId()] = NewX;
+  }
+  // Restore map pairings.
+  for (const auto &N : Other.nodes()) {
+    if (const auto *ME = dyn_cast<MapEntry>(N.get())) {
+      auto *NewE = cast<MapEntry>(Map[N->getId()]);
+      NewE->ExitId = Map[ME->ExitId]->getId();
+      cast<MapExit>(Map[ME->ExitId])->EntryId = NewE->getId();
+    }
+  }
+  for (const DataflowEdge &E : Other.edges()) {
+    DataflowEdge NewE = E;
+    NewE.Src = Map[E.Src]->getId();
+    NewE.Dst = Map[E.Dst]->getId();
+    Edges.push_back(std::move(NewE));
+  }
+  return Map;
+}
+
+bool State::isAcyclic() const {
+  std::map<int, int> InDegree;
+  for (const auto &N : Nodes)
+    InDegree[N->getId()] = 0;
+  for (const auto &E : Edges)
+    ++InDegree[E.Dst];
+  std::vector<int> Ready;
+  for (const auto &[Id, Deg] : InDegree)
+    if (Deg == 0)
+      Ready.push_back(Id);
+  size_t Visited = 0;
+  while (!Ready.empty()) {
+    int Id = Ready.back();
+    Ready.pop_back();
+    ++Visited;
+    for (const auto &E : Edges)
+      if (E.Src == Id && --InDegree[E.Dst] == 0)
+        Ready.push_back(E.Dst);
+  }
+  return Visited == Nodes.size();
+}
+
+size_t State::numComputeNodes() const {
+  size_t N = 0;
+  for (const auto &Node : Nodes)
+    if (!isa<AccessNode>(Node.get()))
+      ++N;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// SDFG
+//===----------------------------------------------------------------------===//
+
+DataDesc &SDFG::addArray(const std::string &Name, DType Ty,
+                         std::vector<SymExpr> Shape, bool Transient) {
+  assert(!Descs.count(Name) && "duplicate data descriptor");
+  DataDesc D;
+  D.K = DataDesc::Kind::Array;
+  D.Name = Name;
+  D.Ty = Ty;
+  D.Shape = std::move(Shape);
+  D.Transient = Transient;
+  auto &Ref = Descs[Name] = std::move(D);
+  if (!Transient)
+    ArgNames.push_back(Name);
+  return Ref;
+}
+
+DataDesc &SDFG::addScalar(const std::string &Name, DType Ty, bool Transient) {
+  assert(!Descs.count(Name) && "duplicate data descriptor");
+  DataDesc D;
+  D.K = DataDesc::Kind::Scalar;
+  D.Name = Name;
+  D.Ty = Ty;
+  D.Transient = Transient;
+  D.StorageKind = Storage::Register;
+  auto &Ref = Descs[Name] = std::move(D);
+  if (!Transient)
+    ArgNames.push_back(Name);
+  return Ref;
+}
+
+DataDesc &SDFG::addStream(const std::string &Name, DType Ty) {
+  assert(!Descs.count(Name) && "duplicate data descriptor");
+  DataDesc D;
+  D.K = DataDesc::Kind::Stream;
+  D.Name = Name;
+  D.Ty = Ty;
+  return Descs[Name] = std::move(D);
+}
+
+DataDesc &SDFG::desc(const std::string &Name) {
+  auto It = Descs.find(Name);
+  assert(It != Descs.end() && "unknown data descriptor");
+  return It->second;
+}
+
+const DataDesc &SDFG::desc(const std::string &Name) const {
+  auto It = Descs.find(Name);
+  assert(It != Descs.end() && "unknown data descriptor");
+  return It->second;
+}
+
+State *SDFG::addState(const std::string &Name) {
+  States.push_back(std::make_unique<State>(Name, NextStateId++));
+  if (StartId < 0)
+    StartId = States.back()->getId();
+  return States.back().get();
+}
+
+State *SDFG::getState(int Id) const {
+  for (const auto &S : States)
+    if (S->getId() == Id)
+      return S.get();
+  return nullptr;
+}
+
+State *SDFG::findState(const std::string &Name) const {
+  for (const auto &S : States)
+    if (S->getName() == Name)
+      return S.get();
+  return nullptr;
+}
+
+void SDFG::eraseState(State *S) {
+  int Id = S->getId();
+  IEdges.erase(std::remove_if(IEdges.begin(), IEdges.end(),
+                              [&](const InterstateEdge &E) {
+                                return E.Src == Id || E.Dst == Id;
+                              }),
+               IEdges.end());
+  States.erase(std::remove_if(States.begin(), States.end(),
+                              [&](const std::unique_ptr<State> &P) {
+                                return P.get() == S;
+                              }),
+               States.end());
+}
+
+void SDFG::addInterstateEdge(State *Src, State *Dst, InterstateEdge E) {
+  E.Src = Src->getId();
+  E.Dst = Dst->getId();
+  IEdges.push_back(std::move(E));
+}
+
+std::vector<const InterstateEdge *> SDFG::outEdges(const State *S) const {
+  std::vector<const InterstateEdge *> Out;
+  for (const auto &E : IEdges)
+    if (E.Src == S->getId())
+      Out.push_back(&E);
+  return Out;
+}
+
+std::vector<const InterstateEdge *> SDFG::inEdges(const State *S) const {
+  std::vector<const InterstateEdge *> Out;
+  for (const auto &E : IEdges)
+    if (E.Dst == S->getId())
+      Out.push_back(&E);
+  return Out;
+}
+
+std::string SDFG::freshName(const std::string &Prefix) {
+  while (true) {
+    std::string Candidate = Prefix + "_" + std::to_string(NameCounter++);
+    if (!Descs.count(Candidate) && !Symbols.count(Candidate))
+      return Candidate;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Validation
+//===----------------------------------------------------------------------===//
+
+bool SDFG::validate(DiagnosticEngine &Diags) const {
+  unsigned Before = Diags.errorCount();
+  if (!getStartState() && !States.empty())
+    Diags.error("SDFG '" + Name + "' has no start state");
+  for (const auto &E : IEdges) {
+    if (!getState(E.Src) || !getState(E.Dst))
+      Diags.error("interstate edge references a missing state");
+  }
+  for (const auto &S : States) {
+    if (!S->isAcyclic()) {
+      Diags.error("state '" + S->getName() + "' has a dataflow cycle");
+      continue;
+    }
+    for (const auto &N : S->nodes()) {
+      if (const auto *A = dyn_cast<AccessNode>(N.get())) {
+        if (!Descs.count(A->getData()))
+          Diags.error("state '" + S->getName() +
+                      "': access node references unknown container '" +
+                      A->getData() + "'");
+      }
+      if (const auto *T = dyn_cast<Tasklet>(N.get())) {
+        for (const auto &[OutConn, Expr] : T->Code) {
+          if (!T->hasOutConn(OutConn))
+            Diags.error("tasklet '" + T->Label +
+                        "' assigns to unknown connector '" + OutConn + "'");
+          std::set<std::string> Ins;
+          Expr.collectInputs(Ins);
+          for (const std::string &In : Ins)
+            if (!T->hasInConn(In))
+              Diags.error("tasklet '" + T->Label +
+                          "' reads unknown connector '" + In + "'");
+        }
+      }
+    }
+    for (const auto &E : S->edges()) {
+      if (!S->getNode(E.Src) || !S->getNode(E.Dst)) {
+        Diags.error("state '" + S->getName() +
+                    "': edge references missing node");
+        continue;
+      }
+      if (E.M.isEmpty())
+        continue;
+      auto DescIt = Descs.find(E.M.Data);
+      if (DescIt == Descs.end()) {
+        Diags.error("state '" + S->getName() + "': memlet references "
+                    "unknown container '" + E.M.Data + "'");
+        continue;
+      }
+      const DataDesc &D = DescIt->second;
+      if (D.K == DataDesc::Kind::Array &&
+          E.M.Subset.rank() != D.rank()) {
+        Diags.error("state '" + S->getName() + "': memlet " + E.M.str() +
+                    " rank mismatch with container (rank " +
+                    std::to_string(D.rank()) + ")");
+        continue;
+      }
+      // Symbolic bounds check where provable (paper §1: bounds analysis).
+      for (size_t Dim = 0; Dim < E.M.Subset.rank() && Dim < D.Shape.size();
+           ++Dim) {
+        SymExpr End = E.M.Subset.dim(Dim).End;
+        auto Proof = SymExpr::le(End, D.Shape[Dim]).tryProve();
+        if (Proof && !*Proof)
+          Diags.error("state '" + S->getName() + "': memlet " + E.M.str() +
+                      " provably exceeds container bound " +
+                      D.Shape[Dim].str() + " in dimension " +
+                      std::to_string(Dim));
+      }
+    }
+  }
+  return Diags.errorCount() == Before;
+}
+
+//===----------------------------------------------------------------------===//
+// Dump
+//===----------------------------------------------------------------------===//
+
+std::string SDFG::str() const {
+  std::ostringstream OS;
+  OS << "sdfg " << Name << " {\n";
+  for (const std::string &Sym : Symbols)
+    OS << "  symbol " << Sym << "\n";
+  for (const auto &[DName, D] : Descs) {
+    OS << "  " << (D.K == DataDesc::Kind::Array
+                       ? "array"
+                       : (D.K == DataDesc::Kind::Scalar ? "scalar"
+                                                        : "stream"))
+       << " " << DName << " : " << dtypeName(D.Ty);
+    if (D.K == DataDesc::Kind::Array) {
+      OS << " [";
+      for (size_t I = 0; I < D.Shape.size(); ++I) {
+        if (I != 0)
+          OS << ", ";
+        OS << D.Shape[I].str();
+      }
+      OS << "]";
+    }
+    if (D.Transient)
+      OS << " transient";
+    switch (D.StorageKind) {
+    case Storage::Heap:
+      break;
+    case Storage::Stack:
+      OS << " stack";
+      break;
+    case Storage::Register:
+      OS << " register";
+      break;
+    }
+    OS << "\n";
+  }
+  for (const auto &S : States) {
+    OS << "  state " << S->getName() << " (#" << S->getId() << ")"
+       << (S.get() == getStartState() ? " [start]" : "") << " {\n";
+    for (const auto &N : S->nodes()) {
+      OS << "    ";
+      if (const auto *A = dyn_cast<AccessNode>(N.get()))
+        OS << "n" << A->getId() << ": access " << A->getData();
+      else if (const auto *T = dyn_cast<Tasklet>(N.get())) {
+        OS << "n" << T->getId() << ": tasklet " << T->Label;
+        if (T->Opaque)
+          OS << " (opaque)";
+        for (const auto &[Out, Expr] : T->Code)
+          OS << " | " << Out << " = " << Expr.str();
+      } else if (const auto *ME = dyn_cast<MapEntry>(N.get())) {
+        OS << "n" << ME->getId() << ": map [";
+        for (size_t I = 0; I < ME->Params.size(); ++I) {
+          if (I != 0)
+            OS << ", ";
+          OS << ME->Params[I] << "=" << ME->Ranges[I].str();
+        }
+        OS << "]";
+      } else {
+        OS << "n" << N->getId() << ": map exit";
+      }
+      OS << "\n";
+    }
+    for (const auto &E : S->edges()) {
+      OS << "    n" << E.Src;
+      if (!E.SrcConn.empty())
+        OS << ":" << E.SrcConn;
+      OS << " -> n" << E.Dst;
+      if (!E.DstConn.empty())
+        OS << ":" << E.DstConn;
+      OS << " [" << E.M.str() << "]\n";
+    }
+    OS << "  }\n";
+  }
+  for (const auto &E : IEdges) {
+    OS << "  " << getState(E.Src)->getName() << " -> "
+       << getState(E.Dst)->getName();
+    if (E.Condition)
+      OS << " if (" << E.Condition.str() << ")";
+    for (const auto &[K, V] : E.Assignments)
+      OS << " {" << K << " = " << V.str() << "}";
+    OS << "\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,324 @@
+//===- SDFG.h - Stateful Dataflow Multigraphs -----------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SDFG IR (Ben-Nun et al., SC'19), reimplemented in C++: a control-flow
+/// state machine whose states are acyclic dataflow multigraphs. Data
+/// containers and data movement (memlets with symbolic subsets) are separate
+/// from computation (tasklets); interstate edges carry symbolic conditions
+/// and assignments, enabling constant-time reasoning about data-dependent
+/// control flow (paper §2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_SDFG_SDFG_H
+#define DCIR_SDFG_SDFG_H
+
+#include "sdfg/TaskletExpr.h"
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "symbolic/SymRange.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dcir {
+namespace sdfg {
+
+//===----------------------------------------------------------------------===//
+// Data descriptors
+//===----------------------------------------------------------------------===//
+
+/// Where a container's storage lives (paper §6.3: the memory pre-allocation
+/// pass promotes heap arrays to stack/register storage).
+enum class Storage { Heap, Stack, Register };
+
+/// A named data container: array (symbolic shape), scalar, or stream.
+struct DataDesc {
+  enum class Kind { Array, Scalar, Stream };
+
+  Kind K = Kind::Array;
+  std::string Name;
+  DType Ty = DType::F64;
+  std::vector<sym::SymExpr> Shape; // Array only; scalars/streams are empty.
+  /// Transient containers are managed (allocated/freed) by the SDFG itself;
+  /// non-transients are the SDFG's inputs and outputs.
+  bool Transient = true;
+  Storage StorageKind = Storage::Heap;
+
+  /// Total element count (1 for scalars).
+  sym::SymExpr totalSize() const;
+  size_t rank() const { return Shape.size(); }
+};
+
+//===----------------------------------------------------------------------===//
+// Dataflow nodes
+//===----------------------------------------------------------------------===//
+
+enum class NodeKind { Access, Tasklet, MapEntry, MapExit };
+
+class Node {
+public:
+  virtual ~Node() = default;
+  NodeKind getKind() const { return K; }
+  int getId() const { return Id; }
+
+protected:
+  Node(NodeKind K, int Id) : K(K), Id(Id) {}
+
+private:
+  friend class State;
+  NodeKind K;
+  int Id;
+};
+
+/// A point where a data container is read or written within a state.
+class AccessNode : public Node {
+public:
+  AccessNode(int Id, std::string Data)
+      : Node(NodeKind::Access, Id), Data(std::move(Data)) {}
+  static bool classof(const Node *N) {
+    return N->getKind() == NodeKind::Access;
+  }
+  const std::string &getData() const { return Data; }
+  void setData(std::string D) { Data = std::move(D); }
+
+private:
+  std::string Data;
+};
+
+/// An encapsulated unit of computation. Each output connector carries one
+/// expression over the input connectors. Opaque tasklets (from the DaCe C
+/// frontend stand-in) must not be inspected by passes.
+class Tasklet : public Node {
+public:
+  Tasklet(int Id, std::string Label)
+      : Node(NodeKind::Tasklet, Id), Label(std::move(Label)) {}
+  static bool classof(const Node *N) {
+    return N->getKind() == NodeKind::Tasklet;
+  }
+
+  std::string Label;
+  std::vector<std::string> InConns;
+  std::vector<std::string> OutConns;
+  /// Output connector -> expression.
+  std::map<std::string, TExpr> Code;
+  /// Black-box flag: set by the direct C-to-SDFG frontend. Analyzable
+  /// passes (LICM-like motion, splitting) must skip opaque tasklets.
+  bool Opaque = false;
+
+  bool hasInConn(const std::string &C) const;
+  bool hasOutConn(const std::string &C) const;
+};
+
+/// Opens a parametric-parallel scope (paper Table 1, sdfg.map).
+class MapEntry : public Node {
+public:
+  MapEntry(int Id, std::vector<std::string> Params,
+           std::vector<sym::SymRange> Ranges)
+      : Node(NodeKind::MapEntry, Id), Params(std::move(Params)),
+        Ranges(std::move(Ranges)) {}
+  static bool classof(const Node *N) {
+    return N->getKind() == NodeKind::MapEntry;
+  }
+
+  std::vector<std::string> Params;
+  std::vector<sym::SymRange> Ranges;
+  int ExitId = -1; // Paired MapExit.
+};
+
+/// Closes a parametric-parallel scope.
+class MapExit : public Node {
+public:
+  explicit MapExit(int Id) : Node(NodeKind::MapExit, Id) {}
+  static bool classof(const Node *N) {
+    return N->getKind() == NodeKind::MapExit;
+  }
+  int EntryId = -1;
+};
+
+//===----------------------------------------------------------------------===//
+// Memlets and edges
+//===----------------------------------------------------------------------===//
+
+/// Explicit data movement: which subset of which container moves along an
+/// edge, optionally combining via a write-conflict-resolution function.
+struct Memlet {
+  std::string Data;       // Empty: pure ordering dependency (no data).
+  sym::SymSubset Subset;
+  std::string Wcr;        // "", "add", "mul", "min", "max".
+
+  bool isEmpty() const { return Data.empty(); }
+  /// Number of elements moved.
+  sym::SymExpr volume() const { return Subset.volume(); }
+  std::string str() const;
+};
+
+/// A dataflow multigraph edge between node connectors.
+struct DataflowEdge {
+  int Src = -1;
+  std::string SrcConn; // Empty for access nodes.
+  int Dst = -1;
+  std::string DstConn;
+  Memlet M;
+};
+
+//===----------------------------------------------------------------------===//
+// State
+//===----------------------------------------------------------------------===//
+
+/// An acyclic dataflow multigraph.
+class State {
+public:
+  State(std::string Name, int Id) : Name(std::move(Name)), Id(Id) {}
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+  int getId() const { return Id; }
+
+  AccessNode *addAccess(const std::string &Data);
+  Tasklet *addTasklet(const std::string &Label);
+  std::pair<MapEntry *, MapExit *>
+  addMap(std::vector<std::string> Params, std::vector<sym::SymRange> Ranges);
+
+  /// Adds an edge; connectors may be empty (access nodes, ordering edges).
+  void connect(Node *Src, const std::string &SrcConn, Node *Dst,
+               const std::string &DstConn, Memlet M);
+
+  Node *getNode(int Id) const;
+  const std::vector<std::unique_ptr<Node>> &nodes() const { return Nodes; }
+  const std::vector<DataflowEdge> &edges() const { return Edges; }
+  std::vector<DataflowEdge> &edges() { return Edges; }
+
+  std::vector<const DataflowEdge *> inEdges(const Node *N) const;
+  std::vector<const DataflowEdge *> outEdges(const Node *N) const;
+
+  /// Removes a node and every incident edge.
+  void eraseNode(Node *N);
+
+  /// Kahn topological order; asserts on cycles (validate() reports them).
+  std::vector<Node *> topologicalOrder() const;
+
+  /// Copies every node and edge of \p Other into this state, returning the
+  /// mapping from \p Other's node ids to the new nodes (state fusion).
+  std::map<int, Node *> absorb(const State &Other);
+
+  /// True when the dataflow graph contains no cycle.
+  bool isAcyclic() const;
+
+  /// Number of non-access nodes (quick "is there computation" test).
+  size_t numComputeNodes() const;
+
+private:
+  std::string Name;
+  int Id;
+  int NextNodeId = 0;
+  std::vector<std::unique_ptr<Node>> Nodes;
+  std::vector<DataflowEdge> Edges;
+};
+
+//===----------------------------------------------------------------------===//
+// SDFG
+//===----------------------------------------------------------------------===//
+
+/// An interstate edge of the state machine.
+struct InterstateEdge {
+  int Src = -1;
+  int Dst = -1;
+  /// Null condition means "always taken". May reference symbols and (by
+  /// name) integer scalar containers.
+  sym::SymExpr Condition;
+  std::vector<std::pair<std::string, sym::SymExpr>> Assignments;
+};
+
+/// The stateful dataflow multigraph.
+class SDFG {
+public:
+  explicit SDFG(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &getName() const { return Name; }
+
+  //===--------------------------------------------------------------------===
+  // Containers and symbols
+  //===--------------------------------------------------------------------===
+
+  DataDesc &addArray(const std::string &Name, DType Ty,
+                     std::vector<sym::SymExpr> Shape, bool Transient = true);
+  DataDesc &addScalar(const std::string &Name, DType Ty,
+                      bool Transient = true);
+  DataDesc &addStream(const std::string &Name, DType Ty);
+  bool hasData(const std::string &Name) const { return Descs.count(Name); }
+  DataDesc &desc(const std::string &Name);
+  const DataDesc &desc(const std::string &Name) const;
+  void removeData(const std::string &Name) { Descs.erase(Name); }
+  const std::map<std::string, DataDesc> &descs() const { return Descs; }
+  std::map<std::string, DataDesc> &descs() { return Descs; }
+
+  void addSymbol(const std::string &Name) { Symbols.insert(Name); }
+  const std::set<std::string> &symbols() const { return Symbols; }
+  std::set<std::string> &symbols() { return Symbols; }
+
+  /// Ordered names of non-transient containers: the SDFG call signature.
+  std::vector<std::string> &args() { return ArgNames; }
+  const std::vector<std::string> &args() const { return ArgNames; }
+
+  //===--------------------------------------------------------------------===
+  // States and interstate edges
+  //===--------------------------------------------------------------------===
+
+  State *addState(const std::string &Name);
+  State *getState(int Id) const;
+  State *findState(const std::string &Name) const;
+  const std::vector<std::unique_ptr<State>> &states() const { return States; }
+  void eraseState(State *S);
+
+  void addInterstateEdge(State *Src, State *Dst, InterstateEdge E);
+  void addInterstateEdge(State *Src, State *Dst) {
+    addInterstateEdge(Src, Dst, InterstateEdge());
+  }
+  std::vector<InterstateEdge> &interstateEdges() { return IEdges; }
+  const std::vector<InterstateEdge> &interstateEdges() const {
+    return IEdges;
+  }
+  std::vector<const InterstateEdge *> outEdges(const State *S) const;
+  std::vector<const InterstateEdge *> inEdges(const State *S) const;
+
+  void setStartState(State *S) { StartId = S->getId(); }
+  State *getStartState() const { return getState(StartId); }
+
+  //===--------------------------------------------------------------------===
+  // Validation and debugging
+  //===--------------------------------------------------------------------===
+
+  /// Structural validation: dangling names, rank mismatches, cyclic states,
+  /// symbolic out-of-bounds subsets where provable (paper §1: "bounds
+  /// analysis"). Returns false and reports through \p Diags on failure.
+  bool validate(DiagnosticEngine &Diags) const;
+
+  /// Multi-line human-readable dump.
+  std::string str() const;
+
+  /// A fresh name with the given prefix, unique among containers/symbols.
+  std::string freshName(const std::string &Prefix);
+
+private:
+  std::string Name;
+  std::map<std::string, DataDesc> Descs;
+  std::set<std::string> Symbols;
+  std::vector<std::string> ArgNames;
+  std::vector<std::unique_ptr<State>> States;
+  std::vector<InterstateEdge> IEdges;
+  int StartId = -1;
+  int NextStateId = 0;
+  unsigned NameCounter = 0;
+};
+
+} // namespace sdfg
+} // namespace dcir
+
+#endif // DCIR_SDFG_SDFG_H

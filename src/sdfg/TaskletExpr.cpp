@@ -1,0 +1,181 @@
+//===- TaskletExpr.cpp -----------------------------------------------------------===//
+
+#include "sdfg/TaskletExpr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace dcir;
+using namespace dcir::sdfg;
+
+std::string dcir::sdfg::dtypeName(DType T) {
+  switch (T) {
+  case DType::I64:
+    return "i64";
+  case DType::F32:
+    return "f32";
+  case DType::F64:
+    return "f64";
+  }
+  return "?";
+}
+
+TExpr TExpr::constI(std::int64_t V) {
+  TExpr E;
+  E.K = Kind::ConstI;
+  E.I = V;
+  E.Ty = DType::I64;
+  return E;
+}
+
+TExpr TExpr::constF(double V, DType Ty) {
+  TExpr E;
+  E.K = Kind::ConstF;
+  E.F = V;
+  E.Ty = Ty;
+  return E;
+}
+
+TExpr TExpr::input(std::string Conn, DType Ty) {
+  TExpr E;
+  E.K = Kind::Input;
+  E.Name = std::move(Conn);
+  E.Ty = Ty;
+  return E;
+}
+
+TExpr TExpr::symbolic(sym::SymExpr E) {
+  TExpr Out;
+  Out.K = Kind::Sym;
+  Out.Sym = std::move(E);
+  Out.Ty = DType::I64;
+  return Out;
+}
+
+TExpr TExpr::op(std::string Op, std::vector<TExpr> Children, DType Ty) {
+  TExpr E;
+  E.K = Kind::Op;
+  E.Name = std::move(Op);
+  E.Children = std::move(Children);
+  E.Ty = Ty;
+  return E;
+}
+
+void TExpr::collectInputs(std::set<std::string> &Out) const {
+  if (K == Kind::Input) {
+    Out.insert(Name);
+    return;
+  }
+  for (const TExpr &C : Children)
+    C.collectInputs(Out);
+}
+
+std::string TExpr::str() const {
+  std::ostringstream OS;
+  switch (K) {
+  case Kind::ConstI:
+    OS << I;
+    break;
+  case Kind::ConstF:
+    OS << F;
+    break;
+  case Kind::Input:
+    OS << Name;
+    break;
+  case Kind::Sym:
+    OS << "sym(" << Sym.str() << ")";
+    break;
+  case Kind::Op: {
+    static const char *Infix[][2] = {
+        {"add", "+"}, {"sub", "-"}, {"mul", "*"}, {"div", "/"},
+        {"rem", "%"}, {"lt", "<"},  {"le", "<="}, {"eq", "=="},
+        {"ne", "!="}, {"and", "&"}, {"or", "|"},  {"xor", "^"},
+        {"shl", "<<"}, {"shr", ">>"}};
+    const char *Sym = nullptr;
+    for (auto &Row : Infix)
+      if (Name == Row[0])
+        Sym = Row[1];
+    if (Sym && Children.size() == 2) {
+      OS << "(" << Children[0].str() << " " << Sym << " "
+         << Children[1].str() << ")";
+      break;
+    }
+    OS << Name << "(";
+    for (size_t I2 = 0; I2 < Children.size(); ++I2) {
+      if (I2 != 0)
+        OS << ", ";
+      OS << Children[I2].str();
+    }
+    OS << ")";
+    break;
+  }
+  }
+  return OS.str();
+}
+
+bool TExpr::equals(const TExpr &O) const {
+  if (K != O.K || Ty != O.Ty)
+    return false;
+  switch (K) {
+  case Kind::ConstI:
+    return I == O.I;
+  case Kind::ConstF:
+    return F == O.F;
+  case Kind::Input:
+    return Name == O.Name;
+  case Kind::Sym:
+    return Sym.equals(O.Sym);
+  case Kind::Op:
+    break;
+  }
+  if (Name != O.Name || Children.size() != O.Children.size())
+    return false;
+  for (size_t I2 = 0; I2 < Children.size(); ++I2)
+    if (!Children[I2].equals(O.Children[I2]))
+      return false;
+  return true;
+}
+
+TExpr TExpr::renameInput(const std::string &From, const std::string &To) const {
+  TExpr Out = *this;
+  if (K == Kind::Input) {
+    if (Name == From)
+      Out.Name = To;
+    return Out;
+  }
+  for (TExpr &C : Out.Children)
+    C = C.renameInput(From, To);
+  return Out;
+}
+
+RtVal dcir::sdfg::applyWcr(const std::string &Wcr, RtVal Old, RtVal New) {
+  assert(!Wcr.empty() && "applyWcr with empty combiner");
+  bool FloatMode = Old.Ty != DType::I64 || New.Ty != DType::I64;
+  if (Wcr == "add") {
+    if (FloatMode)
+      return RtVal::makeF(Old.asF() + New.asF(),
+                          Old.Ty == DType::I64 ? New.Ty : Old.Ty);
+    return RtVal::makeI(Old.I + New.I);
+  }
+  if (Wcr == "mul") {
+    if (FloatMode)
+      return RtVal::makeF(Old.asF() * New.asF(),
+                          Old.Ty == DType::I64 ? New.Ty : Old.Ty);
+    return RtVal::makeI(Old.I * New.I);
+  }
+  if (Wcr == "min") {
+    if (FloatMode)
+      return RtVal::makeF(std::min(Old.asF(), New.asF()),
+                          Old.Ty == DType::I64 ? New.Ty : Old.Ty);
+    return RtVal::makeI(std::min(Old.I, New.I));
+  }
+  if (Wcr == "max") {
+    if (FloatMode)
+      return RtVal::makeF(std::max(Old.asF(), New.asF()),
+                          Old.Ty == DType::I64 ? New.Ty : Old.Ty);
+    return RtVal::makeI(std::max(Old.I, New.I));
+  }
+  assert(false && "unknown WCR combiner");
+  return New;
+}

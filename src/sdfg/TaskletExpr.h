@@ -1,0 +1,94 @@
+//===- TaskletExpr.h - the tasklet expression language -------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Code carried by SDFG tasklets. DCIR-produced tasklets hold one small
+/// expression per output connector (the paper's "raising MLIR tasklets to
+/// Python tasklets", §5.2), which keeps them analyzable: passes can inspect
+/// and split them. Tasklets marked *opaque* (produced by the DaCe-C-frontend
+/// stand-in) carry the same representation but passes must treat them as
+/// indivisible black boxes — exactly the limitation Fig. 7 of the paper
+/// demonstrates on syrk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_SDFG_TASKLETEXPR_H
+#define DCIR_SDFG_TASKLETEXPR_H
+
+#include "symbolic/SymExpr.h"
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dcir {
+namespace sdfg {
+
+/// Element types of SDFG data.
+enum class DType { I64, F32, F64 };
+
+/// Size in bytes of one element.
+inline size_t dtypeSize(DType T) { return T == DType::F32 ? 4 : 8; }
+std::string dtypeName(DType T);
+
+/// One node of a tasklet expression tree.
+struct TExpr {
+  enum class Kind { ConstI, ConstF, Input, Sym, Op } K = Kind::ConstI;
+  std::int64_t I = 0;       // ConstI payload.
+  double F = 0.0;           // ConstF payload.
+  std::string Name;         // Input: connector name. Op: operator name.
+  sym::SymExpr Sym;         // Sym payload (evaluated against symbols).
+  DType Ty = DType::I64;    // Result type.
+  std::vector<TExpr> Children;
+
+  static TExpr constI(std::int64_t V);
+  static TExpr constF(double V, DType Ty = DType::F64);
+  static TExpr input(std::string Conn, DType Ty);
+  /// A symbolic expression evaluated against the symbol environment (loop
+  /// indices, sizes) at execution time.
+  static TExpr symbolic(sym::SymExpr E);
+  /// Operator names: add sub mul div rem and or xor shl shr min max neg
+  /// lt le eq ne sqrt exp log pow fabs sin cos tanh sitofp fptosi extf
+  /// truncf select (3 children) not.
+  static TExpr op(std::string Op, std::vector<TExpr> Children, DType Ty);
+
+  /// Inserts every referenced input connector into \p Out.
+  void collectInputs(std::set<std::string> &Out) const;
+
+  /// Renders as pythonic code ("_a + _b * 2"), as DaCe would show it.
+  std::string str() const;
+
+  /// Structural equality.
+  bool equals(const TExpr &O) const;
+
+  /// Returns a copy with input connectors renamed via \p From -> \p To.
+  TExpr renameInput(const std::string &From, const std::string &To) const;
+};
+
+/// A runtime scalar used by the interpreter and WCR evaluation.
+struct RtVal {
+  DType Ty = DType::I64;
+  std::int64_t I = 0;
+  double F = 0.0;
+
+  static RtVal makeI(std::int64_t V) { return {DType::I64, V, 0.0}; }
+  static RtVal makeF(double V, DType Ty = DType::F64) { return {Ty, 0, V}; }
+  double asF() const { return Ty == DType::I64 ? double(I) : F; }
+  std::int64_t asI() const {
+    return Ty == DType::I64 ? I : std::int64_t(F);
+  }
+  bool truthy() const { return Ty == DType::I64 ? I != 0 : F != 0.0; }
+};
+
+/// Applies a WCR combiner ("add", "mul", "min", "max") to (Old, New).
+RtVal applyWcr(const std::string &Wcr, RtVal Old, RtVal New);
+
+} // namespace sdfg
+} // namespace dcir
+
+#endif // DCIR_SDFG_TASKLETEXPR_H

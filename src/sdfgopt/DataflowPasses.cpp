@@ -1,0 +1,306 @@
+//===- DataflowPasses.cpp - §6.2: DCE, dead dataflow, consolidation -----------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sdfgopt/Passes.h"
+#include "sdfgopt/Utils.h"
+
+#include <algorithm>
+
+using namespace dcir;
+using namespace dcir::sdfgopt;
+using namespace dcir::sdfg;
+using sym::SymExpr;
+
+//===----------------------------------------------------------------------===//
+// Dead state elimination (§6.2)
+//===----------------------------------------------------------------------===//
+
+unsigned dcir::sdfgopt::eliminateDeadStates(SDFG &G) {
+  unsigned Removed = 0;
+  // Edges whose conditions are decidable via the propagated symbols.
+  auto &Edges = G.interstateEdges();
+  for (auto It = Edges.begin(); It != Edges.end();) {
+    if (It->Condition) {
+      auto Proof = It->Condition.tryProve(sym::SymbolAssumption::Unknown);
+      if (Proof && !*Proof) {
+        It = Edges.erase(It);
+        ++Removed;
+        continue;
+      }
+      if (Proof && *Proof) {
+        It->Condition = SymExpr(); // Always taken.
+      }
+    }
+    ++It;
+  }
+  // Unreachable states.
+  std::set<int> Reachable;
+  if (State *Start = G.getStartState()) {
+    std::vector<int> Work = {Start->getId()};
+    while (!Work.empty()) {
+      int Id = Work.back();
+      Work.pop_back();
+      if (!Reachable.insert(Id).second)
+        continue;
+      for (const auto *E : G.outEdges(G.getState(Id)))
+        Work.push_back(E->Dst);
+    }
+  }
+  std::vector<State *> Dead;
+  for (const auto &S : G.states())
+    if (!Reachable.count(S->getId()))
+      Dead.push_back(S.get());
+  for (State *S : Dead) {
+    G.eraseState(S);
+    ++Removed;
+  }
+  return Removed;
+}
+
+//===----------------------------------------------------------------------===//
+// Dead dataflow elimination (§6.2)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Container-level dataflow dependencies: Edges[X] = containers whose
+/// writes consume X (i.e. some tasklet/copy reads X and writes them).
+std::map<std::string, std::set<std::string>>
+buildFlowGraph(const SDFG &G) {
+  std::map<std::string, std::set<std::string>> Flow;
+  for (const auto &S : G.states()) {
+    // Per-tasklet direct reads/writes. Value edges (tasklet-to-tasklet
+    // scalar forwarding) chain arbitrarily deep, so a producer's reads
+    // reach the *effective* writes of its whole downstream closure.
+    std::map<int, std::set<std::string>> Reads, Writes;
+    std::vector<std::pair<int, int>> ValueEdges;
+    for (const auto &E : S->edges()) {
+      if (E.M.isEmpty()) {
+        if (!E.SrcConn.empty() && !E.DstConn.empty())
+          ValueEdges.push_back({E.Src, E.Dst});
+        continue;
+      }
+      const auto *SrcA = dyn_cast<AccessNode>(S->getNode(E.Src));
+      const auto *DstA = dyn_cast<AccessNode>(S->getNode(E.Dst));
+      if (SrcA && DstA) {
+        Flow[SrcA->getData()].insert(DstA->getData());
+        continue;
+      }
+      std::set<std::string> Refs;
+      E.M.Subset.collectSymbols(Refs);
+      if (SrcA) { // Read by node E.Dst.
+        Reads[E.Dst].insert(SrcA->getData());
+        for (const std::string &R : Refs)
+          if (G.hasData(R))
+            Reads[E.Dst].insert(R);
+      }
+      if (DstA) { // Written by node E.Src.
+        Writes[E.Src].insert(DstA->getData());
+        for (const std::string &R : Refs)
+          if (G.hasData(R))
+            Reads[E.Src].insert(R);
+      }
+    }
+    // Effective writes: propagate consumer writes back along value edges.
+    bool Grow = true;
+    while (Grow) {
+      Grow = false;
+      for (const auto &[Src, Dst] : ValueEdges) {
+        size_t Before = Writes[Src].size();
+        Writes[Src].insert(Writes[Dst].begin(), Writes[Dst].end());
+        if (Writes[Src].size() != Before)
+          Grow = true;
+      }
+    }
+    for (const auto &[NodeId, R] : Reads)
+      for (const std::string &Rd : R)
+        for (const std::string &W : Writes[NodeId])
+          Flow[Rd].insert(W);
+  }
+  return Flow;
+}
+
+/// Roots of liveness: non-transients, and anything the state machine itself
+/// reads (conditions, assignments, shapes).
+std::set<std::string> livenessRoots(const SDFG &G) {
+  std::set<std::string> Roots;
+  for (const auto &[Name, D] : G.descs())
+    if (!D.Transient)
+      Roots.insert(Name);
+  for (const auto &E : G.interstateEdges()) {
+    std::set<std::string> Refs;
+    if (E.Condition)
+      E.Condition.collectSymbols(Refs);
+    for (const auto &[K, V] : E.Assignments)
+      V.collectSymbols(Refs);
+    for (const std::string &R : Refs)
+      if (G.hasData(R))
+        Roots.insert(R);
+  }
+  for (const auto &[Name, D] : G.descs()) {
+    std::set<std::string> Refs;
+    for (const SymExpr &Dim : D.Shape)
+      Dim.collectSymbols(Refs);
+    for (const std::string &R : Refs)
+      if (G.hasData(R))
+        Roots.insert(R);
+  }
+  return Roots;
+}
+
+/// Cascading removal of computation that no longer produces live data.
+unsigned cascadeCleanup(SDFG &G) {
+  unsigned Removed = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &S : G.states()) {
+      // Tasklets with no remaining outputs (data or value).
+      std::vector<Node *> DeadTasklets;
+      for (const auto &N : S->nodes()) {
+        const auto *T = dyn_cast<Tasklet>(N.get());
+        if (!T)
+          continue;
+        bool HasOutput = false;
+        for (const auto *E : S->outEdges(T))
+          if (!E->M.isEmpty() || !E->SrcConn.empty())
+            HasOutput = true;
+        if (!HasOutput)
+          DeadTasklets.push_back(N.get());
+      }
+      for (Node *N : DeadTasklets) {
+        S->eraseNode(N);
+        ++Removed;
+        Changed = true;
+      }
+      // Orphaned access nodes.
+      std::vector<Node *> Orphans;
+      for (const auto &N : S->nodes())
+        if (isa<AccessNode>(N.get()) && S->inEdges(N.get()).empty() &&
+            S->outEdges(N.get()).empty())
+          Orphans.push_back(N.get());
+      for (Node *N : Orphans) {
+        S->eraseNode(N);
+        Changed = true;
+      }
+    }
+  }
+  return Removed;
+}
+
+} // namespace
+
+unsigned dcir::sdfgopt::eliminateDeadDataflow(SDFG &G, OptReport *Report) {
+  unsigned Removed = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    auto Flow = buildFlowGraph(G);
+    std::set<std::string> Live = livenessRoots(G);
+    // Backward closure: X is live if it flows into a live container.
+    bool Grow = true;
+    while (Grow) {
+      Grow = false;
+      for (const auto &[Src, Dsts] : Flow) {
+        if (Live.count(Src))
+          continue;
+        for (const std::string &D : Dsts) {
+          if (Live.count(D)) {
+            Live.insert(Src);
+            Grow = true;
+            break;
+          }
+        }
+      }
+    }
+    // Remove every access to dead containers.
+    std::vector<std::string> DeadContainers;
+    for (const auto &[Name, D] : G.descs())
+      if (D.Transient && !Live.count(Name))
+        DeadContainers.push_back(Name);
+    for (const std::string &Name : DeadContainers) {
+      for (const auto &S : G.states()) {
+        std::vector<Node *> Victims;
+        for (const auto &N : S->nodes())
+          if (const auto *A = dyn_cast<AccessNode>(N.get()))
+            if (A->getData() == Name)
+              Victims.push_back(N.get());
+        for (Node *N : Victims) {
+          S->eraseNode(N);
+          ++Removed;
+          Changed = true;
+        }
+      }
+    }
+    Removed += cascadeCleanup(G);
+    // Containers with no remaining structural or symbolic presence vanish.
+    std::set<std::string> Referenced = collectReferencedNames(G);
+    std::vector<std::string> Removable;
+    for (const auto &[Name, D] : G.descs())
+      if (D.Transient && !Referenced.count(Name) && !hasAccessNodes(G, Name))
+        Removable.push_back(Name);
+    for (const std::string &Name : Removable) {
+      G.removeData(Name);
+      if (Report)
+        ++Report->ArraysEliminated;
+      Changed = true;
+    }
+  }
+  return Removed;
+}
+
+//===----------------------------------------------------------------------===//
+// Memlet consolidation (§6.2)
+//===----------------------------------------------------------------------===//
+
+unsigned dcir::sdfgopt::consolidateMemlets(SDFG &G) {
+  unsigned Merged = 0;
+  for (const auto &S : G.states()) {
+    // Merge read-only access nodes per container.
+    std::map<std::string, Node *> Canonical;
+    std::vector<Node *> Victims;
+    for (const auto &N : S->nodes()) {
+      const auto *A = dyn_cast<AccessNode>(N.get());
+      if (!A)
+        continue;
+      bool ReadOnly = true;
+      for (const auto *E : S->inEdges(A))
+        if (!E->M.isEmpty())
+          ReadOnly = false;
+      if (!ReadOnly || !S->inEdges(A).empty())
+        continue; // Keep nodes with dependency in-edges distinct.
+      auto It = Canonical.find(A->getData());
+      if (It == Canonical.end()) {
+        Canonical[A->getData()] = N.get();
+        continue;
+      }
+      // Rewire this node's out-edges to the canonical node.
+      for (auto &E : S->edges())
+        if (E.Src == N->getId())
+          E.Src = It->second->getId();
+      Victims.push_back(N.get());
+      ++Merged;
+    }
+    for (Node *N : Victims)
+      S->eraseNode(N);
+    // Deduplicate identical edges.
+    auto &Edges = S->edges();
+    for (size_t I = 0; I < Edges.size(); ++I) {
+      for (size_t J = Edges.size(); J-- > I + 1;) {
+        const auto &A = Edges[I];
+        const auto &B = Edges[J];
+        if (A.Src == B.Src && A.Dst == B.Dst && A.SrcConn == B.SrcConn &&
+            A.DstConn == B.DstConn && A.M.Data == B.M.Data &&
+            A.M.Wcr == B.M.Wcr &&
+            (A.M.isEmpty() || A.M.Subset.equals(B.M.Subset))) {
+          Edges.erase(Edges.begin() + J);
+          ++Merged;
+        }
+      }
+    }
+  }
+  return Merged;
+}

@@ -1,0 +1,63 @@
+//===- Drivers.cpp - simplify (-O1) and auto-optimize (-O2) --------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sdfgopt/Passes.h"
+
+using namespace dcir;
+using namespace dcir::sdfgopt;
+using namespace dcir::sdfg;
+
+void dcir::sdfgopt::runSimplify(SDFG &G, OptReport &Report) {
+  // Idempotent fixpoint over inference + data-movement-reduction passes
+  // (the paper's "SDFG simplification pass ... equivalent to -O1").
+  for (int Round = 0; Round < 12; ++Round) {
+    unsigned Changes = 0;
+    unsigned N;
+    N = promoteScalarsToSymbols(G);
+    Report.ScalarsPromoted += N;
+    Changes += N;
+    N = propagateSymbols(G);
+    Report.SymbolsPropagated += N;
+    Changes += N;
+    N = eliminateDeadStates(G);
+    Report.DeadStates += N;
+    Changes += N;
+    N = fuseStates(G);
+    Report.StatesFused += N;
+    Changes += N;
+    N = detectUpdates(G);
+    Report.UpdatesDetected += N;
+    Changes += N;
+    N = propagateConstantWrites(G);
+    Report.ConstantsPropagated += N;
+    Changes += N;
+    N = eliminateDeadDataflow(G, &Report);
+    Report.DeadDataflowNodes += N;
+    Changes += N;
+    N = consolidateMemlets(G);
+    Report.MemletsConsolidated += N;
+    Changes += N;
+    N = eliminateEmptyLoops(G);
+    Report.EmptyLoopsRemoved += N;
+    Changes += N;
+    if (Changes == 0)
+      break;
+  }
+}
+
+void dcir::sdfgopt::runAutoOptimize(SDFG &G, OptReport &Report) {
+  runSimplify(G, Report);
+  // Memory-scheduling optimizations (-O2): loop fusion exposes more
+  // simplification opportunities, so interleave.
+  for (int Round = 0; Round < 6; ++Round) {
+    unsigned Fused = fuseMemoryReducingLoops(G);
+    Report.LoopsFused += Fused;
+    if (Fused == 0)
+      break;
+    runSimplify(G, Report);
+  }
+  Report.StackPromotions += preAllocateMemory(G);
+}

@@ -1,0 +1,347 @@
+//===- InferencePasses.cpp - §6.1: promotion, propagation, WCR ----------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sdfgopt/Passes.h"
+#include "sdfgopt/Utils.h"
+
+#include <algorithm>
+
+using namespace dcir;
+using namespace dcir::sdfgopt;
+using namespace dcir::sdfg;
+using sym::SymExpr;
+
+namespace {
+
+/// All edges writing into an access node of \p Data, as (state, edge index).
+struct WriteSite {
+  State *S = nullptr;
+  size_t EdgeIdx = 0;
+};
+
+std::vector<WriteSite> findWrites(SDFG &G, const std::string &Data) {
+  std::vector<WriteSite> Out;
+  for (const auto &S : G.states()) {
+    const auto &Edges = S->edges();
+    for (size_t I = 0; I < Edges.size(); ++I) {
+      if (Edges[I].M.isEmpty())
+        continue;
+      const auto *Dst = dyn_cast<AccessNode>(S->getNode(Edges[I].Dst));
+      if (Dst && Dst->getData() == Data)
+        Out.push_back({S.get(), I});
+    }
+  }
+  return Out;
+}
+
+bool stateReads(const State &S, const std::string &Data) {
+  for (const auto &E : S.edges()) {
+    if (E.M.isEmpty())
+      continue;
+    const auto *Src = dyn_cast<AccessNode>(S.getNode(E.Src));
+    if (Src && Src->getData() == Data)
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+unsigned dcir::sdfgopt::promoteScalarsToSymbols(SDFG &G) {
+  unsigned Promoted = 0;
+  // Candidates: transient integer scalars.
+  std::vector<std::string> Candidates;
+  for (const auto &[Name, D] : G.descs())
+    if (D.K == DataDesc::Kind::Scalar && D.Transient && D.Ty == DType::I64)
+      Candidates.push_back(Name);
+
+  for (const std::string &Name : Candidates) {
+    std::vector<WriteSite> Writes = findWrites(G, Name);
+    if (Writes.size() != 1)
+      continue;
+    State *S = Writes[0].S;
+    const DataflowEdge WriteEdge = S->edges()[Writes[0].EdgeIdx];
+    // A state both reading and writing the scalar cannot promote (the
+    // assignment would be delayed to the state boundary).
+    if (stateReads(*S, Name))
+      continue;
+    auto *Writer = dyn_cast<Tasklet>(S->getNode(WriteEdge.Src));
+    if (!Writer || Writer->Opaque || !WriteEdge.M.Wcr.empty())
+      continue;
+    // Map the writer's inputs to scalar container names.
+    std::map<std::string, std::string> ConnToName;
+    bool InputsOk = true;
+    for (const DataflowEdge *In : S->inEdges(Writer)) {
+      if (In->M.isEmpty())
+        continue;
+      const DataDesc &SrcDesc = G.desc(In->M.Data);
+      if (SrcDesc.K != DataDesc::Kind::Scalar ||
+          SrcDesc.Ty != DType::I64) {
+        InputsOk = false;
+        break;
+      }
+      ConnToName[In->DstConn] = In->M.Data;
+    }
+    if (!InputsOk)
+      continue;
+    auto CodeIt = Writer->Code.find(WriteEdge.SrcConn);
+    if (CodeIt == Writer->Code.end())
+      continue;
+    auto Sym = texprToSymExpr(CodeIt->second, ConnToName);
+    if (!Sym)
+      continue;
+    // The value is assigned on every outgoing edge of the writing state.
+    // Prepended: entries later on the same edge may read it (assignments
+    // apply sequentially).
+    bool HasOut = false;
+    for (auto &E : G.interstateEdges()) {
+      if (E.Src != S->getId())
+        continue;
+      E.Assignments.insert(E.Assignments.begin(), {Name, *Sym});
+      HasOut = true;
+    }
+    if (!HasOut)
+      continue; // Terminal state: value unobservable as a symbol.
+
+    // Remove the writer and its access nodes.
+    std::vector<Node *> ToErase;
+    for (const DataflowEdge *In : S->inEdges(Writer)) {
+      Node *SrcNode = S->getNode(In->Src);
+      if (isa<AccessNode>(SrcNode))
+        ToErase.push_back(SrcNode);
+    }
+    Node *WriteAccess = S->getNode(WriteEdge.Dst);
+    S->eraseNode(Writer);
+    for (Node *N : ToErase)
+      if (S->outEdges(N).empty() && S->inEdges(N).empty())
+        S->eraseNode(N);
+    if (S->outEdges(WriteAccess).empty() && S->inEdges(WriteAccess).empty())
+      S->eraseNode(WriteAccess);
+
+    // Rewrite reads: tasklet inputs fed by this scalar become symbolic
+    // leaves; pure dependency edges from the scalar disappear.
+    for (const auto &StatePtr : G.states()) {
+      State *RS = StatePtr.get();
+      bool Changed = true;
+      while (Changed) {
+        Changed = false;
+        for (const DataflowEdge &E : RS->edges()) {
+          const auto *Src = dyn_cast<AccessNode>(RS->getNode(E.Src));
+          if (!Src || Src->getData() != Name)
+            continue;
+          Node *DstNode = RS->getNode(E.Dst);
+          if (auto *T = dyn_cast<Tasklet>(DstNode)) {
+            if (!E.M.isEmpty()) {
+              // Replace the connector with a symbolic leaf.
+              for (auto &[Conn, Code] : T->Code)
+                Code = replaceInputWithSym(Code, E.DstConn,
+                                           SymExpr::symbol(Name));
+              T->InConns.erase(std::remove(T->InConns.begin(),
+                                           T->InConns.end(), E.DstConn),
+                               T->InConns.end());
+            }
+          }
+          // Remove this edge (dependency edges just vanish: the symbol is
+          // set on interstate edges, always ordered before the state runs).
+          auto &Edges = RS->edges();
+          for (size_t I = 0; I < Edges.size(); ++I) {
+            if (&Edges[I] == &E) {
+              Edges.erase(Edges.begin() + I);
+              break;
+            }
+          }
+          Changed = true;
+          break;
+        }
+      }
+      // Drop orphaned access nodes of the promoted scalar.
+      std::vector<Node *> Orphans;
+      for (const auto &N : RS->nodes())
+        if (const auto *A = dyn_cast<AccessNode>(N.get()))
+          if (A->getData() == Name && RS->inEdges(A).empty() &&
+              RS->outEdges(A).empty())
+            Orphans.push_back(N.get());
+      for (Node *N : Orphans)
+        RS->eraseNode(N);
+    }
+
+    G.removeData(Name);
+    G.addSymbol(Name);
+    ++Promoted;
+  }
+  return Promoted;
+}
+
+//===----------------------------------------------------------------------===//
+// Symbol propagation (§6.1)
+//===----------------------------------------------------------------------===//
+
+unsigned dcir::sdfgopt::propagateSymbols(SDFG &G) {
+  unsigned Propagated = 0;
+  // Dead assignment elimination: interstate assignments to symbols nothing
+  // references are dropped (their RHS may keep scalar containers alive).
+  {
+    std::set<std::string> Referenced = collectReferencedNames(G);
+    for (auto &E : G.interstateEdges()) {
+      auto &A = E.Assignments;
+      size_t Before = A.size();
+      A.erase(std::remove_if(A.begin(), A.end(),
+                             [&](const auto &P) {
+                               return !Referenced.count(P.first);
+                             }),
+              A.end());
+      Propagated += static_cast<unsigned>(Before - A.size());
+    }
+  }
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Count assignments per symbol.
+    std::map<std::string, unsigned> AssignCount;
+    std::map<std::string, SymExpr> SingleRhs;
+    for (const auto &E : G.interstateEdges()) {
+      for (const auto &[Name, V] : E.Assignments) {
+        ++AssignCount[Name];
+        SingleRhs[Name] = V;
+      }
+    }
+    for (const auto &[Name, Count] : AssignCount) {
+      if (Count != 1)
+        continue;
+      const SymExpr &Rhs = SingleRhs[Name];
+      // The RHS must be constant over the whole execution: every symbol it
+      // references is itself never assigned, and no scalar containers.
+      std::set<std::string> Free;
+      Rhs.collectSymbols(Free);
+      bool Safe = true;
+      for (const std::string &Ref : Free) {
+        if (G.hasData(Ref) || AssignCount.count(Ref)) {
+          Safe = false;
+          break;
+        }
+      }
+      if (!Safe || Rhs.usesSymbol(Name))
+        continue;
+      // Substitute everywhere and drop the assignment.
+      substituteEverywhere(G, {{Name, Rhs}});
+      for (auto &E : G.interstateEdges()) {
+        auto &A = E.Assignments;
+        A.erase(std::remove_if(A.begin(), A.end(),
+                               [&](const auto &P) { return P.first == Name; }),
+                A.end());
+      }
+      G.symbols().erase(Name);
+      ++Propagated;
+      Changed = true;
+      break; // Recompute counts.
+    }
+  }
+  return Propagated;
+}
+
+//===----------------------------------------------------------------------===//
+// Update detection — AugAssignToWCR (§6.1)
+//===----------------------------------------------------------------------===//
+
+/// Returns true and strips when Code == op(Input(Conn), Rest) for an
+/// associative op.
+static bool matchAugAssign(const TExpr &Code, const std::string &Conn,
+                           std::string &WcrOut, TExpr &RestOut) {
+  if (Code.K != TExpr::Kind::Op)
+    return false;
+  const std::string &Op = Code.Name;
+  if (Op != "add" && Op != "mul" && Op != "min" && Op != "max")
+    return false;
+  if (Code.Children.size() != 2)
+    return false;
+  auto usesConn = [&](const TExpr &E) {
+    std::set<std::string> Ins;
+    E.collectInputs(Ins);
+    return Ins.count(Conn) > 0;
+  };
+  for (int Side = 0; Side < 2; ++Side) {
+    const TExpr &Candidate = Code.Children[Side];
+    const TExpr &Rest = Code.Children[1 - Side];
+    if (Candidate.K == TExpr::Kind::Input && Candidate.Name == Conn &&
+        !usesConn(Rest)) {
+      WcrOut = Op;
+      RestOut = Rest;
+      return true;
+    }
+  }
+  return false;
+}
+
+unsigned dcir::sdfgopt::detectUpdates(SDFG &G) {
+  unsigned Detected = 0;
+  for (const auto &S : G.states()) {
+    for (const auto &N : S->nodes()) {
+      auto *T = dyn_cast<Tasklet>(N.get());
+      if (!T || T->Opaque)
+        continue;
+      auto OutEdges = S->outEdges(T);
+      // Exactly one data out-edge, WCR-free.
+      const DataflowEdge *OutE = nullptr;
+      unsigned DataOut = 0;
+      for (const auto *E : OutEdges) {
+        if (!E->M.isEmpty()) {
+          ++DataOut;
+          OutE = E;
+        }
+      }
+      if (DataOut != 1 || !OutE->M.Wcr.empty())
+        continue;
+      const auto *OutAccess = dyn_cast<AccessNode>(S->getNode(OutE->Dst));
+      if (!OutAccess)
+        continue;
+      // An input reading the same location.
+      for (const auto *InE : S->inEdges(T)) {
+        if (InE->M.isEmpty() || InE->M.Data != OutE->M.Data)
+          continue;
+        if (!InE->M.Subset.equals(OutE->M.Subset))
+          continue;
+        auto CodeIt = T->Code.find(OutE->SrcConn);
+        if (CodeIt == T->Code.end())
+          continue;
+        std::string Wcr;
+        TExpr Rest;
+        if (!matchAugAssign(CodeIt->second, InE->DstConn, Wcr, Rest))
+          continue;
+        // Rewrite: strip the self-input, mark the write as an update.
+        // (Copy what we need first: erasing invalidates edge pointers.)
+        std::string Conn = InE->DstConn;
+        std::string OutData = OutE->M.Data;
+        int OutDstId = OutE->Dst;
+        Node *InAccess = S->getNode(InE->Src);
+        CodeIt->second = Rest;
+        T->InConns.erase(
+            std::remove(T->InConns.begin(), T->InConns.end(), Conn),
+            T->InConns.end());
+        // Erase the in-edge.
+        auto &Edges = S->edges();
+        for (size_t I = 0; I < Edges.size(); ++I) {
+          if (&Edges[I] == InE) {
+            Edges.erase(Edges.begin() + I);
+            break;
+          }
+        }
+        // Set WCR on the out edge (re-find: the vector shifted).
+        for (auto &E : S->edges()) {
+          if (E.Src == T->getId() && E.Dst == OutDstId &&
+              !E.M.isEmpty() && E.M.Data == OutData) {
+            E.M.Wcr = Wcr;
+            break;
+          }
+        }
+        if (S->inEdges(InAccess).empty() && S->outEdges(InAccess).empty())
+          S->eraseNode(InAccess);
+        ++Detected;
+        break;
+      }
+    }
+  }
+  return Detected;
+}

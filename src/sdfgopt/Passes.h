@@ -1,0 +1,124 @@
+//===- Passes.h - data-centric SDFG passes (paper §6) -------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data-centric optimization suite DCIR adds to DaCe (paper §6). Each
+/// pass mutates the SDFG in place and returns how many rewrites it applied,
+/// so pipelines can iterate to a fixpoint and benches can report
+/// elimination counts (e.g. the paper's "63 arrays and scalars eliminated").
+///
+///   Inference (§6.1):   promoteScalarsToSymbols, propagateSymbols,
+///                       fuseStates (with dataflow simplification),
+///                       detectUpdates (AugAssignToWCR)
+///   -O1 (§6.2):         eliminateDeadStates, propagateConstantWrites,
+///                       eliminateDeadDataflow, consolidateMemlets,
+///                       eliminateEmptyLoops
+///   -O2 (§6.3):         preAllocateMemory, fuseMemoryReducingLoops
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_SDFGOPT_PASSES_H
+#define DCIR_SDFGOPT_PASSES_H
+
+#include "sdfg/SDFG.h"
+
+namespace dcir {
+namespace sdfgopt {
+
+/// Aggregate counters filled in by runSimplify/runAutoOptimize.
+struct OptReport {
+  unsigned ScalarsPromoted = 0;
+  unsigned SymbolsPropagated = 0;
+  unsigned StatesFused = 0;
+  unsigned UpdatesDetected = 0;
+  unsigned DeadStates = 0;
+  unsigned DeadDataflowNodes = 0;
+  unsigned ArraysEliminated = 0;
+  unsigned MemletsConsolidated = 0;
+  unsigned StackPromotions = 0;
+  unsigned LoopsFused = 0;
+  unsigned ConstantsPropagated = 0;
+  unsigned EmptyLoopsRemoved = 0;
+
+  /// Containers and scalars removed in total (paper §7.3 reports 63 across
+  /// three snippets).
+  unsigned containersEliminated() const {
+    return ScalarsPromoted + ArraysEliminated;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Inference (§6.1)
+//===----------------------------------------------------------------------===//
+
+/// Scalar-to-symbol promotion: integer scalars written by exactly one
+/// symbolically-expressible tasklet become interstate symbols.
+unsigned promoteScalarsToSymbols(sdfg::SDFG &G);
+
+/// Symbol propagation: forwards symbols assigned once whose value is
+/// constant over the whole execution; solves simple equations.
+unsigned propagateSymbols(sdfg::SDFG &G);
+
+/// State fusion: merges unconditional straight-line states and enlarges
+/// pure dataflow regions; inlines single-use intra-state scalars.
+unsigned fuseStates(sdfg::SDFG &G);
+
+/// Update detection: read-modify-write of the same location through an
+/// associative operator becomes a WCR memlet.
+unsigned detectUpdates(sdfg::SDFG &G);
+
+//===----------------------------------------------------------------------===//
+// Data movement reduction (§6.2)
+//===----------------------------------------------------------------------===//
+
+/// Removes interstate edges with provably-false conditions and unreachable
+/// states.
+unsigned eliminateDeadStates(sdfg::SDFG &G);
+
+/// If a container's only writes store one constant over its full extent,
+/// replaces its reads by the constant (enables whole-loop elision, the
+/// paper's Fig. 2 headline).
+unsigned propagateConstantWrites(sdfg::SDFG &G);
+
+/// Flow-sensitive dead dataflow elimination: computations whose results
+/// only reach dead transients are removed; dead containers are dropped.
+/// \p Report accumulates eliminated containers.
+unsigned eliminateDeadDataflow(sdfg::SDFG &G, OptReport *Report = nullptr);
+
+/// Unions duplicate access nodes and overlapping memlets within states.
+unsigned consolidateMemlets(sdfg::SDFG &G);
+
+/// Removes loop skeletons whose bodies became empty.
+unsigned eliminateEmptyLoops(sdfg::SDFG &G);
+
+//===----------------------------------------------------------------------===//
+// Memory scheduling (§6.3)
+//===----------------------------------------------------------------------===//
+
+/// Storage-class assignment: small constant-size transients go on the
+/// stack; scalars live in registers.
+unsigned preAllocateMemory(sdfg::SDFG &G);
+
+/// Memory-reducing loop fusion: merges consecutive loops over the same
+/// range that communicate through an otherwise-unused element-wise
+/// transient, shrinking the intermediate to a scalar.
+unsigned fuseMemoryReducingLoops(sdfg::SDFG &G);
+
+//===----------------------------------------------------------------------===//
+// Drivers
+//===----------------------------------------------------------------------===//
+
+/// DaCe's sdfg.simplify() equivalent (-O1): inference + data movement
+/// reduction to a fixpoint.
+void runSimplify(sdfg::SDFG &G, OptReport &Report);
+
+/// Auto-optimizer (-O2): simplify + memory scheduling.
+void runAutoOptimize(sdfg::SDFG &G, OptReport &Report);
+
+} // namespace sdfgopt
+} // namespace dcir
+
+#endif // DCIR_SDFGOPT_PASSES_H

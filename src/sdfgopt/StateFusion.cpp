@@ -1,0 +1,203 @@
+//===- StateFusion.cpp - enlarging pure dataflow regions (§6.1) ---------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DaCe's simplification core: consecutive states connected by an
+/// unconditional, assignment-free edge merge into one dataflow graph with
+/// ordering edges preserving every RAW/WAR/WAW dependence. Afterwards,
+/// single-state transient scalars are inlined into direct tasklet-to-tasklet
+/// value edges — this is what turns DCIR's one-op-per-state chains back into
+/// large analyzable dataflow regions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sdfgopt/Passes.h"
+#include "sdfgopt/Utils.h"
+
+#include <algorithm>
+
+using namespace dcir;
+using namespace dcir::sdfgopt;
+using namespace dcir::sdfg;
+
+namespace {
+
+/// Per-container reader/writer nodes within a state part.
+struct AccessSummary {
+  std::map<std::string, std::set<int>> Readers; // data -> node ids
+  std::map<std::string, std::set<int>> Writers;
+};
+
+AccessSummary summarize(const State &S, const SDFG &G) {
+  AccessSummary Sum;
+  for (const auto &E : S.edges()) {
+    if (E.M.isEmpty())
+      continue;
+    const auto *SrcA = dyn_cast<AccessNode>(S.getNode(E.Src));
+    const auto *DstA = dyn_cast<AccessNode>(S.getNode(E.Dst));
+    if (SrcA) // Read of SrcA's container by E.Dst.
+      Sum.Readers[SrcA->getData()].insert(E.Dst);
+    if (DstA) // Write to DstA's container performed by E.Src.
+      Sum.Writers[DstA->getData()].insert(E.Src);
+    // Scalars referenced inside the subset are read by the moving node.
+    std::set<std::string> Refs;
+    E.M.Subset.collectSymbols(Refs);
+    for (const std::string &R : Refs)
+      if (G.hasData(R))
+        Sum.Readers[R].insert(SrcA ? E.Dst : E.Src);
+  }
+  return Sum;
+}
+
+bool fuseOnce(SDFG &G) {
+  for (const auto &E : G.interstateEdges()) {
+    if (E.Condition && !E.Condition.isConstant())
+      continue;
+    if (E.Condition && E.Condition.constantValue() == 0)
+      continue;
+    if (!E.Assignments.empty())
+      continue;
+    State *S1 = G.getState(E.Src);
+    State *S2 = G.getState(E.Dst);
+    if (!S1 || !S2 || S1 == S2)
+      continue;
+    if (S2 == G.getStartState())
+      continue;
+    if (G.outEdges(S1).size() != 1 || G.inEdges(S2).size() != 1)
+      continue;
+
+    AccessSummary Sum1 = summarize(*S1, G);
+    AccessSummary Sum2 = summarize(*S2, G);
+    std::map<int, Node *> Map = S1->absorb(*S2);
+
+    // Ordering edges (empty memlets): RAW, WAW, then WAR.
+    auto link = [&](int A, Node *B) {
+      // Skip duplicates cheaply; the graphs are small.
+      for (const auto &Ex : S1->edges())
+        if (Ex.Src == A && Ex.Dst == B->getId() && Ex.M.isEmpty() &&
+            Ex.SrcConn.empty())
+          return;
+      S1->connect(S1->getNode(A), "", B, "", Memlet());
+    };
+    for (const auto &[Data, W1] : Sum1.Writers) {
+      auto R2 = Sum2.Readers.find(Data);
+      if (R2 != Sum2.Readers.end())
+        for (int A : W1)
+          for (int B : R2->second)
+            link(A, Map[B]);
+      auto W2 = Sum2.Writers.find(Data);
+      if (W2 != Sum2.Writers.end())
+        for (int A : W1)
+          for (int B : W2->second)
+            link(A, Map[B]);
+    }
+    for (const auto &[Data, R1] : Sum1.Readers) {
+      auto W2 = Sum2.Writers.find(Data);
+      if (W2 != Sum2.Writers.end())
+        for (int A : R1)
+          for (int B : W2->second)
+            link(A, Map[B]);
+    }
+
+    // Rewire the state machine: S2's out-edges now leave S1.
+    for (auto &IE : G.interstateEdges())
+      if (IE.Src == S2->getId())
+        IE.Src = S1->getId();
+    G.eraseState(S2); // Also removes the fused edge.
+    return true;
+  }
+  return false;
+}
+
+/// Inlines transient scalars whose every appearance is inside one state and
+/// that are not referenced symbolically: the defining tasklet's value flows
+/// directly to the consumers over value edges.
+unsigned inlineIntraStateScalars(SDFG &G) {
+  unsigned Inlined = 0;
+  std::set<std::string> Referenced = collectReferencedNames(G);
+  std::vector<std::string> Candidates;
+  for (const auto &[Name, D] : G.descs())
+    if (D.K == DataDesc::Kind::Scalar && D.Transient &&
+        !Referenced.count(Name))
+      Candidates.push_back(Name);
+
+  for (const std::string &Name : Candidates) {
+    // Locate the single state containing every access.
+    State *Home = nullptr;
+    bool Multiple = false;
+    for (const auto &S : G.states()) {
+      for (const auto &N : S->nodes()) {
+        const auto *A = dyn_cast<AccessNode>(N.get());
+        if (!A || A->getData() != Name)
+          continue;
+        if (Home && Home != S.get())
+          Multiple = true;
+        Home = S.get();
+      }
+    }
+    if (!Home || Multiple)
+      continue;
+    // One write from a tasklet, WCR-free; reads feed tasklets.
+    const DataflowEdge *Write = nullptr;
+    std::vector<const DataflowEdge *> Reads;
+    bool Complex = false;
+    for (const auto &E : Home->edges()) {
+      const auto *SrcA = dyn_cast<AccessNode>(Home->getNode(E.Src));
+      const auto *DstA = dyn_cast<AccessNode>(Home->getNode(E.Dst));
+      if (DstA && DstA->getData() == Name && !E.M.isEmpty()) {
+        if (Write || !E.M.Wcr.empty() ||
+            !isa<Tasklet>(Home->getNode(E.Src)))
+          Complex = true;
+        else
+          Write = &E;
+      }
+      if (SrcA && SrcA->getData() == Name) {
+        if (E.M.isEmpty() || !isa<Tasklet>(Home->getNode(E.Dst)))
+          Complex = true;
+        else
+          Reads.push_back(&E);
+      }
+    }
+    if (!Write || Complex)
+      continue;
+    int SrcTasklet = Write->Src;
+    std::string SrcConn = Write->SrcConn;
+    // Rewire each read to a direct value edge.
+    std::vector<DataflowEdge> NewEdges;
+    for (const DataflowEdge *R : Reads) {
+      DataflowEdge VE;
+      VE.Src = SrcTasklet;
+      VE.SrcConn = SrcConn;
+      VE.Dst = R->Dst;
+      VE.DstConn = R->DstConn;
+      NewEdges.push_back(VE);
+    }
+    // Drop the access nodes (removes the old edges), then add value edges.
+    std::vector<Node *> Accesses;
+    for (const auto &N : Home->nodes())
+      if (const auto *A = dyn_cast<AccessNode>(N.get()))
+        if (A->getData() == Name)
+          Accesses.push_back(N.get());
+    for (Node *N : Accesses)
+      Home->eraseNode(N);
+    for (const DataflowEdge &VE : NewEdges)
+      Home->connect(Home->getNode(VE.Src), VE.SrcConn,
+                    Home->getNode(VE.Dst), VE.DstConn, Memlet());
+    G.removeData(Name);
+    ++Inlined;
+  }
+  return Inlined;
+}
+
+} // namespace
+
+unsigned dcir::sdfgopt::fuseStates(SDFG &G) {
+  unsigned Fused = 0;
+  while (fuseOnce(G))
+    ++Fused;
+  Fused += inlineIntraStateScalars(G);
+  return Fused;
+}

@@ -1,0 +1,291 @@
+//===- Utils.cpp ---------------------------------------------------------------------===//
+
+#include "sdfgopt/Utils.h"
+
+using namespace dcir;
+using namespace dcir::sdfgopt;
+using namespace dcir::sdfg;
+using sym::SymExpr;
+
+std::optional<SymExpr> dcir::sdfgopt::texprToSymExpr(
+    const TExpr &E, const std::map<std::string, std::string> &ConnToName) {
+  switch (E.K) {
+  case TExpr::Kind::ConstI:
+    return SymExpr::constant(E.I);
+  case TExpr::Kind::ConstF:
+    return std::nullopt;
+  case TExpr::Kind::Sym:
+    return E.Sym;
+  case TExpr::Kind::Input: {
+    auto It = ConnToName.find(E.Name);
+    if (It == ConnToName.end())
+      return std::nullopt;
+    return SymExpr::symbol(It->second);
+  }
+  case TExpr::Kind::Op:
+    break;
+  }
+  auto child = [&](size_t I) { return texprToSymExpr(E.Children[I], ConnToName); };
+  const std::string &Op = E.Name;
+  if (Op == "select") {
+    auto C = child(0), T = child(1), F = child(2);
+    if (!C || !T || !F)
+      return std::nullopt;
+    // select(c, t, f) == c*t + (1-c)*f only for 0/1 conditions; represent
+    // via min/max when t/f are 0/1? Keep conservative: unsupported.
+    return std::nullopt;
+  }
+  if (E.Children.size() == 1) {
+    auto A = child(0);
+    if (!A)
+      return std::nullopt;
+    if (Op == "neg")
+      return SymExpr::negate(*A);
+    if (Op == "not")
+      return SymExpr::logicalNot(*A);
+    return std::nullopt;
+  }
+  if (E.Children.size() != 2)
+    return std::nullopt;
+  auto A = child(0), B = child(1);
+  if (!A || !B)
+    return std::nullopt;
+  if (Op == "add")
+    return SymExpr::add(*A, *B);
+  if (Op == "sub")
+    return SymExpr::sub(*A, *B);
+  if (Op == "mul")
+    return SymExpr::mul(*A, *B);
+  // C's `/` and `%` truncate toward zero; the symbolic engine floors.
+  // Tasklet inputs are arbitrary run-time scalars (possibly negative), so
+  // the two cannot be proven equivalent here — leave such expressions as
+  // tasklets rather than promote them unsoundly.
+  if (Op == "div" || Op == "rem")
+    return std::nullopt;
+  if (Op == "min")
+    return SymExpr::min(*A, *B);
+  if (Op == "max")
+    return SymExpr::max(*A, *B);
+  if (Op == "lt")
+    return SymExpr::lt(*A, *B);
+  if (Op == "le")
+    return SymExpr::le(*A, *B);
+  if (Op == "gt")
+    return SymExpr::gt(*A, *B);
+  if (Op == "ge")
+    return SymExpr::ge(*A, *B);
+  if (Op == "eq")
+    return SymExpr::eq(*A, *B);
+  if (Op == "ne")
+    return SymExpr::ne(*A, *B);
+  if (Op == "and")
+    return SymExpr::logicalAnd(*A, *B);
+  if (Op == "or")
+    return SymExpr::logicalOr(*A, *B);
+  if (Op == "xor") {
+    // i1 xor with true is logical negation (how the frontend lowers `!`).
+    if (B->isConstantValue(1))
+      return SymExpr::logicalNot(*A);
+    if (A->isConstantValue(1))
+      return SymExpr::logicalNot(*B);
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+/// Applies substitution to one TExpr in place.
+static void substituteTExpr(TExpr &E,
+                            const std::map<std::string, SymExpr> &Map) {
+  if (E.K == TExpr::Kind::Sym) {
+    E.Sym = E.Sym.substitute(Map);
+    return;
+  }
+  for (TExpr &C : E.Children)
+    substituteTExpr(C, Map);
+}
+
+void dcir::sdfgopt::substituteEverywhere(
+    SDFG &G, const std::map<std::string, SymExpr> &Map) {
+  for (auto &[Name, D] : G.descs())
+    for (SymExpr &Dim : D.Shape)
+      Dim = Dim.substitute(Map);
+  for (auto &E : G.interstateEdges()) {
+    if (E.Condition)
+      E.Condition = E.Condition.substitute(Map);
+    for (auto &[K, V] : E.Assignments)
+      V = V.substitute(Map);
+  }
+  for (const auto &S : G.states()) {
+    for (auto &E : const_cast<State *>(S.get())->edges())
+      if (!E.M.isEmpty())
+        E.M.Subset = E.M.Subset.substitute(Map);
+    for (const auto &N : S->nodes()) {
+      if (auto *T = const_cast<Tasklet *>(dyn_cast<Tasklet>(N.get())))
+        for (auto &[Conn, Code] : T->Code)
+          substituteTExpr(Code, Map);
+      if (auto *ME = const_cast<MapEntry *>(dyn_cast<MapEntry>(N.get())))
+        for (sym::SymRange &R : ME->Ranges)
+          R = R.substitute(Map);
+    }
+  }
+}
+
+/// Collects names from one TExpr.
+static void collectTExprNames(const TExpr &E, std::set<std::string> &Out) {
+  if (E.K == TExpr::Kind::Sym) {
+    E.Sym.collectSymbols(Out);
+    return;
+  }
+  for (const TExpr &C : E.Children)
+    collectTExprNames(C, Out);
+}
+
+std::set<std::string>
+dcir::sdfgopt::collectReferencedNames(const SDFG &G) {
+  std::set<std::string> Out;
+  for (const auto &[Name, D] : G.descs())
+    for (const SymExpr &Dim : D.Shape)
+      Dim.collectSymbols(Out);
+  for (const auto &E : G.interstateEdges()) {
+    if (E.Condition)
+      E.Condition.collectSymbols(Out);
+    for (const auto &[K, V] : E.Assignments)
+      V.collectSymbols(Out);
+  }
+  for (const auto &S : G.states()) {
+    for (const auto &E : S->edges())
+      if (!E.M.isEmpty())
+        E.M.Subset.collectSymbols(Out);
+    for (const auto &N : S->nodes()) {
+      if (const auto *T = dyn_cast<Tasklet>(N.get()))
+        for (const auto &[Conn, Code] : T->Code)
+          collectTExprNames(Code, Out);
+      if (const auto *ME = dyn_cast<MapEntry>(N.get()))
+        for (const sym::SymRange &R : ME->Ranges)
+          R.collectSymbols(Out);
+    }
+  }
+  return Out;
+}
+
+bool dcir::sdfgopt::hasAccessNodes(const SDFG &G, const std::string &Data) {
+  for (const auto &S : G.states())
+    for (const auto &N : S->nodes())
+      if (const auto *A = dyn_cast<AccessNode>(N.get()))
+        if (A->getData() == Data)
+          return true;
+  return false;
+}
+
+TExpr dcir::sdfgopt::replaceInputWithSym(const TExpr &E,
+                                         const std::string &Conn,
+                                         const SymExpr &Sym) {
+  if (E.K == TExpr::Kind::Input && E.Name == Conn)
+    return TExpr::symbolic(Sym);
+  TExpr Out = E;
+  for (TExpr &C : Out.Children)
+    C = replaceInputWithSym(C, Conn, Sym);
+  return Out;
+}
+
+TExpr dcir::sdfgopt::replaceInputWithExpr(const TExpr &E,
+                                          const std::string &Conn,
+                                          const TExpr &Repl) {
+  if (E.K == TExpr::Kind::Input && E.Name == Conn)
+    return Repl;
+  TExpr Out = E;
+  for (TExpr &C : Out.Children)
+    C = replaceInputWithExpr(C, Conn, Repl);
+  return Out;
+}
+
+TExpr dcir::sdfgopt::substituteSymsInTExpr(
+    const TExpr &E, const std::map<std::string, SymExpr> &Map) {
+  TExpr Out = E;
+  if (Out.K == TExpr::Kind::Sym) {
+    Out.Sym = Out.Sym.substitute(Map);
+    return Out;
+  }
+  for (TExpr &C : Out.Children)
+    C = substituteSymsInTExpr(C, Map);
+  return Out;
+}
+
+std::vector<LoopRegion> dcir::sdfgopt::findLoops(const SDFG &G) {
+  std::vector<LoopRegion> Loops;
+  for (const auto &S : G.states()) {
+    auto Out = G.outEdges(S.get());
+    if (Out.size() != 2)
+      continue;
+    // One edge `iv < end`, the other its negation `end <= iv`.
+    const InterstateEdge *Enter = nullptr, *Leave = nullptr;
+    for (const auto *E : Out) {
+      if (E->Condition && E->Condition.kind() == sym::ExprKind::Lt &&
+          E->Condition.operands()[0].isSymbol())
+        Enter = E;
+    }
+    if (!Enter)
+      continue;
+    SymExpr Negated = SymExpr::logicalNot(Enter->Condition);
+    for (const auto *E : Out) {
+      if (E == Enter)
+        continue;
+      if (E->Condition && E->Condition.equals(Negated))
+        Leave = E;
+    }
+    if (!Leave)
+      continue;
+    std::string Iv = Enter->Condition.operands()[0].symbolName();
+    // Guard in-edges: an init edge and a back edge, both assigning Iv.
+    auto In = G.inEdges(S.get());
+    const InterstateEdge *Init = nullptr, *Back = nullptr;
+    for (const auto *E : In) {
+      bool AssignsIv = false;
+      SymExpr Rhs;
+      for (const auto &[K, V] : E->Assignments)
+        if (K == Iv) {
+          AssignsIv = true;
+          Rhs = V;
+        }
+      if (!AssignsIv)
+        continue;
+      SymExpr A, B;
+      if (Rhs.linearIn(Iv, A, B) && A.isConstantValue(1) && B &&
+          !B.usesSymbol(Iv) && Rhs.usesSymbol(Iv))
+        Back = E;
+      else if (!Rhs.usesSymbol(Iv))
+        Init = E;
+    }
+    if (!Init || !Back)
+      continue;
+    LoopRegion L;
+    L.GuardId = S->getId();
+    L.BodyEntryId = Enter->Dst;
+    L.ExitId = Leave->Dst;
+    L.Iv = Iv;
+    for (const auto &[K, V] : Init->Assignments)
+      if (K == Iv)
+        L.Begin = V;
+    L.End = Enter->Condition.operands()[1];
+    SymExpr A, B;
+    for (const auto &[K, V] : Back->Assignments)
+      if (K == Iv && V.linearIn(Iv, A, B))
+        L.Step = B;
+    // Body: states reachable from the entry without passing the guard.
+    std::vector<int> Work = {L.BodyEntryId};
+    while (!Work.empty()) {
+      int Id = Work.back();
+      Work.pop_back();
+      if (Id == L.GuardId || L.BodyStates.count(Id))
+        continue;
+      L.BodyStates.insert(Id);
+      for (const auto *E : G.outEdges(G.getState(Id)))
+        Work.push_back(E->Dst);
+    }
+    // A well-formed loop body must not contain the exit state.
+    if (L.BodyStates.count(L.ExitId))
+      continue;
+    Loops.push_back(std::move(L));
+  }
+  return Loops;
+}

@@ -1,0 +1,75 @@
+//===- Utils.h - shared helpers for data-centric passes -----------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_SDFGOPT_UTILS_H
+#define DCIR_SDFGOPT_UTILS_H
+
+#include "sdfg/SDFG.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace dcir {
+namespace sdfgopt {
+
+/// Converts an integer tasklet expression to a symbolic expression, mapping
+/// input connectors through \p ConnToName (scalar container names). Returns
+/// nullopt when the expression is not symbolically representable.
+std::optional<sym::SymExpr>
+texprToSymExpr(const sdfg::TExpr &E,
+               const std::map<std::string, std::string> &ConnToName);
+
+/// Substitutes symbols in every expression the SDFG holds: memlet subsets,
+/// interstate conditions/assignments, container shapes, map ranges, and
+/// tasklet Sym leaves.
+void substituteEverywhere(sdfg::SDFG &G,
+                          const std::map<std::string, sym::SymExpr> &Map);
+
+/// Collects every name referenced symbolically anywhere in the SDFG
+/// (subsets, conditions, assignments, shapes, tasklet Sym leaves).
+std::set<std::string> collectReferencedNames(const sdfg::SDFG &G);
+
+/// True if an access node of \p Data appears in any state.
+bool hasAccessNodes(const sdfg::SDFG &G, const std::string &Data);
+
+/// Natural loop discovered in the state machine (converter-shaped:
+/// guard with `iv < end` / `not(iv < end)` out-edges, init and back edges
+/// assigning the induction symbol).
+struct LoopRegion {
+  int GuardId = -1;
+  int BodyEntryId = -1;
+  int ExitId = -1; // State after the loop.
+  std::string Iv;
+  sym::SymExpr Begin, End, Step;
+  std::set<int> BodyStates; // Excluding the guard.
+};
+
+/// Finds converter-shaped loops. Nested loops are all reported.
+std::vector<LoopRegion> findLoops(const sdfg::SDFG &G);
+
+/// Returns a copy of \p E with the input connector \p Conn replaced by a
+/// symbolic leaf.
+sdfg::TExpr replaceInputWithSym(const sdfg::TExpr &E, const std::string &Conn,
+                                const sym::SymExpr &Sym);
+
+/// Returns a copy of \p E with the input connector \p Conn replaced by a
+/// constant leaf.
+sdfg::TExpr replaceInputWithExpr(const sdfg::TExpr &E,
+                                 const std::string &Conn,
+                                 const sdfg::TExpr &Repl);
+
+/// Returns a copy of \p E with symbol substitution applied to every
+/// symbolic leaf.
+sdfg::TExpr
+substituteSymsInTExpr(const sdfg::TExpr &E,
+                      const std::map<std::string, sym::SymExpr> &Map);
+
+} // namespace sdfgopt
+} // namespace dcir
+
+#endif // DCIR_SDFGOPT_UTILS_H

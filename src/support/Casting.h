@@ -1,0 +1,59 @@
+//===- Casting.h - Kind-based isa/cast/dyn_cast helpers ------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal LLVM-style RTTI replacement. A class hierarchy participates by
+/// providing `static bool classof(const Base *)` on each derived class; the
+/// templates below then provide `isa<>`, `cast<>` and `dyn_cast<>` without
+/// enabling C++ RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_SUPPORT_CASTING_H
+#define DCIR_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace dcir {
+
+/// Returns true if \p Val is an instance of type To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(Val && "cast<> used on a null pointer");
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast (const overload).
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(Val && "cast<> used on a null pointer");
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Downcast that returns null when the dynamic type does not match.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  if (!Val || !isa<To>(Val))
+    return nullptr;
+  return static_cast<To *>(Val);
+}
+
+/// Downcast that returns null when the dynamic type does not match (const).
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  if (!Val || !isa<To>(Val))
+    return nullptr;
+  return static_cast<const To *>(Val);
+}
+
+} // namespace dcir
+
+#endif // DCIR_SUPPORT_CASTING_H

@@ -1,0 +1,52 @@
+//===- Diagnostics.cpp ----------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace dcir;
+
+std::string SourceLoc::str() const {
+  std::ostringstream OS;
+  OS << Line << ":" << Col;
+  return OS.str();
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream OS;
+  if (Loc.isValid())
+    OS << Loc.str() << ": ";
+  switch (Severity) {
+  case DiagSeverity::Error:
+    OS << "error: ";
+    break;
+  case DiagSeverity::Warning:
+    OS << "warning: ";
+    break;
+  case DiagSeverity::Note:
+    OS << "note: ";
+    break;
+  }
+  OS << Message;
+  return OS.str();
+}
+
+void DiagnosticEngine::error(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::note(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+}
+
+std::string DiagnosticEngine::str() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags)
+    OS << D.str() << "\n";
+  return OS.str();
+}

@@ -1,0 +1,71 @@
+//===- Diagnostics.h - Source locations and diagnostic engine ------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error reporting shared by the C frontend, the IR parser, and verifiers.
+/// The project builds without exceptions; fallible components report through
+/// a DiagnosticEngine and return null/false on failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_SUPPORT_DIAGNOSTICS_H
+#define DCIR_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace dcir {
+
+/// A 1-based line/column position inside a named buffer.
+struct SourceLoc {
+  int Line = 0;
+  int Col = 0;
+
+  bool isValid() const { return Line > 0; }
+  std::string str() const;
+};
+
+/// Severity of a reported diagnostic.
+enum class DiagSeverity { Error, Warning, Note };
+
+/// One reported message with its position.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics emitted during a fallible phase (parsing,
+/// verification, conversion). Callers inspect hasErrors() afterwards.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message);
+  void error(std::string Message) { error(SourceLoc(), std::move(Message)); }
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors > 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics, one per line.
+  std::string str() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace dcir
+
+#endif // DCIR_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,59 @@
+//===- StringUtils.cpp ----------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace dcir;
+
+std::vector<std::string> dcir::splitString(std::string_view Text, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  while (Start <= Text.size()) {
+    size_t End = Text.find(Sep, Start);
+    if (End == std::string_view::npos) {
+      Parts.emplace_back(Text.substr(Start));
+      break;
+    }
+    Parts.emplace_back(Text.substr(Start, End - Start));
+    Start = End + 1;
+  }
+  return Parts;
+}
+
+std::string_view dcir::trimString(std::string_view Text) {
+  size_t Begin = 0, End = Text.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  while (End > Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+bool dcir::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+std::string dcir::joinStrings(const std::vector<std::string> &Parts,
+                              std::string_view Sep) {
+  std::ostringstream OS;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      OS << Sep;
+    OS << Parts[I];
+  }
+  return OS.str();
+}
+
+bool dcir::readFileToString(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  Out = OS.str();
+  return true;
+}

@@ -1,0 +1,34 @@
+//===- StringUtils.h - Small string helpers -------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_SUPPORT_STRINGUTILS_H
+#define DCIR_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcir {
+
+/// Splits \p Text at every occurrence of \p Sep (the separator is dropped).
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trimString(std::string_view Text);
+
+/// Returns true if \p Text begins with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Sep);
+
+/// Reads an entire file into a string. Returns false on I/O failure.
+bool readFileToString(const std::string &Path, std::string &Out);
+
+} // namespace dcir
+
+#endif // DCIR_SUPPORT_STRINGUTILS_H

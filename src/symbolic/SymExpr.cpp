@@ -1,0 +1,1158 @@
+//===- SymExpr.cpp - Symbolic expression canonicalization -----------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/SymExpr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace dcir;
+using namespace dcir::sym;
+
+//===----------------------------------------------------------------------===//
+// Node plumbing
+//===----------------------------------------------------------------------===//
+
+SymExpr SymExpr::makeNode(detail::ExprNode N) {
+  return SymExpr(std::make_shared<const detail::ExprNode>(std::move(N)));
+}
+
+SymExpr dcir::sym::detail::makeExpr(detail::ExprNode N) {
+  return SymExpr::makeNode(std::move(N));
+}
+
+ExprKind SymExpr::kind() const {
+  assert(Node && "kind() on null SymExpr");
+  return Node->Kind;
+}
+
+std::int64_t SymExpr::constantValue() const {
+  assert(isConstant() && "not a constant");
+  return Node->Value;
+}
+
+const std::string &SymExpr::symbolName() const {
+  assert(isSymbol() && "not a symbol");
+  return Node->Name;
+}
+
+const std::vector<SymExpr> &SymExpr::operands() const {
+  assert(Node && "operands() on null SymExpr");
+  return Node->Ops;
+}
+
+bool SymExpr::isBooleanKind() const {
+  if (!Node)
+    return false;
+  switch (Node->Kind) {
+  case ExprKind::Eq:
+  case ExprKind::Ne:
+  case ExprKind::Lt:
+  case ExprKind::Le:
+  case ExprKind::And:
+  case ExprKind::Or:
+  case ExprKind::Not:
+    return true;
+  default:
+    return false;
+  }
+}
+
+SymExpr SymExpr::constant(std::int64_t Value) {
+  detail::ExprNode N;
+  N.Kind = ExprKind::Constant;
+  N.Value = Value;
+  return makeNode(std::move(N));
+}
+
+SymExpr SymExpr::symbol(std::string Name) {
+  assert(!Name.empty() && "symbol requires a name");
+  detail::ExprNode N;
+  N.Kind = ExprKind::Symbol;
+  N.Name = std::move(Name);
+  return makeNode(std::move(N));
+}
+
+//===----------------------------------------------------------------------===//
+// Term decomposition helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A canonical additive term: integer coefficient times an optional monomial
+/// (null monomial means a pure constant term).
+struct Term {
+  std::int64_t Coeff = 0;
+  SymExpr Mono; // Never Constant, never Add, never carries a leading const.
+};
+
+} // namespace
+
+/// Builds a canonical Mul node from a coefficient and canonical, sorted,
+/// non-constant factors. Handles the degenerate cases.
+static SymExpr buildMulNode(std::int64_t Coeff, std::vector<SymExpr> Factors) {
+  if (Coeff == 0 || Factors.empty())
+    return SymExpr::constant(Coeff);
+  if (Coeff == 1 && Factors.size() == 1)
+    return Factors.front();
+  detail::ExprNode N;
+  N.Kind = ExprKind::Mul;
+  if (Coeff != 1)
+    N.Ops.push_back(SymExpr::constant(Coeff));
+  for (SymExpr &F : Factors)
+    N.Ops.push_back(std::move(F));
+  if (N.Ops.size() == 1)
+    return N.Ops.front();
+  return detail::makeExpr(std::move(N));
+}
+
+/// Splits an expression into (coefficient, monomial).
+static Term decomposeTerm(const SymExpr &E) {
+  if (E.isConstant())
+    return {E.constantValue(), SymExpr()};
+  if (E.kind() == ExprKind::Mul) {
+    const auto &Ops = E.operands();
+    if (!Ops.empty() && Ops.front().isConstant()) {
+      std::vector<SymExpr> Rest(Ops.begin() + 1, Ops.end());
+      return {Ops.front().constantValue(), buildMulNode(1, std::move(Rest))};
+    }
+  }
+  return {1, E};
+}
+
+static SymExpr buildTermExpr(const Term &T) {
+  if (!T.Mono)
+    return SymExpr::constant(T.Coeff);
+  if (T.Mono.kind() == ExprKind::Mul) {
+    std::vector<SymExpr> Factors(T.Mono.operands().begin(),
+                                 T.Mono.operands().end());
+    return buildMulNode(T.Coeff, std::move(Factors));
+  }
+  return buildMulNode(T.Coeff, {T.Mono});
+}
+
+//===----------------------------------------------------------------------===//
+// Addition
+//===----------------------------------------------------------------------===//
+
+SymExpr SymExpr::makeAdd(std::vector<SymExpr> Terms) {
+  // Flatten nested sums and collect like terms keyed by the monomial's
+  // canonical rendering.
+  std::int64_t ConstSum = 0;
+  std::vector<std::pair<std::string, Term>> Collected;
+  auto addTerm = [&](const SymExpr &E) {
+    Term T = decomposeTerm(E);
+    if (!T.Mono) {
+      ConstSum += T.Coeff;
+      return;
+    }
+    std::string Key = T.Mono.str();
+    for (auto &Entry : Collected) {
+      if (Entry.first == Key) {
+        Entry.second.Coeff += T.Coeff;
+        return;
+      }
+    }
+    Collected.push_back({std::move(Key), T});
+  };
+  for (const SymExpr &E : Terms) {
+    assert(E && "null operand in add");
+    if (E.kind() == ExprKind::Add) {
+      for (const SymExpr &Sub : E.operands())
+        addTerm(Sub);
+    } else {
+      addTerm(E);
+    }
+  }
+  std::sort(Collected.begin(), Collected.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  std::vector<SymExpr> Out;
+  for (auto &Entry : Collected)
+    if (Entry.second.Coeff != 0)
+      Out.push_back(buildTermExpr(Entry.second));
+  if (ConstSum != 0 || Out.empty())
+    Out.push_back(constant(ConstSum));
+  if (Out.size() == 1)
+    return Out.front();
+  detail::ExprNode N;
+  N.Kind = ExprKind::Add;
+  N.Ops = std::move(Out);
+  return makeNode(std::move(N));
+}
+
+SymExpr SymExpr::add(SymExpr L, SymExpr R) {
+  assert(L && R && "null operand in add");
+  return makeAdd({std::move(L), std::move(R)});
+}
+
+SymExpr SymExpr::negate(SymExpr E) { return mul(constant(-1), std::move(E)); }
+
+SymExpr SymExpr::sub(SymExpr L, SymExpr R) {
+  return add(std::move(L), negate(std::move(R)));
+}
+
+//===----------------------------------------------------------------------===//
+// Multiplication
+//===----------------------------------------------------------------------===//
+
+/// Multiplies two expressions neither of which is an Add.
+static SymExpr mulNonSum(const SymExpr &A, const SymExpr &B) {
+  std::int64_t Coeff = 1;
+  std::vector<SymExpr> Factors;
+  auto absorb = [&](const SymExpr &E) {
+    if (E.isConstant()) {
+      Coeff *= E.constantValue();
+      return;
+    }
+    if (E.kind() == ExprKind::Mul) {
+      for (const SymExpr &F : E.operands()) {
+        if (F.isConstant())
+          Coeff *= F.constantValue();
+        else
+          Factors.push_back(F);
+      }
+      return;
+    }
+    Factors.push_back(E);
+  };
+  absorb(A);
+  absorb(B);
+  if (Coeff == 0)
+    return SymExpr::constant(0);
+  std::sort(Factors.begin(), Factors.end(),
+            [](const SymExpr &X, const SymExpr &Y) { return X.str() < Y.str(); });
+  return buildMulNode(Coeff, std::move(Factors));
+}
+
+/// Multiplies with distribution of products over sums (bounded).
+static SymExpr mulPair(const SymExpr &A, const SymExpr &B) {
+  size_t TermsA = A.kind() == ExprKind::Add ? A.operands().size() : 1;
+  size_t TermsB = B.kind() == ExprKind::Add ? B.operands().size() : 1;
+  if (TermsA * TermsB > 64) // Guard against blowup; keep unexpanded.
+    return mulNonSum(A, B);
+  if (A.kind() == ExprKind::Add) {
+    SymExpr Acc = SymExpr::constant(0);
+    for (const SymExpr &T : A.operands())
+      Acc = SymExpr::add(Acc, mulPair(T, B));
+    return Acc;
+  }
+  if (B.kind() == ExprKind::Add)
+    return mulPair(B, A);
+  return mulNonSum(A, B);
+}
+
+SymExpr SymExpr::makeMul(std::vector<SymExpr> Factors) {
+  assert(!Factors.empty());
+  SymExpr Acc = Factors.front();
+  for (size_t I = 1; I < Factors.size(); ++I)
+    Acc = mulPair(Acc, Factors[I]);
+  return Acc;
+}
+
+SymExpr SymExpr::mul(SymExpr L, SymExpr R) {
+  assert(L && R && "null operand in mul");
+  return mulPair(L, R);
+}
+
+//===----------------------------------------------------------------------===//
+// Division / modulo
+//===----------------------------------------------------------------------===//
+
+static std::int64_t floorDivI64(std::int64_t A, std::int64_t B) {
+  std::int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+static std::int64_t floorModI64(std::int64_t A, std::int64_t B) {
+  return A - floorDivI64(A, B) * B;
+}
+
+SymExpr SymExpr::floorDiv(SymExpr L, SymExpr R) {
+  assert(L && R);
+  if (R.isConstantValue(1))
+    return L;
+  if (L.isConstantValue(0))
+    return L;
+  if (L.isConstant() && R.isConstant() && R.constantValue() != 0)
+    return constant(floorDivI64(L.constantValue(), R.constantValue()));
+  if (L.equals(R) && R.provePositive())
+    return constant(1);
+  // (c1*x + c2*y + ...) / c where c divides every coefficient.
+  if (R.isConstant() && R.constantValue() > 0) {
+    std::int64_t C = R.constantValue();
+    std::vector<SymExpr> TermList;
+    if (L.kind() == ExprKind::Add)
+      TermList = L.operands();
+    else
+      TermList = {L};
+    bool AllDivisible = true;
+    std::vector<SymExpr> Quotients;
+    for (const SymExpr &T : TermList) {
+      Term Tm = decomposeTerm(T);
+      if (Tm.Coeff % C != 0) {
+        AllDivisible = false;
+        break;
+      }
+      Tm.Coeff /= C;
+      Quotients.push_back(buildTermExpr(Tm));
+    }
+    if (AllDivisible && !Quotients.empty()) {
+      SymExpr Acc = Quotients.front();
+      for (size_t I = 1; I < Quotients.size(); ++I)
+        Acc = add(Acc, Quotients[I]);
+      return Acc;
+    }
+  }
+  detail::ExprNode N;
+  N.Kind = ExprKind::FloorDiv;
+  N.Ops = {std::move(L), std::move(R)};
+  return makeNode(std::move(N));
+}
+
+SymExpr SymExpr::mod(SymExpr L, SymExpr R) {
+  assert(L && R);
+  if (R.isConstantValue(1))
+    return constant(0);
+  if (L.isConstant() && R.isConstant() && R.constantValue() != 0)
+    return constant(floorModI64(L.constantValue(), R.constantValue()));
+  if (L.equals(R))
+    return constant(0);
+  if (R.isConstant() && R.constantValue() > 0) {
+    std::int64_t C = R.constantValue();
+    std::vector<SymExpr> TermList;
+    if (L.kind() == ExprKind::Add)
+      TermList = L.operands();
+    else
+      TermList = {L};
+    bool AllDivisible = true;
+    for (const SymExpr &T : TermList) {
+      if (decomposeTerm(T).Coeff % C != 0) {
+        AllDivisible = false;
+        break;
+      }
+    }
+    if (AllDivisible)
+      return constant(0);
+  }
+  detail::ExprNode N;
+  N.Kind = ExprKind::Mod;
+  N.Ops = {std::move(L), std::move(R)};
+  return makeNode(std::move(N));
+}
+
+//===----------------------------------------------------------------------===//
+// Min / max
+//===----------------------------------------------------------------------===//
+
+SymExpr SymExpr::makeMinMax(ExprKind K, std::vector<SymExpr> Ops) {
+  // Flatten and deduplicate.
+  std::vector<SymExpr> Flat;
+  bool HaveConst = false;
+  std::int64_t ConstVal = 0;
+  auto absorb = [&](const SymExpr &E) {
+    if (E.isConstant()) {
+      if (!HaveConst) {
+        HaveConst = true;
+        ConstVal = E.constantValue();
+      } else {
+        ConstVal = K == ExprKind::Min ? std::min(ConstVal, E.constantValue())
+                                      : std::max(ConstVal, E.constantValue());
+      }
+      return;
+    }
+    for (const SymExpr &F : Flat)
+      if (F.equals(E))
+        return;
+    Flat.push_back(E);
+  };
+  for (const SymExpr &E : Ops) {
+    if (E.kind() == K) {
+      for (const SymExpr &Sub : E.operands())
+        absorb(Sub);
+    } else {
+      absorb(E);
+    }
+  }
+  if (HaveConst)
+    Flat.push_back(constant(ConstVal));
+  // Pairwise dominance elimination: in a Min, drop B if A <= B is provable.
+  for (size_t I = 0; I < Flat.size(); ++I) {
+    for (size_t J = 0; J < Flat.size(); ++J) {
+      if (I == J)
+        continue;
+      SymExpr Diff = sub(Flat[J], Flat[I]); // >= 0 means Flat[I] <= Flat[J].
+      if (Diff.proveNonNegative()) {
+        // Flat[I] <= Flat[J]: Min keeps I (drop J), Max keeps J (drop I).
+        size_t Drop = K == ExprKind::Min ? J : I;
+        Flat.erase(Flat.begin() + Drop);
+        I = static_cast<size_t>(-1); // Restart scan.
+        break;
+      }
+    }
+  }
+  if (Flat.size() == 1)
+    return Flat.front();
+  std::sort(Flat.begin(), Flat.end(),
+            [](const SymExpr &X, const SymExpr &Y) { return X.str() < Y.str(); });
+  detail::ExprNode N;
+  N.Kind = K;
+  N.Ops = std::move(Flat);
+  return makeNode(std::move(N));
+}
+
+SymExpr SymExpr::min(SymExpr L, SymExpr R) {
+  assert(L && R);
+  return makeMinMax(ExprKind::Min, {std::move(L), std::move(R)});
+}
+
+SymExpr SymExpr::max(SymExpr L, SymExpr R) {
+  assert(L && R);
+  return makeMinMax(ExprKind::Max, {std::move(L), std::move(R)});
+}
+
+//===----------------------------------------------------------------------===//
+// Comparisons and booleans
+//===----------------------------------------------------------------------===//
+
+SymExpr SymExpr::makeCmp(ExprKind K, SymExpr L, SymExpr R) {
+  SymExpr D = sub(L, R);
+  if (D.isConstant()) {
+    std::int64_t V = D.constantValue();
+    bool Result = false;
+    switch (K) {
+    case ExprKind::Eq:
+      Result = V == 0;
+      break;
+    case ExprKind::Ne:
+      Result = V != 0;
+      break;
+    case ExprKind::Lt:
+      Result = V < 0;
+      break;
+    case ExprKind::Le:
+      Result = V <= 0;
+      break;
+    default:
+      assert(false && "not a comparison");
+    }
+    return constant(Result ? 1 : 0);
+  }
+  detail::ExprNode N;
+  N.Kind = K;
+  N.Ops = {std::move(L), std::move(R)};
+  return makeNode(std::move(N));
+}
+
+SymExpr SymExpr::eq(SymExpr L, SymExpr R) {
+  return makeCmp(ExprKind::Eq, std::move(L), std::move(R));
+}
+SymExpr SymExpr::ne(SymExpr L, SymExpr R) {
+  return makeCmp(ExprKind::Ne, std::move(L), std::move(R));
+}
+SymExpr SymExpr::lt(SymExpr L, SymExpr R) {
+  return makeCmp(ExprKind::Lt, std::move(L), std::move(R));
+}
+SymExpr SymExpr::le(SymExpr L, SymExpr R) {
+  return makeCmp(ExprKind::Le, std::move(L), std::move(R));
+}
+
+SymExpr SymExpr::makeAndOr(ExprKind K, std::vector<SymExpr> Ops) {
+  bool IsAnd = K == ExprKind::And;
+  std::vector<SymExpr> Flat;
+  for (const SymExpr &E : Ops) {
+    std::vector<SymExpr> Children =
+        E.kind() == K ? E.operands() : std::vector<SymExpr>{E};
+    for (const SymExpr &C : Children) {
+      if (C.isConstant()) {
+        bool V = C.constantValue() != 0;
+        if (IsAnd && !V)
+          return falseExpr();
+        if (!IsAnd && V)
+          return trueExpr();
+        continue; // Identity element; drop.
+      }
+      bool Dup = false;
+      for (const SymExpr &F : Flat)
+        if (F.equals(C))
+          Dup = true;
+      if (!Dup)
+        Flat.push_back(C);
+    }
+  }
+  if (Flat.empty())
+    return IsAnd ? trueExpr() : falseExpr();
+  if (Flat.size() == 1)
+    return Flat.front();
+  detail::ExprNode N;
+  N.Kind = K;
+  N.Ops = std::move(Flat);
+  return makeNode(std::move(N));
+}
+
+SymExpr SymExpr::logicalAnd(SymExpr L, SymExpr R) {
+  assert(L && R);
+  return makeAndOr(ExprKind::And, {std::move(L), std::move(R)});
+}
+
+SymExpr SymExpr::logicalOr(SymExpr L, SymExpr R) {
+  assert(L && R);
+  return makeAndOr(ExprKind::Or, {std::move(L), std::move(R)});
+}
+
+SymExpr SymExpr::logicalNot(SymExpr E) {
+  assert(E);
+  if (E.isConstant())
+    return constant(E.constantValue() != 0 ? 0 : 1);
+  switch (E.kind()) {
+  case ExprKind::Not:
+    return E.operands()[0];
+  case ExprKind::Eq:
+    return makeCmp(ExprKind::Ne, E.operands()[0], E.operands()[1]);
+  case ExprKind::Ne:
+    return makeCmp(ExprKind::Eq, E.operands()[0], E.operands()[1]);
+  case ExprKind::Lt: // not (a < b)  ==  b <= a
+    return makeCmp(ExprKind::Le, E.operands()[1], E.operands()[0]);
+  case ExprKind::Le: // not (a <= b)  ==  b < a
+    return makeCmp(ExprKind::Lt, E.operands()[1], E.operands()[0]);
+  default:
+    break;
+  }
+  detail::ExprNode N;
+  N.Kind = ExprKind::Not;
+  N.Ops = {std::move(E)};
+  return makeNode(std::move(N));
+}
+
+//===----------------------------------------------------------------------===//
+// Structural equality
+//===----------------------------------------------------------------------===//
+
+bool SymExpr::equals(const SymExpr &Other) const {
+  if (Node == Other.Node)
+    return true;
+  if (!Node || !Other.Node)
+    return false;
+  if (Node->Kind != Other.Node->Kind)
+    return false;
+  switch (Node->Kind) {
+  case ExprKind::Constant:
+    return Node->Value == Other.Node->Value;
+  case ExprKind::Symbol:
+    return Node->Name == Other.Node->Name;
+  default:
+    break;
+  }
+  if (Node->Ops.size() != Other.Node->Ops.size())
+    return false;
+  for (size_t I = 0; I < Node->Ops.size(); ++I)
+    if (!Node->Ops[I].equals(Other.Node->Ops[I]))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+int precedence(ExprKind K) {
+  switch (K) {
+  case ExprKind::Or:
+    return 1;
+  case ExprKind::And:
+    return 2;
+  case ExprKind::Not:
+    return 3;
+  case ExprKind::Eq:
+  case ExprKind::Ne:
+  case ExprKind::Lt:
+  case ExprKind::Le:
+    return 4;
+  case ExprKind::Add:
+    return 5;
+  case ExprKind::Mul:
+    return 6;
+  default:
+    return 7;
+  }
+}
+} // namespace
+
+static void printExpr(const SymExpr &E, std::ostringstream &OS, int Parent);
+
+static void printChild(const SymExpr &E, std::ostringstream &OS, int Parent) {
+  int P = precedence(E.kind());
+  if (P < Parent) {
+    OS << "(";
+    printExpr(E, OS, 0);
+    OS << ")";
+  } else {
+    printExpr(E, OS, P);
+  }
+}
+
+static void printExpr(const SymExpr &E, std::ostringstream &OS, int Parent) {
+  switch (E.kind()) {
+  case ExprKind::Constant:
+    OS << E.constantValue();
+    return;
+  case ExprKind::Symbol:
+    OS << E.symbolName();
+    return;
+  case ExprKind::Add: {
+    bool First = true;
+    for (const SymExpr &T : E.operands()) {
+      std::ostringstream TS;
+      printChild(T, TS, 5);
+      std::string S = TS.str();
+      if (First) {
+        OS << S;
+        First = false;
+      } else if (!S.empty() && S[0] == '-') {
+        OS << " - " << S.substr(1);
+      } else {
+        OS << " + " << S;
+      }
+    }
+    return;
+  }
+  case ExprKind::Mul: {
+    const auto &Ops = E.operands();
+    size_t Start = 0;
+    if (Ops.front().isConstantValue(-1) && Ops.size() > 1) {
+      OS << "-";
+      Start = 1;
+    }
+    bool First = true;
+    for (size_t I = Start; I < Ops.size(); ++I) {
+      if (!First)
+        OS << "*";
+      printChild(Ops[I], OS, 6);
+      First = false;
+    }
+    return;
+  }
+  case ExprKind::FloorDiv:
+    OS << "floord(";
+    printExpr(E.operands()[0], OS, 0);
+    OS << ", ";
+    printExpr(E.operands()[1], OS, 0);
+    OS << ")";
+    return;
+  case ExprKind::Mod:
+    OS << "mod(";
+    printExpr(E.operands()[0], OS, 0);
+    OS << ", ";
+    printExpr(E.operands()[1], OS, 0);
+    OS << ")";
+    return;
+  case ExprKind::Min:
+  case ExprKind::Max: {
+    OS << (E.kind() == ExprKind::Min ? "min(" : "max(");
+    bool First = true;
+    for (const SymExpr &T : E.operands()) {
+      if (!First)
+        OS << ", ";
+      printExpr(T, OS, 0);
+      First = false;
+    }
+    OS << ")";
+    return;
+  }
+  case ExprKind::Eq:
+  case ExprKind::Ne:
+  case ExprKind::Lt:
+  case ExprKind::Le: {
+    printChild(E.operands()[0], OS, 5);
+    switch (E.kind()) {
+    case ExprKind::Eq:
+      OS << " == ";
+      break;
+    case ExprKind::Ne:
+      OS << " != ";
+      break;
+    case ExprKind::Lt:
+      OS << " < ";
+      break;
+    default:
+      OS << " <= ";
+      break;
+    }
+    printChild(E.operands()[1], OS, 5);
+    return;
+  }
+  case ExprKind::And:
+  case ExprKind::Or: {
+    bool First = true;
+    for (const SymExpr &T : E.operands()) {
+      if (!First)
+        OS << (E.kind() == ExprKind::And ? " and " : " or ");
+      printChild(T, OS, precedence(E.kind()) + 1);
+      First = false;
+    }
+    return;
+  }
+  case ExprKind::Not:
+    OS << "not ";
+    printChild(E.operands()[0], OS, 4);
+    return;
+  }
+}
+
+std::string SymExpr::str() const {
+  if (!Node)
+    return "<null>";
+  std::ostringstream OS;
+  printExpr(*this, OS, 0);
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Symbol collection / substitution / evaluation
+//===----------------------------------------------------------------------===//
+
+void SymExpr::collectSymbols(std::set<std::string> &Out) const {
+  if (!Node)
+    return;
+  if (isSymbol()) {
+    Out.insert(symbolName());
+    return;
+  }
+  if (isConstant())
+    return;
+  for (const SymExpr &Op : operands())
+    Op.collectSymbols(Out);
+}
+
+bool SymExpr::usesSymbol(const std::string &Name) const {
+  if (!Node)
+    return false;
+  if (isSymbol())
+    return symbolName() == Name;
+  if (isConstant())
+    return false;
+  for (const SymExpr &Op : operands())
+    if (Op.usesSymbol(Name))
+      return true;
+  return false;
+}
+
+SymExpr SymExpr::substitute(const std::map<std::string, SymExpr> &Map) const {
+  if (!Node)
+    return *this;
+  switch (kind()) {
+  case ExprKind::Constant:
+    return *this;
+  case ExprKind::Symbol: {
+    auto It = Map.find(symbolName());
+    return It == Map.end() ? *this : It->second;
+  }
+  default:
+    break;
+  }
+  std::vector<SymExpr> NewOps;
+  NewOps.reserve(operands().size());
+  for (const SymExpr &Op : operands())
+    NewOps.push_back(Op.substitute(Map));
+  switch (kind()) {
+  case ExprKind::Add:
+    return makeAdd(std::move(NewOps));
+  case ExprKind::Mul:
+    return makeMul(std::move(NewOps));
+  case ExprKind::FloorDiv:
+    return floorDiv(NewOps[0], NewOps[1]);
+  case ExprKind::Mod:
+    return mod(NewOps[0], NewOps[1]);
+  case ExprKind::Min:
+    return makeMinMax(ExprKind::Min, std::move(NewOps));
+  case ExprKind::Max:
+    return makeMinMax(ExprKind::Max, std::move(NewOps));
+  case ExprKind::Eq:
+  case ExprKind::Ne:
+  case ExprKind::Lt:
+  case ExprKind::Le:
+    return makeCmp(kind(), NewOps[0], NewOps[1]);
+  case ExprKind::And:
+  case ExprKind::Or:
+    return makeAndOr(kind(), std::move(NewOps));
+  case ExprKind::Not:
+    return logicalNot(NewOps[0]);
+  default:
+    assert(false && "unhandled kind in substitute");
+    return *this;
+  }
+}
+
+std::optional<std::int64_t>
+SymExpr::evaluate(const std::map<std::string, std::int64_t> &Env) const {
+  if (!Node)
+    return std::nullopt;
+  switch (kind()) {
+  case ExprKind::Constant:
+    return constantValue();
+  case ExprKind::Symbol: {
+    auto It = Env.find(symbolName());
+    if (It == Env.end())
+      return std::nullopt;
+    return It->second;
+  }
+  default:
+    break;
+  }
+  std::vector<std::int64_t> Vals;
+  Vals.reserve(operands().size());
+  for (const SymExpr &Op : operands()) {
+    auto V = Op.evaluate(Env);
+    if (!V)
+      return std::nullopt;
+    Vals.push_back(*V);
+  }
+  switch (kind()) {
+  case ExprKind::Add: {
+    std::int64_t S = 0;
+    for (std::int64_t V : Vals)
+      S += V;
+    return S;
+  }
+  case ExprKind::Mul: {
+    std::int64_t P = 1;
+    for (std::int64_t V : Vals)
+      P *= V;
+    return P;
+  }
+  case ExprKind::FloorDiv:
+    if (Vals[1] == 0)
+      return std::nullopt;
+    return floorDivI64(Vals[0], Vals[1]);
+  case ExprKind::Mod:
+    if (Vals[1] == 0)
+      return std::nullopt;
+    return floorModI64(Vals[0], Vals[1]);
+  case ExprKind::Min:
+    return *std::min_element(Vals.begin(), Vals.end());
+  case ExprKind::Max:
+    return *std::max_element(Vals.begin(), Vals.end());
+  case ExprKind::Eq:
+    return Vals[0] == Vals[1] ? 1 : 0;
+  case ExprKind::Ne:
+    return Vals[0] != Vals[1] ? 1 : 0;
+  case ExprKind::Lt:
+    return Vals[0] < Vals[1] ? 1 : 0;
+  case ExprKind::Le:
+    return Vals[0] <= Vals[1] ? 1 : 0;
+  case ExprKind::And: {
+    for (std::int64_t V : Vals)
+      if (V == 0)
+        return 0;
+    return 1;
+  }
+  case ExprKind::Or: {
+    for (std::int64_t V : Vals)
+      if (V != 0)
+        return 1;
+    return 0;
+  }
+  case ExprKind::Not:
+    return Vals[0] == 0 ? 1 : 0;
+  default:
+    return std::nullopt;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Positivity analysis and proving
+//===----------------------------------------------------------------------===//
+
+/// A conservative lower bound for sums: constants count exactly, monomials
+/// of nonnegative factors count their minimum (coeff * 1 per positive
+/// symbol under the Positive assumption). Returns nullopt when unbounded
+/// below (negative coefficients on symbolic terms).
+static std::optional<std::int64_t> termLowerBound(const SymExpr &E,
+                                                  SymbolAssumption Assume) {
+  if (E.isConstant())
+    return E.constantValue();
+  if (Assume == SymbolAssumption::Unknown)
+    return std::nullopt;
+  std::int64_t SymbolMin = Assume == SymbolAssumption::Positive ? 1 : 0;
+  if (E.isSymbol())
+    return SymbolMin;
+  if (E.kind() == ExprKind::Mul) {
+    std::int64_t Coeff = 1;
+    std::int64_t Min = 1;
+    for (const SymExpr &F : E.operands()) {
+      if (F.isConstant()) {
+        Coeff *= F.constantValue();
+        continue;
+      }
+      if (!F.proveNonNegative(Assume))
+        return std::nullopt;
+      Min *= SymbolMin;
+    }
+    if (Coeff < 0)
+      return std::nullopt;
+    return Coeff * Min;
+  }
+  if (E.proveNonNegative(Assume))
+    return 0;
+  return std::nullopt;
+}
+
+bool SymExpr::proveNonNegative(SymbolAssumption Assume) const {
+  if (!Node)
+    return false;
+  switch (kind()) {
+  case ExprKind::Constant:
+    return constantValue() >= 0;
+  case ExprKind::Symbol:
+    return Assume != SymbolAssumption::Unknown;
+  case ExprKind::Add: {
+    std::int64_t Lb = 0;
+    for (const SymExpr &Op : operands()) {
+      auto T = termLowerBound(Op, Assume);
+      if (!T)
+        return false;
+      Lb += *T;
+    }
+    return Lb >= 0;
+  }
+  case ExprKind::Mul: {
+    for (const SymExpr &Op : operands())
+      if (!Op.proveNonNegative(Assume))
+        return false;
+    return true;
+  }
+  case ExprKind::FloorDiv:
+    return operands()[0].proveNonNegative(Assume) &&
+           operands()[1].provePositive(Assume);
+  case ExprKind::Mod:
+    // Floor-mod sign follows the divisor.
+    return operands()[1].provePositive(Assume);
+  case ExprKind::Min: {
+    for (const SymExpr &Op : operands())
+      if (!Op.proveNonNegative(Assume))
+        return false;
+    return true;
+  }
+  case ExprKind::Max: {
+    for (const SymExpr &Op : operands())
+      if (Op.proveNonNegative(Assume))
+        return true;
+    return false;
+  }
+  // Boolean results are 0/1.
+  case ExprKind::Eq:
+  case ExprKind::Ne:
+  case ExprKind::Lt:
+  case ExprKind::Le:
+  case ExprKind::And:
+  case ExprKind::Or:
+  case ExprKind::Not:
+    return true;
+  }
+  return false;
+}
+
+bool SymExpr::provePositive(SymbolAssumption Assume) const {
+  if (!Node)
+    return false;
+  switch (kind()) {
+  case ExprKind::Constant:
+    return constantValue() > 0;
+  case ExprKind::Symbol:
+    return Assume == SymbolAssumption::Positive;
+  case ExprKind::Add: {
+    std::int64_t Lb = 0;
+    for (const SymExpr &Op : operands()) {
+      auto T = termLowerBound(Op, Assume);
+      if (!T)
+        return false;
+      Lb += *T;
+    }
+    return Lb >= 1;
+  }
+  case ExprKind::Mul: {
+    for (const SymExpr &Op : operands())
+      if (!Op.provePositive(Assume))
+        return false;
+    return true;
+  }
+  case ExprKind::FloorDiv:
+    // floor(l / r) >= 1 iff l >= r (for positive r).
+    return operands()[1].provePositive(Assume) &&
+           sub(operands()[0], operands()[1]).proveNonNegative(Assume);
+  case ExprKind::Min: {
+    for (const SymExpr &Op : operands())
+      if (!Op.provePositive(Assume))
+        return false;
+    return true;
+  }
+  case ExprKind::Max: {
+    for (const SymExpr &Op : operands())
+      if (Op.provePositive(Assume))
+        return true;
+    return false;
+  }
+  default:
+    return false;
+  }
+}
+
+std::optional<bool> SymExpr::tryProve(SymbolAssumption Assume) const {
+  if (!Node)
+    return std::nullopt;
+  switch (kind()) {
+  case ExprKind::Constant:
+    return constantValue() != 0;
+  case ExprKind::Eq: {
+    SymExpr D = sub(operands()[0], operands()[1]);
+    if (D.isConstant())
+      return D.constantValue() == 0;
+    if (D.provePositive(Assume) || negate(D).provePositive(Assume))
+      return false;
+    return std::nullopt;
+  }
+  case ExprKind::Ne: {
+    auto EqResult =
+        makeCmp(ExprKind::Eq, operands()[0], operands()[1]).tryProve(Assume);
+    if (!EqResult)
+      return std::nullopt;
+    return !*EqResult;
+  }
+  case ExprKind::Lt: {
+    SymExpr D = sub(operands()[1], operands()[0]);
+    if (D.provePositive(Assume))
+      return true;
+    if (negate(D).proveNonNegative(Assume))
+      return false;
+    return std::nullopt;
+  }
+  case ExprKind::Le: {
+    SymExpr D = sub(operands()[1], operands()[0]);
+    if (D.proveNonNegative(Assume))
+      return true;
+    if (negate(D).provePositive(Assume))
+      return false;
+    return std::nullopt;
+  }
+  case ExprKind::And: {
+    bool AllTrue = true;
+    for (const SymExpr &Op : operands()) {
+      auto R = Op.tryProve(Assume);
+      if (R && !*R)
+        return false;
+      if (!R)
+        AllTrue = false;
+    }
+    if (AllTrue)
+      return true;
+    return std::nullopt;
+  }
+  case ExprKind::Or: {
+    bool AllFalse = true;
+    for (const SymExpr &Op : operands()) {
+      auto R = Op.tryProve(Assume);
+      if (R && *R)
+        return true;
+      if (!R)
+        AllFalse = false;
+    }
+    if (AllFalse)
+      return false;
+    return std::nullopt;
+  }
+  case ExprKind::Not: {
+    auto R = operands()[0].tryProve(Assume);
+    if (!R)
+      return std::nullopt;
+    return !*R;
+  }
+  default: {
+    // Integer used as boolean: nonzero means true.
+    if (provePositive(Assume) || negate(*this).provePositive(Assume))
+      return true;
+    return std::nullopt;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Linear decomposition and solving
+//===----------------------------------------------------------------------===//
+
+bool SymExpr::linearIn(const std::string &Name, SymExpr &A, SymExpr &B) const {
+  if (!Node)
+    return false;
+  if (!usesSymbol(Name)) {
+    A = constant(0);
+    B = *this;
+    return true;
+  }
+  std::vector<SymExpr> TermList;
+  if (kind() == ExprKind::Add)
+    TermList = operands();
+  else
+    TermList = {*this};
+
+  SymExpr CoefAcc = constant(0);
+  SymExpr RestAcc = constant(0);
+  for (const SymExpr &T : TermList) {
+    if (!T.usesSymbol(Name)) {
+      RestAcc = add(RestAcc, T);
+      continue;
+    }
+    Term Tm = decomposeTerm(T);
+    if (!Tm.Mono)
+      return false; // Constant cannot use the symbol; unreachable.
+    if (Tm.Mono.isSymbol() && Tm.Mono.symbolName() == Name) {
+      CoefAcc = add(CoefAcc, constant(Tm.Coeff));
+      continue;
+    }
+    if (Tm.Mono.kind() != ExprKind::Mul)
+      return false; // Symbol occurs inside floordiv/mod/min/max.
+    int Degree = 0;
+    std::vector<SymExpr> Others;
+    for (const SymExpr &F : Tm.Mono.operands()) {
+      if (F.isSymbol() && F.symbolName() == Name) {
+        ++Degree;
+        continue;
+      }
+      if (F.usesSymbol(Name))
+        return false; // Nested occurrence.
+      Others.push_back(F);
+    }
+    if (Degree != 1)
+      return false;
+    CoefAcc = add(CoefAcc, buildMulNode(Tm.Coeff, std::move(Others)));
+  }
+  A = CoefAcc;
+  B = RestAcc;
+  return true;
+}
+
+std::optional<SymExpr> SymExpr::solveFor(const std::string &Name) const {
+  if (!Node || kind() != ExprKind::Eq)
+    return std::nullopt;
+  SymExpr D = sub(operands()[0], operands()[1]);
+  SymExpr A, B;
+  if (!D.linearIn(Name, A, B))
+    return std::nullopt;
+  if (!A.isConstant())
+    return std::nullopt;
+  std::int64_t Coef = A.constantValue();
+  if (Coef == 0)
+    return std::nullopt;
+  // A*x + B == 0  =>  x == -B / A.
+  if (Coef == 1)
+    return negate(B);
+  if (Coef == -1)
+    return B;
+  if (B.isConstant() && B.constantValue() % Coef == 0)
+    return constant(-B.constantValue() / Coef);
+  return std::nullopt;
+}

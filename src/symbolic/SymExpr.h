@@ -1,0 +1,201 @@
+//===- SymExpr.h - Symbolic integer/boolean expressions -------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable symbolic expression trees, the stand-in for the SymPy engine the
+/// DaCe framework uses. Expressions are canonicalized on construction
+/// (constant folding, flattening, expansion of products over sums, collection
+/// of like terms), so structural equality after construction is a reliable
+/// equivalence test for the affine expressions that dominate memlet subsets,
+/// array shapes, and interstate edge conditions.
+///
+/// Following DaCe, free symbols are assumed to denote positive integers
+/// (array sizes, loop trip counts) unless a weaker assumption is requested.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_SYMBOLIC_SYMEXPR_H
+#define DCIR_SYMBOLIC_SYMEXPR_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dcir {
+namespace sym {
+
+/// Discriminator for expression nodes.
+enum class ExprKind {
+  Constant,
+  Symbol,
+  Add,      // n-ary sum
+  Mul,      // n-ary product, leading constant factor if != 1
+  FloorDiv, // binary, floor semantics
+  Mod,      // binary, floor (Euclidean for positive divisor) semantics
+  Min,      // n-ary
+  Max,      // n-ary
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  And, // n-ary
+  Or,  // n-ary
+  Not
+};
+
+/// What may be assumed about every free symbol when proving facts.
+enum class SymbolAssumption {
+  Unknown,     ///< Nothing known.
+  NonNegative, ///< Every symbol is >= 0.
+  Positive     ///< Every symbol is >= 1 (DaCe default for sizes).
+};
+
+class SymExpr;
+namespace detail {
+struct ExprNode {
+  ExprKind Kind;
+  std::int64_t Value = 0; // Constant payload.
+  std::string Name;       // Symbol payload.
+  std::vector<SymExpr> Ops;
+};
+/// Internal: wraps a pre-canonicalized node. Used by the implementation only.
+SymExpr makeExpr(ExprNode N);
+} // namespace detail
+
+/// Value-semantics handle to an immutable, canonicalized expression node.
+/// A default-constructed SymExpr is "null" and must not be used in algebra;
+/// it signals "absent" (e.g. an interstate edge without a condition).
+class SymExpr {
+public:
+  SymExpr() = default;
+
+  //===--------------------------------------------------------------------===
+  // Construction (all factories canonicalize).
+  //===--------------------------------------------------------------------===
+
+  static SymExpr constant(std::int64_t Value);
+  static SymExpr symbol(std::string Name);
+  static SymExpr add(SymExpr L, SymExpr R);
+  static SymExpr sub(SymExpr L, SymExpr R);
+  static SymExpr mul(SymExpr L, SymExpr R);
+  static SymExpr negate(SymExpr E);
+  static SymExpr floorDiv(SymExpr L, SymExpr R);
+  static SymExpr mod(SymExpr L, SymExpr R);
+  static SymExpr min(SymExpr L, SymExpr R);
+  static SymExpr max(SymExpr L, SymExpr R);
+  static SymExpr eq(SymExpr L, SymExpr R);
+  static SymExpr ne(SymExpr L, SymExpr R);
+  static SymExpr lt(SymExpr L, SymExpr R);
+  static SymExpr le(SymExpr L, SymExpr R);
+  static SymExpr gt(SymExpr L, SymExpr R) { return lt(R, L); }
+  static SymExpr ge(SymExpr L, SymExpr R) { return le(R, L); }
+  static SymExpr logicalAnd(SymExpr L, SymExpr R);
+  static SymExpr logicalOr(SymExpr L, SymExpr R);
+  static SymExpr logicalNot(SymExpr E);
+  static SymExpr trueExpr() { return constant(1); }
+  static SymExpr falseExpr() { return constant(0); }
+
+  //===--------------------------------------------------------------------===
+  // Inspection.
+  //===--------------------------------------------------------------------===
+
+  bool isNull() const { return !Node; }
+  explicit operator bool() const { return !isNull(); }
+
+  ExprKind kind() const;
+  bool isConstant() const { return Node && kind() == ExprKind::Constant; }
+  /// Returns the payload of a Constant node; asserts otherwise.
+  std::int64_t constantValue() const;
+  /// Returns true iff this is the constant \p Value.
+  bool isConstantValue(std::int64_t Value) const {
+    return isConstant() && constantValue() == Value;
+  }
+  bool isSymbol() const { return Node && kind() == ExprKind::Symbol; }
+  const std::string &symbolName() const;
+  const std::vector<SymExpr> &operands() const;
+  /// True for Eq/Ne/Lt/Le/And/Or/Not nodes.
+  bool isBooleanKind() const;
+
+  /// Structural equality. Canonicalization makes this an effective
+  /// equivalence check for affine expressions.
+  bool equals(const SymExpr &Other) const;
+
+  /// Deterministic rendering, also usable as a canonical key.
+  std::string str() const;
+
+  /// Inserts every free symbol name into \p Out.
+  void collectSymbols(std::set<std::string> &Out) const;
+  /// Returns true if the symbol \p Name occurs free in this expression.
+  bool usesSymbol(const std::string &Name) const;
+
+  //===--------------------------------------------------------------------===
+  // Rewriting and analysis.
+  //===--------------------------------------------------------------------===
+
+  /// Substitutes symbols by expressions (simultaneous) and re-simplifies.
+  SymExpr substitute(const std::map<std::string, SymExpr> &Map) const;
+
+  /// Fully evaluates given concrete symbol values. Returns nullopt if a
+  /// symbol is missing from \p Env.
+  std::optional<std::int64_t>
+  evaluate(const std::map<std::string, std::int64_t> &Env) const;
+
+  /// Attempts to prove this (boolean or integer-as-boolean) expression
+  /// definitely true or definitely false under \p Assume. Returns nullopt
+  /// when undecidable.
+  std::optional<bool>
+  tryProve(SymbolAssumption Assume = SymbolAssumption::Positive) const;
+
+  /// Attempts to prove `this >= 0` / `this > 0` for integer expressions.
+  bool proveNonNegative(
+      SymbolAssumption Assume = SymbolAssumption::Positive) const;
+  bool
+  provePositive(SymbolAssumption Assume = SymbolAssumption::Positive) const;
+
+  /// Decomposes this expression as `A * Name + B` where neither A nor B
+  /// mentions \p Name. Only succeeds on (expanded) expressions polynomial
+  /// of degree <= 1 in \p Name. Returns false on failure.
+  bool linearIn(const std::string &Name, SymExpr &A, SymExpr &B) const;
+
+  /// For an Eq node linear in \p Name with unit (or -1) coefficient,
+  /// returns the solved value of \p Name. E.g. solving `x + 2 == N` for x
+  /// yields `N - 2`.
+  std::optional<SymExpr> solveFor(const std::string &Name) const;
+
+private:
+  friend SymExpr detail::makeExpr(detail::ExprNode N);
+  explicit SymExpr(std::shared_ptr<const detail::ExprNode> N)
+      : Node(std::move(N)) {}
+  static SymExpr makeNode(detail::ExprNode N);
+  static SymExpr makeAdd(std::vector<SymExpr> Terms);
+  static SymExpr makeMul(std::vector<SymExpr> Factors);
+  static SymExpr makeMinMax(ExprKind K, std::vector<SymExpr> Ops);
+  static SymExpr makeAndOr(ExprKind K, std::vector<SymExpr> Ops);
+  static SymExpr makeCmp(ExprKind K, SymExpr L, SymExpr R);
+
+  std::shared_ptr<const detail::ExprNode> Node;
+};
+
+/// Convenience arithmetic operators.
+inline SymExpr operator+(const SymExpr &L, const SymExpr &R) {
+  return SymExpr::add(L, R);
+}
+inline SymExpr operator-(const SymExpr &L, const SymExpr &R) {
+  return SymExpr::sub(L, R);
+}
+inline SymExpr operator*(const SymExpr &L, const SymExpr &R) {
+  return SymExpr::mul(L, R);
+}
+inline SymExpr operator-(const SymExpr &E) { return SymExpr::negate(E); }
+
+} // namespace sym
+} // namespace dcir
+
+#endif // DCIR_SYMBOLIC_SYMEXPR_H

@@ -1,0 +1,272 @@
+//===- SymParser.cpp --------------------------------------------------------===//
+
+#include "symbolic/SymParser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+using namespace dcir;
+using namespace dcir::sym;
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  SymExpr run(std::string *ErrorMessage) {
+    SymExpr E = parseOr();
+    skipSpace();
+    if (E && Pos != Text.size())
+      fail("trailing characters after expression");
+    if (!Error.empty()) {
+      if (ErrorMessage)
+        *ErrorMessage = Error;
+      return SymExpr();
+    }
+    return E;
+  }
+
+private:
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Error;
+
+  void fail(const std::string &Message) {
+    if (Error.empty())
+      Error = Message + " at offset " + std::to_string(Pos);
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(std::string_view Tok) {
+    skipSpace();
+    if (Text.substr(Pos, Tok.size()) != Tok)
+      return false;
+    // Keywords must not glue onto identifier characters.
+    if (std::isalpha(static_cast<unsigned char>(Tok[0]))) {
+      size_t After = Pos + Tok.size();
+      if (After < Text.size() &&
+          (std::isalnum(static_cast<unsigned char>(Text[After])) ||
+           Text[After] == '_'))
+        return false;
+    }
+    Pos += Tok.size();
+    return true;
+  }
+
+  char peek() {
+    skipSpace();
+    return Pos < Text.size() ? Text[Pos] : '\0';
+  }
+
+  SymExpr parseOr() {
+    SymExpr L = parseAnd();
+    if (!L)
+      return L;
+    while (consume("or")) {
+      SymExpr R = parseAnd();
+      if (!R)
+        return R;
+      L = SymExpr::logicalOr(L, R);
+    }
+    return L;
+  }
+
+  SymExpr parseAnd() {
+    SymExpr L = parseNot();
+    if (!L)
+      return L;
+    while (consume("and")) {
+      SymExpr R = parseNot();
+      if (!R)
+        return R;
+      L = SymExpr::logicalAnd(L, R);
+    }
+    return L;
+  }
+
+  SymExpr parseNot() {
+    if (consume("not")) {
+      SymExpr E = parseNot();
+      if (!E)
+        return E;
+      return SymExpr::logicalNot(E);
+    }
+    return parseCmp();
+  }
+
+  SymExpr parseCmp() {
+    SymExpr L = parseAddSub();
+    if (!L)
+      return L;
+    skipSpace();
+    if (consume("=="))
+      return withRhs(L, [](SymExpr A, SymExpr B) { return SymExpr::eq(A, B); });
+    if (consume("!="))
+      return withRhs(L, [](SymExpr A, SymExpr B) { return SymExpr::ne(A, B); });
+    if (consume("<="))
+      return withRhs(L, [](SymExpr A, SymExpr B) { return SymExpr::le(A, B); });
+    if (consume(">="))
+      return withRhs(L, [](SymExpr A, SymExpr B) { return SymExpr::ge(A, B); });
+    if (consume("<"))
+      return withRhs(L, [](SymExpr A, SymExpr B) { return SymExpr::lt(A, B); });
+    if (consume(">"))
+      return withRhs(L, [](SymExpr A, SymExpr B) { return SymExpr::gt(A, B); });
+    return L;
+  }
+
+  template <typename Fn> SymExpr withRhs(SymExpr L, Fn Combine) {
+    SymExpr R = parseAddSub();
+    if (!R)
+      return R;
+    return Combine(L, R);
+  }
+
+  SymExpr parseAddSub() {
+    SymExpr L = parseMulDiv();
+    if (!L)
+      return L;
+    while (true) {
+      skipSpace();
+      if (consume("+")) {
+        SymExpr R = parseMulDiv();
+        if (!R)
+          return R;
+        L = SymExpr::add(L, R);
+      } else if (peek() == '-' && Text.substr(Pos, 2) != "->") {
+        ++Pos;
+        SymExpr R = parseMulDiv();
+        if (!R)
+          return R;
+        L = SymExpr::sub(L, R);
+      } else {
+        return L;
+      }
+    }
+  }
+
+  SymExpr parseMulDiv() {
+    SymExpr L = parseUnary();
+    if (!L)
+      return L;
+    while (true) {
+      skipSpace();
+      if (consume("*")) {
+        SymExpr R = parseUnary();
+        if (!R)
+          return R;
+        L = SymExpr::mul(L, R);
+      } else if (consume("/")) {
+        SymExpr R = parseUnary();
+        if (!R)
+          return R;
+        L = SymExpr::floorDiv(L, R);
+      } else if (consume("%")) {
+        SymExpr R = parseUnary();
+        if (!R)
+          return R;
+        L = SymExpr::mod(L, R);
+      } else {
+        return L;
+      }
+    }
+  }
+
+  SymExpr parseUnary() {
+    skipSpace();
+    if (consume("-")) {
+      SymExpr E = parseUnary();
+      if (!E)
+        return E;
+      return SymExpr::negate(E);
+    }
+    return parseAtom();
+  }
+
+  SymExpr parseAtom() {
+    skipSpace();
+    if (Pos >= Text.size()) {
+      fail("unexpected end of expression");
+      return SymExpr();
+    }
+    char C = Text[Pos];
+    if (C == '(') {
+      ++Pos;
+      SymExpr E = parseOr();
+      if (!E)
+        return E;
+      if (!consume(")")) {
+        fail("expected ')'");
+        return SymExpr();
+      }
+      return E;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+      std::int64_t Value =
+          std::strtoll(std::string(Text.substr(Start, Pos - Start)).c_str(),
+                       nullptr, 10);
+      return SymExpr::constant(Value);
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < Text.size() &&
+             (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+              Text[Pos] == '_'))
+        ++Pos;
+      std::string Name(Text.substr(Start, Pos - Start));
+      if (Name == "min" || Name == "max" || Name == "floord" ||
+          Name == "mod") {
+        if (!consume("(")) {
+          fail("expected '(' after " + Name);
+          return SymExpr();
+        }
+        SymExpr A = parseOr();
+        if (!A)
+          return A;
+        if (!consume(",")) {
+          fail("expected ',' in " + Name);
+          return SymExpr();
+        }
+        SymExpr B = parseOr();
+        if (!B)
+          return B;
+        if (!consume(")")) {
+          fail("expected ')' to close " + Name);
+          return SymExpr();
+        }
+        if (Name == "min")
+          return SymExpr::min(A, B);
+        if (Name == "max")
+          return SymExpr::max(A, B);
+        if (Name == "floord")
+          return SymExpr::floorDiv(A, B);
+        return SymExpr::mod(A, B);
+      }
+      if (Name == "true")
+        return SymExpr::trueExpr();
+      if (Name == "false")
+        return SymExpr::falseExpr();
+      return SymExpr::symbol(std::move(Name));
+    }
+    fail(std::string("unexpected character '") + C + "'");
+    return SymExpr();
+  }
+};
+
+} // namespace
+
+SymExpr dcir::sym::parseSymExpr(std::string_view Text,
+                                std::string *ErrorMessage) {
+  Parser P(Text);
+  return P.run(ErrorMessage);
+}

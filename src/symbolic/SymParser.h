@@ -1,0 +1,44 @@
+//===- SymParser.h - Textual symbolic expression parser --------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the string form of symbolic expressions: the `sym("2*N")` payloads
+/// of the sdfg dialect (the paper encodes symbolic sizes as strings because
+/// MLIR disallows arbitrary expression syntax in types, §3.1), interstate
+/// edge conditions, and assignment right-hand sides.
+///
+/// Grammar (precedence climbing):
+///   or:    and ("or" and)*
+///   and:   not ("and" not)*
+///   not:   "not" not | cmp
+///   cmp:   addsub (("=="|"!="|"<"|"<="|">"|">=") addsub)?
+///   addsub: muldiv (("+"|"-") muldiv)*
+///   muldiv: unary (("*"|"/"|"%") unary)*
+///   unary: "-" unary | atom
+///   atom:  integer | identifier | call | "(" or ")"
+///   call:  ("min"|"max"|"floord"|"mod") "(" or "," or ")"
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_SYMBOLIC_SYMPARSER_H
+#define DCIR_SYMBOLIC_SYMPARSER_H
+
+#include "symbolic/SymExpr.h"
+
+#include <string_view>
+
+namespace dcir {
+namespace sym {
+
+/// Parses \p Text into an expression. Returns a null SymExpr on malformed
+/// input and, when \p ErrorMessage is non-null, stores a description there.
+SymExpr parseSymExpr(std::string_view Text,
+                     std::string *ErrorMessage = nullptr);
+
+} // namespace sym
+} // namespace dcir
+
+#endif // DCIR_SYMBOLIC_SYMPARSER_H

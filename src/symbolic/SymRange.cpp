@@ -1,0 +1,228 @@
+//===- SymRange.cpp --------------------------------------------------------===//
+
+#include "symbolic/SymRange.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace dcir;
+using namespace dcir::sym;
+
+SymRange SymRange::index(SymExpr I) {
+  SymExpr End = SymExpr::add(I, SymExpr::constant(1));
+  return SymRange(std::move(I), std::move(End));
+}
+
+SymExpr SymRange::numElements() const {
+  assert(Begin && End && "incomplete range");
+  SymExpr Extent = SymExpr::sub(End, Begin);
+  if (!Step || Step.isConstantValue(1))
+    return Extent;
+  // ceil(extent / step) == floor((extent + step - 1) / step)
+  SymExpr Num = SymExpr::add(Extent, SymExpr::sub(Step, SymExpr::constant(1)));
+  return SymExpr::floorDiv(Num, Step);
+}
+
+bool SymRange::isSingleElement() const {
+  return numElements().isConstantValue(1);
+}
+
+bool SymRange::equals(const SymRange &Other) const {
+  if (!Begin.equals(Other.Begin) || !End.equals(Other.End))
+    return false;
+  SymExpr S1 = Step ? Step : SymExpr::constant(1);
+  SymExpr S2 = Other.Step ? Other.Step : SymExpr::constant(1);
+  return S1.equals(S2);
+}
+
+SymRange
+SymRange::substitute(const std::map<std::string, SymExpr> &Map) const {
+  SymRange R;
+  R.Begin = Begin.substitute(Map);
+  R.End = End.substitute(Map);
+  R.Step = Step ? Step.substitute(Map) : Step;
+  return R;
+}
+
+void SymRange::collectSymbols(std::set<std::string> &Out) const {
+  if (Begin)
+    Begin.collectSymbols(Out);
+  if (End)
+    End.collectSymbols(Out);
+  if (Step)
+    Step.collectSymbols(Out);
+}
+
+std::string SymRange::str() const {
+  if (isSingleElement())
+    return Begin.str();
+  std::ostringstream OS;
+  OS << Begin.str() << ":" << End.str();
+  if (Step && !Step.isConstantValue(1))
+    OS << ":" << Step.str();
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// SymSubset
+//===----------------------------------------------------------------------===//
+
+SymSubset SymSubset::full(const std::vector<SymExpr> &Shape) {
+  std::vector<SymRange> Dims;
+  Dims.reserve(Shape.size());
+  for (const SymExpr &S : Shape)
+    Dims.push_back(SymRange(SymExpr::constant(0), S));
+  return SymSubset(std::move(Dims));
+}
+
+SymSubset SymSubset::element(const std::vector<SymExpr> &Indices) {
+  std::vector<SymRange> Dims;
+  Dims.reserve(Indices.size());
+  for (const SymExpr &I : Indices)
+    Dims.push_back(SymRange::index(I));
+  return SymSubset(std::move(Dims));
+}
+
+SymExpr SymSubset::volume() const {
+  SymExpr V = SymExpr::constant(1);
+  for (const SymRange &R : Dims)
+    V = SymExpr::mul(V, R.numElements());
+  return V;
+}
+
+bool SymSubset::isSingleElement() const {
+  for (const SymRange &R : Dims)
+    if (!R.isSingleElement())
+      return false;
+  return true;
+}
+
+std::vector<SymExpr> SymSubset::elementIndices() const {
+  assert(isSingleElement() && "not a single-element subset");
+  std::vector<SymExpr> Out;
+  Out.reserve(Dims.size());
+  for (const SymRange &R : Dims)
+    Out.push_back(R.Begin);
+  return Out;
+}
+
+bool SymSubset::equals(const SymSubset &Other) const {
+  if (Dims.size() != Other.Dims.size())
+    return false;
+  for (size_t I = 0; I < Dims.size(); ++I)
+    if (!Dims[I].equals(Other.Dims[I]))
+      return false;
+  return true;
+}
+
+bool SymSubset::contains(const SymSubset &Other,
+                         SymbolAssumption Assume) const {
+  if (Dims.size() != Other.Dims.size())
+    return false;
+  for (size_t I = 0; I < Dims.size(); ++I) {
+    const SymRange &A = Dims[I];
+    const SymRange &B = Other.Dims[I];
+    // A.Begin <= B.Begin and B.End <= A.End, both provable.
+    if (!SymExpr::sub(B.Begin, A.Begin).proveNonNegative(Assume))
+      return false;
+    if (!SymExpr::sub(A.End, B.End).proveNonNegative(Assume))
+      return false;
+  }
+  return true;
+}
+
+bool SymSubset::mayOverlap(const SymSubset &Other,
+                           SymbolAssumption Assume) const {
+  if (Dims.size() != Other.Dims.size())
+    return true; // Shape confusion: be conservative.
+  for (size_t I = 0; I < Dims.size(); ++I) {
+    const SymRange &A = Dims[I];
+    const SymRange &B = Other.Dims[I];
+    // Provably disjoint in this dimension if A.End <= B.Begin or
+    // B.End <= A.Begin.
+    if (SymExpr::sub(B.Begin, A.End).proveNonNegative(Assume))
+      return false;
+    if (SymExpr::sub(A.Begin, B.End).proveNonNegative(Assume))
+      return false;
+  }
+  return true;
+}
+
+SymSubset SymSubset::unionHull(const SymSubset &Other) const {
+  assert(Dims.size() == Other.Dims.size() && "rank mismatch in unionHull");
+  std::vector<SymRange> Out;
+  Out.reserve(Dims.size());
+  for (size_t I = 0; I < Dims.size(); ++I) {
+    SymExpr Begin = SymExpr::min(Dims[I].Begin, Other.Dims[I].Begin);
+    SymExpr End = SymExpr::max(Dims[I].End, Other.Dims[I].End);
+    Out.push_back(SymRange(std::move(Begin), std::move(End)));
+  }
+  return SymSubset(std::move(Out));
+}
+
+SymSubset
+SymSubset::substitute(const std::map<std::string, SymExpr> &Map) const {
+  std::vector<SymRange> Out;
+  Out.reserve(Dims.size());
+  for (const SymRange &R : Dims)
+    Out.push_back(R.substitute(Map));
+  return SymSubset(std::move(Out));
+}
+
+void SymSubset::collectSymbols(std::set<std::string> &Out) const {
+  for (const SymRange &R : Dims)
+    R.collectSymbols(Out);
+}
+
+SymSubset SymSubset::propagateOver(const std::string &Name,
+                                   const SymRange &Iter,
+                                   const std::vector<SymExpr> &FallbackShape) const {
+  assert(FallbackShape.size() == Dims.size() &&
+         "fallback shape rank mismatch");
+  // The iteration visits Name in [Iter.Begin, Iter.End); its last value for
+  // unit step is Iter.End - 1.
+  SymExpr First = Iter.Begin;
+  SymExpr Last = SymExpr::sub(Iter.End, SymExpr::constant(1));
+
+  std::vector<SymRange> Out;
+  Out.reserve(Dims.size());
+  for (size_t I = 0; I < Dims.size(); ++I) {
+    const SymRange &R = Dims[I];
+    if (!R.Begin.usesSymbol(Name) && !R.End.usesSymbol(Name)) {
+      Out.push_back(R);
+      continue;
+    }
+    SymExpr AB, BB, AE, BE;
+    bool BeginAffine = R.Begin.linearIn(Name, AB, BB);
+    bool EndAffine = R.End.linearIn(Name, AE, BE);
+    if (!BeginAffine || !EndAffine) {
+      // Not affine in the iterator: widen to the whole dimension.
+      Out.push_back(SymRange(SymExpr::constant(0), FallbackShape[I]));
+      continue;
+    }
+    std::map<std::string, SymExpr> AtFirst = {{Name, First}};
+    std::map<std::string, SymExpr> AtLast = {{Name, Last}};
+    SymExpr BeginFirst = R.Begin.substitute(AtFirst);
+    SymExpr BeginLast = R.Begin.substitute(AtLast);
+    SymExpr EndFirst = R.End.substitute(AtFirst);
+    SymExpr EndLast = R.End.substitute(AtLast);
+    // Monotonicity depends on the sign of the coefficient; min/max handles
+    // both directions (and simplifies when the sign is provable).
+    SymExpr NewBegin = SymExpr::min(BeginFirst, BeginLast);
+    SymExpr NewEnd = SymExpr::max(EndFirst, EndLast);
+    Out.push_back(SymRange(std::move(NewBegin), std::move(NewEnd)));
+  }
+  return SymSubset(std::move(Out));
+}
+
+std::string SymSubset::str() const {
+  std::ostringstream OS;
+  OS << "[";
+  for (size_t I = 0; I < Dims.size(); ++I) {
+    if (I != 0)
+      OS << ", ";
+    OS << Dims[I].str();
+  }
+  OS << "]";
+  return OS.str();
+}

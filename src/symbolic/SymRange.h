@@ -1,0 +1,117 @@
+//===- SymRange.h - Symbolic ranges and multidimensional subsets ----------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-dimension half-open ranges `[Begin, End) : Step` with symbolic bounds,
+/// and multidimensional subsets built from them. These model SDFG memlet
+/// subsets: the exact region of a data container an edge moves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_SYMBOLIC_SYMRANGE_H
+#define DCIR_SYMBOLIC_SYMRANGE_H
+
+#include "symbolic/SymExpr.h"
+
+#include <string>
+#include <vector>
+
+namespace dcir {
+namespace sym {
+
+/// One dimension of a subset: the half-open interval [Begin, End) visited
+/// with stride Step (Step defaults to 1).
+struct SymRange {
+  SymExpr Begin;
+  SymExpr End;
+  SymExpr Step;
+
+  SymRange() = default;
+  SymRange(SymExpr B, SymExpr E)
+      : Begin(std::move(B)), End(std::move(E)), Step(SymExpr::constant(1)) {}
+  SymRange(SymExpr B, SymExpr E, SymExpr S)
+      : Begin(std::move(B)), End(std::move(E)), Step(std::move(S)) {}
+
+  /// A single index `[I, I+1)`.
+  static SymRange index(SymExpr I);
+
+  /// Number of elements visited: ceil((End - Begin) / Step).
+  SymExpr numElements() const;
+
+  /// True when the range visits exactly one element.
+  bool isSingleElement() const;
+
+  bool equals(const SymRange &Other) const;
+  SymRange substitute(const std::map<std::string, SymExpr> &Map) const;
+  void collectSymbols(std::set<std::string> &Out) const;
+
+  /// Rendering "begin:end" or "begin:end:step"; single elements as "i".
+  std::string str() const;
+};
+
+/// A rectangular multidimensional subset (one SymRange per dimension).
+class SymSubset {
+public:
+  SymSubset() = default;
+  explicit SymSubset(std::vector<SymRange> Ranges) : Dims(std::move(Ranges)) {}
+
+  /// A subset covering `[0, Shape[d])` in every dimension.
+  static SymSubset full(const std::vector<SymExpr> &Shape);
+  /// A single-element subset at the given indices.
+  static SymSubset element(const std::vector<SymExpr> &Indices);
+
+  size_t rank() const { return Dims.size(); }
+  bool empty() const { return Dims.empty(); }
+  const SymRange &dim(size_t I) const { return Dims[I]; }
+  SymRange &dim(size_t I) { return Dims[I]; }
+  const std::vector<SymRange> &ranges() const { return Dims; }
+
+  /// Total number of elements (product over dimensions).
+  SymExpr volume() const;
+
+  /// True when every dimension selects exactly one element.
+  bool isSingleElement() const;
+  /// For a single-element subset, the index expressions per dimension.
+  std::vector<SymExpr> elementIndices() const;
+
+  bool equals(const SymSubset &Other) const;
+
+  /// Conservative: returns true only when this subset *provably* covers
+  /// \p Other in every dimension (unit steps assumed for proofs).
+  bool contains(const SymSubset &Other,
+                SymbolAssumption Assume = SymbolAssumption::Positive) const;
+
+  /// Conservative overlap test: returns false only when the two subsets are
+  /// provably disjoint in some dimension; true otherwise.
+  bool mayOverlap(const SymSubset &Other,
+                  SymbolAssumption Assume = SymbolAssumption::Positive) const;
+
+  /// The per-dimension bounding hull `[min(begins), max(ends))`.
+  SymSubset unionHull(const SymSubset &Other) const;
+
+  SymSubset substitute(const std::map<std::string, SymExpr> &Map) const;
+  void collectSymbols(std::set<std::string> &Out) const;
+
+  /// Replaces every occurrence of the iteration symbol \p Name, which ranges
+  /// over \p Iter, by its extreme values — producing the subset covered over
+  /// the whole iteration. Only exact for expressions affine in \p Name; when
+  /// a bound is not affine in \p Name, that dimension is widened to
+  /// \p FallbackShape (pass the container shape). This is DaCe's memlet
+  /// propagation.
+  SymSubset propagateOver(const std::string &Name, const SymRange &Iter,
+                          const std::vector<SymExpr> &FallbackShape) const;
+
+  /// Rendering "[r0, r1, ...]".
+  std::string str() const;
+
+private:
+  std::vector<SymRange> Dims;
+};
+
+} // namespace sym
+} // namespace dcir
+
+#endif // DCIR_SYMBOLIC_SYMRANGE_H

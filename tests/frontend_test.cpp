@@ -1,0 +1,201 @@
+//===- frontend_test.cpp - C frontend behaviour tests -------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialects/Dialects.h"
+#include "frontend/CCodegen.h"
+#include "frontend/CParser.h"
+#include "interp/MLIRInterp.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace dcir;
+using namespace dcir::frontend;
+
+namespace {
+
+/// Compiles and interprets \p Source's \p Entry (no arguments).
+double runC(const char *Source, const char *Entry) {
+  ir::IRContext Ctx;
+  registerAllDialects(Ctx);
+  DiagnosticEngine Diags;
+  ir::Operation *M = compileCToModule(Source, Ctx, Diags);
+  EXPECT_TRUE(M) << Diags.str();
+  if (!M)
+    return 0.0;
+  EXPECT_TRUE(ir::verify(M, Diags)) << Diags.str();
+  interp::MLIRInterpreter I(M);
+  auto R = I.call(Entry, {});
+  double Out = R.empty() ? 0.0 : R[0].S.asF();
+  ir::Operation::eraseDetached(M);
+  return Out;
+}
+
+TEST(CFrontend, ArithmeticAndPrecedence) {
+  EXPECT_DOUBLE_EQ(runC("int f() { return 2 + 3 * 4; }", "f"), 14.0);
+  EXPECT_DOUBLE_EQ(runC("int f() { return (2 + 3) * 4; }", "f"), 20.0);
+  EXPECT_DOUBLE_EQ(runC("int f() { return 7 / 2 + 7 % 2; }", "f"), 4.0);
+  EXPECT_DOUBLE_EQ(runC("int f() { return -5 + 1; }", "f"), -4.0);
+  EXPECT_DOUBLE_EQ(runC("double f() { return 1.0 / 4.0; }", "f"), 0.25);
+}
+
+TEST(CFrontend, MixedTypePromotion) {
+  EXPECT_DOUBLE_EQ(runC("double f() { int i = 3; return i / 2.0; }", "f"),
+                   1.5);
+  EXPECT_DOUBLE_EQ(runC("int f() { double x = 2.9; return (int)x; }", "f"),
+                   2.0);
+}
+
+TEST(CFrontend, DefineMacros) {
+  EXPECT_DOUBLE_EQ(
+      runC("#define N 6\n#define TWICE_N (2 * N)\n"
+           "int f() { return TWICE_N + N; }",
+           "f"),
+      18.0);
+}
+
+TEST(CFrontend, ForLoopVariants) {
+  EXPECT_DOUBLE_EQ(
+      runC("int f() { int s = 0; for (int i = 0; i < 5; i++) s += i; "
+           "return s; }",
+           "f"),
+      10.0);
+  EXPECT_DOUBLE_EQ(
+      runC("int f() { int s = 0; for (int i = 0; i <= 5; ++i) s += i; "
+           "return s; }",
+           "f"),
+      15.0);
+  EXPECT_DOUBLE_EQ(
+      runC("int f() { int s = 0; for (int i = 0; i < 10; i += 3) s += i; "
+           "return s; }",
+           "f"),
+      18.0);
+  // Decrement loop: Polygeist-style inversion must preserve semantics.
+  EXPECT_DOUBLE_EQ(
+      runC("int f() { int s = 0; for (int i = 5; i > 0; i--) s += i; "
+           "return s; }",
+           "f"),
+      15.0);
+  EXPECT_DOUBLE_EQ(
+      runC("int f() { int s = 0; for (int i = 5; i >= 0; i--) s += i; "
+           "return s; }",
+           "f"),
+      15.0);
+  // The loop variable holds its final value afterwards (C semantics).
+  EXPECT_DOUBLE_EQ(
+      runC("int f() { int i; for (i = 0; i < 7; i += 2) { } return i; }",
+           "f"),
+      8.0);
+}
+
+TEST(CFrontend, WhileLoop) {
+  EXPECT_DOUBLE_EQ(
+      runC("int f() { int s = 0; int i = 0; while (i < 4) { s += i * i; "
+           "i++; } return s; }",
+           "f"),
+      14.0);
+}
+
+TEST(CFrontend, IfElseAndLogic) {
+  EXPECT_DOUBLE_EQ(
+      runC("int f() { int s = 0; for (int i = 0; i < 10; i++) { "
+           "if (i % 2 == 0 && i > 2) s += i; else if (i == 1) s += 100; } "
+           "return s; }",
+           "f"),
+      118.0);
+  EXPECT_DOUBLE_EQ(runC("int f() { return !0 + !7; }", "f"), 1.0);
+  EXPECT_DOUBLE_EQ(runC("int f() { return 1 || 0; }", "f"), 1.0);
+  EXPECT_DOUBLE_EQ(
+      runC("int f() { return 3 < 4 ? 10 : 20; }", "f"), 10.0);
+}
+
+TEST(CFrontend, ArraysAndPointers) {
+  EXPECT_DOUBLE_EQ(
+      runC("double f() { double A[3][4]; for (int i = 0; i < 3; i++) "
+           "for (int j = 0; j < 4; j++) A[i][j] = i * 10 + j; "
+           "return A[2][3]; }",
+           "f"),
+      23.0);
+  EXPECT_DOUBLE_EQ(
+      runC("int f() { int *p = (int*)malloc(8 * sizeof(int)); "
+           "for (int i = 0; i < 8; i++) p[i] = i; int s = p[5]; free(p); "
+           "return s; }",
+           "f"),
+      5.0);
+  EXPECT_DOUBLE_EQ(
+      runC("int f() { int *p = (int*)malloc(4 * sizeof(int)); *p = 42; "
+           "int v = *p; free(p); return v; }",
+           "f"),
+      42.0);
+}
+
+TEST(CFrontend, MathBuiltins) {
+  EXPECT_DOUBLE_EQ(runC("double f() { return sqrt(16.0); }", "f"), 4.0);
+  EXPECT_NEAR(runC("double f() { return exp(0.0) + log(1.0); }", "f"), 1.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(runC("double f() { return pow(2.0, 10.0); }", "f"),
+                   1024.0);
+  EXPECT_DOUBLE_EQ(runC("double f() { return fabs(-3.5); }", "f"), 3.5);
+  EXPECT_DOUBLE_EQ(runC("double f() { return fmax(1.0, 2.0) + "
+                        "fmin(1.0, 2.0); }",
+                        "f"),
+                   3.0);
+}
+
+TEST(CFrontend, FunctionCalls) {
+  EXPECT_DOUBLE_EQ(
+      runC("double square(double x) { return x * x; }\n"
+           "double f() { double s = 0.0; for (int i = 1; i <= 3; i++) "
+           "s += square(i); return s; }",
+           "f"),
+      14.0);
+  EXPECT_DOUBLE_EQ(
+      runC("void fill(double *p, int n, double v) { "
+           "for (int i = 0; i < n; i++) p[i] = v; }\n"
+           "double f() { double *a = (double*)malloc(4 * sizeof(double)); "
+           "fill(a, 4, 2.5); double s = a[0] + a[3]; free(a); return s; }",
+           "f"),
+      5.0);
+}
+
+TEST(CFrontend, CompoundAssignAndIncDec) {
+  EXPECT_DOUBLE_EQ(
+      runC("int f() { int x = 10; x += 5; x -= 2; x *= 3; x /= 4; "
+           "return x; }",
+           "f"),
+      9.0);
+  EXPECT_DOUBLE_EQ(
+      runC("int f() { int x = 5; int a = x++; int b = ++x; "
+           "return a * 100 + b * 10 + x; }",
+           "f"),
+      577.0);
+}
+
+TEST(CFrontend, Diagnostics) {
+  ir::IRContext Ctx;
+  registerAllDialects(Ctx);
+  DiagnosticEngine Diags;
+  // Unknown identifier.
+  EXPECT_FALSE(compileCToModule("int f() { return y; }", Ctx, Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+  Diags.clear();
+  // Bare malloc without cast is rejected with guidance.
+  EXPECT_FALSE(compileCToModule(
+      "int f() { int *p; p = malloc(4); return 0; }", Ctx, Diags));
+  Diags.clear();
+  // Syntax error.
+  EXPECT_FALSE(compileCToModule("int f() { return 1 +; }", Ctx, Diags));
+}
+
+TEST(CFrontend, CommentsAndFormats) {
+  EXPECT_DOUBLE_EQ(
+      runC("/* block */ int f() { // line\n  return 1; /* mid */ }", "f"),
+      1.0);
+  EXPECT_DOUBLE_EQ(runC("double f() { return 1.5e2; }", "f"), 150.0);
+  EXPECT_DOUBLE_EQ(runC("float f() { return 0.5f; }", "f"), 0.5);
+}
+
+} // namespace

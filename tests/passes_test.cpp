@@ -1,0 +1,268 @@
+//===- passes_test.cpp - control-centric pass unit tests -----------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialects/Dialects.h"
+#include "frontend/CCodegen.h"
+#include "interp/MLIRInterp.h"
+#include "ir/Verifier.h"
+#include "passes/Pass.h"
+
+#include <gtest/gtest.h>
+
+using namespace dcir;
+using namespace dcir::passes;
+
+namespace {
+
+struct PassTest : ::testing::Test {
+  ir::IRContext Ctx;
+  DiagnosticEngine Diags;
+  PassTest() { registerAllDialects(Ctx); }
+
+  ir::Operation *compile(const char *Source) {
+    ir::Operation *M = frontend::compileCToModule(Source, Ctx, Diags);
+    EXPECT_TRUE(M) << Diags.str();
+    return M;
+  }
+
+  /// Runs passes, verifying and returning aggregate stats.
+  PassStatistics runPasses(ir::Operation *M,
+                           std::vector<std::unique_ptr<Pass>> Ps) {
+    PassManager PM(/*VerifyEach=*/true);
+    for (auto &P : Ps)
+      PM.addPass(std::move(P));
+    EXPECT_TRUE(PM.run(M, Diags)) << Diags.str();
+    return PM.getStatistics();
+  }
+
+  double interpret(ir::Operation *M, const char *Entry) {
+    interp::MLIRInterpreter I(M);
+    auto R = I.call(Entry, {});
+    return R.empty() ? 0.0 : R[0].S.asF();
+  }
+
+  std::uint64_t countOps(ir::Operation *M, const char *Entry) {
+    interp::MLIRInterpreter I(M);
+    I.call(Entry, {});
+    return I.stats().OpsExecuted;
+  }
+};
+
+TEST_F(PassTest, CanonicalizeFoldsConstants) {
+  ir::Operation *M =
+      compile("int f() { return (2 + 3) * 4 - 6 / 2; }");
+  std::vector<std::unique_ptr<Pass>> Ps;
+  Ps.push_back(createCanonicalizePass());
+  PassStatistics S = runPasses(M, std::move(Ps));
+  EXPECT_GT(S.OpsErased, 0u);
+  EXPECT_DOUBLE_EQ(interpret(M, "f"), 17.0);
+  ir::Operation::eraseDetached(M);
+}
+
+TEST_F(PassTest, CSEDeduplicatesPureOps) {
+  const char *Source =
+      "double f() { double A[8]; double s = 0.0;"
+      "  for (int i = 0; i < 8; i++) A[i] = i;"
+      "  for (int i = 0; i < 8; i++) s += A[i] * 2 + A[i] * 2;"
+      "  return s; }";
+  ir::Operation *M = compile(Source);
+  double Before = interpret(M, "f");
+  std::vector<std::unique_ptr<Pass>> Ps;
+  Ps.push_back(createCanonicalizePass());
+  Ps.push_back(createCSEPass());
+  Ps.push_back(createDCEPass());
+  PassStatistics S = runPasses(M, std::move(Ps));
+  EXPECT_GT(S.OpsErased, 0u);
+  EXPECT_DOUBLE_EQ(interpret(M, "f"), Before);
+  ir::Operation::eraseDetached(M);
+}
+
+TEST_F(PassTest, DCERemovesUnusedAllocations) {
+  // The dead malloc + its free disappear entirely.
+  const char *Source =
+      "int f() { int *dead = (int*)malloc(100 * sizeof(int));"
+      "  free(dead); return 7; }";
+  ir::Operation *M = compile(Source);
+  std::vector<std::unique_ptr<Pass>> Ps;
+  Ps.push_back(createCanonicalizePass());
+  Ps.push_back(createDCEPass());
+  runPasses(M, std::move(Ps));
+  unsigned Allocs = 0;
+  M->walk([&](ir::Operation *Op) {
+    if (Op->getName() == "memref.alloc")
+      ++Allocs;
+  });
+  EXPECT_EQ(Allocs, 0u);
+  EXPECT_DOUBLE_EQ(interpret(M, "f"), 7.0);
+  ir::Operation::eraseDetached(M);
+}
+
+TEST_F(PassTest, LICMHoistsInvariantLoads) {
+  // `a[0]` inside the loop is invariant; after LICM the loop executes
+  // fewer interpreted ops.
+  const char *Source =
+      "double f() { double a[4]; a[0] = 3.0; double s = 0.0;"
+      "  for (int i = 0; i < 100; i++) s += a[0];"
+      "  return s; }";
+  ir::Operation *M = compile(Source);
+  std::uint64_t Before = countOps(M, "f");
+  double ValueBefore = interpret(M, "f");
+  std::vector<std::unique_ptr<Pass>> Ps;
+  Ps.push_back(createLICMPass());
+  Ps.push_back(createCSEPass());
+  PassStatistics S = runPasses(M, std::move(Ps));
+  EXPECT_GT(S.OpsMoved, 0u);
+  EXPECT_LT(countOps(M, "f"), Before);
+  EXPECT_DOUBLE_EQ(interpret(M, "f"), ValueBefore);
+  ir::Operation::eraseDetached(M);
+}
+
+TEST_F(PassTest, LICMRespectsStores) {
+  // a[0] is stored inside the loop: the load must NOT be hoisted.
+  const char *Source =
+      "double f() { double a[1]; a[0] = 1.0;"
+      "  for (int i = 0; i < 10; i++) a[0] = a[0] * 2.0;"
+      "  return a[0]; }";
+  ir::Operation *M = compile(Source);
+  std::vector<std::unique_ptr<Pass>> Ps;
+  Ps.push_back(createLICMPass());
+  runPasses(M, std::move(Ps));
+  EXPECT_DOUBLE_EQ(interpret(M, "f"), 1024.0);
+  ir::Operation::eraseDetached(M);
+}
+
+TEST_F(PassTest, InlinerInlinesCalls) {
+  const char *Source =
+      "double g(double x) { return x + 1.0; }\n"
+      "double f() { return g(g(1.0)); }";
+  ir::Operation *M = compile(Source);
+  std::vector<std::unique_ptr<Pass>> Ps;
+  Ps.push_back(createInlinerPass());
+  runPasses(M, std::move(Ps));
+  unsigned Calls = 0;
+  M->walk([&](ir::Operation *Op) {
+    if (Op->getName() == "func.call")
+      ++Calls;
+  });
+  EXPECT_EQ(Calls, 0u);
+  EXPECT_DOUBLE_EQ(interpret(M, "f"), 3.0);
+  ir::Operation::eraseDetached(M);
+}
+
+TEST_F(PassTest, StoreForwardingEliminatesRedundantAccesses) {
+  // Fig. 10's save/restore idiom around a reduction: forwarding removes the
+  // redundant traffic.
+  const char *Source =
+      "double f() { double a[4]; a[2] = 5.0;"
+      "  double t = a[2]; a[2] = 9.0; a[2] = t; return a[2]; }";
+  ir::Operation *M = compile(Source);
+  std::vector<std::unique_ptr<Pass>> Ps;
+  Ps.push_back(createScalarReplacementPass());
+  Ps.push_back(createCSEPass());
+  Ps.push_back(createDCEPass());
+  PassStatistics S = runPasses(M, std::move(Ps));
+  EXPECT_GT(S.OpsErased, 0u);
+  EXPECT_DOUBLE_EQ(interpret(M, "f"), 5.0);
+  ir::Operation::eraseDetached(M);
+}
+
+TEST_F(PassTest, LoopFusionFusesElementWiseLoops) {
+  const char *Source =
+      "double f() { double a[64]; double b[64];"
+      "  for (int i = 0; i < 64; i++) a[i] = i;"
+      "  for (int i = 0; i < 64; i++) b[i] = a[i] * 2.0;"
+      "  double s = 0.0; for (int i = 0; i < 64; i++) s += b[i];"
+      "  return s; }";
+  ir::Operation *M = compile(Source);
+  double Before = interpret(M, "f");
+  std::vector<std::unique_ptr<Pass>> Ps;
+  // Production order: forwarding first, so loop-counter spill slots become
+  // write-only and fusion's element-wise analysis sees through them.
+  Ps.push_back(createCanonicalizePass());
+  Ps.push_back(createCSEPass());
+  Ps.push_back(createScalarReplacementPass());
+  Ps.push_back(createCSEPass());
+  Ps.push_back(createLoopFusionPass());
+  Ps.push_back(createDCEPass());
+  PassStatistics S = runPasses(M, std::move(Ps));
+  EXPECT_GT(S.OpsErased, 0u); // At least one loop disappeared.
+  unsigned Loops = 0;
+  M->walk([&](ir::Operation *Op) {
+    if (Op->getName() == "scf.for")
+      ++Loops;
+  });
+  EXPECT_LT(Loops, 3u);
+  EXPECT_DOUBLE_EQ(interpret(M, "f"), Before);
+  ir::Operation::eraseDetached(M);
+}
+
+TEST_F(PassTest, LoopFusionRejectsReductionDependency) {
+  // tmp accumulates over the whole first loop; fusing would be wrong.
+  const char *Source =
+      "double f() { double a[16]; double t = 0.0;"
+      "  for (int i = 0; i < 16; i++) a[i] = i;"
+      "  double s = 0.0;"
+      "  for (int i = 0; i < 16; i++) s += a[15 - i];"
+      "  return s; }";
+  ir::Operation *M = compile(Source);
+  double Before = interpret(M, "f");
+  std::vector<std::unique_ptr<Pass>> Ps;
+  Ps.push_back(createCanonicalizePass());
+  Ps.push_back(createCSEPass());
+  Ps.push_back(createLoopFusionPass());
+  runPasses(M, std::move(Ps));
+  EXPECT_DOUBLE_EQ(interpret(M, "f"), Before);
+  ir::Operation::eraseDetached(M);
+}
+
+/// Property: the full strong pipeline preserves semantics on a battery of
+/// small programs.
+class PipelineEquivalence : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(PipelineEquivalence, OptimizedMatchesUnoptimized) {
+  ir::IRContext Ctx;
+  registerAllDialects(Ctx);
+  DiagnosticEngine Diags;
+  ir::Operation *M = frontend::compileCToModule(GetParam(), Ctx, Diags);
+  ASSERT_TRUE(M) << Diags.str();
+  interp::MLIRInterpreter I0(M);
+  double Before = I0.call("f", {})[0].S.asF();
+  PassManager PM(true);
+  PM.addPass(createInlinerPass());
+  for (int K = 0; K < 2; ++K) {
+    PM.addPass(createCanonicalizePass());
+    PM.addPass(createCSEPass());
+    PM.addPass(createLICMPass());
+    PM.addPass(createScalarReplacementPass());
+    PM.addPass(createCSEPass());
+    PM.addPass(createLoopFusionPass());
+    PM.addPass(createDCEPass());
+  }
+  ASSERT_TRUE(PM.run(M, Diags)) << Diags.str();
+  interp::MLIRInterpreter I1(M);
+  double After = I1.call("f", {})[0].S.asF();
+  EXPECT_NEAR(After, Before, 1e-9 * (1.0 + std::abs(Before)));
+  ir::Operation::eraseDetached(M);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, PipelineEquivalence,
+    ::testing::Values(
+        "double f() { double a[32]; for (int i = 0; i < 32; i++) a[i] = "
+        "i * 0.5; double s = 0.0; for (int i = 0; i < 32; i++) s += "
+        "a[i]; return s; }",
+        "int f() { int s = 0; for (int i = 0; i < 9; i++) for (int j = "
+        "0; j <= i; j++) s += i * j; return s; }",
+        "double f() { double x = 1.0; for (int i = 0; i < 20; i++) x = "
+        "x * 1.1 - 0.05; return x; }",
+        "int f() { int a[10]; for (int i = 0; i < 10; i++) a[i] = i; "
+        "int s = 0; for (int i = 9; i >= 0; i--) s = s * 2 + a[i]; "
+        "return s; }",
+        "double f() { double m = -1.0; double a[16]; for (int i = 0; i "
+        "< 16; i++) a[i] = (i * 7) % 5; for (int i = 0; i < 16; i++) "
+        "if (a[i] > m) m = a[i]; return m; }"));
+
+} // namespace

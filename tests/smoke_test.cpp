@@ -1,0 +1,53 @@
+//===- smoke_test.cpp - end-to-end pipeline smoke tests -----------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace dcir;
+using namespace dcir::pipeline;
+
+namespace {
+
+const char *kSimple = R"(
+double simple() {
+  double s = 0.0;
+  for (int i = 0; i < 10; ++i)
+    s += i * 2;
+  return s;
+}
+)";
+
+TEST(Smoke, AllPipelinesAgreeOnSimpleReduction) {
+  for (PipelineKind K :
+       {PipelineKind::GccLike, PipelineKind::ClangLike, PipelineKind::MlirLike,
+        PipelineKind::DaceLike, PipelineKind::Dcir}) {
+    RunResult R = compileAndRun(kSimple, "simple", K);
+    EXPECT_DOUBLE_EQ(R.ReturnValue, 90.0) << pipelineName(K);
+  }
+}
+
+TEST(Smoke, Fig2MotivatingExample) {
+  std::string Source = loadWorkload("snippets/fig2_motivating.c");
+  for (PipelineKind K :
+       {PipelineKind::GccLike, PipelineKind::ClangLike, PipelineKind::MlirLike,
+        PipelineKind::DaceLike, PipelineKind::Dcir}) {
+    RunResult R = compileAndRun(Source, "example", K);
+    EXPECT_DOUBLE_EQ(R.ReturnValue, 5.0) << pipelineName(K);
+  }
+}
+
+TEST(Smoke, DcirEliminatesFig2Work) {
+  std::string Source = loadWorkload("snippets/fig2_motivating.c");
+  RunResult Mlir = compileAndRun(Source, "example", PipelineKind::MlirLike);
+  RunResult Dcir = compileAndRun(Source, "example", PipelineKind::Dcir);
+  // The headline result: DCIR removes orders of magnitude of work.
+  EXPECT_LT(Dcir.Stats.TaskletsExecuted + Dcir.Stats.StateTransitions,
+            Mlir.Stats.OpsExecuted / 100);
+}
+
+} // namespace

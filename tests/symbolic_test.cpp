@@ -1,0 +1,285 @@
+//===- symbolic_test.cpp - symbolic engine unit & property tests --------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/SymExpr.h"
+#include "symbolic/SymParser.h"
+#include "symbolic/SymRange.h"
+
+#include <gtest/gtest.h>
+
+using namespace dcir::sym;
+
+namespace {
+
+SymExpr N() { return SymExpr::symbol("N"); }
+SymExpr M() { return SymExpr::symbol("M"); }
+SymExpr C(std::int64_t V) { return SymExpr::constant(V); }
+
+TEST(SymExpr, ConstantFolding) {
+  EXPECT_TRUE(SymExpr::add(C(2), C(3)).isConstantValue(5));
+  EXPECT_TRUE(SymExpr::mul(C(4), C(-3)).isConstantValue(-12));
+  EXPECT_TRUE(SymExpr::sub(C(2), C(9)).isConstantValue(-7));
+  EXPECT_TRUE(SymExpr::floorDiv(C(7), C(2)).isConstantValue(3));
+  EXPECT_TRUE(SymExpr::floorDiv(C(-7), C(2)).isConstantValue(-4));
+  EXPECT_TRUE(SymExpr::mod(C(-7), C(4)).isConstantValue(1));
+  EXPECT_TRUE(SymExpr::min(C(3), C(8)).isConstantValue(3));
+  EXPECT_TRUE(SymExpr::max(C(3), C(8)).isConstantValue(8));
+}
+
+TEST(SymExpr, Identities) {
+  EXPECT_TRUE(SymExpr::add(N(), C(0)).equals(N()));
+  EXPECT_TRUE(SymExpr::mul(N(), C(1)).equals(N()));
+  EXPECT_TRUE(SymExpr::mul(N(), C(0)).isConstantValue(0));
+  EXPECT_TRUE(SymExpr::sub(N(), N()).isConstantValue(0));
+  EXPECT_TRUE(SymExpr::floorDiv(N(), C(1)).equals(N()));
+  EXPECT_TRUE(SymExpr::mod(N(), C(1)).isConstantValue(0));
+}
+
+TEST(SymExpr, LikeTermCollection) {
+  // 2N + 3N == 5N
+  SymExpr E = SymExpr::add(SymExpr::mul(C(2), N()), SymExpr::mul(C(3), N()));
+  EXPECT_TRUE(E.equals(SymExpr::mul(C(5), N())));
+  // N + M - N == M
+  SymExpr F = SymExpr::sub(SymExpr::add(N(), M()), N());
+  EXPECT_TRUE(F.equals(M()));
+}
+
+TEST(SymExpr, DistributionCanonicalizes) {
+  // (N + 1) * 4 == 4N + 4
+  SymExpr L = SymExpr::mul(SymExpr::add(N(), C(1)), C(4));
+  SymExpr R = SymExpr::add(SymExpr::mul(C(4), N()), C(4));
+  EXPECT_TRUE(L.equals(R));
+  // (N + M)^2 expands and collects.
+  SymExpr Sq = SymExpr::mul(SymExpr::add(N(), M()), SymExpr::add(N(), M()));
+  SymExpr Expanded = SymExpr::add(
+      SymExpr::add(SymExpr::mul(N(), N()), SymExpr::mul(M(), M())),
+      SymExpr::mul(C(2), SymExpr::mul(M(), N())));
+  EXPECT_TRUE(Sq.equals(Expanded));
+}
+
+TEST(SymExpr, DivisibilitySimplification) {
+  // (4N) / 4 == N;  (4N + 8) / 4 == N + 2;  (4N) mod 4 == 0
+  EXPECT_TRUE(SymExpr::floorDiv(SymExpr::mul(C(4), N()), C(4)).equals(N()));
+  SymExpr E = SymExpr::floorDiv(
+      SymExpr::add(SymExpr::mul(C(4), N()), C(8)), C(4));
+  EXPECT_TRUE(E.equals(SymExpr::add(N(), C(2))));
+  EXPECT_TRUE(SymExpr::mod(SymExpr::mul(C(4), N()), C(4)).isConstantValue(0));
+}
+
+TEST(SymExpr, ComparisonFolding) {
+  EXPECT_TRUE(SymExpr::lt(C(1), C(2)).isConstantValue(1));
+  EXPECT_TRUE(SymExpr::ge(C(1), C(2)).isConstantValue(0));
+  EXPECT_TRUE(SymExpr::eq(N(), N()).isConstantValue(1));
+}
+
+TEST(SymExpr, PositivityProofs) {
+  // Under the DaCe default (symbols positive): 2N > N.
+  auto P = SymExpr::lt(N(), SymExpr::mul(C(2), N())).tryProve();
+  ASSERT_TRUE(P.has_value());
+  EXPECT_TRUE(*P);
+  // N != 2N (paper Fig. 3's size mismatch).
+  auto Q = SymExpr::eq(N(), SymExpr::mul(C(2), N())).tryProve();
+  ASSERT_TRUE(Q.has_value());
+  EXPECT_FALSE(*Q);
+  // N < M is undecidable.
+  EXPECT_FALSE(SymExpr::lt(N(), M()).tryProve().has_value());
+  // Under no assumptions, N > 0 is undecidable.
+  EXPECT_FALSE(SymExpr::lt(C(0), N())
+                   .tryProve(SymbolAssumption::Unknown)
+                   .has_value());
+}
+
+TEST(SymExpr, MinMaxDominance) {
+  // min(N, 2N) == N for positive N.
+  EXPECT_TRUE(SymExpr::min(N(), SymExpr::mul(C(2), N())).equals(N()));
+  EXPECT_TRUE(SymExpr::max(N(), SymExpr::mul(C(2), N()))
+                  .equals(SymExpr::mul(C(2), N())));
+}
+
+TEST(SymExpr, SubstituteAndEvaluate) {
+  SymExpr E = SymExpr::add(SymExpr::mul(N(), M()), C(1));
+  SymExpr S = E.substitute({{"N", C(3)}});
+  EXPECT_TRUE(S.equals(SymExpr::add(SymExpr::mul(C(3), M()), C(1))));
+  auto V = E.evaluate({{"N", 3}, {"M", 4}});
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(*V, 13);
+  EXPECT_FALSE(E.evaluate({{"N", 3}}).has_value());
+}
+
+TEST(SymExpr, LogicalSimplification) {
+  SymExpr T = SymExpr::trueExpr(), F = SymExpr::falseExpr();
+  EXPECT_TRUE(SymExpr::logicalAnd(T, F).isConstantValue(0));
+  EXPECT_TRUE(SymExpr::logicalOr(T, F).isConstantValue(1));
+  SymExpr Cmp = SymExpr::lt(N(), M());
+  EXPECT_TRUE(SymExpr::logicalAnd(Cmp, T).equals(Cmp));
+  // De-Morgan-ish negation pushes into comparisons.
+  EXPECT_TRUE(SymExpr::logicalNot(Cmp).equals(SymExpr::le(M(), N())));
+  EXPECT_TRUE(
+      SymExpr::logicalNot(SymExpr::logicalNot(Cmp)).equals(Cmp));
+}
+
+TEST(SymExpr, LinearDecomposition) {
+  // 3i + N - 2  is linear in i with A=3, B=N-2.
+  SymExpr I = SymExpr::symbol("i");
+  SymExpr E = SymExpr::add(SymExpr::mul(C(3), I), SymExpr::sub(N(), C(2)));
+  SymExpr A, B;
+  ASSERT_TRUE(E.linearIn("i", A, B));
+  EXPECT_TRUE(A.isConstantValue(3));
+  EXPECT_TRUE(B.equals(SymExpr::sub(N(), C(2))));
+  // i*i is not linear.
+  EXPECT_FALSE(SymExpr::mul(I, I).linearIn("i", A, B));
+  // Expressions not using the symbol decompose with A=0.
+  ASSERT_TRUE(N().linearIn("i", A, B));
+  EXPECT_TRUE(A.isConstantValue(0));
+}
+
+TEST(SymExpr, SolveFor) {
+  // x + 2 == N  =>  x == N - 2.
+  SymExpr X = SymExpr::symbol("x");
+  SymExpr Eq = SymExpr::eq(SymExpr::add(X, C(2)), N());
+  auto Sol = Eq.solveFor("x");
+  ASSERT_TRUE(Sol.has_value());
+  EXPECT_TRUE(Sol->equals(SymExpr::sub(N(), C(2))));
+  // 2x == N has no integral solution in general.
+  EXPECT_FALSE(
+      SymExpr::eq(SymExpr::mul(C(2), X), N()).solveFor("x").has_value());
+  // 2x == 6  =>  x == 3.
+  auto Sol2 = SymExpr::eq(SymExpr::mul(C(2), X), C(6)).solveFor("x");
+  ASSERT_TRUE(Sol2.has_value());
+  EXPECT_TRUE(Sol2->isConstantValue(3));
+}
+
+//===----------------------------------------------------------------------===//
+// Parser round trips
+//===----------------------------------------------------------------------===//
+
+class SymParserRoundTrip : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(SymParserRoundTrip, ParsePrintParse) {
+  std::string Err;
+  SymExpr E = parseSymExpr(GetParam(), &Err);
+  ASSERT_TRUE(E) << Err;
+  SymExpr E2 = parseSymExpr(E.str(), &Err);
+  ASSERT_TRUE(E2) << E.str() << ": " << Err;
+  EXPECT_TRUE(E.equals(E2)) << GetParam() << " -> " << E.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Exprs, SymParserRoundTrip,
+    ::testing::Values("N", "2*N + 3", "N*M - 4", "(N + 1) * (M - 1)",
+                      "min(N, M)", "max(2*N, M + 1)", "floord(N, 2)",
+                      "mod(N, 16)", "N < M", "N + 1 <= 2*M", "N == M",
+                      "N != M", "N < M and M < 100", "N < M or M < N",
+                      "not (N < M)", "i_0 + i_1 * 10"));
+
+TEST(SymParser, Errors) {
+  std::string Err;
+  EXPECT_FALSE(parseSymExpr("N +", &Err));
+  EXPECT_FALSE(parseSymExpr("min(N)", &Err));
+  EXPECT_FALSE(parseSymExpr("(N", &Err));
+  EXPECT_FALSE(parseSymExpr("", &Err));
+}
+
+//===----------------------------------------------------------------------===//
+// Ranges and subsets
+//===----------------------------------------------------------------------===//
+
+TEST(SymRange, NumElements) {
+  SymRange R(C(0), N());
+  EXPECT_TRUE(R.numElements().equals(N()));
+  SymRange Strided(C(0), C(10), C(3));
+  EXPECT_TRUE(Strided.numElements().isConstantValue(4));
+  EXPECT_TRUE(SymRange::index(N()).isSingleElement());
+}
+
+TEST(SymSubset, VolumeAndContainment) {
+  SymSubset Full = SymSubset::full({N(), M()});
+  EXPECT_TRUE(Full.volume().equals(SymExpr::mul(M(), N())));
+  SymSubset Elem = SymSubset::element({C(0), C(0)});
+  EXPECT_TRUE(Elem.isSingleElement());
+  EXPECT_TRUE(Full.contains(Elem));
+  EXPECT_FALSE(Elem.contains(Full));
+}
+
+TEST(SymSubset, OverlapAnalysis) {
+  // [0, N) and [N, 2N) are provably disjoint.
+  SymSubset A({SymRange(C(0), N())});
+  SymSubset B({SymRange(N(), SymExpr::mul(C(2), N()))});
+  EXPECT_FALSE(A.mayOverlap(B));
+  EXPECT_TRUE(A.mayOverlap(A));
+  // [0, N) and [M, M+1) cannot be proven disjoint.
+  SymSubset Cc({SymRange::index(M())});
+  EXPECT_TRUE(A.mayOverlap(Cc));
+}
+
+TEST(SymSubset, PropagateOverIteration) {
+  // A[i] over i in [0, N) covers A[0:N).
+  SymSubset Elem = SymSubset::element({SymExpr::symbol("i")});
+  SymSubset Out =
+      Elem.propagateOver("i", SymRange(C(0), N()), {N()});
+  EXPECT_TRUE(Out.dim(0).Begin.isConstantValue(0));
+  EXPECT_TRUE(Out.dim(0).End.equals(N()));
+  // A[2i + 1] over i in [0, N) covers [1, 2N).
+  SymSubset Aff = SymSubset::element(
+      {SymExpr::add(SymExpr::mul(C(2), SymExpr::symbol("i")), C(1))});
+  SymSubset Out2 = Aff.propagateOver("i", SymRange(C(0), N()),
+                                     {SymExpr::mul(C(2), N())});
+  EXPECT_TRUE(Out2.dim(0).Begin.isConstantValue(1));
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweep: evaluation agrees with canonicalized evaluation
+//===----------------------------------------------------------------------===//
+
+class CanonEvalProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CanonEvalProperty, CanonicalizationPreservesValue) {
+  // Pseudo-random expression over {N, M, constants} built from the seed;
+  // evaluation before/after substitute-roundtrip must agree.
+  int Seed = GetParam();
+  auto Next = [&]() {
+    Seed = Seed * 1103515245 + 12345;
+    return (Seed >> 16) & 0x7fff;
+  };
+  std::vector<SymExpr> Pool = {N(), M(), C(Next() % 7 - 3), C(Next() % 5 + 1)};
+  for (int I = 0; I < 12; ++I) {
+    SymExpr A = Pool[Next() % Pool.size()];
+    SymExpr B = Pool[Next() % Pool.size()];
+    switch (Next() % 5) {
+    case 0:
+      Pool.push_back(SymExpr::add(A, B));
+      break;
+    case 1:
+      Pool.push_back(SymExpr::sub(A, B));
+      break;
+    case 2:
+      Pool.push_back(SymExpr::mul(A, B));
+      break;
+    case 3:
+      Pool.push_back(SymExpr::min(A, B));
+      break;
+    default:
+      Pool.push_back(SymExpr::max(A, B));
+      break;
+    }
+  }
+  std::map<std::string, std::int64_t> Env = {{"N", 1 + Next() % 9},
+                                             {"M", 1 + Next() % 9}};
+  for (const SymExpr &E : Pool) {
+    auto V1 = E.evaluate(Env);
+    ASSERT_TRUE(V1.has_value());
+    // Substituting concrete values must fold to the same constant.
+    SymExpr Folded = E.substitute(
+        {{"N", C(Env["N"])}, {"M", C(Env["M"])}});
+    ASSERT_TRUE(Folded.isConstant()) << E.str();
+    EXPECT_EQ(Folded.constantValue(), *V1) << E.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanonEvalProperty,
+                         ::testing::Range(1, 33));
+
+} // namespace

@@ -1,0 +1,46 @@
+/* Polybench 2mm: D := alpha*A*B*C + beta*D (MINI-scaled). */
+#define NI 16
+#define NJ 18
+#define NK 20
+#define NL 22
+
+double kernel_2mm() {
+  double alpha = 1.5;
+  double beta = 1.2;
+  double tmp[NI][NJ];
+  double A[NI][NK];
+  double B[NK][NJ];
+  double C[NJ][NL];
+  double D[NI][NL];
+  for (int i = 0; i < NI; i++)
+    for (int j = 0; j < NK; j++)
+      A[i][j] = (double)((i * j + 1) % NI) / NI;
+  for (int i = 0; i < NK; i++)
+    for (int j = 0; j < NJ; j++)
+      B[i][j] = (double)(i * (j + 1) % NJ) / NJ;
+  for (int i = 0; i < NJ; i++)
+    for (int j = 0; j < NL; j++)
+      C[i][j] = (double)((i * (j + 3) + 1) % NL) / NL;
+  for (int i = 0; i < NI; i++)
+    for (int j = 0; j < NL; j++)
+      D[i][j] = (double)(i * (j + 2) % NK) / NK;
+
+  for (int i = 0; i < NI; i++)
+    for (int j = 0; j < NJ; j++) {
+      tmp[i][j] = 0.0;
+      for (int k = 0; k < NK; ++k)
+        tmp[i][j] += alpha * A[i][k] * B[k][j];
+    }
+  for (int i = 0; i < NI; i++)
+    for (int j = 0; j < NL; j++) {
+      D[i][j] *= beta;
+      for (int k = 0; k < NJ; ++k)
+        D[i][j] += tmp[i][k] * C[k][j];
+    }
+
+  double s = 0.0;
+  for (int i = 0; i < NI; i++)
+    for (int j = 0; j < NL; j++)
+      s += D[i][j];
+  return s;
+}

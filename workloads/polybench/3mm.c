@@ -1,0 +1,56 @@
+/* Polybench 3mm: G := (A*B)*(C*D) (MINI-scaled). */
+#define NI 14
+#define NJ 16
+#define NK 18
+#define NL 20
+#define NM 22
+
+double kernel_3mm() {
+  double A[NI][NK];
+  double B[NK][NJ];
+  double C[NJ][NM];
+  double D[NM][NL];
+  double E[NI][NJ];
+  double F[NJ][NL];
+  double G[NI][NL];
+  for (int i = 0; i < NI; i++)
+    for (int j = 0; j < NK; j++)
+      A[i][j] = (double)((i * j + 1) % NI) / (5 * NI);
+  for (int i = 0; i < NK; i++)
+    for (int j = 0; j < NJ; j++)
+      B[i][j] = (double)((i * (j + 1) + 2) % NJ) / (5 * NJ);
+  for (int i = 0; i < NJ; i++)
+    for (int j = 0; j < NM; j++)
+      C[i][j] = (double)(i * (j + 3) % NL) / (5 * NL);
+  for (int i = 0; i < NM; i++)
+    for (int j = 0; j < NL; j++)
+      D[i][j] = (double)((i * (j + 2) + 2) % NK) / (5 * NK);
+
+  /* E := A*B */
+  for (int i = 0; i < NI; i++)
+    for (int j = 0; j < NJ; j++) {
+      E[i][j] = 0.0;
+      for (int k = 0; k < NK; ++k)
+        E[i][j] += A[i][k] * B[k][j];
+    }
+  /* F := C*D */
+  for (int i = 0; i < NJ; i++)
+    for (int j = 0; j < NL; j++) {
+      F[i][j] = 0.0;
+      for (int k = 0; k < NM; ++k)
+        F[i][j] += C[i][k] * D[k][j];
+    }
+  /* G := E*F */
+  for (int i = 0; i < NI; i++)
+    for (int j = 0; j < NL; j++) {
+      G[i][j] = 0.0;
+      for (int k = 0; k < NJ; ++k)
+        G[i][j] += E[i][k] * F[k][j];
+    }
+
+  double s = 0.0;
+  for (int i = 0; i < NI; i++)
+    for (int j = 0; j < NL; j++)
+      s += G[i][j];
+  return s;
+}

@@ -1,0 +1,67 @@
+/* Polybench adi: alternating-direction implicit solver (MINI-scaled).
+ * Contains decrement loops (the back-substitution sweeps), which Polygeist
+ * must invert for scf. */
+#define N 18
+#define TSTEPS 8
+
+double kernel_adi() {
+  double u[N][N];
+  double v[N][N];
+  double p[N][N];
+  double q[N][N];
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      u[i][j] = (double)(i + N - j) / N;
+
+  double DX = 1.0 / N;
+  double DT = 1.0 / TSTEPS;
+  double B1 = 2.0;
+  double B2 = 1.0;
+  double mul1 = B1 * DT / (DX * DX);
+  double mul2 = B2 * DT / (DX * DX);
+  double a = -mul1 / 2.0;
+  double b = 1.0 + mul1;
+  double c = a;
+  double d = -mul2 / 2.0;
+  double e = 1.0 + mul2;
+  double f = d;
+
+  for (int t = 1; t <= TSTEPS; t++) {
+    /* Column sweep. */
+    for (int i = 1; i < N - 1; i++) {
+      v[0][i] = 1.0;
+      p[i][0] = 0.0;
+      q[i][0] = v[0][i];
+      for (int j = 1; j < N - 1; j++) {
+        p[i][j] = -c / (a * p[i][j - 1] + b);
+        q[i][j] = (-d * u[j][i - 1] + (1.0 + 2.0 * d) * u[j][i] -
+                   f * u[j][i + 1] - a * q[i][j - 1]) /
+                  (a * p[i][j - 1] + b);
+      }
+      v[N - 1][i] = 1.0;
+      for (int j = N - 2; j >= 1; j--)
+        v[j][i] = p[i][j] * v[j + 1][i] + q[i][j];
+    }
+    /* Row sweep. */
+    for (int i = 1; i < N - 1; i++) {
+      u[i][0] = 1.0;
+      p[i][0] = 0.0;
+      q[i][0] = u[i][0];
+      for (int j = 1; j < N - 1; j++) {
+        p[i][j] = -f / (d * p[i][j - 1] + e);
+        q[i][j] = (-a * v[i - 1][j] + (1.0 + 2.0 * a) * v[i][j] -
+                   c * v[i + 1][j] - d * q[i][j - 1]) /
+                  (d * p[i][j - 1] + e);
+      }
+      u[i][N - 1] = 1.0;
+      for (int j = N - 2; j >= 1; j--)
+        u[i][j] = p[i][j] * u[i][j + 1] + q[i][j];
+    }
+  }
+
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      s += u[i][j];
+  return s;
+}

@@ -1,0 +1,30 @@
+/* Polybench atax: y := A^T * (A * x) (MINI-scaled). */
+#define M 38
+#define N 42
+
+double kernel_atax() {
+  double A[M][N];
+  double x[N];
+  double y[N];
+  double tmp[M];
+  for (int i = 0; i < N; i++)
+    x[i] = 1.0 + (double)i / N;
+  for (int i = 0; i < M; i++)
+    for (int j = 0; j < N; j++)
+      A[i][j] = (double)((i + j) % N) / (5 * M);
+
+  for (int i = 0; i < N; i++)
+    y[i] = 0.0;
+  for (int i = 0; i < M; i++) {
+    tmp[i] = 0.0;
+    for (int j = 0; j < N; j++)
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+    for (int j = 0; j < N; j++)
+      y[j] = y[j] + A[i][j] * tmp[i];
+  }
+
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    s += y[i];
+  return s;
+}

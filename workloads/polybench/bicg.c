@@ -1,0 +1,35 @@
+/* Polybench bicg: s = A^T*r, q = A*p (MINI-scaled). */
+#define M 38
+#define N 42
+
+double kernel_bicg() {
+  double A[N][M];
+  double r[N];
+  double p[M];
+  double q[N];
+  double s[M];
+  for (int i = 0; i < M; i++)
+    p[i] = (double)(i % M) / M;
+  for (int i = 0; i < N; i++) {
+    r[i] = (double)(i % N) / N;
+    for (int j = 0; j < M; j++)
+      A[i][j] = (double)(i * (j + 1) % N) / N;
+  }
+
+  for (int i = 0; i < M; i++)
+    s[i] = 0.0;
+  for (int i = 0; i < N; i++) {
+    q[i] = 0.0;
+    for (int j = 0; j < M; j++) {
+      s[j] = s[j] + r[i] * A[i][j];
+      q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+
+  double out = 0.0;
+  for (int i = 0; i < M; i++)
+    out += s[i];
+  for (int i = 0; i < N; i++)
+    out += q[i];
+  return out;
+}

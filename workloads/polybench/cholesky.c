@@ -1,0 +1,40 @@
+/* Polybench cholesky: Cholesky decomposition (MINI-scaled). */
+#define N 25
+
+double kernel_cholesky() {
+  double A[N][N];
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j <= i; j++)
+      A[i][j] = (double)(-j % N) / N + 1.0;
+    for (int j = i + 1; j < N; j++)
+      A[i][j] = 0.0;
+    A[i][i] = 1.0;
+  }
+  double B[N][N];
+  for (int r = 0; r < N; r++)
+    for (int t = 0; t < N; t++) {
+      B[r][t] = 0.0;
+      for (int t2 = 0; t2 < N; t2++)
+        B[r][t] += A[r][t2] * A[t][t2];
+    }
+  for (int r = 0; r < N; r++)
+    for (int t = 0; t < N; t++)
+      A[r][t] = B[r][t];
+
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < i; j++) {
+      for (int k = 0; k < j; k++)
+        A[i][j] -= A[i][k] * A[j][k];
+      A[i][j] /= A[j][j];
+    }
+    for (int k = 0; k < i; k++)
+      A[i][i] -= A[i][k] * A[i][k];
+    A[i][i] = sqrt(A[i][i]);
+  }
+
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j <= i; j++)
+      s += A[i][j];
+  return s;
+}

@@ -1,0 +1,50 @@
+/* Polybench correlation: correlation matrix computation (MINI-scaled). */
+#define M 24
+#define N 28
+
+double kernel_correlation() {
+  double float_n = (double)N;
+  double data[N][M];
+  double corr[M][M];
+  double mean[M];
+  double stddev[M];
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < M; j++)
+      data[i][j] = (double)(i * j) / M + i;
+
+  for (int j = 0; j < M; j++) {
+    mean[j] = 0.0;
+    for (int i = 0; i < N; i++)
+      mean[j] += data[i][j];
+    mean[j] /= float_n;
+  }
+  for (int j = 0; j < M; j++) {
+    stddev[j] = 0.0;
+    for (int i = 0; i < N; i++)
+      stddev[j] += (data[i][j] - mean[j]) * (data[i][j] - mean[j]);
+    stddev[j] /= float_n;
+    stddev[j] = sqrt(stddev[j]);
+    stddev[j] = stddev[j] <= 0.1 ? 1.0 : stddev[j];
+  }
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < M; j++) {
+      data[i][j] -= mean[j];
+      data[i][j] /= sqrt(float_n) * stddev[j];
+    }
+  for (int i = 0; i < M - 1; i++) {
+    corr[i][i] = 1.0;
+    for (int j = i + 1; j < M; j++) {
+      corr[i][j] = 0.0;
+      for (int k = 0; k < N; k++)
+        corr[i][j] += data[k][i] * data[k][j];
+      corr[j][i] = corr[i][j];
+    }
+  }
+  corr[M - 1][M - 1] = 1.0;
+
+  double s = 0.0;
+  for (int i = 0; i < M; i++)
+    for (int j = 0; j < M; j++)
+      s += corr[i][j];
+  return s;
+}

@@ -1,0 +1,37 @@
+/* Polybench covariance: covariance matrix computation (MINI-scaled). */
+#define M 24
+#define N 28
+
+double kernel_covariance() {
+  double float_n = (double)N;
+  double data[N][M];
+  double cov[M][M];
+  double mean[M];
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < M; j++)
+      data[i][j] = (double)(i * j) / M;
+
+  for (int j = 0; j < M; j++) {
+    mean[j] = 0.0;
+    for (int i = 0; i < N; i++)
+      mean[j] += data[i][j];
+    mean[j] /= float_n;
+  }
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < M; j++)
+      data[i][j] -= mean[j];
+  for (int i = 0; i < M; i++)
+    for (int j = i; j < M; j++) {
+      cov[i][j] = 0.0;
+      for (int k = 0; k < N; k++)
+        cov[i][j] += data[k][i] * data[k][j];
+      cov[i][j] /= float_n - 1.0;
+      cov[j][i] = cov[i][j];
+    }
+
+  double s = 0.0;
+  for (int i = 0; i < M; i++)
+    for (int j = 0; j < M; j++)
+      s += cov[i][j];
+  return s;
+}

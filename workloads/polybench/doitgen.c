@@ -1,0 +1,35 @@
+/* Polybench doitgen: multiresolution analysis kernel (MINI-scaled). */
+#define NQ 12
+#define NR 14
+#define NP 16
+
+double kernel_doitgen() {
+  double A[NR][NQ][NP];
+  double C4[NP][NP];
+  double sum[NP];
+  for (int i = 0; i < NR; i++)
+    for (int j = 0; j < NQ; j++)
+      for (int k = 0; k < NP; k++)
+        A[i][j][k] = (double)((i * j + k) % NP) / NP;
+  for (int i = 0; i < NP; i++)
+    for (int j = 0; j < NP; j++)
+      C4[i][j] = (double)(i * j % NP) / NP;
+
+  for (int r = 0; r < NR; r++)
+    for (int q = 0; q < NQ; q++) {
+      for (int p = 0; p < NP; p++) {
+        sum[p] = 0.0;
+        for (int s = 0; s < NP; s++)
+          sum[p] += A[r][q][s] * C4[s][p];
+      }
+      for (int p = 0; p < NP; p++)
+        A[r][q][p] = sum[p];
+    }
+
+  double out = 0.0;
+  for (int r = 0; r < NR; r++)
+    for (int q = 0; q < NQ; q++)
+      for (int p = 0; p < NP; p++)
+        out += A[r][q][p];
+  return out;
+}

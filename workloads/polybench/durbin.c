@@ -1,0 +1,31 @@
+/* Polybench durbin: Toeplitz system solver (MINI-scaled). */
+#define N 40
+
+double kernel_durbin() {
+  double r[N];
+  double y[N];
+  double z[N];
+  for (int i = 0; i < N; i++)
+    r[i] = (double)(N + 1 - i);
+
+  y[0] = -r[0];
+  double beta = 1.0;
+  double alpha = -r[0];
+  for (int k = 1; k < N; k++) {
+    beta = (1.0 - alpha * alpha) * beta;
+    double sum = 0.0;
+    for (int i = 0; i < k; i++)
+      sum += r[k - i - 1] * y[i];
+    alpha = -(r[k] + sum) / beta;
+    for (int i = 0; i < k; i++)
+      z[i] = y[i] + alpha * y[k - i - 1];
+    for (int i = 0; i < k; i++)
+      y[i] = z[i];
+    y[k] = alpha;
+  }
+
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    s += y[i];
+  return s;
+}

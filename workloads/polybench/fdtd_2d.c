@@ -1,0 +1,40 @@
+/* Polybench fdtd-2d: 2-D finite-difference time domain (MINI-scaled). */
+#define TMAX 12
+#define NX 20
+#define NY 24
+
+double kernel_fdtd_2d() {
+  double ex[NX][NY];
+  double ey[NX][NY];
+  double hz[NX][NY];
+  double fict[TMAX];
+  for (int i = 0; i < TMAX; i++)
+    fict[i] = (double)i;
+  for (int i = 0; i < NX; i++)
+    for (int j = 0; j < NY; j++) {
+      ex[i][j] = ((double)i * (j + 1)) / NX;
+      ey[i][j] = ((double)i * (j + 2)) / NY;
+      hz[i][j] = ((double)i * (j + 3)) / NX;
+    }
+
+  for (int t = 0; t < TMAX; t++) {
+    for (int j = 0; j < NY; j++)
+      ey[0][j] = fict[t];
+    for (int i = 1; i < NX; i++)
+      for (int j = 0; j < NY; j++)
+        ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i - 1][j]);
+    for (int i = 0; i < NX; i++)
+      for (int j = 1; j < NY; j++)
+        ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j - 1]);
+    for (int i = 0; i < NX - 1; i++)
+      for (int j = 0; j < NY - 1; j++)
+        hz[i][j] = hz[i][j] - 0.7 * (ex[i][j + 1] - ex[i][j] +
+                                     ey[i + 1][j] - ey[i][j]);
+  }
+
+  double s = 0.0;
+  for (int i = 0; i < NX; i++)
+    for (int j = 0; j < NY; j++)
+      s += ex[i][j] + ey[i][j] + hz[i][j];
+  return s;
+}

@@ -1,0 +1,27 @@
+/* Polybench floyd-warshall: all-pairs shortest paths (MINI-scaled). The
+ * paper runs this kernel with a reduced pass set; we run the standard
+ * pipeline (see EXPERIMENTS.md). */
+#define N 30
+
+double kernel_floyd_warshall() {
+  double path[N][N];
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      path[i][j] = i * j % 7 + 1;
+      if ((i + j) % 13 == 0 || j % 7 == 0 || i % 11 == 0)
+        path[i][j] = 999.0;
+    }
+
+  for (int k = 0; k < N; k++)
+    for (int i = 0; i < N; i++)
+      for (int j = 0; j < N; j++)
+        path[i][j] = path[i][j] < path[i][k] + path[k][j]
+                         ? path[i][j]
+                         : path[i][k] + path[k][j];
+
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      s += path[i][j];
+  return s;
+}

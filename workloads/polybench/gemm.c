@@ -1,0 +1,35 @@
+/* Polybench gemm: C := alpha*A*B + beta*C (MINI-scaled). */
+#define NI 20
+#define NJ 25
+#define NK 30
+
+double kernel_gemm() {
+  double alpha = 1.5;
+  double beta = 1.2;
+  double A[NI][NK];
+  double B[NK][NJ];
+  double C[NI][NJ];
+  for (int i = 0; i < NI; i++)
+    for (int j = 0; j < NJ; j++)
+      C[i][j] = (double)((i * j + 1) % NI) / NI;
+  for (int i = 0; i < NI; i++)
+    for (int j = 0; j < NK; j++)
+      A[i][j] = (double)(i * (j + 1) % NK) / NK;
+  for (int i = 0; i < NK; i++)
+    for (int j = 0; j < NJ; j++)
+      B[i][j] = (double)(i * (j + 2) % NJ) / NJ;
+
+  for (int i = 0; i < NI; i++) {
+    for (int j = 0; j < NJ; j++)
+      C[i][j] *= beta;
+    for (int k = 0; k < NK; k++)
+      for (int j = 0; j < NJ; j++)
+        C[i][j] += alpha * A[i][k] * B[k][j];
+  }
+
+  double s = 0.0;
+  for (int i = 0; i < NI; i++)
+    for (int j = 0; j < NJ; j++)
+      s += C[i][j];
+  return s;
+}

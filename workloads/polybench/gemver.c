@@ -1,0 +1,46 @@
+/* Polybench gemver: vector multiplications and matrix additions
+ * (MINI-scaled). */
+#define N 40
+
+double kernel_gemver() {
+  double alpha = 1.5;
+  double beta = 1.2;
+  double A[N][N];
+  double u1[N];
+  double v1[N];
+  double u2[N];
+  double v2[N];
+  double w[N];
+  double x[N];
+  double y[N];
+  double z[N];
+  for (int i = 0; i < N; i++) {
+    u1[i] = i;
+    u2[i] = ((i + 1) / N) / 2.0;
+    v1[i] = ((i + 1) / N) / 4.0;
+    v2[i] = ((i + 1) / N) / 6.0;
+    y[i] = ((i + 1) / N) / 8.0;
+    z[i] = ((i + 1) / N) / 9.0;
+    x[i] = 0.0;
+    w[i] = 0.0;
+    for (int j = 0; j < N; j++)
+      A[i][j] = (double)(i * j % N) / N;
+  }
+
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      x[i] = x[i] + beta * A[j][i] * y[j];
+  for (int i = 0; i < N; i++)
+    x[i] = x[i] + z[i];
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      w[i] = w[i] + alpha * A[i][j] * x[j];
+
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    s += w[i];
+  return s;
+}

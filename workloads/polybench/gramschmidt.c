@@ -1,0 +1,41 @@
+/* Polybench gramschmidt: modified Gram-Schmidt QR (MINI-scaled). The paper
+ * compiles this kernel at -O2 in the baselines due to numerical
+ * sensitivity. */
+#define M 24
+#define N 20
+
+double kernel_gramschmidt() {
+  double A[M][N];
+  double R[N][N];
+  double Q[M][N];
+  for (int i = 0; i < M; i++)
+    for (int j = 0; j < N; j++) {
+      A[i][j] = (double)((i * j) % M) / M * 100.0 + 10.0;
+      Q[i][j] = 0.0;
+    }
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      R[i][j] = 0.0;
+
+  for (int k = 0; k < N; k++) {
+    double nrm = 0.0;
+    for (int i = 0; i < M; i++)
+      nrm += A[i][k] * A[i][k];
+    R[k][k] = sqrt(nrm);
+    for (int i = 0; i < M; i++)
+      Q[i][k] = A[i][k] / R[k][k];
+    for (int j = k + 1; j < N; j++) {
+      R[k][j] = 0.0;
+      for (int i = 0; i < M; i++)
+        R[k][j] += Q[i][k] * A[i][j];
+      for (int i = 0; i < M; i++)
+        A[i][j] = A[i][j] - Q[i][k] * R[k][j];
+    }
+  }
+
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      s += R[i][j];
+  return s;
+}

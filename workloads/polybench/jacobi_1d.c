@@ -1,0 +1,24 @@
+/* Polybench jacobi-1d: 1-D Jacobi stencil over TSTEPS (MINI-scaled). */
+#define N 120
+#define TSTEPS 40
+
+double kernel_jacobi_1d() {
+  double A[N];
+  double B[N];
+  for (int i = 0; i < N; i++) {
+    A[i] = ((double)i + 2) / N;
+    B[i] = ((double)i + 3) / N;
+  }
+
+  for (int t = 0; t < TSTEPS; t++) {
+    for (int i = 1; i < N - 1; i++)
+      B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);
+    for (int i = 1; i < N - 1; i++)
+      A[i] = 0.33333 * (B[i - 1] + B[i] + B[i + 1]);
+  }
+
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    s += A[i];
+  return s;
+}

@@ -1,0 +1,30 @@
+/* Polybench jacobi-2d: 2-D Jacobi stencil over TSTEPS (MINI-scaled). */
+#define N 26
+#define TSTEPS 16
+
+double kernel_jacobi_2d() {
+  double A[N][N];
+  double B[N][N];
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      A[i][j] = ((double)i * (j + 2) + 2) / N;
+      B[i][j] = ((double)i * (j + 3) + 3) / N;
+    }
+
+  for (int t = 0; t < TSTEPS; t++) {
+    for (int i = 1; i < N - 1; i++)
+      for (int j = 1; j < N - 1; j++)
+        B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][1 + j] +
+                         A[1 + i][j] + A[i - 1][j]);
+    for (int i = 1; i < N - 1; i++)
+      for (int j = 1; j < N - 1; j++)
+        A[i][j] = 0.2 * (B[i][j] + B[i][j - 1] + B[i][1 + j] +
+                         B[1 + i][j] + B[i - 1][j]);
+  }
+
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      s += A[i][j];
+  return s;
+}

@@ -1,0 +1,41 @@
+/* Polybench lu: LU decomposition without pivoting (MINI-scaled). */
+#define N 25
+
+double kernel_lu() {
+  double A[N][N];
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j <= i; j++)
+      A[i][j] = (double)(-j % N) / N + 1.0;
+    for (int j = i + 1; j < N; j++)
+      A[i][j] = 0.0;
+    A[i][i] = 1.0;
+  }
+  /* Make it positive semi-definite-ish: A = A*A^T via temp. */
+  double B[N][N];
+  for (int r = 0; r < N; r++)
+    for (int t = 0; t < N; t++) {
+      B[r][t] = 0.0;
+      for (int t2 = 0; t2 < N; t2++)
+        B[r][t] += A[r][t2] * A[t][t2];
+    }
+  for (int r = 0; r < N; r++)
+    for (int t = 0; t < N; t++)
+      A[r][t] = B[r][t];
+
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < i; j++) {
+      for (int k = 0; k < j; k++)
+        A[i][j] -= A[i][k] * A[k][j];
+      A[i][j] /= A[j][j];
+    }
+    for (int j = i; j < N; j++)
+      for (int k = 0; k < i; k++)
+        A[i][j] -= A[i][k] * A[k][j];
+  }
+
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      s += A[i][j];
+  return s;
+}

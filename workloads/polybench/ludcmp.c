@@ -1,0 +1,62 @@
+/* Polybench ludcmp: LU decomposition followed by forward/backward
+ * substitution (MINI-scaled). */
+#define N 25
+
+double kernel_ludcmp() {
+  double A[N][N];
+  double b[N];
+  double x[N];
+  double y[N];
+  for (int i = 0; i < N; i++) {
+    x[i] = 0.0;
+    y[i] = 0.0;
+    b[i] = (i + 1.0) / N / 2.0 + 4.0;
+    for (int j = 0; j <= i; j++)
+      A[i][j] = (double)(-j % N) / N + 1.0;
+    for (int j = i + 1; j < N; j++)
+      A[i][j] = 0.0;
+    A[i][i] = 1.0;
+  }
+  double B[N][N];
+  for (int r = 0; r < N; r++)
+    for (int t = 0; t < N; t++) {
+      B[r][t] = 0.0;
+      for (int t2 = 0; t2 < N; t2++)
+        B[r][t] += A[r][t2] * A[t][t2];
+    }
+  for (int r = 0; r < N; r++)
+    for (int t = 0; t < N; t++)
+      A[r][t] = B[r][t];
+
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < i; j++) {
+      double w = A[i][j];
+      for (int k = 0; k < j; k++)
+        w -= A[i][k] * A[k][j];
+      A[i][j] = w / A[j][j];
+    }
+    for (int j = i; j < N; j++) {
+      double w = A[i][j];
+      for (int k = 0; k < i; k++)
+        w -= A[i][k] * A[k][j];
+      A[i][j] = w;
+    }
+  }
+  for (int i = 0; i < N; i++) {
+    double w = b[i];
+    for (int j = 0; j < i; j++)
+      w -= A[i][j] * y[j];
+    y[i] = w;
+  }
+  for (int i = N - 1; i >= 0; i--) {
+    double w = y[i];
+    for (int j = i + 1; j < N; j++)
+      w -= A[i][j] * x[j];
+    x[i] = w / A[i][i];
+  }
+
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    s += x[i];
+  return s;
+}

@@ -1,0 +1,30 @@
+/* Polybench mvt: x1 += A*y1; x2 += A^T*y2 (MINI-scaled). */
+#define N 40
+
+double kernel_mvt() {
+  double A[N][N];
+  double x1[N];
+  double x2[N];
+  double y1[N];
+  double y2[N];
+  for (int i = 0; i < N; i++) {
+    x1[i] = (double)(i % N) / N;
+    x2[i] = (double)((i + 1) % N) / N;
+    y1[i] = (double)((i + 3) % N) / N;
+    y2[i] = (double)((i + 4) % N) / N;
+    for (int j = 0; j < N; j++)
+      A[i][j] = (double)(i * j % N) / N;
+  }
+
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      x1[i] = x1[i] + A[i][j] * y1[j];
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      x2[i] = x2[i] + A[j][i] * y2[j];
+
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    s += x1[i] + x2[i];
+  return s;
+}

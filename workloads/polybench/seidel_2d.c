@@ -1,0 +1,24 @@
+/* Polybench seidel-2d: 2-D Gauss-Seidel stencil (MINI-scaled). */
+#define N 26
+#define TSTEPS 12
+
+double kernel_seidel_2d() {
+  double A[N][N];
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      A[i][j] = ((double)i * (j + 2) + 2) / N;
+
+  for (int t = 0; t < TSTEPS; t++)
+    for (int i = 1; i <= N - 2; i++)
+      for (int j = 1; j <= N - 2; j++)
+        A[i][j] = (A[i - 1][j - 1] + A[i - 1][j] + A[i - 1][j + 1] +
+                   A[i][j - 1] + A[i][j] + A[i][j + 1] + A[i + 1][j - 1] +
+                   A[i + 1][j] + A[i + 1][j + 1]) /
+                  9.0;
+
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      s += A[i][j];
+  return s;
+}

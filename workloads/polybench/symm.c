@@ -1,0 +1,36 @@
+/* Polybench symm: symmetric matrix multiply C := alpha*A*B + beta*C
+ * (MINI-scaled). */
+#define M 20
+#define N 24
+
+double kernel_symm() {
+  double alpha = 1.5;
+  double beta = 1.2;
+  double C[M][N];
+  double A[M][M];
+  double B[M][N];
+  for (int i = 0; i < M; i++)
+    for (int j = 0; j < N; j++) {
+      C[i][j] = (double)((i + j) % 100) / M;
+      B[i][j] = (double)((N + i - j) % 100) / M;
+    }
+  for (int i = 0; i < M; i++)
+    for (int j = 0; j <= i; j++)
+      A[i][j] = (double)((i + j) % 100) / M;
+
+  for (int i = 0; i < M; i++)
+    for (int j = 0; j < N; j++) {
+      double temp2 = 0.0;
+      for (int k = 0; k < i; k++) {
+        C[k][j] += alpha * B[i][j] * A[i][k];
+        temp2 += B[k][j] * A[i][k];
+      }
+      C[i][j] = beta * C[i][j] + alpha * B[i][j] * A[i][i] + alpha * temp2;
+    }
+
+  double s = 0.0;
+  for (int i = 0; i < M; i++)
+    for (int j = 0; j < N; j++)
+      s += C[i][j];
+  return s;
+}

@@ -1,0 +1,33 @@
+/* Polybench syr2k: C := alpha*A*B^T + alpha*B*A^T + beta*C (MINI-scaled). */
+#define N 24
+#define M 20
+
+double kernel_syr2k() {
+  double alpha = 1.5;
+  double beta = 1.2;
+  double C[N][N];
+  double A[N][M];
+  double B[N][M];
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < M; j++) {
+      A[i][j] = (double)((i * j + 1) % N) / N;
+      B[i][j] = (double)((i * j + 2) % M) / M;
+    }
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      C[i][j] = (double)((i * j + 3) % N) / M;
+
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j <= i; j++)
+      C[i][j] *= beta;
+    for (int k = 0; k < M; k++)
+      for (int j = 0; j <= i; j++)
+        C[i][j] += A[j][k] * alpha * B[i][k] + B[j][k] * alpha * A[i][k];
+  }
+
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      s += C[i][j];
+  return s;
+}

@@ -1,0 +1,32 @@
+/* Polybench syrk: C := alpha*A*A^T + beta*C, lower triangular (MINI-scaled).
+ * The paper's Fig. 7 kernel: `alpha * A[i][k]` is independent of the inner
+ * j loop; DCIR hoists it, the DaCe C frontend's opaque tasklets cannot. */
+#define N 30
+#define M 25
+
+double kernel_syrk() {
+  double alpha = 1.5;
+  double beta = 1.2;
+  double C[N][N];
+  double A[N][M];
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < M; j++)
+      A[i][j] = (double)((i * j + 1) % N) / N;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      C[i][j] = (double)((i * j + 2) % M) / M;
+
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j <= i; j++)
+      C[i][j] *= beta;
+    for (int k = 0; k < M; k++)
+      for (int j = 0; j <= i; j++)
+        C[i][j] += alpha * A[i][k] * A[j][k];
+  }
+
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      s += C[i][j];
+  return s;
+}

@@ -1,0 +1,26 @@
+/* Polybench trisolv: triangular solve Lx = b (MINI-scaled). */
+#define N 40
+
+double kernel_trisolv() {
+  double L[N][N];
+  double x[N];
+  double b[N];
+  for (int i = 0; i < N; i++) {
+    x[i] = -999.0;
+    b[i] = i;
+    for (int j = 0; j < N; j++)
+      L[i][j] = (double)(i + N - j + 1) * 2 / N;
+  }
+
+  for (int i = 0; i < N; i++) {
+    x[i] = b[i];
+    for (int j = 0; j < i; j++)
+      x[i] -= L[i][j] * x[j];
+    x[i] = x[i] / L[i][i];
+  }
+
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    s += x[i];
+  return s;
+}

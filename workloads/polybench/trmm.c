@@ -1,0 +1,28 @@
+/* Polybench trmm: B := alpha*A^T*B, A lower triangular (MINI-scaled). */
+#define M 30
+#define N 35
+
+double kernel_trmm() {
+  double alpha = 1.5;
+  double A[M][M];
+  double B[M][N];
+  for (int i = 0; i < M; i++) {
+    for (int j = 0; j < M; j++)
+      A[i][j] = (double)((i * j) % M) / M;
+    for (int j = 0; j < N; j++)
+      B[i][j] = (double)((N + (i - j)) % N) / N;
+  }
+
+  for (int i = 0; i < M; i++)
+    for (int j = 0; j < N; j++) {
+      for (int k = i + 1; k < M; k++)
+        B[i][j] += A[k][i] * B[k][j];
+      B[i][j] = alpha * B[i][j];
+    }
+
+  double s = 0.0;
+  for (int i = 0; i < M; i++)
+    for (int j = 0; j < N; j++)
+      s += B[i][j];
+  return s;
+}

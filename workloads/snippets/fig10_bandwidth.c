@@ -1,0 +1,29 @@
+/* Paper Fig. 10a — TheBandwidthBenchmark snippet: init, sum-reduce, and
+ * scale sweeps over one array, with the characteristic save/restore of
+ * a[10] around the reduction. Scaled for the interpreted substrate. */
+
+#define N 4000
+#define NTIMES 10
+
+double bandwidth() {
+  double *a = (double *)malloc(N * sizeof(double));
+  double scalar = 0.5;
+  double total = 0.0;
+  for (int i = 0; i < N; i++)
+    a[i] = 2.0;
+  for (int k = 0; k < NTIMES; k++) {
+    for (int i = 0; i < N; i++)
+      a[i] = scalar;
+    double tmp = a[10];
+    double sum = 0.0;
+    for (int i = 0; i < N; i++)
+      sum += a[i];
+    a[10] = sum;
+    a[10] = tmp;
+    for (int i = 0; i < N; i++)
+      a[i] = a[i] * scalar;
+    total += sum;
+  }
+  free(a);
+  return total;
+}

@@ -1,0 +1,24 @@
+/* Paper Fig. 2a — the motivating example. Both arrays are heap temporaries;
+ * only B[0] is observable. DCIR elides every loop (dead-memory elimination
+ * plus constant write propagation); control-centric compilers keep at least
+ * the third loop alive. Sizes are scaled from the paper's 100000/10000 so
+ * interpreted runs stay fast; the *relative* behaviour is unchanged. */
+
+#define N 1000
+#define M 100
+
+int example() {
+  int *A = (int *)malloc(N * sizeof(int));
+  int *B = (int *)malloc(N * sizeof(int));
+  for (int i = 0; i < N; ++i) {
+    A[i] = 5;
+    for (int j = 0; j < N; ++j)
+      B[j] = A[i];
+    for (int j = 0; j < M; ++j)
+      A[j] = A[i];
+  }
+  int res = B[0];
+  free(A);
+  free(B);
+  return res;
+}

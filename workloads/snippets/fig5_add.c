@@ -1,0 +1,15 @@
+/* Paper Fig. 5a — the two-pointer add walked through the conversion
+ * pipeline (§5). Wrapped so it can execute standalone. */
+
+int fName(int *A, int *B) { return *A + *B; }
+
+int fig5_driver() {
+  int *A = (int *)malloc(4 * sizeof(int));
+  int *B = (int *)malloc(4 * sizeof(int));
+  A[0] = 19;
+  B[0] = 23;
+  int r = fName(A, B);
+  free(A);
+  free(B);
+  return r;
+}

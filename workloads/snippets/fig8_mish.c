@@ -1,0 +1,36 @@
+/* Paper Fig. 8a — the Mish activation x -> log(1 + exp(x)) as the
+ * Torch-MLIR pipeline lowers it: one loop per tensor operator with a fresh
+ * intermediate tensor for every step (eager-style execution). Data-centric
+ * optimization fuses the loops and removes the intermediate allocations.
+ * (The paper's Mish truncates at the softplus; the tanh-mul completion is
+ * exercised by the extended variant in bench/fig8_mish.cpp.) */
+
+#define N 16384
+
+double mish_softplus() {
+  double *x = (double *)malloc(N * sizeof(double));
+  double *t1 = (double *)malloc(N * sizeof(double));
+  double *t2 = (double *)malloc(N * sizeof(double));
+  double *out = (double *)malloc(N * sizeof(double));
+  for (int i = 0; i < N; i++)
+    x[i] = -2.0 + 4.0 * (double)i / N;
+
+  /* exp(x) */
+  for (int i = 0; i < N; i++)
+    t1[i] = exp(x[i]);
+  /* 1 + exp(x) */
+  for (int i = 0; i < N; i++)
+    t2[i] = 1.0 + t1[i];
+  /* log(1 + exp(x)) */
+  for (int i = 0; i < N; i++)
+    out[i] = log(t2[i]);
+
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    s += out[i];
+  free(x);
+  free(t1);
+  free(t2);
+  free(out);
+  return s;
+}

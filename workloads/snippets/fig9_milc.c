@@ -1,0 +1,64 @@
+/* Paper Fig. 9a — the multi-mass conjugate gradient snippet from the MILC
+ * lattice QCD code (congrad_multi_field.c), wrapped to run in isolation as
+ * in the paper's artifact. The zeta/beta arrays are heap temporaries of
+ * which several are never observed after the loop — data-centric passes
+ * eliminate them (the paper reports two 10,000-double arrays removed).
+ * Sizes scaled for the interpreted substrate. */
+
+#define NORDER 20
+#define LEN 2000
+#define ITERS 25
+
+double milc_congrad() {
+  double *zeta_i = (double *)malloc(LEN * sizeof(double));
+  double *zeta_im1 = (double *)malloc(LEN * sizeof(double));
+  double *zeta_ip1 = (double *)malloc(LEN * sizeof(double));
+  double *beta_i = (double *)malloc(LEN * sizeof(double));
+  double *beta_im1 = (double *)malloc(LEN * sizeof(double));
+  double *alpha = (double *)malloc(LEN * sizeof(double));
+  double *shift = (double *)malloc(LEN * sizeof(double));
+  int *converged = (int *)malloc(LEN * sizeof(int));
+
+  for (int j = 0; j < NORDER; j++) {
+    zeta_i[j] = 1.0;
+    zeta_im1[j] = 1.0;
+    zeta_ip1[j] = 0.0;
+    beta_i[j] = 0.5 + 0.001 * j;
+    beta_im1[j] = 1.0;
+    alpha[j] = 0.125;
+    shift[j] = 0.01 * j;
+    converged[j] = j % 7 == 0 ? 1 : 0;
+  }
+
+  for (int it = 0; it < ITERS; it++) {
+    for (int j = 1; j < NORDER; j++) {
+      if (converged[j] == 0) {
+        zeta_ip1[j] = zeta_i[j] * zeta_im1[j] * beta_im1[0];
+        double c1 = beta_i[0] * alpha[0] * (zeta_im1[j] - zeta_i[j]);
+        double c2 =
+            zeta_im1[j] * beta_im1[0] *
+            (1.0 - (shift[j] - shift[0]) * beta_i[0]);
+        zeta_ip1[j] /= c1 + c2;
+        beta_i[j] = beta_i[0] * zeta_ip1[j] / zeta_i[j];
+      }
+    }
+    for (int j = 1; j < NORDER; j++) {
+      zeta_im1[j] = zeta_i[j];
+      zeta_i[j] = zeta_ip1[j];
+    }
+  }
+
+  double s = 0.0;
+  for (int j = 0; j < NORDER; j++)
+    s += beta_i[j] + zeta_i[j];
+
+  free(zeta_i);
+  free(zeta_im1);
+  free(zeta_ip1);
+  free(beta_i);
+  free(beta_im1);
+  free(alpha);
+  free(shift);
+  free(converged);
+  return s;
+}
