@@ -9,22 +9,62 @@
 /// runtime per pipeline plus the interpreter's PAPI-substitute counters —
 /// and (b) registers google-benchmark timers over pre-compiled artifacts.
 ///
+/// All benches accept `--engine=interp|native` (parseEngineFlag): native
+/// runs SDFG artifacts through the JIT engine, so the figures can report
+/// native numbers alongside the interpreter counters.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DCIR_BENCH_BENCHCOMMON_H
 #define DCIR_BENCH_BENCHCOMMON_H
 
+#include "exec/ExecutionEngine.h"
 #include "pipeline/Pipeline.h"
 
 #include <algorithm>
 #include <benchmark/benchmark.h>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 namespace dcir {
 namespace bench {
+
+/// Extracts `--engine=<name>` from argv (so benchmark::Initialize never
+/// sees it) and returns the selected engine; interp when absent.
+inline exec::EngineKind parseEngineFlag(int &argc, char **argv) {
+  exec::EngineKind Engine = exec::EngineKind::Interp;
+  int Out = 1;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--engine=", 9) == 0) {
+      auto Parsed = exec::parseEngineName(argv[I] + 9);
+      if (!Parsed) {
+        std::fprintf(stderr,
+                     "unknown engine '%s' (expected interp|native)\n",
+                     argv[I] + 9);
+        std::exit(2);
+      }
+      Engine = *Parsed;
+      continue; // Strip the flag.
+    }
+    argv[Out++] = argv[I];
+  }
+  argc = Out;
+  return Engine;
+}
+
+/// "DCIR" / "DCIR+jit": the Config column of the summary table.
+inline std::string configName(pipeline::PipelineKind Kind,
+                              exec::EngineKind Engine) {
+  std::string Name = pipeline::pipelineName(Kind);
+  if (Engine == exec::EngineKind::Native)
+    Name += "+jit";
+  return Name;
+}
 
 inline const std::vector<pipeline::PipelineKind> &allPipelines() {
   using pipeline::PipelineKind;
@@ -37,10 +77,11 @@ inline const std::vector<pipeline::PipelineKind> &allPipelines() {
 /// Compiles (aborting on failure) and caches an artifact.
 inline std::shared_ptr<pipeline::Compiled>
 compileOrDie(const std::string &Source, const std::string &Entry,
-             pipeline::PipelineKind Kind) {
+             pipeline::PipelineKind Kind,
+             exec::EngineKind Engine = exec::EngineKind::Interp) {
   DiagnosticEngine Diags;
   auto C = std::make_shared<pipeline::Compiled>(
-      pipeline::compile(Source, Entry, Kind, Diags));
+      pipeline::compile(Source, Entry, Kind, Diags, Engine));
   if (!C->Module && !C->Graph) {
     std::fprintf(stderr, "bench: %s failed to compile %s:\n%s\n",
                  pipeline::pipelineName(Kind), Entry.c_str(),
@@ -74,6 +115,44 @@ inline void printRow(const char *Workload, const char *Config,
               static_cast<unsigned long long>(R.Stats.HeapAllocs),
               R.ReturnValue);
 }
+
+/// Accumulates rows and writes a machine-readable BENCH_<fig>.json next
+/// to the human table, so the perf trajectory is trackable across PRs.
+class JsonReporter {
+public:
+  explicit JsonReporter(std::string Path) : Path(std::move(Path)) {}
+
+  void add(const std::string &Kernel, pipeline::PipelineKind Kind,
+           exec::EngineKind Engine, const pipeline::RunResult &R) {
+    char Buf[512];
+    std::snprintf(Buf, sizeof(Buf),
+                  "  {\"kernel\": \"%s\", \"pipeline\": \"%s\", "
+                  "\"engine\": \"%s\", \"median_ns\": %.0f, "
+                  "\"result\": %.17g}",
+                  Kernel.c_str(), pipeline::pipelineName(Kind),
+                  exec::engineName(Engine), R.Seconds * 1e9, R.ReturnValue);
+    Rows.push_back(Buf);
+  }
+
+  /// Writes the file; returns false (and warns) on I/O failure.
+  bool write() const {
+    std::ofstream Out(Path);
+    if (!Out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", Path.c_str());
+      return false;
+    }
+    Out << "[\n";
+    for (size_t I = 0; I < Rows.size(); ++I)
+      Out << Rows[I] << (I + 1 < Rows.size() ? ",\n" : "\n");
+    Out << "]\n";
+    std::printf("wrote %s (%zu rows)\n", Path.c_str(), Rows.size());
+    return Out.good();
+  }
+
+private:
+  std::string Path;
+  std::vector<std::string> Rows;
+};
 
 /// Registers a google-benchmark timer over a pre-compiled artifact.
 inline void registerPipelineBenchmark(

@@ -98,16 +98,26 @@ std::unique_ptr<sdfg::SDFG> compileDcirWithToggles(const std::string &Source,
   return G;
 }
 
-double runOnce(const sdfg::SDFG &G, interp::ExecutionStats *Stats) {
-  interp::SDFGInterpreter I(G);
-  I.run();
+/// Returns the checksum; \p Seconds receives execution-only time (JIT
+/// compilation must not pollute the ablation deltas).
+double runOnce(const sdfg::SDFG &G, exec::EngineKind Engine,
+               interp::ExecutionStats *Stats, double *Seconds) {
+  exec::EngineRun R = exec::createEngine(Engine)->runGraph(
+      G, interp::MathMode::Precise);
+  if (!R.Ok) {
+    std::fprintf(stderr, "ablation: %s engine failed:\n%s\n",
+                 exec::engineName(Engine), R.Error.c_str());
+    std::abort();
+  }
   if (Stats)
-    *Stats = I.stats();
-  return G.hasData("__return") ? I.readScalar("__return").asF() : 0.0;
+    *Stats = R.Stats;
+  if (Seconds)
+    *Seconds = R.Seconds;
+  return R.ReturnValue;
 }
 
 void ablate(const char *Workload, const std::string &Source,
-            const std::string &Entry) {
+            const std::string &Entry, exec::EngineKind Engine) {
   struct Case {
     const char *Label;
     Toggle T;
@@ -122,12 +132,8 @@ void ablate(const char *Workload, const std::string &Source,
   for (const Case &C : Cases) {
     auto G = compileDcirWithToggles(Source, Entry, C.T);
     interp::ExecutionStats Stats;
-    auto Start = std::chrono::steady_clock::now();
-    double Result = runOnce(*G, &Stats);
-    double Sec =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      Start)
-            .count();
+    double Sec = 0.0;
+    double Result = runOnce(*G, Engine, &Stats, &Sec);
     std::printf("%-12s %-14s %10.3f ms  work=%-10llu heap_allocs=%-4llu "
                 "result=%.6g\n",
                 Workload, C.Label, Sec * 1e3,
@@ -139,13 +145,18 @@ void ablate(const char *Workload, const std::string &Source,
 } // namespace
 
 int main(int argc, char **argv) {
+  exec::EngineKind Engine = parseEngineFlag(argc, argv);
   std::printf("=== Ablation: DCIR with individual pass families disabled "
-              "===\n");
-  ablate("fig2", loadWorkload("snippets/fig2_motivating.c"), "example");
+              "(engine=%s) ===\n",
+              exec::engineName(Engine));
+  ablate("fig2", loadWorkload("snippets/fig2_motivating.c"), "example",
+         Engine);
   ablate("bandwidth", loadWorkload("snippets/fig10_bandwidth.c"),
-         "bandwidth");
-  ablate("mish", loadWorkload("snippets/fig8_mish.c"), "mish_softplus");
-  ablate("gesummv", loadWorkload("polybench/gesummv.c"), "kernel_gesummv");
+         "bandwidth", Engine);
+  ablate("mish", loadWorkload("snippets/fig8_mish.c"), "mish_softplus",
+         Engine);
+  ablate("gesummv", loadWorkload("polybench/gesummv.c"), "kernel_gesummv",
+         Engine);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -18,18 +18,21 @@ using namespace dcir::bench;
 using namespace dcir::pipeline;
 
 int main(int argc, char **argv) {
+  exec::EngineKind Engine = parseEngineFlag(argc, argv);
   std::string Source = loadWorkload("snippets/fig2_motivating.c");
 
   std::printf("=== Fig. 2: mixed control- and data-centric analysis ===\n");
   for (PipelineKind K : allPipelines()) {
-    auto C = compileOrDie(Source, "example", K);
-    printRow("fig2", pipelineName(K), medianRun(*C));
+    auto C = compileOrDie(Source, "example", K, Engine);
+    RunResult R = medianRun(*C);
+    printRow("fig2", configName(K, R.EngineUsed).c_str(), R);
     if (K == PipelineKind::Dcir)
       std::printf("    DCIR eliminated %u containers "
                   "(%u scalars promoted, %u loops removed)\n",
                   C->Report.containersEliminated(), C->Report.ScalarsPromoted,
                   C->Report.EmptyLoopsRemoved);
-    registerPipelineBenchmark(std::string("fig2/") + pipelineName(K), C);
+    registerPipelineBenchmark(
+        std::string("fig2/") + configName(K, R.EngineUsed), C);
   }
 
   benchmark::Initialize(&argc, argv);

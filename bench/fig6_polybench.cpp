@@ -23,21 +23,29 @@ using namespace dcir::bench;
 using namespace dcir::pipeline;
 
 int main(int argc, char **argv) {
-  std::printf("=== Fig. 6: Polybench/C, 29 kernels x 5 pipelines ===\n");
+  exec::EngineKind Engine = parseEngineFlag(argc, argv);
+  std::printf("=== Fig. 6: Polybench/C, 29 kernels x 5 pipelines "
+              "(engine=%s) ===\n",
+              exec::engineName(Engine));
   // Geomean of (baseline / DCIR) per baseline pipeline.
   std::map<PipelineKind, double> LogSpeedupSum;
   int KernelCount = 0;
+  JsonReporter Json("BENCH_fig6.json");
 
   for (const PolybenchKernel &K : polybenchKernels()) {
     std::string Source = loadWorkload(K.File);
     std::map<PipelineKind, double> Seconds;
     for (PipelineKind Kind : allPipelines()) {
-      auto C = compileOrDie(Source, K.Entry, Kind);
+      auto C = compileOrDie(Source, K.Entry, Kind, Engine);
       RunResult R = medianRun(*C, 3);
       Seconds[Kind] = R.Seconds;
-      printRow(K.Name, pipelineName(Kind), R);
-      registerPipelineBenchmark(
-          std::string("fig6/") + K.Name + "/" + pipelineName(Kind), C);
+      // Label rows by the engine that actually ran (a native request can
+      // fall back to the interpreter for module artifacts).
+      printRow(K.Name, configName(Kind, R.EngineUsed).c_str(), R);
+      Json.add(K.Name, Kind, R.EngineUsed, R);
+      registerPipelineBenchmark(std::string("fig6/") + K.Name + "/" +
+                                    configName(Kind, R.EngineUsed),
+                                C);
     }
     ++KernelCount;
     for (PipelineKind Kind : allPipelines())
@@ -54,6 +62,7 @@ int main(int argc, char **argv) {
     std::printf("  vs %-6s : %.2fx\n", pipelineName(Kind),
                 std::exp(LogSpeedupSum[Kind] / KernelCount));
   }
+  Json.write();
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

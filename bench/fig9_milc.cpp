@@ -11,19 +11,20 @@ using namespace dcir::bench;
 using namespace dcir::pipeline;
 
 int main(int argc, char **argv) {
+  exec::EngineKind Engine = parseEngineFlag(argc, argv);
   std::string Source = loadWorkload("snippets/fig9_milc.c");
 
   std::printf("=== Fig. 9: MILC congrad_multi_field snippet ===\n");
   for (PipelineKind K : allPipelines()) {
-    auto C = compileOrDie(Source, "milc_congrad", K);
+    auto C = compileOrDie(Source, "milc_congrad", K, Engine);
     RunResult R = medianRun(*C);
-    printRow("milc", pipelineName(K), R);
+    printRow("milc", configName(K, R.EngineUsed).c_str(), R);
     if (K == PipelineKind::Dcir)
       std::printf("    DCIR eliminated %u containers (the paper reports "
                   "two 10,000-double arrays removed)\n",
                   C->Report.containersEliminated());
-    registerPipelineBenchmark(std::string("fig9/milc/") + pipelineName(K),
-                              C);
+    registerPipelineBenchmark(
+        std::string("fig9/milc/") + configName(K, R.EngineUsed), C);
   }
 
   benchmark::Initialize(&argc, argv);

@@ -23,14 +23,31 @@
 #include "support/Diagnostics.h"
 
 #include <string>
+#include <vector>
 
 namespace dcir {
 namespace codegen {
 
+/// The call contract shared by the emitter and the native execution engine:
+/// the typed entry point takes the SDFG's non-transient containers in
+/// `Args` order (arrays and scalars both pass as `T*`), followed by the
+/// free symbols in `FreeSymbols` order as `long long` values. Symbols
+/// assigned on interstate edges are SDFG-internal and never appear.
+struct CallSignature {
+  std::vector<std::string> Args;
+  std::vector<std::string> FreeSymbols; // Sorted, deterministic.
+};
+
+/// Computes the deterministic call signature of \p G's generated entry.
+CallSignature callSignature(const sdfg::SDFG &G);
+
 /// Emits a C++ translation unit defining
-/// `extern "C" void <name>(<args>, <symbols>)`. Arrays pass as `T*`,
-/// scalars as `T*` (in-out), symbols as `long long`. Returns an empty
-/// string on failure.
+/// `extern "C" void <name>(<args>, <symbols>)` (see callSignature), plus a
+/// uniform-ABI trampoline `extern "C" void <name>__dcir_call(void **args,
+/// const long long *symbols)` that unpacks pointers/symbols in signature
+/// order — the entry point the JIT engine resolves via dlsym. The output is
+/// self-contained and compiles warning-free under -Wall -Wextra. Returns an
+/// empty string on failure.
 std::string emitCpp(const sdfg::SDFG &G, DiagnosticEngine &Diags);
 
 } // namespace codegen

@@ -1,0 +1,51 @@
+//===- ExecutionEngine.cpp ----------------------------------------------------------===//
+
+#include "exec/ExecutionEngine.h"
+
+#include "exec/InterpEngine.h"
+#include "exec/NativeJitEngine.h"
+
+using namespace dcir;
+using namespace dcir::exec;
+
+const char *dcir::exec::engineName(EngineKind K) {
+  switch (K) {
+  case EngineKind::Interp:
+    return "interp";
+  case EngineKind::Native:
+    return "native";
+  }
+  return "?";
+}
+
+std::optional<EngineKind>
+dcir::exec::parseEngineName(const std::string &Name) {
+  if (Name == "interp" || Name == "interpreter")
+    return EngineKind::Interp;
+  if (Name == "native" || Name == "jit")
+    return EngineKind::Native;
+  return std::nullopt;
+}
+
+std::unique_ptr<ExecutionEngine> dcir::exec::createEngine(EngineKind K) {
+  switch (K) {
+  case EngineKind::Interp:
+    return std::make_unique<InterpEngine>();
+  case EngineKind::Native:
+    return std::make_unique<NativeJitEngine>();
+  }
+  return nullptr;
+}
+
+std::int64_t dcir::exec::detail::evalDimOrZero(
+    const sym::SymExpr &E,
+    const std::map<std::string, std::int64_t> &Symbols) {
+  if (auto V = E.evaluate(Symbols))
+    return *V;
+  std::set<std::string> Free;
+  E.collectSymbols(Free);
+  std::map<std::string, std::int64_t> Extended = Symbols;
+  for (const std::string &S : Free)
+    Extended.emplace(S, 0);
+  return E.evaluate(Extended).value_or(0);
+}

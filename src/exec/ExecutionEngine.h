@@ -1,0 +1,104 @@
+//===- ExecutionEngine.h - pluggable SDFG/module execution backends -----------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution layer every pipeline artifact runs through (see DESIGN.md).
+/// Two engines implement the interface:
+///
+///   InterpEngine     the in-process interpreters (MLIRInterpreter for
+///                    dialect modules, SDFGInterpreter for graphs) — exact
+///                    PAPI-substitute counters, no compilation step.
+///   NativeJitEngine  lowers an SDFG through codegen::CppCodegen, compiles
+///                    the result to a shared object with the host C++
+///                    compiler (cached on disk, see JitCache), dlopens it
+///                    and calls the uniform `<entry>__dcir_call` ABI —
+///                    native speed, no interpreter counters.
+///
+/// Engines execute on caller-provided buffers: every non-transient
+/// container is bound before the run and snapshotted into
+/// EngineRun::Outputs afterwards, so differential tests can compare full
+/// output arrays, not just the checksum.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_EXEC_EXECUTIONENGINE_H
+#define DCIR_EXEC_EXECUTIONENGINE_H
+
+#include "interp/FastMath.h"
+#include "interp/Stats.h"
+#include "ir/IR.h"
+#include "sdfg/SDFG.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dcir {
+namespace exec {
+
+enum class EngineKind { Interp, Native };
+
+/// Display name: "interp" / "native".
+const char *engineName(EngineKind K);
+
+/// Parses an engine name (as accepted by --engine=); nullopt on unknown.
+std::optional<EngineKind> parseEngineName(const std::string &Name);
+
+/// The outcome of one engine execution.
+struct EngineRun {
+  bool Ok = false;
+  std::string Error; // Set when !Ok.
+  /// Value of the `__return` scalar (0 when the artifact has none).
+  double ReturnValue = 0.0;
+  /// Interpreter counters; zero for native runs (hardware is the counter).
+  interp::ExecutionStats Stats;
+  /// Wall-clock of the execution itself.
+  double Seconds = 0.0;
+  /// Wall-clock spent producing the native artifact (0 on cache hits and
+  /// for the interpreter).
+  double CompileSeconds = 0.0;
+  /// Post-run contents of every non-transient container, widened to
+  /// double, keyed by container name.
+  std::map<std::string, std::vector<double>> Outputs;
+};
+
+class ExecutionEngine {
+public:
+  virtual ~ExecutionEngine() = default;
+
+  virtual EngineKind kind() const = 0;
+  const char *name() const { return engineName(kind()); }
+
+  /// Runs an MLIR-dialect module artifact (GCC/Clang/MLIR pipelines).
+  /// Engines without a native module path fall back to the interpreter.
+  virtual EngineRun runModule(ir::Operation *Module, const std::string &Entry,
+                              interp::MathMode Mode) = 0;
+
+  /// Runs an SDFG artifact (DaCe/DCIR pipelines). \p Symbols binds free
+  /// symbols (sizes); unbound free symbols default to 0.
+  virtual EngineRun
+  runGraph(const sdfg::SDFG &G, interp::MathMode Mode,
+           const std::map<std::string, std::int64_t> &Symbols = {}) = 0;
+};
+
+/// Engine factory. Native engines share the process-wide JitCache.
+std::unique_ptr<ExecutionEngine> createEngine(EngineKind K);
+
+namespace detail {
+/// Evaluates a shape dimension against the symbol bindings; unbound
+/// symbols default to 0 (the engine contract — both engines must size
+/// argument buffers identically).
+std::int64_t evalDimOrZero(const sym::SymExpr &E,
+                           const std::map<std::string, std::int64_t> &Symbols);
+} // namespace detail
+
+} // namespace exec
+} // namespace dcir
+
+#endif // DCIR_EXEC_EXECUTIONENGINE_H

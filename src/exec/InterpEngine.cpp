@@ -1,0 +1,74 @@
+//===- InterpEngine.cpp -------------------------------------------------------------===//
+
+#include "exec/InterpEngine.h"
+
+#include "interp/MLIRInterp.h"
+#include "interp/SDFGInterp.h"
+
+#include <chrono>
+
+using namespace dcir;
+using namespace dcir::exec;
+
+namespace {
+
+/// Allocates a zeroed buffer for a non-transient container.
+interp::BufferPtr
+allocArg(const sdfg::DataDesc &D,
+         const std::map<std::string, std::int64_t> &Symbols) {
+  std::vector<std::int64_t> Shape;
+  for (const sym::SymExpr &Dim : D.Shape)
+    Shape.push_back(detail::evalDimOrZero(Dim, Symbols));
+  return interp::Buffer::create(D.Ty, std::move(Shape));
+}
+
+std::vector<double> widen(const interp::Buffer &B) {
+  if (B.Ty == sdfg::DType::I64)
+    return std::vector<double>(B.I.begin(), B.I.end());
+  return B.F;
+}
+
+} // namespace
+
+EngineRun InterpEngine::runModule(ir::Operation *Module,
+                                  const std::string &Entry,
+                                  interp::MathMode Mode) {
+  EngineRun R;
+  auto Start = std::chrono::steady_clock::now();
+  interp::MLIRInterpreter Interp(Module, Mode);
+  std::vector<interp::MValue> Results = Interp.call(Entry, {});
+  if (!Results.empty())
+    R.ReturnValue = Results[0].S.asF();
+  R.Stats = Interp.stats();
+  auto End = std::chrono::steady_clock::now();
+  R.Seconds = std::chrono::duration<double>(End - Start).count();
+  R.Ok = true;
+  return R;
+}
+
+EngineRun
+InterpEngine::runGraph(const sdfg::SDFG &G, interp::MathMode Mode,
+                       const std::map<std::string, std::int64_t> &Symbols) {
+  EngineRun R;
+  interp::SDFGInterpreter Interp(G, Mode);
+  for (const auto &[Name, V] : Symbols)
+    Interp.setSymbol(Name, V);
+  // Bind caller-owned buffers for every non-transient container.
+  std::map<std::string, interp::BufferPtr> Args;
+  for (const std::string &Arg : G.args()) {
+    interp::BufferPtr B = allocArg(G.desc(Arg), Symbols);
+    Args[Arg] = B;
+    Interp.bind(Arg, B);
+  }
+  auto Start = std::chrono::steady_clock::now();
+  Interp.run();
+  auto End = std::chrono::steady_clock::now();
+  R.Seconds = std::chrono::duration<double>(End - Start).count();
+  if (G.hasData("__return"))
+    R.ReturnValue = Interp.readScalar("__return").asF();
+  R.Stats = Interp.stats();
+  for (const auto &[Name, B] : Args)
+    R.Outputs[Name] = widen(*B);
+  R.Ok = true;
+  return R;
+}

@@ -1,0 +1,38 @@
+//===- InterpEngine.h - interpreter-backed execution engine -------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wraps the existing MLIR and SDFG interpreters behind the ExecutionEngine
+/// interface. Non-transient containers are allocated and bound up front
+/// (they are the artifact's inputs/outputs, owned by the caller — binding
+/// them also keeps them out of the heap-allocation counters).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_EXEC_INTERPENGINE_H
+#define DCIR_EXEC_INTERPENGINE_H
+
+#include "exec/ExecutionEngine.h"
+
+namespace dcir {
+namespace exec {
+
+class InterpEngine : public ExecutionEngine {
+public:
+  EngineKind kind() const override { return EngineKind::Interp; }
+
+  EngineRun runModule(ir::Operation *Module, const std::string &Entry,
+                      interp::MathMode Mode) override;
+
+  EngineRun
+  runGraph(const sdfg::SDFG &G, interp::MathMode Mode,
+           const std::map<std::string, std::int64_t> &Symbols = {}) override;
+};
+
+} // namespace exec
+} // namespace dcir
+
+#endif // DCIR_EXEC_INTERPENGINE_H

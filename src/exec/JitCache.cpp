@@ -1,0 +1,196 @@
+//===- JitCache.cpp -----------------------------------------------------------------===//
+
+#include "exec/JitCache.h"
+
+#include "support/StringUtils.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <dlfcn.h>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+using namespace dcir;
+using namespace dcir::exec;
+
+namespace fs = std::filesystem;
+
+#ifndef DCIR_HOST_CXX
+#define DCIR_HOST_CXX "c++"
+#endif
+
+namespace {
+
+std::string defaultRoot() {
+  if (const char *Dir = std::getenv("DCIR_CACHE_DIR"))
+    return Dir;
+  if (const char *Xdg = std::getenv("XDG_CACHE_HOME"))
+    return std::string(Xdg) + "/dcir";
+  if (const char *Home = std::getenv("HOME"))
+    return std::string(Home) + "/.cache/dcir";
+  return fs::temp_directory_path().string() + "/dcir-cache";
+}
+
+std::string detectCompiler() {
+  if (const char *C = std::getenv("DCIR_CXX"))
+    return C;
+  if (const char *C = std::getenv("CXX"))
+    return C;
+  return DCIR_HOST_CXX; // Configure-time CMAKE_CXX_COMPILER.
+}
+
+std::string detectFlags() {
+  std::string Flags = "-std=c++17 -O2 -fPIC -shared -Wall -Wextra";
+  if (const char *Extra = std::getenv("DCIR_CXXFLAGS")) {
+    Flags += " ";
+    Flags += Extra;
+  }
+  return Flags;
+}
+
+/// 128-bit content hash as two independent 64-bit FNV-1a streams.
+std::string fnv128Hex(const std::string &Data) {
+  std::uint64_t A = 1469598103934665603ull; // FNV offset basis.
+  std::uint64_t B = 1099511628211ull * 31 + 0x9e3779b97f4a7c15ull;
+  for (unsigned char C : Data) {
+    A = (A ^ C) * 1099511628211ull;
+    B = (B ^ (C + 0x9eu)) * 1099511628211ull;
+  }
+  char Buf[33];
+  std::snprintf(Buf, sizeof(Buf), "%016llx%016llx",
+                static_cast<unsigned long long>(A),
+                static_cast<unsigned long long>(B));
+  return Buf;
+}
+
+std::string quoted(const std::string &Path) { return "\"" + Path + "\""; }
+
+bool writeAtomically(const fs::path &Final, const std::string &Content,
+                     const std::string &TempSuffix) {
+  fs::path Temp = Final;
+  Temp += TempSuffix;
+  {
+    std::ofstream Out(Temp, std::ios::binary);
+    if (!Out)
+      return false;
+    Out << Content;
+    if (!Out.good())
+      return false;
+  }
+  std::error_code EC;
+  fs::rename(Temp, Final, EC);
+  return !EC;
+}
+
+} // namespace
+
+JitCache::JitCache() : JitCache(defaultRoot()) {}
+
+JitCache::JitCache(std::string RootDir)
+    : Root(std::move(RootDir)), Cxx(detectCompiler()), Flags(detectFlags()) {
+  std::error_code EC;
+  fs::create_directories(Root, EC);
+}
+
+JitCache &JitCache::shared() {
+  static JitCache *Instance = new JitCache(); // Never destroyed: handles
+  return *Instance;                           // must outlive native code.
+}
+
+std::string JitCache::keyFor(const std::string &Source) const {
+  return fnv128Hex(Cxx + "\x1f" + Flags + "\x1f" + Source);
+}
+
+JitCache::Stats JitCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return S;
+}
+
+void JitCache::noteMemoHit() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++S.Hits;
+}
+
+void *JitCache::getOrCompile(const std::string &Source,
+                             DiagnosticEngine &Diags,
+                             double *CompileSeconds) {
+  if (CompileSeconds)
+    *CompileSeconds = 0.0;
+  std::string Key = keyFor(Source);
+  std::lock_guard<std::mutex> Lock(Mu);
+
+  auto It = Handles.find(Key);
+  if (It != Handles.end()) {
+    ++S.Hits;
+    return It->second;
+  }
+
+  fs::path So = fs::path(Root) / (Key + ".so");
+  std::error_code EC;
+  if (fs::exists(So, EC)) {
+    ++S.Hits;
+  } else {
+    ++S.Misses;
+    auto Start = std::chrono::steady_clock::now();
+    std::string Path = compileLocked(Key, Source, Diags);
+    if (CompileSeconds)
+      *CompileSeconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - Start)
+                            .count();
+    if (Path.empty())
+      return nullptr;
+  }
+
+  void *Handle = dlopen(So.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle) {
+    const char *Err = dlerror();
+    Diags.error("jit cache: dlopen failed for " + So.string() + ": " +
+                (Err ? Err : "unknown error"));
+    return nullptr;
+  }
+  Handles[Key] = Handle;
+  return Handle;
+}
+
+std::string JitCache::compileLocked(const std::string &Key,
+                                    const std::string &Source,
+                                    DiagnosticEngine &Diags) {
+  std::string TempSuffix = ".tmp." + std::to_string(::getpid()) + "." +
+                           std::to_string(TempCounter++);
+  fs::path Cpp = fs::path(Root) / (Key + ".cpp");
+  fs::path So = fs::path(Root) / (Key + ".so");
+  if (!writeAtomically(Cpp, Source, TempSuffix)) {
+    Diags.error("jit cache: cannot write source " + Cpp.string());
+    return std::string();
+  }
+
+  // Compile into a private temp and publish with an atomic rename so a
+  // concurrent process sharing this root never loads a partial object.
+  fs::path SoTemp = So;
+  SoTemp += TempSuffix;
+  fs::path Log = So;
+  Log += TempSuffix + ".log";
+  std::string Cmd = Cxx + " " + Flags + " -o " + quoted(SoTemp.string()) +
+                    " " + quoted(Cpp.string()) + " 2> " +
+                    quoted(Log.string());
+  ++S.CompilerInvocations;
+  int Rc = std::system(Cmd.c_str());
+  std::string CompilerOutput;
+  readFileToString(Log.string(), CompilerOutput);
+  std::error_code EC;
+  fs::remove(Log, EC);
+  if (Rc != 0) {
+    fs::remove(SoTemp, EC);
+    Diags.error("jit cache: host compiler failed (command: " + Cmd +
+                "):\n" + CompilerOutput);
+    return std::string();
+  }
+  fs::rename(SoTemp, So, EC);
+  if (EC) {
+    Diags.error("jit cache: cannot publish artifact " + So.string() + ": " +
+                EC.message());
+    return std::string();
+  }
+  return So.string();
+}

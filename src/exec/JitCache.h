@@ -1,0 +1,98 @@
+//===- JitCache.h - content-addressed native artifact cache -------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk shared-object cache behind NativeJitEngine. Artifacts are
+/// content-addressed: the key is a 128-bit FNV-1a hash of the compiler
+/// path, the compile flags, and the generated source, so a change to any
+/// of them produces a new entry and identical kernels across runs reuse
+/// the same `.so` without invoking the compiler.
+///
+/// Layout (root = $DCIR_CACHE_DIR, else $XDG_CACHE_HOME/dcir, else
+/// ~/.cache/dcir):
+///
+///   <root>/<key>.cpp   the generated translation unit (debugging aid)
+///   <root>/<key>.so    the compiled shared object
+///
+/// Concurrency: in-process accesses serialize on a mutex; on-disk
+/// publication is write-to-temp + atomic rename, so concurrent processes
+/// sharing a root never observe a half-written artifact (worst case two
+/// processes compile the same key once each). dlopen handles are cached
+/// per key and never dlclosed — native code may be referenced for the
+/// process lifetime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_EXEC_JITCACHE_H
+#define DCIR_EXEC_JITCACHE_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace dcir {
+namespace exec {
+
+class JitCache {
+public:
+  /// Opens the default cache root (environment-driven, see file comment).
+  JitCache();
+  /// Opens an explicit root (tests use throwaway directories).
+  explicit JitCache(std::string Root);
+
+  JitCache(const JitCache &) = delete;
+  JitCache &operator=(const JitCache &) = delete;
+
+  /// The process-wide cache shared by default-constructed native engines.
+  static JitCache &shared();
+
+  struct Stats {
+    std::uint64_t Hits = 0;   // Artifact found on disk or in memory.
+    std::uint64_t Misses = 0; // Artifact had to be built.
+    std::uint64_t CompilerInvocations = 0;
+  };
+
+  /// Returns a dlopen handle for the shared object corresponding to
+  /// \p Source, compiling it first on a cache miss. Null on failure
+  /// (diagnostics explain; the compiler's stderr is included).
+  /// \p CompileSeconds, when non-null, receives the time spent in the
+  /// host compiler — exactly 0 on cache hits.
+  void *getOrCompile(const std::string &Source, DiagnosticEngine &Diags,
+                     double *CompileSeconds = nullptr);
+
+  /// Records a hit served from an engine-level memo (callers that cache
+  /// the resolved function pointer still report accurate hit counts).
+  void noteMemoHit();
+
+  /// The cache key getOrCompile would use for \p Source.
+  std::string keyFor(const std::string &Source) const;
+
+  const std::string &root() const { return Root; }
+  const std::string &compiler() const { return Cxx; }
+  const std::string &flags() const { return Flags; }
+  Stats stats() const;
+
+private:
+  std::string compileLocked(const std::string &Key,
+                            const std::string &Source,
+                            DiagnosticEngine &Diags);
+
+  mutable std::mutex Mu;
+  std::string Root;
+  std::string Cxx;
+  std::string Flags;
+  std::map<std::string, void *> Handles; // key -> dlopen handle
+  Stats S;
+  unsigned TempCounter = 0;
+};
+
+} // namespace exec
+} // namespace dcir
+
+#endif // DCIR_EXEC_JITCACHE_H

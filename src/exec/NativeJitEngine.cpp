@@ -1,0 +1,166 @@
+//===- NativeJitEngine.cpp ----------------------------------------------------------===//
+
+#include "exec/NativeJitEngine.h"
+
+#include "codegen/CppCodegen.h"
+#include "exec/InterpEngine.h"
+
+#include <chrono>
+#include <dlfcn.h>
+
+using namespace dcir;
+using namespace dcir::exec;
+
+namespace {
+
+/// The uniform ABI emitted by CppCodegen::emitTrampoline.
+using UniformFn = void (*)(void **, const long long *);
+
+/// One engine-allocated argument buffer (zero-initialized, like the
+/// interpreter's containers).
+struct ArgBuffer {
+  sdfg::DType Ty;
+  std::vector<double> F64;
+  std::vector<float> F32;
+  std::vector<long long> I64;
+
+  ArgBuffer(sdfg::DType Ty, size_t N) : Ty(Ty) {
+    switch (Ty) {
+    case sdfg::DType::F64:
+      F64.assign(N, 0.0);
+      break;
+    case sdfg::DType::F32:
+      F32.assign(N, 0.0f);
+      break;
+    case sdfg::DType::I64:
+      I64.assign(N, 0);
+      break;
+    }
+  }
+
+  void *data() {
+    switch (Ty) {
+    case sdfg::DType::F64:
+      return F64.data();
+    case sdfg::DType::F32:
+      return F32.data();
+    case sdfg::DType::I64:
+      return I64.data();
+    }
+    return nullptr;
+  }
+
+  std::vector<double> widened() const {
+    switch (Ty) {
+    case sdfg::DType::F64:
+      return F64;
+    case sdfg::DType::F32:
+      return std::vector<double>(F32.begin(), F32.end());
+    case sdfg::DType::I64:
+      return std::vector<double>(I64.begin(), I64.end());
+    }
+    return {};
+  }
+};
+
+EngineRun fail(std::string Error) {
+  EngineRun R;
+  R.Error = std::move(Error);
+  return R;
+}
+
+} // namespace
+
+EngineRun NativeJitEngine::runModule(ir::Operation *Module,
+                                     const std::string &Entry,
+                                     interp::MathMode Mode) {
+  InterpEngine Fallback;
+  return Fallback.runModule(Module, Entry, Mode);
+}
+
+const NativeJitEngine::Prepared *
+NativeJitEngine::prepare(const sdfg::SDFG &G, std::string &Error) {
+  auto It = Memo.find(&G);
+  if (It != Memo.end() && It->second.Name == G.getName()) {
+    It->second.CompileSeconds = 0.0; // Only the first run pays it.
+    Cache.noteMemoHit();
+    return &It->second;
+  }
+
+  DiagnosticEngine Diags;
+  std::string Source = codegen::emitCpp(G, Diags);
+  if (Source.empty()) {
+    Error = "native codegen failed for '" + G.getName() + "':\n" +
+            Diags.str();
+    return nullptr;
+  }
+
+  Prepared P;
+  P.Name = G.getName();
+  void *Handle = Cache.getOrCompile(Source, Diags, &P.CompileSeconds);
+  if (!Handle) {
+    Error = "native compilation failed for '" + G.getName() + "':\n" +
+            Diags.str();
+    return nullptr;
+  }
+
+  std::string SymName = G.getName() + "__dcir_call";
+  P.Fn = reinterpret_cast<UniformFn>(dlsym(Handle, SymName.c_str()));
+  if (!P.Fn) {
+    const char *Err = dlerror();
+    Error = "native entry '" + SymName +
+            "' not found: " + (Err ? Err : "unknown dlsym error");
+    return nullptr;
+  }
+  return &(Memo[&G] = std::move(P));
+}
+
+EngineRun
+NativeJitEngine::runGraph(const sdfg::SDFG &G, interp::MathMode Mode,
+                          const std::map<std::string, std::int64_t> &Symbols) {
+  // MathMode only affects the interpreter's vector-math emulation; native
+  // code always uses libm (the paper's "precise" configuration).
+  (void)Mode;
+
+  std::string Error;
+  const Prepared *P = prepare(G, Error);
+  if (!P)
+    return fail(std::move(Error));
+
+  // Allocate caller-side buffers and symbol values in signature order.
+  codegen::CallSignature Sig = codegen::callSignature(G);
+  std::vector<ArgBuffer> Buffers;
+  Buffers.reserve(Sig.Args.size());
+  for (const std::string &Arg : Sig.Args) {
+    const sdfg::DataDesc &D = G.desc(Arg);
+    size_t N = 1;
+    for (const sym::SymExpr &Dim : D.Shape)
+      N *= static_cast<size_t>(std::max<std::int64_t>(
+          detail::evalDimOrZero(Dim, Symbols), 0));
+    Buffers.emplace_back(D.Ty, N);
+  }
+  std::vector<void *> Ptrs;
+  for (ArgBuffer &B : Buffers)
+    Ptrs.push_back(B.data());
+  std::vector<long long> Syms;
+  for (const std::string &S : Sig.FreeSymbols) {
+    auto It = Symbols.find(S);
+    Syms.push_back(It == Symbols.end() ? 0 : It->second);
+  }
+
+  EngineRun R;
+  R.CompileSeconds = P->CompileSeconds;
+  auto Start = std::chrono::steady_clock::now();
+  P->Fn(Ptrs.data(), Syms.data());
+  auto End = std::chrono::steady_clock::now();
+  R.Seconds = std::chrono::duration<double>(End - Start).count();
+
+  for (size_t I = 0; I < Sig.Args.size(); ++I) {
+    std::vector<double> Out = Buffers[I].widened();
+    if (Sig.Args[I] == "__return" && !Out.empty())
+      R.ReturnValue = Out[0];
+    R.Outputs[Sig.Args[I]] = std::move(Out);
+  }
+  R.Ok = true;
+  return R;
+}

@@ -8,8 +8,9 @@
 /// Executes SDFGs directly: the state machine walks interstate edges whose
 /// symbolic conditions/assignments are evaluated against a symbol
 /// environment; each state's dataflow graph runs in topological order; map
-/// scopes iterate their parametric domain. This replaces DaCe's C++ code
-/// generation + native compilation with a uniform machine (see DESIGN.md).
+/// scopes iterate their parametric domain. It is the counter-exact engine
+/// behind exec::InterpEngine; exec::NativeJitEngine provides the DaCe-style
+/// codegen + native compilation path instead (see DESIGN.md).
 ///
 //===----------------------------------------------------------------------===//
 

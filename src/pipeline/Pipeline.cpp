@@ -6,10 +6,9 @@
 #include "conversion/ConvertToSdfg.h"
 #include "conversion/TranslateToSDFG.h"
 #include "dialects/Dialects.h"
+#include "exec/InterpEngine.h"
 #include "frontend/CCodegen.h"
 #include "frontend/CParser.h"
-#include "interp/MLIRInterp.h"
-#include "interp/SDFGInterp.h"
 #include "ir/Verifier.h"
 #include "passes/Pass.h"
 #include "support/StringUtils.h"
@@ -44,12 +43,14 @@ Compiled &Compiled::operator=(Compiled &&Other) noexcept {
   if (Module)
     ir::Operation::eraseDetached(Module);
   Kind = Other.Kind;
+  Engine = Other.Engine;
   Entry = std::move(Other.Entry);
   Ctx = std::move(Other.Ctx);
   Module = Other.Module;
   Other.Module = nullptr; // The moved-from object no longer owns the IR.
   Graph = std::move(Other.Graph);
   Report = Other.Report;
+  EngineImpl = std::move(Other.EngineImpl);
   return *this;
 }
 
@@ -105,9 +106,11 @@ void addDcirMlirPasses(passes::PassManager &PM) {
 
 Compiled dcir::pipeline::compile(const std::string &CSource,
                                  const std::string &Entry, PipelineKind Kind,
-                                 DiagnosticEngine &Diags) {
+                                 DiagnosticEngine &Diags,
+                                 exec::EngineKind Engine) {
   Compiled Out;
   Out.Kind = Kind;
+  Out.Engine = Engine;
   Out.Entry = Entry;
 
   if (Kind == PipelineKind::DaceLike) {
@@ -176,33 +179,56 @@ Compiled dcir::pipeline::compile(const std::string &CSource,
   return Out;
 }
 
-RunResult dcir::pipeline::run(const Compiled &C, interp::MathMode Mode) {
+namespace {
+
+RunResult toRunResult(exec::EngineRun &&E) {
   RunResult R;
-  auto Start = std::chrono::steady_clock::now();
+  R.ReturnValue = E.ReturnValue;
+  R.Stats = E.Stats;
+  R.Seconds = E.Seconds;
+  R.CompileSeconds = E.CompileSeconds;
+  R.Outputs = std::move(E.Outputs);
+  return R;
+}
+
+} // namespace
+
+RunResult dcir::pipeline::run(const Compiled &C, interp::MathMode Mode) {
+  if (!C.EngineImpl)
+    C.EngineImpl = exec::createEngine(C.Engine);
+  exec::EngineKind Used = C.Engine;
+  exec::EngineRun E;
   if (C.Module) {
-    interp::MLIRInterpreter Interp(C.Module, Mode);
-    std::vector<interp::MValue> Results = Interp.call(C.Entry, {});
-    if (!Results.empty())
-      R.ReturnValue = Results[0].S.asF();
-    R.Stats = Interp.stats();
+    E = C.EngineImpl->runModule(C.Module, C.Entry, Mode);
+    Used = exec::EngineKind::Interp; // Modules always interpret.
   } else if (C.Graph) {
-    interp::SDFGInterpreter Interp(*C.Graph, Mode);
-    Interp.run();
-    if (C.Graph->hasData("__return"))
-      R.ReturnValue = Interp.readScalar("__return").asF();
-    R.Stats = Interp.stats();
+    E = C.EngineImpl->runGraph(*C.Graph, Mode);
+  } else {
+    return RunResult();
   }
-  auto End = std::chrono::steady_clock::now();
-  R.Seconds = std::chrono::duration<double>(End - Start).count();
+  if (!E.Ok && C.Engine != exec::EngineKind::Interp && C.Graph) {
+    // A graph the native backend cannot lower (e.g. stream containers)
+    // still runs on the interpreter; degrade rather than die. EngineUsed
+    // records the downgrade so benches never label these rows native.
+    std::fprintf(stderr,
+                 "pipeline: %s engine failed for '%s', falling back to "
+                 "interpreter:\n%s\n",
+                 C.EngineImpl->name(), C.Entry.c_str(), E.Error.c_str());
+    E = exec::InterpEngine().runGraph(*C.Graph, Mode);
+    Used = exec::EngineKind::Interp;
+  }
+  RunResult R = toRunResult(std::move(E));
+  R.EngineUsed = Used;
   return R;
 }
 
 RunResult dcir::pipeline::compileAndRun(const std::string &CSource,
                                         const std::string &Entry,
                                         PipelineKind Kind,
-                                        interp::MathMode Mode) {
+                                        interp::MathMode Mode,
+                                        exec::EngineKind Engine) {
   DiagnosticEngine Diags;
-  Compiled C = compile(CSource, Entry, Kind, Diags);
+  Compiled C = compile(CSource, Entry, Kind, Diags, Engine);
   if (!C.Module && !C.Graph) {
     std::fprintf(stderr, "pipeline %s failed to compile '%s':\n%s\n",
                  pipelineName(Kind), Entry.c_str(), Diags.str().c_str());

@@ -21,19 +21,26 @@
 ///                        sdfg dialect -> SDFG -> inference + data-centric
 ///                        passes (-O1/-O2) -> SDFG interpreter.
 ///
+/// Artifacts execute on a pluggable engine (src/exec/): the interpreters
+/// by default, or the native JIT backend (--engine=native in the benches),
+/// which compiles SDFG artifacts to shared objects. See DESIGN.md.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DCIR_PIPELINE_PIPELINE_H
 #define DCIR_PIPELINE_PIPELINE_H
 
+#include "exec/ExecutionEngine.h"
 #include "interp/Stats.h"
 #include "ir/IR.h"
 #include "sdfg/SDFG.h"
 #include "sdfgopt/Passes.h"
 #include "interp/FastMath.h"
 
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace dcir {
 namespace pipeline {
@@ -43,14 +50,21 @@ enum class PipelineKind { GccLike, ClangLike, DaceLike, MlirLike, Dcir };
 /// Display name ("GCC", "Clang", "DaCe", "MLIR", "DCIR").
 const char *pipelineName(PipelineKind K);
 
-/// Compilation artifacts: exactly one of Module/Graph is set.
+/// Compilation artifacts: exactly one of Module/Graph is set. Engine
+/// selects the execution backend run() dispatches to (module artifacts
+/// always interpret; see exec::NativeJitEngine).
 struct Compiled {
   PipelineKind Kind = PipelineKind::MlirLike;
+  exec::EngineKind Engine = exec::EngineKind::Interp;
   std::string Entry;
   std::shared_ptr<ir::IRContext> Ctx; // Keeps types alive for Module.
   ir::Operation *Module = nullptr;    // Owned; released in ~Compiled.
   std::unique_ptr<sdfg::SDFG> Graph;
   sdfgopt::OptReport Report;
+  /// Lazily created by run() and reused across runs of this artifact, so
+  /// the native engine's per-graph memo (emitted source, resolved entry)
+  /// survives benchmark loops. Not thread-safe per artifact.
+  mutable std::shared_ptr<exec::ExecutionEngine> EngineImpl;
 
   Compiled() = default;
   Compiled(Compiled &&Other) noexcept { *this = std::move(Other); }
@@ -63,22 +77,34 @@ struct RunResult {
   double ReturnValue = 0.0;
   interp::ExecutionStats Stats;
   double Seconds = 0.0;
+  /// Native-engine JIT time (0 on warm cache / interpreter runs).
+  double CompileSeconds = 0.0;
+  /// The engine that actually executed — Interp when a native run fell
+  /// back (module artifact or unlowerable graph), so reports never label
+  /// interpreter numbers as native.
+  exec::EngineKind EngineUsed = exec::EngineKind::Interp;
+  /// Post-run contents of the non-transient containers (SDFG artifacts).
+  std::map<std::string, std::vector<double>> Outputs;
 };
 
 /// Compiles \p CSource's function \p Entry through pipeline \p Kind.
-/// Returns an empty Compiled (null Module and Graph) on failure.
+/// \p Engine selects the execution backend used by run(). Returns an
+/// empty Compiled (null Module and Graph) on failure.
 Compiled compile(const std::string &CSource, const std::string &Entry,
-                 PipelineKind Kind, DiagnosticEngine &Diags);
+                 PipelineKind Kind, DiagnosticEngine &Diags,
+                 exec::EngineKind Engine = exec::EngineKind::Interp);
 
 /// Runs a compiled artifact (the entry takes no arguments and returns a
-/// scalar checksum). \p Mode selects libm vs vector-math emulation.
+/// scalar checksum) on the engine selected at compile time. \p Mode
+/// selects libm vs vector-math emulation (interpreter only).
 RunResult run(const Compiled &C,
               interp::MathMode Mode = interp::MathMode::Precise);
 
 /// Convenience: compile-or-abort + run; used by benches.
 RunResult compileAndRun(const std::string &CSource, const std::string &Entry,
                         PipelineKind Kind,
-                        interp::MathMode Mode = interp::MathMode::Precise);
+                        interp::MathMode Mode = interp::MathMode::Precise,
+                        exec::EngineKind Engine = exec::EngineKind::Interp);
 
 /// Loads a workload file from the workloads/ corpus (DCIR_WORKLOADS_DIR).
 std::string loadWorkload(const std::string &RelativePath);

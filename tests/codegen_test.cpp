@@ -49,6 +49,23 @@ TEST(CppCodegen, EmitsStructure) {
   EXPECT_NE(Code.find("extern \"C\" void f("), std::string::npos);
   EXPECT_NE(Code.find("goto state_"), std::string::npos);
   EXPECT_NE(Code.find("__return"), std::string::npos);
+  // The uniform-ABI trampoline the JIT engine resolves via dlsym.
+  EXPECT_NE(Code.find("extern \"C\" void f__dcir_call("), std::string::npos);
+}
+
+TEST(CppCodegen, SignatureIsDeterministic) {
+  const char *Source =
+      "double f() { double s = 0.0; for (int i = 0; i < 8; i++) s += i; "
+      "return s; }";
+  auto A = compileToSdfg(Source, "f");
+  auto B = compileToSdfg(Source, "f");
+  ASSERT_TRUE(A && B);
+  codegen::CallSignature SA = codegen::callSignature(*A);
+  codegen::CallSignature SB = codegen::callSignature(*B);
+  EXPECT_EQ(SA.Args, SB.Args);
+  EXPECT_EQ(SA.FreeSymbols, SB.FreeSymbols);
+  DiagnosticEngine Diags;
+  EXPECT_EQ(codegen::emitCpp(*A, Diags), codegen::emitCpp(*B, Diags));
 }
 
 /// Golden behaviour check: compile the generated C++ with the host
@@ -88,8 +105,18 @@ int main() {
     std::ofstream Out(Cpp);
     Out << Driver;
   }
-  std::string Cmd = "c++ -O1 -o " + Bin + " " + Cpp + " 2> " + Bin + ".log";
-  ASSERT_EQ(std::system(Cmd.c_str()), 0) << Driver;
+  // -Werror: the generated code must be warning-free under -Wall -Wextra
+  // (the JIT engine compiles every kernel with these flags).
+  std::string Cmd = "c++ -O1 -Wall -Wextra -Werror -o " + Bin + " " + Cpp +
+                    " 2> " + Bin + ".log";
+  int Rc = std::system(Cmd.c_str());
+  if (Rc != 0) {
+    std::string Log;
+    std::ifstream In(Bin + ".log");
+    Log.assign(std::istreambuf_iterator<char>(In),
+               std::istreambuf_iterator<char>());
+    FAIL() << "compile failed:\n" << Log << "\n" << Driver;
+  }
   FILE *P = popen((Bin + " 2>/dev/null").c_str(), "r");
   ASSERT_TRUE(P);
   double Got = 0.0;
@@ -106,6 +133,43 @@ TEST(CppCodegen, DcirOptimizedGraphStillEmits) {
   ASSERT_TRUE(C.Graph) << Diags.str();
   std::string Code = codegen::emitCpp(*C.Graph, Diags);
   EXPECT_FALSE(Code.empty()) << Diags.str();
+}
+
+/// Every kernel the JIT differential tests exercise must compile
+/// warning-free standalone: -Wall -Wextra -Werror, no driver appended.
+TEST(CppCodegen, PolybenchKernelsCompileWarningFree) {
+  if (std::system("c++ --version > /dev/null 2>&1") != 0)
+    GTEST_SKIP() << "no host C++ compiler";
+  using namespace dcir::pipeline;
+  const char *Kernels[][2] = {{"polybench/gemm.c", "kernel_gemm"},
+                              {"polybench/atax.c", "kernel_atax"},
+                              {"polybench/bicg.c", "kernel_bicg"},
+                              {"polybench/mvt.c", "kernel_mvt"},
+                              {"polybench/syrk.c", "kernel_syrk"}};
+  for (const auto &K : Kernels) {
+    DiagnosticEngine Diags;
+    Compiled C = compile(loadWorkload(K[0]), K[1], PipelineKind::Dcir, Diags);
+    ASSERT_TRUE(C.Graph) << K[1] << ": " << Diags.str();
+    std::string Code = codegen::emitCpp(*C.Graph, Diags);
+    ASSERT_FALSE(Code.empty()) << K[1] << ": " << Diags.str();
+    std::string Dir = ::testing::TempDir();
+    std::string Cpp = Dir + "/dcir_warnfree_" + std::string(K[1]) + ".cpp";
+    {
+      std::ofstream Out(Cpp);
+      Out << Code;
+    }
+    std::string Log = Cpp + ".log";
+    std::string Cmd = "c++ -fsyntax-only -Wall -Wextra -Werror " + Cpp +
+                      " 2> " + Log;
+    int Rc = std::system(Cmd.c_str());
+    if (Rc != 0) {
+      std::string Err;
+      std::ifstream In(Log);
+      Err.assign(std::istreambuf_iterator<char>(In),
+                 std::istreambuf_iterator<char>());
+      FAIL() << K[1] << " generated code is not warning-free:\n" << Err;
+    }
+  }
 }
 
 } // namespace
