@@ -34,10 +34,33 @@
 namespace dcir {
 namespace bench {
 
-/// Extracts `--engine=<name>` from argv (so benchmark::Initialize never
-/// sees it) and returns the selected engine; interp when absent.
-inline exec::EngineKind parseEngineFlag(int &argc, char **argv) {
+/// Bench-harness options shared by every figure binary.
+struct BenchOptions {
   exec::EngineKind Engine = exec::EngineKind::Interp;
+  /// Parallelism for SDFG artifacts (--parallel=on|off|maps|auto).
+  pipeline::ParallelismMode Parallelism = pipeline::ParallelismMode::Auto;
+  /// --threads=N for parallel maps (0 = OpenMP runtime default).
+  int Threads = 0;
+  /// --parallel-scale=K: linear workload-size multiplier used by benches
+  /// that run a dedicated serial-vs-parallel comparison (MINI-scaled
+  /// kernels finish in microseconds, where a work-sharing pragma can only
+  /// measure its own overhead).
+  int ParallelScale = 8;
+
+  pipeline::CompileOptions compileOptions(exec::EngineKind K) const {
+    pipeline::CompileOptions Opts;
+    Opts.Engine = K;
+    Opts.Parallelism = Parallelism;
+    Opts.NumThreads = Threads;
+    return Opts;
+  }
+};
+
+/// Extracts the harness flags from argv (so benchmark::Initialize never
+/// sees them): --engine=interp|native, --parallel=on|off|maps|auto,
+/// --threads=N, --parallel-scale=K.
+inline BenchOptions parseBenchFlags(int &argc, char **argv) {
+  BenchOptions Opts;
   int Out = 1;
   for (int I = 1; I < argc; ++I) {
     if (std::strncmp(argv[I], "--engine=", 9) == 0) {
@@ -48,13 +71,69 @@ inline exec::EngineKind parseEngineFlag(int &argc, char **argv) {
                      argv[I] + 9);
         std::exit(2);
       }
-      Engine = *Parsed;
+      Opts.Engine = *Parsed;
       continue; // Strip the flag.
+    }
+    if (std::strncmp(argv[I], "--parallel=", 11) == 0) {
+      auto Parsed = pipeline::parseParallelismName(argv[I] + 11);
+      if (!Parsed) {
+        std::fprintf(stderr,
+                     "unknown parallelism '%s' (expected on|off|maps|auto)\n",
+                     argv[I] + 11);
+        std::exit(2);
+      }
+      Opts.Parallelism = *Parsed;
+      continue;
+    }
+    if (std::strncmp(argv[I], "--threads=", 10) == 0) {
+      Opts.Threads = std::atoi(argv[I] + 10);
+      continue;
+    }
+    if (std::strncmp(argv[I], "--parallel-scale=", 17) == 0) {
+      Opts.ParallelScale = std::atoi(argv[I] + 17);
+      continue;
     }
     argv[Out++] = argv[I];
   }
   argc = Out;
-  return Engine;
+  return Opts;
+}
+
+/// Back-compat shim: benches that only care about the engine.
+inline exec::EngineKind parseEngineFlag(int &argc, char **argv) {
+  return parseBenchFlags(argc, argv).Engine;
+}
+
+/// Returns \p Source with every `#define NAME <integer>` value multiplied
+/// by \p Factor — the Polybench workloads carry their problem sizes as
+/// object-like integer defines, so this scales MINI datasets up for
+/// measurements where the kernel must outweigh harness overhead.
+inline std::string scaleWorkloadDefines(const std::string &Source,
+                                        int Factor) {
+  if (Factor <= 1)
+    return Source;
+  std::string Out;
+  size_t Pos = 0;
+  while (Pos < Source.size()) {
+    size_t Eol = Source.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Source.size();
+    std::string Line = Source.substr(Pos, Eol - Pos);
+    char Name[128];
+    long long Value;
+    int Consumed = 0;
+    if (std::sscanf(Line.c_str(), "#define %127s %lld %n", Name, &Value,
+                    &Consumed) == 2 &&
+        Line.find_first_not_of(" \t\r", Consumed) == std::string::npos) {
+      Line = std::string("#define ") + Name + " " +
+             std::to_string(Value * Factor);
+    }
+    Out += Line;
+    if (Eol < Source.size())
+      Out += '\n';
+    Pos = Eol + 1;
+  }
+  return Out;
 }
 
 /// "DCIR" / "DCIR+jit": the Config column of the summary table.
@@ -78,10 +157,10 @@ inline const std::vector<pipeline::PipelineKind> &allPipelines() {
 inline std::shared_ptr<pipeline::Compiled>
 compileOrDie(const std::string &Source, const std::string &Entry,
              pipeline::PipelineKind Kind,
-             exec::EngineKind Engine = exec::EngineKind::Interp) {
+             const pipeline::CompileOptions &Opts) {
   DiagnosticEngine Diags;
   auto C = std::make_shared<pipeline::Compiled>(
-      pipeline::compile(Source, Entry, Kind, Diags, Engine));
+      pipeline::compile(Source, Entry, Kind, Diags, Opts));
   if (!C->Module && !C->Graph) {
     std::fprintf(stderr, "bench: %s failed to compile %s:\n%s\n",
                  pipeline::pipelineName(Kind), Entry.c_str(),
@@ -91,16 +170,35 @@ compileOrDie(const std::string &Source, const std::string &Entry,
   return C;
 }
 
-/// Median wall-clock over \p Repeats runs.
+inline std::shared_ptr<pipeline::Compiled>
+compileOrDie(const std::string &Source, const std::string &Entry,
+             pipeline::PipelineKind Kind,
+             exec::EngineKind Engine = exec::EngineKind::Interp) {
+  pipeline::CompileOptions Opts;
+  Opts.Engine = Engine;
+  return compileOrDie(Source, Entry, Kind, Opts);
+}
+
+/// Median wall-clock over \p Repeats timed runs, preceded by \p Warmup
+/// untimed runs. The warmup absorbs one-time costs — above all the native
+/// engine's JIT compile, which must never land in a timed sample — and
+/// the median (rather than a single run) keeps BENCH_*.json stable enough
+/// to compare across PRs.
 inline pipeline::RunResult
-medianRun(const pipeline::Compiled &C, int Repeats = 3,
-          interp::MathMode Mode = interp::MathMode::Precise) {
+medianRun(const pipeline::Compiled &C, int Repeats = 5,
+          interp::MathMode Mode = interp::MathMode::Precise,
+          int Warmup = 1) {
+  double CompileSeconds = 0.0;
+  for (int I = 0; I < Warmup; ++I)
+    CompileSeconds += pipeline::run(C, Mode).CompileSeconds;
   std::vector<pipeline::RunResult> Rs;
   for (int I = 0; I < Repeats; ++I)
     Rs.push_back(pipeline::run(C, Mode));
   std::sort(Rs.begin(), Rs.end(),
             [](const auto &A, const auto &B) { return A.Seconds < B.Seconds; });
-  return Rs[Rs.size() / 2];
+  pipeline::RunResult R = Rs[Rs.size() / 2];
+  R.CompileSeconds = CompileSeconds; // Reported, never timed.
+  return R;
 }
 
 /// One row of a paper-style summary table.
@@ -122,15 +220,19 @@ class JsonReporter {
 public:
   explicit JsonReporter(std::string Path) : Path(std::move(Path)) {}
 
+  /// \p Extra: additional JSON members, e.g. `"parallel": "on"` (no
+  /// surrounding comma/braces); empty for the plain pipeline rows.
   void add(const std::string &Kernel, pipeline::PipelineKind Kind,
-           exec::EngineKind Engine, const pipeline::RunResult &R) {
-    char Buf[512];
+           exec::EngineKind Engine, const pipeline::RunResult &R,
+           const std::string &Extra = std::string()) {
+    char Buf[640];
     std::snprintf(Buf, sizeof(Buf),
                   "  {\"kernel\": \"%s\", \"pipeline\": \"%s\", "
                   "\"engine\": \"%s\", \"median_ns\": %.0f, "
-                  "\"result\": %.17g}",
+                  "\"result\": %.17g%s%s}",
                   Kernel.c_str(), pipeline::pipelineName(Kind),
-                  exec::engineName(Engine), R.Seconds * 1e9, R.ReturnValue);
+                  exec::engineName(Engine), R.Seconds * 1e9, R.ReturnValue,
+                  Extra.empty() ? "" : ", ", Extra.c_str());
     Rows.push_back(Buf);
   }
 

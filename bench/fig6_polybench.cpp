@@ -10,6 +10,14 @@
 /// DCIR over each baseline (paper: 1.59x over MLIR, 1.03x over GCC, 1.02x
 /// over Clang, 0.94x over DaCe).
 ///
+/// A second section measures what auto-parallelization buys the native
+/// backend: every kernel compiled through DCIR twice — `--parallel=off`
+/// (serial loops, the PR-1 behaviour) and `--parallel=on` (loop-to-map
+/// conversion + OpenMP codegen) — on `--parallel-scale`-times-MINI sizes,
+/// with warmed-up median timings. Both rows land in BENCH_fig6.json
+/// (`"parallel": "off"/"on"`), so the perf trajectory captures the
+/// speedup across PRs. `--threads=N` pins the OpenMP thread count.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -23,10 +31,11 @@ using namespace dcir::bench;
 using namespace dcir::pipeline;
 
 int main(int argc, char **argv) {
-  exec::EngineKind Engine = parseEngineFlag(argc, argv);
+  BenchOptions Opts = parseBenchFlags(argc, argv);
   std::printf("=== Fig. 6: Polybench/C, 29 kernels x 5 pipelines "
-              "(engine=%s) ===\n",
-              exec::engineName(Engine));
+              "(engine=%s, parallel=%s) ===\n",
+              exec::engineName(Opts.Engine),
+              parallelismName(Opts.Parallelism));
   // Geomean of (baseline / DCIR) per baseline pipeline.
   std::map<PipelineKind, double> LogSpeedupSum;
   int KernelCount = 0;
@@ -36,7 +45,8 @@ int main(int argc, char **argv) {
     std::string Source = loadWorkload(K.File);
     std::map<PipelineKind, double> Seconds;
     for (PipelineKind Kind : allPipelines()) {
-      auto C = compileOrDie(Source, K.Entry, Kind, Engine);
+      auto C = compileOrDie(Source, K.Entry, Kind,
+                            Opts.compileOptions(Opts.Engine));
       RunResult R = medianRun(*C, 3);
       Seconds[Kind] = R.Seconds;
       // Label rows by the engine that actually ran (a native request can
@@ -61,6 +71,49 @@ int main(int argc, char **argv) {
       continue;
     std::printf("  vs %-6s : %.2fx\n", pipelineName(Kind),
                 std::exp(LogSpeedupSum[Kind] / KernelCount));
+  }
+
+  // --- Serial vs parallel on the native backend -------------------------
+  if (Opts.Parallelism != ParallelismMode::Off) {
+    std::printf("\n--- native serial vs parallel (scale=%dx MINI, "
+                "threads=%s) ---\n",
+                Opts.ParallelScale,
+                Opts.Threads > 0 ? std::to_string(Opts.Threads).c_str()
+                                 : "omp-default");
+    double LogParSum = 0.0;
+    int ParCount = 0;
+    for (const PolybenchKernel &K : polybenchKernels()) {
+      std::string Scaled = scaleWorkloadDefines(loadWorkload(K.File),
+                                                Opts.ParallelScale);
+      CompileOptions Serial = Opts.compileOptions(exec::EngineKind::Native);
+      Serial.Parallelism = ParallelismMode::Off;
+      CompileOptions Parallel = Opts.compileOptions(exec::EngineKind::Native);
+      if (Parallel.Parallelism == ParallelismMode::Off)
+        Parallel.Parallelism = ParallelismMode::Maps;
+
+      auto CS = compileOrDie(Scaled, K.Entry, PipelineKind::Dcir, Serial);
+      auto CP = compileOrDie(Scaled, K.Entry, PipelineKind::Dcir, Parallel);
+      RunResult RS = medianRun(*CS, 5);
+      RunResult RP = medianRun(*CP, 5);
+      std::string ExtraBase = "\"threads\": " +
+                              std::to_string(Opts.Threads) + ", \"scale\": " +
+                              std::to_string(Opts.ParallelScale);
+      Json.add(K.Name, PipelineKind::Dcir, RS.EngineUsed, RS,
+               "\"parallel\": \"off\", " + ExtraBase);
+      Json.add(K.Name, PipelineKind::Dcir, RP.EngineUsed, RP,
+               "\"parallel\": \"on\", " + ExtraBase);
+      double Speedup = RS.Seconds / RP.Seconds;
+      std::printf("%-16s serial %9.3f ms  parallel %9.3f ms  "
+                  "speedup %5.2fx  (parallel_maps=%llu)\n",
+                  K.Name, RS.Seconds * 1e3, RP.Seconds * 1e3, Speedup,
+                  static_cast<unsigned long long>(
+                      RP.Stats.ParallelMapsEmitted));
+      LogParSum += std::log(Speedup);
+      ++ParCount;
+    }
+    if (ParCount)
+      std::printf("  geomean parallel speedup: %.2fx\n",
+                  std::exp(LogParSum / ParCount));
   }
   Json.write();
 

@@ -2,6 +2,8 @@
 
 #include "codegen/CppCodegen.h"
 
+#include "sdfgopt/Utils.h" // subsetsDisjointAcrossParam (WCR placement).
+
 #include <algorithm>
 #include <set>
 #include <sstream>
@@ -126,8 +128,17 @@ std::string cExpr(const SymExpr &E) {
 
 class Emitter {
 public:
-  Emitter(const SDFG &G, DiagnosticEngine &Diags)
-      : G(G), Diags(Diags), Sig(codegen::callSignature(G)) {}
+  Emitter(const SDFG &G, DiagnosticEngine &Diags, const CodegenOptions &Opts,
+          CodegenInfo *Info)
+      : G(G), Diags(Diags), Opts(Opts), Info(Info),
+        Sig(codegen::callSignature(G)) {
+    // States inside sequential state-machine loops re-enter their
+    // parallel regions once per trip; the grain heuristic treats them
+    // more strictly than one-shot states.
+    if (Opts.ParallelMaps)
+      for (const sdfgopt::LoopRegion &L : sdfgopt::findLoops(G))
+        LoopStates.insert(L.BodyStates.begin(), L.BodyStates.end());
+  }
 
   std::string run() {
     emitPrelude();
@@ -144,16 +155,39 @@ public:
   }
 
 private:
+  /// How a WCR write is lowered inside the current parallel region.
+  ///   Plain      pinned to the outermost parameter; no thread ever shares
+  ///              the cell, the ordinary read-modify-write is correct.
+  ///   Reduction  transient scalar in a reduction(...) clause.
+  ///   Hoisted    param-free target cell: accumulate into a thread-private
+  ///              local carried by a reduction clause, combine into the
+  ///              cell once after the loop nest (DaCe's WCR lowering).
+  ///   Atomic /   per-update synchronization for everything else.
+  ///   Critical
+  enum class WcrLowering { Plain, Reduction, Hoisted, Atomic, Critical };
+
   const SDFG &G;
   DiagnosticEngine &Diags;
+  CodegenOptions Opts;
+  CodegenInfo *Info;
   codegen::CallSignature Sig;
   std::ostringstream OS;
   bool Failed = false;
   unsigned TempCounter = 0;
+  unsigned MapDepth = 0;
+  /// States belonging to a sequential state-machine loop body.
+  std::set<int> LoopStates;
+  /// Per-parallel-region WCR placement, keyed by edge address (stable:
+  /// emission never mutates the graph). Empty outside parallel regions.
+  std::map<const DataflowEdge *, WcrLowering> WcrPlan;
+  /// Hoisted-reduction accumulator variable per WCR edge.
+  std::map<const DataflowEdge *, std::string> WcrVar;
+  unsigned RedCounter = 0;
 
   void emitPrelude() {
     OS << "// Generated by the DCIR SDFG C++ code generator.\n"
-       << "#include <cmath>\n#include <cstdlib>\n\n"
+       << "#include <cmath>\n#include <cstdlib>\n#include <limits>\n"
+       << "#ifdef _OPENMP\n#include <omp.h>\n#endif\n\n"
        << "static inline long long dcir_floord(long long a, long long b) {\n"
        << "  long long q = a / b;\n"
        << "  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;\n"
@@ -169,13 +203,19 @@ private:
   /// The typed entry-point signature, in callSignature order. Parameters
   /// are [[maybe_unused]]: dead-code elimination may leave a container or
   /// symbol unreferenced, and the output must stay -Wall -Wextra clean.
+  /// Pointers are __restrict__-qualified: distinct SDFG containers are
+  /// distinct allocations by construction (the engine binds one buffer per
+  /// container, and memlets always name the container they move), so no
+  /// two parameters may alias — which lets the host compiler vectorize
+  /// map loops it would otherwise serialize.
   void emitSignature() {
     OS << "extern \"C\" void " << G.getName() << "(";
     bool First = true;
     for (const std::string &Arg : Sig.Args) {
       if (!First)
         OS << ", ";
-      OS << "[[maybe_unused]] " << cType(G.desc(Arg).Ty) << " *" << Arg;
+      OS << "[[maybe_unused]] " << cType(G.desc(Arg).Ty) << " *__restrict__ "
+         << Arg;
       First = false;
     }
     for (const std::string &Sym : Sig.FreeSymbols) {
@@ -247,6 +287,13 @@ private:
       First = false;
     }
     OS << ");\n}\n";
+    // Thread-count hook resolved (optionally) by the engine alongside the
+    // call trampoline; keeps the `<entry>__dcir_call` ABI unchanged.
+    OS << "\nextern \"C\" void " << G.getName()
+       << "__dcir_set_threads([[maybe_unused]] long long n) {\n"
+       << "#ifdef _OPENMP\n"
+       << "  if (n > 0) omp_set_num_threads(static_cast<int>(n));\n"
+       << "#endif\n}\n";
   }
 
   void emitDeallocations() {
@@ -378,16 +425,32 @@ private:
         continue;
       std::string Temp = "v" + std::to_string(T->getId()) + "_" + E->SrcConn;
       std::string Dst = access(E->M.Data, E->M.Subset);
-      if (E->M.Wcr.empty())
+      if (E->M.Wcr.empty()) {
         OS << Pad << Dst << " = " << Temp << ";\n";
-      else if (E->M.Wcr == "add")
+        continue;
+      }
+      // WCR update. Inside a parallel region the region analysis decided
+      // how to synchronize this edge; elsewhere (and for updates proven
+      // private to one thread) the plain read-modify-write suffices.
+      auto PlanIt = WcrPlan.find(E);
+      WcrLowering L =
+          PlanIt == WcrPlan.end() ? WcrLowering::Plain : PlanIt->second;
+      if (L == WcrLowering::Hoisted)
+        Dst = WcrVar.at(E); // Thread-private accumulator.
+      if (L == WcrLowering::Atomic)
+        OS << "#ifdef _OPENMP\n#pragma omp atomic\n#endif\n";
+      else if (L == WcrLowering::Critical)
+        OS << "#ifdef _OPENMP\n#pragma omp critical\n#endif\n";
+      if (E->M.Wcr == "add")
         OS << Pad << Dst << " += " << Temp << ";\n";
       else if (E->M.Wcr == "mul")
         OS << Pad << Dst << " *= " << Temp << ";\n";
       else if (E->M.Wcr == "min")
-        OS << Pad << Dst << " = dcir_min(" << Dst << ", " << Temp << ");\n";
+        OS << Pad << "{ " << Dst << " = dcir_min(" << Dst << ", " << Temp
+           << "); }\n";
       else if (E->M.Wcr == "max")
-        OS << Pad << Dst << " = dcir_max(" << Dst << ", " << Temp << ");\n";
+        OS << Pad << "{ " << Dst << " = dcir_max(" << Dst << ", " << Temp
+           << "); }\n";
     }
   }
 
@@ -415,11 +478,269 @@ private:
        << ";\n";
   }
 
+  /// The WCR edges whose destination (or routed write) lies within the
+  /// scope node set: the updates a work-sharing pragma must synchronize.
+  std::vector<const DataflowEdge *>
+  wcrEdgesIn(const State &S, const std::set<int> &Scope, int ExitId) const {
+    std::vector<const DataflowEdge *> Out;
+    for (const auto &E : S.edges())
+      if (!E.M.isEmpty() && !E.M.Wcr.empty() &&
+          (Scope.count(E.Dst) || E.Dst == ExitId))
+        Out.push_back(&E);
+    return Out;
+  }
+
+  /// Decides whether the map scope can carry a work-sharing pragma, and
+  /// with which clauses. Returns false to emit the scope serially. On
+  /// success fills WcrPlan/WcrVar for the scope's WCR edges, \p Clauses
+  /// with the collapse/reduction text, \p Decls with accumulator
+  /// declarations to emit before the pragma, and \p Combines with the
+  /// post-loop statements folding hoisted accumulators into their cells.
+  bool planParallelRegion(const State &S, const MapEntry *Entry,
+                          const std::set<int> &Scope, std::string &Clauses,
+                          std::string &Decls, std::string &Combines,
+                          const std::string &Pad) {
+    bool Ok = planParallelRegionImpl(S, Entry, Scope, Clauses, Decls,
+                                     Combines, Pad);
+    if (!Ok) {
+      // A partially filled plan must not leak into the serial emission of
+      // this scope (a Hoisted entry would reference an undeclared
+      // accumulator) or into later scopes.
+      WcrPlan.clear();
+      WcrVar.clear();
+    }
+    return Ok;
+  }
+
+  bool planParallelRegionImpl(const State &S, const MapEntry *Entry,
+                              const std::set<int> &Scope,
+                              std::string &Clauses, std::string &Decls,
+                              std::string &Combines,
+                              const std::string &Pad) {
+    // Every map parameter in the region (this scope and nested ones).
+    std::set<std::string> AllParams(Entry->Params.begin(),
+                                    Entry->Params.end());
+    for (int Id : Scope)
+      if (const auto *ME = dyn_cast<MapEntry>(S.getNode(Id)))
+        AllParams.insert(ME->Params.begin(), ME->Params.end());
+
+    // Grain check: too little work per region entry and the pragma only
+    // measures its own fork/join overhead. Inside a sequential loop the
+    // region re-enters every trip, so the work must be *proven* large —
+    // unknown (symbolic or trip-dependent) extents stay serial there. A
+    // one-shot region pays its overhead once, so unknown extents pass.
+    {
+      std::uint64_t Work = 1;
+      bool Unknown = false;
+      auto Extent = [&](const sym::SymRange &R) {
+        SymExpr N = SymExpr::sub(R.End, R.Begin);
+        if (!N.isConstant()) {
+          Unknown = true;
+          return std::uint64_t(1);
+        }
+        std::int64_t V = N.constantValue();
+        return std::uint64_t(V > 0 ? V : 0);
+      };
+      for (const sym::SymRange &R : Entry->Ranges)
+        Work *= Extent(R);
+      for (int Id : Scope)
+        if (const auto *ME = dyn_cast<MapEntry>(S.getNode(Id)))
+          for (const sym::SymRange &R : ME->Ranges)
+            Work *= Extent(R);
+      const bool InLoop = LoopStates.count(S.getId()) > 0;
+      if (InLoop && (Unknown || Work < Opts.MinParallelWork))
+        return false;
+      if (!InLoop && !Unknown && Work < Opts.MinParallelWork)
+        return false;
+    }
+
+    std::vector<const DataflowEdge *> Wcr =
+        wcrEdgesIn(S, Scope, Entry->ExitId);
+
+    // Non-WCR writes to scalar containers are shared-variable races under
+    // a work-sharing loop (the C backend keeps transients at function
+    // scope); maps produced by the auto-parallelizer never contain them,
+    // but hand-built or frontend graphs might.
+    for (const auto &E : S.edges()) {
+      if (E.M.isEmpty() || !E.M.Wcr.empty())
+        continue;
+      const auto *DstA = dyn_cast<AccessNode>(S.getNode(E.Dst));
+      const bool InScope = Scope.count(E.Dst) || E.Dst == Entry->ExitId;
+      if (!InScope)
+        continue;
+      const std::string *Target = nullptr;
+      if (DstA)
+        Target = &DstA->getData();
+      else if (isa<MapExit>(S.getNode(E.Dst)))
+        Target = &E.M.Data;
+      if (Target && G.desc(*Target).K == DataDesc::Kind::Scalar)
+        return false;
+    }
+
+    // Place each WCR update. Reductions (privatized by the clause) and
+    // atomics are safe under any collapse depth; only a "plain" update —
+    // one proven pinned to the outermost parameter, so it never crosses
+    // threads — requires collapse(1), because a collapsed schedule may
+    // split one outer iteration across threads.
+    const std::string &P0 = Entry->Params[0];
+    std::set<std::string> OtherParams = AllParams;
+    OtherParams.erase(P0);
+    std::map<std::string, std::string> ReductionOps; // var -> op
+    struct Hoist {
+      const DataflowEdge *E;
+      std::string Var, Op;
+      DType Ty;
+    };
+    std::vector<Hoist> Hoists;
+    bool AnyPlain = false;
+    for (const DataflowEdge *E : Wcr) {
+      const std::string &Op = E->M.Wcr;
+      if (Op != "add" && Op != "mul" && Op != "min" && Op != "max")
+        return false;
+      const Node *DstN = S.getNode(E->Dst);
+      const std::string &Data = isa<AccessNode>(DstN)
+                                    ? cast<AccessNode>(DstN)->getData()
+                                    : E->M.Data;
+      const DataDesc &D = G.desc(Data);
+      // Any plain read of a reduction target inside the region would
+      // observe partial sums (or, with a clause, the op identity).
+      auto ReadInRegion = [&] {
+        for (const auto &E2 : S.edges())
+          if (!E2.M.isEmpty() && E2.M.Data == Data && E2.M.Wcr.empty() &&
+              isa<AccessNode>(S.getNode(E2.Src)) &&
+              (Scope.count(E2.Dst) || E2.Dst == Entry->ExitId))
+            return true;
+        return false;
+      };
+      if (D.K == DataDesc::Kind::Scalar && D.Transient) {
+        // An OpenMP reduction: private per-thread copies, combined once.
+        auto It = ReductionOps.find(Data);
+        if (It != ReductionOps.end() && It->second != Op)
+          return false; // Two ops on one variable: no single clause.
+        if (ReadInRegion())
+          return false;
+        ReductionOps[Data] = Op;
+        WcrPlan[E] = WcrLowering::Reduction;
+        continue;
+      }
+      // A target cell invariant across every region parameter is a pure
+      // single-cell reduction: accumulate into a thread-private local and
+      // fold it in once after the loops, instead of an atomic per update.
+      std::set<std::string> SubsetSyms;
+      E->M.Subset.collectSymbols(SubsetSyms);
+      bool UsesParam = false;
+      for (const std::string &Sym : SubsetSyms)
+        if (AllParams.count(Sym))
+          UsesParam = true;
+      if (!UsesParam) {
+        if (ReadInRegion())
+          return false;
+        std::string Var = "dcir_red" + std::to_string(RedCounter++);
+        Hoists.push_back({E, Var, Op, D.Ty});
+        WcrPlan[E] = WcrLowering::Hoisted;
+        WcrVar[E] = Var;
+        continue;
+      }
+      // Plain lowering must also be disjoint from every *other* WCR write
+      // to the same container: two individually-injective updates (A[i]
+      // and A[i+1]) still collide across neighbouring threads.
+      auto DisjointFromPeers = [&] {
+        for (const DataflowEdge *E2 : Wcr) {
+          if (E2 == E)
+            continue;
+          const Node *Dst2 = S.getNode(E2->Dst);
+          const std::string &Data2 = isa<AccessNode>(Dst2)
+                                         ? cast<AccessNode>(Dst2)->getData()
+                                         : E2->M.Data;
+          if (Data2 != Data)
+            continue;
+          if (!sdfgopt::subsetsDisjointAcrossParam(E->M.Subset, E2->M.Subset,
+                                                   P0, OtherParams))
+            return false;
+        }
+        return true;
+      };
+      if (sdfgopt::subsetsDisjointAcrossParam(E->M.Subset, E->M.Subset, P0,
+                                              OtherParams) &&
+          DisjointFromPeers()) {
+        WcrPlan[E] = WcrLowering::Plain;
+        AnyPlain = true;
+        continue;
+      }
+      WcrPlan[E] = (Op == "min" || Op == "max") ? WcrLowering::Critical
+                                                : WcrLowering::Atomic;
+    }
+
+    // Rectangular collapse depth: the prefix of dimensions whose ranges
+    // reference no map parameter.
+    size_t Collapse = 1;
+    if (!AnyPlain) {
+      while (Collapse < Entry->Params.size()) {
+        const sym::SymRange &R = Entry->Ranges[Collapse];
+        std::set<std::string> Syms;
+        R.collectSymbols(Syms);
+        bool UsesParam = false;
+        for (const std::string &Sym : Syms)
+          if (AllParams.count(Sym))
+            UsesParam = true;
+        if (UsesParam)
+          break;
+        ++Collapse;
+      }
+    }
+
+    auto OpSym = [](const std::string &Op) {
+      return Op == "add"   ? "+"
+             : Op == "mul" ? "*"
+             : Op == "min" ? "min"
+                           : "max";
+    };
+    std::ostringstream C, DeclOS, CombineOS;
+    if (Collapse > 1)
+      C << " collapse(" << Collapse << ")";
+    for (const auto &[Var, Op] : ReductionOps)
+      C << " reduction(" << OpSym(Op) << ":" << Var << ")";
+    for (const Hoist &H : Hoists) {
+      C << " reduction(" << OpSym(H.Op) << ":" << H.Var << ")";
+      std::string T = cType(H.Ty);
+      std::string Identity = H.Op == "add"   ? "0"
+                             : H.Op == "mul" ? "1"
+                             : H.Op == "min"
+                                 ? "std::numeric_limits<" + T + ">::max()"
+                                 : "std::numeric_limits<" + T +
+                                       ">::lowest()";
+      DeclOS << Pad << T << " " << H.Var << " = " << Identity << ";\n";
+      const Node *DstN = S.getNode(H.E->Dst);
+      const std::string &Data = isa<AccessNode>(DstN)
+                                    ? cast<AccessNode>(DstN)->getData()
+                                    : H.E->M.Data;
+      std::string Cell = access(Data, H.E->M.Subset);
+      if (H.Op == "add")
+        CombineOS << Pad << Cell << " += " << H.Var << ";\n";
+      else if (H.Op == "mul")
+        CombineOS << Pad << Cell << " *= " << H.Var << ";\n";
+      else
+        CombineOS << Pad << Cell << " = dcir_" << H.Op << "(" << Cell
+                  << ", " << H.Var << ");\n";
+    }
+    Clauses = C.str();
+    Decls = DeclOS.str();
+    Combines = CombineOS.str();
+    if (Info) {
+      Info->Reductions += ReductionOps.size() + Hoists.size();
+      for (const auto &[E, L] : WcrPlan)
+        if (L == WcrLowering::Atomic || L == WcrLowering::Critical)
+          ++Info->AtomicUpdates;
+    }
+    return true;
+  }
+
   void emitMapScope(const State &S, const MapEntry *Entry,
                     const std::vector<Node *> &Order, std::set<int> &Done,
                     int Indent) {
     std::string Pad(Indent, ' ');
-    // Scope discovery as in the interpreter.
+    // Scope discovery as in the interpreter: nodes reachable from the
+    // entry without crossing the paired exit.
     std::set<int> Scope;
     std::vector<int> Work = {Entry->getId()};
     while (!Work.empty()) {
@@ -433,9 +754,24 @@ private:
       }
     }
     Scope.erase(Entry->getId());
-    for (int Id : Scope)
-      Done.insert(Id);
     Done.insert(Entry->ExitId);
+
+    // A work-sharing pragma goes on outermost scopes only (no nested
+    // parallelism); the region plan decides synchronization for WCR.
+    bool Parallel = false;
+    std::string Combines;
+    if (Opts.ParallelMaps && MapDepth == 0 && !Entry->Params.empty()) {
+      std::string Clauses, Decls;
+      if (planParallelRegion(S, Entry, Scope, Clauses, Decls, Combines,
+                             Pad)) {
+        Parallel = true;
+        OS << Decls << "#ifdef _OPENMP\n#pragma omp parallel for" << Clauses
+           << "\n#endif\n";
+        if (Info)
+          ++Info->ParallelMapsEmitted;
+      }
+    }
+    ++MapDepth;
     int Depth = 0;
     for (size_t D = 0; D < Entry->Params.size(); ++D) {
       OS << Pad << std::string(Depth * 2, ' ') << "for (long long "
@@ -452,6 +788,12 @@ private:
         emitNode(S, N, Done, Indent + Depth * 2);
     for (int D = Depth; D > 0; --D)
       OS << Pad << std::string((D - 1) * 2, ' ') << "}\n";
+    --MapDepth;
+    if (Parallel) {
+      OS << Combines;
+      WcrPlan.clear();
+      WcrVar.clear();
+    }
   }
 
   void emitNode(const State &S, Node *N, std::set<int> &Done, int Indent) {
@@ -540,7 +882,9 @@ dcir::codegen::callSignature(const SDFG &G) {
   return Sig;
 }
 
-std::string dcir::codegen::emitCpp(const SDFG &G, DiagnosticEngine &Diags) {
-  Emitter E(G, Diags);
+std::string dcir::codegen::emitCpp(const SDFG &G, DiagnosticEngine &Diags,
+                                   const CodegenOptions &Opts,
+                                   CodegenInfo *Info) {
+  Emitter E(G, Diags, Opts, Info);
   return E.run();
 }

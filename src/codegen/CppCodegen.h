@@ -41,14 +41,41 @@ struct CallSignature {
 /// Computes the deterministic call signature of \p G's generated entry.
 CallSignature callSignature(const sdfg::SDFG &G);
 
+/// Emission options. ParallelMaps turns top-level map scopes into OpenMP
+/// work-sharing loops: `#pragma omp parallel for` (with `collapse(n)` over
+/// the rectangular prefix of multi-parameter maps), `reduction(op:var)`
+/// for WCR updates of transient scalars, and atomic/critical fallbacks for
+/// WCR updates of array cells that may be shared between threads. Every
+/// pragma is guarded by `#ifdef _OPENMP`, so the same translation unit
+/// compiles warning-free with and without -fopenmp.
+struct CodegenOptions {
+  bool ParallelMaps = false;
+  /// Maps whose statically-known iteration count (entry parameters times
+  /// nested maps) falls below this stay serial: a work-sharing region
+  /// entered once per surrounding sequential-loop trip costs more than it
+  /// parallelizes. Unknown (symbolic) extents count as large.
+  unsigned MinParallelWork = 256;
+};
+
+/// What the emitter produced (filled when requested).
+struct CodegenInfo {
+  unsigned ParallelMapsEmitted = 0; // Map scopes with a work-sharing pragma.
+  unsigned Reductions = 0;          // reduction(...) clause entries.
+  unsigned AtomicUpdates = 0;       // WCR writes lowered to atomic/critical.
+};
+
 /// Emits a C++ translation unit defining
 /// `extern "C" void <name>(<args>, <symbols>)` (see callSignature), plus a
 /// uniform-ABI trampoline `extern "C" void <name>__dcir_call(void **args,
 /// const long long *symbols)` that unpacks pointers/symbols in signature
-/// order — the entry point the JIT engine resolves via dlsym. The output is
-/// self-contained and compiles warning-free under -Wall -Wextra. Returns an
-/// empty string on failure.
-std::string emitCpp(const sdfg::SDFG &G, DiagnosticEngine &Diags);
+/// order — the entry point the JIT engine resolves via dlsym — and a
+/// `<name>__dcir_set_threads(long long)` hook (a no-op without OpenMP).
+/// The output is self-contained and compiles warning-free under
+/// -Wall -Wextra, with or without -fopenmp. Returns an empty string on
+/// failure.
+std::string emitCpp(const sdfg::SDFG &G, DiagnosticEngine &Diags,
+                    const CodegenOptions &Opts = CodegenOptions(),
+                    CodegenInfo *Info = nullptr);
 
 } // namespace codegen
 } // namespace dcir

@@ -68,12 +68,26 @@ struct EngineRun {
   std::map<std::string, std::vector<double>> Outputs;
 };
 
+/// Backend tuning knobs (meaningful for the native engine; the
+/// interpreter ignores them).
+struct EngineConfig {
+  /// Emit OpenMP work-sharing pragmas for parallel map scopes.
+  bool ParallelMaps = true;
+  /// Worker threads for parallel maps: 0 = the OpenMP runtime default.
+  /// Seeded from $DCIR_NUM_THREADS by the native engine.
+  int NumThreads = 0;
+};
+
 class ExecutionEngine {
 public:
   virtual ~ExecutionEngine() = default;
 
   virtual EngineKind kind() const = 0;
   const char *name() const { return engineName(kind()); }
+
+  /// Applies backend options; call before the first run (the native
+  /// engine memoizes emitted code per graph). Default: no-op.
+  virtual void configure(const EngineConfig &) {}
 
   /// Runs an MLIR-dialect module artifact (GCC/Clang/MLIR pipelines).
   /// Engines without a native module path fall back to the interpreter.

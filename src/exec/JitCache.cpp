@@ -4,12 +4,14 @@
 
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <dlfcn.h>
 #include <filesystem>
 #include <fstream>
 #include <unistd.h>
+#include <vector>
 
 using namespace dcir;
 using namespace dcir::exec;
@@ -40,8 +42,25 @@ std::string detectCompiler() {
   return DCIR_HOST_CXX; // Configure-time CMAKE_CXX_COMPILER.
 }
 
-std::string detectFlags() {
-  std::string Flags = "-std=c++17 -O2 -fPIC -shared -Wall -Wextra";
+/// The flag-tier ladder (see the header): probed top to bottom so a
+/// toolchain that rejects one flag (e.g. -march=native on some targets)
+/// still keeps OpenMP and -O3. $DCIR_CXXFLAGS appends to any tier.
+struct FlagTier {
+  const char *Name;  // Memoized in <root>/flag_tier.
+  const char *Flags;
+  bool OpenMP;
+};
+const FlagTier kTiers[] = {
+    {"fast",
+     "-std=c++17 -O3 -march=native -fopenmp -fPIC -shared -Wall -Wextra",
+     true},
+    {"fast-generic", "-std=c++17 -O3 -fopenmp -fPIC -shared -Wall -Wextra",
+     true},
+    {"serial", "-std=c++17 -O2 -fPIC -shared -Wall -Wextra", false},
+};
+const FlagTier &kSerialTier = kTiers[2];
+
+std::string withUserFlags(std::string Flags) {
   if (const char *Extra = std::getenv("DCIR_CXXFLAGS")) {
     Flags += " ";
     Flags += Extra;
@@ -87,10 +106,117 @@ bool writeAtomically(const fs::path &Final, const std::string &Content,
 
 JitCache::JitCache() : JitCache(defaultRoot()) {}
 
-JitCache::JitCache(std::string RootDir)
-    : Root(std::move(RootDir)), Cxx(detectCompiler()), Flags(detectFlags()) {
+JitCache::JitCache(std::string RootDir, std::uint64_t MaxBytesIn)
+    : Root(std::move(RootDir)), Cxx(detectCompiler()) {
   std::error_code EC;
   fs::create_directories(Root, EC);
+  Flags = selectFlags();
+  MaxBytes = MaxBytesIn;
+  if (MaxBytes == 0) {
+    std::uint64_t Mb = 512;
+    if (const char *Cap = std::getenv("DCIR_CACHE_MAX_MB"))
+      Mb = std::strtoull(Cap, nullptr, 10);
+    MaxBytes = Mb * 1024 * 1024;
+  }
+  evictOverCap();
+}
+
+std::string JitCache::selectFlags() {
+  if (const char *Tier = std::getenv("DCIR_JIT_TIER"))
+    if (std::string(Tier) == "serial")
+      return withUserFlags(kSerialTier.Flags);
+  // The probe result only depends on the compiler; memoize it next to the
+  // artifacts so warm roots never re-run the compiler. Exact match on
+  // "<tier>:<compiler>" — a prefix test would let /usr/bin/g++ hit a memo
+  // written for /usr/bin/g++-13.
+  fs::path Marker = fs::path(Root) / "flag_tier";
+  std::string Memo;
+  if (readFileToString(Marker.string(), Memo)) {
+    while (!Memo.empty() && (Memo.back() == '\n' || Memo.back() == '\r'))
+      Memo.pop_back();
+    for (const FlagTier &T : kTiers)
+      if (Memo == std::string(T.Name) + ":" + Cxx) {
+        OpenMP = T.OpenMP;
+        return withUserFlags(T.Flags);
+      }
+  }
+  fs::path Probe = fs::path(Root) / ("omp_probe." + std::to_string(getpid()));
+  fs::path ProbeCpp = Probe, ProbeSo = Probe;
+  ProbeCpp += ".cpp";
+  ProbeSo += ".so";
+  {
+    std::ofstream Out(ProbeCpp);
+    Out << "#ifdef _OPENMP\n#include <omp.h>\n#endif\n"
+           "extern \"C\" int dcir_probe() {\n"
+           "#ifdef _OPENMP\n  return omp_get_max_threads();\n"
+           "#else\n  return 1;\n#endif\n}\n";
+  }
+  const FlagTier *Selected = &kSerialTier;
+  for (const FlagTier &T : kTiers) {
+    std::string Cmd = Cxx + " " + T.Flags + " -o " +
+                      quoted(ProbeSo.string()) + " " +
+                      quoted(ProbeCpp.string()) + " > /dev/null 2>&1";
+    if (std::system(Cmd.c_str()) == 0) {
+      Selected = &T;
+      break;
+    }
+  }
+  std::error_code EC;
+  fs::remove(ProbeCpp, EC);
+  fs::remove(ProbeSo, EC);
+  OpenMP = Selected->OpenMP;
+  writeAtomically(Marker, std::string(Selected->Name) + ":" + Cxx,
+                  ".tmp." + std::to_string(getpid()));
+  return withUserFlags(Selected->Flags);
+}
+
+void JitCache::evictOverCap() {
+  struct Artifact {
+    fs::path So;
+    fs::file_time_type MTime;
+    std::uint64_t Bytes;
+  };
+  std::vector<Artifact> Artifacts;
+  std::uint64_t Total = 0;
+  std::error_code DirEC;
+  // Per-call error codes: a transient failure on one entry (e.g. a
+  // concurrent process evicting it mid-scan) must not abort the scan or
+  // wrap the byte accounting.
+  for (const auto &Entry : fs::directory_iterator(Root, DirEC)) {
+    if (Entry.path().extension() != ".so")
+      continue;
+    std::error_code EC;
+    std::uintmax_t SoBytes = fs::file_size(Entry.path(), EC);
+    if (EC)
+      continue; // Vanished under us.
+    fs::path Cpp = Entry.path();
+    Cpp.replace_extension(".cpp");
+    std::error_code CppEC;
+    std::uintmax_t CppBytes = fs::file_size(Cpp, CppEC);
+    std::uint64_t Bytes = SoBytes + (CppEC ? 0 : CppBytes);
+    std::error_code TimeEC;
+    fs::file_time_type MTime = fs::last_write_time(Entry.path(), TimeEC);
+    if (TimeEC)
+      continue;
+    Artifacts.push_back({Entry.path(), MTime, Bytes});
+    Total += Bytes;
+  }
+  if (Total <= MaxBytes)
+    return;
+  std::sort(Artifacts.begin(), Artifacts.end(),
+            [](const Artifact &A, const Artifact &B) {
+              return A.MTime < B.MTime;
+            });
+  for (const Artifact &A : Artifacts) {
+    if (Total <= MaxBytes)
+      break;
+    fs::path Cpp = A.So;
+    Cpp.replace_extension(".cpp");
+    std::error_code EC;
+    fs::remove(A.So, EC);
+    fs::remove(Cpp, EC);
+    Total = Total > A.Bytes ? Total - A.Bytes : 0;
+  }
 }
 
 JitCache &JitCache::shared() {
@@ -130,6 +256,8 @@ void *JitCache::getOrCompile(const std::string &Source,
   std::error_code EC;
   if (fs::exists(So, EC)) {
     ++S.Hits;
+    // Refresh the artifact's mtime so eviction stays LRU, not FIFO.
+    fs::last_write_time(So, fs::file_time_type::clock::now(), EC);
   } else {
     ++S.Misses;
     auto Start = std::chrono::steady_clock::now();

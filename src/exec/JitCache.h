@@ -16,6 +16,18 @@
 ///
 ///   <root>/<key>.cpp   the generated translation unit (debugging aid)
 ///   <root>/<key>.so    the compiled shared object
+///   <root>/flag_tier   the memoized result of the compile-flag probe
+///
+/// Compile flags are tiered: at construction the cache probes the host
+/// compiler with `-O3 -march=native -fopenmp` (one tiny translation unit;
+/// result memoized in <root>/flag_tier) and falls back to serial `-O2`
+/// when the probe fails. $DCIR_JIT_TIER=serial forces the fallback and
+/// $DCIR_CXXFLAGS still appends. Flags are part of the content address,
+/// so switching tiers can never serve a stale artifact.
+///
+/// Disk usage is capped at $DCIR_CACHE_MAX_MB (default 512): construction
+/// evicts artifacts oldest-mtime-first until under the cap, and disk hits
+/// refresh their artifact's mtime, making eviction LRU across processes.
 ///
 /// Concurrency: in-process accesses serialize on a mutex; on-disk
 /// publication is write-to-temp + atomic rename, so concurrent processes
@@ -44,7 +56,10 @@ public:
   /// Opens the default cache root (environment-driven, see file comment).
   JitCache();
   /// Opens an explicit root (tests use throwaway directories).
-  explicit JitCache(std::string Root);
+  /// \p MaxBytes caps the on-disk size (0 = use $DCIR_CACHE_MAX_MB, else
+  /// 512 MiB); artifacts beyond the cap are evicted oldest-mtime-first at
+  /// construction, and disk hits refresh their artifact's mtime (LRU).
+  explicit JitCache(std::string Root, std::uint64_t MaxBytes = 0);
 
   JitCache(const JitCache &) = delete;
   JitCache &operator=(const JitCache &) = delete;
@@ -76,9 +91,18 @@ public:
   const std::string &root() const { return Root; }
   const std::string &compiler() const { return Cxx; }
   const std::string &flags() const { return Flags; }
+  /// True when the compile-flag probe selected the OpenMP tier
+  /// (-O3 -march=native -fopenmp); false on the serial -O2 fallback.
+  bool openmp() const { return OpenMP; }
+  std::uint64_t maxBytes() const { return MaxBytes; }
   Stats stats() const;
 
 private:
+  /// Probes the host compiler for the fast tier (memoized on disk as
+  /// <root>/flag_tier) and returns the selected flags.
+  std::string selectFlags();
+  /// Deletes artifacts oldest-mtime-first until the root is under the cap.
+  void evictOverCap();
   std::string compileLocked(const std::string &Key,
                             const std::string &Source,
                             DiagnosticEngine &Diags);
@@ -87,6 +111,8 @@ private:
   std::string Root;
   std::string Cxx;
   std::string Flags;
+  bool OpenMP = false;
+  std::uint64_t MaxBytes = 0;
   std::map<std::string, void *> Handles; // key -> dlopen handle
   Stats S;
   unsigned TempCounter = 0;

@@ -6,6 +6,7 @@
 #include "exec/InterpEngine.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <dlfcn.h>
 
 using namespace dcir;
@@ -71,6 +72,12 @@ EngineRun fail(std::string Error) {
 
 } // namespace
 
+NativeJitEngine::NativeJitEngine(JitCache *Cache)
+    : Cache(Cache ? *Cache : JitCache::shared()) {
+  if (const char *N = std::getenv("DCIR_NUM_THREADS"))
+    Config.NumThreads = std::atoi(N);
+}
+
 EngineRun NativeJitEngine::runModule(ir::Operation *Module,
                                      const std::string &Entry,
                                      interp::MathMode Mode) {
@@ -88,7 +95,12 @@ NativeJitEngine::prepare(const sdfg::SDFG &G, std::string &Error) {
   }
 
   DiagnosticEngine Diags;
-  std::string Source = codegen::emitCpp(G, Diags);
+  codegen::CodegenOptions Opts;
+  // Parallel pragmas are pointless without an OpenMP-capable flag tier:
+  // emitting them anyway would only fork the cache key.
+  Opts.ParallelMaps = Config.ParallelMaps && Cache.openmp();
+  codegen::CodegenInfo CgInfo;
+  std::string Source = codegen::emitCpp(G, Diags, Opts, &CgInfo);
   if (Source.empty()) {
     Error = "native codegen failed for '" + G.getName() + "':\n" +
             Diags.str();
@@ -97,6 +109,7 @@ NativeJitEngine::prepare(const sdfg::SDFG &G, std::string &Error) {
 
   Prepared P;
   P.Name = G.getName();
+  P.ParallelMapsEmitted = CgInfo.ParallelMapsEmitted;
   void *Handle = Cache.getOrCompile(Source, Diags, &P.CompileSeconds);
   if (!Handle) {
     Error = "native compilation failed for '" + G.getName() + "':\n" +
@@ -112,6 +125,9 @@ NativeJitEngine::prepare(const sdfg::SDFG &G, std::string &Error) {
             "' not found: " + (Err ? Err : "unknown dlsym error");
     return nullptr;
   }
+  std::string ThreadsSym = G.getName() + "__dcir_set_threads";
+  P.SetThreads = reinterpret_cast<void (*)(long long)>(
+      dlsym(Handle, ThreadsSym.c_str()));
   return &(Memo[&G] = std::move(P));
 }
 
@@ -150,6 +166,9 @@ NativeJitEngine::runGraph(const sdfg::SDFG &G, interp::MathMode Mode,
 
   EngineRun R;
   R.CompileSeconds = P->CompileSeconds;
+  R.Stats.ParallelMapsEmitted = P->ParallelMapsEmitted;
+  if (Config.NumThreads > 0 && P->SetThreads)
+    P->SetThreads(Config.NumThreads);
   auto Start = std::chrono::steady_clock::now();
   P->Fn(Ptrs.data(), Syms.data());
   auto End = std::chrono::steady_clock::now();

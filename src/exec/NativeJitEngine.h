@@ -31,11 +31,25 @@ namespace exec {
 class NativeJitEngine : public ExecutionEngine {
 public:
   /// Uses \p Cache for artifacts; null selects the process-wide
-  /// JitCache::shared() (tests pass throwaway caches).
-  explicit NativeJitEngine(JitCache *Cache = nullptr)
-      : Cache(Cache ? *Cache : JitCache::shared()) {}
+  /// JitCache::shared() (tests pass throwaway caches). NumThreads is
+  /// seeded from $DCIR_NUM_THREADS (0 = OpenMP runtime default).
+  explicit NativeJitEngine(JitCache *Cache = nullptr);
 
   EngineKind kind() const override { return EngineKind::Native; }
+
+  /// Parallel-emission and thread-count knobs. Call before the first run:
+  /// emitted code is memoized per graph, and ParallelMaps changes the
+  /// emitted source (a different cache key). A zero NumThreads keeps the
+  /// $DCIR_NUM_THREADS seed from construction.
+  void configure(const EngineConfig &C) override {
+    int EnvThreads = Config.NumThreads;
+    Config = C;
+    if (Config.NumThreads == 0)
+      Config.NumThreads = EnvThreads;
+  }
+  const EngineConfig &config() const { return Config; }
+  int numThreads() const { return Config.NumThreads; }
+  void setNumThreads(int N) { Config.NumThreads = N; }
 
   /// No native path for dialect modules: interpreter fallback.
   EngineRun runModule(ir::Operation *Module, const std::string &Entry,
@@ -57,11 +71,16 @@ private:
   struct Prepared {
     std::string Name;
     void (*Fn)(void **, const long long *) = nullptr;
+    /// Optional `<entry>__dcir_set_threads` hook (absent in artifacts
+    /// built before the hook existed).
+    void (*SetThreads)(long long) = nullptr;
     double CompileSeconds = 0.0; // First-run compile cost; 0 afterwards.
+    unsigned ParallelMapsEmitted = 0;
   };
   const Prepared *prepare(const sdfg::SDFG &G, std::string &Error);
 
   JitCache &Cache;
+  EngineConfig Config;
   std::map<const sdfg::SDFG *, Prepared> Memo;
 };
 

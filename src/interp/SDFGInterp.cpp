@@ -472,47 +472,30 @@ void SDFGInterpreter::executeMap(const State &S, const MapEntry *Entry,
     if (Scope.count(N->getId()))
       ScopeOrder.push_back(N);
 
-  // Iterate the parametric domain.
+  // Iterate the parametric domain. Ranges of inner dimensions may
+  // reference outer parameters (non-rectangular maps, e.g. triangular
+  // iteration spaces from loop-to-map conversion), so each dimension's
+  // bounds are evaluated under the bindings of the dimensions outside it.
   size_t Rank = Entry->Params.size();
-  std::vector<std::int64_t> Begin(Rank), End(Rank), Step(Rank);
-  for (size_t D = 0; D < Rank; ++D) {
-    Begin[D] = evalSym(Entry->Ranges[D].Begin, Env);
-    End[D] = evalSym(Entry->Ranges[D].End, Env);
-    Step[D] =
-        Entry->Ranges[D].Step ? evalSym(Entry->Ranges[D].Step, Env) : 1;
-    assert(Step[D] > 0 && "map requires positive steps");
-  }
-  std::vector<std::int64_t> Point = Begin;
   if (Rank == 0)
     return;
-  // Odometer loop over the rectangular domain.
-  while (true) {
-    bool InRange = true;
-    for (size_t D = 0; D < Rank; ++D)
-      if (Point[D] >= End[D])
-        InRange = false;
-    if (InRange) {
+  std::map<std::string, std::int64_t> Inner = Env;
+  auto IterateDim = [&](auto &&Self, size_t D) -> void {
+    if (D == Rank) {
       ++Stats.MapIterations;
-      std::map<std::string, std::int64_t> Inner = Env;
-      for (size_t D = 0; D < Rank; ++D)
-        Inner[Entry->Params[D]] = Point[D];
       ValueCache ScopeValues;
       executeNodes(S, ScopeOrder, Inner, ScopeValues);
+      return;
     }
-    size_t D = Rank;
-    bool Done = false;
-    while (D > 0) {
-      --D;
-      Point[D] += Step[D];
-      if (Point[D] < End[D])
-        break;
-      if (D == 0) {
-        Done = true;
-        break;
-      }
-      Point[D] = Begin[D];
+    std::int64_t Begin = evalSym(Entry->Ranges[D].Begin, Inner);
+    std::int64_t End = evalSym(Entry->Ranges[D].End, Inner);
+    std::int64_t Step =
+        Entry->Ranges[D].Step ? evalSym(Entry->Ranges[D].Step, Inner) : 1;
+    assert(Step > 0 && "map requires positive steps");
+    for (std::int64_t V = Begin; V < End; V += Step) {
+      Inner[Entry->Params[D]] = V;
+      Self(Self, D + 1);
     }
-    if (Done)
-      break;
-  }
+  };
+  IterateDim(IterateDim, 0);
 }

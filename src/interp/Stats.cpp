@@ -15,6 +15,7 @@ std::string interp::ExecutionStats::str() const {
      << " register_allocs=" << RegisterAllocs
      << " bytes_allocated=" << BytesAllocated
      << " state_transitions=" << StateTransitions
-     << " map_iterations=" << MapIterations;
+     << " map_iterations=" << MapIterations
+     << " parallel_maps=" << ParallelMapsEmitted;
   return OS.str();
 }

@@ -32,6 +32,10 @@ struct ExecutionStats {
   std::uint64_t BytesAllocated = 0;
   std::uint64_t StateTransitions = 0;  // SDFG only.
   std::uint64_t MapIterations = 0;     // SDFG only.
+  /// Map scopes the native backend emitted with an OpenMP work-sharing
+  /// pragma (0 for interpreter runs: the interpreter executes maps
+  /// sequentially regardless).
+  std::uint64_t ParallelMapsEmitted = 0;
 
   void merge(const ExecutionStats &O) {
     OpsExecuted += O.OpsExecuted;
@@ -45,6 +49,7 @@ struct ExecutionStats {
     BytesAllocated += O.BytesAllocated;
     StateTransitions += O.StateTransitions;
     MapIterations += O.MapIterations;
+    ParallelMapsEmitted += O.ParallelMapsEmitted;
   }
 
   std::string str() const;

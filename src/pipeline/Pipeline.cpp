@@ -37,6 +37,29 @@ const char *dcir::pipeline::pipelineName(PipelineKind K) {
   return "?";
 }
 
+const char *dcir::pipeline::parallelismName(ParallelismMode M) {
+  switch (M) {
+  case ParallelismMode::Off:
+    return "off";
+  case ParallelismMode::Maps:
+    return "maps";
+  case ParallelismMode::Auto:
+    return "auto";
+  }
+  return "?";
+}
+
+std::optional<ParallelismMode>
+dcir::pipeline::parseParallelismName(const std::string &Name) {
+  if (Name == "off")
+    return ParallelismMode::Off;
+  if (Name == "on" || Name == "maps")
+    return ParallelismMode::Maps;
+  if (Name == "auto")
+    return ParallelismMode::Auto;
+  return std::nullopt;
+}
+
 Compiled &Compiled::operator=(Compiled &&Other) noexcept {
   if (this == &Other)
     return *this;
@@ -44,6 +67,8 @@ Compiled &Compiled::operator=(Compiled &&Other) noexcept {
     ir::Operation::eraseDetached(Module);
   Kind = Other.Kind;
   Engine = Other.Engine;
+  Parallelism = Other.Parallelism;
+  NumThreads = Other.NumThreads;
   Entry = std::move(Other.Entry);
   Ctx = std::move(Other.Ctx);
   Module = Other.Module;
@@ -108,10 +133,22 @@ Compiled dcir::pipeline::compile(const std::string &CSource,
                                  const std::string &Entry, PipelineKind Kind,
                                  DiagnosticEngine &Diags,
                                  exec::EngineKind Engine) {
+  CompileOptions Opts;
+  Opts.Engine = Engine;
+  return compile(CSource, Entry, Kind, Diags, Opts);
+}
+
+Compiled dcir::pipeline::compile(const std::string &CSource,
+                                 const std::string &Entry, PipelineKind Kind,
+                                 DiagnosticEngine &Diags,
+                                 const CompileOptions &Opts) {
   Compiled Out;
   Out.Kind = Kind;
-  Out.Engine = Engine;
+  Out.Engine = Opts.Engine;
+  Out.Parallelism = Opts.Parallelism;
+  Out.NumThreads = Opts.NumThreads;
   Out.Entry = Entry;
+  const bool Parallelize = Opts.Parallelism != ParallelismMode::Off;
 
   if (Kind == PipelineKind::DaceLike) {
     auto TU = frontend::parseC(CSource, Diags);
@@ -120,7 +157,7 @@ Compiled dcir::pipeline::compile(const std::string &CSource,
     Out.Graph = conversion::translateCDirect(*TU, Entry, Diags);
     if (!Out.Graph)
       return Out;
-    sdfgopt::runAutoOptimize(*Out.Graph, Out.Report);
+    sdfgopt::runAutoOptimize(*Out.Graph, Out.Report, Parallelize);
     if (!Out.Graph->validate(Diags))
       Out.Graph.reset();
     return Out;
@@ -173,7 +210,7 @@ Compiled dcir::pipeline::compile(const std::string &CSource,
   ir::Operation::eraseDetached(SdfgModule);
   if (!Out.Graph)
     return Out;
-  sdfgopt::runAutoOptimize(*Out.Graph, Out.Report);
+  sdfgopt::runAutoOptimize(*Out.Graph, Out.Report, Parallelize);
   if (!Out.Graph->validate(Diags))
     Out.Graph.reset();
   return Out;
@@ -194,8 +231,13 @@ RunResult toRunResult(exec::EngineRun &&E) {
 } // namespace
 
 RunResult dcir::pipeline::run(const Compiled &C, interp::MathMode Mode) {
-  if (!C.EngineImpl)
+  if (!C.EngineImpl) {
     C.EngineImpl = exec::createEngine(C.Engine);
+    exec::EngineConfig Config;
+    Config.ParallelMaps = C.Parallelism != ParallelismMode::Off;
+    Config.NumThreads = C.NumThreads;
+    C.EngineImpl->configure(Config);
+  }
   exec::EngineKind Used = C.Engine;
   exec::EngineRun E;
   if (C.Module) {

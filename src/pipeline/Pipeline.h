@@ -50,12 +50,39 @@ enum class PipelineKind { GccLike, ClangLike, DaceLike, MlirLike, Dcir };
 /// Display name ("GCC", "Clang", "DaCe", "MLIR", "DCIR").
 const char *pipelineName(PipelineKind K);
 
+/// Loop-to-map auto-parallelization policy (paper §6.3 / Table 1):
+///   Off    no loop-to-map conversion, strictly serial native code — the
+///          PR-1 behaviour, kept for ablations and serial baselines.
+///   Maps   convert provably independent loops (and reductions) to maps;
+///          the native engine emits OpenMP work-sharing pragmas for them.
+///   Auto   Maps today; reserved for profitability heuristics (tile-size,
+///          thread-count, NUMA) without another API change.
+enum class ParallelismMode { Off, Maps, Auto };
+
+/// Display name ("off", "maps", "auto").
+const char *parallelismName(ParallelismMode M);
+
+/// Parses "--parallel=" values: off|on|maps|auto (on == maps).
+std::optional<ParallelismMode> parseParallelismName(const std::string &Name);
+
+/// Per-compile options threaded from the drivers into the optimizer and
+/// the execution engine.
+struct CompileOptions {
+  exec::EngineKind Engine = exec::EngineKind::Interp;
+  ParallelismMode Parallelism = ParallelismMode::Auto;
+  /// Threads for parallel maps (0 = OpenMP runtime default; the native
+  /// engine also honours $DCIR_NUM_THREADS when this stays 0).
+  int NumThreads = 0;
+};
+
 /// Compilation artifacts: exactly one of Module/Graph is set. Engine
 /// selects the execution backend run() dispatches to (module artifacts
 /// always interpret; see exec::NativeJitEngine).
 struct Compiled {
   PipelineKind Kind = PipelineKind::MlirLike;
   exec::EngineKind Engine = exec::EngineKind::Interp;
+  ParallelismMode Parallelism = ParallelismMode::Auto;
+  int NumThreads = 0;
   std::string Entry;
   std::shared_ptr<ir::IRContext> Ctx; // Keeps types alive for Module.
   ir::Operation *Module = nullptr;    // Owned; released in ~Compiled.
@@ -93,6 +120,13 @@ struct RunResult {
 Compiled compile(const std::string &CSource, const std::string &Entry,
                  PipelineKind Kind, DiagnosticEngine &Diags,
                  exec::EngineKind Engine = exec::EngineKind::Interp);
+
+/// Full-options variant: parallelism mode and thread count reach both the
+/// optimizer (loop-to-map conversion) and the native engine (pragma
+/// emission, omp_set_num_threads).
+Compiled compile(const std::string &CSource, const std::string &Entry,
+                 PipelineKind Kind, DiagnosticEngine &Diags,
+                 const CompileOptions &Opts);
 
 /// Runs a compiled artifact (the entry takes no arguments and returns a
 /// scalar checksum) on the engine selected at compile time. \p Mode

@@ -48,7 +48,8 @@ void dcir::sdfgopt::runSimplify(SDFG &G, OptReport &Report) {
   }
 }
 
-void dcir::sdfgopt::runAutoOptimize(SDFG &G, OptReport &Report) {
+void dcir::sdfgopt::runAutoOptimize(SDFG &G, OptReport &Report,
+                                    bool ParallelizeLoops) {
   runSimplify(G, Report);
   // Memory-scheduling optimizations (-O2): loop fusion exposes more
   // simplification opportunities, so interleave.
@@ -60,4 +61,8 @@ void dcir::sdfgopt::runAutoOptimize(SDFG &G, OptReport &Report) {
     runSimplify(G, Report);
   }
   Report.StackPromotions += preAllocateMemory(G);
+  // Loop-to-map conversion runs last: the earlier passes never see map
+  // scopes, and the fused/simplified loops are the profitable ones.
+  if (ParallelizeLoops)
+    convertLoopsToMaps(G, &Report);
 }

@@ -1,0 +1,846 @@
+//===- ParallelizationPasses.cpp - loop-to-map auto-parallelization ----------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's headline payoff (§1, Table 1): lowering control-centric loops
+/// into data-centric `sdfg.map` scopes exposes parametric parallelism that a
+/// serial compiler cannot recover. `convertLoopsToMaps` walks the state
+/// machine for converter-shaped loops (sdfgopt::findLoops), proves iteration
+/// independence with a symbolic subscript analysis over the body's memlets,
+/// and rewrites provably independent loops into MapEntry/MapExit scopes.
+/// Reduction loops whose body is a read-modify-write through an associative
+/// operator are first rewritten into write-conflict-resolution (WCR) memlets
+/// — the map equivalent of an OpenMP reduction — and then converted too.
+///
+/// Legality rules (see DESIGN.md "Parallel execution"):
+///   * the loop body is a straight chain of states; exactly one carries
+///     dataflow, the rest only interstate symbol assignments (which are
+///     substituted into the body before analysis, in chain order);
+///   * for every container written without WCR, each (write, write) and
+///     (write, read) subset pair must be provably disjoint across distinct
+///     iterations: some dimension indexes as `a*iv + b` on both sides with
+///     the same nonzero constant `a` and identical, iteration-invariant `b`
+///     (sdfgopt::subsetsDisjointAcrossParam);
+///   * WCR writes are exempt (conflicts resolve by definition), but no
+///     other kind of access to the same container may remain in the body;
+///   * symbols assigned inside the loop must be dead outside it, and loop
+///     bounds must be body-invariant and container-free.
+///
+/// Converting an inner loop leaves a single-state body behind, so the outer
+/// loop becomes convertible on the next round. Its induction variable is
+/// prepended to the existing map (a multi-parameter map the code generator
+/// can `collapse`) — unless the inner map carries WCR writes that are
+/// disjoint across the outer variable (e.g. `x[i] += A[i][j]*y[j]`), in
+/// which case the state is wrapped in a fresh outer map instead, keeping
+/// each reduction inside one outer iteration so the parallel backend needs
+/// no atomics for it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sdfgopt/Passes.h"
+#include "sdfgopt/Utils.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+
+using namespace dcir;
+using namespace dcir::sdfgopt;
+using namespace dcir::sdfg;
+using sym::SymExpr;
+using sym::SymRange;
+using sym::SymSubset;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Access collection
+//===----------------------------------------------------------------------===//
+
+struct Access {
+  bool Write = false;
+  SymSubset Subset;
+  std::string Wcr; // Writes only.
+};
+
+/// Every (container, access) pair a state's memlets imply. Access-to-access
+/// edges read the memlet's container and write the destination node's;
+/// tasklet-to-MapExit edges are routed writes.
+std::map<std::string, std::vector<Access>> collectAccesses(const State &S) {
+  std::map<std::string, std::vector<Access>> Out;
+  for (const auto &E : S.edges()) {
+    if (E.M.isEmpty())
+      continue;
+    const Node *Src = S.getNode(E.Src);
+    const Node *Dst = S.getNode(E.Dst);
+    if (const auto *DstA = dyn_cast<AccessNode>(Dst)) {
+      Out[DstA->getData()].push_back({true, E.M.Subset, E.M.Wcr});
+      if (isa<AccessNode>(Src))
+        Out[E.M.Data].push_back({false, E.M.Subset, ""});
+    } else if (isa<AccessNode>(Src)) {
+      Out[E.M.Data].push_back({false, E.M.Subset, ""});
+    } else if (isa<MapExit>(Dst)) {
+      Out[E.M.Data].push_back({true, E.M.Subset, E.M.Wcr});
+    } else if (isa<MapEntry>(Src)) {
+      Out[E.M.Data].push_back({false, E.M.Subset, ""});
+    }
+  }
+  return Out;
+}
+
+/// Map parameters of every map scope within \p S: symbols that take a
+/// different value on every scope iteration (and thus cannot anchor a
+/// cross-iteration disjointness proof for an enclosing loop).
+std::set<std::string> mapParamsIn(const State &S) {
+  std::set<std::string> Out;
+  for (const auto &N : S.nodes())
+    if (const auto *ME = dyn_cast<MapEntry>(N.get()))
+      Out.insert(ME->Params.begin(), ME->Params.end());
+  return Out;
+}
+
+bool isSupportedWcr(const std::string &Wcr) {
+  return Wcr == "add" || Wcr == "mul" || Wcr == "min" || Wcr == "max";
+}
+
+/// Checks that every iteration of \p Iv touches provably independent data.
+/// \p Varying holds symbols that change within one iteration (inner map
+/// params). Containers written with WCR are exempt from disjointness but
+/// must not be accessed in any other way.
+bool iterationsIndependent(
+    const std::map<std::string, std::vector<Access>> &Accesses,
+    const std::string &Iv, const std::set<std::string> &Varying) {
+  for (const auto &[Data, List] : Accesses) {
+    bool AnyWrite = false, AnyWcr = false;
+    for (const Access &A : List) {
+      AnyWrite |= A.Write;
+      AnyWcr |= A.Write && !A.Wcr.empty();
+    }
+    if (!AnyWrite)
+      continue; // Read-only containers never carry dependences.
+    if (AnyWcr) {
+      // WCR resolves write conflicts by definition; but a plain read or a
+      // plain write of the same container would observe partial updates.
+      for (const Access &A : List)
+        if (!A.Write || A.Wcr.empty() || !isSupportedWcr(A.Wcr))
+          return false;
+      continue;
+    }
+    // Every (write, write) and (write, read) pair — including a write
+    // against itself, whose subset must vary injectively with the iv —
+    // must be disjoint across distinct iterations.
+    for (size_t I = 0; I < List.size(); ++I) {
+      if (!List[I].Write)
+        continue;
+      for (size_t J = 0; J < List.size(); ++J)
+        if (!subsetsDisjointAcrossParam(List[I].Subset, List[J].Subset, Iv,
+                                        Varying))
+          return false;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Reduction detection: read-modify-write chains to WCR memlets
+//===----------------------------------------------------------------------===//
+
+/// Inlines the expression tree a tasklet output computes, following value
+/// edges through upstream (non-opaque) tasklets. Memlet reads become Input
+/// leaves named after the feeding edge's index in the state's edge vector;
+/// \p Leaves maps those names back to indices. \p Chain collects every
+/// tasklet traversed. Returns nullopt when the chain is not analyzable.
+std::optional<TExpr>
+inlineTaskletExpr(const State &S, const Tasklet *T, const std::string &Conn,
+                  std::map<std::string, size_t> &Leaves,
+                  std::set<int> &Chain, int Depth = 0) {
+  if (T->Opaque || Depth > 16)
+    return std::nullopt;
+  Chain.insert(T->getId());
+  auto CodeIt = T->Code.find(Conn);
+  if (CodeIt == T->Code.end())
+    return std::nullopt;
+  std::map<std::string, TExpr> Bind;
+  std::set<std::string> Ins;
+  CodeIt->second.collectInputs(Ins);
+  for (const std::string &In : Ins) {
+    // Locate the feeding edge by index (stable names survive mutation).
+    size_t FeedIdx = S.edges().size();
+    for (size_t I = 0; I < S.edges().size(); ++I)
+      if (S.edges()[I].Dst == T->getId() && S.edges()[I].DstConn == In)
+        FeedIdx = I;
+    if (FeedIdx == S.edges().size())
+      return std::nullopt;
+    const DataflowEdge &Feed = S.edges()[FeedIdx];
+    if (Feed.M.isEmpty()) {
+      const auto *Up = dyn_cast<Tasklet>(S.getNode(Feed.Src));
+      if (!Up || Feed.SrcConn.empty())
+        return std::nullopt;
+      auto Sub =
+          inlineTaskletExpr(S, Up, Feed.SrcConn, Leaves, Chain, Depth + 1);
+      if (!Sub)
+        return std::nullopt;
+      Bind[In] = *Sub;
+    } else {
+      std::string LeafName = "@e" + std::to_string(FeedIdx);
+      Leaves[LeafName] = FeedIdx;
+      Bind[In] = TExpr::input(LeafName, CodeIt->second.Ty);
+    }
+  }
+  TExpr Out = CodeIt->second;
+  for (const auto &[In, Repl] : Bind)
+    Out = replaceInputWithExpr(Out, In, Repl);
+  return Out;
+}
+
+bool usesInput(const TExpr &E, const std::string &Name) {
+  std::set<std::string> Ins;
+  E.collectInputs(Ins);
+  return Ins.count(Name) > 0;
+}
+
+/// Removes nodes that became dead after a reduction rewrite: tasklets with
+/// no out-edges and access nodes with no edges at all, to a fixpoint.
+void collectDeadChain(State &S) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &N : S.nodes()) {
+      if (const auto *T = dyn_cast<Tasklet>(N.get())) {
+        if (S.outEdges(T).empty()) {
+          S.eraseNode(N.get());
+          Changed = true;
+          break;
+        }
+      } else if (const auto *A = dyn_cast<AccessNode>(N.get())) {
+        if (S.inEdges(A).empty() && S.outEdges(A).empty()) {
+          S.eraseNode(N.get());
+          Changed = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+/// Rewrites `x = x op rest` chains in \p S into WCR memlets when the
+/// location `x` is invariant in \p Iv (a reduction the plain disjointness
+/// analysis must otherwise reject). Generalizes detectUpdates to chains of
+/// tasklets connected by value edges (the translator's copy tasklets).
+/// Each rewrite is semantics-preserving on its own, so a later refusal of
+/// the surrounding loop leaves a still-correct graph.
+unsigned rewriteReductions(State &S, const std::string &Iv) {
+  unsigned Rewritten = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t WI = 0; WI < S.edges().size() && !Changed; ++WI) {
+      const DataflowEdge &WE = S.edges()[WI];
+      if (WE.M.isEmpty() || !WE.M.Wcr.empty())
+        continue;
+      const auto *T = dyn_cast<Tasklet>(S.getNode(WE.Src));
+      const auto *Aout = dyn_cast<AccessNode>(S.getNode(WE.Dst));
+      if (!T || !Aout || T->Opaque)
+        continue;
+      // Only iv-invariant targets need WCR; iv-varying writes are handled
+      // by the disjointness analysis directly.
+      {
+        std::set<std::string> Syms;
+        WE.M.Subset.collectSymbols(Syms);
+        if (Syms.count(Iv))
+          continue;
+      }
+      const std::string Data = Aout->getData();
+      // The body must touch this container exactly twice: one read and
+      // this write, at the same subset.
+      size_t ReadIdx = S.edges().size();
+      bool Clean = true;
+      for (size_t I = 0; I < S.edges().size(); ++I) {
+        const DataflowEdge &E2 = S.edges()[I];
+        if (I == WI || E2.M.isEmpty())
+          continue;
+        // A copy edge writes the destination node's container even though
+        // its memlet names the source, so check both.
+        const auto *DstA2 = dyn_cast<AccessNode>(S.getNode(E2.Dst));
+        if (E2.M.Data != Data && !(DstA2 && DstA2->getData() == Data))
+          continue;
+        const bool IsRead = E2.M.Data == Data &&
+                            isa<AccessNode>(S.getNode(E2.Src));
+        if (IsRead && ReadIdx == S.edges().size() &&
+            E2.M.Subset.equals(WE.M.Subset) &&
+            isa<Tasklet>(S.getNode(E2.Dst)))
+          ReadIdx = I;
+        else
+          Clean = false;
+      }
+      if (ReadIdx == S.edges().size() || !Clean)
+        continue;
+      std::map<std::string, size_t> Leaves;
+      std::set<int> Chain;
+      auto Inlined = inlineTaskletExpr(S, T, WE.SrcConn, Leaves, Chain);
+      if (!Inlined)
+        continue;
+      // Match op(self, rest) for an associative op, self = the read leaf.
+      if (Inlined->K != TExpr::Kind::Op || Inlined->Children.size() != 2 ||
+          !isSupportedWcr(Inlined->Name))
+        continue;
+      std::string SelfLeaf;
+      for (const auto &[Name, Idx] : Leaves)
+        if (Idx == ReadIdx)
+          SelfLeaf = Name;
+      if (SelfLeaf.empty())
+        continue;
+      const std::string Op = Inlined->Name;
+      TExpr Rest;
+      bool Matched = false;
+      for (int Side = 0; Side < 2 && !Matched; ++Side) {
+        const TExpr &Cand = Inlined->Children[Side];
+        const TExpr &Other = Inlined->Children[1 - Side];
+        if (Cand.K == TExpr::Kind::Input && Cand.Name == SelfLeaf &&
+            !usesInput(Other, SelfLeaf)) {
+          Rest = Other;
+          Matched = true;
+        }
+      }
+      if (!Matched)
+        continue;
+      // The dying chain must be self-contained: every chain tasklet's
+      // out-edges stay within the chain or are the rewritten write, and no
+      // leaf container is written elsewhere in the state (erasing the
+      // chain drops its ordering edges, so anti-dependences must not rely
+      // on them).
+      bool SelfContained = true;
+      for (int Id : Chain)
+        for (const auto &E2 : S.edges())
+          if (E2.Src == Id &&
+              !(Chain.count(E2.Dst) || (&E2 - S.edges().data()) ==
+                                           static_cast<std::ptrdiff_t>(WI)))
+            SelfContained = false;
+      for (const auto &[Name, Idx] : Leaves) {
+        if (Idx == ReadIdx)
+          continue;
+        const std::string &LeafData = S.edges()[Idx].M.Data;
+        for (const auto &E2 : S.edges())
+          if (!E2.M.isEmpty() && !E2.SrcConn.empty() &&
+              isa<Tasklet>(S.getNode(E2.Src)) &&
+              isa<AccessNode>(S.getNode(E2.Dst)) &&
+              cast<AccessNode>(S.getNode(E2.Dst))->getData() == LeafData)
+            SelfContained = false;
+      }
+      if (!SelfContained)
+        continue;
+
+      // Snapshot everything the rewrite needs before mutating the edge
+      // vector (connect() may reallocate it).
+      DType Ty = Rest.Ty;
+      if (auto CodeIt = T->Code.find(WE.SrcConn); CodeIt != T->Code.end())
+        Ty = CodeIt->second.Ty;
+      Memlet OutM = WE.M;
+      OutM.Wcr = Op;
+      const int AoutId = Aout->getId();
+      struct LeafSnap {
+        std::string Name;
+        int SrcNode;
+        Memlet M;
+      };
+      std::vector<LeafSnap> LeafInfo;
+      for (const auto &[Name, Idx] : Leaves) {
+        if (Idx == ReadIdx || !usesInput(Rest, Name))
+          continue;
+        LeafInfo.push_back({Name, S.edges()[Idx].Src, S.edges()[Idx].M});
+      }
+
+      Tasklet *NewT = S.addTasklet("wcr_" + Op);
+      unsigned NextIn = 0;
+      TExpr NewCode = Rest;
+      for (const LeafSnap &L : LeafInfo) {
+        std::string Conn = "_in" + std::to_string(NextIn++);
+        NewT->InConns.push_back(Conn);
+        S.connect(S.getNode(L.SrcNode), "", NewT, Conn, L.M);
+        NewCode = NewCode.renameInput(L.Name, Conn);
+      }
+      NewT->OutConns = {"_out"};
+      NewCode.Ty = Ty;
+      NewT->Code["_out"] = NewCode;
+      S.connect(NewT, "_out", S.getNode(AoutId), "", OutM);
+      // Drop the old write and self-read edges (larger index first), then
+      // let the now-unconsumed chain die.
+      auto &Edges = S.edges();
+      size_t A = std::max(WI, ReadIdx), B = std::min(WI, ReadIdx);
+      Edges.erase(Edges.begin() + A);
+      Edges.erase(Edges.begin() + B);
+      collectDeadChain(S);
+      ++Rewritten;
+      Changed = true;
+    }
+  }
+  return Rewritten;
+}
+
+//===----------------------------------------------------------------------===//
+// Loop candidate analysis
+//===----------------------------------------------------------------------===//
+
+/// A convertible loop: a straight chain of body states with exactly one
+/// carrying dataflow.
+struct Candidate {
+  const LoopRegion *L = nullptr;
+  std::vector<int> Chain;    // Body states, entry to back-edge source.
+  State *Dataflow = nullptr; // The one state with nodes.
+  /// Symbols assigned along the chain (excluding the iv), with their
+  /// per-iteration values composed in chain order for substitution.
+  std::map<std::string, SymExpr> ChainSubs;
+  /// All symbols assigned on loop-owned edges (iv + chain symbols).
+  std::set<std::string> AssignedSyms;
+};
+
+/// Interstate expressions may read integer scalar containers by name;
+/// memlet subsets cannot, so such loops are not convertible.
+bool referencesContainer(const SymExpr &E, const SDFG &G) {
+  if (!E)
+    return false;
+  std::set<std::string> Syms;
+  E.collectSymbols(Syms);
+  for (const std::string &S : Syms)
+    if (G.hasData(S))
+      return true;
+  return false;
+}
+
+/// Builds the candidate for \p L, or nullopt when the loop shape is not
+/// convertible (branches in the body, multiple dataflow states, container
+/// reads in control expressions, mid-chain iv assignment, ...).
+std::optional<Candidate> analyzeLoop(SDFG &G, const LoopRegion &L) {
+  State *Guard = G.getState(L.GuardId);
+  if (!Guard || !Guard->nodes().empty())
+    return std::nullopt;
+  if (!L.Begin || !L.End)
+    return std::nullopt;
+  if (referencesContainer(L.Begin, G) || referencesContainer(L.End, G) ||
+      referencesContainer(L.Step, G))
+    return std::nullopt;
+  // The interpreter requires positive map steps; demand a known-positive
+  // constant (absent means 1).
+  if (L.Step && (!L.Step.isConstant() || L.Step.constantValue() <= 0))
+    return std::nullopt;
+  // The leave edge must carry no assignments (they would run after the
+  // last iteration and have no place in the rewritten graph).
+  for (const auto *E : G.outEdges(Guard))
+    if (E->Dst == L.ExitId && !E->Assignments.empty())
+      return std::nullopt;
+
+  Candidate C;
+  C.L = &L;
+  // Walk the chain guard -> entry -> ... -> guard: single unconditional
+  // out-edges, no side entries, collecting assignments in execution order.
+  std::vector<const InterstateEdge *> ChainEdges;
+  for (const auto *E : G.outEdges(Guard))
+    if (E->Dst == L.BodyEntryId)
+      ChainEdges.push_back(E); // The enter edge runs first.
+  if (ChainEdges.size() != 1)
+    return std::nullopt;
+  int Cur = L.BodyEntryId;
+  std::set<int> Seen;
+  while (Cur != L.GuardId) {
+    if (!L.BodyStates.count(Cur) || !Seen.insert(Cur).second)
+      return std::nullopt;
+    State *S = G.getState(Cur);
+    if (!S)
+      return std::nullopt;
+    for (const auto *E : G.inEdges(S))
+      if (E->Src != L.GuardId && !L.BodyStates.count(E->Src))
+        return std::nullopt; // Side entry into the body.
+    C.Chain.push_back(Cur);
+    if (!S->nodes().empty()) {
+      if (C.Dataflow)
+        return std::nullopt; // Two compute states; cannot merge (yet).
+      C.Dataflow = S;
+    }
+    auto Out = G.outEdges(S);
+    if (Out.size() != 1 || Out[0]->Condition)
+      return std::nullopt;
+    ChainEdges.push_back(Out[0]);
+    Cur = Out[0]->Dst;
+  }
+  if (Seen.size() != L.BodyStates.size() || !C.Dataflow)
+    return std::nullopt;
+
+  std::set<std::string> BodyParams = mapParamsIn(*C.Dataflow);
+  for (const InterstateEdge *E : ChainEdges) {
+    const bool IsBack = E->Dst == L.GuardId;
+    for (const auto &[Name, V] : E->Assignments) {
+      C.AssignedSyms.insert(Name);
+      if (Name == L.Iv) {
+        if (!IsBack)
+          return std::nullopt; // iv mutated mid-body: not a counted loop.
+        continue;
+      }
+      if (IsBack)
+        return std::nullopt; // Next-iteration state: not substitutable.
+      if (BodyParams.count(Name))
+        continue; // Shadowed by an inner map parameter: dead store.
+      if (referencesContainer(V, G))
+        return std::nullopt;
+      C.ChainSubs[Name] = V.substitute(C.ChainSubs);
+    }
+  }
+  // Loop bounds must be invariant: no bound symbol assigned in the body.
+  std::set<std::string> BoundSyms;
+  L.Begin.collectSymbols(BoundSyms);
+  L.End.collectSymbols(BoundSyms);
+  if (L.Step)
+    L.Step.collectSymbols(BoundSyms);
+  if (BoundSyms.count(L.Iv))
+    return std::nullopt;
+  for (const std::string &S : BoundSyms)
+    if (C.AssignedSyms.count(S))
+      return std::nullopt;
+  return C;
+}
+
+/// True when \p Name is referenced anywhere outside the loop's own states
+/// and edges (so deleting the loop's assignments would change meaning).
+/// Loop-owned edges are those leaving the guard or a body state; the init
+/// edges into the guard may assign \p Name but not read it.
+bool symbolUsedOutsideLoop(const SDFG &G, const LoopRegion &L,
+                           const std::string &Name) {
+  auto InLoop = [&](int StateId) {
+    return StateId == L.GuardId || L.BodyStates.count(StateId) > 0;
+  };
+  for (const auto &S : G.states()) {
+    if (InLoop(S->getId()))
+      continue;
+    for (const auto &E : S->edges()) {
+      if (E.M.isEmpty())
+        continue;
+      std::set<std::string> Syms;
+      E.M.Subset.collectSymbols(Syms);
+      if (Syms.count(Name))
+        return true;
+    }
+    for (const auto &N : S->nodes()) {
+      if (const auto *T = dyn_cast<Tasklet>(N.get())) {
+        for (const auto &[Conn, Code] : T->Code) {
+          std::set<std::string> Syms;
+          std::vector<const TExpr *> Work = {&Code};
+          while (!Work.empty()) {
+            const TExpr *E = Work.back();
+            Work.pop_back();
+            if (E->K == TExpr::Kind::Sym && E->Sym)
+              E->Sym.collectSymbols(Syms);
+            for (const TExpr &Ch : E->Children)
+              Work.push_back(&Ch);
+          }
+          if (Syms.count(Name))
+            return true;
+        }
+      }
+      if (const auto *ME = dyn_cast<MapEntry>(N.get())) {
+        if (std::find(ME->Params.begin(), ME->Params.end(), Name) !=
+            ME->Params.end())
+          continue; // Shadowed inside that scope.
+        for (const SymRange &R : ME->Ranges) {
+          std::set<std::string> Syms;
+          R.collectSymbols(Syms);
+          if (Syms.count(Name))
+            return true;
+        }
+      }
+    }
+  }
+  for (const auto &E : G.interstateEdges()) {
+    if (InLoop(E.Src))
+      continue; // Loop-owned: enter, chain, back, and leave edges.
+    std::set<std::string> Syms;
+    if (E.Condition)
+      E.Condition.collectSymbols(Syms);
+    const bool IsInit = E.Dst == L.GuardId;
+    for (const auto &[K, V] : E.Assignments) {
+      if (K == Name && !IsInit)
+        return true; // Another definition of the same name elsewhere.
+      V.collectSymbols(Syms);
+    }
+    if (Syms.count(Name))
+      return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// The rewrite
+//===----------------------------------------------------------------------===//
+
+/// Applies \p Subs to every expression in \p S (memlet subsets, tasklet
+/// symbolic leaves, and map ranges).
+void substituteInState(State &S, const std::map<std::string, SymExpr> &Subs) {
+  if (Subs.empty())
+    return;
+  for (auto &E : S.edges())
+    if (!E.M.isEmpty())
+      E.M.Subset = E.M.Subset.substitute(Subs);
+  for (const auto &N : S.nodes()) {
+    if (auto *T = dyn_cast<Tasklet>(N.get()))
+      for (auto &[Conn, Code] : T->Code)
+        Code = substituteSymsInTExpr(Code, Subs);
+    if (auto *ME = dyn_cast<MapEntry>(N.get()))
+      for (SymRange &R : ME->Ranges) {
+        R.Begin = R.Begin ? R.Begin.substitute(Subs) : R.Begin;
+        R.End = R.End ? R.End.substitute(Subs) : R.End;
+        R.Step = R.Step ? R.Step.substitute(Subs) : R.Step;
+      }
+  }
+}
+
+/// The single top-level map scope of \p S, when the state consists of
+/// exactly one map plus access nodes (the shape an inner conversion leaves
+/// behind). Null when the state mixes a map with other compute.
+MapEntry *soleMapScope(const State &S) {
+  MapEntry *Entry = nullptr;
+  for (const auto &N : S.nodes()) {
+    if (auto *ME = dyn_cast<MapEntry>(N.get())) {
+      if (Entry)
+        return nullptr; // Two top-level maps.
+      Entry = ME;
+    }
+  }
+  if (!Entry)
+    return nullptr;
+  // Scope membership: nodes reachable from the entry without crossing the
+  // exit (the interpreter's and codegen's discovery rule).
+  std::set<int> Scope = {Entry->getId(), Entry->ExitId};
+  std::vector<int> Work = {Entry->getId()};
+  while (!Work.empty()) {
+    int Id = Work.back();
+    Work.pop_back();
+    for (const auto &E : S.edges()) {
+      if (E.Src != Id || E.Dst == Entry->ExitId)
+        continue;
+      if (Scope.insert(E.Dst).second)
+        Work.push_back(E.Dst);
+    }
+  }
+  for (const auto &N : S.nodes())
+    if (!Scope.count(N->getId()) && !isa<AccessNode>(N.get()))
+      return nullptr; // Compute outside the scope: wrap instead of extend.
+  return Entry;
+}
+
+/// Rotates a map parameter that *pins* every WCR write (each update's
+/// target cell determines that parameter, so distinct values touch
+/// distinct cells) to the front. The parallel backend partitions the
+/// first parameter across threads, turning would-be atomic updates into
+/// plain ones — e.g. `y[j] += A[i][j] * x[i]` iterates (i, j) after
+/// extension, but parallelizing j needs no synchronization at all.
+/// Map parameters are unordered semantically (WCR updates commute), so
+/// rotation is legal whenever the promoted parameter's range is free of
+/// the other parameters.
+void reorderParamsForWcr(const State &D, MapEntry *ME) {
+  std::vector<const DataflowEdge *> Wcr;
+  for (const auto &E : D.edges())
+    if (!E.M.isEmpty() && !E.M.Wcr.empty())
+      Wcr.push_back(&E);
+  if (Wcr.empty() || ME->Params.size() < 2)
+    return;
+  std::set<std::string> AllParams = mapParamsIn(D);
+  auto Pins = [&](const std::string &P) {
+    std::set<std::string> Others = AllParams;
+    Others.erase(P);
+    for (const DataflowEdge *E : Wcr)
+      if (!subsetsDisjointAcrossParam(E->M.Subset, E->M.Subset, P, Others))
+        return false;
+    return true;
+  };
+  if (Pins(ME->Params[0]))
+    return;
+  for (size_t K = 1; K < ME->Params.size(); ++K) {
+    std::set<std::string> RangeSyms;
+    ME->Ranges[K].collectSymbols(RangeSyms);
+    bool RangeUsesParam = false;
+    for (const std::string &Sym : RangeSyms)
+      if (AllParams.count(Sym))
+        RangeUsesParam = true;
+    if (RangeUsesParam || !Pins(ME->Params[K]))
+      continue;
+    std::string P = ME->Params[K];
+    SymRange R = ME->Ranges[K];
+    ME->Params.erase(ME->Params.begin() + K);
+    ME->Ranges.erase(ME->Ranges.begin() + K);
+    ME->Params.insert(ME->Params.begin(), std::move(P));
+    ME->Ranges.insert(ME->Ranges.begin(), std::move(R));
+    return;
+  }
+}
+
+/// Wraps every existing node of \p S in a fresh map scope over \p Iv.
+/// Entry feeds the dataflow roots, sinks feed the exit, so the standard
+/// scope discovery collects exactly the pre-existing nodes.
+void wrapStateInMap(State &S, const std::string &Iv, const SymRange &Range) {
+  std::vector<Node *> Existing;
+  for (const auto &N : S.nodes())
+    Existing.push_back(N.get());
+  std::vector<Node *> Roots, Sinks;
+  for (Node *N : Existing) {
+    if (S.inEdges(N).empty())
+      Roots.push_back(N);
+    if (S.outEdges(N).empty())
+      Sinks.push_back(N);
+  }
+  auto [Entry, Exit] = S.addMap({Iv}, {Range});
+  for (Node *N : Roots)
+    S.connect(Entry, "", N, "", Memlet());
+  for (Node *N : Sinks)
+    S.connect(N, "", Exit, "", Memlet());
+}
+
+/// Deletes the loop skeleton, leaving the (now map-carrying) dataflow state
+/// wired directly between the loop's predecessors and its exit state.
+/// Symbols the SDFG still references but that just lost their only
+/// assignments get a dead store on a redirected edge, so callSignature()
+/// (free symbols = never-assigned symbols) cannot change.
+void spliceLoopOut(SDFG &G, const Candidate &C) {
+  const LoopRegion &L = *C.L;
+  State *D = C.Dataflow;
+  for (auto &E : G.interstateEdges()) {
+    if (E.Dst == L.GuardId && !L.BodyStates.count(E.Src))
+      E.Dst = D->getId(); // Init edges now enter the map state directly.
+  }
+  auto &Edges = G.interstateEdges();
+  Edges.erase(std::remove_if(Edges.begin(), Edges.end(),
+                             [&](const InterstateEdge &E) {
+                               auto Owns = [&](int Id) {
+                                 return Id == L.GuardId ||
+                                        L.BodyStates.count(Id) > 0;
+                               };
+                               return Owns(E.Src) && Owns(E.Dst);
+                             }),
+              Edges.end());
+  InterstateEdge ExitE;
+  ExitE.Src = D->getId();
+  ExitE.Dst = L.ExitId;
+  Edges.push_back(ExitE);
+  std::set<std::string> StillAssigned;
+  for (const auto &E : Edges)
+    for (const auto &[Name, V] : E.Assignments)
+      StillAssigned.insert(Name);
+  std::set<std::string> Referenced = collectReferencedNames(G);
+  for (const std::string &Sym : C.AssignedSyms) {
+    if (StillAssigned.count(Sym))
+      continue;
+    if (!Referenced.count(Sym)) {
+      G.symbols().erase(Sym);
+      continue;
+    }
+    // Still referenced (as a now-shadowed map parameter): dead store.
+    for (auto &E : Edges)
+      if (E.Dst == D->getId()) {
+        E.Assignments.push_back({Sym, SymExpr::constant(0)});
+        break;
+      }
+  }
+  for (int Id : L.BodyStates)
+    if (Id != D->getId())
+      if (State *S = G.getState(Id))
+        G.eraseState(S);
+  if (State *Guard = G.getState(L.GuardId))
+    G.eraseState(Guard);
+  if (!G.getStartState())
+    G.setStartState(D);
+}
+
+} // namespace
+
+unsigned dcir::sdfgopt::convertLoopsToMaps(SDFG &G, OptReport *Report) {
+  unsigned Converted = 0;
+  // Debugging aid: $DCIR_MAX_MAP_CONVERSIONS caps the number of loops
+  // converted, so a miscompare can be bisected to a single conversion.
+  unsigned DebugLimit = ~0u;
+  if (const char *L = std::getenv("DCIR_MAX_MAP_CONVERSIONS"))
+    DebugLimit = std::atoi(L);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::vector<LoopRegion> Loops = findLoops(G);
+    // Innermost first: a loop containing another loop's guard is not yet
+    // convertible; converting the inner one unlocks it next round.
+    std::set<int> GuardIds;
+    for (const LoopRegion &L : Loops)
+      GuardIds.insert(L.GuardId);
+    for (const LoopRegion &L : Loops) {
+      if (Converted >= DebugLimit)
+        break;
+      bool Innermost = true;
+      for (int Id : L.BodyStates)
+        if (GuardIds.count(Id))
+          Innermost = false;
+      if (!Innermost)
+        continue;
+      auto C = analyzeLoop(G, L);
+      if (!C)
+        continue;
+      bool SymsLocal = true;
+      for (const std::string &Sym : C->AssignedSyms)
+        if (symbolUsedOutsideLoop(G, L, Sym))
+          SymsLocal = false;
+      if (!SymsLocal)
+        continue;
+      State *D = C->Dataflow;
+      // Inline the chain's per-iteration symbols (semantics-preserving
+      // even if conversion is later refused: the assignments remain and
+      // the substituted expressions evaluate identically at this point).
+      substituteInState(*D, C->ChainSubs);
+
+      std::set<std::string> Varying = mapParamsIn(*D);
+      auto Accesses = collectAccesses(*D);
+      unsigned NewWcr = 0;
+      if (!iterationsIndependent(Accesses, L.Iv, Varying)) {
+        // Second chance: rewrite loop-carried read-modify-write chains
+        // into WCR updates (reductions), then re-test.
+        NewWcr = rewriteReductions(*D, L.Iv);
+        if (NewWcr == 0)
+          continue;
+        Accesses = collectAccesses(*D);
+        if (!iterationsIndependent(Accesses, L.Iv, Varying))
+          continue;
+      }
+
+      SymRange Range(L.Begin, L.End,
+                     L.Step ? L.Step : SymExpr::constant(1));
+      MapEntry *Inner = soleMapScope(*D);
+      bool NestInstead = false;
+      if (Inner) {
+        // An inner WCR that is disjoint across the outer variable (e.g.
+        // `x[i] += A[i][j]*y[j]` under the i-loop) stays conflict-free
+        // when each outer iteration runs on one thread: nest the scopes
+        // so the backend needs no atomics. Extending instead would let
+        // a collapsed schedule split one reduction across threads.
+        for (const auto &E : D->edges())
+          if (!E.M.isEmpty() && !E.M.Wcr.empty() &&
+              subsetsDisjointAcrossParam(E.M.Subset, E.M.Subset, L.Iv,
+                                         Varying))
+            NestInstead = true;
+      }
+      if (Inner && !NestInstead) {
+        // Prepend the outer induction variable: the code generator
+        // collapses the resulting rectangular nest.
+        Inner->Params.insert(Inner->Params.begin(), L.Iv);
+        Inner->Ranges.insert(Inner->Ranges.begin(), Range);
+        reorderParamsForWcr(*D, Inner);
+      } else {
+        wrapStateInMap(*D, L.Iv, Range);
+      }
+      spliceLoopOut(G, *C);
+      ++Converted;
+      if (Report) {
+        ++Report->LoopsConvertedToMaps;
+        if (NewWcr)
+          ++Report->ReductionMaps;
+      }
+      Changed = true;
+      break; // State machine changed: re-discover loops.
+    }
+  }
+  return Converted;
+}

@@ -42,6 +42,8 @@ struct OptReport {
   unsigned LoopsFused = 0;
   unsigned ConstantsPropagated = 0;
   unsigned EmptyLoopsRemoved = 0;
+  unsigned LoopsConvertedToMaps = 0;
+  unsigned ReductionMaps = 0;
 
   /// Containers and scalars removed in total (paper §7.3 reports 63 across
   /// three snippets).
@@ -108,6 +110,19 @@ unsigned preAllocateMemory(sdfg::SDFG &G);
 unsigned fuseMemoryReducingLoops(sdfg::SDFG &G);
 
 //===----------------------------------------------------------------------===//
+// Auto-parallelization (§6.3, paper Table 1: sdfg.map)
+//===----------------------------------------------------------------------===//
+
+/// Loop-to-map conversion: rewrites sequential state-machine loops whose
+/// iterations are provably independent into parametric-parallel
+/// MapEntry/MapExit scopes; reduction loops matching an associative
+/// read-modify-write pattern become maps with write-conflict-resolution
+/// memlets. Nested conversions produce multi-parameter (collapsible) or
+/// nested maps. \p Report accumulates LoopsConvertedToMaps/ReductionMaps.
+/// Returns the number of loops converted.
+unsigned convertLoopsToMaps(sdfg::SDFG &G, OptReport *Report = nullptr);
+
+//===----------------------------------------------------------------------===//
 // Drivers
 //===----------------------------------------------------------------------===//
 
@@ -115,8 +130,10 @@ unsigned fuseMemoryReducingLoops(sdfg::SDFG &G);
 /// reduction to a fixpoint.
 void runSimplify(sdfg::SDFG &G, OptReport &Report);
 
-/// Auto-optimizer (-O2): simplify + memory scheduling.
-void runAutoOptimize(sdfg::SDFG &G, OptReport &Report);
+/// Auto-optimizer (-O2): simplify + memory scheduling + (unless
+/// \p ParallelizeLoops is false) loop-to-map auto-parallelization.
+void runAutoOptimize(sdfg::SDFG &G, OptReport &Report,
+                     bool ParallelizeLoops = true);
 
 } // namespace sdfgopt
 } // namespace dcir

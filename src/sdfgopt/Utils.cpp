@@ -289,3 +289,37 @@ std::vector<LoopRegion> dcir::sdfgopt::findLoops(const SDFG &G) {
   }
   return Loops;
 }
+
+bool dcir::sdfgopt::subsetsDisjointAcrossParam(
+    const sym::SymSubset &A, const sym::SymSubset &B,
+    const std::string &Param, const std::set<std::string> &Varying) {
+  if (A.rank() != B.rank())
+    return false;
+  for (size_t D = 0; D < A.rank(); ++D) {
+    if (!A.dim(D).isSingleElement() || !B.dim(D).isSingleElement())
+      continue;
+    SymExpr CA, OA, CB, OB;
+    if (!A.dim(D).Begin.linearIn(Param, CA, OA) ||
+        !B.dim(D).Begin.linearIn(Param, CB, OB))
+      continue;
+    if (!CA || !CB || !OA || !OB)
+      continue;
+    if (!CA.isConstant() || CA.constantValue() == 0 || !CA.equals(CB))
+      continue;
+    if (!OA.equals(OB))
+      continue;
+    std::set<std::string> Syms;
+    OA.collectSymbols(Syms);
+    if (Syms.count(Param))
+      continue;
+    bool UsesVarying = false;
+    for (const std::string &S : Syms)
+      if (Varying.count(S))
+        UsesVarying = true;
+    if (UsesVarying)
+      continue;
+    // a*Param + b is injective in Param: distinct values, distinct cells.
+    return true;
+  }
+  return false;
+}

@@ -69,6 +69,19 @@ sdfg::TExpr
 substituteSymsInTExpr(const sdfg::TExpr &E,
                       const std::map<std::string, sym::SymExpr> &Map);
 
+/// True when subsets \p A and \p B provably never touch the same element
+/// for two *distinct* values of \p Param: some dimension indexes a single
+/// element `a*Param + b` on both sides with the same nonzero constant `a`
+/// and structurally identical offset `b` that is free of \p Param and of
+/// every symbol in \p Varying (symbols that change while \p Param is
+/// fixed, e.g. inner map parameters). The workhorse of the loop-to-map
+/// dependence analysis; the parallel code generator reuses it to decide
+/// which WCR updates need no synchronization.
+bool subsetsDisjointAcrossParam(const sym::SymSubset &A,
+                                const sym::SymSubset &B,
+                                const std::string &Param,
+                                const std::set<std::string> &Varying);
+
 } // namespace sdfgopt
 } // namespace dcir
 

@@ -1,0 +1,362 @@
+//===- parallel_test.cpp - auto-parallelization subsystem tests ----------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Acceptance suite for the loop-to-map auto-parallelization layer:
+/// conversion and refusal behaviour of convertLoopsToMaps (including the
+/// required loop-carried-dependence case), WCR reduction detection, the
+/// OpenMP code generator, thread-count stability of parallel reductions,
+/// parallelism-mode plumbing (callSignature stability across modes), and
+/// the JitCache size cap.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CppCodegen.h"
+#include "exec/InterpEngine.h"
+#include "exec/JitCache.h"
+#include "exec/NativeJitEngine.h"
+#include "pipeline/Pipeline.h"
+#include "sdfgopt/Utils.h"
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+
+using namespace dcir;
+using namespace dcir::sdfg;
+using pipeline::ParallelismMode;
+using pipeline::PipelineKind;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string freshDir(const std::string &Tag) {
+  static std::atomic<unsigned> Counter{0};
+  std::string Dir = ::testing::TempDir() + "/dcir_par_" + Tag + "_" +
+                    std::to_string(::getpid()) + "_" +
+                    std::to_string(Counter++);
+  fs::create_directories(Dir);
+  return Dir;
+}
+
+pipeline::Compiled compileDcir(const std::string &Source,
+                               const std::string &Entry,
+                               ParallelismMode Mode = ParallelismMode::Auto) {
+  DiagnosticEngine Diags;
+  pipeline::CompileOptions Opts;
+  Opts.Parallelism = Mode;
+  pipeline::Compiled C =
+      pipeline::compile(Source, Entry, PipelineKind::Dcir, Diags, Opts);
+  EXPECT_TRUE(C.Graph) << Diags.str();
+  return C;
+}
+
+unsigned countMaps(const SDFG &G) {
+  unsigned N = 0;
+  for (const auto &S : G.states())
+    for (const auto &Node : S->nodes())
+      if (isa<MapEntry>(Node.get()))
+        ++N;
+  return N;
+}
+
+unsigned countWcrEdges(const SDFG &G) {
+  unsigned N = 0;
+  for (const auto &S : G.states())
+    for (const auto &E : S->edges())
+      if (!E.M.isEmpty() && !E.M.Wcr.empty())
+        ++N;
+  return N;
+}
+
+/// Interp-vs-native differential on one graph (fresh cache).
+void expectNativeMatchesInterp(const SDFG &G, const std::string &Tag) {
+  exec::InterpEngine Interp;
+  exec::EngineRun RI = Interp.runGraph(G, interp::MathMode::Precise);
+  ASSERT_TRUE(RI.Ok) << RI.Error;
+  exec::JitCache Cache(freshDir(Tag));
+  exec::NativeJitEngine Native(&Cache);
+  exec::EngineRun RN = Native.runGraph(G, interp::MathMode::Precise);
+  ASSERT_TRUE(RN.Ok) << RN.Error;
+  EXPECT_NEAR(RN.ReturnValue, RI.ReturnValue,
+              1e-9 * (1.0 + std::fabs(RI.ReturnValue)));
+}
+
+const char *kElementwise = R"(
+#define N 64
+double kernel_elem() {
+  double a[N][N];
+  double b[N][N];
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      a[i][j] = (double)(i + 2 * j) / N;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      b[i][j] = 3.0 * a[i][j] + 1.0;
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      s += b[i][j];
+  return s;
+}
+)";
+
+const char *kDotProduct = R"(
+#define N 4096
+double kernel_dot() {
+  double a[N];
+  double b[N];
+  for (int i = 0; i < N; i++) {
+    a[i] = (double)(i % 31) / 31.0;
+    b[i] = (double)(i % 17) / 17.0;
+  }
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    s += a[i] * b[i];
+  return s;
+}
+)";
+
+/// A genuine loop-carried dependence: a[i] depends on a[i-1].
+const char *kPrefixScan = R"(
+#define N 64
+double kernel_scan() {
+  double a[N];
+  for (int i = 0; i < N; i++)
+    a[i] = 1.0;
+  for (int i = 1; i < N; i++)
+    a[i] = a[i - 1] + a[i];
+  return a[N - 1];
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// Loop-to-map conversion
+//===----------------------------------------------------------------------===//
+
+TEST(ConvertLoopsToMaps, ElementwiseLoopsBecomeMaps) {
+  pipeline::Compiled C = compileDcir(kElementwise, "kernel_elem");
+  ASSERT_TRUE(C.Graph);
+  EXPECT_GE(C.Report.LoopsConvertedToMaps, 4u); // 2 init nests + reduction.
+  EXPECT_GE(countMaps(*C.Graph), 2u);
+  // No sequential loop skeleton should remain: every nest was convertible.
+  EXPECT_TRUE(sdfgopt::findLoops(*C.Graph).empty());
+  expectNativeMatchesInterp(*C.Graph, "elem");
+}
+
+TEST(ConvertLoopsToMaps, ReductionBecomesWcrMap) {
+  pipeline::Compiled C = compileDcir(kDotProduct, "kernel_dot");
+  ASSERT_TRUE(C.Graph);
+  EXPECT_GE(C.Report.ReductionMaps, 1u);
+  EXPECT_GE(countWcrEdges(*C.Graph), 1u);
+  // Plausibility: sum of products of [0,1) values over 4096 elements.
+  exec::InterpEngine Interp;
+  exec::EngineRun R = Interp.runGraph(*C.Graph, interp::MathMode::Precise);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_GT(R.ReturnValue, 100.0);
+  expectNativeMatchesInterp(*C.Graph, "dot");
+}
+
+TEST(ConvertLoopsToMaps, RefusesLoopCarriedDependence) {
+  pipeline::Compiled C = compileDcir(kPrefixScan, "kernel_scan");
+  ASSERT_TRUE(C.Graph);
+  // The init loop converts; the scan must stay a sequential state-machine
+  // loop (a[i] reads a[i-1]: offsets differ, no disjointness proof).
+  std::vector<sdfgopt::LoopRegion> Remaining =
+      sdfgopt::findLoops(*C.Graph);
+  EXPECT_GE(Remaining.size(), 1u)
+      << "the prefix-scan loop must not be converted";
+  // And the sequential fallback still computes the right answer natively:
+  // a[N-1] = N.
+  exec::InterpEngine Interp;
+  exec::EngineRun R = Interp.runGraph(*C.Graph, interp::MathMode::Precise);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_DOUBLE_EQ(R.ReturnValue, 64.0);
+  expectNativeMatchesInterp(*C.Graph, "scan");
+}
+
+TEST(ConvertLoopsToMaps, OffModeLeavesLoopsSequential) {
+  pipeline::Compiled C =
+      compileDcir(kElementwise, "kernel_elem", ParallelismMode::Off);
+  ASSERT_TRUE(C.Graph);
+  EXPECT_EQ(C.Report.LoopsConvertedToMaps, 0u);
+  EXPECT_EQ(countMaps(*C.Graph), 0u);
+}
+
+TEST(ConvertLoopsToMaps, CallSignatureStableAcrossModes) {
+  pipeline::Compiled Off =
+      compileDcir(kElementwise, "kernel_elem", ParallelismMode::Off);
+  pipeline::Compiled Auto =
+      compileDcir(kElementwise, "kernel_elem", ParallelismMode::Auto);
+  ASSERT_TRUE(Off.Graph);
+  ASSERT_TRUE(Auto.Graph);
+  codegen::CallSignature A = codegen::callSignature(*Off.Graph);
+  codegen::CallSignature B = codegen::callSignature(*Auto.Graph);
+  EXPECT_EQ(A.Args, B.Args);
+  EXPECT_EQ(A.FreeSymbols, B.FreeSymbols);
+}
+
+TEST(ConvertLoopsToMaps, PolybenchCorpusConvertsSomewhere) {
+  // The conversion must fire on real kernels, not only toy sources.
+  for (const char *File : {"polybench/gemm.c", "polybench/jacobi_2d.c",
+                           "polybench/mvt.c"}) {
+    std::string Source = pipeline::loadWorkload(File);
+    std::string Entry = File == std::string("polybench/gemm.c")
+                            ? "kernel_gemm"
+                            : File == std::string("polybench/jacobi_2d.c")
+                                  ? "kernel_jacobi_2d"
+                                  : "kernel_mvt";
+    DiagnosticEngine Diags;
+    pipeline::Compiled C =
+        pipeline::compile(Source, Entry, PipelineKind::Dcir, Diags);
+    ASSERT_TRUE(C.Graph) << Entry << ": " << Diags.str();
+    EXPECT_GE(C.Report.LoopsConvertedToMaps, 2u) << Entry;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Subscript disjointness (the dependence test's workhorse)
+//===----------------------------------------------------------------------===//
+
+TEST(SubsetDisjointness, ProvesAndRefusesAcrossParam) {
+  using sym::SymExpr;
+  auto Elem = [](SymExpr E) {
+    return sym::SymSubset::element({std::move(E)});
+  };
+  SymExpr I = SymExpr::symbol("i");
+  std::set<std::string> None;
+  // a[i] vs a[i]: distinct i, distinct cells.
+  EXPECT_TRUE(sdfgopt::subsetsDisjointAcrossParam(Elem(I), Elem(I), "i",
+                                                  None));
+  // a[i] vs a[i-1]: offsets differ — no proof.
+  EXPECT_FALSE(sdfgopt::subsetsDisjointAcrossParam(
+      Elem(I), Elem(SymExpr::sub(I, SymExpr::constant(1))), "i", None));
+  // a[0] vs a[0]: invariant — shared cell.
+  EXPECT_FALSE(sdfgopt::subsetsDisjointAcrossParam(
+      Elem(SymExpr::constant(0)), Elem(SymExpr::constant(0)), "i", None));
+  // a[i + j] with j varying per iteration: no proof.
+  SymExpr IJ = SymExpr::add(I, SymExpr::symbol("j"));
+  EXPECT_FALSE(sdfgopt::subsetsDisjointAcrossParam(Elem(IJ), Elem(IJ), "i",
+                                                   {"j"}));
+  // ... but with j loop-invariant the proof holds.
+  EXPECT_TRUE(sdfgopt::subsetsDisjointAcrossParam(Elem(IJ), Elem(IJ), "i",
+                                                  None));
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel code generation
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelCodegen, EmitsGuardedOpenMPPragmas) {
+  pipeline::Compiled C = compileDcir(kElementwise, "kernel_elem");
+  ASSERT_TRUE(C.Graph);
+  DiagnosticEngine Diags;
+  codegen::CodegenOptions Par;
+  Par.ParallelMaps = true;
+  codegen::CodegenInfo Info;
+  std::string WithOmp = codegen::emitCpp(*C.Graph, Diags, Par, &Info);
+  ASSERT_FALSE(WithOmp.empty()) << Diags.str();
+  EXPECT_NE(WithOmp.find("#pragma omp parallel for"), std::string::npos);
+  EXPECT_NE(WithOmp.find("collapse(2)"), std::string::npos);
+  // Every pragma is #ifdef _OPENMP-guarded for -fopenmp-less builds.
+  EXPECT_EQ(WithOmp.find("#pragma omp"),
+            WithOmp.find("#ifdef _OPENMP") == std::string::npos
+                ? std::string::npos
+                : WithOmp.find("#pragma omp"));
+  EXPECT_GE(Info.ParallelMapsEmitted, 2u);
+
+  std::string Serial = codegen::emitCpp(*C.Graph, Diags);
+  ASSERT_FALSE(Serial.empty());
+  EXPECT_EQ(Serial.find("#pragma omp parallel"), std::string::npos);
+  // The __restrict__ qualification and the thread hook are unconditional.
+  EXPECT_NE(Serial.find("__restrict__"), std::string::npos);
+  EXPECT_NE(Serial.find("kernel_elem__dcir_set_threads"),
+            std::string::npos);
+}
+
+TEST(ParallelCodegen, ScalarReductionGetsReductionClause) {
+  pipeline::Compiled C = compileDcir(kDotProduct, "kernel_dot");
+  ASSERT_TRUE(C.Graph);
+  DiagnosticEngine Diags;
+  codegen::CodegenOptions Par;
+  Par.ParallelMaps = true;
+  codegen::CodegenInfo Info;
+  std::string Source = codegen::emitCpp(*C.Graph, Diags, Par, &Info);
+  ASSERT_FALSE(Source.empty()) << Diags.str();
+  EXPECT_NE(Source.find("reduction(+:"), std::string::npos);
+  EXPECT_GE(Info.Reductions, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Thread-count stability of parallel reductions
+//===----------------------------------------------------------------------===//
+
+TEST(WcrReduction, StableAcrossThreadCounts) {
+  pipeline::Compiled C = compileDcir(kDotProduct, "kernel_dot");
+  ASSERT_TRUE(C.Graph);
+  exec::InterpEngine Interp;
+  exec::EngineRun RI = Interp.runGraph(*C.Graph, interp::MathMode::Precise);
+  ASSERT_TRUE(RI.Ok) << RI.Error;
+
+  exec::JitCache Cache(freshDir("threads"));
+  for (int Threads : {1, 2, 8}) {
+    exec::NativeJitEngine Native(&Cache);
+    Native.setNumThreads(Threads);
+    exec::EngineRun RN = Native.runGraph(*C.Graph, interp::MathMode::Precise);
+    ASSERT_TRUE(RN.Ok) << "threads=" << Threads << ": " << RN.Error;
+    // FP reassociation across thread counts stays within 1e-9 relative of
+    // the interpreter checksum (the acceptance bound).
+    EXPECT_NEAR(RN.ReturnValue, RI.ReturnValue,
+                1e-9 * (1.0 + std::fabs(RI.ReturnValue)))
+        << "threads=" << Threads;
+    if (Cache.openmp())
+      EXPECT_GE(RN.Stats.ParallelMapsEmitted, 1u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// JitCache size cap / LRU eviction
+//===----------------------------------------------------------------------===//
+
+TEST(JitCacheCap, EvictsOldestArtifactsAtStartup) {
+  std::string Dir = freshDir("cap");
+  std::string SrcA = "extern \"C\" int dcir_a() { return 1; }\n";
+  std::string SrcB = "extern \"C\" int dcir_b() { return 2; }\n";
+  std::string KeyA, KeyB;
+  {
+    exec::JitCache Cache(Dir); // Default cap: nothing evicts.
+    DiagnosticEngine Diags;
+    ASSERT_NE(Cache.getOrCompile(SrcA, Diags), nullptr) << Diags.str();
+    ASSERT_NE(Cache.getOrCompile(SrcB, Diags), nullptr) << Diags.str();
+    KeyA = Cache.keyFor(SrcA);
+    KeyB = Cache.keyFor(SrcB);
+  }
+  fs::path SoA = fs::path(Dir) / (KeyA + ".so");
+  fs::path SoB = fs::path(Dir) / (KeyB + ".so");
+  ASSERT_TRUE(fs::exists(SoA));
+  ASSERT_TRUE(fs::exists(SoB));
+  // Make A unambiguously the least recently used.
+  fs::last_write_time(SoA, fs::file_time_type::clock::now() -
+                               std::chrono::hours(1));
+  // Reopen with a cap smaller than the pair but big enough for one.
+  std::uint64_t OneArtifact =
+      fs::file_size(SoB) +
+      fs::file_size(fs::path(Dir) / (KeyB + ".cpp")) + 1024;
+  exec::JitCache Capped(Dir, OneArtifact);
+  EXPECT_FALSE(fs::exists(SoA)) << "oldest artifact must be evicted";
+  EXPECT_TRUE(fs::exists(SoB)) << "newest artifact must survive";
+  EXPECT_EQ(Capped.maxBytes(), OneArtifact);
+}
+
+TEST(JitCacheCap, DefaultCapIs512MiB) {
+  exec::JitCache Cache(freshDir("capdefault"));
+  EXPECT_EQ(Cache.maxBytes(), 512ull * 1024 * 1024);
+}
+
+} // namespace
