@@ -9,9 +9,11 @@
 /// runtime per pipeline plus the interpreter's PAPI-substitute counters —
 /// and (b) registers google-benchmark timers over pre-compiled artifacts.
 ///
-/// All benches accept `--engine=interp|native` (parseEngineFlag): native
-/// runs SDFG artifacts through the JIT engine, so the figures can report
-/// native numbers alongside the interpreter counters.
+/// All benches accept the parseBenchFlags set — `--engine=interp|native`
+/// (native runs SDFG artifacts through the JIT engine, so the figures can
+/// report native numbers alongside the interpreter counters),
+/// `--parallel=`/`--threads=`, and the pipeline knobs `--opt=0|1|2`,
+/// `--passes=SPEC`, `--print-pass-report`.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,19 +48,29 @@ struct BenchOptions {
   /// kernels finish in microseconds, where a work-sharing pragma can only
   /// measure its own overhead).
   int ParallelScale = 8;
+  /// --opt=0|1|2: data-centric optimization level for SDFG pipelines.
+  pipeline::OptLevel Opt = pipeline::OptLevel::O2;
+  /// --passes=SPEC: explicit pass-pipeline spec (overrides --opt).
+  std::string Passes;
+  /// --print-pass-report: dump the per-pass rewrite/wall-time table after
+  /// each DCIR/DaCe compile.
+  bool PrintPassReport = false;
 
   pipeline::CompileOptions compileOptions(exec::EngineKind K) const {
     pipeline::CompileOptions Opts;
     Opts.Engine = K;
     Opts.Parallelism = Parallelism;
     Opts.NumThreads = Threads;
+    Opts.Opt = Opt;
+    Opts.PassPipeline = Passes;
     return Opts;
   }
 };
 
 /// Extracts the harness flags from argv (so benchmark::Initialize never
 /// sees them): --engine=interp|native, --parallel=on|off|maps|auto,
-/// --threads=N, --parallel-scale=K.
+/// --threads=N, --parallel-scale=K, --opt=0|1|2, --passes=SPEC,
+/// --print-pass-report.
 inline BenchOptions parseBenchFlags(int &argc, char **argv) {
   BenchOptions Opts;
   int Out = 1;
@@ -93,15 +105,28 @@ inline BenchOptions parseBenchFlags(int &argc, char **argv) {
       Opts.ParallelScale = std::atoi(argv[I] + 17);
       continue;
     }
+    if (std::strncmp(argv[I], "--opt=", 6) == 0) {
+      auto Parsed = pipeline::parseOptLevel(argv[I] + 6);
+      if (!Parsed) {
+        std::fprintf(stderr, "unknown opt level '%s' (expected 0|1|2)\n",
+                     argv[I] + 6);
+        std::exit(2);
+      }
+      Opts.Opt = *Parsed;
+      continue;
+    }
+    if (std::strncmp(argv[I], "--passes=", 9) == 0) {
+      Opts.Passes = argv[I] + 9;
+      continue;
+    }
+    if (std::strcmp(argv[I], "--print-pass-report") == 0) {
+      Opts.PrintPassReport = true;
+      continue;
+    }
     argv[Out++] = argv[I];
   }
   argc = Out;
   return Opts;
-}
-
-/// Back-compat shim: benches that only care about the engine.
-inline exec::EngineKind parseEngineFlag(int &argc, char **argv) {
-  return parseBenchFlags(argc, argv).Engine;
 }
 
 /// Returns \p Source with every `#define NAME <integer>` value multiplied
@@ -220,20 +245,24 @@ class JsonReporter {
 public:
   explicit JsonReporter(std::string Path) : Path(std::move(Path)) {}
 
-  /// \p Extra: additional JSON members, e.g. `"parallel": "on"` (no
-  /// surrounding comma/braces); empty for the plain pipeline rows.
+  /// \p Extra: additional JSON members, e.g. `"parallel": "on"` or a
+  /// `"pass_report": [...]` array (no surrounding comma/braces); empty
+  /// for the plain pipeline rows.
   void add(const std::string &Kernel, pipeline::PipelineKind Kind,
            exec::EngineKind Engine, const pipeline::RunResult &R,
            const std::string &Extra = std::string()) {
-    char Buf[640];
+    char Buf[320];
     std::snprintf(Buf, sizeof(Buf),
                   "  {\"kernel\": \"%s\", \"pipeline\": \"%s\", "
                   "\"engine\": \"%s\", \"median_ns\": %.0f, "
-                  "\"result\": %.17g%s%s}",
+                  "\"result\": %.17g",
                   Kernel.c_str(), pipeline::pipelineName(Kind),
-                  exec::engineName(Engine), R.Seconds * 1e9, R.ReturnValue,
-                  Extra.empty() ? "" : ", ", Extra.c_str());
-    Rows.push_back(Buf);
+                  exec::engineName(Engine), R.Seconds * 1e9, R.ReturnValue);
+    std::string Row = Buf;
+    if (!Extra.empty())
+      Row += ", " + Extra;
+    Row += "}";
+    Rows.push_back(std::move(Row));
   }
 
   /// Writes the file; returns false (and warns) on I/O failure.
@@ -255,6 +284,26 @@ private:
   std::string Path;
   std::vector<std::string> Rows;
 };
+
+/// The `"pass_report": [...]` JSON member carrying per-pass rewrite
+/// counts and wall-times of an SDFG artifact's optimization pipeline
+/// (empty for module artifacts, which have no data-centric pipeline).
+inline std::string passReportExtra(const pipeline::Compiled &C) {
+  if (!C.Graph || C.Report.Passes.Passes.empty())
+    return std::string();
+  return "\"pass_report\": " + C.Report.Passes.json();
+}
+
+/// Honours --print-pass-report: dumps the per-pass table after a compile.
+inline void maybePrintPassReport(const BenchOptions &Opts,
+                                 const std::string &Kernel,
+                                 const pipeline::Compiled &C) {
+  if (!Opts.PrintPassReport || !C.Graph)
+    return;
+  std::printf("--- pass report: %s (%s) ---\n%s", Kernel.c_str(),
+              pipeline::pipelineName(C.Kind),
+              C.Report.Passes.str().c_str());
+}
 
 /// Registers a google-benchmark timer over a pre-compiled artifact.
 inline void registerPipelineBenchmark(

@@ -67,34 +67,44 @@ std::unique_ptr<sdfg::SDFG> compileDcirWithToggles(const std::string &Source,
   ir::Operation::eraseDetached(SM);
   if (!G)
     std::abort();
+  // An ablated pipeline is just a different declarative tree over the
+  // shared driver — no hand-rolled fixpoint loops, and every pass comes
+  // out of the shared registry so the names/behaviour can never drift
+  // from the real -O pipelines. The toggled simplify group appears twice
+  // (standalone and interleaved with loop fusion), exactly like the real
+  // -O2 definition.
   sdfgopt::OptReport R;
-  for (int Round = 0; Round < 12; ++Round) {
-    unsigned Changes = 0;
-    if (T.Promote) {
-      Changes += sdfgopt::promoteScalarsToSymbols(*G);
-      Changes += sdfgopt::propagateSymbols(*G);
+  using sdfg::SDFG;
+  opt::PassRegistry<SDFG> Reg = sdfgopt::passRegistry(&R);
+  auto ToggledSimplify = [&T, &Reg] {
+    auto Core =
+        std::make_unique<opt::PipelineDriver<SDFG>>("core", /*Fixpoint=*/true);
+    for (const char *Name :
+         {"promote-scalars", "propagate-symbols", "dead-states",
+          "fuse-states", "detect-updates", "propagate-constants",
+          "dead-dataflow", "consolidate-memlets", "empty-loops"}) {
+      const std::string N = Name;
+      if (!T.Promote && (N == "promote-scalars" || N == "propagate-symbols"))
+        continue;
+      if (!T.ConstWrites && N == "propagate-constants")
+        continue;
+      if (!T.DeadDataflow && N == "dead-dataflow")
+        continue;
+      Core->add(Reg.create(N));
     }
-    Changes += sdfgopt::eliminateDeadStates(*G);
-    Changes += sdfgopt::fuseStates(*G);
-    Changes += sdfgopt::detectUpdates(*G);
-    if (T.ConstWrites)
-      Changes += sdfgopt::propagateConstantWrites(*G);
-    if (T.DeadDataflow)
-      Changes += sdfgopt::eliminateDeadDataflow(*G, &R);
-    Changes += sdfgopt::consolidateMemlets(*G);
-    Changes += sdfgopt::eliminateEmptyLoops(*G);
-    if (Changes == 0)
-      break;
-  }
+    return Core;
+  };
+  auto Ablated = std::make_unique<opt::PipelineDriver<SDFG>>("ablated");
+  Ablated->add(ToggledSimplify());
   if (T.LoopFusion) {
-    for (int Round = 0; Round < 6; ++Round) {
-      if (sdfgopt::fuseMemoryReducingLoops(*G) == 0)
-        break;
-      sdfgopt::OptReport R2;
-      sdfgopt::runSimplify(*G, R2);
-    }
+    auto Sched = std::make_unique<opt::PipelineDriver<SDFG>>(
+        "schedule", /*Fixpoint=*/true);
+    Sched->add(Reg.create("fuse-loops"));
+    Sched->add(ToggledSimplify());
+    Ablated->add(std::move(Sched));
   }
-  sdfgopt::preAllocateMemory(*G);
+  Ablated->add(Reg.create("prealloc"));
+  sdfgopt::runPipeline(*G, *Ablated, R);
   return G;
 }
 
@@ -145,7 +155,15 @@ void ablate(const char *Workload, const std::string &Source,
 } // namespace
 
 int main(int argc, char **argv) {
-  exec::EngineKind Engine = parseEngineFlag(argc, argv);
+  BenchOptions Opts = parseBenchFlags(argc, argv);
+  // This bench builds its own toggled pipelines; a user-supplied
+  // pipeline would be silently ignored, so refuse instead.
+  if (!Opts.Passes.empty() || Opts.Opt != pipeline::OptLevel::O2) {
+    std::fprintf(stderr, "ablation_passes builds its own pipelines; "
+                         "--passes=/--opt= are not supported here\n");
+    return 2;
+  }
+  exec::EngineKind Engine = Opts.Engine;
   std::printf("=== Ablation: DCIR with individual pass families disabled "
               "(engine=%s) ===\n",
               exec::engineName(Engine));

@@ -11,14 +11,16 @@ using namespace dcir::bench;
 using namespace dcir::pipeline;
 
 int main(int argc, char **argv) {
-  exec::EngineKind Engine = parseEngineFlag(argc, argv);
+  BenchOptions Opts = parseBenchFlags(argc, argv);
   std::string Source = loadWorkload("snippets/fig10_bandwidth.c");
 
   std::printf("=== Fig. 10: memory bandwidth snippet ===\n");
   for (PipelineKind K : allPipelines()) {
-    auto C = compileOrDie(Source, "bandwidth", K, Engine);
+    auto C = compileOrDie(Source, "bandwidth", K,
+                          Opts.compileOptions(Opts.Engine));
     RunResult R = medianRun(*C);
     printRow("bandwidth", configName(K, R.EngineUsed).c_str(), R);
+    maybePrintPassReport(Opts, "bandwidth", *C);
     registerPipelineBenchmark(
         std::string("fig10/bandwidth/") + configName(K, R.EngineUsed), C);
   }

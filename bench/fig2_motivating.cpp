@@ -18,14 +18,16 @@ using namespace dcir::bench;
 using namespace dcir::pipeline;
 
 int main(int argc, char **argv) {
-  exec::EngineKind Engine = parseEngineFlag(argc, argv);
+  BenchOptions Opts = parseBenchFlags(argc, argv);
   std::string Source = loadWorkload("snippets/fig2_motivating.c");
 
   std::printf("=== Fig. 2: mixed control- and data-centric analysis ===\n");
   for (PipelineKind K : allPipelines()) {
-    auto C = compileOrDie(Source, "example", K, Engine);
+    auto C = compileOrDie(Source, "example", K,
+                          Opts.compileOptions(Opts.Engine));
     RunResult R = medianRun(*C);
     printRow("fig2", configName(K, R.EngineUsed).c_str(), R);
+    maybePrintPassReport(Opts, "fig2", *C);
     if (K == PipelineKind::Dcir)
       std::printf("    DCIR eliminated %u containers "
                   "(%u scalars promoted, %u loops removed)\n",

@@ -52,7 +52,10 @@ int main(int argc, char **argv) {
       // Label rows by the engine that actually ran (a native request can
       // fall back to the interpreter for module artifacts).
       printRow(K.Name, configName(Kind, R.EngineUsed).c_str(), R);
-      Json.add(K.Name, Kind, R.EngineUsed, R);
+      maybePrintPassReport(Opts, K.Name, *C);
+      // SDFG rows carry the per-pass rewrite counts and wall-times, so
+      // optimization-cost regressions are visible alongside runtime.
+      Json.add(K.Name, Kind, R.EngineUsed, R, passReportExtra(*C));
       registerPipelineBenchmark(std::string("fig6/") + K.Name + "/" +
                                     configName(Kind, R.EngineUsed),
                                 C);

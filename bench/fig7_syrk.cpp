@@ -21,15 +21,17 @@ using namespace dcir::bench;
 using namespace dcir::pipeline;
 
 int main(int argc, char **argv) {
-  exec::EngineKind Engine = parseEngineFlag(argc, argv);
+  BenchOptions Opts = parseBenchFlags(argc, argv);
   std::string Source = loadWorkload("polybench/syrk.c");
 
   std::printf("=== Fig. 7: syrk — DaCe C frontend vs DCIR ===\n");
   pipeline::RunResult Dace, Dcir;
   for (PipelineKind K : allPipelines()) {
-    auto C = compileOrDie(Source, "kernel_syrk", K, Engine);
+    auto C = compileOrDie(Source, "kernel_syrk", K,
+                          Opts.compileOptions(Opts.Engine));
     RunResult R = medianRun(*C);
     printRow("syrk", configName(K, R.EngineUsed).c_str(), R);
+    maybePrintPassReport(Opts, "syrk", *C);
     if (K == PipelineKind::DaceLike)
       Dace = R;
     if (K == PipelineKind::Dcir)

@@ -28,7 +28,7 @@ using namespace dcir::bench;
 using namespace dcir::pipeline;
 
 int main(int argc, char **argv) {
-  exec::EngineKind Engine = parseEngineFlag(argc, argv);
+  BenchOptions Opts = parseBenchFlags(argc, argv);
   std::string Source = loadWorkload("snippets/fig8_mish.c");
 
   std::printf("=== Fig. 8: Mish operator (log(1+exp(x))) ===\n");
@@ -50,8 +50,9 @@ int main(int argc, char **argv) {
     // and fabricate the comparison, so it stays on the interpreter.
     exec::EngineKind RowEngine = C.Mode == interp::MathMode::Vectorized
                                      ? exec::EngineKind::Interp
-                                     : Engine;
-    auto Compiledd = compileOrDie(Source, "mish_softplus", C.Kind, RowEngine);
+                                     : Opts.Engine;
+    auto Compiledd = compileOrDie(Source, "mish_softplus", C.Kind,
+                                  Opts.compileOptions(RowEngine));
     RunResult R = medianRun(*Compiledd, 3, C.Mode);
     std::string Label = C.Label;
     if (R.EngineUsed == exec::EngineKind::Native)

@@ -11,14 +11,16 @@ using namespace dcir::bench;
 using namespace dcir::pipeline;
 
 int main(int argc, char **argv) {
-  exec::EngineKind Engine = parseEngineFlag(argc, argv);
+  BenchOptions Opts = parseBenchFlags(argc, argv);
   std::string Source = loadWorkload("snippets/fig9_milc.c");
 
   std::printf("=== Fig. 9: MILC congrad_multi_field snippet ===\n");
   for (PipelineKind K : allPipelines()) {
-    auto C = compileOrDie(Source, "milc_congrad", K, Engine);
+    auto C = compileOrDie(Source, "milc_congrad", K,
+                          Opts.compileOptions(Opts.Engine));
     RunResult R = medianRun(*C);
     printRow("milc", configName(K, R.EngineUsed).c_str(), R);
+    maybePrintPassReport(Opts, "milc", *C);
     if (K == PipelineKind::Dcir)
       std::printf("    DCIR eliminated %u containers (the paper reports "
                   "two 10,000-double arrays removed)\n",

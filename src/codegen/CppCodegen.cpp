@@ -138,6 +138,14 @@ public:
     if (Opts.ParallelMaps)
       for (const sdfgopt::LoopRegion &L : sdfgopt::findLoops(G))
         LoopStates.insert(L.BodyStates.begin(), L.BodyStates.end());
+    // Map-private scalars are declared inside their scope's loop nest
+    // (per-iteration, thread-private under a work-sharing pragma), not at
+    // function scope.
+    for (const auto &S : G.states())
+      for (const auto &N : S->nodes())
+        if (const auto *ME = dyn_cast<MapEntry>(N.get()))
+          PrivateScalars.insert(ME->PrivateData.begin(),
+                                ME->PrivateData.end());
   }
 
   std::string run() {
@@ -177,6 +185,12 @@ private:
   unsigned MapDepth = 0;
   /// States belonging to a sequential state-machine loop body.
   std::set<int> LoopStates;
+  /// Scalars private to some map scope (declared in-scope, not at
+  /// function scope).
+  std::set<std::string> PrivateScalars;
+  /// Private scalars already declared by an enclosing scope during the
+  /// current emission (nested scopes must not re-declare).
+  std::set<std::string> ActivePrivate;
   /// Per-parallel-region WCR placement, keyed by edge address (stable:
   /// emission never mutates the graph). Empty outside parallel regions.
   std::map<const DataflowEdge *, WcrLowering> WcrPlan;
@@ -243,8 +257,9 @@ private:
         continue;
       switch (D.K) {
       case DataDesc::Kind::Scalar:
-        OS << "  [[maybe_unused]] " << cType(D.Ty) << " " << Name
-           << " = 0;\n";
+        if (!PrivateScalars.count(Name))
+          OS << "  [[maybe_unused]] " << cType(D.Ty) << " " << Name
+             << " = 0;\n";
         break;
       case DataDesc::Kind::Array: {
         SymExpr Size = D.totalSize();
@@ -557,10 +572,20 @@ private:
     std::vector<const DataflowEdge *> Wcr =
         wcrEdgesIn(S, Scope, Entry->ExitId);
 
-    // Non-WCR writes to scalar containers are shared-variable races under
-    // a work-sharing loop (the C backend keeps transients at function
-    // scope); maps produced by the auto-parallelizer never contain them,
-    // but hand-built or frontend graphs might.
+    // Scalars privatized into this region (this scope or a nested one):
+    // each iteration owns a fresh in-scope instance, so writes to them
+    // are thread-private by construction.
+    std::set<std::string> RegionPrivate(Entry->PrivateData.begin(),
+                                        Entry->PrivateData.end());
+    for (int Id : Scope)
+      if (const auto *ME = dyn_cast<MapEntry>(S.getNode(Id)))
+        RegionPrivate.insert(ME->PrivateData.begin(),
+                             ME->PrivateData.end());
+
+    // Non-WCR writes to non-private scalar containers are shared-variable
+    // races under a work-sharing loop (the C backend keeps such transients
+    // at function scope); maps produced by the auto-parallelizer never
+    // contain them, but hand-built or frontend graphs might.
     for (const auto &E : S.edges()) {
       if (E.M.isEmpty() || !E.M.Wcr.empty())
         continue;
@@ -573,7 +598,8 @@ private:
         Target = &DstA->getData();
       else if (isa<MapExit>(S.getNode(E.Dst)))
         Target = &E.M.Data;
-      if (Target && G.desc(*Target).K == DataDesc::Kind::Scalar)
+      if (Target && G.desc(*Target).K == DataDesc::Kind::Scalar &&
+          !RegionPrivate.count(*Target))
         return false;
     }
 
@@ -604,10 +630,13 @@ private:
       const DataDesc &D = G.desc(Data);
       // Any plain read of a reduction target inside the region would
       // observe partial sums (or, with a clause, the op identity).
+      // Reads come directly off an access node or routed through a map
+      // entry (the translator's representation).
       auto ReadInRegion = [&] {
         for (const auto &E2 : S.edges())
           if (!E2.M.isEmpty() && E2.M.Data == Data && E2.M.Wcr.empty() &&
-              isa<AccessNode>(S.getNode(E2.Src)) &&
+              (isa<AccessNode>(S.getNode(E2.Src)) ||
+               isa<MapEntry>(S.getNode(E2.Src))) &&
               (Scope.count(E2.Dst) || E2.Dst == Entry->ExitId))
             return true;
         return false;
@@ -623,6 +652,32 @@ private:
         WcrPlan[E] = WcrLowering::Reduction;
         continue;
       }
+      // Plain (non-WCR) subsets of this container moved inside the
+      // region. A converted outer nest may legally mix them with WCR
+      // updates (e.g. gemm: the beta-scale read/write plus the k-loop's
+      // accumulation), but then every plain access must be pinned to the
+      // same outermost-parameter partition as the update — otherwise a
+      // neighbouring thread could observe partial sums, which no clause
+      // or atomic can repair, and the region must stay serial.
+      std::vector<const sym::SymSubset *> Plains;
+      for (const auto &E2 : S.edges()) {
+        if (E2.M.isEmpty() || !E2.M.Wcr.empty())
+          continue;
+        const bool InRegion = Scope.count(E2.Src) || Scope.count(E2.Dst) ||
+                              E2.Dst == Entry->ExitId;
+        if (!InRegion)
+          continue;
+        const auto *DstA2 = dyn_cast<AccessNode>(S.getNode(E2.Dst));
+        if (E2.M.Data == Data || (DstA2 && DstA2->getData() == Data))
+          Plains.push_back(&E2.M.Subset);
+      }
+      auto PinnedVsPlains = [&] {
+        for (const sym::SymSubset *Sub : Plains)
+          if (!sdfgopt::subsetsDisjointAcrossParam(E->M.Subset, *Sub, P0,
+                                                   OtherParams))
+            return false;
+        return true;
+      };
       // A target cell invariant across every region parameter is a pure
       // single-cell reduction: accumulate into a thread-private local and
       // fold it in once after the loops, instead of an atomic per update.
@@ -633,7 +688,7 @@ private:
         if (AllParams.count(Sym))
           UsesParam = true;
       if (!UsesParam) {
-        if (ReadInRegion())
+        if (ReadInRegion() || !Plains.empty())
           return false;
         std::string Var = "dcir_red" + std::to_string(RedCounter++);
         Hoists.push_back({E, Var, Op, D.Ty});
@@ -662,11 +717,13 @@ private:
       };
       if (sdfgopt::subsetsDisjointAcrossParam(E->M.Subset, E->M.Subset, P0,
                                               OtherParams) &&
-          DisjointFromPeers()) {
+          DisjointFromPeers() && PinnedVsPlains()) {
         WcrPlan[E] = WcrLowering::Plain;
         AnyPlain = true;
         continue;
       }
+      if (!Plains.empty())
+        return false; // Partial sums would be visible to plain accesses.
       WcrPlan[E] = (Op == "min" || Op == "max") ? WcrLowering::Critical
                                                 : WcrLowering::Atomic;
     }
@@ -739,21 +796,7 @@ private:
                     const std::vector<Node *> &Order, std::set<int> &Done,
                     int Indent) {
     std::string Pad(Indent, ' ');
-    // Scope discovery as in the interpreter: nodes reachable from the
-    // entry without crossing the paired exit.
-    std::set<int> Scope;
-    std::vector<int> Work = {Entry->getId()};
-    while (!Work.empty()) {
-      int Id = Work.back();
-      Work.pop_back();
-      for (const auto &E : S.edges()) {
-        if (E.Src != Id || E.Dst == Entry->ExitId)
-          continue;
-        if (Scope.insert(E.Dst).second)
-          Work.push_back(E.Dst);
-      }
-    }
-    Scope.erase(Entry->getId());
+    std::set<int> Scope = S.scopeNodes(*Entry);
     Done.insert(Entry->ExitId);
 
     // A work-sharing pragma goes on outermost scopes only (no nested
@@ -783,11 +826,26 @@ private:
          << ") {\n";
       ++Depth;
     }
+    // Privatized scalars live inside the loop nest: one fresh instance
+    // per iteration, thread-private under the work-sharing pragma. An
+    // enclosing scope that already declared the name covers nested
+    // scopes (the nest runs serially within one outer iteration).
+    std::vector<std::string> Declared;
+    for (const std::string &P : Entry->PrivateData) {
+      if (ActivePrivate.count(P))
+        continue;
+      ActivePrivate.insert(P);
+      Declared.push_back(P);
+      OS << Pad << std::string(Depth * 2, ' ') << "[[maybe_unused]] "
+         << cType(G.desc(P).Ty) << " " << P << " = 0;\n";
+    }
     for (Node *N : Order)
       if (Scope.count(N->getId()))
         emitNode(S, N, Done, Indent + Depth * 2);
     for (int D = Depth; D > 0; --D)
       OS << Pad << std::string((D - 1) * 2, ' ') << "}\n";
+    for (const std::string &P : Declared)
+      ActivePrivate.erase(P);
     --MapDepth;
     if (Parallel) {
       OS << Combines;

@@ -2,6 +2,7 @@
 
 #include "interp/SDFGInterp.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
@@ -445,23 +446,7 @@ done:
 void SDFGInterpreter::executeMap(const State &S, const MapEntry *Entry,
                                  std::map<std::string, std::int64_t> &Env,
                                  std::set<int> &Consumed) {
-  // Scope discovery: nodes reachable from the entry without crossing the
-  // paired exit.
-  std::set<int> Scope;
-  std::vector<int> Work = {Entry->getId()};
-  while (!Work.empty()) {
-    int Id = Work.back();
-    Work.pop_back();
-    for (const DataflowEdge &E : S.edges()) {
-      if (E.Src != Id)
-        continue;
-      if (E.Dst == Entry->ExitId)
-        continue;
-      if (Scope.insert(E.Dst).second)
-        Work.push_back(E.Dst);
-    }
-  }
-  Scope.erase(Entry->getId());
+  std::set<int> Scope = S.scopeNodes(*Entry);
   for (int Id : Scope)
     Consumed.insert(Id);
   Consumed.insert(Entry->ExitId);
@@ -479,10 +464,28 @@ void SDFGInterpreter::executeMap(const State &S, const MapEntry *Entry,
   size_t Rank = Entry->Params.size();
   if (Rank == 0)
     return;
+  // Map-private transients get scope-local storage rebound (and zeroed,
+  // matching the native backend's in-scope `= 0` declaration) per
+  // iteration binding, so no value can leak between iterations; the
+  // previous binding is restored when the scope finishes.
+  std::vector<std::pair<std::string, BufferPtr>> SavedPrivate;
+  std::vector<std::pair<std::string, BufferPtr>> PrivateBufs;
+  for (const std::string &P : Entry->PrivateData) {
+    auto It = Buffers.find(P);
+    SavedPrivate.push_back({P, It == Buffers.end() ? nullptr : It->second});
+    const DataDesc &D = G.desc(P);
+    BufferPtr B = Buffer::create(D.Ty, {});
+    PrivateBufs.push_back({P, B});
+    Buffers[P] = B;
+  }
   std::map<std::string, std::int64_t> Inner = Env;
   auto IterateDim = [&](auto &&Self, size_t D) -> void {
     if (D == Rank) {
       ++Stats.MapIterations;
+      for (auto &[P, B] : PrivateBufs) {
+        std::fill(B->F.begin(), B->F.end(), 0.0);
+        std::fill(B->I.begin(), B->I.end(), 0);
+      }
       ValueCache ScopeValues;
       executeNodes(S, ScopeOrder, Inner, ScopeValues);
       return;
@@ -498,4 +501,10 @@ void SDFGInterpreter::executeMap(const State &S, const MapEntry *Entry,
     }
   };
   IterateDim(IterateDim, 0);
+  for (auto &[P, Old] : SavedPrivate) {
+    if (Old)
+      Buffers[P] = Old;
+    else
+      Buffers.erase(P);
+  }
 }

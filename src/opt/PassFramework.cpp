@@ -1,0 +1,98 @@
+//===- PassFramework.cpp - PipelineReport rendering ----------------------------===//
+
+#include "opt/PassFramework.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+using namespace dcir;
+using namespace dcir::opt;
+
+PassStats &PipelineReport::statsFor(const std::string &Name) {
+  for (PassStats &S : Passes)
+    if (S.Name == Name)
+      return S;
+  Passes.push_back(PassStats{Name, 0, 0, 0.0});
+  return Passes.back();
+}
+
+const PassStats *PipelineReport::find(const std::string &Name) const {
+  for (const PassStats &S : Passes)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+unsigned PipelineReport::rewrites(const std::string &Name) const {
+  const PassStats *S = find(Name);
+  return S ? S->Rewrites : 0;
+}
+
+unsigned PipelineReport::totalRewrites() const {
+  unsigned N = 0;
+  for (const PassStats &S : Passes)
+    N += S.Rewrites;
+  return N;
+}
+
+double PipelineReport::totalSeconds() const {
+  double T = 0.0;
+  for (const PassStats &S : Passes)
+    T += S.Seconds;
+  return T;
+}
+
+void PipelineReport::merge(const PipelineReport &Other) {
+  for (const PassStats &S : Other.Passes) {
+    PassStats &Mine = statsFor(S.Name);
+    Mine.Invocations += S.Invocations;
+    Mine.Rewrites += S.Rewrites;
+    Mine.Seconds += S.Seconds;
+  }
+  FixpointLimitHit |= Other.FixpointLimitHit;
+}
+
+std::string PipelineReport::str() const {
+  size_t Width = 4;
+  for (const PassStats &S : Passes)
+    Width = std::max(Width, S.Name.size());
+  std::ostringstream OS;
+  char Line[256];
+  std::snprintf(Line, sizeof(Line), "%-*s %9s %6s %12s\n",
+                static_cast<int>(Width), "pass", "rewrites", "runs",
+                "wall");
+  OS << Line;
+  for (const PassStats &S : Passes) {
+    std::snprintf(Line, sizeof(Line), "%-*s %9u %6u %9.3f ms\n",
+                  static_cast<int>(Width), S.Name.c_str(), S.Rewrites,
+                  S.Invocations, S.Seconds * 1e3);
+    OS << Line;
+  }
+  std::snprintf(Line, sizeof(Line), "%-*s %9u %6s %9.3f ms\n",
+                static_cast<int>(Width), "total", totalRewrites(), "",
+                totalSeconds() * 1e3);
+  OS << Line;
+  if (FixpointLimitHit)
+    OS << "(fixpoint round limit hit)\n";
+  return OS.str();
+}
+
+std::string PipelineReport::json() const {
+  std::ostringstream OS;
+  OS << "[";
+  bool First = true;
+  for (const PassStats &S : Passes) {
+    if (!First)
+      OS << ", ";
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"pass\": \"%s\", \"rewrites\": %u, "
+                  "\"invocations\": %u, \"seconds\": %.6f}",
+                  S.Name.c_str(), S.Rewrites, S.Invocations, S.Seconds);
+    OS << Buf;
+    First = false;
+  }
+  OS << "]";
+  return OS.str();
+}

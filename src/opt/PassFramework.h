@@ -1,0 +1,385 @@
+//===- PassFramework.h - the unified instrumented pass framework --------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One homogenized pass infrastructure for both sides of the bridge (paper
+/// Fig. 4): the control-centric MLIR passes (src/passes/) and the
+/// data-centric SDFG passes (src/sdfgopt/) implement the same generic
+/// `PassBase<UnitT>` interface and are sequenced by the same
+/// `PipelineDriver<UnitT>`. The driver owns every cross-cutting concern the
+/// two legacy schedulers duplicated:
+///
+///   * instrumentation — per-pass rewrite counters, invocation counts and
+///     wall-time, aggregated into a PipelineReport;
+///   * run-to-fixpoint policy — a driver marked Fixpoint re-runs its
+///     children until a full round applies zero rewrites, with a
+///     configurable safety limit that warns through Diagnostics instead of
+///     silently stopping;
+///   * verify-after-each — an optional structural verifier (ir::verify or
+///     sdfg::SDFG::validate) run after every leaf pass, naming the culprit
+///     pass on failure.
+///
+/// Drivers nest (a driver is itself a pass), so pipelines are declarative
+/// trees: `-O1` is one fixpoint group, `-O2` composes it with memory
+/// scheduling and auto-parallelization groups. Pipelines also have a
+/// textual form (`parsePipelineSpec` / `PipelineDriver::spec`) used by
+/// tests and the benches' `--passes=` flag:
+///
+///   pipeline := element (',' element)*
+///   element  := pass-name | '(' pipeline ')' | 'fixpoint(' pipeline ')'
+///
+/// where pass-name resolves through a PassRegistry (which may also map
+/// aliases like "simplify" to whole sub-pipelines).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_OPT_PASSFRAMEWORK_H
+#define DCIR_OPT_PASSFRAMEWORK_H
+
+#include "support/Diagnostics.h"
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dcir {
+namespace opt {
+
+//===----------------------------------------------------------------------===//
+// Instrumentation records
+//===----------------------------------------------------------------------===//
+
+/// Execution statistics of one (leaf) pass across a pipeline run.
+struct PassStats {
+  std::string Name;
+  unsigned Invocations = 0; ///< Times the pass ran (fixpoint rounds count).
+  unsigned Rewrites = 0;    ///< Total rewrites the pass reported.
+  double Seconds = 0.0;     ///< Wall-clock across all invocations.
+};
+
+/// Aggregated per-pass statistics of a pipeline run. `OptReport`-style
+/// legacy counters are derived from this by summing `rewrites(name)` —
+/// the report is the single source of truth the benches serialize.
+struct PipelineReport {
+  /// One entry per leaf pass, in first-execution order.
+  std::vector<PassStats> Passes;
+  /// A fixpoint group hit its round limit while still applying rewrites.
+  bool FixpointLimitHit = false;
+
+  /// The (created-on-demand) entry for \p Name.
+  PassStats &statsFor(const std::string &Name);
+  /// The entry for \p Name, or null when the pass never ran.
+  const PassStats *find(const std::string &Name) const;
+  /// Total rewrites of pass \p Name (0 when it never ran).
+  unsigned rewrites(const std::string &Name) const;
+  unsigned totalRewrites() const;
+  double totalSeconds() const;
+  /// Folds \p Other into this report (entry-wise by pass name).
+  void merge(const PipelineReport &Other);
+
+  /// Human-readable aligned table (one line per pass).
+  std::string str() const;
+  /// JSON array: [{"pass": .., "rewrites": .., "invocations": ..,
+  /// "seconds": ..}, ...] — embedded into BENCH_*.json rows.
+  std::string json() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Pass interface
+//===----------------------------------------------------------------------===//
+
+/// Shared run-time context threaded through a pipeline tree.
+template <typename UnitT> struct PipelineContext {
+  /// Per-pass statistics, filled by the drivers.
+  PipelineReport Report;
+  /// Sink for fixpoint-limit warnings and verifier errors (optional).
+  DiagnosticEngine *Diags = nullptr;
+  /// Structural verifier run after each leaf pass (optional). For SDFG
+  /// pipelines this is `SDFG::validate`; for MLIR modules `ir::verify`.
+  std::function<bool(UnitT &, DiagnosticEngine &)> VerifyEach;
+  /// Safety limit for fixpoint groups: a group still applying rewrites
+  /// after this many rounds stops and warns instead of spinning.
+  unsigned MaxFixpointRounds = 64;
+  /// Set when VerifyEach failed; aborts the remaining pipeline.
+  bool Failed = false;
+};
+
+/// A transformation over one IR unit (an SDFG, an MLIR module, ...).
+/// Returns the number of rewrites applied so drivers can iterate to a
+/// fixpoint and reports can attribute work to passes.
+template <typename UnitT> class PassBase {
+public:
+  virtual ~PassBase() = default;
+
+  virtual std::string name() const = 0;
+  /// Mutates \p U in place; returns the number of rewrites applied.
+  virtual unsigned run(UnitT &U, PipelineContext<UnitT> &Ctx) = 0;
+  /// Composite passes (drivers) time/record their children themselves.
+  virtual bool isComposite() const { return false; }
+  /// Textual form for round-tripping pipeline definitions.
+  virtual std::string spec() const { return name(); }
+};
+
+/// Adapts a free function (the native shape of every sdfgopt pass) into a
+/// pass. The callable may capture auxiliary sinks (e.g. an OptReport for
+/// sub-counters the single rewrite counter cannot express).
+template <typename UnitT> class FunctionPass : public PassBase<UnitT> {
+public:
+  using FnT = std::function<unsigned(UnitT &)>;
+
+  FunctionPass(std::string Name, FnT Fn)
+      : Name(std::move(Name)), Fn(std::move(Fn)) {}
+
+  std::string name() const override { return Name; }
+  unsigned run(UnitT &U, PipelineContext<UnitT> &) override { return Fn(U); }
+
+private:
+  std::string Name;
+  FnT Fn;
+};
+
+//===----------------------------------------------------------------------===//
+// Pipeline driver
+//===----------------------------------------------------------------------===//
+
+/// Runs a sequence of passes, once or to a fixpoint. A driver is itself a
+/// pass, so groups nest into pipeline trees.
+template <typename UnitT> class PipelineDriver : public PassBase<UnitT> {
+public:
+  explicit PipelineDriver(std::string Name, bool Fixpoint = false)
+      : Name(std::move(Name)), Fixpoint(Fixpoint) {}
+
+  PipelineDriver &add(std::unique_ptr<PassBase<UnitT>> P) {
+    Children.push_back(std::move(P));
+    return *this;
+  }
+  PipelineDriver &add(std::string PassName,
+                      typename FunctionPass<UnitT>::FnT Fn) {
+    return add(std::make_unique<FunctionPass<UnitT>>(std::move(PassName),
+                                                     std::move(Fn)));
+  }
+
+  std::string name() const override { return Name; }
+  bool isComposite() const override { return true; }
+  bool isFixpoint() const { return Fixpoint; }
+  size_t size() const { return Children.size(); }
+
+  std::string spec() const override {
+    std::string Body;
+    for (const auto &P : Children) {
+      if (!Body.empty())
+        Body += ",";
+      if (P->isComposite() && !static_cast<const PipelineDriver *>(P.get())
+                                   ->Fixpoint)
+        Body += "(" + P->spec() + ")";
+      else
+        Body += P->spec();
+    }
+    return Fixpoint ? "fixpoint(" + Body + ")" : Body;
+  }
+
+  unsigned run(UnitT &U, PipelineContext<UnitT> &Ctx) override {
+    unsigned Total = 0;
+    for (unsigned Round = 0;; ++Round) {
+      if (Fixpoint && Round >= Ctx.MaxFixpointRounds) {
+        Ctx.Report.FixpointLimitHit = true;
+        if (Ctx.Diags)
+          Ctx.Diags->warning(
+              SourceLoc(),
+              "pipeline '" + Name + "' stopped after " +
+                  std::to_string(Ctx.MaxFixpointRounds) +
+                  " rounds without reaching a fixpoint");
+        break;
+      }
+      unsigned RoundChanges = 0;
+      for (const auto &P : Children) {
+        unsigned N;
+        if (P->isComposite()) {
+          N = P->run(U, Ctx);
+        } else {
+          auto T0 = std::chrono::steady_clock::now();
+          N = P->run(U, Ctx);
+          double Sec = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - T0)
+                           .count();
+          PassStats &S = Ctx.Report.statsFor(P->name());
+          ++S.Invocations;
+          S.Rewrites += N;
+          S.Seconds += Sec;
+          if (!Ctx.Failed && Ctx.VerifyEach && Ctx.Diags &&
+              !Ctx.VerifyEach(U, *Ctx.Diags)) {
+            Ctx.Diags->error("verification failed after pass '" +
+                             P->name() + "'");
+            Ctx.Failed = true;
+          }
+        }
+        RoundChanges += N;
+        if (Ctx.Failed)
+          return Total + RoundChanges;
+      }
+      Total += RoundChanges;
+      if (!Fixpoint || RoundChanges == 0)
+        break;
+    }
+    return Total;
+  }
+
+private:
+  std::string Name;
+  bool Fixpoint;
+  std::vector<std::unique_ptr<PassBase<UnitT>>> Children;
+};
+
+//===----------------------------------------------------------------------===//
+// Registry and textual pipeline specs
+//===----------------------------------------------------------------------===//
+
+/// Name-to-factory registry the spec parser resolves pass names through.
+/// A factory may return a composite (registering "simplify" as a whole
+/// fixpoint group makes it usable as a spec alias).
+template <typename UnitT> class PassRegistry {
+public:
+  using FactoryT = std::function<std::unique_ptr<PassBase<UnitT>>()>;
+
+  void registerPass(const std::string &Name, FactoryT F) {
+    if (Factories.emplace(Name, std::move(F)).second)
+      Order.push_back(Name);
+  }
+  bool contains(const std::string &Name) const {
+    return Factories.count(Name) > 0;
+  }
+  std::unique_ptr<PassBase<UnitT>> create(const std::string &Name) const {
+    auto It = Factories.find(Name);
+    return It == Factories.end() ? nullptr : It->second();
+  }
+  /// Registration order (stable for help text and tests).
+  const std::vector<std::string> &names() const { return Order; }
+
+private:
+  std::map<std::string, FactoryT> Factories;
+  std::vector<std::string> Order;
+};
+
+namespace detail {
+inline bool isSpecNameChar(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+         (C >= '0' && C <= '9') || C == '-' || C == '_' || C == '.';
+}
+} // namespace detail
+
+/// Parses the textual pipeline grammar (see file comment) against
+/// \p Registry. Returns null and reports through \p Diags on malformed
+/// specs or unknown pass names.
+template <typename UnitT>
+std::unique_ptr<PipelineDriver<UnitT>>
+parsePipelineSpec(const std::string &Spec, const PassRegistry<UnitT> &Registry,
+                  DiagnosticEngine &Diags, const std::string &Name = "custom") {
+  size_t Pos = 0;
+  auto Skip = [&] {
+    while (Pos < Spec.size() &&
+           (Spec[Pos] == ' ' || Spec[Pos] == '\t' || Spec[Pos] == '\n'))
+      ++Pos;
+  };
+  // Recursive descent; Parse returns a driver for one comma-list, stopping
+  // at ')' or end of input.
+  std::function<std::unique_ptr<PipelineDriver<UnitT>>(const std::string &,
+                                                       bool)>
+      ParseList = [&](const std::string &GroupName,
+                      bool Fixpoint) -> std::unique_ptr<PipelineDriver<UnitT>> {
+    auto Driver = std::make_unique<PipelineDriver<UnitT>>(GroupName, Fixpoint);
+    for (;;) {
+      Skip();
+      if (Pos >= Spec.size() || Spec[Pos] == ')')
+        break;
+      if (Spec[Pos] == '(') {
+        ++Pos;
+        auto Sub = ParseList("group", /*Fixpoint=*/false);
+        if (!Sub)
+          return nullptr;
+        Skip();
+        if (Pos >= Spec.size() || Spec[Pos] != ')') {
+          Diags.error("pipeline spec: missing ')' at offset " +
+                      std::to_string(Pos));
+          return nullptr;
+        }
+        ++Pos;
+        if (Sub->size() == 0) {
+          Diags.error("pipeline spec: empty group at offset " +
+                      std::to_string(Pos));
+          return nullptr;
+        }
+        Driver->add(std::move(Sub));
+      } else {
+        size_t Start = Pos;
+        while (Pos < Spec.size() && detail::isSpecNameChar(Spec[Pos]))
+          ++Pos;
+        if (Pos == Start) {
+          Diags.error("pipeline spec: unexpected character '" +
+                      std::string(1, Spec[Pos]) + "' at offset " +
+                      std::to_string(Pos));
+          return nullptr;
+        }
+        std::string Tok = Spec.substr(Start, Pos - Start);
+        Skip();
+        if (Tok == "fixpoint" && Pos < Spec.size() && Spec[Pos] == '(') {
+          ++Pos;
+          auto Sub = ParseList("fixpoint", /*Fixpoint=*/true);
+          if (!Sub)
+            return nullptr;
+          Skip();
+          if (Pos >= Spec.size() || Spec[Pos] != ')') {
+            Diags.error("pipeline spec: missing ')' at offset " +
+                        std::to_string(Pos));
+            return nullptr;
+          }
+          ++Pos;
+          if (Sub->size() == 0) {
+            Diags.error("pipeline spec: empty group at offset " +
+                        std::to_string(Pos));
+            return nullptr;
+          }
+          Driver->add(std::move(Sub));
+        } else {
+          auto P = Registry.create(Tok);
+          if (!P) {
+            Diags.error("pipeline spec: unknown pass '" + Tok + "'");
+            return nullptr;
+          }
+          Driver->add(std::move(P));
+        }
+      }
+      Skip();
+      if (Pos < Spec.size() && Spec[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+    return Driver;
+  };
+  auto Driver = ParseList(Name, /*Fixpoint=*/false);
+  if (!Driver)
+    return nullptr;
+  Skip();
+  if (Pos != Spec.size()) {
+    Diags.error("pipeline spec: trailing characters at offset " +
+                std::to_string(Pos));
+    return nullptr;
+  }
+  if (Driver->size() == 0) {
+    Diags.error("pipeline spec: empty pipeline");
+    return nullptr;
+  }
+  return Driver;
+}
+
+} // namespace opt
+} // namespace dcir
+
+#endif // DCIR_OPT_PASSFRAMEWORK_H

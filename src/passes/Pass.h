@@ -5,9 +5,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The homogenized pass infrastructure for the MLIR side of the pipeline
-/// (paper Fig. 4, blue boxes). Passes mutate a module in place; the pass
-/// manager optionally re-verifies after each pass.
+/// The control-centric (MLIR-side) passes of the pipeline (paper Fig. 4,
+/// blue boxes). Passes mutate a module in place; the PassManager is a thin
+/// facade over the shared instrumented pass framework
+/// (opt::PipelineDriver, see src/opt/PassFramework.h), which owns
+/// sequencing, per-pass statistics/wall-time, and verify-after-each.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,6 +17,7 @@
 #define DCIR_PASSES_PASS_H
 
 #include "ir/IR.h"
+#include "opt/PassFramework.h"
 #include "support/Diagnostics.h"
 
 #include <memory>
@@ -52,7 +55,8 @@ protected:
   PassStatistics Stats;
 };
 
-/// Runs a sequence of passes, optionally verifying after each.
+/// Runs a sequence of passes through the shared pipeline driver,
+/// optionally verifying after each.
 class PassManager {
 public:
   explicit PassManager(bool VerifyEach = true) : VerifyEach(VerifyEach) {}
@@ -66,9 +70,14 @@ public:
   /// Aggregated statistics across all executed passes.
   PassStatistics getStatistics() const;
 
+  /// Per-pass instrumentation (rewrites derived from PassStatistics
+  /// deltas, invocation counts, wall-time) of every run() so far.
+  const opt::PipelineReport &getReport() const { return Report; }
+
 private:
   std::vector<std::unique_ptr<Pass>> Passes;
   bool VerifyEach;
+  opt::PipelineReport Report;
 };
 
 //===----------------------------------------------------------------------===//

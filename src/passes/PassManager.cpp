@@ -1,4 +1,11 @@
 //===- PassManager.cpp ---------------------------------------------------------===//
+//
+// The MLIR-side pass scheduler, implemented on the shared instrumented
+// pipeline driver: each Pass becomes a framework pass whose rewrite count
+// is the delta of its PassStatistics, and verify-after-each is the
+// driver's hook bound to ir::verify.
+//
+//===----------------------------------------------------------------------===//
 
 #include "passes/Pass.h"
 
@@ -8,14 +15,26 @@ using namespace dcir;
 using namespace dcir::passes;
 
 bool PassManager::run(ir::Operation *Module, DiagnosticEngine &Diags) {
-  for (auto &P : Passes) {
-    P->runOnModule(Module);
-    if (VerifyEach && !ir::verify(Module, Diags)) {
-      Diags.error("verification failed after pass '" + P->getName() + "'");
-      return false;
-    }
+  opt::PipelineDriver<ir::Operation *> Driver("mlir");
+  for (const auto &P : Passes) {
+    Pass *Raw = P.get();
+    Driver.add(Raw->getName(), [Raw](ir::Operation *&M) -> unsigned {
+      const PassStatistics Before = Raw->getStatistics();
+      Raw->runOnModule(M);
+      const PassStatistics &After = Raw->getStatistics();
+      return (After.OpsErased + After.OpsMoved + After.OpsCreated) -
+             (Before.OpsErased + Before.OpsMoved + Before.OpsCreated);
+    });
   }
-  return true;
+  opt::PipelineContext<ir::Operation *> Ctx;
+  Ctx.Diags = &Diags;
+  if (VerifyEach)
+    Ctx.VerifyEach = [](ir::Operation *&M, DiagnosticEngine &D) {
+      return ir::verify(M, D);
+    };
+  Driver.run(Module, Ctx);
+  Report.merge(Ctx.Report);
+  return !Ctx.Failed;
 }
 
 PassStatistics PassManager::getStatistics() const {

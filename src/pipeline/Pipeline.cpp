@@ -60,6 +60,22 @@ dcir::pipeline::parseParallelismName(const std::string &Name) {
   return std::nullopt;
 }
 
+std::optional<OptLevel>
+dcir::pipeline::parseOptLevel(const std::string &Name) {
+  std::string N = Name;
+  if (!N.empty() && N[0] == '-')
+    N = N.substr(1);
+  if (!N.empty() && (N[0] == 'O' || N[0] == 'o'))
+    N = N.substr(1);
+  if (N == "0")
+    return OptLevel::O0;
+  if (N == "1")
+    return OptLevel::O1;
+  if (N == "2")
+    return OptLevel::O2;
+  return std::nullopt;
+}
+
 Compiled &Compiled::operator=(Compiled &&Other) noexcept {
   if (this == &Other)
     return *this;
@@ -127,6 +143,38 @@ void addDcirMlirPasses(passes::PassManager &PM) {
   }
 }
 
+/// Runs the configured data-centric pipeline (-O level or an explicit
+/// --passes= spec) over a freshly translated graph. Returns false when
+/// the spec is malformed or verify-after-each failed.
+bool optimizeGraph(sdfg::SDFG &G, const CompileOptions &Opts,
+                   sdfgopt::OptReport &Report, DiagnosticEngine &Diags) {
+  sdfgopt::PipelineOptions POpts;
+  POpts.Diags = &Diags;
+  POpts.VerifyEachPass = Opts.VerifyEachPass;
+  POpts.MaxFixpointRounds = Opts.MaxFixpointRounds;
+  std::unique_ptr<opt::PipelineDriver<sdfg::SDFG>> P;
+  if (!Opts.PassPipeline.empty()) {
+    opt::PassRegistry<sdfg::SDFG> Reg = sdfgopt::passRegistry(
+        &Report, Opts.Parallelism != ParallelismMode::Off);
+    P = opt::parsePipelineSpec(Opts.PassPipeline, Reg, Diags);
+    if (!P)
+      return false;
+  } else {
+    switch (Opts.Opt) {
+    case OptLevel::O0:
+      return true;
+    case OptLevel::O1:
+      P = sdfgopt::buildSimplifyPipeline(&Report);
+      break;
+    case OptLevel::O2:
+      P = sdfgopt::buildAutoOptimizePipeline(
+          &Report, Opts.Parallelism != ParallelismMode::Off);
+      break;
+    }
+  }
+  return sdfgopt::runPipeline(G, *P, Report, POpts);
+}
+
 } // namespace
 
 Compiled dcir::pipeline::compile(const std::string &CSource,
@@ -148,8 +196,6 @@ Compiled dcir::pipeline::compile(const std::string &CSource,
   Out.Parallelism = Opts.Parallelism;
   Out.NumThreads = Opts.NumThreads;
   Out.Entry = Entry;
-  const bool Parallelize = Opts.Parallelism != ParallelismMode::Off;
-
   if (Kind == PipelineKind::DaceLike) {
     auto TU = frontend::parseC(CSource, Diags);
     if (!TU)
@@ -157,8 +203,8 @@ Compiled dcir::pipeline::compile(const std::string &CSource,
     Out.Graph = conversion::translateCDirect(*TU, Entry, Diags);
     if (!Out.Graph)
       return Out;
-    sdfgopt::runAutoOptimize(*Out.Graph, Out.Report, Parallelize);
-    if (!Out.Graph->validate(Diags))
+    if (!optimizeGraph(*Out.Graph, Opts, Out.Report, Diags) ||
+        !Out.Graph->validate(Diags))
       Out.Graph.reset();
     return Out;
   }
@@ -210,8 +256,8 @@ Compiled dcir::pipeline::compile(const std::string &CSource,
   ir::Operation::eraseDetached(SdfgModule);
   if (!Out.Graph)
     return Out;
-  sdfgopt::runAutoOptimize(*Out.Graph, Out.Report, Parallelize);
-  if (!Out.Graph->validate(Diags))
+  if (!optimizeGraph(*Out.Graph, Opts, Out.Report, Diags) ||
+      !Out.Graph->validate(Diags))
     Out.Graph.reset();
   return Out;
 }

@@ -65,6 +65,17 @@ const char *parallelismName(ParallelismMode M);
 /// Parses "--parallel=" values: off|on|maps|auto (on == maps).
 std::optional<ParallelismMode> parseParallelismName(const std::string &Name);
 
+/// Data-centric optimization level for SDFG pipelines (DaCe/DCIR):
+///   O0  translate only (no sdfgopt passes);
+///   O1  the simplify fixpoint (inference + data movement reduction);
+///   O2  the full auto-optimizer (simplify + memory scheduling +
+///       loop-to-map conversion per ParallelismMode) — the default and
+///       the paper's configuration.
+enum class OptLevel { O0, O1, O2 };
+
+/// Parses "0"/"O0"/"-O1"/... ; nullopt on unknown.
+std::optional<OptLevel> parseOptLevel(const std::string &Name);
+
 /// Per-compile options threaded from the drivers into the optimizer and
 /// the execution engine.
 struct CompileOptions {
@@ -73,6 +84,20 @@ struct CompileOptions {
   /// Threads for parallel maps (0 = OpenMP runtime default; the native
   /// engine also honours $DCIR_NUM_THREADS when this stays 0).
   int NumThreads = 0;
+  /// Data-centric optimization level (SDFG pipelines).
+  OptLevel Opt = OptLevel::O2;
+  /// Explicit textual pipeline spec (see opt::parsePipelineSpec and the
+  /// sdfgopt::passRegistry names, e.g. "simplify,prealloc" or
+  /// "fixpoint(fuse-chains,loops-to-maps)"). Overrides Opt when
+  /// non-empty; compilation fails on malformed specs. The benches expose
+  /// it as --passes=.
+  std::string PassPipeline;
+  /// Run the SDFG structural verifier after every pass, failing the
+  /// compile (naming the culprit pass) on the first violation.
+  bool VerifyEachPass = false;
+  /// Safety limit for pass-pipeline fixpoint groups; hitting it emits a
+  /// warning diagnostic instead of silently stopping.
+  unsigned MaxFixpointRounds = 64;
 };
 
 /// Compilation artifacts: exactly one of Module/Graph is set. Engine

@@ -154,6 +154,23 @@ std::vector<Node *> State::topologicalOrder() const {
   return Order;
 }
 
+std::set<int> State::scopeNodes(const MapEntry &Entry) const {
+  std::set<int> Scope;
+  std::vector<int> Work = {Entry.getId()};
+  while (!Work.empty()) {
+    int Id = Work.back();
+    Work.pop_back();
+    for (const auto &E : Edges) {
+      if (E.Src != Id || E.Dst == Entry.ExitId)
+        continue;
+      if (Scope.insert(E.Dst).second)
+        Work.push_back(E.Dst);
+    }
+  }
+  Scope.erase(Entry.getId());
+  return Scope;
+}
+
 std::map<int, Node *> State::absorb(const State &Other) {
   std::map<int, Node *> Map;
   for (const auto &N : Other.nodes()) {
@@ -173,6 +190,7 @@ std::map<int, Node *> State::absorb(const State &Other) {
     if (const auto *ME = dyn_cast<MapEntry>(N.get())) {
       // Entry/exit pairing restored after both exist.
       auto *NewE = new MapEntry(NextNodeId++, ME->Params, ME->Ranges);
+      NewE->PrivateData = ME->PrivateData;
       Nodes.push_back(std::unique_ptr<Node>(NewE));
       Map[N->getId()] = NewE;
       continue;
@@ -359,6 +377,22 @@ bool SDFG::validate(DiagnosticEngine &Diags) const {
     if (!getState(E.Src) || !getState(E.Dst))
       Diags.error("interstate edge references a missing state");
   }
+  // Access-site index for the map-private scope check, built once (the
+  // check runs after every pass under verify-each; rescanning the whole
+  // graph per private scalar would be quadratic).
+  bool AnyPrivate = false;
+  for (const auto &S : States)
+    for (const auto &N : S->nodes())
+      if (const auto *ME = dyn_cast<MapEntry>(N.get()))
+        if (!ME->PrivateData.empty())
+          AnyPrivate = true;
+  std::map<std::string, std::vector<std::pair<const State *, int>>>
+      AccessSites;
+  if (AnyPrivate)
+    for (const auto &S : States)
+      for (const auto &N : S->nodes())
+        if (const auto *A = dyn_cast<AccessNode>(N.get()))
+          AccessSites[A->getData()].push_back({S.get(), A->getId()});
   for (const auto &S : States) {
     if (!S->isAcyclic()) {
       Diags.error("state '" + S->getName() + "' has a dataflow cycle");
@@ -370,6 +404,34 @@ bool SDFG::validate(DiagnosticEngine &Diags) const {
           Diags.error("state '" + S->getName() +
                       "': access node references unknown container '" +
                       A->getData() + "'");
+      }
+      if (const auto *ME = dyn_cast<MapEntry>(N.get())) {
+        if (ME->PrivateData.empty())
+          continue;
+        // A private scalar's accesses must stay within the scope — the
+        // backend only declares the scalar inside this scope's loop nest.
+        std::set<int> Scope = S->scopeNodes(*ME);
+        for (const std::string &P : ME->PrivateData) {
+          auto It = Descs.find(P);
+          if (It == Descs.end()) {
+            Diags.error("state '" + S->getName() +
+                        "': map privatizes unknown container '" + P + "'");
+            continue;
+          }
+          if (It->second.K != DataDesc::Kind::Scalar ||
+              !It->second.Transient) {
+            Diags.error("state '" + S->getName() + "': map-private '" + P +
+                        "' must be a transient scalar");
+            continue;
+          }
+          auto Sites = AccessSites.find(P);
+          if (Sites == AccessSites.end())
+            continue;
+          for (const auto &[S2, NodeId] : Sites->second)
+            if (S2 != S.get() || !Scope.count(NodeId))
+              Diags.error("state '" + S2->getName() + "': map-private '" +
+                          P + "' is accessed outside its scope");
+        }
       }
       if (const auto *T = dyn_cast<Tasklet>(N.get())) {
         for (const auto &[OutConn, Expr] : T->Code) {
@@ -482,6 +544,10 @@ std::string SDFG::str() const {
           OS << ME->Params[I] << "=" << ME->Ranges[I].str();
         }
         OS << "]";
+        for (size_t I = 0; I < ME->PrivateData.size(); ++I)
+          OS << (I == 0 ? " private(" : ", ") << ME->PrivateData[I];
+        if (!ME->PrivateData.empty())
+          OS << ")";
       } else {
         OS << "n" << N->getId() << ": map exit";
       }

@@ -130,6 +130,19 @@ public:
   std::vector<std::string> Params;
   std::vector<sym::SymRange> Ranges;
   int ExitId = -1; // Paired MapExit.
+  /// Transient scalars private to each iteration binding of this scope
+  /// (scalar privatization: LICM-hoisted temporaries sunk back into the
+  /// loop body). The interpreter rebinds them per iteration; the C++
+  /// backend declares them inside the scope's loop nest, which makes them
+  /// thread-private under a work-sharing pragma.
+  std::vector<std::string> PrivateData;
+
+  bool isPrivate(const std::string &Name) const {
+    for (const std::string &P : PrivateData)
+      if (P == Name)
+        return true;
+    return false;
+  }
 };
 
 /// Closes a parametric-parallel scope.
@@ -203,6 +216,12 @@ public:
 
   /// Kahn topological order; asserts on cycles (validate() reports them).
   std::vector<Node *> topologicalOrder() const;
+
+  /// The interior of \p Entry's scope: nodes reachable from the entry
+  /// without crossing the paired exit, excluding the entry and the exit
+  /// themselves. The single scope-membership rule shared by the
+  /// interpreter, the code generator, the optimizer, and the verifier.
+  std::set<int> scopeNodes(const MapEntry &Entry) const;
 
   /// Copies every node and edge of \p Other into this state, returning the
   /// mapping from \p Other's node ids to the new nodes (state fusion).

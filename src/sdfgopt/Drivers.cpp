@@ -1,7 +1,18 @@
-//===- Drivers.cpp - simplify (-O1) and auto-optimize (-O2) --------------------===//
+//===- Drivers.cpp - declarative -O1/-O2 pipeline definitions ------------------===//
 //
 // Part of the DCIR reproduction project.
 //
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data-centric pipelines as declarative definitions over the shared
+/// instrumented pass framework (opt::PipelineDriver). The hand-rolled
+/// fixpoint loops and per-pass counter bookkeeping the legacy drivers
+/// carried live in the driver now: every pass is registered once (name,
+/// callable, aux sub-counter sink), pipelines are trees of fixpoint
+/// groups, and OptReport's legacy aggregate counters are derived from the
+/// per-pass PipelineReport by accumulate().
+///
 //===----------------------------------------------------------------------===//
 
 #include "sdfgopt/Passes.h"
@@ -10,59 +21,215 @@ using namespace dcir;
 using namespace dcir::sdfgopt;
 using namespace dcir::sdfg;
 
-void dcir::sdfgopt::runSimplify(SDFG &G, OptReport &Report) {
-  // Idempotent fixpoint over inference + data-movement-reduction passes
-  // (the paper's "SDFG simplification pass ... equivalent to -O1").
-  for (int Round = 0; Round < 12; ++Round) {
-    unsigned Changes = 0;
-    unsigned N;
-    N = promoteScalarsToSymbols(G);
-    Report.ScalarsPromoted += N;
-    Changes += N;
-    N = propagateSymbols(G);
-    Report.SymbolsPropagated += N;
-    Changes += N;
-    N = eliminateDeadStates(G);
-    Report.DeadStates += N;
-    Changes += N;
-    N = fuseStates(G);
-    Report.StatesFused += N;
-    Changes += N;
-    N = detectUpdates(G);
-    Report.UpdatesDetected += N;
-    Changes += N;
-    N = propagateConstantWrites(G);
-    Report.ConstantsPropagated += N;
-    Changes += N;
-    N = eliminateDeadDataflow(G, &Report);
-    Report.DeadDataflowNodes += N;
-    Changes += N;
-    N = consolidateMemlets(G);
-    Report.MemletsConsolidated += N;
-    Changes += N;
-    N = eliminateEmptyLoops(G);
-    Report.EmptyLoopsRemoved += N;
-    Changes += N;
-    if (Changes == 0)
-      break;
-  }
+using SdfgPipeline = opt::PipelineDriver<SDFG>;
+
+//===----------------------------------------------------------------------===//
+// Pass-name <-> OptReport field mapping
+//===----------------------------------------------------------------------===//
+
+void OptReport::accumulate(const opt::PipelineReport &R) {
+  ScalarsPromoted += R.rewrites("promote-scalars");
+  SymbolsPropagated += R.rewrites("propagate-symbols");
+  DeadStates += R.rewrites("dead-states");
+  StatesFused += R.rewrites("fuse-states");
+  UpdatesDetected += R.rewrites("detect-updates");
+  ConstantsPropagated += R.rewrites("propagate-constants");
+  DeadDataflowNodes += R.rewrites("dead-dataflow");
+  MemletsConsolidated += R.rewrites("consolidate-memlets");
+  EmptyLoopsRemoved += R.rewrites("empty-loops");
+  StackPromotions += R.rewrites("prealloc");
+  LoopsFused += R.rewrites("fuse-loops");
+  // fuse-chains / loops-to-maps maintain ChainStatesFused /
+  // LoopsConvertedToMaps (and their sub-counters) through the aux sink.
+  Passes.merge(R);
 }
 
-void dcir::sdfgopt::runAutoOptimize(SDFG &G, OptReport &Report,
-                                    bool ParallelizeLoops) {
-  runSimplify(G, Report);
-  // Memory-scheduling optimizations (-O2): loop fusion exposes more
-  // simplification opportunities, so interleave.
-  for (int Round = 0; Round < 6; ++Round) {
-    unsigned Fused = fuseMemoryReducingLoops(G);
-    Report.LoopsFused += Fused;
-    if (Fused == 0)
-      break;
-    runSimplify(G, Report);
+//===----------------------------------------------------------------------===//
+// Registry and pipeline definitions
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The single source of truth for pass names: one entry per sdfgopt pass,
+/// shared by the spec registry, the -O pipeline builders, and (through
+/// the registry) the ablation bench. Membership flags define the groups.
+struct PassDef {
+  const char *Name;
+  std::function<unsigned(SDFG &, OptReport *)> Fn;
+  bool InSimplify;    ///< Member of the simplify fixpoint group (-O1).
+  bool InParallelize; ///< Member of the loop-to-map conversion group.
+};
+
+const std::vector<PassDef> &passDefs() {
+  static const std::vector<PassDef> Defs = {
+      {"promote-scalars",
+       [](SDFG &G, OptReport *) { return promoteScalarsToSymbols(G); }, true,
+       false},
+      {"propagate-symbols",
+       [](SDFG &G, OptReport *) { return propagateSymbols(G); }, true, false},
+      {"dead-states",
+       [](SDFG &G, OptReport *) { return eliminateDeadStates(G); }, true,
+       false},
+      {"fuse-states", [](SDFG &G, OptReport *) { return fuseStates(G); },
+       true, false},
+      {"detect-updates",
+       [](SDFG &G, OptReport *) { return detectUpdates(G); }, true, false},
+      {"propagate-constants",
+       [](SDFG &G, OptReport *) { return propagateConstantWrites(G); }, true,
+       false},
+      {"dead-dataflow",
+       [](SDFG &G, OptReport *R) { return eliminateDeadDataflow(G, R); },
+       true, false},
+      {"consolidate-memlets",
+       [](SDFG &G, OptReport *) { return consolidateMemlets(G); }, true,
+       false},
+      {"empty-loops",
+       [](SDFG &G, OptReport *) { return eliminateEmptyLoops(G); }, true,
+       false},
+      {"prealloc", [](SDFG &G, OptReport *) { return preAllocateMemory(G); },
+       false, false},
+      {"fuse-loops",
+       [](SDFG &G, OptReport *) { return fuseMemoryReducingLoops(G); },
+       false, false},
+      {"fuse-chains",
+       [](SDFG &G, OptReport *R) { return fuseStatesInChains(G, R); }, false,
+       true},
+      {"loops-to-maps",
+       [](SDFG &G, OptReport *R) { return convertLoopsToMapsOnce(G, R); },
+       false, true},
+  };
+  return Defs;
+}
+
+const PassDef &passDef(const std::string &Name) {
+  for (const PassDef &D : passDefs())
+    if (Name == D.Name)
+      return D;
+  std::abort(); // A group builder named a pass missing from the table.
+}
+
+void addDef(SdfgPipeline &P, const std::string &Name, OptReport *Aux) {
+  const PassDef &D = passDef(Name);
+  auto Fn = D.Fn;
+  P.add(Name, [Fn, Aux](SDFG &G) { return Fn(G, Aux); });
+}
+
+/// The simplify fixpoint group (paper §6.1/§6.2).
+std::unique_ptr<SdfgPipeline> simplifyGroup(OptReport *Aux) {
+  auto P = std::make_unique<SdfgPipeline>("simplify", /*Fixpoint=*/true);
+  for (const PassDef &D : passDefs())
+    if (D.InSimplify)
+      addDef(*P, D.Name, Aux);
+  return P;
+}
+
+/// The loop-to-map conversion group: in-chain state fusion widens the
+/// candidate bodies converting inner loops leaves behind, so the two
+/// passes iterate together.
+std::unique_ptr<SdfgPipeline> parallelizeGroup(OptReport *Aux) {
+  auto P = std::make_unique<SdfgPipeline>("parallelize", /*Fixpoint=*/true);
+  for (const PassDef &D : passDefs())
+    if (D.InParallelize)
+      addDef(*P, D.Name, Aux);
+  return P;
+}
+
+opt::PipelineContext<SDFG> makeContext(const PipelineOptions &Opts) {
+  opt::PipelineContext<SDFG> Ctx;
+  Ctx.Diags = Opts.Diags;
+  Ctx.MaxFixpointRounds = Opts.MaxFixpointRounds;
+  if (Opts.VerifyEachPass)
+    Ctx.VerifyEach = [](SDFG &G, DiagnosticEngine &D) {
+      return G.validate(D);
+    };
+  return Ctx;
+}
+
+} // namespace
+
+opt::PassRegistry<SDFG> dcir::sdfgopt::passRegistry(OptReport *Aux,
+                                                    bool ParallelizeLoops) {
+  // Passes with sub-counters (and the $DCIR_MAX_MAP_CONVERSIONS cap,
+  // which counts cumulatively through the report) always need a sink.
+  // With a caller-provided report the factories hold a non-owning view
+  // (the caller guarantees its lifetime); without one they share an
+  // owned fallback, so passes created from this registry never dangle
+  // and the conversion cap still counts across driver sweeps.
+  std::shared_ptr<OptReport> Sink =
+      Aux ? std::shared_ptr<OptReport>(std::shared_ptr<OptReport>(), Aux)
+          : std::make_shared<OptReport>();
+  opt::PassRegistry<SDFG> R;
+  for (const PassDef &D : passDefs()) {
+    std::string Name = D.Name;
+    auto Fn = D.Fn;
+    R.registerPass(Name, [Name, Fn, Sink]() {
+      return std::make_unique<opt::FunctionPass<SDFG>>(
+          Name, [Fn, Sink](SDFG &G) { return Fn(G, Sink.get()); });
+    });
   }
-  Report.StackPromotions += preAllocateMemory(G);
+  // Whole-pipeline aliases, usable as spec elements. The group builders
+  // take a raw pointer; the factory's captured Sink keeps it alive.
+  R.registerPass("simplify",
+                 [Sink]() { return simplifyGroup(Sink.get()); });
+  R.registerPass("autoopt", [Sink, ParallelizeLoops]() {
+    return buildAutoOptimizePipeline(Sink.get(), ParallelizeLoops);
+  });
+  return R;
+}
+
+std::unique_ptr<SdfgPipeline>
+dcir::sdfgopt::buildSimplifyPipeline(OptReport *Aux) {
+  return simplifyGroup(Aux);
+}
+
+std::unique_ptr<SdfgPipeline>
+dcir::sdfgopt::buildAutoOptimizePipeline(OptReport *Aux,
+                                         bool ParallelizeLoops) {
+  auto P = std::make_unique<SdfgPipeline>("autoopt");
+  P->add(simplifyGroup(Aux));
+  // Memory-scheduling (-O2): loop fusion exposes more simplification
+  // opportunities, so the group interleaves it with simplify rounds.
+  auto Sched = std::make_unique<SdfgPipeline>("schedule", /*Fixpoint=*/true);
+  addDef(*Sched, "fuse-loops", Aux);
+  Sched->add(simplifyGroup(Aux));
+  P->add(std::move(Sched));
+  addDef(*P, "prealloc", Aux);
   // Loop-to-map conversion runs last: the earlier passes never see map
   // scopes, and the fused/simplified loops are the profitable ones.
   if (ParallelizeLoops)
-    convertLoopsToMaps(G, &Report);
+    P->add(parallelizeGroup(Aux));
+  return P;
+}
+
+bool dcir::sdfgopt::runPipeline(SDFG &G, opt::PassBase<SDFG> &Pipeline,
+                                OptReport &Report,
+                                const PipelineOptions &Opts) {
+  opt::PipelineContext<SDFG> Ctx = makeContext(Opts);
+  Pipeline.run(G, Ctx);
+  Report.accumulate(Ctx.Report);
+  return !Ctx.Failed;
+}
+
+void dcir::sdfgopt::runSimplify(SDFG &G, OptReport &Report,
+                                const PipelineOptions &Opts) {
+  auto P = buildSimplifyPipeline(&Report);
+  runPipeline(G, *P, Report, Opts);
+}
+
+void dcir::sdfgopt::runAutoOptimize(SDFG &G, OptReport &Report,
+                                    bool ParallelizeLoops,
+                                    const PipelineOptions &Opts) {
+  auto P = buildAutoOptimizePipeline(&Report, ParallelizeLoops);
+  runPipeline(G, *P, Report, Opts);
+}
+
+unsigned dcir::sdfgopt::convertLoopsToMaps(SDFG &G, OptReport *Report) {
+  OptReport Local;
+  OptReport &Sink = Report ? *Report : Local;
+  auto P = parallelizeGroup(&Sink);
+  opt::PipelineContext<SDFG> Ctx;
+  P->run(G, Ctx);
+  unsigned Converted = Ctx.Report.rewrites("loops-to-maps");
+  Sink.accumulate(Ctx.Report);
+  return Converted;
 }

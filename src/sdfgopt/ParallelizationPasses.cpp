@@ -7,30 +7,40 @@
 /// \file
 /// The paper's headline payoff (§1, Table 1): lowering control-centric loops
 /// into data-centric `sdfg.map` scopes exposes parametric parallelism that a
-/// serial compiler cannot recover. `convertLoopsToMaps` walks the state
-/// machine for converter-shaped loops (sdfgopt::findLoops), proves iteration
-/// independence with a symbolic subscript analysis over the body's memlets,
-/// and rewrites provably independent loops into MapEntry/MapExit scopes.
-/// Reduction loops whose body is a read-modify-write through an associative
-/// operator are first rewritten into write-conflict-resolution (WCR) memlets
-/// — the map equivalent of an OpenMP reduction — and then converted too.
+/// serial compiler cannot recover. `convertLoopsToMapsOnce` — one sweep of
+/// the fixpoint group the shared pipeline driver iterates together with
+/// fuseStatesInChains — walks the state machine for converter-shaped loops
+/// (sdfgopt::findLoops), proves iteration independence with a symbolic
+/// subscript analysis over the body's memlets, and rewrites provably
+/// independent loops into MapEntry/MapExit scopes. Reduction loops whose
+/// body is a read-modify-write through an associative operator are first
+/// rewritten into write-conflict-resolution (WCR) memlets — the map
+/// equivalent of an OpenMP reduction — and then converted too.
 ///
 /// Legality rules (see DESIGN.md "Parallel execution"):
 ///   * the loop body is a straight chain of states; exactly one carries
 ///     dataflow, the rest only interstate symbol assignments (which are
-///     substituted into the body before analysis, in chain order);
-///   * for every container written without WCR, each (write, write) and
-///     (write, read) subset pair must be provably disjoint across distinct
-///     iterations: some dimension indexes as `a*iv + b` on both sides with
-///     the same nonzero constant `a` and identical, iteration-invariant `b`
+///     substituted into the body before analysis, in chain order) —
+///     multi-dataflow-state bodies are fuseStatesInChains' territory;
+///   * transient scalars written before every read (LICM-hoisted
+///     temporaries; sdfgopt::privatizableScalars) are exempt from the
+///     dependence test and become per-iteration private storage of the
+///     new map scope (MapEntry::PrivateData);
+///   * for every other written container, each (write, write) and
+///     (write, read) subset pair — WCR writes counted as writes — must be
+///     provably disjoint across distinct iterations: some dimension
+///     indexes as `a*iv + b` on both sides with the same nonzero constant
+///     `a` and identical, iteration-invariant `b`
 ///     (sdfgopt::subsetsDisjointAcrossParam);
-///   * WCR writes are exempt (conflicts resolve by definition), but no
-///     other kind of access to the same container may remain in the body;
+///   * when that proof fails, all-WCR containers are still exempt
+///     (conflicts resolve by definition) — so mixed WCR/plain access is
+///     legal exactly when disjointness covers all pairs (gemm's outer
+///     loop pins every access's row index to the outer iv);
 ///   * symbols assigned inside the loop must be dead outside it, and loop
 ///     bounds must be body-invariant and container-free.
 ///
 /// Converting an inner loop leaves a single-state body behind, so the outer
-/// loop becomes convertible on the next round. Its induction variable is
+/// loop becomes convertible on the next sweep. Its induction variable is
 /// prepended to the existing map (a multi-parameter map the code generator
 /// can `collapse`) — unless the inner map carries WCR writes that are
 /// disjoint across the outer variable (e.g. `x[i] += A[i][j]*y[j]`), in
@@ -108,12 +118,22 @@ bool isSupportedWcr(const std::string &Wcr) {
 
 /// Checks that every iteration of \p Iv touches provably independent data.
 /// \p Varying holds symbols that change within one iteration (inner map
-/// params). Containers written with WCR are exempt from disjointness but
-/// must not be accessed in any other way.
+/// params). \p Private holds transient scalars proven privatizable (each
+/// iteration writes before reading; see privatizableScalars), which are
+/// exempt entirely. For other containers, either every (write, access)
+/// pair — WCR writes counted as writes — is disjoint across distinct
+/// iterations, or every access is a supported WCR write (conflicts then
+/// resolve by definition). A container mixing WCR and plain accesses is
+/// legal exactly when the disjointness proof covers all pairs (e.g. the
+/// gemm outer loop: the beta-scale writes, their reads, and the k-loop's
+/// WCR updates all pin the row index to the outer iv).
 bool iterationsIndependent(
     const std::map<std::string, std::vector<Access>> &Accesses,
-    const std::string &Iv, const std::set<std::string> &Varying) {
+    const std::string &Iv, const std::set<std::string> &Varying,
+    const std::set<std::string> &Private) {
   for (const auto &[Data, List] : Accesses) {
+    if (Private.count(Data))
+      continue; // Per-iteration private storage carries no dependences.
     bool AnyWrite = false, AnyWcr = false;
     for (const Access &A : List) {
       AnyWrite |= A.Write;
@@ -121,25 +141,31 @@ bool iterationsIndependent(
     }
     if (!AnyWrite)
       continue; // Read-only containers never carry dependences.
-    if (AnyWcr) {
-      // WCR resolves write conflicts by definition; but a plain read or a
-      // plain write of the same container would observe partial updates.
-      for (const Access &A : List)
-        if (!A.Write || A.Wcr.empty() || !isSupportedWcr(A.Wcr))
-          return false;
-      continue;
-    }
     // Every (write, write) and (write, read) pair — including a write
     // against itself, whose subset must vary injectively with the iv —
     // must be disjoint across distinct iterations.
-    for (size_t I = 0; I < List.size(); ++I) {
+    bool AllDisjoint = true;
+    for (size_t I = 0; I < List.size() && AllDisjoint; ++I) {
       if (!List[I].Write)
         continue;
       for (size_t J = 0; J < List.size(); ++J)
         if (!subsetsDisjointAcrossParam(List[I].Subset, List[J].Subset, Iv,
                                         Varying))
-          return false;
+          AllDisjoint = false;
     }
+    if (AllDisjoint)
+      continue;
+    if (AnyWcr) {
+      // WCR resolves write conflicts by definition; but a plain read or a
+      // plain write of the same container would observe partial updates.
+      bool AllWcr = true;
+      for (const Access &A : List)
+        if (!A.Write || A.Wcr.empty() || !isSupportedWcr(A.Wcr))
+          AllWcr = false;
+      if (AllWcr)
+        continue;
+    }
+    return false;
   }
   return true;
 }
@@ -319,16 +345,46 @@ unsigned rewriteReductions(State &S, const std::string &Iv) {
               !(Chain.count(E2.Dst) || (&E2 - S.edges().data()) ==
                                            static_cast<std::ptrdiff_t>(WI)))
             SelfContained = false;
+      // A chain-free path from a node to another proves their order
+      // survives the rewrite (the dying chain's edges are gone).
+      auto OrderedAvoidingChain = [&](int From, int To) {
+        if (From == To)
+          return true;
+        std::set<int> Reach = {From};
+        std::vector<int> Work = {From};
+        while (!Work.empty()) {
+          int Id = Work.back();
+          Work.pop_back();
+          for (const auto &E2 : S.edges()) {
+            if (E2.Src != Id || Chain.count(E2.Dst))
+              continue;
+            if (E2.Dst == To)
+              return true;
+            if (Reach.insert(E2.Dst).second)
+              Work.push_back(E2.Dst);
+          }
+        }
+        return false;
+      };
       for (const auto &[Name, Idx] : Leaves) {
         if (Idx == ReadIdx)
           continue;
         const std::string &LeafData = S.edges()[Idx].M.Data;
+        const int LeafSrc = S.edges()[Idx].Src;
         for (const auto &E2 : S.edges())
           if (!E2.M.isEmpty() && !E2.SrcConn.empty() &&
               isa<Tasklet>(S.getNode(E2.Src)) &&
               isa<AccessNode>(S.getNode(E2.Dst)) &&
-              cast<AccessNode>(S.getNode(E2.Dst))->getData() == LeafData)
+              cast<AccessNode>(S.getNode(E2.Dst))->getData() == LeafData) {
+            // Another write to a leaf container: fine only when a
+            // chain-free path keeps the writer ordered before the leaf
+            // read (e.g. a privatized scalar defined outside the inner
+            // map scope, ordered through the scope's entry).
+            if (!Chain.count(E2.Src) &&
+                OrderedAvoidingChain(E2.Src, LeafSrc))
+              continue;
             SelfContained = false;
+          }
       }
       if (!SelfContained)
         continue;
@@ -436,36 +492,22 @@ std::optional<Candidate> analyzeLoop(SDFG &G, const LoopRegion &L) {
   C.L = &L;
   // Walk the chain guard -> entry -> ... -> guard: single unconditional
   // out-edges, no side entries, collecting assignments in execution order.
-  std::vector<const InterstateEdge *> ChainEdges;
-  for (const auto *E : G.outEdges(Guard))
-    if (E->Dst == L.BodyEntryId)
-      ChainEdges.push_back(E); // The enter edge runs first.
-  if (ChainEdges.size() != 1)
+  // Bodies with more than one dataflow state are fuseStatesInChains'
+  // territory; this candidate shape requires exactly one.
+  auto Chain = walkLoopChain(G, L);
+  if (!Chain)
     return std::nullopt;
-  int Cur = L.BodyEntryId;
-  std::set<int> Seen;
-  while (Cur != L.GuardId) {
-    if (!L.BodyStates.count(Cur) || !Seen.insert(Cur).second)
-      return std::nullopt;
-    State *S = G.getState(Cur);
-    if (!S)
-      return std::nullopt;
-    for (const auto *E : G.inEdges(S))
-      if (E->Src != L.GuardId && !L.BodyStates.count(E->Src))
-        return std::nullopt; // Side entry into the body.
-    C.Chain.push_back(Cur);
-    if (!S->nodes().empty()) {
-      if (C.Dataflow)
-        return std::nullopt; // Two compute states; cannot merge (yet).
-      C.Dataflow = S;
-    }
-    auto Out = G.outEdges(S);
-    if (Out.size() != 1 || Out[0]->Condition)
-      return std::nullopt;
-    ChainEdges.push_back(Out[0]);
-    Cur = Out[0]->Dst;
+  C.Chain = Chain->States;
+  for (int Id : C.Chain) {
+    State *S = G.getState(Id);
+    if (S->nodes().empty())
+      continue;
+    if (C.Dataflow)
+      return std::nullopt; // Two compute states; chain fusion first.
+    C.Dataflow = S;
   }
-  if (Seen.size() != L.BodyStates.size() || !C.Dataflow)
+  const std::vector<const InterstateEdge *> &ChainEdges = Chain->Edges;
+  if (!C.Dataflow)
     return std::nullopt;
 
   std::set<std::string> BodyParams = mapParamsIn(*C.Dataflow);
@@ -608,20 +650,9 @@ MapEntry *soleMapScope(const State &S) {
   }
   if (!Entry)
     return nullptr;
-  // Scope membership: nodes reachable from the entry without crossing the
-  // exit (the interpreter's and codegen's discovery rule).
-  std::set<int> Scope = {Entry->getId(), Entry->ExitId};
-  std::vector<int> Work = {Entry->getId()};
-  while (!Work.empty()) {
-    int Id = Work.back();
-    Work.pop_back();
-    for (const auto &E : S.edges()) {
-      if (E.Src != Id || E.Dst == Entry->ExitId)
-        continue;
-      if (Scope.insert(E.Dst).second)
-        Work.push_back(E.Dst);
-    }
-  }
+  std::set<int> Scope = S.scopeNodes(*Entry);
+  Scope.insert(Entry->getId());
+  Scope.insert(Entry->ExitId);
   for (const auto &N : S.nodes())
     if (!Scope.count(N->getId()) && !isa<AccessNode>(N.get()))
       return nullptr; // Compute outside the scope: wrap instead of extend.
@@ -676,8 +707,10 @@ void reorderParamsForWcr(const State &D, MapEntry *ME) {
 
 /// Wraps every existing node of \p S in a fresh map scope over \p Iv.
 /// Entry feeds the dataflow roots, sinks feed the exit, so the standard
-/// scope discovery collects exactly the pre-existing nodes.
-void wrapStateInMap(State &S, const std::string &Iv, const SymRange &Range) {
+/// scope discovery collects exactly the pre-existing nodes. Returns the
+/// new entry.
+MapEntry *wrapStateInMap(State &S, const std::string &Iv,
+                         const SymRange &Range) {
   std::vector<Node *> Existing;
   for (const auto &N : S.nodes())
     Existing.push_back(N.get());
@@ -693,6 +726,7 @@ void wrapStateInMap(State &S, const std::string &Iv, const SymRange &Range) {
     S.connect(Entry, "", N, "", Memlet());
   for (Node *N : Sinks)
     S.connect(N, "", Exit, "", Memlet());
+  return Entry;
 }
 
 /// Deletes the loop skeleton, leaving the (now map-carrying) dataflow state
@@ -752,95 +786,116 @@ void spliceLoopOut(SDFG &G, const Candidate &C) {
 
 } // namespace
 
-unsigned dcir::sdfgopt::convertLoopsToMaps(SDFG &G, OptReport *Report) {
+unsigned dcir::sdfgopt::convertLoopsToMapsOnce(SDFG &G, OptReport *Report) {
   unsigned Converted = 0;
   // Debugging aid: $DCIR_MAX_MAP_CONVERSIONS caps the number of loops
   // converted, so a miscompare can be bisected to a single conversion.
+  // The running count lives in the report, surviving across the sweeps
+  // the pipeline driver re-invokes.
   unsigned DebugLimit = ~0u;
   if (const char *L = std::getenv("DCIR_MAX_MAP_CONVERSIONS"))
     DebugLimit = std::atoi(L);
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    std::vector<LoopRegion> Loops = findLoops(G);
-    // Innermost first: a loop containing another loop's guard is not yet
-    // convertible; converting the inner one unlocks it next round.
-    std::set<int> GuardIds;
-    for (const LoopRegion &L : Loops)
-      GuardIds.insert(L.GuardId);
-    for (const LoopRegion &L : Loops) {
-      if (Converted >= DebugLimit)
-        break;
-      bool Innermost = true;
-      for (int Id : L.BodyStates)
-        if (GuardIds.count(Id))
-          Innermost = false;
-      if (!Innermost)
-        continue;
-      auto C = analyzeLoop(G, L);
-      if (!C)
-        continue;
-      bool SymsLocal = true;
-      for (const std::string &Sym : C->AssignedSyms)
-        if (symbolUsedOutsideLoop(G, L, Sym))
-          SymsLocal = false;
-      if (!SymsLocal)
-        continue;
-      State *D = C->Dataflow;
-      // Inline the chain's per-iteration symbols (semantics-preserving
-      // even if conversion is later refused: the assignments remain and
-      // the substituted expressions evaluate identically at this point).
-      substituteInState(*D, C->ChainSubs);
+  std::vector<LoopRegion> Loops = findLoops(G);
+  // Innermost first: a loop containing another loop's guard is not yet
+  // convertible; converting the inner one unlocks it next sweep.
+  std::set<int> GuardIds;
+  for (const LoopRegion &L : Loops)
+    GuardIds.insert(L.GuardId);
+  // States a conversion this sweep touched; loops overlapping them wait
+  // for the next sweep (their discovered shape may be stale).
+  std::set<int> Touched;
+  for (const LoopRegion &L : Loops) {
+    if ((Report ? Report->LoopsConvertedToMaps : Converted) >= DebugLimit)
+      break;
+    bool Innermost = true;
+    for (int Id : L.BodyStates)
+      if (GuardIds.count(Id))
+        Innermost = false;
+    if (!Innermost)
+      continue;
+    bool Overlaps = Touched.count(L.GuardId) || Touched.count(L.ExitId);
+    for (int Id : L.BodyStates)
+      if (Touched.count(Id))
+        Overlaps = true;
+    if (Overlaps)
+      continue;
+    auto C = analyzeLoop(G, L);
+    if (!C)
+      continue;
+    bool SymsLocal = true;
+    for (const std::string &Sym : C->AssignedSyms)
+      if (symbolUsedOutsideLoop(G, L, Sym))
+        SymsLocal = false;
+    if (!SymsLocal)
+      continue;
+    State *D = C->Dataflow;
+    // Inline the chain's per-iteration symbols (semantics-preserving
+    // even if conversion is later refused: the assignments remain and
+    // the substituted expressions evaluate identically at this point).
+    substituteInState(*D, C->ChainSubs);
 
-      std::set<std::string> Varying = mapParamsIn(*D);
-      auto Accesses = collectAccesses(*D);
-      unsigned NewWcr = 0;
-      if (!iterationsIndependent(Accesses, L.Iv, Varying)) {
-        // Second chance: rewrite loop-carried read-modify-write chains
-        // into WCR updates (reductions), then re-test.
-        NewWcr = rewriteReductions(*D, L.Iv);
-        if (NewWcr == 0)
-          continue;
-        Accesses = collectAccesses(*D);
-        if (!iterationsIndependent(Accesses, L.Iv, Varying))
-          continue;
-      }
-
-      SymRange Range(L.Begin, L.End,
-                     L.Step ? L.Step : SymExpr::constant(1));
-      MapEntry *Inner = soleMapScope(*D);
-      bool NestInstead = false;
-      if (Inner) {
-        // An inner WCR that is disjoint across the outer variable (e.g.
-        // `x[i] += A[i][j]*y[j]` under the i-loop) stays conflict-free
-        // when each outer iteration runs on one thread: nest the scopes
-        // so the backend needs no atomics. Extending instead would let
-        // a collapsed schedule split one reduction across threads.
-        for (const auto &E : D->edges())
-          if (!E.M.isEmpty() && !E.M.Wcr.empty() &&
-              subsetsDisjointAcrossParam(E.M.Subset, E.M.Subset, L.Iv,
-                                         Varying))
-            NestInstead = true;
-      }
-      if (Inner && !NestInstead) {
-        // Prepend the outer induction variable: the code generator
-        // collapses the resulting rectangular nest.
-        Inner->Params.insert(Inner->Params.begin(), L.Iv);
-        Inner->Ranges.insert(Inner->Ranges.begin(), Range);
-        reorderParamsForWcr(*D, Inner);
-      } else {
-        wrapStateInMap(*D, L.Iv, Range);
-      }
-      spliceLoopOut(G, *C);
-      ++Converted;
-      if (Report) {
-        ++Report->LoopsConvertedToMaps;
-        if (NewWcr)
-          ++Report->ReductionMaps;
-      }
-      Changed = true;
-      break; // State machine changed: re-discover loops.
+    std::set<std::string> Varying = mapParamsIn(*D);
+    // LICM-hoisted temporaries written before every read are exempt from
+    // the dependence test: they become per-iteration private storage of
+    // the new map scope.
+    std::set<std::string> Private = privatizableScalars(G, *D);
+    auto Accesses = collectAccesses(*D);
+    unsigned NewWcr = 0;
+    if (!iterationsIndependent(Accesses, L.Iv, Varying, Private)) {
+      // Second chance: rewrite loop-carried read-modify-write chains
+      // into WCR updates (reductions), then re-test.
+      NewWcr = rewriteReductions(*D, L.Iv);
+      if (NewWcr == 0)
+        continue;
+      Accesses = collectAccesses(*D);
+      Private = privatizableScalars(G, *D);
+      if (!iterationsIndependent(Accesses, L.Iv, Varying, Private))
+        continue;
     }
+
+    SymRange Range(L.Begin, L.End,
+                   L.Step ? L.Step : SymExpr::constant(1));
+    MapEntry *Inner = soleMapScope(*D);
+    bool NestInstead = false;
+    if (Inner) {
+      // An inner WCR that is disjoint across the outer variable (e.g.
+      // `x[i] += A[i][j]*y[j]` under the i-loop) stays conflict-free
+      // when each outer iteration runs on one thread: nest the scopes
+      // so the backend needs no atomics. Extending instead would let
+      // a collapsed schedule split one reduction across threads.
+      for (const auto &E : D->edges())
+        if (!E.M.isEmpty() && !E.M.Wcr.empty() &&
+            subsetsDisjointAcrossParam(E.M.Subset, E.M.Subset, L.Iv,
+                                       Varying))
+          NestInstead = true;
+    }
+    MapEntry *Outer = nullptr;
+    if (Inner && !NestInstead) {
+      // Prepend the outer induction variable: the code generator
+      // collapses the resulting rectangular nest.
+      Inner->Params.insert(Inner->Params.begin(), L.Iv);
+      Inner->Ranges.insert(Inner->Ranges.begin(), Range);
+      reorderParamsForWcr(*D, Inner);
+      Outer = Inner;
+    } else {
+      Outer = wrapStateInMap(*D, L.Iv, Range);
+    }
+    for (const std::string &P : Private)
+      if (!Outer->isPrivate(P)) {
+        Outer->PrivateData.push_back(P);
+        if (Report)
+          ++Report->ScalarsPrivatized;
+      }
+    spliceLoopOut(G, *C);
+    ++Converted;
+    if (Report) {
+      ++Report->LoopsConvertedToMaps;
+      if (NewWcr)
+        ++Report->ReductionMaps;
+    }
+    Touched.insert(L.GuardId);
+    Touched.insert(L.ExitId);
+    Touched.insert(L.BodyStates.begin(), L.BodyStates.end());
   }
   return Converted;
 }

@@ -23,12 +23,17 @@
 #ifndef DCIR_SDFGOPT_PASSES_H
 #define DCIR_SDFGOPT_PASSES_H
 
+#include "opt/PassFramework.h"
 #include "sdfg/SDFG.h"
 
 namespace dcir {
 namespace sdfgopt {
 
-/// Aggregate counters filled in by runSimplify/runAutoOptimize.
+/// Aggregate counters over a pipeline run. The per-field totals are an
+/// aggregation of the per-pass statistics in `Passes` (filled by
+/// accumulate()); a handful of sub-counters the single per-pass rewrite
+/// count cannot express (ArraysEliminated, ReductionMaps,
+/// ScalarsPrivatized) are written directly by the passes.
 struct OptReport {
   unsigned ScalarsPromoted = 0;
   unsigned SymbolsPropagated = 0;
@@ -44,6 +49,22 @@ struct OptReport {
   unsigned EmptyLoopsRemoved = 0;
   unsigned LoopsConvertedToMaps = 0;
   unsigned ReductionMaps = 0;
+  /// In-chain state fusions performed to widen convertible loop bodies.
+  unsigned ChainStatesFused = 0;
+  /// Transient scalars made private to a map scope during conversion.
+  unsigned ScalarsPrivatized = 0;
+
+  /// Per-pass instrumentation (rewrites, invocations, wall-time) of every
+  /// pipeline run folded into this report.
+  opt::PipelineReport Passes;
+
+  /// Folds \p R's per-pass rewrite counts into the legacy aggregate
+  /// counters (the field <- pass-name mapping lives in Drivers.cpp) and
+  /// merges it into `Passes`. Counters the conversion passes maintain
+  /// directly through their aux sink (LoopsConvertedToMaps,
+  /// ChainStatesFused, ReductionMaps, ScalarsPrivatized, ArraysEliminated)
+  /// are left alone.
+  void accumulate(const opt::PipelineReport &R);
 
   /// Containers and scalars removed in total (paper §7.3 reports 63 across
   /// three snippets).
@@ -113,27 +134,88 @@ unsigned fuseMemoryReducingLoops(sdfg::SDFG &G);
 // Auto-parallelization (§6.3, paper Table 1: sdfg.map)
 //===----------------------------------------------------------------------===//
 
-/// Loop-to-map conversion: rewrites sequential state-machine loops whose
-/// iterations are provably independent into parametric-parallel
-/// MapEntry/MapExit scopes; reduction loops matching an associative
-/// read-modify-write pattern become maps with write-conflict-resolution
-/// memlets. Nested conversions produce multi-parameter (collapsible) or
-/// nested maps. \p Report accumulates LoopsConvertedToMaps/ReductionMaps.
-/// Returns the number of loops converted.
+/// In-chain state fusion: inside a converter-shaped loop body whose chain
+/// holds more than one dataflow state, merges consecutive dataflow states
+/// (linking top-level scopes with dependence ordering edges) when the
+/// connecting edges carry only dead assignments — the shape the
+/// loop-to-map converter leaves behind after converting an inner loop,
+/// and what blocks gemm/syrk outer-nest conversion. \p Report (optional)
+/// accumulates ChainStatesFused. Returns the number of fusions.
+unsigned fuseStatesInChains(sdfg::SDFG &G, OptReport *Report = nullptr);
+
+/// One sweep of loop-to-map conversion: rewrites sequential state-machine
+/// loops whose iterations are provably independent into
+/// parametric-parallel MapEntry/MapExit scopes; reduction loops matching
+/// an associative read-modify-write pattern become maps with
+/// write-conflict-resolution memlets; transient scalars written before
+/// every read inside the body (LICM-hoisted temporaries) are privatized
+/// into the map scope. Nested conversions produce multi-parameter
+/// (collapsible) or nested maps. \p Report (optional) accumulates
+/// LoopsConvertedToMaps and the ReductionMaps/ScalarsPrivatized
+/// sub-counters. Returns the number of loops converted this sweep.
+unsigned convertLoopsToMapsOnce(sdfg::SDFG &G, OptReport *Report = nullptr);
+
+/// Fixpoint driver over {fuseStatesInChains, convertLoopsToMapsOnce}.
+/// \p Report (optional) also accumulates LoopsConvertedToMaps and
+/// ChainStatesFused. Returns the number of loops converted.
 unsigned convertLoopsToMaps(sdfg::SDFG &G, OptReport *Report = nullptr);
 
 //===----------------------------------------------------------------------===//
-// Drivers
+// Pipeline definitions (the declarative drivers)
 //===----------------------------------------------------------------------===//
+
+/// Options threaded into the shared pipeline driver.
+struct PipelineOptions {
+  /// Safety limit for fixpoint groups; hitting it warns through Diags.
+  unsigned MaxFixpointRounds = 64;
+  /// Run the SDFG structural verifier after every pass, naming the
+  /// culprit pass on failure (requires Diags).
+  bool VerifyEachPass = false;
+  /// Warning/error sink (optional).
+  DiagnosticEngine *Diags = nullptr;
+};
+
+/// The registry every sdfgopt pass (and the "simplify"/"autoopt" pipeline
+/// aliases) is registered in, for `--passes=` specs and tests. Factories
+/// route the sub-counters a plain rewrite count cannot express (and the
+/// $DCIR_MAX_MAP_CONVERSIONS cumulative cap) into \p Aux; when \p Aux is
+/// null they share a registry-owned fallback report instead.
+/// \p ParallelizeLoops governs the "autoopt" alias, keeping
+/// `--passes=autoopt --parallel=off` equivalent to `-O2 --parallel=off`.
+/// Lifetime contract: \p Aux — and, in the fallback case, the registry
+/// itself — must outlive every pass created from the registry.
+opt::PassRegistry<sdfg::SDFG> passRegistry(OptReport *Aux = nullptr,
+                                           bool ParallelizeLoops = true);
+
+/// DaCe's sdfg.simplify() (-O1): one fixpoint group over inference +
+/// data-movement-reduction passes.
+std::unique_ptr<opt::PipelineDriver<sdfg::SDFG>>
+buildSimplifyPipeline(OptReport *Aux = nullptr);
+
+/// The auto-optimizer (-O2): simplify, interleaved memory-reducing loop
+/// fusion, memory pre-allocation, and (when \p ParallelizeLoops) the
+/// loop-to-map conversion group.
+std::unique_ptr<opt::PipelineDriver<sdfg::SDFG>>
+buildAutoOptimizePipeline(OptReport *Aux = nullptr,
+                          bool ParallelizeLoops = true);
+
+/// Runs \p Pipeline over \p G, folding per-pass statistics (and the
+/// legacy aggregate counters) into \p Report. Returns false when
+/// verify-after-each failed.
+bool runPipeline(sdfg::SDFG &G, opt::PassBase<sdfg::SDFG> &Pipeline,
+                 OptReport &Report,
+                 const PipelineOptions &Opts = PipelineOptions());
 
 /// DaCe's sdfg.simplify() equivalent (-O1): inference + data movement
 /// reduction to a fixpoint.
-void runSimplify(sdfg::SDFG &G, OptReport &Report);
+void runSimplify(sdfg::SDFG &G, OptReport &Report,
+                 const PipelineOptions &Opts = PipelineOptions());
 
 /// Auto-optimizer (-O2): simplify + memory scheduling + (unless
 /// \p ParallelizeLoops is false) loop-to-map auto-parallelization.
 void runAutoOptimize(sdfg::SDFG &G, OptReport &Report,
-                     bool ParallelizeLoops = true);
+                     bool ParallelizeLoops = true,
+                     const PipelineOptions &Opts = PipelineOptions());
 
 } // namespace sdfgopt
 } // namespace dcir

@@ -1,0 +1,304 @@
+//===- Privatization.cpp - in-chain state fusion for wider map scopes ---------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converting an inner loop to a map leaves its dataflow in one state of
+/// the surrounding loop's body chain — but LICM on the MLIR side hoists
+/// subexpressions (e.g. gemm's `alpha * A[i][k]`) into transient scalars
+/// defined in a *separate* chain state, so the outer loop's body holds two
+/// dataflow states and the converter refuses it. `fuseStatesInChains`
+/// merges such consecutive dataflow states back into one:
+///
+///   * only inside converter-shaped loops (sdfgopt::findLoops) whose body
+///     is a straight chain;
+///   * the connecting interstate edges must be unconditional and carry
+///     only *dead* assignments — symbols referenced nowhere except where
+///     an enclosing map scope shadows them with a parameter (the init
+///     assignments of already-converted inner loops). Dead assignments
+///     are relocated to the loop's init edges (value forced to 0) so the
+///     set of ever-assigned symbols — and with it callSignature() — never
+///     changes;
+///   * cross-state dependences (RAW/WAW/WAR per container) become
+///     ordering edges between *top-level scope representatives*: a node
+///     inside a map scope is represented by the scope's exit (as a
+///     source) or entry (as a destination), so scope discovery in the
+///     interpreter and the code generator stays intact.
+///
+/// The merged state is exactly the shape convertLoopsToMaps (with scalar
+/// privatization, see Utils::privatizableScalars) converts at the outer
+/// induction variable — the missing step for the gemm/syrk main nests.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sdfgopt/Passes.h"
+#include "sdfgopt/Utils.h"
+
+#include <algorithm>
+
+using namespace dcir;
+using namespace dcir::sdfgopt;
+using namespace dcir::sdfg;
+using sym::SymExpr;
+
+namespace {
+
+/// True when every reference to symbol \p Name is shadowed by a map
+/// parameter of an enclosing scope (and no interstate condition or
+/// assignment value reads it): removing or moving an assignment of
+/// \p Name cannot change meaning.
+bool symbolShadowedEverywhere(const SDFG &G, const std::string &Name) {
+  for (const auto &E : G.interstateEdges()) {
+    std::set<std::string> Syms;
+    if (E.Condition)
+      E.Condition.collectSymbols(Syms);
+    for (const auto &[K, V] : E.Assignments)
+      V.collectSymbols(Syms);
+    if (Syms.count(Name))
+      return false;
+  }
+  for (const auto &[DName, D] : G.descs())
+    for (const SymExpr &Dim : D.Shape) {
+      std::set<std::string> Syms;
+      Dim.collectSymbols(Syms);
+      if (Syms.count(Name))
+        return false;
+    }
+  for (const auto &S : G.states()) {
+    // Params covering each node: the union over every scope (any nesting
+    // depth) containing it. Entry and exit nodes count as inside their
+    // own scope — memlets on their edges evaluate under the bindings.
+    std::map<int, std::set<std::string>> Cover;
+    for (const auto &N : S->nodes()) {
+      const auto *ME = dyn_cast<MapEntry>(N.get());
+      if (!ME)
+        continue;
+      std::set<int> Scope = S->scopeNodes(*ME);
+      Scope.insert(ME->getId());
+      Scope.insert(ME->ExitId);
+      for (int Id : Scope)
+        Cover[Id].insert(ME->Params.begin(), ME->Params.end());
+    }
+    auto Covered = [&](int Id) {
+      auto It = Cover.find(Id);
+      return It != Cover.end() && It->second.count(Name) > 0;
+    };
+    for (const auto &E : S->edges()) {
+      if (E.M.isEmpty())
+        continue;
+      std::set<std::string> Syms;
+      E.M.Subset.collectSymbols(Syms);
+      if (Syms.count(Name) && !(Covered(E.Src) && Covered(E.Dst)))
+        return false;
+    }
+    for (const auto &N : S->nodes()) {
+      if (const auto *T = dyn_cast<Tasklet>(N.get())) {
+        std::set<std::string> Syms;
+        for (const auto &[Conn, Code] : T->Code) {
+          std::vector<const TExpr *> Work = {&Code};
+          while (!Work.empty()) {
+            const TExpr *E = Work.back();
+            Work.pop_back();
+            if (E->K == TExpr::Kind::Sym && E->Sym)
+              E->Sym.collectSymbols(Syms);
+            for (const TExpr &Ch : E->Children)
+              Work.push_back(&Ch);
+          }
+        }
+        if (Syms.count(Name) && !Covered(T->getId()))
+          return false;
+      }
+      if (const auto *ME = dyn_cast<MapEntry>(N.get())) {
+        // A range may reference the entry's own earlier parameters (the
+        // interpreter binds dimensions outside-in), so the entry's own
+        // params also shadow.
+        std::set<std::string> Syms;
+        for (const sym::SymRange &R : ME->Ranges)
+          R.collectSymbols(Syms);
+        if (!Syms.count(Name))
+          continue;
+        if (Covered(ME->getId()))
+          continue;
+        if (std::find(ME->Params.begin(), ME->Params.end(), Name) ==
+            ME->Params.end())
+          return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Representative maps for scope-aware dependence linking: a node inside
+/// a top-level scope is represented by the scope's exit (source role) or
+/// entry (destination role); top-level nodes represent themselves.
+struct ScopeReps {
+  std::map<int, int> SrcRep, DstRep;
+
+  explicit ScopeReps(const State &S) {
+    for (const auto &[ME, Scope] : topLevelMapScopes(S)) {
+      for (int Id : Scope) {
+        SrcRep[Id] = ME->ExitId;
+        DstRep[Id] = ME->getId();
+      }
+      SrcRep[ME->getId()] = ME->ExitId;
+      DstRep[ME->getId()] = ME->getId();
+    }
+  }
+  int src(int Id) const {
+    auto It = SrcRep.find(Id);
+    return It == SrcRep.end() ? Id : It->second;
+  }
+  int dst(int Id) const {
+    auto It = DstRep.find(Id);
+    return It == DstRep.end() ? Id : It->second;
+  }
+};
+
+/// Reader/writer nodes per container (raw node ids; the linker lifts
+/// them to scope representatives by role — a node can be the source of
+/// one ordering edge and the destination of another).
+struct RepSummary {
+  std::map<std::string, std::set<int>> Readers, Writers;
+};
+
+RepSummary summarizeReps(const State &S, const SDFG &G) {
+  RepSummary Sum;
+  for (const auto &E : S.edges()) {
+    if (E.M.isEmpty())
+      continue;
+    const auto *SrcA = dyn_cast<AccessNode>(S.getNode(E.Src));
+    const auto *DstA = dyn_cast<AccessNode>(S.getNode(E.Dst));
+    if (DstA)
+      Sum.Writers[DstA->getData()].insert(E.Src);
+    else if (isa<MapExit>(S.getNode(E.Dst)))
+      Sum.Writers[E.M.Data].insert(E.Src);
+    if (SrcA)
+      Sum.Readers[SrcA->getData()].insert(E.Dst);
+    else if (isa<MapEntry>(S.getNode(E.Src)))
+      Sum.Readers[E.M.Data].insert(E.Dst);
+    // Scalars referenced inside the subset are read by the moving node.
+    std::set<std::string> Refs;
+    E.M.Subset.collectSymbols(Refs);
+    for (const std::string &R : Refs)
+      if (G.hasData(R))
+        Sum.Readers[R].insert(SrcA ? E.Dst : E.Src);
+  }
+  return Sum;
+}
+
+/// Fuses the first mergeable pair of consecutive dataflow states in the
+/// loop's body chain. Returns true when a fusion happened.
+bool fuseChainOnce(SDFG &G, const LoopRegion &L) {
+  auto Chain = walkLoopChain(G, L);
+  if (!Chain)
+    return false;
+  // Locate two dataflow states separated only by empty states.
+  int AIdx = -1, BIdx = -1;
+  for (size_t I = 0; I < Chain->States.size(); ++I) {
+    State *S = G.getState(Chain->States[I]);
+    if (!S || S->nodes().empty())
+      continue;
+    if (AIdx < 0) {
+      AIdx = static_cast<int>(I);
+      continue;
+    }
+    BIdx = static_cast<int>(I);
+    break;
+  }
+  if (BIdx < 0)
+    return false;
+  State *Sa = G.getState(Chain->States[AIdx]);
+  State *Sb = G.getState(Chain->States[BIdx]);
+  // Assignments on the connecting edges (Edges[i] leads into States[i];
+  // the edges from Sa to Sb are Edges[AIdx+1 .. BIdx]).
+  std::set<std::string> Dead;
+  for (int I = AIdx + 1; I <= BIdx; ++I)
+    for (const auto &[Name, V] : Chain->Edges[I]->Assignments) {
+      if (Name == L.Iv || !symbolShadowedEverywhere(G, Name))
+        return false; // A live value flows between the states.
+      Dead.insert(Name);
+    }
+
+  // Dependence links at scope granularity, computed before mutation. The
+  // edge source is lifted to its top-level scope's *exit* (the scope has
+  // finished), the destination to its scope's *entry* (the scope has not
+  // started) — entries/exits stay the only scope-crossing endpoints, so
+  // scope discovery in the interpreter and code generator is preserved.
+  RepSummary SumA = summarizeReps(*Sa, G);
+  RepSummary SumB = summarizeReps(*Sb, G);
+  ScopeReps RepsA(*Sa), RepsB(*Sb);
+  std::map<int, Node *> Map = Sa->absorb(*Sb);
+  auto Link = [&](int A, int B) {
+    Node *Src = Sa->getNode(RepsA.src(A));
+    Node *Dst = Map[RepsB.dst(B)];
+    if (Src->getId() == Dst->getId())
+      return;
+    for (const auto &Ex : Sa->edges())
+      if (Ex.Src == Src->getId() && Ex.Dst == Dst->getId() &&
+          Ex.M.isEmpty() && Ex.SrcConn.empty())
+        return;
+    Sa->connect(Src, "", Dst, "", Memlet());
+  };
+  for (const auto &[Data, W1] : SumA.Writers) {
+    if (auto It = SumB.Readers.find(Data); It != SumB.Readers.end())
+      for (int A : W1)
+        for (int B : It->second)
+          Link(A, B);
+    if (auto It = SumB.Writers.find(Data); It != SumB.Writers.end())
+      for (int A : W1)
+        for (int B : It->second)
+          Link(A, B);
+  }
+  for (const auto &[Data, R1] : SumA.Readers)
+    if (auto It = SumB.Writers.find(Data); It != SumB.Writers.end())
+      for (int A : R1)
+        for (int B : It->second)
+          Link(A, B);
+
+  // Relocate the dead assignments onto the loop's init edges (dead value,
+  // forced to 0) so every symbol keeps at least one assignment and the
+  // call signature's free-symbol set cannot change.
+  for (auto &E : G.interstateEdges()) {
+    if (E.Dst != L.GuardId || L.BodyStates.count(E.Src))
+      continue;
+    for (const std::string &Name : Dead) {
+      bool Already = false;
+      for (const auto &[K, V] : E.Assignments)
+        if (K == Name)
+          Already = true;
+      if (!Already)
+        E.Assignments.push_back({Name, SymExpr::constant(0)});
+    }
+  }
+  // Rewire: Sb's out-edges leave Sa; the intermediate empty states and Sb
+  // disappear (eraseState also drops their incident edges).
+  for (auto &E : G.interstateEdges())
+    if (E.Src == Sb->getId())
+      E.Src = Sa->getId();
+  for (int I = AIdx + 1; I <= BIdx; ++I)
+    if (State *S = G.getState(Chain->States[I]))
+      G.eraseState(S);
+  return true;
+}
+
+} // namespace
+
+unsigned dcir::sdfgopt::fuseStatesInChains(SDFG &G, OptReport *Report) {
+  unsigned Fused = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const LoopRegion &L : findLoops(G)) {
+      if (fuseChainOnce(G, L)) {
+        ++Fused;
+        Changed = true;
+        break; // The state machine changed: re-discover loops.
+      }
+    }
+  }
+  if (Report)
+    Report->ChainStatesFused += Fused;
+  return Fused;
+}

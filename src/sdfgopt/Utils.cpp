@@ -290,6 +290,137 @@ std::vector<LoopRegion> dcir::sdfgopt::findLoops(const SDFG &G) {
   return Loops;
 }
 
+std::optional<LoopChain> dcir::sdfgopt::walkLoopChain(const SDFG &G,
+                                                      const LoopRegion &L) {
+  const State *Guard = G.getState(L.GuardId);
+  if (!Guard)
+    return std::nullopt;
+  LoopChain C;
+  for (const auto *E : G.outEdges(Guard))
+    if (E->Dst == L.BodyEntryId)
+      C.Edges.push_back(E); // The enter edge runs first.
+  if (C.Edges.size() != 1)
+    return std::nullopt;
+  int Cur = L.BodyEntryId;
+  std::set<int> Seen;
+  while (Cur != L.GuardId) {
+    if (!L.BodyStates.count(Cur) || !Seen.insert(Cur).second)
+      return std::nullopt;
+    State *S = G.getState(Cur);
+    if (!S)
+      return std::nullopt;
+    for (const auto *E : G.inEdges(S))
+      if (E->Src != L.GuardId && !L.BodyStates.count(E->Src))
+        return std::nullopt; // Side entry into the body.
+    C.States.push_back(Cur);
+    auto Out = G.outEdges(S);
+    if (Out.size() != 1 || Out[0]->Condition)
+      return std::nullopt;
+    C.Edges.push_back(Out[0]);
+    Cur = Out[0]->Dst;
+  }
+  if (Seen.size() != L.BodyStates.size())
+    return std::nullopt;
+  return C;
+}
+
+std::vector<std::pair<MapEntry *, std::set<int>>>
+dcir::sdfgopt::topLevelMapScopes(const State &S) {
+  // Per-entry scope interior (State::scopeNodes), plus the exit itself.
+  std::vector<std::pair<MapEntry *, std::set<int>>> All;
+  for (const auto &N : S.nodes()) {
+    auto *ME = const_cast<MapEntry *>(dyn_cast<MapEntry>(N.get()));
+    if (!ME)
+      continue;
+    std::set<int> Scope = S.scopeNodes(*ME);
+    Scope.insert(ME->ExitId);
+    All.push_back({ME, std::move(Scope)});
+  }
+  std::vector<std::pair<MapEntry *, std::set<int>>> Top;
+  for (auto &[ME, Scope] : All) {
+    bool Nested = false;
+    for (const auto &[Other, OtherScope] : All)
+      if (Other != ME && OtherScope.count(ME->getId()))
+        Nested = true;
+    if (!Nested)
+      Top.push_back({ME, Scope});
+  }
+  return Top;
+}
+
+std::set<std::string> dcir::sdfgopt::privatizableScalars(const SDFG &G,
+                                                         const State &D) {
+  std::set<std::string> Out;
+  std::set<std::string> Referenced = collectReferencedNames(G);
+  for (const auto &[Name, Desc] : G.descs()) {
+    if (Desc.K != DataDesc::Kind::Scalar || !Desc.Transient ||
+        Referenced.count(Name))
+      continue;
+    // Every access node must live in D (the value is dead elsewhere).
+    bool Elsewhere = false;
+    for (const auto &S : G.states()) {
+      if (S.get() == &D)
+        continue;
+      for (const auto &N : S->nodes())
+        if (const auto *A = dyn_cast<AccessNode>(N.get()))
+          if (A->getData() == Name)
+            Elsewhere = true;
+    }
+    if (Elsewhere)
+      continue;
+    // Exactly one WCR-free write; collect the nodes where reads happen
+    // (copies read at the source access node, tasklets at the consumer).
+    const DataflowEdge *Write = nullptr;
+    std::vector<int> ReadSites;
+    bool Complex = false;
+    for (const auto &E : D.edges()) {
+      if (E.M.isEmpty())
+        continue;
+      const auto *SrcA = dyn_cast<AccessNode>(D.getNode(E.Src));
+      const auto *DstA = dyn_cast<AccessNode>(D.getNode(E.Dst));
+      if (DstA && DstA->getData() == Name) {
+        if (Write || !E.M.Wcr.empty())
+          Complex = true;
+        else
+          Write = &E;
+      }
+      if (SrcA && SrcA->getData() == Name)
+        ReadSites.push_back(DstA ? E.Src : E.Dst);
+      else if (E.M.Data == Name && !SrcA) {
+        // Routed reads (map entry to consumer) read at the consumer.
+        if (isa<MapEntry>(D.getNode(E.Src)))
+          ReadSites.push_back(E.Dst);
+        else if (!DstA && !isa<MapExit>(D.getNode(E.Dst)))
+          Complex = true;
+      }
+    }
+    if (!Write || Complex)
+      continue;
+    if (ReadSites.empty()) {
+      Out.insert(Name); // Write-only: trivially private.
+      continue;
+    }
+    // Write-dominates-read: every read site must be reachable from the
+    // writing node, so each iteration observes only its own value.
+    std::set<int> Reach = {Write->Src};
+    std::vector<int> Work = {Write->Src};
+    while (!Work.empty()) {
+      int Id = Work.back();
+      Work.pop_back();
+      for (const auto &E : D.edges())
+        if (E.Src == Id && Reach.insert(E.Dst).second)
+          Work.push_back(E.Dst);
+    }
+    bool AllDominated = true;
+    for (int Site : ReadSites)
+      if (!Reach.count(Site))
+        AllDominated = false;
+    if (AllDominated)
+      Out.insert(Name);
+  }
+  return Out;
+}
+
 bool dcir::sdfgopt::subsetsDisjointAcrossParam(
     const sym::SymSubset &A, const sym::SymSubset &B,
     const std::string &Param, const std::set<std::string> &Varying) {

@@ -52,6 +52,35 @@ struct LoopRegion {
 /// Finds converter-shaped loops. Nested loops are all reported.
 std::vector<LoopRegion> findLoops(const sdfg::SDFG &G);
 
+/// The body of a straight-chain loop, in execution order: `States` from
+/// the body entry to the back-edge source, `Edges` the loop-owned
+/// interstate edges in traversal order (enter edge first, back edge
+/// last). Empty optional when the body branches, has side entries, or is
+/// otherwise not a single chain.
+struct LoopChain {
+  std::vector<int> States;
+  std::vector<const sdfg::InterstateEdge *> Edges;
+};
+std::optional<LoopChain> walkLoopChain(const sdfg::SDFG &G,
+                                       const LoopRegion &L);
+
+/// The top-level map scopes of \p S: each entry paired with its member
+/// node ids (interior plus the exit, excluding the entry itself) using
+/// the interpreter's discovery rule. Nested scopes are folded into their
+/// outermost enclosing scope.
+std::vector<std::pair<sdfg::MapEntry *, std::set<int>>>
+topLevelMapScopes(const sdfg::State &S);
+
+/// Transient scalars of \p D that can be made private to a map scope
+/// wrapped around the whole state: accessed in no other state, never
+/// referenced symbolically, written by exactly one WCR-free edge, and
+/// with every read ordered after the write by a dataflow path — i.e.
+/// each iteration reads only its own value (no loop-carried use), so
+/// per-iteration rebinding preserves semantics. This is what re-enables
+/// outer-loop conversion of bodies holding LICM-hoisted temporaries.
+std::set<std::string> privatizableScalars(const sdfg::SDFG &G,
+                                          const sdfg::State &D);
+
 /// Returns a copy of \p E with the input connector \p Conn replaced by a
 /// symbolic leaf.
 sdfg::TExpr replaceInputWithSym(const sdfg::TExpr &E, const std::string &Conn,

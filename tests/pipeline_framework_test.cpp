@@ -1,0 +1,427 @@
+//===- pipeline_framework_test.cpp - unified pass framework tests --------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Acceptance suite for the shared instrumented pass framework: textual
+/// pipeline-spec round-tripping, fixpoint semantics and the safety-limit
+/// warning, per-pass statistics aggregation matching the legacy OptReport
+/// totals across the whole Polybench corpus, -O0/-O1/-O2 selection and
+/// --passes= overrides through pipeline::CompileOptions, verify-after-each
+/// on both the SDFG and MLIR drivers, and the privatization analysis
+/// (including the required loop-carried-dependence refusals).
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/PassFramework.h"
+#include "passes/Pass.h"
+#include "pipeline/Pipeline.h"
+#include "pipeline/PolybenchRegistry.h"
+#include "sdfgopt/Passes.h"
+#include "sdfgopt/Utils.h"
+
+#include <gtest/gtest.h>
+
+using namespace dcir;
+using namespace dcir::sdfg;
+using pipeline::OptLevel;
+using pipeline::PipelineKind;
+
+namespace {
+
+using SdfgPass = opt::PassBase<SDFG>;
+using SdfgDriver = opt::PipelineDriver<SDFG>;
+
+//===----------------------------------------------------------------------===//
+// Driver semantics
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineDriver, RecordsPerPassStatisticsAndStopsAtFixpoint) {
+  // A pass that reports 3, 2, 1, 0, ... rewrites across invocations.
+  int Budget = 3;
+  SdfgDriver Driver("test", /*Fixpoint=*/true);
+  Driver.add("count-down", [&Budget](SDFG &) -> unsigned {
+    return Budget > 0 ? static_cast<unsigned>(Budget--) : 0u;
+  });
+  SDFG G("g");
+  opt::PipelineContext<SDFG> Ctx;
+  unsigned Total = Driver.run(G, Ctx);
+  EXPECT_EQ(Total, 6u); // 3 + 2 + 1, then a zero round terminates.
+  const opt::PassStats *S = Ctx.Report.find("count-down");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Rewrites, 6u);
+  EXPECT_EQ(S->Invocations, 4u); // Three changing rounds + the zero round.
+  EXPECT_GE(S->Seconds, 0.0);
+  EXPECT_FALSE(Ctx.Report.FixpointLimitHit);
+}
+
+TEST(PipelineDriver, FixpointLimitWarnsInsteadOfSilentlyStopping) {
+  SdfgDriver Driver("spin", /*Fixpoint=*/true);
+  Driver.add("always-changes", [](SDFG &) -> unsigned { return 1; });
+  SDFG G("g");
+  DiagnosticEngine Diags;
+  opt::PipelineContext<SDFG> Ctx;
+  Ctx.Diags = &Diags;
+  Ctx.MaxFixpointRounds = 5;
+  unsigned Total = Driver.run(G, Ctx);
+  EXPECT_EQ(Total, 5u);
+  EXPECT_TRUE(Ctx.Report.FixpointLimitHit);
+  ASSERT_FALSE(Diags.diagnostics().empty());
+  EXPECT_EQ(Diags.diagnostics()[0].Severity, DiagSeverity::Warning);
+  EXPECT_NE(Diags.str().find("without reaching a fixpoint"),
+            std::string::npos);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(PipelineDriver, VerifyEachNamesTheCulpritPass) {
+  SdfgDriver Driver("broken");
+  // Damages the graph: an access node referencing a missing container.
+  Driver.add("break-graph", [](SDFG &G) -> unsigned {
+    State *S = G.addState("bad");
+    G.setStartState(S);
+    S->addAccess("no_such_container");
+    return 1;
+  });
+  SDFG G("g");
+  DiagnosticEngine Diags;
+  opt::PipelineContext<SDFG> Ctx;
+  Ctx.Diags = &Diags;
+  Ctx.VerifyEach = [](SDFG &U, DiagnosticEngine &D) {
+    return U.validate(D);
+  };
+  Driver.run(G, Ctx);
+  EXPECT_TRUE(Ctx.Failed);
+  EXPECT_NE(Diags.str().find("verification failed after pass "
+                             "'break-graph'"),
+            std::string::npos);
+}
+
+TEST(PipelineDriver, NestedGroupsAggregateIntoOneReport) {
+  sdfgopt::OptReport Aux;
+  auto P = sdfgopt::buildAutoOptimizePipeline(&Aux);
+  // The -O2 tree: simplify, schedule (fixpoint), prealloc, parallelize.
+  EXPECT_TRUE(P->isComposite());
+  EXPECT_GE(P->size(), 4u);
+  std::string Spec = P->spec();
+  EXPECT_NE(Spec.find("fixpoint("), std::string::npos);
+  EXPECT_NE(Spec.find("prealloc"), std::string::npos);
+  EXPECT_NE(Spec.find("loops-to-maps"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Textual pipeline specs
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineSpec, RoundTripsThroughParseAndPrint) {
+  sdfgopt::OptReport Aux;
+  opt::PassRegistry<SDFG> Reg = sdfgopt::passRegistry(&Aux);
+  const char *Specs[] = {
+      "promote-scalars",
+      "promote-scalars,fuse-states",
+      "fixpoint(promote-scalars,propagate-symbols),prealloc",
+      "fixpoint(fuse-chains,loops-to-maps)",
+      "simplify,prealloc",
+  };
+  for (const char *Spec : Specs) {
+    DiagnosticEngine Diags;
+    auto P = opt::parsePipelineSpec<SDFG>(Spec, Reg, Diags);
+    ASSERT_NE(P, nullptr) << Spec << ": " << Diags.str();
+    std::string Printed = P->spec();
+    DiagnosticEngine Diags2;
+    auto P2 = opt::parsePipelineSpec<SDFG>(Printed, Reg, Diags2);
+    ASSERT_NE(P2, nullptr) << Printed << ": " << Diags2.str();
+    // Parse-print is a projection: printing the reparse is stable.
+    EXPECT_EQ(P2->spec(), Printed) << "original spec: " << Spec;
+  }
+}
+
+TEST(PipelineSpec, RejectsMalformedAndUnknown) {
+  sdfgopt::OptReport Aux;
+  opt::PassRegistry<SDFG> Reg = sdfgopt::passRegistry(&Aux);
+  for (const char *Bad :
+       {"definitely-not-a-pass", "fixpoint(promote-scalars", "", ",",
+        "promote-scalars)", "fixpoint()", "()",
+        "promote-scalars,fixpoint(),prealloc"}) {
+    DiagnosticEngine Diags;
+    auto P = opt::parsePipelineSpec<SDFG>(Bad, Reg, Diags);
+    EXPECT_EQ(P, nullptr) << "accepted malformed spec: '" << Bad << "'";
+    EXPECT_TRUE(Diags.hasErrors()) << Bad;
+  }
+}
+
+TEST(PipelineSpec, RegistryListsEveryPassAndAlias) {
+  sdfgopt::OptReport Aux;
+  opt::PassRegistry<SDFG> Reg = sdfgopt::passRegistry(&Aux);
+  for (const char *Name :
+       {"promote-scalars", "propagate-symbols", "dead-states", "fuse-states",
+        "detect-updates", "propagate-constants", "dead-dataflow",
+        "consolidate-memlets", "empty-loops", "prealloc", "fuse-loops",
+        "fuse-chains", "loops-to-maps", "simplify", "autoopt"})
+    EXPECT_TRUE(Reg.contains(Name)) << Name;
+}
+
+//===----------------------------------------------------------------------===//
+// Aggregation equals the legacy OptReport totals (whole Fig. 6 corpus)
+//===----------------------------------------------------------------------===//
+
+TEST(PassStatistics, AggregationMatchesOptReportOnPolybench) {
+  for (const pipeline::PolybenchKernel &K : pipeline::polybenchKernels()) {
+    std::string Source = pipeline::loadWorkload(K.File);
+    DiagnosticEngine Diags;
+    pipeline::Compiled C = pipeline::compile(Source, K.Entry,
+                                             PipelineKind::Dcir, Diags);
+    ASSERT_TRUE(C.Graph) << K.Name << ": " << Diags.str();
+    const sdfgopt::OptReport &R = C.Report;
+    const opt::PipelineReport &P = R.Passes;
+    EXPECT_EQ(R.ScalarsPromoted, P.rewrites("promote-scalars")) << K.Name;
+    EXPECT_EQ(R.SymbolsPropagated, P.rewrites("propagate-symbols"))
+        << K.Name;
+    EXPECT_EQ(R.DeadStates, P.rewrites("dead-states")) << K.Name;
+    EXPECT_EQ(R.StatesFused, P.rewrites("fuse-states")) << K.Name;
+    EXPECT_EQ(R.UpdatesDetected, P.rewrites("detect-updates")) << K.Name;
+    EXPECT_EQ(R.ConstantsPropagated, P.rewrites("propagate-constants"))
+        << K.Name;
+    EXPECT_EQ(R.DeadDataflowNodes, P.rewrites("dead-dataflow")) << K.Name;
+    EXPECT_EQ(R.MemletsConsolidated, P.rewrites("consolidate-memlets"))
+        << K.Name;
+    EXPECT_EQ(R.EmptyLoopsRemoved, P.rewrites("empty-loops")) << K.Name;
+    EXPECT_EQ(R.StackPromotions, P.rewrites("prealloc")) << K.Name;
+    EXPECT_EQ(R.LoopsFused, P.rewrites("fuse-loops")) << K.Name;
+    EXPECT_EQ(R.ChainStatesFused, P.rewrites("fuse-chains")) << K.Name;
+    EXPECT_EQ(R.LoopsConvertedToMaps, P.rewrites("loops-to-maps"))
+        << K.Name;
+    // Wall-time instrumentation is present for every executed pass.
+    for (const opt::PassStats &S : P.Passes) {
+      EXPECT_GT(S.Invocations, 0u) << K.Name << "/" << S.Name;
+      EXPECT_GE(S.Seconds, 0.0) << K.Name << "/" << S.Name;
+    }
+    EXPECT_FALSE(P.Passes.empty()) << K.Name;
+    EXPECT_FALSE(P.FixpointLimitHit) << K.Name;
+  }
+}
+
+TEST(PassStatistics, ReportRendersTableAndJson) {
+  std::string Source = pipeline::loadWorkload("polybench/gemm.c");
+  DiagnosticEngine Diags;
+  pipeline::Compiled C =
+      pipeline::compile(Source, "kernel_gemm", PipelineKind::Dcir, Diags);
+  ASSERT_TRUE(C.Graph) << Diags.str();
+  std::string Table = C.Report.Passes.str();
+  EXPECT_NE(Table.find("rewrites"), std::string::npos);
+  EXPECT_NE(Table.find("loops-to-maps"), std::string::npos);
+  std::string Json = C.Report.Passes.json();
+  EXPECT_EQ(Json.front(), '[');
+  EXPECT_EQ(Json.back(), ']');
+  EXPECT_NE(Json.find("\"pass\": \"promote-scalars\""), std::string::npos);
+  EXPECT_NE(Json.find("\"seconds\": "), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// -O levels and --passes= through pipeline::CompileOptions
+//===----------------------------------------------------------------------===//
+
+unsigned countMaps(const SDFG &G) {
+  unsigned N = 0;
+  for (const auto &S : G.states())
+    for (const auto &Node : S->nodes())
+      if (isa<MapEntry>(Node.get()))
+        ++N;
+  return N;
+}
+
+pipeline::Compiled compileWith(const pipeline::CompileOptions &Opts) {
+  std::string Source = pipeline::loadWorkload("polybench/gemm.c");
+  DiagnosticEngine Diags;
+  pipeline::Compiled C = pipeline::compile(Source, "kernel_gemm",
+                                           PipelineKind::Dcir, Diags, Opts);
+  EXPECT_TRUE(C.Graph) << Diags.str();
+  return C;
+}
+
+TEST(OptLevels, O0TranslatesWithoutRunningPasses) {
+  pipeline::CompileOptions Opts;
+  Opts.Opt = OptLevel::O0;
+  pipeline::Compiled C = compileWith(Opts);
+  ASSERT_TRUE(C.Graph);
+  EXPECT_TRUE(C.Report.Passes.Passes.empty());
+  EXPECT_EQ(countMaps(*C.Graph), 0u);
+  EXPECT_EQ(C.Report.LoopsConvertedToMaps, 0u);
+}
+
+TEST(OptLevels, O1RunsSimplifyOnly) {
+  pipeline::CompileOptions Opts;
+  Opts.Opt = OptLevel::O1;
+  pipeline::Compiled C = compileWith(Opts);
+  ASSERT_TRUE(C.Graph);
+  EXPECT_GT(C.Report.Passes.totalRewrites(), 0u);
+  EXPECT_EQ(C.Report.LoopsConvertedToMaps, 0u);
+  EXPECT_EQ(C.Report.Passes.rewrites("prealloc"), 0u);
+  EXPECT_EQ(countMaps(*C.Graph), 0u);
+}
+
+TEST(OptLevels, O2IsTheDefaultAndConverts) {
+  pipeline::Compiled Default = compileWith(pipeline::CompileOptions());
+  ASSERT_TRUE(Default.Graph);
+  EXPECT_GT(Default.Report.LoopsConvertedToMaps, 0u);
+  EXPECT_GT(countMaps(*Default.Graph), 0u);
+}
+
+TEST(OptLevels, PassSpecOverridesOptLevel) {
+  pipeline::CompileOptions Opts;
+  Opts.PassPipeline = "simplify"; // The -O1 alias, despite Opt = O2.
+  pipeline::Compiled C = compileWith(Opts);
+  ASSERT_TRUE(C.Graph);
+  EXPECT_EQ(C.Report.LoopsConvertedToMaps, 0u);
+  EXPECT_EQ(countMaps(*C.Graph), 0u);
+  EXPECT_GT(C.Report.Passes.totalRewrites(), 0u);
+}
+
+TEST(OptLevels, MalformedPassSpecFailsTheCompile) {
+  std::string Source = pipeline::loadWorkload("polybench/gemm.c");
+  DiagnosticEngine Diags;
+  pipeline::CompileOptions Opts;
+  Opts.PassPipeline = "no-such-pass";
+  pipeline::Compiled C = pipeline::compile(Source, "kernel_gemm",
+                                           PipelineKind::Dcir, Diags, Opts);
+  EXPECT_FALSE(C.Graph);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("unknown pass"), std::string::npos);
+}
+
+TEST(OptLevels, VerifyEachPassAcceptsTheWholeCorpusKernel) {
+  pipeline::CompileOptions Opts;
+  Opts.VerifyEachPass = true;
+  pipeline::Compiled C = compileWith(Opts);
+  EXPECT_TRUE(C.Graph); // Every intermediate graph validates.
+}
+
+TEST(OptLevels, ParsesFlagSpellings) {
+  EXPECT_EQ(pipeline::parseOptLevel("0"), OptLevel::O0);
+  EXPECT_EQ(pipeline::parseOptLevel("O1"), OptLevel::O1);
+  EXPECT_EQ(pipeline::parseOptLevel("-O2"), OptLevel::O2);
+  EXPECT_EQ(pipeline::parseOptLevel("3"), std::nullopt);
+}
+
+//===----------------------------------------------------------------------===//
+// Privatization analysis (refusal cases are load-bearing)
+//===----------------------------------------------------------------------===//
+
+/// Builds a one-state graph where `tmp` is written from `in` and read
+/// into `out` — write-dominates-read, so `tmp` is privatizable.
+std::unique_ptr<SDFG> buildDominatedScalar(bool ReadBeforeWrite) {
+  auto G = std::make_unique<SDFG>("priv");
+  G->addScalar("in", DType::F64, /*Transient=*/false);
+  G->addScalar("out", DType::F64, /*Transient=*/false);
+  G->addScalar("tmp", DType::F64, /*Transient=*/true);
+  G->args() = {"in", "out"};
+  State *S = G->addState("s");
+  G->setStartState(S);
+  Tasklet *Def = S->addTasklet("def");
+  Def->InConns = {"_i"};
+  Def->OutConns = {"_o"};
+  Def->Code["_o"] = TExpr::input("_i", DType::F64);
+  AccessNode *In = S->addAccess("in");
+  AccessNode *Tmp = S->addAccess("tmp");
+  Memlet Min;
+  Min.Data = "in";
+  S->connect(In, "", Def, "_i", Min);
+  Memlet Mtmp;
+  Mtmp.Data = "tmp";
+  Tasklet *Use = S->addTasklet("use");
+  Use->InConns = {"_i"};
+  Use->OutConns = {"_o"};
+  Use->Code["_o"] = TExpr::input("_i", DType::F64);
+  AccessNode *TmpR = S->addAccess("tmp");
+  AccessNode *Out = S->addAccess("out");
+  Memlet Mout;
+  Mout.Data = "out";
+  if (ReadBeforeWrite) {
+    // use reads tmp, THEN def writes it (a loop-carried value): the read
+    // is not dominated by the write.
+    S->connect(TmpR, "", Use, "_i", Mtmp);
+    S->connect(Use, "_o", Out, "", Mout);
+    S->connect(Use, "", Def, "", Memlet()); // WAR ordering.
+    S->connect(Def, "_o", Tmp, "", Mtmp);
+  } else {
+    S->connect(Def, "_o", Tmp, "", Mtmp);
+    S->connect(Def, "", TmpR, "", Memlet()); // RAW ordering.
+    S->connect(TmpR, "", Use, "_i", Mtmp);
+    S->connect(Use, "_o", Out, "", Mout);
+  }
+  return G;
+}
+
+TEST(Privatization, WriteDominatedScalarIsPrivatizable) {
+  auto G = buildDominatedScalar(/*ReadBeforeWrite=*/false);
+  std::set<std::string> P =
+      sdfgopt::privatizableScalars(*G, *G->getStartState());
+  EXPECT_EQ(P.count("tmp"), 1u);
+  EXPECT_EQ(P.count("in"), 0u);  // Non-transient.
+  EXPECT_EQ(P.count("out"), 0u); // Non-transient.
+}
+
+TEST(Privatization, RefusesUpwardExposedRead) {
+  auto G = buildDominatedScalar(/*ReadBeforeWrite=*/true);
+  std::set<std::string> P =
+      sdfgopt::privatizableScalars(*G, *G->getStartState());
+  EXPECT_EQ(P.count("tmp"), 0u)
+      << "a read the write does not dominate is loop-carried state";
+}
+
+TEST(Privatization, RefusesScalarUsedInAnotherState) {
+  auto G = buildDominatedScalar(false);
+  State *S2 = G->addState("later");
+  G->addInterstateEdge(G->getStartState(), S2);
+  S2->addAccess("tmp"); // The value escapes the candidate state.
+  std::set<std::string> P =
+      sdfgopt::privatizableScalars(*G, *G->getStartState());
+  EXPECT_EQ(P.count("tmp"), 0u);
+}
+
+TEST(Privatization, ValidateRejectsOutOfScopePrivateAccess) {
+  // A map that privatizes 'tmp' while tmp's access nodes live outside its
+  // scope would make the C++ backend reference an undeclared variable —
+  // the structural verifier must reject the graph.
+  auto G = buildDominatedScalar(false);
+  State *S = G->getStartState();
+  auto [Entry, Exit] = S->addMap({"i"}, {sym::SymRange(
+                                            sym::SymExpr::constant(0),
+                                            sym::SymExpr::constant(4),
+                                            sym::SymExpr::constant(1))});
+  (void)Exit;
+  Entry->PrivateData.push_back("tmp");
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(G->validate(Diags));
+  EXPECT_NE(Diags.str().find("accessed outside its scope"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// The MLIR-side PassManager rides the same framework
+//===----------------------------------------------------------------------===//
+
+TEST(MlirPassManager, ReportsPerPassStatistics) {
+  std::string Source = pipeline::loadWorkload("polybench/gemm.c");
+  DiagnosticEngine Diags;
+  pipeline::Compiled C = pipeline::compile(Source, "kernel_gemm",
+                                           PipelineKind::GccLike, Diags);
+  ASSERT_TRUE(C.Module) << Diags.str();
+  // The GCC-like pipeline ran Canonicalize/CSE/DCE/...; the run completed,
+  // so the module artifact exists — and the shared framework sequenced it.
+  // (Direct report access is exercised through a fresh PassManager.)
+  passes::PassManager PM(/*VerifyEach=*/true);
+  PM.addPass(passes::createCanonicalizePass());
+  PM.addPass(passes::createDCEPass());
+  // Reuse the already-lowered module.
+  EXPECT_TRUE(PM.run(C.Module, Diags)) << Diags.str();
+  const opt::PipelineReport &R = PM.getReport();
+  EXPECT_EQ(R.Passes.size(), 2u);
+  for (const opt::PassStats &S : R.Passes) {
+    EXPECT_EQ(S.Invocations, 1u) << S.Name;
+    EXPECT_GE(S.Seconds, 0.0) << S.Name;
+  }
+}
+
+} // namespace

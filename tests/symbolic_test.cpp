@@ -239,10 +239,12 @@ class CanonEvalProperty : public ::testing::TestWithParam<int> {};
 TEST_P(CanonEvalProperty, CanonicalizationPreservesValue) {
   // Pseudo-random expression over {N, M, constants} built from the seed;
   // evaluation before/after substitute-roundtrip must agree.
-  int Seed = GetParam();
+  // Unsigned LCG: signed multiplication here overflows (UB the sanitizer
+  // build rejects); unsigned wraparound is defined and deterministic.
+  unsigned Seed = static_cast<unsigned>(GetParam());
   auto Next = [&]() {
-    Seed = Seed * 1103515245 + 12345;
-    return (Seed >> 16) & 0x7fff;
+    Seed = Seed * 1103515245u + 12345u;
+    return static_cast<int>((Seed >> 16) & 0x7fff);
   };
   std::vector<SymExpr> Pool = {N(), M(), C(Next() % 7 - 3), C(Next() % 5 + 1)};
   for (int I = 0; I < 12; ++I) {
