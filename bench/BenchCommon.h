@@ -9,6 +9,13 @@
 /// runtime per pipeline plus the interpreter's PAPI-substitute counters —
 /// and (b) registers google-benchmark timers over pre-compiled artifacts.
 ///
+/// The harness runs on the embedding API (api::Compiler -> api::Program):
+/// each artifact is compiled once into an immutable Program and invoked
+/// many times without output snapshotting, so benchmark loops measure the
+/// kernel, not per-run output-map copies. Each Program's engine-fallback
+/// counter lands in the JSON rows — a native row with fallbacks can never
+/// masquerade as native-only numbers.
+///
 /// All benches accept the parseBenchFlags set — `--engine=interp|native`
 /// (native runs SDFG artifacts through the JIT engine, so the figures can
 /// report native numbers alongside the interpreter counters),
@@ -20,6 +27,7 @@
 #ifndef DCIR_BENCH_BENCHCOMMON_H
 #define DCIR_BENCH_BENCHCOMMON_H
 
+#include "api/Api.h"
 #include "exec/ExecutionEngine.h"
 #include "pipeline/Pipeline.h"
 
@@ -178,24 +186,23 @@ inline const std::vector<pipeline::PipelineKind> &allPipelines() {
   return Kinds;
 }
 
-/// Compiles (aborting on failure) and caches an artifact.
-inline std::shared_ptr<pipeline::Compiled>
+/// Compiles (aborting on failure) into an immutable, shareable Program.
+inline std::shared_ptr<const api::Program>
 compileOrDie(const std::string &Source, const std::string &Entry,
              pipeline::PipelineKind Kind,
              const pipeline::CompileOptions &Opts) {
-  DiagnosticEngine Diags;
-  auto C = std::make_shared<pipeline::Compiled>(
-      pipeline::compile(Source, Entry, Kind, Diags, Opts));
-  if (!C->Module && !C->Graph) {
+  api::Compiler Comp;
+  auto P = Comp.pipeline(Kind).options(Opts).compile(Source, Entry);
+  if (!P) {
     std::fprintf(stderr, "bench: %s failed to compile %s:\n%s\n",
                  pipeline::pipelineName(Kind), Entry.c_str(),
-                 Diags.str().c_str());
+                 Comp.diagnostics().c_str());
     std::abort();
   }
-  return C;
+  return P;
 }
 
-inline std::shared_ptr<pipeline::Compiled>
+inline std::shared_ptr<const api::Program>
 compileOrDie(const std::string &Source, const std::string &Entry,
              pipeline::PipelineKind Kind,
              exec::EngineKind Engine = exec::EngineKind::Interp) {
@@ -208,27 +215,29 @@ compileOrDie(const std::string &Source, const std::string &Entry,
 /// untimed runs. The warmup absorbs one-time costs — above all the native
 /// engine's JIT compile, which must never land in a timed sample — and
 /// the median (rather than a single run) keeps BENCH_*.json stable enough
-/// to compare across PRs.
-inline pipeline::RunResult
-medianRun(const pipeline::Compiled &C, int Repeats = 5,
+/// to compare across PRs. Invocations do not capture outputs: the timed
+/// loop is the zero-snapshot serving path.
+inline api::InvocationResult
+medianRun(const api::Program &P, int Repeats = 5,
           interp::MathMode Mode = interp::MathMode::Precise,
           int Warmup = 1) {
+  api::Invocation I = P.newInvocation().setMathMode(Mode);
   double CompileSeconds = 0.0;
-  for (int I = 0; I < Warmup; ++I)
-    CompileSeconds += pipeline::run(C, Mode).CompileSeconds;
-  std::vector<pipeline::RunResult> Rs;
-  for (int I = 0; I < Repeats; ++I)
-    Rs.push_back(pipeline::run(C, Mode));
+  for (int W = 0; W < Warmup; ++W)
+    CompileSeconds += P.invoke(I).CompileSeconds;
+  std::vector<api::InvocationResult> Rs;
+  for (int R = 0; R < Repeats; ++R)
+    Rs.push_back(P.invoke(I));
   std::sort(Rs.begin(), Rs.end(),
             [](const auto &A, const auto &B) { return A.Seconds < B.Seconds; });
-  pipeline::RunResult R = Rs[Rs.size() / 2];
+  api::InvocationResult R = Rs[Rs.size() / 2];
   R.CompileSeconds = CompileSeconds; // Reported, never timed.
   return R;
 }
 
 /// One row of a paper-style summary table.
 inline void printRow(const char *Workload, const char *Config,
-                     const pipeline::RunResult &R) {
+                     const api::InvocationResult &R) {
   std::printf("%-16s %-10s %10.3f ms  work=%-10llu moved=%-12llu "
               "heap_allocs=%-5llu result=%.6g\n",
               Workload, Config, R.Seconds * 1e3,
@@ -249,7 +258,7 @@ public:
   /// `"pass_report": [...]` array (no surrounding comma/braces); empty
   /// for the plain pipeline rows.
   void add(const std::string &Kernel, pipeline::PipelineKind Kind,
-           exec::EngineKind Engine, const pipeline::RunResult &R,
+           exec::EngineKind Engine, const api::InvocationResult &R,
            const std::string &Extra = std::string()) {
     char Buf[320];
     std::snprintf(Buf, sizeof(Buf),
@@ -285,37 +294,59 @@ private:
   std::vector<std::string> Rows;
 };
 
+/// The `"engine_fallbacks": N` JSON member from a Program's serving
+/// counters: non-zero when any invocation that asked for the native
+/// engine degraded to the interpreter, so native-vs-interp rows can't be
+/// mislabeled even if a fallback happened mid-measurement.
+inline std::string fallbackExtra(const api::Program &P) {
+  return "\"engine_fallbacks\": " +
+         std::to_string(P.stats().EngineFallbacks);
+}
+
 /// The `"pass_report": [...]` JSON member carrying per-pass rewrite
 /// counts and wall-times of an SDFG artifact's optimization pipeline
 /// (empty for module artifacts, which have no data-centric pipeline).
-inline std::string passReportExtra(const pipeline::Compiled &C) {
-  if (!C.Graph || C.Report.Passes.Passes.empty())
+inline std::string passReportExtra(const api::Program &P) {
+  if (!P.graph() || P.report().Passes.Passes.empty())
     return std::string();
-  return "\"pass_report\": " + C.Report.Passes.json();
+  return "\"pass_report\": " + P.report().Passes.json();
+}
+
+/// Joins non-empty JSON member strings with ", ".
+inline std::string joinExtras(std::initializer_list<std::string> Extras) {
+  std::string Out;
+  for (const std::string &E : Extras) {
+    if (E.empty())
+      continue;
+    if (!Out.empty())
+      Out += ", ";
+    Out += E;
+  }
+  return Out;
 }
 
 /// Honours --print-pass-report: dumps the per-pass table after a compile.
 inline void maybePrintPassReport(const BenchOptions &Opts,
                                  const std::string &Kernel,
-                                 const pipeline::Compiled &C) {
-  if (!Opts.PrintPassReport || !C.Graph)
+                                 const api::Program &P) {
+  if (!Opts.PrintPassReport || !P.graph())
     return;
   std::printf("--- pass report: %s (%s) ---\n%s", Kernel.c_str(),
-              pipeline::pipelineName(C.Kind),
-              C.Report.Passes.str().c_str());
+              pipeline::pipelineName(P.pipelineKind()),
+              P.report().Passes.str().c_str());
 }
 
-/// Registers a google-benchmark timer over a pre-compiled artifact.
+/// Registers a google-benchmark timer over a pre-compiled Program.
 inline void registerPipelineBenchmark(
-    const std::string &Name, std::shared_ptr<pipeline::Compiled> C,
+    const std::string &Name, std::shared_ptr<const api::Program> P,
     interp::MathMode Mode = interp::MathMode::Precise) {
   benchmark::RegisterBenchmark(
       Name.c_str(),
-      [C, Mode](benchmark::State &State) {
+      [P, Mode](benchmark::State &State) {
+        api::Invocation I = P->newInvocation().setMathMode(Mode);
         double Result = 0.0;
         for (auto _ : State) {
-          pipeline::RunResult R = pipeline::run(*C, Mode);
-          Result = R.ReturnValue;
+          Result = P->invoke(I).ReturnValue;
           benchmark::DoNotOptimize(Result);
         }
       })

@@ -109,11 +109,18 @@ std::unique_ptr<sdfg::SDFG> compileDcirWithToggles(const std::string &Source,
 }
 
 /// Returns the checksum; \p Seconds receives execution-only time (JIT
-/// compilation must not pollute the ablation deltas).
-double runOnce(const sdfg::SDFG &G, exec::EngineKind Engine,
+/// compilation must not pollute the ablation deltas). The hand-ablated
+/// graph is wrapped into an api::Program via Parts — the same serving
+/// object the figure benches use.
+double runOnce(std::shared_ptr<const sdfg::SDFG> G, exec::EngineKind Engine,
                interp::ExecutionStats *Stats, double *Seconds) {
-  exec::EngineRun R = exec::createEngine(Engine)->runGraph(
-      G, interp::MathMode::Precise);
+  api::Program::Parts Parts;
+  Parts.Kind = PipelineKind::Dcir;
+  Parts.Engine = Engine;
+  Parts.Entry = G->getName();
+  Parts.Graph = std::move(G);
+  auto Prog = api::Program::create(std::move(Parts));
+  api::InvocationResult R = Prog->invoke();
   if (!R.Ok) {
     std::fprintf(stderr, "ablation: %s engine failed:\n%s\n",
                  exec::engineName(Engine), R.Error.c_str());
@@ -140,10 +147,11 @@ void ablate(const char *Workload, const std::string &Source,
       {"-loopfusion", {.LoopFusion = false}},
   };
   for (const Case &C : Cases) {
-    auto G = compileDcirWithToggles(Source, Entry, C.T);
+    std::shared_ptr<const sdfg::SDFG> G =
+        compileDcirWithToggles(Source, Entry, C.T);
     interp::ExecutionStats Stats;
     double Sec = 0.0;
-    double Result = runOnce(*G, Engine, &Stats, &Sec);
+    double Result = runOnce(std::move(G), Engine, &Stats, &Sec);
     std::printf("%-12s %-14s %10.3f ms  work=%-10llu heap_allocs=%-4llu "
                 "result=%.6g\n",
                 Workload, C.Label, Sec * 1e3,

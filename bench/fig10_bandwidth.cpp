@@ -16,13 +16,13 @@ int main(int argc, char **argv) {
 
   std::printf("=== Fig. 10: memory bandwidth snippet ===\n");
   for (PipelineKind K : allPipelines()) {
-    auto C = compileOrDie(Source, "bandwidth", K,
+    auto P = compileOrDie(Source, "bandwidth", K,
                           Opts.compileOptions(Opts.Engine));
-    RunResult R = medianRun(*C);
+    api::InvocationResult R = medianRun(*P);
     printRow("bandwidth", configName(K, R.EngineUsed).c_str(), R);
-    maybePrintPassReport(Opts, "bandwidth", *C);
+    maybePrintPassReport(Opts, "bandwidth", *P);
     registerPipelineBenchmark(
-        std::string("fig10/bandwidth/") + configName(K, R.EngineUsed), C);
+        std::string("fig10/bandwidth/") + configName(K, R.EngineUsed), P);
   }
 
   benchmark::Initialize(&argc, argv);

@@ -23,18 +23,19 @@ int main(int argc, char **argv) {
 
   std::printf("=== Fig. 2: mixed control- and data-centric analysis ===\n");
   for (PipelineKind K : allPipelines()) {
-    auto C = compileOrDie(Source, "example", K,
+    auto P = compileOrDie(Source, "example", K,
                           Opts.compileOptions(Opts.Engine));
-    RunResult R = medianRun(*C);
+    api::InvocationResult R = medianRun(*P);
     printRow("fig2", configName(K, R.EngineUsed).c_str(), R);
-    maybePrintPassReport(Opts, "fig2", *C);
+    maybePrintPassReport(Opts, "fig2", *P);
     if (K == PipelineKind::Dcir)
       std::printf("    DCIR eliminated %u containers "
                   "(%u scalars promoted, %u loops removed)\n",
-                  C->Report.containersEliminated(), C->Report.ScalarsPromoted,
-                  C->Report.EmptyLoopsRemoved);
+                  P->report().containersEliminated(),
+                  P->report().ScalarsPromoted,
+                  P->report().EmptyLoopsRemoved);
     registerPipelineBenchmark(
-        std::string("fig2/") + configName(K, R.EngineUsed), C);
+        std::string("fig2/") + configName(K, R.EngineUsed), P);
   }
 
   benchmark::Initialize(&argc, argv);

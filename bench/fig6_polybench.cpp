@@ -18,6 +18,10 @@
 /// (`"parallel": "off"/"on"`), so the perf trajectory captures the
 /// speedup across PRs. `--threads=N` pins the OpenMP thread count.
 ///
+/// Every JSON row also carries the Program's engine-fallback counter:
+/// a "native" row with `"engine_fallbacks" > 0` mixed interpreter runs
+/// into its median and must not be read as native performance.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -45,20 +49,22 @@ int main(int argc, char **argv) {
     std::string Source = loadWorkload(K.File);
     std::map<PipelineKind, double> Seconds;
     for (PipelineKind Kind : allPipelines()) {
-      auto C = compileOrDie(Source, K.Entry, Kind,
+      auto P = compileOrDie(Source, K.Entry, Kind,
                             Opts.compileOptions(Opts.Engine));
-      RunResult R = medianRun(*C, 3);
+      api::InvocationResult R = medianRun(*P, 3);
       Seconds[Kind] = R.Seconds;
       // Label rows by the engine that actually ran (a native request can
       // fall back to the interpreter for module artifacts).
       printRow(K.Name, configName(Kind, R.EngineUsed).c_str(), R);
-      maybePrintPassReport(Opts, K.Name, *C);
+      maybePrintPassReport(Opts, K.Name, *P);
       // SDFG rows carry the per-pass rewrite counts and wall-times, so
-      // optimization-cost regressions are visible alongside runtime.
-      Json.add(K.Name, Kind, R.EngineUsed, R, passReportExtra(*C));
+      // optimization-cost regressions are visible alongside runtime; the
+      // fallback counter guards the engine label.
+      Json.add(K.Name, Kind, R.EngineUsed, R,
+               joinExtras({passReportExtra(*P), fallbackExtra(*P)}));
       registerPipelineBenchmark(std::string("fig6/") + K.Name + "/" +
                                     configName(Kind, R.EngineUsed),
-                                C);
+                                P);
     }
     ++KernelCount;
     for (PipelineKind Kind : allPipelines())
@@ -94,17 +100,19 @@ int main(int argc, char **argv) {
       if (Parallel.Parallelism == ParallelismMode::Off)
         Parallel.Parallelism = ParallelismMode::Maps;
 
-      auto CS = compileOrDie(Scaled, K.Entry, PipelineKind::Dcir, Serial);
-      auto CP = compileOrDie(Scaled, K.Entry, PipelineKind::Dcir, Parallel);
-      RunResult RS = medianRun(*CS, 5);
-      RunResult RP = medianRun(*CP, 5);
+      auto PS = compileOrDie(Scaled, K.Entry, PipelineKind::Dcir, Serial);
+      auto PP = compileOrDie(Scaled, K.Entry, PipelineKind::Dcir, Parallel);
+      api::InvocationResult RS = medianRun(*PS, 5);
+      api::InvocationResult RP = medianRun(*PP, 5);
       std::string ExtraBase = "\"threads\": " +
                               std::to_string(Opts.Threads) + ", \"scale\": " +
                               std::to_string(Opts.ParallelScale);
       Json.add(K.Name, PipelineKind::Dcir, RS.EngineUsed, RS,
-               "\"parallel\": \"off\", " + ExtraBase);
+               joinExtras({"\"parallel\": \"off\", " + ExtraBase,
+                           fallbackExtra(*PS)}));
       Json.add(K.Name, PipelineKind::Dcir, RP.EngineUsed, RP,
-               "\"parallel\": \"on\", " + ExtraBase);
+               joinExtras({"\"parallel\": \"on\", " + ExtraBase,
+                           fallbackExtra(*PP)}));
       double Speedup = RS.Seconds / RP.Seconds;
       std::printf("%-16s serial %9.3f ms  parallel %9.3f ms  "
                   "speedup %5.2fx  (parallel_maps=%llu)\n",

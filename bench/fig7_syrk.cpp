@@ -25,19 +25,19 @@ int main(int argc, char **argv) {
   std::string Source = loadWorkload("polybench/syrk.c");
 
   std::printf("=== Fig. 7: syrk — DaCe C frontend vs DCIR ===\n");
-  pipeline::RunResult Dace, Dcir;
+  api::InvocationResult Dace, Dcir;
   for (PipelineKind K : allPipelines()) {
-    auto C = compileOrDie(Source, "kernel_syrk", K,
+    auto P = compileOrDie(Source, "kernel_syrk", K,
                           Opts.compileOptions(Opts.Engine));
-    RunResult R = medianRun(*C);
+    api::InvocationResult R = medianRun(*P);
     printRow("syrk", configName(K, R.EngineUsed).c_str(), R);
-    maybePrintPassReport(Opts, "syrk", *C);
+    maybePrintPassReport(Opts, "syrk", *P);
     if (K == PipelineKind::DaceLike)
       Dace = R;
     if (K == PipelineKind::Dcir)
       Dcir = R;
     registerPipelineBenchmark(
-        std::string("fig7/syrk/") + configName(K, R.EngineUsed), C);
+        std::string("fig7/syrk/") + configName(K, R.EngineUsed), P);
   }
   // The paper's Fig. 7 effect, measured on the movement counters: the DaCe
   // C frontend re-reads alpha and A[i][k] in every innermost iteration

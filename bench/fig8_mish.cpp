@@ -51,9 +51,9 @@ int main(int argc, char **argv) {
     exec::EngineKind RowEngine = C.Mode == interp::MathMode::Vectorized
                                      ? exec::EngineKind::Interp
                                      : Opts.Engine;
-    auto Compiledd = compileOrDie(Source, "mish_softplus", C.Kind,
-                                  Opts.compileOptions(RowEngine));
-    RunResult R = medianRun(*Compiledd, 3, C.Mode);
+    auto Prog = compileOrDie(Source, "mish_softplus", C.Kind,
+                             Opts.compileOptions(RowEngine));
+    api::InvocationResult R = medianRun(*Prog, 3, C.Mode);
     std::string Label = C.Label;
     if (R.EngineUsed == exec::EngineKind::Native)
       Label += "+jit";
@@ -62,8 +62,8 @@ int main(int argc, char **argv) {
       std::printf("    allocations removed: heap_allocs=%llu (eager "
                   "pipeline allocates 4 tensors)\n",
                   static_cast<unsigned long long>(R.Stats.HeapAllocs));
-    registerPipelineBenchmark(std::string("fig8/mish/") + C.Label,
-                              Compiledd, C.Mode);
+    registerPipelineBenchmark(std::string("fig8/mish/") + C.Label, Prog,
+                              C.Mode);
   }
 
   benchmark::Initialize(&argc, argv);

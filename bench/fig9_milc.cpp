@@ -16,17 +16,17 @@ int main(int argc, char **argv) {
 
   std::printf("=== Fig. 9: MILC congrad_multi_field snippet ===\n");
   for (PipelineKind K : allPipelines()) {
-    auto C = compileOrDie(Source, "milc_congrad", K,
+    auto P = compileOrDie(Source, "milc_congrad", K,
                           Opts.compileOptions(Opts.Engine));
-    RunResult R = medianRun(*C);
+    api::InvocationResult R = medianRun(*P);
     printRow("milc", configName(K, R.EngineUsed).c_str(), R);
-    maybePrintPassReport(Opts, "milc", *C);
+    maybePrintPassReport(Opts, "milc", *P);
     if (K == PipelineKind::Dcir)
       std::printf("    DCIR eliminated %u containers (the paper reports "
                   "two 10,000-double arrays removed)\n",
-                  C->Report.containersEliminated());
+                  P->report().containersEliminated());
     registerPipelineBenchmark(
-        std::string("fig9/milc/") + configName(K, R.EngineUsed), C);
+        std::string("fig9/milc/") + configName(K, R.EngineUsed), P);
   }
 
   benchmark::Initialize(&argc, argv);

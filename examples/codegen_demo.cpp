@@ -7,56 +7,66 @@
 /// \file
 /// Compiles the paper's syrk kernel (Fig. 7) through DCIR, prints the
 /// generated C++ (note the hoisted `alpha * A[i][k]` in the innermost
-/// state), then closes the loop the way DaCe does: JIT-compiles the
-/// kernel to a shared object through the on-disk artifact cache and runs
-/// it natively, comparing against the interpreter.
+/// state and the `kernel_syrk__dcir_call` / `__dcir_signature` ABI
+/// surface), then closes the loop the way DaCe does: one native Program
+/// (JIT through the on-disk artifact cache) and one interpreter Program
+/// over the same source, compared on the checksum.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "api/Api.h"
 #include "codegen/CppCodegen.h"
-#include "exec/InterpEngine.h"
-#include "exec/JitCache.h"
-#include "exec/NativeJitEngine.h"
 #include "pipeline/Pipeline.h"
 
 #include <cstdio>
 
 using namespace dcir;
-using namespace dcir::pipeline;
 
 int main() {
-  DiagnosticEngine Diags;
-  Compiled C = compile(loadWorkload("polybench/syrk.c"), "kernel_syrk",
-                       PipelineKind::Dcir, Diags);
-  if (!C.Graph) {
-    std::fprintf(stderr, "compilation failed:\n%s\n", Diags.str().c_str());
+  std::string Source = pipeline::loadWorkload("polybench/syrk.c");
+
+  api::Compiler Compiler;
+  auto Native = Compiler.pipeline(pipeline::PipelineKind::Dcir)
+                    .engine(exec::EngineKind::Native)
+                    .compile(Source, "kernel_syrk");
+  if (!Native) {
+    std::fprintf(stderr, "compilation failed:\n%s\n",
+                 Compiler.diagnostics().c_str());
     return 1;
   }
-  std::string Code = codegen::emitCpp(*C.Graph, Diags);
+
+  DiagnosticEngine Diags;
+  std::string Code = codegen::emitCpp(*Native->graph(), Diags);
   if (Code.empty()) {
     std::fprintf(stderr, "codegen failed:\n%s\n", Diags.str().c_str());
     return 1;
   }
   std::printf("%s\n", Code.c_str());
 
-  // Interpreter reference.
-  exec::InterpEngine Interp;
-  exec::EngineRun RI = Interp.runGraph(*C.Graph, interp::MathMode::Precise);
+  // Interpreter reference: a second Program over the same source.
+  auto Interp = Compiler.engine(exec::EngineKind::Interp)
+                    .compile(Source, "kernel_syrk");
+  if (!Interp) {
+    std::fprintf(stderr, "compilation failed:\n%s\n",
+                 Compiler.diagnostics().c_str());
+    return 1;
+  }
+  api::InvocationResult RI = Interp->invoke();
 
-  // Native: emit -> cache/compile -> dlopen -> call.
-  exec::NativeJitEngine Native;
-  exec::EngineRun RN = Native.runGraph(*C.Graph, interp::MathMode::Precise);
+  // Native: emit -> cache/compile -> dlopen happened at Program creation;
+  // the invocation is just the call.
+  api::InvocationResult RN = Native->invoke();
   if (!RN.Ok) {
-    std::fprintf(stderr, "native execution failed:\n%s\n", RN.Error.c_str());
+    std::fprintf(stderr, "native execution failed:\n%s\n",
+                 RN.Error.c_str());
     return 1;
   }
   std::fprintf(stderr,
                "// interpreter : result=%.12g  %.3f ms\n"
                "// native JIT  : result=%.12g  %.3f ms  "
-               "(compile %.1f ms, cache %s, root %s)\n",
+               "(compile %.1f ms, engine %s)\n",
                RI.ReturnValue, RI.Seconds * 1e3, RN.ReturnValue,
-               RN.Seconds * 1e3, RN.CompileSeconds * 1e3,
-               Native.cache().stats().Hits ? "hit" : "miss",
-               Native.cache().root().c_str());
+               RN.Seconds * 1e3, Native->nativeCompileSeconds() * 1e3,
+               exec::engineName(RN.EngineUsed));
   return 0;
 }

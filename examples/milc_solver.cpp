@@ -6,43 +6,45 @@
 ///
 /// \file
 /// Compiles the MILC multi-mass conjugate-gradient snippet through all five
-/// pipelines, reporting runtimes, data movement, and the containers the
-/// data-centric passes eliminated — the programmatic version of the fig9
-/// bench, showing the high-level driver API.
+/// pipelines with api::Compiler, reporting runtimes, data movement, and the
+/// containers the data-centric passes eliminated — the programmatic version
+/// of the fig9 bench, showing the embedding API across every pipeline kind.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "api/Api.h"
 #include "pipeline/Pipeline.h"
 
 #include <cstdio>
 
 using namespace dcir;
-using namespace dcir::pipeline;
+using pipeline::PipelineKind;
 
 int main() {
-  std::string Source = loadWorkload("snippets/fig9_milc.c");
+  std::string Source = pipeline::loadWorkload("snippets/fig9_milc.c");
   std::printf("MILC congrad_multi_field snippet, five pipelines:\n\n");
   for (PipelineKind K :
        {PipelineKind::GccLike, PipelineKind::ClangLike, PipelineKind::DaceLike,
         PipelineKind::MlirLike, PipelineKind::Dcir}) {
-    DiagnosticEngine Diags;
-    Compiled C = compile(Source, "milc_congrad", K, Diags);
-    if (!C.Module && !C.Graph) {
-      std::fprintf(stderr, "%s failed:\n%s\n", pipelineName(K),
-                   Diags.str().c_str());
+    api::Compiler Compiler;
+    auto Prog = Compiler.pipeline(K).compile(Source, "milc_congrad");
+    if (!Prog) {
+      std::fprintf(stderr, "%s failed:\n%s\n", pipeline::pipelineName(K),
+                   Compiler.diagnostics().c_str());
       return 1;
     }
-    RunResult R = run(C);
+    api::InvocationResult R = Prog->invoke();
     std::printf("%-6s  %8.3f ms   result=%-12.6f bytes_moved=%-10llu "
                 "heap_allocs=%llu\n",
-                pipelineName(K), R.Seconds * 1e3, R.ReturnValue,
+                pipeline::pipelineName(K), R.Seconds * 1e3, R.ReturnValue,
                 static_cast<unsigned long long>(R.Stats.BytesMoved),
                 static_cast<unsigned long long>(R.Stats.HeapAllocs));
     if (K == PipelineKind::Dcir)
       std::printf("        DCIR eliminated %u containers; %u scalars "
                   "became symbols; %u states fused\n",
-                  C.Report.containersEliminated(), C.Report.ScalarsPromoted,
-                  C.Report.StatesFused);
+                  Prog->report().containersEliminated(),
+                  Prog->report().ScalarsPromoted,
+                  Prog->report().StatesFused);
   }
   return 0;
 }

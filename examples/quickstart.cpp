@@ -1,114 +1,127 @@
-//===- quickstart.cpp - the whole DCIR pipeline in one page --------------------===//
+//===- quickstart.cpp - embedding DCIR: compile once, invoke many --------------===//
 //
 // Part of the DCIR reproduction project.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Walks the paper's Fig. 5 flow on a small C program: frontend, MLIR-style
-/// textual IR, control-centric passes, the sdfg dialect, the SDFG IR, the
-/// data-centric optimizer, and execution.
+/// The canonical embedding sample for the runtime API (src/api/, see
+/// DESIGN.md "Embedding API"): compile a C kernel once into an immutable
+/// api::Program, then invoke it many times — synchronously, with
+/// caller-owned zero-copy buffers, concurrently from several threads, and
+/// asynchronously through the program's worker pool.
 ///
 /// Run: ./quickstart
 ///
 //===----------------------------------------------------------------------===//
 
-#include "conversion/ConvertToSdfg.h"
-#include "conversion/TranslateToSDFG.h"
-#include "dialects/Dialects.h"
-#include "exec/InterpEngine.h"
-#include "exec/NativeJitEngine.h"
-#include "frontend/CCodegen.h"
-#include "ir/Printer.h"
-#include "passes/Pass.h"
-#include "sdfgopt/Passes.h"
+#include "api/Api.h"
 
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 using namespace dcir;
 
 int main() {
   const char *Source = R"(
 #define N 32
-double quickstart() {
-  double *tmp = (double*)malloc(N * sizeof(double));
+double saxpy(double a, double x[32], double y[32]) {
   double acc = 0.0;
   for (int i = 0; i < N; i++)
-    tmp[i] = i * 0.5;
+    y[i] = a * x[i] + y[i];
   for (int i = 0; i < N; i++)
-    acc += tmp[i];
-  free(tmp);
+    acc += y[i];
   return acc;
 }
 )";
 
-  // 1. The Polygeist-style frontend: C -> func/scf/arith/memref dialects.
-  ir::IRContext Ctx;
-  registerAllDialects(Ctx);
-  DiagnosticEngine Diags;
-  ir::Operation *Module = frontend::compileCToModule(Source, Ctx, Diags);
-  if (!Module) {
-    std::fprintf(stderr, "%s\n", Diags.str().c_str());
+  // 1. Compile once. The Compiler is a builder over the compile options;
+  //    it owns the diagnostics of its last compile. With the native
+  //    engine the JIT (emit C++ -> host compiler -> dlopen, cached on
+  //    disk) happens here, not on the first invocation.
+  api::Compiler Compiler;
+  std::shared_ptr<const api::Program> Program =
+      Compiler.pipeline(pipeline::PipelineKind::Dcir)
+          .engine(exec::EngineKind::Native)
+          .compile(Source, "saxpy");
+  if (!Program) {
+    std::fprintf(stderr, "compilation failed:\n%s\n",
+                 Compiler.diagnostics().c_str());
     return 1;
   }
-  std::printf("--- MLIR dialects (frontend output, excerpt) ---\n%.1200s...\n",
-              ir::printOperation(Module).c_str());
+  std::printf("compiled '%s' (%u states fused, %u scalars promoted, "
+              "native JIT %.1f ms)\n",
+              Program->entry().c_str(), Program->report().StatesFused,
+              Program->report().ScalarsPromoted,
+              Program->nativeCompileSeconds() * 1e3);
 
-  // 2. Control-centric passes (paper Fig. 4, blue).
-  passes::PassManager PM(/*VerifyEach=*/true);
-  PM.addPass(passes::createInlinerPass());
-  PM.addPass(passes::createCanonicalizePass());
-  PM.addPass(passes::createCSEPass());
-  PM.addPass(passes::createLICMPass());
-  PM.addPass(passes::createScalarReplacementPass());
-  PM.addPass(passes::createCSEPass());
-  PM.addPass(passes::createDCEPass());
-  if (!PM.run(Module, Diags)) {
-    std::fprintf(stderr, "%s\n", Diags.str().c_str());
+  // 2. Inspect the container table: what an invocation can bind.
+  for (const api::ContainerInfo &C : Program->containers())
+    std::printf("  container %-10s %s[%zu]%s\n", C.Name.c_str(),
+                C.Name.c_str(), C.Elements,
+                C.Transient ? "  (transient, program-managed)" : "");
+
+  // 3. Invoke with caller-owned buffers, bound by container name. On the
+  //    native engine the pointers go straight into the generated code —
+  //    zero copies in either direction; y holds the results afterwards.
+  std::vector<double> A(1, 2.0), X(32), Y(32);
+  for (int I = 0; I < 32; ++I) {
+    X[I] = I;
+    Y[I] = 1.0;
+  }
+  api::Invocation Call = Program->newInvocation();
+  if (!Call.bind("a", A.data(), A.size()) ||
+      !Call.bind("x", X.data(), X.size()) ||
+      !Call.bind("y", Y.data(), Y.size())) {
+    std::fprintf(stderr, "bind failed: %s\n", Call.error().c_str());
     return 1;
   }
-
-  // 3. Conversion into the sdfg dialect (paper §5.1).
-  ir::Operation *SdfgModule = conversion::convertToSdfgDialect(Module, Diags);
-  ir::Operation::eraseDetached(Module);
-  if (!SdfgModule) {
-    std::fprintf(stderr, "%s\n", Diags.str().c_str());
+  api::InvocationResult R = Call.run();
+  if (!R.Ok) {
+    std::fprintf(stderr, "invocation failed: %s\n", R.Error.c_str());
     return 1;
   }
-  std::printf("\n--- sdfg dialect (excerpt) ---\n%.1200s...\n",
-              ir::printOperation(SdfgModule).c_str());
+  std::printf("result = %.1f on %s (y[31] = %.1f, output copies = %u)\n",
+              R.ReturnValue, exec::engineName(R.EngineUsed), Y[31],
+              R.OutputCopies);
 
-  // 4. Translation to the SDFG IR (paper §5.2).
-  auto G = conversion::translateToSDFG(SdfgModule, "quickstart", Diags);
-  ir::Operation::eraseDetached(SdfgModule);
-  if (!G) {
-    std::fprintf(stderr, "%s\n", Diags.str().c_str());
-    return 1;
-  }
+  // 4. The same Program is safely invoked from many threads at once —
+  //    each thread owns its Invocation and buffers.
+  std::vector<std::thread> Threads;
+  std::vector<double> Results(4, 0.0);
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&, T] {
+      std::vector<double> TX(32, double(T)), TY(32, 0.0), TA(1, 1.0);
+      api::Invocation I = Program->newInvocation();
+      I.bind("a", TA.data(), TA.size());
+      I.bind("x", TX.data(), TX.size());
+      I.bind("y", TY.data(), TY.size());
+      Results[T] = I.run().ReturnValue;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  std::printf("concurrent results: %.0f %.0f %.0f %.0f\n", Results[0],
+              Results[1], Results[2], Results[3]);
 
-  // 5. Data-centric optimization (paper §6): -O1 simplify + -O2 scheduling.
-  sdfgopt::OptReport Report;
-  sdfgopt::runAutoOptimize(*G, Report);
-  std::printf("\n--- optimized SDFG ---\n%s\n", G->str().c_str());
-  std::printf("scalars promoted: %u, states fused: %u, containers "
-              "eliminated: %u, loops fused: %u\n",
-              Report.ScalarsPromoted, Report.StatesFused,
-              Report.containersEliminated(), Report.LoopsFused);
+  // 5. Batched serving: invokeAsync queues on the program's worker pool.
+  std::vector<std::future<api::InvocationResult>> Futures;
+  for (int B = 0; B < 8; ++B)
+    Futures.push_back(Program->invokeAsync(Program->newInvocation()));
+  double Sum = 0.0;
+  for (auto &F : Futures)
+    Sum += F.get().ReturnValue;
+  std::printf("async batch of %zu complete (sum of checksums = %.1f)\n",
+              Futures.size(), Sum);
 
-  // 6. Execute on the interpreter (exact work/movement counters).
-  exec::InterpEngine Interp;
-  exec::EngineRun RI = Interp.runGraph(*G, interp::MathMode::Precise);
-  std::printf("\nresult = %.6f (expected 248.0)\n", RI.ReturnValue);
-  std::printf("execution stats: %s\n", RI.Stats.str().c_str());
-
-  // 7. Execute natively: the SDFG is JIT-compiled to a shared object
-  // through the on-disk artifact cache (the paper's "native code out").
-  exec::NativeJitEngine Native;
-  exec::EngineRun RN = Native.runGraph(*G, interp::MathMode::Precise);
-  if (RN.Ok)
-    std::printf("native JIT result = %.6f (%.3f ms, compile %.1f ms)\n",
-                RN.ReturnValue, RN.Seconds * 1e3, RN.CompileSeconds * 1e3);
-  else
-    std::fprintf(stderr, "native JIT unavailable:\n%s\n", RN.Error.c_str());
+  // 6. Serving counters: invocations, per-engine split, fallbacks.
+  api::ProgramStats S = Program->stats();
+  std::printf("stats: %llu invocations (%llu native, %llu interp, "
+              "%llu fallbacks, %llu async)\n",
+              (unsigned long long)S.Invocations,
+              (unsigned long long)S.NativeInvocations,
+              (unsigned long long)S.InterpInvocations,
+              (unsigned long long)S.EngineFallbacks,
+              (unsigned long long)S.AsyncInvocations);
   return 0;
 }

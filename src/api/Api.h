@@ -1,0 +1,22 @@
+//===- Api.h - umbrella header for the embedding runtime API ------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Everything an embedder needs: api::Compiler (build options, compile),
+/// api::Program (immutable, thread-safe, invoke-many), api::Invocation
+/// (per-call buffer binding). See examples/quickstart.cpp for the
+/// canonical walkthrough and DESIGN.md ("Embedding API") for the
+/// lifecycle and thread-safety contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_API_API_H
+#define DCIR_API_API_H
+
+#include "api/Compiler.h"
+#include "api/Program.h"
+
+#endif // DCIR_API_API_H

@@ -1,0 +1,191 @@
+//===- Compiler.cpp - the one compilation flow behind both APIs ---------------===//
+
+#include "api/Compiler.h"
+
+#include "conversion/CToSdfgDirect.h"
+#include "conversion/ConvertToSdfg.h"
+#include "conversion/TranslateToSDFG.h"
+#include "dialects/Dialects.h"
+#include "frontend/CCodegen.h"
+#include "frontend/CParser.h"
+#include "ir/Verifier.h"
+#include "passes/Pass.h"
+
+#include <cstdio>
+
+using namespace dcir;
+using namespace dcir::api;
+using pipeline::CompileOptions;
+using pipeline::PipelineKind;
+
+namespace {
+
+/// The strong general-purpose -O2 (GCC/Clang stand-ins).
+void addStrongPasses(passes::PassManager &PM, bool ExtraRound) {
+  using namespace passes;
+  PM.addPass(createInlinerPass());
+  for (int I = 0; I < (ExtraRound ? 3 : 2); ++I) {
+    PM.addPass(createCanonicalizePass());
+    PM.addPass(createCSEPass());
+    PM.addPass(createLICMPass());
+    PM.addPass(createScalarReplacementPass());
+    PM.addPass(createCSEPass());
+    PM.addPass(createLoopFusionPass());
+    PM.addPass(createDCEPass());
+  }
+}
+
+/// The paper's control-centric set for the Polygeist+MLIR pipeline (§4):
+/// LICM, CSE, DCE, inlining — no store forwarding, no fusion.
+void addMlirPasses(passes::PassManager &PM) {
+  using namespace passes;
+  PM.addPass(createInlinerPass());
+  PM.addPass(createCanonicalizePass());
+  PM.addPass(createCSEPass());
+  PM.addPass(createLICMPass());
+  PM.addPass(createDCEPass());
+}
+
+/// DCIR's MLIR-side passes (paper Fig. 4, blue): LICM, CSE & DCE &
+/// inlining, scalar replacement, then lowering into the sdfg dialect.
+void addDcirMlirPasses(passes::PassManager &PM) {
+  using namespace passes;
+  PM.addPass(createInlinerPass());
+  for (int I = 0; I < 2; ++I) {
+    PM.addPass(createCanonicalizePass());
+    PM.addPass(createCSEPass());
+    PM.addPass(createLICMPass());
+    PM.addPass(createScalarReplacementPass());
+    PM.addPass(createCSEPass());
+    PM.addPass(createDCEPass());
+  }
+}
+
+/// Runs the configured data-centric pipeline (-O level or an explicit
+/// --passes= spec) over a freshly translated graph. Returns false when
+/// the spec is malformed or verify-after-each failed.
+bool optimizeGraph(sdfg::SDFG &G, const CompileOptions &Opts,
+                   sdfgopt::OptReport &Report, DiagnosticEngine &Diags) {
+  sdfgopt::PipelineOptions POpts;
+  POpts.Diags = &Diags;
+  POpts.VerifyEachPass = Opts.VerifyEachPass;
+  POpts.MaxFixpointRounds = Opts.MaxFixpointRounds;
+  std::unique_ptr<opt::PipelineDriver<sdfg::SDFG>> P;
+  if (!Opts.PassPipeline.empty()) {
+    opt::PassRegistry<sdfg::SDFG> Reg = sdfgopt::passRegistry(
+        &Report, Opts.Parallelism != pipeline::ParallelismMode::Off);
+    P = opt::parsePipelineSpec(Opts.PassPipeline, Reg, Diags);
+    if (!P)
+      return false;
+  } else {
+    switch (Opts.Opt) {
+    case pipeline::OptLevel::O0:
+      return true;
+    case pipeline::OptLevel::O1:
+      P = sdfgopt::buildSimplifyPipeline(&Report);
+      break;
+    case pipeline::OptLevel::O2:
+      P = sdfgopt::buildAutoOptimizePipeline(
+          &Report, Opts.Parallelism != pipeline::ParallelismMode::Off);
+      break;
+    }
+  }
+  return sdfgopt::runPipeline(G, *P, Report, POpts);
+}
+
+} // namespace
+
+detail::CompiledParts
+dcir::api::detail::compileParts(const std::string &CSource,
+                                const std::string &Entry, PipelineKind Kind,
+                                DiagnosticEngine &Diags,
+                                const CompileOptions &Opts) {
+  CompiledParts Out;
+  if (Kind == PipelineKind::DaceLike) {
+    auto TU = frontend::parseC(CSource, Diags);
+    if (!TU)
+      return Out;
+    Out.Graph = conversion::translateCDirect(*TU, Entry, Diags);
+    if (!Out.Graph)
+      return Out;
+    if (!optimizeGraph(*Out.Graph, Opts, Out.Report, Diags) ||
+        !Out.Graph->validate(Diags))
+      Out.Graph.reset();
+    return Out;
+  }
+
+  Out.Ctx = std::make_shared<ir::IRContext>();
+  registerAllDialects(*Out.Ctx);
+  ir::Operation *Module = frontend::compileCToModule(CSource, *Out.Ctx, Diags);
+  if (!Module)
+    return Out;
+  passes::PassManager PM(/*VerifyEach=*/false);
+  switch (Kind) {
+  case PipelineKind::GccLike:
+    addStrongPasses(PM, /*ExtraRound=*/false);
+    break;
+  case PipelineKind::ClangLike:
+    addStrongPasses(PM, /*ExtraRound=*/true);
+    break;
+  case PipelineKind::MlirLike:
+    addMlirPasses(PM);
+    break;
+  case PipelineKind::Dcir:
+    addDcirMlirPasses(PM);
+    break;
+  case PipelineKind::DaceLike:
+    break;
+  }
+  if (!PM.run(Module, Diags) || !ir::verify(Module, Diags)) {
+    ir::Operation::eraseDetached(Module);
+    return Out;
+  }
+
+  if (Kind != PipelineKind::Dcir) {
+    Out.Module = Module;
+    return Out;
+  }
+
+  // DCIR: convert to the sdfg dialect, translate, run -O1/-O2.
+  ir::Operation *SdfgModule = conversion::convertToSdfgDialect(Module, Diags);
+  ir::Operation::eraseDetached(Module);
+  if (!SdfgModule)
+    return Out;
+  if (!ir::verify(SdfgModule, Diags)) {
+    ir::Operation::eraseDetached(SdfgModule);
+    return Out;
+  }
+  Out.Graph = conversion::translateToSDFG(SdfgModule, Entry, Diags);
+  ir::Operation::eraseDetached(SdfgModule);
+  if (!Out.Graph)
+    return Out;
+  if (!optimizeGraph(*Out.Graph, Opts, Out.Report, Diags) ||
+      !Out.Graph->validate(Diags))
+    Out.Graph.reset();
+  return Out;
+}
+
+std::shared_ptr<const Program>
+Compiler::compile(const std::string &CSource, const std::string &Entry) {
+  DiagnosticEngine D;
+  detail::CompiledParts Parts =
+      detail::compileParts(CSource, Entry, Kind, D, Opts);
+  Diags = D.str();
+  if (Echo_ && !Diags.empty())
+    std::fprintf(stderr, "%s", Diags.c_str());
+  if (!Parts.Module && !Parts.Graph)
+    return nullptr;
+
+  Program::Parts P;
+  P.Kind = Kind;
+  P.Engine = Opts.Engine;
+  P.Parallelism = Opts.Parallelism;
+  P.NumThreads = Opts.NumThreads;
+  P.Entry = Entry;
+  P.Ctx = std::move(Parts.Ctx);
+  P.Module = Parts.Module;
+  P.OwnsModule = true;
+  P.Graph = std::shared_ptr<const sdfg::SDFG>(std::move(Parts.Graph));
+  P.Report = Parts.Report;
+  return Program::create(std::move(P));
+}

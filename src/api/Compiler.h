@@ -1,0 +1,141 @@
+//===- Compiler.h - builder producing immutable Programs ----------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The entry point of the embedding API: a fluent builder over
+/// pipeline::CompileOptions that owns the diagnostics policy and produces
+/// immutable, shareable api::Programs.
+///
+///   auto Prog = api::Compiler()
+///                   .engine(exec::EngineKind::Native)
+///                   .compile(Source, "kernel_gemm");
+///   if (!Prog) { log(compiler.diagnostics()); ... }
+///
+/// A Compiler instance is a plain value: cheap, reusable across compiles,
+/// and intentionally *not* thread-safe (each thread builds its own — the
+/// Programs it produces are the shareable objects).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_API_COMPILER_H
+#define DCIR_API_COMPILER_H
+
+#include "api/Program.h"
+#include "pipeline/PipelineTypes.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+
+namespace dcir {
+namespace api {
+
+class Compiler {
+public:
+  //===--------------------------------------------------------------------===
+  // Options (fluent; each returns *this)
+  //===--------------------------------------------------------------------===
+
+  /// Which of the five compared pipelines compiles the source (default:
+  /// Dcir, the paper's bridge).
+  Compiler &pipeline(pipeline::PipelineKind K) {
+    Kind = K;
+    return *this;
+  }
+  /// Execution backend programs created by this compiler will use.
+  Compiler &engine(exec::EngineKind K) {
+    Opts.Engine = K;
+    return *this;
+  }
+  Compiler &parallelism(pipeline::ParallelismMode M) {
+    Opts.Parallelism = M;
+    return *this;
+  }
+  /// Worker threads for parallel maps (0 = OpenMP runtime default).
+  Compiler &threads(int N) {
+    Opts.NumThreads = N;
+    return *this;
+  }
+  Compiler &optLevel(pipeline::OptLevel L) {
+    Opts.Opt = L;
+    return *this;
+  }
+  /// Explicit textual pass-pipeline spec (overrides optLevel).
+  Compiler &passes(std::string Spec) {
+    Opts.PassPipeline = std::move(Spec);
+    return *this;
+  }
+  Compiler &verifyEachPass(bool V = true) {
+    Opts.VerifyEachPass = V;
+    return *this;
+  }
+  Compiler &maxFixpointRounds(unsigned N) {
+    Opts.MaxFixpointRounds = N;
+    return *this;
+  }
+  /// Bulk form: adopt a prebuilt options struct (the bench harness path).
+  Compiler &options(const pipeline::CompileOptions &O) {
+    Opts = O;
+    return *this;
+  }
+  /// Diagnostics policy: also echo compile diagnostics to stderr as they
+  /// are produced (default: collect only; read them via diagnostics()).
+  Compiler &echoDiagnostics(bool Echo = true) {
+    Echo_ = Echo;
+    return *this;
+  }
+
+  const pipeline::CompileOptions &compileOptions() const { return Opts; }
+  pipeline::PipelineKind pipelineKind() const { return Kind; }
+
+  //===--------------------------------------------------------------------===
+  // Compilation
+  //===--------------------------------------------------------------------===
+
+  /// Compiles \p CSource's function \p Entry into an immutable Program.
+  /// Null on failure — diagnostics() explains. For native-engine
+  /// programs the JIT preparation also happens here (compile once,
+  /// invoke many), and a *preparation* failure is non-fatal: the program
+  /// is returned, serves from the interpreter, and counts fallbacks.
+  std::shared_ptr<const Program> compile(const std::string &CSource,
+                                         const std::string &Entry);
+
+  /// Diagnostics accumulated by the most recent compile() call.
+  const std::string &diagnostics() const { return Diags; }
+
+private:
+  pipeline::PipelineKind Kind = pipeline::PipelineKind::Dcir;
+  pipeline::CompileOptions Opts;
+  bool Echo_ = false;
+  std::string Diags;
+};
+
+namespace detail {
+
+/// Raw compilation artifacts, before Program packaging. This is the one
+/// implementation of the C -> MLIR -> (sdfg dialect) -> SDFG -> optimizer
+/// flow; both api::Compiler and the pipeline::compile shim consume it.
+struct CompiledParts {
+  std::shared_ptr<ir::IRContext> Ctx;
+  ir::Operation *Module = nullptr; // Owned by the receiver.
+  std::unique_ptr<sdfg::SDFG> Graph;
+  sdfgopt::OptReport Report;
+};
+
+/// Compiles \p CSource's \p Entry through pipeline \p Kind. On failure
+/// both Module and Graph are null and \p Diags explains.
+CompiledParts compileParts(const std::string &CSource,
+                           const std::string &Entry,
+                           pipeline::PipelineKind Kind,
+                           DiagnosticEngine &Diags,
+                           const pipeline::CompileOptions &Opts);
+
+} // namespace detail
+
+} // namespace api
+} // namespace dcir
+
+#endif // DCIR_API_COMPILER_H

@@ -1,0 +1,324 @@
+//===- Program.cpp - immutable programs, per-call invocations -----------------===//
+
+#include "api/Program.h"
+
+#include "ir/IR.h"
+#include "sdfg/TaskletExpr.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace dcir;
+using namespace dcir::api;
+
+//===----------------------------------------------------------------------===//
+// Invocation: bind-time validation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Expected element count of \p D under \p Symbols, or nullopt while any
+/// dimension stays symbolic (checked again at run time, when the symbol
+/// environment is final).
+std::optional<std::size_t>
+concreteElements(const sdfg::DataDesc &D,
+                 const std::map<std::string, std::int64_t> &Symbols) {
+  std::size_t N = 1;
+  for (const sym::SymExpr &Dim : D.Shape) {
+    auto V = Dim.evaluate(Symbols);
+    if (!V)
+      return std::nullopt;
+    N *= static_cast<std::size_t>(std::max<std::int64_t>(*V, 0));
+  }
+  return N;
+}
+
+std::string bindableList(const sdfg::SDFG &G) {
+  std::string Out;
+  for (const std::string &Arg : G.args()) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += Arg;
+  }
+  return Out.empty() ? std::string("(none)") : Out;
+}
+
+InvocationResult failResult(std::string Error) {
+  InvocationResult R;
+  R.Error = std::move(Error);
+  return R;
+}
+
+} // namespace
+
+bool Invocation::bind(const std::string &Container, const BufferView &View) {
+  auto Reject = [&](std::string Msg) {
+    if (BindError.empty())
+      BindError = std::move(Msg);
+    return false;
+  };
+  if (!Prog)
+    return Reject("cannot bind container '" + Container +
+                  "': invocation is not attached to a program");
+  const sdfg::SDFG *G = Prog->graph();
+  if (!G)
+    return Reject("cannot bind container '" + Container +
+                  "': program '" + Prog->entry() +
+                  "' is a dialect-module artifact with no bindable "
+                  "containers");
+  if (!G->hasData(Container))
+    return Reject("no container named '" + Container + "' in program '" +
+                  G->getName() +
+                  "'; bindable containers: " + bindableList(*G));
+  const sdfg::DataDesc &D = G->desc(Container);
+  if (D.Transient)
+    return Reject("container '" + Container +
+                  "' is transient (program-managed); only the program's "
+                  "inputs/outputs can be bound: " + bindableList(*G));
+  if (!View.Ptr && View.Len > 0)
+    return Reject("binding for container '" + Container +
+                  "' is a null pointer with non-zero length");
+  if (concreteElements(D, Symbols)) {
+    // Shape fully known now: apply the engines' own type/size check.
+    if (std::string Err =
+            exec::detail::validateView(View, D, Container, Symbols);
+        !Err.empty())
+      return Reject(std::move(Err));
+  } else if (View.Ty != D.Ty) {
+    // Symbolic shape: the size is re-checked at run(); the type can't be.
+    return Reject("binding for container '" + Container + "' has type " +
+                  sdfg::dtypeName(View.Ty) + " but the container is " +
+                  sdfg::dtypeName(D.Ty));
+  }
+  Bindings[Container] = View;
+  return true;
+}
+
+InvocationResult Invocation::run() const {
+  if (!Prog)
+    return failResult(!BindError.empty()
+                          ? BindError
+                          : std::string("invocation is not attached to a "
+                                        "program"));
+  return Prog->invoke(*this);
+}
+
+//===----------------------------------------------------------------------===//
+// Program
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<const Program> Program::create(Parts InParts) {
+  std::shared_ptr<Program> Prog(new Program());
+  Prog->P = std::move(InParts);
+  if (Prog->P.Graph && Prog->P.Engine == exec::EngineKind::Native) {
+    std::unique_ptr<exec::ExecutionEngine> Native =
+        exec::createEngine(exec::EngineKind::Native);
+    exec::EngineConfig Config;
+    Config.ParallelMaps =
+        Prog->P.Parallelism != pipeline::ParallelismMode::Off;
+    Config.NumThreads = Prog->P.NumThreads;
+    Native->configure(Config);
+    std::string Error;
+    double Seconds = 0.0;
+    if (Native->prepareGraph(*Prog->P.Graph, Error, &Seconds)) {
+      Prog->Native = std::move(Native);
+      Prog->NativeCompileSeconds = Seconds;
+    } else {
+      // Non-fatal: the program serves from the interpreter, every
+      // invocation counts as a fallback, and the reason is queryable.
+      Prog->PrepareError = Error;
+      std::fprintf(stderr,
+                   "api: native preparation failed for '%s'; program "
+                   "serves from the interpreter:\n%s\n",
+                   Prog->P.Entry.c_str(), Error.c_str());
+    }
+  }
+  return Prog;
+}
+
+Program::~Program() {
+  {
+    std::lock_guard<std::mutex> Lock(PoolMu);
+    PoolStop = true;
+  }
+  PoolCv.notify_all();
+  for (std::thread &W : PoolWorkers)
+    W.join();
+  if (P.Module && P.OwnsModule)
+    ir::Operation::eraseDetached(P.Module);
+}
+
+std::vector<ContainerInfo> Program::containers() const {
+  std::vector<ContainerInfo> Out;
+  if (!P.Graph)
+    return Out;
+  for (const auto &[Name, D] : P.Graph->descs()) {
+    ContainerInfo Info;
+    Info.Name = Name;
+    Info.Type = D.Ty;
+    Info.Transient = D.Transient;
+    Info.Elements = exec::detail::containerElements(D, {});
+    Out.push_back(std::move(Info));
+  }
+  return Out;
+}
+
+ProgramStats Program::stats() const {
+  ProgramStats S;
+  S.Invocations = NInvocations.load(std::memory_order_relaxed);
+  S.NativeInvocations = NNative.load(std::memory_order_relaxed);
+  S.InterpInvocations = NInterp.load(std::memory_order_relaxed);
+  S.EngineFallbacks = NFallbacks.load(std::memory_order_relaxed);
+  S.AsyncInvocations = NAsync.load(std::memory_order_relaxed);
+  return S;
+}
+
+std::string Program::validateBindings(const Invocation &I) const {
+  if (I.bindings().empty())
+    return std::string();
+  // Bind-all-or-nothing: a partially bound invocation is almost always a
+  // bug (the unbound outputs would land in invisible scratch), so every
+  // non-transient container must be bound. `__return` is exempt — the
+  // result already carries it.
+  for (const std::string &Arg : P.Graph->args()) {
+    if (Arg == "__return" || I.bindings().count(Arg))
+      continue;
+    return "missing required binding for container '" + Arg +
+           "': an invocation that binds any buffer must bind every "
+           "non-transient container (bindable: " +
+           bindableList(*P.Graph) + ")";
+  }
+  // Type/size once more, now under the final symbol environment (bind()
+  // can only check shapes that were concrete at bind time) — the same
+  // check the engines apply.
+  for (const auto &[Name, View] : I.bindings())
+    if (std::string Err = exec::detail::validateView(
+            View, P.Graph->desc(Name), Name, I.symbols());
+        !Err.empty())
+      return Err;
+  return std::string();
+}
+
+InvocationResult Program::invoke(const Invocation &I) const {
+  if (!I.error().empty())
+    return failResult(I.error());
+  if (I.program() && I.program().get() != this)
+    return failResult("invocation was created for program '" +
+                      I.program()->entry() + "', not '" + P.Entry + "'");
+
+  InvocationResult R;
+  if (P.Module) {
+    if (!I.bindings().empty())
+      return failResult("program '" + P.Entry +
+                        "' is a dialect-module artifact with no bindable "
+                        "containers");
+    exec::EngineRun E = Interp.runModule(P.Module, P.Entry, I.mathMode());
+    NInvocations.fetch_add(1, std::memory_order_relaxed);
+    NInterp.fetch_add(1, std::memory_order_relaxed);
+    R.Ok = E.Ok;
+    R.Error = std::move(E.Error);
+    R.ReturnValue = E.ReturnValue;
+    R.Stats = E.Stats;
+    R.Seconds = E.Seconds;
+    R.EngineUsed = exec::EngineKind::Interp;
+    return R;
+  }
+  if (!P.Graph)
+    return failResult("empty program (compilation failed?)");
+
+  if (std::string Err = validateBindings(I); !Err.empty())
+    return failResult(std::move(Err));
+
+  exec::InvocationRequest Req;
+  Req.Bindings = &I.bindings();
+  Req.Symbols = I.symbols();
+  Req.Mode = I.mathMode();
+  Req.NumThreads = I.numThreads() > 0 ? I.numThreads() : P.NumThreads;
+  Req.SnapshotOutputs = I.capturesOutputs();
+
+  exec::EngineRun E;
+  exec::EngineKind Used = exec::EngineKind::Interp;
+  bool NativeFailed = false;
+  if (Native) {
+    E = Native->invokeGraph(*P.Graph, Req);
+    if (E.Ok) {
+      Used = exec::EngineKind::Native;
+    } else {
+      NativeFailed = true;
+      std::fprintf(stderr,
+                   "api: native invocation of '%s' failed, falling back "
+                   "to the interpreter:\n%s\n",
+                   P.Entry.c_str(), E.Error.c_str());
+    }
+  }
+  if (Used != exec::EngineKind::Native) {
+    if (P.Engine == exec::EngineKind::Native)
+      NFallbacks.fetch_add(1, std::memory_order_relaxed);
+    (void)NativeFailed;
+    E = Interp.invokeGraph(*P.Graph, Req);
+  }
+
+  NInvocations.fetch_add(1, std::memory_order_relaxed);
+  (Used == exec::EngineKind::Native ? NNative : NInterp)
+      .fetch_add(1, std::memory_order_relaxed);
+
+  R.Ok = E.Ok;
+  R.Error = std::move(E.Error);
+  R.ReturnValue = E.ReturnValue;
+  R.Stats = E.Stats;
+  R.Seconds = E.Seconds;
+  R.CompileSeconds = E.CompileSeconds;
+  R.EngineUsed = Used;
+  R.OutputCopies = E.OutputCopies;
+  R.Outputs = std::move(E.Outputs);
+  // The JIT cost is paid at Program creation; the first successful native
+  // invocation reports it (the legacy warmup contract benches rely on).
+  if (Used == exec::EngineKind::Native && R.Ok &&
+      !CompileSecondsClaimed.exchange(true, std::memory_order_relaxed))
+    R.CompileSeconds += NativeCompileSeconds;
+  return R;
+}
+
+std::future<InvocationResult> Program::invokeAsync(Invocation I) const {
+  // The stored invocation must not hold a reference back to this program:
+  // a queued self-reference would keep the program alive through its own
+  // queue, and the last release could then happen on a worker thread,
+  // whose destructor would join itself. The caller keeps the program
+  // alive instead (destroying it cancels queued invocations — their
+  // futures report broken_promise).
+  I.Prog.reset();
+  std::packaged_task<InvocationResult()> Task(
+      [this, Inv = std::move(I)]() { return invoke(Inv); });
+  std::future<InvocationResult> Fut = Task.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(PoolMu);
+    if (PoolWorkers.empty()) {
+      unsigned N = std::thread::hardware_concurrency();
+      N = std::max(1u, std::min(N, 4u));
+      for (unsigned W = 0; W < N; ++W)
+        PoolWorkers.emplace_back([this] {
+          for (;;) {
+            std::packaged_task<InvocationResult()> Job;
+            {
+              std::unique_lock<std::mutex> WLock(PoolMu);
+              PoolCv.wait(WLock,
+                          [this] { return PoolStop || !PoolQueue.empty(); });
+              // Stop wins over a non-empty queue: queued-but-unstarted
+              // invocations are cancelled (their packaged_tasks die with
+              // the deque, so the futures report broken_promise) — the
+              // documented destruction contract.
+              if (PoolStop)
+                return;
+              Job = std::move(PoolQueue.front());
+              PoolQueue.pop_front();
+            }
+            Job();
+          }
+        });
+    }
+    PoolQueue.push_back(std::move(Task));
+  }
+  NAsync.fetch_add(1, std::memory_order_relaxed);
+  PoolCv.notify_one();
+  return Fut;
+}

@@ -1,0 +1,311 @@
+//===- Program.h - the stable embedding runtime API ----------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile-once / invoke-many runtime API (see DESIGN.md, "Embedding
+/// API"). Three types, mirroring how DaCe's production embedding serves
+/// compiled SDFGs from long-lived processes:
+///
+///   Compiler     a builder over the compilation options; produces
+///                Programs (see Compiler.h).
+///   Program      the immutable compiled artifact — SDFG or dialect
+///                module, pass report, and (for the native engine) the
+///                resolved entry, prepared eagerly at creation. Shareable
+///                and thread-safe: any number of threads invoke one
+///                Program concurrently. Holds atomic serving counters
+///                (invocations, engine fallbacks) behind stats().
+///   Invocation   cheap per-call state: caller-owned typed buffers bound
+///                by container name (BufferView — zero-copy in/out on the
+///                native engine), symbol values, math mode, thread count.
+///                Binding is validated against the SDFG's container table
+///                at bind time with diagnostics that name the container.
+///
+/// Thread-safety contract: Program is immutable after creation; every
+/// mutable serving counter is atomic; Invocation is a value type owned by
+/// exactly one caller at a time. The one sharing rule callers must keep:
+/// memory bound through a BufferView belongs to that invocation until
+/// run() returns (or the invokeAsync future resolves).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_API_PROGRAM_H
+#define DCIR_API_PROGRAM_H
+
+#include "exec/ExecutionEngine.h"
+#include "exec/InterpEngine.h"
+#include "pipeline/PipelineTypes.h"
+#include "sdfgopt/Passes.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dcir {
+namespace ir {
+class IRContext;
+class Operation;
+} // namespace ir
+
+namespace api {
+
+using exec::BufferView;
+
+/// One row of Program::containers(): what a caller can (or cannot) bind.
+struct ContainerInfo {
+  std::string Name;
+  sdfg::DType Type = sdfg::DType::F64;
+  /// Transient containers are program-managed and not bindable.
+  bool Transient = false;
+  /// Element count with all free symbols at their default (0); exact for
+  /// the concrete-shape kernels the corpus compiles.
+  std::size_t Elements = 0;
+};
+
+/// Snapshot of a Program's serving counters (monotonic, process-local).
+struct ProgramStats {
+  std::uint64_t Invocations = 0;
+  /// Invocations that executed on the native engine.
+  std::uint64_t NativeInvocations = 0;
+  /// Invocations that executed on an interpreter.
+  std::uint64_t InterpInvocations = 0;
+  /// Native invocations that degraded to the interpreter (unlowerable
+  /// graph, failed JIT). Surfaced so serving dashboards and the bench
+  /// JSON can never mislabel interpreter numbers as native.
+  std::uint64_t EngineFallbacks = 0;
+  /// Invocations dispatched through invokeAsync's worker pool.
+  std::uint64_t AsyncInvocations = 0;
+};
+
+/// The outcome of one invocation.
+struct InvocationResult {
+  bool Ok = false;
+  std::string Error; // Set when !Ok.
+  /// Value of the `__return` scalar (0 when the artifact has none).
+  double ReturnValue = 0.0;
+  /// Interpreter counters; zero for native runs.
+  interp::ExecutionStats Stats;
+  /// Wall-clock of the execution itself.
+  double Seconds = 0.0;
+  /// JIT cost attributed to this invocation: non-zero exactly once per
+  /// Program, on the first native invocation (the compile itself runs at
+  /// Program creation).
+  double CompileSeconds = 0.0;
+  /// The engine that actually executed (Interp when a native program fell
+  /// back).
+  exec::EngineKind EngineUsed = exec::EngineKind::Interp;
+  /// Output-map copies performed (see exec::EngineRun::OutputCopies): a
+  /// native invocation with all outputs bound reports 0 — the zero-copy
+  /// contract, asserted by tests.
+  unsigned OutputCopies = 0;
+  /// Snapshot of unbound non-transient containers, only when the
+  /// invocation requested captureOutputs (the legacy benchmarking mode).
+  std::map<std::string, std::vector<double>> Outputs;
+};
+
+class Program;
+
+/// Cheap per-call state. Create via Program::newInvocation(), bind
+/// caller-owned buffers, then run() (or Program::invokeAsync). A default-
+/// constructed Invocation is inert and fails run() with a diagnostic.
+class Invocation {
+public:
+  Invocation() = default;
+  explicit Invocation(std::shared_ptr<const Program> P)
+      : Prog(std::move(P)) {}
+
+  /// Binds a caller-owned typed buffer to non-transient container
+  /// \p Container. Validated immediately against the program's container
+  /// table: unknown names, transients, type mismatches, and (for concrete
+  /// shapes) size mismatches fail here, returning false with error()
+  /// naming the container. Rebinding a name replaces the previous view.
+  bool bind(const std::string &Container, const BufferView &View);
+  bool bind(const std::string &Container, double *Ptr, std::size_t Len) {
+    return bind(Container, BufferView::of(Ptr, Len));
+  }
+  bool bind(const std::string &Container, float *Ptr, std::size_t Len) {
+    return bind(Container, BufferView::of(Ptr, Len));
+  }
+  bool bind(const std::string &Container, std::int64_t *Ptr,
+            std::size_t Len) {
+    return bind(Container, BufferView::of(Ptr, Len));
+  }
+
+  /// Sets a free symbol (size parameter) for this invocation.
+  Invocation &setSymbol(const std::string &Name, std::int64_t Value) {
+    Symbols[Name] = Value;
+    return *this;
+  }
+  /// Per-invocation OpenMP worker count (0 = program/engine default).
+  Invocation &setNumThreads(int N) {
+    NumThreads = N;
+    return *this;
+  }
+  /// Math mode (interpreter only; native code always uses libm).
+  Invocation &setMathMode(interp::MathMode M) {
+    Mode = M;
+    return *this;
+  }
+  /// Legacy benchmarking mode: widen every unbound non-transient
+  /// container into InvocationResult::Outputs (one copy per container).
+  /// Off by default — the zero-copy path.
+  Invocation &captureOutputs(bool Capture = true) {
+    Capture_ = Capture;
+    return *this;
+  }
+
+  /// First binding diagnostic, empty when all binds succeeded.
+  const std::string &error() const { return BindError; }
+  const std::map<std::string, BufferView> &bindings() const {
+    return Bindings;
+  }
+  const std::map<std::string, std::int64_t> &symbols() const {
+    return Symbols;
+  }
+  interp::MathMode mathMode() const { return Mode; }
+  int numThreads() const { return NumThreads; }
+  bool capturesOutputs() const { return Capture_; }
+  const std::shared_ptr<const Program> &program() const { return Prog; }
+
+  /// Executes on the program's engine. Equivalent to
+  /// program()->invoke(*this).
+  InvocationResult run() const;
+
+private:
+  friend class Program; // invokeAsync strips the back-reference.
+
+  std::shared_ptr<const Program> Prog;
+  std::map<std::string, BufferView> Bindings;
+  std::map<std::string, std::int64_t> Symbols;
+  interp::MathMode Mode = interp::MathMode::Precise;
+  int NumThreads = 0;
+  bool Capture_ = false;
+  std::string BindError;
+};
+
+/// The immutable compiled artifact. Create through api::Compiler (or the
+/// pipeline::compile shim); share freely across threads.
+class Program : public std::enable_shared_from_this<Program> {
+public:
+  /// Everything a Program is built from. The pipeline shim also uses this
+  /// to wrap artifacts it owns (Graph may be a non-owning alias there;
+  /// OwnsModule=false leaves module destruction to the wrapper).
+  struct Parts {
+    pipeline::PipelineKind Kind = pipeline::PipelineKind::Dcir;
+    exec::EngineKind Engine = exec::EngineKind::Interp;
+    pipeline::ParallelismMode Parallelism = pipeline::ParallelismMode::Auto;
+    int NumThreads = 0;
+    std::string Entry;
+    std::shared_ptr<ir::IRContext> Ctx; // Keeps types alive for Module.
+    ir::Operation *Module = nullptr;
+    bool OwnsModule = true;
+    std::shared_ptr<const sdfg::SDFG> Graph;
+    sdfgopt::OptReport Report;
+  };
+
+  /// Builds a Program: instantiates the engine, and for native graph
+  /// programs prepares the artifact eagerly (emit + JIT compile + resolve)
+  /// so concurrent first invocations never race a compile. A native
+  /// preparation failure is not fatal — the program serves from the
+  /// interpreter and counts every invocation as a fallback.
+  static std::shared_ptr<const Program> create(Parts P);
+
+  ~Program();
+  Program(const Program &) = delete;
+  Program &operator=(const Program &) = delete;
+
+  //===--------------------------------------------------------------------===
+  // Introspection
+  //===--------------------------------------------------------------------===
+
+  pipeline::PipelineKind pipelineKind() const { return P.Kind; }
+  exec::EngineKind engine() const { return P.Engine; }
+  const std::string &entry() const { return P.Entry; }
+  const sdfgopt::OptReport &report() const { return P.Report; }
+  /// The SDFG artifact (null for module artifacts).
+  const sdfg::SDFG *graph() const { return P.Graph.get(); }
+  /// The dialect-module artifact (null for SDFG artifacts).
+  ir::Operation *module() const { return P.Module; }
+  bool valid() const { return P.Graph || P.Module; }
+
+  /// The container table: everything bindable (and the transients that
+  /// are not). Empty for module artifacts.
+  std::vector<ContainerInfo> containers() const;
+
+  /// Why native preparation failed (empty when it succeeded or was never
+  /// attempted).
+  const std::string &nativePrepareError() const { return PrepareError; }
+  /// Host-compiler time paid preparing the native artifact (0 on cache
+  /// hits and interpreter programs).
+  double nativeCompileSeconds() const { return NativeCompileSeconds; }
+
+  /// Snapshot of the serving counters.
+  ProgramStats stats() const;
+
+  //===--------------------------------------------------------------------===
+  // Invocation
+  //===--------------------------------------------------------------------===
+
+  /// A fresh invocation bound to this program.
+  Invocation newInvocation() const {
+    return Invocation(shared_from_this());
+  }
+
+  /// Executes \p I synchronously on the calling thread. Thread-safe.
+  InvocationResult invoke(const Invocation &I) const;
+
+  /// Convenience: invoke with no bindings (engine-allocated buffers).
+  InvocationResult invoke() const { return invoke(Invocation()); }
+
+  /// Enqueues \p I on the program's worker pool (created lazily, sized
+  /// min(4, hardware_concurrency)) and returns a future — the batched
+  /// serving path. Bound buffers must stay valid until the future
+  /// resolves, and the program must be kept alive while futures are
+  /// pending: destroying it cancels queued invocations (their futures
+  /// throw std::future_error/broken_promise).
+  std::future<InvocationResult> invokeAsync(Invocation I) const;
+
+private:
+  Program() = default;
+
+  /// Validates cross-binding rules that individual bind() calls cannot
+  /// see (partial binding, symbolic sizes). Returns empty on success.
+  std::string validateBindings(const Invocation &I) const;
+
+  Parts P;
+  std::unique_ptr<exec::ExecutionEngine> Native; // Only for native programs.
+  mutable exec::InterpEngine Interp;
+  std::string PrepareError;
+  double NativeCompileSeconds = 0.0;
+  /// The first successful native invocation reports the JIT cost.
+  mutable std::atomic<bool> CompileSecondsClaimed{false};
+
+  mutable std::atomic<std::uint64_t> NInvocations{0};
+  mutable std::atomic<std::uint64_t> NNative{0};
+  mutable std::atomic<std::uint64_t> NInterp{0};
+  mutable std::atomic<std::uint64_t> NFallbacks{0};
+  mutable std::atomic<std::uint64_t> NAsync{0};
+
+  // invokeAsync's worker pool (lazily created; joined in the destructor).
+  mutable std::mutex PoolMu;
+  mutable std::condition_variable PoolCv;
+  mutable std::deque<std::packaged_task<InvocationResult()>> PoolQueue;
+  mutable std::vector<std::thread> PoolWorkers;
+  mutable bool PoolStop = false;
+};
+
+} // namespace api
+} // namespace dcir
+
+#endif // DCIR_API_PROGRAM_H

@@ -304,11 +304,22 @@ private:
     OS << ");\n}\n";
     // Thread-count hook resolved (optionally) by the engine alongside the
     // call trampoline; keeps the `<entry>__dcir_call` ABI unchanged.
+    // n > 0 pins the calling thread's count; n <= 0 restores the runtime
+    // default captured at the first call — so an invocation that pinned a
+    // count cannot leak its ICV into later default-count invocations
+    // running on the same (possibly pooled) thread.
     OS << "\nextern \"C\" void " << G.getName()
        << "__dcir_set_threads([[maybe_unused]] long long n) {\n"
        << "#ifdef _OPENMP\n"
-       << "  if (n > 0) omp_set_num_threads(static_cast<int>(n));\n"
+       << "  static const int dcir_default_threads = omp_get_max_threads();\n"
+       << "  omp_set_num_threads(n > 0 ? static_cast<int>(n)\n"
+       << "                            : dcir_default_threads);\n"
        << "#endif\n}\n";
+    // Argument-binding descriptor: lets the engine verify a resolved
+    // artifact matches the container table it is binding buffers for.
+    OS << "\nextern \"C\" const char *" << G.getName()
+       << "__dcir_signature() {\n  return \"" << abiSignature(G)
+       << "\";\n}\n";
   }
 
   void emitDeallocations() {
@@ -938,6 +949,28 @@ dcir::codegen::callSignature(const SDFG &G) {
     if (!Assigned.count(Sym))
       Sig.FreeSymbols.push_back(Sym);
   return Sig;
+}
+
+std::string dcir::codegen::abiSignature(const SDFG &G) {
+  CallSignature Sig = callSignature(G);
+  std::string S = G.getName() + "(";
+  bool First = true;
+  for (const std::string &Arg : Sig.Args) {
+    if (!First)
+      S += ",";
+    S += Arg + ":" + dtypeName(G.desc(Arg).Ty);
+    First = false;
+  }
+  S += "|";
+  First = true;
+  for (const std::string &Sym : Sig.FreeSymbols) {
+    if (!First)
+      S += ",";
+    S += Sym;
+    First = false;
+  }
+  S += ")";
+  return S;
 }
 
 std::string dcir::codegen::emitCpp(const SDFG &G, DiagnosticEngine &Diags,

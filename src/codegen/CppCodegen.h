@@ -41,6 +41,15 @@ struct CallSignature {
 /// Computes the deterministic call signature of \p G's generated entry.
 CallSignature callSignature(const sdfg::SDFG &G);
 
+/// The compact argument-binding descriptor embedded in every generated
+/// artifact as `extern "C" const char *<entry>__dcir_signature()`:
+/// `entry(name:dtype,...|sym,...)` in callSignature order. The native
+/// engine compares the artifact's descriptor against the expectation for
+/// the graph it is about to bind buffers to, turning a stale or colliding
+/// cache entry into an actionable diagnostic instead of pointers passed
+/// into the wrong argument slots.
+std::string abiSignature(const sdfg::SDFG &G);
+
 /// Emission options. ParallelMaps turns top-level map scopes into OpenMP
 /// work-sharing loops: `#pragma omp parallel for` (with `collapse(n)` over
 /// the rectangular prefix of multi-parameter maps), `reduction(op:var)`

@@ -220,15 +220,22 @@ bool FuncConverter::run() {
   Sdfg = sdfg_dialect::createSdfg(B, func::getFunctionName(Func), ArgTypes);
   SdfgBody = &Sdfg->getRegion(0).front();
 
-  // Bind arguments.
+  // Bind arguments, preserving the source-level parameter names the
+  // frontend recorded (the embedding API binds buffers by these names);
+  // positional fallbacks cover funcs built without the attribute.
+  Attribute FuncArgNames = Func->getAttr("arg_names");
+  auto ArgName = [&](size_t I) -> std::string {
+    if (FuncArgNames && I < FuncArgNames.asArray().size())
+      return FuncArgNames.asArray()[I].asString();
+    return "_arg" + std::to_string(I);
+  };
   for (size_t I = 0; I < Entry.getNumArguments(); ++I) {
     Value *OrigArg = Entry.getArgument(I);
     Value *NewArg = SdfgBody->getArgument(I);
-    std::string Name = "_arg" + std::to_string(I);
     Binding Bi;
     Bi.K = OrigArg->getType().isMemRef() ? Binding::Kind::ArrayArg
                                          : Binding::Kind::Container;
-    Bi.Name = Name;
+    Bi.Name = ArgName(I);
     Bi.ArrayValue = NewArg;
     Bindings[OrigArg] = Bi;
   }
@@ -236,7 +243,7 @@ bool FuncConverter::run() {
   {
     std::vector<Attribute> Names;
     for (size_t I = 0; I < Entry.getNumArguments(); ++I)
-      Names.push_back(Attribute::getString("_arg" + std::to_string(I)));
+      Names.push_back(Attribute::getString(ArgName(I)));
     Sdfg->setAttr("arg_names", Attribute::getArray(std::move(Names)));
   }
   // Return container.

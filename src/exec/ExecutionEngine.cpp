@@ -5,6 +5,8 @@
 #include "exec/InterpEngine.h"
 #include "exec/NativeJitEngine.h"
 
+#include <algorithm>
+
 using namespace dcir;
 using namespace dcir::exec;
 
@@ -35,6 +37,31 @@ std::unique_ptr<ExecutionEngine> dcir::exec::createEngine(EngineKind K) {
     return std::make_unique<NativeJitEngine>();
   }
   return nullptr;
+}
+
+std::string dcir::exec::detail::validateView(
+    const BufferView &V, const sdfg::DataDesc &D, const std::string &Name,
+    const std::map<std::string, std::int64_t> &Symbols) {
+  if (V.Ty != D.Ty)
+    return "binding for container '" + Name + "' has type " +
+           sdfg::dtypeName(V.Ty) + " but the container is " +
+           sdfg::dtypeName(D.Ty);
+  std::size_t N = containerElements(D, Symbols);
+  if (V.Len != N)
+    return "binding for container '" + Name + "' has " +
+           std::to_string(V.Len) + " elements but the container needs " +
+           std::to_string(N);
+  return std::string();
+}
+
+std::size_t dcir::exec::detail::containerElements(
+    const sdfg::DataDesc &D,
+    const std::map<std::string, std::int64_t> &Symbols) {
+  std::size_t N = 1;
+  for (const sym::SymExpr &Dim : D.Shape)
+    N *= static_cast<std::size_t>(
+        std::max<std::int64_t>(evalDimOrZero(Dim, Symbols), 0));
+  return N;
 }
 
 std::int64_t dcir::exec::detail::evalDimOrZero(

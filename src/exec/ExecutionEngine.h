@@ -17,10 +17,18 @@
 ///                    and calls the uniform `<entry>__dcir_call` ABI —
 ///                    native speed, no interpreter counters.
 ///
-/// Engines execute on caller-provided buffers: every non-transient
-/// container is bound before the run and snapshotted into
-/// EngineRun::Outputs afterwards, so differential tests can compare full
-/// output arrays, not just the checksum.
+/// Execution is split into per-program and per-invocation state:
+/// prepareGraph() builds everything that depends only on the graph (emitted
+/// source, compiled object, resolved entry) once, under a lock, and
+/// invokeGraph() takes an InvocationRequest carrying everything that varies
+/// per call — caller-owned buffer bindings (zero-copy for the native
+/// engine), symbol values, math mode, thread count — so any number of
+/// threads can invoke one prepared graph concurrently on one engine.
+///
+/// Containers the caller did not bind are backed by engine-allocated
+/// zeroed scratch buffers; with SnapshotOutputs set their post-run contents
+/// are widened into EngineRun::Outputs (the legacy benchmark contract, and
+/// what differential tests compare).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -50,6 +58,48 @@ const char *engineName(EngineKind K);
 /// Parses an engine name (as accepted by --engine=); nullopt on unknown.
 std::optional<EngineKind> parseEngineName(const std::string &Name);
 
+/// A caller-owned typed buffer bound to a container by name. `Len` is the
+/// element count (not bytes); the memory must stay valid and unshared for
+/// the duration of the invocation. The native engine passes `Ptr` straight
+/// into the generated entry (zero-copy in and out); the interpreter copies
+/// in before the run and back out after it.
+struct BufferView {
+  void *Ptr = nullptr;
+  std::size_t Len = 0;
+  sdfg::DType Ty = sdfg::DType::F64;
+
+  static BufferView of(double *P, std::size_t N) {
+    return {P, N, sdfg::DType::F64};
+  }
+  static BufferView of(float *P, std::size_t N) {
+    return {P, N, sdfg::DType::F32};
+  }
+  static BufferView of(std::int64_t *P, std::size_t N) {
+    return {P, N, sdfg::DType::I64};
+  }
+};
+
+/// Everything that varies per call — the engine itself holds no
+/// per-invocation state, which is what makes concurrent invocations of one
+/// prepared graph safe.
+struct InvocationRequest {
+  /// Caller-owned buffers keyed by container name. Views are trusted to
+  /// have passed api-level validation; engines still reject type/size
+  /// mismatches defensively rather than corrupt memory.
+  const std::map<std::string, BufferView> *Bindings = nullptr;
+  /// Free-symbol values (sizes); unbound free symbols default to 0.
+  std::map<std::string, std::int64_t> Symbols;
+  interp::MathMode Mode = interp::MathMode::Precise;
+  /// Per-invocation worker-thread override for parallel maps (0 = the
+  /// engine's configured count, which itself defaults to the OpenMP
+  /// runtime).
+  int NumThreads = 0;
+  /// Widen every *unbound* non-transient container into
+  /// EngineRun::Outputs after the run (bound containers are never
+  /// snapshotted — the caller already owns their memory).
+  bool SnapshotOutputs = true;
+};
+
 /// The outcome of one engine execution.
 struct EngineRun {
   bool Ok = false;
@@ -63,8 +113,13 @@ struct EngineRun {
   /// Wall-clock spent producing the native artifact (0 on cache hits and
   /// for the interpreter).
   double CompileSeconds = 0.0;
-  /// Post-run contents of every non-transient container, widened to
-  /// double, keyed by container name.
+  /// Output-map copies this run performed: one per container widened into
+  /// Outputs, plus (interpreter only) one per bound view copied back.
+  /// A native run with every output bound reports 0 — the zero-copy
+  /// contract the api layer asserts.
+  unsigned OutputCopies = 0;
+  /// Post-run contents of unbound non-transient containers, widened to
+  /// double, keyed by container name (empty when SnapshotOutputs is off).
   std::map<std::string, std::vector<double>> Outputs;
 };
 
@@ -86,19 +141,46 @@ public:
   const char *name() const { return engineName(kind()); }
 
   /// Applies backend options; call before the first run (the native
-  /// engine memoizes emitted code per graph). Default: no-op.
+  /// engine memoizes emitted code per graph, and ParallelMaps changes the
+  /// emitted source). Not thread-safe against concurrent invocations —
+  /// configure once, then share. Default: no-op.
   virtual void configure(const EngineConfig &) {}
+
+  /// Builds all per-graph state eagerly — for the native engine: emit,
+  /// compile (or hit the cache), dlopen, resolve — so later invocations
+  /// only pay the call itself. Thread-safe and idempotent. Returns false
+  /// with \p Error set when the graph cannot be prepared (the caller may
+  /// still fall back to another engine). \p CompileSeconds, when non-null,
+  /// receives the host-compiler time this call paid (0 on memo/cache
+  /// hits). Default: no-op success (the interpreter needs no preparation).
+  virtual bool prepareGraph(const sdfg::SDFG &G, std::string &Error,
+                            double *CompileSeconds = nullptr) {
+    (void)G;
+    (void)Error;
+    if (CompileSeconds)
+      *CompileSeconds = 0.0;
+    return true;
+  }
 
   /// Runs an MLIR-dialect module artifact (GCC/Clang/MLIR pipelines).
   /// Engines without a native module path fall back to the interpreter.
   virtual EngineRun runModule(ir::Operation *Module, const std::string &Entry,
                               interp::MathMode Mode) = 0;
 
-  /// Runs an SDFG artifact (DaCe/DCIR pipelines). \p Symbols binds free
-  /// symbols (sizes); unbound free symbols default to 0.
-  virtual EngineRun
-  runGraph(const sdfg::SDFG &G, interp::MathMode Mode,
-           const std::map<std::string, std::int64_t> &Symbols = {}) = 0;
+  /// Runs an SDFG artifact with per-invocation state \p R. Thread-safe:
+  /// concurrent invocations of the same (prepared) graph on the same
+  /// engine instance are supported by both engines.
+  virtual EngineRun invokeGraph(const sdfg::SDFG &G,
+                                const InvocationRequest &R) = 0;
+
+  /// Legacy convenience: no bindings, snapshot every output.
+  EngineRun runGraph(const sdfg::SDFG &G, interp::MathMode Mode,
+                     const std::map<std::string, std::int64_t> &Symbols = {}) {
+    InvocationRequest R;
+    R.Mode = Mode;
+    R.Symbols = Symbols;
+    return invokeGraph(G, R);
+  }
 };
 
 /// Engine factory. Native engines share the process-wide JitCache.
@@ -110,6 +192,17 @@ namespace detail {
 /// argument buffers identically).
 std::int64_t evalDimOrZero(const sym::SymExpr &E,
                            const std::map<std::string, std::int64_t> &Symbols);
+
+/// Element count of container \p D under \p Symbols (1 for scalars).
+std::size_t containerElements(const sdfg::DataDesc &D,
+                              const std::map<std::string, std::int64_t> &Symbols);
+
+/// The one type/size check every layer applies to a caller view bound to
+/// container \p Name (described by \p D, under \p Symbols): returns an
+/// empty string on success, else a diagnostic naming the container.
+std::string validateView(const BufferView &V, const sdfg::DataDesc &D,
+                         const std::string &Name,
+                         const std::map<std::string, std::int64_t> &Symbols);
 } // namespace detail
 
 } // namespace exec

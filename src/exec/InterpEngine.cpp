@@ -4,8 +4,10 @@
 
 #include "interp/MLIRInterp.h"
 #include "interp/SDFGInterp.h"
+#include "sdfg/TaskletExpr.h"
 
 #include <chrono>
+#include <cstring>
 
 using namespace dcir;
 using namespace dcir::exec;
@@ -28,6 +30,45 @@ std::vector<double> widen(const interp::Buffer &B) {
   return B.F;
 }
 
+/// Copies a caller view into an interpreter buffer (widening as needed);
+/// the view passed detail::validateView before the buffer was filled.
+void copyIn(const BufferView &V, interp::Buffer &B) {
+  size_t N = B.numElements();
+  switch (V.Ty) {
+  case sdfg::DType::F64:
+    std::memcpy(B.F.data(), V.Ptr, N * sizeof(double));
+    break;
+  case sdfg::DType::F32: {
+    const float *Src = static_cast<const float *>(V.Ptr);
+    for (size_t I = 0; I < N; ++I)
+      B.F[I] = static_cast<double>(Src[I]);
+    break;
+  }
+  case sdfg::DType::I64:
+    std::memcpy(B.I.data(), V.Ptr, N * sizeof(std::int64_t));
+    break;
+  }
+}
+
+/// Copies an interpreter buffer back into the caller view (narrowing).
+void copyOut(const interp::Buffer &B, const BufferView &V) {
+  size_t N = B.numElements();
+  switch (V.Ty) {
+  case sdfg::DType::F64:
+    std::memcpy(V.Ptr, B.F.data(), N * sizeof(double));
+    break;
+  case sdfg::DType::F32: {
+    float *Dst = static_cast<float *>(V.Ptr);
+    for (size_t I = 0; I < N; ++I)
+      Dst[I] = static_cast<float>(B.F[I]);
+    break;
+  }
+  case sdfg::DType::I64:
+    std::memcpy(V.Ptr, B.I.data(), N * sizeof(std::int64_t));
+    break;
+  }
+}
+
 } // namespace
 
 EngineRun InterpEngine::runModule(ir::Operation *Module,
@@ -46,20 +87,34 @@ EngineRun InterpEngine::runModule(ir::Operation *Module,
   return R;
 }
 
-EngineRun
-InterpEngine::runGraph(const sdfg::SDFG &G, interp::MathMode Mode,
-                       const std::map<std::string, std::int64_t> &Symbols) {
+EngineRun InterpEngine::invokeGraph(const sdfg::SDFG &G,
+                                    const InvocationRequest &Req) {
   EngineRun R;
-  interp::SDFGInterpreter Interp(G, Mode);
-  for (const auto &[Name, V] : Symbols)
+  interp::SDFGInterpreter Interp(G, Req.Mode);
+  for (const auto &[Name, V] : Req.Symbols)
     Interp.setSymbol(Name, V);
-  // Bind caller-owned buffers for every non-transient container.
+
+  // Bind caller-owned buffers for every non-transient container; copy in
+  // the contents of any caller view (the interpreter stores widened
+  // doubles, so binding cannot be zero-copy here).
+  const std::map<std::string, BufferView> Empty;
+  const std::map<std::string, BufferView> &Bindings =
+      Req.Bindings ? *Req.Bindings : Empty;
   std::map<std::string, interp::BufferPtr> Args;
   for (const std::string &Arg : G.args()) {
-    interp::BufferPtr B = allocArg(G.desc(Arg), Symbols);
+    interp::BufferPtr B = allocArg(G.desc(Arg), Req.Symbols);
+    auto It = Bindings.find(Arg);
+    if (It != Bindings.end()) {
+      R.Error = detail::validateView(It->second, G.desc(Arg), Arg,
+                                     Req.Symbols);
+      if (!R.Error.empty())
+        return R;
+      copyIn(It->second, *B);
+    }
     Args[Arg] = B;
     Interp.bind(Arg, B);
   }
+
   auto Start = std::chrono::steady_clock::now();
   Interp.run();
   auto End = std::chrono::steady_clock::now();
@@ -67,8 +122,16 @@ InterpEngine::runGraph(const sdfg::SDFG &G, interp::MathMode Mode,
   if (G.hasData("__return"))
     R.ReturnValue = Interp.readScalar("__return").asF();
   R.Stats = Interp.stats();
-  for (const auto &[Name, B] : Args)
-    R.Outputs[Name] = widen(*B);
+  for (const auto &[Name, B] : Args) {
+    auto It = Bindings.find(Name);
+    if (It != Bindings.end()) {
+      copyOut(*B, It->second);
+      ++R.OutputCopies;
+    } else if (Req.SnapshotOutputs) {
+      R.Outputs[Name] = widen(*B);
+      ++R.OutputCopies;
+    }
+  }
   R.Ok = true;
   return R;
 }

@@ -8,7 +8,14 @@
 /// Wraps the existing MLIR and SDFG interpreters behind the ExecutionEngine
 /// interface. Non-transient containers are allocated and bound up front
 /// (they are the artifact's inputs/outputs, owned by the caller — binding
-/// them also keeps them out of the heap-allocation counters).
+/// them also keeps them out of the heap-allocation counters). Caller
+/// bindings are honoured by copying in before the run and back out after
+/// it: the interpreter's Buffer stores widened doubles, so true zero-copy
+/// is a native-engine property (see NativeJitEngine).
+///
+/// The engine itself is stateless — every invocation builds its own
+/// SDFGInterpreter over the shared, immutable graph — so one instance
+/// serves concurrent invocations.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,9 +34,8 @@ public:
   EngineRun runModule(ir::Operation *Module, const std::string &Entry,
                       interp::MathMode Mode) override;
 
-  EngineRun
-  runGraph(const sdfg::SDFG &G, interp::MathMode Mode,
-           const std::map<std::string, std::int64_t> &Symbols = {}) override;
+  EngineRun invokeGraph(const sdfg::SDFG &G,
+                        const InvocationRequest &R) override;
 };
 
 } // namespace exec

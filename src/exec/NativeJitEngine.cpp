@@ -2,8 +2,8 @@
 
 #include "exec/NativeJitEngine.h"
 
-#include "codegen/CppCodegen.h"
 #include "exec/InterpEngine.h"
+#include "sdfg/TaskletExpr.h"
 
 #include <chrono>
 #include <cstdlib>
@@ -17,8 +17,8 @@ namespace {
 /// The uniform ABI emitted by CppCodegen::emitTrampoline.
 using UniformFn = void (*)(void **, const long long *);
 
-/// One engine-allocated argument buffer (zero-initialized, like the
-/// interpreter's containers).
+/// One engine-allocated scratch buffer for an unbound container
+/// (zero-initialized, like the interpreter's containers).
 struct ArgBuffer {
   sdfg::DType Ty;
   std::vector<double> F64;
@@ -70,6 +70,19 @@ EngineRun fail(std::string Error) {
   return R;
 }
 
+/// Reads the first element of a raw buffer as double.
+double readScalar(const void *Ptr, sdfg::DType Ty) {
+  switch (Ty) {
+  case sdfg::DType::F64:
+    return *static_cast<const double *>(Ptr);
+  case sdfg::DType::F32:
+    return static_cast<double>(*static_cast<const float *>(Ptr));
+  case sdfg::DType::I64:
+    return static_cast<double>(*static_cast<const long long *>(Ptr));
+  }
+  return 0.0;
+}
+
 } // namespace
 
 NativeJitEngine::NativeJitEngine(JitCache *Cache)
@@ -85,13 +98,15 @@ EngineRun NativeJitEngine::runModule(ir::Operation *Module,
   return Fallback.runModule(Module, Entry, Mode);
 }
 
-const NativeJitEngine::Prepared *
-NativeJitEngine::prepare(const sdfg::SDFG &G, std::string &Error) {
+std::shared_ptr<const NativeJitEngine::Prepared>
+NativeJitEngine::prepare(const sdfg::SDFG &G, std::string &Error,
+                         double &CompileSeconds) {
+  CompileSeconds = 0.0;
+  std::lock_guard<std::mutex> Lock(MemoMu);
   auto It = Memo.find(&G);
-  if (It != Memo.end() && It->second.Name == G.getName()) {
-    It->second.CompileSeconds = 0.0; // Only the first run pays it.
+  if (It != Memo.end() && It->second->Name == G.getName()) {
     Cache.noteMemoHit();
-    return &It->second;
+    return It->second;
   }
 
   DiagnosticEngine Diags;
@@ -107,10 +122,11 @@ NativeJitEngine::prepare(const sdfg::SDFG &G, std::string &Error) {
     return nullptr;
   }
 
-  Prepared P;
-  P.Name = G.getName();
-  P.ParallelMapsEmitted = CgInfo.ParallelMapsEmitted;
-  void *Handle = Cache.getOrCompile(Source, Diags, &P.CompileSeconds);
+  auto P = std::make_shared<Prepared>();
+  P->Name = G.getName();
+  P->ParallelMapsEmitted = CgInfo.ParallelMapsEmitted;
+  P->Sig = codegen::callSignature(G);
+  void *Handle = Cache.getOrCompile(Source, Diags, &CompileSeconds);
   if (!Handle) {
     Error = "native compilation failed for '" + G.getName() + "':\n" +
             Diags.str();
@@ -118,67 +134,124 @@ NativeJitEngine::prepare(const sdfg::SDFG &G, std::string &Error) {
   }
 
   std::string SymName = G.getName() + "__dcir_call";
-  P.Fn = reinterpret_cast<UniformFn>(dlsym(Handle, SymName.c_str()));
-  if (!P.Fn) {
+  P->Fn = reinterpret_cast<UniformFn>(dlsym(Handle, SymName.c_str()));
+  if (!P->Fn) {
     const char *Err = dlerror();
     Error = "native entry '" + SymName +
             "' not found: " + (Err ? Err : "unknown dlsym error");
     return nullptr;
   }
   std::string ThreadsSym = G.getName() + "__dcir_set_threads";
-  P.SetThreads = reinterpret_cast<void (*)(long long)>(
+  P->SetThreads = reinterpret_cast<void (*)(long long)>(
       dlsym(Handle, ThreadsSym.c_str()));
-  return &(Memo[&G] = std::move(P));
+
+  // ABI check: the artifact embeds its argument-binding signature; a
+  // mismatch means the resolved shared object was built for a different
+  // container table than the graph we are about to bind buffers for —
+  // refuse rather than pass pointers into the wrong slots. Artifacts
+  // predating the descriptor (no symbol) are accepted as-is.
+  std::string SigSym = G.getName() + "__dcir_signature";
+  if (auto SigFn = reinterpret_cast<const char *(*)()>(
+          dlsym(Handle, SigSym.c_str()))) {
+    std::string Expected = codegen::abiSignature(G);
+    const char *Actual = SigFn();
+    if (Expected != (Actual ? Actual : "")) {
+      Error = "native artifact for '" + G.getName() +
+              "' reports ABI signature\n  " + (Actual ? Actual : "(null)") +
+              "\nbut the graph requires\n  " + Expected +
+              "\n(stale or colliding cache entry; clear $DCIR_CACHE_DIR)";
+      return nullptr;
+    }
+  }
+  return Memo[&G] = std::move(P);
 }
 
-EngineRun
-NativeJitEngine::runGraph(const sdfg::SDFG &G, interp::MathMode Mode,
-                          const std::map<std::string, std::int64_t> &Symbols) {
+bool NativeJitEngine::prepareGraph(const sdfg::SDFG &G, std::string &Error,
+                                   double *CompileSeconds) {
+  double Seconds = 0.0;
+  std::shared_ptr<const Prepared> P = prepare(G, Error, Seconds);
+  if (CompileSeconds)
+    *CompileSeconds = Seconds;
+  return P != nullptr;
+}
+
+EngineRun NativeJitEngine::invokeGraph(const sdfg::SDFG &G,
+                                       const InvocationRequest &Req) {
   // MathMode only affects the interpreter's vector-math emulation; native
   // code always uses libm (the paper's "precise" configuration).
-  (void)Mode;
 
   std::string Error;
-  const Prepared *P = prepare(G, Error);
+  double CompileSeconds = 0.0;
+  std::shared_ptr<const Prepared> P = prepare(G, Error, CompileSeconds);
   if (!P)
     return fail(std::move(Error));
 
-  // Allocate caller-side buffers and symbol values in signature order.
-  codegen::CallSignature Sig = codegen::callSignature(G);
-  std::vector<ArgBuffer> Buffers;
-  Buffers.reserve(Sig.Args.size());
-  for (const std::string &Arg : Sig.Args) {
-    const sdfg::DataDesc &D = G.desc(Arg);
-    size_t N = 1;
-    for (const sym::SymExpr &Dim : D.Shape)
-      N *= static_cast<size_t>(std::max<std::int64_t>(
-          detail::evalDimOrZero(Dim, Symbols), 0));
-    Buffers.emplace_back(D.Ty, N);
+  // Assemble the argument vector in signature order: caller-bound views
+  // pass through untouched (zero-copy in and out); unbound containers get
+  // per-invocation zeroed scratch, so concurrent invocations never share
+  // engine-side memory.
+  const std::map<std::string, BufferView> Empty;
+  const std::map<std::string, BufferView> &Bindings =
+      Req.Bindings ? *Req.Bindings : Empty;
+  std::vector<ArgBuffer> Scratch;
+  Scratch.reserve(P->Sig.Args.size());
+  std::vector<void *> Ptrs(P->Sig.Args.size(), nullptr);
+  std::vector<bool> Bound(P->Sig.Args.size(), false);
+  for (size_t I = 0; I < P->Sig.Args.size(); ++I) {
+    const std::string &Arg = P->Sig.Args[I];
+    auto It = Bindings.find(Arg);
+    if (It != Bindings.end()) {
+      if (std::string Err = detail::validateView(It->second, G.desc(Arg),
+                                                 Arg, Req.Symbols);
+          !Err.empty())
+        return fail(std::move(Err));
+      Ptrs[I] = It->second.Ptr;
+      Bound[I] = true;
+    }
   }
-  std::vector<void *> Ptrs;
-  for (ArgBuffer &B : Buffers)
-    Ptrs.push_back(B.data());
+  for (size_t I = 0; I < P->Sig.Args.size(); ++I) {
+    if (Bound[I])
+      continue;
+    const sdfg::DataDesc &D = G.desc(P->Sig.Args[I]);
+    Scratch.emplace_back(D.Ty, detail::containerElements(D, Req.Symbols));
+    Ptrs[I] = Scratch.back().data();
+  }
   std::vector<long long> Syms;
-  for (const std::string &S : Sig.FreeSymbols) {
-    auto It = Symbols.find(S);
-    Syms.push_back(It == Symbols.end() ? 0 : It->second);
+  for (const std::string &S : P->Sig.FreeSymbols) {
+    auto It = Req.Symbols.find(S);
+    Syms.push_back(It == Req.Symbols.end() ? 0 : It->second);
   }
 
   EngineRun R;
-  R.CompileSeconds = P->CompileSeconds;
+  R.CompileSeconds = CompileSeconds;
   R.Stats.ParallelMapsEmitted = P->ParallelMapsEmitted;
-  if (Config.NumThreads > 0 && P->SetThreads)
-    P->SetThreads(Config.NumThreads);
+  // The thread hook sets the calling thread's OpenMP ICV, so concurrent
+  // invocations with different counts do not interfere. Always called:
+  // a non-positive count resets the ICV to the runtime default, so a
+  // pinned count from an earlier invocation on this (possibly pooled)
+  // thread cannot leak into a default-count one.
+  int Threads = Req.NumThreads > 0 ? Req.NumThreads : Config.NumThreads;
+  if (P->SetThreads)
+    P->SetThreads(Threads);
   auto Start = std::chrono::steady_clock::now();
   P->Fn(Ptrs.data(), Syms.data());
   auto End = std::chrono::steady_clock::now();
   R.Seconds = std::chrono::duration<double>(End - Start).count();
 
-  for (size_t I = 0; I < Sig.Args.size(); ++I) {
-    std::vector<double> Out = Buffers[I].widened();
-    if (Sig.Args[I] == "__return" && !Out.empty())
-      R.ReturnValue = Out[0];
-    R.Outputs[Sig.Args[I]] = std::move(Out);
+  // Bound containers already hold their outputs in caller memory — the
+  // zero-copy contract. Only unbound ones are snapshotted on request.
+  size_t ScratchIdx = 0;
+  for (size_t I = 0; I < P->Sig.Args.size(); ++I) {
+    const std::string &Arg = P->Sig.Args[I];
+    if (Arg == "__return")
+      R.ReturnValue = Ptrs[I] ? readScalar(Ptrs[I], G.desc(Arg).Ty) : 0.0;
+    if (Bound[I])
+      continue;
+    ArgBuffer &B = Scratch[ScratchIdx++];
+    if (Req.SnapshotOutputs) {
+      R.Outputs[Arg] = B.widened();
+      ++R.OutputCopies;
+    }
   }
   R.Ok = true;
   return R;

@@ -10,8 +10,17 @@
 /// to a standalone C++ translation unit with an `extern "C"` entry point,
 /// compiled to a shared object by the host compiler (content-addressed and
 /// cached across runs — see JitCache), dlopened, and invoked through the
-/// uniform `<entry>__dcir_call(void **args, const long long *syms)` ABI on
-/// engine-allocated buffers.
+/// uniform `<entry>__dcir_call(void **args, const long long *syms)` ABI.
+///
+/// Per-program vs per-invocation state: prepareGraph() builds the whole
+/// artifact (emit, compile, dlopen, resolve, verify the embedded
+/// `<entry>__dcir_signature` descriptor against the expected call
+/// signature) exactly once per graph under a mutex; invocations then only
+/// assemble an argument vector — caller-bound BufferViews are passed
+/// straight into the generated entry (zero-copy in and out), unbound
+/// containers get per-invocation zeroed scratch. One engine instance
+/// therefore serves any number of concurrent invocations of its prepared
+/// graphs.
 ///
 /// MLIR-dialect module artifacts (the GCC/Clang/MLIR pipelines) have no
 /// SDFG to lower and fall back to the interpreter, so `--engine=native`
@@ -22,8 +31,11 @@
 #ifndef DCIR_EXEC_NATIVEJITENGINE_H
 #define DCIR_EXEC_NATIVEJITENGINE_H
 
+#include "codegen/CppCodegen.h"
 #include "exec/ExecutionEngine.h"
 #include "exec/JitCache.h"
+
+#include <mutex>
 
 namespace dcir {
 namespace exec {
@@ -51,37 +63,45 @@ public:
   int numThreads() const { return Config.NumThreads; }
   void setNumThreads(int N) { Config.NumThreads = N; }
 
+  /// Emit + compile + dlopen + resolve, memoized per graph under a lock.
+  bool prepareGraph(const sdfg::SDFG &G, std::string &Error,
+                    double *CompileSeconds = nullptr) override;
+
   /// No native path for dialect modules: interpreter fallback.
   EngineRun runModule(ir::Operation *Module, const std::string &Entry,
                       interp::MathMode Mode) override;
 
-  EngineRun
-  runGraph(const sdfg::SDFG &G, interp::MathMode Mode,
-           const std::map<std::string, std::int64_t> &Symbols = {}) override;
+  EngineRun invokeGraph(const sdfg::SDFG &G,
+                        const InvocationRequest &R) override;
 
   JitCache &cache() { return Cache; }
 
 private:
-  /// A resolved artifact, memoized per graph so repeated runs (benchmark
-  /// loops) skip re-emitting and re-hashing the source. Keyed by graph
-  /// address: valid because callers (pipeline::Compiled, tests) keep the
+  /// A resolved artifact, immutable once published, memoized per graph so
+  /// repeated runs skip re-emitting and re-hashing the source. Keyed by
+  /// graph address: valid because callers (api::Program, tests) keep the
   /// graph alive at least as long as the engine; the stored name guards
-  /// against address reuse. One engine instance is not thread-safe —
-  /// concurrent callers use separate engines over a shared JitCache.
+  /// against address reuse.
   struct Prepared {
     std::string Name;
     void (*Fn)(void **, const long long *) = nullptr;
     /// Optional `<entry>__dcir_set_threads` hook (absent in artifacts
     /// built before the hook existed).
     void (*SetThreads)(long long) = nullptr;
-    double CompileSeconds = 0.0; // First-run compile cost; 0 afterwards.
+    codegen::CallSignature Sig;
     unsigned ParallelMapsEmitted = 0;
   };
-  const Prepared *prepare(const sdfg::SDFG &G, std::string &Error);
+  /// Returns the memoized artifact, building it first if needed.
+  /// \p CompileSeconds receives the host-compiler time this call paid
+  /// (0 when served from the memo or the on-disk cache).
+  std::shared_ptr<const Prepared> prepare(const sdfg::SDFG &G,
+                                          std::string &Error,
+                                          double &CompileSeconds);
 
   JitCache &Cache;
   EngineConfig Config;
-  std::map<const sdfg::SDFG *, Prepared> Memo;
+  std::mutex MemoMu;
+  std::map<const sdfg::SDFG *, std::shared_ptr<const Prepared>> Memo;
 };
 
 } // namespace exec

@@ -1118,6 +1118,15 @@ private:
       Results.push_back(irType(Fn.ReturnTy));
     B.setInsertionPointToEnd(&Module->getRegion(0).front());
     Operation *Func = func::createFunction(B, Fn.Name, Inputs, Results);
+    // Source-level parameter names ride along so the sdfg conversion can
+    // name the non-transient containers after them — the embedding API
+    // binds buffers by these names.
+    if (!Fn.Params.empty()) {
+      std::vector<Attribute> Names;
+      for (const VarDecl &P : Fn.Params)
+        Names.push_back(Attribute::getString(P.Name));
+      Func->setAttr("arg_names", Attribute::getArray(std::move(Names)));
+    }
     CurrentFunc = Func;
     HasReturned = false;
     Block &Entry = func::getFunctionBody(Func);

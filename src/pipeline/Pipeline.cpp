@@ -1,20 +1,10 @@
-//===- Pipeline.cpp -------------------------------------------------------------------===//
+//===- Pipeline.cpp - the compatibility shim over the api layer ---------------===//
 
 #include "pipeline/Pipeline.h"
 
-#include "conversion/CToSdfgDirect.h"
-#include "conversion/ConvertToSdfg.h"
-#include "conversion/TranslateToSDFG.h"
-#include "dialects/Dialects.h"
-#include "exec/InterpEngine.h"
-#include "frontend/CCodegen.h"
-#include "frontend/CParser.h"
-#include "ir/Verifier.h"
-#include "passes/Pass.h"
+#include "api/Api.h"
 #include "support/StringUtils.h"
 
-#include <cassert>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -79,6 +69,9 @@ dcir::pipeline::parseOptLevel(const std::string &Name) {
 Compiled &Compiled::operator=(Compiled &&Other) noexcept {
   if (this == &Other)
     return *this;
+  // Same ordering as ~Compiled: the program borrows Module/Graph, so it
+  // must be released before the IR it references is erased.
+  Prog.reset();
   if (Module)
     ir::Operation::eraseDetached(Module);
   Kind = Other.Kind;
@@ -91,91 +84,41 @@ Compiled &Compiled::operator=(Compiled &&Other) noexcept {
   Other.Module = nullptr; // The moved-from object no longer owns the IR.
   Graph = std::move(Other.Graph);
   Report = Other.Report;
-  EngineImpl = std::move(Other.EngineImpl);
+  // The borrowed-artifact pointers inside the program stay valid across
+  // the move (unique_ptr moves keep the pointee address). Single-threaded
+  // by contract: moving an artifact races nothing.
+  Prog = std::move(Other.Prog);
   return *this;
 }
 
 Compiled::~Compiled() {
+  // The program borrows Module/Graph: drop it first.
+  Prog.reset();
   if (Module)
     ir::Operation::eraseDetached(Module);
 }
 
-namespace {
-
-/// The strong general-purpose -O2 (GCC/Clang stand-ins).
-void addStrongPasses(passes::PassManager &PM, bool ExtraRound) {
-  using namespace passes;
-  PM.addPass(createInlinerPass());
-  for (int I = 0; I < (ExtraRound ? 3 : 2); ++I) {
-    PM.addPass(createCanonicalizePass());
-    PM.addPass(createCSEPass());
-    PM.addPass(createLICMPass());
-    PM.addPass(createScalarReplacementPass());
-    PM.addPass(createCSEPass());
-    PM.addPass(createLoopFusionPass());
-    PM.addPass(createDCEPass());
-  }
+std::shared_ptr<const api::Program> Compiled::program() const {
+  std::lock_guard<std::mutex> Lock(ProgMu);
+  if (Prog)
+    return Prog;
+  if (!Module && !Graph)
+    return nullptr;
+  api::Program::Parts P;
+  P.Kind = Kind;
+  P.Engine = Engine;
+  P.Parallelism = Parallelism;
+  P.NumThreads = NumThreads;
+  P.Entry = Entry;
+  P.Ctx = Ctx;
+  P.Module = Module;
+  P.OwnsModule = false; // ~Compiled keeps releasing the IR.
+  // Non-owning alias: this Compiled outlives the program it hands out.
+  P.Graph = std::shared_ptr<const sdfg::SDFG>(std::shared_ptr<void>(),
+                                              Graph.get());
+  Prog = api::Program::create(std::move(P));
+  return Prog;
 }
-
-/// The paper's control-centric set for the Polygeist+MLIR pipeline (§4):
-/// LICM, CSE, DCE, inlining — no store forwarding, no fusion.
-void addMlirPasses(passes::PassManager &PM) {
-  using namespace passes;
-  PM.addPass(createInlinerPass());
-  PM.addPass(createCanonicalizePass());
-  PM.addPass(createCSEPass());
-  PM.addPass(createLICMPass());
-  PM.addPass(createDCEPass());
-}
-
-/// DCIR's MLIR-side passes (paper Fig. 4, blue): LICM, CSE & DCE &
-/// inlining, scalar replacement, then lowering into the sdfg dialect.
-void addDcirMlirPasses(passes::PassManager &PM) {
-  using namespace passes;
-  PM.addPass(createInlinerPass());
-  for (int I = 0; I < 2; ++I) {
-    PM.addPass(createCanonicalizePass());
-    PM.addPass(createCSEPass());
-    PM.addPass(createLICMPass());
-    PM.addPass(createScalarReplacementPass());
-    PM.addPass(createCSEPass());
-    PM.addPass(createDCEPass());
-  }
-}
-
-/// Runs the configured data-centric pipeline (-O level or an explicit
-/// --passes= spec) over a freshly translated graph. Returns false when
-/// the spec is malformed or verify-after-each failed.
-bool optimizeGraph(sdfg::SDFG &G, const CompileOptions &Opts,
-                   sdfgopt::OptReport &Report, DiagnosticEngine &Diags) {
-  sdfgopt::PipelineOptions POpts;
-  POpts.Diags = &Diags;
-  POpts.VerifyEachPass = Opts.VerifyEachPass;
-  POpts.MaxFixpointRounds = Opts.MaxFixpointRounds;
-  std::unique_ptr<opt::PipelineDriver<sdfg::SDFG>> P;
-  if (!Opts.PassPipeline.empty()) {
-    opt::PassRegistry<sdfg::SDFG> Reg = sdfgopt::passRegistry(
-        &Report, Opts.Parallelism != ParallelismMode::Off);
-    P = opt::parsePipelineSpec(Opts.PassPipeline, Reg, Diags);
-    if (!P)
-      return false;
-  } else {
-    switch (Opts.Opt) {
-    case OptLevel::O0:
-      return true;
-    case OptLevel::O1:
-      P = sdfgopt::buildSimplifyPipeline(&Report);
-      break;
-    case OptLevel::O2:
-      P = sdfgopt::buildAutoOptimizePipeline(
-          &Report, Opts.Parallelism != ParallelismMode::Off);
-      break;
-    }
-  }
-  return sdfgopt::runPipeline(G, *P, Report, POpts);
-}
-
-} // namespace
 
 Compiled dcir::pipeline::compile(const std::string &CSource,
                                  const std::string &Entry, PipelineKind Kind,
@@ -196,118 +139,32 @@ Compiled dcir::pipeline::compile(const std::string &CSource,
   Out.Parallelism = Opts.Parallelism;
   Out.NumThreads = Opts.NumThreads;
   Out.Entry = Entry;
-  if (Kind == PipelineKind::DaceLike) {
-    auto TU = frontend::parseC(CSource, Diags);
-    if (!TU)
-      return Out;
-    Out.Graph = conversion::translateCDirect(*TU, Entry, Diags);
-    if (!Out.Graph)
-      return Out;
-    if (!optimizeGraph(*Out.Graph, Opts, Out.Report, Diags) ||
-        !Out.Graph->validate(Diags))
-      Out.Graph.reset();
-    return Out;
-  }
-
-  Out.Ctx = std::make_shared<ir::IRContext>();
-  registerAllDialects(*Out.Ctx);
-  ir::Operation *Module =
-      frontend::compileCToModule(CSource, *Out.Ctx, Diags);
-  if (!Module)
-    return Out;
-  passes::PassManager PM(/*VerifyEach=*/false);
-  switch (Kind) {
-  case PipelineKind::GccLike:
-    addStrongPasses(PM, /*ExtraRound=*/false);
-    break;
-  case PipelineKind::ClangLike:
-    addStrongPasses(PM, /*ExtraRound=*/true);
-    break;
-  case PipelineKind::MlirLike:
-    addMlirPasses(PM);
-    break;
-  case PipelineKind::Dcir:
-    addDcirMlirPasses(PM);
-    break;
-  case PipelineKind::DaceLike:
-    break;
-  }
-  if (!PM.run(Module, Diags) || !ir::verify(Module, Diags)) {
-    ir::Operation::eraseDetached(Module);
-    return Out;
-  }
-
-  if (Kind != PipelineKind::Dcir) {
-    Out.Module = Module;
-    return Out;
-  }
-
-  // DCIR: convert to the sdfg dialect, translate, run -O1/-O2.
-  ir::Operation *SdfgModule =
-      conversion::convertToSdfgDialect(Module, Diags);
-  ir::Operation::eraseDetached(Module);
-  if (!SdfgModule)
-    return Out;
-  if (!ir::verify(SdfgModule, Diags)) {
-    ir::Operation::eraseDetached(SdfgModule);
-    return Out;
-  }
-  Out.Graph = conversion::translateToSDFG(SdfgModule, Entry, Diags);
-  ir::Operation::eraseDetached(SdfgModule);
-  if (!Out.Graph)
-    return Out;
-  if (!optimizeGraph(*Out.Graph, Opts, Out.Report, Diags) ||
-      !Out.Graph->validate(Diags))
-    Out.Graph.reset();
+  api::detail::CompiledParts Parts =
+      api::detail::compileParts(CSource, Entry, Kind, Diags, Opts);
+  Out.Ctx = std::move(Parts.Ctx);
+  Out.Module = Parts.Module;
+  Out.Graph = std::move(Parts.Graph);
+  Out.Report = Parts.Report;
   return Out;
 }
 
-namespace {
-
-RunResult toRunResult(exec::EngineRun &&E) {
-  RunResult R;
-  R.ReturnValue = E.ReturnValue;
-  R.Stats = E.Stats;
-  R.Seconds = E.Seconds;
-  R.CompileSeconds = E.CompileSeconds;
-  R.Outputs = std::move(E.Outputs);
-  return R;
-}
-
-} // namespace
-
 RunResult dcir::pipeline::run(const Compiled &C, interp::MathMode Mode) {
-  if (!C.EngineImpl) {
-    C.EngineImpl = exec::createEngine(C.Engine);
-    exec::EngineConfig Config;
-    Config.ParallelMaps = C.Parallelism != ParallelismMode::Off;
-    Config.NumThreads = C.NumThreads;
-    C.EngineImpl->configure(Config);
-  }
-  exec::EngineKind Used = C.Engine;
-  exec::EngineRun E;
-  if (C.Module) {
-    E = C.EngineImpl->runModule(C.Module, C.Entry, Mode);
-    Used = exec::EngineKind::Interp; // Modules always interpret.
-  } else if (C.Graph) {
-    E = C.EngineImpl->runGraph(*C.Graph, Mode);
-  } else {
+  std::shared_ptr<const api::Program> P = C.program();
+  if (!P)
     return RunResult();
-  }
-  if (!E.Ok && C.Engine != exec::EngineKind::Interp && C.Graph) {
-    // A graph the native backend cannot lower (e.g. stream containers)
-    // still runs on the interpreter; degrade rather than die. EngineUsed
-    // records the downgrade so benches never label these rows native.
-    std::fprintf(stderr,
-                 "pipeline: %s engine failed for '%s', falling back to "
-                 "interpreter:\n%s\n",
-                 C.EngineImpl->name(), C.Entry.c_str(), E.Error.c_str());
-    E = exec::InterpEngine().runGraph(*C.Graph, Mode);
-    Used = exec::EngineKind::Interp;
-  }
-  RunResult R = toRunResult(std::move(E));
-  R.EngineUsed = Used;
-  return R;
+  api::InvocationResult R = P->invoke(P->newInvocation()
+                                          .setMathMode(Mode)
+                                          .captureOutputs()); // Legacy
+                                                              // snapshot
+                                                              // contract.
+  RunResult Out;
+  Out.ReturnValue = R.ReturnValue;
+  Out.Stats = R.Stats;
+  Out.Seconds = R.Seconds;
+  Out.CompileSeconds = R.CompileSeconds;
+  Out.EngineUsed = R.EngineUsed;
+  Out.Outputs = std::move(R.Outputs);
+  return Out;
 }
 
 RunResult dcir::pipeline::compileAndRun(const std::string &CSource,

@@ -21,9 +21,12 @@
 ///                        sdfg dialect -> SDFG -> inference + data-centric
 ///                        passes (-O1/-O2) -> SDFG interpreter.
 ///
-/// Artifacts execute on a pluggable engine (src/exec/): the interpreters
-/// by default, or the native JIT backend (--engine=native in the benches),
-/// which compiles SDFG artifacts to shared objects. See DESIGN.md.
+/// This header is the *compatibility shim* over the embedding runtime API
+/// (src/api/): compile() runs the same flow api::Compiler does, and run()
+/// delegates to a lazily created api::Program. New code should embed
+/// through api::Compiler/Program/Invocation directly (see DESIGN.md,
+/// "Embedding API"); this surface stays for the benches' experiment shape
+/// and out-of-tree callers.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,74 +34,26 @@
 #define DCIR_PIPELINE_PIPELINE_H
 
 #include "exec/ExecutionEngine.h"
+#include "interp/FastMath.h"
 #include "interp/Stats.h"
 #include "ir/IR.h"
+#include "pipeline/PipelineTypes.h"
 #include "sdfg/SDFG.h"
 #include "sdfgopt/Passes.h"
-#include "interp/FastMath.h"
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace dcir {
+
+namespace api {
+class Program;
+} // namespace api
+
 namespace pipeline {
-
-enum class PipelineKind { GccLike, ClangLike, DaceLike, MlirLike, Dcir };
-
-/// Display name ("GCC", "Clang", "DaCe", "MLIR", "DCIR").
-const char *pipelineName(PipelineKind K);
-
-/// Loop-to-map auto-parallelization policy (paper §6.3 / Table 1):
-///   Off    no loop-to-map conversion, strictly serial native code — the
-///          PR-1 behaviour, kept for ablations and serial baselines.
-///   Maps   convert provably independent loops (and reductions) to maps;
-///          the native engine emits OpenMP work-sharing pragmas for them.
-///   Auto   Maps today; reserved for profitability heuristics (tile-size,
-///          thread-count, NUMA) without another API change.
-enum class ParallelismMode { Off, Maps, Auto };
-
-/// Display name ("off", "maps", "auto").
-const char *parallelismName(ParallelismMode M);
-
-/// Parses "--parallel=" values: off|on|maps|auto (on == maps).
-std::optional<ParallelismMode> parseParallelismName(const std::string &Name);
-
-/// Data-centric optimization level for SDFG pipelines (DaCe/DCIR):
-///   O0  translate only (no sdfgopt passes);
-///   O1  the simplify fixpoint (inference + data movement reduction);
-///   O2  the full auto-optimizer (simplify + memory scheduling +
-///       loop-to-map conversion per ParallelismMode) — the default and
-///       the paper's configuration.
-enum class OptLevel { O0, O1, O2 };
-
-/// Parses "0"/"O0"/"-O1"/... ; nullopt on unknown.
-std::optional<OptLevel> parseOptLevel(const std::string &Name);
-
-/// Per-compile options threaded from the drivers into the optimizer and
-/// the execution engine.
-struct CompileOptions {
-  exec::EngineKind Engine = exec::EngineKind::Interp;
-  ParallelismMode Parallelism = ParallelismMode::Auto;
-  /// Threads for parallel maps (0 = OpenMP runtime default; the native
-  /// engine also honours $DCIR_NUM_THREADS when this stays 0).
-  int NumThreads = 0;
-  /// Data-centric optimization level (SDFG pipelines).
-  OptLevel Opt = OptLevel::O2;
-  /// Explicit textual pipeline spec (see opt::parsePipelineSpec and the
-  /// sdfgopt::passRegistry names, e.g. "simplify,prealloc" or
-  /// "fixpoint(fuse-chains,loops-to-maps)"). Overrides Opt when
-  /// non-empty; compilation fails on malformed specs. The benches expose
-  /// it as --passes=.
-  std::string PassPipeline;
-  /// Run the SDFG structural verifier after every pass, failing the
-  /// compile (naming the culprit pass) on the first violation.
-  bool VerifyEachPass = false;
-  /// Safety limit for pass-pipeline fixpoint groups; hitting it emits a
-  /// warning diagnostic instead of silently stopping.
-  unsigned MaxFixpointRounds = 64;
-};
 
 /// Compilation artifacts: exactly one of Module/Graph is set. Engine
 /// selects the execution backend run() dispatches to (module artifacts
@@ -113,15 +68,21 @@ struct Compiled {
   ir::Operation *Module = nullptr;    // Owned; released in ~Compiled.
   std::unique_ptr<sdfg::SDFG> Graph;
   sdfgopt::OptReport Report;
-  /// Lazily created by run() and reused across runs of this artifact, so
-  /// the native engine's per-graph memo (emitted source, resolved entry)
-  /// survives benchmark loops. Not thread-safe per artifact.
-  mutable std::shared_ptr<exec::ExecutionEngine> EngineImpl;
 
   Compiled() = default;
   Compiled(Compiled &&Other) noexcept { *this = std::move(Other); }
   Compiled &operator=(Compiled &&Other) noexcept;
   ~Compiled();
+
+  /// The api::Program run() executes through — created on first use,
+  /// under a lock, borrowing this artifact's Module/Graph (so it must
+  /// not outlive this Compiled, and Graph must not be moved out after
+  /// the first run()). Null when compilation failed.
+  std::shared_ptr<const api::Program> program() const;
+
+private:
+  mutable std::mutex ProgMu;
+  mutable std::shared_ptr<const api::Program> Prog;
 };
 
 /// Result of one execution.
@@ -155,7 +116,8 @@ Compiled compile(const std::string &CSource, const std::string &Entry,
 
 /// Runs a compiled artifact (the entry takes no arguments and returns a
 /// scalar checksum) on the engine selected at compile time. \p Mode
-/// selects libm vs vector-math emulation (interpreter only).
+/// selects libm vs vector-math emulation (interpreter only). Thin wrapper
+/// over api::Program::invoke with output capture on.
 RunResult run(const Compiled &C,
               interp::MathMode Mode = interp::MathMode::Precise);
 

@@ -1,0 +1,87 @@
+//===- PipelineTypes.h - pipeline kinds and compile options -------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The option vocabulary shared by the experiment driver (pipeline::) and
+/// the embedding runtime (api::): which of the five compared pipelines to
+/// run, the execution engine, the parallelization policy, and the
+/// data-centric optimization level. Split from Pipeline.h so the api layer
+/// can build on these types without pulling in the legacy Compiled/run
+/// surface (which itself delegates to api::Program).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_PIPELINE_PIPELINETYPES_H
+#define DCIR_PIPELINE_PIPELINETYPES_H
+
+#include "exec/ExecutionEngine.h"
+
+#include <optional>
+#include <string>
+
+namespace dcir {
+namespace pipeline {
+
+enum class PipelineKind { GccLike, ClangLike, DaceLike, MlirLike, Dcir };
+
+/// Display name ("GCC", "Clang", "DaCe", "MLIR", "DCIR").
+const char *pipelineName(PipelineKind K);
+
+/// Loop-to-map auto-parallelization policy (paper §6.3 / Table 1):
+///   Off    no loop-to-map conversion, strictly serial native code — the
+///          PR-1 behaviour, kept for ablations and serial baselines.
+///   Maps   convert provably independent loops (and reductions) to maps;
+///          the native engine emits OpenMP work-sharing pragmas for them.
+///   Auto   Maps today; reserved for profitability heuristics (tile-size,
+///          thread-count, NUMA) without another API change.
+enum class ParallelismMode { Off, Maps, Auto };
+
+/// Display name ("off", "maps", "auto").
+const char *parallelismName(ParallelismMode M);
+
+/// Parses "--parallel=" values: off|on|maps|auto (on == maps).
+std::optional<ParallelismMode> parseParallelismName(const std::string &Name);
+
+/// Data-centric optimization level for SDFG pipelines (DaCe/DCIR):
+///   O0  translate only (no sdfgopt passes);
+///   O1  the simplify fixpoint (inference + data movement reduction);
+///   O2  the full auto-optimizer (simplify + memory scheduling +
+///       loop-to-map conversion per ParallelismMode) — the default and
+///       the paper's configuration.
+enum class OptLevel { O0, O1, O2 };
+
+/// Parses "0"/"O0"/"-O1"/... ; nullopt on unknown.
+std::optional<OptLevel> parseOptLevel(const std::string &Name);
+
+/// Per-compile options threaded from the drivers into the optimizer and
+/// the execution engine. api::Compiler is a builder over exactly this
+/// struct.
+struct CompileOptions {
+  exec::EngineKind Engine = exec::EngineKind::Interp;
+  ParallelismMode Parallelism = ParallelismMode::Auto;
+  /// Threads for parallel maps (0 = OpenMP runtime default; the native
+  /// engine also honours $DCIR_NUM_THREADS when this stays 0).
+  int NumThreads = 0;
+  /// Data-centric optimization level (SDFG pipelines).
+  OptLevel Opt = OptLevel::O2;
+  /// Explicit textual pipeline spec (see opt::parsePipelineSpec and the
+  /// sdfgopt::passRegistry names, e.g. "simplify,prealloc" or
+  /// "fixpoint(fuse-chains,loops-to-maps)"). Overrides Opt when
+  /// non-empty; compilation fails on malformed specs. The benches expose
+  /// it as --passes=.
+  std::string PassPipeline;
+  /// Run the SDFG structural verifier after every pass, failing the
+  /// compile (naming the culprit pass) on the first violation.
+  bool VerifyEachPass = false;
+  /// Safety limit for pass-pipeline fixpoint groups; hitting it emits a
+  /// warning diagnostic instead of silently stopping.
+  unsigned MaxFixpointRounds = 64;
+};
+
+} // namespace pipeline
+} // namespace dcir
+
+#endif // DCIR_PIPELINE_PIPELINETYPES_H

@@ -1,0 +1,509 @@
+//===- api_test.cpp - embedding runtime API acceptance suite -------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The api::Compiler/Program/Invocation acceptance suite:
+///
+///   * buffer-binding validation — wrong name, wrong size, wrong type,
+///     missing required binding, binding a transient — each fails with a
+///     diagnostic naming the container, never crashes or silently aliases;
+///   * the zero-copy contract — a native invocation with bound output
+///     buffers performs zero output-map copies (asserted via stats);
+///   * the thread-safety contract — one Program invoked from 8 threads x
+///     100 invocations on both engines, results bit-identical to serial;
+///   * invokeAsync batching, serving counters, and the engine-fallback
+///     counter for graphs the native backend cannot lower.
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Api.h"
+#include "pipeline/Pipeline.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <gtest/gtest.h>
+
+using namespace dcir;
+using namespace dcir::api;
+using pipeline::PipelineKind;
+
+namespace {
+
+/// A kernel with real parameters: two bindable f64 arrays, a bindable
+/// scalar, and (below -O2) a transient temporary.
+const char *kSaxpyKernel = R"(
+#define N 16
+double kernel_saxpy(double a, double x[16], double y[16]) {
+  double t[16];
+  double acc = 0.0;
+  for (int i = 0; i < 16; i++)
+    t[i] = a * x[i];
+  for (int i = 0; i < 16; i++) {
+    y[i] = t[i] + y[i];
+    acc += y[i];
+  }
+  return acc;
+}
+)";
+
+std::shared_ptr<const Program> compileSaxpy(exec::EngineKind Engine,
+                                            pipeline::OptLevel Opt =
+                                                pipeline::OptLevel::O2) {
+  Compiler C;
+  auto P = C.pipeline(PipelineKind::Dcir)
+               .engine(Engine)
+               .optLevel(Opt)
+               .compile(kSaxpyKernel, "kernel_saxpy");
+  EXPECT_TRUE(P) << C.diagnostics();
+  return P;
+}
+
+bool bitIdentical(double A, double B) {
+  std::uint64_t UA, UB;
+  std::memcpy(&UA, &A, sizeof(UA));
+  std::memcpy(&UB, &B, sizeof(UB));
+  return UA == UB;
+}
+
+//===----------------------------------------------------------------------===//
+// Buffer-binding validation
+//===----------------------------------------------------------------------===//
+
+TEST(BindingValidation, WrongNameFailsNamingTheContainer) {
+  auto P = compileSaxpy(exec::EngineKind::Interp);
+  ASSERT_TRUE(P);
+  double Buf[16] = {};
+  Invocation I = P->newInvocation();
+  EXPECT_FALSE(I.bind("nonesuch", Buf, 16));
+  EXPECT_NE(I.error().find("no container named 'nonesuch'"),
+            std::string::npos)
+      << I.error();
+  // The diagnostic lists what *is* bindable.
+  EXPECT_NE(I.error().find("x"), std::string::npos) << I.error();
+  // A failed bind also fails the run with the same diagnostic.
+  InvocationResult R = I.run();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Error, I.error());
+}
+
+TEST(BindingValidation, WrongSizeFailsNamingTheContainer) {
+  auto P = compileSaxpy(exec::EngineKind::Interp);
+  ASSERT_TRUE(P);
+  double Buf[7] = {};
+  Invocation I = P->newInvocation();
+  EXPECT_FALSE(I.bind("x", Buf, 7));
+  EXPECT_NE(I.error().find("container 'x'"), std::string::npos)
+      << I.error();
+  EXPECT_NE(I.error().find("7"), std::string::npos) << I.error();
+  EXPECT_NE(I.error().find("16"), std::string::npos) << I.error();
+}
+
+TEST(BindingValidation, WrongTypeFailsNamingTheContainer) {
+  auto P = compileSaxpy(exec::EngineKind::Interp);
+  ASSERT_TRUE(P);
+  std::int64_t Buf[16] = {};
+  Invocation I = P->newInvocation();
+  EXPECT_FALSE(I.bind("x", Buf, 16));
+  EXPECT_NE(I.error().find("container 'x'"), std::string::npos)
+      << I.error();
+  EXPECT_NE(I.error().find("i64"), std::string::npos) << I.error();
+  EXPECT_NE(I.error().find("f64"), std::string::npos) << I.error();
+}
+
+TEST(BindingValidation, MissingRequiredBindingFailsNamingTheContainer) {
+  auto P = compileSaxpy(exec::EngineKind::Interp);
+  ASSERT_TRUE(P);
+  double X[16] = {};
+  Invocation I = P->newInvocation();
+  ASSERT_TRUE(I.bind("x", X, 16)) << I.error();
+  // y and a stay unbound: bind-any means bind-all (except __return).
+  InvocationResult R = I.run();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("missing required binding"), std::string::npos)
+      << R.Error;
+  EXPECT_TRUE(R.Error.find("'y'") != std::string::npos ||
+              R.Error.find("'a'") != std::string::npos)
+      << R.Error;
+}
+
+TEST(BindingValidation, BindingATransientFailsNamingTheContainer) {
+  // -O0 keeps the temporary `t` alive as a transient container.
+  auto P = compileSaxpy(exec::EngineKind::Interp, pipeline::OptLevel::O0);
+  ASSERT_TRUE(P);
+  std::string TransientName;
+  for (const ContainerInfo &C : P->containers())
+    if (C.Transient && C.Type == sdfg::DType::F64 && C.Elements == 16)
+      TransientName = C.Name;
+  ASSERT_FALSE(TransientName.empty())
+      << "-O0 saxpy should keep the t[16] transient";
+  double Buf[16] = {};
+  Invocation I = P->newInvocation();
+  EXPECT_FALSE(I.bind(TransientName, Buf, 16));
+  EXPECT_NE(I.error().find("'" + TransientName + "'"), std::string::npos)
+      << I.error();
+  EXPECT_NE(I.error().find("transient"), std::string::npos) << I.error();
+}
+
+TEST(BindingValidation, NullPointerAndModuleArtifactsFail) {
+  auto P = compileSaxpy(exec::EngineKind::Interp);
+  ASSERT_TRUE(P);
+  Invocation I = P->newInvocation();
+  EXPECT_FALSE(I.bind("x", static_cast<double *>(nullptr), 16));
+  EXPECT_NE(I.error().find("null pointer"), std::string::npos)
+      << I.error();
+
+  // Module artifacts (control-centric pipelines) have no container table.
+  Compiler C;
+  auto ModuleProg = C.pipeline(PipelineKind::GccLike)
+                        .compile(kSaxpyKernel, "kernel_saxpy");
+  ASSERT_TRUE(ModuleProg) << C.diagnostics();
+  EXPECT_TRUE(ModuleProg->containers().empty());
+  double Buf[16] = {};
+  Invocation MI = ModuleProg->newInvocation();
+  EXPECT_FALSE(MI.bind("x", Buf, 16));
+  EXPECT_NE(MI.error().find("no bindable containers"), std::string::npos)
+      << MI.error();
+}
+
+TEST(BindingValidation, RebindReplacesAndBoundRunSucceeds) {
+  auto P = compileSaxpy(exec::EngineKind::Interp);
+  ASSERT_TRUE(P);
+  double A[1] = {2.0}, X[16], Y[16], X2[16];
+  for (int I2 = 0; I2 < 16; ++I2) {
+    X[I2] = 1.0;
+    X2[I2] = double(I2);
+    Y[I2] = 1.0;
+  }
+  Invocation I = P->newInvocation();
+  ASSERT_TRUE(I.bind("a", A, 1)) << I.error();
+  ASSERT_TRUE(I.bind("x", X, 16)) << I.error();
+  ASSERT_TRUE(I.bind("x", X2, 16)) << I.error(); // Rebind replaces.
+  ASSERT_TRUE(I.bind("y", Y, 16)) << I.error();
+  InvocationResult R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // y[i] = 2*i + 1; acc = 2*(0+..+15) + 16 = 256.
+  EXPECT_DOUBLE_EQ(R.ReturnValue, 256.0);
+  EXPECT_DOUBLE_EQ(Y[15], 31.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Zero-copy contract
+//===----------------------------------------------------------------------===//
+
+TEST(ZeroCopy, NativeBoundInvocationPerformsNoOutputCopies) {
+  auto Native = compileSaxpy(exec::EngineKind::Native);
+  ASSERT_TRUE(Native);
+  if (!Native->nativePrepareError().empty())
+    GTEST_SKIP() << "no host compiler: " << Native->nativePrepareError();
+
+  // Interpreter reference (unbound, snapshot mode).
+  auto Interp = compileSaxpy(exec::EngineKind::Interp);
+  ASSERT_TRUE(Interp);
+  double A[1] = {3.0}, X[16], Y[16];
+  for (int I2 = 0; I2 < 16; ++I2) {
+    X[I2] = double(I2) * 0.25;
+    Y[I2] = 1.0;
+  }
+  double YRef[16];
+  std::memcpy(YRef, Y, sizeof(Y));
+  Invocation RefI = Interp->newInvocation();
+  ASSERT_TRUE(RefI.bind("a", A, 1) && RefI.bind("x", X, 16) &&
+              RefI.bind("y", YRef, 16))
+      << RefI.error();
+  InvocationResult Ref = RefI.run();
+  ASSERT_TRUE(Ref.Ok) << Ref.Error;
+
+  Invocation I = Native->newInvocation();
+  ASSERT_TRUE(I.bind("a", A, 1) && I.bind("x", X, 16) && I.bind("y", Y, 16))
+      << I.error();
+  InvocationResult R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.EngineUsed, exec::EngineKind::Native);
+  // The zero-copy assertion: no output-map copies, no snapshot.
+  EXPECT_EQ(R.OutputCopies, 0u);
+  EXPECT_TRUE(R.Outputs.empty());
+  // And the caller buffers hold the results.
+  EXPECT_NEAR(R.ReturnValue, Ref.ReturnValue,
+              1e-9 * (1.0 + std::fabs(Ref.ReturnValue)));
+  for (int I2 = 0; I2 < 16; ++I2)
+    EXPECT_NEAR(Y[I2], YRef[I2], 1e-9 * (1.0 + std::fabs(YRef[I2])))
+        << "y[" << I2 << "]";
+}
+
+TEST(ZeroCopy, UnboundCaptureStillSnapshotsForDifferentialTests) {
+  auto P = compileSaxpy(exec::EngineKind::Interp);
+  ASSERT_TRUE(P);
+  InvocationResult R = P->invoke(P->newInvocation().captureOutputs());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(R.Outputs.empty());
+  EXPECT_GT(R.OutputCopies, 0u);
+  // Default invocations skip the snapshot entirely.
+  InvocationResult R2 = P->invoke();
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_TRUE(R2.Outputs.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency: 8 threads x 100 invocations of one Program, both engines,
+// bit-identical to serial execution.
+//===----------------------------------------------------------------------===//
+
+void stressProgram(const std::shared_ptr<const Program> &P,
+                   bool BitIdentical) {
+  ASSERT_TRUE(P);
+  // Serial reference.
+  InvocationResult Serial = P->invoke(P->newInvocation().captureOutputs());
+  ASSERT_TRUE(Serial.Ok) << Serial.Error;
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 100;
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < kThreads; ++T)
+    Threads.emplace_back([&] {
+      Invocation I = P->newInvocation();
+      for (int It = 0; It < kIterations; ++It) {
+        InvocationResult R = P->invoke(I);
+        bool Match =
+            R.Ok && (BitIdentical
+                         ? bitIdentical(R.ReturnValue, Serial.ReturnValue)
+                         : std::fabs(R.ReturnValue - Serial.ReturnValue) <=
+                               1e-9 * (1.0 + std::fabs(Serial.ReturnValue)));
+        if (!Match)
+          ++Failures;
+      }
+      // One snapshot run per thread: full outputs against serial.
+      InvocationResult R = P->invoke(I.captureOutputs());
+      if (!R.Ok || R.Outputs.size() != Serial.Outputs.size()) {
+        ++Failures;
+        return;
+      }
+      for (const auto &[Name, Expected] : Serial.Outputs) {
+        auto Found = R.Outputs.find(Name);
+        if (Found == R.Outputs.end() ||
+            Found->second.size() != Expected.size()) {
+          ++Failures;
+          return;
+        }
+        for (size_t E = 0; E < Expected.size(); ++E) {
+          bool Match = BitIdentical
+                           ? bitIdentical(Found->second[E], Expected[E])
+                           : std::fabs(Found->second[E] - Expected[E]) <=
+                                 1e-9 * (1.0 + std::fabs(Expected[E]));
+          if (!Match) {
+            ++Failures;
+            return;
+          }
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+  EXPECT_GE(P->stats().Invocations,
+            std::uint64_t(kThreads) * kIterations);
+}
+
+TEST(ConcurrencyStress, InterpEightThreadsHundredInvocationsBitIdentical) {
+  Compiler C;
+  auto P = C.pipeline(PipelineKind::Dcir)
+               .engine(exec::EngineKind::Interp)
+               .compile(pipeline::loadWorkload("polybench/atax.c"),
+                        "kernel_atax");
+  ASSERT_TRUE(P) << C.diagnostics();
+  stressProgram(P, /*BitIdentical=*/true);
+  EXPECT_EQ(P->stats().EngineFallbacks, 0u);
+}
+
+TEST(ConcurrencyStress, NativeSerialEightThreadsHundredInvocationsBitIdentical) {
+  Compiler C;
+  auto P = C.pipeline(PipelineKind::Dcir)
+               .engine(exec::EngineKind::Native)
+               .parallelism(pipeline::ParallelismMode::Off)
+               .compile(pipeline::loadWorkload("polybench/atax.c"),
+                        "kernel_atax");
+  ASSERT_TRUE(P) << C.diagnostics();
+  if (!P->nativePrepareError().empty())
+    GTEST_SKIP() << "no host compiler: " << P->nativePrepareError();
+  stressProgram(P, /*BitIdentical=*/true);
+  EXPECT_EQ(P->stats().EngineFallbacks, 0u);
+  EXPECT_EQ(P->stats().InterpInvocations, 0u);
+}
+
+TEST(ConcurrencyStress, NativeParallelMapsConcurrentInvocationsAgree) {
+  // With OpenMP work-sharing inside the artifact, concurrent invocations
+  // still agree with serial execution to 1e-9 (reduction order may vary).
+  Compiler C;
+  auto P = C.pipeline(PipelineKind::Dcir)
+               .engine(exec::EngineKind::Native)
+               .parallelism(pipeline::ParallelismMode::Auto)
+               .compile(pipeline::loadWorkload("polybench/atax.c"),
+                        "kernel_atax");
+  ASSERT_TRUE(P) << C.diagnostics();
+  if (!P->nativePrepareError().empty())
+    GTEST_SKIP() << "no host compiler: " << P->nativePrepareError();
+  stressProgram(P, /*BitIdentical=*/false);
+}
+
+TEST(ConcurrencyStress, ConcurrentBoundBuffersStayThreadLocal) {
+  // Each thread binds its own buffers with a thread-specific pattern; a
+  // single shared engine must never mix them up (zero-copy means the
+  // pointers go straight into the generated code).
+  auto P = compileSaxpy(exec::EngineKind::Native);
+  ASSERT_TRUE(P);
+  if (!P->nativePrepareError().empty())
+    GTEST_SKIP() << "no host compiler: " << P->nativePrepareError();
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 8; ++T)
+    Threads.emplace_back([&, T] {
+      double A[1] = {double(T)};
+      double X[16], Y[16];
+      for (int E = 0; E < 16; ++E) {
+        X[E] = 1.0;
+        Y[E] = 0.0;
+      }
+      Invocation I = P->newInvocation();
+      if (!(I.bind("a", A, 1) && I.bind("x", X, 16) && I.bind("y", Y, 16))) {
+        ++Failures;
+        return;
+      }
+      for (int It = 0; It < 100; ++It) {
+        for (int E = 0; E < 16; ++E)
+          Y[E] = 0.0;
+        InvocationResult R = P->invoke(I);
+        // y[i] = T each; acc = 16*T.
+        if (!R.Ok || !bitIdentical(R.ReturnValue, 16.0 * T) ||
+            !bitIdentical(Y[7], double(T)))
+          ++Failures;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Async serving, counters, fallbacks
+//===----------------------------------------------------------------------===//
+
+TEST(InvokeAsync, BatchedFuturesMatchSynchronousResults) {
+  auto P = compileSaxpy(exec::EngineKind::Interp);
+  ASSERT_TRUE(P);
+  InvocationResult Serial = P->invoke();
+  ASSERT_TRUE(Serial.Ok) << Serial.Error;
+  std::vector<std::future<InvocationResult>> Futures;
+  for (int B = 0; B < 32; ++B)
+    Futures.push_back(P->invokeAsync(P->newInvocation()));
+  for (auto &F : Futures) {
+    InvocationResult R = F.get();
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_TRUE(bitIdentical(R.ReturnValue, Serial.ReturnValue));
+  }
+  EXPECT_EQ(P->stats().AsyncInvocations, 32u);
+  EXPECT_EQ(P->stats().Invocations, 33u);
+}
+
+TEST(InvokeAsync, DroppingTheProgramCancelsQueuedInvocations) {
+  std::vector<std::future<InvocationResult>> Futures;
+  {
+    auto P = compileSaxpy(exec::EngineKind::Interp);
+    ASSERT_TRUE(P);
+    for (int B = 0; B < 64; ++B)
+      Futures.push_back(P->invokeAsync(P->newInvocation()));
+  } // Last reference dropped: in-flight work finishes, queued is cancelled.
+  int Completed = 0, Cancelled = 0;
+  for (auto &F : Futures) {
+    try {
+      InvocationResult R = F.get();
+      EXPECT_TRUE(R.Ok) << R.Error;
+      ++Completed;
+    } catch (const std::future_error &E) {
+      EXPECT_EQ(E.code(), std::future_errc::broken_promise);
+      ++Cancelled;
+    }
+  }
+  EXPECT_EQ(Completed + Cancelled, 64);
+}
+
+TEST(ProgramStats, CountersTrackEngineUse) {
+  auto P = compileSaxpy(exec::EngineKind::Interp);
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->stats().Invocations, 0u);
+  P->invoke();
+  P->invoke();
+  ProgramStats S = P->stats();
+  EXPECT_EQ(S.Invocations, 2u);
+  EXPECT_EQ(S.InterpInvocations, 2u);
+  EXPECT_EQ(S.NativeInvocations, 0u);
+  EXPECT_EQ(S.EngineFallbacks, 0u);
+}
+
+TEST(ProgramStats, JitCostReportedExactlyOnce) {
+  auto P = compileSaxpy(exec::EngineKind::Native);
+  ASSERT_TRUE(P);
+  if (!P->nativePrepareError().empty())
+    GTEST_SKIP() << "no host compiler: " << P->nativePrepareError();
+  InvocationResult First = P->invoke();
+  ASSERT_TRUE(First.Ok) << First.Error;
+  EXPECT_DOUBLE_EQ(First.CompileSeconds, P->nativeCompileSeconds());
+  InvocationResult Second = P->invoke();
+  ASSERT_TRUE(Second.Ok) << Second.Error;
+  EXPECT_DOUBLE_EQ(Second.CompileSeconds, 0.0);
+}
+
+TEST(EngineFallback, UnlowerableGraphCountsAndServesFromInterp) {
+  // A stream container is valid for the interpreter but outside the
+  // native code generator's subset — the canonical fallback case.
+  auto G = std::make_unique<sdfg::SDFG>("stream_prog");
+  G->addStream("s", sdfg::DType::F64);
+  sdfg::State *S = G->addState("body");
+  G->setStartState(S);
+  DiagnosticEngine D;
+  ASSERT_TRUE(G->validate(D)) << D.str();
+
+  Program::Parts Parts;
+  Parts.Kind = PipelineKind::Dcir;
+  Parts.Engine = exec::EngineKind::Native;
+  Parts.Entry = "stream_prog";
+  Parts.Graph = std::shared_ptr<const sdfg::SDFG>(std::move(G));
+  auto P = Program::create(std::move(Parts));
+  ASSERT_TRUE(P);
+  // Preparation failed at creation, with the reason queryable.
+  EXPECT_NE(P->nativePrepareError().find("stream"), std::string::npos)
+      << P->nativePrepareError();
+  InvocationResult R = P->invoke();
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.EngineUsed, exec::EngineKind::Interp);
+  ProgramStats Stats = P->stats();
+  EXPECT_EQ(Stats.EngineFallbacks, 1u);
+  EXPECT_EQ(Stats.InterpInvocations, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// The pipeline shim delegates to one shared Program (the old lazy
+// EngineImpl — and its data race — is gone).
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineShim, RunSharesOneProgramAcrossCalls) {
+  DiagnosticEngine Diags;
+  pipeline::Compiled C = pipeline::compile(
+      kSaxpyKernel, "kernel_saxpy", PipelineKind::Dcir, Diags);
+  ASSERT_TRUE(C.Graph) << Diags.str();
+  pipeline::RunResult R1 = pipeline::run(C);
+  pipeline::RunResult R2 = pipeline::run(C);
+  EXPECT_TRUE(bitIdentical(R1.ReturnValue, R2.ReturnValue));
+  // Legacy contract: run() captures outputs.
+  EXPECT_FALSE(R1.Outputs.empty());
+  // Both runs went through the same Program.
+  auto P = C.program();
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->stats().Invocations, 2u);
+}
+
+} // namespace

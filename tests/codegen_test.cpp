@@ -51,6 +51,27 @@ TEST(CppCodegen, EmitsStructure) {
   EXPECT_NE(Code.find("__return"), std::string::npos);
   // The uniform-ABI trampoline the JIT engine resolves via dlsym.
   EXPECT_NE(Code.find("extern \"C\" void f__dcir_call("), std::string::npos);
+  // The argument-binding descriptor the engine verifies at prepare time.
+  EXPECT_NE(Code.find("extern \"C\" const char *f__dcir_signature()"),
+            std::string::npos);
+  EXPECT_NE(Code.find(codegen::abiSignature(*G)), std::string::npos);
+}
+
+TEST(CppCodegen, AbiSignatureNamesArgsTypesAndSymbols) {
+  auto G = compileToSdfg(
+      "double f(double x[8], double y[8]) { double s = 0.0; "
+      "for (int i = 0; i < 8; i++) { y[i] = 2.0 * x[i]; s += y[i]; } "
+      "return s; }",
+      "f");
+  ASSERT_TRUE(G);
+  std::string Sig = codegen::abiSignature(*G);
+  // Format: entry(arg:dtype,...|sym,...) in callSignature order.
+  EXPECT_EQ(Sig.substr(0, 2), "f(");
+  EXPECT_NE(Sig.find("x:f64"), std::string::npos) << Sig;
+  EXPECT_NE(Sig.find("y:f64"), std::string::npos) << Sig;
+  EXPECT_NE(Sig.find("__return:f64"), std::string::npos) << Sig;
+  EXPECT_NE(Sig.find('|'), std::string::npos) << Sig;
+  EXPECT_EQ(Sig.back(), ')') << Sig;
 }
 
 TEST(CppCodegen, SignatureIsDeterministic) {

@@ -50,9 +50,12 @@ TEST_F(ConversionTest, Fig5AddEndToEnd) {
   const char *Source = "int fName(int *A, int *B) { return *A + *B; }";
   auto G = toSdfg(Source, "fName");
   ASSERT_TRUE(G);
-  // `?` dims became fresh symbols (paper step 1).
-  EXPECT_FALSE(G->desc("_arg0").Shape.empty());
-  EXPECT_TRUE(G->desc("_arg0").Shape[0].isSymbol());
+  // Containers carry the source-level parameter names (the embedding API
+  // binds by them), and `?` dims became fresh symbols (paper step 1).
+  ASSERT_TRUE(G->hasData("A"));
+  ASSERT_TRUE(G->hasData("B"));
+  EXPECT_FALSE(G->desc("A").Shape.empty());
+  EXPECT_TRUE(G->desc("A").Shape[0].isSymbol());
   DiagnosticEngine D2;
   EXPECT_TRUE(G->validate(D2)) << D2.str();
   // Execute.
@@ -61,10 +64,10 @@ TEST_F(ConversionTest, Fig5AddEndToEnd) {
   auto B = interp::Buffer::create(sdfg::DType::I64, {4});
   A->write(0, sdfg::RtVal::makeI(19));
   B->write(0, sdfg::RtVal::makeI(23));
-  I.bind("_arg0", A);
-  I.bind("_arg1", B);
-  I.setSymbol(G->desc("_arg0").Shape[0].symbolName(), 4);
-  I.setSymbol(G->desc("_arg1").Shape[0].symbolName(), 4);
+  I.bind("A", A);
+  I.bind("B", B);
+  I.setSymbol(G->desc("A").Shape[0].symbolName(), 4);
+  I.setSymbol(G->desc("B").Shape[0].symbolName(), 4);
   I.run();
   EXPECT_EQ(I.readScalar("__return").asI(), 42);
 }

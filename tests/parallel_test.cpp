@@ -14,6 +14,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "api/Api.h"
 #include "codegen/CppCodegen.h"
 #include "exec/InterpEngine.h"
 #include "exec/JitCache.h"
@@ -45,16 +46,15 @@ std::string freshDir(const std::string &Tag) {
   return Dir;
 }
 
-pipeline::Compiled compileDcir(const std::string &Source,
-                               const std::string &Entry,
-                               ParallelismMode Mode = ParallelismMode::Auto) {
-  DiagnosticEngine Diags;
-  pipeline::CompileOptions Opts;
-  Opts.Parallelism = Mode;
-  pipeline::Compiled C =
-      pipeline::compile(Source, Entry, PipelineKind::Dcir, Diags, Opts);
-  EXPECT_TRUE(C.Graph) << Diags.str();
-  return C;
+std::shared_ptr<const api::Program>
+compileDcir(const std::string &Source, const std::string &Entry,
+            ParallelismMode Mode = ParallelismMode::Auto) {
+  api::Compiler C;
+  auto P = C.pipeline(PipelineKind::Dcir)
+               .parallelism(Mode)
+               .compile(Source, Entry);
+  EXPECT_TRUE(P && P->graph()) << C.diagnostics();
+  return P;
 }
 
 unsigned countMaps(const SDFG &G) {
@@ -141,63 +141,60 @@ double kernel_scan() {
 //===----------------------------------------------------------------------===//
 
 TEST(ConvertLoopsToMaps, ElementwiseLoopsBecomeMaps) {
-  pipeline::Compiled C = compileDcir(kElementwise, "kernel_elem");
-  ASSERT_TRUE(C.Graph);
-  EXPECT_GE(C.Report.LoopsConvertedToMaps, 4u); // 2 init nests + reduction.
-  EXPECT_GE(countMaps(*C.Graph), 2u);
+  auto C = compileDcir(kElementwise, "kernel_elem");
+  ASSERT_TRUE(C && C->graph());
+  EXPECT_GE(C->report().LoopsConvertedToMaps, 4u); // 2 init nests + reduction.
+  EXPECT_GE(countMaps(*C->graph()), 2u);
   // No sequential loop skeleton should remain: every nest was convertible.
-  EXPECT_TRUE(sdfgopt::findLoops(*C.Graph).empty());
-  expectNativeMatchesInterp(*C.Graph, "elem");
+  EXPECT_TRUE(sdfgopt::findLoops(*C->graph()).empty());
+  expectNativeMatchesInterp(*C->graph(), "elem");
 }
 
 TEST(ConvertLoopsToMaps, ReductionBecomesWcrMap) {
-  pipeline::Compiled C = compileDcir(kDotProduct, "kernel_dot");
-  ASSERT_TRUE(C.Graph);
-  EXPECT_GE(C.Report.ReductionMaps, 1u);
-  EXPECT_GE(countWcrEdges(*C.Graph), 1u);
+  auto C = compileDcir(kDotProduct, "kernel_dot");
+  ASSERT_TRUE(C && C->graph());
+  EXPECT_GE(C->report().ReductionMaps, 1u);
+  EXPECT_GE(countWcrEdges(*C->graph()), 1u);
   // Plausibility: sum of products of [0,1) values over 4096 elements.
   exec::InterpEngine Interp;
-  exec::EngineRun R = Interp.runGraph(*C.Graph, interp::MathMode::Precise);
+  exec::EngineRun R = Interp.runGraph(*C->graph(), interp::MathMode::Precise);
   ASSERT_TRUE(R.Ok) << R.Error;
   EXPECT_GT(R.ReturnValue, 100.0);
-  expectNativeMatchesInterp(*C.Graph, "dot");
+  expectNativeMatchesInterp(*C->graph(), "dot");
 }
 
 TEST(ConvertLoopsToMaps, RefusesLoopCarriedDependence) {
-  pipeline::Compiled C = compileDcir(kPrefixScan, "kernel_scan");
-  ASSERT_TRUE(C.Graph);
+  auto C = compileDcir(kPrefixScan, "kernel_scan");
+  ASSERT_TRUE(C && C->graph());
   // The init loop converts; the scan must stay a sequential state-machine
   // loop (a[i] reads a[i-1]: offsets differ, no disjointness proof).
   std::vector<sdfgopt::LoopRegion> Remaining =
-      sdfgopt::findLoops(*C.Graph);
+      sdfgopt::findLoops(*C->graph());
   EXPECT_GE(Remaining.size(), 1u)
       << "the prefix-scan loop must not be converted";
   // And the sequential fallback still computes the right answer natively:
   // a[N-1] = N.
   exec::InterpEngine Interp;
-  exec::EngineRun R = Interp.runGraph(*C.Graph, interp::MathMode::Precise);
+  exec::EngineRun R = Interp.runGraph(*C->graph(), interp::MathMode::Precise);
   ASSERT_TRUE(R.Ok) << R.Error;
   EXPECT_DOUBLE_EQ(R.ReturnValue, 64.0);
-  expectNativeMatchesInterp(*C.Graph, "scan");
+  expectNativeMatchesInterp(*C->graph(), "scan");
 }
 
 TEST(ConvertLoopsToMaps, OffModeLeavesLoopsSequential) {
-  pipeline::Compiled C =
-      compileDcir(kElementwise, "kernel_elem", ParallelismMode::Off);
-  ASSERT_TRUE(C.Graph);
-  EXPECT_EQ(C.Report.LoopsConvertedToMaps, 0u);
-  EXPECT_EQ(countMaps(*C.Graph), 0u);
+  auto C = compileDcir(kElementwise, "kernel_elem", ParallelismMode::Off);
+  ASSERT_TRUE(C && C->graph());
+  EXPECT_EQ(C->report().LoopsConvertedToMaps, 0u);
+  EXPECT_EQ(countMaps(*C->graph()), 0u);
 }
 
 TEST(ConvertLoopsToMaps, CallSignatureStableAcrossModes) {
-  pipeline::Compiled Off =
-      compileDcir(kElementwise, "kernel_elem", ParallelismMode::Off);
-  pipeline::Compiled Auto =
-      compileDcir(kElementwise, "kernel_elem", ParallelismMode::Auto);
-  ASSERT_TRUE(Off.Graph);
-  ASSERT_TRUE(Auto.Graph);
-  codegen::CallSignature A = codegen::callSignature(*Off.Graph);
-  codegen::CallSignature B = codegen::callSignature(*Auto.Graph);
+  auto Off = compileDcir(kElementwise, "kernel_elem", ParallelismMode::Off);
+  auto Auto = compileDcir(kElementwise, "kernel_elem", ParallelismMode::Auto);
+  ASSERT_TRUE(Off && Off->graph());
+  ASSERT_TRUE(Auto && Auto->graph());
+  codegen::CallSignature A = codegen::callSignature(*Off->graph());
+  codegen::CallSignature B = codegen::callSignature(*Auto->graph());
   EXPECT_EQ(A.Args, B.Args);
   EXPECT_EQ(A.FreeSymbols, B.FreeSymbols);
 }
@@ -243,26 +240,23 @@ void expectOuterNestConverts(const char *File, const char *Entry,
                              bool RequirePrivatization = true) {
   std::string Source = pipeline::loadWorkload(File);
   DiagnosticEngine Diags;
-  pipeline::CompileOptions Opts;
-  Opts.Parallelism = ParallelismMode::Maps;
-  pipeline::Compiled C =
-      pipeline::compile(Source, Entry, PipelineKind::Dcir, Diags, Opts);
-  ASSERT_TRUE(C.Graph) << Entry << ": " << Diags.str();
+  auto C = compileDcir(Source, Entry, ParallelismMode::Maps);
+  ASSERT_TRUE(C && C->graph()) << Entry;
   // Every sequential loop skeleton converted — including the outer nest
   // that PR 2 left blocked on the hoisted scalar.
-  EXPECT_TRUE(sdfgopt::findLoops(*C.Graph).empty())
+  EXPECT_TRUE(sdfgopt::findLoops(*C->graph()).empty())
       << Entry << ": a sequential loop skeleton survived";
   if (RequirePrivatization) {
-    EXPECT_GE(C.Report.ScalarsPrivatized, 1u) << Entry;
-    EXPECT_GE(countPrivateMaps(*C.Graph), 1u) << Entry;
+    EXPECT_GE(C->report().ScalarsPrivatized, 1u) << Entry;
+    EXPECT_GE(countPrivateMaps(*C->graph()), 1u) << Entry;
   }
-  EXPECT_GE(C.Report.ChainStatesFused, 1u) << Entry;
+  EXPECT_GE(C->report().ChainStatesFused, 1u) << Entry;
   // The parallel backend puts the work-sharing pragma on the outer loop
   // and declares the privatized scalar inside it (thread-private).
   codegen::CodegenOptions Par;
   Par.ParallelMaps = true;
   codegen::CodegenInfo Info;
-  std::string Code = codegen::emitCpp(*C.Graph, Diags, Par, &Info);
+  std::string Code = codegen::emitCpp(*C->graph(), Diags, Par, &Info);
   ASSERT_FALSE(Code.empty()) << Diags.str();
   EXPECT_NE(Code.find("#pragma omp parallel for"), std::string::npos);
   EXPECT_GE(Info.ParallelMapsEmitted, 3u) << Entry;
@@ -271,7 +265,7 @@ void expectOuterNestConverts(const char *File, const char *Entry,
   // The privatized scalar is declared inside a loop body, not at
   // function scope: its declaration is indented deeper than the
   // function-scope transients.
-  for (const auto &S : C.Graph->states())
+  for (const auto &S : C->graph()->states())
     for (const auto &N : S->nodes())
       if (const auto *ME = dyn_cast<MapEntry>(N.get()))
         for (const std::string &P : ME->PrivateData)
@@ -279,7 +273,7 @@ void expectOuterNestConverts(const char *File, const char *Entry,
                     std::string::npos)
               << Entry << ": '" << P
               << "' must not be declared at function scope";
-  expectNativeMatchesInterp(*C.Graph, Tag);
+  expectNativeMatchesInterp(*C->graph(), Tag);
 }
 
 TEST(OuterLoopParallelization, GemmMainNestConvertsAtOuterLoop) {
@@ -304,15 +298,11 @@ TEST(OuterLoopParallelization, GemmEmitsOuterLoopPragma) {
   // `for` statement opens the outermost map parameter.
   std::string Source = pipeline::loadWorkload("polybench/gemm.c");
   DiagnosticEngine Diags;
-  pipeline::CompileOptions Opts;
-  Opts.Parallelism = ParallelismMode::Maps;
-  pipeline::Compiled C =
-      pipeline::compile(Source, "kernel_gemm", PipelineKind::Dcir, Diags,
-                        Opts);
-  ASSERT_TRUE(C.Graph) << Diags.str();
+  auto C = compileDcir(Source, "kernel_gemm", ParallelismMode::Maps);
+  ASSERT_TRUE(C && C->graph());
   codegen::CodegenOptions Par;
   Par.ParallelMaps = true;
-  std::string Code = codegen::emitCpp(*C.Graph, Diags, Par);
+  std::string Code = codegen::emitCpp(*C->graph(), Diags, Par);
   ASSERT_FALSE(Code.empty());
   // Find the parallel region that contains the privatized scalar: its
   // pragma'd loop is the outer i-loop of the C := alpha*A*B + beta*C
@@ -337,30 +327,26 @@ TEST(OuterLoopParallelization, GramschmidtNativeMatchesInterp) {
   // and gramschmidt (classical Gram-Schmidt is numerically unstable)
   // amplifies the rounding difference far beyond the 1e-9 contract.
   std::string Source = pipeline::loadWorkload("polybench/gramschmidt.c");
-  DiagnosticEngine Diags;
-  pipeline::CompileOptions Opts;
-  Opts.Parallelism = ParallelismMode::Maps;
-  pipeline::Compiled C = pipeline::compile(
-      Source, "kernel_gramschmidt", PipelineKind::Dcir, Diags, Opts);
-  ASSERT_TRUE(C.Graph) << Diags.str();
-  expectNativeMatchesInterp(*C.Graph, "gramschmidt");
+  auto C = compileDcir(Source, "kernel_gramschmidt", ParallelismMode::Maps);
+  ASSERT_TRUE(C && C->graph());
+  expectNativeMatchesInterp(*C->graph(), "gramschmidt");
 }
 
 TEST(Privatization, RefusesLoopCarriedScalar) {
-  pipeline::Compiled C = compileDcir(kCarriedScalar, "kernel_carried");
-  ASSERT_TRUE(C.Graph);
+  auto C = compileDcir(kCarriedScalar, "kernel_carried");
+  ASSERT_TRUE(C && C->graph());
   // The middle loop carries `t` across iterations: it must stay a
   // sequential state-machine loop with no privatization.
-  EXPECT_GE(sdfgopt::findLoops(*C.Graph).size(), 1u)
+  EXPECT_GE(sdfgopt::findLoops(*C->graph()).size(), 1u)
       << "the loop-carried scalar must not be privatized away";
-  EXPECT_EQ(countPrivateMaps(*C.Graph), 0u);
+  EXPECT_EQ(countPrivateMaps(*C->graph()), 0u);
   // And the sequential fallback still computes the right answer:
   // s = sum(1 + 0.5^i) = 64 + (2 - 2^-63).
   exec::InterpEngine Interp;
-  exec::EngineRun R = Interp.runGraph(*C.Graph, interp::MathMode::Precise);
+  exec::EngineRun R = Interp.runGraph(*C->graph(), interp::MathMode::Precise);
   ASSERT_TRUE(R.Ok) << R.Error;
   EXPECT_NEAR(R.ReturnValue, 66.0, 1e-9);
-  expectNativeMatchesInterp(*C.Graph, "carried");
+  expectNativeMatchesInterp(*C->graph(), "carried");
 }
 
 TEST(ConvertLoopsToMaps, PolybenchCorpusConvertsSomewhere) {
@@ -373,11 +359,9 @@ TEST(ConvertLoopsToMaps, PolybenchCorpusConvertsSomewhere) {
                             : File == std::string("polybench/jacobi_2d.c")
                                   ? "kernel_jacobi_2d"
                                   : "kernel_mvt";
-    DiagnosticEngine Diags;
-    pipeline::Compiled C =
-        pipeline::compile(Source, Entry, PipelineKind::Dcir, Diags);
-    ASSERT_TRUE(C.Graph) << Entry << ": " << Diags.str();
-    EXPECT_GE(C.Report.LoopsConvertedToMaps, 2u) << Entry;
+    auto C = compileDcir(Source, Entry);
+    ASSERT_TRUE(C && C->graph()) << Entry;
+    EXPECT_GE(C->report().LoopsConvertedToMaps, 2u) << Entry;
   }
 }
 
@@ -415,13 +399,13 @@ TEST(SubsetDisjointness, ProvesAndRefusesAcrossParam) {
 //===----------------------------------------------------------------------===//
 
 TEST(ParallelCodegen, EmitsGuardedOpenMPPragmas) {
-  pipeline::Compiled C = compileDcir(kElementwise, "kernel_elem");
-  ASSERT_TRUE(C.Graph);
+  auto C = compileDcir(kElementwise, "kernel_elem");
+  ASSERT_TRUE(C && C->graph());
   DiagnosticEngine Diags;
   codegen::CodegenOptions Par;
   Par.ParallelMaps = true;
   codegen::CodegenInfo Info;
-  std::string WithOmp = codegen::emitCpp(*C.Graph, Diags, Par, &Info);
+  std::string WithOmp = codegen::emitCpp(*C->graph(), Diags, Par, &Info);
   ASSERT_FALSE(WithOmp.empty()) << Diags.str();
   EXPECT_NE(WithOmp.find("#pragma omp parallel for"), std::string::npos);
   EXPECT_NE(WithOmp.find("collapse(2)"), std::string::npos);
@@ -432,7 +416,7 @@ TEST(ParallelCodegen, EmitsGuardedOpenMPPragmas) {
                 : WithOmp.find("#pragma omp"));
   EXPECT_GE(Info.ParallelMapsEmitted, 2u);
 
-  std::string Serial = codegen::emitCpp(*C.Graph, Diags);
+  std::string Serial = codegen::emitCpp(*C->graph(), Diags);
   ASSERT_FALSE(Serial.empty());
   EXPECT_EQ(Serial.find("#pragma omp parallel"), std::string::npos);
   // The __restrict__ qualification and the thread hook are unconditional.
@@ -442,13 +426,13 @@ TEST(ParallelCodegen, EmitsGuardedOpenMPPragmas) {
 }
 
 TEST(ParallelCodegen, ScalarReductionGetsReductionClause) {
-  pipeline::Compiled C = compileDcir(kDotProduct, "kernel_dot");
-  ASSERT_TRUE(C.Graph);
+  auto C = compileDcir(kDotProduct, "kernel_dot");
+  ASSERT_TRUE(C && C->graph());
   DiagnosticEngine Diags;
   codegen::CodegenOptions Par;
   Par.ParallelMaps = true;
   codegen::CodegenInfo Info;
-  std::string Source = codegen::emitCpp(*C.Graph, Diags, Par, &Info);
+  std::string Source = codegen::emitCpp(*C->graph(), Diags, Par, &Info);
   ASSERT_FALSE(Source.empty()) << Diags.str();
   EXPECT_NE(Source.find("reduction(+:"), std::string::npos);
   EXPECT_GE(Info.Reductions, 1u);
@@ -459,17 +443,17 @@ TEST(ParallelCodegen, ScalarReductionGetsReductionClause) {
 //===----------------------------------------------------------------------===//
 
 TEST(WcrReduction, StableAcrossThreadCounts) {
-  pipeline::Compiled C = compileDcir(kDotProduct, "kernel_dot");
-  ASSERT_TRUE(C.Graph);
+  auto C = compileDcir(kDotProduct, "kernel_dot");
+  ASSERT_TRUE(C && C->graph());
   exec::InterpEngine Interp;
-  exec::EngineRun RI = Interp.runGraph(*C.Graph, interp::MathMode::Precise);
+  exec::EngineRun RI = Interp.runGraph(*C->graph(), interp::MathMode::Precise);
   ASSERT_TRUE(RI.Ok) << RI.Error;
 
   exec::JitCache Cache(freshDir("threads"));
   for (int Threads : {1, 2, 8}) {
     exec::NativeJitEngine Native(&Cache);
     Native.setNumThreads(Threads);
-    exec::EngineRun RN = Native.runGraph(*C.Graph, interp::MathMode::Precise);
+    exec::EngineRun RN = Native.runGraph(*C->graph(), interp::MathMode::Precise);
     ASSERT_TRUE(RN.Ok) << "threads=" << Threads << ": " << RN.Error;
     // FP reassociation across thread counts stays within 1e-9 relative of
     // the interpreter checksum (the acceptance bound).

@@ -15,6 +15,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "api/Api.h"
 #include "opt/PassFramework.h"
 #include "passes/Pass.h"
 #include "pipeline/Pipeline.h"
@@ -169,11 +170,10 @@ TEST(PipelineSpec, RegistryListsEveryPassAndAlias) {
 TEST(PassStatistics, AggregationMatchesOptReportOnPolybench) {
   for (const pipeline::PolybenchKernel &K : pipeline::polybenchKernels()) {
     std::string Source = pipeline::loadWorkload(K.File);
-    DiagnosticEngine Diags;
-    pipeline::Compiled C = pipeline::compile(Source, K.Entry,
-                                             PipelineKind::Dcir, Diags);
-    ASSERT_TRUE(C.Graph) << K.Name << ": " << Diags.str();
-    const sdfgopt::OptReport &R = C.Report;
+    api::Compiler AC;
+    auto C = AC.pipeline(PipelineKind::Dcir).compile(Source, K.Entry);
+    ASSERT_TRUE(C && C->graph()) << K.Name << ": " << AC.diagnostics();
+    const sdfgopt::OptReport &R = C->report();
     const opt::PipelineReport &P = R.Passes;
     EXPECT_EQ(R.ScalarsPromoted, P.rewrites("promote-scalars")) << K.Name;
     EXPECT_EQ(R.SymbolsPropagated, P.rewrites("propagate-symbols"))
@@ -204,14 +204,13 @@ TEST(PassStatistics, AggregationMatchesOptReportOnPolybench) {
 
 TEST(PassStatistics, ReportRendersTableAndJson) {
   std::string Source = pipeline::loadWorkload("polybench/gemm.c");
-  DiagnosticEngine Diags;
-  pipeline::Compiled C =
-      pipeline::compile(Source, "kernel_gemm", PipelineKind::Dcir, Diags);
-  ASSERT_TRUE(C.Graph) << Diags.str();
-  std::string Table = C.Report.Passes.str();
+  api::Compiler AC;
+  auto C = AC.pipeline(PipelineKind::Dcir).compile(Source, "kernel_gemm");
+  ASSERT_TRUE(C && C->graph()) << AC.diagnostics();
+  std::string Table = C->report().Passes.str();
   EXPECT_NE(Table.find("rewrites"), std::string::npos);
   EXPECT_NE(Table.find("loops-to-maps"), std::string::npos);
-  std::string Json = C.Report.Passes.json();
+  std::string Json = C->report().Passes.json();
   EXPECT_EQ(Json.front(), '[');
   EXPECT_EQ(Json.back(), ']');
   EXPECT_NE(Json.find("\"pass\": \"promote-scalars\""), std::string::npos);
@@ -231,70 +230,69 @@ unsigned countMaps(const SDFG &G) {
   return N;
 }
 
-pipeline::Compiled compileWith(const pipeline::CompileOptions &Opts) {
+std::shared_ptr<const api::Program>
+compileWith(const pipeline::CompileOptions &Opts) {
   std::string Source = pipeline::loadWorkload("polybench/gemm.c");
-  DiagnosticEngine Diags;
-  pipeline::Compiled C = pipeline::compile(Source, "kernel_gemm",
-                                           PipelineKind::Dcir, Diags, Opts);
-  EXPECT_TRUE(C.Graph) << Diags.str();
+  api::Compiler AC;
+  auto C = AC.pipeline(PipelineKind::Dcir).options(Opts).compile(
+      Source, "kernel_gemm");
+  EXPECT_TRUE(C && C->graph()) << AC.diagnostics();
   return C;
 }
 
 TEST(OptLevels, O0TranslatesWithoutRunningPasses) {
   pipeline::CompileOptions Opts;
   Opts.Opt = OptLevel::O0;
-  pipeline::Compiled C = compileWith(Opts);
-  ASSERT_TRUE(C.Graph);
-  EXPECT_TRUE(C.Report.Passes.Passes.empty());
-  EXPECT_EQ(countMaps(*C.Graph), 0u);
-  EXPECT_EQ(C.Report.LoopsConvertedToMaps, 0u);
+  auto C = compileWith(Opts);
+  ASSERT_TRUE(C && C->graph());
+  EXPECT_TRUE(C->report().Passes.Passes.empty());
+  EXPECT_EQ(countMaps(*C->graph()), 0u);
+  EXPECT_EQ(C->report().LoopsConvertedToMaps, 0u);
 }
 
 TEST(OptLevels, O1RunsSimplifyOnly) {
   pipeline::CompileOptions Opts;
   Opts.Opt = OptLevel::O1;
-  pipeline::Compiled C = compileWith(Opts);
-  ASSERT_TRUE(C.Graph);
-  EXPECT_GT(C.Report.Passes.totalRewrites(), 0u);
-  EXPECT_EQ(C.Report.LoopsConvertedToMaps, 0u);
-  EXPECT_EQ(C.Report.Passes.rewrites("prealloc"), 0u);
-  EXPECT_EQ(countMaps(*C.Graph), 0u);
+  auto C = compileWith(Opts);
+  ASSERT_TRUE(C && C->graph());
+  EXPECT_GT(C->report().Passes.totalRewrites(), 0u);
+  EXPECT_EQ(C->report().LoopsConvertedToMaps, 0u);
+  EXPECT_EQ(C->report().Passes.rewrites("prealloc"), 0u);
+  EXPECT_EQ(countMaps(*C->graph()), 0u);
 }
 
 TEST(OptLevels, O2IsTheDefaultAndConverts) {
-  pipeline::Compiled Default = compileWith(pipeline::CompileOptions());
-  ASSERT_TRUE(Default.Graph);
-  EXPECT_GT(Default.Report.LoopsConvertedToMaps, 0u);
-  EXPECT_GT(countMaps(*Default.Graph), 0u);
+  auto Default = compileWith(pipeline::CompileOptions());
+  ASSERT_TRUE(Default && Default->graph());
+  EXPECT_GT(Default->report().LoopsConvertedToMaps, 0u);
+  EXPECT_GT(countMaps(*Default->graph()), 0u);
 }
 
 TEST(OptLevels, PassSpecOverridesOptLevel) {
   pipeline::CompileOptions Opts;
   Opts.PassPipeline = "simplify"; // The -O1 alias, despite Opt = O2.
-  pipeline::Compiled C = compileWith(Opts);
-  ASSERT_TRUE(C.Graph);
-  EXPECT_EQ(C.Report.LoopsConvertedToMaps, 0u);
-  EXPECT_EQ(countMaps(*C.Graph), 0u);
-  EXPECT_GT(C.Report.Passes.totalRewrites(), 0u);
+  auto C = compileWith(Opts);
+  ASSERT_TRUE(C && C->graph());
+  EXPECT_EQ(C->report().LoopsConvertedToMaps, 0u);
+  EXPECT_EQ(countMaps(*C->graph()), 0u);
+  EXPECT_GT(C->report().Passes.totalRewrites(), 0u);
 }
 
 TEST(OptLevels, MalformedPassSpecFailsTheCompile) {
   std::string Source = pipeline::loadWorkload("polybench/gemm.c");
-  DiagnosticEngine Diags;
-  pipeline::CompileOptions Opts;
-  Opts.PassPipeline = "no-such-pass";
-  pipeline::Compiled C = pipeline::compile(Source, "kernel_gemm",
-                                           PipelineKind::Dcir, Diags, Opts);
-  EXPECT_FALSE(C.Graph);
-  EXPECT_TRUE(Diags.hasErrors());
-  EXPECT_NE(Diags.str().find("unknown pass"), std::string::npos);
+  api::Compiler AC;
+  auto C = AC.pipeline(PipelineKind::Dcir)
+               .passes("no-such-pass")
+               .compile(Source, "kernel_gemm");
+  EXPECT_FALSE(C);
+  EXPECT_NE(AC.diagnostics().find("unknown pass"), std::string::npos);
 }
 
 TEST(OptLevels, VerifyEachPassAcceptsTheWholeCorpusKernel) {
   pipeline::CompileOptions Opts;
   Opts.VerifyEachPass = true;
-  pipeline::Compiled C = compileWith(Opts);
-  EXPECT_TRUE(C.Graph); // Every intermediate graph validates.
+  auto C = compileWith(Opts);
+  EXPECT_TRUE(C && C->graph()); // Every intermediate graph validates.
 }
 
 TEST(OptLevels, ParsesFlagSpellings) {
