@@ -19,8 +19,11 @@
 /// All benches accept the parseBenchFlags set — `--engine=interp|native`
 /// (native runs SDFG artifacts through the JIT engine, so the figures can
 /// report native numbers alongside the interpreter counters),
-/// `--parallel=`/`--threads=`, and the pipeline knobs `--opt=0|1|2`,
-/// `--passes=SPEC`, `--print-pass-report`.
+/// `--parallel=`/`--threads=`, the pipeline knobs `--opt=0|1|2`,
+/// `--passes=SPEC`, `--tile=T[,T2,...]` (tile-maps cache blocking),
+/// `--print-pass-report`, and the workload knobs `--parallel-scale=K`
+/// and `--define=NAME=VALUE` (explicit overrides win over scaling; see
+/// pipeline/WorkloadDefines.h).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +33,7 @@
 #include "api/Api.h"
 #include "exec/ExecutionEngine.h"
 #include "pipeline/Pipeline.h"
+#include "pipeline/WorkloadDefines.h"
 
 #include <algorithm>
 #include <benchmark/benchmark.h>
@@ -60,6 +64,13 @@ struct BenchOptions {
   pipeline::OptLevel Opt = pipeline::OptLevel::O2;
   /// --passes=SPEC: explicit pass-pipeline spec (overrides --opt).
   std::string Passes;
+  /// --tile=T[,T2,...]: tile sizes for the tile-maps cache-blocking pass
+  /// (empty / --tile=0 disables, the default).
+  std::vector<unsigned> TileSizes;
+  /// --define=NAME=VALUE (repeatable): pin a workload #define to an
+  /// explicit value; the last writer wins and --parallel-scale never
+  /// rescales a pinned define.
+  pipeline::WorkloadDefines Defines;
   /// --print-pass-report: dump the per-pass rewrite/wall-time table after
   /// each DCIR/DaCe compile.
   bool PrintPassReport = false;
@@ -71,14 +82,22 @@ struct BenchOptions {
     Opts.NumThreads = Threads;
     Opts.Opt = Opt;
     Opts.PassPipeline = Passes;
+    Opts.TileSizes = TileSizes;
     return Opts;
+  }
+
+  /// Loads + adjusts a workload source: applies the --define= overrides
+  /// and (for \p Scaled) the --parallel-scale factor, overrides winning.
+  std::string prepareSource(const std::string &Source, bool Scaled) const {
+    return pipeline::prepareWorkload(Source, Scaled ? ParallelScale : 1,
+                                     Defines);
   }
 };
 
 /// Extracts the harness flags from argv (so benchmark::Initialize never
 /// sees them): --engine=interp|native, --parallel=on|off|maps|auto,
 /// --threads=N, --parallel-scale=K, --opt=0|1|2, --passes=SPEC,
-/// --print-pass-report.
+/// --tile=T[,T2,...], --define=NAME=VALUE, --print-pass-report.
 inline BenchOptions parseBenchFlags(int &argc, char **argv) {
   BenchOptions Opts;
   int Out = 1;
@@ -127,6 +146,43 @@ inline BenchOptions parseBenchFlags(int &argc, char **argv) {
       Opts.Passes = argv[I] + 9;
       continue;
     }
+    if (std::strncmp(argv[I], "--tile=", 7) == 0) {
+      Opts.TileSizes.clear();
+      const char *P = argv[I] + 7;
+      bool AnyTile = false;
+      while (*P) {
+        char *End = nullptr;
+        long V = std::strtol(P, &End, 10);
+        if (End == P || V < 0 || (*End && *End != ',')) {
+          std::fprintf(stderr,
+                       "bad --tile= value '%s' (expected T[,T2,...])\n",
+                       argv[I] + 7);
+          std::exit(2);
+        }
+        // Entries keep their dimension position: 0/1 means "leave this
+        // dimension untiled" (tileMaps skips sizes < 2).
+        Opts.TileSizes.push_back(static_cast<unsigned>(V));
+        AnyTile |= V >= 2;
+        P = *End ? End + 1 : End;
+      }
+      if (!AnyTile) // --tile=0: tiling disabled outright.
+        Opts.TileSizes.clear();
+      continue;
+    }
+    if (std::strncmp(argv[I], "--define=", 9) == 0) {
+      const char *Spec = argv[I] + 9;
+      const char *Eq = std::strchr(Spec, '=');
+      char *End = nullptr;
+      long long V = Eq ? std::strtoll(Eq + 1, &End, 10) : 0;
+      if (!Eq || Eq == Spec || End == Eq + 1 || (End && *End)) {
+        std::fprintf(stderr,
+                     "bad --define= value '%s' (expected NAME=VALUE)\n",
+                     Spec);
+        std::exit(2);
+      }
+      Opts.Defines.push_back({std::string(Spec, Eq - Spec), V});
+      continue;
+    }
     if (std::strcmp(argv[I], "--print-pass-report") == 0) {
       Opts.PrintPassReport = true;
       continue;
@@ -137,37 +193,10 @@ inline BenchOptions parseBenchFlags(int &argc, char **argv) {
   return Opts;
 }
 
-/// Returns \p Source with every `#define NAME <integer>` value multiplied
-/// by \p Factor — the Polybench workloads carry their problem sizes as
-/// object-like integer defines, so this scales MINI datasets up for
-/// measurements where the kernel must outweigh harness overhead.
-inline std::string scaleWorkloadDefines(const std::string &Source,
-                                        int Factor) {
-  if (Factor <= 1)
-    return Source;
-  std::string Out;
-  size_t Pos = 0;
-  while (Pos < Source.size()) {
-    size_t Eol = Source.find('\n', Pos);
-    if (Eol == std::string::npos)
-      Eol = Source.size();
-    std::string Line = Source.substr(Pos, Eol - Pos);
-    char Name[128];
-    long long Value;
-    int Consumed = 0;
-    if (std::sscanf(Line.c_str(), "#define %127s %lld %n", Name, &Value,
-                    &Consumed) == 2 &&
-        Line.find_first_not_of(" \t\r", Consumed) == std::string::npos) {
-      Line = std::string("#define ") + Name + " " +
-             std::to_string(Value * Factor);
-    }
-    Out += Line;
-    if (Eol < Source.size())
-      Out += '\n';
-    Pos = Eol + 1;
-  }
-  return Out;
-}
+/// Workload #define scaling now lives in pipeline/WorkloadDefines.h
+/// (unit-testable without google-benchmark); prefer
+/// BenchOptions::prepareSource, which also honours --define= overrides.
+using pipeline::scaleWorkloadDefines;
 
 /// "DCIR" / "DCIR+jit": the Config column of the summary table.
 inline std::string configName(pipeline::PipelineKind Kind,

@@ -164,25 +164,27 @@ void ablate(const char *Workload, const std::string &Source,
 
 int main(int argc, char **argv) {
   BenchOptions Opts = parseBenchFlags(argc, argv);
-  // This bench builds its own toggled pipelines; a user-supplied
-  // pipeline would be silently ignored, so refuse instead.
-  if (!Opts.Passes.empty() || Opts.Opt != pipeline::OptLevel::O2) {
+  // This bench builds its own toggled pipelines (which exclude the
+  // parallelize group entirely); a user-supplied pipeline or tiling
+  // knob would be silently ignored, so refuse instead.
+  if (!Opts.Passes.empty() || Opts.Opt != pipeline::OptLevel::O2 ||
+      !Opts.TileSizes.empty()) {
     std::fprintf(stderr, "ablation_passes builds its own pipelines; "
-                         "--passes=/--opt= are not supported here\n");
+                         "--passes=/--opt=/--tile= are not supported here\n");
     return 2;
   }
   exec::EngineKind Engine = Opts.Engine;
   std::printf("=== Ablation: DCIR with individual pass families disabled "
               "(engine=%s) ===\n",
               exec::engineName(Engine));
-  ablate("fig2", loadWorkload("snippets/fig2_motivating.c"), "example",
+  auto Load = [&](const char *File) {
+    return Opts.prepareSource(loadWorkload(File), /*Scaled=*/false);
+  };
+  ablate("fig2", Load("snippets/fig2_motivating.c"), "example", Engine);
+  ablate("bandwidth", Load("snippets/fig10_bandwidth.c"), "bandwidth",
          Engine);
-  ablate("bandwidth", loadWorkload("snippets/fig10_bandwidth.c"),
-         "bandwidth", Engine);
-  ablate("mish", loadWorkload("snippets/fig8_mish.c"), "mish_softplus",
-         Engine);
-  ablate("gesummv", loadWorkload("polybench/gesummv.c"), "kernel_gesummv",
-         Engine);
+  ablate("mish", Load("snippets/fig8_mish.c"), "mish_softplus", Engine);
+  ablate("gesummv", Load("polybench/gesummv.c"), "kernel_gesummv", Engine);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

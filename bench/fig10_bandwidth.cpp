@@ -12,7 +12,8 @@ using namespace dcir::pipeline;
 
 int main(int argc, char **argv) {
   BenchOptions Opts = parseBenchFlags(argc, argv);
-  std::string Source = loadWorkload("snippets/fig10_bandwidth.c");
+  std::string Source =
+      Opts.prepareSource(loadWorkload("snippets/fig10_bandwidth.c"), /*Scaled=*/false);
 
   std::printf("=== Fig. 10: memory bandwidth snippet ===\n");
   for (PipelineKind K : allPipelines()) {

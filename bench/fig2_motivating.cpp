@@ -19,7 +19,8 @@ using namespace dcir::pipeline;
 
 int main(int argc, char **argv) {
   BenchOptions Opts = parseBenchFlags(argc, argv);
-  std::string Source = loadWorkload("snippets/fig2_motivating.c");
+  std::string Source =
+      Opts.prepareSource(loadWorkload("snippets/fig2_motivating.c"), /*Scaled=*/false);
 
   std::printf("=== Fig. 2: mixed control- and data-centric analysis ===\n");
   for (PipelineKind K : allPipelines()) {

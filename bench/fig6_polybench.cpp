@@ -46,7 +46,8 @@ int main(int argc, char **argv) {
   JsonReporter Json("BENCH_fig6.json");
 
   for (const PolybenchKernel &K : polybenchKernels()) {
-    std::string Source = loadWorkload(K.File);
+    std::string Source = Opts.prepareSource(loadWorkload(K.File),
+                                            /*Scaled=*/false);
     std::map<PipelineKind, double> Seconds;
     for (PipelineKind Kind : allPipelines()) {
       auto P = compileOrDie(Source, K.Entry, Kind,
@@ -91,14 +92,21 @@ int main(int argc, char **argv) {
                                  : "omp-default");
     double LogParSum = 0.0;
     int ParCount = 0;
+    const bool Tiling = !Opts.TileSizes.empty();
     for (const PolybenchKernel &K : polybenchKernels()) {
-      std::string Scaled = scaleWorkloadDefines(loadWorkload(K.File),
-                                                Opts.ParallelScale);
+      std::string Scaled = Opts.prepareSource(loadWorkload(K.File),
+                                              /*Scaled=*/true);
+      // Serial and parallel baselines run untiled; a third, tiled
+      // configuration rides along when --tile= is set, so the JSON rows
+      // capture the blocking effect ("tiled": "on"/"off") across PRs.
       CompileOptions Serial = Opts.compileOptions(exec::EngineKind::Native);
       Serial.Parallelism = ParallelismMode::Off;
+      Serial.TileSizes.clear();
       CompileOptions Parallel = Opts.compileOptions(exec::EngineKind::Native);
       if (Parallel.Parallelism == ParallelismMode::Off)
         Parallel.Parallelism = ParallelismMode::Maps;
+      CompileOptions Tiled = Parallel;
+      Parallel.TileSizes.clear();
 
       auto PS = compileOrDie(Scaled, K.Entry, PipelineKind::Dcir, Serial);
       auto PP = compileOrDie(Scaled, K.Entry, PipelineKind::Dcir, Parallel);
@@ -108,15 +116,32 @@ int main(int argc, char **argv) {
                               std::to_string(Opts.Threads) + ", \"scale\": " +
                               std::to_string(Opts.ParallelScale);
       Json.add(K.Name, PipelineKind::Dcir, RS.EngineUsed, RS,
-               joinExtras({"\"parallel\": \"off\", " + ExtraBase,
+               joinExtras({"\"parallel\": \"off\", \"tiled\": \"off\", " +
+                               ExtraBase,
                            fallbackExtra(*PS)}));
       Json.add(K.Name, PipelineKind::Dcir, RP.EngineUsed, RP,
-               joinExtras({"\"parallel\": \"on\", " + ExtraBase,
+               joinExtras({"\"parallel\": \"on\", \"tiled\": \"off\", " +
+                               ExtraBase,
                            fallbackExtra(*PP)}));
+      std::string TiledCol = "           ";
+      if (Tiling) {
+        auto PT = compileOrDie(Scaled, K.Entry, PipelineKind::Dcir, Tiled);
+        api::InvocationResult RT = medianRun(*PT, 5);
+        Json.add(K.Name, PipelineKind::Dcir, RT.EngineUsed, RT,
+                 joinExtras({"\"parallel\": \"on\", \"tiled\": \"on\", " +
+                                 ExtraBase + ", \"maps_tiled\": " +
+                                 std::to_string(PT->report().MapsTiled),
+                             fallbackExtra(*PT)}));
+        char Buf[64];
+        std::snprintf(Buf, sizeof(Buf), "tiled %9.3f ms",
+                      RT.Seconds * 1e3);
+        TiledCol = Buf;
+      }
       double Speedup = RS.Seconds / RP.Seconds;
-      std::printf("%-16s serial %9.3f ms  parallel %9.3f ms  "
+      std::printf("%-16s serial %9.3f ms  parallel %9.3f ms  %s  "
                   "speedup %5.2fx  (parallel_maps=%llu)\n",
-                  K.Name, RS.Seconds * 1e3, RP.Seconds * 1e3, Speedup,
+                  K.Name, RS.Seconds * 1e3, RP.Seconds * 1e3,
+                  TiledCol.c_str(), Speedup,
                   static_cast<unsigned long long>(
                       RP.Stats.ParallelMapsEmitted));
       LogParSum += std::log(Speedup);

@@ -22,7 +22,8 @@ using namespace dcir::pipeline;
 
 int main(int argc, char **argv) {
   BenchOptions Opts = parseBenchFlags(argc, argv);
-  std::string Source = loadWorkload("polybench/syrk.c");
+  std::string Source =
+      Opts.prepareSource(loadWorkload("polybench/syrk.c"), /*Scaled=*/false);
 
   std::printf("=== Fig. 7: syrk — DaCe C frontend vs DCIR ===\n");
   api::InvocationResult Dace, Dcir;

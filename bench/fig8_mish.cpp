@@ -29,7 +29,8 @@ using namespace dcir::pipeline;
 
 int main(int argc, char **argv) {
   BenchOptions Opts = parseBenchFlags(argc, argv);
-  std::string Source = loadWorkload("snippets/fig8_mish.c");
+  std::string Source =
+      Opts.prepareSource(loadWorkload("snippets/fig8_mish.c"), /*Scaled=*/false);
 
   std::printf("=== Fig. 8: Mish operator (log(1+exp(x))) ===\n");
   struct Config {

@@ -12,7 +12,8 @@ using namespace dcir::pipeline;
 
 int main(int argc, char **argv) {
   BenchOptions Opts = parseBenchFlags(argc, argv);
-  std::string Source = loadWorkload("snippets/fig9_milc.c");
+  std::string Source =
+      Opts.prepareSource(loadWorkload("snippets/fig9_milc.c"), /*Scaled=*/false);
 
   std::printf("=== Fig. 9: MILC congrad_multi_field snippet ===\n");
   for (PipelineKind K : allPipelines()) {

@@ -70,10 +70,12 @@ bool optimizeGraph(sdfg::SDFG &G, const CompileOptions &Opts,
   POpts.Diags = &Diags;
   POpts.VerifyEachPass = Opts.VerifyEachPass;
   POpts.MaxFixpointRounds = Opts.MaxFixpointRounds;
+  sdfgopt::TilingOptions Tiling;
+  Tiling.TileSizes = Opts.TileSizes;
   std::unique_ptr<opt::PipelineDriver<sdfg::SDFG>> P;
   if (!Opts.PassPipeline.empty()) {
     opt::PassRegistry<sdfg::SDFG> Reg = sdfgopt::passRegistry(
-        &Report, Opts.Parallelism != pipeline::ParallelismMode::Off);
+        &Report, Opts.Parallelism != pipeline::ParallelismMode::Off, Tiling);
     P = opt::parsePipelineSpec(Opts.PassPipeline, Reg, Diags);
     if (!P)
       return false;
@@ -86,7 +88,8 @@ bool optimizeGraph(sdfg::SDFG &G, const CompileOptions &Opts,
       break;
     case pipeline::OptLevel::O2:
       P = sdfgopt::buildAutoOptimizePipeline(
-          &Report, Opts.Parallelism != pipeline::ParallelismMode::Off);
+          &Report, Opts.Parallelism != pipeline::ParallelismMode::Off,
+          Tiling);
       break;
     }
   }

@@ -63,6 +63,11 @@ public:
     Opts.Opt = L;
     return *this;
   }
+  /// Tile sizes for the tile-maps cache-blocking pass (empty disables).
+  Compiler &tileSizes(std::vector<unsigned> Sizes) {
+    Opts.TileSizes = std::move(Sizes);
+    return *this;
+  }
   /// Explicit textual pass-pipeline spec (overrides optLevel).
   Compiler &passes(std::string Spec) {
     Opts.PassPipeline = std::move(Spec);

@@ -555,24 +555,44 @@ private:
     // region re-enters every trip, so the work must be *proven* large —
     // unknown (symbolic or trip-dependent) extents stay serial there. A
     // one-shot region pays its overhead once, so unknown extents pass.
+    // Tiled maps stay fully accounted: a tile dimension contributes its
+    // trip count divided by the (step-sized) tile, and its intra strip
+    // contributes the strip length, so the product is the true total.
     {
       std::uint64_t Work = 1;
       bool Unknown = false;
-      auto Extent = [&](const sym::SymRange &R) {
+      auto Extent = [&](const MapEntry &ME, size_t D,
+                        const std::map<size_t, sdfgopt::IntraTileDim>
+                            &Intra) {
+        if (auto It = Intra.find(D); It != Intra.end())
+          return std::uint64_t(It->second.Extent);
+        const sym::SymRange &R = ME.Ranges[D];
         SymExpr N = SymExpr::sub(R.End, R.Begin);
         if (!N.isConstant()) {
           Unknown = true;
           return std::uint64_t(1);
         }
-        std::int64_t V = N.constantValue();
+        std::int64_t Step = 1;
+        if (R.Step) {
+          if (!R.Step.isConstant() || R.Step.constantValue() <= 0) {
+            Unknown = true;
+            return std::uint64_t(1);
+          }
+          Step = R.Step.constantValue();
+        }
+        std::int64_t V = (N.constantValue() + Step - 1) / Step;
         return std::uint64_t(V > 0 ? V : 0);
       };
-      for (const sym::SymRange &R : Entry->Ranges)
-        Work *= Extent(R);
+      auto AddScope = [&](const MapEntry &ME) {
+        std::map<size_t, sdfgopt::IntraTileDim> Intra =
+            sdfgopt::intraTileDims(ME);
+        for (size_t D = 0; D < ME.Ranges.size(); ++D)
+          Work *= Extent(ME, D, Intra);
+      };
+      AddScope(*Entry);
       for (int Id : Scope)
         if (const auto *ME = dyn_cast<MapEntry>(S.getNode(Id)))
-          for (const sym::SymRange &R : ME->Ranges)
-            Work *= Extent(R);
+          AddScope(*ME);
       const bool InLoop = LoopStates.count(S.getId()) > 0;
       if (InLoop && (Unknown || Work < Opts.MinParallelWork))
         return false;
@@ -616,12 +636,26 @@ private:
 
     // Place each WCR update. Reductions (privatized by the clause) and
     // atomics are safe under any collapse depth; only a "plain" update —
-    // one proven pinned to the outermost parameter, so it never crosses
+    // one proven pinned to the thread partition, so it never crosses
     // threads — requires collapse(1), because a collapsed schedule may
-    // split one outer iteration across threads.
-    const std::string &P0 = Entry->Params[0];
-    std::set<std::string> OtherParams = AllParams;
-    OtherParams.erase(P0);
+    // split one outer iteration across threads. Under collapse(1) the
+    // partition is the first parameter's value; an intra-tile parameter
+    // whose strips are disjoint across its (pinned) tile parameter pins
+    // just as well — equal values imply the same tile, hence the same
+    // thread — which is what keeps gemm's outer nest atomics-free after
+    // tile-maps splits `i` into `i__tile`/`i`.
+    const std::set<std::string> Pinned =
+        sdfgopt::threadPinnedParams(*Entry);
+    auto PartitionDisjoint = [&](const sym::SymSubset &A,
+                                 const sym::SymSubset &B) {
+      for (const std::string &P : Pinned) {
+        std::set<std::string> Others = AllParams;
+        Others.erase(P);
+        if (sdfgopt::subsetsDisjointAcrossParam(A, B, P, Others))
+          return true;
+      }
+      return false;
+    };
     std::map<std::string, std::string> ReductionOps; // var -> op
     struct Hoist {
       const DataflowEdge *E;
@@ -684,8 +718,7 @@ private:
       }
       auto PinnedVsPlains = [&] {
         for (const sym::SymSubset *Sub : Plains)
-          if (!sdfgopt::subsetsDisjointAcrossParam(E->M.Subset, *Sub, P0,
-                                                   OtherParams))
+          if (!PartitionDisjoint(E->M.Subset, *Sub))
             return false;
         return true;
       };
@@ -720,14 +753,12 @@ private:
                                          : E2->M.Data;
           if (Data2 != Data)
             continue;
-          if (!sdfgopt::subsetsDisjointAcrossParam(E->M.Subset, E2->M.Subset,
-                                                   P0, OtherParams))
+          if (!PartitionDisjoint(E->M.Subset, E2->M.Subset))
             return false;
         }
         return true;
       };
-      if (sdfgopt::subsetsDisjointAcrossParam(E->M.Subset, E->M.Subset, P0,
-                                              OtherParams) &&
+      if (PartitionDisjoint(E->M.Subset, E->M.Subset) &&
           DisjointFromPeers() && PinnedVsPlains()) {
         WcrPlan[E] = WcrLowering::Plain;
         AnyPlain = true;

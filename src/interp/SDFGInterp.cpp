@@ -459,8 +459,11 @@ void SDFGInterpreter::executeMap(const State &S, const MapEntry *Entry,
 
   // Iterate the parametric domain. Ranges of inner dimensions may
   // reference outer parameters (non-rectangular maps, e.g. triangular
-  // iteration spaces from loop-to-map conversion), so each dimension's
-  // bounds are evaluated under the bindings of the dimensions outside it.
+  // iteration spaces from loop-to-map conversion, or the derived
+  // intra-tile strips `[i__tile, min(i__tile + T, e))` the tile-maps
+  // pass emits), so each dimension's bounds are evaluated under the
+  // bindings of the dimensions outside it — tile dimensions simply
+  // step by T, and the strip's min() end evaluates per tile binding.
   size_t Rank = Entry->Params.size();
   if (Rank == 0)
     return;

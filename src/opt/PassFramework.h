@@ -356,7 +356,18 @@ parsePipelineSpec(const std::string &Spec, const PassRegistry<UnitT> &Registry,
       }
       Skip();
       if (Pos < Spec.size() && Spec[Pos] == ',') {
+        size_t CommaAt = Pos;
         ++Pos;
+        Skip();
+        // A separator must be followed by an element: a trailing comma
+        // (or an empty slot before ')' / another ',') must abort naming
+        // the offending token, not silently drop the stage.
+        if (Pos >= Spec.size() || Spec[Pos] == ')' || Spec[Pos] == ',') {
+          Diags.error("pipeline spec: empty element after ',' at offset " +
+                      std::to_string(CommaAt) + " (near '" +
+                      Spec.substr(Pos, 1) + "')");
+          return nullptr;
+        }
         continue;
       }
       break;
@@ -368,8 +379,8 @@ parsePipelineSpec(const std::string &Spec, const PassRegistry<UnitT> &Registry,
     return nullptr;
   Skip();
   if (Pos != Spec.size()) {
-    Diags.error("pipeline spec: trailing characters at offset " +
-                std::to_string(Pos));
+    Diags.error("pipeline spec: trailing characters '" + Spec.substr(Pos) +
+                "' at offset " + std::to_string(Pos));
     return nullptr;
   }
   if (Driver->size() == 0) {

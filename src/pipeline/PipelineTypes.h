@@ -21,6 +21,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace dcir {
 namespace pipeline {
@@ -73,6 +74,12 @@ struct CompileOptions {
   /// non-empty; compilation fails on malformed specs. The benches expose
   /// it as --passes=.
   std::string PassPipeline;
+  /// Tile sizes for the `tile-maps` cache-blocking pass: dimension d of
+  /// a map scope is strip-mined with TileSizes[min(d, size-1)] when its
+  /// proven trip count covers at least two full tiles. Empty (the
+  /// default) disables tiling — the pass stays a registered no-op. The
+  /// benches expose it as --tile=.
+  std::vector<unsigned> TileSizes;
   /// Run the SDFG structural verifier after every pass, failing the
   /// compile (naming the culprit pass) on the first violation.
   bool VerifyEachPass = false;

@@ -1,0 +1,126 @@
+//===- WorkloadDefines.h - workload #define scaling and overrides -------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Polybench workloads carry their problem sizes as object-like
+/// integer `#define`s. The bench harness scales them (`--parallel-scale`)
+/// and pins individual names to explicit values (`--define=NAME=VALUE`).
+/// The two knobs compose with last-writer-wins semantics: an explicitly
+/// overridden define is *pinned* — the scale factor never touches it, so
+/// `--parallel-scale=8 --define=N=100` yields exactly N == 100, not
+/// 100 * 8 (the double-scaling bug) and not the scaled original.
+///
+/// Lives outside bench/BenchCommon.h so the unit tests can cover the
+/// rewrite logic without a google-benchmark dependency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_PIPELINE_WORKLOADDEFINES_H
+#define DCIR_PIPELINE_WORKLOADDEFINES_H
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dcir {
+namespace pipeline {
+
+/// Ordered (name, value) overrides; applied in order, so the last writer
+/// of a name wins — matching repeated `--define=` flags.
+using WorkloadDefines = std::vector<std::pair<std::string, long long>>;
+
+namespace detail {
+
+/// Splits \p Line as `#define NAME <integer>` (nothing else on the
+/// line). Returns false when it is not such a define.
+inline bool parseIntDefine(const std::string &Line, std::string &Name,
+                           long long &Value) {
+  char Buf[128];
+  long long V;
+  int Consumed = 0;
+  if (std::sscanf(Line.c_str(), "#define %127s %lld %n", Buf, &V,
+                  &Consumed) != 2 ||
+      Line.find_first_not_of(" \t\r", Consumed) != std::string::npos)
+    return false;
+  Name = Buf;
+  Value = V;
+  return true;
+}
+
+/// Applies \p Fn to every integer-define line of \p Source; Fn returns
+/// the replacement value (or the input to keep the line unchanged).
+template <typename FnT>
+std::string mapIntDefines(const std::string &Source, FnT Fn) {
+  std::string Out;
+  size_t Pos = 0;
+  while (Pos < Source.size()) {
+    size_t Eol = Source.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Source.size();
+    std::string Line = Source.substr(Pos, Eol - Pos);
+    std::string Name;
+    long long Value;
+    if (parseIntDefine(Line, Name, Value))
+      Line = std::string("#define ") + Name + " " +
+             std::to_string(Fn(Name, Value));
+    Out += Line;
+    if (Eol < Source.size())
+      Out += '\n';
+    Pos = Eol + 1;
+  }
+  return Out;
+}
+
+} // namespace detail
+
+/// Returns \p Source with every `#define NAME <integer>` value multiplied
+/// by \p Factor, except names in \p Pinned (explicit command-line
+/// overrides must win exactly once, so scaling them would double-scale).
+inline std::string
+scaleWorkloadDefines(const std::string &Source, int Factor,
+                     const std::set<std::string> &Pinned = {}) {
+  if (Factor <= 1)
+    return Source;
+  return detail::mapIntDefines(
+      Source, [&](const std::string &Name, long long Value) {
+        return Pinned.count(Name) ? Value : Value * Factor;
+      });
+}
+
+/// Returns \p Source with `#define NAME <integer>` values replaced per
+/// \p Overrides, applied in order (the last writer of a name wins).
+/// Names with no matching define line are ignored.
+inline std::string overrideWorkloadDefines(const std::string &Source,
+                                           const WorkloadDefines &Overrides) {
+  if (Overrides.empty())
+    return Source;
+  return detail::mapIntDefines(
+      Source, [&](const std::string &Name, long long Value) {
+        for (const auto &[K, V] : Overrides)
+          if (K == Name)
+            Value = V;
+        return Value;
+      });
+}
+
+/// The bench-harness composition: scale first with overridden names
+/// pinned, then apply the overrides — so `--define=` is always the last
+/// writer regardless of `--parallel-scale`.
+inline std::string prepareWorkload(const std::string &Source, int Factor,
+                                   const WorkloadDefines &Overrides) {
+  std::set<std::string> Pinned;
+  for (const auto &[Name, Value] : Overrides)
+    Pinned.insert(Name);
+  return overrideWorkloadDefines(scaleWorkloadDefines(Source, Factor, Pinned),
+                                 Overrides);
+}
+
+} // namespace pipeline
+} // namespace dcir
+
+#endif // DCIR_PIPELINE_WORKLOADDEFINES_H

@@ -53,49 +53,80 @@ namespace {
 /// The single source of truth for pass names: one entry per sdfgopt pass,
 /// shared by the spec registry, the -O pipeline builders, and (through
 /// the registry) the ablation bench. Membership flags define the groups.
+/// The TilingOptions argument parameterizes "tile-maps" (every other
+/// pass ignores it).
 struct PassDef {
   const char *Name;
-  std::function<unsigned(SDFG &, OptReport *)> Fn;
+  std::function<unsigned(SDFG &, OptReport *, const TilingOptions &)> Fn;
   bool InSimplify;    ///< Member of the simplify fixpoint group (-O1).
   bool InParallelize; ///< Member of the loop-to-map conversion group.
 };
 
 const std::vector<PassDef> &passDefs() {
+  using TO = TilingOptions;
   static const std::vector<PassDef> Defs = {
       {"promote-scalars",
-       [](SDFG &G, OptReport *) { return promoteScalarsToSymbols(G); }, true,
-       false},
-      {"propagate-symbols",
-       [](SDFG &G, OptReport *) { return propagateSymbols(G); }, true, false},
-      {"dead-states",
-       [](SDFG &G, OptReport *) { return eliminateDeadStates(G); }, true,
-       false},
-      {"fuse-states", [](SDFG &G, OptReport *) { return fuseStates(G); },
+       [](SDFG &G, OptReport *, const TO &) {
+         return promoteScalarsToSymbols(G);
+       },
        true, false},
-      {"detect-updates",
-       [](SDFG &G, OptReport *) { return detectUpdates(G); }, true, false},
-      {"propagate-constants",
-       [](SDFG &G, OptReport *) { return propagateConstantWrites(G); }, true,
+      {"propagate-symbols",
+       [](SDFG &G, OptReport *, const TO &) { return propagateSymbols(G); },
+       true, false},
+      {"dead-states",
+       [](SDFG &G, OptReport *, const TO &) {
+         return eliminateDeadStates(G);
+       },
+       true, false},
+      {"fuse-states",
+       [](SDFG &G, OptReport *, const TO &) { return fuseStates(G); }, true,
        false},
+      {"detect-updates",
+       [](SDFG &G, OptReport *, const TO &) { return detectUpdates(G); },
+       true, false},
+      {"propagate-constants",
+       [](SDFG &G, OptReport *, const TO &) {
+         return propagateConstantWrites(G);
+       },
+       true, false},
       {"dead-dataflow",
-       [](SDFG &G, OptReport *R) { return eliminateDeadDataflow(G, R); },
+       [](SDFG &G, OptReport *R, const TO &) {
+         return eliminateDeadDataflow(G, R);
+       },
        true, false},
       {"consolidate-memlets",
-       [](SDFG &G, OptReport *) { return consolidateMemlets(G); }, true,
-       false},
+       [](SDFG &G, OptReport *, const TO &) {
+         return consolidateMemlets(G);
+       },
+       true, false},
       {"empty-loops",
-       [](SDFG &G, OptReport *) { return eliminateEmptyLoops(G); }, true,
-       false},
-      {"prealloc", [](SDFG &G, OptReport *) { return preAllocateMemory(G); },
+       [](SDFG &G, OptReport *, const TO &) {
+         return eliminateEmptyLoops(G);
+       },
+       true, false},
+      {"prealloc",
+       [](SDFG &G, OptReport *, const TO &) { return preAllocateMemory(G); },
        false, false},
       {"fuse-loops",
-       [](SDFG &G, OptReport *) { return fuseMemoryReducingLoops(G); },
+       [](SDFG &G, OptReport *, const TO &) {
+         return fuseMemoryReducingLoops(G);
+       },
        false, false},
       {"fuse-chains",
-       [](SDFG &G, OptReport *R) { return fuseStatesInChains(G, R); }, false,
-       true},
+       [](SDFG &G, OptReport *R, const TO &) {
+         return fuseStatesInChains(G, R);
+       },
+       false, true},
       {"loops-to-maps",
-       [](SDFG &G, OptReport *R) { return convertLoopsToMapsOnce(G, R); },
+       [](SDFG &G, OptReport *R, const TO &) {
+         return convertLoopsToMapsOnce(G, R);
+       },
+       false, true},
+      // Cache blocking runs after conversion within the same fixpoint
+      // group (it skips states still inside sequential loops, so it only
+      // fires on finished scopes). A no-op unless TileSizes is set.
+      {"tile-maps",
+       [](SDFG &G, OptReport *R, const TO &T) { return tileMaps(G, T, R); },
        false, true},
   };
   return Defs;
@@ -108,10 +139,11 @@ const PassDef &passDef(const std::string &Name) {
   std::abort(); // A group builder named a pass missing from the table.
 }
 
-void addDef(SdfgPipeline &P, const std::string &Name, OptReport *Aux) {
+void addDef(SdfgPipeline &P, const std::string &Name, OptReport *Aux,
+            const TilingOptions &Tiling) {
   const PassDef &D = passDef(Name);
   auto Fn = D.Fn;
-  P.add(Name, [Fn, Aux](SDFG &G) { return Fn(G, Aux); });
+  P.add(Name, [Fn, Aux, Tiling](SDFG &G) { return Fn(G, Aux, Tiling); });
 }
 
 /// The simplify fixpoint group (paper §6.1/§6.2).
@@ -119,18 +151,19 @@ std::unique_ptr<SdfgPipeline> simplifyGroup(OptReport *Aux) {
   auto P = std::make_unique<SdfgPipeline>("simplify", /*Fixpoint=*/true);
   for (const PassDef &D : passDefs())
     if (D.InSimplify)
-      addDef(*P, D.Name, Aux);
+      addDef(*P, D.Name, Aux, TilingOptions());
   return P;
 }
 
 /// The loop-to-map conversion group: in-chain state fusion widens the
-/// candidate bodies converting inner loops leaves behind, so the two
-/// passes iterate together.
-std::unique_ptr<SdfgPipeline> parallelizeGroup(OptReport *Aux) {
+/// candidate bodies converting inner loops leaves behind, so the passes
+/// iterate together; tile-maps blocks the finished scopes for locality.
+std::unique_ptr<SdfgPipeline> parallelizeGroup(OptReport *Aux,
+                                               const TilingOptions &Tiling) {
   auto P = std::make_unique<SdfgPipeline>("parallelize", /*Fixpoint=*/true);
   for (const PassDef &D : passDefs())
     if (D.InParallelize)
-      addDef(*P, D.Name, Aux);
+      addDef(*P, D.Name, Aux, Tiling);
   return P;
 }
 
@@ -147,8 +180,8 @@ opt::PipelineContext<SDFG> makeContext(const PipelineOptions &Opts) {
 
 } // namespace
 
-opt::PassRegistry<SDFG> dcir::sdfgopt::passRegistry(OptReport *Aux,
-                                                    bool ParallelizeLoops) {
+opt::PassRegistry<SDFG> dcir::sdfgopt::passRegistry(
+    OptReport *Aux, bool ParallelizeLoops, const TilingOptions &Tiling) {
   // Passes with sub-counters (and the $DCIR_MAX_MAP_CONVERSIONS cap,
   // which counts cumulatively through the report) always need a sink.
   // With a caller-provided report the factories hold a non-owning view
@@ -162,17 +195,18 @@ opt::PassRegistry<SDFG> dcir::sdfgopt::passRegistry(OptReport *Aux,
   for (const PassDef &D : passDefs()) {
     std::string Name = D.Name;
     auto Fn = D.Fn;
-    R.registerPass(Name, [Name, Fn, Sink]() {
+    R.registerPass(Name, [Name, Fn, Sink, Tiling]() {
       return std::make_unique<opt::FunctionPass<SDFG>>(
-          Name, [Fn, Sink](SDFG &G) { return Fn(G, Sink.get()); });
+          Name,
+          [Fn, Sink, Tiling](SDFG &G) { return Fn(G, Sink.get(), Tiling); });
     });
   }
   // Whole-pipeline aliases, usable as spec elements. The group builders
   // take a raw pointer; the factory's captured Sink keeps it alive.
   R.registerPass("simplify",
                  [Sink]() { return simplifyGroup(Sink.get()); });
-  R.registerPass("autoopt", [Sink, ParallelizeLoops]() {
-    return buildAutoOptimizePipeline(Sink.get(), ParallelizeLoops);
+  R.registerPass("autoopt", [Sink, ParallelizeLoops, Tiling]() {
+    return buildAutoOptimizePipeline(Sink.get(), ParallelizeLoops, Tiling);
   });
   return R;
 }
@@ -184,20 +218,21 @@ dcir::sdfgopt::buildSimplifyPipeline(OptReport *Aux) {
 
 std::unique_ptr<SdfgPipeline>
 dcir::sdfgopt::buildAutoOptimizePipeline(OptReport *Aux,
-                                         bool ParallelizeLoops) {
+                                         bool ParallelizeLoops,
+                                         const TilingOptions &Tiling) {
   auto P = std::make_unique<SdfgPipeline>("autoopt");
   P->add(simplifyGroup(Aux));
   // Memory-scheduling (-O2): loop fusion exposes more simplification
   // opportunities, so the group interleaves it with simplify rounds.
   auto Sched = std::make_unique<SdfgPipeline>("schedule", /*Fixpoint=*/true);
-  addDef(*Sched, "fuse-loops", Aux);
+  addDef(*Sched, "fuse-loops", Aux, TilingOptions());
   Sched->add(simplifyGroup(Aux));
   P->add(std::move(Sched));
-  addDef(*P, "prealloc", Aux);
+  addDef(*P, "prealloc", Aux, TilingOptions());
   // Loop-to-map conversion runs last: the earlier passes never see map
   // scopes, and the fused/simplified loops are the profitable ones.
   if (ParallelizeLoops)
-    P->add(parallelizeGroup(Aux));
+    P->add(parallelizeGroup(Aux, Tiling));
   return P;
 }
 
@@ -226,7 +261,7 @@ void dcir::sdfgopt::runAutoOptimize(SDFG &G, OptReport &Report,
 unsigned dcir::sdfgopt::convertLoopsToMaps(SDFG &G, OptReport *Report) {
   OptReport Local;
   OptReport &Sink = Report ? *Report : Local;
-  auto P = parallelizeGroup(&Sink);
+  auto P = parallelizeGroup(&Sink, TilingOptions()); // Conversion only.
   opt::PipelineContext<SDFG> Ctx;
   P->run(G, Ctx);
   unsigned Converted = Ctx.Report.rewrites("loops-to-maps");

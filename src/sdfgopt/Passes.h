@@ -53,6 +53,8 @@ struct OptReport {
   unsigned ChainStatesFused = 0;
   /// Transient scalars made private to a map scope during conversion.
   unsigned ScalarsPrivatized = 0;
+  /// Map scopes strip-mined into tile/intra-tile parameter pairs.
+  unsigned MapsTiled = 0;
 
   /// Per-pass instrumentation (rewrites, invocations, wall-time) of every
   /// pipeline run folded into this report.
@@ -161,6 +163,49 @@ unsigned convertLoopsToMapsOnce(sdfg::SDFG &G, OptReport *Report = nullptr);
 unsigned convertLoopsToMaps(sdfg::SDFG &G, OptReport *Report = nullptr);
 
 //===----------------------------------------------------------------------===//
+// Map tiling for cache locality (the polyhedral-style blocking pass)
+//===----------------------------------------------------------------------===//
+
+/// Tile-size knob for tileMaps, threaded from pipeline::CompileOptions
+/// (the benches' `--tile=`). Empty TileSizes disables the pass entirely
+/// (the default), so pipelines registering "tile-maps" stay no-ops until
+/// a caller opts in.
+struct TilingOptions {
+  /// Per-dimension tile sizes: dimension d of a map uses
+  /// TileSizes[min(d, TileSizes.size()-1)]. Entries must be >= 2.
+  std::vector<unsigned> TileSizes;
+
+  bool enabled() const { return !TileSizes.empty(); }
+  unsigned sizeFor(size_t Dim) const {
+    return TileSizes.empty()
+               ? 0
+               : TileSizes[Dim < TileSizes.size() ? Dim
+                                                  : TileSizes.size() - 1];
+  }
+};
+
+/// Strip-mines rectangular dimensions of top-level map scopes into
+/// tile/intra-tile parameter pairs (`i` becomes `i__tile` stepping by the
+/// tile size plus an intra strip `[i__tile, min(i__tile + T, end))` that
+/// keeps the original parameter name, so memlet subsets never change).
+/// Legality/profitability rules (see DESIGN.md "Map tiling"):
+///   * only dimensions with unit step and *proven constant* trip count
+///     >= 2x the tile size are tiled (at least two full tiles);
+///   * only dimensions no other dimension's range references (parameter
+///     reordering must not break triangular bound dependences);
+///   * states inside sequential state-machine loops are skipped — the
+///     loop may still be converted or extended by loops-to-maps, and the
+///     grain heuristic treats re-entered regions strictly.
+/// Tiled parameters are ordered [tile dims, untiled dims, intra dims], so
+/// the parallel backend keeps its work-sharing pragma and `collapse` on
+/// the rectangular tile loops while intra-tile loops stay serial. The
+/// pass is idempotent: tile dims (step > 1) and intra dims (parameter-
+/// dependent bounds) are never re-tiled. \p Report (optional) accumulates
+/// MapsTiled. Returns the number of maps tiled.
+unsigned tileMaps(sdfg::SDFG &G, const TilingOptions &Opts,
+                  OptReport *Report = nullptr);
+
+//===----------------------------------------------------------------------===//
 // Pipeline definitions (the declarative drivers)
 //===----------------------------------------------------------------------===//
 
@@ -184,8 +229,12 @@ struct PipelineOptions {
 /// `--passes=autoopt --parallel=off` equivalent to `-O2 --parallel=off`.
 /// Lifetime contract: \p Aux — and, in the fallback case, the registry
 /// itself — must outlive every pass created from the registry.
+/// \p Tiling parameterizes the "tile-maps" member of the parallelize
+/// group (disabled by default).
 opt::PassRegistry<sdfg::SDFG> passRegistry(OptReport *Aux = nullptr,
-                                           bool ParallelizeLoops = true);
+                                           bool ParallelizeLoops = true,
+                                           const TilingOptions &Tiling =
+                                               TilingOptions());
 
 /// DaCe's sdfg.simplify() (-O1): one fixpoint group over inference +
 /// data-movement-reduction passes.
@@ -194,10 +243,12 @@ buildSimplifyPipeline(OptReport *Aux = nullptr);
 
 /// The auto-optimizer (-O2): simplify, interleaved memory-reducing loop
 /// fusion, memory pre-allocation, and (when \p ParallelizeLoops) the
-/// loop-to-map conversion group.
+/// fixpoint(fuse-chains, loops-to-maps, tile-maps) conversion group,
+/// with \p Tiling parameterizing the tiling member.
 std::unique_ptr<opt::PipelineDriver<sdfg::SDFG>>
 buildAutoOptimizePipeline(OptReport *Aux = nullptr,
-                          bool ParallelizeLoops = true);
+                          bool ParallelizeLoops = true,
+                          const TilingOptions &Tiling = TilingOptions());
 
 /// Runs \p Pipeline over \p G, folding per-pass statistics (and the
 /// legacy aggregate counters) into \p Report. Returns false when

@@ -1,0 +1,166 @@
+//===- TilingPasses.cpp - map tiling for cache locality -----------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `tile-maps` pass: polyhedral-style cache blocking (Pluto-style
+/// tiling, DaCe's MapTiling transformation) over the map scopes the
+/// loop-to-map converter produces. Converted maps stream over full
+/// rows/columns; strip-mining each rectangular dimension `i in [b, e)`
+/// into a tile parameter `i__tile in [b, e) step T` plus the intra-tile
+/// strip `i in [i__tile, min(i__tile + T, e))` re-blocks the traversal
+/// without touching a single memlet — the intra parameter keeps the
+/// original name, so subsets, WCR updates, and privatized scalars are
+/// untouched and every downstream analysis keeps working on the same
+/// expressions.
+///
+/// Parameter order after tiling is [tile dims, untiled dims, intra dims]:
+/// tile and untiled ranges are parameter-free (rectangular), so the
+/// parallel backend keeps `#pragma omp parallel for collapse(...)` on
+/// them, while the intra strips — whose bounds reference the tile
+/// parameters — stay serial inner loops. Map parameters are semantically
+/// unordered (the scope is parametric-parallel), so the reorder is legal;
+/// the one hazard is a dimension whose *bounds* reference another
+/// parameter (triangular ranges), which is why such dimensions — and any
+/// dimension another range references — are never tiled.
+///
+/// Soundness with WCR: a "plain"-lowered WCR update is pinned to the
+/// partition parameter; after tiling, pinning moves to the intra
+/// parameter, whose per-tile strips are disjoint — the code generator's
+/// threadPinnedParams (sdfgopt/Utils.cpp) recovers exactly this chain,
+/// so gemm's outer nest keeps its pragma with no atomics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sdfgopt/Passes.h"
+#include "sdfgopt/Utils.h"
+
+using namespace dcir;
+using namespace dcir::sdfgopt;
+using namespace dcir::sdfg;
+using sym::SymExpr;
+using sym::SymRange;
+
+namespace {
+
+/// Strip-mines every eligible dimension of \p ME. Returns true when at
+/// least one dimension was tiled.
+bool tileOneMap(SDFG &G, MapEntry *ME, const TilingOptions &Opts) {
+  const size_t Rank = ME->Params.size();
+  if (Rank == 0 || ME->Ranges.size() != Rank)
+    return false;
+  // Which parameters other dimensions' ranges reference: tiling such a
+  // dimension would reorder its parameter behind a bound that needs it.
+  std::set<std::string> ReferencedByRanges;
+  for (const SymRange &R : ME->Ranges)
+    R.collectSymbols(ReferencedByRanges);
+
+  struct TiledDim {
+    size_t Dim;
+    std::string TileParam;
+    std::int64_t TileSize;
+    std::int64_t Trip;
+  };
+  std::vector<TiledDim> Tiles;
+  for (size_t D = 0; D < Rank; ++D) {
+    const SymRange &R = ME->Ranges[D];
+    std::int64_t T = Opts.sizeFor(D);
+    if (T < 2)
+      continue;
+    // Unit step, proven constant trip count, rectangular bounds.
+    if (R.Step && !R.Step.isConstantValue(1))
+      continue;
+    if (!R.Begin || !R.End || !R.Begin.isConstant() || !R.End.isConstant())
+      continue;
+    std::int64_t Trip = R.End.constantValue() - R.Begin.constantValue();
+    if (Trip < 2 * T)
+      continue; // Fewer than two full tiles: blocking buys nothing.
+    // No other dimension's bounds may depend on this parameter.
+    if (ReferencedByRanges.count(ME->Params[D]))
+      continue;
+    // Tile parameters are scope-local bindings (like map parameters
+    // themselves), so sibling maps may share the name; only a container
+    // or interstate symbol of the same name would actually collide.
+    std::string TileParam = ME->Params[D] + "__tile";
+    if (G.hasData(TileParam) || G.symbols().count(TileParam))
+      continue;
+    Tiles.push_back({D, std::move(TileParam), T, Trip});
+  }
+  if (Tiles.empty())
+    return false;
+
+  std::vector<std::string> NewParams;
+  std::vector<SymRange> NewRanges;
+  auto IsTiled = [&](size_t D) {
+    for (const TiledDim &T : Tiles)
+      if (T.Dim == D)
+        return true;
+    return false;
+  };
+  // Tile dims first (they carry the work-sharing pragma and collapse)...
+  for (const TiledDim &T : Tiles) {
+    const SymRange &R = ME->Ranges[T.Dim];
+    NewParams.push_back(T.TileParam);
+    NewRanges.push_back(
+        SymRange(R.Begin, R.End, SymExpr::constant(T.TileSize)));
+  }
+  // ...then the untiled dims in their original relative order...
+  for (size_t D = 0; D < Rank; ++D)
+    if (!IsTiled(D)) {
+      NewParams.push_back(ME->Params[D]);
+      NewRanges.push_back(ME->Ranges[D]);
+    }
+  // ...then the intra-tile strips (original names: memlets unchanged).
+  for (const TiledDim &T : Tiles) {
+    const SymRange &R = ME->Ranges[T.Dim];
+    SymExpr Base = SymExpr::symbol(T.TileParam);
+    SymExpr StripEnd = SymExpr::add(Base, SymExpr::constant(T.TileSize));
+    if (T.Trip % T.TileSize != 0)
+      StripEnd = SymExpr::min(StripEnd, R.End); // Partial last tile.
+    NewParams.push_back(ME->Params[T.Dim]);
+    NewRanges.push_back(SymRange(Base, StripEnd, SymExpr::constant(1)));
+  }
+  ME->Params = std::move(NewParams);
+  ME->Ranges = std::move(NewRanges);
+  return true;
+}
+
+} // namespace
+
+unsigned dcir::sdfgopt::tileMaps(SDFG &G, const TilingOptions &Opts,
+                                 OptReport *Report) {
+  if (!Opts.enabled())
+    return 0;
+  // States inside sequential state-machine loops are left alone: the
+  // surrounding loop may still be converted (and the map extended) by
+  // loops-to-maps in a later fixpoint round, and the parallel backend's
+  // grain heuristic would refuse re-entered regions with symbolic
+  // (intra-tile) extents anyway.
+  std::set<int> LoopStates;
+  for (const LoopRegion &L : findLoops(G)) {
+    LoopStates.insert(L.GuardId);
+    LoopStates.insert(L.BodyStates.begin(), L.BodyStates.end());
+  }
+  unsigned Tiled = 0;
+  for (const auto &S : G.states()) {
+    if (LoopStates.count(S->getId()))
+      continue;
+    // Top-level scopes only: nested maps run serially inside one outer
+    // iteration, where strip-mining adds loop overhead without enabling
+    // any work-sharing or changing the reuse pattern the outer blocking
+    // already fixed.
+    for (auto &[ME, Scope] : topLevelMapScopes(*S)) {
+      (void)Scope;
+      // Already-tiled scopes are skipped per dimension (tile dims have
+      // step > 1, intra dims have parameter-dependent bounds), making
+      // the pass idempotent — required by its fixpoint group.
+      if (tileOneMap(G, ME, Opts))
+        ++Tiled;
+    }
+  }
+  if (Report)
+    Report->MapsTiled += Tiled;
+  return Tiled;
+}

@@ -390,8 +390,17 @@ std::set<std::string> dcir::sdfgopt::privatizableScalars(const SDFG &G,
         // Routed reads (map entry to consumer) read at the consumer.
         if (isa<MapEntry>(D.getNode(E.Src)))
           ReadSites.push_back(E.Dst);
-        else if (!DstA && !isa<MapExit>(D.getNode(E.Dst)))
-          Complex = true;
+        else if (isa<MapExit>(D.getNode(E.Dst))) {
+          // A write routed through a map exit (contrast summarizeReps in
+          // Privatization.cpp): it counts like a direct write, so a
+          // scalar escaping a scope alongside another write — or through
+          // a WCR update — is refused rather than silently privatized.
+          if (Write || !E.M.Wcr.empty())
+            Complex = true;
+          else
+            Write = &E;
+        } else if (!DstA)
+          Complex = true; // Routed into other compute: defies analysis.
       }
     }
     if (!Write || Complex)
@@ -419,6 +428,78 @@ std::set<std::string> dcir::sdfgopt::privatizableScalars(const SDFG &G,
       Out.insert(Name);
   }
   return Out;
+}
+
+std::map<size_t, IntraTileDim>
+dcir::sdfgopt::intraTileDims(const MapEntry &ME) {
+  std::map<size_t, IntraTileDim> Out;
+  for (size_t K = 0; K < ME.Params.size() && K < ME.Ranges.size(); ++K) {
+    const sym::SymRange &R = ME.Ranges[K];
+    if (!R.Begin || !R.Begin.isSymbol())
+      continue;
+    if (R.Step && !R.Step.isConstantValue(1))
+      continue;
+    const std::string Q = R.Begin.symbolName();
+    // The tile dimension: another dimension of this map whose parameter
+    // is the strip's base, with a constant step (the tile size).
+    size_t J = ME.Params.size();
+    for (size_t I = 0; I < ME.Params.size(); ++I)
+      if (I != K && ME.Params[I] == Q)
+        J = I;
+    if (J == ME.Params.size())
+      continue;
+    std::int64_t TileStep = 1;
+    if (ME.Ranges[J].Step) {
+      if (!ME.Ranges[J].Step.isConstant())
+        continue;
+      TileStep = ME.Ranges[J].Step.constantValue();
+    }
+    // End must be `Q + c` (c constant, 0 < c <= TileStep), possibly
+    // clamped by min(..., e) terms free of Q.
+    auto StripLength = [&](const SymExpr &End) -> std::optional<std::int64_t> {
+      SymExpr A, B;
+      if (End.linearIn(Q, A, B) && A.isConstantValue(1) && B.isConstant())
+        return B.constantValue();
+      if (End.kind() != sym::ExprKind::Min)
+        return std::nullopt;
+      std::optional<std::int64_t> C;
+      for (const SymExpr &Op : End.operands()) {
+        if (!Op.usesSymbol(Q))
+          continue;
+        if (!(Op.linearIn(Q, A, B) && A.isConstantValue(1) &&
+              B.isConstant()))
+          return std::nullopt;
+        if (!C || B.constantValue() < *C)
+          C = B.constantValue();
+      }
+      return C;
+    };
+    std::optional<std::int64_t> C = R.End ? StripLength(R.End) : std::nullopt;
+    if (!C || *C <= 0 || *C > TileStep)
+      continue;
+    Out[K] = IntraTileDim{J, *C};
+  }
+  return Out;
+}
+
+std::set<std::string>
+dcir::sdfgopt::threadPinnedParams(const MapEntry &ME) {
+  std::set<std::string> Pinned;
+  if (ME.Params.empty())
+    return Pinned;
+  Pinned.insert(ME.Params[0]);
+  std::map<size_t, IntraTileDim> Intra = intraTileDims(ME);
+  // Chase anchor chains to a fixpoint (an intra dim's tile dim may itself
+  // be an intra dim of an earlier tiling round).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &[K, T] : Intra)
+      if (Pinned.count(ME.Params[T.TileDim]) &&
+          Pinned.insert(ME.Params[K]).second)
+        Changed = true;
+  }
+  return Pinned;
 }
 
 bool dcir::sdfgopt::subsetsDisjointAcrossParam(

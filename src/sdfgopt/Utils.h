@@ -98,6 +98,31 @@ sdfg::TExpr
 substituteSymsInTExpr(const sdfg::TExpr &E,
                       const std::map<std::string, sym::SymExpr> &Map);
 
+/// One strip-mined map dimension: Params[Dim] iterates the strip
+/// `[Params[TileDim], Params[TileDim] + Extent)` of its tile parameter,
+/// so distinct tile-parameter values visit provably disjoint intra
+/// ranges (Extent never exceeds the tile dimension's step).
+struct IntraTileDim {
+  size_t TileDim = 0;
+  std::int64_t Extent = 1;
+};
+
+/// Structural tile-pair discovery over \p ME's dimensions: dimension K is
+/// an intra-tile strip of dimension J when Ranges[K].Begin is exactly the
+/// symbol Params[J], Ranges[K].Step is 1, and Ranges[K].End is
+/// `Params[J] + c` or `min(Params[J] + c, e)` with a constant
+/// `0 < c <= step(J)` and `e` free of Params[J]. Exactly the shape
+/// tileMaps emits; shared by the parallel code generator's
+/// thread-partition reasoning and its per-region work estimate.
+std::map<size_t, IntraTileDim> intraTileDims(const sdfg::MapEntry &ME);
+
+/// Map parameters of \p ME pinned to the first parameter's thread
+/// partition under a collapse(1) work-sharing schedule: Params[0] itself,
+/// plus every intra-tile parameter whose tile parameter is itself pinned
+/// (its per-tile strips are disjoint, so equal values imply the same
+/// first-parameter iteration and with it the same thread).
+std::set<std::string> threadPinnedParams(const sdfg::MapEntry &ME);
+
 /// True when subsets \p A and \p B provably never touch the same element
 /// for two *distinct* values of \p Param: some dimension indexes a single
 /// element `a*Param + b` on both sides with the same nonzero constant `a`

@@ -109,6 +109,7 @@ TEST(PipelineDriver, NestedGroupsAggregateIntoOneReport) {
   EXPECT_NE(Spec.find("fixpoint("), std::string::npos);
   EXPECT_NE(Spec.find("prealloc"), std::string::npos);
   EXPECT_NE(Spec.find("loops-to-maps"), std::string::npos);
+  EXPECT_NE(Spec.find("tile-maps"), std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//
@@ -144,11 +145,37 @@ TEST(PipelineSpec, RejectsMalformedAndUnknown) {
   for (const char *Bad :
        {"definitely-not-a-pass", "fixpoint(promote-scalars", "", ",",
         "promote-scalars)", "fixpoint()", "()",
-        "promote-scalars,fixpoint(),prealloc"}) {
+        "promote-scalars,fixpoint(),prealloc",
+        // Trailing separators and empty elements must abort with a
+        // diagnostic, not silently drop the stage.
+        "simplify|", "simplify,", "simplify,,prealloc",
+        "fixpoint(fuse-chains,)", "simplify,(prealloc,)"}) {
     DiagnosticEngine Diags;
     auto P = opt::parsePipelineSpec<SDFG>(Bad, Reg, Diags);
     EXPECT_EQ(P, nullptr) << "accepted malformed spec: '" << Bad << "'";
     EXPECT_TRUE(Diags.hasErrors()) << Bad;
+  }
+}
+
+TEST(PipelineSpec, RejectionDiagnosticsNameTheOffendingToken) {
+  sdfgopt::OptReport Aux;
+  opt::PassRegistry<SDFG> Reg = sdfgopt::passRegistry(&Aux);
+  {
+    // `simplify|`: the stray separator must appear in the message.
+    DiagnosticEngine Diags;
+    EXPECT_EQ(opt::parsePipelineSpec<SDFG>("simplify|", Reg, Diags),
+              nullptr);
+    EXPECT_NE(Diags.str().find("'|'"), std::string::npos) << Diags.str();
+  }
+  {
+    // `simplify,`: a trailing comma used to silently drop the (empty)
+    // stage; it must now abort naming the empty element.
+    DiagnosticEngine Diags;
+    EXPECT_EQ(opt::parsePipelineSpec<SDFG>("simplify,", Reg, Diags),
+              nullptr);
+    EXPECT_NE(Diags.str().find("empty element after ','"),
+              std::string::npos)
+        << Diags.str();
   }
 }
 
@@ -159,7 +186,7 @@ TEST(PipelineSpec, RegistryListsEveryPassAndAlias) {
        {"promote-scalars", "propagate-symbols", "dead-states", "fuse-states",
         "detect-updates", "propagate-constants", "dead-dataflow",
         "consolidate-memlets", "empty-loops", "prealloc", "fuse-loops",
-        "fuse-chains", "loops-to-maps", "simplify", "autoopt"})
+        "fuse-chains", "loops-to-maps", "tile-maps", "simplify", "autoopt"})
     EXPECT_TRUE(Reg.contains(Name)) << Name;
 }
 
@@ -192,6 +219,7 @@ TEST(PassStatistics, AggregationMatchesOptReportOnPolybench) {
     EXPECT_EQ(R.ChainStatesFused, P.rewrites("fuse-chains")) << K.Name;
     EXPECT_EQ(R.LoopsConvertedToMaps, P.rewrites("loops-to-maps"))
         << K.Name;
+    EXPECT_EQ(R.MapsTiled, P.rewrites("tile-maps")) << K.Name;
     // Wall-time instrumentation is present for every executed pass.
     for (const opt::PassStats &S : P.Passes) {
       EXPECT_GT(S.Invocations, 0u) << K.Name << "/" << S.Name;
@@ -376,6 +404,33 @@ TEST(Privatization, RefusesScalarUsedInAnotherState) {
   std::set<std::string> P =
       sdfgopt::privatizableScalars(*G, *G->getStartState());
   EXPECT_EQ(P.count("tmp"), 0u);
+}
+
+TEST(Privatization, RefusesScalarEscapingThroughMapExit) {
+  // A scalar written inside a map scope and routed out through the
+  // MapExit (tasklet -> exit edge carrying the scalar's memlet) is a
+  // write, even though no access node of the scalar sits behind the
+  // exit. Alongside the state's direct write it makes the scalar
+  // multi-writer — privatization must refuse it. (The walk used to skip
+  // such edges entirely: neither a write nor Complex; contrast
+  // summarizeReps in Privatization.cpp.)
+  auto G = buildDominatedScalar(/*ReadBeforeWrite=*/false);
+  State *S = G->getStartState();
+  auto [Entry, Exit] = S->addMap({"i"}, {sym::SymRange(
+                                            sym::SymExpr::constant(0),
+                                            sym::SymExpr::constant(4),
+                                            sym::SymExpr::constant(1))});
+  Tasklet *InScope = S->addTasklet("escape");
+  InScope->OutConns = {"_o"};
+  InScope->Code["_o"] = TExpr::constF(2.0, DType::F64);
+  S->connect(Entry, "", InScope, "", Memlet());
+  Memlet Mtmp;
+  Mtmp.Data = "tmp";
+  S->connect(InScope, "_o", Exit, "", Mtmp); // tmp escapes via the exit.
+  std::set<std::string> P =
+      sdfgopt::privatizableScalars(*G, *G->getStartState());
+  EXPECT_EQ(P.count("tmp"), 0u)
+      << "a write routed through a MapExit must count as a write";
 }
 
 TEST(Privatization, ValidateRejectsOutOfScopePrivateAccess) {

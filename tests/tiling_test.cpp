@@ -1,0 +1,385 @@
+//===- tiling_test.cpp - map tiling (cache blocking) subsystem tests -----------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Acceptance suite for the tile-maps cache-blocking pass: the strip-mine
+/// rewrite itself (tile/intra parameter pairs, idempotence, the MapsTiled
+/// counter and its pass-report row), the structural tile-dim analysis the
+/// parallel backend's thread-partition reasoning builds on, tiled OpenMP
+/// code generation (the pragma and collapse stay on the tile loops, no
+/// atomics appear on gemm), the full 29-kernel differential — tiled vs
+/// untiled x interp vs native x serial vs parallel, all within 1e-9 —
+/// and the bench harness's workload-#define scale/override composition
+/// (the --parallel-scale double-scaling fix).
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Api.h"
+#include "codegen/CppCodegen.h"
+#include "exec/InterpEngine.h"
+#include "exec/JitCache.h"
+#include "exec/NativeJitEngine.h"
+#include "pipeline/Pipeline.h"
+#include "pipeline/PolybenchRegistry.h"
+#include "pipeline/WorkloadDefines.h"
+#include "sdfgopt/Passes.h"
+#include "sdfgopt/Utils.h"
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <gtest/gtest.h>
+
+using namespace dcir;
+using namespace dcir::sdfg;
+using pipeline::ParallelismMode;
+using pipeline::PipelineKind;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string freshDir(const std::string &Tag) {
+  static std::atomic<unsigned> Counter{0};
+  std::string Dir = ::testing::TempDir() + "/dcir_tile_" + Tag + "_" +
+                    std::to_string(::getpid()) + "_" +
+                    std::to_string(Counter++);
+  fs::create_directories(Dir);
+  return Dir;
+}
+
+/// Compile options for a tiled DCIR build (tile size 8: small enough
+/// that the MINI-sized Polybench trip counts hold two full tiles).
+pipeline::CompileOptions tiledOptions(bool Tiled = true) {
+  pipeline::CompileOptions Opts;
+  Opts.Parallelism = ParallelismMode::Maps;
+  if (Tiled)
+    Opts.TileSizes = {8};
+  return Opts;
+}
+
+std::shared_ptr<const api::Program>
+compileDcir(const std::string &Source, const std::string &Entry,
+            const pipeline::CompileOptions &Opts) {
+  api::Compiler C;
+  auto P =
+      C.pipeline(PipelineKind::Dcir).options(Opts).compile(Source, Entry);
+  EXPECT_TRUE(P && P->graph()) << Entry << ": " << C.diagnostics();
+  return P;
+}
+
+unsigned countTileParams(const SDFG &G) {
+  unsigned N = 0;
+  for (const auto &S : G.states())
+    for (const auto &Node : S->nodes())
+      if (const auto *ME = dyn_cast<MapEntry>(Node.get()))
+        for (const std::string &P : ME->Params)
+          if (P.size() > 6 && P.rfind("__tile") == P.size() - 6)
+            ++N;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// The strip-mine rewrite
+//===----------------------------------------------------------------------===//
+
+TEST(TileMaps, GemmTilesAndCountsInThePassReport) {
+  std::string Source = pipeline::loadWorkload("polybench/gemm.c");
+  auto C = compileDcir(Source, "kernel_gemm", tiledOptions());
+  ASSERT_TRUE(C && C->graph());
+  // MapsTiled is maintained through the aux sink and mirrored by the
+  // per-pass rewrite counter, so the bench JSON and the legacy report
+  // can never disagree.
+  EXPECT_GE(C->report().MapsTiled, 1u);
+  EXPECT_EQ(C->report().MapsTiled, C->report().Passes.rewrites("tile-maps"));
+  EXPECT_GE(countTileParams(*C->graph()), 1u);
+  // The pass report (what the benches serialize) names tile-maps.
+  EXPECT_NE(C->report().Passes.str().find("tile-maps"), std::string::npos);
+  // Tiling never changes a memlet: the outer nest still converted, the
+  // hoisted scalar is still privatized.
+  EXPECT_TRUE(sdfgopt::findLoops(*C->graph()).empty());
+  EXPECT_GE(C->report().ScalarsPrivatized, 1u);
+}
+
+TEST(TileMaps, DisabledByDefaultAndByEmptyTileSizes) {
+  std::string Source = pipeline::loadWorkload("polybench/gemm.c");
+  auto C = compileDcir(Source, "kernel_gemm", tiledOptions(/*Tiled=*/false));
+  ASSERT_TRUE(C && C->graph());
+  EXPECT_EQ(C->report().MapsTiled, 0u);
+  EXPECT_EQ(countTileParams(*C->graph()), 0u);
+  // The pass still ran (registered in the parallelize group) — as a
+  // no-op.
+  EXPECT_GT(C->report().Passes.find("tile-maps")->Invocations, 0u);
+}
+
+TEST(TileMaps, IdempotentOnItsOwnOutput) {
+  // The pass lives in a fixpoint group, so it must be a no-op on its own
+  // output: tile dims (step > 1) and intra dims (parameter-dependent
+  // bounds) are never re-tiled.
+  std::string Source = pipeline::loadWorkload("polybench/gemm.c");
+  DiagnosticEngine Diags;
+  auto Parts = api::detail::compileParts(Source, "kernel_gemm",
+                                         PipelineKind::Dcir, Diags,
+                                         tiledOptions(/*Tiled=*/false));
+  ASSERT_TRUE(Parts.Graph) << Diags.str();
+  sdfgopt::TilingOptions T;
+  T.TileSizes = {8};
+  sdfgopt::OptReport R;
+  unsigned First = sdfgopt::tileMaps(*Parts.Graph, T, &R);
+  EXPECT_GE(First, 1u);
+  EXPECT_EQ(R.MapsTiled, First);
+  EXPECT_EQ(sdfgopt::tileMaps(*Parts.Graph, T, &R), 0u);
+  EXPECT_EQ(R.MapsTiled, First); // Second run added nothing.
+  // And the graph still validates after the rewrite.
+  DiagnosticEngine VDiags;
+  EXPECT_TRUE(Parts.Graph->validate(VDiags)) << VDiags.str();
+}
+
+TEST(TileMaps, SkipsShortTripsAndRegisteredInSpecs) {
+  // MINI gemm trips are 20/25/30: a 32-tile would leave fewer than two
+  // full tiles everywhere, so nothing may be tiled.
+  std::string Source = pipeline::loadWorkload("polybench/gemm.c");
+  pipeline::CompileOptions Opts = tiledOptions();
+  Opts.TileSizes = {32};
+  auto C = compileDcir(Source, "kernel_gemm", Opts);
+  ASSERT_TRUE(C && C->graph());
+  EXPECT_EQ(C->report().MapsTiled, 0u);
+  // The textual spec grammar knows the pass, and the autoopt tree
+  // carries it inside the parallelize fixpoint group.
+  sdfgopt::OptReport Aux;
+  opt::PassRegistry<SDFG> Reg = sdfgopt::passRegistry(&Aux);
+  EXPECT_TRUE(Reg.contains("tile-maps"));
+  auto P = sdfgopt::buildAutoOptimizePipeline(&Aux);
+  EXPECT_NE(P->spec().find("tile-maps"), std::string::npos);
+  DiagnosticEngine Diags;
+  auto Parsed = opt::parsePipelineSpec<SDFG>(
+      "fixpoint(fuse-chains,loops-to-maps,tile-maps)", Reg, Diags);
+  ASSERT_NE(Parsed, nullptr) << Diags.str();
+  EXPECT_EQ(Parsed->spec(), "fixpoint(fuse-chains,loops-to-maps,tile-maps)");
+}
+
+TEST(TileMaps, TileSizesArePositionalWithZeroMeaningUntiled) {
+  // --tile=0,32 must mean "dimension 0 untiled, dimension 1 (and
+  // beyond) tiled with 32" — entries keep their position, sizes < 2
+  // disable just that dimension.
+  sdfgopt::TilingOptions T;
+  T.TileSizes = {0, 32};
+  EXPECT_TRUE(T.enabled());
+  EXPECT_EQ(T.sizeFor(0), 0u);
+  EXPECT_EQ(T.sizeFor(1), 32u);
+  EXPECT_EQ(T.sizeFor(5), 32u); // Past the end: the last entry applies.
+  sdfgopt::TilingOptions Off;
+  EXPECT_FALSE(Off.enabled());
+  EXPECT_EQ(Off.sizeFor(0), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Structural tile-dim analysis (what codegen's partition proof uses)
+//===----------------------------------------------------------------------===//
+
+TEST(TileAnalysis, RecognizesStripsAndPinnedChains) {
+  using sym::SymExpr;
+  using sym::SymRange;
+  // A tiled 1-D map: [i__tile : 0..100:8, i : i__tile..min(i__tile+8,100)].
+  MapEntry ME(0, {"i__tile", "i"},
+              {SymRange(SymExpr::constant(0), SymExpr::constant(100),
+                        SymExpr::constant(8)),
+               SymRange(SymExpr::symbol("i__tile"),
+                        SymExpr::min(SymExpr::add(SymExpr::symbol("i__tile"),
+                                                  SymExpr::constant(8)),
+                                     SymExpr::constant(100)),
+                        SymExpr::constant(1))});
+  auto Intra = sdfgopt::intraTileDims(ME);
+  ASSERT_EQ(Intra.size(), 1u);
+  ASSERT_TRUE(Intra.count(1));
+  EXPECT_EQ(Intra[1].TileDim, 0u);
+  EXPECT_EQ(Intra[1].Extent, 8);
+  std::set<std::string> Pinned = sdfgopt::threadPinnedParams(ME);
+  EXPECT_TRUE(Pinned.count("i__tile"));
+  EXPECT_TRUE(Pinned.count("i")) << "the strip is pinned to its tile";
+
+  // A strip wider than the tile step is NOT disjoint across tiles and
+  // must not be recognized.
+  MapEntry Wide(1, {"i__tile", "i"},
+                {SymRange(SymExpr::constant(0), SymExpr::constant(100),
+                          SymExpr::constant(8)),
+                 SymRange(SymExpr::symbol("i__tile"),
+                          SymExpr::add(SymExpr::symbol("i__tile"),
+                                       SymExpr::constant(16)),
+                          SymExpr::constant(1))});
+  EXPECT_TRUE(sdfgopt::intraTileDims(Wide).empty());
+  std::set<std::string> WidePinned = sdfgopt::threadPinnedParams(Wide);
+  EXPECT_FALSE(WidePinned.count("i"));
+
+  // An untiled map pins exactly its first parameter (legacy behaviour).
+  MapEntry Plain(2, {"i", "j"},
+                 {SymRange(SymExpr::constant(0), SymExpr::constant(10)),
+                  SymRange(SymExpr::constant(0), SymExpr::constant(10))});
+  std::set<std::string> P = sdfgopt::threadPinnedParams(Plain);
+  EXPECT_EQ(P, std::set<std::string>{"i"});
+}
+
+//===----------------------------------------------------------------------===//
+// Tiled parallel code generation
+//===----------------------------------------------------------------------===//
+
+TEST(TiledCodegen, GemmKeepsThePragmaOnTileLoopsWithoutAtomics) {
+  std::string Source = pipeline::loadWorkload("polybench/gemm.c");
+  auto C = compileDcir(Source, "kernel_gemm", tiledOptions());
+  ASSERT_TRUE(C && C->graph());
+  DiagnosticEngine Diags;
+  codegen::CodegenOptions Par;
+  Par.ParallelMaps = true;
+  codegen::CodegenInfo Info;
+  std::string Code = codegen::emitCpp(*C->graph(), Diags, Par, &Info);
+  ASSERT_FALSE(Code.empty()) << Diags.str();
+  EXPECT_GE(Info.ParallelMapsEmitted, 1u);
+  EXPECT_EQ(Info.AtomicUpdates, 0u)
+      << "pinning must survive the tile/intra split";
+  // Every parallel-for pragma must sit directly on a loop, and the main
+  // nest's pragma sits on a tile loop with the intra strip below it.
+  size_t Priv = Code.find("] double mulf");
+  ASSERT_NE(Priv, std::string::npos) << Code;
+  size_t Pragma = Code.rfind("#pragma omp parallel for", Priv);
+  ASSERT_NE(Pragma, std::string::npos);
+  std::string Region = Code.substr(Pragma, Priv - Pragma);
+  // The pragma'd loop iterates a tile parameter (e.g. `i_6__tile`)...
+  EXPECT_NE(Region.find("__tile = 0LL"), std::string::npos) << Region;
+  // ...and the serial intra strip starts at that tile parameter
+  // (`for (long long i_6 = i_6__tile; ...`).
+  EXPECT_NE(Region.find("__tile; "), std::string::npos) << Region;
+}
+
+TEST(TiledCodegen, ElementwiseTilesCollapseTheTileLoops) {
+  // A rectangular 2-D nest tiles both dims; the collapse clause must
+  // cover the (rectangular) tile loops while the intra strips, whose
+  // bounds reference the tile parameters, stay serial.
+  const char *Source = R"(
+#define N 64
+double kernel_elem2() {
+  double a[N][N];
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      a[i][j] = (double)(i + 2 * j) / N;
+  double s = 0.0;
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      s += a[i][j];
+  return s;
+}
+)";
+  auto C = compileDcir(Source, "kernel_elem2", tiledOptions());
+  ASSERT_TRUE(C && C->graph());
+  EXPECT_GE(C->report().MapsTiled, 1u);
+  DiagnosticEngine Diags;
+  codegen::CodegenOptions Par;
+  Par.ParallelMaps = true;
+  std::string Code = codegen::emitCpp(*C->graph(), Diags, Par);
+  ASSERT_FALSE(Code.empty()) << Diags.str();
+  EXPECT_NE(Code.find("collapse(2)"), std::string::npos) << Code;
+  // Both dimensions were strip-mined: two tile loops start at 0.
+  size_t TileLoops = 0;
+  for (size_t Pos = Code.find("__tile = 0LL"); Pos != std::string::npos;
+       Pos = Code.find("__tile = 0LL", Pos + 1))
+    ++TileLoops;
+  EXPECT_GE(TileLoops, 2u) << Code;
+}
+
+//===----------------------------------------------------------------------===//
+// The 29-kernel differential: tiled vs untiled x interp vs native
+// x serial vs parallel, everything within 1e-9 of the untiled interp.
+//===----------------------------------------------------------------------===//
+
+class TiledPolybench
+    : public ::testing::TestWithParam<pipeline::PolybenchKernel> {};
+
+TEST_P(TiledPolybench, TiledAgreesAcrossEnginesAndModes) {
+  const pipeline::PolybenchKernel &K = GetParam();
+  std::string Source = pipeline::loadWorkload(K.File);
+
+  // Untiled interpreter checksum: the reference.
+  auto Untiled = compileDcir(Source, K.Entry, tiledOptions(/*Tiled=*/false));
+  ASSERT_TRUE(Untiled && Untiled->graph());
+  exec::InterpEngine Interp;
+  exec::EngineRun Ref =
+      Interp.runGraph(*Untiled->graph(), interp::MathMode::Precise);
+  ASSERT_TRUE(Ref.Ok) << K.Name << ": " << Ref.Error;
+  const double Tol = 1e-9 * (1.0 + std::fabs(Ref.ReturnValue));
+
+  // Tiled graph (same pipeline with --tile=8): interp, native serial,
+  // native parallel must all reproduce the reference.
+  auto Tiled = compileDcir(Source, K.Entry, tiledOptions());
+  ASSERT_TRUE(Tiled && Tiled->graph());
+  exec::EngineRun RI =
+      Interp.runGraph(*Tiled->graph(), interp::MathMode::Precise);
+  ASSERT_TRUE(RI.Ok) << K.Name << ": " << RI.Error;
+  EXPECT_NEAR(RI.ReturnValue, Ref.ReturnValue, Tol) << K.Name << " interp";
+
+  exec::JitCache Cache(freshDir(K.Entry));
+  for (bool Parallel : {false, true}) {
+    exec::NativeJitEngine Native(&Cache);
+    exec::EngineConfig EC;
+    EC.ParallelMaps = Parallel;
+    Native.configure(EC);
+    exec::EngineRun RN =
+        Native.runGraph(*Tiled->graph(), interp::MathMode::Precise);
+    ASSERT_TRUE(RN.Ok) << K.Name << ": " << RN.Error;
+    EXPECT_NEAR(RN.ReturnValue, Ref.ReturnValue, Tol)
+        << K.Name << " native " << (Parallel ? "parallel" : "serial");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig6Corpus, TiledPolybench,
+    ::testing::ValuesIn(pipeline::polybenchKernels()),
+    [](const ::testing::TestParamInfo<pipeline::PolybenchKernel> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Workload #define scaling / overrides (the bench harness knobs)
+//===----------------------------------------------------------------------===//
+
+TEST(WorkloadDefines, ScalesIntegerDefinesOnly) {
+  const std::string Src = "#define N 10\n#define PI 3.14\nint x;\n";
+  std::string Out = pipeline::scaleWorkloadDefines(Src, 8);
+  EXPECT_NE(Out.find("#define N 80"), std::string::npos);
+  EXPECT_NE(Out.find("#define PI 3.14"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("int x;"), std::string::npos);
+}
+
+TEST(WorkloadDefines, PinnedNamesAreNeverScaled) {
+  const std::string Src = "#define N 10\n#define M 5\n";
+  std::string Out = pipeline::scaleWorkloadDefines(Src, 8, {"N"});
+  EXPECT_NE(Out.find("#define N 10"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("#define M 40"), std::string::npos) << Out;
+}
+
+TEST(WorkloadDefines, OverrideIsTheLastWriterUnderScaling) {
+  // The double-scaling regression: an explicitly overridden define must
+  // come out exactly as written — neither scaled before the override
+  // (value * scale) nor after (override * scale).
+  const std::string Src = "#define N 10\n#define M 5\n";
+  std::string Out = pipeline::prepareWorkload(Src, 8, {{"N", 100}});
+  EXPECT_NE(Out.find("#define N 100"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("#define N 800"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("#define N 8000"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("#define M 40"), std::string::npos)
+      << "unpinned defines still scale";
+}
+
+TEST(WorkloadDefines, RepeatedOverridesLastWins) {
+  const std::string Src = "#define N 10\n";
+  std::string Out =
+      pipeline::overrideWorkloadDefines(Src, {{"N", 50}, {"N", 70}});
+  EXPECT_NE(Out.find("#define N 70"), std::string::npos) << Out;
+}
+
+} // namespace
