@@ -32,6 +32,8 @@
 
 #include "api/Api.h"
 #include "exec/ExecutionEngine.h"
+#include "exec/JitCache.h"
+#include "obs/MapProfile.h"
 #include "pipeline/Pipeline.h"
 #include "pipeline/WorkloadDefines.h"
 
@@ -40,9 +42,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 namespace dcir {
@@ -74,6 +78,15 @@ struct BenchOptions {
   /// --print-pass-report: dump the per-pass rewrite/wall-time table after
   /// each DCIR/DaCe compile.
   bool PrintPassReport = false;
+  /// --pass-report-json=FILE: collect every compile's PipelineReport and
+  /// write them as one JSON document at exit. The path is validated at
+  /// flag-parse time: an unwritable location aborts with a diagnostic
+  /// rather than losing the report after a full bench run.
+  std::string PassReportJson;
+  /// --profile-maps: per-map runtime profiling for native artifacts
+  /// (timing + trip counts per emitted map scope; lands in the JSON rows
+  /// as "map_profile"). Forks the JIT cache key.
+  bool ProfileMaps = false;
 
   pipeline::CompileOptions compileOptions(exec::EngineKind K) const {
     pipeline::CompileOptions Opts;
@@ -83,6 +96,7 @@ struct BenchOptions {
     Opts.Opt = Opt;
     Opts.PassPipeline = Passes;
     Opts.TileSizes = TileSizes;
+    Opts.ProfileMaps = ProfileMaps;
     return Opts;
   }
 
@@ -187,6 +201,25 @@ inline BenchOptions parseBenchFlags(int &argc, char **argv) {
       Opts.PrintPassReport = true;
       continue;
     }
+    if (std::strcmp(argv[I], "--profile-maps") == 0) {
+      Opts.ProfileMaps = true;
+      continue;
+    }
+    if (std::strncmp(argv[I], "--pass-report-json=", 19) == 0) {
+      Opts.PassReportJson = argv[I] + 19;
+      // Fail now, not after an hour of benching: the path must be
+      // writable (this also creates/truncates the file, so a crashed run
+      // leaves an empty document instead of a stale one).
+      std::ofstream Probe(Opts.PassReportJson);
+      if (Opts.PassReportJson.empty() || !Probe) {
+        std::fprintf(stderr,
+                     "bad --pass-report-json= value '%s': cannot open "
+                     "for writing\n",
+                     Opts.PassReportJson.c_str());
+        std::exit(2);
+      }
+      continue;
+    }
     argv[Out++] = argv[I];
   }
   argc = Out;
@@ -283,6 +316,10 @@ class JsonReporter {
 public:
   explicit JsonReporter(std::string Path) : Path(std::move(Path)) {}
 
+  /// Attaches a top-level `"meta"` object (see benchMetaJson); the file
+  /// then becomes {"meta": ..., "rows": [...]} instead of a bare array.
+  void setMeta(std::string MetaJson) { Meta = std::move(MetaJson); }
+
   /// \p Extra: additional JSON members, e.g. `"parallel": "on"` or a
   /// `"pass_report": [...]` array (no surrounding comma/braces); empty
   /// for the plain pipeline rows.
@@ -310,16 +347,19 @@ public:
       std::fprintf(stderr, "bench: cannot write %s\n", Path.c_str());
       return false;
     }
+    if (!Meta.empty())
+      Out << "{\"meta\": " << Meta << ",\n\"rows\": ";
     Out << "[\n";
     for (size_t I = 0; I < Rows.size(); ++I)
       Out << Rows[I] << (I + 1 < Rows.size() ? ",\n" : "\n");
-    Out << "]\n";
+    Out << "]" << (Meta.empty() ? "" : "}") << "\n";
     std::printf("wrote %s (%zu rows)\n", Path.c_str(), Rows.size());
     return Out.good();
   }
 
 private:
   std::string Path;
+  std::string Meta;
   std::vector<std::string> Rows;
 };
 
@@ -354,15 +394,111 @@ inline std::string joinExtras(std::initializer_list<std::string> Extras) {
   return Out;
 }
 
-/// Honours --print-pass-report: dumps the per-pass table after a compile.
+/// The `"map_profile": [...]` JSON member: per-map runtime timing and
+/// trip counts accumulated by a --profile-maps native artifact (empty
+/// when profiling is off or the program serves from the interpreter).
+inline std::string mapProfileExtra(const api::Program &P) {
+  std::vector<obs::MapProfile> Rows = P.mapProfile();
+  if (Rows.empty())
+    return std::string();
+  return "\"map_profile\": " + obs::mapProfileJson(Rows);
+}
+
+/// The `"serving_metrics": {...}` JSON member: the Program's invocation
+/// counters and per-engine latency histograms (p50/p90/p99).
+inline std::string metricsExtra(const api::Program &P) {
+  return "\"serving_metrics\": " + P.metricsJson();
+}
+
+namespace detail {
+/// Accumulator for --pass-report-json= (one process-wide list; benches
+/// are single-threaded drivers).
+inline std::vector<std::string> &passReportRows() {
+  static std::vector<std::string> Rows;
+  return Rows;
+}
+} // namespace detail
+
+/// The top-level "meta" block of BENCH_*.json: when the run happened,
+/// where, with which host compiler/flag tier, and under which harness
+/// knobs — so two snapshots of the perf trajectory are comparable (or
+/// visibly not).
+inline std::string benchMetaJson(const BenchOptions &Opts) {
+  char Stamp[32] = "unknown";
+  std::time_t Now = std::time(nullptr);
+  std::tm Tm;
+  if (gmtime_r(&Now, &Tm))
+    std::strftime(Stamp, sizeof(Stamp), "%Y-%m-%dT%H:%M:%SZ", &Tm);
+  char Host[256] = {};
+  if (gethostname(Host, sizeof(Host) - 1) != 0)
+    std::strcpy(Host, "unknown");
+  const exec::JitCache &Cache = exec::JitCache::shared();
+  std::string Tile;
+  for (unsigned T : Opts.TileSizes) {
+    if (!Tile.empty())
+      Tile += ", ";
+    Tile += std::to_string(T);
+  }
+  std::string Out = "{";
+  Out += "\"timestamp\": \"" + std::string(Stamp) + "\"";
+  Out += ", \"hostname\": \"" + std::string(Host) + "\"";
+  Out += ", \"compiler\": \"" + Cache.compiler() + "\"";
+  Out += ", \"flag_tier\": \"" +
+         std::string(Cache.openmp() ? "openmp" : "serial") + "\"";
+  Out += ", \"flags\": \"" + Cache.flags() + "\"";
+  Out += ", \"engine\": \"" +
+         std::string(exec::engineName(Opts.Engine)) + "\"";
+  Out += ", \"parallel\": \"" +
+         std::string(pipeline::parallelismName(Opts.Parallelism)) + "\"";
+  Out += ", \"threads\": " + std::to_string(Opts.Threads);
+  Out += ", \"parallel_scale\": " + std::to_string(Opts.ParallelScale);
+  Out += ", \"opt\": " + std::to_string(static_cast<int>(Opts.Opt));
+  Out += ", \"tile\": [" + Tile + "]";
+  Out += std::string(", \"profile_maps\": ") +
+         (Opts.ProfileMaps ? "true" : "false");
+  Out += "}";
+  return Out;
+}
+
+/// Honours --print-pass-report and --pass-report-json=: dumps the
+/// per-pass table to stdout and/or collects it for the exit-time JSON
+/// document (see writePassReportJson).
 inline void maybePrintPassReport(const BenchOptions &Opts,
                                  const std::string &Kernel,
                                  const api::Program &P) {
-  if (!Opts.PrintPassReport || !P.graph())
+  if (!P.graph())
     return;
-  std::printf("--- pass report: %s (%s) ---\n%s", Kernel.c_str(),
-              pipeline::pipelineName(P.pipelineKind()),
-              P.report().Passes.str().c_str());
+  if (Opts.PrintPassReport)
+    std::printf("--- pass report: %s (%s) ---\n%s", Kernel.c_str(),
+                pipeline::pipelineName(P.pipelineKind()),
+                P.report().Passes.str().c_str());
+  if (!Opts.PassReportJson.empty() && !P.report().Passes.Passes.empty())
+    detail::passReportRows().push_back(
+        "  {\"kernel\": \"" + Kernel + "\", \"pipeline\": \"" +
+        pipeline::pipelineName(P.pipelineKind()) + "\", \"passes\": " +
+        P.report().Passes.json() + "}");
+}
+
+/// Writes the --pass-report-json= document (one entry per compiled SDFG
+/// artifact). Returns false (with a warning) on I/O failure. The path was
+/// already validated writable at flag-parse time.
+inline bool writePassReportJson(const BenchOptions &Opts) {
+  if (Opts.PassReportJson.empty())
+    return true;
+  std::ofstream Out(Opts.PassReportJson);
+  if (!Out) {
+    std::fprintf(stderr, "bench: cannot write %s\n",
+                 Opts.PassReportJson.c_str());
+    return false;
+  }
+  const std::vector<std::string> &Rows = detail::passReportRows();
+  Out << "[\n";
+  for (size_t I = 0; I < Rows.size(); ++I)
+    Out << Rows[I] << (I + 1 < Rows.size() ? ",\n" : "\n");
+  Out << "]\n";
+  std::printf("wrote %s (%zu pass reports)\n",
+              Opts.PassReportJson.c_str(), Rows.size());
+  return Out.good();
 }
 
 /// Registers a google-benchmark timer over a pre-compiled Program.

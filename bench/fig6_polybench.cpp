@@ -44,6 +44,7 @@ int main(int argc, char **argv) {
   std::map<PipelineKind, double> LogSpeedupSum;
   int KernelCount = 0;
   JsonReporter Json("BENCH_fig6.json");
+  Json.setMeta(benchMetaJson(Opts));
 
   for (const PolybenchKernel &K : polybenchKernels()) {
     std::string Source = Opts.prepareSource(loadWorkload(K.File),
@@ -118,11 +119,13 @@ int main(int argc, char **argv) {
       Json.add(K.Name, PipelineKind::Dcir, RS.EngineUsed, RS,
                joinExtras({"\"parallel\": \"off\", \"tiled\": \"off\", " +
                                ExtraBase,
-                           fallbackExtra(*PS)}));
+                           fallbackExtra(*PS), mapProfileExtra(*PS),
+                           metricsExtra(*PS)}));
       Json.add(K.Name, PipelineKind::Dcir, RP.EngineUsed, RP,
                joinExtras({"\"parallel\": \"on\", \"tiled\": \"off\", " +
                                ExtraBase,
-                           fallbackExtra(*PP)}));
+                           fallbackExtra(*PP), mapProfileExtra(*PP),
+                           metricsExtra(*PP)}));
       std::string TiledCol = "           ";
       if (Tiling) {
         auto PT = compileOrDie(Scaled, K.Entry, PipelineKind::Dcir, Tiled);
@@ -131,7 +134,8 @@ int main(int argc, char **argv) {
                  joinExtras({"\"parallel\": \"on\", \"tiled\": \"on\", " +
                                  ExtraBase + ", \"maps_tiled\": " +
                                  std::to_string(PT->report().MapsTiled),
-                             fallbackExtra(*PT)}));
+                             fallbackExtra(*PT), mapProfileExtra(*PT),
+                             metricsExtra(*PT)}));
         char Buf[64];
         std::snprintf(Buf, sizeof(Buf), "tiled %9.3f ms",
                       RT.Seconds * 1e3);
@@ -152,6 +156,7 @@ int main(int argc, char **argv) {
                   std::exp(LogParSum / ParCount));
   }
   Json.write();
+  writePassReportJson(Opts);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "api/Api.h"
+#include "obs/Metrics.h"
 
 #include <cstdio>
 #include <thread>
@@ -123,5 +124,11 @@ double saxpy(double a, double x[32], double y[32]) {
               (unsigned long long)S.InterpInvocations,
               (unsigned long long)S.EngineFallbacks,
               (unsigned long long)S.AsyncInvocations);
+
+  // 7. The same counters plus per-engine latency histograms (p50/p90/p99)
+  // as machine-readable JSON — what a serving dashboard would scrape —
+  // and the process-wide snapshot (JIT cache hits/misses/evictions).
+  std::printf("program metrics: %s\n", Program->metricsJson().c_str());
+  std::printf("process metrics: %s\n", obs::snapshotJson().c_str());
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "frontend/CCodegen.h"
 #include "frontend/CParser.h"
 #include "ir/Verifier.h"
+#include "obs/Trace.h"
 #include "passes/Pass.h"
 
 #include <cstdio>
@@ -104,13 +105,22 @@ dcir::api::detail::compileParts(const std::string &CSource,
                                 DiagnosticEngine &Diags,
                                 const CompileOptions &Opts) {
   CompiledParts Out;
+  obs::Span CompileSpan("compile:" + Entry, "compile");
   if (Kind == PipelineKind::DaceLike) {
-    auto TU = frontend::parseC(CSource, Diags);
+    std::unique_ptr<frontend::TranslationUnit> TU;
+    {
+      obs::Span S("frontend.parse", "compile");
+      TU = frontend::parseC(CSource, Diags);
+    }
     if (!TU)
       return Out;
-    Out.Graph = conversion::translateCDirect(*TU, Entry, Diags);
+    {
+      obs::Span S("translate.sdfg", "compile");
+      Out.Graph = conversion::translateCDirect(*TU, Entry, Diags);
+    }
     if (!Out.Graph)
       return Out;
+    obs::Span S("optimize.sdfg", "compile");
     if (!optimizeGraph(*Out.Graph, Opts, Out.Report, Diags) ||
         !Out.Graph->validate(Diags))
       Out.Graph.reset();
@@ -119,7 +129,11 @@ dcir::api::detail::compileParts(const std::string &CSource,
 
   Out.Ctx = std::make_shared<ir::IRContext>();
   registerAllDialects(*Out.Ctx);
-  ir::Operation *Module = frontend::compileCToModule(CSource, *Out.Ctx, Diags);
+  ir::Operation *Module;
+  {
+    obs::Span S("frontend.parse", "compile");
+    Module = frontend::compileCToModule(CSource, *Out.Ctx, Diags);
+  }
   if (!Module)
     return Out;
   passes::PassManager PM(/*VerifyEach=*/false);
@@ -139,9 +153,12 @@ dcir::api::detail::compileParts(const std::string &CSource,
   case PipelineKind::DaceLike:
     break;
   }
-  if (!PM.run(Module, Diags) || !ir::verify(Module, Diags)) {
-    ir::Operation::eraseDetached(Module);
-    return Out;
+  {
+    obs::Span S("passes.mlir", "compile");
+    if (!PM.run(Module, Diags) || !ir::verify(Module, Diags)) {
+      ir::Operation::eraseDetached(Module);
+      return Out;
+    }
   }
 
   if (Kind != PipelineKind::Dcir) {
@@ -150,7 +167,11 @@ dcir::api::detail::compileParts(const std::string &CSource,
   }
 
   // DCIR: convert to the sdfg dialect, translate, run -O1/-O2.
-  ir::Operation *SdfgModule = conversion::convertToSdfgDialect(Module, Diags);
+  ir::Operation *SdfgModule;
+  {
+    obs::Span S("convert.sdfg-dialect", "compile");
+    SdfgModule = conversion::convertToSdfgDialect(Module, Diags);
+  }
   ir::Operation::eraseDetached(Module);
   if (!SdfgModule)
     return Out;
@@ -158,14 +179,23 @@ dcir::api::detail::compileParts(const std::string &CSource,
     ir::Operation::eraseDetached(SdfgModule);
     return Out;
   }
-  Out.Graph = conversion::translateToSDFG(SdfgModule, Entry, Diags);
+  {
+    obs::Span S("translate.sdfg", "compile");
+    Out.Graph = conversion::translateToSDFG(SdfgModule, Entry, Diags);
+  }
   ir::Operation::eraseDetached(SdfgModule);
   if (!Out.Graph)
     return Out;
+  obs::Span S("optimize.sdfg", "compile");
   if (!optimizeGraph(*Out.Graph, Opts, Out.Report, Diags) ||
       !Out.Graph->validate(Diags))
     Out.Graph.reset();
   return Out;
+}
+
+Compiler &Compiler::traceFile(const std::string &Path) {
+  obs::Tracer::instance().enableToFile(Path);
+  return *this;
 }
 
 std::shared_ptr<const Program>
@@ -184,6 +214,7 @@ Compiler::compile(const std::string &CSource, const std::string &Entry) {
   P.Engine = Opts.Engine;
   P.Parallelism = Opts.Parallelism;
   P.NumThreads = Opts.NumThreads;
+  P.ProfileMaps = Opts.ProfileMaps;
   P.Entry = Entry;
   P.Ctx = std::move(Parts.Ctx);
   P.Module = Parts.Module;

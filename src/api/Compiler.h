@@ -77,6 +77,19 @@ public:
     Opts.VerifyEachPass = V;
     return *this;
   }
+  /// Per-map runtime profiling for native programs: wraps every emitted
+  /// map scope with timing/trip-count instrumentation, read back via
+  /// Program::mapProfile(). Forks the JIT cache key; zero overhead (and
+  /// identical artifacts) when off.
+  Compiler &profileMaps(bool P = true) {
+    Opts.ProfileMaps = P;
+    return *this;
+  }
+  /// Enables process-wide lifecycle tracing and writes the Chrome
+  /// trace-event JSON to \p Path at process exit (equivalent to running
+  /// with $DCIR_TRACE=Path). Affects the whole process, not just this
+  /// Compiler — tracing is a global concern, like diagnostics to stderr.
+  Compiler &traceFile(const std::string &Path);
   Compiler &maxFixpointRounds(unsigned N) {
     Opts.MaxFixpointRounds = N;
     return *this;

@@ -3,6 +3,7 @@
 #include "api/Program.h"
 
 #include "ir/IR.h"
+#include "obs/Trace.h"
 #include "sdfg/TaskletExpr.h"
 
 #include <algorithm>
@@ -110,6 +111,14 @@ InvocationResult Invocation::run() const {
 std::shared_ptr<const Program> Program::create(Parts InParts) {
   std::shared_ptr<Program> Prog(new Program());
   Prog->P = std::move(InParts);
+  // Hot-path metric handles, resolved once (registry entries are stable).
+  Prog->CInvocations = &Prog->Metrics.counter("invocations");
+  Prog->CNative = &Prog->Metrics.counter("invocations.native");
+  Prog->CInterp = &Prog->Metrics.counter("invocations.interp");
+  Prog->CFallbacks = &Prog->Metrics.counter("invocations.fallback");
+  Prog->CAsync = &Prog->Metrics.counter("invocations.async");
+  Prog->HNative = &Prog->Metrics.histogram("latency.native");
+  Prog->HInterp = &Prog->Metrics.histogram("latency.interp");
   if (Prog->P.Graph && Prog->P.Engine == exec::EngineKind::Native) {
     std::unique_ptr<exec::ExecutionEngine> Native =
         exec::createEngine(exec::EngineKind::Native);
@@ -117,6 +126,7 @@ std::shared_ptr<const Program> Program::create(Parts InParts) {
     Config.ParallelMaps =
         Prog->P.Parallelism != pipeline::ParallelismMode::Off;
     Config.NumThreads = Prog->P.NumThreads;
+    Config.ProfileMaps = Prog->P.ProfileMaps;
     Native->configure(Config);
     std::string Error;
     double Seconds = 0.0;
@@ -165,12 +175,18 @@ std::vector<ContainerInfo> Program::containers() const {
 
 ProgramStats Program::stats() const {
   ProgramStats S;
-  S.Invocations = NInvocations.load(std::memory_order_relaxed);
-  S.NativeInvocations = NNative.load(std::memory_order_relaxed);
-  S.InterpInvocations = NInterp.load(std::memory_order_relaxed);
-  S.EngineFallbacks = NFallbacks.load(std::memory_order_relaxed);
-  S.AsyncInvocations = NAsync.load(std::memory_order_relaxed);
+  S.Invocations = CInvocations->value();
+  S.NativeInvocations = CNative->value();
+  S.InterpInvocations = CInterp->value();
+  S.EngineFallbacks = CFallbacks->value();
+  S.AsyncInvocations = CAsync->value();
   return S;
+}
+
+std::vector<obs::MapProfile> Program::mapProfile() const {
+  if (!Native || !P.Graph)
+    return {};
+  return Native->mapProfile(*P.Graph);
 }
 
 std::string Program::validateBindings(const Invocation &I) const {
@@ -206,6 +222,7 @@ InvocationResult Program::invoke(const Invocation &I) const {
     return failResult("invocation was created for program '" +
                       I.program()->entry() + "', not '" + P.Entry + "'");
 
+  obs::Span InvokeSpan("invoke:" + P.Entry, "serve");
   InvocationResult R;
   if (P.Module) {
     if (!I.bindings().empty())
@@ -213,8 +230,10 @@ InvocationResult Program::invoke(const Invocation &I) const {
                         "' is a dialect-module artifact with no bindable "
                         "containers");
     exec::EngineRun E = Interp.runModule(P.Module, P.Entry, I.mathMode());
-    NInvocations.fetch_add(1, std::memory_order_relaxed);
-    NInterp.fetch_add(1, std::memory_order_relaxed);
+    CInvocations->inc();
+    CInterp->inc();
+    if (E.Ok)
+      HInterp->recordSeconds(E.Seconds);
     R.Ok = E.Ok;
     R.Error = std::move(E.Error);
     R.ReturnValue = E.ReturnValue;
@@ -253,14 +272,16 @@ InvocationResult Program::invoke(const Invocation &I) const {
   }
   if (Used != exec::EngineKind::Native) {
     if (P.Engine == exec::EngineKind::Native)
-      NFallbacks.fetch_add(1, std::memory_order_relaxed);
+      CFallbacks->inc();
     (void)NativeFailed;
     E = Interp.invokeGraph(*P.Graph, Req);
   }
 
-  NInvocations.fetch_add(1, std::memory_order_relaxed);
-  (Used == exec::EngineKind::Native ? NNative : NInterp)
-      .fetch_add(1, std::memory_order_relaxed);
+  CInvocations->inc();
+  (Used == exec::EngineKind::Native ? CNative : CInterp)->inc();
+  if (E.Ok)
+    (Used == exec::EngineKind::Native ? HNative : HInterp)
+        ->recordSeconds(E.Seconds);
 
   R.Ok = E.Ok;
   R.Error = std::move(E.Error);
@@ -288,7 +309,14 @@ std::future<InvocationResult> Program::invokeAsync(Invocation I) const {
   // futures report broken_promise).
   I.Prog.reset();
   std::packaged_task<InvocationResult()> Task(
-      [this, Inv = std::move(I)]() { return invoke(Inv); });
+      [this, Inv = std::move(I), Enq = obs::nowNs()]() {
+        // The queue wait happened between enqueue (producer thread) and
+        // now (worker thread) — record it as a complete interval.
+        if (obs::Tracer::instance().enabled())
+          obs::Tracer::instance().completeSpan("queue-wait:" + P.Entry,
+                                               "serve", Enq, obs::nowNs());
+        return invoke(Inv);
+      });
   std::future<InvocationResult> Fut = Task.get_future();
   {
     std::lock_guard<std::mutex> Lock(PoolMu);
@@ -318,7 +346,7 @@ std::future<InvocationResult> Program::invokeAsync(Invocation I) const {
     }
     PoolQueue.push_back(std::move(Task));
   }
-  NAsync.fetch_add(1, std::memory_order_relaxed);
+  CAsync->inc();
   PoolCv.notify_one();
   return Fut;
 }

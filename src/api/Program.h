@@ -36,6 +36,8 @@
 
 #include "exec/ExecutionEngine.h"
 #include "exec/InterpEngine.h"
+#include "obs/MapProfile.h"
+#include "obs/Metrics.h"
 #include "pipeline/PipelineTypes.h"
 #include "sdfgopt/Passes.h"
 
@@ -206,6 +208,8 @@ public:
     exec::EngineKind Engine = exec::EngineKind::Interp;
     pipeline::ParallelismMode Parallelism = pipeline::ParallelismMode::Auto;
     int NumThreads = 0;
+    /// Per-map runtime profiling (native engine; see Program::mapProfile).
+    bool ProfileMaps = false;
     std::string Entry;
     std::shared_ptr<ir::IRContext> Ctx; // Keeps types alive for Module.
     ir::Operation *Module = nullptr;
@@ -253,6 +257,21 @@ public:
   /// Snapshot of the serving counters.
   ProgramStats stats() const;
 
+  /// The program's serving-metrics registry: invocation counters
+  /// (invocations, invocations.native/.interp/.fallback/.async) and
+  /// per-engine latency histograms (latency.native/.interp). stats() is a
+  /// typed view over the same counters.
+  const obs::MetricsRegistry &metrics() const { return Metrics; }
+  /// metrics().json() — the machine-readable serving snapshot.
+  std::string metricsJson() const { return Metrics.json(); }
+
+  /// Per-map runtime profile accumulated by the native artifact since
+  /// preparation: one row per emitted map scope with call count, total
+  /// nanoseconds, and trip count. Empty unless the program was compiled
+  /// with CompileOptions::ProfileMaps (or $DCIR_PROFILE_MAPS=1) and serves
+  /// natively.
+  std::vector<obs::MapProfile> mapProfile() const;
+
   //===--------------------------------------------------------------------===
   // Invocation
   //===--------------------------------------------------------------------===
@@ -291,11 +310,17 @@ private:
   /// The first successful native invocation reports the JIT cost.
   mutable std::atomic<bool> CompileSecondsClaimed{false};
 
-  mutable std::atomic<std::uint64_t> NInvocations{0};
-  mutable std::atomic<std::uint64_t> NNative{0};
-  mutable std::atomic<std::uint64_t> NInterp{0};
-  mutable std::atomic<std::uint64_t> NFallbacks{0};
-  mutable std::atomic<std::uint64_t> NAsync{0};
+  /// Serving metrics. The hot-path counters/histograms are resolved once
+  /// in create() and cached as raw pointers (registry entries are stable
+  /// for its lifetime), so invoke() never pays a map lookup.
+  mutable obs::MetricsRegistry Metrics;
+  obs::Counter *CInvocations = nullptr;
+  obs::Counter *CNative = nullptr;
+  obs::Counter *CInterp = nullptr;
+  obs::Counter *CFallbacks = nullptr;
+  obs::Counter *CAsync = nullptr;
+  obs::Histogram *HNative = nullptr;
+  obs::Histogram *HInterp = nullptr;
 
   // invokeAsync's worker pool (lazily created; joined in the destructor).
   mutable std::mutex PoolMu;

@@ -159,7 +159,15 @@ public:
     emitDeallocations();
     OS << "}\n";
     emitTrampoline();
-    return Failed ? std::string() : OS.str();
+    if (Failed)
+      return std::string();
+    if (Info)
+      Info->MapsProfiled = ProfLabels.size();
+    // The profile table must precede the entry function that updates it,
+    // but its row count is only known after the body is emitted — hence
+    // the separate prelude stream. Without ProfileMaps the concatenation
+    // is byte-identical to the historical single-stream output.
+    return Prelude.str() + profileTable() + OS.str();
   }
 
 private:
@@ -179,6 +187,7 @@ private:
   CodegenOptions Opts;
   CodegenInfo *Info;
   codegen::CallSignature Sig;
+  std::ostringstream Prelude;
   std::ostringstream OS;
   bool Failed = false;
   unsigned TempCounter = 0;
@@ -197,10 +206,16 @@ private:
   /// Hoisted-reduction accumulator variable per WCR edge.
   std::map<const DataflowEdge *, std::string> WcrVar;
   unsigned RedCounter = 0;
+  /// One label per profiled map scope ("s<state>:<params>"), in emission
+  /// order — the rows of the generated profile table (ProfileMaps only).
+  std::vector<std::string> ProfLabels;
 
   void emitPrelude() {
-    OS << "// Generated by the DCIR SDFG C++ code generator.\n"
-       << "#include <cmath>\n#include <cstdlib>\n#include <limits>\n"
+    Prelude << "// Generated by the DCIR SDFG C++ code generator.\n"
+            << "#include <cmath>\n#include <cstdlib>\n#include <limits>\n";
+    if (Opts.ProfileMaps)
+      Prelude << "#include <atomic>\n#include <chrono>\n";
+    Prelude
        << "#ifdef _OPENMP\n#include <omp.h>\n#endif\n\n"
        << "static inline long long dcir_floord(long long a, long long b) {\n"
        << "  long long q = a / b;\n"
@@ -320,6 +335,112 @@ private:
     OS << "\nextern \"C\" const char *" << G.getName()
        << "__dcir_signature() {\n  return \"" << abiSignature(G)
        << "\";\n}\n";
+    // Per-map profile readback (ProfileMaps artifacts only): null out
+    // returns the row count, else up to cap rows are snapshot-copied.
+    // The row layout mirrors obs::MapProfileABIEntry.
+    if (Opts.ProfileMaps) {
+      OS << "\nextern \"C\" long long " << G.getName()
+         << "__dcir_profile([[maybe_unused]] void *dcir_out, "
+            "[[maybe_unused]] long long dcir_cap) {\n"
+         << "  const long long dcir_n = " << ProfLabels.size() << "LL;\n"
+         << "  if (!dcir_out)\n    return dcir_n;\n";
+      if (!ProfLabels.empty())
+        OS << "  struct DcirMapProfSnap {\n"
+           << "    const char *name;\n"
+           << "    long long calls;\n    long long ns;\n"
+           << "    long long trips;\n  };\n"
+           << "  DcirMapProfSnap *dcir_rows = "
+              "static_cast<DcirMapProfSnap *>(dcir_out);\n"
+           << "  for (long long dcir_i = 0; dcir_i < dcir_n && dcir_i < "
+              "dcir_cap; ++dcir_i) {\n"
+           << "    dcir_rows[dcir_i].name = dcir_prof[dcir_i].name;\n"
+           << "    dcir_rows[dcir_i].calls = "
+              "dcir_prof[dcir_i].calls.load(std::memory_order_relaxed);\n"
+           << "    dcir_rows[dcir_i].ns = "
+              "dcir_prof[dcir_i].ns.load(std::memory_order_relaxed);\n"
+           << "    dcir_rows[dcir_i].trips = "
+              "dcir_prof[dcir_i].trips.load(std::memory_order_relaxed);\n"
+           << "  }\n";
+      OS << "  return dcir_n;\n}\n";
+    }
+  }
+
+  /// The static per-map profile table (between the prelude and the entry
+  /// function: the scopes update it, the readback hook snapshots it).
+  /// Empty unless ProfileMaps emitted at least one row.
+  std::string profileTable() const {
+    if (ProfLabels.empty())
+      return std::string();
+    std::ostringstream T;
+    T << "namespace {\n"
+      << "struct DcirMapProf {\n"
+      << "  const char *name;\n"
+      << "  std::atomic<long long> calls;\n"
+      << "  std::atomic<long long> ns;\n"
+      << "  std::atomic<long long> trips;\n"
+      << "};\n"
+      << "DcirMapProf dcir_prof[" << ProfLabels.size() << "] = {\n";
+    for (const std::string &L : ProfLabels)
+      T << "    {\"" << L << "\", {0}, {0}, {0}},\n";
+    T << "};\n} // namespace\n\n";
+    return T.str();
+  }
+
+  /// Opens the profiling wrapper of a map scope: starts the clock and
+  /// evaluates the scope's per-entry trip count. Returns the row index.
+  /// Trips multiply the extents of the dimensions that do not reference a
+  /// sibling parameter of the same entry (those are in scope only inside
+  /// the nest — e.g. an intra-tile strip bound by its tile parameter), so
+  /// a tiled map reports its tile count. Evaluated once per scope entry,
+  /// outside any work-sharing pragma.
+  unsigned emitProfileEnter(const State &S, const MapEntry *Entry,
+                            const std::string &Pad) {
+    unsigned Idx = ProfLabels.size();
+    std::string Label = "s" + std::to_string(S.getId()) + ":";
+    for (size_t D = 0; D < Entry->Params.size(); ++D)
+      Label += (D ? "," : "") + Entry->Params[D];
+    ProfLabels.push_back(Label);
+    std::set<std::string> Own(Entry->Params.begin(), Entry->Params.end());
+    std::string Trips;
+    for (size_t D = 0; D < Entry->Ranges.size(); ++D) {
+      const sym::SymRange &R = Entry->Ranges[D];
+      std::set<std::string> Syms;
+      R.collectSymbols(Syms);
+      bool UsesSibling = false;
+      for (const std::string &Sy : Syms)
+        if (Own.count(Sy))
+          UsesSibling = true;
+      if (UsesSibling)
+        continue;
+      std::string Step = R.Step ? cExpr(R.Step) : "1LL";
+      std::string T = "dcir_max(0LL, ((" + cExpr(R.End) + ") - (" +
+                      cExpr(R.Begin) + ") + (" + Step + ") - 1) / (" +
+                      Step + "))";
+      Trips = Trips.empty() ? T : Trips + " * " + T;
+    }
+    if (Trips.empty())
+      Trips = "1LL";
+    OS << Pad << "{ // dcir map profile " << Idx << "\n"
+       << Pad << "auto dcir_prof_t" << Idx
+       << " = std::chrono::steady_clock::now();\n"
+       << Pad << "long long dcir_prof_n" << Idx << " = " << Trips << ";\n";
+    return Idx;
+  }
+
+  /// Closes the profiling wrapper: folds elapsed time, one call, and the
+  /// trip count into the scope's table row (relaxed — concurrent
+  /// invocations of the artifact may race benignly on the counters).
+  void emitProfileExit(unsigned Idx, const std::string &Pad) {
+    OS << Pad << "dcir_prof[" << Idx
+       << "].ns.fetch_add(std::chrono::duration_cast<"
+          "std::chrono::nanoseconds>(std::chrono::steady_clock::now() - "
+          "dcir_prof_t"
+       << Idx << ").count(), std::memory_order_relaxed);\n"
+       << Pad << "dcir_prof[" << Idx
+       << "].calls.fetch_add(1, std::memory_order_relaxed);\n"
+       << Pad << "dcir_prof[" << Idx << "].trips.fetch_add(dcir_prof_n"
+       << Idx << ", std::memory_order_relaxed);\n"
+       << Pad << "}\n";
   }
 
   void emitDeallocations() {
@@ -841,6 +962,13 @@ private:
     std::set<int> Scope = S.scopeNodes(*Entry);
     Done.insert(Entry->ExitId);
 
+    // Opt-in per-map profiling wraps the whole scope — declarations,
+    // pragma, loops and combines — so the row times exactly what one
+    // scope entry costs.
+    unsigned ProfIdx = 0;
+    if (Opts.ProfileMaps)
+      ProfIdx = emitProfileEnter(S, Entry, Pad);
+
     // A work-sharing pragma goes on outermost scopes only (no nested
     // parallelism); the region plan decides synchronization for WCR.
     bool Parallel = false;
@@ -894,6 +1022,8 @@ private:
       WcrPlan.clear();
       WcrVar.clear();
     }
+    if (Opts.ProfileMaps)
+      emitProfileExit(ProfIdx, Pad);
   }
 
   void emitNode(const State &S, Node *N, std::set<int> &Done, int Indent) {

@@ -64,6 +64,14 @@ struct CodegenOptions {
   /// entered once per surrounding sequential-loop trip costs more than it
   /// parallelizes. Unknown (symbolic) extents count as large.
   unsigned MinParallelWork = 256;
+  /// Wrap every emitted map scope with monotonic-clock timing and
+  /// trip-count recording into a static atomic table, read back through
+  /// an `extern "C" long long <entry>__dcir_profile(void *out, long long
+  /// cap)` hook (see obs/MapProfile.h for the row layout). Off by
+  /// default, and then nothing is emitted — the default translation unit
+  /// stays byte-identical, so the JIT cache key (a hash of the source)
+  /// only forks when profiling is on.
+  bool ProfileMaps = false;
 };
 
 /// What the emitter produced (filled when requested).
@@ -71,6 +79,7 @@ struct CodegenInfo {
   unsigned ParallelMapsEmitted = 0; // Map scopes with a work-sharing pragma.
   unsigned Reductions = 0;          // reduction(...) clause entries.
   unsigned AtomicUpdates = 0;       // WCR writes lowered to atomic/critical.
+  unsigned MapsProfiled = 0;        // Map scopes wrapped by ProfileMaps.
 };
 
 /// Emits a C++ translation unit defining

@@ -38,6 +38,7 @@
 #include "interp/FastMath.h"
 #include "interp/Stats.h"
 #include "ir/IR.h"
+#include "obs/MapProfile.h"
 #include "sdfg/SDFG.h"
 
 #include <cstdint>
@@ -131,6 +132,12 @@ struct EngineConfig {
   /// Worker threads for parallel maps: 0 = the OpenMP runtime default.
   /// Seeded from $DCIR_NUM_THREADS by the native engine.
   int NumThreads = 0;
+  /// Instrument every emitted map scope with runtime timing and trip
+  /// counts (CodegenOptions::ProfileMaps), read back via mapProfile().
+  /// Seeded from $DCIR_PROFILE_MAPS by the native engine. Changes the
+  /// emitted source, hence the cache key; off (the default) emits
+  /// nothing.
+  bool ProfileMaps = false;
 };
 
 class ExecutionEngine {
@@ -172,6 +179,14 @@ public:
   /// engine instance are supported by both engines.
   virtual EngineRun invokeGraph(const sdfg::SDFG &G,
                                 const InvocationRequest &R) = 0;
+
+  /// The accumulated per-map runtime profile of \p G's prepared artifact
+  /// (one row per map scope). Empty unless the engine prepared the graph
+  /// with EngineConfig::ProfileMaps set. Default: no profiling support.
+  virtual std::vector<obs::MapProfile> mapProfile(const sdfg::SDFG &G) {
+    (void)G;
+    return {};
+  }
 
   /// Legacy convenience: no bindings, snapshot every output.
   EngineRun runGraph(const sdfg::SDFG &G, interp::MathMode Mode,

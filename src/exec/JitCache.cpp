@@ -2,6 +2,8 @@
 
 #include "exec/JitCache.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -94,6 +96,23 @@ std::string fnv128Hex(const std::string &Data) {
 }
 
 std::string quoted(const std::string &Path) { return "\"" + Path + "\""; }
+
+/// Process-wide cache counters (every JitCache instance feeds them; the
+/// serving dashboards read obs::snapshotJson()). Resolved once.
+obs::Counter &hitCounter() {
+  static obs::Counter &C = obs::processRegistry().counter("jitcache.hits");
+  return C;
+}
+obs::Counter &missCounter() {
+  static obs::Counter &C =
+      obs::processRegistry().counter("jitcache.misses");
+  return C;
+}
+obs::Counter &evictionCounter() {
+  static obs::Counter &C =
+      obs::processRegistry().counter("jitcache.evictions");
+  return C;
+}
 
 bool writeAtomically(const fs::path &Final, const std::string &Content,
                      const std::string &TempSuffix) {
@@ -225,6 +244,8 @@ void JitCache::evictOverCap() {
     std::error_code EC;
     fs::remove(A.So, EC);
     fs::remove(Cpp, EC);
+    ++S.Evictions;
+    evictionCounter().inc();
     Total = Total > A.Bytes ? Total - A.Bytes : 0;
   }
 }
@@ -246,6 +267,7 @@ JitCache::Stats JitCache::stats() const {
 void JitCache::noteMemoHit() {
   std::lock_guard<std::mutex> Lock(Mu);
   ++S.Hits;
+  hitCounter().inc();
 }
 
 void *JitCache::getOrCompile(const std::string &Source,
@@ -254,11 +276,13 @@ void *JitCache::getOrCompile(const std::string &Source,
   if (CompileSeconds)
     *CompileSeconds = 0.0;
   std::string Key = keyFor(Source);
+  obs::Span ProbeSpan("jit.probe", "jit");
   std::lock_guard<std::mutex> Lock(Mu);
 
   auto It = Handles.find(Key);
   if (It != Handles.end()) {
     ++S.Hits;
+    hitCounter().inc();
     return It->second;
   }
 
@@ -266,10 +290,13 @@ void *JitCache::getOrCompile(const std::string &Source,
   std::error_code EC;
   if (fs::exists(So, EC)) {
     ++S.Hits;
+    hitCounter().inc();
     // Refresh the artifact's mtime so eviction stays LRU, not FIFO.
     fs::last_write_time(So, fs::file_time_type::clock::now(), EC);
   } else {
     ++S.Misses;
+    missCounter().inc();
+    obs::Span CompileSpan("jit.compile", "jit");
     auto Start = std::chrono::steady_clock::now();
     std::string Path = compileLocked(Key, Source, Diags);
     if (CompileSeconds)
@@ -280,6 +307,7 @@ void *JitCache::getOrCompile(const std::string &Source,
       return nullptr;
   }
 
+  obs::Span DlopenSpan("jit.dlopen", "jit");
   void *Handle = dlopen(So.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (!Handle) {
     const char *Err = dlerror();

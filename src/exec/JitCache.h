@@ -71,6 +71,7 @@ public:
     std::uint64_t Hits = 0;   // Artifact found on disk or in memory.
     std::uint64_t Misses = 0; // Artifact had to be built.
     std::uint64_t CompilerInvocations = 0;
+    std::uint64_t Evictions = 0; // Artifacts deleted by the LRU cap.
   };
 
   /// Returns a dlopen handle for the shared object corresponding to

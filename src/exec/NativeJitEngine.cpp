@@ -3,8 +3,10 @@
 #include "exec/NativeJitEngine.h"
 
 #include "exec/InterpEngine.h"
+#include "obs/Trace.h"
 #include "sdfg/TaskletExpr.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <dlfcn.h>
@@ -89,6 +91,8 @@ NativeJitEngine::NativeJitEngine(JitCache *Cache)
     : Cache(Cache ? *Cache : JitCache::shared()) {
   if (const char *N = std::getenv("DCIR_NUM_THREADS"))
     Config.NumThreads = std::atoi(N);
+  if (const char *P = std::getenv("DCIR_PROFILE_MAPS"))
+    Config.ProfileMaps = std::atoi(P) != 0;
 }
 
 EngineRun NativeJitEngine::runModule(ir::Operation *Module,
@@ -109,13 +113,19 @@ NativeJitEngine::prepare(const sdfg::SDFG &G, std::string &Error,
     return It->second;
   }
 
+  obs::Span PrepSpan("native.prepare:" + G.getName(), "jit");
   DiagnosticEngine Diags;
   codegen::CodegenOptions Opts;
   // Parallel pragmas are pointless without an OpenMP-capable flag tier:
   // emitting them anyway would only fork the cache key.
   Opts.ParallelMaps = Config.ParallelMaps && Cache.openmp();
+  Opts.ProfileMaps = Config.ProfileMaps;
   codegen::CodegenInfo CgInfo;
-  std::string Source = codegen::emitCpp(G, Diags, Opts, &CgInfo);
+  std::string Source;
+  {
+    obs::Span EmitSpan("codegen.emit", "jit");
+    Source = codegen::emitCpp(G, Diags, Opts, &CgInfo);
+  }
   if (Source.empty()) {
     Error = "native codegen failed for '" + G.getName() + "':\n" +
             Diags.str();
@@ -144,6 +154,11 @@ NativeJitEngine::prepare(const sdfg::SDFG &G, std::string &Error,
   std::string ThreadsSym = G.getName() + "__dcir_set_threads";
   P->SetThreads = reinterpret_cast<void (*)(long long)>(
       dlsym(Handle, ThreadsSym.c_str()));
+  if (Config.ProfileMaps) {
+    std::string ProfSym = G.getName() + "__dcir_profile";
+    P->Profile = reinterpret_cast<long long (*)(void *, long long)>(
+        dlsym(Handle, ProfSym.c_str()));
+  }
 
   // ABI check: the artifact embeds its argument-binding signature; a
   // mismatch means the resolved shared object was built for a different
@@ -164,6 +179,36 @@ NativeJitEngine::prepare(const sdfg::SDFG &G, std::string &Error,
     }
   }
   return Memo[&G] = std::move(P);
+}
+
+std::vector<obs::MapProfile>
+NativeJitEngine::mapProfile(const sdfg::SDFG &G) {
+  long long (*Hook)(void *, long long) = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(MemoMu);
+    auto It = Memo.find(&G);
+    if (It != Memo.end() && It->second->Name == G.getName())
+      Hook = It->second->Profile;
+  }
+  if (!Hook)
+    return {};
+  long long N = Hook(nullptr, 0);
+  if (N <= 0)
+    return {};
+  std::vector<obs::MapProfileABIEntry> Rows(static_cast<size_t>(N));
+  long long Got = Hook(Rows.data(), N);
+  Rows.resize(static_cast<size_t>(std::min(N, Got)));
+  std::vector<obs::MapProfile> Out;
+  Out.reserve(Rows.size());
+  for (const obs::MapProfileABIEntry &R : Rows) {
+    obs::MapProfile P;
+    P.Name = R.Name ? R.Name : "";
+    P.Invocations = static_cast<std::uint64_t>(R.Invocations);
+    P.Seconds = static_cast<double>(R.Nanos) / 1e9;
+    P.Trips = static_cast<std::uint64_t>(R.Trips);
+    Out.push_back(std::move(P));
+  }
+  return Out;
 }
 
 bool NativeJitEngine::prepareGraph(const sdfg::SDFG &G, std::string &Error,

@@ -44,7 +44,9 @@ class NativeJitEngine : public ExecutionEngine {
 public:
   /// Uses \p Cache for artifacts; null selects the process-wide
   /// JitCache::shared() (tests pass throwaway caches). NumThreads is
-  /// seeded from $DCIR_NUM_THREADS (0 = OpenMP runtime default).
+  /// seeded from $DCIR_NUM_THREADS (0 = OpenMP runtime default) and
+  /// ProfileMaps from $DCIR_PROFILE_MAPS (any non-zero value enables
+  /// per-map runtime profiling).
   explicit NativeJitEngine(JitCache *Cache = nullptr);
 
   EngineKind kind() const override { return EngineKind::Native; }
@@ -55,9 +57,13 @@ public:
   /// $DCIR_NUM_THREADS seed from construction.
   void configure(const EngineConfig &C) override {
     int EnvThreads = Config.NumThreads;
+    bool EnvProfile = Config.ProfileMaps;
     Config = C;
     if (Config.NumThreads == 0)
       Config.NumThreads = EnvThreads;
+    // $DCIR_PROFILE_MAPS is the user's run-time opt-in: it survives a
+    // caller configuration that leaves profiling off.
+    Config.ProfileMaps = Config.ProfileMaps || EnvProfile;
   }
   const EngineConfig &config() const { return Config; }
   int numThreads() const { return Config.NumThreads; }
@@ -74,6 +80,11 @@ public:
   EngineRun invokeGraph(const sdfg::SDFG &G,
                         const InvocationRequest &R) override;
 
+  /// Snapshot of the per-map runtime profile accumulated by \p G's
+  /// artifact. Non-empty only when prepared with Config.ProfileMaps (the
+  /// artifact then embeds the `<entry>__dcir_profile` hook).
+  std::vector<obs::MapProfile> mapProfile(const sdfg::SDFG &G) override;
+
   JitCache &cache() { return Cache; }
 
 private:
@@ -88,6 +99,9 @@ private:
     /// Optional `<entry>__dcir_set_threads` hook (absent in artifacts
     /// built before the hook existed).
     void (*SetThreads)(long long) = nullptr;
+    /// Per-map profile readback hook; resolved only from artifacts built
+    /// with Config.ProfileMaps (see obs/MapProfile.h for the ABI).
+    long long (*Profile)(void *, long long) = nullptr;
     codegen::CallSignature Sig;
     unsigned ParallelMapsEmitted = 0;
   };

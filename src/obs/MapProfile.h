@@ -1,0 +1,76 @@
+//===- MapProfile.h - per-map runtime profile readback ------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The host-side view of the `<entry>__dcir_profile` ABI hook emitted by
+/// CppCodegen when CodegenOptions::ProfileMaps is set (see DESIGN.md,
+/// "Observability"). The generated artifact keeps a static table with one
+/// atomic row per emitted map scope — entry count, accumulated
+/// monotonic-clock nanoseconds, accumulated trip count — and exports
+///
+///   extern "C" long long <entry>__dcir_profile(void *out, long long cap);
+///
+/// A null \p out returns the row count; otherwise up to \p cap rows are
+/// snapshot-copied into \p out as MapProfileABIEntry records and the total
+/// row count is returned. The hook exists only in profiled artifacts: the
+/// default emission contains none of this machinery (zero overhead when
+/// off), and since the JIT cache key hashes the emitted source, profiled
+/// and unprofiled artifacts can never collide.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_OBS_MAPPROFILE_H
+#define DCIR_OBS_MAPPROFILE_H
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dcir {
+namespace obs {
+
+/// The POD layout mirrored by the generated hook's output rows. `Name`
+/// points into the artifact's static storage — valid as long as the
+/// shared object stays loaded (the JIT cache never dlcloses).
+struct MapProfileABIEntry {
+  const char *Name = nullptr;
+  long long Invocations = 0; // Times the scope was entered.
+  long long Nanos = 0;       // Accumulated wall-clock inside the scope.
+  long long Trips = 0;       // Accumulated iteration-space points.
+};
+
+/// One map scope's accumulated runtime profile, as surfaced by
+/// api::Program::mapProfile(). `Name` identifies the scope as
+/// "s<state-id>:<param,...>".
+struct MapProfile {
+  std::string Name;
+  std::uint64_t Invocations = 0;
+  double Seconds = 0.0;
+  std::uint64_t Trips = 0;
+};
+
+/// JSON array: [{"map": .., "calls": .., "ns": .., "trips": ..}, ...].
+inline std::string mapProfileJson(const std::vector<MapProfile> &Rows) {
+  std::ostringstream OS;
+  OS << "[";
+  bool First = true;
+  for (const MapProfile &R : Rows) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << "{\"map\": \"" << R.Name << "\", \"calls\": " << R.Invocations
+       << ", \"ns\": " << static_cast<long long>(R.Seconds * 1e9)
+       << ", \"trips\": " << R.Trips << "}";
+  }
+  OS << "]";
+  return OS.str();
+}
+
+} // namespace obs
+} // namespace dcir
+
+#endif // DCIR_OBS_MAPPROFILE_H

@@ -1,0 +1,128 @@
+//===- Metrics.cpp - histogram math and registry JSON -------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace dcir;
+using namespace dcir::obs;
+
+unsigned Histogram::bucketIndex(std::uint64_t V) {
+  if (V < 2)
+    return 0;
+  unsigned I = 63 - static_cast<unsigned>(__builtin_clzll(V));
+  return I < kBuckets ? I : kBuckets - 1;
+}
+
+std::uint64_t Histogram::bucketLo(unsigned I) {
+  return I == 0 ? 0 : (1ull << I);
+}
+
+std::uint64_t Histogram::bucketHi(unsigned I) {
+  if (I == 0)
+    return 2;
+  if (I >= kBuckets - 1)
+    return bucketLo(kBuckets - 1); // Saturated: no upper bound.
+  return 1ull << (I + 1);
+}
+
+double Histogram::quantile(double Q) const {
+  std::uint64_t Count = count();
+  if (Count == 0)
+    return 0.0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  // 0-based fractional rank, interpolated within the containing bucket
+  // under a uniform-within-bucket assumption.
+  double Rank = Q * static_cast<double>(Count - 1);
+  std::uint64_t Before = 0;
+  for (unsigned I = 0; I < kBuckets; ++I) {
+    std::uint64_t C = bucketCount(I);
+    if (C == 0)
+      continue;
+    if (Rank < static_cast<double>(Before + C)) {
+      double Lo = static_cast<double>(bucketLo(I));
+      double Hi = static_cast<double>(bucketHi(I));
+      if (Hi <= Lo)
+        return Lo; // Top bucket: saturate at the lower bound.
+      double Frac = (Rank - static_cast<double>(Before)) /
+                    static_cast<double>(C);
+      return Lo + (Hi - Lo) * Frac;
+    }
+    Before += C;
+  }
+  return static_cast<double>(bucketLo(kBuckets - 1));
+}
+
+std::string Histogram::json() const {
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"count\": %llu, \"sum_ns\": %llu, \"p50_ns\": %.1f, "
+                "\"p90_ns\": %.1f, \"p99_ns\": %.1f}",
+                static_cast<unsigned long long>(count()),
+                static_cast<unsigned long long>(sum()), quantile(0.5),
+                quantile(0.9), quantile(0.99));
+  return Buf;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::unique_ptr<Counter> &C = Counters[Name];
+  if (!C)
+    C = std::make_unique<Counter>();
+  return *C;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::unique_ptr<Histogram> &H = Histograms[Name];
+  if (!H)
+    H = std::make_unique<Histogram>();
+  return *H;
+}
+
+const Counter *MetricsRegistry::findCounter(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? nullptr : It->second.get();
+}
+
+const Histogram *
+MetricsRegistry::findHistogram(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Histograms.find(Name);
+  return It == Histograms.end() ? nullptr : It->second.get();
+}
+
+std::string MetricsRegistry::json() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::ostringstream OS;
+  OS << "{\"counters\": {";
+  bool First = true;
+  for (const auto &[Name, C] : Counters) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << "\"" << Name << "\": " << C->value();
+  }
+  OS << "}, \"histograms\": {";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << "\"" << Name << "\": " << H->json();
+  }
+  OS << "}}";
+  return OS.str();
+}
+
+MetricsRegistry &dcir::obs::processRegistry() {
+  static MetricsRegistry *R = new MetricsRegistry(); // Leaked: atexit-safe.
+  return *R;
+}
+
+std::string dcir::obs::snapshotJson() { return processRegistry().json(); }

@@ -1,0 +1,131 @@
+//===- Metrics.h - serving counters and log2 latency histograms ---------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving-metrics half of the observability layer (see DESIGN.md,
+/// "Observability"): named monotonic counters and fixed-bucket log2
+/// latency histograms behind a registry, exported as JSON.
+///
+/// Histogram layout: 64 buckets over nanoseconds; bucket 0 covers [0, 2)
+/// and bucket i >= 1 covers [2^i, 2^(i+1)), so the dynamic range spans
+/// 1 ns to ~292 years with a worst-case relative quantile error of one
+/// bucket width (factor 2). Values at or above 2^63 saturate into the top
+/// bucket, whose quantiles report the bucket's lower bound. Quantiles
+/// (p50/p90/p99) interpolate linearly within the containing bucket.
+/// Recording is a relaxed fetch_add — safe and cheap from any number of
+/// serving threads.
+///
+/// Naming scheme (dot-separated, lowercase):
+///   <object>.<event>              counters, e.g. jitcache.hits
+///   invocations[.native|...]      per-Program invocation counts
+///   latency.<engine>              per-Program latency histograms (ns)
+///
+/// Two scopes exist: each api::Program owns a registry (its serving
+/// metrics die with it), and processRegistry() aggregates process-wide
+/// components (the JitCache). snapshotJson() exports the latter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_OBS_METRICS_H
+#define DCIR_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace dcir {
+namespace obs {
+
+/// A named monotonic counter (relaxed atomic increments).
+class Counter {
+public:
+  void inc(std::uint64_t N = 1) {
+    V.fetch_add(N, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<std::uint64_t> V{0};
+};
+
+/// Fixed-bucket log2 histogram over nanosecond values (see file comment).
+class Histogram {
+public:
+  static constexpr unsigned kBuckets = 64;
+
+  /// The bucket a value lands in: 0 for [0,2), else floor(log2(v))
+  /// clamped to kBuckets-1.
+  static unsigned bucketIndex(std::uint64_t V);
+  /// Inclusive lower bound of bucket \p I (0 for bucket 0, else 2^I).
+  static std::uint64_t bucketLo(unsigned I);
+  /// Exclusive upper bound of bucket \p I; the top bucket reports its
+  /// lower bound (saturation).
+  static std::uint64_t bucketHi(unsigned I);
+
+  void record(std::uint64_t ValueNs) {
+    B[bucketIndex(ValueNs)].fetch_add(1, std::memory_order_relaxed);
+    N.fetch_add(1, std::memory_order_relaxed);
+    Total.fetch_add(ValueNs, std::memory_order_relaxed);
+  }
+  void recordSeconds(double S) {
+    record(S > 0 ? static_cast<std::uint64_t>(S * 1e9) : 0);
+  }
+
+  std::uint64_t count() const { return N.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const {
+    return Total.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucketCount(unsigned I) const {
+    return I < kBuckets ? B[I].load(std::memory_order_relaxed) : 0;
+  }
+
+  /// The \p Q quantile (0..1) in nanoseconds, linearly interpolated
+  /// within the containing bucket; 0 when empty. The top bucket has no
+  /// upper bound and reports its lower bound.
+  double quantile(double Q) const;
+
+  /// {"count":..,"sum_ns":..,"p50_ns":..,"p90_ns":..,"p99_ns":..}
+  std::string json() const;
+
+private:
+  std::atomic<std::uint64_t> B[kBuckets] = {};
+  std::atomic<std::uint64_t> N{0};
+  std::atomic<std::uint64_t> Total{0};
+};
+
+/// Named counters and histograms. Lookup takes a mutex; the returned
+/// references are stable for the registry's lifetime, so callers on hot
+/// paths resolve once and cache the pointer. Thread-safe.
+class MetricsRegistry {
+public:
+  Counter &counter(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+  /// Read-only lookup; null when the name was never registered.
+  const Counter *findCounter(const std::string &Name) const;
+  const Histogram *findHistogram(const std::string &Name) const;
+
+  /// {"counters":{...},"histograms":{...}} — names sorted (std::map).
+  std::string json() const;
+
+private:
+  mutable std::mutex Mu;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+/// The process-wide registry (JitCache and other singletons).
+MetricsRegistry &processRegistry();
+
+/// processRegistry().json() — the machine-readable process snapshot.
+std::string snapshotJson();
+
+} // namespace obs
+} // namespace dcir
+
+#endif // DCIR_OBS_METRICS_H

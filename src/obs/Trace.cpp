@@ -1,0 +1,193 @@
+//===- Trace.cpp - per-thread trace buffers, Chrome JSON export ---------------===//
+
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace dcir;
+using namespace dcir::obs;
+
+namespace {
+
+std::chrono::steady_clock::time_point processEpoch() {
+  static const std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+  return Epoch;
+}
+
+void flushAtExit() { Tracer::instance().flush(); }
+
+/// Minimal JSON string escape (quotes, backslashes, control chars).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::int64_t dcir::obs::nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - processEpoch())
+      .count();
+}
+
+Tracer::Tracer() {
+  (void)processEpoch(); // Pin the epoch before any span.
+  if (const char *P = std::getenv("DCIR_TRACE"); P && *P) {
+    Path = P;
+    Enabled.store(true, std::memory_order_relaxed);
+    std::atexit(flushAtExit);
+  }
+}
+
+Tracer &Tracer::instance() {
+  static Tracer *T = new Tracer(); // Leaked: spans may run in atexit.
+  return *T;
+}
+
+void Tracer::enableToFile(std::string P) {
+  bool NeedAtExit = false;
+  {
+    std::lock_guard<std::mutex> Lock(RegMu);
+    NeedAtExit = Path.empty() && !P.empty();
+    Path = std::move(P);
+  }
+  Enabled.store(true, std::memory_order_relaxed);
+  if (NeedAtExit)
+    std::atexit(flushAtExit);
+}
+
+Tracer::ThreadBuffer &Tracer::localBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> TLB;
+  if (!TLB) {
+    TLB = std::make_shared<ThreadBuffer>();
+    TLB->Tid = NextTid.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::lock_guard<std::mutex> Lock(RegMu);
+    Buffers.push_back(TLB);
+  }
+  return *TLB;
+}
+
+void Tracer::record(const std::string &Name, const char *Cat, char Phase,
+                    std::int64_t Ns) {
+  ThreadBuffer &B = localBuffer();
+  std::lock_guard<std::mutex> Lock(B.Mu);
+  B.Events.push_back({Name, Cat, Phase, Ns, B.Tid});
+}
+
+void Tracer::completeSpan(const std::string &Name, const char *Cat,
+                          std::int64_t BeginNs, std::int64_t EndNs) {
+  ThreadBuffer &B = localBuffer();
+  std::lock_guard<std::mutex> Lock(B.Mu);
+  B.Events.push_back({Name, Cat, 'B', BeginNs, B.Tid});
+  B.Events.push_back({Name, Cat, 'E', EndNs, B.Tid});
+}
+
+std::string Tracer::json() const {
+  // Snapshot every buffer, then sort by timestamp: trace viewers require
+  // each thread's B/E events in time order, and completeSpan can record
+  // intervals that started before already-recorded events.
+  std::vector<TraceEvent> All;
+  {
+    std::lock_guard<std::mutex> Lock(RegMu);
+    for (const auto &B : Buffers) {
+      std::lock_guard<std::mutex> BLock(B->Mu);
+      All.insert(All.end(), B->Events.begin(), B->Events.end());
+    }
+  }
+  std::stable_sort(All.begin(), All.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     if (A.Tid != B.Tid)
+                       return A.Tid < B.Tid;
+                     if (A.Ns != B.Ns)
+                       return A.Ns < B.Ns;
+                     // Equal timestamps: begins before ends keeps zero-
+                     // length spans balanced for the viewer.
+                     return A.Phase == 'B' && B.Phase == 'E';
+                   });
+  std::ostringstream OS;
+  OS << "{\"traceEvents\":[";
+  bool First = true;
+  char Buf[64];
+  for (const TraceEvent &E : All) {
+    if (!First)
+      OS << ",";
+    First = false;
+    // Chrome trace timestamps are microseconds (fractional ok).
+    std::snprintf(Buf, sizeof(Buf), "%.3f",
+                  static_cast<double>(E.Ns) / 1000.0);
+    OS << "\n{\"name\":\"" << jsonEscape(E.Name) << "\",\"cat\":\""
+       << jsonEscape(E.Cat ? E.Cat : "") << "\",\"ph\":\"" << E.Phase
+       << "\",\"ts\":" << Buf << ",\"pid\":1,\"tid\":" << E.Tid << "}";
+  }
+  OS << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return OS.str();
+}
+
+bool Tracer::writeTo(const std::string &P) const {
+  std::ofstream Out(P);
+  if (!Out) {
+    std::fprintf(stderr, "obs: cannot write trace file %s\n", P.c_str());
+    return false;
+  }
+  Out << json();
+  return Out.good();
+}
+
+void Tracer::flush() const {
+  std::string P;
+  {
+    std::lock_guard<std::mutex> Lock(RegMu);
+    P = Path;
+  }
+  if (!P.empty())
+    writeTo(P);
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> Lock(RegMu);
+  for (const auto &B : Buffers) {
+    std::lock_guard<std::mutex> BLock(B->Mu);
+    B->Events.clear();
+  }
+}
+
+std::size_t Tracer::eventCount() const {
+  std::size_t N = 0;
+  std::lock_guard<std::mutex> Lock(RegMu);
+  for (const auto &B : Buffers) {
+    std::lock_guard<std::mutex> BLock(B->Mu);
+    N += B->Events.size();
+  }
+  return N;
+}

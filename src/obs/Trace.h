@@ -1,0 +1,154 @@
+//===- Trace.h - structured tracing with Chrome trace-event export ------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lifecycle tracing for the whole compile-and-serve path (see DESIGN.md,
+/// "Observability"): RAII spans with nesting and thread ids, recorded into
+/// per-thread buffers and exported as Chrome trace-event JSON (load the
+/// file into chrome://tracing or Perfetto).
+///
+/// Span taxonomy (category / names):
+///   compile   frontend.parse, passes.mlir, convert.sdfg-dialect,
+///             translate.sdfg, optimize.sdfg, compile:<entry>
+///   pass      one span per leaf optimizer pass (both the MLIR and the
+///             SDFG pipelines — the live counterpart of PipelineReport)
+///   jit       codegen.emit, jit.probe, jit.compile, jit.dlopen
+///   serve     invoke:<entry>, queue-wait:<entry> (async pool)
+///
+/// Concurrency: each thread appends to its own buffer (registered once,
+/// guarded by a per-buffer mutex that is uncontended except during
+/// export), so concurrent invocation threads never serialize on a global
+/// lock and never interleave half-written events. Disabled tracing costs
+/// one relaxed atomic load per span.
+///
+/// Enabling: DCIR_TRACE=path.json at process start (flushed via atexit),
+/// api::Compiler::traceFile(), or Tracer::enableToFile() directly. Tests
+/// can also enable in-memory recording and read back json().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_OBS_TRACE_H
+#define DCIR_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dcir {
+namespace obs {
+
+/// Nanoseconds since the process trace epoch (monotonic clock).
+std::int64_t nowNs();
+
+/// One recorded trace event (Chrome trace-event "B"/"E" phases).
+struct TraceEvent {
+  std::string Name;
+  const char *Cat = "";
+  char Phase = 'B';       // 'B' begin / 'E' end.
+  std::int64_t Ns = 0;    // Timestamp, ns since process trace epoch.
+  unsigned Tid = 0;       // Process-local recording-thread id (1-based).
+};
+
+class Tracer {
+public:
+  /// The process-wide tracer. First use reads $DCIR_TRACE: when set and
+  /// non-empty, tracing starts enabled and the buffer is written to that
+  /// path at process exit.
+  static Tracer &instance();
+
+  /// One relaxed load — the only cost every span pays when tracing is
+  /// off.
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Enables tracing and arranges for the buffer to be written to
+  /// \p Path at process exit (and on flush()).
+  void enableToFile(std::string Path);
+  /// Enables/disables in-memory recording without an output file (tests).
+  void setEnabled(bool On) {
+    Enabled.store(On, std::memory_order_relaxed);
+  }
+
+  /// Appends one event to the calling thread's buffer.
+  void record(const std::string &Name, const char *Cat, char Phase,
+              std::int64_t Ns);
+  /// Records a finished interval with explicit timestamps — for spans
+  /// whose begin happened on another thread (async queue wait).
+  void completeSpan(const std::string &Name, const char *Cat,
+                    std::int64_t BeginNs, std::int64_t EndNs);
+
+  /// The whole buffer as a Chrome trace-event JSON document.
+  std::string json() const;
+  /// Writes json() to \p Path; false (with a stderr warning) on I/O
+  /// failure.
+  bool writeTo(const std::string &Path) const;
+  /// Writes to the configured file, if any.
+  void flush() const;
+  /// Drops every recorded event (tests).
+  void clear();
+  /// Total recorded events across all thread buffers.
+  std::size_t eventCount() const;
+
+private:
+  Tracer();
+
+  struct ThreadBuffer {
+    mutable std::mutex Mu;
+    std::vector<TraceEvent> Events;
+    unsigned Tid = 0;
+  };
+  ThreadBuffer &localBuffer();
+
+  std::atomic<bool> Enabled{false};
+  std::atomic<unsigned> NextTid{0};
+  mutable std::mutex RegMu; // Guards Buffers and Path.
+  std::vector<std::shared_ptr<ThreadBuffer>> Buffers;
+  std::string Path;
+};
+
+/// RAII span: records a 'B' event at construction and the matching 'E' at
+/// destruction on the same thread. When tracing is disabled construction
+/// is one relaxed atomic load (the const char* overload allocates
+/// nothing).
+class Span {
+public:
+  explicit Span(const char *Name, const char *Cat = "") {
+    Tracer &T = Tracer::instance();
+    if (!T.enabled())
+      return;
+    Active = true;
+    N = Name;
+    C = Cat;
+    T.record(N, C, 'B', nowNs());
+  }
+  Span(std::string Name, const char *Cat = "") {
+    Tracer &T = Tracer::instance();
+    if (!T.enabled())
+      return;
+    Active = true;
+    N = std::move(Name);
+    C = Cat;
+    T.record(N, C, 'B', nowNs());
+  }
+  ~Span() {
+    if (Active)
+      Tracer::instance().record(N, C, 'E', nowNs());
+  }
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+private:
+  bool Active = false;
+  std::string N;
+  const char *C = "";
+};
+
+} // namespace obs
+} // namespace dcir
+
+#endif // DCIR_OBS_TRACE_H

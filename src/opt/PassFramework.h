@@ -39,6 +39,7 @@
 #ifndef DCIR_OPT_PASSFRAMEWORK_H
 #define DCIR_OPT_PASSFRAMEWORK_H
 
+#include "obs/Trace.h"
 #include "support/Diagnostics.h"
 
 #include <chrono>
@@ -203,6 +204,7 @@ public:
         if (P->isComposite()) {
           N = P->run(U, Ctx);
         } else {
+          obs::Span PassSpan(P->name(), "pass");
           auto T0 = std::chrono::steady_clock::now();
           N = P->run(U, Ctx);
           double Sec = std::chrono::duration<double>(

@@ -78,6 +78,7 @@ Compiled &Compiled::operator=(Compiled &&Other) noexcept {
   Engine = Other.Engine;
   Parallelism = Other.Parallelism;
   NumThreads = Other.NumThreads;
+  ProfileMaps = Other.ProfileMaps;
   Entry = std::move(Other.Entry);
   Ctx = std::move(Other.Ctx);
   Module = Other.Module;
@@ -109,6 +110,7 @@ std::shared_ptr<const api::Program> Compiled::program() const {
   P.Engine = Engine;
   P.Parallelism = Parallelism;
   P.NumThreads = NumThreads;
+  P.ProfileMaps = ProfileMaps;
   P.Entry = Entry;
   P.Ctx = Ctx;
   P.Module = Module;
@@ -138,6 +140,7 @@ Compiled dcir::pipeline::compile(const std::string &CSource,
   Out.Engine = Opts.Engine;
   Out.Parallelism = Opts.Parallelism;
   Out.NumThreads = Opts.NumThreads;
+  Out.ProfileMaps = Opts.ProfileMaps;
   Out.Entry = Entry;
   api::detail::CompiledParts Parts =
       api::detail::compileParts(CSource, Entry, Kind, Diags, Opts);

@@ -63,6 +63,7 @@ struct Compiled {
   exec::EngineKind Engine = exec::EngineKind::Interp;
   ParallelismMode Parallelism = ParallelismMode::Auto;
   int NumThreads = 0;
+  bool ProfileMaps = false;
   std::string Entry;
   std::shared_ptr<ir::IRContext> Ctx; // Keeps types alive for Module.
   ir::Operation *Module = nullptr;    // Owned; released in ~Compiled.

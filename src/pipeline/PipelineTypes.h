@@ -83,6 +83,12 @@ struct CompileOptions {
   /// Run the SDFG structural verifier after every pass, failing the
   /// compile (naming the culprit pass) on the first violation.
   bool VerifyEachPass = false;
+  /// Instrument every native map scope with runtime timing and trip
+  /// counts (CodegenOptions::ProfileMaps; surfaced by
+  /// api::Program::mapProfile()). Native engine only; forks the JIT
+  /// cache key. The benches expose it as --profile-maps, and
+  /// $DCIR_PROFILE_MAPS=1 enables it process-wide.
+  bool ProfileMaps = false;
   /// Safety limit for pass-pipeline fixpoint groups; hitting it emits a
   /// warning diagnostic instead of silently stopping.
   unsigned MaxFixpointRounds = 64;

@@ -1,0 +1,597 @@
+//===- obs_test.cpp - observability-layer tests --------------------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The telemetry acceptance suite: log2-histogram bucket math and quantile
+/// interpolation against known distributions, trace export (valid JSON,
+/// balanced begin/end events, concurrent recording threads), the per-map
+/// runtime profiling hook end-to-end through the native engine, and the
+/// zero-cost-when-off guarantee (profiling off emits byte-identical code
+/// and an identical cache key).
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Api.h"
+#include "codegen/CppCodegen.h"
+#include "exec/JitCache.h"
+#include "exec/NativeJitEngine.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "pipeline/Pipeline.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <limits>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+#include <gtest/gtest.h>
+
+using namespace dcir;
+using namespace dcir::obs;
+using pipeline::PipelineKind;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// A minimal recursive-descent JSON syntax checker — enough to assert the
+// exported documents are well-formed without a JSON dependency.
+//===----------------------------------------------------------------------===//
+
+class JsonChecker {
+public:
+  explicit JsonChecker(const std::string &S) : S(S) {}
+
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return Pos == S.size();
+  }
+
+private:
+  const std::string &S;
+  size_t Pos = 0;
+
+  void skipWs() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+  bool lit(const char *L) {
+    size_t N = std::strlen(L);
+    if (S.compare(Pos, N, L) != 0)
+      return false;
+    Pos += N;
+    return true;
+  }
+  bool string() {
+    if (Pos >= S.size() || S[Pos] != '"')
+      return false;
+    ++Pos;
+    while (Pos < S.size() && S[Pos] != '"') {
+      if (S[Pos] == '\\') {
+        ++Pos;
+        if (Pos >= S.size())
+          return false;
+      }
+      ++Pos;
+    }
+    if (Pos >= S.size())
+      return false;
+    ++Pos; // closing quote
+    return true;
+  }
+  bool number() {
+    size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E' ||
+            S[Pos] == '+' || S[Pos] == '-'))
+      ++Pos;
+    return Pos > Start;
+  }
+  bool value() {
+    skipWs();
+    if (Pos >= S.size())
+      return false;
+    char C = S[Pos];
+    if (C == '{')
+      return object();
+    if (C == '[')
+      return array();
+    if (C == '"')
+      return string();
+    if (C == 't')
+      return lit("true");
+    if (C == 'f')
+      return lit("false");
+    if (C == 'n')
+      return lit("null");
+    return number();
+  }
+  bool object() {
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < S.size() && S[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != ':')
+        return false;
+      ++Pos;
+      if (!value())
+        return false;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Pos < S.size() && S[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool array() {
+    ++Pos; // '['
+    skipWs();
+    if (Pos < S.size() && S[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      if (!value())
+        return false;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Pos < S.size() && S[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return false;
+    }
+  }
+};
+
+bool isValidJson(const std::string &S) { return JsonChecker(S).valid(); }
+
+size_t countOccurrences(const std::string &Hay, const std::string &Needle) {
+  size_t N = 0;
+  for (size_t P = Hay.find(Needle); P != std::string::npos;
+       P = Hay.find(Needle, P + Needle.size()))
+    ++N;
+  return N;
+}
+
+/// A fresh throwaway cache root per test.
+std::string freshCacheDir(const std::string &Tag) {
+  static std::atomic<unsigned> Counter{0};
+  std::string Dir = ::testing::TempDir() + "/dcir_obs_" + Tag + "_" +
+                    std::to_string(::getpid()) + "_" +
+                    std::to_string(Counter++);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+const char *kSaxpyKernel = R"(
+#define N 16
+double kernel_saxpy(double a, double x[16], double y[16]) {
+  double acc = 0.0;
+  for (int i = 0; i < 16; i++) {
+    y[i] = a * x[i] + y[i];
+    acc += y[i];
+  }
+  return acc;
+}
+)";
+
+/// Restores the tracer to its default (disabled, empty) state on scope
+/// exit so trace tests do not leak state into each other.
+struct TracerReset {
+  ~TracerReset() {
+    Tracer::instance().setEnabled(false);
+    Tracer::instance().clear();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Histogram bucket math
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, BucketBoundaries) {
+  EXPECT_EQ(Histogram::bucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::bucketIndex(1), 0u);
+  EXPECT_EQ(Histogram::bucketIndex(2), 1u);
+  EXPECT_EQ(Histogram::bucketIndex(3), 1u);
+  EXPECT_EQ(Histogram::bucketIndex(4), 2u);
+  EXPECT_EQ(Histogram::bucketIndex(1023), 9u);
+  EXPECT_EQ(Histogram::bucketIndex(1024), 10u);
+  for (unsigned K = 1; K < 63; ++K) {
+    std::uint64_t Lo = std::uint64_t(1) << K;
+    EXPECT_EQ(Histogram::bucketIndex(Lo), K) << "2^" << K;
+    EXPECT_EQ(Histogram::bucketIndex(Lo + (Lo - 1)), K) << "2^" << K;
+    EXPECT_EQ(Histogram::bucketLo(K), Lo);
+    if (K < 62)
+      EXPECT_EQ(Histogram::bucketHi(K), Lo * 2);
+  }
+  EXPECT_EQ(Histogram::bucketIndex(std::numeric_limits<std::uint64_t>::max()),
+            Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucketLo(0), 0u);
+  EXPECT_EQ(Histogram::bucketHi(0), 2u);
+  // The top bucket has no upper bound: Hi saturates to Lo.
+  EXPECT_EQ(Histogram::bucketHi(63), Histogram::bucketLo(63));
+}
+
+TEST(Histogram, ConstantDistributionQuantiles) {
+  Histogram H;
+  for (int I = 0; I < 1000; ++I)
+    H.record(100);
+  EXPECT_EQ(H.count(), 1000u);
+  EXPECT_EQ(H.sum(), 100000u);
+  // Every sample sits in bucket 6 ([64,128)); any quantile interpolates
+  // within it.
+  EXPECT_EQ(H.bucketCount(6), 1000u);
+  for (double Q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_GE(H.quantile(Q), 64.0) << Q;
+    EXPECT_LE(H.quantile(Q), 128.0) << Q;
+  }
+}
+
+TEST(Histogram, UniformDistributionQuantiles) {
+  Histogram H;
+  // 0..1023 once each: p50 lands in [256,512) or [512,1024) depending on
+  // rank rounding; p99 must land in the top occupied bucket [512,1024).
+  for (std::uint64_t V = 0; V < 1024; ++V)
+    H.record(V);
+  double P50 = H.quantile(0.5);
+  double P90 = H.quantile(0.9);
+  double P99 = H.quantile(0.99);
+  EXPECT_GE(P50, 256.0);
+  EXPECT_LE(P50, 1024.0);
+  EXPECT_GE(P99, 512.0);
+  EXPECT_LE(P99, 1024.0);
+  // Quantiles are monotone in Q.
+  EXPECT_LE(P50, P90);
+  EXPECT_LE(P90, P99);
+  // The true p99 of this distribution is ~1013; one bucket width (factor
+  // 2) is the documented worst-case error.
+  EXPECT_GE(P99, 1013.0 / 2.0);
+}
+
+TEST(Histogram, TopBucketSaturates) {
+  Histogram H;
+  H.record(std::numeric_limits<std::uint64_t>::max());
+  H.record(std::numeric_limits<std::uint64_t>::max() / 2 + 1);
+  EXPECT_EQ(H.bucketCount(Histogram::kBuckets - 1), 2u);
+  // No upper bound to interpolate toward: quantiles report the lower
+  // bound of the top bucket.
+  EXPECT_EQ(H.quantile(0.5),
+            static_cast<double>(Histogram::bucketLo(Histogram::kBuckets - 1)));
+  EXPECT_EQ(H.quantile(0.99),
+            static_cast<double>(Histogram::bucketLo(Histogram::kBuckets - 1)));
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram H;
+  EXPECT_EQ(H.quantile(0.5), 0.0);
+  EXPECT_EQ(H.count(), 0u);
+}
+
+TEST(Metrics, RegistryJsonIsValidAndComplete) {
+  MetricsRegistry R;
+  R.counter("alpha.hits").inc(3);
+  R.counter("beta.misses").inc();
+  R.histogram("latency.test").record(100);
+  std::string J = R.json();
+  EXPECT_TRUE(isValidJson(J)) << J;
+  EXPECT_NE(J.find("\"alpha.hits\": 3"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"beta.misses\": 1"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"latency.test\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"p50_ns\""), std::string::npos) << J;
+}
+
+TEST(Metrics, ProcessSnapshotIsValidJson) {
+  std::string J = snapshotJson();
+  EXPECT_TRUE(isValidJson(J)) << J;
+}
+
+//===----------------------------------------------------------------------===//
+// Trace export
+//===----------------------------------------------------------------------===//
+
+TEST(Trace, ExportIsValidJsonWithBalancedSpans) {
+  TracerReset Reset;
+  Tracer &T = Tracer::instance();
+  T.clear();
+  T.setEnabled(true);
+  {
+    Span Outer("outer", "test");
+    {
+      Span Inner("inner", "test");
+      Span Dynamic(std::string("dynamic:name"), "test");
+    }
+  }
+  T.setEnabled(false);
+  EXPECT_EQ(T.eventCount(), 6u);
+  std::string J = T.json();
+  EXPECT_TRUE(isValidJson(J)) << J;
+  EXPECT_EQ(countOccurrences(J, "\"ph\": \"B\""),
+            countOccurrences(J, "\"ph\": \"E\""));
+  EXPECT_EQ(countOccurrences(J, "\"outer\""), 2u) << J;
+  EXPECT_NE(J.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  TracerReset Reset;
+  Tracer &T = Tracer::instance();
+  T.clear();
+  T.setEnabled(false);
+  {
+    Span S("invisible", "test");
+  }
+  EXPECT_EQ(T.eventCount(), 0u);
+}
+
+TEST(Trace, NamesAreJsonEscaped) {
+  TracerReset Reset;
+  Tracer &T = Tracer::instance();
+  T.clear();
+  T.setEnabled(true);
+  {
+    Span S(std::string("weird \"name\"\n\tback\\slash"), "test");
+  }
+  T.setEnabled(false);
+  std::string J = T.json();
+  EXPECT_TRUE(isValidJson(J)) << J;
+}
+
+TEST(Trace, ConcurrentThreadsRecordBalancedSpans) {
+  TracerReset Reset;
+  Tracer &T = Tracer::instance();
+  T.clear();
+  T.setEnabled(true);
+  constexpr int kThreads = 8, kSpans = 100;
+  std::vector<std::thread> Workers;
+  for (int W = 0; W < kThreads; ++W)
+    Workers.emplace_back([&] {
+      for (int I = 0; I < kSpans; ++I) {
+        Span Outer("work", "test");
+        Span Inner("work.inner", "test");
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  T.setEnabled(false);
+  EXPECT_EQ(T.eventCount(), size_t(kThreads * kSpans * 4));
+  std::string J = T.json();
+  EXPECT_TRUE(isValidJson(J));
+  EXPECT_EQ(countOccurrences(J, "\"ph\": \"B\""),
+            countOccurrences(J, "\"ph\": \"E\""));
+}
+
+TEST(Trace, WriteToFileRoundTrips) {
+  TracerReset Reset;
+  Tracer &T = Tracer::instance();
+  T.clear();
+  T.setEnabled(true);
+  {
+    Span S("filed", "test");
+  }
+  T.setEnabled(false);
+  std::string Path = freshCacheDir("trace") + "/trace.json";
+  ASSERT_TRUE(T.writeTo(Path));
+  std::ifstream In(Path);
+  std::string Content((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_TRUE(isValidJson(Content)) << Content;
+  EXPECT_NE(Content.find("\"filed\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Program serving metrics and traced concurrent invocations
+//===----------------------------------------------------------------------===//
+
+TEST(ProgramMetrics, CountersAndLatencyHistogramTrackInvocations) {
+  api::Compiler C;
+  auto P = C.pipeline(PipelineKind::Dcir)
+               .engine(exec::EngineKind::Interp)
+               .compile(kSaxpyKernel, "kernel_saxpy");
+  ASSERT_TRUE(P) << C.diagnostics();
+  for (int I = 0; I < 5; ++I)
+    EXPECT_TRUE(P->invoke().Ok);
+  api::ProgramStats S = P->stats();
+  EXPECT_EQ(S.Invocations, 5u);
+  EXPECT_EQ(S.InterpInvocations, 5u);
+  EXPECT_EQ(S.NativeInvocations, 0u);
+  const obs::Counter *CI = P->metrics().findCounter("invocations");
+  ASSERT_NE(CI, nullptr);
+  EXPECT_EQ(CI->value(), 5u);
+  const obs::Histogram *H = P->metrics().findHistogram("latency.interp");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->count(), 5u);
+  EXPECT_GT(H->quantile(0.5), 0.0);
+  std::string J = P->metricsJson();
+  EXPECT_TRUE(isValidJson(J)) << J;
+  EXPECT_NE(J.find("\"invocations\": 5"), std::string::npos) << J;
+}
+
+TEST(ProgramMetrics, EightThreadsTracedInvocationsStayBalanced) {
+  TracerReset Reset;
+  Tracer &T = Tracer::instance();
+  T.clear();
+  T.setEnabled(true);
+  api::Compiler C;
+  auto P = C.pipeline(PipelineKind::Dcir)
+               .engine(exec::EngineKind::Interp)
+               .compile(kSaxpyKernel, "kernel_saxpy");
+  ASSERT_TRUE(P) << C.diagnostics();
+  constexpr int kThreads = 8, kCalls = 25;
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Workers;
+  for (int W = 0; W < kThreads; ++W)
+    Workers.emplace_back([&] {
+      for (int I = 0; I < kCalls; ++I)
+        if (!P->invoke().Ok)
+          Failures.fetch_add(1);
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  T.setEnabled(false);
+  EXPECT_EQ(Failures.load(), 0);
+  EXPECT_EQ(P->stats().Invocations, std::uint64_t(kThreads * kCalls));
+  std::string J = T.json();
+  EXPECT_TRUE(isValidJson(J));
+  EXPECT_EQ(countOccurrences(J, "\"ph\": \"B\""),
+            countOccurrences(J, "\"ph\": \"E\""));
+  EXPECT_EQ(countOccurrences(J, "\"invoke:kernel_saxpy\""),
+            size_t(kThreads * kCalls * 2));
+}
+
+TEST(ProgramMetrics, AsyncInvocationsEmitQueueWaitSpans) {
+  TracerReset Reset;
+  Tracer &T = Tracer::instance();
+  T.clear();
+  T.setEnabled(true);
+  api::Compiler C;
+  auto P = C.pipeline(PipelineKind::Dcir)
+               .engine(exec::EngineKind::Interp)
+               .compile(kSaxpyKernel, "kernel_saxpy");
+  ASSERT_TRUE(P) << C.diagnostics();
+  std::vector<std::future<api::InvocationResult>> Futures;
+  for (int I = 0; I < 8; ++I)
+    Futures.push_back(P->invokeAsync(P->newInvocation()));
+  for (auto &F : Futures)
+    EXPECT_TRUE(F.get().Ok);
+  T.setEnabled(false);
+  EXPECT_EQ(P->stats().AsyncInvocations, 8u);
+  std::string J = T.json();
+  EXPECT_TRUE(isValidJson(J));
+  // One complete (B+E) queue-wait interval per async invocation.
+  EXPECT_EQ(countOccurrences(J, "\"queue-wait:kernel_saxpy\""), 16u);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-map runtime profiling
+//===----------------------------------------------------------------------===//
+
+TEST(MapProfile, NativeEngineReportsCallsAndTrips) {
+  api::Compiler C;
+  auto P = C.pipeline(PipelineKind::Dcir)
+               .engine(exec::EngineKind::Interp)
+               .compile(pipeline::loadWorkload("polybench/gemm.c"),
+                        "kernel_gemm");
+  ASSERT_TRUE(P && P->graph()) << C.diagnostics();
+
+  exec::JitCache Cache(freshCacheDir("profile"));
+  exec::NativeJitEngine Native(&Cache);
+  exec::EngineConfig Config;
+  Config.ParallelMaps = true;
+  Config.ProfileMaps = true;
+  Native.configure(Config);
+  ASSERT_TRUE(Native.config().ProfileMaps);
+
+  exec::EngineRun R1 = Native.runGraph(*P->graph(), interp::MathMode::Precise);
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  exec::EngineRun R2 = Native.runGraph(*P->graph(), interp::MathMode::Precise);
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+
+  std::vector<obs::MapProfile> Rows = Native.mapProfile(*P->graph());
+  ASSERT_FALSE(Rows.empty());
+  // Outermost scopes execute once per call (exactly 2 here); nested
+  // scopes once per enclosing iteration (>= 2 either way).
+  bool SawOutermost = false, SawTrips = false;
+  for (const obs::MapProfile &Row : Rows) {
+    EXPECT_FALSE(Row.Name.empty());
+    EXPECT_GE(Row.Invocations, 2u) << Row.Name;
+    SawOutermost |= Row.Invocations == 2;
+    SawTrips |= Row.Trips > 0;
+  }
+  EXPECT_TRUE(SawOutermost);
+  EXPECT_TRUE(SawTrips);
+  std::string J = obs::mapProfileJson(Rows);
+  EXPECT_TRUE(isValidJson(J)) << J;
+}
+
+TEST(MapProfile, UnprofiledGraphReportsEmpty) {
+  api::Compiler C;
+  auto P = C.pipeline(PipelineKind::Dcir)
+               .engine(exec::EngineKind::Interp)
+               .compile(kSaxpyKernel, "kernel_saxpy");
+  ASSERT_TRUE(P && P->graph()) << C.diagnostics();
+  exec::JitCache Cache(freshCacheDir("noprofile"));
+  exec::NativeJitEngine Native(&Cache);
+  // Env opt-in may be set in the test environment; force it off.
+  exec::EngineConfig Config = Native.config();
+  Config.ProfileMaps = false;
+  if (Native.config().ProfileMaps)
+    GTEST_SKIP() << "$DCIR_PROFILE_MAPS is set; skipping the off-path test";
+  exec::EngineRun R = Native.runGraph(*P->graph(), interp::MathMode::Precise);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(Native.mapProfile(*P->graph()).empty());
+  // Program-level: interp programs report no profile either.
+  EXPECT_TRUE(P->mapProfile().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Zero-cost-when-off: profiling off emits byte-identical code and the same
+// cache key; profiling on forks both.
+//===----------------------------------------------------------------------===//
+
+TEST(MapProfile, DisabledProfilingIsByteIdentical) {
+  api::Compiler C;
+  auto P = C.pipeline(PipelineKind::Dcir)
+               .engine(exec::EngineKind::Interp)
+               .compile(pipeline::loadWorkload("polybench/gemm.c"),
+                        "kernel_gemm");
+  ASSERT_TRUE(P && P->graph()) << C.diagnostics();
+
+  DiagnosticEngine D1, D2, D3;
+  codegen::CodegenOptions Default;
+  Default.ParallelMaps = true;
+  std::string SrcDefault = codegen::emitCpp(*P->graph(), D1, Default);
+  ASSERT_FALSE(SrcDefault.empty()) << D1.str();
+
+  codegen::CodegenOptions Off = Default;
+  Off.ProfileMaps = false;
+  std::string SrcOff = codegen::emitCpp(*P->graph(), D2, Off);
+  EXPECT_EQ(SrcDefault, SrcOff);
+  EXPECT_EQ(SrcDefault.find("dcir_prof"), std::string::npos);
+
+  codegen::CodegenOptions On = Default;
+  On.ProfileMaps = true;
+  codegen::CodegenInfo Info;
+  std::string SrcOn = codegen::emitCpp(*P->graph(), D3, On, &Info);
+  ASSERT_FALSE(SrcOn.empty()) << D3.str();
+  EXPECT_NE(SrcOn, SrcDefault);
+  EXPECT_NE(SrcOn.find("dcir_prof"), std::string::npos);
+  EXPECT_NE(SrcOn.find("__dcir_profile"), std::string::npos);
+  EXPECT_GT(Info.MapsProfiled, 0u);
+
+  // The cache key is a content address of the source: same source, same
+  // key; profiled source, forked key.
+  exec::JitCache Cache(freshCacheDir("keys"));
+  EXPECT_EQ(Cache.keyFor(SrcDefault), Cache.keyFor(SrcOff));
+  EXPECT_NE(Cache.keyFor(SrcDefault), Cache.keyFor(SrcOn));
+}
+
+} // namespace
