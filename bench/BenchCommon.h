@@ -21,6 +21,7 @@
 /// report native numbers alongside the interpreter counters),
 /// `--parallel=`/`--threads=`, the pipeline knobs `--opt=0|1|2`,
 /// `--passes=SPEC`, `--tile=T[,T2,...]` (tile-maps cache blocking),
+/// `--specialize=off|lazy|eager` (shape-specialized re-JIT),
 /// `--print-pass-report`, and the workload knobs `--parallel-scale=K`
 /// and `--define=NAME=VALUE` (explicit overrides win over scaling; see
 /// pipeline/WorkloadDefines.h).
@@ -87,6 +88,10 @@ struct BenchOptions {
   /// (timing + trip counts per emitted map scope; lands in the JSON rows
   /// as "map_profile"). Forks the JIT cache key.
   bool ProfileMaps = false;
+  /// --specialize=off|lazy|eager: shape-specialized re-JIT policy for
+  /// native programs (constant-bound variants per distinct shape; see
+  /// DESIGN.md "Shape specialization").
+  pipeline::SpecializeMode Specialize = pipeline::SpecializeMode::Off;
 
   pipeline::CompileOptions compileOptions(exec::EngineKind K) const {
     pipeline::CompileOptions Opts;
@@ -97,6 +102,7 @@ struct BenchOptions {
     Opts.PassPipeline = Passes;
     Opts.TileSizes = TileSizes;
     Opts.ProfileMaps = ProfileMaps;
+    Opts.Specialize = Specialize;
     return Opts;
   }
 
@@ -195,6 +201,18 @@ inline BenchOptions parseBenchFlags(int &argc, char **argv) {
         std::exit(2);
       }
       Opts.Defines.push_back({std::string(Spec, Eq - Spec), V});
+      continue;
+    }
+    if (std::strncmp(argv[I], "--specialize=", 13) == 0) {
+      auto Parsed = pipeline::parseSpecializeModeName(argv[I] + 13);
+      if (!Parsed) {
+        std::fprintf(stderr,
+                     "unknown specialize mode '%s' (expected "
+                     "off|on|lazy|eager)\n",
+                     argv[I] + 13);
+        std::exit(2);
+      }
+      Opts.Specialize = *Parsed;
       continue;
     }
     if (std::strcmp(argv[I], "--print-pass-report") == 0) {
@@ -410,6 +428,19 @@ inline std::string metricsExtra(const api::Program &P) {
   return "\"serving_metrics\": " + P.metricsJson();
 }
 
+/// The shape-specialization JSON members of a Program: served-by-variant
+/// hit count, live variant count, and fallback count. Empty when the
+/// program does not specialize (so non-specializing rows stay unchanged).
+inline std::string specializeExtra(const api::Program &P) {
+  if (P.specializeMode() == pipeline::SpecializeMode::Off)
+    return std::string();
+  const api::ProgramStats S = P.stats();
+  return "\"specialize_hits\": " + std::to_string(S.SpecializeHits) +
+         ", \"specialize_fallbacks\": " +
+         std::to_string(S.SpecializeFallbacks) +
+         ", \"variants\": " + std::to_string(P.variantCount());
+}
+
 namespace detail {
 /// Accumulator for --pass-report-json= (one process-wide list; benches
 /// are single-threaded drivers).
@@ -456,6 +487,8 @@ inline std::string benchMetaJson(const BenchOptions &Opts) {
   Out += ", \"tile\": [" + Tile + "]";
   Out += std::string(", \"profile_maps\": ") +
          (Opts.ProfileMaps ? "true" : "false");
+  Out += ", \"specialize\": \"" +
+         std::string(pipeline::specializeModeName(Opts.Specialize)) + "\"";
   Out += "}";
   return Out;
 }

@@ -116,7 +116,7 @@ double runOnce(std::shared_ptr<const sdfg::SDFG> G, exec::EngineKind Engine,
                interp::ExecutionStats *Stats, double *Seconds) {
   api::Program::Parts Parts;
   Parts.Kind = PipelineKind::Dcir;
-  Parts.Engine = Engine;
+  Parts.Opts.Engine = Engine;
   Parts.Entry = G->getName();
   Parts.Graph = std::move(G);
   auto Prog = api::Program::create(std::move(Parts));

@@ -62,11 +62,12 @@ void addDcirMlirPasses(passes::PassManager &PM) {
   }
 }
 
-/// Runs the configured data-centric pipeline (-O level or an explicit
-/// --passes= spec) over a freshly translated graph. Returns false when
-/// the spec is malformed or verify-after-each failed.
-bool optimizeGraph(sdfg::SDFG &G, const CompileOptions &Opts,
-                   sdfgopt::OptReport &Report, DiagnosticEngine &Diags) {
+} // namespace
+
+bool dcir::api::detail::optimizeGraph(sdfg::SDFG &G,
+                                      const CompileOptions &Opts,
+                                      sdfgopt::OptReport &Report,
+                                      DiagnosticEngine &Diags) {
   sdfgopt::PipelineOptions POpts;
   POpts.Diags = &Diags;
   POpts.VerifyEachPass = Opts.VerifyEachPass;
@@ -96,8 +97,6 @@ bool optimizeGraph(sdfg::SDFG &G, const CompileOptions &Opts,
   }
   return sdfgopt::runPipeline(G, *P, Report, POpts);
 }
-
-} // namespace
 
 detail::CompiledParts
 dcir::api::detail::compileParts(const std::string &CSource,
@@ -211,10 +210,7 @@ Compiler::compile(const std::string &CSource, const std::string &Entry) {
 
   Program::Parts P;
   P.Kind = Kind;
-  P.Engine = Opts.Engine;
-  P.Parallelism = Opts.Parallelism;
-  P.NumThreads = Opts.NumThreads;
-  P.ProfileMaps = Opts.ProfileMaps;
+  P.Opts = Opts;
   P.Entry = Entry;
   P.Ctx = std::move(Parts.Ctx);
   P.Module = Parts.Module;

@@ -85,6 +85,21 @@ public:
     Opts.ProfileMaps = P;
     return *this;
   }
+  /// Shape-specialized re-JIT policy for the produced Programs (native
+  /// engine only). Off (default) serves the generic artifact always;
+  /// Lazy re-JITs a constant-bound variant in the background on the
+  /// first invocation of each new shape; Eager blocks that first
+  /// invocation on the re-JIT. See DESIGN.md, "Shape specialization".
+  Compiler &specialize(pipeline::SpecializeMode M) {
+    Opts.Specialize = M;
+    return *this;
+  }
+  /// Cap on live specialized variants per Program (least recently used
+  /// beyond the cap is evicted; the generic artifact never is).
+  Compiler &maxVariants(unsigned N) {
+    Opts.MaxVariants = N;
+    return *this;
+  }
   /// Enables process-wide lifecycle tracing and writes the Chrome
   /// trace-event JSON to \p Path at process exit (equivalent to running
   /// with $DCIR_TRACE=Path). Affects the whole process, not just this
@@ -150,6 +165,15 @@ CompiledParts compileParts(const std::string &CSource,
                            pipeline::PipelineKind Kind,
                            DiagnosticEngine &Diags,
                            const pipeline::CompileOptions &Opts);
+
+/// Runs the configured data-centric pass pipeline (the -O level or an
+/// explicit --passes= spec) over \p G. This is the same optimizer
+/// invocation compileParts applies to a freshly translated graph;
+/// Program's shape-specialization re-JIT reuses it to re-optimize a
+/// symbol-substituted clone under identical options. Returns false when
+/// the pass spec is malformed or verify-after-each failed.
+bool optimizeGraph(sdfg::SDFG &G, const pipeline::CompileOptions &Opts,
+                   sdfgopt::OptReport &Report, DiagnosticEngine &Diags);
 
 } // namespace detail
 

@@ -2,9 +2,12 @@
 
 #include "api/Program.h"
 
+#include "api/Compiler.h"
+#include "codegen/CppCodegen.h"
 #include "ir/IR.h"
 #include "obs/Trace.h"
 #include "sdfg/TaskletExpr.h"
+#include "support/Casting.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -48,6 +51,31 @@ InvocationResult failResult(std::string Error) {
   InvocationResult R;
   R.Error = std::move(Error);
   return R;
+}
+
+/// True when any dataflow edge writes into container \p Name (its access
+/// node appears as an edge destination). Written scalars cannot key a
+/// specialized variant: the constant baked into the artifact could
+/// diverge from the live value mid-run.
+bool containerIsWritten(const sdfg::SDFG &G, const std::string &Name) {
+  for (const auto &St : G.states())
+    for (const sdfg::DataflowEdge &E : St->edges()) {
+      if (const auto *A = dyn_cast<sdfg::AccessNode>(St->getNode(E.Dst)))
+        if (A->getData() == Name)
+          return true;
+    }
+  return false;
+}
+
+/// The canonical "name=value,..." variant key (Env is sorted already).
+std::string variantKey(const std::map<std::string, std::int64_t> &Env) {
+  std::string Key;
+  for (const auto &[Name, Value] : Env) {
+    if (!Key.empty())
+      Key += ',';
+    Key += Name + "=" + std::to_string(Value);
+  }
+  return Key;
 }
 
 } // namespace
@@ -117,21 +145,43 @@ std::shared_ptr<const Program> Program::create(Parts InParts) {
   Prog->CInterp = &Prog->Metrics.counter("invocations.interp");
   Prog->CFallbacks = &Prog->Metrics.counter("invocations.fallback");
   Prog->CAsync = &Prog->Metrics.counter("invocations.async");
+  Prog->CSpecHits = &Prog->Metrics.counter("specialize.hits");
+  Prog->CSpecMisses = &Prog->Metrics.counter("specialize.misses");
+  Prog->CSpecFallbacks = &Prog->Metrics.counter("specialize.fallbacks");
+  Prog->CSpecEvictions = &Prog->Metrics.counter("specialize.evictions");
   Prog->HNative = &Prog->Metrics.histogram("latency.native");
   Prog->HInterp = &Prog->Metrics.histogram("latency.interp");
-  if (Prog->P.Graph && Prog->P.Engine == exec::EngineKind::Native) {
+  if (Prog->P.Graph) {
+    // What a specialized variant can key on: the graph's free symbols
+    // plus its read-only non-transient I64 scalars (runtime size
+    // parameters). Computed once; empty means specialization is inert.
+    codegen::CallSignature Sig = codegen::callSignature(*Prog->P.Graph);
+    Prog->SpecNames = Sig.FreeSymbols;
+    for (const std::string &Arg : Sig.Args) {
+      const sdfg::DataDesc &D = Prog->P.Graph->desc(Arg);
+      if (D.K == sdfg::DataDesc::Kind::Scalar && D.Ty == sdfg::DType::I64 &&
+          !containerIsWritten(*Prog->P.Graph, Arg))
+        Prog->SpecNames.push_back(Arg);
+    }
+    std::sort(Prog->SpecNames.begin(), Prog->SpecNames.end());
+  }
+  if (Prog->P.Graph && Prog->P.Opts.Engine == exec::EngineKind::Native) {
     std::unique_ptr<exec::ExecutionEngine> Native =
         exec::createEngine(exec::EngineKind::Native);
     exec::EngineConfig Config;
     Config.ParallelMaps =
-        Prog->P.Parallelism != pipeline::ParallelismMode::Off;
-    Config.NumThreads = Prog->P.NumThreads;
-    Config.ProfileMaps = Prog->P.ProfileMaps;
+        Prog->P.Opts.Parallelism != pipeline::ParallelismMode::Off;
+    Config.NumThreads = Prog->P.Opts.NumThreads;
+    Config.ProfileMaps = Prog->P.Opts.ProfileMaps;
     Native->configure(Config);
     std::string Error;
     double Seconds = 0.0;
-    if (Native->prepareGraph(*Prog->P.Graph, Error, &Seconds)) {
-      Prog->Native = std::move(Native);
+    // The engine is kept even when the generic prepare fails: a
+    // specialized variant (constant bounds, no symbolic addressing) may
+    // still compile where the generic artifact could not.
+    Prog->Native = std::move(Native);
+    if (Prog->Native->prepareGraph(*Prog->P.Graph, Error, &Seconds)) {
+      Prog->GenericPrepared = true;
       Prog->NativeCompileSeconds = Seconds;
     } else {
       // Non-fatal: the program serves from the interpreter, every
@@ -153,6 +203,15 @@ Program::~Program() {
   }
   PoolCv.notify_all();
   for (std::thread &W : PoolWorkers)
+    W.join();
+  // After the pool: pool workers are the only other threads that can
+  // still spawn lazy specialization builds.
+  std::vector<std::thread> Builders;
+  {
+    std::lock_guard<std::mutex> Lock(VarMu);
+    Builders.swap(SpecThreads);
+  }
+  for (std::thread &W : Builders)
     W.join();
   if (P.Module && P.OwnsModule)
     ir::Operation::eraseDetached(P.Module);
@@ -180,6 +239,10 @@ ProgramStats Program::stats() const {
   S.InterpInvocations = CInterp->value();
   S.EngineFallbacks = CFallbacks->value();
   S.AsyncInvocations = CAsync->value();
+  S.SpecializeHits = CSpecHits->value();
+  S.SpecializeMisses = CSpecMisses->value();
+  S.SpecializeFallbacks = CSpecFallbacks->value();
+  S.SpecializeEvictions = CSpecEvictions->value();
   return S;
 }
 
@@ -252,14 +315,31 @@ InvocationResult Program::invoke(const Invocation &I) const {
   Req.Bindings = &I.bindings();
   Req.Symbols = I.symbols();
   Req.Mode = I.mathMode();
-  Req.NumThreads = I.numThreads() > 0 ? I.numThreads() : P.NumThreads;
+  Req.NumThreads = I.numThreads() > 0 ? I.numThreads() : P.Opts.NumThreads;
   Req.SnapshotOutputs = I.capturesOutputs();
+
+  // Shape-specialized dispatch: when this shape has a ready
+  // constant-bound variant, invoke that artifact instead of the generic
+  // one. The shared_ptr pins the variant graph across the call, so LRU
+  // eviction can never free it mid-invocation.
+  std::shared_ptr<const sdfg::SDFG> VariantG;
+  double SpecCompileSeconds = 0.0;
+  if (Native && P.Opts.Specialize != pipeline::SpecializeMode::Off &&
+      I.specializes() && !SpecNames.empty()) {
+    std::map<std::string, std::int64_t> Env =
+        specializationEnv(I.bindings(), I.symbols());
+    if (!Env.empty())
+      VariantG = resolveVariant(
+          Env, P.Opts.Specialize == pipeline::SpecializeMode::Eager,
+          &SpecCompileSeconds);
+  }
 
   exec::EngineRun E;
   exec::EngineKind Used = exec::EngineKind::Interp;
   bool NativeFailed = false;
-  if (Native) {
-    E = Native->invokeGraph(*P.Graph, Req);
+  if (Native && (VariantG || GenericPrepared)) {
+    const sdfg::SDFG &RunG = VariantG ? *VariantG : *P.Graph;
+    E = Native->invokeGraph(RunG, Req);
     if (E.Ok) {
       Used = exec::EngineKind::Native;
     } else {
@@ -271,7 +351,7 @@ InvocationResult Program::invoke(const Invocation &I) const {
     }
   }
   if (Used != exec::EngineKind::Native) {
-    if (P.Engine == exec::EngineKind::Native)
+    if (P.Opts.Engine == exec::EngineKind::Native)
       CFallbacks->inc();
     (void)NativeFailed;
     E = Interp.invokeGraph(*P.Graph, Req);
@@ -297,7 +377,169 @@ InvocationResult Program::invoke(const Invocation &I) const {
   if (Used == exec::EngineKind::Native && R.Ok &&
       !CompileSecondsClaimed.exchange(true, std::memory_order_relaxed))
     R.CompileSeconds += NativeCompileSeconds;
+  // An Eager specialization miss pays its re-JIT on this invocation.
+  R.CompileSeconds += SpecCompileSeconds;
   return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Shape specialization
+//===----------------------------------------------------------------------===//
+
+std::map<std::string, std::int64_t> Program::specializationEnv(
+    const std::map<std::string, BufferView> &Bindings,
+    const std::map<std::string, std::int64_t> &Symbols) const {
+  std::map<std::string, std::int64_t> Env;
+  for (const std::string &Name : SpecNames) {
+    if (auto It = Symbols.find(Name); It != Symbols.end()) {
+      Env[Name] = It->second;
+      continue;
+    }
+    // Read-only I64 scalar containers carry their value in the caller's
+    // bound buffer (the invocation owns it for the duration of the call).
+    auto It = Bindings.find(Name);
+    if (It != Bindings.end() && It->second.Ptr &&
+        It->second.Ty == sdfg::DType::I64 && It->second.Len >= 1)
+      Env[Name] = *static_cast<const std::int64_t *>(It->second.Ptr);
+  }
+  return Env;
+}
+
+std::shared_ptr<const sdfg::SDFG>
+Program::resolveVariant(const std::map<std::string, std::int64_t> &Env,
+                        bool Blocking, double *CompileSeconds) const {
+  const std::string Key = variantKey(Env);
+  std::unique_lock<std::mutex> Lock(VarMu);
+  for (;;) {
+    auto It = Variants.find(Key);
+    if (It == Variants.end())
+      break;
+    Variant &V = It->second;
+    if (V.St == Variant::State::Ready) {
+      V.LastUse = ++VarStamp;
+      CSpecHits->inc();
+      return V.Graph;
+    }
+    if (V.St == Variant::State::Failed)
+      return nullptr; // Negative cache: this shape degrades to generic.
+    if (!Blocking)
+      return nullptr; // Lazy: serve generic while the worker builds.
+    VarCv.wait(Lock); // Eager: wait the in-flight build out, re-check.
+  }
+  // First sighting of this shape.
+  CSpecMisses->inc();
+  Variants[Key]; // Default-constructed: InFlight.
+  if (Blocking) {
+    Lock.unlock();
+    buildVariant(Key, Env, CompileSeconds);
+    Lock.lock();
+    auto It = Variants.find(Key);
+    if (It != Variants.end() && It->second.St == Variant::State::Ready) {
+      It->second.LastUse = ++VarStamp;
+      return It->second.Graph;
+    }
+    return nullptr;
+  }
+  SpecThreads.emplace_back(
+      [this, Key, Env] { buildVariant(Key, Env, nullptr); });
+  return nullptr;
+}
+
+void Program::buildVariant(const std::string &Key,
+                           const std::map<std::string, std::int64_t> &Env,
+                           double *CompileSeconds) const {
+  obs::Span Span("specialize:" + P.Entry, "specialize");
+  std::unique_ptr<sdfg::SDFG> Clone = P.Graph->clone();
+  {
+    std::lock_guard<std::mutex> Lock(VarMu);
+    Clone->setName(P.Entry + "__spec" + std::to_string(VarCounter++));
+  }
+  // Substitute, re-optimize under the program's own options, re-JIT.
+  // Any failure degrades this shape to the generic artifact — an
+  // invocation never fails because specialization did.
+  std::string Why;
+  sdfgopt::SpecializationOptions SOpts;
+  SOpts.SymbolValues = Env;
+  bool Ok = sdfgopt::specializeSymbols(*Clone, SOpts) > 0;
+  if (!Ok)
+    Why = "substitution found no use of the bound values";
+  if (Ok) {
+    DiagnosticEngine D;
+    sdfgopt::OptReport Rep;
+    Ok = detail::optimizeGraph(*Clone, P.Opts, Rep, D) && Clone->validate(D);
+    if (!Ok)
+      Why = "re-optimization failed: " + D.str();
+  }
+  double Seconds = 0.0;
+  if (Ok) {
+    std::string Error;
+    Ok = Native->prepareGraph(*Clone, Error, &Seconds);
+    if (!Ok)
+      Why = "native re-JIT failed: " + Error;
+  }
+  if (CompileSeconds)
+    *CompileSeconds = Seconds;
+
+  std::lock_guard<std::mutex> Lock(VarMu);
+  Variant &V = Variants[Key];
+  if (Ok) {
+    V.St = Variant::State::Ready;
+    V.Graph = std::move(Clone);
+    V.LastUse = ++VarStamp;
+    // LRU cap over live (non-failed) variants; the generic artifact is
+    // not in the table and thus never evicted. Engine state goes first —
+    // in-flight invocations still pin the graph via their shared_ptr.
+    std::size_t Live = 0;
+    for (const auto &[K, Var] : Variants)
+      if (Var.St != Variant::State::Failed)
+        ++Live;
+    while (Live > std::max(1u, P.Opts.MaxVariants)) {
+      auto Oldest = Variants.end();
+      for (auto It = Variants.begin(); It != Variants.end(); ++It)
+        if (It->second.St == Variant::State::Ready &&
+            (Oldest == Variants.end() ||
+             It->second.LastUse < Oldest->second.LastUse))
+          Oldest = It;
+      if (Oldest == Variants.end())
+        break; // Everything else is in flight; cap applies next time.
+      Native->releaseGraph(*Oldest->second.Graph);
+      Variants.erase(Oldest);
+      CSpecEvictions->inc();
+      --Live;
+    }
+  } else {
+    V.St = Variant::State::Failed;
+    V.Graph.reset();
+    CSpecFallbacks->inc();
+    std::fprintf(stderr,
+                 "api: shape specialization of '%s' for {%s} degraded to "
+                 "the generic artifact: %s\n",
+                 P.Entry.c_str(), Key.c_str(), Why.c_str());
+  }
+  VarCv.notify_all();
+}
+
+bool Program::specialize(
+    const std::map<std::string, std::int64_t> &Values) const {
+  if (!Native || !P.Graph || SpecNames.empty() ||
+      P.Opts.Specialize == pipeline::SpecializeMode::Off)
+    return false;
+  std::map<std::string, std::int64_t> Env;
+  for (const std::string &Name : SpecNames)
+    if (auto It = Values.find(Name); It != Values.end())
+      Env[Name] = It->second;
+  if (Env.empty())
+    return false;
+  return resolveVariant(Env, /*Blocking=*/true, nullptr) != nullptr;
+}
+
+std::size_t Program::variantCount() const {
+  std::lock_guard<std::mutex> Lock(VarMu);
+  std::size_t N = 0;
+  for (const auto &[Key, V] : Variants)
+    if (V.St != Variant::State::Failed)
+      ++N;
+  return N;
 }
 
 std::future<InvocationResult> Program::invokeAsync(Invocation I) const {

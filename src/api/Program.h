@@ -88,6 +88,17 @@ struct ProgramStats {
   std::uint64_t EngineFallbacks = 0;
   /// Invocations dispatched through invokeAsync's worker pool.
   std::uint64_t AsyncInvocations = 0;
+  /// Shape-specialization counters (zero unless the program was compiled
+  /// with CompileOptions::Specialize != Off). Hits are invocations served
+  /// by a constant-bound specialized variant; misses are first sightings
+  /// of a shape (each starts a re-JIT); fallbacks are specialization
+  /// attempts that degraded to the generic artifact (substitution found
+  /// nothing, re-optimization or re-JIT failed); evictions count variants
+  /// dropped by the LRU cap.
+  std::uint64_t SpecializeHits = 0;
+  std::uint64_t SpecializeMisses = 0;
+  std::uint64_t SpecializeFallbacks = 0;
+  std::uint64_t SpecializeEvictions = 0;
 };
 
 /// The outcome of one invocation.
@@ -166,6 +177,13 @@ public:
     Capture_ = Capture;
     return *this;
   }
+  /// Per-invocation opt-out from shape-specialized dispatch: with false,
+  /// this invocation always runs the generic artifact (and never starts
+  /// a re-JIT), regardless of the program's SpecializeMode.
+  Invocation &setSpecialize(bool S) {
+    Specialize_ = S;
+    return *this;
+  }
 
   /// First binding diagnostic, empty when all binds succeeded.
   const std::string &error() const { return BindError; }
@@ -178,6 +196,7 @@ public:
   interp::MathMode mathMode() const { return Mode; }
   int numThreads() const { return NumThreads; }
   bool capturesOutputs() const { return Capture_; }
+  bool specializes() const { return Specialize_; }
   const std::shared_ptr<const Program> &program() const { return Prog; }
 
   /// Executes on the program's engine. Equivalent to
@@ -193,6 +212,7 @@ private:
   interp::MathMode Mode = interp::MathMode::Precise;
   int NumThreads = 0;
   bool Capture_ = false;
+  bool Specialize_ = true;
   std::string BindError;
 };
 
@@ -205,11 +225,11 @@ public:
   /// OwnsModule=false leaves module destruction to the wrapper).
   struct Parts {
     pipeline::PipelineKind Kind = pipeline::PipelineKind::Dcir;
-    exec::EngineKind Engine = exec::EngineKind::Interp;
-    pipeline::ParallelismMode Parallelism = pipeline::ParallelismMode::Auto;
-    int NumThreads = 0;
-    /// Per-map runtime profiling (native engine; see Program::mapProfile).
-    bool ProfileMaps = false;
+    /// The full compile-time option set. The program keeps all of it —
+    /// serving reads Engine/Parallelism/NumThreads/ProfileMaps, and the
+    /// shape-specialization re-JIT re-runs the optimizer on a
+    /// symbol-substituted clone under these same options.
+    pipeline::CompileOptions Opts;
     std::string Entry;
     std::shared_ptr<ir::IRContext> Ctx; // Keeps types alive for Module.
     ir::Operation *Module = nullptr;
@@ -234,7 +254,7 @@ public:
   //===--------------------------------------------------------------------===
 
   pipeline::PipelineKind pipelineKind() const { return P.Kind; }
-  exec::EngineKind engine() const { return P.Engine; }
+  exec::EngineKind engine() const { return P.Opts.Engine; }
   const std::string &entry() const { return P.Entry; }
   const sdfgopt::OptReport &report() const { return P.Report; }
   /// The SDFG artifact (null for module artifacts).
@@ -256,6 +276,31 @@ public:
 
   /// Snapshot of the serving counters.
   ProgramStats stats() const;
+
+  //===--------------------------------------------------------------------===
+  // Shape specialization (CompileOptions::Specialize != Off)
+  //===--------------------------------------------------------------------===
+
+  /// The program's specialization policy (Off unless compiled with one).
+  pipeline::SpecializeMode specializeMode() const { return P.Opts.Specialize; }
+  /// Names whose invoke-time values key a specialized variant: the
+  /// graph's free symbols plus its read-only non-transient integer
+  /// scalars (runtime size parameters like gemm's `ni`). Empty when the
+  /// program has nothing to specialize on — every shape then serves the
+  /// generic artifact with zero dispatch overhead.
+  const std::vector<std::string> &specializableNames() const {
+    return SpecNames;
+  }
+  /// Synchronously materializes (or retrieves) the specialized variant
+  /// for \p Values — the warm-up entry point, equivalent to what an
+  /// Eager first invocation does. Returns true when a ready variant
+  /// exists afterwards; false when the program does not specialize
+  /// (mode Off, interpreter engine, nothing specializable, \p Values
+  /// covers no specializable name) or the attempt degraded to generic.
+  bool specialize(const std::map<std::string, std::int64_t> &Values) const;
+  /// Live specialized variants (ready or in flight; excludes the
+  /// negative-cached failures and the generic artifact).
+  std::size_t variantCount() const;
 
   /// The program's serving-metrics registry: invocation counters
   /// (invocations, invocations.native/.interp/.fallback/.async) and
@@ -304,11 +349,66 @@ private:
 
   Parts P;
   std::unique_ptr<exec::ExecutionEngine> Native; // Only for native programs.
+  /// False when the generic artifact failed native preparation. The
+  /// engine object is kept anyway — specialized variants may still
+  /// prepare — so this flag, not `Native`, gates the generic native path.
+  bool GenericPrepared = false;
   mutable exec::InterpEngine Interp;
   std::string PrepareError;
   double NativeCompileSeconds = 0.0;
   /// The first successful native invocation reports the JIT cost.
   mutable std::atomic<bool> CompileSecondsClaimed{false};
+
+  //===--------------------------------------------------------------------===
+  // Shape-specialization variant table
+  //===--------------------------------------------------------------------===
+
+  /// One shape's entry, keyed by the sorted "name=value,..." string of
+  /// its specializable values. InFlight entries hold the re-JIT; Failed
+  /// entries are a negative cache (the shape degrades to generic without
+  /// retrying every invocation).
+  struct Variant {
+    enum class State { InFlight, Ready, Failed };
+    State St = State::InFlight;
+    /// The specialized clone; the engine memo keys on its address, so
+    /// invocations pin it with a shared_ptr for the duration of a call
+    /// (eviction can then never free a graph mid-invocation).
+    std::shared_ptr<const sdfg::SDFG> Graph;
+    std::uint64_t LastUse = 0; // LRU stamp (VarStamp ticks).
+  };
+
+  /// The set of invoke-time values that key a variant for invocation
+  /// \p I: bound values for every specializable name. Empty when none
+  /// are available (serve generic).
+  std::map<std::string, std::int64_t>
+  specializationEnv(const std::map<std::string, BufferView> &Bindings,
+                    const std::map<std::string, std::int64_t> &Symbols) const;
+  /// Resolves (or starts building) the variant for \p Env. Returns the
+  /// pinned ready graph to invoke, or null to serve generic. With
+  /// \p Blocking (Eager invocations and the specialize() warm-up) a miss
+  /// builds on the calling thread and in-flight entries are waited out;
+  /// without it (Lazy) a miss hands the build to a worker thread and
+  /// returns null immediately. \p CompileSeconds receives the
+  /// host-compiler time this call paid (blocking misses only).
+  std::shared_ptr<const sdfg::SDFG>
+  resolveVariant(const std::map<std::string, std::int64_t> &Env,
+                 bool Blocking, double *CompileSeconds) const;
+  /// The re-JIT itself: clone, substitute, re-optimize, validate,
+  /// prepare; publishes Ready or Failed into the table and applies the
+  /// LRU cap. Runs on the invoking thread (Eager) or a worker (Lazy).
+  void buildVariant(const std::string &Key,
+                    const std::map<std::string, std::int64_t> &Env,
+                    double *CompileSeconds) const;
+
+  /// Specializable names, computed once at create(): free symbols plus
+  /// read-only non-transient I64 scalars. Immutable afterwards.
+  std::vector<std::string> SpecNames;
+  mutable std::mutex VarMu;
+  mutable std::condition_variable VarCv;
+  mutable std::map<std::string, Variant> Variants;
+  mutable std::uint64_t VarStamp = 0;  // LRU clock.
+  mutable unsigned VarCounter = 0;     // `<entry>__spec<n>` names.
+  mutable std::vector<std::thread> SpecThreads; // Lazy workers; joined in dtor.
 
   /// Serving metrics. The hot-path counters/histograms are resolved once
   /// in create() and cached as raw pointers (registry entries are stable
@@ -319,6 +419,10 @@ private:
   obs::Counter *CInterp = nullptr;
   obs::Counter *CFallbacks = nullptr;
   obs::Counter *CAsync = nullptr;
+  obs::Counter *CSpecHits = nullptr;
+  obs::Counter *CSpecMisses = nullptr;
+  obs::Counter *CSpecFallbacks = nullptr;
+  obs::Counter *CSpecEvictions = nullptr;
   obs::Histogram *HNative = nullptr;
   obs::Histogram *HInterp = nullptr;
 

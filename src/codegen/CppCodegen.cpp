@@ -167,7 +167,7 @@ public:
     // but its row count is only known after the body is emitted — hence
     // the separate prelude stream. Without ProfileMaps the concatenation
     // is byte-identical to the historical single-stream output.
-    return Prelude.str() + profileTable() + OS.str();
+    return Prelude.str() + profileTable() + BodyFns.str() + OS.str();
   }
 
 private:
@@ -200,6 +200,22 @@ private:
   /// Private scalars already declared by an enclosing scope during the
   /// current emission (nested scopes must not re-declare).
   std::set<std::string> ActivePrivate;
+  /// Set by the last planParallelRegionImpl when the region was
+  /// parallelized on an *unproven* (symbolic) work estimate; drives the
+  /// `dcir-grain:` annotation and the GrainUnproven counter.
+  bool GrainUnproven = false;
+  /// Collapse depth chosen by the last successful planParallelRegionImpl
+  /// (the number of loop headers the work-sharing pragma owns).
+  size_t LastCollapse = 1;
+  /// Outlined parallel-region bodies (static functions emitted between
+  /// the prelude and the entry function). See emitMapScope: GCC's OpenMP
+  /// outlining loses the parameters' __restrict__ qualification, which
+  /// costs the hot loops their vectorization; outlining the body
+  /// ourselves into a function with fresh restrict-qualified pointer
+  /// parameters hands the optimizer the same aliasing facts the serial
+  /// emission enjoys.
+  std::ostringstream BodyFns;
+  unsigned BodyFnCounter = 0;
   /// Per-parallel-region WCR placement, keyed by edge address (stable:
   /// emission never mutates the graph). Empty outside parallel regions.
   std::map<const DataflowEdge *, WcrLowering> WcrPlan;
@@ -243,8 +259,15 @@ private:
     for (const std::string &Arg : Sig.Args) {
       if (!First)
         OS << ", ";
+      // Scalar containers are spilled into typed shadow locals at entry
+      // (see emitAllocations): symbolic expressions — interstate
+      // conditions, range bounds — reference the container by name, and a
+      // bare pointer there would not compile. The parameter is renamed so
+      // the local can own the name.
       OS << "[[maybe_unused]] " << cType(G.desc(Arg).Ty) << " *__restrict__ "
          << Arg;
+      if (G.desc(Arg).K == DataDesc::Kind::Scalar)
+        OS << "__dcir_param";
       First = false;
     }
     for (const std::string &Sym : Sig.FreeSymbols) {
@@ -267,6 +290,13 @@ private:
       else
         OS << "  [[maybe_unused]] long long " << Sym << " = 0;\n";
     }
+    // Non-transient scalars arrive as pointers but participate in symbolic
+    // expressions by name (loop bounds, interstate conditions): load them
+    // into typed shadow locals here and write them back at exit.
+    for (const auto &[Name, D] : G.descs())
+      if (!D.Transient && D.K == DataDesc::Kind::Scalar)
+        OS << "  [[maybe_unused]] " << cType(D.Ty) << " " << Name << " = *"
+           << Name << "__dcir_param;\n";
     for (const auto &[Name, D] : G.descs()) {
       if (!D.Transient)
         continue;
@@ -444,6 +474,11 @@ private:
   }
 
   void emitDeallocations() {
+    // Persist scalar-container shadow locals (the entry's outputs may be
+    // scalars).
+    for (const auto &[Name, D] : G.descs())
+      if (!D.Transient && D.K == DataDesc::Kind::Scalar)
+        OS << "  *" << Name << "__dcir_param = " << Name << ";\n";
     for (const auto &[Name, D] : G.descs())
       if (D.Transient && D.K == DataDesc::Kind::Array &&
           !(D.StorageKind == Storage::Stack && D.totalSize().isConstant()))
@@ -453,9 +488,10 @@ private:
   std::string access(const std::string &Data, const sym::SymSubset &Subset) {
     const DataDesc &D = G.desc(Data);
     std::string Ref = Data;
-    bool Pointer = !D.Transient || D.K == DataDesc::Kind::Array;
+    // Scalars — transient locals and the shadow locals of non-transient
+    // scalar parameters alike — are plain named variables here.
     if (D.K == DataDesc::Kind::Scalar)
-      return Pointer ? ("(*" + Ref + ")") : Ref;
+      return Ref;
     // Row-major linearization.
     std::ostringstream Idx;
     Idx << Ref << "[";
@@ -672,13 +708,18 @@ private:
         AllParams.insert(ME->Params.begin(), ME->Params.end());
 
     // Grain check: too little work per region entry and the pragma only
-    // measures its own fork/join overhead. Inside a sequential loop the
-    // region re-enters every trip, so the work must be *proven* large —
-    // unknown (symbolic or trip-dependent) extents stay serial there. A
-    // one-shot region pays its overhead once, so unknown extents pass.
+    // measures its own fork/join overhead. The symbolic case is explicit:
+    // inside a sequential loop the region re-enters every trip, so the
+    // work must be *proven* large — an unevaluable (symbolic or
+    // trip-dependent) extent is refused there. A one-shot region pays its
+    // overhead once, so an unproven estimate keeps the pragma but is
+    // *annotated* (GrainUnproven + the `dcir-grain:` source marker);
+    // specializing the symbols turns the estimate into a constant and the
+    // decision into a proof, in either direction.
     // Tiled maps stay fully accounted: a tile dimension contributes its
     // trip count divided by the (step-sized) tile, and its intra strip
     // contributes the strip length, so the product is the true total.
+    GrainUnproven = false;
     {
       std::uint64_t Work = 1;
       bool Unknown = false;
@@ -715,10 +756,11 @@ private:
         if (const auto *ME = dyn_cast<MapEntry>(S.getNode(Id)))
           AddScope(*ME);
       const bool InLoop = LoopStates.count(S.getId()) > 0;
-      if (InLoop && (Unknown || Work < Opts.MinParallelWork))
-        return false;
+      if (InLoop && (Unknown || Work < Opts.MinInLoopParallelWork))
+        return false; // Refuse: per-trip overhead, unproven or small work.
       if (!InLoop && !Unknown && Work < Opts.MinParallelWork)
-        return false;
+        return false; // Proven small.
+      GrainUnproven = !InLoop && Unknown;
     }
 
     std::vector<const DataflowEdge *> Wcr =
@@ -767,12 +809,18 @@ private:
     // tile-maps splits `i` into `i__tile`/`i`.
     const std::set<std::string> Pinned =
         sdfgopt::threadPinnedParams(*Entry);
+    // Constant trip counts (a specialization dividend) let the pinning
+    // proof bound linearized offsets like `N*i + j` — see
+    // subsetsDisjointAcrossParam.
+    const std::map<std::string, std::pair<std::int64_t, std::int64_t>>
+        ParamBounds = sdfgopt::mapParamBounds(S);
     auto PartitionDisjoint = [&](const sym::SymSubset &A,
                                  const sym::SymSubset &B) {
       for (const std::string &P : Pinned) {
         std::set<std::string> Others = AllParams;
         Others.erase(P);
-        if (sdfgopt::subsetsDisjointAcrossParam(A, B, P, Others))
+        if (sdfgopt::subsetsDisjointAcrossParam(A, B, P, Others,
+                                                &ParamBounds))
           return true;
       }
       return false;
@@ -915,6 +963,8 @@ private:
              : Op == "min" ? "min"
                            : "max";
     };
+    LastCollapse = Collapse;
+
     std::ostringstream C, DeclOS, CombineOS;
     if (Collapse > 1)
       C << " collapse(" << Collapse << ")";
@@ -972,30 +1022,99 @@ private:
     // A work-sharing pragma goes on outermost scopes only (no nested
     // parallelism); the region plan decides synchronization for WCR.
     bool Parallel = false;
-    std::string Combines;
-    if (Opts.ParallelMaps && MapDepth == 0 && !Entry->Params.empty()) {
-      std::string Clauses, Decls;
-      if (planParallelRegion(S, Entry, Scope, Clauses, Decls, Combines,
-                             Pad)) {
-        Parallel = true;
-        OS << Decls << "#ifdef _OPENMP\n#pragma omp parallel for" << Clauses
-           << "\n#endif\n";
+    std::string Clauses, Decls, Combines;
+    if (Opts.ParallelMaps && MapDepth == 0 && !Entry->Params.empty() &&
+        planParallelRegion(S, Entry, Scope, Clauses, Decls, Combines,
+                           Pad)) {
+      Parallel = true;
+      if (GrainUnproven) {
+        OS << Pad << "// dcir-grain: unproven symbolic work estimate "
+                     "(one-shot region; specialize symbols to prove)\n";
         if (Info)
-          ++Info->ParallelMapsEmitted;
+          ++Info->GrainUnproven;
       }
+      OS << Decls << "#ifdef _OPENMP\n#pragma omp parallel for" << Clauses
+         << "\n#endif\n";
+      if (Info)
+        ++Info->ParallelMapsEmitted;
     }
+    // Reduction-free parallel regions are outlined into a static body
+    // function called from the work-sharing loop. The compiler's own
+    // region outlining routes the entry's pointers through a shared-data
+    // struct, losing their __restrict__ qualification — and with it the
+    // vectorization of the region's inner loops. A named function with
+    // fresh restrict-qualified parameters restores the aliasing facts.
+    // Regions with reduction clauses stay inline: the clause must name a
+    // variable of the enclosing region, not a callee parameter.
+    const bool Outline = Parallel && Decls.empty() && Combines.empty() &&
+                         Clauses.find("reduction") == std::string::npos;
+    // The pragma owns the collapsed loop-header prefix; everything below
+    // it belongs to the (possibly outlined) body.
+    const size_t Split =
+        Outline ? std::min(LastCollapse, Entry->Params.size())
+                : Entry->Params.size();
+    auto ForHeader = [&](std::ostream &Out, const std::string &Base,
+                         size_t D, int Depth) {
+      Out << Base << std::string(Depth * 2, ' ') << "for (long long "
+          << Entry->Params[D] << " = " << cExpr(Entry->Ranges[D].Begin)
+          << "; " << Entry->Params[D] << " < "
+          << cExpr(Entry->Ranges[D].End) << "; " << Entry->Params[D]
+          << " += "
+          << (Entry->Ranges[D].Step ? cExpr(Entry->Ranges[D].Step) : "1")
+          << ") {\n";
+    };
     ++MapDepth;
     int Depth = 0;
-    for (size_t D = 0; D < Entry->Params.size(); ++D) {
-      OS << Pad << std::string(Depth * 2, ' ') << "for (long long "
-         << Entry->Params[D] << " = " << cExpr(Entry->Ranges[D].Begin)
-         << "; " << Entry->Params[D] << " < "
-         << cExpr(Entry->Ranges[D].End) << "; " << Entry->Params[D]
-         << " += "
-         << (Entry->Ranges[D].Step ? cExpr(Entry->Ranges[D].Step) : "1")
-         << ") {\n";
-      ++Depth;
+    for (size_t D = 0; D < Split; ++D)
+      ForHeader(OS, Pad, D, Depth++);
+    std::string BodyPad = Pad;
+    std::ostringstream Scratch; // Holds the main stream while outlining.
+    std::string FnName, FnParams;
+    if (Outline) {
+      FnName = "dcir_body_" + std::to_string(BodyFnCounter++);
+      std::string FnArgs;
+      std::set<std::string> Taken;
+      auto AddParam = [&](const std::string &Decl, const std::string &Name) {
+        if (!Taken.insert(Name).second)
+          return;
+        if (!FnParams.empty()) {
+          FnParams += ", ";
+          FnArgs += ", ";
+        }
+        FnParams += Decl;
+        FnArgs += Name;
+      };
+      // The work-shared loop variables, by value; then every entry-scope
+      // container and symbol under its own name, so the body text is
+      // identical to the inline emission. [[maybe_unused]] keeps
+      // unreferenced captures -Wall -Wextra clean; scalars pass by value
+      // (a parallel region refuses non-private scalar writes), arrays as
+      // restrict pointers (distinct containers are distinct allocations).
+      for (size_t D = 0; D < Split; ++D)
+        AddParam("long long " + Entry->Params[D], Entry->Params[D]);
+      for (const auto &[Name, DD] : G.descs()) {
+        if (DD.K == DataDesc::Kind::Scalar) {
+          if (!PrivateScalars.count(Name))
+            AddParam("[[maybe_unused]] " + cType(DD.Ty) + " " + Name, Name);
+        } else {
+          AddParam("[[maybe_unused]] " + cType(DD.Ty) + " *__restrict__ " +
+                       Name,
+                   Name);
+        }
+      }
+      for (const std::string &Sym : G.symbols())
+        AddParam("[[maybe_unused]] long long " + Sym, Sym);
+      OS << Pad << std::string(Depth * 2, ' ') << FnName << "(" << FnArgs
+         << ");\n";
+      for (int D = Depth; D > 0; --D)
+        OS << Pad << std::string((D - 1) * 2, ' ') << "}\n";
+      // The body emits into a scratch stream and lands in BodyFns.
+      OS.swap(Scratch);
+      Depth = 0;
+      BodyPad = "  ";
     }
+    for (size_t D = Split; D < Entry->Params.size(); ++D)
+      ForHeader(OS, BodyPad, D, Depth++);
     // Privatized scalars live inside the loop nest: one fresh instance
     // per iteration, thread-private under the work-sharing pragma. An
     // enclosing scope that already declared the name covers nested
@@ -1006,14 +1125,21 @@ private:
         continue;
       ActivePrivate.insert(P);
       Declared.push_back(P);
-      OS << Pad << std::string(Depth * 2, ' ') << "[[maybe_unused]] "
+      OS << BodyPad << std::string(Depth * 2, ' ') << "[[maybe_unused]] "
          << cType(G.desc(P).Ty) << " " << P << " = 0;\n";
     }
+    const int BodyIndent = int(BodyPad.size()) + Depth * 2;
     for (Node *N : Order)
       if (Scope.count(N->getId()))
-        emitNode(S, N, Done, Indent + Depth * 2);
+        emitNode(S, N, Done, BodyIndent);
     for (int D = Depth; D > 0; --D)
-      OS << Pad << std::string((D - 1) * 2, ' ') << "}\n";
+      OS << BodyPad << std::string((D - 1) * 2, ' ') << "}\n";
+    if (Outline) {
+      std::string Body = OS.str();
+      OS.swap(Scratch); // Restore the main stream.
+      BodyFns << "static void " << FnName << "(" << FnParams << ") {\n"
+              << Body << "}\n\n";
+    }
     for (const std::string &P : Declared)
       ActivePrivate.erase(P);
     --MapDepth;

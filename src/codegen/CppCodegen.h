@@ -62,8 +62,21 @@ struct CodegenOptions {
   /// Maps whose statically-known iteration count (entry parameters times
   /// nested maps) falls below this stay serial: a work-sharing region
   /// entered once per surrounding sequential-loop trip costs more than it
-  /// parallelizes. Unknown (symbolic) extents count as large.
+  /// parallelizes. The symbolic case is explicit: an extent the emitter
+  /// cannot evaluate is *refused* inside sequential state-machine loops
+  /// (the re-entry cost cannot be justified) and *annotated* on one-shot
+  /// regions — the pragma is kept, the emitted source carries a
+  /// `dcir-grain:` marker, and CodegenInfo::GrainUnproven counts it, so
+  /// shape specialization can prove the decision either way.
   unsigned MinParallelWork = 256;
+  /// The same gate for maps *inside* sequential state-machine loops,
+  /// which re-pay the fork/join on every trip: a region entered
+  /// thousands of times needs orders of magnitude more proven work per
+  /// entry before the pragma wins anything (a ~10us fork against ~ns
+  /// iterations). Specialization routinely proves such extents constant,
+  /// so without the higher bar it would "win" the proof and then lose
+  /// 10x wall-clock to region re-entry.
+  unsigned MinInLoopParallelWork = 1u << 16;
   /// Wrap every emitted map scope with monotonic-clock timing and
   /// trip-count recording into a static atomic table, read back through
   /// an `extern "C" long long <entry>__dcir_profile(void *out, long long
@@ -80,6 +93,10 @@ struct CodegenInfo {
   unsigned Reductions = 0;          // reduction(...) clause entries.
   unsigned AtomicUpdates = 0;       // WCR writes lowered to atomic/critical.
   unsigned MapsProfiled = 0;        // Map scopes wrapped by ProfileMaps.
+  /// Pragmas emitted on an *unproven* work estimate (symbolic extents the
+  /// grain heuristic could not evaluate; the `dcir-grain:` marker in the
+  /// source). Zero on fully-specialized graphs.
+  unsigned GrainUnproven = 0;
 };
 
 /// Emits a C++ translation unit defining

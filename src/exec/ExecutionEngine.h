@@ -169,6 +169,14 @@ public:
     return true;
   }
 
+  /// Releases per-graph state held for \p G (the native engine drops its
+  /// memoized artifact entry). Callers evicting a graph — e.g. a
+  /// shape-specialized variant falling off the LRU — call this before
+  /// destroying the graph so the engine never dereferences a dangling
+  /// key. Safe to call for graphs that were never prepared. Default:
+  /// no-op (the interpreter keeps no per-graph state).
+  virtual void releaseGraph(const sdfg::SDFG &G) { (void)G; }
+
   /// Runs an MLIR-dialect module artifact (GCC/Clang/MLIR pipelines).
   /// Engines without a native module path fall back to the interpreter.
   virtual EngineRun runModule(ir::Operation *Module, const std::string &Entry,

@@ -277,13 +277,21 @@ void *JitCache::getOrCompile(const std::string &Source,
     *CompileSeconds = 0.0;
   std::string Key = keyFor(Source);
   obs::Span ProbeSpan("jit.probe", "jit");
-  std::lock_guard<std::mutex> Lock(Mu);
+  std::unique_lock<std::mutex> Lock(Mu);
 
-  auto It = Handles.find(Key);
-  if (It != Handles.end()) {
-    ++S.Hits;
-    hitCounter().inc();
-    return It->second;
+  // Requests for a key another thread is already compiling wait here and
+  // then find its handle (or, on failure, retry themselves); requests for
+  // resolved keys and stats reads never block behind a compile.
+  for (;;) {
+    auto It = Handles.find(Key);
+    if (It != Handles.end()) {
+      ++S.Hits;
+      hitCounter().inc();
+      return It->second;
+    }
+    if (!InFlight.count(Key))
+      break;
+    InFlightCv.wait(Lock);
   }
 
   fs::path So = fs::path(Root) / (Key + ".so");
@@ -296,13 +304,26 @@ void *JitCache::getOrCompile(const std::string &Source,
   } else {
     ++S.Misses;
     missCounter().inc();
-    obs::Span CompileSpan("jit.compile", "jit");
-    auto Start = std::chrono::steady_clock::now();
-    std::string Path = compileLocked(Key, Source, Diags);
-    if (CompileSeconds)
-      *CompileSeconds = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - Start)
-                            .count();
+    ++S.CompilerInvocations;
+    std::string TempSuffix = ".tmp." + std::to_string(::getpid()) + "." +
+                             std::to_string(TempCounter++);
+    InFlight.insert(Key);
+    // The host compiler is the long pole: run it unlocked so concurrent
+    // cache users (other keys, memo-hit accounting) proceed meanwhile.
+    Lock.unlock();
+    std::string Path;
+    {
+      obs::Span CompileSpan("jit.compile", "jit");
+      auto Start = std::chrono::steady_clock::now();
+      Path = compileUnlocked(Key, Source, TempSuffix, Diags);
+      if (CompileSeconds)
+        *CompileSeconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - Start)
+                              .count();
+    }
+    Lock.lock();
+    InFlight.erase(Key);
+    InFlightCv.notify_all();
     if (Path.empty())
       return nullptr;
   }
@@ -319,11 +340,10 @@ void *JitCache::getOrCompile(const std::string &Source,
   return Handle;
 }
 
-std::string JitCache::compileLocked(const std::string &Key,
-                                    const std::string &Source,
-                                    DiagnosticEngine &Diags) {
-  std::string TempSuffix = ".tmp." + std::to_string(::getpid()) + "." +
-                           std::to_string(TempCounter++);
+std::string JitCache::compileUnlocked(const std::string &Key,
+                                      const std::string &Source,
+                                      const std::string &TempSuffix,
+                                      DiagnosticEngine &Diags) {
   fs::path Cpp = fs::path(Root) / (Key + ".cpp");
   fs::path So = fs::path(Root) / (Key + ".so");
   if (!writeAtomically(Cpp, Source, TempSuffix)) {
@@ -340,7 +360,6 @@ std::string JitCache::compileLocked(const std::string &Key,
   std::string Cmd = Cxx + " " + Flags + " -o " + quoted(SoTemp.string()) +
                     " " + quoted(Cpp.string()) + " 2> " +
                     quoted(Log.string());
-  ++S.CompilerInvocations;
   int Rc = std::system(Cmd.c_str());
   std::string CompilerOutput;
   readFileToString(Log.string(), CompilerOutput);

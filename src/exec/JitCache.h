@@ -29,12 +29,17 @@
 /// evicts artifacts oldest-mtime-first until under the cap, and disk hits
 /// refresh their artifact's mtime, making eviction LRU across processes.
 ///
-/// Concurrency: in-process accesses serialize on a mutex; on-disk
-/// publication is write-to-temp + atomic rename, so concurrent processes
-/// sharing a root never observe a half-written artifact (worst case two
-/// processes compile the same key once each). dlopen handles are cached
-/// per key and never dlclosed — native code may be referenced for the
-/// process lifetime.
+/// Concurrency: in-process metadata accesses serialize on a mutex, but
+/// the host-compiler invocation itself runs *unlocked* (a per-key
+/// in-flight set + condition variable makes concurrent requests for the
+/// same key wait while different keys — and stats reads — proceed), so a
+/// background shape-specialization compile never stalls invocations being
+/// served from already-resolved artifacts. On-disk publication is
+/// write-to-temp + atomic rename, so concurrent processes sharing a root
+/// never observe a half-written artifact (worst case two processes
+/// compile the same key once each). dlopen handles are cached per key and
+/// never dlclosed — native code may be referenced for the process
+/// lifetime.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,9 +48,11 @@
 
 #include "support/Diagnostics.h"
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 
 namespace dcir {
@@ -104,11 +111,18 @@ private:
   std::string selectFlags();
   /// Deletes artifacts oldest-mtime-first until the root is under the cap.
   void evictOverCap();
-  std::string compileLocked(const std::string &Key,
-                            const std::string &Source,
-                            DiagnosticEngine &Diags);
+  /// Runs the host compiler. Called WITHOUT Mu held (the compile is the
+  /// long pole; \p TempSuffix was minted under the lock).
+  std::string compileUnlocked(const std::string &Key,
+                              const std::string &Source,
+                              const std::string &TempSuffix,
+                              DiagnosticEngine &Diags);
 
   mutable std::mutex Mu;
+  /// Keys currently being compiled (Mu-protected); waiters block on the
+  /// condition variable instead of duplicating the compile.
+  std::set<std::string> InFlight;
+  std::condition_variable InFlightCv;
   std::string Root;
   std::string Cxx;
   std::string Flags;

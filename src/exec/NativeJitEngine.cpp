@@ -106,13 +106,38 @@ std::shared_ptr<const NativeJitEngine::Prepared>
 NativeJitEngine::prepare(const sdfg::SDFG &G, std::string &Error,
                          double &CompileSeconds) {
   CompileSeconds = 0.0;
-  std::lock_guard<std::mutex> Lock(MemoMu);
-  auto It = Memo.find(&G);
-  if (It != Memo.end() && It->second->Name == G.getName()) {
-    Cache.noteMemoHit();
-    return It->second;
+  {
+    std::unique_lock<std::mutex> Lock(MemoMu);
+    for (;;) {
+      auto It = Memo.find(&G);
+      if (It != Memo.end() && It->second->Name == G.getName()) {
+        Cache.noteMemoHit();
+        return It->second;
+      }
+      if (!InFlight.count(&G))
+        break;
+      // Another thread is building this graph; wait for its publication
+      // (or failure, in which case this thread retries the build).
+      InFlightCv.wait(Lock);
+    }
+    InFlight.insert(&G);
   }
+  // Build unlocked: host compilation is the long pole, and invocations of
+  // already-prepared graphs must keep flowing while it runs.
+  std::shared_ptr<const Prepared> P = buildArtifact(G, Error, CompileSeconds);
+  {
+    std::lock_guard<std::mutex> Lock(MemoMu);
+    InFlight.erase(&G);
+    if (P)
+      Memo[&G] = P;
+    InFlightCv.notify_all();
+  }
+  return P;
+}
 
+std::shared_ptr<const NativeJitEngine::Prepared>
+NativeJitEngine::buildArtifact(const sdfg::SDFG &G, std::string &Error,
+                               double &CompileSeconds) {
   obs::Span PrepSpan("native.prepare:" + G.getName(), "jit");
   DiagnosticEngine Diags;
   codegen::CodegenOptions Opts;
@@ -178,7 +203,16 @@ NativeJitEngine::prepare(const sdfg::SDFG &G, std::string &Error,
       return nullptr;
     }
   }
-  return Memo[&G] = std::move(P);
+  return P;
+}
+
+void NativeJitEngine::releaseGraph(const sdfg::SDFG &G) {
+  std::unique_lock<std::mutex> Lock(MemoMu);
+  // Never drop an entry mid-build: the builder would publish a stale
+  // artifact for a graph the caller already discarded.
+  while (InFlight.count(&G))
+    InFlightCv.wait(Lock);
+  Memo.erase(&G);
 }
 
 std::vector<obs::MapProfile>

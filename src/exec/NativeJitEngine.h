@@ -35,7 +35,9 @@
 #include "exec/ExecutionEngine.h"
 #include "exec/JitCache.h"
 
+#include <condition_variable>
 #include <mutex>
+#include <set>
 
 namespace dcir {
 namespace exec {
@@ -69,9 +71,18 @@ public:
   int numThreads() const { return Config.NumThreads; }
   void setNumThreads(int N) { Config.NumThreads = N; }
 
-  /// Emit + compile + dlopen + resolve, memoized per graph under a lock.
+  /// Emit + compile + dlopen + resolve, memoized per graph. The build
+  /// itself runs unlocked (an in-flight set + condition variable dedups
+  /// concurrent prepares of the same graph), so preparing one graph — a
+  /// background shape-specialization re-JIT, say — never blocks
+  /// invocations of already-prepared ones.
   bool prepareGraph(const sdfg::SDFG &G, std::string &Error,
                     double *CompileSeconds = nullptr) override;
+
+  /// Drops \p G's memo entry (variant eviction). The dlopen handle stays
+  /// cached in the JitCache — native code is never unloaded — but the
+  /// engine re-resolves on the next prepare.
+  void releaseGraph(const sdfg::SDFG &G) override;
 
   /// No native path for dialect modules: interpreter fallback.
   EngineRun runModule(ir::Operation *Module, const std::string &Entry,
@@ -111,11 +122,19 @@ private:
   std::shared_ptr<const Prepared> prepare(const sdfg::SDFG &G,
                                           std::string &Error,
                                           double &CompileSeconds);
+  /// The unlocked build: emit, compile, dlopen, resolve, ABI-check.
+  std::shared_ptr<const Prepared> buildArtifact(const sdfg::SDFG &G,
+                                                std::string &Error,
+                                                double &CompileSeconds);
 
   JitCache &Cache;
   EngineConfig Config;
   std::mutex MemoMu;
   std::map<const sdfg::SDFG *, std::shared_ptr<const Prepared>> Memo;
+  /// Graphs currently being built (MemoMu-protected); concurrent prepares
+  /// of the same graph wait on the condition variable.
+  std::set<const sdfg::SDFG *> InFlight;
+  std::condition_variable InFlightCv;
 };
 
 } // namespace exec

@@ -50,6 +50,29 @@ dcir::pipeline::parseParallelismName(const std::string &Name) {
   return std::nullopt;
 }
 
+const char *dcir::pipeline::specializeModeName(SpecializeMode M) {
+  switch (M) {
+  case SpecializeMode::Off:
+    return "off";
+  case SpecializeMode::Lazy:
+    return "lazy";
+  case SpecializeMode::Eager:
+    return "eager";
+  }
+  return "?";
+}
+
+std::optional<SpecializeMode>
+dcir::pipeline::parseSpecializeModeName(const std::string &Name) {
+  if (Name == "off")
+    return SpecializeMode::Off;
+  if (Name == "on" || Name == "lazy")
+    return SpecializeMode::Lazy;
+  if (Name == "eager")
+    return SpecializeMode::Eager;
+  return std::nullopt;
+}
+
 std::optional<OptLevel>
 dcir::pipeline::parseOptLevel(const std::string &Name) {
   std::string N = Name;
@@ -107,10 +130,10 @@ std::shared_ptr<const api::Program> Compiled::program() const {
     return nullptr;
   api::Program::Parts P;
   P.Kind = Kind;
-  P.Engine = Engine;
-  P.Parallelism = Parallelism;
-  P.NumThreads = NumThreads;
-  P.ProfileMaps = ProfileMaps;
+  P.Opts.Engine = Engine;
+  P.Opts.Parallelism = Parallelism;
+  P.Opts.NumThreads = NumThreads;
+  P.Opts.ProfileMaps = ProfileMaps;
   P.Entry = Entry;
   P.Ctx = Ctx;
   P.Module = Module;

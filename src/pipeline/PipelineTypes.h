@@ -57,6 +57,22 @@ enum class OptLevel { O0, O1, O2 };
 /// Parses "0"/"O0"/"-O1"/... ; nullopt on unknown.
 std::optional<OptLevel> parseOptLevel(const std::string &Name);
 
+/// Shape-specialized re-JIT policy (the DaCeML move: re-run the
+/// data-centric pipeline once shapes are known):
+///   Off    one generic artifact, symbols stay runtime parameters.
+///   Lazy   first invocation on a new shape serves the generic artifact
+///          and kicks off a background re-JIT of the specialized variant;
+///          later invocations on that shape dispatch to it once ready.
+///   Eager  first invocation on a new shape blocks on the re-JIT, so
+///          every invocation runs the specialized variant.
+enum class SpecializeMode { Off, Lazy, Eager };
+
+/// Display name ("off", "lazy", "eager").
+const char *specializeModeName(SpecializeMode M);
+
+/// Parses "--specialize=" values: off|lazy|on|eager (on == lazy).
+std::optional<SpecializeMode> parseSpecializeModeName(const std::string &Name);
+
 /// Per-compile options threaded from the drivers into the optimizer and
 /// the execution engine. api::Compiler is a builder over exactly this
 /// struct.
@@ -92,6 +108,14 @@ struct CompileOptions {
   /// Safety limit for pass-pipeline fixpoint groups; hitting it emits a
   /// warning diagnostic instead of silently stopping.
   unsigned MaxFixpointRounds = 64;
+  /// Shape-specialized re-JIT policy for the resulting Program (native
+  /// engine only; see SpecializeMode). The benches expose it as
+  /// --specialize=.
+  SpecializeMode Specialize = SpecializeMode::Off;
+  /// Cap on live specialized variants per Program; the least recently
+  /// used variant is evicted beyond it. The generic artifact is not a
+  /// variant and is never evicted.
+  unsigned MaxVariants = 8;
 };
 
 } // namespace pipeline

@@ -246,6 +246,41 @@ size_t State::numComputeNodes() const {
   return N;
 }
 
+std::unique_ptr<State> State::clone() const {
+  auto Out = std::make_unique<State>(Name, Id);
+  Out->NextNodeId = NextNodeId;
+  for (const auto &N : Nodes) {
+    if (const auto *A = dyn_cast<AccessNode>(N.get())) {
+      Out->Nodes.push_back(
+          std::make_unique<AccessNode>(A->getId(), A->getData()));
+      continue;
+    }
+    if (const auto *T = dyn_cast<Tasklet>(N.get())) {
+      auto NewT = std::make_unique<Tasklet>(T->getId(), T->Label);
+      NewT->InConns = T->InConns;
+      NewT->OutConns = T->OutConns;
+      NewT->Code = T->Code;
+      NewT->Opaque = T->Opaque;
+      Out->Nodes.push_back(std::move(NewT));
+      continue;
+    }
+    if (const auto *ME = dyn_cast<MapEntry>(N.get())) {
+      auto NewE =
+          std::make_unique<MapEntry>(ME->getId(), ME->Params, ME->Ranges);
+      NewE->ExitId = ME->ExitId;
+      NewE->PrivateData = ME->PrivateData;
+      Out->Nodes.push_back(std::move(NewE));
+      continue;
+    }
+    const auto *MX = cast<MapExit>(N.get());
+    auto NewX = std::make_unique<MapExit>(MX->getId());
+    NewX->EntryId = MX->EntryId;
+    Out->Nodes.push_back(std::move(NewX));
+  }
+  Out->Edges = Edges; // Edges are value types keyed by (preserved) ids.
+  return Out;
+}
+
 //===----------------------------------------------------------------------===//
 // SDFG
 //===----------------------------------------------------------------------===//
@@ -298,6 +333,20 @@ const DataDesc &SDFG::desc(const std::string &Name) const {
   auto It = Descs.find(Name);
   assert(It != Descs.end() && "unknown data descriptor");
   return It->second;
+}
+
+std::unique_ptr<SDFG> SDFG::clone() const {
+  auto Out = std::make_unique<SDFG>(Name);
+  Out->Descs = Descs;
+  Out->Symbols = Symbols;
+  Out->ArgNames = ArgNames;
+  for (const auto &S : States)
+    Out->States.push_back(S->clone());
+  Out->IEdges = IEdges;
+  Out->StartId = StartId;
+  Out->NextStateId = NextStateId;
+  Out->NameCounter = NameCounter;
+  return Out;
 }
 
 State *SDFG::addState(const std::string &Name) {

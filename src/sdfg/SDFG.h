@@ -233,6 +233,10 @@ public:
   /// Number of non-access nodes (quick "is there computation" test).
   size_t numComputeNodes() const;
 
+  /// A deep copy preserving node ids exactly (unlike absorb, which
+  /// renumbers); the backbone of SDFG::clone.
+  std::unique_ptr<State> clone() const;
+
 private:
   std::string Name;
   int Id;
@@ -261,6 +265,15 @@ public:
   explicit SDFG(std::string Name) : Name(std::move(Name)) {}
 
   const std::string &getName() const { return Name; }
+  /// Renames the graph (and with it the generated entry point — shape
+  /// specialization gives each variant a distinct native symbol).
+  void setName(std::string N) { Name = std::move(N); }
+
+  /// A deep copy of the whole graph: descriptors, symbols, states (node
+  /// and state ids preserved exactly), interstate edges. The copy shares
+  /// nothing with the original; specialization mutates clones, never the
+  /// graph a Program is serving.
+  std::unique_ptr<SDFG> clone() const;
 
   //===--------------------------------------------------------------------===
   // Containers and symbols

@@ -39,6 +39,7 @@ void OptReport::accumulate(const opt::PipelineReport &R) {
   EmptyLoopsRemoved += R.rewrites("empty-loops");
   StackPromotions += R.rewrites("prealloc");
   LoopsFused += R.rewrites("fuse-loops");
+  SymbolsSpecialized += R.rewrites("specialize-symbols");
   // fuse-chains / loops-to-maps maintain ChainStatesFused /
   // LoopsConvertedToMaps (and their sub-counters) through the aux sink.
   Passes.merge(R);
@@ -53,72 +54,83 @@ namespace {
 /// The single source of truth for pass names: one entry per sdfgopt pass,
 /// shared by the spec registry, the -O pipeline builders, and (through
 /// the registry) the ablation bench. Membership flags define the groups.
-/// The TilingOptions argument parameterizes "tile-maps" (every other
-/// pass ignores it).
+/// The TilingOptions / SpecializationOptions arguments parameterize
+/// "tile-maps" / "specialize-symbols" (every other pass ignores them).
 struct PassDef {
   const char *Name;
-  std::function<unsigned(SDFG &, OptReport *, const TilingOptions &)> Fn;
+  std::function<unsigned(SDFG &, OptReport *, const TilingOptions &,
+                         const SpecializationOptions &)>
+      Fn;
   bool InSimplify;    ///< Member of the simplify fixpoint group (-O1).
   bool InParallelize; ///< Member of the loop-to-map conversion group.
 };
 
 const std::vector<PassDef> &passDefs() {
   using TO = TilingOptions;
+  using SO = SpecializationOptions;
   static const std::vector<PassDef> Defs = {
       {"promote-scalars",
-       [](SDFG &G, OptReport *, const TO &) {
+       [](SDFG &G, OptReport *, const TO &, const SO &) {
          return promoteScalarsToSymbols(G);
        },
        true, false},
       {"propagate-symbols",
-       [](SDFG &G, OptReport *, const TO &) { return propagateSymbols(G); },
+       [](SDFG &G, OptReport *, const TO &, const SO &) {
+         return propagateSymbols(G);
+       },
        true, false},
       {"dead-states",
-       [](SDFG &G, OptReport *, const TO &) {
+       [](SDFG &G, OptReport *, const TO &, const SO &) {
          return eliminateDeadStates(G);
        },
        true, false},
       {"fuse-states",
-       [](SDFG &G, OptReport *, const TO &) { return fuseStates(G); }, true,
-       false},
+       [](SDFG &G, OptReport *, const TO &, const SO &) {
+         return fuseStates(G);
+       },
+       true, false},
       {"detect-updates",
-       [](SDFG &G, OptReport *, const TO &) { return detectUpdates(G); },
+       [](SDFG &G, OptReport *, const TO &, const SO &) {
+         return detectUpdates(G);
+       },
        true, false},
       {"propagate-constants",
-       [](SDFG &G, OptReport *, const TO &) {
+       [](SDFG &G, OptReport *, const TO &, const SO &) {
          return propagateConstantWrites(G);
        },
        true, false},
       {"dead-dataflow",
-       [](SDFG &G, OptReport *R, const TO &) {
+       [](SDFG &G, OptReport *R, const TO &, const SO &) {
          return eliminateDeadDataflow(G, R);
        },
        true, false},
       {"consolidate-memlets",
-       [](SDFG &G, OptReport *, const TO &) {
+       [](SDFG &G, OptReport *, const TO &, const SO &) {
          return consolidateMemlets(G);
        },
        true, false},
       {"empty-loops",
-       [](SDFG &G, OptReport *, const TO &) {
+       [](SDFG &G, OptReport *, const TO &, const SO &) {
          return eliminateEmptyLoops(G);
        },
        true, false},
       {"prealloc",
-       [](SDFG &G, OptReport *, const TO &) { return preAllocateMemory(G); },
+       [](SDFG &G, OptReport *, const TO &, const SO &) {
+         return preAllocateMemory(G);
+       },
        false, false},
       {"fuse-loops",
-       [](SDFG &G, OptReport *, const TO &) {
+       [](SDFG &G, OptReport *, const TO &, const SO &) {
          return fuseMemoryReducingLoops(G);
        },
        false, false},
       {"fuse-chains",
-       [](SDFG &G, OptReport *R, const TO &) {
+       [](SDFG &G, OptReport *R, const TO &, const SO &) {
          return fuseStatesInChains(G, R);
        },
        false, true},
       {"loops-to-maps",
-       [](SDFG &G, OptReport *R, const TO &) {
+       [](SDFG &G, OptReport *R, const TO &, const SO &) {
          return convertLoopsToMapsOnce(G, R);
        },
        false, true},
@@ -126,8 +138,19 @@ const std::vector<PassDef> &passDefs() {
       // group (it skips states still inside sequential loops, so it only
       // fires on finished scopes). A no-op unless TileSizes is set.
       {"tile-maps",
-       [](SDFG &G, OptReport *R, const TO &T) { return tileMaps(G, T, R); },
+       [](SDFG &G, OptReport *R, const TO &T, const SO &) {
+         return tileMaps(G, T, R);
+       },
        false, true},
+      // Shape specialization: constant-folds bound symbol values into the
+      // graph's symbolic expressions. A no-op unless SymbolValues is set;
+      // runs *first* in the autoopt pipeline when enabled, so everything
+      // downstream sees proven-constant trip counts.
+      {"specialize-symbols",
+       [](SDFG &G, OptReport *, const TO &, const SO &Sp) {
+         return specializeSymbols(G, Sp);
+       },
+       false, false},
   };
   return Defs;
 }
@@ -140,10 +163,13 @@ const PassDef &passDef(const std::string &Name) {
 }
 
 void addDef(SdfgPipeline &P, const std::string &Name, OptReport *Aux,
-            const TilingOptions &Tiling) {
+            const TilingOptions &Tiling,
+            const SpecializationOptions &Spec = SpecializationOptions()) {
   const PassDef &D = passDef(Name);
   auto Fn = D.Fn;
-  P.add(Name, [Fn, Aux, Tiling](SDFG &G) { return Fn(G, Aux, Tiling); });
+  P.add(Name, [Fn, Aux, Tiling, Spec](SDFG &G) {
+    return Fn(G, Aux, Tiling, Spec);
+  });
 }
 
 /// The simplify fixpoint group (paper §6.1/§6.2).
@@ -181,7 +207,8 @@ opt::PipelineContext<SDFG> makeContext(const PipelineOptions &Opts) {
 } // namespace
 
 opt::PassRegistry<SDFG> dcir::sdfgopt::passRegistry(
-    OptReport *Aux, bool ParallelizeLoops, const TilingOptions &Tiling) {
+    OptReport *Aux, bool ParallelizeLoops, const TilingOptions &Tiling,
+    const SpecializationOptions &Spec) {
   // Passes with sub-counters (and the $DCIR_MAX_MAP_CONVERSIONS cap,
   // which counts cumulatively through the report) always need a sink.
   // With a caller-provided report the factories hold a non-owning view
@@ -195,18 +222,20 @@ opt::PassRegistry<SDFG> dcir::sdfgopt::passRegistry(
   for (const PassDef &D : passDefs()) {
     std::string Name = D.Name;
     auto Fn = D.Fn;
-    R.registerPass(Name, [Name, Fn, Sink, Tiling]() {
+    R.registerPass(Name, [Name, Fn, Sink, Tiling, Spec]() {
       return std::make_unique<opt::FunctionPass<SDFG>>(
-          Name,
-          [Fn, Sink, Tiling](SDFG &G) { return Fn(G, Sink.get(), Tiling); });
+          Name, [Fn, Sink, Tiling, Spec](SDFG &G) {
+            return Fn(G, Sink.get(), Tiling, Spec);
+          });
     });
   }
   // Whole-pipeline aliases, usable as spec elements. The group builders
   // take a raw pointer; the factory's captured Sink keeps it alive.
   R.registerPass("simplify",
                  [Sink]() { return simplifyGroup(Sink.get()); });
-  R.registerPass("autoopt", [Sink, ParallelizeLoops, Tiling]() {
-    return buildAutoOptimizePipeline(Sink.get(), ParallelizeLoops, Tiling);
+  R.registerPass("autoopt", [Sink, ParallelizeLoops, Tiling, Spec]() {
+    return buildAutoOptimizePipeline(Sink.get(), ParallelizeLoops, Tiling,
+                                     Spec);
   });
   return R;
 }
@@ -219,8 +248,14 @@ dcir::sdfgopt::buildSimplifyPipeline(OptReport *Aux) {
 std::unique_ptr<SdfgPipeline>
 dcir::sdfgopt::buildAutoOptimizePipeline(OptReport *Aux,
                                          bool ParallelizeLoops,
-                                         const TilingOptions &Tiling) {
+                                         const TilingOptions &Tiling,
+                                         const SpecializationOptions &Spec) {
   auto P = std::make_unique<SdfgPipeline>("autoopt");
+  // Shape specialization first: with bound symbol values folded in,
+  // simplify sees constant conditions, conversion sees constant trip
+  // counts, and tiling sees proven extents.
+  if (Spec.enabled())
+    addDef(*P, "specialize-symbols", Aux, TilingOptions(), Spec);
   P->add(simplifyGroup(Aux));
   // Memory-scheduling (-O2): loop fusion exposes more simplification
   // opportunities, so the group interleaves it with simplify rounds.

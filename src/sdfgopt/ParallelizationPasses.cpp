@@ -101,17 +101,6 @@ std::map<std::string, std::vector<Access>> collectAccesses(const State &S) {
   return Out;
 }
 
-/// Map parameters of every map scope within \p S: symbols that take a
-/// different value on every scope iteration (and thus cannot anchor a
-/// cross-iteration disjointness proof for an enclosing loop).
-std::set<std::string> mapParamsIn(const State &S) {
-  std::set<std::string> Out;
-  for (const auto &N : S.nodes())
-    if (const auto *ME = dyn_cast<MapEntry>(N.get()))
-      Out.insert(ME->Params.begin(), ME->Params.end());
-  return Out;
-}
-
 bool isSupportedWcr(const std::string &Wcr) {
   return Wcr == "add" || Wcr == "mul" || Wcr == "min" || Wcr == "max";
 }
@@ -130,7 +119,9 @@ bool isSupportedWcr(const std::string &Wcr) {
 bool iterationsIndependent(
     const std::map<std::string, std::vector<Access>> &Accesses,
     const std::string &Iv, const std::set<std::string> &Varying,
-    const std::set<std::string> &Private) {
+    const std::set<std::string> &Private,
+    const std::map<std::string, std::pair<std::int64_t, std::int64_t>>
+        *VaryingBounds = nullptr) {
   for (const auto &[Data, List] : Accesses) {
     if (Private.count(Data))
       continue; // Per-iteration private storage carries no dependences.
@@ -150,7 +141,7 @@ bool iterationsIndependent(
         continue;
       for (size_t J = 0; J < List.size(); ++J)
         if (!subsetsDisjointAcrossParam(List[I].Subset, List[J].Subset, Iv,
-                                        Varying))
+                                        Varying, VaryingBounds))
           AllDisjoint = false;
     }
     if (AllDisjoint)
@@ -453,19 +444,6 @@ struct Candidate {
   std::set<std::string> AssignedSyms;
 };
 
-/// Interstate expressions may read integer scalar containers by name;
-/// memlet subsets cannot, so such loops are not convertible.
-bool referencesContainer(const SymExpr &E, const SDFG &G) {
-  if (!E)
-    return false;
-  std::set<std::string> Syms;
-  E.collectSymbols(Syms);
-  for (const std::string &S : Syms)
-    if (G.hasData(S))
-      return true;
-  return false;
-}
-
 /// Builds the candidate for \p L, or nullopt when the loop shape is not
 /// convertible (branches in the body, multiple dataflow states, container
 /// reads in control expressions, mid-chain iv assignment, ...).
@@ -615,27 +593,6 @@ bool symbolUsedOutsideLoop(const SDFG &G, const LoopRegion &L,
 // The rewrite
 //===----------------------------------------------------------------------===//
 
-/// Applies \p Subs to every expression in \p S (memlet subsets, tasklet
-/// symbolic leaves, and map ranges).
-void substituteInState(State &S, const std::map<std::string, SymExpr> &Subs) {
-  if (Subs.empty())
-    return;
-  for (auto &E : S.edges())
-    if (!E.M.isEmpty())
-      E.M.Subset = E.M.Subset.substitute(Subs);
-  for (const auto &N : S.nodes()) {
-    if (auto *T = dyn_cast<Tasklet>(N.get()))
-      for (auto &[Conn, Code] : T->Code)
-        Code = substituteSymsInTExpr(Code, Subs);
-    if (auto *ME = dyn_cast<MapEntry>(N.get()))
-      for (SymRange &R : ME->Ranges) {
-        R.Begin = R.Begin ? R.Begin.substitute(Subs) : R.Begin;
-        R.End = R.End ? R.End.substitute(Subs) : R.End;
-        R.Step = R.Step ? R.Step.substitute(Subs) : R.Step;
-      }
-  }
-}
-
 /// The single top-level map scope of \p S, when the state consists of
 /// exactly one map plus access nodes (the shape an inner conversion leaves
 /// behind). Null when the state mixes a map with other compute.
@@ -676,11 +633,14 @@ void reorderParamsForWcr(const State &D, MapEntry *ME) {
   if (Wcr.empty() || ME->Params.size() < 2)
     return;
   std::set<std::string> AllParams = mapParamsIn(D);
+  const std::map<std::string, std::pair<std::int64_t, std::int64_t>> Bounds =
+      mapParamBounds(D);
   auto Pins = [&](const std::string &P) {
     std::set<std::string> Others = AllParams;
     Others.erase(P);
     for (const DataflowEdge *E : Wcr)
-      if (!subsetsDisjointAcrossParam(E->M.Subset, E->M.Subset, P, Others))
+      if (!subsetsDisjointAcrossParam(E->M.Subset, E->M.Subset, P, Others,
+                                      &Bounds))
         return false;
     return true;
   };
@@ -839,9 +799,13 @@ unsigned dcir::sdfgopt::convertLoopsToMapsOnce(SDFG &G, OptReport *Report) {
     // the dependence test: they become per-iteration private storage of
     // the new map scope.
     std::set<std::string> Private = privatizableScalars(G, *D);
+    // Constant inner trip counts (a specialization dividend) let the
+    // disjointness test bound linearized offsets like `N*iv + j`.
+    std::map<std::string, std::pair<std::int64_t, std::int64_t>> Bounds =
+        mapParamBounds(*D);
     auto Accesses = collectAccesses(*D);
     unsigned NewWcr = 0;
-    if (!iterationsIndependent(Accesses, L.Iv, Varying, Private)) {
+    if (!iterationsIndependent(Accesses, L.Iv, Varying, Private, &Bounds)) {
       // Second chance: rewrite loop-carried read-modify-write chains
       // into WCR updates (reductions), then re-test.
       NewWcr = rewriteReductions(*D, L.Iv);
@@ -849,7 +813,7 @@ unsigned dcir::sdfgopt::convertLoopsToMapsOnce(SDFG &G, OptReport *Report) {
         continue;
       Accesses = collectAccesses(*D);
       Private = privatizableScalars(G, *D);
-      if (!iterationsIndependent(Accesses, L.Iv, Varying, Private))
+      if (!iterationsIndependent(Accesses, L.Iv, Varying, Private, &Bounds))
         continue;
     }
 
@@ -866,7 +830,7 @@ unsigned dcir::sdfgopt::convertLoopsToMapsOnce(SDFG &G, OptReport *Report) {
       for (const auto &E : D->edges())
         if (!E.M.isEmpty() && !E.M.Wcr.empty() &&
             subsetsDisjointAcrossParam(E.M.Subset, E.M.Subset, L.Iv,
-                                       Varying))
+                                       Varying, &Bounds))
           NestInstead = true;
     }
     MapEntry *Outer = nullptr;

@@ -55,6 +55,8 @@ struct OptReport {
   unsigned ScalarsPrivatized = 0;
   /// Map scopes strip-mined into tile/intra-tile parameter pairs.
   unsigned MapsTiled = 0;
+  /// Symbolic expressions constant-folded by specialize-symbols.
+  unsigned SymbolsSpecialized = 0;
 
   /// Per-pass instrumentation (rewrites, invocations, wall-time) of every
   /// pipeline run folded into this report.
@@ -206,6 +208,37 @@ unsigned tileMaps(sdfg::SDFG &G, const TilingOptions &Opts,
                   OptReport *Report = nullptr);
 
 //===----------------------------------------------------------------------===//
+// Shape specialization (the re-JIT entry point)
+//===----------------------------------------------------------------------===//
+
+/// Concrete symbol values for specializeSymbols, threaded like
+/// TilingOptions. Names may be SDFG symbols *or* integer scalar
+/// containers — symbolic expressions reference both by name (interstate
+/// conditions such as `i < n` where `n` is a runtime scalar argument).
+/// Empty (the default) disables the pass entirely, so pipelines
+/// registering "specialize-symbols" stay no-ops until a caller binds
+/// values.
+struct SpecializationOptions {
+  std::map<std::string, std::int64_t> SymbolValues;
+
+  bool enabled() const { return !SymbolValues.empty(); }
+};
+
+/// The specialize-symbols pass: substitutes the bound values into every
+/// symbolic expression of the graph — container shapes, interstate
+/// conditions and assignments, map ranges, memlet subsets, and symbolic
+/// tasklet sub-expressions — and constant-folds the results. Symbols and
+/// containers stay *declared* (the call signature, and with it
+/// `__dcir_signature`, is unchanged; the substituted parameters are
+/// simply dead), so a specialized clone remains ABI-compatible with the
+/// generic artifact. Returns the number of expressions changed — zero
+/// signals the bindings touched nothing and the caller should fall back
+/// to the generic artifact. Re-running the -O2 pipeline afterwards lets
+/// loops-to-maps, the grain heuristic, and tile-maps act on the
+/// now-constant trip counts.
+unsigned specializeSymbols(sdfg::SDFG &G, const SpecializationOptions &Opts);
+
+//===----------------------------------------------------------------------===//
 // Pipeline definitions (the declarative drivers)
 //===----------------------------------------------------------------------===//
 
@@ -230,11 +263,12 @@ struct PipelineOptions {
 /// Lifetime contract: \p Aux — and, in the fallback case, the registry
 /// itself — must outlive every pass created from the registry.
 /// \p Tiling parameterizes the "tile-maps" member of the parallelize
-/// group (disabled by default).
-opt::PassRegistry<sdfg::SDFG> passRegistry(OptReport *Aux = nullptr,
-                                           bool ParallelizeLoops = true,
-                                           const TilingOptions &Tiling =
-                                               TilingOptions());
+/// group and \p Spec the "specialize-symbols" pass (both disabled by
+/// default).
+opt::PassRegistry<sdfg::SDFG>
+passRegistry(OptReport *Aux = nullptr, bool ParallelizeLoops = true,
+             const TilingOptions &Tiling = TilingOptions(),
+             const SpecializationOptions &Spec = SpecializationOptions());
 
 /// DaCe's sdfg.simplify() (-O1): one fixpoint group over inference +
 /// data-movement-reduction passes.
@@ -244,11 +278,13 @@ buildSimplifyPipeline(OptReport *Aux = nullptr);
 /// The auto-optimizer (-O2): simplify, interleaved memory-reducing loop
 /// fusion, memory pre-allocation, and (when \p ParallelizeLoops) the
 /// fixpoint(fuse-chains, loops-to-maps, tile-maps) conversion group,
-/// with \p Tiling parameterizing the tiling member.
-std::unique_ptr<opt::PipelineDriver<sdfg::SDFG>>
-buildAutoOptimizePipeline(OptReport *Aux = nullptr,
-                          bool ParallelizeLoops = true,
-                          const TilingOptions &Tiling = TilingOptions());
+/// with \p Tiling parameterizing the tiling member. When \p Spec binds
+/// symbol values, "specialize-symbols" runs first, so every downstream
+/// pass sees the constant-folded graph.
+std::unique_ptr<opt::PipelineDriver<sdfg::SDFG>> buildAutoOptimizePipeline(
+    OptReport *Aux = nullptr, bool ParallelizeLoops = true,
+    const TilingOptions &Tiling = TilingOptions(),
+    const SpecializationOptions &Spec = SpecializationOptions());
 
 /// Runs \p Pipeline over \p G, folding per-pass statistics (and the
 /// legacy aggregate counters) into \p Report. Returns false when

@@ -212,14 +212,47 @@ bool fuseChainOnce(SDFG &G, const LoopRegion &L) {
   State *Sa = G.getState(Chain->States[AIdx]);
   State *Sb = G.getState(Chain->States[BIdx]);
   // Assignments on the connecting edges (Edges[i] leads into States[i];
-  // the edges from Sa to Sb are Edges[AIdx+1 .. BIdx]).
+  // the edges from Sa to Sb are Edges[AIdx+1 .. BIdx]). Dead ones (every
+  // read shadowed by a map parameter) are relocated as before; live ones
+  // — derived index symbols like `off = N*i` between a load state and a
+  // map state — are forward-substituted into Sb, the same treatment
+  // analyzeLoop gives its chain assignments, and replayed on the fused
+  // state's out edge in case anything downstream still reads them.
+  // States never assign symbols, so moving a symbol assignment across Sb
+  // cannot change any value it produces.
   std::set<std::string> Dead;
+  std::vector<std::pair<std::string, SymExpr>> Live; // Execution order.
+  std::map<std::string, SymExpr> Subs;
+  const std::set<std::string> SbParams = mapParamsIn(*Sb);
   for (int I = AIdx + 1; I <= BIdx; ++I)
     for (const auto &[Name, V] : Chain->Edges[I]->Assignments) {
-      if (Name == L.Iv || !symbolShadowedEverywhere(G, Name))
-        return false; // A live value flows between the states.
-      Dead.insert(Name);
+      if (Name == L.Iv)
+        return false; // The induction value must stay on its edges.
+      if (symbolShadowedEverywhere(G, Name)) {
+        Dead.insert(Name);
+        continue;
+      }
+      if (SbParams.count(Name))
+        return false; // Shadowed inside Sb yet live elsewhere.
+      if (referencesContainer(V, G))
+        return false; // A state write could change the value mid-flight.
+      Subs[Name] = V.substitute(Subs);
+      Live.push_back({Name, V});
     }
+  // Replaying live assignments needs the single unconditional out-edge
+  // walkLoopChain guarantees; re-check before mutating anything.
+  if (!Live.empty()) {
+    unsigned SbOut = 0;
+    for (const auto &E : G.interstateEdges())
+      if (E.Src == Sb->getId()) {
+        ++SbOut;
+        if (E.Condition && !E.Condition.isConstant())
+          return false;
+      }
+    if (SbOut != 1)
+      return false;
+  }
+  substituteInState(*Sb, Subs);
 
   // Dependence links at scope granularity, computed before mutation. The
   // edge source is lifted to its top-level scope's *exit* (the scope has
@@ -280,6 +313,34 @@ bool fuseChainOnce(SDFG &G, const LoopRegion &L) {
   for (int I = AIdx + 1; I <= BIdx; ++I)
     if (State *S = G.getState(Chain->States[I]))
       G.eraseState(S);
+  // Live assignments: substituted copies now cover every read inside the
+  // fused state. A symbol nothing else reads is dropped (and, when it
+  // just lost its only assignment, undeclared so callSignature's
+  // free-symbol set cannot change); the rest replay on the out edge,
+  // ahead of its existing assignments (e.g. the back edge's iv update).
+  if (!Live.empty()) {
+    std::set<std::string> StillAssigned;
+    for (const auto &E : G.interstateEdges())
+      for (const auto &[Name, V] : E.Assignments)
+        StillAssigned.insert(Name);
+    const std::set<std::string> Referenced = collectReferencedNames(G);
+    std::vector<std::pair<std::string, SymExpr>> Replay;
+    for (auto &[Name, V] : Live) {
+      if (Referenced.count(Name)) {
+        Replay.push_back({Name, std::move(V)});
+        continue;
+      }
+      if (!StillAssigned.count(Name))
+        G.symbols().erase(Name);
+    }
+    if (!Replay.empty())
+      for (auto &E : G.interstateEdges())
+        if (E.Src == Sa->getId()) {
+          E.Assignments.insert(E.Assignments.begin(), Replay.begin(),
+                               Replay.end());
+          break;
+        }
+  }
   return true;
 }
 

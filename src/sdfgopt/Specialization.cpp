@@ -1,0 +1,96 @@
+//===- Specialization.cpp - shape specialization (the re-JIT pass) ------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The specialize-symbols pass: constant-folds bound symbol values into
+/// every symbolic expression an SDFG carries. This is the compile-time
+/// half of shape-specialized re-JIT (the DaCeML move, see DESIGN.md
+/// "Shape specialization"): api::Program clones its graph, runs this pass
+/// with the invocation's symbol tuple, re-runs the -O2 pipeline — where
+/// loops-to-maps, the MinParallelWork grain heuristic, and tile-maps now
+/// see *proven constant* trip counts instead of refusing or guessing —
+/// and JITs the result as a per-shape variant.
+///
+/// Substitution deliberately leaves the symbol/container *declarations*
+/// untouched: the generated call signature (and the `__dcir_signature`
+/// descriptor embedded in the artifact) is derived from declarations, so
+/// a specialized clone binds exactly like the generic artifact and the
+/// engine can dispatch between them freely. The substituted parameters
+/// simply become dead ([[maybe_unused]]) in the emitted source.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sdfgopt/Passes.h"
+
+using namespace dcir;
+using namespace dcir::sdfgopt;
+using namespace dcir::sdfg;
+
+unsigned dcir::sdfgopt::specializeSymbols(SDFG &G,
+                                          const SpecializationOptions &Opts) {
+  if (!Opts.enabled())
+    return 0;
+  const std::map<std::string, std::int64_t> &Env = Opts.SymbolValues;
+  unsigned Changed = 0;
+
+  auto Subst = [&](sym::SymExpr &E) {
+    if (!E)
+      return;
+    sym::SymExpr S = E.substituteValues(Env);
+    if (!S.equals(E)) {
+      E = std::move(S);
+      ++Changed;
+    }
+  };
+  auto SubstRange = [&](sym::SymRange &R) {
+    Subst(R.Begin);
+    Subst(R.End);
+    Subst(R.Step);
+  };
+  auto SubstSubset = [&](sym::SymSubset &S) {
+    for (size_t D = 0; D < S.rank(); ++D)
+      SubstRange(S.dim(D));
+  };
+  // Symbolic tasklet sub-expressions, recursively (Sym nodes may sit
+  // under Op nodes).
+  std::function<void(TExpr &)> SubstT = [&](TExpr &E) {
+    if (E.K == TExpr::Kind::Sym)
+      Subst(E.Sym);
+    for (TExpr &C : E.Children)
+      SubstT(C);
+  };
+
+  // Container shapes (transient allocation sizes, subset linearization).
+  for (auto &[Name, D] : G.descs())
+    for (sym::SymExpr &Dim : D.Shape)
+      Subst(Dim);
+
+  // Interstate edges: loop conditions and symbol assignments — where the
+  // runtime bounds of sequential state-machine loops live.
+  for (InterstateEdge &E : G.interstateEdges()) {
+    Subst(E.Condition);
+    for (auto &[Sym, V] : E.Assignments)
+      Subst(V);
+  }
+
+  for (const auto &S : G.states()) {
+    // Map ranges (trip counts for the grain heuristic and tile-maps).
+    for (const auto &N : S->nodes())
+      if (auto *ME = dyn_cast<MapEntry>(N.get()))
+        for (sym::SymRange &R : ME->Ranges)
+          SubstRange(R);
+    // Memlet subsets and tasklet code.
+    for (DataflowEdge &E : S->edges())
+      if (!E.M.isEmpty())
+        SubstSubset(E.M.Subset);
+    for (const auto &N : S->nodes())
+      if (auto *T = dyn_cast<Tasklet>(N.get()))
+        for (auto &[Conn, Code] : T->Code)
+          SubstT(Code);
+  }
+
+  return Changed;
+}

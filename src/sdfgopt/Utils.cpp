@@ -2,6 +2,9 @@
 
 #include "sdfgopt/Utils.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 using namespace dcir;
 using namespace dcir::sdfgopt;
 using namespace dcir::sdfg;
@@ -175,6 +178,79 @@ bool dcir::sdfgopt::hasAccessNodes(const SDFG &G, const std::string &Data) {
         if (A->getData() == Data)
           return true;
   return false;
+}
+
+bool dcir::sdfgopt::referencesContainer(const SymExpr &E, const SDFG &G) {
+  if (!E)
+    return false;
+  std::set<std::string> Syms;
+  E.collectSymbols(Syms);
+  for (const std::string &S : Syms)
+    if (G.hasData(S))
+      return true;
+  return false;
+}
+
+std::set<std::string> dcir::sdfgopt::mapParamsIn(const State &S) {
+  std::set<std::string> Out;
+  for (const auto &N : S.nodes())
+    if (const auto *ME = dyn_cast<MapEntry>(N.get()))
+      Out.insert(ME->Params.begin(), ME->Params.end());
+  return Out;
+}
+
+void dcir::sdfgopt::substituteInState(
+    State &S, const std::map<std::string, SymExpr> &Subs) {
+  if (Subs.empty())
+    return;
+  for (auto &E : S.edges())
+    if (!E.M.isEmpty())
+      E.M.Subset = E.M.Subset.substitute(Subs);
+  for (const auto &N : S.nodes()) {
+    if (auto *T = dyn_cast<Tasklet>(N.get()))
+      for (auto &[Conn, Code] : T->Code)
+        Code = substituteSymsInTExpr(Code, Subs);
+    if (auto *ME = dyn_cast<MapEntry>(N.get()))
+      for (sym::SymRange &R : ME->Ranges) {
+        R.Begin = R.Begin ? R.Begin.substitute(Subs) : R.Begin;
+        R.End = R.End ? R.End.substitute(Subs) : R.End;
+        R.Step = R.Step ? R.Step.substitute(Subs) : R.Step;
+      }
+  }
+}
+
+std::map<std::string, std::pair<std::int64_t, std::int64_t>>
+dcir::sdfgopt::mapParamBounds(const State &S) {
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> Out;
+  std::set<std::string> Poisoned; // Bound somewhere without constant range.
+  for (const auto &N : S.nodes()) {
+    const auto *ME = dyn_cast<MapEntry>(N.get());
+    if (!ME)
+      continue;
+    for (size_t D = 0; D < ME->Params.size(); ++D) {
+      const std::string &P = ME->Params[D];
+      const sym::SymRange &R = ME->Ranges[D];
+      if (!R.Begin || !R.End || !R.Begin.isConstant() ||
+          !R.End.isConstant() ||
+          (R.Step && (!R.Step.isConstant() || R.Step.constantValue() <= 0))) {
+        Poisoned.insert(P);
+        continue;
+      }
+      std::int64_t Lo = R.Begin.constantValue();
+      std::int64_t Hi = R.End.constantValue() - 1; // Half-open range.
+      if (Hi < Lo)
+        Hi = Lo; // Empty range never iterates; keep a degenerate point.
+      auto It = Out.find(P);
+      if (It == Out.end())
+        Out[P] = {Lo, Hi};
+      else // Same name under two maps: keep the conservative hull.
+        It->second = {std::min(It->second.first, Lo),
+                      std::max(It->second.second, Hi)};
+    }
+  }
+  for (const std::string &P : Poisoned)
+    Out.erase(P);
+  return Out;
 }
 
 TExpr dcir::sdfgopt::replaceInputWithSym(const TExpr &E,
@@ -502,9 +578,57 @@ dcir::sdfgopt::threadPinnedParams(const MapEntry &ME) {
   return Pinned;
 }
 
+namespace {
+
+/// Decomposes \p O into `sum(c_j * v_j) + Residual` over the bounded
+/// \p Varying symbols it references, returning the inclusive value
+/// interval of the varying part. Fails when a coefficient is not
+/// constant, a referenced varying symbol has no bounds, or the residual
+/// still mentions a varying symbol (nonlinear use).
+struct VaryingOffset {
+  std::int64_t Lo = 0, Hi = 0;
+  SymExpr Residual;
+};
+
+std::optional<VaryingOffset> peelVaryingOffset(
+    const SymExpr &O, const std::set<std::string> &Varying,
+    const std::map<std::string, std::pair<std::int64_t, std::int64_t>>
+        &Bounds) {
+  VaryingOffset P;
+  SymExpr Rest = O;
+  std::set<std::string> Syms;
+  O.collectSymbols(Syms);
+  for (const std::string &V : Syms) {
+    if (!Varying.count(V))
+      continue;
+    auto B = Bounds.find(V);
+    if (B == Bounds.end())
+      return std::nullopt;
+    SymExpr C, R;
+    if (!Rest.linearIn(V, C, R) || !C || !R || !C.isConstant())
+      return std::nullopt;
+    const std::int64_t AtLo = C.constantValue() * B->second.first;
+    const std::int64_t AtHi = C.constantValue() * B->second.second;
+    P.Lo += std::min(AtLo, AtHi);
+    P.Hi += std::max(AtLo, AtHi);
+    Rest = R;
+  }
+  std::set<std::string> RestSyms;
+  Rest.collectSymbols(RestSyms);
+  for (const std::string &S : RestSyms)
+    if (Varying.count(S))
+      return std::nullopt;
+  P.Residual = Rest;
+  return P;
+}
+
+} // namespace
+
 bool dcir::sdfgopt::subsetsDisjointAcrossParam(
     const sym::SymSubset &A, const sym::SymSubset &B,
-    const std::string &Param, const std::set<std::string> &Varying) {
+    const std::string &Param, const std::set<std::string> &Varying,
+    const std::map<std::string, std::pair<std::int64_t, std::int64_t>>
+        *VaryingBounds) {
   if (A.rank() != B.rank())
     return false;
   for (size_t D = 0; D < A.rank(); ++D) {
@@ -518,20 +642,41 @@ bool dcir::sdfgopt::subsetsDisjointAcrossParam(
       continue;
     if (!CA.isConstant() || CA.constantValue() == 0 || !CA.equals(CB))
       continue;
-    if (!OA.equals(OB))
-      continue;
     std::set<std::string> Syms;
     OA.collectSymbols(Syms);
+    OB.collectSymbols(Syms);
     if (Syms.count(Param))
       continue;
     bool UsesVarying = false;
     for (const std::string &S : Syms)
       if (Varying.count(S))
         UsesVarying = true;
-    if (UsesVarying)
+    if (!UsesVarying) {
+      if (!OA.equals(OB))
+        continue;
+      // a*Param + b is injective in Param: distinct values, distinct
+      // cells.
+      return true;
+    }
+    if (!VaryingBounds)
       continue;
-    // a*Param + b is injective in Param: distinct values, distinct cells.
-    return true;
+    // Bounded varying offsets. The two accesses execute at independent
+    // inner iteration points, so bound the interval of (OA - OB) with
+    // each side's varying part evaluated independently; the fixed
+    // residuals must cancel structurally. Strictly inside (-|a|, |a|)
+    // means no nonzero k satisfies a*k = OB' - OA': distinct Param
+    // values touch distinct cells.
+    auto PA = peelVaryingOffset(OA, Varying, *VaryingBounds);
+    auto PB = peelVaryingOffset(OB, Varying, *VaryingBounds);
+    if (!PA || !PB)
+      continue;
+    if (!PA->Residual.equals(PB->Residual))
+      continue;
+    const std::int64_t Stride = std::llabs(CA.constantValue());
+    const std::int64_t DiffLo = PA->Lo - PB->Hi;
+    const std::int64_t DiffHi = PA->Hi - PB->Lo;
+    if (std::max(std::llabs(DiffLo), std::llabs(DiffHi)) < Stride)
+      return true;
   }
   return false;
 }

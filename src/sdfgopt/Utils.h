@@ -37,6 +37,27 @@ std::set<std::string> collectReferencedNames(const sdfg::SDFG &G);
 /// True if an access node of \p Data appears in any state.
 bool hasAccessNodes(const sdfg::SDFG &G, const std::string &Data);
 
+/// True when \p E references a container of \p G by name. Symbolic
+/// expressions over containers read memory a state could have written, so
+/// passes that reason about symbol stability must refuse them.
+bool referencesContainer(const sym::SymExpr &E, const sdfg::SDFG &G);
+
+/// The union of map parameters over every map entry of \p S.
+std::set<std::string> mapParamsIn(const sdfg::State &S);
+
+/// Applies \p Subs to every expression in \p S (memlet subsets, tasklet
+/// symbolic leaves, and map ranges).
+void substituteInState(sdfg::State &S,
+                       const std::map<std::string, sym::SymExpr> &Subs);
+
+/// Inclusive value bounds `[lo, hi]` of every map parameter of \p S whose
+/// range has constant begin/end (half-open, positive constant step). The
+/// raw material for the bounded-offset disjointness test: exact trip
+/// counts turn "offset varies with an inner parameter" from a refusal
+/// into an interval the analysis can compare against the outer stride.
+std::map<std::string, std::pair<std::int64_t, std::int64_t>>
+mapParamBounds(const sdfg::State &S);
+
 /// Natural loop discovered in the state machine (converter-shaped:
 /// guard with `iv < end` / `not(iv < end)` out-edges, init and back edges
 /// assigning the induction symbol).
@@ -126,15 +147,25 @@ std::set<std::string> threadPinnedParams(const sdfg::MapEntry &ME);
 /// True when subsets \p A and \p B provably never touch the same element
 /// for two *distinct* values of \p Param: some dimension indexes a single
 /// element `a*Param + b` on both sides with the same nonzero constant `a`
-/// and structurally identical offset `b` that is free of \p Param and of
-/// every symbol in \p Varying (symbols that change while \p Param is
-/// fixed, e.g. inner map parameters). The workhorse of the loop-to-map
-/// dependence analysis; the parallel code generator reuses it to decide
-/// which WCR updates need no synchronization.
-bool subsetsDisjointAcrossParam(const sym::SymSubset &A,
-                                const sym::SymSubset &B,
-                                const std::string &Param,
-                                const std::set<std::string> &Varying);
+/// and offset `b` that is free of \p Param and of every symbol in
+/// \p Varying (symbols that change while \p Param is fixed, e.g. inner
+/// map parameters). The workhorse of the loop-to-map dependence analysis;
+/// the parallel code generator reuses it to decide which WCR updates need
+/// no synchronization.
+///
+/// With \p VaryingBounds (inclusive `[lo, hi]` value ranges, typically
+/// from mapParamBounds), offsets *may* reference bounded varying symbols:
+/// the linearized form `a*Param + sum(c_j * v_j) + r` is disjoint across
+/// Param when the offset difference interval — both sides' varying parts
+/// evaluated at independent iteration points — stays strictly inside
+/// `(-|a|, |a|)`. This is what exact trip counts buy: `C[320*i + j]`
+/// with `j in [0, 319]` is provably per-`i` disjoint, while the same
+/// subset with symbolic extents is not.
+bool subsetsDisjointAcrossParam(
+    const sym::SymSubset &A, const sym::SymSubset &B,
+    const std::string &Param, const std::set<std::string> &Varying,
+    const std::map<std::string, std::pair<std::int64_t, std::int64_t>>
+        *VaryingBounds = nullptr);
 
 } // namespace sdfgopt
 } // namespace dcir

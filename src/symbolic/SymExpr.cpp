@@ -789,6 +789,25 @@ SymExpr SymExpr::substitute(const std::map<std::string, SymExpr> &Map) const {
   }
 }
 
+SymExpr SymExpr::substituteValues(
+    const std::map<std::string, std::int64_t> &Env) const {
+  if (!Node)
+    return *this;
+  // Only build constants for symbols that actually occur: substitute()
+  // re-simplifies bottom-up, so the result is fully constant-folded.
+  std::set<std::string> Used;
+  collectSymbols(Used);
+  std::map<std::string, SymExpr> Map;
+  for (const std::string &S : Used) {
+    auto It = Env.find(S);
+    if (It != Env.end())
+      Map.emplace(S, SymExpr::constant(It->second));
+  }
+  if (Map.empty())
+    return *this;
+  return substitute(Map);
+}
+
 std::optional<std::int64_t>
 SymExpr::evaluate(const std::map<std::string, std::int64_t> &Env) const {
   if (!Node)

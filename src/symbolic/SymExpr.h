@@ -142,6 +142,11 @@ public:
   /// Substitutes symbols by expressions (simultaneous) and re-simplifies.
   SymExpr substitute(const std::map<std::string, SymExpr> &Map) const;
 
+  /// Substitutes concrete symbol values and constant-folds (symbols absent
+  /// from \p Env stay symbolic) — the shape-specialization entry point.
+  SymExpr
+  substituteValues(const std::map<std::string, std::int64_t> &Env) const;
+
   /// Fully evaluates given concrete symbol values. Returns nullopt if a
   /// symbol is missing from \p Env.
   std::optional<std::int64_t>

@@ -44,6 +44,15 @@ SymRange::substitute(const std::map<std::string, SymExpr> &Map) const {
   return R;
 }
 
+SymRange SymRange::substituteValues(
+    const std::map<std::string, std::int64_t> &Env) const {
+  SymRange R;
+  R.Begin = Begin ? Begin.substituteValues(Env) : Begin;
+  R.End = End ? End.substituteValues(Env) : End;
+  R.Step = Step ? Step.substituteValues(Env) : Step;
+  return R;
+}
+
 void SymRange::collectSymbols(std::set<std::string> &Out) const {
   if (Begin)
     Begin.collectSymbols(Out);
@@ -166,6 +175,15 @@ SymSubset::substitute(const std::map<std::string, SymExpr> &Map) const {
   Out.reserve(Dims.size());
   for (const SymRange &R : Dims)
     Out.push_back(R.substitute(Map));
+  return SymSubset(std::move(Out));
+}
+
+SymSubset SymSubset::substituteValues(
+    const std::map<std::string, std::int64_t> &Env) const {
+  std::vector<SymRange> Out;
+  Out.reserve(Dims.size());
+  for (const SymRange &R : Dims)
+    Out.push_back(R.substituteValues(Env));
   return SymSubset(std::move(Out));
 }
 

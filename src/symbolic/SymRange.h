@@ -46,6 +46,9 @@ struct SymRange {
 
   bool equals(const SymRange &Other) const;
   SymRange substitute(const std::map<std::string, SymExpr> &Map) const;
+  /// Constant-folds concrete symbol values into all three bounds.
+  SymRange
+  substituteValues(const std::map<std::string, std::int64_t> &Env) const;
   void collectSymbols(std::set<std::string> &Out) const;
 
   /// Rendering "begin:end" or "begin:end:step"; single elements as "i".
@@ -93,6 +96,9 @@ public:
   SymSubset unionHull(const SymSubset &Other) const;
 
   SymSubset substitute(const std::map<std::string, SymExpr> &Map) const;
+  /// Constant-folds concrete symbol values into every dimension.
+  SymSubset
+  substituteValues(const std::map<std::string, std::int64_t> &Env) const;
   void collectSymbols(std::set<std::string> &Out) const;
 
   /// Replaces every occurrence of the iteration symbol \p Name, which ranges

@@ -469,7 +469,7 @@ TEST(EngineFallback, UnlowerableGraphCountsAndServesFromInterp) {
 
   Program::Parts Parts;
   Parts.Kind = PipelineKind::Dcir;
-  Parts.Engine = exec::EngineKind::Native;
+  Parts.Opts.Engine = exec::EngineKind::Native;
   Parts.Entry = "stream_prog";
   Parts.Graph = std::shared_ptr<const sdfg::SDFG>(std::move(G));
   auto P = Program::create(std::move(Parts));

@@ -262,17 +262,23 @@ void expectOuterNestConverts(const char *File, const char *Entry,
   EXPECT_GE(Info.ParallelMapsEmitted, 3u) << Entry;
   EXPECT_EQ(Info.AtomicUpdates, 0u)
       << Entry << ": the nested reduction must need no atomics";
-  // The privatized scalar is declared inside a loop body, not at
-  // function scope: its declaration is indented deeper than the
-  // function-scope transients.
+  // The privatized scalar is declared per-iteration, not at the entry
+  // function's scope. Parallel regions outline their body into a static
+  // `dcir_body_*` function (where an outermost-block declaration is
+  // still per-call, i.e. per-iteration), so only the entry function text
+  // — everything from its `extern "C"` definition on — must be free of a
+  // function-scope declaration.
+  size_t EntryDef = Code.find("extern \"C\"");
+  ASSERT_NE(EntryDef, std::string::npos);
   for (const auto &S : C->graph()->states())
     for (const auto &N : S->nodes())
       if (const auto *ME = dyn_cast<MapEntry>(N.get()))
         for (const std::string &P : ME->PrivateData)
-          EXPECT_EQ(Code.find("\n  [[maybe_unused]] double " + P + " = 0;\n"),
+          EXPECT_EQ(Code.find("\n  [[maybe_unused]] double " + P + " = 0;\n",
+                              EntryDef),
                     std::string::npos)
               << Entry << ": '" << P
-              << "' must not be declared at function scope";
+              << "' must not be declared at the entry function's scope";
   expectNativeMatchesInterp(*C->graph(), Tag);
 }
 
@@ -304,16 +310,27 @@ TEST(OuterLoopParallelization, GemmEmitsOuterLoopPragma) {
   Par.ParallelMaps = true;
   std::string Code = codegen::emitCpp(*C->graph(), Diags, Par);
   ASSERT_FALSE(Code.empty());
-  // Find the parallel region that contains the privatized scalar: its
-  // pragma'd loop is the outer i-loop of the C := alpha*A*B + beta*C
-  // nest (three nested `for`s below it).
+  // Parallel regions outline their body into a static `dcir_body_*`
+  // function; the pragma'd loop in the entry calls it once per outer
+  // iteration. The privatized scalar must sit at the very top of its
+  // body function — no `for (` before it — which pins the pragma to the
+  // outer i-loop of the C := alpha*A*B + beta*C nest: were the pragma on
+  // an inner loop, the scalar's declaration would live above that loop
+  // and outside the outlined body.
   size_t Priv = Code.find("] double mulf");
   ASSERT_NE(Priv, std::string::npos) << Code;
-  size_t Pragma = Code.rfind("#pragma omp parallel for", Priv);
+  size_t Fn = Code.rfind("static void dcir_body_", Priv);
+  ASSERT_NE(Fn, std::string::npos) << Code;
+  std::string Body = Code.substr(Fn, Priv - Fn);
+  EXPECT_EQ(Body.find("for ("), std::string::npos) << Body;
+  // And the pragma'd loop is the only loop between the pragma and this
+  // body's call site: the pragma sits directly on the outermost `for`.
+  std::string FnName = Code.substr(Fn + 12, Code.find('(', Fn) - Fn - 12);
+  size_t Call = Code.find(FnName + "(", Priv); // Call site, past the body.
+  ASSERT_NE(Call, std::string::npos);
+  size_t Pragma = Code.rfind("#pragma omp parallel for", Call);
   ASSERT_NE(Pragma, std::string::npos);
-  std::string Region = Code.substr(Pragma, Priv - Pragma);
-  // Exactly one `for (` between the pragma and the private declaration:
-  // the declaration sits immediately inside the outermost loop.
+  std::string Region = Code.substr(Pragma, Call - Pragma);
   size_t Fors = 0;
   for (size_t Pos = Region.find("for ("); Pos != std::string::npos;
        Pos = Region.find("for (", Pos + 1))

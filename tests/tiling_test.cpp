@@ -239,18 +239,25 @@ TEST(TiledCodegen, GemmKeepsThePragmaOnTileLoopsWithoutAtomics) {
   EXPECT_GE(Info.ParallelMapsEmitted, 1u);
   EXPECT_EQ(Info.AtomicUpdates, 0u)
       << "pinning must survive the tile/intra split";
-  // Every parallel-for pragma must sit directly on a loop, and the main
-  // nest's pragma sits on a tile loop with the intra strip below it.
+  // The main nest's pragma sits on a tile loop, with the intra strip
+  // inside the outlined `dcir_body_*` function the pragma'd loop calls.
   size_t Priv = Code.find("] double mulf");
   ASSERT_NE(Priv, std::string::npos) << Code;
-  size_t Pragma = Code.rfind("#pragma omp parallel for", Priv);
+  size_t Fn = Code.rfind("static void dcir_body_", Priv);
+  ASSERT_NE(Fn, std::string::npos) << Code;
+  // The serial intra strip starts at its tile parameter
+  // (`for (long long i_6 = i_6__tile; ...`) inside the body function.
+  std::string Body = Code.substr(Fn, Priv - Fn);
+  EXPECT_NE(Body.find("__tile; "), std::string::npos) << Body;
+  // The pragma'd loop at this body's call site iterates the tile
+  // parameter (e.g. `i_6__tile = 0LL`).
+  std::string FnName = Code.substr(Fn + 12, Code.find('(', Fn) - Fn - 12);
+  size_t Call = Code.find(FnName + "(", Priv); // Call site, past the body.
+  ASSERT_NE(Call, std::string::npos);
+  size_t Pragma = Code.rfind("#pragma omp parallel for", Call);
   ASSERT_NE(Pragma, std::string::npos);
-  std::string Region = Code.substr(Pragma, Priv - Pragma);
-  // The pragma'd loop iterates a tile parameter (e.g. `i_6__tile`)...
+  std::string Region = Code.substr(Pragma, Call - Pragma);
   EXPECT_NE(Region.find("__tile = 0LL"), std::string::npos) << Region;
-  // ...and the serial intra strip starts at that tile parameter
-  // (`for (long long i_6 = i_6__tile; ...`).
-  EXPECT_NE(Region.find("__tile; "), std::string::npos) << Region;
 }
 
 TEST(TiledCodegen, ElementwiseTilesCollapseTheTileLoops) {
