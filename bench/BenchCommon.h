@@ -22,6 +22,8 @@
 /// `--parallel=`/`--threads=`, the pipeline knobs `--opt=0|1|2`,
 /// `--passes=SPEC`, `--tile=T[,T2,...]` (tile-maps cache blocking),
 /// `--specialize=off|lazy|eager` (shape-specialized re-JIT),
+/// `--autotune=off|on` / `--tune-window=K` (measured-profitability
+/// schedule tuning), `--grain=N[,M]` (static parallel-work gates),
 /// `--print-pass-report`, and the workload knobs `--parallel-scale=K`
 /// and `--define=NAME=VALUE` (explicit overrides win over scaling; see
 /// pipeline/WorkloadDefines.h).
@@ -40,6 +42,7 @@
 
 #include <algorithm>
 #include <benchmark/benchmark.h>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -92,6 +95,16 @@ struct BenchOptions {
   /// native programs (constant-bound variants per distinct shape; see
   /// DESIGN.md "Shape specialization").
   pipeline::SpecializeMode Specialize = pipeline::SpecializeMode::Off;
+  /// --autotune=off|on: measured-profitability per-map schedule tuning
+  /// for native programs (DESIGN.md "Autotuning").
+  bool Autotune = false;
+  /// --tune-window=K: measuring invocations per (entry, shape) before
+  /// the tuner decides (0 keeps the compiled-in default).
+  int TuneWindow = 0;
+  /// --grain=N[,M]: MinParallelWork / MinInLoopParallelWork — the static
+  /// profitability gates the autotuner's measured decisions override.
+  std::uint64_t MinParallelWork = 0;
+  std::uint64_t MinInLoopParallelWork = 0;
 
   pipeline::CompileOptions compileOptions(exec::EngineKind K) const {
     pipeline::CompileOptions Opts;
@@ -103,6 +116,11 @@ struct BenchOptions {
     Opts.TileSizes = TileSizes;
     Opts.ProfileMaps = ProfileMaps;
     Opts.Specialize = Specialize;
+    Opts.Autotune = Autotune;
+    if (TuneWindow > 0)
+      Opts.TuneWindow = static_cast<unsigned>(TuneWindow);
+    Opts.MinParallelWork = MinParallelWork;
+    Opts.MinInLoopParallelWork = MinInLoopParallelWork;
     return Opts;
   }
 
@@ -213,6 +231,44 @@ inline BenchOptions parseBenchFlags(int &argc, char **argv) {
         std::exit(2);
       }
       Opts.Specialize = *Parsed;
+      continue;
+    }
+    if (std::strncmp(argv[I], "--autotune=", 11) == 0) {
+      const char *V = argv[I] + 11;
+      if (std::strcmp(V, "on") == 0) {
+        Opts.Autotune = true;
+      } else if (std::strcmp(V, "off") == 0) {
+        Opts.Autotune = false;
+      } else {
+        std::fprintf(stderr, "unknown autotune mode '%s' (expected off|on)\n",
+                     V);
+        std::exit(2);
+      }
+      continue;
+    }
+    if (std::strncmp(argv[I], "--tune-window=", 14) == 0) {
+      Opts.TuneWindow = std::atoi(argv[I] + 14);
+      if (Opts.TuneWindow <= 0) {
+        std::fprintf(stderr, "bad --tune-window= value '%s' (expected K>0)\n",
+                     argv[I] + 14);
+        std::exit(2);
+      }
+      continue;
+    }
+    if (std::strncmp(argv[I], "--grain=", 8) == 0) {
+      const char *P = argv[I] + 8;
+      char *End = nullptr;
+      long long N = std::strtoll(P, &End, 10);
+      long long M = 0;
+      if (End != P && *End == ',')
+        M = std::strtoll(End + 1, &End, 10);
+      if (End == P || N < 0 || M < 0 || *End) {
+        std::fprintf(stderr, "bad --grain= value '%s' (expected N[,M])\n",
+                     argv[I] + 8);
+        std::exit(2);
+      }
+      Opts.MinParallelWork = static_cast<std::uint64_t>(N);
+      Opts.MinInLoopParallelWork = static_cast<std::uint64_t>(M);
       continue;
     }
     if (std::strcmp(argv[I], "--print-pass-report") == 0) {
@@ -428,6 +484,19 @@ inline std::string metricsExtra(const api::Program &P) {
   return "\"serving_metrics\": " + P.metricsJson();
 }
 
+/// The autotuner JSON members of a Program: measuring invocations served,
+/// promoted/reverted decisions. Empty when the program does not autotune
+/// (so untuned rows stay byte-stable across the flag flip).
+inline std::string tuneExtra(const api::Program &P) {
+  if (!P.autotune())
+    return std::string();
+  const api::ProgramStats S = P.stats();
+  return "\"autotuned\": \"on\", \"tune_measuring\": " +
+         std::to_string(S.TuneMeasuring) +
+         ", \"tune_promoted\": " + std::to_string(S.TunePromoted) +
+         ", \"tune_reverted\": " + std::to_string(S.TuneReverted);
+}
+
 /// The shape-specialization JSON members of a Program: served-by-variant
 /// hit count, live variant count, and fallback count. Empty when the
 /// program does not specialize (so non-specializing rows stay unchanged).
@@ -489,6 +558,10 @@ inline std::string benchMetaJson(const BenchOptions &Opts) {
          (Opts.ProfileMaps ? "true" : "false");
   Out += ", \"specialize\": \"" +
          std::string(pipeline::specializeModeName(Opts.Specialize)) + "\"";
+  Out += std::string(", \"autotune\": \"") + (Opts.Autotune ? "on" : "off") +
+         "\"";
+  Out += ", \"grain\": [" + std::to_string(Opts.MinParallelWork) + ", " +
+         std::to_string(Opts.MinInLoopParallelWork) + "]";
   Out += "}";
   return Out;
 }

@@ -11,6 +11,7 @@
 #include "ir/Verifier.h"
 #include "obs/Trace.h"
 #include "passes/Pass.h"
+#include "tune/Autotuner.h"
 
 #include <cstdio>
 
@@ -217,5 +218,19 @@ Compiler::compile(const std::string &CSource, const std::string &Entry) {
   P.OwnsModule = true;
   P.Graph = std::shared_ptr<const sdfg::SDFG>(std::move(Parts.Graph));
   P.Report = Parts.Report;
+  // The autotuner's persistence key: the source text, the entry, and
+  // every option that changes the optimized graph (pipeline, passes,
+  // tiling, grain gates). Parallelism and thread count are serving-side
+  // and excluded — a winner tuned at 8 threads still beats re-measuring
+  // from scratch at 4.
+  std::string Id = CSource + "\n#" + Entry + "\n#" +
+                   std::to_string(static_cast<int>(Kind)) + ":" +
+                   std::to_string(static_cast<int>(Opts.Opt)) + ":" +
+                   Opts.PassPipeline + ":";
+  for (unsigned T : Opts.TileSizes)
+    Id += std::to_string(T) + ",";
+  Id += ":" + std::to_string(Opts.MinParallelWork) + ":" +
+        std::to_string(Opts.MinInLoopParallelWork);
+  P.SourceKey = tune::fnv64Hex(Id);
   return Program::create(std::move(P));
 }

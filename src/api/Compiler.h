@@ -100,6 +100,48 @@ public:
     Opts.MaxVariants = N;
     return *this;
   }
+  /// Build the specialized variant on the Nth sighting of a shape rather
+  /// than the first (N=1, the default, keeps today's first-sighting
+  /// build). Earlier sightings serve the generic artifact. An explicit
+  /// Program::specialize() warm-up builds regardless.
+  Compiler &specializeAfter(unsigned N) {
+    Opts.SpecializeAfter = N ? N : 1;
+    return *this;
+  }
+  /// Measured-profitability autotuning for native programs (see
+  /// DESIGN.md, "Autotuning"): measure per-map cost over the first
+  /// tuneWindow() invocations per shape, re-JIT with per-map schedule
+  /// decisions, A/B against the generic artifact, promote only winners,
+  /// and persist them under tuneDir() for warm processes.
+  Compiler &autotune(bool On = true) {
+    Opts.Autotune = On;
+    return *this;
+  }
+  /// Invocations per tuner phase (measure, then each A/B arm).
+  Compiler &tuneWindow(unsigned K) {
+    Opts.TuneWindow = K ? K : 1;
+    return *this;
+  }
+  /// Sidecar directory for persisted tuning winners (empty derives
+  /// `<jit-cache-root>/tune`).
+  Compiler &tuneDir(std::string Dir) {
+    Opts.TuneDir = std::move(Dir);
+    return *this;
+  }
+  /// Promotion threshold: tuned wins when tuned < Ratio * generic
+  /// (1.0 = strictly faster; tests pin extremes for determinism).
+  Compiler &tunePromoteRatio(double Ratio) {
+    Opts.TunePromoteRatio = Ratio;
+    return *this;
+  }
+  /// Grain gates for the parallel-pragma decision (0 keeps the codegen
+  /// defaults, 256 / 1<<16): the work a map must prove before it earns a
+  /// work-sharing pragma, one-shot and in-loop respectively.
+  Compiler &grain(unsigned MinWork, unsigned MinInLoopWork = 0) {
+    Opts.MinParallelWork = MinWork;
+    Opts.MinInLoopParallelWork = MinInLoopWork;
+    return *this;
+  }
   /// Enables process-wide lifecycle tracing and writes the Chrome
   /// trace-event JSON to \p Path at process exit (equivalent to running
   /// with $DCIR_TRACE=Path). Affects the whole process, not just this

@@ -4,12 +4,15 @@
 
 #include "api/Compiler.h"
 #include "codegen/CppCodegen.h"
+#include "exec/JitCache.h"
 #include "ir/IR.h"
 #include "obs/Trace.h"
 #include "sdfg/TaskletExpr.h"
 #include "support/Casting.h"
+#include "tune/Autotuner.h"
 
 #include <algorithm>
+#include <climits>
 #include <cstdio>
 
 using namespace dcir;
@@ -149,6 +152,9 @@ std::shared_ptr<const Program> Program::create(Parts InParts) {
   Prog->CSpecMisses = &Prog->Metrics.counter("specialize.misses");
   Prog->CSpecFallbacks = &Prog->Metrics.counter("specialize.fallbacks");
   Prog->CSpecEvictions = &Prog->Metrics.counter("specialize.evictions");
+  Prog->CTuneMeasuring = &Prog->Metrics.counter("tune.measuring");
+  Prog->CTunePromoted = &Prog->Metrics.counter("tune.promoted");
+  Prog->CTuneReverted = &Prog->Metrics.counter("tune.reverted");
   Prog->HNative = &Prog->Metrics.histogram("latency.native");
   Prog->HInterp = &Prog->Metrics.histogram("latency.interp");
   if (Prog->P.Graph) {
@@ -173,7 +179,13 @@ std::shared_ptr<const Program> Program::create(Parts InParts) {
         Prog->P.Opts.Parallelism != pipeline::ParallelismMode::Off;
     Config.NumThreads = Prog->P.Opts.NumThreads;
     Config.ProfileMaps = Prog->P.Opts.ProfileMaps;
+    Config.MinParallelWork = Prog->P.Opts.MinParallelWork;
+    Config.MinInLoopParallelWork = Prog->P.Opts.MinInLoopParallelWork;
     Native->configure(Config);
+    if (Prog->P.Opts.Autotune)
+      Prog->TuneDir = !Prog->P.Opts.TuneDir.empty()
+                          ? Prog->P.Opts.TuneDir
+                          : exec::JitCache::shared().root() + "/tune";
     std::string Error;
     double Seconds = 0.0;
     // The engine is kept even when the generic prepare fails: a
@@ -243,6 +255,9 @@ ProgramStats Program::stats() const {
   S.SpecializeMisses = CSpecMisses->value();
   S.SpecializeFallbacks = CSpecFallbacks->value();
   S.SpecializeEvictions = CSpecEvictions->value();
+  S.TuneMeasuring = CTuneMeasuring->value();
+  S.TunePromoted = CTunePromoted->value();
+  S.TuneReverted = CTuneReverted->value();
   return S;
 }
 
@@ -321,24 +336,42 @@ InvocationResult Program::invoke(const Invocation &I) const {
   // Shape-specialized dispatch: when this shape has a ready
   // constant-bound variant, invoke that artifact instead of the generic
   // one. The shared_ptr pins the variant graph across the call, so LRU
-  // eviction can never free it mid-invocation.
+  // eviction can never free it mid-invocation. The shape's sighting
+  // ordinal is shared between the specializeAfter(N) gate and the
+  // tuner's measuring window.
   std::shared_ptr<const sdfg::SDFG> VariantG;
   double SpecCompileSeconds = 0.0;
-  if (Native && P.Opts.Specialize != pipeline::SpecializeMode::Off &&
-      I.specializes() && !SpecNames.empty()) {
-    std::map<std::string, std::int64_t> Env =
-        specializationEnv(I.bindings(), I.symbols());
-    if (!Env.empty())
-      VariantG = resolveVariant(
-          Env, P.Opts.Specialize == pipeline::SpecializeMode::Eager,
-          &SpecCompileSeconds);
+  std::string ShapeKey;
+  unsigned Sighting = 0;
+  const bool WantsSpec = Native &&
+                         P.Opts.Specialize != pipeline::SpecializeMode::Off &&
+                         I.specializes() && !SpecNames.empty();
+  const bool WantsTune =
+      Native && P.Opts.Autotune && GenericPrepared && I.specializes();
+  std::map<std::string, std::int64_t> Env;
+  if (WantsSpec || WantsTune) {
+    Env = specializationEnv(I.bindings(), I.symbols());
+    ShapeKey = variantKey(Env);
+    std::lock_guard<std::mutex> Lock(VarMu);
+    Sighting = ++Sightings[ShapeKey];
   }
+  if (WantsSpec && !Env.empty())
+    VariantG = resolveVariant(
+        Env, P.Opts.Specialize == pipeline::SpecializeMode::Eager,
+        &SpecCompileSeconds, Sighting);
+  // Autotuned dispatch: only when no specialized variant serves — a ready
+  // variant already beat the generic artifact on this shape, and tuning
+  // targets the generic schedule.
+  TuneDispatch TD;
+  if (WantsTune && !VariantG)
+    TD = tuneDispatch(ShapeKey);
 
   exec::EngineRun E;
   exec::EngineKind Used = exec::EngineKind::Interp;
   bool NativeFailed = false;
-  if (Native && (VariantG || GenericPrepared)) {
-    const sdfg::SDFG &RunG = VariantG ? *VariantG : *P.Graph;
+  if (Native && (VariantG || TD.Graph || GenericPrepared)) {
+    const sdfg::SDFG &RunG =
+        VariantG ? *VariantG : TD.Graph ? *TD.Graph : *P.Graph;
     E = Native->invokeGraph(RunG, Req);
     if (E.Ok) {
       Used = exec::EngineKind::Native;
@@ -356,12 +389,30 @@ InvocationResult Program::invoke(const Invocation &I) const {
     (void)NativeFailed;
     E = Interp.invokeGraph(*P.Graph, Req);
   }
+  // Failed completions still advance the tuner's window (a stuck phase
+  // would otherwise never transition); they just contribute no sample.
+  if (TD.Counted)
+    tuneComplete(TD, Used == exec::EngineKind::Native && E.Ok ? E.Seconds
+                                                              : -1.0);
 
   CInvocations->inc();
   (Used == exec::EngineKind::Native ? CNative : CInterp)->inc();
-  if (E.Ok)
+  if (E.Ok) {
     (Used == exec::EngineKind::Native ? HNative : HInterp)
         ->recordSeconds(E.Seconds);
+    // Per-variant latency rows: which artifact served this shape, labeled
+    // by variant key — the promote/revert evidence, readable through
+    // metricsJson(). Only maintained for programs that specialize or
+    // tune; plain programs keep their two-histogram registry.
+    if (WantsSpec || WantsTune) {
+      std::string Label =
+          VariantG ? "spec:" + ShapeKey
+          : TD.Graph && TD.Ph == TunePhase::Measuring ? "measuring"
+          : TD.Graph ? (ShapeKey.empty() ? "tuned" : "tuned:" + ShapeKey)
+                     : "generic";
+      Metrics.histogram("latency.variant." + Label).recordSeconds(E.Seconds);
+    }
+  }
 
   R.Ok = E.Ok;
   R.Error = std::move(E.Error);
@@ -407,7 +458,8 @@ std::map<std::string, std::int64_t> Program::specializationEnv(
 
 std::shared_ptr<const sdfg::SDFG>
 Program::resolveVariant(const std::map<std::string, std::int64_t> &Env,
-                        bool Blocking, double *CompileSeconds) const {
+                        bool Blocking, double *CompileSeconds,
+                        unsigned Sighting) const {
   const std::string Key = variantKey(Env);
   std::unique_lock<std::mutex> Lock(VarMu);
   for (;;) {
@@ -426,7 +478,12 @@ Program::resolveVariant(const std::map<std::string, std::int64_t> &Env,
       return nullptr; // Lazy: serve generic while the worker builds.
     VarCv.wait(Lock); // Eager: wait the in-flight build out, re-check.
   }
-  // First sighting of this shape.
+  // No table entry yet. The specializeAfter(N) gate: early sightings
+  // serve the generic artifact without starting a build (a miss is
+  // counted when the build actually starts). UINT_MAX is the explicit
+  // specialize() warm-up, which always builds.
+  if (Sighting < P.Opts.SpecializeAfter)
+    return nullptr;
   CSpecMisses->inc();
   Variants[Key]; // Default-constructed: InFlight.
   if (Blocking) {
@@ -530,7 +587,7 @@ bool Program::specialize(
       Env[Name] = It->second;
   if (Env.empty())
     return false;
-  return resolveVariant(Env, /*Blocking=*/true, nullptr) != nullptr;
+  return resolveVariant(Env, /*Blocking=*/true, nullptr, UINT_MAX) != nullptr;
 }
 
 std::size_t Program::variantCount() const {
@@ -540,6 +597,306 @@ std::size_t Program::variantCount() const {
     if (V.St != Variant::State::Failed)
       ++N;
   return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Autotuning (DESIGN.md, "Autotuning")
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Median of the phase's samples, in nanoseconds; 0 when every run in the
+/// window failed (the tuner then takes the safe branch: revert).
+double medianNs(std::vector<double> Samples) {
+  if (Samples.empty())
+    return 0.0;
+  std::sort(Samples.begin(), Samples.end());
+  return Samples[Samples.size() / 2] * 1e9;
+}
+
+} // namespace
+
+std::string Program::tuneCloneSuffix(const char *Stem,
+                                     const std::string &Key) const {
+  return std::string(Stem) +
+         (Key.empty() ? std::string("default") : tune::fnv64Hex(Key));
+}
+
+std::shared_ptr<const sdfg::SDFG>
+Program::buildTuneClone(const std::string &Suffix,
+                        const exec::GraphTuning &GT, std::string *Why) const {
+  // The clone is the already-optimized generic graph under a new
+  // deterministic name — no re-optimization, only re-emission under the
+  // registered overrides. Deterministic names mean warm processes emit
+  // byte-identical source and hit the JIT cache: a disk read, not a
+  // compiler invocation.
+  std::unique_ptr<sdfg::SDFG> Clone = P.Graph->clone();
+  Clone->setName(P.Entry + Suffix);
+  std::shared_ptr<const sdfg::SDFG> G(std::move(Clone));
+  Native->tuneGraph(*G, GT);
+  std::string Error;
+  if (!Native->prepareGraph(*G, Error, nullptr)) {
+    Native->releaseGraph(*G); // Drops the tuning registration too.
+    if (Why)
+      *Why = Error;
+    return nullptr;
+  }
+  return G;
+}
+
+void Program::persistTuneRecord(const std::string &Key, bool TunedWins,
+                                double BaselineNs, double TunedNs,
+                                const codegen::MapSchedules &Schedules) const {
+  if (TuneDir.empty() || P.SourceKey.empty())
+    return;
+  tune::TuneRecord Rec;
+  Rec.Entry = P.Entry;
+  Rec.SourceHash = P.SourceKey;
+  Rec.ShapeKey = Key;
+  Rec.TunedWins = TunedWins;
+  Rec.BaselineNs = BaselineNs;
+  Rec.TunedNs = TunedNs;
+  Rec.Schedules = Schedules;
+  tune::saveTuneRecord(TuneDir, Rec);
+}
+
+Program::TuneDispatch Program::tuneDispatch(const std::string &Key) const {
+  TuneDispatch TD;
+  TD.Key = Key;
+  const unsigned K = std::max(1u, P.Opts.TuneWindow);
+  std::unique_lock<std::mutex> Lock(VarMu);
+  TuneState &T = TuneStates[Key];
+  if (T.Ph == TunePhase::Off) {
+    if (T.Building)
+      return TD; // Another thread is initializing; serve generic.
+    T.Building = true;
+    Lock.unlock();
+    // First sighting of this shape. A persisted sidecar lets a warm
+    // process skip measurement entirely — its first invocation already
+    // serves the recorded winner. Otherwise build the profiled measuring
+    // clone, blocking this one invocation like an Eager specialization
+    // miss. All unlocked: dispatches arriving meanwhile serve generic.
+    obs::Span Span("tune:" + P.Entry, "tune");
+    TunePhase Next = TunePhase::Measuring;
+    std::shared_ptr<const sdfg::SDFG> Measure, Tuned;
+    codegen::MapSchedules Schedules;
+    tune::TuneRecord Rec;
+    if (tune::loadTuneRecord(TuneDir, P.SourceKey, Key, Rec)) {
+      Next = TunePhase::Generic; // Recorded revert: generic, no re-A/B.
+      if (Rec.TunedWins && !Rec.Schedules.empty()) {
+        exec::GraphTuning GT;
+        GT.Schedules = Rec.Schedules;
+        std::string Why;
+        Tuned = buildTuneClone(tuneCloneSuffix("__tuned_", Key), GT, &Why);
+        if (Tuned) {
+          Next = TunePhase::Tuned;
+          Schedules = Rec.Schedules;
+        } else {
+          std::fprintf(stderr,
+                       "api: autotune: persisted winner for '%s' {%s} "
+                       "failed to rebuild (%s); serving generic\n",
+                       P.Entry.c_str(), Key.c_str(), Why.c_str());
+        }
+      }
+    } else {
+      exec::GraphTuning GT;
+      GT.ProfileMaps = true;
+      GT.ProfileTopOnly = true; // Nested timers would inflate outer maps.
+      std::string Why;
+      Measure = buildTuneClone(tuneCloneSuffix("__meas_", Key), GT, &Why);
+      if (!Measure) {
+        Next = TunePhase::Generic;
+        std::fprintf(stderr,
+                     "api: autotune: measuring build for '%s' {%s} failed "
+                     "(%s); serving generic\n",
+                     P.Entry.c_str(), Key.c_str(), Why.c_str());
+      }
+    }
+    Lock.lock();
+    T.Building = false;
+    T.Ph = Next;
+    T.MeasureGraph = std::move(Measure);
+    T.TunedGraph = std::move(Tuned);
+    T.Schedules = std::move(Schedules);
+  }
+  switch (T.Ph) {
+  case TunePhase::Measuring:
+    // Overflow dispatches (window full, completions pending) still serve
+    // the measuring artifact — correct code, just uncounted.
+    TD.Graph = T.MeasureGraph;
+    TD.Ph = TunePhase::Measuring;
+    if (T.Started < K) {
+      ++T.Started;
+      TD.Counted = true;
+      CTuneMeasuring->inc();
+    }
+    break;
+  case TunePhase::Deciding:
+    break; // Serve generic, uncounted, while the decision/build runs.
+  case TunePhase::AbTuned:
+    TD.Graph = T.TunedGraph;
+    TD.Ph = TunePhase::AbTuned;
+    if (T.Started < K) {
+      ++T.Started;
+      TD.Counted = true;
+    }
+    break;
+  case TunePhase::AbGeneric:
+    TD.Ph = TunePhase::AbGeneric; // Graph stays null: the generic arm.
+    if (T.Started < K) {
+      ++T.Started;
+      TD.Counted = true;
+    }
+    break;
+  case TunePhase::Tuned:
+    TD.Graph = T.TunedGraph;
+    TD.Ph = TunePhase::Tuned;
+    break;
+  case TunePhase::Generic:
+  case TunePhase::Off:
+    break;
+  }
+  return TD;
+}
+
+void Program::tuneComplete(const TuneDispatch &D, double Seconds) const {
+  const unsigned K = std::max(1u, P.Opts.TuneWindow);
+  std::unique_lock<std::mutex> Lock(VarMu);
+  auto It = TuneStates.find(D.Key);
+  if (It == TuneStates.end())
+    return;
+  TuneState &T = It->second;
+  if (T.Ph != D.Ph)
+    return; // Stale completion from a phase that already transitioned.
+  ++T.Done;
+  if (Seconds >= 0.0)
+    T.Samples.push_back(Seconds);
+  if (T.Done < K)
+    return;
+
+  switch (T.Ph) {
+  case TunePhase::Measuring: {
+    // The window's last completion performs the transition: read the
+    // accumulated per-map profile, decide schedules, build the tuned
+    // clone. Decision and build run unlocked behind the Building flag.
+    std::shared_ptr<const sdfg::SDFG> Measure = T.MeasureGraph;
+    T.Ph = TunePhase::Deciding;
+    T.Building = true;
+    T.Started = T.Done = 0;
+    T.Samples.clear();
+    Lock.unlock();
+    obs::Span Span("tune:" + P.Entry, "tune");
+    tune::TunePolicy Policy;
+    if (P.Opts.NumThreads > 0)
+      Policy.Threads = static_cast<unsigned>(P.Opts.NumThreads);
+    codegen::MapSchedules Schedules =
+        Measure ? tune::decideSchedules(Native->mapProfile(*Measure), Policy)
+                : codegen::MapSchedules();
+    std::shared_ptr<const sdfg::SDFG> Tuned;
+    std::string Why = "no measured map scopes";
+    if (!Schedules.empty()) {
+      exec::GraphTuning GT;
+      GT.Schedules = Schedules;
+      Tuned = buildTuneClone(tuneCloneSuffix("__tuned_", D.Key), GT, &Why);
+    }
+    Lock.lock();
+    T.Building = false;
+    // The measuring artifact is done serving either way; in-flight
+    // invocations keep it alive through their own shared_ptr.
+    if (T.MeasureGraph) {
+      Native->releaseGraph(*T.MeasureGraph);
+      T.MeasureGraph.reset();
+    }
+    if (Tuned) {
+      T.TunedGraph = std::move(Tuned);
+      T.Schedules = std::move(Schedules);
+      T.Ph = TunePhase::AbTuned;
+    } else {
+      // Nothing to A/B — generic wins by default, recorded so warm
+      // processes skip measuring this shape again.
+      T.Ph = TunePhase::Generic;
+      CTuneReverted->inc();
+      std::fprintf(stderr,
+                   "api: autotune: '%s' {%s} keeps the generic schedule "
+                   "(%s)\n",
+                   P.Entry.c_str(), D.Key.c_str(), Why.c_str());
+      Lock.unlock();
+      persistTuneRecord(D.Key, false, 0.0, 0.0, Schedules);
+    }
+    break;
+  }
+  case TunePhase::AbTuned: {
+    T.TunedNs = medianNs(T.Samples);
+    T.Started = T.Done = 0;
+    T.Samples.clear();
+    if (T.TunedNs > 0.0) {
+      T.Ph = TunePhase::AbGeneric;
+      break;
+    }
+    // Every tuned run in the window failed: revert without a baseline arm.
+    T.Ph = TunePhase::Generic;
+    CTuneReverted->inc();
+    codegen::MapSchedules Schedules = T.Schedules;
+    if (T.TunedGraph) {
+      Native->releaseGraph(*T.TunedGraph);
+      T.TunedGraph.reset();
+    }
+    Lock.unlock();
+    persistTuneRecord(D.Key, false, 0.0, 0.0, Schedules);
+    break;
+  }
+  case TunePhase::AbGeneric: {
+    const double BaselineNs = medianNs(T.Samples);
+    const double TunedNs = T.TunedNs;
+    T.Started = T.Done = 0;
+    T.Samples.clear();
+    // Promote only a measured win; anything else (slower, equal, no
+    // baseline samples) keeps the generic artifact — an autotuned
+    // program can never serve slower steady-state than its baseline.
+    const bool Promote = TunedNs > 0.0 && BaselineNs > 0.0 &&
+                         TunedNs < P.Opts.TunePromoteRatio * BaselineNs;
+    codegen::MapSchedules Schedules = T.Schedules;
+    if (Promote) {
+      T.Ph = TunePhase::Tuned;
+      CTunePromoted->inc();
+    } else {
+      T.Ph = TunePhase::Generic;
+      CTuneReverted->inc();
+      if (T.TunedGraph) {
+        Native->releaseGraph(*T.TunedGraph);
+        T.TunedGraph.reset();
+      }
+    }
+    Lock.unlock();
+    persistTuneRecord(D.Key, Promote, BaselineNs, TunedNs, Schedules);
+    break;
+  }
+  default:
+    break;
+  }
+}
+
+Program::TunePhase Program::tunePhase(
+    const std::map<std::string, std::int64_t> &Values) const {
+  std::map<std::string, std::int64_t> Env;
+  for (const std::string &Name : SpecNames)
+    if (auto It = Values.find(Name); It != Values.end())
+      Env[Name] = It->second;
+  std::lock_guard<std::mutex> Lock(VarMu);
+  auto It = TuneStates.find(variantKey(Env));
+  return It == TuneStates.end() ? TunePhase::Off : It->second.Ph;
+}
+
+codegen::MapSchedules Program::tunedSchedules(
+    const std::map<std::string, std::int64_t> &Values) const {
+  std::map<std::string, std::int64_t> Env;
+  for (const std::string &Name : SpecNames)
+    if (auto It = Values.find(Name); It != Values.end())
+      Env[Name] = It->second;
+  std::lock_guard<std::mutex> Lock(VarMu);
+  auto It = TuneStates.find(variantKey(Env));
+  return It == TuneStates.end() ? codegen::MapSchedules()
+                                : It->second.Schedules;
 }
 
 std::future<InvocationResult> Program::invokeAsync(Invocation I) const {

@@ -99,6 +99,14 @@ struct ProgramStats {
   std::uint64_t SpecializeMisses = 0;
   std::uint64_t SpecializeFallbacks = 0;
   std::uint64_t SpecializeEvictions = 0;
+  /// Autotuning counters (zero unless compiled with
+  /// CompileOptions::Autotune). Measuring counts invocations served by a
+  /// profiled measuring artifact; promoted/reverted count per-shape A/B
+  /// outcomes (a promoted shape serves the tuned variant steady-state, a
+  /// reverted one keeps the generic artifact).
+  std::uint64_t TuneMeasuring = 0;
+  std::uint64_t TunePromoted = 0;
+  std::uint64_t TuneReverted = 0;
 };
 
 /// The outcome of one invocation.
@@ -236,6 +244,12 @@ public:
     bool OwnsModule = true;
     std::shared_ptr<const sdfg::SDFG> Graph;
     sdfgopt::OptReport Report;
+    /// Stable identity of (source, entry, graph-affecting options) — the
+    /// autotuner's persistence key (fnv64 hex; api::Compiler fills it).
+    /// Empty disables sidecar persistence: the tuner still measures and
+    /// A/Bs in-process, it just cannot recognize the program across
+    /// processes.
+    std::string SourceKey;
   };
 
   /// Builds a Program: instantiates the engine, and for native graph
@@ -309,6 +323,37 @@ public:
   const obs::MetricsRegistry &metrics() const { return Metrics; }
   /// metrics().json() — the machine-readable serving snapshot.
   std::string metricsJson() const { return Metrics.json(); }
+
+  //===--------------------------------------------------------------------===
+  // Autotuning (CompileOptions::Autotune)
+  //===--------------------------------------------------------------------===
+
+  /// Where one shape stands in the tuner's lifecycle (see DESIGN.md,
+  /// "Autotuning"): Off = the program does not tune (or the shape was
+  /// never sighted); Measuring/Deciding = serving the profiled measuring
+  /// artifact, then deciding + building the tuned variant; AbTuned /
+  /// AbGeneric = the A/B arms; Tuned = promoted, the tuned variant serves
+  /// steady-state; Generic = reverted (or nothing to tune), the generic
+  /// artifact serves forever.
+  enum class TunePhase {
+    Off,
+    Measuring,
+    Deciding,
+    AbTuned,
+    AbGeneric,
+    Tuned,
+    Generic
+  };
+  /// True when the program was compiled with the autotuner on.
+  bool autotune() const { return P.Opts.Autotune; }
+  /// The tuner phase for the shape keyed by \p Values (the specializable
+  /// values an invocation would carry). Test/introspection surface.
+  TunePhase tunePhase(const std::map<std::string, std::int64_t> &Values =
+                          {}) const;
+  /// The schedule decisions the tuner measured for the shape keyed by
+  /// \p Values (empty before the decision, or for untuned shapes).
+  codegen::MapSchedules
+  tunedSchedules(const std::map<std::string, std::int64_t> &Values = {}) const;
 
   /// Per-map runtime profile accumulated by the native artifact since
   /// preparation: one row per emitted map scope with call count, total
@@ -390,9 +435,13 @@ private:
   /// without it (Lazy) a miss hands the build to a worker thread and
   /// returns null immediately. \p CompileSeconds receives the
   /// host-compiler time this call paid (blocking misses only).
+  /// \p Sighting is the shape's invocation ordinal — a build only starts
+  /// on the SpecializeAfter'th sighting (UINT_MAX, the specialize()
+  /// warm-up, always builds).
   std::shared_ptr<const sdfg::SDFG>
   resolveVariant(const std::map<std::string, std::int64_t> &Env,
-                 bool Blocking, double *CompileSeconds) const;
+                 bool Blocking, double *CompileSeconds,
+                 unsigned Sighting) const;
   /// The re-JIT itself: clone, substitute, re-optimize, validate,
   /// prepare; publishes Ready or Failed into the table and applies the
   /// LRU cap. Runs on the invoking thread (Eager) or a worker (Lazy).
@@ -409,6 +458,70 @@ private:
   mutable std::uint64_t VarStamp = 0;  // LRU clock.
   mutable unsigned VarCounter = 0;     // `<entry>__spec<n>` names.
   mutable std::vector<std::thread> SpecThreads; // Lazy workers; joined in dtor.
+  /// Per-shape invocation ordinals, shared by the specializeAfter(N) gate
+  /// and the tuner's measuring window. Guarded by VarMu.
+  mutable std::map<std::string, unsigned> Sightings;
+
+  //===--------------------------------------------------------------------===
+  // Autotuner state machine (CompileOptions::Autotune; DESIGN.md,
+  // "Autotuning")
+  //===--------------------------------------------------------------------===
+
+  /// One shape's tuning state. Guarded by VarMu; graph builds and sidecar
+  /// IO run unlocked behind the Building flag (dispatches arriving
+  /// meanwhile serve the generic artifact, uncounted).
+  struct TuneState {
+    TunePhase Ph = TunePhase::Off; // Off doubles as "not initialized".
+    bool Building = false;     // A build/decide/IO step is running unlocked.
+    unsigned Started = 0;      // Counted dispatches in the current phase.
+    unsigned Done = 0;         // Counted completions in the current phase.
+    std::vector<double> Samples; // Seconds per counted completion.
+    double TunedNs = 0.0;        // Median of the AbTuned arm.
+    std::shared_ptr<const sdfg::SDFG> MeasureGraph; // Profiled clone.
+    std::shared_ptr<const sdfg::SDFG> TunedGraph;   // Scheduled clone.
+    codegen::MapSchedules Schedules;                // The decision.
+  };
+
+  /// What tuneDispatch hands invoke(): which graph to run (null = the
+  /// generic artifact) and the completion token tuneComplete needs.
+  struct TuneDispatch {
+    std::shared_ptr<const sdfg::SDFG> Graph;
+    std::string Key;
+    TunePhase Ph = TunePhase::Off; // Phase snapshot; Off = no tuning.
+    bool Counted = false;          // Dispatch occupies a phase slot.
+  };
+
+  /// Advances the shape's state machine for one arriving invocation and
+  /// picks the artifact to serve. First sighting of a shape consults the
+  /// persisted sidecar (warm processes jump straight to Tuned/Generic,
+  /// building the tuned artifact through the JIT cache — a disk hit, not
+  /// a compile) and otherwise builds the profiled measuring clone,
+  /// blocking like an Eager specialization miss.
+  TuneDispatch tuneDispatch(const std::string &Key) const;
+  /// Folds one completed invocation back into the machine; the completion
+  /// that fills a phase window performs the transition (the measuring
+  /// window's last completion reads the profile, decides schedules, and
+  /// builds the tuned clone; the A/B's last completion promotes or
+  /// reverts, persisting the outcome either way).
+  void tuneComplete(const TuneDispatch &D, double Seconds) const;
+  /// Clones the generic graph as `<entry><Suffix>`, registers \p GT with
+  /// the engine, and prepares it. Null (with \p Why) on failure.
+  std::shared_ptr<const sdfg::SDFG>
+  buildTuneClone(const std::string &Suffix, const exec::GraphTuning &GT,
+                 std::string *Why) const;
+  /// `"__meas_"`/`"__tuned_"` + fnv64hex(Key) ("default" for the empty
+  /// key) — deterministic, so warm processes regenerate byte-identical
+  /// source and hit the JIT cache with zero compiler invocations.
+  std::string tuneCloneSuffix(const char *Stem, const std::string &Key) const;
+  /// Writes the shape's sidecar (no-op when persistence is disabled).
+  void persistTuneRecord(const std::string &Key, bool TunedWins,
+                         double BaselineNs, double TunedNs,
+                         const codegen::MapSchedules &Schedules) const;
+
+  mutable std::map<std::string, TuneState> TuneStates; // Guarded by VarMu.
+  /// Resolved sidecar directory (Opts.TuneDir, else `<jit-cache-root>/
+  /// tune`); empty when the program cannot persist.
+  std::string TuneDir;
 
   /// Serving metrics. The hot-path counters/histograms are resolved once
   /// in create() and cached as raw pointers (registry entries are stable
@@ -423,6 +536,9 @@ private:
   obs::Counter *CSpecMisses = nullptr;
   obs::Counter *CSpecFallbacks = nullptr;
   obs::Counter *CSpecEvictions = nullptr;
+  obs::Counter *CTuneMeasuring = nullptr;
+  obs::Counter *CTunePromoted = nullptr;
+  obs::Counter *CTuneReverted = nullptr;
   obs::Histogram *HNative = nullptr;
   obs::Histogram *HInterp = nullptr;
 

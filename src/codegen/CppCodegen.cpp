@@ -204,6 +204,14 @@ private:
   /// parallelized on an *unproven* (symbolic) work estimate; drives the
   /// `dcir-grain:` annotation and the GrainUnproven counter.
   bool GrainUnproven = false;
+  /// Schedule override state for the scope currently being planned (set by
+  /// emitMapScope from Opts.Schedules, top-level scopes only).
+  /// ForceParallel bypasses the grain gate — the measurement already
+  /// proved profitability; the correctness analysis still runs in full.
+  /// TileOverride >= 2 strip-mines the outermost dimension at emission
+  /// time, so the pragma lands on the tile loop (collapse forced to 1).
+  bool ForceParallel = false;
+  unsigned TileOverride = 0;
   /// Collapse depth chosen by the last successful planParallelRegionImpl
   /// (the number of loop headers the work-sharing pragma owns).
   size_t LastCollapse = 1;
@@ -426,10 +434,7 @@ private:
   unsigned emitProfileEnter(const State &S, const MapEntry *Entry,
                             const std::string &Pad) {
     unsigned Idx = ProfLabels.size();
-    std::string Label = "s" + std::to_string(S.getId()) + ":";
-    for (size_t D = 0; D < Entry->Params.size(); ++D)
-      Label += (D ? "," : "") + Entry->Params[D];
-    ProfLabels.push_back(Label);
+    ProfLabels.push_back(codegen::mapScopeLabel(S, *Entry));
     std::set<std::string> Own(Entry->Params.begin(), Entry->Params.end());
     std::string Trips;
     for (size_t D = 0; D < Entry->Ranges.size(); ++D) {
@@ -720,7 +725,7 @@ private:
     // trip count divided by the (step-sized) tile, and its intra strip
     // contributes the strip length, so the product is the true total.
     GrainUnproven = false;
-    {
+    if (!ForceParallel) {
       std::uint64_t Work = 1;
       bool Unknown = false;
       auto Extent = [&](const MapEntry &ME, size_t D,
@@ -942,7 +947,7 @@ private:
     // Rectangular collapse depth: the prefix of dimensions whose ranges
     // reference no map parameter.
     size_t Collapse = 1;
-    if (!AnyPlain) {
+    if (!AnyPlain && TileOverride < 2) {
       while (Collapse < Entry->Params.size()) {
         const sym::SymRange &R = Entry->Ranges[Collapse];
         std::set<std::string> Syms;
@@ -1014,16 +1019,38 @@ private:
 
     // Opt-in per-map profiling wraps the whole scope — declarations,
     // pragma, loops and combines — so the row times exactly what one
-    // scope entry costs.
+    // scope entry costs. ProfileTopMapsOnly keeps the clock out of
+    // nested scopes, whose wrappers would otherwise run inside
+    // parallel-region inner loops and inflate the per-map numbers the
+    // tuner consumes.
+    const bool Prof =
+        Opts.ProfileMaps && (!Opts.ProfileTopMapsOnly || MapDepth == 0);
     unsigned ProfIdx = 0;
-    if (Opts.ProfileMaps)
+    if (Prof)
       ProfIdx = emitProfileEnter(S, Entry, Pad);
+
+    // Measured schedule override for this scope, if any (top-level only —
+    // the same scopes the pragma decision applies to).
+    MapSchedule Sched;
+    if (MapDepth == 0 && !Opts.Schedules.empty()) {
+      auto It = Opts.Schedules.find(codegen::mapScopeLabel(S, *Entry));
+      if (It != Opts.Schedules.end() &&
+          It->second.Policy != MapSchedulePolicy::Auto) {
+        Sched = It->second;
+        if (Info)
+          ++Info->ScheduledMaps;
+      }
+    }
+    const bool ForceSerial = Sched.Policy == MapSchedulePolicy::Serial;
+    ForceParallel = Sched.Policy == MapSchedulePolicy::Parallel;
+    TileOverride = ForceParallel ? Sched.Tile : 0;
 
     // A work-sharing pragma goes on outermost scopes only (no nested
     // parallelism); the region plan decides synchronization for WCR.
     bool Parallel = false;
     std::string Clauses, Decls, Combines;
     if (Opts.ParallelMaps && MapDepth == 0 && !Entry->Params.empty() &&
+        !ForceSerial &&
         planParallelRegion(S, Entry, Scope, Clauses, Decls, Combines,
                            Pad)) {
       Parallel = true;
@@ -1038,6 +1065,14 @@ private:
       if (Info)
         ++Info->ParallelMapsEmitted;
     }
+    // Emission-time strip-mine (measured schedules only): the pragma'd
+    // loop walks tile origins and an intra loop walks the strip under the
+    // original parameter name, coarsening fork/join grain by the tile
+    // factor without re-running passes. Plain-pinned WCR stays sound:
+    // equal pinned values land in the same tile, hence the same thread.
+    const unsigned Tile = (Parallel && TileOverride >= 2) ? TileOverride : 0;
+    ForceParallel = false;
+    TileOverride = 0;
     // Reduction-free parallel regions are outlined into a static body
     // function called from the work-sharing loop. The compiler's own
     // region outlining routes the entry's pointers through a shared-data
@@ -1063,10 +1098,30 @@ private:
           << (Entry->Ranges[D].Step ? cExpr(Entry->Ranges[D].Step) : "1")
           << ") {\n";
     };
+    auto TileHeaders = [&](std::ostream &Out, const std::string &Base,
+                           int &Depth) {
+      const std::string &P = Entry->Params[0];
+      const sym::SymRange &R = Entry->Ranges[0];
+      std::string St = R.Step ? cExpr(R.Step) : "1";
+      std::string Stride = std::to_string(Tile) + "LL * (" + St + ")";
+      Out << Base << std::string(Depth * 2, ' ') << "for (long long " << P
+          << "__tune = " << cExpr(R.Begin) << "; " << P << "__tune < "
+          << cExpr(R.End) << "; " << P << "__tune += " << Stride << ") {\n";
+      ++Depth;
+      Out << Base << std::string(Depth * 2, ' ') << "for (long long " << P
+          << " = " << P << "__tune; " << P << " < dcir_min<long long>(" << P
+          << "__tune + " << Stride << ", " << cExpr(R.End) << "); " << P
+          << " += " << St << ") {\n";
+      ++Depth;
+    };
     ++MapDepth;
     int Depth = 0;
-    for (size_t D = 0; D < Split; ++D)
-      ForHeader(OS, Pad, D, Depth++);
+    for (size_t D = 0; D < Split; ++D) {
+      if (D == 0 && Tile)
+        TileHeaders(OS, Pad, Depth);
+      else
+        ForHeader(OS, Pad, D, Depth++);
+    }
     std::string BodyPad = Pad;
     std::ostringstream Scratch; // Holds the main stream while outlining.
     std::string FnName, FnParams;
@@ -1148,7 +1203,7 @@ private:
       WcrPlan.clear();
       WcrVar.clear();
     }
-    if (Opts.ProfileMaps)
+    if (Prof)
       emitProfileExit(ProfIdx, Pad);
   }
 
@@ -1236,6 +1291,14 @@ dcir::codegen::callSignature(const SDFG &G) {
     if (!Assigned.count(Sym))
       Sig.FreeSymbols.push_back(Sym);
   return Sig;
+}
+
+std::string dcir::codegen::mapScopeLabel(const sdfg::State &S,
+                                         const sdfg::MapEntry &Entry) {
+  std::string Label = "s" + std::to_string(S.getId()) + ":";
+  for (size_t D = 0; D < Entry.Params.size(); ++D)
+    Label += (D ? "," : "") + Entry.Params[D];
+  return Label;
 }
 
 std::string dcir::codegen::abiSignature(const SDFG &G) {

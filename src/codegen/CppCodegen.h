@@ -22,6 +22,7 @@
 #include "sdfg/SDFG.h"
 #include "support/Diagnostics.h"
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,30 @@ CallSignature callSignature(const sdfg::SDFG &G);
 /// cache entry into an actionable diagnostic instead of pointers passed
 /// into the wrong argument slots.
 std::string abiSignature(const sdfg::SDFG &G);
+
+/// The stable per-map label shared by the profiling hook and schedule
+/// overrides: `s<state-id>:<param,...>` — the same string the
+/// `__dcir_profile` rows report, so measured rows key schedule decisions
+/// directly.
+std::string mapScopeLabel(const sdfg::State &S, const sdfg::MapEntry &Entry);
+
+/// A per-map schedule decision, produced by measurement (src/tune/) rather
+/// than the static grain heuristic. `Auto` defers to the heuristic;
+/// `Serial` suppresses the work-sharing pragma; `Parallel` forces it,
+/// bypassing the grain gate (the measurement already proved profitability).
+enum class MapSchedulePolicy { Auto, Serial, Parallel };
+
+struct MapSchedule {
+  MapSchedulePolicy Policy = MapSchedulePolicy::Auto;
+  /// For Parallel: strip-mine the outermost dimension by this factor at
+  /// emission time (0/1 = no tiling). The work-sharing pragma moves to the
+  /// tile loop, coarsening fork/join grain without re-running passes.
+  unsigned Tile = 0;
+};
+
+/// Schedule overrides keyed by mapScopeLabel(). Maps absent from the table
+/// keep Auto behavior.
+using MapSchedules = std::map<std::string, MapSchedule>;
 
 /// Emission options. ParallelMaps turns top-level map scopes into OpenMP
 /// work-sharing loops: `#pragma omp parallel for` (with `collapse(n)` over
@@ -85,6 +110,16 @@ struct CodegenOptions {
   /// stays byte-identical, so the JIT cache key (a hash of the source)
   /// only forks when profiling is on.
   bool ProfileMaps = false;
+  /// With ProfileMaps, instrument only top-level (MapDepth == 0) scopes.
+  /// Nested-scope wrappers put monotonic-clock calls inside parallel-region
+  /// inner loops, inflating the per-map numbers the tuner feeds on; the
+  /// tuner's measuring artifacts set this, the debugging opt-ins keep the
+  /// full picture.
+  bool ProfileTopMapsOnly = false;
+  /// Measured per-map schedule decisions (see MapSchedules above). Applied
+  /// to top-level scopes only; changes the emitted source, so the JIT
+  /// cache key forks exactly like ProfileMaps.
+  MapSchedules Schedules;
 };
 
 /// What the emitter produced (filled when requested).
@@ -97,6 +132,9 @@ struct CodegenInfo {
   /// grain heuristic could not evaluate; the `dcir-grain:` marker in the
   /// source). Zero on fully-specialized graphs.
   unsigned GrainUnproven = 0;
+  /// Map scopes whose schedule came from a CodegenOptions::Schedules
+  /// override (forced serial, forced parallel, or emission-time tile).
+  unsigned ScheduledMaps = 0;
 };
 
 /// Emits a C++ translation unit defining

@@ -35,6 +35,7 @@
 #ifndef DCIR_EXEC_EXECUTIONENGINE_H
 #define DCIR_EXEC_EXECUTIONENGINE_H
 
+#include "codegen/CppCodegen.h"
 #include "interp/FastMath.h"
 #include "interp/Stats.h"
 #include "ir/IR.h"
@@ -138,6 +139,26 @@ struct EngineConfig {
   /// emitted source, hence the cache key; off (the default) emits
   /// nothing.
   bool ProfileMaps = false;
+  /// Grain gates for the parallel-pragma decision, forwarded to
+  /// CodegenOptions::{MinParallelWork,MinInLoopParallelWork}. 0 keeps the
+  /// codegen default (256 / 1<<16).
+  unsigned MinParallelWork = 0;
+  unsigned MinInLoopParallelWork = 0;
+};
+
+/// Per-graph overrides applied on top of EngineConfig when the engine
+/// prepares that one graph — how the autotuner (src/tune/) gets its
+/// measuring artifacts (profiled, top-level scopes only) and its tuned
+/// artifacts (per-map schedule decisions) out of one engine instance
+/// without flipping global configuration under concurrent invocations.
+struct GraphTuning {
+  /// Overrides EngineConfig::ProfileMaps for this graph when set.
+  std::optional<bool> ProfileMaps;
+  /// With profiling on: instrument only top-level map scopes
+  /// (CodegenOptions::ProfileTopMapsOnly).
+  bool ProfileTopOnly = false;
+  /// Measured per-map schedule decisions (CodegenOptions::Schedules).
+  codegen::MapSchedules Schedules;
 };
 
 class ExecutionEngine {
@@ -194,6 +215,16 @@ public:
   virtual std::vector<obs::MapProfile> mapProfile(const sdfg::SDFG &G) {
     (void)G;
     return {};
+  }
+
+  /// Registers per-graph tuning overrides for \p G, applied when the
+  /// graph is (next) prepared — call before prepareGraph; a graph already
+  /// prepared keeps its artifact (release it first to re-prepare).
+  /// Cleared by releaseGraph. Default: no-op (the interpreter has no
+  /// schedules to tune).
+  virtual void tuneGraph(const sdfg::SDFG &G, GraphTuning T) {
+    (void)G;
+    (void)T;
   }
 
   /// Legacy convenience: no bindings, snapshot every output.

@@ -145,6 +145,24 @@ NativeJitEngine::buildArtifact(const sdfg::SDFG &G, std::string &Error,
   // emitting them anyway would only fork the cache key.
   Opts.ParallelMaps = Config.ParallelMaps && Cache.openmp();
   Opts.ProfileMaps = Config.ProfileMaps;
+  if (Config.MinParallelWork)
+    Opts.MinParallelWork = Config.MinParallelWork;
+  if (Config.MinInLoopParallelWork)
+    Opts.MinInLoopParallelWork = Config.MinInLoopParallelWork;
+  // Per-graph tuning overrides (profiled measuring clones, tuned schedule
+  // variants) fold in on top of the engine configuration.
+  bool EffProfile = Config.ProfileMaps;
+  {
+    std::lock_guard<std::mutex> Lock(MemoMu);
+    auto It = Tunings.find(&G);
+    if (It != Tunings.end()) {
+      if (It->second.ProfileMaps)
+        Opts.ProfileMaps = *It->second.ProfileMaps;
+      Opts.ProfileTopMapsOnly = It->second.ProfileTopOnly;
+      Opts.Schedules = It->second.Schedules;
+      EffProfile = Opts.ProfileMaps;
+    }
+  }
   codegen::CodegenInfo CgInfo;
   std::string Source;
   {
@@ -179,7 +197,7 @@ NativeJitEngine::buildArtifact(const sdfg::SDFG &G, std::string &Error,
   std::string ThreadsSym = G.getName() + "__dcir_set_threads";
   P->SetThreads = reinterpret_cast<void (*)(long long)>(
       dlsym(Handle, ThreadsSym.c_str()));
-  if (Config.ProfileMaps) {
+  if (EffProfile) {
     std::string ProfSym = G.getName() + "__dcir_profile";
     P->Profile = reinterpret_cast<long long (*)(void *, long long)>(
         dlsym(Handle, ProfSym.c_str()));
@@ -213,6 +231,12 @@ void NativeJitEngine::releaseGraph(const sdfg::SDFG &G) {
   while (InFlight.count(&G))
     InFlightCv.wait(Lock);
   Memo.erase(&G);
+  Tunings.erase(&G);
+}
+
+void NativeJitEngine::tuneGraph(const sdfg::SDFG &G, GraphTuning T) {
+  std::lock_guard<std::mutex> Lock(MemoMu);
+  Tunings[&G] = std::move(T);
 }
 
 std::vector<obs::MapProfile>

@@ -96,6 +96,11 @@ public:
   /// artifact then embeds the `<entry>__dcir_profile` hook).
   std::vector<obs::MapProfile> mapProfile(const sdfg::SDFG &G) override;
 
+  /// Per-graph overrides (profiling / measured schedules) folded into the
+  /// CodegenOptions when \p G is built — the tuner's entry point. Applies
+  /// to the *next* prepare: releaseGraph first if an artifact exists.
+  void tuneGraph(const sdfg::SDFG &G, GraphTuning T) override;
+
   JitCache &cache() { return Cache; }
 
 private:
@@ -135,6 +140,9 @@ private:
   /// of the same graph wait on the condition variable.
   std::set<const sdfg::SDFG *> InFlight;
   std::condition_variable InFlightCv;
+  /// Per-graph tuning overrides (MemoMu-protected), consumed by
+  /// buildArtifact and erased by releaseGraph.
+  std::map<const sdfg::SDFG *, GraphTuning> Tunings;
 };
 
 } // namespace exec

@@ -116,6 +116,35 @@ struct CompileOptions {
   /// used variant is evicted beyond it. The generic artifact is not a
   /// variant and is never evicted.
   unsigned MaxVariants = 8;
+  /// Build a specialized variant on the Nth sighting of a shape instead
+  /// of the first (default 1 keeps first-sighting builds). Earlier
+  /// sightings serve the generic artifact; an explicit
+  /// Program::specialize() warm-up always builds. The autotuner's
+  /// measuring window counts through the same per-shape sighting counter.
+  unsigned SpecializeAfter = 1;
+  /// Measured-profitability autotuning (native engine only; see
+  /// src/tune/): serve a profiled measuring artifact for the first
+  /// TuneWindow invocations per (entry, shape), decide per-map schedules
+  /// from the measured rows, A/B the tuned artifact against the generic
+  /// one, promote only if it measures faster, and persist winners as JSON
+  /// sidecars so warm processes skip measurement. The benches expose it
+  /// as --autotune=.
+  bool Autotune = false;
+  /// Invocations per measuring / A/B phase (the tuner's K).
+  unsigned TuneWindow = 3;
+  /// Sidecar directory for persisted winners; empty derives
+  /// `<jit-cache-root>/tune`.
+  std::string TuneDir;
+  /// Promotion threshold: the tuned variant is promoted when its measured
+  /// time is < ratio * the generic baseline's. 1.0 (the default) demands
+  /// strictly faster; tests pin 0.0 (always revert) / a large value
+  /// (always promote) for determinism.
+  double TunePromoteRatio = 1.0;
+  /// Grain gates for the parallel-pragma decision, forwarded to
+  /// CodegenOptions::{MinParallelWork,MinInLoopParallelWork}. 0 keeps the
+  /// codegen defaults (256 / 1<<16). The benches expose them as --grain=.
+  unsigned MinParallelWork = 0;
+  unsigned MinInLoopParallelWork = 0;
 };
 
 } // namespace pipeline

@@ -1,0 +1,338 @@
+//===- Autotuner.cpp - schedule decisions and sidecar persistence -------------===//
+
+#include "tune/Autotuner.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+using namespace dcir;
+using namespace dcir::tune;
+
+namespace fs = std::filesystem;
+
+codegen::MapSchedules
+dcir::tune::decideSchedules(const std::vector<obs::MapProfile> &Rows,
+                            const TunePolicy &Policy) {
+  codegen::MapSchedules Out;
+  unsigned H = Policy.Threads;
+  if (H == 0)
+    H = std::thread::hardware_concurrency();
+  if (H == 0)
+    H = 1;
+  for (const obs::MapProfile &Row : Rows) {
+    if (Row.Invocations == 0 || Row.Name.empty())
+      continue; // Never entered: no evidence either way.
+    const double PerCallNs =
+        Row.Seconds * 1e9 / static_cast<double>(Row.Invocations);
+    const double TripsPerCall = static_cast<double>(Row.Trips) /
+                                static_cast<double>(Row.Invocations);
+    codegen::MapSchedule S;
+    // Ideal speedup against a constant fork/join toll per region entry —
+    // deliberately optimistic about the parallel side, so serial only
+    // wins where fork/join genuinely dominates (tiny maps, 1-core
+    // hosts). H == 1 makes parallel strictly a toll: always serial.
+    const double ParallelNs = PerCallNs / H + Policy.ForkJoinNs;
+    if (H <= 1 || ParallelNs >= PerCallNs) {
+      S.Policy = codegen::MapSchedulePolicy::Serial;
+    } else {
+      S.Policy = codegen::MapSchedulePolicy::Parallel;
+      // Fine-grained trips leave scheduling overhead visible: coarsen
+      // with the largest candidate the measured range supports.
+      const double NsPerTrip =
+          PerCallNs / (TripsPerCall > 1.0 ? TripsPerCall : 1.0);
+      if (NsPerTrip <= Policy.CoarsenNsPerTrip) {
+        for (unsigned T : Policy.TileCandidates) {
+          if (T < 2)
+            continue;
+          if (TripsPerCall >=
+              static_cast<double>(Policy.MinTilesPerRange) * T)
+            S.Tile = std::max(S.Tile, T);
+        }
+      }
+    }
+    Out[Row.Name] = S;
+  }
+  return Out;
+}
+
+std::uint64_t dcir::tune::fnv64(const std::string &Data) {
+  std::uint64_t H = 1469598103934665603ULL;
+  for (unsigned char C : Data) {
+    H ^= C;
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+std::string dcir::tune::fnv64Hex(const std::string &Data) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(fnv64(Data)));
+  return Buf;
+}
+
+namespace {
+
+/// Sidecar strings are entry names, hex hashes, shape keys
+/// ("name=value,...") and map labels ("s0:i,j") — none need more than
+/// the two JSON-mandatory escapes, but emit them correctly anyway.
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+const char *policyName(codegen::MapSchedulePolicy P) {
+  switch (P) {
+  case codegen::MapSchedulePolicy::Auto:
+    return "auto";
+  case codegen::MapSchedulePolicy::Serial:
+    return "serial";
+  case codegen::MapSchedulePolicy::Parallel:
+    return "parallel";
+  }
+  return "auto";
+}
+
+/// A minimal scanner for the sidecar documents this file writes: finds
+/// `"key"` at the current nesting and returns the raw value text after
+/// the colon. Not a general JSON parser — the tuner only ever reads its
+/// own output, and malformed input just fails the load (re-measure).
+struct Scanner {
+  const std::string &S;
+  size_t Pos = 0;
+
+  explicit Scanner(const std::string &S) : S(S) {}
+
+  void skipWs() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+
+  bool expect(char C) {
+    skipWs();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool peek(char C) {
+    skipWs();
+    return Pos < S.size() && S[Pos] == C;
+  }
+
+  bool readString(std::string &Out) {
+    skipWs();
+    if (Pos >= S.size() || S[Pos] != '"')
+      return false;
+    ++Pos;
+    Out.clear();
+    while (Pos < S.size() && S[Pos] != '"') {
+      if (S[Pos] == '\\' && Pos + 1 < S.size())
+        ++Pos;
+      Out += S[Pos++];
+    }
+    if (Pos >= S.size())
+      return false;
+    ++Pos; // Closing quote.
+    return true;
+  }
+
+  bool readNumber(double &Out) {
+    skipWs();
+    size_t Start = Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '-' || S[Pos] == '+' || S[Pos] == '.' ||
+            S[Pos] == 'e' || S[Pos] == 'E'))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    try {
+      Out = std::stod(S.substr(Start, Pos - Start));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+
+  bool readBool(bool &Out) {
+    skipWs();
+    if (S.compare(Pos, 4, "true") == 0) {
+      Pos += 4;
+      Out = true;
+      return true;
+    }
+    if (S.compare(Pos, 5, "false") == 0) {
+      Pos += 5;
+      Out = false;
+      return true;
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+std::string dcir::tune::tuneRecordJson(const TuneRecord &R) {
+  std::ostringstream OS;
+  OS << "{\n"
+     << "  \"entry\": \"" << jsonEscape(R.Entry) << "\",\n"
+     << "  \"source\": \"" << jsonEscape(R.SourceHash) << "\",\n"
+     << "  \"shape\": \"" << jsonEscape(R.ShapeKey) << "\",\n"
+     << "  \"tuned_wins\": " << (R.TunedWins ? "true" : "false") << ",\n"
+     << "  \"baseline_ns\": " << R.BaselineNs << ",\n"
+     << "  \"tuned_ns\": " << R.TunedNs << ",\n"
+     << "  \"schedules\": [";
+  bool First = true;
+  for (const auto &[Name, S] : R.Schedules) {
+    OS << (First ? "" : ",") << "\n    {\"map\": \"" << jsonEscape(Name)
+       << "\", \"policy\": \"" << policyName(S.Policy)
+       << "\", \"tile\": " << S.Tile << "}";
+    First = false;
+  }
+  OS << (First ? "]" : "\n  ]") << "\n}\n";
+  return OS.str();
+}
+
+bool dcir::tune::parseTuneRecord(const std::string &Json, TuneRecord &Out) {
+  Scanner Sc(Json);
+  if (!Sc.expect('{'))
+    return false;
+  bool SawSchedules = false;
+  while (!Sc.peek('}')) {
+    std::string Key;
+    if (!Sc.readString(Key) || !Sc.expect(':'))
+      return false;
+    if (Key == "entry") {
+      if (!Sc.readString(Out.Entry))
+        return false;
+    } else if (Key == "source") {
+      if (!Sc.readString(Out.SourceHash))
+        return false;
+    } else if (Key == "shape") {
+      if (!Sc.readString(Out.ShapeKey))
+        return false;
+    } else if (Key == "tuned_wins") {
+      if (!Sc.readBool(Out.TunedWins))
+        return false;
+    } else if (Key == "baseline_ns") {
+      if (!Sc.readNumber(Out.BaselineNs))
+        return false;
+    } else if (Key == "tuned_ns") {
+      if (!Sc.readNumber(Out.TunedNs))
+        return false;
+    } else if (Key == "schedules") {
+      if (!Sc.expect('['))
+        return false;
+      Out.Schedules.clear();
+      while (!Sc.peek(']')) {
+        if (!Sc.expect('{'))
+          return false;
+        std::string MapName, PolicyName;
+        double Tile = 0.0;
+        while (!Sc.peek('}')) {
+          std::string F;
+          if (!Sc.readString(F) || !Sc.expect(':'))
+            return false;
+          if (F == "map") {
+            if (!Sc.readString(MapName))
+              return false;
+          } else if (F == "policy") {
+            if (!Sc.readString(PolicyName))
+              return false;
+          } else if (F == "tile") {
+            if (!Sc.readNumber(Tile))
+              return false;
+          } else {
+            return false;
+          }
+          if (!Sc.peek('}') && !Sc.expect(','))
+            return false;
+        }
+        Sc.expect('}');
+        if (MapName.empty())
+          return false;
+        codegen::MapSchedule S;
+        S.Policy = PolicyName == "serial"
+                       ? codegen::MapSchedulePolicy::Serial
+                   : PolicyName == "parallel"
+                       ? codegen::MapSchedulePolicy::Parallel
+                       : codegen::MapSchedulePolicy::Auto;
+        S.Tile = static_cast<unsigned>(Tile);
+        Out.Schedules[MapName] = S;
+        if (!Sc.peek(']') && !Sc.expect(','))
+          return false;
+      }
+      Sc.expect(']');
+      SawSchedules = true;
+    } else {
+      return false; // Own-output-only format: unknown key = malformed.
+    }
+    if (!Sc.peek('}') && !Sc.expect(','))
+      return false;
+  }
+  return SawSchedules && !Out.SourceHash.empty();
+}
+
+std::string dcir::tune::sidecarPath(const std::string &Dir,
+                                    const std::string &SourceHash,
+                                    const std::string &ShapeKey) {
+  std::string Shape = ShapeKey.empty() ? "default" : fnv64Hex(ShapeKey);
+  return Dir + "/" + SourceHash + "_" + Shape + ".json";
+}
+
+bool dcir::tune::saveTuneRecord(const std::string &Dir, const TuneRecord &R) {
+  if (Dir.empty() || R.SourceHash.empty())
+    return false;
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  const std::string Final = sidecarPath(Dir, R.SourceHash, R.ShapeKey);
+  // Unique temp per writer: concurrent processes tuning the same key each
+  // publish whole files; last rename wins, nobody reads a torn one.
+  std::ostringstream Temp;
+  Temp << Final << ".tmp." << ::getpid() << "."
+       << std::hash<std::thread::id>()(std::this_thread::get_id());
+  {
+    std::ofstream OS(Temp.str(), std::ios::trunc);
+    if (!OS)
+      return false;
+    OS << tuneRecordJson(R);
+    if (!OS.flush())
+      return false;
+  }
+  fs::rename(Temp.str(), Final, EC);
+  if (EC) {
+    fs::remove(Temp.str(), EC);
+    return false;
+  }
+  return true;
+}
+
+bool dcir::tune::loadTuneRecord(const std::string &Dir,
+                                const std::string &SourceHash,
+                                const std::string &ShapeKey,
+                                TuneRecord &Out) {
+  if (Dir.empty() || SourceHash.empty())
+    return false;
+  std::ifstream IS(sidecarPath(Dir, SourceHash, ShapeKey));
+  if (!IS)
+    return false;
+  std::ostringstream Buf;
+  Buf << IS.rdbuf();
+  return parseTuneRecord(Buf.str(), Out);
+}

@@ -1,0 +1,113 @@
+//===- Autotuner.h - measured-profitability schedule tuning -------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decision core of the autotuner (DESIGN.md, "Autotuning"): turn the
+/// per-map runtime profile a measuring artifact accumulated (obs::MapProfile
+/// rows — {calls, ns, trips} per map scope, gathered through the
+/// `__dcir_profile` hook) into per-map schedule decisions
+/// (codegen::MapSchedules: force-serial / force-parallel / emission-time
+/// tile), and persist A/B winners as JSON sidecars keyed by (source hash,
+/// shape key) so warm processes skip measurement entirely.
+///
+/// This header is deliberately free of api:: and exec:: dependencies — the
+/// decision function is pure (rows in, schedules out; unit-tested on
+/// synthetic rows), and the sidecar IO is plain filesystem code. The
+/// serving-side state machine (measure -> decide -> A/B -> promote/revert)
+/// lives in api::Program, which owns the shape-keyed variant table the
+/// tuned artifact slots into.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_TUNE_AUTOTUNER_H
+#define DCIR_TUNE_AUTOTUNER_H
+
+#include "codegen/CppCodegen.h"
+#include "obs/MapProfile.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcir {
+namespace tune {
+
+/// The cost model's constants. Defaults reflect a GCC/libgomp fork/join on
+/// commodity hardware; tests pin them to force either decision.
+struct TunePolicy {
+  /// Estimated cost of entering + leaving one OpenMP work-sharing region.
+  double ForkJoinNs = 15000.0;
+  /// Worker threads the parallel estimate divides by; 0 = the hardware
+  /// concurrency of this host. On a 1-core host every map measures
+  /// serial-wins, which is exactly the 0.76x-geomean fix.
+  unsigned Threads = 0;
+  /// A map whose measured per-trip cost is at or below this is
+  /// fine-grained enough that work-sharing chunk overhead shows; tile it.
+  double CoarsenNsPerTrip = 50.0;
+  /// Emission-time tile candidates, smallest to largest (0 = untiled).
+  std::vector<unsigned> TileCandidates = {0, 8, 32, 128};
+  /// A tile is only eligible when the measured trips-per-call cover at
+  /// least this many full tiles — fewer and the strip-mine just starves
+  /// the worker threads.
+  unsigned MinTilesPerRange = 4;
+};
+
+/// Folds measured per-map rows into schedule decisions. Per row:
+/// serial cost = measured ns/call; parallel cost = ns/call divided by the
+/// thread count plus the fork/join constant; the cheaper side wins. A
+/// parallel winner with fine-grained trips additionally picks the largest
+/// tile candidate its trip count supports. Rows with zero calls are
+/// skipped (never measured -> no evidence -> Auto). The returned table
+/// contains an entry for *every* measured map — forced-serial entries
+/// matter as much as forced-parallel ones, they are what recovers the
+/// 1-core geomean.
+codegen::MapSchedules decideSchedules(const std::vector<obs::MapProfile> &Rows,
+                                      const TunePolicy &Policy);
+
+/// A persisted tuning outcome: what was decided for one (entry, source,
+/// shape) and the A/B evidence behind it. TunedWins=false records a
+/// measured revert — warm processes then skip both measurement *and* the
+/// doomed tuned build.
+struct TuneRecord {
+  std::string Entry;
+  std::string SourceHash; // api::Program's source key (fnv64 hex).
+  std::string ShapeKey;   // Specialization env key; "" = shape-free.
+  bool TunedWins = false;
+  double BaselineNs = 0.0; // Median generic ns/invocation in the A/B.
+  double TunedNs = 0.0;    // Median tuned ns/invocation in the A/B.
+  codegen::MapSchedules Schedules;
+};
+
+/// FNV-1a 64-bit — the tuner's stable hash for source keys and sidecar
+/// file names.
+std::uint64_t fnv64(const std::string &Data);
+/// fnv64 rendered as 16 lowercase hex digits.
+std::string fnv64Hex(const std::string &Data);
+
+/// Serializes \p R as the sidecar JSON document (stable key order).
+std::string tuneRecordJson(const TuneRecord &R);
+/// Parses a sidecar document; false on malformed input (\p Out partial).
+bool parseTuneRecord(const std::string &Json, TuneRecord &Out);
+
+/// `<Dir>/<SourceHash>_<fnv64hex(ShapeKey) | "default">.json`.
+std::string sidecarPath(const std::string &Dir, const std::string &SourceHash,
+                        const std::string &ShapeKey);
+
+/// Writes \p R under \p Dir (created if missing) with a write-to-temp +
+/// atomic-rename publication, so concurrent processes sharing a cache
+/// root never read a torn sidecar. Returns false on IO failure — tuning
+/// then simply re-measures next process, never an error.
+bool saveTuneRecord(const std::string &Dir, const TuneRecord &R);
+
+/// Loads the sidecar for (SourceHash, ShapeKey) from \p Dir. False when
+/// absent or malformed.
+bool loadTuneRecord(const std::string &Dir, const std::string &SourceHash,
+                    const std::string &ShapeKey, TuneRecord &Out);
+
+} // namespace tune
+} // namespace dcir
+
+#endif // DCIR_TUNE_AUTOTUNER_H

@@ -273,6 +273,38 @@ TEST(SpecializeServing, SecondInvocationOnSeenShapeCompilesNothing) {
 }
 
 //===----------------------------------------------------------------------===//
+// specializeAfter(N): the build waits for the Nth sighting of a shape
+//===----------------------------------------------------------------------===//
+
+TEST(SpecializeServing, SpecializeAfterDelaysTheBuildToTheNthSighting) {
+  Compiler C;
+  auto PV = C.pipeline(PipelineKind::Dcir)
+                .engine(exec::EngineKind::Native)
+                .specialize(SpecializeMode::Eager)
+                .specializeAfter(3)
+                .compile(kGemmSym, "kernel_gemm_sym");
+  ASSERT_TRUE(PV && PV->graph()) << C.diagnostics();
+  // Sightings 1 and 2 serve the generic artifact without starting a
+  // build — no miss counted, no variant entry, no re-JIT paid.
+  (void)runGemm(*PV, 32, 24, 16);
+  EXPECT_EQ(PV->variantCount(), 0u);
+  EXPECT_EQ(PV->stats().SpecializeMisses, 0u);
+  (void)runGemm(*PV, 32, 24, 16);
+  EXPECT_EQ(PV->variantCount(), 0u);
+  // The 3rd sighting builds (eagerly, inside the invocation) and serves.
+  (void)runGemm(*PV, 32, 24, 16);
+  EXPECT_EQ(PV->variantCount(), 1u);
+  EXPECT_EQ(PV->stats().SpecializeMisses, 1u);
+  const std::uint64_t Hits0 = PV->stats().SpecializeHits;
+  (void)runGemm(*PV, 32, 24, 16);
+  EXPECT_GT(PV->stats().SpecializeHits, Hits0);
+  // An explicit warm-up bypasses the gate for a shape never sighted.
+  EXPECT_TRUE(PV->specialize({{"ni", 16}, {"nj", 16}, {"nk", 16},
+                              {"s_0", 256}, {"s_1", 256}, {"s_2", 256}}));
+  EXPECT_EQ(PV->variantCount(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
 // The variant table: LRU eviction, generic never evicted
 //===----------------------------------------------------------------------===//
 

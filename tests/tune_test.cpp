@@ -1,0 +1,569 @@
+//===- tune_test.cpp - measured-profitability autotuner suite ------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Acceptance suite for the autotuner (DESIGN.md, "Autotuning"):
+///
+///   * the decision core on synthetic profile rows — serial wins on one
+///     thread and under fork/join-dominated costs, parallel wins on coarse
+///     work, fine-grained trips pick the largest supported tile candidate;
+///   * sidecar persistence — JSON round-trip, unknown keys rejected,
+///     atomic save/load through a real directory;
+///   * the serving lifecycle end-to-end — measure over the window, A/B,
+///     promote on a measured win (and keep correctness), revert under a
+///     pinned impossible ratio (generic keeps serving, tune.reverted);
+///   * warm-process reload — a second Program over the same source and
+///     tune dir serves its *first* invocation from the tuned variant with
+///     zero measuring invocations and zero compiler invocations;
+///   * per-shape isolation — distinct shapes of a symbolic kernel tune
+///     independently and persist distinct sidecars;
+///   * 8 threads racing one shape's tuning lifecycle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Api.h"
+#include "codegen/CppCodegen.h"
+#include "exec/JitCache.h"
+#include "sdfg/SDFG.h"
+#include "support/Casting.h"
+#include "tune/Autotuner.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+#include <gtest/gtest.h>
+
+using namespace dcir;
+using namespace dcir::api;
+using pipeline::ParallelismMode;
+using pipeline::PipelineKind;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+//===----------------------------------------------------------------------===//
+// Decision core: synthetic rows in, schedules out
+//===----------------------------------------------------------------------===//
+
+obs::MapProfile row(const char *Name, std::uint64_t Calls, double Seconds,
+                    std::uint64_t Trips) {
+  obs::MapProfile R;
+  R.Name = Name;
+  R.Invocations = Calls;
+  R.Seconds = Seconds;
+  R.Trips = Trips;
+  return R;
+}
+
+TEST(TuneDecision, OneThreadForcesEveryMapSerial) {
+  tune::TunePolicy Policy;
+  Policy.Threads = 1;
+  auto S = tune::decideSchedules(
+      {row("s0:i", 10, 1.0, 1000), row("s1:i,j", 10, 0.001, 10)}, Policy);
+  ASSERT_EQ(S.size(), 2u);
+  EXPECT_EQ(S["s0:i"].Policy, codegen::MapSchedulePolicy::Serial);
+  EXPECT_EQ(S["s1:i,j"].Policy, codegen::MapSchedulePolicy::Serial);
+}
+
+TEST(TuneDecision, ForkJoinDominatedMapGoesSerialCoarseMapGoesParallel) {
+  tune::TunePolicy Policy;
+  Policy.Threads = 8;
+  Policy.ForkJoinNs = 15000.0;
+  // 10 calls x 1us each: the fork/join toll dwarfs the win. 10 calls x
+  // 10ms each: the 8-way split pays easily.
+  auto S = tune::decideSchedules(
+      {row("s0:i", 10, 10e-6, 1000), row("s1:i", 10, 0.1, 1000)}, Policy);
+  ASSERT_EQ(S.size(), 2u);
+  EXPECT_EQ(S["s0:i"].Policy, codegen::MapSchedulePolicy::Serial);
+  EXPECT_EQ(S["s1:i"].Policy, codegen::MapSchedulePolicy::Parallel);
+  // Coarse per-trip cost (10ms / 100 trips = 100us/trip): no tile.
+  EXPECT_EQ(S["s1:i"].Tile, 0u);
+}
+
+TEST(TuneDecision, FineGrainedTripsPickTheLargestSupportedTile) {
+  tune::TunePolicy Policy;
+  Policy.Threads = 8;
+  Policy.ForkJoinNs = 1000.0;
+  // 10ns/trip, 100k trips/call: fine-grained, and the range supports the
+  // biggest candidate (100000 >= 4 * 128).
+  auto S = tune::decideSchedules({row("s0:i", 10, 0.01, 10000000)}, Policy);
+  ASSERT_EQ(S.size(), 1u);
+  EXPECT_EQ(S["s0:i"].Policy, codegen::MapSchedulePolicy::Parallel);
+  EXPECT_EQ(S["s0:i"].Tile, 128u);
+  // 50ns/trip, but only 40 trips/call: 32 and 128 no longer fit
+  // MinTilesPerRange (4 full tiles); 8 still does.
+  auto S2 = tune::decideSchedules({row("s0:i", 1000, 2e-3, 40000)}, Policy);
+  ASSERT_EQ(S2.size(), 1u);
+  EXPECT_EQ(S2["s0:i"].Policy, codegen::MapSchedulePolicy::Parallel);
+  EXPECT_EQ(S2["s0:i"].Tile, 8u);
+}
+
+TEST(TuneDecision, UnmeasuredRowsProduceNoEntry) {
+  tune::TunePolicy Policy;
+  Policy.Threads = 8;
+  auto S = tune::decideSchedules(
+      {row("s0:i", 0, 0.0, 0), row("", 10, 1.0, 10)}, Policy);
+  EXPECT_TRUE(S.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Sidecar persistence
+//===----------------------------------------------------------------------===//
+
+tune::TuneRecord sampleRecord() {
+  tune::TuneRecord R;
+  R.Entry = "kernel_gemm";
+  R.SourceHash = "00ff00ff00ff00ff";
+  R.ShapeKey = "ni=64,nj=48";
+  R.TunedWins = true;
+  R.BaselineNs = 123456.0;
+  R.TunedNs = 98765.0;
+  R.Schedules["s0:i,j"] = {codegen::MapSchedulePolicy::Parallel, 32};
+  R.Schedules["s1:i"] = {codegen::MapSchedulePolicy::Serial, 0};
+  return R;
+}
+
+TEST(TuneSidecar, JsonRoundTripsEveryField) {
+  tune::TuneRecord R = sampleRecord();
+  tune::TuneRecord Back;
+  ASSERT_TRUE(tune::parseTuneRecord(tune::tuneRecordJson(R), Back));
+  EXPECT_EQ(Back.Entry, R.Entry);
+  EXPECT_EQ(Back.SourceHash, R.SourceHash);
+  EXPECT_EQ(Back.ShapeKey, R.ShapeKey);
+  EXPECT_EQ(Back.TunedWins, R.TunedWins);
+  EXPECT_DOUBLE_EQ(Back.BaselineNs, R.BaselineNs);
+  EXPECT_DOUBLE_EQ(Back.TunedNs, R.TunedNs);
+  ASSERT_EQ(Back.Schedules.size(), 2u);
+  EXPECT_EQ(Back.Schedules["s0:i,j"].Policy,
+            codegen::MapSchedulePolicy::Parallel);
+  EXPECT_EQ(Back.Schedules["s0:i,j"].Tile, 32u);
+  EXPECT_EQ(Back.Schedules["s1:i"].Policy,
+            codegen::MapSchedulePolicy::Serial);
+}
+
+TEST(TuneSidecar, MalformedDocumentsAreRejected) {
+  tune::TuneRecord Out;
+  EXPECT_FALSE(tune::parseTuneRecord("", Out));
+  EXPECT_FALSE(tune::parseTuneRecord("{}", Out));
+  EXPECT_FALSE(tune::parseTuneRecord("{\"surprise\": 1}", Out));
+  // Missing the schedules array: not a usable record.
+  EXPECT_FALSE(tune::parseTuneRecord(
+      "{\"entry\": \"k\", \"source\": \"ab\"}", Out));
+}
+
+TEST(TuneSidecar, SaveThenLoadThroughARealDirectory) {
+  const std::string Dir =
+      (fs::temp_directory_path() / "dcir_tune_sidecar_test").string();
+  fs::remove_all(Dir);
+  tune::TuneRecord R = sampleRecord();
+  ASSERT_TRUE(tune::saveTuneRecord(Dir, R));
+  EXPECT_TRUE(fs::exists(tune::sidecarPath(Dir, R.SourceHash, R.ShapeKey)));
+  tune::TuneRecord Back;
+  ASSERT_TRUE(tune::loadTuneRecord(Dir, R.SourceHash, R.ShapeKey, Back));
+  EXPECT_TRUE(Back.TunedWins);
+  EXPECT_EQ(Back.Schedules.size(), 2u);
+  // Wrong shape key: no record, no error.
+  EXPECT_FALSE(tune::loadTuneRecord(Dir, R.SourceHash, "ni=1", Back));
+  fs::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end lifecycle
+//===----------------------------------------------------------------------===//
+
+const char *kScale = R"(
+void kernel_tune_scale(double x[4096]) {
+  for (int i = 0; i < 4096; i++)
+    x[i] = x[i] * 2.0 + 1.0;
+}
+)";
+
+std::shared_ptr<const Program> compileTuned(const std::string &TuneDir,
+                                            double PromoteRatio,
+                                            unsigned Window = 2) {
+  Compiler C;
+  auto P = C.pipeline(PipelineKind::Dcir)
+               .engine(exec::EngineKind::Native)
+               .parallelism(ParallelismMode::Maps)
+               .autotune(true)
+               .tuneWindow(Window)
+               .tuneDir(TuneDir)
+               .tunePromoteRatio(PromoteRatio)
+               .compile(kScale, "kernel_tune_scale");
+  EXPECT_TRUE(P && P->graph()) << C.diagnostics();
+  return P;
+}
+
+bool runScale(const Program &P, std::vector<double> &X,
+              InvocationResult *Out = nullptr) {
+  X.assign(4096, 0.0);
+  for (std::size_t I = 0; I < X.size(); ++I)
+    X[I] = static_cast<double>(I % 11);
+  Invocation I = P.newInvocation();
+  I.bind("x", X.data(), X.size());
+  if (!I.error().empty())
+    return false;
+  InvocationResult R = I.run();
+  if (Out)
+    *Out = R;
+  return R.Ok;
+}
+
+void expectScaled(const std::vector<double> &X) {
+  for (std::size_t I = 0; I < X.size(); ++I)
+    ASSERT_NEAR(X[I], static_cast<double>(I % 11) * 2.0 + 1.0, 1e-12)
+        << "element " << I;
+}
+
+TEST(TuneLifecycle, MeasureDecideAbThenPromoteOnAMeasuredWin) {
+  const std::string Dir =
+      (fs::temp_directory_path() / "dcir_tune_promote_test").string();
+  fs::remove_all(Dir);
+  // Ratio 1e9: any tuned median wins the A/B — promotion is exercised
+  // deterministically regardless of this host's real timings.
+  auto P = compileTuned(Dir, /*PromoteRatio=*/1e9, /*Window=*/2);
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->tunePhase(), Program::TunePhase::Off);
+  std::vector<double> X;
+  // Window 2 per phase: 2 measuring (the 2nd completes the decision and
+  // builds), 2 tuned-arm, 2 generic-arm, then steady-state tuned.
+  for (int I = 0; I < 7; ++I) {
+    InvocationResult R;
+    ASSERT_TRUE(runScale(*P, X, &R)) << R.Error;
+    EXPECT_EQ(R.EngineUsed, exec::EngineKind::Native);
+    expectScaled(X);
+  }
+  EXPECT_EQ(P->tunePhase(), Program::TunePhase::Tuned);
+  ProgramStats St = P->stats();
+  EXPECT_EQ(St.TuneMeasuring, 2u);
+  EXPECT_EQ(St.TunePromoted, 1u);
+  EXPECT_EQ(St.TuneReverted, 0u);
+  EXPECT_FALSE(P->tunedSchedules().empty());
+  // The winner persisted.
+  tune::TuneRecord Rec;
+  ASSERT_FALSE(Dir.empty());
+  ASSERT_TRUE(fs::exists(Dir));
+  bool Found = false;
+  for (const auto &E : fs::directory_iterator(Dir)) {
+    std::ifstream IS(E.path());
+    std::ostringstream Buf;
+    Buf << IS.rdbuf();
+    if (tune::parseTuneRecord(Buf.str(), Rec))
+      Found = true;
+  }
+  EXPECT_TRUE(Found);
+  EXPECT_TRUE(Rec.TunedWins);
+  EXPECT_EQ(Rec.Entry, "kernel_tune_scale");
+  // The per-variant latency rows carry the A/B evidence.
+  std::string Json = P->metricsJson();
+  EXPECT_NE(Json.find("latency.variant.measuring"), std::string::npos);
+  EXPECT_NE(Json.find("latency.variant.tuned"), std::string::npos);
+  EXPECT_NE(Json.find("latency.variant.generic"), std::string::npos);
+  fs::remove_all(Dir);
+}
+
+TEST(TuneLifecycle, ImpossibleRatioRevertsAndGenericKeepsServing) {
+  const std::string Dir =
+      (fs::temp_directory_path() / "dcir_tune_revert_test").string();
+  fs::remove_all(Dir);
+  // Ratio 0.0: tuned < 0 * generic can never hold — the A/B must revert.
+  auto P = compileTuned(Dir, /*PromoteRatio=*/0.0, /*Window=*/2);
+  ASSERT_TRUE(P);
+  std::vector<double> X;
+  for (int I = 0; I < 8; ++I) {
+    InvocationResult R;
+    ASSERT_TRUE(runScale(*P, X, &R)) << R.Error;
+    EXPECT_EQ(R.EngineUsed, exec::EngineKind::Native);
+    expectScaled(X);
+  }
+  EXPECT_EQ(P->tunePhase(), Program::TunePhase::Generic);
+  ProgramStats St = P->stats();
+  EXPECT_EQ(St.TunePromoted, 0u);
+  EXPECT_EQ(St.TuneReverted, 1u);
+  // The revert persisted too: warm processes skip the doomed experiment.
+  tune::TuneRecord Rec;
+  bool Found = false;
+  for (const auto &E : fs::directory_iterator(Dir)) {
+    std::ifstream IS(E.path());
+    std::ostringstream Buf;
+    Buf << IS.rdbuf();
+    if (tune::parseTuneRecord(Buf.str(), Rec))
+      Found = true;
+  }
+  EXPECT_TRUE(Found);
+  EXPECT_FALSE(Rec.TunedWins);
+  fs::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Warm-process reload: first invocation tuned, zero measuring, zero
+// compiles
+//===----------------------------------------------------------------------===//
+
+TEST(TuneLifecycle, PersistedWinnerServesFirstInvocationWithZeroCompiles) {
+  const std::string Dir =
+      (fs::temp_directory_path() / "dcir_tune_reload_test").string();
+  fs::remove_all(Dir);
+  {
+    auto Cold = compileTuned(Dir, /*PromoteRatio=*/1e9, /*Window=*/2);
+    ASSERT_TRUE(Cold);
+    std::vector<double> X;
+    for (int I = 0; I < 7; ++I)
+      ASSERT_TRUE(runScale(*Cold, X));
+    ASSERT_EQ(Cold->tunePhase(), Program::TunePhase::Tuned);
+  }
+  // "Warm process": a fresh Program over the same source, options, and
+  // tune dir. Its generic artifact and its tuned clone both re-emit
+  // byte-identical source, so the JIT cache serves both without invoking
+  // the host compiler once.
+  auto Warm = compileTuned(Dir, /*PromoteRatio=*/1e9, /*Window=*/2);
+  ASSERT_TRUE(Warm);
+  const std::uint64_t Compiles0 =
+      exec::JitCache::shared().stats().CompilerInvocations;
+  std::vector<double> X;
+  InvocationResult R;
+  ASSERT_TRUE(runScale(*Warm, X, &R)) << R.Error;
+  expectScaled(X);
+  EXPECT_EQ(R.EngineUsed, exec::EngineKind::Native);
+  // First invocation already serves the tuned variant...
+  EXPECT_EQ(Warm->tunePhase(), Program::TunePhase::Tuned);
+  // ...with zero measurement invocations and zero compiler invocations.
+  EXPECT_EQ(Warm->stats().TuneMeasuring, 0u);
+  EXPECT_EQ(Warm->stats().TunePromoted, 0u); // Recorded, not re-won.
+  EXPECT_EQ(exec::JitCache::shared().stats().CompilerInvocations, Compiles0);
+  fs::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-shape isolation on a symbolic kernel
+//===----------------------------------------------------------------------===//
+
+const char *kAxpySym = R"(
+void kernel_tune_axpy(int n, double *x, double *y) {
+  for (int i = 0; i < n; i++)
+    y[i] = y[i] + 3.0 * x[i];
+}
+)";
+
+TEST(TuneLifecycle, ShapesTuneIndependentlyAndPersistDistinctSidecars) {
+  const std::string Dir =
+      (fs::temp_directory_path() / "dcir_tune_shapes_test").string();
+  fs::remove_all(Dir);
+  Compiler C;
+  auto P = C.pipeline(PipelineKind::Dcir)
+               .engine(exec::EngineKind::Native)
+               .parallelism(ParallelismMode::Maps)
+               .autotune(true)
+               .tuneWindow(1)
+               .tuneDir(Dir)
+               .tunePromoteRatio(1e9)
+               .compile(kAxpySym, "kernel_tune_axpy");
+  ASSERT_TRUE(P && P->graph()) << C.diagnostics();
+  auto RunShape = [&](std::int64_t N) {
+    std::vector<double> X(N, 1.0), Y(N, 2.0);
+    std::int64_t Sn = N;
+    Invocation I = P->newInvocation();
+    I.bind("x", X.data(), X.size());
+    I.bind("y", Y.data(), Y.size());
+    I.bind("n", &Sn, 1);
+    I.setSymbol("s_0", N).setSymbol("s_1", N);
+    ASSERT_EQ(I.error(), "");
+    InvocationResult R = I.run();
+    ASSERT_TRUE(R.Ok) << R.Error;
+    for (std::int64_t J = 0; J < N; ++J)
+      ASSERT_NEAR(Y[J], 5.0, 1e-12);
+  };
+  // The n-bounded loop reads a scalar container in its control
+  // expression, so it never converts to a map: the measuring artifact
+  // profiles zero map scopes and each shape's lifecycle must settle on
+  // the measured answer — keep generic — independently, one sidecar per
+  // shape. (Promotion itself is covered by the concrete-kernel tests;
+  // this one is about per-shape keying.)
+  for (int I = 0; I < 3; ++I) {
+    RunShape(512);
+    RunShape(2048);
+  }
+  std::map<std::string, std::int64_t> Small{
+      {"n", 512}, {"s_0", 512}, {"s_1", 512}};
+  std::map<std::string, std::int64_t> Big{
+      {"n", 2048}, {"s_0", 2048}, {"s_1", 2048}};
+  EXPECT_EQ(P->tunePhase(Small), Program::TunePhase::Generic);
+  EXPECT_EQ(P->tunePhase(Big), Program::TunePhase::Generic);
+  EXPECT_EQ(P->stats().TuneReverted, 2u);
+  EXPECT_EQ(P->stats().TunePromoted, 0u);
+  // Two shapes, two sidecars — and a fresh program over the same tune
+  // dir recognizes both immediately: no measuring, straight to Generic.
+  std::size_t Files = 0;
+  for (const auto &E : fs::directory_iterator(Dir)) {
+    (void)E;
+    ++Files;
+  }
+  EXPECT_EQ(Files, 2u);
+  Compiler C2;
+  auto Warm = C2.pipeline(PipelineKind::Dcir)
+                  .engine(exec::EngineKind::Native)
+                  .parallelism(ParallelismMode::Maps)
+                  .autotune(true)
+                  .tuneWindow(1)
+                  .tuneDir(Dir)
+                  .tunePromoteRatio(1e9)
+                  .compile(kAxpySym, "kernel_tune_axpy");
+  ASSERT_TRUE(Warm && Warm->graph()) << C2.diagnostics();
+  P = Warm;
+  RunShape(512);
+  EXPECT_EQ(Warm->tunePhase(Small), Program::TunePhase::Generic);
+  EXPECT_EQ(Warm->stats().TuneMeasuring, 0u);
+  fs::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Forced schedules at the codegen/engine level
+//===----------------------------------------------------------------------===//
+
+TEST(TuneCodegen, ForcedTileStripMinesWithExactTailHandling) {
+  const char *Src = R"(
+void kernel_tune_tile(double x[1000]) {
+  for (int i = 0; i < 1000; i++)
+    x[i] = x[i] * 3.0;
+}
+)";
+  Compiler C;
+  auto P = C.pipeline(PipelineKind::Dcir)
+               .engine(exec::EngineKind::Native)
+               .parallelism(ParallelismMode::Maps)
+               .compile(Src, "kernel_tune_tile");
+  ASSERT_TRUE(P && P->graph()) << C.diagnostics();
+  std::string Label;
+  for (const auto &S : P->graph()->states())
+    for (const auto &N : S->nodes())
+      if (auto *ME = dyn_cast<sdfg::MapEntry>(N.get()))
+        Label = codegen::mapScopeLabel(*S, *ME);
+  ASSERT_FALSE(Label.empty());
+  codegen::MapSchedules Sched;
+  Sched[Label] = {codegen::MapSchedulePolicy::Parallel, 32};
+
+  // Source level: the emission-time strip-mine produces the __tune tile
+  // loop pair and counts the override.
+  auto Clone = P->graph()->clone();
+  Clone->setName("kernel_tune_tile__t32");
+  DiagnosticEngine Diags;
+  codegen::CodegenOptions Opts;
+  Opts.ParallelMaps = true;
+  Opts.Schedules = Sched;
+  codegen::CodegenInfo Info;
+  std::string Code = codegen::emitCpp(*Clone, Diags, Opts, &Info);
+  ASSERT_FALSE(Code.empty()) << Diags.str();
+  EXPECT_NE(Code.find("__tune"), std::string::npos);
+  EXPECT_EQ(Info.ScheduledMaps, 1u);
+
+  // Numeric level, through the engine's per-graph overrides:
+  // 1000 = 31*32 + 8, so the last tile is partial — the dcir_min bound
+  // must make the tail exact.
+  auto Engine = exec::createEngine(exec::EngineKind::Native);
+  exec::GraphTuning GT;
+  GT.Schedules = Sched;
+  std::shared_ptr<const sdfg::SDFG> G(std::move(Clone));
+  Engine->tuneGraph(*G, GT);
+  std::string Error;
+  ASSERT_TRUE(Engine->prepareGraph(*G, Error, nullptr)) << Error;
+  std::vector<double> X(1000);
+  for (int I = 0; I < 1000; ++I)
+    X[I] = static_cast<double>(I);
+  std::map<std::string, exec::BufferView> B{
+      {"x", exec::BufferView::of(X.data(), X.size())}};
+  exec::InvocationRequest Req;
+  Req.Bindings = &B;
+  Req.SnapshotOutputs = false;
+  exec::EngineRun R = Engine->invokeGraph(*G, Req);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  for (int I = 0; I < 1000; ++I)
+    ASSERT_NEAR(X[I], static_cast<double>(I) * 3.0, 1e-12) << "element " << I;
+}
+
+TEST(TuneCodegen, ForcedSerialStripsThePragma) {
+  const char *Src = R"(
+void kernel_tune_serial(double x[8192]) {
+  for (int i = 0; i < 8192; i++)
+    x[i] = x[i] + 1.0;
+}
+)";
+  Compiler C;
+  auto P = C.pipeline(PipelineKind::Dcir)
+               .engine(exec::EngineKind::Native)
+               .parallelism(ParallelismMode::Maps)
+               .compile(Src, "kernel_tune_serial");
+  ASSERT_TRUE(P && P->graph()) << C.diagnostics();
+  std::string Label;
+  for (const auto &S : P->graph()->states())
+    for (const auto &N : S->nodes())
+      if (auto *ME = dyn_cast<sdfg::MapEntry>(N.get()))
+        Label = codegen::mapScopeLabel(*S, *ME);
+  ASSERT_FALSE(Label.empty());
+  DiagnosticEngine Diags;
+  codegen::CodegenOptions Opts;
+  Opts.ParallelMaps = true;
+  // Baseline: 8192 elements clear the grain bar — the pragma is emitted.
+  std::string Base = codegen::emitCpp(*P->graph(), Diags, Opts, nullptr);
+  ASSERT_FALSE(Base.empty()) << Diags.str();
+  EXPECT_NE(Base.find("#pragma omp parallel for"), std::string::npos);
+  // Forced serial: same graph, no pragma — the measured 1-core answer.
+  Opts.Schedules[Label] = {codegen::MapSchedulePolicy::Serial, 0};
+  codegen::CodegenInfo Info;
+  std::string Ser = codegen::emitCpp(*P->graph(), Diags, Opts, &Info);
+  ASSERT_FALSE(Ser.empty()) << Diags.str();
+  EXPECT_EQ(Ser.find("#pragma omp"), std::string::npos);
+  EXPECT_EQ(Info.ScheduledMaps, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency: 8 threads racing one shape's tuning lifecycle
+//===----------------------------------------------------------------------===//
+
+TEST(TuneConcurrencyStress, EightThreadsRaceTheTuningLifecycle) {
+  const std::string Dir =
+      (fs::temp_directory_path() / "dcir_tune_race_test").string();
+  fs::remove_all(Dir);
+  auto P = compileTuned(Dir, /*PromoteRatio=*/1e9, /*Window=*/3);
+  ASSERT_TRUE(P);
+  constexpr int Threads = 8, Reps = 8;
+  std::atomic<unsigned> Failures{0};
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&] {
+      std::vector<double> X;
+      for (int R = 0; R < Reps; ++R) {
+        if (!runScale(*P, X)) {
+          ++Failures;
+          continue;
+        }
+        for (std::size_t I = 0; I < X.size(); ++I)
+          if (std::abs(X[I] - (static_cast<double>(I % 11) * 2.0 + 1.0)) >
+              1e-12) {
+            ++Failures;
+            break;
+          }
+      }
+    });
+  for (auto &T : Pool)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0u);
+  // 64 invocations >> 3 windows of 3: the lifecycle must have reached a
+  // terminal phase, and exactly one outcome was recorded.
+  Program::TunePhase Ph = P->tunePhase();
+  EXPECT_TRUE(Ph == Program::TunePhase::Tuned ||
+              Ph == Program::TunePhase::Generic);
+  EXPECT_EQ(P->stats().TunePromoted + P->stats().TuneReverted, 1u);
+  fs::remove_all(Dir);
+}
+
+} // namespace
