@@ -24,6 +24,8 @@
 /// `--specialize=off|lazy|eager` (shape-specialized re-JIT),
 /// `--autotune=off|on` / `--tune-window=K` (measured-profitability
 /// schedule tuning), `--grain=N[,M]` (static parallel-work gates),
+/// `--static-verify=off|warn|error` (post-optimization soundness gate;
+/// error demotes unproven-parallel maps and refuses proven out-of-bounds),
 /// `--print-pass-report`, and the workload knobs `--parallel-scale=K`
 /// and `--define=NAME=VALUE` (explicit overrides win over scaling; see
 /// pipeline/WorkloadDefines.h).
@@ -105,6 +107,11 @@ struct BenchOptions {
   /// profitability gates the autotuner's measured decisions override.
   std::uint64_t MinParallelWork = 0;
   std::uint64_t MinInLoopParallelWork = 0;
+  /// --static-verify=off|warn|error: the post-optimization static
+  /// soundness gate (races, bounds, definite initialization). Error mode
+  /// serializes maps the race analysis could not prove safe and refuses
+  /// artifacts with proven out-of-bounds accesses.
+  pipeline::StaticVerifyMode StaticVerify = pipeline::StaticVerifyMode::Off;
 
   pipeline::CompileOptions compileOptions(exec::EngineKind K) const {
     pipeline::CompileOptions Opts;
@@ -121,6 +128,7 @@ struct BenchOptions {
       Opts.TuneWindow = static_cast<unsigned>(TuneWindow);
     Opts.MinParallelWork = MinParallelWork;
     Opts.MinInLoopParallelWork = MinInLoopParallelWork;
+    Opts.StaticVerify = StaticVerify;
     return Opts;
   }
 
@@ -269,6 +277,18 @@ inline BenchOptions parseBenchFlags(int &argc, char **argv) {
       }
       Opts.MinParallelWork = static_cast<std::uint64_t>(N);
       Opts.MinInLoopParallelWork = static_cast<std::uint64_t>(M);
+      continue;
+    }
+    if (std::strncmp(argv[I], "--static-verify=", 16) == 0) {
+      auto Parsed = pipeline::parseStaticVerifyModeName(argv[I] + 16);
+      if (!Parsed) {
+        std::fprintf(stderr,
+                     "unknown static-verify mode '%s' (expected "
+                     "off|warn|error)\n",
+                     argv[I] + 16);
+        std::exit(2);
+      }
+      Opts.StaticVerify = *Parsed;
       continue;
     }
     if (std::strcmp(argv[I], "--print-pass-report") == 0) {
@@ -497,6 +517,21 @@ inline std::string tuneExtra(const api::Program &P) {
          ", \"tune_reverted\": " + std::to_string(S.TuneReverted);
 }
 
+/// The `"static_verify": {...}` JSON member: the soundness gate's mode
+/// plus its findings and serial-demotion counts for this artifact. Empty
+/// when the program compiled without the gate (or has no SDFG), so
+/// ungated rows stay byte-stable across the flag flip.
+inline std::string staticVerifyExtra(const api::Program &P) {
+  if (!P.graph() ||
+      P.staticVerifyMode() == pipeline::StaticVerifyMode::Off)
+    return std::string();
+  const api::ProgramStats S = P.stats();
+  return "\"static_verify\": {\"mode\": \"" +
+         std::string(pipeline::staticVerifyModeName(P.staticVerifyMode())) +
+         "\", \"findings\": " + std::to_string(S.VerifyFindings) +
+         ", \"demotions\": " + std::to_string(S.VerifyDemotions) + "}";
+}
+
 /// The shape-specialization JSON members of a Program: served-by-variant
 /// hit count, live variant count, and fallback count. Empty when the
 /// program does not specialize (so non-specializing rows stay unchanged).
@@ -562,6 +597,9 @@ inline std::string benchMetaJson(const BenchOptions &Opts) {
          "\"";
   Out += ", \"grain\": [" + std::to_string(Opts.MinParallelWork) + ", " +
          std::to_string(Opts.MinInLoopParallelWork) + "]";
+  Out += ", \"static_verify\": \"" +
+         std::string(pipeline::staticVerifyModeName(Opts.StaticVerify)) +
+         "\"";
   Out += "}";
   return Out;
 }

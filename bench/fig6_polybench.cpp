@@ -32,7 +32,12 @@
 ///
 /// Every JSON row also carries the Program's engine-fallback counter:
 /// a "native" row with `"engine_fallbacks" > 0` mixed interpreter runs
-/// into its median and must not be read as native performance.
+/// into its median and must not be read as native performance. Under
+/// `--static-verify=warn|error` each SDFG row additionally carries
+/// `"static_verify": {"mode", "findings", "demotions"}` — CI runs the
+/// corpus at error level and asserts both counts stay zero — and the
+/// `--pass-report-json` document gains the gate's wall-time as a
+/// synthetic "static-verify" pass entry.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -80,7 +85,8 @@ int main(int argc, char **argv) {
       // optimization-cost regressions are visible alongside runtime; the
       // fallback counter guards the engine label.
       Json.add(K.Name, Kind, R.EngineUsed, R,
-               joinExtras({passReportExtra(*P), fallbackExtra(*P)}));
+               joinExtras({passReportExtra(*P), staticVerifyExtra(*P),
+                           fallbackExtra(*P)}));
       registerPipelineBenchmark(std::string("fig6/") + K.Name + "/" +
                                     configName(Kind, R.EngineUsed),
                                 P);
@@ -142,13 +148,13 @@ int main(int argc, char **argv) {
       Json.add(K.Name, PipelineKind::Dcir, RS.EngineUsed, RS,
                joinExtras({"\"parallel\": \"off\", \"tiled\": \"off\", " +
                                ExtraBase,
-                           fallbackExtra(*PS), mapProfileExtra(*PS),
-                           metricsExtra(*PS)}));
+                           staticVerifyExtra(*PS), fallbackExtra(*PS),
+                           mapProfileExtra(*PS), metricsExtra(*PS)}));
       Json.add(K.Name, PipelineKind::Dcir, RP.EngineUsed, RP,
                joinExtras({"\"parallel\": \"on\", \"tiled\": \"off\", " +
                                ExtraBase,
-                           fallbackExtra(*PP), mapProfileExtra(*PP),
-                           metricsExtra(*PP)}));
+                           staticVerifyExtra(*PP), fallbackExtra(*PP),
+                           mapProfileExtra(*PP), metricsExtra(*PP)}));
       std::string TiledCol = "           ";
       if (Tiling) {
         auto PT = compileOrDie(Scaled, K.Entry, PipelineKind::Dcir, Tiled);
@@ -157,8 +163,8 @@ int main(int argc, char **argv) {
                  joinExtras({"\"parallel\": \"on\", \"tiled\": \"on\", " +
                                  ExtraBase + ", \"maps_tiled\": " +
                                  std::to_string(PT->report().MapsTiled),
-                             fallbackExtra(*PT), mapProfileExtra(*PT),
-                             metricsExtra(*PT)}));
+                             staticVerifyExtra(*PT), fallbackExtra(*PT),
+                             mapProfileExtra(*PT), metricsExtra(*PT)}));
         char Buf[64];
         std::snprintf(Buf, sizeof(Buf), "tiled %9.3f ms",
                       RT.Seconds * 1e3);
@@ -186,8 +192,8 @@ int main(int argc, char **argv) {
         Json.add(K.Name, PipelineKind::Dcir, RT.EngineUsed, RT,
                  joinExtras({"\"parallel\": \"on\", \"tiled\": \"off\", " +
                                  ExtraBase,
-                             tuneExtra(*PT), fallbackExtra(*PT),
-                             metricsExtra(*PT)}));
+                             tuneExtra(*PT), staticVerifyExtra(*PT),
+                             fallbackExtra(*PT), metricsExtra(*PT)}));
         char Buf[64];
         std::snprintf(Buf, sizeof(Buf), "tuned %9.3f ms", RT.Seconds * 1e3);
         TunedCol = Buf;
@@ -315,11 +321,12 @@ void kernel_gemm_sym(int ni, int nj, int nk, double *A, double *B,
                              ",nk=" + std::to_string(NK) + "\"";
     Json.add("gemm_sym", PipelineKind::Dcir, RG.EngineUsed, RG,
              joinExtras({"\"specialized\": \"off\", " + ShapeExtra,
-                         fallbackExtra(*PG), metricsExtra(*PG)}));
+                         staticVerifyExtra(*PG), fallbackExtra(*PG),
+                         metricsExtra(*PG)}));
     Json.add("gemm_sym", PipelineKind::Dcir, RV.EngineUsed, RV,
              joinExtras({"\"specialized\": \"on\", " + ShapeExtra,
-                         specializeExtra(*PV), fallbackExtra(*PV),
-                         metricsExtra(*PV)}));
+                         specializeExtra(*PV), staticVerifyExtra(*PV),
+                         fallbackExtra(*PV), metricsExtra(*PV)}));
     std::printf("\n--- shape specialization (gemm_sym %lldx%lldx%lld, "
                 "mode=%s) ---\n",
                 static_cast<long long>(NI), static_cast<long long>(NJ),

@@ -221,5 +221,29 @@ void smooth(double v[16384]) {
                                                            : "generic";
   std::printf("after the tuning lifecycle (serving %s): %s\n", Phase,
               Tuned->metricsJson().c_str());
+
+  // 10. Static verification: staticVerify(Error) re-proves race freedom,
+  //     bounds safety, and definite initialization of the *optimized*
+  //     graph with the independent analyzer (src/analysis/, see DESIGN.md
+  //     "Static soundness analysis") before codegen. Unproven-parallel
+  //     maps are demoted to a serial schedule (correct, just slower);
+  //     provable out-of-bounds refuses to compile. The verdict rides on
+  //     the Program: per-finding records via verifyResult(), counts in
+  //     stats() and metricsJson() (verify.findings / verify.demotions),
+  //     and the gate's wall-time as a "static-verify" entry in report().
+  std::shared_ptr<const api::Program> Verified =
+      Compiler.staticVerify(pipeline::StaticVerifyMode::Error)
+          .compile(Source, "saxpy");
+  if (!Verified) {
+    std::fprintf(stderr, "static verification refused the kernel:\n%s\n",
+                 Compiler.diagnostics().c_str());
+    return 1;
+  }
+  api::ProgramStats VS = Verified->stats();
+  const opt::PassStats *Gate = Verified->report().Passes.find("static-verify");
+  std::printf("static verify: %llu findings, %llu demotions, gate %.2f ms\n",
+              (unsigned long long)VS.VerifyFindings,
+              (unsigned long long)VS.VerifyDemotions,
+              Gate ? Gate->Seconds * 1e3 : 0.0);
   return 0;
 }

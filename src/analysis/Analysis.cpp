@@ -1,0 +1,1734 @@
+//===- Analysis.cpp - independent static soundness analyzer -------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the three soundness judgments (races, bounds,
+/// definite initialization). See Analysis.h for the contract and the
+/// independence-from-optimizer rule; nothing here may include sdfgopt
+/// headers.
+///
+/// The proving core is a small symbolic interval engine:
+///
+///   boundExpr(E, Env, upper)  valid symbolic lower/upper bounds of E when
+///                             every Env symbol ranges over its interval
+///                             (several candidates, each independently
+///                             sound; Min/Max fan out).
+///   dimsDisjointAcross(q)     per-dimension stride test: both subsets'
+///                             dimension d reduces to c*q + [lo, hi] with
+///                             the same constant c != 0; distinct q
+///                             bindings then differ by multiples of
+///                             |c|*step(q), so proving that magnitude
+///                             clears both offset gaps proves disjointness
+///                             for every pair of distinct q values.
+///   proveDisjointAcross(P)    recursion over the active parameter set:
+///                             pick q, prove some dimension disjoint
+///                             across q while the remaining parameters
+///                             vary freely over their ranges (covers every
+///                             iteration pair differing in q), then
+///                             recurse on the rest with q held equal (a
+///                             plain shared symbol) to cover pairs that
+///                             agree on q.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analysis.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace dcir;
+using namespace dcir::analysis;
+using sym::SymExpr;
+using sym::SymRange;
+using sym::SymSubset;
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+const char *analysis::severityName(Severity S) {
+  return S == Severity::Error ? "error" : "warning";
+}
+
+const char *analysis::kindName(Kind K) {
+  switch (K) {
+  case Kind::RaceWriteWrite:
+    return "race-write-write";
+  case Kind::RaceReadWrite:
+    return "race-read-write";
+  case Kind::PrivateScalarEscape:
+    return "private-scalar-escape";
+  case Kind::OutOfBounds:
+    return "out-of-bounds";
+  case Kind::BoundsUnproven:
+    return "bounds-unproven";
+  case Kind::RankMismatch:
+    return "rank-mismatch";
+  case Kind::UninitializedRead:
+    return "uninitialized-read";
+  }
+  return "unknown";
+}
+
+static std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string Finding::json() const {
+  std::ostringstream OS;
+  OS << "{\"severity\": \"" << severityName(Sev) << "\", \"kind\": \""
+     << kindName(K) << "\", \"state\": \"" << jsonEscape(State)
+     << "\", \"node\": " << Node << ", \"map\": \"" << jsonEscape(Map)
+     << "\", \"container\": \"" << jsonEscape(Container)
+     << "\", \"subset\": \"" << jsonEscape(Subset) << "\", \"shape\": \""
+     << jsonEscape(Shape) << "\", \"message\": \"" << jsonEscape(Message)
+     << "\"}";
+  return OS.str();
+}
+
+unsigned AnalysisResult::errors() const {
+  unsigned N = 0;
+  for (const Finding &F : Findings)
+    N += F.Sev == Severity::Error;
+  return N;
+}
+
+unsigned AnalysisResult::warnings() const {
+  unsigned N = 0;
+  for (const Finding &F : Findings)
+    N += F.Sev == Severity::Warning;
+  return N;
+}
+
+bool AnalysisResult::hasProvenOob() const {
+  for (const Finding &F : Findings)
+    if (F.K == Kind::OutOfBounds && F.Sev == Severity::Error)
+      return true;
+  return false;
+}
+
+void AnalysisResult::append(AnalysisResult &&Other) {
+  for (Finding &F : Other.Findings)
+    Findings.push_back(std::move(F));
+  for (std::string &M : Other.UnprovenMaps)
+    if (std::find(UnprovenMaps.begin(), UnprovenMaps.end(), M) ==
+        UnprovenMaps.end())
+      UnprovenMaps.push_back(std::move(M));
+}
+
+std::string AnalysisResult::text() const {
+  std::ostringstream OS;
+  for (const Finding &F : Findings) {
+    OS << severityName(F.Sev) << ": [" << kindName(F.K) << "] " << F.Message;
+    if (!F.State.empty())
+      OS << " (state " << F.State
+         << (F.Map.empty() ? "" : ", map " + F.Map) << ")";
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+std::string AnalysisResult::json() const {
+  std::ostringstream OS;
+  OS << "{\"findings\": [";
+  for (size_t I = 0; I < Findings.size(); ++I)
+    OS << (I ? ", " : "") << Findings[I].json();
+  OS << "], \"errors\": " << errors() << ", \"warnings\": " << warnings()
+     << ", \"unproven_maps\": [";
+  for (size_t I = 0; I < UnprovenMaps.size(); ++I)
+    OS << (I ? ", " : "") << "\"" << jsonEscape(UnprovenMaps[I]) << "\"";
+  OS << "]}";
+  return OS.str();
+}
+
+std::string analysis::mapLabel(const sdfg::State &S,
+                               const sdfg::MapEntry &E) {
+  std::string L = "s" + std::to_string(S.getId()) + ":";
+  for (size_t I = 0; I < E.Params.size(); ++I)
+    L += (I ? "," : "") + E.Params[I];
+  return L;
+}
+
+//===----------------------------------------------------------------------===//
+// The symbolic interval engine
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A symbol known to range over [Lo, Hi] (both inclusive). Each side is
+/// a *set* of simultaneous bounds — every element independently holds —
+/// because a loop variable routinely has both a constant bound from its
+/// initialization and a symbolic one from its guard, and collapsing to
+/// one loses whichever the next join or assignment-kill needed. Empty
+/// means unbounded on that side. By convention a constant bound, if
+/// present, is the first element (at most one is kept: the tightest).
+struct Interval {
+  std::vector<SymExpr> Lo;
+  std::vector<SymExpr> Hi;
+
+  bool empty() const { return Lo.empty() && Hi.empty(); }
+};
+
+using BoundEnv = std::map<std::string, Interval>;
+
+constexpr unsigned kMaxCandidates = 8;
+constexpr unsigned kMaxDepth = 8;
+
+/// Valid symbolic bounds of \p E when every BoundEnv symbol ranges over
+/// its interval. Every returned expression is independently a sound bound
+/// (callers may try each); empty means no bound could be derived. \p Upper
+/// selects the direction. Symbols absent from \p Env are left symbolic
+/// (they are fixed-but-unknown, which is exactly what a bound over them
+/// means).
+std::vector<SymExpr> boundExpr(const SymExpr &E, const BoundEnv &Env,
+                               bool Upper, unsigned Depth = 0);
+
+/// Cross product helper: combines per-operand candidate lists with \p F,
+/// capping the result.
+std::vector<SymExpr>
+combine(const std::vector<std::vector<SymExpr>> &PerOp,
+        const std::function<SymExpr(const std::vector<SymExpr> &)> &F) {
+  std::vector<SymExpr> Out;
+  std::set<std::string> Seen;
+  std::vector<size_t> Idx(PerOp.size(), 0);
+  for (const auto &Ops : PerOp)
+    if (Ops.empty())
+      return Out;
+  while (true) {
+    std::vector<SymExpr> Pick;
+    Pick.reserve(PerOp.size());
+    for (size_t I = 0; I < PerOp.size(); ++I)
+      Pick.push_back(PerOp[I][Idx[I]]);
+    // Duplicate combos (two env bounds resolving to the same constant)
+    // would exhaust the candidate cap before a cancelling symbolic combo
+    // like -i + (i + 1) - 1 is ever enumerated.
+    if (SymExpr R = F(Pick); R && Seen.insert(R.str()).second)
+      Out.push_back(R);
+    if (Out.size() >= kMaxCandidates)
+      return Out;
+    size_t I = 0;
+    for (; I < PerOp.size(); ++I) {
+      if (++Idx[I] < PerOp[I].size())
+        break;
+      Idx[I] = 0;
+    }
+    if (I == PerOp.size())
+      return Out;
+  }
+}
+
+std::vector<SymExpr> boundExpr(const SymExpr &E, const BoundEnv &Env,
+                               bool Upper, unsigned Depth) {
+  if (!E || Depth > kMaxDepth)
+    return {};
+  switch (E.kind()) {
+  case sym::ExprKind::Constant:
+    return {E};
+  case sym::ExprKind::Symbol: {
+    auto It = Env.find(E.symbolName());
+    if (It == Env.end())
+      return {E};
+    const std::vector<SymExpr> &Bs = Upper ? It->second.Hi : It->second.Lo;
+    // Bounds may themselves mention enclosing env symbols (a tiled map's
+    // intra parameter is bounded by its tile parameter); resolve those
+    // too, with this symbol removed to guard against cycles.
+    BoundEnv Inner = Env;
+    Inner.erase(E.symbolName());
+    std::vector<SymExpr> Out;
+    std::set<std::string> Seen;
+    for (const SymExpr &B : Bs)
+      for (const SymExpr &C : boundExpr(B, Inner, Upper, Depth + 1)) {
+        if (Seen.insert(C.str()).second)
+          Out.push_back(C);
+        if (Out.size() + 1 >= kMaxCandidates)
+          break;
+      }
+    // The symbol is trivially its own bound; keeping it as a candidate
+    // lets sibling operands cancel it (e.g. lower(i - j - 1) with
+    // j <= i - 1 proves >= 0 only via the symbolic i).
+    Out.push_back(E);
+    return Out;
+  }
+  case sym::ExprKind::Add: {
+    std::vector<std::vector<SymExpr>> PerOp;
+    for (const SymExpr &Op : E.operands())
+      PerOp.push_back(boundExpr(Op, Env, Upper, Depth + 1));
+    return combine(PerOp, [](const std::vector<SymExpr> &Ops) {
+      SymExpr S = Ops[0];
+      for (size_t I = 1; I < Ops.size(); ++I)
+        S = S + Ops[I];
+      return S;
+    });
+  }
+  case sym::ExprKind::Mul: {
+    // Split a leading constant factor; flip direction when negative.
+    const auto &Ops = E.operands();
+    if (!Ops.empty() && Ops[0].isConstant()) {
+      std::int64_t C = Ops[0].constantValue();
+      SymExpr Rest;
+      for (size_t I = 1; I < Ops.size(); ++I)
+        Rest = Rest ? Rest * Ops[I] : Ops[I];
+      if (!Rest)
+        return {E};
+      std::vector<SymExpr> Inner =
+          boundExpr(Rest, Env, C >= 0 ? Upper : !Upper, Depth + 1);
+      std::vector<SymExpr> Out;
+      for (const SymExpr &B : Inner)
+        Out.push_back(SymExpr::constant(C) * B);
+      return Out;
+    }
+    // A product of non-constants: sound only when no factor uses an env
+    // symbol (then E is its own bound).
+    std::set<std::string> Syms;
+    E.collectSymbols(Syms);
+    for (const std::string &S : Syms)
+      if (Env.count(S))
+        return {};
+    return {E};
+  }
+  case sym::ExprKind::Min:
+  case sym::ExprKind::Max: {
+    const bool IsMin = E.kind() == sym::ExprKind::Min;
+    // Shrinking side: any single operand's bound is valid (min(a,b) <= a).
+    if (Upper == IsMin) {
+      std::vector<SymExpr> Out;
+      for (const SymExpr &Op : E.operands()) {
+        for (const SymExpr &B : boundExpr(Op, Env, Upper, Depth + 1)) {
+          Out.push_back(B);
+          if (Out.size() >= kMaxCandidates)
+            return Out;
+        }
+      }
+      return Out;
+    }
+    // Growing side: need a bound that covers every operand.
+    std::vector<std::vector<SymExpr>> PerOp;
+    for (const SymExpr &Op : E.operands())
+      PerOp.push_back(boundExpr(Op, Env, Upper, Depth + 1));
+    return combine(PerOp, [&](const std::vector<SymExpr> &Ops) {
+      SymExpr S = Ops[0];
+      for (size_t I = 1; I < Ops.size(); ++I)
+        S = IsMin ? SymExpr::min(S, Ops[I]) : SymExpr::max(S, Ops[I]);
+      return S;
+    });
+  }
+  case sym::ExprKind::FloorDiv: {
+    const SymExpr &Num = E.operands()[0], &Den = E.operands()[1];
+    if (!Den.provePositive())
+      return {};
+    // Monotone in the numerator for a positive divisor.
+    std::vector<SymExpr> Out;
+    for (const SymExpr &B : boundExpr(Num, Env, Upper, Depth + 1))
+      Out.push_back(SymExpr::floorDiv(B, Den));
+    return Out;
+  }
+  case sym::ExprKind::Mod: {
+    const SymExpr &Den = E.operands()[1];
+    if (!Den.provePositive())
+      return {};
+    // Euclidean remainder for a positive divisor: always in [0, den-1].
+    return Upper ? std::vector<SymExpr>{Den - SymExpr::constant(1)}
+                 : std::vector<SymExpr>{SymExpr::constant(0)};
+  }
+  default:
+    return {};
+  }
+}
+
+/// Proves `L <= R` for some candidate pair (each candidate is a sound
+/// bound, so any success suffices).
+bool proveLeAny(const std::vector<SymExpr> &Ls,
+                const std::vector<SymExpr> &Rs) {
+  for (const SymExpr &L : Ls)
+    for (const SymExpr &R : Rs)
+      if (auto P = SymExpr::le(L, R).tryProve())
+        if (*P)
+          return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Race freedom
+//===----------------------------------------------------------------------===//
+
+/// One access collected from a map scope.
+struct ScopeAccess {
+  SymSubset Subset;
+  bool Write = false;
+  bool Wcr = false;
+  int Node = -1; // Representative endpoint node id.
+};
+
+/// An active map parameter: its range plus the constant stride distinct
+/// bindings differ by (1 when the step is symbolic but provably >= 1).
+struct ActiveParam {
+  std::string Name;
+  SymRange Range;
+  std::int64_t Stride = 1;
+};
+
+/// The per-dimension stride test (see file comment): both ranges reduce
+/// to c*q + [lo, hi] with the same constant c != 0 under \p Vary, and
+/// |c|*stride(q) provably clears both offset gaps.
+bool dimDisjointAcross(const SymRange &A, const SymRange &B,
+                       const ActiveParam &Q, const BoundEnv &Vary) {
+  // Inclusive symbolic interval of each range over the varying params
+  // (q itself stays symbolic).
+  auto Decompose = [&](const SymExpr &Bound, bool Upper, SymExpr &Coeff,
+                       std::vector<SymExpr> &Offsets) {
+    for (const SymExpr &Cand : boundExpr(Bound, Vary, Upper)) {
+      SymExpr C, D;
+      if (!Cand.linearIn(Q.Name, C, D) || !C || !C.isConstant() ||
+          C.constantValue() == 0)
+        continue;
+      // The offset must not mention q or any still-varying param.
+      std::set<std::string> Syms;
+      if (D)
+        D.collectSymbols(Syms);
+      bool Bad = Syms.count(Q.Name) != 0;
+      for (const std::string &S : Syms)
+        if (Vary.count(S))
+          Bad = true;
+      if (Bad)
+        continue;
+      if (Coeff && !Coeff.equals(C))
+        continue; // All four decompositions must share one coefficient.
+      Coeff = C;
+      Offsets.push_back(D ? D : SymExpr::constant(0));
+      return true;
+    }
+    return false;
+  };
+
+  SymExpr Coeff;
+  std::vector<SymExpr> ALo, AHi, BLo, BHi;
+  const SymExpr One = SymExpr::constant(1);
+  if (!Decompose(A.Begin, /*Upper=*/false, Coeff, ALo) ||
+      !Decompose(A.End - One, /*Upper=*/true, Coeff, AHi) ||
+      !Decompose(B.Begin, /*Upper=*/false, Coeff, BLo) ||
+      !Decompose(B.End - One, /*Upper=*/true, Coeff, BHi))
+    return false;
+
+  std::int64_t C = Coeff.constantValue();
+  std::int64_t M = (C < 0 ? -C : C) * Q.Stride;
+  // Distinct q bindings differ by a nonzero multiple of stride(q), so the
+  // two intervals' offsets differ by a multiple of M. They are disjoint
+  // for every such pair iff M exceeds both directed gaps:
+  //   M > hi(A) - lo(B)   and   M > hi(B) - lo(A).
+  const SymExpr MEx = SymExpr::constant(M);
+  auto Gt = [](const SymExpr &L, const SymExpr &R) {
+    auto P = SymExpr::gt(L, R).tryProve();
+    return P && *P;
+  };
+  return Gt(MEx, AHi[0] - BLo[0]) && Gt(MEx, BHi[0] - ALo[0]);
+}
+
+/// The recursion over active params (see file comment). \p ParamRanges
+/// carries every parameter (active or enclosing/nested) for widening.
+bool proveDisjointAcross(const SymSubset &A, const SymSubset &B,
+                         std::vector<ActiveParam> Active,
+                         const BoundEnv &AllParams) {
+  if (Active.empty())
+    return true; // Identical bindings: same iteration, no race.
+  if (A.rank() != B.rank() || A.rank() == 0)
+    return false; // Rank-0 (scalar) or malformed: nothing separates.
+  for (size_t QI = 0; QI < Active.size(); ++QI) {
+    const ActiveParam &Q = Active[QI];
+    // Everything except q varies freely over its bounds.
+    BoundEnv Vary = AllParams;
+    Vary.erase(Q.Name);
+    bool DimSeparates = false;
+    for (size_t D = 0; D < A.rank() && !DimSeparates; ++D)
+      DimSeparates = dimDisjointAcross(A.dim(D), B.dim(D), Q, Vary);
+    if (!DimSeparates)
+      continue;
+    // Pairs differing in q are covered; recurse with q held equal (it
+    // becomes a plain shared symbol) for pairs agreeing on q.
+    std::vector<ActiveParam> Rest = Active;
+    Rest.erase(Rest.begin() + static_cast<long>(QI));
+    BoundEnv RestEnv = AllParams;
+    RestEnv.erase(Q.Name);
+    if (proveDisjointAcross(A, B, std::move(Rest), RestEnv))
+      return true;
+  }
+  return false;
+}
+
+/// The inclusive interval of a map range, as a BoundEnv entry. The upper
+/// bound keeps End-1 symbolic; boundExpr's Min handling peels
+/// `min(tile+T, n) - 1` style bounds during widening.
+Interval rangeInterval(const SymRange &R) {
+  Interval I;
+  if (R.Begin)
+    I.Lo.push_back(R.Begin);
+  if (R.End) {
+    I.Hi.push_back(R.End - SymExpr::constant(1));
+    // A strided range never reaches End-1 unless Step divides the extent:
+    // its true maximum is Begin + floor((End-1-Begin)/Step)*Step. Without
+    // this, a tile loop `t=0:64:32` appears to reach 63 and the intra
+    // parameter `i=t:t+32` apparently overruns the container.
+    if (R.Begin && R.Step && R.Step.isConstant() &&
+        R.Step.constantValue() > 1)
+      I.Hi.push_back(R.Begin +
+                     SymExpr::floorDiv(R.End - SymExpr::constant(1) - R.Begin,
+                                       R.Step) *
+                         R.Step);
+  }
+  return I;
+}
+
+/// Collects every memlet incident to \p Entry's scope interior, classified
+/// as read and/or write of its container.
+std::map<std::string, std::vector<ScopeAccess>>
+collectScopeAccesses(const sdfg::State &S, const sdfg::MapEntry &Entry,
+                     const std::set<int> &Scope) {
+  std::map<std::string, std::vector<ScopeAccess>> Acc;
+  const int EntryId = Entry.getId(), ExitId = Entry.ExitId;
+  auto InScope = [&](int Id) { return Scope.count(Id) != 0; };
+  for (const sdfg::DataflowEdge &E : S.edges()) {
+    if (E.M.isEmpty())
+      continue;
+    const bool SrcIn = InScope(E.Src) || E.Src == EntryId;
+    const bool DstIn = InScope(E.Dst) || E.Dst == ExitId;
+    if (!SrcIn || !DstIn)
+      continue; // Outside (or crossing out of) the scope.
+    const sdfg::Node *Src = S.getNode(E.Src);
+    const sdfg::Node *Dst = S.getNode(E.Dst);
+    bool Read = false, Write = false;
+    if (isa<sdfg::Tasklet>(Dst))
+      Read = true;
+    if (auto *A = dyn_cast<sdfg::AccessNode>(Src))
+      if (A->getData() == E.M.Data)
+        Read = true;
+    if (isa<sdfg::MapEntry>(Src))
+      Read = true;
+    if (isa<sdfg::Tasklet>(Src))
+      Write = true;
+    if (auto *A = dyn_cast<sdfg::AccessNode>(Dst))
+      if (A->getData() == E.M.Data)
+        Write = true;
+    if (isa<sdfg::MapExit>(Dst))
+      Write = true;
+    if (!Read && !Write)
+      continue;
+    ScopeAccess SA;
+    SA.Subset = E.M.Subset;
+    SA.Wcr = !E.M.Wcr.empty();
+    SA.Node = E.Src;
+    if (Write) {
+      SA.Write = true;
+      Acc[E.M.Data].push_back(SA);
+    }
+    if (Read && !SA.Wcr) {
+      ScopeAccess RA = SA;
+      RA.Write = false;
+      Acc[E.M.Data].push_back(RA);
+    }
+  }
+  return Acc;
+}
+
+/// True when \p E's trip space provably holds at most one iteration
+/// binding (a single-iteration map cannot race with itself).
+bool singleIteration(const sdfg::MapEntry &E) {
+  for (const SymRange &R : E.Ranges) {
+    SymExpr N = R.numElements();
+    if (!N || !N.isConstant() || N.constantValue() > 1)
+      return false;
+  }
+  return true;
+}
+
+void checkMapScope(const sdfg::SDFG &G, const sdfg::State &S,
+                   const sdfg::MapEntry &Entry, AnalysisResult &Res) {
+  const std::set<int> Scope = S.scopeNodes(Entry);
+  const std::string Label = analysis::mapLabel(S, Entry);
+  if (singleIteration(Entry))
+    return;
+
+  // Active params: this scope's own. All params of nested maps inside the
+  // scope vary freely (two distinct outer bindings run the entire inner
+  // space concurrently).
+  std::vector<ActiveParam> Active;
+  BoundEnv AllParams;
+  for (size_t I = 0; I < Entry.Params.size(); ++I) {
+    ActiveParam P;
+    P.Name = Entry.Params[I];
+    P.Range = I < Entry.Ranges.size() ? Entry.Ranges[I] : SymRange();
+    if (P.Range.Step && P.Range.Step.isConstant() &&
+        P.Range.Step.constantValue() > 1)
+      P.Stride = P.Range.Step.constantValue();
+    Active.push_back(P);
+    AllParams[P.Name] = rangeInterval(P.Range);
+  }
+  for (int Id : Scope)
+    if (auto *Inner = dyn_cast<sdfg::MapEntry>(S.getNode(Id)))
+      for (size_t I = 0; I < Inner->Params.size(); ++I)
+        if (I < Inner->Ranges.size())
+          AllParams[Inner->Params[I]] = rangeInterval(Inner->Ranges[I]);
+
+  auto Flag = [&](Kind K, Severity Sev, const std::string &Container,
+                  const std::string &Subset, const std::string &Msg) {
+    Finding F;
+    F.Sev = Sev;
+    F.K = K;
+    F.State = S.getName();
+    F.Node = Entry.getId();
+    F.Map = Label;
+    F.Container = Container;
+    F.Subset = Subset;
+    F.Message = Msg;
+    Res.Findings.push_back(F);
+    if (std::find(Res.UnprovenMaps.begin(), Res.UnprovenMaps.end(), Label) ==
+        Res.UnprovenMaps.end())
+      Res.UnprovenMaps.push_back(Label);
+  };
+
+  auto Accesses = collectScopeAccesses(S, Entry, Scope);
+  for (const auto &KV : Accesses) {
+    const std::string &Data = KV.first;
+    if (!G.hasData(Data))
+      continue;
+    const sdfg::DataDesc &D = G.desc(Data);
+    if (D.K == sdfg::DataDesc::Kind::Stream)
+      continue;
+    const std::vector<ScopeAccess> &As = KV.second;
+    bool AnyWrite = false;
+    for (const ScopeAccess &A : As)
+      AnyWrite |= A.Write;
+    if (!AnyWrite)
+      continue; // Read-only containers cannot race.
+
+    // Scalars (and rank-0 subsets): every iteration touches the same
+    // cell, so a plain (non-WCR) write races unless the scalar is
+    // privatized to the iteration.
+    if (D.K == sdfg::DataDesc::Kind::Scalar) {
+      if (Entry.isPrivate(Data))
+        continue; // Per-iteration copy; the escape check runs separately.
+      for (const ScopeAccess &A : As)
+        if (A.Write && !A.Wcr) {
+          Flag(Kind::RaceWriteWrite, Severity::Error, Data, "[]",
+               "scalar '" + Data +
+                   "' written without write-conflict resolution in "
+                   "parallel map scope " +
+                   Label);
+          break;
+        }
+      continue;
+    }
+
+    // Arrays: every (write, write/read) pair must be provably disjoint
+    // across distinct iteration bindings. WCR-WCR pairs commute through
+    // the conflict resolution and are exempt; WCR-read and WCR-plain
+    // pairs are not (a read may observe a partial resolution).
+    bool Flagged = false;
+    for (size_t I = 0; I < As.size() && !Flagged; ++I) {
+      if (!As[I].Write)
+        continue;
+      for (size_t J = I; J < As.size() && !Flagged; ++J) {
+        const ScopeAccess &W = As[I], &O = As[J];
+        if (!O.Write && O.Node == W.Node && O.Subset.equals(W.Subset))
+          ; // Same-edge read+write of one cell still needs the proof.
+        if (W.Wcr && O.Wcr)
+          continue;
+        if (!O.Write && O.Subset.equals(W.Subset) && !W.Wcr) {
+          // A plain read of exactly the cells this binding writes is the
+          // in-iteration read-modify-write idiom; the cross-binding case
+          // is covered by the W-W pair (I == J) below.
+          if (I != J)
+            continue;
+        }
+        if (proveDisjointAcross(W.Subset, O.Subset, Active, AllParams))
+          continue;
+        // Not provable. Distinguish a definite same-cell conflict (the
+        // subsets ignore every active parameter, e.g. a dropped WCR on a
+        // reduction target) from mere incompleteness.
+        bool UsesActive = false;
+        std::set<std::string> Syms;
+        W.Subset.collectSymbols(Syms);
+        O.Subset.collectSymbols(Syms);
+        for (const ActiveParam &P : Active)
+          UsesActive |= Syms.count(P.Name) != 0;
+        const bool Definite =
+            !UsesActive && W.Subset.mayOverlap(O.Subset) && !W.Wcr && !O.Wcr;
+        Kind K = O.Write ? Kind::RaceWriteWrite : Kind::RaceReadWrite;
+        Flag(K, Definite ? Severity::Error : Severity::Warning, Data,
+             W.Subset.str(),
+             std::string(O.Write ? "write-write" : "read-write") +
+                 " conflict on '" + Data + "' (" + W.Subset.str() +
+                 (O.Write ? " vs " : " written vs ") + O.Subset.str() +
+                 " read) not provably disjoint across map parameters of " +
+                 Label);
+        Flagged = true;
+      }
+    }
+  }
+
+  // Privatized-scalar escape re-check: each private scalar must be
+  // written before it is read within the scope (otherwise an iteration
+  // observes another binding's — or no — value, contradicting the
+  // privatization claim).
+  if (!Entry.PrivateData.empty()) {
+    std::vector<sdfg::Node *> Topo = S.topologicalOrder();
+    std::map<int, size_t> Pos;
+    for (size_t I = 0; I < Topo.size(); ++I)
+      Pos[Topo[I]->getId()] = I;
+    for (const std::string &P : Entry.PrivateData) {
+      long FirstWrite = -1, FirstRead = -1;
+      int ReadNode = -1;
+      for (int Id : Scope) {
+        auto *A = dyn_cast<sdfg::AccessNode>(S.getNode(Id));
+        if (!A || A->getData() != P)
+          continue;
+        const long At = static_cast<long>(Pos[Id]);
+        if (!S.inEdges(A).empty() &&
+            (FirstWrite < 0 || At < FirstWrite))
+          FirstWrite = At;
+        if (!S.outEdges(A).empty() && S.inEdges(A).empty() &&
+            (FirstRead < 0 || At < FirstRead)) {
+          FirstRead = At;
+          ReadNode = Id;
+        }
+      }
+      if (FirstRead >= 0 && (FirstWrite < 0 || FirstWrite > FirstRead)) {
+        Flag(Kind::PrivateScalarEscape, Severity::Warning, P, "[]",
+             "privatized scalar '" + P +
+                 "' is read before any in-scope write in map " + Label +
+                 " (node " + std::to_string(ReadNode) + ")");
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Interstate flow (symbol bounds, feasible paths, definite writes)
+//===----------------------------------------------------------------------===//
+
+/// Map scope chains per node: the innermost-to-outermost MapEntry ids each
+/// node sits under.
+std::map<int, std::vector<const sdfg::MapEntry *>>
+scopeChains(const sdfg::State &S) {
+  std::map<int, std::vector<const sdfg::MapEntry *>> Chains;
+  for (const auto &N : S.nodes()) {
+    if (auto *E = dyn_cast<sdfg::MapEntry>(N.get())) {
+      for (int Id : S.scopeNodes(*E))
+        Chains[Id].push_back(E);
+    }
+  }
+  return Chains;
+}
+
+/// Per-state symbol facts: Lo <= s (inclusive) and s < Hi (exclusive),
+/// derived by a forward meet-over-paths pass over the state machine. Facts
+/// start at top (unvisited) and only shrink, so the fixpoint terminates.
+struct SymFacts {
+  std::map<std::string, Interval> F; // Hi stored *exclusive* here.
+  bool Visited = false;
+};
+
+/// Cap on how many simultaneous bounds one side of an Interval keeps.
+/// (Deliberately NOT encoded as min/max SymExpr composites: the min/max
+/// factories run dominance elimination under the positive-symbol
+/// assumption, which would silently fold away the constant component a
+/// later assignment-kill or path join depends on.)
+constexpr unsigned kMaxBoundTerms = 3;
+
+/// Conjoin \p New onto the bound set: everything in the set holds, so
+/// keep both (constants collapse to the tighter one, kept at the front;
+/// the term count is capped).
+void addBound(std::vector<SymExpr> &Set, const SymExpr &New, bool Upper) {
+  if (!New)
+    return;
+  if (New.isConstant()) {
+    if (!Set.empty() && Set.front().isConstant()) {
+      if ((New.constantValue() < Set.front().constantValue()) == Upper)
+        Set.front() = New;
+      return;
+    }
+    Set.insert(Set.begin(), New);
+    return;
+  }
+  for (const SymExpr &B : Set)
+    if (B.equals(New))
+      return;
+  if (Set.size() < kMaxBoundTerms)
+    Set.push_back(New);
+}
+
+/// Remove the bounds that mention \p Sym. Dropping elements of a
+/// conjunction only weakens it, so the remainder is still sound.
+void stripBound(std::vector<SymExpr> &Set, const std::string &Sym) {
+  for (auto It = Set.begin(); It != Set.end();)
+    It = It->usesSymbol(Sym) ? Set.erase(It) : It + 1;
+}
+
+/// Join of two bound sets of the same polarity: the strongest
+/// conjunction implied by *both* sides. Symbolic bounds survive when
+/// present on both sides; constant bounds survive as their hull (max of
+/// uppers, min of lows — each side implies its own constant, and the
+/// hull is implied by either).
+std::vector<SymExpr> joinBound(const std::vector<SymExpr> &A,
+                               const std::vector<SymExpr> &B, bool Upper) {
+  std::vector<SymExpr> Out;
+  SymExpr CA, CB;
+  for (const SymExpr &T : A) {
+    if (T.isConstant()) {
+      if (!CA || (T.constantValue() < CA.constantValue()) == Upper)
+        CA = T;
+      continue;
+    }
+    for (const SymExpr &U : B)
+      if (!U.isConstant() && T.equals(U)) {
+        addBound(Out, T, Upper);
+        break;
+      }
+  }
+  for (const SymExpr &U : B)
+    if (U.isConstant())
+      if (!CB || (U.constantValue() < CB.constantValue()) == Upper)
+        CB = U;
+  if (CA && CB) {
+    const bool TakeB = (CB.constantValue() > CA.constantValue()) == Upper;
+    addBound(Out, TakeB ? CB : CA, Upper);
+  }
+  return Out;
+}
+
+bool sameBounds(const std::vector<SymExpr> &A, const std::vector<SymExpr> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (const SymExpr &T : A) {
+    bool Found = false;
+    for (const SymExpr &U : B)
+      Found |= T.equals(U);
+    if (!Found)
+      return false;
+  }
+  return true;
+}
+
+/// Converts exclusive-Hi facts into the inclusive BoundEnv boundExpr
+/// expects.
+BoundEnv inclusiveEnv(const std::map<std::string, Interval> &F) {
+  BoundEnv Env;
+  for (const auto &KV : F) {
+    Interval E;
+    E.Lo = KV.second.Lo;
+    for (const SymExpr &H : KV.second.Hi)
+      E.Hi.push_back(H - SymExpr::constant(1));
+    Env[KV.first] = E;
+  }
+  return Env;
+}
+
+/// addBound plus the constant resolution of a symbolic bound through the
+/// current facts: a guard `addi <= j` under `addi in [1, ...)` also
+/// records the constant `1 <= j` — the form contradictory() can compare.
+/// Without this, triangular and symbolically-bounded loops keep purely
+/// symbolic intervals and their zero-trip exit edges are never refuted.
+void addBoundResolved(std::vector<SymExpr> &Set, const SymExpr &New,
+                      bool Upper, const std::map<std::string, Interval> &F) {
+  addBound(Set, New, Upper);
+  if (!New || New.isConstant() || F.empty())
+    return;
+  for (const SymExpr &C : boundExpr(New, inclusiveEnv(F), Upper))
+    if (C.isConstant())
+      addBound(Set, C, Upper);
+}
+
+void applyCondition(const SymExpr &C, std::map<std::string, Interval> &F,
+                    unsigned Depth = 0) {
+  if (!C || Depth > 4)
+    return;
+  switch (C.kind()) {
+  case sym::ExprKind::And:
+    for (const SymExpr &Op : C.operands())
+      applyCondition(Op, F, Depth + 1);
+    return;
+  case sym::ExprKind::Lt:
+  case sym::ExprKind::Le: {
+    const SymExpr &L = C.operands()[0], &R = C.operands()[1];
+    const bool Lt = C.kind() == sym::ExprKind::Lt;
+    if (L.isSymbol() && !R.usesSymbol(L.symbolName())) {
+      Interval &I = F[L.symbolName()];
+      addBoundResolved(I.Hi, Lt ? R : R + SymExpr::constant(1),
+                       /*Upper=*/true, F);
+    }
+    if (R.isSymbol() && !L.usesSymbol(R.symbolName())) {
+      Interval &I = F[R.symbolName()];
+      addBoundResolved(I.Lo, Lt ? L + SymExpr::constant(1) : L,
+                       /*Upper=*/false, F);
+    }
+    return;
+  }
+  case sym::ExprKind::Eq: {
+    const SymExpr &L = C.operands()[0], &R = C.operands()[1];
+    if (L.isSymbol() && !R.usesSymbol(L.symbolName())) {
+      Interval &I = F[L.symbolName()];
+      addBoundResolved(I.Lo, R, /*Upper=*/false, F);
+      addBoundResolved(I.Hi, R + SymExpr::constant(1), /*Upper=*/true, F);
+    } else if (R.isSymbol() && !L.usesSymbol(R.symbolName())) {
+      Interval &I = F[R.symbolName()];
+      addBoundResolved(I.Lo, L, /*Upper=*/false, F);
+      addBoundResolved(I.Hi, L + SymExpr::constant(1), /*Upper=*/true, F);
+    }
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void applyAssignment(const std::string &Sym, const SymExpr &Rhs,
+                     std::map<std::string, Interval> &F,
+                     const BoundEnv *Scalars,
+                     const std::set<std::string> &DataSyms) {
+  // Bound components mentioning the reassigned symbol are stale; strip
+  // just those (the rest of the conjunction still holds).
+  for (auto It = F.begin(); It != F.end();) {
+    stripBound(It->second.Lo, Sym);
+    stripBound(It->second.Hi, Sym);
+    if (It->second.empty())
+      It = F.erase(It);
+    else
+      ++It;
+  }
+  Interval Old;
+  auto It = F.find(Sym);
+  if (It != F.end()) {
+    Old = It->second;
+    F.erase(It);
+  }
+  if (!Rhs)
+    return;
+  SymExpr A, B;
+  if (!Rhs.usesSymbol(Sym)) {
+    // A right-hand side naming a data container (an interstate scalar
+    // load) is not a stable expression — the container may be rewritten
+    // while the fact lives on — so it must never enter stored bounds.
+    // Constant range knowledge about the container's *content* (from the
+    // scalar-range pass) substitutes for it.
+    std::set<std::string> Syms;
+    Rhs.collectSymbols(Syms);
+    bool MentionsData = false;
+    for (const std::string &Name : Syms)
+      MentionsData |= DataSyms.count(Name) != 0;
+    Interval I;
+    if (!MentionsData) {
+      // The symbolic pair plus its constant resolution through the
+      // current facts: `j = i` under `i in [0, 24)` records the
+      // constants [0, 24) for j alongside `[i, i+1)`. A triangular
+      // loop's zero-trip exit (`j = i; ... if (24 <= j)`) is only
+      // refutable through the constant form.
+      addBoundResolved(I.Lo, Rhs, /*Upper=*/false, F);
+      addBoundResolved(I.Hi, Rhs + SymExpr::constant(1), /*Upper=*/true, F);
+    } else if (Scalars && !Scalars->empty()) {
+      for (const SymExpr &C : boundExpr(Rhs, *Scalars, /*Upper=*/false))
+        if (C.isConstant())
+          addBound(I.Lo, C, /*Upper=*/false);
+      for (const SymExpr &C :
+           boundExpr(Rhs + SymExpr::constant(1), *Scalars, /*Upper=*/true))
+        if (C.isConstant())
+          addBound(I.Hi, C, /*Upper=*/true);
+    }
+    if (!I.empty())
+      F[Sym] = I;
+  } else if (Rhs.linearIn(Sym, A, B) && A && A.isConstantValue(1) && B &&
+             B.isConstant()) {
+    // s = s + c: a nonnegative step preserves lower bounds, a
+    // nonpositive one preserves upper bounds.
+    Interval New;
+    if (B.constantValue() >= 0)
+      New.Lo = Old.Lo;
+    else
+      New.Hi = Old.Hi;
+    if (!New.empty())
+      F[Sym] = New;
+  }
+}
+
+bool sameFacts(const std::map<std::string, Interval> &A,
+               const std::map<std::string, Interval> &B) {
+  if (A.size() != B.size())
+    return false;
+  auto AIt = A.begin(), BIt = B.begin();
+  for (; AIt != A.end(); ++AIt, ++BIt) {
+    if (AIt->first != BIt->first)
+      return false;
+    const Interval &X = AIt->second, &Y = BIt->second;
+    if (!sameBounds(X.Lo, Y.Lo) || !sameBounds(X.Hi, Y.Hi))
+      return false;
+  }
+  return true;
+}
+
+/// Renders a bound set for debug output.
+std::string boundsStr(const std::vector<SymExpr> &Bs) {
+  if (Bs.empty())
+    return "?";
+  std::string S;
+  for (size_t I = 0; I < Bs.size(); ++I)
+    S += (I ? "&" : "") + Bs[I].str();
+  return S;
+}
+
+/// Pointwise join: a fact survives in \p In only if present (after
+/// joining) on the \p Out side too.
+void joinFactsInto(std::map<std::string, Interval> &In,
+                   const std::map<std::string, Interval> &Out) {
+  for (auto It = In.begin(); It != In.end();) {
+    auto OIt = Out.find(It->first);
+    Interval J;
+    if (OIt != Out.end()) {
+      J.Lo = joinBound(It->second.Lo, OIt->second.Lo, /*Upper=*/false);
+      J.Hi = joinBound(It->second.Hi, OIt->second.Hi, /*Upper=*/true);
+    }
+    if (J.empty())
+      It = In.erase(It);
+    else {
+      It->second = std::move(J);
+      ++It;
+    }
+  }
+}
+
+/// An empty constant interval means the fact set describes no execution:
+/// the path that produced it cannot actually be taken. (This is how a
+/// zero-trip-guarded loop's exit edge is refuted for the entry path —
+/// `i = 0` against condition `N <= i`.)
+bool contradictory(const std::map<std::string, Interval> &F) {
+  for (const auto &KV : F) {
+    const Interval &I = KV.second;
+    if (!I.Lo.empty() && I.Lo.front().isConstant() && !I.Hi.empty() &&
+        I.Hi.front().isConstant() &&
+        I.Lo.front().constantValue() >= I.Hi.front().constantValue())
+      return true; // Hi is exclusive: lo >= hi is empty.
+  }
+  return false;
+}
+
+/// True when [Begin, End) provably holds at least one element for every
+/// binding of the enclosing parameters in \p Env. A min-clamped end peels
+/// per operand (min(a, b) > x iff a > x and b > x), so a tiled intra
+/// range `t : min(n, t + T)` proves nonempty by cancellation (t + T - t)
+/// on one side and by the tile parameter's interval (n - t >= 1) on the
+/// other.
+bool provablyNonEmpty(const SymExpr &Begin, const SymExpr &End,
+                      const BoundEnv &Env, unsigned Depth = 0) {
+  if (!Begin || !End)
+    return false;
+  if (End.kind() == sym::ExprKind::Min && Depth <= kMaxDepth) {
+    for (const SymExpr &Op : End.operands())
+      if (!provablyNonEmpty(Begin, Op, Env, Depth + 1))
+        return false;
+    return true;
+  }
+  for (const SymExpr &Lo : boundExpr(End - Begin, Env, /*Upper=*/false))
+    if (auto P = SymExpr::ge(Lo, SymExpr::constant(1)).tryProve())
+      if (*P)
+        return true;
+  return false;
+}
+
+/// True when every map scope enclosing \p Node provably runs at least one
+/// iteration (so the node's effect definitely happens when the state
+/// executes). Ranges may mention enclosing parameters; emptiness is
+/// checked under every sibling parameter's interval, which is sound
+/// because each interval over-approximates the bindings that occur.
+bool definiteNode(
+    const std::map<int, std::vector<const sdfg::MapEntry *>> &Chains,
+    int Node) {
+  auto CIt = Chains.find(Node);
+  if (CIt == Chains.end())
+    return true;
+  BoundEnv Env;
+  for (const sdfg::MapEntry *ME : CIt->second)
+    for (size_t I = 0; I < ME->Params.size(); ++I)
+      if (I < ME->Ranges.size())
+        Env[ME->Params[I]] = rangeInterval(ME->Ranges[I]);
+  for (const sdfg::MapEntry *ME : CIt->second)
+    for (const SymRange &R : ME->Ranges) {
+      SymExpr N = R.numElements();
+      if (N && N.isConstant()) {
+        if (N.constantValue() < 1)
+          return false;
+        continue;
+      }
+      if (!provablyNonEmpty(R.Begin, R.End, Env))
+        return false;
+    }
+  return true;
+}
+
+/// Containers definitely written when \p S executes: an edge into one of
+/// their access nodes (every materialized write ends at an access node)
+/// that is not hidden inside a possibly-empty map scope.
+std::set<std::string> writesIn(const sdfg::State &S) {
+  auto Chains = scopeChains(S);
+  std::set<std::string> W;
+  for (const sdfg::DataflowEdge &E : S.edges()) {
+    if (E.M.isEmpty())
+      continue;
+    auto *A = dyn_cast<sdfg::AccessNode>(S.getNode(E.Dst));
+    if (A && definiteNode(Chains, E.Dst))
+      W.insert(A->getData());
+  }
+  return W;
+}
+
+/// Converts a tasklet expression to a symbolic one where possible:
+/// integer constants, symbolic leaves, and +/-/* over those. Anything
+/// touching an input connector or float arithmetic is not representable
+/// (null result).
+SymExpr texprToSym(const sdfg::TExpr &E) {
+  using TK = sdfg::TExpr::Kind;
+  switch (E.K) {
+  case TK::ConstI:
+    return SymExpr::constant(E.I);
+  case TK::Sym:
+    return E.Sym;
+  case TK::Op: {
+    if (E.Children.size() != 2 ||
+        (E.Name != "add" && E.Name != "sub" && E.Name != "mul"))
+      return SymExpr();
+    SymExpr A = texprToSym(E.Children[0]);
+    SymExpr B = texprToSym(E.Children[1]);
+    if (!A || !B)
+      return SymExpr();
+    return E.Name == "add" ? A + B : E.Name == "sub" ? A - B : A * B;
+  }
+  default:
+    return SymExpr();
+  }
+}
+
+/// Flow facts that hold at a destination state's *entry* when control
+/// arrives via one particular interstate edge.
+struct EdgeFlow {
+  std::map<std::string, Interval> F;
+  std::set<std::string> Defs; // Containers written on every such path.
+  bool Visited = false;
+};
+
+/// The converged whole-graph answer.
+struct FlowInfo {
+  std::map<int, SymFacts> States; // Symbol facts at state entry.
+  std::map<int, std::set<std::string>> DefIn; // Definitely written.
+  std::set<int> Reached;
+  bool Converged = false;
+};
+
+/// The inclusive BoundEnv a state's interstate facts induce (SymFacts
+/// store exclusive upper bounds).
+BoundEnv entryEnv(const std::map<int, SymFacts> &Facts,
+                  const sdfg::State &S) {
+  BoundEnv Base;
+  auto FIt = Facts.find(S.getId());
+  if (FIt != Facts.end() && FIt->second.Visited)
+    for (const auto &KV : FIt->second.F) {
+      Interval I;
+      I.Lo = KV.second.Lo;
+      for (const SymExpr &H : KV.second.Hi)
+        I.Hi.push_back(H - SymExpr::constant(1));
+      Base[KV.first] = I;
+    }
+  return Base;
+}
+
+/// Forward pass to fixpoint at *edge* granularity. Each round recomputes
+/// every edge's facts from scratch: the source state's entry is taken as
+/// the set of per-predecessor-edge fact classes (not their join), the
+/// edge's condition is applied to each class separately, and classes it
+/// refutes contribute nothing — one level of path sensitivity, enough to
+/// see that a loop's exit edge is unreachable before the first
+/// iteration. Surviving classes are then joined, so only a *converged*
+/// solution is a sound meet-over-paths answer; if the round cap is hit
+/// first, everything is discarded and callers fall back to conservative
+/// behavior. \p ScalarOut optionally supplies per-state constant ranges
+/// of scalar containers (for interstate scalar loads).
+FlowInfo flowFacts(const sdfg::SDFG &G,
+                   const std::map<int, BoundEnv> *ScalarOut) {
+  FlowInfo R;
+  sdfg::State *Start = G.getStartState();
+  if (!Start)
+    return R;
+  const std::vector<sdfg::InterstateEdge> &Edges = G.interstateEdges();
+
+  std::map<int, std::vector<size_t>> InEdges;
+  for (size_t I = 0; I < Edges.size(); ++I)
+    InEdges[Edges[I].Dst].push_back(I);
+
+  std::set<std::string> DataSyms;
+  for (const auto &KV : G.descs())
+    DataSyms.insert(KV.first);
+
+  std::map<int, std::set<std::string>> Writes;
+  for (const auto &SP : G.states())
+    Writes[SP->getId()] = writesIn(*SP);
+
+  std::vector<EdgeFlow> EF(Edges.size());
+  const std::map<std::string, Interval> EmptyF;
+  const std::set<std::string> EmptyD;
+  const unsigned MaxRounds =
+      4 * static_cast<unsigned>(G.states().size() + Edges.size()) + 8;
+  bool Converged = false;
+  for (unsigned Round = 0; Round < MaxRounds && !Converged; ++Round) {
+    bool Changed = false;
+    for (size_t I = 0; I < Edges.size(); ++I) {
+      const sdfg::InterstateEdge &E = Edges[I];
+      // Entry fact classes of the source state, kept separate.
+      std::vector<std::pair<const std::map<std::string, Interval> *,
+                            const std::set<std::string> *>>
+          Contribs;
+      if (E.Src == Start->getId())
+        Contribs.push_back({&EmptyF, &EmptyD});
+      auto PIt = InEdges.find(E.Src);
+      if (PIt != InEdges.end())
+        for (size_t P : PIt->second)
+          if (EF[P].Visited)
+            Contribs.push_back({&EF[P].F, &EF[P].Defs});
+
+      const BoundEnv *Scal = nullptr;
+      if (ScalarOut) {
+        auto SIt = ScalarOut->find(E.Src);
+        if (SIt != ScalarOut->end())
+          Scal = &SIt->second;
+      }
+      std::map<std::string, Interval> NewF;
+      std::set<std::string> NewD;
+      bool Any = false;
+      for (const auto &C : Contribs) {
+        std::map<std::string, Interval> F = *C.first;
+        applyCondition(E.Condition, F);
+        if (contradictory(F))
+          continue; // This path class cannot take the edge.
+        for (const auto &A : E.Assignments)
+          applyAssignment(A.first, A.second, F, Scal, DataSyms);
+        std::set<std::string> D = *C.second;
+        const std::set<std::string> &W = Writes[E.Src];
+        D.insert(W.begin(), W.end());
+        if (!Any) {
+          NewF = std::move(F);
+          NewD = std::move(D);
+          Any = true;
+          continue;
+        }
+        joinFactsInto(NewF, F);
+        for (auto It = NewD.begin(); It != NewD.end();)
+          It = D.count(*It) ? std::next(It) : NewD.erase(It);
+      }
+      if (!Any) {
+        if (EF[I].Visited) { // Facts shifted and re-refuted it: retract.
+          EF[I] = EdgeFlow();
+          Changed = true;
+        }
+        continue;
+      }
+      if (!EF[I].Visited || !sameFacts(EF[I].F, NewF) ||
+          EF[I].Defs != NewD) {
+        if (const char *Dbg = std::getenv("DCIR_ANALYSIS_DEBUG"))
+          if (std::atoi(Dbg) >= 2) {
+            std::fprintf(stderr, "round %u edge %d->%d:", Round, E.Src,
+                         E.Dst);
+            for (const auto &KV : NewF)
+              std::fprintf(stderr, " %s in [%s, %s)", KV.first.c_str(),
+                           boundsStr(KV.second.Lo).c_str(),
+                           boundsStr(KV.second.Hi).c_str());
+            std::fprintf(stderr, "\n");
+          }
+        EF[I].Visited = true;
+        EF[I].F = std::move(NewF);
+        EF[I].Defs = std::move(NewD);
+        Changed = true;
+      }
+    }
+    Converged = !Changed;
+  }
+  if (!Converged)
+    return R; // Claim nothing: a non-fixpoint answer may be too strong.
+
+  R.Converged = true;
+  R.Reached.insert(Start->getId());
+  R.States[Start->getId()].Visited = true;
+  R.DefIn[Start->getId()];
+  for (const auto &SP : G.states()) {
+    const int Id = SP->getId();
+    if (Id == Start->getId())
+      continue;
+    std::map<std::string, Interval> F;
+    std::set<std::string> D;
+    bool Any = false;
+    auto PIt = InEdges.find(Id);
+    if (PIt != InEdges.end())
+      for (size_t P : PIt->second) {
+        if (!EF[P].Visited)
+          continue;
+        if (!Any) {
+          F = EF[P].F;
+          D = EF[P].Defs;
+          Any = true;
+          continue;
+        }
+        joinFactsInto(F, EF[P].F);
+        for (auto It = D.begin(); It != D.end();)
+          It = EF[P].Defs.count(*It) ? std::next(It) : D.erase(It);
+      }
+    if (!Any)
+      continue; // Unreachable.
+    R.Reached.insert(Id);
+    SymFacts &SF = R.States[Id];
+    SF.Visited = true;
+    SF.F = std::move(F);
+    R.DefIn[Id] = std::move(D);
+  }
+  return R;
+}
+
+/// Per-state constant value ranges of scalar containers at *state exit*
+/// (which is when interstate assignments read them). A write whose value
+/// reduces to a constant interval under the writing state's facts
+/// contributes it; any other write makes the content unknown. Ranges
+/// join as constant hulls (may-analysis), and a container absent on any
+/// incoming path is unknown.
+std::map<int, BoundEnv> scalarRanges(const sdfg::SDFG &G,
+                                     const FlowInfo &Flow) {
+  std::map<int, BoundEnv> Out;
+  sdfg::State *Start = G.getStartState();
+  if (!Start || !Flow.Converged)
+    return Out;
+
+  struct ScalarEffect {
+    bool Seen = false;
+    bool Kill = false;     // Some write's value is not representable.
+    bool Definite = true;  // Every write executes when the state runs.
+    Interval I;            // Hull of written values (inclusive).
+  };
+  std::map<int, std::map<std::string, ScalarEffect>> Effects;
+  bool AnyEffect = false;
+  for (const auto &SP : G.states()) {
+    const sdfg::State &S = *SP;
+    BoundEnv Base = entryEnv(Flow.States, S);
+    auto Chains = scopeChains(S);
+    for (const sdfg::DataflowEdge &E : S.edges()) {
+      if (E.M.isEmpty())
+        continue;
+      auto *A = dyn_cast<sdfg::AccessNode>(S.getNode(E.Dst));
+      if (!A || !G.hasData(A->getData()))
+        continue;
+      if (G.desc(A->getData()).K != sdfg::DataDesc::Kind::Scalar)
+        continue;
+      ScalarEffect &Eff = Effects[S.getId()][A->getData()];
+      AnyEffect = true;
+      SymExpr V;
+      if (E.M.Wcr.empty()) // WCR combines with the old value: unknown.
+        if (auto *T = dyn_cast<sdfg::Tasklet>(S.getNode(E.Src))) {
+          auto CIt = T->Code.find(E.SrcConn);
+          if (CIt != T->Code.end())
+            V = texprToSym(CIt->second);
+        }
+      Interval VI;
+      if (V) {
+        BoundEnv Env = Base;
+        auto ChIt = Chains.find(E.Dst);
+        if (ChIt != Chains.end())
+          for (const sdfg::MapEntry *ME : ChIt->second)
+            for (size_t PI = 0; PI < ME->Params.size(); ++PI)
+              if (PI < ME->Ranges.size())
+                Env[ME->Params[PI]] = rangeInterval(ME->Ranges[PI]);
+        for (const SymExpr &C : boundExpr(V, Env, /*Upper=*/false))
+          if (C.isConstant())
+            addBound(VI.Lo, C, /*Upper=*/false);
+        for (const SymExpr &C : boundExpr(V, Env, /*Upper=*/true))
+          if (C.isConstant())
+            addBound(VI.Hi, C, /*Upper=*/true);
+      }
+      if (VI.Lo.empty() || VI.Hi.empty()) {
+        Eff.Kill = true;
+      } else if (!Eff.Seen) {
+        Eff.I = VI;
+      } else {
+        Eff.I.Lo = joinBound(Eff.I.Lo, VI.Lo, /*Upper=*/false);
+        Eff.I.Hi = joinBound(Eff.I.Hi, VI.Hi, /*Upper=*/true);
+      }
+      Eff.Seen = true;
+      Eff.Definite &= definiteNode(Chains, E.Dst);
+    }
+  }
+  if (!AnyEffect)
+    return Out; // Nothing to track; spare the caller a second fixpoint.
+
+  std::map<int, std::vector<const sdfg::InterstateEdge *>> Preds;
+  for (const sdfg::InterstateEdge &E : G.interstateEdges())
+    Preds[E.Dst].push_back(&E);
+  std::map<int, bool> Visited;
+  const unsigned MaxRounds =
+      4 * static_cast<unsigned>(G.states().size() +
+                                G.interstateEdges().size()) +
+      8;
+  for (unsigned Round = 0; Round < MaxRounds; ++Round) {
+    bool Changed = false;
+    for (const auto &SP : G.states()) {
+      const int Id = SP->getId();
+      BoundEnv In;
+      bool Any = false;
+      if (Id == Start->getId()) {
+        Any = true; // Entry: contents unknown, In stays empty.
+      } else {
+        auto PIt = Preds.find(Id);
+        if (PIt != Preds.end())
+          for (const sdfg::InterstateEdge *E : PIt->second) {
+            if (!Visited[E->Src])
+              continue;
+            const BoundEnv &P = Out[E->Src];
+            if (!Any) {
+              In = P;
+              Any = true;
+              continue;
+            }
+            for (auto It = In.begin(); It != In.end();) {
+              auto OIt = P.find(It->first);
+              if (OIt == P.end()) {
+                It = In.erase(It);
+                continue;
+              }
+              It->second.Lo =
+                  joinBound(It->second.Lo, OIt->second.Lo, /*Upper=*/false);
+              It->second.Hi =
+                  joinBound(It->second.Hi, OIt->second.Hi, /*Upper=*/true);
+              if (It->second.Lo.empty() || It->second.Hi.empty())
+                It = In.erase(It);
+              else
+                ++It;
+            }
+          }
+      }
+      if (!Any)
+        continue;
+      auto EIt = Effects.find(Id);
+      if (EIt != Effects.end())
+        for (const auto &KV : EIt->second) {
+          const ScalarEffect &Eff = KV.second;
+          if (Eff.Kill) {
+            In.erase(KV.first);
+          } else if (Eff.Definite) {
+            In[KV.first] = Eff.I;
+          } else {
+            // May or may not have run: hull with the incoming value, or
+            // unknown if that was unknown.
+            auto It = In.find(KV.first);
+            if (It != In.end()) {
+              It->second.Lo =
+                  joinBound(It->second.Lo, Eff.I.Lo, /*Upper=*/false);
+              It->second.Hi =
+                  joinBound(It->second.Hi, Eff.I.Hi, /*Upper=*/true);
+              if (It->second.Lo.empty() || It->second.Hi.empty())
+                In.erase(It);
+            }
+          }
+        }
+      if (!Visited[Id] || !sameFacts(Out[Id], In)) {
+        Visited[Id] = true;
+        Out[Id] = std::move(In);
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      return Out;
+  }
+  Out.clear(); // Round cap hit: claim nothing.
+  return Out;
+}
+
+/// The full interstate analysis: facts, then scalar content ranges under
+/// those facts, then facts again with the ranges feeding interstate
+/// scalar loads.
+FlowInfo computeFlow(const sdfg::SDFG &G) {
+  FlowInfo F1 = flowFacts(G, nullptr);
+  if (!F1.Converged)
+    return F1;
+  std::map<int, BoundEnv> SR = scalarRanges(G, F1);
+  if (SR.empty())
+    return F1;
+  FlowInfo F2 = flowFacts(G, &SR);
+  return F2.Converged ? F2 : F1;
+}
+
+//===----------------------------------------------------------------------===//
+// Bounds safety
+//===----------------------------------------------------------------------===//
+
+/// Attained extreme values of enclosing map parameters: a map executes
+/// *every* binding of its range, so for a parameter with constant bounds
+/// the first and last attained values are definitely executed — unlike
+/// interstate facts, which only bound what values are possible.
+using AttainedMap = std::map<std::string, std::pair<std::int64_t, std::int64_t>>;
+
+/// All variants of \p X with each attained parameter it uses pinned to its
+/// first or last executed value (cross product, capped at 4 parameters).
+/// Each result is the index expression of an access that definitely
+/// executes, so a violation proved on any one of them is a violation of
+/// the whole scope.
+std::vector<SymExpr> attainedVariants(const SymExpr &X,
+                                      const AttainedMap &Attained) {
+  std::vector<SymExpr> Out{X};
+  unsigned Used = 0;
+  for (const auto &KV : Attained) {
+    if (!X.usesSymbol(KV.first) || ++Used > 4)
+      continue;
+    std::vector<SymExpr> Next;
+    for (const SymExpr &V : Out) {
+      Next.push_back(V.substituteValues({{KV.first, KV.second.first}}));
+      if (KV.second.second != KV.second.first)
+        Next.push_back(V.substituteValues({{KV.first, KV.second.second}}));
+    }
+    Out = std::move(Next);
+  }
+  return Out;
+}
+
+void checkEdgeBounds(const sdfg::SDFG &G, const sdfg::State &S,
+                     const sdfg::DataflowEdge &E, const BoundEnv &Env,
+                     const AttainedMap &Attained, AnalysisResult &Res) {
+  const sdfg::DataDesc &D = G.desc(E.M.Data);
+  auto Flag = [&](Kind K, Severity Sev, const std::string &Msg) {
+    Finding F;
+    F.Sev = Sev;
+    F.K = K;
+    F.State = S.getName();
+    F.Node = E.Dst;
+    F.Container = E.M.Data;
+    F.Subset = E.M.Subset.str();
+    if (D.K == sdfg::DataDesc::Kind::Array) {
+      F.Shape = "[";
+      for (size_t I = 0; I < D.Shape.size(); ++I)
+        F.Shape += (I ? ", " : "") + D.Shape[I].str();
+      F.Shape += "]";
+    }
+    F.Message = Msg;
+    Res.Findings.push_back(F);
+  };
+
+  // Rank check first (mirrors — independently — the validate() rule): a
+  // subset with more dimensions than the container declares linearizes
+  // into memory the container does not own.
+  if (E.M.Subset.rank() > D.rank()) {
+    Flag(Kind::RankMismatch, Severity::Error,
+         "memlet subset " + E.M.Subset.str() + " has rank " +
+             std::to_string(E.M.Subset.rank()) + " but container '" +
+             E.M.Data + "' declares rank " + std::to_string(D.rank()));
+    return;
+  }
+  if (D.K != sdfg::DataDesc::Kind::Array)
+    return;
+
+  for (size_t Dim = 0; Dim < E.M.Subset.rank(); ++Dim) {
+    const SymRange &R = E.M.Subset.dim(Dim);
+    if (!R.Begin || !R.End)
+      continue;
+    // An empty range accesses nothing.
+    if (auto P = SymExpr::ge(R.Begin, R.End).tryProve())
+      if (*P)
+        continue;
+    const SymExpr &Extent = D.Shape[Dim];
+    const std::vector<SymExpr> Zero{SymExpr::constant(0)};
+    const std::vector<SymExpr> Ext{Extent};
+    std::vector<SymExpr> BeginLo = boundExpr(R.Begin, Env, /*Upper=*/false);
+    std::vector<SymExpr> EndHi = boundExpr(R.End, Env, /*Upper=*/true);
+    const bool LowOk = proveLeAny(Zero, BeginLo);
+    const bool HighOk = proveLeAny(EndHi, Ext);
+    if (LowOk && HighOk)
+      continue;
+    // Provable violation? The *least* the subset reaches is below zero,
+    // or the least its end reaches already exceeds the extent. Plain
+    // element-wise bounding can never prove a loop's last trip overruns
+    // (the first trip is in bounds), so map parameters are additionally
+    // pinned to their attained extremes: those bindings definitely
+    // execute, and one provably-bad binding convicts the scope.
+    bool ProvenLow = false, ProvenHigh = false;
+    for (const SymExpr &V : attainedVariants(R.Begin, Attained))
+      for (const SymExpr &Hi : boundExpr(V, Env, /*Upper=*/true))
+        if (auto P = SymExpr::lt(Hi, SymExpr::constant(0)).tryProve())
+          ProvenLow |= *P;
+    for (const SymExpr &V : attainedVariants(R.End, Attained))
+      for (const SymExpr &Lo : boundExpr(V, Env, /*Upper=*/false))
+        if (auto P = SymExpr::gt(Lo, Extent).tryProve())
+          ProvenHigh |= *P;
+    const std::string Where =
+        "dimension " + std::to_string(Dim) + " of '" + E.M.Data + "' (" +
+        R.str() + " vs extent " + Extent.str() + ")";
+    if (ProvenLow || ProvenHigh)
+      Flag(Kind::OutOfBounds, Severity::Error,
+           "subset provably out of bounds in " + Where);
+    else
+      Flag(Kind::BoundsUnproven, Severity::Warning,
+           "cannot prove subset within bounds in " + Where);
+    return; // One finding per memlet keeps reports readable.
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+AnalysisResult analysis::checkRaces(const sdfg::SDFG &G) {
+  AnalysisResult Res;
+  for (const auto &SP : G.states()) {
+    const sdfg::State &S = *SP;
+    for (const auto &N : S.nodes())
+      if (auto *E = dyn_cast<sdfg::MapEntry>(N.get()))
+        checkMapScope(G, S, *E, Res);
+  }
+  return Res;
+}
+
+AnalysisResult analysis::checkBounds(const sdfg::SDFG &G) {
+  AnalysisResult Res;
+  FlowInfo Flow = computeFlow(G);
+  for (const auto &SP : G.states()) {
+    const sdfg::State &S = *SP;
+    auto Chains = scopeChains(S);
+    // Base environment: interstate facts (exclusive his -> inclusive).
+    BoundEnv Base = entryEnv(Flow.States, S);
+    if (std::getenv("DCIR_ANALYSIS_DEBUG")) {
+      std::fprintf(stderr, "facts %s:", S.getName().c_str());
+      for (const auto &KV : Base)
+        std::fprintf(stderr, " %s in [%s, %s]", KV.first.c_str(),
+                     boundsStr(KV.second.Lo).c_str(),
+                     boundsStr(KV.second.Hi).c_str());
+      std::fprintf(stderr, "\n");
+    }
+    for (const sdfg::DataflowEdge &E : S.edges()) {
+      if (E.M.isEmpty() || !G.hasData(E.M.Data))
+        continue;
+      BoundEnv Env = Base;
+      AttainedMap Attained;
+      auto CIt = Chains.find(E.Dst);
+      if (CIt == Chains.end())
+        CIt = Chains.find(E.Src);
+      if (CIt != Chains.end())
+        for (const sdfg::MapEntry *ME : CIt->second)
+          for (size_t I = 0; I < ME->Params.size(); ++I) {
+            if (I >= ME->Ranges.size())
+              continue;
+            const SymRange &R = ME->Ranges[I];
+            Env[ME->Params[I]] = rangeInterval(R);
+            // Constant, non-empty, positive-step range: its first and
+            // last values are definitely attained by the map.
+            if (R.Begin && R.End && R.Begin.isConstant() &&
+                R.End.isConstant() &&
+                (!R.Step || R.Step.isConstant())) {
+              const std::int64_t B = R.Begin.constantValue();
+              const std::int64_t En = R.End.constantValue();
+              const std::int64_t St = R.Step ? R.Step.constantValue() : 1;
+              if (B < En && St >= 1)
+                Attained[ME->Params[I]] = {B, B + (En - 1 - B) / St * St};
+            }
+          }
+      checkEdgeBounds(G, S, E, Env, Attained, Res);
+    }
+  }
+  return Res;
+}
+
+AnalysisResult analysis::checkInitialization(const sdfg::SDFG &G) {
+  AnalysisResult Res;
+  sdfg::State *Start = G.getStartState();
+  if (!Start)
+    return Res;
+  // DefIn[S] = containers definitely written on *every* feasible path
+  // reaching S, from the interstate flow pass (which prunes refutable
+  // paths — a zero-trip-guarded loop's body counts as dominating the
+  // code after the loop). Without a converged flow answer, fall back to
+  // "nothing known written" (conservative: may warn spuriously, never
+  // stays silent wrongly).
+  FlowInfo Flow = computeFlow(G);
+  const std::set<std::string> None;
+  for (const auto &SP : G.states()) {
+    const sdfg::State &S = *SP;
+    if (Flow.Converged && !Flow.Reached.count(S.getId()) &&
+        S.getId() != Start->getId())
+      continue; // Unreachable states never execute.
+    const std::set<std::string> *InP = &None;
+    if (Flow.Converged) {
+      auto DIt = Flow.DefIn.find(S.getId());
+      if (DIt != Flow.DefIn.end())
+        InP = &DIt->second;
+    }
+    const std::set<std::string> &In = *InP;
+    std::vector<sdfg::Node *> Topo = S.topologicalOrder();
+    std::set<std::string> Written = In;
+    for (sdfg::Node *N : Topo) {
+      auto *A = dyn_cast<sdfg::AccessNode>(N);
+      if (!A)
+        continue;
+      const std::string &Data = A->getData();
+      if (!G.hasData(Data))
+        continue;
+      const sdfg::DataDesc &D = G.desc(Data);
+      const bool HasIn = !S.inEdges(A).empty();
+      const bool HasOut = !S.outEdges(A).empty();
+      if (D.Transient && D.K != sdfg::DataDesc::Kind::Stream && HasOut &&
+          !HasIn && !Written.count(Data)) {
+        Finding F;
+        F.Sev = Severity::Warning;
+        F.K = Kind::UninitializedRead;
+        F.State = S.getName();
+        F.Node = A->getId();
+        F.Container = Data;
+        F.Message = "transient '" + Data +
+                    "' is read but not definitely written on every "
+                    "feasible path reaching the read (backends "
+                    "zero-initialize, so the unwritten path observes "
+                    "zeros)";
+        Res.Findings.push_back(F);
+      }
+      if (HasIn)
+        Written.insert(Data);
+    }
+  }
+  return Res;
+}
+
+AnalysisResult analysis::analyze(const sdfg::SDFG &G) {
+  AnalysisResult Res = checkRaces(G);
+  Res.append(checkBounds(G));
+  Res.append(checkInitialization(G));
+  return Res;
+}

@@ -1,0 +1,130 @@
+//===- Analysis.h - independent static soundness analyzer ---------------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An independent static soundness analyzer over SDFGs (see DESIGN.md,
+/// "Static soundness analysis"). It re-derives, from memlets and ranges
+/// alone, three judgments the optimizer's own transformations rely on:
+///
+///   1. Race freedom per map scope: write-write and read-write conflict
+///      detection across map parameters, using this module's own
+///      interval/stride subset-overlap prover — any map the checker cannot
+///      independently prove safe is flagged (and demotable to a serial
+///      schedule by the compile gate).
+///   2. Bounds safety: every memlet subset checked symbolically against
+///      its container's declared shape, under bounds derived for map
+///      parameters and sequential state-machine loop variables. Provable
+///      out-of-bounds accesses are errors; unprovable ones are warnings.
+///   3. Definite initialization: reads of transient containers that are
+///      not dominated by a write (container granularity; the backends
+///      zero-initialize transients, so these are warnings, not errors).
+///
+/// Independence rule: this module must not call into sdfgopt::Utils (or
+/// any other optimizer proof helper). The optimizer proves legality to
+/// justify a transformation; this analyzer re-proves safety of the
+/// *result* with separately written machinery, so a prover bug cannot
+/// vouch for itself. Only the IR (sdfg/) and the symbolic algebra layer
+/// (symbolic/) are shared — they are the statement being checked, not the
+/// proof.
+///
+/// Findings are structured records exported as text and JSON; the JSON
+/// shape is part of the tooling ABI (bench artifacts and CI parse it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_ANALYSIS_ANALYSIS_H
+#define DCIR_ANALYSIS_ANALYSIS_H
+
+#include "sdfg/SDFG.h"
+
+#include <string>
+#include <vector>
+
+namespace dcir {
+namespace analysis {
+
+enum class Severity { Warning, Error };
+
+/// What a finding is about. Race* and PrivateScalarEscape findings carry
+/// the map label of the scope that could not be proven safe;
+/// OutOfBounds/BoundsUnproven/RankMismatch carry the offending subset and
+/// the declared shape; UninitializedRead names the reading access node.
+enum class Kind {
+  RaceWriteWrite,      ///< Two writes not provably disjoint across params.
+  RaceReadWrite,       ///< A read and a write not provably disjoint.
+  PrivateScalarEscape, ///< Privatized scalar read before any in-scope write.
+  OutOfBounds,         ///< Subset provably outside the declared shape.
+  BoundsUnproven,      ///< Subset not provably inside the declared shape.
+  RankMismatch,        ///< Subset rank exceeds the container's rank.
+  UninitializedRead    ///< Transient read not dominated by a write.
+};
+
+const char *severityName(Severity S);
+const char *kindName(Kind K);
+
+/// One structured finding. All location fields are optional ("" / -1 when
+/// not applicable); Message is always set and human-readable.
+struct Finding {
+  Severity Sev = Severity::Warning;
+  Kind K = Kind::BoundsUnproven;
+  std::string State;     ///< State name ("" for graph-level findings).
+  int Node = -1;         ///< Dataflow node id within State (-1 = none).
+  std::string Map;       ///< Map scope label "s<state-id>:<param,...>".
+  std::string Container; ///< Container the finding is about.
+  std::string Subset;    ///< Offending subset, rendered.
+  std::string Shape;     ///< Declared shape, rendered.
+  std::string Message;   ///< Human-readable one-liner.
+
+  /// One JSON object: {"severity":..,"kind":..,"state":..,"node":..,
+  /// "map":..,"container":..,"subset":..,"shape":..,"message":..}.
+  std::string json() const;
+};
+
+/// The outcome of one analysis (or of several, via append()).
+struct AnalysisResult {
+  std::vector<Finding> Findings;
+  /// Labels (codegen::mapScopeLabel format) of map scopes the race
+  /// analysis could not prove safe — the compile gate's demotion set.
+  std::vector<std::string> UnprovenMaps;
+
+  unsigned errors() const;
+  unsigned warnings() const;
+  bool clean() const { return Findings.empty(); }
+  /// True when any finding is a provable out-of-bounds error — the one
+  /// class the Error gate refuses to compile (demotion cannot repair it).
+  bool hasProvenOob() const;
+
+  void append(AnalysisResult &&Other);
+
+  /// Multi-line human-readable report ("" when clean).
+  std::string text() const;
+  /// {"findings":[...],"errors":N,"warnings":M,"unproven_maps":[...]}.
+  std::string json() const;
+};
+
+/// Judgment 1: race freedom of every map scope (see file comment).
+AnalysisResult checkRaces(const sdfg::SDFG &G);
+
+/// Judgment 2: bounds safety of every memlet subset, including the
+/// rank-mismatch structural check.
+AnalysisResult checkBounds(const sdfg::SDFG &G);
+
+/// Judgment 3: definite initialization of transients.
+AnalysisResult checkInitialization(const sdfg::SDFG &G);
+
+/// All three judgments, concatenated.
+AnalysisResult analyze(const sdfg::SDFG &G);
+
+/// The analyzer's own rendering of a map scope label. Kept structurally
+/// identical to codegen::mapScopeLabel ("s<state-id>:<param,...>") so the
+/// gate can key MapSchedule demotions off findings without including
+/// codegen here — asserted equal by tests.
+std::string mapLabel(const sdfg::State &S, const sdfg::MapEntry &E);
+
+} // namespace analysis
+} // namespace dcir
+
+#endif // DCIR_ANALYSIS_ANALYSIS_H

@@ -2,6 +2,7 @@
 
 #include "api/Compiler.h"
 
+#include "analysis/Analysis.h"
 #include "conversion/CToSdfgDirect.h"
 #include "conversion/ConvertToSdfg.h"
 #include "conversion/TranslateToSDFG.h"
@@ -13,7 +14,9 @@
 #include "passes/Pass.h"
 #include "tune/Autotuner.h"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace dcir;
 using namespace dcir::api;
@@ -99,6 +102,77 @@ bool dcir::api::detail::optimizeGraph(sdfg::SDFG &G,
   return sdfgopt::runPipeline(G, *P, Report, POpts);
 }
 
+pipeline::StaticVerifyMode
+dcir::api::detail::effectiveStaticVerify(const CompileOptions &Opts) {
+  if (const char *Env = std::getenv("DCIR_STATIC_VERIFY"))
+    if (auto M = pipeline::parseStaticVerifyModeName(Env))
+      return *M;
+  return Opts.StaticVerify;
+}
+
+bool dcir::api::detail::applyStaticVerify(const sdfg::SDFG &G,
+                                          const std::string &Entry,
+                                          pipeline::StaticVerifyMode Mode,
+                                          DiagnosticEngine &Diags,
+                                          analysis::AnalysisResult &Out,
+                                          codegen::MapSchedules &Demotions) {
+  if (Mode == pipeline::StaticVerifyMode::Off)
+    return true;
+  obs::Span S("verify:" + Entry, "compile");
+  Out = analysis::analyze(G);
+  for (const analysis::Finding &F : Out.Findings) {
+    std::string Msg = std::string("[static-verify/") +
+                      analysis::kindName(F.K) + "] " + F.Message;
+    if (F.Sev == analysis::Severity::Error &&
+        Mode == pipeline::StaticVerifyMode::Error)
+      Diags.error(std::move(Msg));
+    else
+      Diags.warning(SourceLoc(), std::move(Msg));
+  }
+  if (Mode != pipeline::StaticVerifyMode::Error)
+    return true;
+  // A provable out-of-bounds access cannot be repaired by scheduling; the
+  // only sound gate outcome is to refuse the artifact.
+  if (Out.hasProvenOob())
+    return false;
+  // Every map scope the race analysis could not prove safe loses its
+  // parallel schedule: a serial map is the original loop nest, so the
+  // demotion is always semantics-preserving.
+  for (const std::string &Label : Out.UnprovenMaps)
+    Demotions[Label] = codegen::MapSchedule{
+        codegen::MapSchedulePolicy::Serial, /*Tile=*/0};
+  return true;
+}
+
+namespace {
+
+/// Runs the static-verify gate over a finished SDFG, recording its
+/// wall-time (with the findings count as the "rewrites" column) as a
+/// synthetic "static-verify" entry in the pipeline report — so
+/// --pass-report-json captures verification cost alongside the optimizer
+/// passes. Resets the graph when the Error gate refuses the artifact.
+void gateGraph(api::detail::CompiledParts &Out, const std::string &Entry,
+               const CompileOptions &Opts, DiagnosticEngine &Diags) {
+  if (!Out.Graph)
+    return;
+  pipeline::StaticVerifyMode Mode = api::detail::effectiveStaticVerify(Opts);
+  if (Mode == pipeline::StaticVerifyMode::Off)
+    return;
+  auto T0 = std::chrono::steady_clock::now();
+  bool Ok = api::detail::applyStaticVerify(*Out.Graph, Entry, Mode, Diags,
+                                           Out.Verify, Out.VerifyDemotions);
+  opt::PassStats &VS = Out.Report.Passes.statsFor("static-verify");
+  VS.Invocations += 1;
+  VS.Rewrites += static_cast<unsigned>(Out.Verify.Findings.size());
+  VS.Seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  if (!Ok)
+    Out.Graph.reset();
+}
+
+} // namespace
+
 detail::CompiledParts
 dcir::api::detail::compileParts(const std::string &CSource,
                                 const std::string &Entry, PipelineKind Kind,
@@ -120,9 +194,15 @@ dcir::api::detail::compileParts(const std::string &CSource,
     }
     if (!Out.Graph)
       return Out;
-    obs::Span S("optimize.sdfg", "compile");
-    if (!optimizeGraph(*Out.Graph, Opts, Out.Report, Diags) ||
-        !Out.Graph->validate(Diags))
+    {
+      obs::Span S("optimize.sdfg", "compile");
+      if (!optimizeGraph(*Out.Graph, Opts, Out.Report, Diags) ||
+          !Out.Graph->validate(Diags))
+        Out.Graph.reset();
+    }
+    if (Out.Graph &&
+        !applyStaticVerify(*Out.Graph, Entry, effectiveStaticVerify(Opts),
+                           Diags, Out.Verify, Out.VerifyDemotions))
       Out.Graph.reset();
     return Out;
   }
@@ -186,10 +266,13 @@ dcir::api::detail::compileParts(const std::string &CSource,
   ir::Operation::eraseDetached(SdfgModule);
   if (!Out.Graph)
     return Out;
-  obs::Span S("optimize.sdfg", "compile");
-  if (!optimizeGraph(*Out.Graph, Opts, Out.Report, Diags) ||
-      !Out.Graph->validate(Diags))
-    Out.Graph.reset();
+  {
+    obs::Span S("optimize.sdfg", "compile");
+    if (!optimizeGraph(*Out.Graph, Opts, Out.Report, Diags) ||
+        !Out.Graph->validate(Diags))
+      Out.Graph.reset();
+  }
+  gateGraph(Out, Entry, Opts, Diags);
   return Out;
 }
 
@@ -212,12 +295,17 @@ Compiler::compile(const std::string &CSource, const std::string &Entry) {
   Program::Parts P;
   P.Kind = Kind;
   P.Opts = Opts;
+  // The program records the mode that actually gated it ($DCIR_STATIC_VERIFY
+  // included), so introspection never disagrees with what ran.
+  P.Opts.StaticVerify = detail::effectiveStaticVerify(Opts);
   P.Entry = Entry;
   P.Ctx = std::move(Parts.Ctx);
   P.Module = Parts.Module;
   P.OwnsModule = true;
   P.Graph = std::shared_ptr<const sdfg::SDFG>(std::move(Parts.Graph));
   P.Report = Parts.Report;
+  P.Verify = std::move(Parts.Verify);
+  P.VerifyDemotions = std::move(Parts.VerifyDemotions);
   // The autotuner's persistence key: the source text, the entry, and
   // every option that changes the optimized graph (pipeline, passes,
   // tiling, grain gates). Parallelism and thread count are serving-side
@@ -230,7 +318,9 @@ Compiler::compile(const std::string &CSource, const std::string &Entry) {
   for (unsigned T : Opts.TileSizes)
     Id += std::to_string(T) + ",";
   Id += ":" + std::to_string(Opts.MinParallelWork) + ":" +
-        std::to_string(Opts.MinInLoopParallelWork);
+        std::to_string(Opts.MinInLoopParallelWork) + ":" +
+        std::to_string(static_cast<int>(detail::effectiveStaticVerify(Opts))) +
+        ":" + std::to_string(Opts.CheckBounds ? 1 : 0);
   P.SourceKey = tune::fnv64Hex(Id);
   return Program::create(std::move(P));
 }

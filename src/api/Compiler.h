@@ -23,6 +23,7 @@
 #ifndef DCIR_API_COMPILER_H
 #define DCIR_API_COMPILER_H
 
+#include "analysis/Analysis.h"
 #include "api/Program.h"
 #include "pipeline/PipelineTypes.h"
 #include "support/Diagnostics.h"
@@ -142,6 +143,22 @@ public:
     Opts.MinInLoopParallelWork = MinInLoopWork;
     return *this;
   }
+  /// Post-optimization static soundness gate (src/analysis/): Warn
+  /// reports findings as diagnostics; Error additionally demotes map
+  /// scopes the race analysis cannot prove safe to a serial schedule and
+  /// fails the compile on provable out-of-bounds accesses.
+  /// $DCIR_STATIC_VERIFY (off|warn|error) overrides when set.
+  Compiler &staticVerify(pipeline::StaticVerifyMode M) {
+    Opts.StaticVerify = M;
+    return *this;
+  }
+  /// Instrument every generated subscript with a runtime range assert
+  /// (native engine; forks the JIT cache key). $DCIR_CHECK_BOUNDS=1
+  /// enables it process-wide.
+  Compiler &checkBounds(bool On = true) {
+    Opts.CheckBounds = On;
+    return *this;
+  }
   /// Enables process-wide lifecycle tracing and writes the Chrome
   /// trace-event JSON to \p Path at process exit (equivalent to running
   /// with $DCIR_TRACE=Path). Affects the whole process, not just this
@@ -198,6 +215,11 @@ struct CompiledParts {
   ir::Operation *Module = nullptr; // Owned by the receiver.
   std::unique_ptr<sdfg::SDFG> Graph;
   sdfgopt::OptReport Report;
+  /// Static-verify gate outcome (empty when the gate did not run).
+  analysis::AnalysisResult Verify;
+  /// Serial demotions the Error gate decided (keyed by map scope label);
+  /// Program::create registers them with the engine before preparation.
+  codegen::MapSchedules VerifyDemotions;
 };
 
 /// Compiles \p CSource's \p Entry through pipeline \p Kind. On failure
@@ -216,6 +238,23 @@ CompiledParts compileParts(const std::string &CSource,
 /// the pass spec is malformed or verify-after-each failed.
 bool optimizeGraph(sdfg::SDFG &G, const pipeline::CompileOptions &Opts,
                    sdfgopt::OptReport &Report, DiagnosticEngine &Diags);
+
+/// The gate mode actually in effect: Opts.StaticVerify unless
+/// $DCIR_STATIC_VERIFY is set and parses, which overrides either way
+/// (process-wide verification without touching call sites).
+pipeline::StaticVerifyMode
+effectiveStaticVerify(const pipeline::CompileOptions &Opts);
+
+/// Runs the static soundness analyzer over the optimized \p G and applies
+/// the gate policy for \p Mode (see StaticVerifyMode): fills \p Out with
+/// the findings, reports them as diagnostics, and on Error fills
+/// \p Demotions with serial schedules for every unproven map scope.
+/// Returns false only when compilation must fail (Error mode, provable
+/// out-of-bounds access). Wraps the work in an obs span `verify:<entry>`.
+bool applyStaticVerify(const sdfg::SDFG &G, const std::string &Entry,
+                       pipeline::StaticVerifyMode Mode,
+                       DiagnosticEngine &Diags, analysis::AnalysisResult &Out,
+                       codegen::MapSchedules &Demotions);
 
 } // namespace detail
 

@@ -157,6 +157,12 @@ std::shared_ptr<const Program> Program::create(Parts InParts) {
   Prog->CTuneReverted = &Prog->Metrics.counter("tune.reverted");
   Prog->HNative = &Prog->Metrics.histogram("latency.native");
   Prog->HInterp = &Prog->Metrics.histogram("latency.interp");
+  // Static-verify gate outcome: fixed at compile time, surfaced as
+  // counters so metricsJson()/stats() expose it uniformly.
+  Prog->Metrics.counter("verify.findings")
+      .inc(Prog->P.Verify.Findings.size());
+  Prog->Metrics.counter("verify.demotions")
+      .inc(Prog->P.VerifyDemotions.size());
   if (Prog->P.Graph) {
     // What a specialized variant can key on: the graph's free symbols
     // plus its read-only non-transient I64 scalars (runtime size
@@ -181,7 +187,16 @@ std::shared_ptr<const Program> Program::create(Parts InParts) {
     Config.ProfileMaps = Prog->P.Opts.ProfileMaps;
     Config.MinParallelWork = Prog->P.Opts.MinParallelWork;
     Config.MinInLoopParallelWork = Prog->P.Opts.MinInLoopParallelWork;
+    Config.CheckBounds = Prog->P.Opts.CheckBounds;
     Native->configure(Config);
+    // Serial demotions from the static-verify Error gate must land
+    // before the artifact is prepared; they override any Auto decision
+    // the codegen would have made for those scopes.
+    if (!Prog->P.VerifyDemotions.empty()) {
+      exec::GraphTuning GT;
+      GT.Schedules = Prog->P.VerifyDemotions;
+      Native->tuneGraph(*Prog->P.Graph, GT);
+    }
     if (Prog->P.Opts.Autotune)
       Prog->TuneDir = !Prog->P.Opts.TuneDir.empty()
                           ? Prog->P.Opts.TuneDir
@@ -258,6 +273,8 @@ ProgramStats Program::stats() const {
   S.TuneMeasuring = CTuneMeasuring->value();
   S.TunePromoted = CTunePromoted->value();
   S.TuneReverted = CTuneReverted->value();
+  S.VerifyFindings = P.Verify.Findings.size();
+  S.VerifyDemotions = P.VerifyDemotions.size();
   return S;
 }
 
@@ -527,6 +544,26 @@ void Program::buildVariant(const std::string &Key,
     if (!Ok)
       Why = "re-optimization failed: " + D.str();
   }
+  if (Ok) {
+    // Re-run the static-verify gate over the re-optimized clone: its map
+    // scopes (hence labels) may differ from the generic graph's, so the
+    // demotion set is re-derived rather than copied.
+    pipeline::StaticVerifyMode Mode = detail::effectiveStaticVerify(P.Opts);
+    if (Mode != pipeline::StaticVerifyMode::Off) {
+      DiagnosticEngine D;
+      analysis::AnalysisResult VR;
+      codegen::MapSchedules Demotions;
+      Ok = detail::applyStaticVerify(*Clone, Clone->getName(), Mode, D, VR,
+                                     Demotions);
+      if (!Ok)
+        Why = "static verification failed: " + D.str();
+      else if (!Demotions.empty()) {
+        exec::GraphTuning GT;
+        GT.Schedules = std::move(Demotions);
+        Native->tuneGraph(*Clone, GT);
+      }
+    }
+  }
   double Seconds = 0.0;
   if (Ok) {
     std::string Error;
@@ -633,7 +670,14 @@ Program::buildTuneClone(const std::string &Suffix,
   std::unique_ptr<sdfg::SDFG> Clone = P.Graph->clone();
   Clone->setName(P.Entry + Suffix);
   std::shared_ptr<const sdfg::SDFG> G(std::move(Clone));
-  Native->tuneGraph(*G, GT);
+  // Static-verify serial demotions are structural safety decisions, not
+  // performance preferences: they override whatever the tuner measured
+  // for those scopes (the clone shares the generic graph's structure, so
+  // its map labels match).
+  exec::GraphTuning Merged = GT;
+  for (const auto &[Label, Sched] : P.VerifyDemotions)
+    Merged.Schedules[Label] = Sched;
+  Native->tuneGraph(*G, Merged);
   std::string Error;
   if (!Native->prepareGraph(*G, Error, nullptr)) {
     Native->releaseGraph(*G); // Drops the tuning registration too.

@@ -34,6 +34,7 @@
 #ifndef DCIR_API_PROGRAM_H
 #define DCIR_API_PROGRAM_H
 
+#include "analysis/Analysis.h"
 #include "exec/ExecutionEngine.h"
 #include "exec/InterpEngine.h"
 #include "obs/MapProfile.h"
@@ -107,6 +108,12 @@ struct ProgramStats {
   std::uint64_t TuneMeasuring = 0;
   std::uint64_t TunePromoted = 0;
   std::uint64_t TuneReverted = 0;
+  /// Static-verify gate outcome for this program (fixed at compile time;
+  /// zero when compiled with StaticVerifyMode::Off). Findings counts
+  /// analyzer findings; demotions counts map scopes the Error gate
+  /// demoted to a serial schedule.
+  std::uint64_t VerifyFindings = 0;
+  std::uint64_t VerifyDemotions = 0;
 };
 
 /// The outcome of one invocation.
@@ -250,6 +257,13 @@ public:
     /// A/Bs in-process, it just cannot recognize the program across
     /// processes.
     std::string SourceKey;
+    /// Static-verify gate outcome (empty when the gate did not run).
+    analysis::AnalysisResult Verify;
+    /// Serial demotions the Error gate decided, applied to the engine
+    /// before the artifact is prepared (and merged into every
+    /// specialization / tuning re-JIT so a demotion can never be undone
+    /// by a later re-optimization).
+    codegen::MapSchedules VerifyDemotions;
   };
 
   /// Builds a Program: instantiates the engine, and for native graph
@@ -271,6 +285,17 @@ public:
   exec::EngineKind engine() const { return P.Opts.Engine; }
   const std::string &entry() const { return P.Entry; }
   const sdfgopt::OptReport &report() const { return P.Report; }
+  /// The static-verify mode the compile actually ran under (the
+  /// $DCIR_STATIC_VERIFY override is already folded in).
+  pipeline::StaticVerifyMode staticVerifyMode() const {
+    return P.Opts.StaticVerify;
+  }
+  /// Static-verify gate outcome (empty when compiled without the gate).
+  const analysis::AnalysisResult &verifyResult() const { return P.Verify; }
+  /// Serial demotions the Error gate applied (keyed by map scope label).
+  const codegen::MapSchedules &verifyDemotions() const {
+    return P.VerifyDemotions;
+  }
   /// The SDFG artifact (null for module artifacts).
   const sdfg::SDFG *graph() const { return P.Graph.get(); }
   /// The dialect-module artifact (null for SDFG artifacts).

@@ -239,6 +239,8 @@ private:
             << "#include <cmath>\n#include <cstdlib>\n#include <limits>\n";
     if (Opts.ProfileMaps)
       Prelude << "#include <atomic>\n#include <chrono>\n";
+    if (Opts.CheckBounds)
+      Prelude << "#include <cstdio>\n";
     Prelude
        << "#ifdef _OPENMP\n#include <omp.h>\n#endif\n\n"
        << "static inline long long dcir_floord(long long a, long long b) {\n"
@@ -251,6 +253,17 @@ private:
           "{ return a < b ? a : b; }\n"
        << "template <typename T> static inline T dcir_max(T a, T b) "
           "{ return a > b ? a : b; }\n\n";
+    if (Opts.CheckBounds)
+      Prelude
+          << "static inline long long dcir_bc(long long i, long long n,\n"
+          << "                                const char *a) {\n"
+          << "  if (i < 0 || i >= n) {\n"
+          << "    std::fprintf(stderr, \"dcir: bounds violation: %s[%lld] "
+             "with extent %lld\\n\",\n"
+          << "                 a, i, n);\n"
+          << "    std::abort();\n"
+          << "  }\n"
+          << "  return i;\n}\n\n";
   }
 
   /// The typed entry-point signature, in callSignature order. Parameters
@@ -506,6 +519,12 @@ private:
       std::string Lin;
       for (size_t I = 0; I < Subset.rank(); ++I) {
         std::string Term = cExpr(Subset.dim(I).Begin);
+        if (Opts.CheckBounds && I < D.Shape.size()) {
+          Term = "dcir_bc(" + Term + ", " + cExpr(D.Shape[I]) + ", \"" +
+                 Data + "\")";
+          if (Info)
+            ++Info->BoundsChecks;
+        }
         if (Lin.empty())
           Lin = Term;
         else

@@ -120,6 +120,13 @@ struct CodegenOptions {
   /// to top-level scopes only; changes the emitted source, so the JIT
   /// cache key forks exactly like ProfileMaps.
   MapSchedules Schedules;
+  /// Debug emission mode: wrap every per-dimension subscript term in a
+  /// `dcir_bc(index, extent, container)` range assert that prints the
+  /// violation to stderr and aborts. Off by default, and then nothing is
+  /// emitted (byte-identical source, no cache-key fork); on, the cache
+  /// key forks exactly like ProfileMaps. $DCIR_CHECK_BOUNDS=1 enables it
+  /// through the native engine.
+  bool CheckBounds = false;
 };
 
 /// What the emitter produced (filled when requested).
@@ -135,6 +142,8 @@ struct CodegenInfo {
   /// Map scopes whose schedule came from a CodegenOptions::Schedules
   /// override (forced serial, forced parallel, or emission-time tile).
   unsigned ScheduledMaps = 0;
+  /// Subscript terms wrapped by CheckBounds instrumentation.
+  unsigned BoundsChecks = 0;
 };
 
 /// Emits a C++ translation unit defining

@@ -144,6 +144,10 @@ struct EngineConfig {
   /// codegen default (256 / 1<<16).
   unsigned MinParallelWork = 0;
   unsigned MinInLoopParallelWork = 0;
+  /// Instrument every generated subscript with a range assert
+  /// (CodegenOptions::CheckBounds). Seeded from $DCIR_CHECK_BOUNDS by the
+  /// native engine; changes the emitted source, hence the cache key.
+  bool CheckBounds = false;
 };
 
 /// Per-graph overrides applied on top of EngineConfig when the engine

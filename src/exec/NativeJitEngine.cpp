@@ -93,6 +93,8 @@ NativeJitEngine::NativeJitEngine(JitCache *Cache)
     Config.NumThreads = std::atoi(N);
   if (const char *P = std::getenv("DCIR_PROFILE_MAPS"))
     Config.ProfileMaps = std::atoi(P) != 0;
+  if (const char *B = std::getenv("DCIR_CHECK_BOUNDS"))
+    Config.CheckBounds = std::atoi(B) != 0;
 }
 
 EngineRun NativeJitEngine::runModule(ir::Operation *Module,
@@ -145,6 +147,7 @@ NativeJitEngine::buildArtifact(const sdfg::SDFG &G, std::string &Error,
   // emitting them anyway would only fork the cache key.
   Opts.ParallelMaps = Config.ParallelMaps && Cache.openmp();
   Opts.ProfileMaps = Config.ProfileMaps;
+  Opts.CheckBounds = Config.CheckBounds;
   if (Config.MinParallelWork)
     Opts.MinParallelWork = Config.MinParallelWork;
   if (Config.MinInLoopParallelWork)

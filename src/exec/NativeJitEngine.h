@@ -60,12 +60,14 @@ public:
   void configure(const EngineConfig &C) override {
     int EnvThreads = Config.NumThreads;
     bool EnvProfile = Config.ProfileMaps;
+    bool EnvCheckBounds = Config.CheckBounds;
     Config = C;
     if (Config.NumThreads == 0)
       Config.NumThreads = EnvThreads;
-    // $DCIR_PROFILE_MAPS is the user's run-time opt-in: it survives a
-    // caller configuration that leaves profiling off.
+    // $DCIR_PROFILE_MAPS / $DCIR_CHECK_BOUNDS are the user's run-time
+    // opt-ins: they survive a caller configuration that leaves them off.
     Config.ProfileMaps = Config.ProfileMaps || EnvProfile;
+    Config.CheckBounds = Config.CheckBounds || EnvCheckBounds;
   }
   const EngineConfig &config() const { return Config; }
   int numThreads() const { return Config.NumThreads; }

@@ -73,6 +73,29 @@ dcir::pipeline::parseSpecializeModeName(const std::string &Name) {
   return std::nullopt;
 }
 
+const char *dcir::pipeline::staticVerifyModeName(StaticVerifyMode M) {
+  switch (M) {
+  case StaticVerifyMode::Off:
+    return "off";
+  case StaticVerifyMode::Warn:
+    return "warn";
+  case StaticVerifyMode::Error:
+    return "error";
+  }
+  return "?";
+}
+
+std::optional<StaticVerifyMode>
+dcir::pipeline::parseStaticVerifyModeName(const std::string &Name) {
+  if (Name == "off" || Name == "0")
+    return StaticVerifyMode::Off;
+  if (Name == "on" || Name == "warn" || Name == "1")
+    return StaticVerifyMode::Warn;
+  if (Name == "error")
+    return StaticVerifyMode::Error;
+  return std::nullopt;
+}
+
 std::optional<OptLevel>
 dcir::pipeline::parseOptLevel(const std::string &Name) {
   std::string N = Name;

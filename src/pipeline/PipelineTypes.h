@@ -73,6 +73,23 @@ const char *specializeModeName(SpecializeMode M);
 /// Parses "--specialize=" values: off|lazy|on|eager (on == lazy).
 std::optional<SpecializeMode> parseSpecializeModeName(const std::string &Name);
 
+/// Post-optimization static soundness gate (src/analysis/, see DESIGN.md
+/// "Static soundness analysis"):
+///   Off    the analyzer does not run.
+///   Warn   findings are reported as diagnostics; compilation proceeds.
+///   Error  provable out-of-bounds findings fail the compile; map scopes
+///          the race analysis cannot prove safe are demoted to a serial
+///          schedule (counted by the `verify.demotions` metric).
+enum class StaticVerifyMode { Off, Warn, Error };
+
+/// Display name ("off", "warn", "error").
+const char *staticVerifyModeName(StaticVerifyMode M);
+
+/// Parses "--static-verify=" / $DCIR_STATIC_VERIFY values: off|warn|error
+/// (on == warn).
+std::optional<StaticVerifyMode>
+parseStaticVerifyModeName(const std::string &Name);
+
 /// Per-compile options threaded from the drivers into the optimizer and
 /// the execution engine. api::Compiler is a builder over exactly this
 /// struct.
@@ -145,6 +162,16 @@ struct CompileOptions {
   /// codegen defaults (256 / 1<<16). The benches expose them as --grain=.
   unsigned MinParallelWork = 0;
   unsigned MinInLoopParallelWork = 0;
+  /// Post-optimization static soundness gate (see StaticVerifyMode).
+  /// $DCIR_STATIC_VERIFY overrides when set; the benches expose it as
+  /// --static-verify=.
+  StaticVerifyMode StaticVerify = StaticVerifyMode::Off;
+  /// Instrument every generated subscript with a range assert
+  /// (CodegenOptions::CheckBounds): a violating access prints the
+  /// container, index, and extent to stderr and aborts. Native engine
+  /// only; forks the JIT cache key. $DCIR_CHECK_BOUNDS=1 enables it
+  /// process-wide.
+  bool CheckBounds = false;
 };
 
 } // namespace pipeline

@@ -511,11 +511,21 @@ bool SDFG::validate(DiagnosticEngine &Diags) const {
         continue;
       }
       const DataDesc &D = DescIt->second;
-      if (D.K == DataDesc::Kind::Array &&
-          E.M.Subset.rank() != D.rank()) {
+      if ((D.K == DataDesc::Kind::Array && E.M.Subset.rank() != D.rank()) ||
+          E.M.Subset.rank() > D.rank()) {
+        // Excess dimensions linearize into memory the container does not
+        // own, for every kind — scalars (rank 0) included. Name the
+        // access-node endpoint: that is the node a user must fix.
+        std::string At;
+        for (int Id : {E.Src, E.Dst})
+          if (const auto *A = dyn_cast<AccessNode>(S->getNode(Id)))
+            if (A->getData() == E.M.Data)
+              At = " at access node " + std::to_string(Id) + " ('" +
+                   A->getData() + "')";
         Diags.error("state '" + S->getName() + "': memlet " + E.M.str() +
-                    " rank mismatch with container (rank " +
-                    std::to_string(D.rank()) + ")");
+                    " rank " + std::to_string(E.M.Subset.rank()) +
+                    " mismatches container rank " + std::to_string(D.rank()) +
+                    At);
         continue;
       }
       // Symbolic bounds check where provable (paper §1: bounds analysis).

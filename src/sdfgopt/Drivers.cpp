@@ -17,6 +17,10 @@
 
 #include "sdfgopt/Passes.h"
 
+#include "analysis/Analysis.h"
+
+#include <cstdio>
+
 using namespace dcir;
 using namespace dcir::sdfgopt;
 using namespace dcir::sdfg;
@@ -149,6 +153,27 @@ const std::vector<PassDef> &passDefs() {
       {"specialize-symbols",
        [](SDFG &G, OptReport *, const TO &, const SO &Sp) {
          return specializeSymbols(G, Sp);
+       },
+       false, false},
+      // The independent static soundness analyzer (src/analysis/), usable
+      // anywhere in a --passes= spec. Read-only: both report 0 rewrites
+      // (fixpoint groups see them as converged) and print findings to
+      // stderr. The per-pass wall-time in --pass-report-json prices the
+      // verification itself.
+      {"verify-races",
+       [](SDFG &G, OptReport *, const TO &, const SO &) -> unsigned {
+         analysis::AnalysisResult R = analysis::checkRaces(G);
+         if (!R.clean())
+           std::fprintf(stderr, "%s", R.text().c_str());
+         return 0;
+       },
+       false, false},
+      {"verify-bounds",
+       [](SDFG &G, OptReport *, const TO &, const SO &) -> unsigned {
+         analysis::AnalysisResult R = analysis::checkBounds(G);
+         if (!R.clean())
+           std::fprintf(stderr, "%s", R.text().c_str());
+         return 0;
        },
        false, false},
   };

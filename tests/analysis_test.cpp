@@ -1,0 +1,447 @@
+//===- analysis_test.cpp - static soundness analyzer: mutants + gate ----------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analyzer's regression harness is mutation-based: each test builds a
+/// graph that verifies clean, applies one seeded soundness mutation (the
+/// kind a buggy optimizer pass would introduce), and asserts the analyzer
+/// reports the expected finding kind. The unmutated twin staying clean is
+/// asserted alongside, so a checker that flags everything cannot pass.
+/// The gate tests drive api::detail::applyStaticVerify and the CheckBounds
+/// debug emission end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analysis.h"
+#include "api/Compiler.h"
+#include "codegen/CppCodegen.h"
+#include "pipeline/Pipeline.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace dcir;
+using namespace dcir::sdfg;
+using sym::SymExpr;
+
+namespace {
+
+SymExpr C(std::int64_t V) { return SymExpr::constant(V); }
+SymExpr S(const char *N) { return SymExpr::symbol(N); }
+
+/// A parallel reduction: map i in [0, 8) accumulating into out[0] through
+/// a WCR("add") memlet. Safe exactly because of the conflict resolution.
+std::unique_ptr<SDFG> buildWcrReduction() {
+  auto G = std::make_unique<SDFG>("wcr_reduction");
+  G->addArray("out", DType::F64, {C(1)}, /*Transient=*/false);
+  State *St = G->addState("s");
+  G->setStartState(St);
+  auto [Entry, Exit] = St->addMap({"i"}, {sym::SymRange(C(0), C(8))});
+  Tasklet *T = St->addTasklet("one");
+  T->OutConns = {"_o"};
+  T->Code["_o"] = TExpr::constF(1.0);
+  St->connect(Entry, "", T, "", Memlet());
+  Memlet M;
+  M.Data = "out";
+  M.Subset = sym::SymSubset::element({C(0)});
+  M.Wcr = "add";
+  St->connect(T, "_o", Exit, "", M);
+  AccessNode *Out = St->addAccess("out");
+  St->connect(Exit, "", Out, "", M);
+  return G;
+}
+
+/// An embarrassingly parallel write: map (i, j) over [0,8)x[0,8) writing
+/// out[i, j] — one distinct cell per binding.
+std::unique_ptr<SDFG> buildDisjointMap() {
+  auto G = std::make_unique<SDFG>("disjoint");
+  G->addArray("out", DType::F64, {C(8), C(8)}, /*Transient=*/false);
+  State *St = G->addState("s");
+  G->setStartState(St);
+  auto [Entry, Exit] = St->addMap(
+      {"i", "j"}, {sym::SymRange(C(0), C(8)), sym::SymRange(C(0), C(8))});
+  Tasklet *T = St->addTasklet("zero");
+  T->OutConns = {"_o"};
+  T->Code["_o"] = TExpr::constF(0.0);
+  St->connect(Entry, "", T, "", Memlet());
+  Memlet M;
+  M.Data = "out";
+  M.Subset = sym::SymSubset::element({S("i"), S("j")});
+  St->connect(T, "_o", Exit, "", M);
+  AccessNode *Out = St->addAccess("out");
+  Memlet MFull;
+  MFull.Data = "out";
+  MFull.Subset = sym::SymSubset::full({C(8), C(8)});
+  St->connect(Exit, "", Out, "", MFull);
+  return G;
+}
+
+/// A symbolic state-machine loop over a constant trip:
+/// for i in [0, 8): out[i] = 2 * in[i].
+std::unique_ptr<SDFG> buildScaleLoop() {
+  auto G = std::make_unique<SDFG>("scale");
+  G->addArray("in", DType::F64, {C(8)}, /*Transient=*/false);
+  G->addArray("out", DType::F64, {C(8)}, /*Transient=*/false);
+  State *Init = G->addState("init");
+  State *Guard = G->addState("guard");
+  State *Body = G->addState("body");
+  State *Exit = G->addState("exit");
+  G->setStartState(Init);
+  InterstateEdge E0;
+  E0.Assignments = {{"i", C(0)}};
+  G->addInterstateEdge(Init, Guard, E0);
+  InterstateEdge Enter;
+  Enter.Condition = SymExpr::lt(S("i"), C(8));
+  G->addInterstateEdge(Guard, Body, Enter);
+  InterstateEdge Back;
+  Back.Assignments = {{"i", SymExpr::add(S("i"), C(1))}};
+  G->addInterstateEdge(Body, Guard, Back);
+  InterstateEdge Leave;
+  Leave.Condition = SymExpr::ge(S("i"), C(8));
+  G->addInterstateEdge(Guard, Exit, Leave);
+  AccessNode *In = Body->addAccess("in");
+  AccessNode *Out = Body->addAccess("out");
+  Tasklet *T = Body->addTasklet("scale");
+  T->InConns = {"_a"};
+  T->OutConns = {"_b"};
+  T->Code["_b"] = TExpr::op(
+      "mul", {TExpr::input("_a", DType::F64), TExpr::constF(2.0)},
+      DType::F64);
+  Memlet MIn;
+  MIn.Data = "in";
+  MIn.Subset = sym::SymSubset::element({S("i")});
+  Body->connect(In, "", T, "_a", MIn);
+  Memlet MOut;
+  MOut.Data = "out";
+  MOut.Subset = sym::SymSubset::element({S("i")});
+  Body->connect(T, "_b", Out, "", MOut);
+  return G;
+}
+
+bool hasKind(const analysis::AnalysisResult &R, analysis::Kind K,
+             analysis::Severity Sev) {
+  for (const analysis::Finding &F : R.Findings)
+    if (F.K == K && F.Sev == Sev)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Mutant class 1: dropped write-conflict resolution
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisMutants, DroppedWcrIsDefiniteWriteWriteRace) {
+  auto Clean = buildWcrReduction();
+  EXPECT_TRUE(analysis::analyze(*Clean).clean())
+      << analysis::analyze(*Clean).text();
+
+  auto Mutant = buildWcrReduction();
+  // The mutation: a pass "loses" the conflict resolution on every memlet
+  // touching out — now all 8 bindings plain-write the same cell.
+  for (const auto &St : Mutant->states())
+    for (DataflowEdge &E : St->edges())
+      E.M.Wcr.clear();
+  analysis::AnalysisResult R = analysis::checkRaces(*Mutant);
+  EXPECT_TRUE(
+      hasKind(R, analysis::Kind::RaceWriteWrite, analysis::Severity::Error))
+      << R.text();
+  EXPECT_FALSE(R.UnprovenMaps.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Mutant class 2: subset widened past the container shape
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisMutants, ConstantOverreachIsProvenOutOfBounds) {
+  auto Clean = buildScaleLoop();
+  EXPECT_TRUE(analysis::analyze(*Clean).clean())
+      << analysis::analyze(*Clean).text();
+
+  auto Mutant = buildScaleLoop();
+  // The mutation: the read subset is shifted past the declared shape by
+  // a constant — every execution reads in[8..9] of an 8-array.
+  for (const auto &St : Mutant->states())
+    for (DataflowEdge &E : St->edges())
+      if (E.M.Data == "in")
+        E.M.Subset = sym::SymSubset({sym::SymRange(C(8), C(10))});
+  analysis::AnalysisResult R = analysis::checkBounds(*Mutant);
+  EXPECT_TRUE(
+      hasKind(R, analysis::Kind::OutOfBounds, analysis::Severity::Error))
+      << R.text();
+  EXPECT_TRUE(R.hasProvenOob());
+}
+
+TEST(AnalysisMutants, MapLastTripOverreachIsProvenOutOfBounds) {
+  auto Mutant = buildDisjointMap();
+  // Off-by-one inside a *map* scope: out[i, j + 1] under j in [0, 8).
+  // Unlike the serial-loop variant below, every binding of a map
+  // definitely executes, so pinning j at its attained maximum (7) yields
+  // a definitely-executed access out[i, 8] past the extent — proven.
+  for (const auto &St : Mutant->states())
+    for (DataflowEdge &E : St->edges())
+      if (E.M.Data == "out" && E.M.Subset.isSingleElement())
+        E.M.Subset = sym::SymSubset::element(
+            {S("i"), SymExpr::add(S("j"), C(1))});
+  analysis::AnalysisResult R = analysis::checkBounds(*Mutant);
+  EXPECT_TRUE(
+      hasKind(R, analysis::Kind::OutOfBounds, analysis::Severity::Error))
+      << R.text();
+  EXPECT_TRUE(R.hasProvenOob());
+}
+
+TEST(AnalysisMutants, OffByOneIsBoundsUnprovenWarning) {
+  auto Mutant = buildScaleLoop();
+  // The classic off-by-one: out[i + 1] under i in [0, 8). Only the last
+  // trip is out of bounds, so the analyzer can neither prove the subset
+  // safe nor prove every execution unsafe.
+  for (const auto &St : Mutant->states())
+    for (DataflowEdge &E : St->edges())
+      if (E.M.Data == "out")
+        E.M.Subset =
+            sym::SymSubset::element({SymExpr::add(S("i"), C(1))});
+  analysis::AnalysisResult R = analysis::checkBounds(*Mutant);
+  EXPECT_TRUE(hasKind(R, analysis::Kind::BoundsUnproven,
+                      analysis::Severity::Warning))
+      << R.text();
+  EXPECT_FALSE(R.hasProvenOob());
+}
+
+//===----------------------------------------------------------------------===//
+// Mutant class 3: aliased map parameters
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisMutants, AliasedParamsAreAWriteWriteRace) {
+  auto Clean = buildDisjointMap();
+  EXPECT_TRUE(analysis::analyze(*Clean).clean())
+      << analysis::analyze(*Clean).text();
+
+  auto Mutant = buildDisjointMap();
+  // The mutation: a renaming bug collapses the write subset to
+  // out[i, i] — bindings (i, j) and (i, j') collide for j != j'.
+  for (const auto &St : Mutant->states())
+    for (DataflowEdge &E : St->edges())
+      if (E.M.Data == "out" && E.M.Subset.isSingleElement())
+        E.M.Subset = sym::SymSubset::element({S("i"), S("i")});
+  analysis::AnalysisResult R = analysis::checkRaces(*Mutant);
+  EXPECT_TRUE(hasKind(R, analysis::Kind::RaceWriteWrite,
+                      analysis::Severity::Warning))
+      << R.text();
+  EXPECT_FALSE(R.UnprovenMaps.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Mutant class 4: read of a never-written transient
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisMutants, NeverWrittenTransientReadIsFlagged) {
+  auto G = buildScaleLoop();
+  // The mutation: redirect the body's read from the bound input to a
+  // transient no state ever stores into.
+  G->addArray("tmp", DType::F64, {C(8)}, /*Transient=*/true);
+  State *Body = G->findState("body");
+  ASSERT_NE(Body, nullptr);
+  for (DataflowEdge &E : Body->edges())
+    if (E.M.Data == "in")
+      E.M.Data = "tmp";
+  for (const auto &N : Body->nodes())
+    if (auto *A = dyn_cast<AccessNode>(N.get()))
+      if (A->getData() == "in")
+        A->setData("tmp");
+  analysis::AnalysisResult R = analysis::checkInitialization(*G);
+  EXPECT_TRUE(hasKind(R, analysis::Kind::UninitializedRead,
+                      analysis::Severity::Warning))
+      << R.text();
+}
+
+TEST(AnalysisFlow, ZeroTripGuardedLoopWriteStillDominates) {
+  // The constant-trip loop writes out on every iteration; code after the
+  // loop must see it as definitely written even though the state machine
+  // carries a (statically infeasible before the first iteration) zero-trip
+  // exit edge. This is the shape that used to produce uninitialized-read
+  // false positives on adi and floyd-warshall.
+  auto G = buildScaleLoop();
+  G->descs()["out"].Transient = true;
+  State *Exit = G->findState("exit");
+  ASSERT_NE(Exit, nullptr);
+  AccessNode *Rd = Exit->addAccess("out");
+  Tasklet *T = Exit->addTasklet("consume");
+  T->InConns = {"_a"};
+  Memlet M;
+  M.Data = "out";
+  M.Subset = sym::SymSubset::element({C(0)});
+  Exit->connect(Rd, "", T, "_a", M);
+  analysis::AnalysisResult R = analysis::checkInitialization(*G);
+  EXPECT_TRUE(R.clean()) << R.text();
+}
+
+//===----------------------------------------------------------------------===//
+// Rank mismatch: analyzer finding and validate() rejection agree
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisMutants, RankMismatchIsErrorAndValidateNamesTheContainer) {
+  auto G = buildScaleLoop();
+  for (const auto &St : G->states())
+    for (DataflowEdge &E : St->edges())
+      if (E.M.Data == "out") // out[i, 0]: rank 2 into a rank-1 array.
+        E.M.Subset = sym::SymSubset::element({S("i"), C(0)});
+  analysis::AnalysisResult R = analysis::checkBounds(*G);
+  EXPECT_TRUE(
+      hasKind(R, analysis::Kind::RankMismatch, analysis::Severity::Error))
+      << R.text();
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(G->validate(Diags));
+  // The diagnostic names the container so the offending access node is
+  // findable without a graph dump.
+  EXPECT_NE(Diags.str().find("out"), std::string::npos) << Diags.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Label ABI: analyzer and codegen must key demotions identically
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisLabels, MapLabelMatchesCodegenScopeLabel) {
+  auto G = buildDisjointMap();
+  unsigned Checked = 0;
+  for (const auto &St : G->states())
+    for (const auto &N : St->nodes())
+      if (auto *E = dyn_cast<MapEntry>(N.get())) {
+        EXPECT_EQ(analysis::mapLabel(*St, *E),
+                  codegen::mapScopeLabel(*St, *E));
+        ++Checked;
+      }
+  EXPECT_GE(Checked, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// The compile gate: demotion and refusal
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisGate, ErrorModeDemotesUnprovenMapsToSerial) {
+  auto G = buildDisjointMap();
+  for (const auto &St : G->states())
+    for (DataflowEdge &E : St->edges())
+      if (E.M.Data == "out" && E.M.Subset.isSingleElement())
+        E.M.Subset = sym::SymSubset::element({S("i"), S("i")});
+  DiagnosticEngine Diags;
+  analysis::AnalysisResult R;
+  codegen::MapSchedules Demotions;
+  EXPECT_TRUE(api::detail::applyStaticVerify(
+      *G, "disjoint", pipeline::StaticVerifyMode::Error, Diags, R,
+      Demotions));
+  ASSERT_GE(Demotions.size(), 1u);
+  for (const auto &KV : Demotions)
+    EXPECT_EQ(KV.second.Policy, codegen::MapSchedulePolicy::Serial);
+
+  // The demotion is effective: without it the scope parallelizes, with
+  // it the work-sharing pragma disappears from the emitted source.
+  codegen::CodegenOptions CG;
+  CG.ParallelMaps = true;
+  CG.MinParallelWork = 1;
+  DiagnosticEngine D1, D2;
+  std::string Par = codegen::emitCpp(*G, D1, CG);
+  ASSERT_FALSE(Par.empty()) << D1.str();
+  EXPECT_NE(Par.find("#pragma omp parallel for"), std::string::npos);
+  CG.Schedules = Demotions;
+  std::string Ser = codegen::emitCpp(*G, D2, CG);
+  ASSERT_FALSE(Ser.empty()) << D2.str();
+  EXPECT_EQ(Ser.find("#pragma omp parallel for"), std::string::npos);
+}
+
+TEST(AnalysisGate, ErrorModeRefusesProvenOutOfBounds) {
+  auto G = buildScaleLoop();
+  for (const auto &St : G->states())
+    for (DataflowEdge &E : St->edges())
+      if (E.M.Data == "in")
+        E.M.Subset = sym::SymSubset({sym::SymRange(C(8), C(10))});
+  DiagnosticEngine Diags;
+  analysis::AnalysisResult R;
+  codegen::MapSchedules Demotions;
+  EXPECT_FALSE(api::detail::applyStaticVerify(
+      *G, "scale", pipeline::StaticVerifyMode::Error, Diags, R, Demotions));
+  EXPECT_TRUE(R.hasProvenOob());
+  EXPECT_NE(Diags.str().find("out-of-bounds"), std::string::npos)
+      << Diags.str();
+
+  // Warn mode reports but neither refuses nor demotes.
+  DiagnosticEngine WDiags;
+  analysis::AnalysisResult WR;
+  codegen::MapSchedules WDem;
+  EXPECT_TRUE(api::detail::applyStaticVerify(
+      *G, "scale", pipeline::StaticVerifyMode::Warn, WDiags, WR, WDem));
+  EXPECT_TRUE(WDem.empty());
+}
+
+TEST(AnalysisGate, GateWallTimeLandsInPassReport) {
+  // The gate's cost is part of the compile pipeline: it must show up as a
+  // synthetic "static-verify" entry in the pass report (the one
+  // --pass-report-json serializes), with the findings count as rewrites.
+  const char *Src = R"(
+double kernel_sum(double a[8]) {
+  double s = 0.0;
+  for (int i = 0; i < 8; i++)
+    s += a[i];
+  return s;
+}
+)";
+  api::Compiler Comp;
+  Comp.staticVerify(pipeline::StaticVerifyMode::Error);
+  auto Prog = Comp.compile(Src, "kernel_sum");
+  ASSERT_NE(Prog, nullptr) << Comp.diagnostics();
+  EXPECT_EQ(Prog->staticVerifyMode(), pipeline::StaticVerifyMode::Error);
+  const opt::PassStats *S = Prog->report().Passes.find("static-verify");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Invocations, 1u);
+  EXPECT_EQ(S->Rewrites, 0u) << Prog->verifyResult().text();
+
+  // And absent when the gate is off, so ungated reports stay unchanged.
+  api::Compiler Off;
+  auto POff = Off.compile(Src, "kernel_sum");
+  ASSERT_NE(POff, nullptr) << Off.diagnostics();
+  EXPECT_EQ(POff->report().Passes.find("static-verify"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// CheckBounds debug emission
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisCheckBounds, EmissionInstrumentsSubscripts) {
+  auto G = buildScaleLoop();
+  codegen::CodegenOptions CG;
+  CG.CheckBounds = true;
+  codegen::CodegenInfo Info;
+  DiagnosticEngine Diags;
+  std::string Src = codegen::emitCpp(*G, Diags, CG, &Info);
+  ASSERT_FALSE(Src.empty()) << Diags.str();
+  EXPECT_NE(Src.find("dcir_bc"), std::string::npos);
+  EXPECT_GE(Info.BoundsChecks, 2u); // in[i] and out[i].
+
+  // And off by default: no instrumentation in the emitted source.
+  codegen::CodegenOptions Plain;
+  DiagnosticEngine PD;
+  std::string PlainSrc = codegen::emitCpp(*G, PD, Plain);
+  EXPECT_EQ(PlainSrc.find("dcir_bc"), std::string::npos);
+}
+
+TEST(AnalysisCheckBoundsDeathTest, OutOfBoundsSubscriptAborts) {
+  // End to end: a kernel indexing past its array, compiled with the gate
+  // off and runtime bounds checks on, must abort with the dcir_bc
+  // message when invoked on the native engine.
+  const char *Oob = R"(
+void kernel_oob(double a[8]) {
+  for (int i = 0; i < 10; i++)
+    a[i] = 1.0;
+}
+)";
+  api::Compiler Comp;
+  Comp.engine(exec::EngineKind::Native)
+      .staticVerify(pipeline::StaticVerifyMode::Off)
+      .checkBounds(true);
+  auto Prog = Comp.compile(Oob, "kernel_oob");
+  ASSERT_NE(Prog, nullptr) << Comp.diagnostics();
+  EXPECT_DEATH({ (void)Prog->invoke(); }, "dcir_bc|out of range|bounds");
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+//===- verify_main.cpp - sdfg-verify: standalone soundness checker ------------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CLI front-end for the static soundness analyzer (src/analysis/):
+///
+///   sdfg-verify <file.c> <entry> [--mode=warn|error] [--json] [--run]
+///   sdfg-verify --corpus [--mode=...] [--json] [--run]
+///
+/// <file.c> is a filesystem path, or a path under workloads/ (the corpus
+/// convention, e.g. polybench/gemm.c). --corpus iterates all 29 Polybench
+/// kernels. The source is compiled through the DCIR pipeline at -O2 with
+/// parallelization on — i.e. the exact graphs the optimizer ships — and
+/// the analyzer renders findings as text (stderr) or JSON (stdout).
+/// --run additionally invokes each clean kernel once on the native
+/// engine, so $DCIR_CHECK_BOUNDS=1 can corroborate the static verdict
+/// dynamically.
+///
+/// Exit codes: 0 = everything clean, 1 = compilation failed,
+/// 2 = findings reported. CI keys on these.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analysis.h"
+#include "api/Compiler.h"
+#include "pipeline/Pipeline.h"
+#include "pipeline/PolybenchRegistry.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace dcir;
+
+namespace {
+
+struct Options {
+  std::string File;
+  std::string Entry;
+  bool Corpus = false;
+  bool Json = false;
+  bool Run = false;
+  bool Dump = false; // Undocumented: print the optimized SDFG.
+  pipeline::StaticVerifyMode Mode = pipeline::StaticVerifyMode::Error;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: sdfg-verify <file.c> <entry> [--mode=off|warn|error] [--json] "
+      "[--run]\n"
+      "       sdfg-verify --corpus [--mode=...] [--json] [--run]\n");
+}
+
+/// One kernel through the analyzer. Returns 0 clean / 1 compile failure /
+/// 2 findings; fills \p JsonRow when JSON output was requested.
+int verifyOne(const std::string &Name, const std::string &Source,
+              const std::string &Entry, const Options &Opt,
+              std::string &JsonRow) {
+  pipeline::CompileOptions COpts;
+  COpts.Engine = exec::EngineKind::Native;
+  DiagnosticEngine Diags;
+  api::detail::CompiledParts Parts = api::detail::compileParts(
+      Source, Entry, pipeline::PipelineKind::Dcir, Diags, COpts);
+  if (!Parts.Graph) {
+    std::fprintf(stderr, "sdfg-verify: compilation of '%s' failed:\n%s\n",
+                 Entry.c_str(), Diags.str().c_str());
+    return 1;
+  }
+  if (Opt.Dump)
+    std::fprintf(stderr, "%s\n", Parts.Graph->str().c_str());
+  analysis::AnalysisResult R = analysis::analyze(*Parts.Graph);
+  if (Opt.Json)
+    JsonRow = "{\"kernel\": \"" + Name + "\", \"result\": " + R.json() + "}";
+  else if (!R.clean())
+    std::fprintf(stderr, "%s", R.text().c_str());
+
+  int Rc = R.clean() ? 0 : 2;
+  if (Opt.Run && Rc == 0) {
+    // Dynamic corroboration: invoke once on the native engine with
+    // engine-allocated buffers. With $DCIR_CHECK_BOUNDS=1 a subscript
+    // the static verdict missed aborts the process — CI's tripwire.
+    api::Compiler C;
+    C.engine(exec::EngineKind::Native).staticVerify(Opt.Mode);
+    auto Prog = C.compile(Source, Entry);
+    if (!Prog) {
+      std::fprintf(stderr, "sdfg-verify: program build of '%s' failed:\n%s\n",
+                   Entry.c_str(), C.diagnostics().c_str());
+      return 1;
+    }
+    api::InvocationResult IR = Prog->invoke();
+    if (!IR.Ok) {
+      std::fprintf(stderr, "sdfg-verify: invocation of '%s' failed: %s\n",
+                   Entry.c_str(), IR.Error.c_str());
+      return 1;
+    }
+  }
+  return Rc;
+}
+
+std::string loadSource(const std::string &File) {
+  std::string Text;
+  if (readFileToString(File, Text))
+    return Text;
+  return pipeline::loadWorkload(File); // Aborts with a message on failure.
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options Opt;
+  std::vector<std::string> Positional;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--corpus")
+      Opt.Corpus = true;
+    else if (A == "--json")
+      Opt.Json = true;
+    else if (A == "--run")
+      Opt.Run = true;
+    else if (A == "--dump")
+      Opt.Dump = true;
+    else if (A.rfind("--mode=", 0) == 0) {
+      auto M = pipeline::parseStaticVerifyModeName(A.substr(7));
+      if (!M) {
+        std::fprintf(stderr, "sdfg-verify: bad --mode value '%s'\n",
+                     A.substr(7).c_str());
+        return 1;
+      }
+      Opt.Mode = *M;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "sdfg-verify: unknown flag '%s'\n", A.c_str());
+      usage();
+      return 1;
+    } else {
+      Positional.push_back(A);
+    }
+  }
+
+  std::vector<std::string> Rows;
+  int Rc = 0;
+  if (Opt.Corpus) {
+    for (const pipeline::PolybenchKernel &K : pipeline::polybenchKernels()) {
+      std::string Row;
+      int One = verifyOne(K.Name, pipeline::loadWorkload(K.File), K.Entry,
+                          Opt, Row);
+      if (!Row.empty())
+        Rows.push_back(Row);
+      if (One > Rc)
+        Rc = One;
+      if (!Opt.Json)
+        std::fprintf(stderr, "sdfg-verify: %-16s %s\n", K.Name,
+                     One == 0 ? "clean" : (One == 1 ? "FAILED" : "findings"));
+    }
+  } else {
+    if (Positional.size() != 2) {
+      usage();
+      return 1;
+    }
+    Opt.File = Positional[0];
+    Opt.Entry = Positional[1];
+    std::string Row;
+    Rc = verifyOne(Opt.File, loadSource(Opt.File), Opt.Entry, Opt, Row);
+    if (!Row.empty())
+      Rows.push_back(Row);
+  }
+  if (Opt.Json) {
+    std::string Out = "[";
+    for (size_t I = 0; I < Rows.size(); ++I)
+      Out += (I ? ", " : "") + Rows[I];
+    Out += "]";
+    std::printf("%s\n", Out.c_str());
+  }
+  return Rc;
+}
