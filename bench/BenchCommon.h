@@ -107,11 +107,16 @@ struct BenchOptions {
   /// profitability gates the autotuner's measured decisions override.
   std::uint64_t MinParallelWork = 0;
   std::uint64_t MinInLoopParallelWork = 0;
-  /// --static-verify=off|warn|error: the post-optimization static
+  /// --static-verify=off|warn|guard|error: the post-optimization static
   /// soundness gate (races, bounds, definite initialization). Error mode
   /// serializes maps the race analysis could not prove safe and refuses
-  /// artifacts with proven out-of-bounds accesses.
+  /// artifacts with proven out-of-bounds accesses; guard mode demotes
+  /// only maps without a synthesized runtime guard.
   pipeline::StaticVerifyMode StaticVerify = pipeline::StaticVerifyMode::Off;
+  /// --speculate=off|on: speculative loop-to-map conversion — loops the
+  /// prover cannot clear become Speculative maps, multi-versioned behind
+  /// their synthesized guards under --static-verify=guard.
+  bool Speculate = false;
 
   pipeline::CompileOptions compileOptions(exec::EngineKind K) const {
     pipeline::CompileOptions Opts;
@@ -129,6 +134,7 @@ struct BenchOptions {
     Opts.MinParallelWork = MinParallelWork;
     Opts.MinInLoopParallelWork = MinInLoopParallelWork;
     Opts.StaticVerify = StaticVerify;
+    Opts.Speculate = Speculate;
     return Opts;
   }
 
@@ -284,11 +290,24 @@ inline BenchOptions parseBenchFlags(int &argc, char **argv) {
       if (!Parsed) {
         std::fprintf(stderr,
                      "unknown static-verify mode '%s' (expected "
-                     "off|warn|error)\n",
+                     "off|warn|guard|error)\n",
                      argv[I] + 16);
         std::exit(2);
       }
       Opts.StaticVerify = *Parsed;
+      continue;
+    }
+    if (std::strncmp(argv[I], "--speculate=", 12) == 0) {
+      const char *V = argv[I] + 12;
+      if (std::strcmp(V, "on") == 0) {
+        Opts.Speculate = true;
+      } else if (std::strcmp(V, "off") == 0) {
+        Opts.Speculate = false;
+      } else {
+        std::fprintf(stderr,
+                     "unknown speculate mode '%s' (expected off|on)\n", V);
+        std::exit(2);
+      }
       continue;
     }
     if (std::strcmp(argv[I], "--print-pass-report") == 0) {
@@ -532,6 +551,19 @@ inline std::string staticVerifyExtra(const api::Program &P) {
          ", \"demotions\": " + std::to_string(S.VerifyDemotions) + "}";
 }
 
+/// The speculation JSON members of a Program: guarded scope count plus
+/// live runtime pass/fail counters. Empty when nothing is guarded (so
+/// non-speculative rows stay byte-stable across the flag flip).
+inline std::string speculationExtra(const api::Program &P) {
+  const api::ProgramStats S = P.stats();
+  if (S.SpeculationGuarded == 0)
+    return std::string();
+  return "\"speculation\": {\"guarded\": " +
+         std::to_string(S.SpeculationGuarded) +
+         ", \"pass\": " + std::to_string(S.SpeculationPass) +
+         ", \"fail\": " + std::to_string(S.SpeculationFail) + "}";
+}
+
 /// The shape-specialization JSON members of a Program: served-by-variant
 /// hit count, live variant count, and fallback count. Empty when the
 /// program does not specialize (so non-specializing rows stay unchanged).
@@ -600,6 +632,8 @@ inline std::string benchMetaJson(const BenchOptions &Opts) {
   Out += ", \"static_verify\": \"" +
          std::string(pipeline::staticVerifyModeName(Opts.StaticVerify)) +
          "\"";
+  Out += std::string(", \"speculate\": \"") +
+         (Opts.Speculate ? "on" : "off") + "\"";
   Out += "}";
   return Out;
 }

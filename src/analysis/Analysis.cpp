@@ -121,6 +121,84 @@ std::string Finding::json() const {
   return OS.str();
 }
 
+const char *analysis::guardTermKindName(GuardTermKind K) {
+  switch (K) {
+  case GuardTermKind::SymCond:
+    return "sym-cond";
+  case GuardTermKind::PtrDisjoint:
+    return "ptr-disjoint";
+  case GuardTermKind::Inspector:
+    return "inspector";
+  }
+  return "unknown";
+}
+
+std::string GuardTerm::text() const {
+  switch (K) {
+  case GuardTermKind::SymCond:
+    return Cond ? Cond.str() : "true";
+  case GuardTermKind::PtrDisjoint:
+    return "disjoint(" + A + ", " + B + ")";
+  case GuardTermKind::Inspector:
+    return "inspect " + Index + "[" + (IndexExpr ? IndexExpr.str() : "?") +
+           "] over " + Param + " -> distinct in-range cells of " + Target;
+  }
+  return "?";
+}
+
+std::string GuardTerm::json() const {
+  std::ostringstream OS;
+  OS << "{\"kind\": \"" << guardTermKindName(K) << "\"";
+  switch (K) {
+  case GuardTermKind::SymCond:
+    OS << ", \"cond\": \"" << jsonEscape(Cond ? Cond.str() : "true") << "\"";
+    break;
+  case GuardTermKind::PtrDisjoint:
+    OS << ", \"a\": \"" << jsonEscape(A) << "\", \"b\": \"" << jsonEscape(B)
+       << "\"";
+    break;
+  case GuardTermKind::Inspector:
+    OS << ", \"index\": \"" << jsonEscape(Index) << "\", \"index_expr\": \""
+       << jsonEscape(IndexExpr ? IndexExpr.str() : "") << "\", \"param\": \""
+       << jsonEscape(Param) << "\", \"target\": \"" << jsonEscape(Target)
+       << "\"";
+    break;
+  }
+  OS << "}";
+  return OS.str();
+}
+
+std::string Guard::text() const {
+  std::ostringstream OS;
+  OS << "map " << Map << ": "
+     << (Covered ? "guarded" : "unguarded (demoted)");
+  if (!Reasons.empty()) {
+    OS << " [";
+    for (size_t I = 0; I < Reasons.size(); ++I)
+      OS << (I ? ", " : "") << Reasons[I];
+    OS << "]";
+  }
+  for (size_t I = 0; I < Terms.size(); ++I)
+    OS << (I ? " && " : ": ") << Terms[I].text();
+  return OS.str();
+}
+
+std::string Guard::json() const {
+  std::ostringstream OS;
+  OS << "{\"map\": \"" << jsonEscape(Map) << "\", \"state\": \""
+     << jsonEscape(State) << "\", \"speculative\": "
+     << (Speculative ? "true" : "false")
+     << ", \"covered\": " << (Covered ? "true" : "false")
+     << ", \"reasons\": [";
+  for (size_t I = 0; I < Reasons.size(); ++I)
+    OS << (I ? ", " : "") << "\"" << jsonEscape(Reasons[I]) << "\"";
+  OS << "], \"terms\": [";
+  for (size_t I = 0; I < Terms.size(); ++I)
+    OS << (I ? ", " : "") << Terms[I].json();
+  OS << "]}";
+  return OS.str();
+}
+
 unsigned AnalysisResult::errors() const {
   unsigned N = 0;
   for (const Finding &F : Findings)
@@ -149,6 +227,12 @@ void AnalysisResult::append(AnalysisResult &&Other) {
     if (std::find(UnprovenMaps.begin(), UnprovenMaps.end(), M) ==
         UnprovenMaps.end())
       UnprovenMaps.push_back(std::move(M));
+  for (Guard &G : Other.Guards)
+    Guards.push_back(std::move(G));
+  for (std::string &A : Other.Assumptions)
+    if (std::find(Assumptions.begin(), Assumptions.end(), A) ==
+        Assumptions.end())
+      Assumptions.push_back(std::move(A));
 }
 
 std::string AnalysisResult::text() const {
@@ -172,6 +256,12 @@ std::string AnalysisResult::json() const {
      << ", \"unproven_maps\": [";
   for (size_t I = 0; I < UnprovenMaps.size(); ++I)
     OS << (I ? ", " : "") << "\"" << jsonEscape(UnprovenMaps[I]) << "\"";
+  OS << "], \"guards\": [";
+  for (size_t I = 0; I < Guards.size(); ++I)
+    OS << (I ? ", " : "") << Guards[I].json();
+  OS << "], \"assumptions\": [";
+  for (size_t I = 0; I < Assumptions.size(); ++I)
+    OS << (I ? ", " : "") << "\"" << jsonEscape(Assumptions[I]) << "\"";
   OS << "]}";
   return OS.str();
 }
@@ -214,9 +304,15 @@ constexpr unsigned kMaxDepth = 8;
 /// (callers may try each); empty means no bound could be derived. \p Upper
 /// selects the direction. Symbols absent from \p Env are left symbolic
 /// (they are fixed-but-unknown, which is exactly what a bound over them
-/// means).
-std::vector<SymExpr> boundExpr(const SymExpr &E, const BoundEnv &Env,
-                               bool Upper, unsigned Depth = 0);
+/// means). \p Assume governs the side-proofs the derivation itself needs
+/// (e.g. factor non-negativity for products): the static prover runs in
+/// the positive-sizes regime, guard synthesis must pass Unknown so a
+/// bound never silently depends on an assumption the runtime check is
+/// there to replace.
+std::vector<SymExpr>
+boundExpr(const SymExpr &E, const BoundEnv &Env, bool Upper,
+          sym::SymbolAssumption Assume = sym::SymbolAssumption::Positive,
+          unsigned Depth = 0);
 
 /// Cross product helper: combines per-operand candidate lists with \p F,
 /// capping the result.
@@ -253,7 +349,8 @@ combine(const std::vector<std::vector<SymExpr>> &PerOp,
 }
 
 std::vector<SymExpr> boundExpr(const SymExpr &E, const BoundEnv &Env,
-                               bool Upper, unsigned Depth) {
+                               bool Upper, sym::SymbolAssumption Assume,
+                               unsigned Depth) {
   if (!E || Depth > kMaxDepth)
     return {};
   switch (E.kind()) {
@@ -272,7 +369,7 @@ std::vector<SymExpr> boundExpr(const SymExpr &E, const BoundEnv &Env,
     std::vector<SymExpr> Out;
     std::set<std::string> Seen;
     for (const SymExpr &B : Bs)
-      for (const SymExpr &C : boundExpr(B, Inner, Upper, Depth + 1)) {
+      for (const SymExpr &C : boundExpr(B, Inner, Upper, Assume, Depth + 1)) {
         if (Seen.insert(C.str()).second)
           Out.push_back(C);
         if (Out.size() + 1 >= kMaxCandidates)
@@ -287,7 +384,7 @@ std::vector<SymExpr> boundExpr(const SymExpr &E, const BoundEnv &Env,
   case sym::ExprKind::Add: {
     std::vector<std::vector<SymExpr>> PerOp;
     for (const SymExpr &Op : E.operands())
-      PerOp.push_back(boundExpr(Op, Env, Upper, Depth + 1));
+      PerOp.push_back(boundExpr(Op, Env, Upper, Assume, Depth + 1));
     return combine(PerOp, [](const std::vector<SymExpr> &Ops) {
       SymExpr S = Ops[0];
       for (size_t I = 1; I < Ops.size(); ++I)
@@ -306,14 +403,54 @@ std::vector<SymExpr> boundExpr(const SymExpr &E, const BoundEnv &Env,
       if (!Rest)
         return {E};
       std::vector<SymExpr> Inner =
-          boundExpr(Rest, Env, C >= 0 ? Upper : !Upper, Depth + 1);
+          boundExpr(Rest, Env, C >= 0 ? Upper : !Upper, Assume, Depth + 1);
       std::vector<SymExpr> Out;
       for (const SymExpr &B : Inner)
         Out.push_back(SymExpr::constant(C) * B);
       return Out;
     }
-    // A product of non-constants: sound only when no factor uses an env
-    // symbol (then E is its own bound).
+    // A product of provably non-negative factors is monotone in each:
+    // lower(E) = product of factor lowers, upper(E) = product of factor
+    // uppers (0 <= L_i <= V_i <= U_i gives prod L_i <= prod V_i <=
+    // prod U_i). This is what relates a flattened subscript like
+    // `i*nj + j` to its row-major extent: with `0 <= i < ni` and
+    // `0 <= j < nj` in the env, upper(i*nj) = (ni-1)*nj and lower = 0.
+    {
+      std::vector<std::vector<SymExpr>> Factors;
+      bool AllNonNeg = true;
+      for (const SymExpr &Op : E.operands()) {
+        std::vector<SymExpr> NonNeg;
+        for (const SymExpr &L :
+             boundExpr(Op, Env, /*Upper=*/false, Assume, Depth + 1))
+          if (auto P = SymExpr::ge(L, SymExpr::constant(0)).tryProve(Assume);
+              P && *P)
+            NonNeg.push_back(L);
+        if (NonNeg.empty()) {
+          AllNonNeg = false;
+          break;
+        }
+        if (Upper) {
+          std::vector<SymExpr> Hi =
+              boundExpr(Op, Env, Upper, Assume, Depth + 1);
+          if (Hi.empty()) {
+            AllNonNeg = false;
+            break;
+          }
+          Factors.push_back(std::move(Hi));
+        } else {
+          Factors.push_back(std::move(NonNeg));
+        }
+      }
+      if (AllNonNeg)
+        return combine(Factors, [](const std::vector<SymExpr> &Ops) {
+          SymExpr S = Ops[0];
+          for (size_t I = 1; I < Ops.size(); ++I)
+            S = S * Ops[I];
+          return S;
+        });
+    }
+    // Otherwise: sound only when no factor uses an env symbol (then E is
+    // its own bound).
     std::set<std::string> Syms;
     E.collectSymbols(Syms);
     for (const std::string &S : Syms)
@@ -328,7 +465,7 @@ std::vector<SymExpr> boundExpr(const SymExpr &E, const BoundEnv &Env,
     if (Upper == IsMin) {
       std::vector<SymExpr> Out;
       for (const SymExpr &Op : E.operands()) {
-        for (const SymExpr &B : boundExpr(Op, Env, Upper, Depth + 1)) {
+        for (const SymExpr &B : boundExpr(Op, Env, Upper, Assume, Depth + 1)) {
           Out.push_back(B);
           if (Out.size() >= kMaxCandidates)
             return Out;
@@ -339,7 +476,7 @@ std::vector<SymExpr> boundExpr(const SymExpr &E, const BoundEnv &Env,
     // Growing side: need a bound that covers every operand.
     std::vector<std::vector<SymExpr>> PerOp;
     for (const SymExpr &Op : E.operands())
-      PerOp.push_back(boundExpr(Op, Env, Upper, Depth + 1));
+      PerOp.push_back(boundExpr(Op, Env, Upper, Assume, Depth + 1));
     return combine(PerOp, [&](const std::vector<SymExpr> &Ops) {
       SymExpr S = Ops[0];
       for (size_t I = 1; I < Ops.size(); ++I)
@@ -349,17 +486,17 @@ std::vector<SymExpr> boundExpr(const SymExpr &E, const BoundEnv &Env,
   }
   case sym::ExprKind::FloorDiv: {
     const SymExpr &Num = E.operands()[0], &Den = E.operands()[1];
-    if (!Den.provePositive())
+    if (!Den.provePositive(Assume))
       return {};
     // Monotone in the numerator for a positive divisor.
     std::vector<SymExpr> Out;
-    for (const SymExpr &B : boundExpr(Num, Env, Upper, Depth + 1))
+    for (const SymExpr &B : boundExpr(Num, Env, Upper, Assume, Depth + 1))
       Out.push_back(SymExpr::floorDiv(B, Den));
     return Out;
   }
   case sym::ExprKind::Mod: {
     const SymExpr &Den = E.operands()[1];
-    if (!Den.provePositive())
+    if (!Den.provePositive(Assume))
       return {};
     // Euclidean remainder for a positive divisor: always in [0, den-1].
     return Upper ? std::vector<SymExpr>{Den - SymExpr::constant(1)}
@@ -660,7 +797,12 @@ void checkMapScope(const sdfg::SDFG &G, const sdfg::State &S,
     for (size_t I = 0; I < As.size() && !Flagged; ++I) {
       if (!As[I].Write)
         continue;
-      for (size_t J = I; J < As.size() && !Flagged; ++J) {
+      for (size_t J = 0; J < As.size() && !Flagged; ++J) {
+        // Reads *before* the write in edge order still pair with it;
+        // only the (write, write) mirror of an already-examined pair is
+        // redundant.
+        if (J < I && As[J].Write)
+          continue;
         const ScopeAccess &W = As[I], &O = As[J];
         if (!O.Write && O.Node == W.Node && O.Subset.equals(W.Subset))
           ; // Same-edge read+write of one cell still needs the proof.
@@ -677,15 +819,20 @@ void checkMapScope(const sdfg::SDFG &G, const sdfg::State &S,
           continue;
         // Not provable. Distinguish a definite same-cell conflict (the
         // subsets ignore every active parameter, e.g. a dropped WCR on a
-        // reduction target) from mere incompleteness.
-        bool UsesActive = false;
+        // reduction target) from mere incompleteness. A privatized
+        // scalar in a subset (an index loaded from an array, the
+        // indirect-subscript idiom) varies per binding even though no
+        // parameter appears, so it counts as varying too.
+        bool UsesVarying = false;
         std::set<std::string> Syms;
         W.Subset.collectSymbols(Syms);
         O.Subset.collectSymbols(Syms);
         for (const ActiveParam &P : Active)
-          UsesActive |= Syms.count(P.Name) != 0;
+          UsesVarying |= Syms.count(P.Name) != 0;
+        for (const std::string &Pv : Entry.PrivateData)
+          UsesVarying |= Syms.count(Pv) != 0;
         const bool Definite =
-            !UsesActive && W.Subset.mayOverlap(O.Subset) && !W.Wcr && !O.Wcr;
+            !UsesVarying && W.Subset.mayOverlap(O.Subset) && !W.Wcr && !O.Wcr;
         Kind K = O.Write ? Kind::RaceWriteWrite : Kind::RaceReadWrite;
         Flag(K, Definite ? Severity::Error : Severity::Warning, Data,
              W.Subset.str(),
@@ -716,10 +863,16 @@ void checkMapScope(const sdfg::SDFG &G, const sdfg::State &S,
         if (!A || A->getData() != P)
           continue;
         const long At = static_cast<long>(Pos[Id]);
+        // Ordering-only access nodes (every outgoing memlet empty) do
+        // not read the value; they exist to sequence the subset users
+        // after the defining write.
+        bool ValueRead = false;
+        for (const sdfg::DataflowEdge *OE : S.outEdges(A))
+          ValueRead |= !OE->M.isEmpty();
         if (!S.inEdges(A).empty() &&
             (FirstWrite < 0 || At < FirstWrite))
           FirstWrite = At;
-        if (!S.outEdges(A).empty() && S.inEdges(A).empty() &&
+        if (ValueRead && S.inEdges(A).empty() &&
             (FirstRead < 0 || At < FirstRead)) {
           FirstRead = At;
           ReadNode = Id;
@@ -733,6 +886,534 @@ void checkMapScope(const sdfg::SDFG &G, const sdfg::State &S,
       }
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Guard synthesis (speculative parallelization)
+//===----------------------------------------------------------------------===//
+//
+// For a map scope the disjointness prover gives up on, the *shape* of the
+// failure usually admits a residual runtime check:
+//
+//   condDimDisjoint    the symbolic analogue of dimDisjointAcross — the
+//                      coefficient of q may stay symbolic, and the
+//                      magnitude/gap comparisons become the condition
+//                      instead of a proof obligation. C == 0 is covered:
+//                      the magnitude is then 0 and the test fails.
+//   extentSeparation   whole-footprint separation (some dimension's
+//                      intervals never meet), ORed in as an alternative.
+//   matchInspector     the indirect-subscript idiom out[idx[i]]: replay
+//                      the index array before the loop — all values in
+//                      range and pairwise distinct implies distinct
+//                      bindings touch distinct cells.
+//
+// Soundness direction: a synthesized condition must IMPLY the safety the
+// prover was missing; when in doubt the guard fails at runtime and the
+// scope runs in its original serial order.
+
+/// Outcome of a conditional-disjointness derivation. Ok=false: no
+/// runtime-checkable condition exists. Ok=true with a null Cond:
+/// disjointness needs no runtime check at this level.
+struct CondResult {
+  bool Ok = false;
+  SymExpr Cond; // Null = no check needed.
+};
+
+SymExpr andConds(const SymExpr &A, const SymExpr &B) {
+  if (!A)
+    return B;
+  if (!B)
+    return A;
+  return SymExpr::logicalAnd(A, B);
+}
+
+SymExpr orConds(const SymExpr &A, const SymExpr &B) {
+  if (!A)
+    return B;
+  if (!B)
+    return A;
+  return SymExpr::logicalOr(A, B);
+}
+
+/// The runtime analogue of dimDisjointAcross: both dimension ranges
+/// decompose as C*q + offset under one shared — possibly symbolic —
+/// coefficient C; distinct q bindings then differ by C*stride(q)*dq with
+/// |dq| >= 1, so
+///   max(C, -C)*stride > hi(A) - lo(B)  &&  max(C, -C)*stride > hi(B) - lo(A)
+/// implies the intervals of any two distinct bindings never meet. A
+/// symbolic stride that is 0 at runtime makes the magnitude 0 and the
+/// test (correctly) fail. Statically-true conjuncts are dropped; a
+/// statically-false one means this dimension can never separate.
+/// \p SymbolicStride reports whether C was non-constant (taxonomy).
+CondResult condDimDisjoint(const SymRange &A, const SymRange &B,
+                           const ActiveParam &Q, const BoundEnv &Vary,
+                           bool &SymbolicStride) {
+  auto Decompose = [&](const SymExpr &Bound, bool Upper, SymExpr &Coeff,
+                       std::vector<SymExpr> &Offsets) {
+    // Assumption-free bounds only (unlike the static prover's Decompose):
+    // the derivation feeds a runtime condition, which must hold for the
+    // very symbol values the positive-sizes regime excludes.
+    for (const SymExpr &Cand :
+         boundExpr(Bound, Vary, Upper, sym::SymbolAssumption::Unknown)) {
+      SymExpr C, D;
+      if (!Cand.linearIn(Q.Name, C, D) || !C)
+        continue;
+      if (C.isConstant() && C.constantValue() == 0)
+        continue;
+      // Neither the coefficient nor the offset may mention q or any
+      // still-varying parameter.
+      std::set<std::string> Syms;
+      C.collectSymbols(Syms);
+      if (D)
+        D.collectSymbols(Syms);
+      bool Bad = Syms.count(Q.Name) != 0;
+      for (const std::string &S : Syms)
+        if (Vary.count(S))
+          Bad = true;
+      if (Bad)
+        continue;
+      if (Coeff && !Coeff.equals(C))
+        continue; // One shared coefficient across all four decompositions.
+      Coeff = C;
+      Offsets.push_back(D ? D : SymExpr::constant(0));
+      return true;
+    }
+    return false;
+  };
+
+  CondResult R;
+  SymExpr Coeff;
+  std::vector<SymExpr> ALo, AHi, BLo, BHi;
+  const SymExpr One = SymExpr::constant(1);
+  if (!Decompose(A.Begin, /*Upper=*/false, Coeff, ALo) ||
+      !Decompose(A.End - One, /*Upper=*/true, Coeff, AHi) ||
+      !Decompose(B.Begin, /*Upper=*/false, Coeff, BLo) ||
+      !Decompose(B.End - One, /*Upper=*/true, Coeff, BHi))
+    return R;
+
+  const SymExpr M = SymExpr::max(Coeff, SymExpr::negate(Coeff)) *
+                    SymExpr::constant(Q.Stride);
+  SymExpr Cond;
+  for (const SymExpr &Gap : {AHi[0] - BLo[0], BHi[0] - ALo[0]}) {
+    SymExpr C = SymExpr::gt(M, Gap);
+    // Conjuncts may be dropped only when true with NO symbol assumptions:
+    // the guard exists precisely because the positivity defaults the
+    // static prover enjoys do not hold for runtime scalars (s = 0 must
+    // fail this very check).
+    if (auto P = C.tryProve(sym::SymbolAssumption::Unknown)) {
+      if (*P)
+        continue; // Unconditionally true: no runtime cost.
+      return R;   // Unconditionally false: never separates.
+    }
+    if (Cond && Cond.equals(C))
+      continue; // Identical second gap (self-pair).
+    Cond = andConds(Cond, C);
+  }
+  if (!Coeff.isConstant())
+    SymbolicStride = true;
+  R.Ok = true;
+  R.Cond = Cond;
+  return R;
+}
+
+/// The runtime analogue of proveDisjointAcross: same recursion over the
+/// active parameters, with the static prover preferred at every level
+/// (its successes cost nothing at runtime) and conditions conjoined
+/// across levels.
+CondResult condDisjointAcross(const SymSubset &A, const SymSubset &B,
+                              std::vector<ActiveParam> Active,
+                              const BoundEnv &AllParams,
+                              bool &SymbolicStride) {
+  CondResult R;
+  if (Active.empty()) {
+    R.Ok = true;
+    return R;
+  }
+  if (A.rank() != B.rank() || A.rank() == 0)
+    return R;
+  for (size_t QI = 0; QI < Active.size(); ++QI) {
+    const ActiveParam &Q = Active[QI];
+    BoundEnv Vary = AllParams;
+    Vary.erase(Q.Name);
+    for (size_t D = 0; D < A.rank(); ++D) {
+      CondResult DimC;
+      if (dimDisjointAcross(A.dim(D), B.dim(D), Q, Vary))
+        DimC.Ok = true; // Proven: null condition.
+      else
+        DimC = condDimDisjoint(A.dim(D), B.dim(D), Q, Vary, SymbolicStride);
+      if (!DimC.Ok)
+        continue;
+      std::vector<ActiveParam> Rest = Active;
+      Rest.erase(Rest.begin() + static_cast<long>(QI));
+      BoundEnv RestEnv = AllParams;
+      RestEnv.erase(Q.Name);
+      CondResult RestC;
+      if (proveDisjointAcross(A, B, Rest, RestEnv))
+        RestC.Ok = true;
+      else
+        RestC = condDisjointAcross(A, B, std::move(Rest), RestEnv,
+                                   SymbolicStride);
+      if (!RestC.Ok)
+        continue;
+      R.Ok = true;
+      R.Cond = andConds(DimC.Cond, RestC.Cond);
+      return R;
+    }
+  }
+  return R;
+}
+
+/// Whole-footprint separation: over the entire iteration space (all
+/// parameters widened to their ranges), some dimension's intervals never
+/// meet — hi(A) < lo(B) || hi(B) < lo(A). A valid alternative to the
+/// per-binding stride condition (ORed with it): if the footprints never
+/// intersect, no two accesses conflict at all. Null when no dimension
+/// yields both bounds.
+SymExpr extentSeparation(const SymSubset &A, const SymSubset &B,
+                         const BoundEnv &AllParams) {
+  if (A.rank() != B.rank())
+    return SymExpr();
+  SymExpr Or;
+  const SymExpr One = SymExpr::constant(1);
+  for (size_t D = 0; D < A.rank(); ++D) {
+    const SymRange &RA = A.dim(D), &RB = B.dim(D);
+    if (!RA.Begin || !RA.End || !RB.Begin || !RB.End)
+      continue;
+    // Assumption-free bounds: a footprint bound derived under the
+    // positive-sizes regime could validate the separation test for
+    // exactly the runtime values that violate it.
+    const auto U = sym::SymbolAssumption::Unknown;
+    std::vector<SymExpr> ALo = boundExpr(RA.Begin, AllParams, false, U);
+    std::vector<SymExpr> AHi = boundExpr(RA.End - One, AllParams, true, U);
+    std::vector<SymExpr> BLo = boundExpr(RB.Begin, AllParams, false, U);
+    std::vector<SymExpr> BHi = boundExpr(RB.End - One, AllParams, true, U);
+    if (ALo.empty() || AHi.empty() || BLo.empty() || BHi.empty())
+      continue;
+    for (const SymExpr &C :
+         {SymExpr::lt(AHi[0], BLo[0]), SymExpr::lt(BHi[0], ALo[0])}) {
+      // Assumption-free proofs only (see condDimDisjoint): a separation
+      // that relies on symbol positivity must stay a runtime check.
+      if (auto P = C.tryProve(sym::SymbolAssumption::Unknown)) {
+        if (*P)
+          return SymExpr::trueExpr(); // Unconditionally separated.
+        continue;                     // Unconditionally impossible: drop.
+      }
+      Or = orConds(Or, C);
+    }
+  }
+  return Or;
+}
+
+/// The indirect-subscript inspector pattern for container \p Data:
+/// every in-scope access of Data is the same rank-1 single-element
+/// subset [L] for one privatized scalar L whose sole in-scope definition
+/// is a non-opaque identity tasklet reading Index[IndexExpr], the index
+/// container is not written in the scope, and the scope has a single map
+/// parameter. The runtime inspector then replays Index over the range:
+/// every value in [0, extent(Data)) and pairwise distinct implies
+/// distinct bindings touch distinct, in-bounds cells of Data.
+bool matchInspector(const sdfg::SDFG &G, const sdfg::State &S,
+                    const sdfg::MapEntry &Entry, const std::set<int> &Scope,
+                    const std::string &Data,
+                    const std::vector<ScopeAccess> &As,
+                    const std::map<std::string, std::vector<ScopeAccess>> &Acc,
+                    GuardTerm &Out) {
+  if (Entry.Params.size() != 1 || Entry.Ranges.size() != 1 || As.empty())
+    return false;
+  // One shared [L] subset, L privatized.
+  const SymSubset &Sub = As.front().Subset;
+  if (Sub.rank() != 1)
+    return false;
+  const SymRange &R0 = Sub.dim(0);
+  if (!R0.Begin || !R0.End || !R0.Begin.isSymbol())
+    return false;
+  if (auto P = SymExpr::eq(R0.End, R0.Begin + SymExpr::constant(1)).tryProve();
+      !P || !*P)
+    return false;
+  const std::string L = R0.Begin.symbolName();
+  if (!Entry.isPrivate(L))
+    return false;
+  for (const ScopeAccess &A : As)
+    if (!A.Subset.equals(Sub))
+      return false;
+  // L's sole in-scope definition: identity tasklet fed by one non-empty
+  // read of an index container.
+  const sdfg::DataflowEdge *Def = nullptr;
+  for (const sdfg::DataflowEdge &E : S.edges()) {
+    if (E.M.isEmpty() || E.M.Data != L)
+      continue;
+    auto *Dst = dyn_cast<sdfg::AccessNode>(S.getNode(E.Dst));
+    if (!Dst || Dst->getData() != L || !Scope.count(E.Dst))
+      continue;
+    if (Def)
+      return false; // More than one write.
+    Def = &E;
+  }
+  if (!Def || !Scope.count(Def->Src))
+    return false;
+  auto *T = dyn_cast<sdfg::Tasklet>(S.getNode(Def->Src));
+  if (!T || T->Opaque || T->Code.size() != 1 ||
+      T->Code.begin()->second.K != sdfg::TExpr::Kind::Input)
+    return false;
+  const sdfg::DataflowEdge *In = nullptr;
+  for (const sdfg::DataflowEdge *E : S.inEdges(T)) {
+    if (E->M.isEmpty())
+      continue;
+    if (In)
+      return false;
+    In = E;
+  }
+  if (!In || In->M.Subset.rank() != 1)
+    return false;
+  auto *IdxNode = dyn_cast<sdfg::AccessNode>(S.getNode(In->Src));
+  if (!IdxNode || IdxNode->getData() != In->M.Data)
+    return false;
+  const SymRange &IR = In->M.Subset.dim(0);
+  if (!IR.Begin || !IR.End)
+    return false;
+  if (auto P = SymExpr::eq(IR.End, IR.Begin + SymExpr::constant(1)).tryProve();
+      !P || !*P)
+    return false;
+  // The subscript must be a function of the binding alone: no privatized
+  // scalars (another indirect level would make the replay diverge).
+  std::set<std::string> Syms;
+  IR.Begin.collectSymbols(Syms);
+  for (const std::string &Pv : Entry.PrivateData)
+    if (Syms.count(Pv))
+      return false;
+  // The index container must not be written in the scope, and must be a
+  // rank-1 array distinct from the target.
+  if (In->M.Data == Data || !G.hasData(In->M.Data))
+    return false;
+  auto AIt = Acc.find(In->M.Data);
+  if (AIt != Acc.end())
+    for (const ScopeAccess &A : AIt->second)
+      if (A.Write)
+        return false;
+  const sdfg::DataDesc &TD = G.desc(Data);
+  if (TD.K != sdfg::DataDesc::Kind::Array || TD.rank() != 1)
+    return false;
+  Out.K = GuardTermKind::Inspector;
+  Out.Index = In->M.Data;
+  Out.IndexExpr = IR.Begin;
+  Out.Param = Entry.Params[0];
+  Out.Target = Data;
+  return true;
+}
+
+/// Synthesizes the guard object for one scope (see Guard). \p Unproven
+/// says the race analysis flagged it; speculative-but-proven scopes get
+/// only the restrict-contract PtrDisjoint terms.
+void synthesizeScopeGuard(const sdfg::SDFG &G, const sdfg::State &S,
+                          const sdfg::MapEntry &Entry, bool Unproven,
+                          AnalysisResult &Res) {
+  Guard Gd;
+  Gd.Map = analysis::mapLabel(S, Entry);
+  Gd.State = S.getName();
+  Gd.Speculative = Entry.Speculative;
+  Gd.Covered = true;
+
+  const std::set<int> Scope = S.scopeNodes(Entry);
+  std::vector<ActiveParam> Active;
+  BoundEnv AllParams;
+  for (size_t I = 0; I < Entry.Params.size(); ++I) {
+    ActiveParam P;
+    P.Name = Entry.Params[I];
+    P.Range = I < Entry.Ranges.size() ? Entry.Ranges[I] : SymRange();
+    if (P.Range.Step && P.Range.Step.isConstant() &&
+        P.Range.Step.constantValue() > 1)
+      P.Stride = P.Range.Step.constantValue();
+    Active.push_back(P);
+    AllParams[P.Name] = rangeInterval(P.Range);
+  }
+  for (int Id : Scope)
+    if (auto *Inner = dyn_cast<sdfg::MapEntry>(S.getNode(Id)))
+      for (size_t I = 0; I < Inner->Params.size(); ++I)
+        if (I < Inner->Ranges.size())
+          AllParams[Inner->Params[I]] = rangeInterval(Inner->Ranges[I]);
+
+  auto Reason = [&](const char *Rs) {
+    if (std::find(Gd.Reasons.begin(), Gd.Reasons.end(), Rs) ==
+        Gd.Reasons.end())
+      Gd.Reasons.push_back(Rs);
+  };
+  auto AddTerm = [&](const GuardTerm &T) {
+    const std::string Txt = T.text();
+    for (const GuardTerm &Have : Gd.Terms)
+      if (Have.text() == Txt)
+        return;
+    Gd.Terms.push_back(T);
+  };
+
+  auto Acc = collectScopeAccesses(S, Entry, Scope);
+  if (Unproven && !singleIteration(Entry)) {
+    for (const auto &KV : Acc) {
+      const std::string &Data = KV.first;
+      if (!G.hasData(Data))
+        continue;
+      const sdfg::DataDesc &D = G.desc(Data);
+      if (D.K == sdfg::DataDesc::Kind::Stream)
+        continue;
+      const std::vector<ScopeAccess> &As = KV.second;
+      bool AnyWrite = false;
+      for (const ScopeAccess &A : As)
+        AnyWrite |= A.Write;
+      if (!AnyWrite)
+        continue;
+
+      if (D.K == sdfg::DataDesc::Kind::Scalar) {
+        if (Entry.isPrivate(Data))
+          continue;
+        for (const ScopeAccess &A : As)
+          if (A.Write && !A.Wcr) {
+            // A cross-iteration scalar dependence has no residual check:
+            // the conflict is on the value itself.
+            Reason("scalar-dependence");
+            Gd.Covered = false;
+            break;
+          }
+        continue;
+      }
+
+      // Mirror checkMapScope's pair enumeration to find exactly the
+      // unproven pairs the scope was flagged for.
+      std::vector<std::pair<size_t, size_t>> Bad;
+      for (size_t I = 0; I < As.size(); ++I) {
+        if (!As[I].Write)
+          continue;
+        for (size_t J = 0; J < As.size(); ++J) {
+          if (J < I && As[J].Write)
+            continue; // Mirror of an already-examined write-write pair.
+          const ScopeAccess &W = As[I], &O = As[J];
+          if (W.Wcr && O.Wcr)
+            continue;
+          if (!O.Write && O.Subset.equals(W.Subset) && !W.Wcr && I != J)
+            continue; // In-iteration read-modify-write idiom.
+          if (proveDisjointAcross(W.Subset, O.Subset, Active, AllParams))
+            continue;
+          Bad.push_back({I, J});
+        }
+      }
+      if (Bad.empty())
+        continue;
+
+      // Indirect subscripts (privatized scalars in the subsets) route to
+      // the inspector; its distinctness property covers every pair of
+      // the single shared subset at once.
+      bool AnyIdx = false;
+      for (const auto &IJ : Bad) {
+        std::set<std::string> Syms;
+        As[IJ.first].Subset.collectSymbols(Syms);
+        As[IJ.second].Subset.collectSymbols(Syms);
+        for (const std::string &Pv : Entry.PrivateData)
+          AnyIdx |= Syms.count(Pv) != 0;
+      }
+      if (AnyIdx) {
+        GuardTerm T;
+        if (matchInspector(G, S, Entry, Scope, Data, As, Acc, T)) {
+          Reason("indirect-subscript");
+          AddTerm(T);
+        } else {
+          Reason("indirect-subscript");
+          Gd.Covered = false;
+        }
+        continue;
+      }
+
+      for (const auto &IJ : Bad) {
+        const ScopeAccess &W = As[IJ.first], &O = As[IJ.second];
+        bool SymbolicStride = false;
+        CondResult CR = condDisjointAcross(W.Subset, O.Subset, Active,
+                                           AllParams, SymbolicStride);
+        SymExpr Ext = extentSeparation(W.Subset, O.Subset, AllParams);
+        SymExpr Cond;
+        if (CR.Ok && CR.Cond)
+          Cond = orConds(CR.Cond, Ext);
+        else if (Ext)
+          Cond = Ext;
+        if (!Cond) {
+          Reason("unproven-dependence");
+          Gd.Covered = false;
+          continue;
+        }
+        Reason(SymbolicStride ? "symbolic-stride" : "unknown-sign-or-trip");
+        GuardTerm T;
+        T.K = GuardTermKind::SymCond;
+        T.Cond = Cond;
+        AddTerm(T);
+      }
+    }
+
+    // The private-scalar escape property has no runtime analogue either:
+    // a read-before-write private observes garbage, not a checkable
+    // overlap.
+    if (!Entry.PrivateData.empty()) {
+      std::vector<sdfg::Node *> Topo = S.topologicalOrder();
+      std::map<int, size_t> Pos;
+      for (size_t I = 0; I < Topo.size(); ++I)
+        Pos[Topo[I]->getId()] = I;
+      for (const std::string &P : Entry.PrivateData) {
+        long FirstWrite = -1, FirstRead = -1;
+        for (int Id : Scope) {
+          auto *A = dyn_cast<sdfg::AccessNode>(S.getNode(Id));
+          if (!A || A->getData() != P)
+            continue;
+          const long At = static_cast<long>(Pos[Id]);
+          bool ValueRead = false;
+          for (const sdfg::DataflowEdge *OE : S.outEdges(A))
+            ValueRead |= !OE->M.isEmpty();
+          if (!S.inEdges(A).empty() && (FirstWrite < 0 || At < FirstWrite))
+            FirstWrite = At;
+          if (ValueRead && S.inEdges(A).empty() &&
+              (FirstRead < 0 || At < FirstRead))
+            FirstRead = At;
+        }
+        if (FirstRead >= 0 && (FirstWrite < 0 || FirstWrite > FirstRead)) {
+          Reason("private-escape");
+          Gd.Covered = false;
+        }
+      }
+    }
+  }
+
+  // Restrict-contract residual for speculative scopes: the frontend maps
+  // each pointer parameter to its own container and the proofs above
+  // assume distinct containers never alias. A proven-but-speculative
+  // scope keeps exactly that assumption as its runtime check; an
+  // unproven one gets it in addition to the terms above.
+  if (Entry.Speculative) {
+    std::vector<std::string> Written, Touched;
+    for (const auto &KV : Acc) {
+      if (!G.hasData(KV.first))
+        continue;
+      const sdfg::DataDesc &D = G.desc(KV.first);
+      if (D.Transient || D.K == sdfg::DataDesc::Kind::Stream)
+        continue;
+      bool W = false;
+      for (const ScopeAccess &A : KV.second)
+        W |= A.Write;
+      Touched.push_back(KV.first);
+      if (W)
+        Written.push_back(KV.first);
+    }
+    bool AnyPair = false;
+    for (const std::string &W : Written)
+      for (const std::string &O : Touched) {
+        if (O == W)
+          continue;
+        GuardTerm T;
+        T.K = GuardTermKind::PtrDisjoint;
+        // Canonical order keeps (A,B) and (B,A) one term.
+        T.A = std::min(W, O);
+        T.B = std::max(W, O);
+        AddTerm(T);
+        AnyPair = true;
+      }
+    if (AnyPair)
+      Reason("may-overlap-containers");
+  }
+
+  Res.Guards.push_back(std::move(Gd));
 }
 
 //===----------------------------------------------------------------------===//
@@ -1521,9 +2202,62 @@ std::vector<SymExpr> attainedVariants(const SymExpr &X,
   return Out;
 }
 
+/// Every symbol the graph references anywhere *outside* container shape
+/// declarations: memlet subsets, map ranges, tasklet code, interstate
+/// conditions and assignments (targets and right-hand sides). A shape
+/// symbol absent from this set is "opaque": nothing in the program
+/// relates it to anything else, so no prover — however complete — could
+/// compare a subscript against it. The frontend mints such symbols for
+/// dynamic memref extents (s_0, s_1, ...); the comparison is a *caller
+/// binding contract*, not a program property.
+std::set<std::string> nonShapeSymbols(const sdfg::SDFG &G) {
+  std::set<std::string> Out;
+  std::function<void(const sdfg::TExpr &)> WalkT =
+      [&](const sdfg::TExpr &T) {
+        if (T.K == sdfg::TExpr::Kind::Sym && T.Sym)
+          T.Sym.collectSymbols(Out);
+        for (const sdfg::TExpr &C : T.Children)
+          WalkT(C);
+      };
+  auto WalkRange = [&](const SymRange &R) {
+    if (R.Begin)
+      R.Begin.collectSymbols(Out);
+    if (R.End)
+      R.End.collectSymbols(Out);
+    if (R.Step)
+      R.Step.collectSymbols(Out);
+  };
+  for (const auto &SP : G.states()) {
+    const sdfg::State &S = *SP;
+    for (const sdfg::DataflowEdge &E : S.edges())
+      for (size_t D = 0; D < E.M.Subset.rank(); ++D)
+        WalkRange(E.M.Subset.dim(D));
+    for (const auto &N : S.nodes()) {
+      if (auto *ME = dyn_cast<sdfg::MapEntry>(N.get()))
+        for (const SymRange &R : ME->Ranges)
+          WalkRange(R);
+      if (auto *T = dyn_cast<sdfg::Tasklet>(N.get()))
+        for (const auto &KV : T->Code)
+          WalkT(KV.second);
+    }
+  }
+  for (const sdfg::InterstateEdge &IE : G.interstateEdges()) {
+    if (IE.Condition)
+      IE.Condition.collectSymbols(Out);
+    for (const auto &A : IE.Assignments) {
+      Out.insert(A.first);
+      if (A.second)
+        A.second.collectSymbols(Out);
+    }
+  }
+  return Out;
+}
+
 void checkEdgeBounds(const sdfg::SDFG &G, const sdfg::State &S,
                      const sdfg::DataflowEdge &E, const BoundEnv &Env,
-                     const AttainedMap &Attained, AnalysisResult &Res) {
+                     const AttainedMap &Attained,
+                     const std::set<std::string> &NonShapeSyms,
+                     AnalysisResult &Res) {
   const sdfg::DataDesc &D = G.desc(E.M.Data);
   auto Flag = [&](Kind K, Severity Sev, const std::string &Msg) {
     Finding F;
@@ -1591,12 +2325,42 @@ void checkEdgeBounds(const sdfg::SDFG &G, const sdfg::State &S,
     const std::string Where =
         "dimension " + std::to_string(Dim) + " of '" + E.M.Data + "' (" +
         R.str() + " vs extent " + Extent.str() + ")";
-    if (ProvenLow || ProvenHigh)
+    if (ProvenLow || ProvenHigh) {
       Flag(Kind::OutOfBounds, Severity::Error,
            "subset provably out of bounds in " + Where);
-    else
-      Flag(Kind::BoundsUnproven, Severity::Warning,
-           "cannot prove subset within bounds in " + Where);
+      return; // One finding per memlet keeps reports readable.
+    }
+    // Deferred caller obligation: when only the upper comparison fails
+    // and the extent is an opaque shape symbol (see nonShapeSymbols),
+    // the derived subscript bound *is* the binding contract — record it
+    // as an assumption instead of warning. Under shape specialization
+    // both sides become constants and the comparison runs for real.
+    if (LowOk && !HighOk && !EndHi.empty() && Extent.isSymbol() &&
+        !NonShapeSyms.count(Extent.symbolName())) {
+      // Prefer a candidate expressed over container names (the caller's
+      // own parameters): "s_2 >= ni*nj" reads as a contract,
+      // "s_2 >= muli_9 + nj" (promoted flow temporaries) does not.
+      SymExpr Best = EndHi.front();
+      for (const SymExpr &Cand : EndHi) {
+        std::set<std::string> Syms;
+        Cand.collectSymbols(Syms);
+        bool AllParams = true;
+        for (const std::string &Sy : Syms)
+          AllParams &= G.hasData(Sy);
+        if (AllParams) {
+          Best = Cand;
+          break;
+        }
+      }
+      const std::string Obl = E.M.Data + ": requires " + Extent.str() +
+                              " >= " + Best.str() + " (opaque extent)";
+      if (std::find(Res.Assumptions.begin(), Res.Assumptions.end(), Obl) ==
+          Res.Assumptions.end())
+        Res.Assumptions.push_back(Obl);
+      continue; // Remaining dimensions still get checked.
+    }
+    Flag(Kind::BoundsUnproven, Severity::Warning,
+         "cannot prove subset within bounds in " + Where);
     return; // One finding per memlet keeps reports readable.
   }
 }
@@ -1621,6 +2385,7 @@ AnalysisResult analysis::checkRaces(const sdfg::SDFG &G) {
 AnalysisResult analysis::checkBounds(const sdfg::SDFG &G) {
   AnalysisResult Res;
   FlowInfo Flow = computeFlow(G);
+  const std::set<std::string> NonShapeSyms = nonShapeSymbols(G);
   for (const auto &SP : G.states()) {
     const sdfg::State &S = *SP;
     auto Chains = scopeChains(S);
@@ -1661,7 +2426,7 @@ AnalysisResult analysis::checkBounds(const sdfg::SDFG &G) {
                 Attained[ME->Params[I]] = {B, B + (En - 1 - B) / St * St};
             }
           }
-      checkEdgeBounds(G, S, E, Env, Attained, Res);
+      checkEdgeBounds(G, S, E, Env, Attained, NonShapeSyms, Res);
     }
   }
   return Res;
@@ -1726,9 +2491,29 @@ AnalysisResult analysis::checkInitialization(const sdfg::SDFG &G) {
   return Res;
 }
 
+void analysis::synthesizeGuards(const sdfg::SDFG &G, AnalysisResult &R) {
+  const std::set<std::string> Unproven(R.UnprovenMaps.begin(),
+                                       R.UnprovenMaps.end());
+  for (const auto &SP : G.states()) {
+    const sdfg::State &S = *SP;
+    for (const auto &N : S.nodes())
+      if (auto *E = dyn_cast<sdfg::MapEntry>(N.get())) {
+        const std::string L = analysis::mapLabel(S, *E);
+        if (!E->Speculative && !Unproven.count(L))
+          continue;
+        bool Have = false;
+        for (const Guard &Gd : R.Guards)
+          Have |= Gd.Map == L;
+        if (!Have)
+          synthesizeScopeGuard(G, S, *E, Unproven.count(L) != 0, R);
+      }
+  }
+}
+
 AnalysisResult analysis::analyze(const sdfg::SDFG &G) {
   AnalysisResult Res = checkRaces(G);
   Res.append(checkBounds(G));
   Res.append(checkInitialization(G));
+  synthesizeGuards(G, Res);
   return Res;
 }

@@ -83,12 +83,86 @@ struct Finding {
   std::string json() const;
 };
 
+/// How one conjunct of a synthesized guard is checked at runtime.
+enum class GuardTermKind {
+  SymCond,     ///< Residual symbolic predicate over in-scope symbols.
+  PtrDisjoint, ///< Byte-interval overlap test between two containers.
+  Inspector    ///< Pre-loop over an index array: all values in range
+               ///< and pairwise distinct.
+};
+
+const char *guardTermKindName(GuardTermKind K);
+
+/// One conjunct of a synthesized runtime guard. Which fields are
+/// meaningful depends on K:
+///   SymCond      Cond — nonzero at the map's entry point means the
+///                residual condition the static proof was missing holds.
+///   PtrDisjoint  A, B — the two containers whose storage must not
+///                overlap (the frontend's restrict contract, demoted from
+///                assumption to runtime check for speculative scopes).
+///   Inspector    Index / IndexExpr / Param / Target — run Param over the
+///                map range, read Index[IndexExpr] each iteration, and
+///                pass only if every value lies in [0, extent(Target))
+///                and no value repeats (distinct iterations then write
+///                distinct cells of Target).
+struct GuardTerm {
+  GuardTermKind K = GuardTermKind::SymCond;
+  sym::SymExpr Cond;      ///< SymCond: the residual predicate.
+  std::string A, B;       ///< PtrDisjoint: container pair.
+  std::string Index;      ///< Inspector: index container.
+  sym::SymExpr IndexExpr; ///< Inspector: subscript into Index per binding.
+  std::string Param;      ///< Inspector: the driving map parameter.
+  std::string Target;     ///< Inspector: the indirectly written container.
+
+  /// Human-readable rendering ("k < 1 && -1 < k", "disjoint(A, B)",
+  /// "inspect idx[i] -> out").
+  std::string text() const;
+  /// {"kind":..,"cond":..} / {"kind":..,"a":..,"b":..} /
+  /// {"kind":..,"index":..,"index_expr":..,"param":..,"target":..}.
+  std::string json() const;
+};
+
+/// A synthesized runtime guard for one map scope: the conjunction of
+/// Terms implies the safety property the static analysis could not prove,
+/// so codegen may multi-version the scope — parallel when every term
+/// passes, the original serial order otherwise. Covered=false records a
+/// scope whose failure reasons are not all expressible as runtime checks
+/// (e.g. a value-dependent cross-iteration dependence); such scopes stay
+/// in the demotion set and the guard object only carries the diagnosis.
+struct Guard {
+  std::string Map;   ///< analysis::mapLabel of the guarded scope.
+  std::string State; ///< State name.
+  bool Speculative = false; ///< Scope came from speculate-maps.
+  bool Covered = false;     ///< Terms fully cover the failure reasons.
+  /// Failure-reason taxonomy (why the static proof failed): any of
+  /// "indirect-subscript", "symbolic-stride", "unknown-sign-or-trip",
+  /// "may-overlap-containers", "scalar-dependence", "private-escape",
+  /// "unproven-dependence".
+  std::vector<std::string> Reasons;
+  std::vector<GuardTerm> Terms; ///< Conjunction; all must pass.
+
+  /// One-line human-readable rendering.
+  std::string text() const;
+  /// {"map":..,"state":..,"speculative":..,"covered":..,
+  ///  "reasons":[..],"terms":[..]}.
+  std::string json() const;
+};
+
 /// The outcome of one analysis (or of several, via append()).
 struct AnalysisResult {
   std::vector<Finding> Findings;
   /// Labels (codegen::mapScopeLabel format) of map scopes the race
   /// analysis could not prove safe — the compile gate's demotion set.
   std::vector<std::string> UnprovenMaps;
+  /// Synthesized runtime guards (see Guard), one per unproven or
+  /// speculative map scope, filled by synthesizeGuards().
+  std::vector<Guard> Guards;
+  /// Deferred caller obligations: bounds comparisons against opaque
+  /// extent symbols (shape symbols nothing in the graph relates to
+  /// anything else) that become the binding contract instead of
+  /// warnings — e.g. "C: requires s_2 >= ni*nj". Rendered strings; also
+  /// exported in json().
+  std::vector<std::string> Assumptions;
 
   unsigned errors() const;
   unsigned warnings() const;
@@ -101,7 +175,8 @@ struct AnalysisResult {
 
   /// Multi-line human-readable report ("" when clean).
   std::string text() const;
-  /// {"findings":[...],"errors":N,"warnings":M,"unproven_maps":[...]}.
+  /// {"findings":[...],"errors":N,"warnings":M,"unproven_maps":[...],
+  ///  "guards":[...],"assumptions":[...]}.
   std::string json() const;
 };
 
@@ -115,7 +190,16 @@ AnalysisResult checkBounds(const sdfg::SDFG &G);
 /// Judgment 3: definite initialization of transients.
 AnalysisResult checkInitialization(const sdfg::SDFG &G);
 
-/// All three judgments, concatenated.
+/// Guard synthesis (see Guard): for every map scope that is in
+/// \p R.UnprovenMaps or carries MapEntry::Speculative, re-derives *why*
+/// the disjointness proof failed and, where expressible, a sound residual
+/// runtime check, appended to R.Guards. Proven speculative scopes still
+/// get a guard carrying only the PtrDisjoint restrict-contract terms
+/// (their proof assumed containers do not alias; speculation makes that
+/// assumption checkable instead of assumed).
+void synthesizeGuards(const sdfg::SDFG &G, AnalysisResult &R);
+
+/// All three judgments, concatenated, plus guard synthesis.
 AnalysisResult analyze(const sdfg::SDFG &G);
 
 /// The analyzer's own rendering of a map scope label. Kept structurally

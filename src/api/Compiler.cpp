@@ -17,6 +17,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 
 using namespace dcir;
 using namespace dcir::api;
@@ -99,7 +100,23 @@ bool dcir::api::detail::optimizeGraph(sdfg::SDFG &G,
       break;
     }
   }
-  return sdfgopt::runPipeline(G, *P, Report, POpts);
+  if (!sdfgopt::runPipeline(G, *P, Report, POpts))
+    return false;
+  // Speculative conversion runs *after* the proving pipeline: any loop
+  // still sequential at this point is one the proving converter refused,
+  // so converting it here (marked MapEntry::Speculative) adds exactly
+  // the unproven scopes. They only run parallel behind a synthesized
+  // guard — the Guard verify mode — or stay serial, so this is safe to
+  // do whenever speculation is requested.
+  if ((Opts.Speculate ||
+       effectiveStaticVerify(Opts) == pipeline::StaticVerifyMode::Guard) &&
+      Opts.Parallelism != pipeline::ParallelismMode::Off) {
+    for (unsigned I = 0;
+         I < 16 && sdfgopt::convertLoopsToMapsSpeculativeOnce(G, &Report);
+         ++I)
+      ;
+  }
+  return true;
 }
 
 pipeline::StaticVerifyMode
@@ -115,7 +132,8 @@ bool dcir::api::detail::applyStaticVerify(const sdfg::SDFG &G,
                                           pipeline::StaticVerifyMode Mode,
                                           DiagnosticEngine &Diags,
                                           analysis::AnalysisResult &Out,
-                                          codegen::MapSchedules &Demotions) {
+                                          codegen::MapSchedules &Demotions,
+                                          codegen::SpeculativeMaps &Speculation) {
   if (Mode == pipeline::StaticVerifyMode::Off)
     return true;
   obs::Span S("verify:" + Entry, "compile");
@@ -129,18 +147,74 @@ bool dcir::api::detail::applyStaticVerify(const sdfg::SDFG &G,
     else
       Diags.warning(SourceLoc(), std::move(Msg));
   }
-  if (Mode != pipeline::StaticVerifyMode::Error)
+  if (Mode != pipeline::StaticVerifyMode::Error &&
+      Mode != pipeline::StaticVerifyMode::Guard)
     return true;
   // A provable out-of-bounds access cannot be repaired by scheduling; the
   // only sound gate outcome is to refuse the artifact.
   if (Out.hasProvenOob())
     return false;
-  // Every map scope the race analysis could not prove safe loses its
-  // parallel schedule: a serial map is the original loop nest, so the
-  // demotion is always semantics-preserving.
+  if (Mode == pipeline::StaticVerifyMode::Error) {
+    // Every map scope the race analysis could not prove safe loses its
+    // parallel schedule: a serial map is the original loop nest, so the
+    // demotion is always semantics-preserving. Speculative scopes are
+    // unproven by construction (their guards are ignored under Error) —
+    // this is the serialized baseline Guard mode is measured against.
+    for (const std::string &Label : Out.UnprovenMaps)
+      Demotions[Label] = codegen::MapSchedule{
+          codegen::MapSchedulePolicy::Serial, /*Tile=*/0};
+    for (const analysis::Guard &Gd : Out.Guards)
+      if (Gd.Speculative)
+        Demotions[Gd.Map] = codegen::MapSchedule{
+            codegen::MapSchedulePolicy::Serial, /*Tile=*/0};
+    return true;
+  }
+  // Guard mode: scopes whose synthesized guard covers every failure
+  // reason keep their parallel emission behind the runtime guard; only
+  // guard-less scopes are demoted. verify.demotions therefore shrinks to
+  // exactly the unguardable set.
+  obs::Span GS("guard:" + Entry, "compile");
+  std::set<std::string> Guarded;
+  for (const analysis::Guard &Gd : Out.Guards) {
+    if (!Gd.Covered)
+      continue;
+    Guarded.insert(Gd.Map);
+    // Convert to codegen's guard vocabulary (a 1:1 field mapping —
+    // codegen mirrors the analysis types rather than including them, so
+    // the emitter never links against its own checker).
+    codegen::SpeculationGuard &SG = Speculation[Gd.Map];
+    SG.Terms.clear();
+    for (const analysis::GuardTerm &T : Gd.Terms) {
+      codegen::SpecGuardTerm CT;
+      switch (T.K) {
+      case analysis::GuardTermKind::SymCond:
+        CT.K = codegen::SpecGuardKind::SymCond;
+        break;
+      case analysis::GuardTermKind::PtrDisjoint:
+        CT.K = codegen::SpecGuardKind::PtrDisjoint;
+        break;
+      case analysis::GuardTermKind::Inspector:
+        CT.K = codegen::SpecGuardKind::Inspector;
+        break;
+      }
+      CT.Cond = T.Cond;
+      CT.A = T.A;
+      CT.B = T.B;
+      CT.Index = T.Index;
+      CT.IndexExpr = T.IndexExpr;
+      CT.Param = T.Param;
+      CT.Target = T.Target;
+      SG.Terms.push_back(std::move(CT));
+    }
+  }
   for (const std::string &Label : Out.UnprovenMaps)
-    Demotions[Label] = codegen::MapSchedule{
-        codegen::MapSchedulePolicy::Serial, /*Tile=*/0};
+    if (!Guarded.count(Label))
+      Demotions[Label] = codegen::MapSchedule{
+          codegen::MapSchedulePolicy::Serial, /*Tile=*/0};
+  for (const analysis::Guard &Gd : Out.Guards)
+    if (Gd.Speculative && !Gd.Covered)
+      Demotions[Gd.Map] = codegen::MapSchedule{
+          codegen::MapSchedulePolicy::Serial, /*Tile=*/0};
   return true;
 }
 
@@ -159,8 +233,10 @@ void gateGraph(api::detail::CompiledParts &Out, const std::string &Entry,
   if (Mode == pipeline::StaticVerifyMode::Off)
     return;
   auto T0 = std::chrono::steady_clock::now();
-  bool Ok = api::detail::applyStaticVerify(*Out.Graph, Entry, Mode, Diags,
-                                           Out.Verify, Out.VerifyDemotions);
+  bool Ok =
+      api::detail::applyStaticVerify(*Out.Graph, Entry, Mode, Diags,
+                                     Out.Verify, Out.VerifyDemotions,
+                                     Out.Speculation);
   opt::PassStats &VS = Out.Report.Passes.statsFor("static-verify");
   VS.Invocations += 1;
   VS.Rewrites += static_cast<unsigned>(Out.Verify.Findings.size());
@@ -202,7 +278,8 @@ dcir::api::detail::compileParts(const std::string &CSource,
     }
     if (Out.Graph &&
         !applyStaticVerify(*Out.Graph, Entry, effectiveStaticVerify(Opts),
-                           Diags, Out.Verify, Out.VerifyDemotions))
+                           Diags, Out.Verify, Out.VerifyDemotions,
+                           Out.Speculation))
       Out.Graph.reset();
     return Out;
   }
@@ -306,6 +383,7 @@ Compiler::compile(const std::string &CSource, const std::string &Entry) {
   P.Report = Parts.Report;
   P.Verify = std::move(Parts.Verify);
   P.VerifyDemotions = std::move(Parts.VerifyDemotions);
+  P.Speculation = std::move(Parts.Speculation);
   // The autotuner's persistence key: the source text, the entry, and
   // every option that changes the optimized graph (pipeline, passes,
   // tiling, grain gates). Parallelism and thread count are serving-side
@@ -320,7 +398,8 @@ Compiler::compile(const std::string &CSource, const std::string &Entry) {
   Id += ":" + std::to_string(Opts.MinParallelWork) + ":" +
         std::to_string(Opts.MinInLoopParallelWork) + ":" +
         std::to_string(static_cast<int>(detail::effectiveStaticVerify(Opts))) +
-        ":" + std::to_string(Opts.CheckBounds ? 1 : 0);
+        ":" + std::to_string(Opts.CheckBounds ? 1 : 0) + ":" +
+        std::to_string(Opts.Speculate ? 1 : 0);
   P.SourceKey = tune::fnv64Hex(Id);
   return Program::create(std::move(P));
 }

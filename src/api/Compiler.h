@@ -159,6 +159,15 @@ public:
     Opts.CheckBounds = On;
     return *this;
   }
+  /// Speculative loop-to-map conversion (the `speculate-maps` pass):
+  /// loops the proving converter refuses are converted anyway, marked
+  /// MapEntry::Speculative, and run parallel only behind a runtime guard
+  /// synthesized under StaticVerifyMode::Guard (which implies this flag).
+  /// The benches expose it as --speculate.
+  Compiler &speculate(bool On = true) {
+    Opts.Speculate = On;
+    return *this;
+  }
   /// Enables process-wide lifecycle tracing and writes the Chrome
   /// trace-event JSON to \p Path at process exit (equivalent to running
   /// with $DCIR_TRACE=Path). Affects the whole process, not just this
@@ -220,6 +229,10 @@ struct CompiledParts {
   /// Serial demotions the Error gate decided (keyed by map scope label);
   /// Program::create registers them with the engine before preparation.
   codegen::MapSchedules VerifyDemotions;
+  /// Runtime guards the Guard gate synthesized (keyed by map scope
+  /// label); Program::create registers them alongside the demotions so
+  /// the JIT multi-versions the guarded scopes.
+  codegen::SpeculativeMaps Speculation;
 };
 
 /// Compiles \p CSource's \p Entry through pipeline \p Kind. On failure
@@ -249,12 +262,17 @@ effectiveStaticVerify(const pipeline::CompileOptions &Opts);
 /// the gate policy for \p Mode (see StaticVerifyMode): fills \p Out with
 /// the findings, reports them as diagnostics, and on Error fills
 /// \p Demotions with serial schedules for every unproven map scope.
-/// Returns false only when compilation must fail (Error mode, provable
-/// out-of-bounds access). Wraps the work in an obs span `verify:<entry>`.
+/// Under Guard, scopes whose synthesized guard covers every failure
+/// reason land in \p Speculation (converted to codegen's guard
+/// vocabulary) instead of \p Demotions — they keep their parallel
+/// emission behind the runtime check. Returns false only when
+/// compilation must fail (Error or Guard mode, provable out-of-bounds
+/// access). Wraps the work in an obs span `verify:<entry>`.
 bool applyStaticVerify(const sdfg::SDFG &G, const std::string &Entry,
                        pipeline::StaticVerifyMode Mode,
                        DiagnosticEngine &Diags, analysis::AnalysisResult &Out,
-                       codegen::MapSchedules &Demotions);
+                       codegen::MapSchedules &Demotions,
+                       codegen::SpeculativeMaps &Speculation);
 
 } // namespace detail
 

@@ -163,6 +163,7 @@ std::shared_ptr<const Program> Program::create(Parts InParts) {
       .inc(Prog->P.Verify.Findings.size());
   Prog->Metrics.counter("verify.demotions")
       .inc(Prog->P.VerifyDemotions.size());
+  Prog->Metrics.counter("speculation.guarded").inc(Prog->P.Speculation.size());
   if (Prog->P.Graph) {
     // What a specialized variant can key on: the graph's free symbols
     // plus its read-only non-transient I64 scalars (runtime size
@@ -189,12 +190,15 @@ std::shared_ptr<const Program> Program::create(Parts InParts) {
     Config.MinInLoopParallelWork = Prog->P.Opts.MinInLoopParallelWork;
     Config.CheckBounds = Prog->P.Opts.CheckBounds;
     Native->configure(Config);
-    // Serial demotions from the static-verify Error gate must land
-    // before the artifact is prepared; they override any Auto decision
-    // the codegen would have made for those scopes.
-    if (!Prog->P.VerifyDemotions.empty()) {
+    // Serial demotions from the static-verify Error gate and runtime
+    // guards from the Guard gate must land before the artifact is
+    // prepared; demotions override any Auto decision the codegen would
+    // have made for those scopes, guards switch them to multi-versioned
+    // emission.
+    if (!Prog->P.VerifyDemotions.empty() || !Prog->P.Speculation.empty()) {
       exec::GraphTuning GT;
       GT.Schedules = Prog->P.VerifyDemotions;
+      GT.Speculation = Prog->P.Speculation;
       Native->tuneGraph(*Prog->P.Graph, GT);
     }
     if (Prog->P.Opts.Autotune)
@@ -275,6 +279,14 @@ ProgramStats Program::stats() const {
   S.TuneReverted = CTuneReverted->value();
   S.VerifyFindings = P.Verify.Findings.size();
   S.VerifyDemotions = P.VerifyDemotions.size();
+  S.SpeculationGuarded = P.Speculation.size();
+  // Guard outcomes are read live from the artifact's counter table (the
+  // metrics registry's counters are inc-only, so mirroring them there
+  // would need delta bookkeeping for no consumer benefit).
+  for (const exec::SpeculationStat &St : speculationStats()) {
+    S.SpeculationPass += St.Pass;
+    S.SpeculationFail += St.Fail;
+  }
   return S;
 }
 
@@ -282,6 +294,12 @@ std::vector<obs::MapProfile> Program::mapProfile() const {
   if (!Native || !P.Graph)
     return {};
   return Native->mapProfile(*P.Graph);
+}
+
+std::vector<exec::SpeculationStat> Program::speculationStats() const {
+  if (!Native || !P.Graph)
+    return {};
+  return Native->speculationStats(*P.Graph);
 }
 
 std::string Program::validateBindings(const Invocation &I) const {
@@ -553,13 +571,15 @@ void Program::buildVariant(const std::string &Key,
       DiagnosticEngine D;
       analysis::AnalysisResult VR;
       codegen::MapSchedules Demotions;
+      codegen::SpeculativeMaps Speculation;
       Ok = detail::applyStaticVerify(*Clone, Clone->getName(), Mode, D, VR,
-                                     Demotions);
+                                     Demotions, Speculation);
       if (!Ok)
         Why = "static verification failed: " + D.str();
-      else if (!Demotions.empty()) {
+      else if (!Demotions.empty() || !Speculation.empty()) {
         exec::GraphTuning GT;
         GT.Schedules = std::move(Demotions);
+        GT.Speculation = std::move(Speculation);
         Native->tuneGraph(*Clone, GT);
       }
     }
@@ -677,6 +697,11 @@ Program::buildTuneClone(const std::string &Suffix,
   exec::GraphTuning Merged = GT;
   for (const auto &[Label, Sched] : P.VerifyDemotions)
     Merged.Schedules[Label] = Sched;
+  // Likewise the Guard gate's runtime guards: a tuned re-emission of a
+  // guarded scope must stay multi-versioned, or the tuner would undo the
+  // soundness check the gate installed.
+  for (const auto &[Label, Guard] : P.Speculation)
+    Merged.Speculation[Label] = Guard;
   Native->tuneGraph(*G, Merged);
   std::string Error;
   if (!Native->prepareGraph(*G, Error, nullptr)) {

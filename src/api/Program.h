@@ -114,6 +114,14 @@ struct ProgramStats {
   /// demoted to a serial schedule.
   std::uint64_t VerifyFindings = 0;
   std::uint64_t VerifyDemotions = 0;
+  /// Speculation counters (zero unless the Guard gate synthesized runtime
+  /// guards). Guarded is the number of multi-versioned map scopes (fixed
+  /// at compile time); Pass/Fail accumulate guard outcomes across
+  /// invocations of the native artifact — Pass entries ran the parallel
+  /// emission, Fail entries fell back to the original serial order.
+  std::uint64_t SpeculationGuarded = 0;
+  std::uint64_t SpeculationPass = 0;
+  std::uint64_t SpeculationFail = 0;
 };
 
 /// The outcome of one invocation.
@@ -264,6 +272,11 @@ public:
     /// specialization / tuning re-JIT so a demotion can never be undone
     /// by a later re-optimization).
     codegen::MapSchedules VerifyDemotions;
+    /// Runtime guards the Guard gate synthesized, registered with the
+    /// engine before the artifact is prepared (and merged into tuning
+    /// re-JITs alongside the demotions) so guarded scopes are emitted
+    /// multi-versioned.
+    codegen::SpeculativeMaps Speculation;
   };
 
   /// Builds a Program: instantiates the engine, and for native graph
@@ -296,6 +309,14 @@ public:
   const codegen::MapSchedules &verifyDemotions() const {
     return P.VerifyDemotions;
   }
+  /// Runtime guards the Guard gate registered (keyed by map scope label).
+  const codegen::SpeculativeMaps &speculation() const {
+    return P.Speculation;
+  }
+  /// Live per-scope guard outcomes from the native artifact (empty for
+  /// interpreter programs — the interpreter executes maps in sequential
+  /// order, which is exactly every guard's serial fallback).
+  std::vector<exec::SpeculationStat> speculationStats() const;
   /// The SDFG artifact (null for module artifacts).
   const sdfg::SDFG *graph() const { return P.Graph.get(); }
   /// The dialect-module artifact (null for SDFG artifacts).

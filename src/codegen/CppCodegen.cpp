@@ -163,11 +163,13 @@ public:
       return std::string();
     if (Info)
       Info->MapsProfiled = ProfLabels.size();
-    // The profile table must precede the entry function that updates it,
-    // but its row count is only known after the body is emitted — hence
-    // the separate prelude stream. Without ProfileMaps the concatenation
-    // is byte-identical to the historical single-stream output.
-    return Prelude.str() + profileTable() + BodyFns.str() + OS.str();
+    // The profile and speculation tables must precede the entry function
+    // that updates them, but their row counts are only known after the
+    // body is emitted — hence the separate prelude stream. Without
+    // ProfileMaps/Speculative the concatenation is byte-identical to the
+    // historical single-stream output.
+    return Prelude.str() + profileTable() + specTable() + BodyFns.str() +
+           OS.str();
   }
 
 private:
@@ -233,12 +235,22 @@ private:
   /// One label per profiled map scope ("s<state>:<params>"), in emission
   /// order — the rows of the generated profile table (ProfileMaps only).
   std::vector<std::string> ProfLabels;
+  /// One label per multi-versioned scope, in emission order — the rows of
+  /// the generated speculation pass/fail table (Speculative only).
+  std::vector<std::string> SpecLabels;
+  /// Which branch of a multi-versioned scope is being emitted: 0 outside
+  /// speculation, 1 the guard-pass (parallel) branch, 2 the guard-fail
+  /// (serial) branch. Keeps emitMapScope from re-dispatching into
+  /// emitSpeculativeScope while emitting the branches.
+  int SpecEmit = 0;
 
   void emitPrelude() {
     Prelude << "// Generated by the DCIR SDFG C++ code generator.\n"
             << "#include <cmath>\n#include <cstdlib>\n#include <limits>\n";
+    if (Opts.ProfileMaps || !Opts.Speculative.empty())
+      Prelude << "#include <atomic>\n";
     if (Opts.ProfileMaps)
-      Prelude << "#include <atomic>\n#include <chrono>\n";
+      Prelude << "#include <chrono>\n";
     if (Opts.CheckBounds)
       Prelude << "#include <cstdio>\n";
     Prelude
@@ -253,6 +265,18 @@ private:
           "{ return a < b ? a : b; }\n"
        << "template <typename T> static inline T dcir_max(T a, T b) "
           "{ return a > b ? a : b; }\n\n";
+    // Byte-interval overlap test for PtrDisjoint guard terms. Compared as
+    // integers: relational operators on pointers into distinct objects
+    // are unspecified, and "do these two allocations overlap" is exactly
+    // the cross-object question.
+    if (!Opts.Speculative.empty())
+      Prelude
+          << "static inline bool dcir_disjoint(const void *a, long long an,\n"
+          << "                                 const void *b, long long bn) {\n"
+          << "  unsigned long long ap = reinterpret_cast<unsigned long long>(a);\n"
+          << "  unsigned long long bp = reinterpret_cast<unsigned long long>(b);\n"
+          << "  return ap + static_cast<unsigned long long>(an) <= bp ||\n"
+          << "         bp + static_cast<unsigned long long>(bn) <= ap;\n}\n\n";
     if (Opts.CheckBounds)
       Prelude
           << "static inline long long dcir_bc(long long i, long long n,\n"
@@ -273,8 +297,14 @@ private:
   /// distinct allocations by construction (the engine binds one buffer per
   /// container, and memlets always name the container they move), so no
   /// two parameters may alias — which lets the host compiler vectorize
-  /// map loops it would otherwise serialize.
+  /// map loops it would otherwise serialize. Speculative artifacts drop
+  /// the qualifier: a PtrDisjoint guard exists precisely because the
+  /// caller *may* bind overlapping buffers, and the serial fallback must
+  /// stay correct when it does — restrict would make that UB before the
+  /// guard ever ran.
   void emitSignature() {
+    const char *Restrict =
+        Opts.Speculative.empty() ? " *__restrict__ " : " *";
     OS << "extern \"C\" void " << G.getName() << "(";
     bool First = true;
     for (const std::string &Arg : Sig.Args) {
@@ -285,7 +315,7 @@ private:
       // conditions, range bounds — reference the container by name, and a
       // bare pointer there would not compile. The parameter is renamed so
       // the local can own the name.
-      OS << "[[maybe_unused]] " << cType(G.desc(Arg).Ty) << " *__restrict__ "
+      OS << "[[maybe_unused]] " << cType(G.desc(Arg).Ty) << Restrict
          << Arg;
       if (G.desc(Arg).K == DataDesc::Kind::Scalar)
         OS << "__dcir_param";
@@ -414,6 +444,32 @@ private:
            << "  }\n";
       OS << "  return dcir_n;\n}\n";
     }
+    // Speculation outcome readback (multi-versioned artifacts only): null
+    // out returns the row count, else up to cap rows are snapshot-copied.
+    // Row layout: {const char *name; long long pass; long long fail;}
+    // (exec::SpeculationABIEntry).
+    if (!Opts.Speculative.empty()) {
+      OS << "\nextern \"C\" long long " << G.getName()
+         << "__dcir_speculation([[maybe_unused]] void *dcir_out, "
+            "[[maybe_unused]] long long dcir_cap) {\n"
+         << "  const long long dcir_n = " << SpecLabels.size() << "LL;\n"
+         << "  if (!dcir_out)\n    return dcir_n;\n";
+      if (!SpecLabels.empty())
+        OS << "  struct DcirSpecSnap {\n"
+           << "    const char *name;\n"
+           << "    long long pass;\n    long long fail;\n  };\n"
+           << "  DcirSpecSnap *dcir_rows = "
+              "static_cast<DcirSpecSnap *>(dcir_out);\n"
+           << "  for (long long dcir_i = 0; dcir_i < dcir_n && dcir_i < "
+              "dcir_cap; ++dcir_i) {\n"
+           << "    dcir_rows[dcir_i].name = dcir_spec[dcir_i].name;\n"
+           << "    dcir_rows[dcir_i].pass = "
+              "dcir_spec[dcir_i].pass.load(std::memory_order_relaxed);\n"
+           << "    dcir_rows[dcir_i].fail = "
+              "dcir_spec[dcir_i].fail.load(std::memory_order_relaxed);\n"
+           << "  }\n";
+      OS << "  return dcir_n;\n}\n";
+    }
   }
 
   /// The static per-map profile table (between the prelude and the entry
@@ -433,6 +489,26 @@ private:
       << "DcirMapProf dcir_prof[" << ProfLabels.size() << "] = {\n";
     for (const std::string &L : ProfLabels)
       T << "    {\"" << L << "\", {0}, {0}, {0}},\n";
+    T << "};\n} // namespace\n\n";
+    return T.str();
+  }
+
+  /// The static per-scope speculation outcome table (guard evaluations
+  /// update it, the `__dcir_speculation` hook snapshots it). Empty unless
+  /// at least one scope was multi-versioned.
+  std::string specTable() const {
+    if (SpecLabels.empty())
+      return std::string();
+    std::ostringstream T;
+    T << "namespace {\n"
+      << "struct DcirSpec {\n"
+      << "  const char *name;\n"
+      << "  std::atomic<long long> pass;\n"
+      << "  std::atomic<long long> fail;\n"
+      << "};\n"
+      << "DcirSpec dcir_spec[" << SpecLabels.size() << "] = {\n";
+    for (const std::string &L : SpecLabels)
+      T << "    {\"" << L << "\", {0}, {0}},\n";
     T << "};\n} // namespace\n\n";
     return T.str();
   }
@@ -1029,9 +1105,141 @@ private:
     return true;
   }
 
+  /// Emits the evaluation of one guard term into the flag variable
+  /// \p Ok. SymCond and PtrDisjoint are single expressions; Inspector is
+  /// a pre-loop predicated on Ok still holding (earlier terms are cheaper
+  /// and may already have failed the guard).
+  void emitGuardTerm(const SpecGuardTerm &T, const MapEntry *Entry,
+                     const std::string &Ok, unsigned ScopeIdx,
+                     unsigned TermIdx, const std::string &Pad) {
+    switch (T.K) {
+    case SpecGuardKind::SymCond:
+      OS << Pad << Ok << " = " << Ok << " && (" << cExpr(T.Cond) << ");\n";
+      return;
+    case SpecGuardKind::PtrDisjoint: {
+      auto Ptr = [&](const std::string &N) {
+        const DataDesc &D = G.desc(N);
+        if (D.K != DataDesc::Kind::Scalar)
+          return N;
+        // Non-transient scalars arrive as pointers (renamed so the typed
+        // shadow local owns the name); transient scalars are locals.
+        return D.Transient ? "&" + N : N + "__dcir_param";
+      };
+      auto Bytes = [&](const std::string &N) {
+        const DataDesc &D = G.desc(N);
+        std::string Sz = "(long long)sizeof(" + cType(D.Ty) + ")";
+        if (D.K != DataDesc::Kind::Scalar)
+          Sz += " * (" + cExpr(D.totalSize()) + ")";
+        return Sz;
+      };
+      OS << Pad << Ok << " = " << Ok << " && dcir_disjoint(" << Ptr(T.A)
+         << ", " << Bytes(T.A) << ", " << Ptr(T.B) << ", " << Bytes(T.B)
+         << ");\n";
+      return;
+    }
+    case SpecGuardKind::Inspector:
+      break;
+    }
+    // Inspector: replay Index[IndexExpr] over Param's range; every value
+    // must land in [0, extent(Target)) and never repeat — distinct
+    // iterations then write distinct, in-bounds cells of Target. The mark
+    // array is one byte per Target cell, calloc'd per evaluation; an
+    // allocation failure conservatively fails the guard.
+    size_t PIdx = 0;
+    for (size_t D = 0; D < Entry->Params.size(); ++D)
+      if (Entry->Params[D] == T.Param)
+        PIdx = D;
+    const sym::SymRange &R = Entry->Ranges[PIdx];
+    const DataDesc &TD = G.desc(T.Target);
+    std::string Ext = TD.Shape.empty() ? "1LL" : cExpr(TD.Shape[0]);
+    std::string Tag =
+        std::to_string(ScopeIdx) + "_" + std::to_string(TermIdx);
+    std::string Seen = "dcir_seen" + Tag;
+    std::string ExtV = "dcir_ext" + Tag;
+    std::vector<sym::SymExpr> Point{T.IndexExpr};
+    sym::SymSubset At = sym::SymSubset::element(Point);
+    OS << Pad << "if (" << Ok << ") { // inspect " << T.Index << " -> "
+       << T.Target << "\n"
+       << Pad << "  long long " << ExtV << " = " << Ext << ";\n"
+       << Pad << "  unsigned char *" << Seen
+       << " = static_cast<unsigned char *>(std::calloc(\n"
+       << Pad << "      " << ExtV << " > 0 ? " << ExtV << " : 1, 1));\n"
+       << Pad << "  if (!" << Seen << ")\n"
+       << Pad << "    " << Ok << " = false;\n"
+       << Pad << "  else {\n"
+       << Pad << "    for (long long " << T.Param << " = "
+       << cExpr(R.Begin) << "; " << T.Param << " < " << cExpr(R.End)
+       << "; " << T.Param << " += " << (R.Step ? cExpr(R.Step) : "1")
+       << ") {\n"
+       << Pad << "      long long dcir_iv = (long long)"
+       << access(T.Index, At) << ";\n"
+       << Pad << "      if (dcir_iv < 0 || dcir_iv >= " << ExtV << " || "
+       << Seen << "[dcir_iv]) {\n"
+       << Pad << "        " << Ok << " = false;\n"
+       << Pad << "        break;\n"
+       << Pad << "      }\n"
+       << Pad << "      " << Seen << "[dcir_iv] = 1;\n"
+       << Pad << "    }\n"
+       << Pad << "    std::free(" << Seen << ");\n"
+       << Pad << "  }\n"
+       << Pad << "}\n";
+  }
+
+  /// Multi-versions one top-level scope behind its synthesized guard:
+  /// evaluate the conjunction once per scope entry, count the outcome in
+  /// the speculation table, then branch between the parallel and the
+  /// original serial emission. Both branches are full re-emissions of the
+  /// same scope — the guard-fail branch with the pragma decision forced
+  /// off, so the fallback preserves the original sequential order.
+  void emitSpeculativeScope(const State &S, const MapEntry *Entry,
+                            const std::vector<Node *> &Order,
+                            std::set<int> &Done, int Indent,
+                            const SpeculationGuard &Guard) {
+    std::string Pad(Indent, ' ');
+    unsigned Idx = SpecLabels.size();
+    SpecLabels.push_back(codegen::mapScopeLabel(S, *Entry));
+    if (Info)
+      ++Info->SpeculativeGuards;
+    std::string Ok = "dcir_spec_ok" + std::to_string(Idx);
+    OS << Pad << "bool " << Ok << " = true;\n";
+    for (size_t TI = 0; TI < Guard.Terms.size(); ++TI)
+      emitGuardTerm(Guard.Terms[TI], Entry, Ok, Idx, unsigned(TI), Pad);
+    OS << Pad << "if (" << Ok << ")\n"
+       << Pad << "  dcir_spec[" << Idx
+       << "].pass.fetch_add(1, std::memory_order_relaxed);\n"
+       << Pad << "else\n"
+       << Pad << "  dcir_spec[" << Idx
+       << "].fail.fetch_add(1, std::memory_order_relaxed);\n";
+    OS << Pad << "if (" << Ok << ") {\n";
+    {
+      // Both branches emit the same node set; the first works on a copy
+      // of Done so the second sees every scope node unemitted again.
+      std::set<int> DoneCopy = Done;
+      SpecEmit = 1;
+      emitMapScope(S, Entry, Order, DoneCopy, Indent + 2);
+    }
+    OS << Pad << "} else {\n";
+    SpecEmit = 2;
+    emitMapScope(S, Entry, Order, Done, Indent + 2);
+    SpecEmit = 0;
+    OS << Pad << "}\n";
+  }
+
   void emitMapScope(const State &S, const MapEntry *Entry,
                     const std::vector<Node *> &Order, std::set<int> &Done,
                     int Indent) {
+    // Runtime-guarded multi-versioning: a top-level scope with a
+    // synthesized guard dispatches to the dual emission. Scopes carrying
+    // MapEntry::Speculative that no guard covers fall through and are
+    // forced serial below — an unproven conversion never runs parallel
+    // unguarded.
+    if (MapDepth == 0 && SpecEmit == 0 && !Opts.Speculative.empty()) {
+      auto It = Opts.Speculative.find(codegen::mapScopeLabel(S, *Entry));
+      if (It != Opts.Speculative.end()) {
+        emitSpeculativeScope(S, Entry, Order, Done, Indent, It->second);
+        return;
+      }
+    }
     std::string Pad(Indent, ' ');
     std::set<int> Scope = S.scopeNodes(*Entry);
     Done.insert(Entry->ExitId);
@@ -1060,7 +1268,15 @@ private:
           ++Info->ScheduledMaps;
       }
     }
-    const bool ForceSerial = Sched.Policy == MapSchedulePolicy::Serial;
+    // Guard-fail branches re-emit the original serial order; speculative
+    // conversions outside a guard-pass branch never run parallel (their
+    // safety was never proven — that is what Speculative records).
+    const bool SpecSerial =
+        SpecEmit == 2 || (Entry->Speculative && SpecEmit != 1);
+    if (Info && MapDepth == 0 && Entry->Speculative && SpecEmit == 0)
+      ++Info->SpeculativeSerialized;
+    const bool ForceSerial =
+        Sched.Policy == MapSchedulePolicy::Serial || SpecSerial;
     ForceParallel = Sched.Policy == MapSchedulePolicy::Parallel;
     TileOverride = ForceParallel ? Sched.Tile : 0;
 
@@ -1100,8 +1316,12 @@ private:
     // fresh restrict-qualified parameters restores the aliasing facts.
     // Regions with reduction clauses stay inline: the clause must name a
     // variable of the enclosing region, not a callee parameter.
+    // Speculative artifacts never outline: the body functions re-qualify
+    // every container __restrict__, re-asserting the aliasing contract
+    // the artifact as a whole dropped (see emitSignature).
     const bool Outline = Parallel && Decls.empty() && Combines.empty() &&
-                         Clauses.find("reduction") == std::string::npos;
+                         Clauses.find("reduction") == std::string::npos &&
+                         Opts.Speculative.empty();
     // The pragma owns the collapsed loop-header prefix; everything below
     // it belongs to the (possibly outlined) body.
     const size_t Split =

@@ -75,6 +75,44 @@ struct MapSchedule {
 /// keep Auto behavior.
 using MapSchedules = std::map<std::string, MapSchedule>;
 
+/// How one conjunct of a speculation guard is evaluated at runtime.
+/// Mirrors analysis::GuardTermKind — the api layer converts synthesized
+/// analysis::Guard objects into this emission-side vocabulary so codegen
+/// stays independent of the analyzer (the analyzer checks codegen's
+/// output; codegen must not link against its checker).
+enum class SpecGuardKind {
+  SymCond,     ///< Evaluate Cond as a C++ expression; nonzero passes.
+  PtrDisjoint, ///< Byte-interval overlap test between containers A and B.
+  Inspector    ///< Pre-loop over Param's range reading Index[IndexExpr]:
+               ///< passes when every value is in [0, extent(Target)) and
+               ///< no value repeats.
+};
+
+/// One conjunct of a speculation guard (see SpecGuardKind for which
+/// fields apply).
+struct SpecGuardTerm {
+  SpecGuardKind K = SpecGuardKind::SymCond;
+  sym::SymExpr Cond;      ///< SymCond: the residual predicate.
+  std::string A, B;       ///< PtrDisjoint: the container pair.
+  std::string Index;      ///< Inspector: index container.
+  sym::SymExpr IndexExpr; ///< Inspector: subscript into Index per binding.
+  std::string Param;      ///< Inspector: the driving map parameter.
+  std::string Target;     ///< Inspector: the indirectly written container.
+};
+
+/// The guard of one multi-versioned map scope: the conjunction of Terms,
+/// evaluated once per scope entry. All terms pass -> the parallel
+/// emission runs; any term fails -> the original serial order runs.
+struct SpeculationGuard {
+  std::vector<SpecGuardTerm> Terms;
+};
+
+/// Guards keyed by mapScopeLabel(). A top-level scope with an entry is
+/// emitted twice behind a runtime branch; a scope carrying
+/// MapEntry::Speculative with *no* entry is forced serial — an unproven
+/// conversion never runs parallel unguarded.
+using SpeculativeMaps = std::map<std::string, SpeculationGuard>;
+
 /// Emission options. ParallelMaps turns top-level map scopes into OpenMP
 /// work-sharing loops: `#pragma omp parallel for` (with `collapse(n)` over
 /// the rectangular prefix of multi-parameter maps), `reduction(op:var)`
@@ -127,6 +165,17 @@ struct CodegenOptions {
   /// key forks exactly like ProfileMaps. $DCIR_CHECK_BOUNDS=1 enables it
   /// through the native engine.
   bool CheckBounds = false;
+  /// Runtime-guarded multi-versioning (see SpeculativeMaps). Non-empty
+  /// changes the emitted source — and its aliasing contract: the entry
+  /// parameters lose their `__restrict__` qualification (a failing
+  /// PtrDisjoint guard means the caller *did* bind overlapping buffers,
+  /// and the serial fallback must execute correctly under that aliasing),
+  /// and parallel-region bodies stay inline instead of outlined into
+  /// restrict-qualified functions. Guard outcomes are counted per scope
+  /// in a static atomic table read back through `extern "C" long long
+  /// <entry>__dcir_speculation(void *out, long long cap)` (rows of
+  /// {const char *name; long long pass; long long fail;}).
+  SpeculativeMaps Speculative;
 };
 
 /// What the emitter produced (filled when requested).
@@ -144,6 +193,12 @@ struct CodegenInfo {
   unsigned ScheduledMaps = 0;
   /// Subscript terms wrapped by CheckBounds instrumentation.
   unsigned BoundsChecks = 0;
+  /// Top-level scopes multi-versioned behind a runtime guard
+  /// (CodegenOptions::Speculative entries that matched a scope).
+  unsigned SpeculativeGuards = 0;
+  /// Speculative scopes (MapEntry::Speculative) forced serial because no
+  /// guard covered them — the unproven-conversion safety net.
+  unsigned SpeculativeSerialized = 0;
 };
 
 /// Emits a C++ translation unit defining

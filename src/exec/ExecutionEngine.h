@@ -163,6 +163,29 @@ struct GraphTuning {
   bool ProfileTopOnly = false;
   /// Measured per-map schedule decisions (CodegenOptions::Schedules).
   codegen::MapSchedules Schedules;
+  /// Synthesized runtime guards for multi-versioned scopes
+  /// (CodegenOptions::Speculative) — how the static-verify Guard gate
+  /// gets its guarded emissions into the artifact. Changes the emitted
+  /// source (and its aliasing contract), hence the cache key.
+  codegen::SpeculativeMaps Speculation;
+};
+
+/// One row of a multi-versioned artifact's speculation outcome table:
+/// how often the scope's guard passed (parallel emission ran) and failed
+/// (serial fallback ran). Read back via speculationStats().
+struct SpeculationStat {
+  std::string Map; ///< codegen::mapScopeLabel of the guarded scope.
+  std::uint64_t Pass = 0;
+  std::uint64_t Fail = 0;
+};
+
+/// The raw `<entry>__dcir_speculation` readback row the generated
+/// artifact snapshot-copies (see CodegenOptions::Speculative); layout is
+/// part of the generated-code ABI.
+struct SpeculationABIEntry {
+  const char *Name;
+  long long Pass;
+  long long Fail;
 };
 
 class ExecutionEngine {
@@ -229,6 +252,17 @@ public:
   virtual void tuneGraph(const sdfg::SDFG &G, GraphTuning T) {
     (void)G;
     (void)T;
+  }
+
+  /// The accumulated guard pass/fail counts of \p G's prepared artifact,
+  /// one row per multi-versioned scope. Empty unless the graph was
+  /// prepared with GraphTuning::Speculation entries. Default: no
+  /// speculation support (the interpreter executes maps in sequential
+  /// order, which every guard's serial fallback is — nothing to count).
+  virtual std::vector<SpeculationStat>
+  speculationStats(const sdfg::SDFG &G) {
+    (void)G;
+    return {};
   }
 
   /// Legacy convenience: no bindings, snapshot every output.

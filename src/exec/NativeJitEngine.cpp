@@ -155,6 +155,7 @@ NativeJitEngine::buildArtifact(const sdfg::SDFG &G, std::string &Error,
   // Per-graph tuning overrides (profiled measuring clones, tuned schedule
   // variants) fold in on top of the engine configuration.
   bool EffProfile = Config.ProfileMaps;
+  bool EffSpeculate = false;
   {
     std::lock_guard<std::mutex> Lock(MemoMu);
     auto It = Tunings.find(&G);
@@ -163,7 +164,9 @@ NativeJitEngine::buildArtifact(const sdfg::SDFG &G, std::string &Error,
         Opts.ProfileMaps = *It->second.ProfileMaps;
       Opts.ProfileTopMapsOnly = It->second.ProfileTopOnly;
       Opts.Schedules = It->second.Schedules;
+      Opts.Speculative = It->second.Speculation;
       EffProfile = Opts.ProfileMaps;
+      EffSpeculate = !Opts.Speculative.empty();
     }
   }
   codegen::CodegenInfo CgInfo;
@@ -204,6 +207,11 @@ NativeJitEngine::buildArtifact(const sdfg::SDFG &G, std::string &Error,
     std::string ProfSym = G.getName() + "__dcir_profile";
     P->Profile = reinterpret_cast<long long (*)(void *, long long)>(
         dlsym(Handle, ProfSym.c_str()));
+  }
+  if (EffSpeculate) {
+    std::string SpecSym = G.getName() + "__dcir_speculation";
+    P->Speculation = reinterpret_cast<long long (*)(void *, long long)>(
+        dlsym(Handle, SpecSym.c_str()));
   }
 
   // ABI check: the artifact embeds its argument-binding signature; a
@@ -268,6 +276,35 @@ NativeJitEngine::mapProfile(const sdfg::SDFG &G) {
     P.Seconds = static_cast<double>(R.Nanos) / 1e9;
     P.Trips = static_cast<std::uint64_t>(R.Trips);
     Out.push_back(std::move(P));
+  }
+  return Out;
+}
+
+std::vector<SpeculationStat>
+NativeJitEngine::speculationStats(const sdfg::SDFG &G) {
+  long long (*Hook)(void *, long long) = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(MemoMu);
+    auto It = Memo.find(&G);
+    if (It != Memo.end() && It->second->Name == G.getName())
+      Hook = It->second->Speculation;
+  }
+  if (!Hook)
+    return {};
+  long long N = Hook(nullptr, 0);
+  if (N <= 0)
+    return {};
+  std::vector<SpeculationABIEntry> Rows(static_cast<size_t>(N));
+  long long Got = Hook(Rows.data(), N);
+  Rows.resize(static_cast<size_t>(std::min(N, Got)));
+  std::vector<SpeculationStat> Out;
+  Out.reserve(Rows.size());
+  for (const SpeculationABIEntry &R : Rows) {
+    SpeculationStat S;
+    S.Map = R.Name ? R.Name : "";
+    S.Pass = static_cast<std::uint64_t>(R.Pass);
+    S.Fail = static_cast<std::uint64_t>(R.Fail);
+    Out.push_back(std::move(S));
   }
   return Out;
 }

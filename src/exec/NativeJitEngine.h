@@ -98,10 +98,17 @@ public:
   /// artifact then embeds the `<entry>__dcir_profile` hook).
   std::vector<obs::MapProfile> mapProfile(const sdfg::SDFG &G) override;
 
-  /// Per-graph overrides (profiling / measured schedules) folded into the
-  /// CodegenOptions when \p G is built — the tuner's entry point. Applies
-  /// to the *next* prepare: releaseGraph first if an artifact exists.
+  /// Per-graph overrides (profiling / measured schedules / speculation
+  /// guards) folded into the CodegenOptions when \p G is built — the
+  /// tuner's and the static-verify Guard gate's entry point. Applies to
+  /// the *next* prepare: releaseGraph first if an artifact exists.
   void tuneGraph(const sdfg::SDFG &G, GraphTuning T) override;
+
+  /// Snapshot of the guard pass/fail counters accumulated by \p G's
+  /// artifact. Non-empty only when prepared with GraphTuning::Speculation
+  /// entries (the artifact then embeds the `<entry>__dcir_speculation`
+  /// hook).
+  std::vector<SpeculationStat> speculationStats(const sdfg::SDFG &G) override;
 
   JitCache &cache() { return Cache; }
 
@@ -120,6 +127,10 @@ private:
     /// Per-map profile readback hook; resolved only from artifacts built
     /// with Config.ProfileMaps (see obs/MapProfile.h for the ABI).
     long long (*Profile)(void *, long long) = nullptr;
+    /// Speculation outcome readback hook; resolved only from artifacts
+    /// built with GraphTuning::Speculation entries (SpeculationABIEntry
+    /// rows).
+    long long (*Speculation)(void *, long long) = nullptr;
     codegen::CallSignature Sig;
     unsigned ParallelMapsEmitted = 0;
   };

@@ -1,0 +1,52 @@
+//===- IrregularRegistry.h - the speculative-parallelization corpus -----------===//
+//
+// Part of the DCIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Irregular kernels whose parallelism the static race analysis cannot
+/// prove — indirect scatters, symbolic strides, runtime offsets. They
+/// exist to exercise guard synthesis (analysis::Guard): compiled with
+/// --static-verify=guard + speculation, each map multi-versions behind a
+/// runtime check instead of demoting to serial. Shared by the fig6
+/// speculation section, the mutant-harness tests, and sdfg-verify's CI
+/// sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCIR_PIPELINE_IRREGULARREGISTRY_H
+#define DCIR_PIPELINE_IRREGULARREGISTRY_H
+
+#include <vector>
+
+namespace dcir {
+namespace pipeline {
+
+struct IrregularKernel {
+  const char *Name;  // Display name.
+  const char *File;  // Under workloads/irregular/.
+  const char *Entry; // Entry function.
+  const char *Why;   // Which proof failure the kernel manufactures.
+};
+
+inline const std::vector<IrregularKernel> &irregularKernels() {
+  static const std::vector<IrregularKernel> Kernels = {
+      {"scatter", "irregular/scatter.c", "scatter_update",
+       "indirect-subscript"},
+      {"gather", "irregular/gather.c", "gather_shift",
+       "may-overlap-containers"},
+      {"strided-scale", "irregular/strided_scale.c", "strided_scale",
+       "symbolic-stride"},
+      {"offset-update", "irregular/offset_update.c", "offset_update",
+       "may-overlap-containers"},
+      {"fw-relax", "irregular/fw_relax.c", "fw_relax",
+       "indirect-subscript"},
+  };
+  return Kernels;
+}
+
+} // namespace pipeline
+} // namespace dcir
+
+#endif // DCIR_PIPELINE_IRREGULARREGISTRY_H

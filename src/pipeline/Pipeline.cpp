@@ -79,6 +79,8 @@ const char *dcir::pipeline::staticVerifyModeName(StaticVerifyMode M) {
     return "off";
   case StaticVerifyMode::Warn:
     return "warn";
+  case StaticVerifyMode::Guard:
+    return "guard";
   case StaticVerifyMode::Error:
     return "error";
   }
@@ -91,6 +93,8 @@ dcir::pipeline::parseStaticVerifyModeName(const std::string &Name) {
     return StaticVerifyMode::Off;
   if (Name == "on" || Name == "warn" || Name == "1")
     return StaticVerifyMode::Warn;
+  if (Name == "guard")
+    return StaticVerifyMode::Guard;
   if (Name == "error")
     return StaticVerifyMode::Error;
   return std::nullopt;

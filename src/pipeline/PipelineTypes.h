@@ -74,19 +74,24 @@ const char *specializeModeName(SpecializeMode M);
 std::optional<SpecializeMode> parseSpecializeModeName(const std::string &Name);
 
 /// Post-optimization static soundness gate (src/analysis/, see DESIGN.md
-/// "Static soundness analysis"):
+/// "Static soundness analysis" / "Speculative parallelization"):
 ///   Off    the analyzer does not run.
 ///   Warn   findings are reported as diagnostics; compilation proceeds.
+///   Guard  like Error, but unproven map scopes first get a synthesized
+///          runtime guard (analysis::synthesizeGuards) selecting between
+///          the parallel and serial emissions at runtime; only maps no
+///          guard covers are demoted. Implies speculative loop-to-map
+///          conversion (the `speculate-maps` pass).
 ///   Error  provable out-of-bounds findings fail the compile; map scopes
 ///          the race analysis cannot prove safe are demoted to a serial
 ///          schedule (counted by the `verify.demotions` metric).
-enum class StaticVerifyMode { Off, Warn, Error };
+enum class StaticVerifyMode { Off, Warn, Guard, Error };
 
-/// Display name ("off", "warn", "error").
+/// Display name ("off", "warn", "guard", "error").
 const char *staticVerifyModeName(StaticVerifyMode M);
 
-/// Parses "--static-verify=" / $DCIR_STATIC_VERIFY values: off|warn|error
-/// (on == warn).
+/// Parses "--static-verify=" / $DCIR_STATIC_VERIFY values:
+/// off|warn|guard|error (on == warn).
 std::optional<StaticVerifyMode>
 parseStaticVerifyModeName(const std::string &Name);
 
@@ -172,6 +177,14 @@ struct CompileOptions {
   /// only; forks the JIT cache key. $DCIR_CHECK_BOUNDS=1 enables it
   /// process-wide.
   bool CheckBounds = false;
+  /// Speculative loop-to-map conversion (the `speculate-maps` pass):
+  /// loops the proving converter refuses are still converted, marked
+  /// MapEntry::Speculative, and run parallel only behind a runtime guard
+  /// synthesized under StaticVerifyMode::Guard (which implies this flag;
+  /// setting it with any other verify mode yields serial speculative
+  /// scopes — the `--static-verify=error` serialized baseline). The
+  /// benches expose it as --speculate.
+  bool Speculate = false;
 };
 
 } // namespace pipeline

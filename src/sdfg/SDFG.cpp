@@ -191,6 +191,7 @@ std::map<int, Node *> State::absorb(const State &Other) {
       // Entry/exit pairing restored after both exist.
       auto *NewE = new MapEntry(NextNodeId++, ME->Params, ME->Ranges);
       NewE->PrivateData = ME->PrivateData;
+      NewE->Speculative = ME->Speculative;
       Nodes.push_back(std::unique_ptr<Node>(NewE));
       Map[N->getId()] = NewE;
       continue;
@@ -269,6 +270,7 @@ std::unique_ptr<State> State::clone() const {
           std::make_unique<MapEntry>(ME->getId(), ME->Params, ME->Ranges);
       NewE->ExitId = ME->ExitId;
       NewE->PrivateData = ME->PrivateData;
+      NewE->Speculative = ME->Speculative;
       Out->Nodes.push_back(std::move(NewE));
       continue;
     }
@@ -607,6 +609,8 @@ std::string SDFG::str() const {
           OS << (I == 0 ? " private(" : ", ") << ME->PrivateData[I];
         if (!ME->PrivateData.empty())
           OS << ")";
+        if (ME->Speculative)
+          OS << " speculative";
       } else {
         OS << "n" << N->getId() << ": map exit";
       }

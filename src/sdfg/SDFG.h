@@ -136,6 +136,13 @@ public:
   /// backend declares them inside the scope's loop nest, which makes them
   /// thread-private under a work-sharing pragma.
   std::vector<std::string> PrivateData;
+  /// Converted without a disjointness proof (the speculate-maps pass).
+  /// The backend must never emit a work-sharing pragma for a speculative
+  /// scope unless a synthesized runtime guard selects the parallel
+  /// version (CodegenOptions::SpeculativeMaps); ungarded speculative
+  /// scopes are emitted serial — the original loop nest — regardless of
+  /// any schedule override.
+  bool Speculative = false;
 
   bool isPrivate(const std::string &Name) const {
     for (const std::string &P : PrivateData)

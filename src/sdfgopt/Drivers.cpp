@@ -146,6 +146,17 @@ const std::vector<PassDef> &passDefs() {
          return tileMaps(G, T, R);
        },
        false, true},
+      // Speculative conversion: maps the proving pass left behind, marked
+      // MapEntry::Speculative and parallel only behind a synthesized
+      // runtime guard. Outside the default groups — the api layer appends
+      // it after the -O2 pipeline when speculation is requested
+      // (CompileOptions::Speculate or --static-verify=guard), and
+      // --passes= specs can name it directly.
+      {"speculate-maps",
+       [](SDFG &G, OptReport *R, const TO &, const SO &) {
+         return convertLoopsToMapsSpeculativeOnce(G, R);
+       },
+       false, false},
       // Shape specialization: constant-folds bound symbol values into the
       // graph's symbolic expressions. A no-op unless SymbolValues is set;
       // runs *first* in the autoopt pipeline when enabled, so everything

@@ -444,10 +444,42 @@ struct Candidate {
   std::set<std::string> AssignedSyms;
 };
 
+/// True when every container \p E references is a non-transient scalar
+/// nothing in the graph ever writes — a loop-invariant runtime parameter.
+/// Substituting such an expression into a map-scope subset is sound (the
+/// value cannot change across iterations), and both backends resolve
+/// scalar containers referenced symbolically in subsets (codegen through
+/// its shadow locals, the interpreter through evalSym's scalar fallback).
+bool referencesOnlyReadOnlyScalars(const sym::SymExpr &E, const SDFG &G) {
+  std::set<std::string> Syms;
+  E.collectSymbols(Syms);
+  for (const std::string &Sym : Syms) {
+    if (!G.hasData(Sym))
+      continue;
+    const DataDesc &D = G.desc(Sym);
+    if (D.K != DataDesc::Kind::Scalar || D.Transient)
+      return false;
+    for (const auto &S : G.states())
+      for (const auto &DE : S->edges())
+        if (!DE.M.isEmpty())
+          if (const auto *A = dyn_cast<AccessNode>(S->getNode(DE.Dst)))
+            if (A->getData() == Sym)
+              return false; // Written somewhere: not invariant.
+  }
+  return true;
+}
+
 /// Builds the candidate for \p L, or nullopt when the loop shape is not
 /// convertible (branches in the body, multiple dataflow states, container
 /// reads in control expressions, mid-chain iv assignment, ...).
-std::optional<Candidate> analyzeLoop(SDFG &G, const LoopRegion &L) {
+/// \p AllowScalarReads relaxes the no-container-reads rule for *chain
+/// assignments* only (never loop bounds): an assignment whose value reads
+/// read-only scalar parameters — the frontend's hoisted subscript
+/// arithmetic, `muli = i*stride` — is substituted into the body like any
+/// other chain symbol. The speculative conversion opts in; the proven
+/// path keeps the strict shape.
+std::optional<Candidate> analyzeLoop(SDFG &G, const LoopRegion &L,
+                                     bool AllowScalarReads = false) {
   State *Guard = G.getState(L.GuardId);
   if (!Guard || !Guard->nodes().empty())
     return std::nullopt;
@@ -502,7 +534,8 @@ std::optional<Candidate> analyzeLoop(SDFG &G, const LoopRegion &L) {
         return std::nullopt; // Next-iteration state: not substitutable.
       if (BodyParams.count(Name))
         continue; // Shadowed by an inner map parameter: dead store.
-      if (referencesContainer(V, G))
+      if (referencesContainer(V, G) &&
+          !(AllowScalarReads && referencesOnlyReadOnlyScalars(V, G)))
         return std::nullopt;
       C.ChainSubs[Name] = V.substitute(C.ChainSubs);
     }
@@ -857,6 +890,246 @@ unsigned dcir::sdfgopt::convertLoopsToMapsOnce(SDFG &G, OptReport *Report) {
       if (NewWcr)
         ++Report->ReductionMaps;
     }
+    Touched.insert(L.GuardId);
+    Touched.insert(L.ExitId);
+    Touched.insert(L.BodyStates.begin(), L.BodyStates.end());
+  }
+  return Converted;
+}
+
+//===----------------------------------------------------------------------===//
+// Speculative conversion (runtime-guarded maps)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Transient scalars privatizable under a relaxed write-dominates-use
+/// rule. privatizableScalars refuses any scalar the graph references
+/// *symbolically* — but the frontend materializes indirect subscripts as
+/// exactly that shape: `out[idx[i]]` loads `idx[i]` into a transient
+/// scalar referenced by the write's subset (`out[load_3]`). Privatizing
+/// such a scalar is still sound when it has exactly one plain write per
+/// iteration and every use — a value read, a subset reference, a tasklet
+/// code symbol, or an inner map range — executes at a node strictly
+/// downstream of the writer: each iteration then observes only its own
+/// value, so per-thread private storage preserves semantics.
+std::set<std::string> speculativelyPrivatizable(const SDFG &G,
+                                                const State &D) {
+  std::set<std::string> Out;
+  for (const auto &[Name, Desc] : G.descs()) {
+    if (Desc.K != DataDesc::Kind::Scalar || !Desc.Transient)
+      continue;
+    // Dead outside D: no access node, memlet, subset, tasklet code,
+    // map range, or interstate expression elsewhere may mention it.
+    bool Elsewhere = false;
+    for (const auto &S : G.states()) {
+      if (S.get() == &D)
+        continue;
+      for (const auto &N : S->nodes()) {
+        if (const auto *A = dyn_cast<AccessNode>(N.get()))
+          if (A->getData() == Name)
+            Elsewhere = true;
+        if (const auto *ME = dyn_cast<MapEntry>(N.get()))
+          for (const SymRange &R : ME->Ranges) {
+            std::set<std::string> Syms;
+            R.collectSymbols(Syms);
+            if (Syms.count(Name))
+              Elsewhere = true;
+          }
+      }
+      for (const auto &E : S->edges()) {
+        if (E.M.isEmpty())
+          continue;
+        std::set<std::string> Syms;
+        E.M.Subset.collectSymbols(Syms);
+        if (E.M.Data == Name || Syms.count(Name))
+          Elsewhere = true;
+      }
+    }
+    for (const auto &E : G.interstateEdges()) {
+      std::set<std::string> Syms;
+      if (E.Condition)
+        E.Condition.collectSymbols(Syms);
+      for (const auto &[K, V] : E.Assignments) {
+        if (K == Name)
+          Elsewhere = true;
+        V.collectSymbols(Syms);
+      }
+      if (Syms.count(Name))
+        Elsewhere = true;
+    }
+    if (Elsewhere)
+      continue;
+
+    // Exactly one WCR-free write in D; collect every use site with the
+    // node at which it executes (stores at the producer, reads at the
+    // consumer).
+    const DataflowEdge *Write = nullptr;
+    std::vector<int> UseSites;
+    bool Complex = false;
+    for (const auto &E : D.edges()) {
+      if (E.M.isEmpty())
+        continue;
+      const auto *SrcA = dyn_cast<AccessNode>(D.getNode(E.Src));
+      const auto *DstA = dyn_cast<AccessNode>(D.getNode(E.Dst));
+      const bool IsWrite =
+          (DstA && DstA->getData() == Name) ||
+          (E.M.Data == Name && !SrcA && isa<MapExit>(D.getNode(E.Dst)));
+      if (IsWrite) {
+        if (Write || !E.M.Wcr.empty())
+          Complex = true;
+        else
+          Write = &E;
+        continue;
+      }
+      bool Reads = (SrcA && SrcA->getData() == Name) ||
+                   (E.M.Data == Name && isa<MapEntry>(D.getNode(E.Src)));
+      std::set<std::string> Syms;
+      E.M.Subset.collectSymbols(Syms);
+      if (Reads || Syms.count(Name)) {
+        if (DstA && SrcA && Syms.count(Name)) {
+          // Access-to-access copy with a subset reference: the copy's
+          // execution point is ambiguous, demand both endpoints ordered.
+          UseSites.push_back(E.Src);
+          UseSites.push_back(E.Dst);
+        } else {
+          UseSites.push_back(DstA ? E.Src : E.Dst);
+        }
+      } else if (E.M.Data == Name) {
+        Complex = true; // Routed into other compute: defies analysis.
+      }
+    }
+    for (const auto &N : D.nodes()) {
+      if (const auto *T = dyn_cast<Tasklet>(N.get())) {
+        std::set<std::string> Syms;
+        for (const auto &[Conn, Code] : T->Code) {
+          std::vector<const TExpr *> Work = {&Code};
+          while (!Work.empty()) {
+            const TExpr *E = Work.back();
+            Work.pop_back();
+            if (E->K == TExpr::Kind::Sym && E->Sym)
+              E->Sym.collectSymbols(Syms);
+            for (const TExpr &Ch : E->Children)
+              Work.push_back(&Ch);
+          }
+        }
+        if (Syms.count(Name))
+          UseSites.push_back(N->getId());
+      }
+      if (const auto *ME = dyn_cast<MapEntry>(N.get()))
+        for (const SymRange &R : ME->Ranges) {
+          std::set<std::string> Syms;
+          R.collectSymbols(Syms);
+          if (Syms.count(Name))
+            UseSites.push_back(N->getId());
+        }
+    }
+    if (!Write || Complex)
+      continue;
+
+    // Every use site strictly downstream of the writer. The writer node
+    // itself is not a legal site: a symbolic use there would observe the
+    // previous iteration's value.
+    std::set<int> Reach;
+    std::vector<int> Work = {Write->Src};
+    while (!Work.empty()) {
+      int Id = Work.back();
+      Work.pop_back();
+      for (const auto &E : D.edges())
+        if (E.Src == Id && Reach.insert(E.Dst).second)
+          Work.push_back(E.Dst);
+    }
+    bool AllDominated = true;
+    for (int Site : UseSites)
+      if (!Reach.count(Site))
+        AllDominated = false;
+    if (AllDominated)
+      Out.insert(Name);
+  }
+  return Out;
+}
+
+} // namespace
+
+unsigned dcir::sdfgopt::convertLoopsToMapsSpeculativeOnce(SDFG &G,
+                                                          OptReport *Report) {
+  unsigned Converted = 0;
+  std::vector<LoopRegion> Loops = findLoops(G);
+  std::set<int> GuardIds;
+  for (const LoopRegion &L : Loops)
+    GuardIds.insert(L.GuardId);
+  std::set<int> Touched;
+  for (const LoopRegion &L : Loops) {
+    bool Innermost = true;
+    for (int Id : L.BodyStates)
+      if (GuardIds.count(Id))
+        Innermost = false;
+    if (!Innermost)
+      continue;
+    bool Overlaps = Touched.count(L.GuardId) || Touched.count(L.ExitId);
+    for (int Id : L.BodyStates)
+      if (Touched.count(Id))
+        Overlaps = true;
+    if (Overlaps)
+      continue;
+    auto C = analyzeLoop(G, L, /*AllowScalarReads=*/true);
+    if (!C)
+      continue;
+    bool SymsLocal = true;
+    for (const std::string &Sym : C->AssignedSyms)
+      if (symbolUsedOutsideLoop(G, L, Sym))
+        SymsLocal = false;
+    if (!SymsLocal)
+      continue;
+    State *D = C->Dataflow;
+    substituteInState(*D, C->ChainSubs);
+
+    std::set<std::string> Private = privatizableScalars(G, *D);
+    for (const std::string &P : speculativelyPrivatizable(G, *D))
+      Private.insert(P);
+    // No independence proof — that is the point — but the conversion
+    // must still be refusable where no runtime guard could ever help:
+    // a non-private scalar carrying a plain (non-reduction) write is a
+    // genuine cross-iteration serial dependence, and a body touching no
+    // array (and no reduction) has nothing to parallelize.
+    auto Accesses = collectAccesses(*D);
+    bool Profitable = false, ScalarDep = false;
+    for (const auto &[Data, AccVec] : Accesses) {
+      const DataDesc &Desc = G.desc(Data);
+      if (Desc.K == DataDesc::Kind::Scalar) {
+        if (Private.count(Data))
+          continue;
+        for (const Access &A : AccVec) {
+          if (!A.Write)
+            continue;
+          if (A.Wcr.empty() || !isSupportedWcr(A.Wcr))
+            ScalarDep = true;
+          else
+            Profitable = true; // A scalar reduction.
+        }
+      } else {
+        Profitable = true;
+      }
+    }
+    if (ScalarDep || !Profitable)
+      continue;
+
+    SymRange Range(L.Begin, L.End, L.Step ? L.Step : SymExpr::constant(1));
+    // Always wrap (never extend an inner map): an inner scope that
+    // earned its own proof stays intact — and schedulable — inside the
+    // speculative outer scope.
+    MapEntry *Outer = wrapStateInMap(*D, L.Iv, Range);
+    Outer->Speculative = true;
+    for (const std::string &P : Private)
+      if (!Outer->isPrivate(P)) {
+        Outer->PrivateData.push_back(P);
+        if (Report)
+          ++Report->ScalarsPrivatized;
+      }
+    spliceLoopOut(G, *C);
+    ++Converted;
+    if (Report)
+      ++Report->LoopsSpeculated;
     Touched.insert(L.GuardId);
     Touched.insert(L.ExitId);
     Touched.insert(L.BodyStates.begin(), L.BodyStates.end());

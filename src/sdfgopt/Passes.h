@@ -55,6 +55,10 @@ struct OptReport {
   unsigned ScalarsPrivatized = 0;
   /// Map scopes strip-mined into tile/intra-tile parameter pairs.
   unsigned MapsTiled = 0;
+  /// Loops converted without an independence proof (speculate-maps);
+  /// the resulting scopes carry MapEntry::Speculative and only run
+  /// parallel behind a synthesized runtime guard.
+  unsigned LoopsSpeculated = 0;
   /// Symbolic expressions constant-folded by specialize-symbols.
   unsigned SymbolsSpecialized = 0;
 
@@ -163,6 +167,27 @@ unsigned convertLoopsToMapsOnce(sdfg::SDFG &G, OptReport *Report = nullptr);
 /// \p Report (optional) also accumulates LoopsConvertedToMaps and
 /// ChainStatesFused. Returns the number of loops converted.
 unsigned convertLoopsToMaps(sdfg::SDFG &G, OptReport *Report = nullptr);
+
+/// One sweep of *speculative* loop-to-map conversion (the hybrid
+/// analysis of ROADMAP's "speculative parallelization" item): rewrites
+/// converter-shaped loops that the proving pass left behind — typically
+/// because a subscript is indirect (`out[idx[i]]`), a stride is symbolic
+/// (`A[s*i]`), or two accesses of one container may overlap
+/// (`A[i] = A[i] + A[i+k]`) — into map scopes *without* an independence
+/// proof, marking them MapEntry::Speculative. Serial execution of such a
+/// map (the interpreter, and the native backend without a guard) is
+/// in-order and therefore exactly the original loop; running one in
+/// parallel is only legal behind a runtime guard synthesized by the
+/// static analyzer (analysis::synthesizeGuards) and selected via
+/// CodegenOptions::SpeculativeMaps. Index scalars the frontend
+/// materializes for indirect subscripts are privatized under a relaxed
+/// write-dominates-use rule; loops carrying a genuine cross-iteration
+/// scalar dependence are refused (no guard could version them). Runs
+/// after the proving fixpoint — registered as "speculate-maps", outside
+/// the default groups. \p Report (optional) accumulates LoopsSpeculated
+/// and ScalarsPrivatized. Returns the number of loops converted.
+unsigned convertLoopsToMapsSpeculativeOnce(sdfg::SDFG &G,
+                                           OptReport *Report = nullptr);
 
 //===----------------------------------------------------------------------===//
 // Map tiling for cache locality (the polyhedral-style blocking pass)

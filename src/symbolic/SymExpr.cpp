@@ -350,7 +350,8 @@ SymExpr SymExpr::mod(SymExpr L, SymExpr R) {
 // Min / max
 //===----------------------------------------------------------------------===//
 
-SymExpr SymExpr::makeMinMax(ExprKind K, std::vector<SymExpr> Ops) {
+SymExpr SymExpr::makeMinMax(ExprKind K, std::vector<SymExpr> Ops,
+                            SymbolAssumption Assume) {
   // Flatten and deduplicate.
   std::vector<SymExpr> Flat;
   bool HaveConst = false;
@@ -387,7 +388,12 @@ SymExpr SymExpr::makeMinMax(ExprKind K, std::vector<SymExpr> Ops) {
       if (I == J)
         continue;
       SymExpr Diff = sub(Flat[J], Flat[I]); // >= 0 means Flat[I] <= Flat[J].
-      if (Diff.proveNonNegative()) {
+      // Construction folds under Unknown only: a constructed expression
+      // may later be evaluated (or proven) under weaker assumptions than
+      // the Positive default — e.g. runtime guard conditions where
+      // max(s, -s) with a signed scalar s must NOT fold to s. Consumers
+      // in an assumption regime re-simplify via simplifyUnder().
+      if (Diff.proveNonNegative(Assume)) {
         // Flat[I] <= Flat[J]: Min keeps I (drop J), Max keeps J (drop I).
         size_t Drop = K == ExprKind::Min ? J : I;
         Flat.erase(Flat.begin() + Drop);
@@ -785,6 +791,41 @@ SymExpr SymExpr::substitute(const std::map<std::string, SymExpr> &Map) const {
     return logicalNot(NewOps[0]);
   default:
     assert(false && "unhandled kind in substitute");
+    return *this;
+  }
+}
+
+SymExpr SymExpr::simplifyUnder(SymbolAssumption Assume) const {
+  if (!Node || isConstant() || isSymbol())
+    return *this;
+  std::vector<SymExpr> NewOps;
+  NewOps.reserve(operands().size());
+  for (const SymExpr &Op : operands())
+    NewOps.push_back(Op.simplifyUnder(Assume));
+  switch (kind()) {
+  case ExprKind::Add:
+    return makeAdd(std::move(NewOps));
+  case ExprKind::Mul:
+    return makeMul(std::move(NewOps));
+  case ExprKind::FloorDiv:
+    return floorDiv(NewOps[0], NewOps[1]);
+  case ExprKind::Mod:
+    return mod(NewOps[0], NewOps[1]);
+  case ExprKind::Min:
+  case ExprKind::Max:
+    return makeMinMax(kind(), std::move(NewOps), Assume);
+  case ExprKind::Eq:
+  case ExprKind::Ne:
+  case ExprKind::Lt:
+  case ExprKind::Le:
+    return makeCmp(kind(), NewOps[0], NewOps[1]);
+  case ExprKind::And:
+  case ExprKind::Or:
+    return makeAndOr(kind(), std::move(NewOps));
+  case ExprKind::Not:
+    return logicalNot(NewOps[0]);
+  default:
+    assert(false && "unhandled kind in simplifyUnder");
     return *this;
   }
 }

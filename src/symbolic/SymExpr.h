@@ -164,6 +164,12 @@ public:
   bool
   provePositive(SymbolAssumption Assume = SymbolAssumption::Positive) const;
 
+  /// Rebuilds the expression bottom-up, re-running Min/Max dominance
+  /// elimination under \p Assume. Constructors only fold what holds
+  /// unconditionally; consumers operating in an assumption regime (e.g.
+  /// memlet propagation under positive sizes) call this explicitly.
+  SymExpr simplifyUnder(SymbolAssumption Assume) const;
+
   /// Decomposes this expression as `A * Name + B` where neither A nor B
   /// mentions \p Name. Only succeeds on (expanded) expressions polynomial
   /// of degree <= 1 in \p Name. Returns false on failure.
@@ -181,7 +187,8 @@ private:
   static SymExpr makeNode(detail::ExprNode N);
   static SymExpr makeAdd(std::vector<SymExpr> Terms);
   static SymExpr makeMul(std::vector<SymExpr> Factors);
-  static SymExpr makeMinMax(ExprKind K, std::vector<SymExpr> Ops);
+  static SymExpr makeMinMax(ExprKind K, std::vector<SymExpr> Ops,
+                            SymbolAssumption Assume = SymbolAssumption::Unknown);
   static SymExpr makeAndOr(ExprKind K, std::vector<SymExpr> Ops);
   static SymExpr makeCmp(ExprKind K, SymExpr L, SymExpr R);
 

@@ -225,9 +225,13 @@ SymSubset SymSubset::propagateOver(const std::string &Name,
     SymExpr EndFirst = R.End.substitute(AtFirst);
     SymExpr EndLast = R.End.substitute(AtLast);
     // Monotonicity depends on the sign of the coefficient; min/max handles
-    // both directions (and simplifies when the sign is provable).
-    SymExpr NewBegin = SymExpr::min(BeginFirst, BeginLast);
-    SymExpr NewEnd = SymExpr::max(EndFirst, EndLast);
+    // both directions. Propagation operates in DaCe's positive-sizes
+    // regime, so re-simplify dominance under that assumption (the
+    // assumption-free constructors keep both operands).
+    SymExpr NewBegin = SymExpr::min(BeginFirst, BeginLast)
+                           .simplifyUnder(SymbolAssumption::Positive);
+    SymExpr NewEnd = SymExpr::max(EndFirst, EndLast)
+                         .simplifyUnder(SymbolAssumption::Positive);
     Out.push_back(SymRange(std::move(NewBegin), std::move(NewEnd)));
   }
   return SymSubset(std::move(Out));

@@ -23,6 +23,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 using namespace dcir;
 using namespace dcir::sdfg;
 using sym::SymExpr;
@@ -328,9 +332,10 @@ TEST(AnalysisGate, ErrorModeDemotesUnprovenMapsToSerial) {
   DiagnosticEngine Diags;
   analysis::AnalysisResult R;
   codegen::MapSchedules Demotions;
+  codegen::SpeculativeMaps Speculation;
   EXPECT_TRUE(api::detail::applyStaticVerify(
       *G, "disjoint", pipeline::StaticVerifyMode::Error, Diags, R,
-      Demotions));
+      Demotions, Speculation));
   ASSERT_GE(Demotions.size(), 1u);
   for (const auto &KV : Demotions)
     EXPECT_EQ(KV.second.Policy, codegen::MapSchedulePolicy::Serial);
@@ -359,8 +364,10 @@ TEST(AnalysisGate, ErrorModeRefusesProvenOutOfBounds) {
   DiagnosticEngine Diags;
   analysis::AnalysisResult R;
   codegen::MapSchedules Demotions;
+  codegen::SpeculativeMaps Speculation;
   EXPECT_FALSE(api::detail::applyStaticVerify(
-      *G, "scale", pipeline::StaticVerifyMode::Error, Diags, R, Demotions));
+      *G, "scale", pipeline::StaticVerifyMode::Error, Diags, R, Demotions,
+      Speculation));
   EXPECT_TRUE(R.hasProvenOob());
   EXPECT_NE(Diags.str().find("out-of-bounds"), std::string::npos)
       << Diags.str();
@@ -369,8 +376,10 @@ TEST(AnalysisGate, ErrorModeRefusesProvenOutOfBounds) {
   DiagnosticEngine WDiags;
   analysis::AnalysisResult WR;
   codegen::MapSchedules WDem;
+  codegen::SpeculativeMaps WSpec;
   EXPECT_TRUE(api::detail::applyStaticVerify(
-      *G, "scale", pipeline::StaticVerifyMode::Warn, WDiags, WR, WDem));
+      *G, "scale", pipeline::StaticVerifyMode::Warn, WDiags, WR, WDem,
+      WSpec));
   EXPECT_TRUE(WDem.empty());
 }
 
@@ -423,6 +432,192 @@ TEST(AnalysisCheckBounds, EmissionInstrumentsSubscripts) {
   DiagnosticEngine PD;
   std::string PlainSrc = codegen::emitCpp(*G, PD, Plain);
   EXPECT_EQ(PlainSrc.find("dcir_bc"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Speculation mutant harness: synthesized guards pass on disjoint inputs
+// (parallel path, 1e-9 differential against the reference) and fail on
+// seeded overlaps (serial fallback, bit-identical to sequential
+// semantics), with the pass/fail counters proving which path served.
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<const api::Program> compileSpeculative(
+    const char *Src, const char *Entry,
+    pipeline::StaticVerifyMode Mode = pipeline::StaticVerifyMode::Guard) {
+  api::Compiler Comp;
+  Comp.optLevel(pipeline::OptLevel::O2)
+      .parallelism(pipeline::ParallelismMode::Maps)
+      .engine(exec::EngineKind::Native)
+      .staticVerify(Mode)
+      .speculate(true);
+  auto P = Comp.compile(Src, Entry);
+  EXPECT_NE(P, nullptr) << Comp.diagnostics();
+  return P;
+}
+
+const char *ScatterSrc = R"(
+#define N 1024
+void scatter_update(long long idx[N], double val[N], double out[N]) {
+  for (int i = 0; i < N; i++)
+    out[idx[i]] = val[i] * 2.0 + 1.0;
+}
+)";
+
+TEST(SpeculationHarness, InspectorPassesPermutationFailsSeededDuplicate) {
+  auto P = compileSpeculative(ScatterSrc, "scatter_update");
+  ASSERT_NE(P, nullptr);
+  ASSERT_EQ(P->speculation().size(), 1u);
+  EXPECT_TRUE(P->verifyDemotions().empty());
+
+  std::vector<std::int64_t> Idx(1024);
+  std::vector<double> Val(1024), Out(1024, 0.0);
+  for (int I = 0; I < 1024; ++I) {
+    Idx[I] = 1023 - I; // A permutation: distinct cells, guard passes.
+    Val[I] = I * 0.5;
+  }
+  api::Invocation I1 = P->newInvocation();
+  I1.bind("idx", Idx.data(), Idx.size());
+  I1.bind("val", Val.data(), Val.size());
+  I1.bind("out", Out.data(), Out.size());
+  api::InvocationResult R1 = I1.run();
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  for (int I = 0; I < 1024; ++I)
+    ASSERT_NEAR(Out[Idx[I]], Val[I] * 2.0 + 1.0, 1e-9);
+  api::ProgramStats S1 = P->stats();
+  EXPECT_EQ(S1.SpeculationGuarded, 1u);
+  EXPECT_EQ(S1.SpeculationPass, 1u);
+  EXPECT_EQ(S1.SpeculationFail, 0u);
+
+  // Seeded overlap: two iterations now target the same cell. The
+  // inspector must fail the guard, and the serial fallback must
+  // reproduce sequential last-writer-wins semantics bit-identically.
+  Idx[4] = Idx[3];
+  std::fill(Out.begin(), Out.end(), 0.0);
+  api::Invocation I2 = P->newInvocation();
+  I2.bind("idx", Idx.data(), Idx.size());
+  I2.bind("val", Val.data(), Val.size());
+  I2.bind("out", Out.data(), Out.size());
+  api::InvocationResult R2 = I2.run();
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  std::vector<double> Ref(1024, 0.0);
+  for (int I = 0; I < 1024; ++I)
+    Ref[Idx[I]] = Val[I] * 2.0 + 1.0;
+  for (int I = 0; I < 1024; ++I)
+    ASSERT_EQ(Out[I], Ref[I]) << "cell " << I;
+  api::ProgramStats S2 = P->stats();
+  EXPECT_EQ(S2.SpeculationPass, 1u);
+  EXPECT_EQ(S2.SpeculationFail, 1u);
+}
+
+TEST(SpeculationHarness, SymCondChecksRuntimeStride) {
+  const char *Src = R"(
+#define N 1024
+void strided_scale(int s, double in[N], double out[4096]) {
+  for (int i = 0; i < N; i++)
+    out[i * s] = in[i] * 3.0;
+}
+)";
+  auto P = compileSpeculative(Src, "strided_scale");
+  ASSERT_NE(P, nullptr);
+  ASSERT_EQ(P->speculation().size(), 1u);
+  EXPECT_TRUE(P->verifyDemotions().empty());
+
+  std::vector<double> In(1024), Out(4096, -1.0);
+  for (int I = 0; I < 1024; ++I)
+    In[I] = I * 0.25;
+  std::int64_t Stride = 3; // Nonzero: distinct cells, guard passes.
+  api::Invocation I1 = P->newInvocation();
+  I1.bind("s", &Stride, 1);
+  I1.bind("in", In.data(), In.size());
+  I1.bind("out", Out.data(), Out.size());
+  api::InvocationResult R1 = I1.run();
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  for (int I = 0; I < 1024; ++I)
+    ASSERT_NEAR(Out[I * 3], In[I] * 3.0, 1e-9);
+  EXPECT_EQ(P->stats().SpeculationPass, 1u);
+  EXPECT_EQ(P->stats().SpeculationFail, 0u);
+
+  // Stride 0: every write collides on out[0]. The guard must fail, and
+  // the fallback must produce the sequential result — the last
+  // iteration's value, exactly.
+  Stride = 0;
+  std::fill(Out.begin(), Out.end(), -1.0);
+  api::Invocation I2 = P->newInvocation();
+  I2.bind("s", &Stride, 1);
+  I2.bind("in", In.data(), In.size());
+  I2.bind("out", Out.data(), Out.size());
+  api::InvocationResult R2 = I2.run();
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_EQ(Out[0], In[1023] * 3.0);
+  EXPECT_EQ(P->stats().SpeculationPass, 1u);
+  EXPECT_EQ(P->stats().SpeculationFail, 1u);
+}
+
+TEST(SpeculationHarness, PtrDisjointFailsOnAliasedBuffers) {
+  // gather_shift's guard is pure restrict-contract: disjoint(idx, out)
+  // && disjoint(in, out). Binding in and out to the same buffer violates
+  // it; idx maps each i to i+1, so the sequential order is observable.
+  const char *Src = R"(
+#define N 1024
+void gather_shift(long long idx[N], double in[N], double out[N]) {
+  for (int i = 0; i < N; i++)
+    out[i] = in[idx[i]] * 0.5 + 1.0;
+}
+)";
+  auto P = compileSpeculative(Src, "gather_shift");
+  ASSERT_NE(P, nullptr);
+  ASSERT_EQ(P->speculation().size(), 1u);
+
+  std::vector<std::int64_t> Idx(1024);
+  for (int I = 0; I < 1024; ++I)
+    Idx[I] = (I + 1) % 1024;
+  std::vector<double> Buf(1024);
+  for (int I = 0; I < 1024; ++I)
+    Buf[I] = I * 0.125;
+  std::vector<double> Ref = Buf;
+  for (int I = 0; I < 1024; ++I)
+    Ref[I] = Ref[(I + 1) % 1024] * 0.5 + 1.0;
+
+  api::Invocation I1 = P->newInvocation();
+  I1.bind("idx", Idx.data(), Idx.size());
+  I1.bind("in", Buf.data(), Buf.size());
+  I1.bind("out", Buf.data(), Buf.size()); // Aliased: guard must fail.
+  api::InvocationResult R1 = I1.run();
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  for (int I = 0; I < 1024; ++I)
+    ASSERT_EQ(Buf[I], Ref[I]) << "cell " << I;
+  EXPECT_EQ(P->stats().SpeculationPass, 0u);
+  EXPECT_EQ(P->stats().SpeculationFail, 1u);
+}
+
+TEST(SpeculationHarness, GuardGateDemotesStrictlyLessThanErrorGate) {
+  // Two unprovable loops: the scatter is guardable (inspector), the
+  // recurrence is not (loop-carried dependence has no residual check).
+  // The error gate demotes both; the guard gate demotes exactly the
+  // guard-less one.
+  const char *Src = R"(
+#define N 1024
+void mixed(long long idx[N], double val[N], double out[N]) {
+  for (int i = 0; i < N; i++)
+    out[idx[i]] = val[i] * 2.0;
+  for (int i = 1; i < N; i++)
+    out[i] = out[i - 1] * 0.5;
+}
+)";
+  auto PErr = compileSpeculative(Src, "mixed",
+                                 pipeline::StaticVerifyMode::Error);
+  ASSERT_NE(PErr, nullptr);
+  auto PGuard = compileSpeculative(Src, "mixed",
+                                   pipeline::StaticVerifyMode::Guard);
+  ASSERT_NE(PGuard, nullptr);
+  EXPECT_TRUE(PErr->speculation().empty());
+  EXPECT_GE(PGuard->speculation().size(), 1u);
+  EXPECT_LT(PGuard->verifyDemotions().size(),
+            PErr->verifyDemotions().size());
+  // The guard gate's demotions are exactly the uncovered scopes: none of
+  // them carries a guard.
+  for (const auto &KV : PGuard->verifyDemotions())
+    EXPECT_EQ(PGuard->speculation().count(KV.first), 0u) << KV.first;
 }
 
 TEST(AnalysisCheckBoundsDeathTest, OutOfBoundsSubscriptAborts) {

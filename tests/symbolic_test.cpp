@@ -93,10 +93,24 @@ TEST(SymExpr, PositivityProofs) {
 }
 
 TEST(SymExpr, MinMaxDominance) {
-  // min(N, 2N) == N for positive N.
-  EXPECT_TRUE(SymExpr::min(N(), SymExpr::mul(C(2), N())).equals(N()));
+  // Unconditional dominance folds at construction: min(N, N+1) == N.
+  EXPECT_TRUE(SymExpr::min(N(), SymExpr::add(N(), C(1))).equals(N()));
+  // Sign-dependent dominance does not — min(N, 2N) == N only for N >= 0,
+  // and a constructed expression may be consumed under no assumptions
+  // (runtime guard conditions). The positive-sizes regime folds it via
+  // an explicit re-simplification.
+  SymExpr M2 = SymExpr::min(N(), SymExpr::mul(C(2), N()));
+  EXPECT_FALSE(M2.equals(N()));
+  EXPECT_TRUE(M2.simplifyUnder(SymbolAssumption::Positive).equals(N()));
   EXPECT_TRUE(SymExpr::max(N(), SymExpr::mul(C(2), N()))
+                  .simplifyUnder(SymbolAssumption::Positive)
                   .equals(SymExpr::mul(C(2), N())));
+  // max(s, -s) must never fold to s at construction: s may be negative.
+  SymExpr S = SymExpr::symbol("s");
+  SymExpr Abs = SymExpr::max(S, SymExpr::negate(S));
+  auto AtNeg = Abs.evaluate({{"s", -3}});
+  ASSERT_TRUE(AtNeg.has_value());
+  EXPECT_EQ(*AtNeg, 3);
 }
 
 TEST(SymExpr, SubstituteAndEvaluate) {

@@ -7,8 +7,9 @@
 /// \file
 /// CLI front-end for the static soundness analyzer (src/analysis/):
 ///
-///   sdfg-verify <file.c> <entry> [--mode=warn|error] [--json] [--run]
-///   sdfg-verify --corpus [--mode=...] [--json] [--run]
+///   sdfg-verify <file.c> <entry> [--mode=warn|guard|error] [--json]
+///               [--run] [--explain] [--speculate]
+///   sdfg-verify --corpus [--mode=...] [--json] [--run] [...]
 ///
 /// <file.c> is a filesystem path, or a path under workloads/ (the corpus
 /// convention, e.g. polybench/gemm.c). --corpus iterates all 29 Polybench
@@ -17,7 +18,12 @@
 /// the analyzer renders findings as text (stderr) or JSON (stdout).
 /// --run additionally invokes each clean kernel once on the native
 /// engine, so $DCIR_CHECK_BOUNDS=1 can corroborate the static verdict
-/// dynamically.
+/// dynamically. --speculate turns on speculative loop-to-map conversion
+/// (the graphs `--static-verify=guard` serves). --explain prints, for
+/// every map scope the race analysis could not prove safe, *why* the
+/// proof failed (the failure-reason taxonomy) and the synthesized runtime
+/// guard when one exists — text per map, or "explain" rows with "reason"
+/// and "guard" fields under --json.
 ///
 /// Exit codes: 0 = everything clean, 1 = compilation failed,
 /// 2 = findings reported. CI keys on these.
@@ -46,15 +52,52 @@ struct Options {
   bool Json = false;
   bool Run = false;
   bool Dump = false; // Undocumented: print the optimized SDFG.
+  bool Explain = false;
+  bool Speculate = false;
   pipeline::StaticVerifyMode Mode = pipeline::StaticVerifyMode::Error;
 };
 
 void usage() {
   std::fprintf(
       stderr,
-      "usage: sdfg-verify <file.c> <entry> [--mode=off|warn|error] [--json] "
-      "[--run]\n"
-      "       sdfg-verify --corpus [--mode=...] [--json] [--run]\n");
+      "usage: sdfg-verify <file.c> <entry> [--mode=off|warn|guard|error] "
+      "[--json] [--run] [--explain] [--speculate]\n"
+      "       sdfg-verify --corpus [--mode=...] [--json] [--run] "
+      "[--explain] [--speculate]\n");
+}
+
+/// Renders the per-map diagnosis --explain asks for: one entry per map
+/// scope the race analysis could not prove safe (or that speculate-maps
+/// converted), carrying the failure-reason taxonomy and the synthesized
+/// guard. Text goes to stderr; the JSON rendering is returned for the
+/// --json row.
+std::string explainMaps(const std::string &Name,
+                        const analysis::AnalysisResult &R, bool Json) {
+  std::string Out;
+  for (const analysis::Guard &G : R.Guards) {
+    if (Json) {
+      Out += Out.empty() ? "" : ", ";
+      Out += "{\"map\": \"" + G.Map + "\", \"reason\": [";
+      for (size_t I = 0; I < G.Reasons.size(); ++I)
+        Out += (I ? ", " : "") + ("\"" + G.Reasons[I] + "\"");
+      Out += "], \"guard\": ";
+      Out += G.Covered ? G.json() : "null";
+      Out += "}";
+      continue;
+    }
+    std::string Reasons;
+    for (size_t I = 0; I < G.Reasons.size(); ++I)
+      Reasons += (I ? ", " : "") + G.Reasons[I];
+    std::fprintf(stderr, "sdfg-verify: %s: map %s%s\n", Name.c_str(),
+                 G.Map.c_str(), G.Speculative ? " (speculative)" : "");
+    std::fprintf(stderr, "  reason: %s\n",
+                 Reasons.empty() ? "(proven safe)" : Reasons.c_str());
+    if (G.Covered)
+      std::fprintf(stderr, "  guard:  %s\n", G.text().c_str());
+    else
+      std::fprintf(stderr, "  guard:  none expressible -> serial demotion\n");
+  }
+  return Json ? "[" + Out + "]" : std::string();
 }
 
 /// One kernel through the analyzer. Returns 0 clean / 1 compile failure /
@@ -64,6 +107,7 @@ int verifyOne(const std::string &Name, const std::string &Source,
               std::string &JsonRow) {
   pipeline::CompileOptions COpts;
   COpts.Engine = exec::EngineKind::Native;
+  COpts.Speculate = Opt.Speculate;
   DiagnosticEngine Diags;
   api::detail::CompiledParts Parts = api::detail::compileParts(
       Source, Entry, pipeline::PipelineKind::Dcir, Diags, COpts);
@@ -75,9 +119,15 @@ int verifyOne(const std::string &Name, const std::string &Source,
   if (Opt.Dump)
     std::fprintf(stderr, "%s\n", Parts.Graph->str().c_str());
   analysis::AnalysisResult R = analysis::analyze(*Parts.Graph);
-  if (Opt.Json)
-    JsonRow = "{\"kernel\": \"" + Name + "\", \"result\": " + R.json() + "}";
-  else if (!R.clean())
+  std::string Explain;
+  if (Opt.Explain)
+    Explain = explainMaps(Name, R, Opt.Json);
+  if (Opt.Json) {
+    JsonRow = "{\"kernel\": \"" + Name + "\", \"result\": " + R.json();
+    if (Opt.Explain)
+      JsonRow += ", \"explain\": " + Explain;
+    JsonRow += "}";
+  } else if (!R.clean())
     std::fprintf(stderr, "%s", R.text().c_str());
 
   int Rc = R.clean() ? 0 : 2;
@@ -86,7 +136,9 @@ int verifyOne(const std::string &Name, const std::string &Source,
     // engine-allocated buffers. With $DCIR_CHECK_BOUNDS=1 a subscript
     // the static verdict missed aborts the process — CI's tripwire.
     api::Compiler C;
-    C.engine(exec::EngineKind::Native).staticVerify(Opt.Mode);
+    C.engine(exec::EngineKind::Native)
+        .staticVerify(Opt.Mode)
+        .speculate(Opt.Speculate);
     auto Prog = C.compile(Source, Entry);
     if (!Prog) {
       std::fprintf(stderr, "sdfg-verify: program build of '%s' failed:\n%s\n",
@@ -125,6 +177,10 @@ int main(int argc, char **argv) {
       Opt.Run = true;
     else if (A == "--dump")
       Opt.Dump = true;
+    else if (A == "--explain")
+      Opt.Explain = true;
+    else if (A == "--speculate")
+      Opt.Speculate = true;
     else if (A.rfind("--mode=", 0) == 0) {
       auto M = pipeline::parseStaticVerifyModeName(A.substr(7));
       if (!M) {

@@ -1,0 +1,10 @@
+/* Edge relaxation over an edge list (graph-workload shape): both the
+ * read and the write are indirect, so parallel safety needs the
+ * inspector to certify the destination vertices are pairwise distinct
+ * and in range. */
+#define N 1024
+void fw_relax(long long src[N], long long dst[N], double w[N],
+              double dist[N], double out[N]) {
+  for (int e = 0; e < N; e++)
+    out[dst[e]] = dist[src[e]] + w[e];
+}

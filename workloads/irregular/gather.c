@@ -1,0 +1,8 @@
+/* Indirect gather: reads go through the index array but every write
+ * lands at out[i], so the race proof succeeds and only the frontend's
+ * no-alias contract needs a runtime check under speculation. */
+#define N 1024
+void gather_shift(long long idx[N], double in[N], double out[N]) {
+  for (int i = 0; i < N; i++)
+    out[i] = in[idx[i]] * 0.5 + 1.0;
+}

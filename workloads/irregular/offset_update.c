@@ -1,0 +1,8 @@
+/* Runtime offset: writes at i+off are pairwise distinct for any off,
+ * but the subscript is symbolic so the bounds judgment (and under
+ * overlap, the no-alias contract) needs runtime evidence. */
+#define N 1024
+void offset_update(int off, double in[N], double out[2048]) {
+  for (int i = 0; i < N; i++)
+    out[i + off] = in[i] * 1.5 + 0.25;
+}

@@ -1,0 +1,10 @@
+/* Indirect scatter: the canonical unprovable-parallel loop. The write
+ * target depends on runtime index data, so no static analysis can prove
+ * distinct iterations hit distinct cells; the synthesized guard runs an
+ * inspector over idx (all values in range, pairwise distinct) plus
+ * pointer-disjointness checks before taking the parallel version. */
+#define N 1024
+void scatter_update(long long idx[N], double val[N], double out[N]) {
+  for (int i = 0; i < N; i++)
+    out[idx[i]] = val[i] * 2.0 + 1.0;
+}

@@ -1,0 +1,8 @@
+/* Runtime stride: out[i*s] touches distinct cells only when s != 0 —
+ * a fact the compiler cannot know. The residual predicate over the
+ * scalar is exactly what the guard evaluates before going parallel. */
+#define N 1024
+void strided_scale(int s, double in[N], double out[4096]) {
+  for (int i = 0; i < N; i++)
+    out[i * s] = in[i] * 3.0;
+}
